@@ -1,0 +1,50 @@
+//! Runs every paper-artifact reproduction in sequence (Figs 9, 10, 14,
+//! Table 1, ablation A-1). Expect a few seconds in release mode.
+
+use fol_bench::experiments::{
+    fig14_bst, hashing_sweep, probe_ablation, standard_load_factors, table1_address_calc,
+    table1_dist_count,
+};
+use fol_bench::report::{fig10_table, fig14_table, fig9_table, probe_ablation_table, table1};
+use fol_hash::ProbeStrategy;
+
+fn main() {
+    let lfs = standard_load_factors();
+    for table_size in [521usize, 4099] {
+        let points = hashing_sweep(table_size, &lfs, ProbeStrategy::KeyDependent, 0xF19);
+        print!("{}", fig9_table(table_size, &points));
+        println!();
+        print!("{}", fig10_table(table_size, &points));
+        println!();
+    }
+
+    let sizes = [1 << 6, 1 << 10, 1 << 14];
+    print!(
+        "{}",
+        table1(
+            "address calculation sorting (work array 3n)",
+            &table1_address_calc(&sizes, 1 << 20, 0x7AB1E),
+            &[(1 << 6, 2.62), (1 << 10, 7.65), (1 << 14, 12.84)],
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        table1(
+            "distribution counting sort (work array 2^16)",
+            &table1_dist_count(&sizes, 1 << 16, 0x7AB1E),
+            &[(1 << 6, 8.02), (1 << 10, 7.52), (1 << 14, 5.31)],
+        )
+    );
+    println!();
+
+    let points = fig14_bst(&[8, 32, 128, 512, 2048], &[10, 50, 100, 200, 300, 400, 500], 0xB57);
+    print!("{}", fig14_table(&points));
+    println!();
+
+    for table_size in [521usize, 4099] {
+        let points = probe_ablation(table_size, &[0.3, 0.5, 0.7, 0.9, 0.98], 0xAB1);
+        print!("{}", probe_ablation_table(table_size, &points));
+        println!();
+    }
+}

@@ -1,0 +1,182 @@
+//! Extension experiments beyond the paper's tables: the related-work
+//! applications (vectorized GC, Lee maze routing) and the future-work /
+//! composition pieces (equi-join, radix sort, BST rebalancing), each with
+//! its modelled scalar-vs-vector cycle comparison.
+
+use fol_gc::{collect_scalar, collect_vector, encode_imm, Heap};
+use fol_hash::join::{scalar_hash_join, vectorized_hash_join};
+use fol_maze::{scalar_route, vectorized_route, Maze};
+use fol_queens::{scalar_solve, vector_solve};
+use fol_sort::radix;
+use fol_tree::bst::{self, Bst};
+use fol_tree::rebalance::{min_height, rebalance};
+use fol_vm::{CostModel, Machine, Word};
+
+fn main() {
+    gc_envelope();
+    maze_envelope();
+    join_experiment();
+    radix_experiment();
+    rebalance_experiment();
+    queens_experiment();
+}
+
+fn tree_heap(m: &mut Machine, h: &mut Heap, depth: usize) -> Word {
+    if depth == 0 {
+        return encode_imm(0);
+    }
+    let l = tree_heap(m, h, depth - 1);
+    let r = tree_heap(m, h, depth - 1);
+    h.cons(m, l, r)
+}
+
+fn gc_envelope() {
+    println!("— X-1: vectorized copying GC —");
+    for (name, build) in [
+        ("bushy tree, depth 10", 0usize),
+        ("deep 500-cell list", 1),
+    ] {
+        let make = |m: &mut Machine| -> (Heap, Word) {
+            let mut h = Heap::alloc(m, 4096, "from");
+            let root = if build == 0 {
+                tree_heap(m, &mut h, 10)
+            } else {
+                h.list_of(m, &(0..500).collect::<Vec<_>>())
+            };
+            (h, root)
+        };
+        let mut ms = Machine::new(CostModel::s810());
+        let (hs, rs) = make(&mut ms);
+        ms.reset_stats();
+        let _ = collect_scalar(&mut ms, &hs, &[rs]);
+        let sc = ms.stats().cycles();
+        let mut mv = Machine::new(CostModel::s810());
+        let (hv, rv) = make(&mut mv);
+        mv.reset_stats();
+        let _ = collect_vector(&mut mv, &hv, &[rv]);
+        let vc = mv.stats().cycles();
+        println!("  {name}: scalar {sc}, vector {vc} -> {:.2}x", sc as f64 / vc as f64);
+    }
+    println!();
+}
+
+fn maze_envelope() {
+    println!("— X-2: vectorized Lee maze routing —");
+    for (name, width, height, wall_fn) in [
+        ("96x96 open field", 96usize, 96usize, 0u8),
+        ("96x96, 10% random walls", 96, 96, 1),
+    ] {
+        let mut seed = 11u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as usize
+        };
+        let n = width * height;
+        let walls: Vec<bool> = (0..n)
+            .map(|i| wall_fn == 1 && i != 0 && i != n - 1 && next() % 100 < 10)
+            .collect();
+
+        let mut ms = Machine::new(CostModel::s810());
+        let maze_s = Maze::new(&mut ms, width, height, &walls);
+        ms.reset_stats();
+        let s = scalar_route(&mut ms, &maze_s, 0, (n - 1) as Word);
+        let sc = ms.stats().cycles();
+        let mut mv = Machine::new(CostModel::s810());
+        let maze_v = Maze::new(&mut mv, width, height, &walls);
+        mv.reset_stats();
+        let v = vectorized_route(&mut mv, &maze_v, 0, (n - 1) as Word);
+        let vc = mv.stats().cycles();
+        assert_eq!(s.distance, v.distance);
+        println!(
+            "  {name}: distance {:?}, scalar {sc}, vector {vc} -> {:.2}x",
+            v.distance,
+            sc as f64 / vc as f64
+        );
+    }
+    println!();
+}
+
+fn join_experiment() {
+    println!("— X-3a: vectorized equi-join —");
+    let build: Vec<Word> = (0..2000).map(|i| (i * 7) % 3000).collect();
+    let probe: Vec<Word> = (0..2000).map(|i| (i * 11) % 3000).collect();
+    let mut ms = Machine::new(CostModel::s810());
+    ms.reset_stats();
+    let a = scalar_hash_join(&mut ms, &build, &probe, 521);
+    let sc = ms.stats().cycles();
+    let mut mv = Machine::new(CostModel::s810());
+    mv.reset_stats();
+    let b = vectorized_hash_join(&mut mv, &build, &probe, 521);
+    let vc = mv.stats().cycles();
+    assert_eq!(a.len(), b.len());
+    println!(
+        "  2000x2000 rows, {} matches: scalar {sc}, vector {vc} -> {:.2}x\n",
+        a.len(),
+        sc as f64 / vc as f64
+    );
+}
+
+fn radix_experiment() {
+    println!("— X-3b: radix sort of 16-bit keys (digit width is a duplication knob) —");
+    println!("  digit multiplicity ~ N / 2^radix_bits; high multiplicity is Theorem 6's");
+    println!("  regime, where FOL round counts erode the vector advantage:");
+    for n in [1usize << 10, 1 << 14] {
+        for radix_bits in [16u32, 8, 4] {
+            let data: Vec<Word> = (0..n as Word).map(|i| (i * 40503) % 65536).collect();
+            let mut ms = Machine::new(CostModel::s810());
+            let a1 = ms.alloc(n, "A");
+            ms.mem_mut().write_region(a1, &data);
+            ms.reset_stats();
+            let _ = radix::scalar_sort(&mut ms, a1, 16, radix_bits);
+            let sc = ms.stats().cycles();
+            let mut mv = Machine::new(CostModel::s810());
+            let a2 = mv.alloc(n, "A");
+            mv.mem_mut().write_region(a2, &data);
+            mv.reset_stats();
+            let _ = radix::vectorized_sort(&mut mv, a2, 16, radix_bits);
+            let vc = mv.stats().cycles();
+            assert_eq!(ms.mem().read_region(a1), mv.mem().read_region(a2));
+            println!(
+                "  N = {n:>6}, {radix_bits:>2}-bit digits (mult ~{:>3}): scalar {sc:>9}, vector {vc:>9} -> {:.2}x",
+                (n >> radix_bits).max(1),
+                sc as f64 / vc as f64
+            );
+        }
+    }
+    println!();
+}
+
+fn rebalance_experiment() {
+    println!("— X-3c: BST rebalancing (paper's future work) —");
+    let n = 4095;
+    let mut m = Machine::new(CostModel::s810());
+    let mut t = Bst::alloc(&mut m, n);
+    let keys: Vec<Word> = (0..n as Word).collect(); // worst case: a spine
+    bst::scalar_insert_all(&mut m, &mut t, &keys);
+    let before = t.height(&m);
+    m.reset_stats();
+    let b = rebalance(&mut m, &t, n as Word + 1);
+    let cycles = m.stats().cycles();
+    println!(
+        "  {n}-node spine: height {before} -> {} (minimum {}), {cycles} modelled cycles",
+        b.height(&m),
+        min_height(n)
+    );
+}
+
+fn queens_experiment() {
+    println!();
+    println!("— X-4: N-queens (SIVP: independent frontier, no FOL needed) —");
+    let mut ms = Machine::new(CostModel::s810());
+    let s = scalar_solve(&mut ms, 8);
+    let sc = ms.stats().cycles();
+    let mut mv = Machine::new(CostModel::s810());
+    let v = vector_solve(&mut mv, 8, false);
+    let vc = mv.stats().cycles();
+    assert_eq!(s.count, v.count);
+    println!(
+        "  n = 8: {} solutions, scalar {sc}, vector {vc} -> {:.2}x",
+        v.count,
+        sc as f64 / vc as f64
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig 10: acceleration ratio of multiple hashing, table sizes
+//! 521 and 4099 (paper peaks: 5.2x and 12.3x, both at load factor 0.5).
+
+use fol_bench::experiments::{hashing_sweep, standard_load_factors};
+use fol_bench::report::fig10_table;
+use fol_hash::ProbeStrategy;
+
+fn main() {
+    let lfs = standard_load_factors();
+    for (table_size, paper_peak) in [(521usize, 5.2), (4099, 12.3)] {
+        let points = hashing_sweep(table_size, &lfs, ProbeStrategy::KeyDependent, 0xF19);
+        print!("{}", fig10_table(table_size, &points));
+        println!("paper peak: {paper_peak:.1}x at load factor 0.5");
+        println!();
+    }
+}

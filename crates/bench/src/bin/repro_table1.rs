@@ -1,0 +1,55 @@
+//! Regenerates Table 1: CPU time and acceleration ratios of the O(N)
+//! sorting algorithms at N = 2^6, 2^10, 2^14.
+
+use fol_bench::experiments::{table1_address_calc, table1_dist_count};
+use fol_bench::report::table1;
+
+fn main() {
+    let sizes = [1 << 6, 1 << 10, 1 << 14];
+
+    let rows = table1_address_calc(&sizes, 1 << 20, 0x7AB1E);
+    print!(
+        "{}",
+        table1(
+            "address calculation sorting (work array 3n)",
+            &rows,
+            &[(1 << 6, 2.62), (1 << 10, 7.65), (1 << 14, 12.84)],
+        )
+    );
+    println!();
+
+    let rows = table1_dist_count(&sizes, 1 << 16, 0x7AB1E);
+    print!(
+        "{}",
+        table1(
+            "distribution counting sort (work array 2^16)",
+            &rows,
+            &[(1 << 6, 8.02), (1 << 10, 7.52), (1 << 14, 5.31)],
+        )
+    );
+
+    // Per-phase breakdown of one vectorized distribution-counting run,
+    // showing where the cycles go (the 2^16-element prefix dominates at
+    // small N; the FOL phases take over as N grows).
+    phase_breakdown(1 << 10);
+    phase_breakdown(1 << 14);
+}
+
+fn phase_breakdown(n: usize) {
+    use fol_bench::workloads::uniform_keys;
+    use fol_sort::dist_count;
+    use fol_vm::{CostModel, Machine};
+
+    let data = uniform_keys(n, 1 << 16, 0x7AB1E ^ n as u64);
+    let mut m = Machine::new(CostModel::s810());
+    let a = m.alloc(n, "A");
+    m.mem_mut().write_region(a, &data);
+    m.reset_stats();
+    let _ = dist_count::vectorized_sort(&mut m, a, 1 << 16);
+    let total = m.stats().cycles();
+    println!("\nvectorized distribution counting, N = {n}: phase cycles");
+    for (name, stats) in m.phases() {
+        let c = stats.cycles();
+        println!("  {name:<24} {c:>12} ({:>5.1}%)", 100.0 * c as f64 / total as f64);
+    }
+}

@@ -1,0 +1,339 @@
+//! Experiment drivers: one function per paper artifact, returning structured
+//! results that both the `repro_*` binaries and the integration tests use.
+
+use crate::workloads;
+use fol_hash::open_addressing as oa;
+use fol_hash::ProbeStrategy;
+use fol_sort::{address_calc, dist_count};
+use fol_tree::bst;
+use fol_vm::{CostModel, Machine, Word};
+
+/// One measured point of the Fig 9/10 sweep.
+#[derive(Clone, Debug)]
+pub struct HashPoint {
+    /// Load factor after entering the keys.
+    pub load_factor: f64,
+    /// Keys entered.
+    pub keys: usize,
+    /// Modelled scalar cycles.
+    pub scalar_cycles: u64,
+    /// Modelled vector cycles.
+    pub vector_cycles: u64,
+    /// Overwrite-and-check iterations of the vectorized run.
+    pub iterations: usize,
+}
+
+impl HashPoint {
+    /// Acceleration ratio (scalar / vector).
+    pub fn accel(&self) -> f64 {
+        self.scalar_cycles as f64 / self.vector_cycles as f64
+    }
+}
+
+/// Trials averaged per measured point (the paper's hashing curves are
+/// smooth; single random draws are noisy, especially near full tables).
+pub const TRIALS: u64 = 5;
+
+/// Figs 9 & 10: multiple hashing into an empty open-addressing table of
+/// `table_size` slots, sweeping the final load factor. Each point averages
+/// [`TRIALS`] independent key sets.
+pub fn hashing_sweep(
+    table_size: usize,
+    load_factors: &[f64],
+    probe: ProbeStrategy,
+    seed: u64,
+) -> Vec<HashPoint> {
+    load_factors
+        .iter()
+        .map(|&lf| {
+            let n = ((table_size as f64 * lf).round() as usize).clamp(1, table_size);
+            let mut scalar_cycles = 0u64;
+            let mut vector_cycles = 0u64;
+            let mut iterations = 0usize;
+            for trial in 0..TRIALS {
+                let keys = workloads::distinct_keys(
+                    n,
+                    1_000_000_007,
+                    seed ^ n as u64 ^ trial.wrapping_mul(0x9E3779B97F4A7C15),
+                );
+
+                let mut ms = Machine::new(CostModel::s810());
+                let ts = ms.alloc(table_size, "table");
+                oa::init_table(&mut ms, ts);
+                ms.reset_stats();
+                let _ = oa::scalar_insert_all(&mut ms, ts, &keys, probe);
+                scalar_cycles += ms.stats().cycles();
+
+                let mut mv = Machine::new(CostModel::s810());
+                let tv = mv.alloc(table_size, "table");
+                oa::init_table(&mut mv, tv);
+                mv.reset_stats();
+                let report = oa::vectorized_insert_all(&mut mv, tv, &keys, probe);
+                vector_cycles += mv.stats().cycles();
+                iterations = iterations.max(report.iterations);
+
+                // Differential check folded into the experiment: both runs
+                // must store the same key set.
+                debug_assert_eq!(
+                    oa::stored_keys(&ms.mem().read_region(ts)),
+                    oa::stored_keys(&mv.mem().read_region(tv))
+                );
+            }
+            HashPoint {
+                load_factor: lf,
+                keys: n,
+                scalar_cycles: scalar_cycles / TRIALS,
+                vector_cycles: vector_cycles / TRIALS,
+                iterations,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct SortRow {
+    /// Input size `N`.
+    pub n: usize,
+    /// Modelled scalar cycles.
+    pub scalar_cycles: u64,
+    /// Modelled vector cycles.
+    pub vector_cycles: u64,
+}
+
+impl SortRow {
+    /// Acceleration ratio (scalar / vector).
+    pub fn accel(&self) -> f64 {
+        self.scalar_cycles as f64 / self.vector_cycles as f64
+    }
+}
+
+/// Table 1 (top): address-calculation sorting at the paper's sizes.
+/// The paper draws values from a wide range; `vmax` is the value range.
+pub fn table1_address_calc(sizes: &[usize], vmax: Word, seed: u64) -> Vec<SortRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let data = workloads::uniform_keys(n, vmax, seed ^ n as u64);
+
+            let mut ms = Machine::new(CostModel::s810());
+            let a1 = ms.alloc(n, "A");
+            ms.mem_mut().write_region(a1, &data);
+            ms.reset_stats();
+            let _ = address_calc::scalar_sort(&mut ms, a1, vmax);
+            let scalar_cycles = ms.stats().cycles();
+
+            let mut mv = Machine::new(CostModel::s810());
+            let a2 = mv.alloc(n, "A");
+            mv.mem_mut().write_region(a2, &data);
+            mv.reset_stats();
+            let _ = address_calc::vectorized_sort(&mut mv, a2, vmax);
+            let vector_cycles = mv.stats().cycles();
+
+            debug_assert_eq!(ms.mem().read_region(a1), mv.mem().read_region(a2));
+            SortRow { n, scalar_cycles, vector_cycles }
+        })
+        .collect()
+}
+
+/// Table 1 (bottom): distribution counting sort; the paper's work array is
+/// `2^16`, the range of the data.
+pub fn table1_dist_count(sizes: &[usize], range: Word, seed: u64) -> Vec<SortRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let data = workloads::uniform_keys(n, range, seed ^ n as u64);
+
+            let mut ms = Machine::new(CostModel::s810());
+            let a1 = ms.alloc(n, "A");
+            ms.mem_mut().write_region(a1, &data);
+            ms.reset_stats();
+            let _ = dist_count::scalar_sort(&mut ms, a1, range);
+            let scalar_cycles = ms.stats().cycles();
+
+            let mut mv = Machine::new(CostModel::s810());
+            let a2 = mv.alloc(n, "A");
+            mv.mem_mut().write_region(a2, &data);
+            mv.reset_stats();
+            let _ = dist_count::vectorized_sort(&mut mv, a2, range);
+            let vector_cycles = mv.stats().cycles();
+
+            debug_assert_eq!(ms.mem().read_region(a1), mv.mem().read_region(a2));
+            SortRow { n, scalar_cycles, vector_cycles }
+        })
+        .collect()
+}
+
+/// One point of the Fig 14 sweep.
+#[derive(Clone, Debug)]
+pub struct BstPoint {
+    /// Initial tree size `Ni`.
+    pub initial: usize,
+    /// Number of keys entered.
+    pub entered: usize,
+    /// Modelled scalar cycles.
+    pub scalar_cycles: u64,
+    /// Modelled vector cycles.
+    pub vector_cycles: u64,
+}
+
+impl BstPoint {
+    /// Acceleration ratio (scalar / vector).
+    pub fn accel(&self) -> f64 {
+        self.scalar_cycles as f64 / self.vector_cycles as f64
+    }
+}
+
+/// Fig 14: enter `entered` random keys into a BST pre-populated with
+/// `initial` random keys; acceleration vs both knobs.
+pub fn fig14_bst(initial_sizes: &[usize], entered_counts: &[usize], seed: u64) -> Vec<BstPoint> {
+    let mut out = Vec::new();
+    for &ni in initial_sizes {
+        for &k in entered_counts {
+            let init_keys = workloads::uniform_keys(ni, 1 << 30, seed ^ (ni as u64) << 1);
+            let new_keys = workloads::uniform_keys(k, 1 << 30, seed ^ (k as u64) << 17 ^ ni as u64);
+
+            let mut ms = Machine::new(CostModel::s810());
+            let mut ts = bst::Bst::alloc(&mut ms, ni + k);
+            bst::scalar_insert_all(&mut ms, &mut ts, &init_keys);
+            ms.reset_stats();
+            bst::scalar_insert_all(&mut ms, &mut ts, &new_keys);
+            let scalar_cycles = ms.stats().cycles();
+
+            let mut mv = Machine::new(CostModel::s810());
+            let mut tv = bst::Bst::alloc(&mut mv, ni + k);
+            bst::scalar_insert_all(&mut mv, &mut tv, &init_keys);
+            mv.reset_stats();
+            let _ = bst::vectorized_insert_all(&mut mv, &mut tv, &new_keys);
+            let vector_cycles = mv.stats().cycles();
+
+            debug_assert_eq!(ts.inorder(&ms), tv.inorder(&mv));
+            out.push(BstPoint { initial: ni, entered: k, scalar_cycles, vector_cycles });
+        }
+    }
+    out
+}
+
+/// A-1 ablation: the original `+1` probe vs the optimized key-dependent
+/// probe, vectorized runs only — the comparison behind the paper's claim
+/// that the optimized recalculation wins at load factors 0.5–0.98.
+#[derive(Clone, Debug)]
+pub struct ProbeAblationPoint {
+    /// Load factor.
+    pub load_factor: f64,
+    /// Vector cycles with the original `+1` step.
+    pub linear_cycles: u64,
+    /// Retry iterations with the original step.
+    pub linear_iterations: usize,
+    /// Vector cycles with the optimized `+(key&31)+1` step.
+    pub keydep_cycles: u64,
+    /// Retry iterations with the optimized step.
+    pub keydep_iterations: usize,
+}
+
+/// Runs the A-1 probe ablation on one table size.
+pub fn probe_ablation(table_size: usize, load_factors: &[f64], seed: u64) -> Vec<ProbeAblationPoint> {
+    load_factors
+        .iter()
+        .map(|&lf| {
+            let n = ((table_size as f64 * lf).round() as usize).clamp(1, table_size);
+            let run = |probe: ProbeStrategy| {
+                let mut cycles = 0u64;
+                let mut iters = 0usize;
+                for trial in 0..TRIALS {
+                    let keys = workloads::distinct_keys(
+                        n,
+                        1_000_000_007,
+                        seed ^ n as u64 ^ trial.wrapping_mul(0x9E3779B97F4A7C15),
+                    );
+                    let mut m = Machine::new(CostModel::s810());
+                    let t = m.alloc(table_size, "table");
+                    oa::init_table(&mut m, t);
+                    m.reset_stats();
+                    let rep = oa::vectorized_insert_all(&mut m, t, &keys, probe);
+                    cycles += m.stats().cycles();
+                    iters = iters.max(rep.iterations);
+                }
+                (cycles / TRIALS, iters)
+            };
+            let (linear_cycles, linear_iterations) = run(ProbeStrategy::Linear);
+            let (keydep_cycles, keydep_iterations) = run(ProbeStrategy::KeyDependent);
+            ProbeAblationPoint {
+                load_factor: lf,
+                linear_cycles,
+                linear_iterations,
+                keydep_cycles,
+                keydep_iterations,
+            }
+        })
+        .collect()
+}
+
+/// The standard load-factor grid used by Figs 9/10 (the paper plots
+/// 0.05…0.98).
+pub fn standard_load_factors() -> Vec<f64> {
+    vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_sweep_peak_near_half_load() {
+        let points = hashing_sweep(521, &[0.1, 0.5, 0.95], ProbeStrategy::KeyDependent, 11);
+        assert_eq!(points.len(), 3);
+        let a10 = points[0].accel();
+        let a50 = points[1].accel();
+        let a95 = points[2].accel();
+        assert!(a50 > a10, "accel must rise toward LF 0.5: {a10:.2} vs {a50:.2}");
+        assert!(a50 > a95, "accel must fall toward LF 1.0: {a50:.2} vs {a95:.2}");
+        assert!(a50 > 2.0, "vectorized must win clearly at LF 0.5, got {a50:.2}");
+    }
+
+    #[test]
+    fn bigger_table_bigger_accel() {
+        let small = hashing_sweep(521, &[0.5], ProbeStrategy::KeyDependent, 5);
+        let large = hashing_sweep(4099, &[0.5], ProbeStrategy::KeyDependent, 5);
+        assert!(
+            large[0].accel() > small[0].accel(),
+            "Fig 10's headline: N=4099 beats N=521 ({:.2} vs {:.2})",
+            large[0].accel(),
+            small[0].accel()
+        );
+    }
+
+    #[test]
+    fn table1_address_calc_accel_grows() {
+        let rows = table1_address_calc(&[64, 1024], 1 << 20, 3);
+        assert!(rows[1].accel() > rows[0].accel());
+        assert!(rows[1].accel() > 1.0);
+    }
+
+    #[test]
+    fn table1_dist_count_vector_wins() {
+        let rows = table1_dist_count(&[64, 1024], 1 << 16, 3);
+        for row in &rows {
+            assert!(row.accel() > 1.0, "N={} accel {:.2}", row.n, row.accel());
+        }
+    }
+
+    #[test]
+    fn fig14_larger_initial_tree_helps() {
+        let pts = fig14_bst(&[8, 512], &[200], 9);
+        let small = pts.iter().find(|p| p.initial == 8).expect("present");
+        let large = pts.iter().find(|p| p.initial == 512).expect("present");
+        assert!(large.accel() > small.accel());
+    }
+
+    #[test]
+    fn probe_ablation_keydep_wins_at_high_load() {
+        let pts = probe_ablation(521, &[0.7], 13);
+        assert!(
+            pts[0].keydep_cycles < pts[0].linear_cycles,
+            "optimized probe must win at LF 0.7: {} vs {}",
+            pts[0].keydep_cycles,
+            pts[0].linear_cycles
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Deterministic workload generators for the experiments.
+//!
+//! All generators take explicit seeds so every figure is reproducible
+//! run-to-run; the paper's workloads are "uniformly random keys".
+
+use fol_vm::Word;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// `n` *distinct* non-negative keys, uniformly drawn from `[0, limit)` —
+/// the multiple-hashing workload (open addressing requires distinct keys).
+///
+/// # Panics
+/// Panics when `n > limit`.
+pub fn distinct_keys(n: usize, limit: Word, seed: u64) -> Vec<Word> {
+    assert!(n as Word <= limit, "cannot draw {n} distinct keys below {limit}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let k = rng.random_range(0..limit);
+        if seen.insert(k) {
+            out.push(k);
+        }
+    }
+    out
+}
+
+/// `n` uniformly random keys in `[0, limit)`, duplicates allowed — the
+/// sorting and BST workloads.
+pub fn uniform_keys(n: usize, limit: Word, seed: u64) -> Vec<Word> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..limit)).collect()
+}
+
+/// A random permutation of `0..n` — duplicate-free targets for decomposition
+/// ablations.
+pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<usize> = (0..n).collect();
+    v.shuffle(&mut rng);
+    v
+}
+
+/// Targets with a controlled duplication profile: `n` values over a domain
+/// of `domain` cells drawn uniformly, giving expected max multiplicity that
+/// grows as `domain` shrinks — the decomposition ablation's knob.
+pub fn duplicated_targets(n: usize, domain: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..domain)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_are_distinct_and_deterministic() {
+        let a = distinct_keys(100, 1000, 7);
+        let b = distinct_keys(100, 1000, 7);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert!(a.iter().all(|&k| (0..1000).contains(&k)));
+    }
+
+    #[test]
+    fn distinct_keys_different_seed_differs() {
+        assert_ne!(distinct_keys(50, 10_000, 1), distinct_keys(50, 10_000, 2));
+    }
+
+    #[test]
+    fn uniform_keys_in_range() {
+        let k = uniform_keys(500, 64, 3);
+        assert_eq!(k.len(), 500);
+        assert!(k.iter().all(|&x| (0..64).contains(&x)));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = permutation(64, 9);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicated_targets_in_domain() {
+        let t = duplicated_targets(100, 5, 4);
+        assert!(t.iter().all(|&x| x < 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct keys")]
+    fn too_many_distinct_panics() {
+        let _ = distinct_keys(11, 10, 0);
+    }
+}

@@ -1,0 +1,397 @@
+//! FOL\* — the filtering-overwritten-label method for unit processes that
+//! rewrite several data items at once (§3.3 of the paper).
+//!
+//! Tree rewriting with the associative law rewrites **two** nodes per rule
+//! application; more generally a unit process rewrites a tuple
+//! `⟨d_i1, …, d_iL⟩` addressed by `L` parallel index vectors `V1 … VL`. A
+//! tuple is parallel-processable this round only if **all** of its `L`
+//! labels round-trip intact.
+//!
+//! ## Livelock
+//!
+//! Unlike FOL1, FOL\* has no guaranteed survivor: with unlucky write
+//! interleavings every tuple can lose at least one label per iteration, and
+//! the paper notes a "deadlock" (livelock) is possible. Two countermeasures
+//! are provided (selectable via [`LivelockPolicy`]):
+//!
+//! * [`LivelockPolicy::ScalarTail`] — the paper's §3.3 remedy: all label
+//!   writes go through vector scatters except the *last* tuple's, which are
+//!   re-written by scalar stores after the vector stores complete; if the
+//!   last tuple does not alias itself it is then guaranteed to survive.
+//! * [`LivelockPolicy::ForcedSequential`] — this crate's fallback (the
+//!   "better method" the paper asks for): whenever a detection pass yields an
+//!   empty set, the first remaining tuple is processed alone in a sequential
+//!   round. This terminates for *every* input, including tuples whose own
+//!   elements alias each other (which can never pass label detection).
+//!
+//! Both policies are combined in practice: `ScalarTail` also falls back to a
+//! forced round when even the scalar tail fails (intra-tuple aliasing).
+
+use crate::Decomposition;
+use fol_vm::{CmpOp, Machine, Region, VReg, Word};
+
+/// Livelock countermeasure for FOL\*. See the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LivelockPolicy {
+    /// Paper's remedy: last tuple's labels are re-written by scalar stores.
+    ScalarTail,
+    /// Fallback only: force a one-tuple sequential round when detection
+    /// comes up empty.
+    #[default]
+    ForcedSequential,
+}
+
+/// Options for [`fol_star_machine`].
+#[derive(Clone, Debug, Default)]
+pub struct FolStarOptions {
+    /// Livelock countermeasure.
+    pub livelock: LivelockPolicy,
+}
+
+/// Result of FOL\*: rounds of tuple positions plus a record of which rounds
+/// were forced (produced by the livelock fallback, size 1, must be run
+/// sequentially — trivially true for a single tuple).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FolStarDecomposition {
+    /// Tuple positions per round.
+    pub decomposition: Decomposition,
+    /// `forced[j]` is true when round `j` came from the livelock fallback.
+    pub forced: Vec<bool>,
+}
+
+impl FolStarDecomposition {
+    /// Number of rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.decomposition.num_rounds()
+    }
+
+    /// Number of forced (fallback) rounds.
+    pub fn num_forced(&self) -> usize {
+        self.forced.iter().filter(|&&f| f).count()
+    }
+}
+
+/// Runs FOL\* on the machine.
+///
+/// * `work` — the shared work area; every index of every vector denotes a
+///   cell of `work`.
+/// * `index_vecs` — the `L` index vectors `V1 … VL`, all the same length
+///   `n`; `index_vecs[k][i]` addresses the `k`-th item rewritten by unit
+///   process `i`.
+///
+/// Returns rounds of *tuple positions* `0..n`. Within a non-forced round,
+/// all targeted cells of all surviving tuples (across all `L` vectors) are
+/// pairwise distinct — the FOL\* analogue of Lemma 2, checked by
+/// [`crate::theory`]-style assertions in the tests.
+///
+/// # Panics
+/// Panics when the index vectors have differing lengths or `L == 0`.
+pub fn fol_star_machine(
+    m: &mut Machine,
+    work: Region,
+    index_vecs: &[Vec<Word>],
+    options: &FolStarOptions,
+) -> FolStarDecomposition {
+    let l = index_vecs.len();
+    assert!(l > 0, "FOL* needs at least one index vector");
+    let n = index_vecs[0].len();
+    assert!(
+        index_vecs.iter().all(|v| v.len() == n),
+        "all index vectors must have the same length"
+    );
+
+    // Live tuple positions and their per-vector target columns.
+    let mut live: Vec<usize> = (0..n).collect();
+    let mut rounds: Vec<Vec<usize>> = Vec::new();
+    let mut forced: Vec<bool> = Vec::new();
+
+    while !live.is_empty() {
+        let nlive = live.len();
+        // Current columns as vector registers.
+        let cols: Vec<VReg> = (0..l)
+            .map(|k| {
+                let col: Vec<Word> = live.iter().map(|&p| index_vecs[k][p]).collect();
+                m.vimm(&col)
+            })
+            .collect();
+        // Unique labels: label(k, p) = k*n + p  (p = original tuple position).
+        let labels: Vec<VReg> = (0..l)
+            .map(|k| {
+                let lab: Vec<Word> =
+                    live.iter().map(|&p| (k * n + p) as Word).collect();
+                m.vimm(&lab)
+            })
+            .collect();
+
+        // Step 1: write labels, vector by vector.
+        for k in 0..l {
+            m.scatter(work, &cols[k], &labels[k]);
+        }
+        if options.livelock == LivelockPolicy::ScalarTail {
+            // Re-write the last tuple's labels with scalar stores, in vector
+            // order, after the vector stores have completed.
+            let last = nlive - 1;
+            for k in 0..l {
+                let addr = work.at(cols[k].get(last) as usize);
+                m.s_write(addr, labels[k].get(last));
+            }
+        }
+
+        // Step 2: read back and require all L labels intact.
+        let mut ok = fol_vm::Mask::splat(true, nlive);
+        for k in 0..l {
+            let got = m.gather(work, &cols[k]);
+            let eq = m.vcmp(CmpOp::Eq, &got, &labels[k]);
+            ok = m.mask_and(&ok, &eq);
+        }
+
+        let survivor_count = m.count_true(&ok);
+        if survivor_count == 0 {
+            // Livelock fallback: force the first live tuple through alone.
+            rounds.push(vec![live[0]]);
+            forced.push(true);
+            live.remove(0);
+            continue;
+        }
+
+        let mut round = Vec::with_capacity(survivor_count);
+        let mut rest = Vec::with_capacity(nlive - survivor_count);
+        for (i, &p) in live.iter().enumerate() {
+            if ok.get(i) {
+                round.push(p);
+            } else {
+                rest.push(p);
+            }
+        }
+        rounds.push(round);
+        forced.push(false);
+        live = rest;
+    }
+
+    FolStarDecomposition { decomposition: Decomposition::new(rounds), forced }
+}
+
+/// Computes only the *first* parallel-processable set `S1` of FOL\*.
+///
+/// Rewriting applications often cannot use the later sets: applying `S1`
+/// invalidates the sites the later tuples were built from (a rewrite may
+/// consume another site's nodes), so the caller recomputes its site list and
+/// calls this again. The paper's §5 notes that Appel–Bendiksen's vectorized
+/// GC and Suzuki's maze router do exactly this — "the first output set S1 is
+/// implicitly computed; S2 … SM are unnecessary".
+///
+/// Returns the surviving tuple positions; guaranteed non-empty when `n > 0`
+/// (on an empty detection the first tuple is forced through, as in
+/// [`LivelockPolicy::ForcedSequential`]).
+pub fn fol_star_first_round(
+    m: &mut Machine,
+    work: Region,
+    index_vecs: &[Vec<Word>],
+) -> Vec<usize> {
+    let l = index_vecs.len();
+    assert!(l > 0, "FOL* needs at least one index vector");
+    let n = index_vecs[0].len();
+    assert!(
+        index_vecs.iter().all(|v| v.len() == n),
+        "all index vectors must have the same length"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let cols: Vec<VReg> = (0..l).map(|k| m.vimm(&index_vecs[k])).collect();
+    let labels: Vec<VReg> = (0..l)
+        .map(|k| {
+            let lab: Vec<Word> = (0..n).map(|p| (k * n + p) as Word).collect();
+            m.vimm(&lab)
+        })
+        .collect();
+    for k in 0..l {
+        m.scatter(work, &cols[k], &labels[k]);
+    }
+    let mut ok = fol_vm::Mask::splat(true, n);
+    for k in 0..l {
+        let got = m.gather(work, &cols[k]);
+        let eq = m.vcmp(CmpOp::Eq, &got, &labels[k]);
+        ok = m.mask_and(&ok, &eq);
+    }
+    if m.count_true(&ok) == 0 {
+        return vec![0]; // forced sequential fallback
+    }
+    (0..n).filter(|&p| ok.get(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory;
+    use fol_vm::{ConflictPolicy, CostModel};
+    use std::collections::HashSet;
+
+    fn machine(policy: ConflictPolicy) -> Machine {
+        Machine::with_policy(CostModel::unit(), policy)
+    }
+
+    /// Cross-tuple distinctness within non-forced rounds: the FOL* analogue
+    /// of Lemma 2 over all L columns.
+    fn non_forced_rounds_distinct(
+        d: &FolStarDecomposition,
+        index_vecs: &[Vec<Word>],
+    ) -> bool {
+        d.decomposition.iter().zip(&d.forced).all(|(round, &is_forced)| {
+            if is_forced {
+                return round.len() == 1;
+            }
+            let mut seen = HashSet::new();
+            round
+                .iter()
+                .all(|&p| index_vecs.iter().all(|v| seen.insert(v[p])))
+        })
+    }
+
+    #[test]
+    fn first_round_only_matches_full_run() {
+        let v1: Vec<Word> = vec![1, 3, 5];
+        let v2: Vec<Word> = vec![3, 5, 7];
+        let mut m1 = machine(ConflictPolicy::LastWins);
+        let w1 = m1.alloc(8, "w");
+        let full = fol_star_machine(
+            &mut m1,
+            w1,
+            &[v1.clone(), v2.clone()],
+            &FolStarOptions::default(),
+        );
+        let mut m2 = machine(ConflictPolicy::LastWins);
+        let w2 = m2.alloc(8, "w");
+        let first = fol_star_first_round(&mut m2, w2, &[v1, v2]);
+        assert_eq!(first, full.decomposition.rounds()[0]);
+    }
+
+    #[test]
+    fn first_round_empty_input() {
+        let mut m = machine(ConflictPolicy::LastWins);
+        let w = m.alloc(2, "w");
+        assert!(fol_star_first_round(&mut m, w, &[vec![], vec![]]).is_empty());
+    }
+
+    #[test]
+    fn first_round_forced_on_self_alias() {
+        let mut m = machine(ConflictPolicy::LastWins);
+        let w = m.alloc(4, "w");
+        let r = fol_star_first_round(&mut m, w, &[vec![1, 1], vec![1, 1]]);
+        assert_eq!(r, vec![0], "forced fallback pushes the first tuple");
+    }
+
+    #[test]
+    fn independent_tuples_one_round() {
+        let mut m = machine(ConflictPolicy::LastWins);
+        let work = m.alloc(8, "work");
+        let v1 = vec![0, 2, 4];
+        let v2 = vec![1, 3, 5];
+        let d = fol_star_machine(&mut m, work, &[v1, v2], &FolStarOptions::default());
+        assert_eq!(d.num_rounds(), 1);
+        assert_eq!(d.num_forced(), 0);
+    }
+
+    #[test]
+    fn shared_node_across_tuples_splits_rounds() {
+        // The paper's tree-rewriting picture: tuples (n1, n3) and (n3, n5)
+        // share node n3, so they cannot run in one round.
+        let mut m = machine(ConflictPolicy::LastWins);
+        let work = m.alloc(8, "work");
+        let v1 = vec![1, 3]; // first rewritten node per tuple
+        let v2 = vec![3, 5]; // second rewritten node per tuple
+        let d = fol_star_machine(&mut m, work, &[v1.clone(), v2.clone()], &FolStarOptions::default());
+        assert_eq!(d.decomposition.total_len(), 2);
+        assert_eq!(d.num_rounds(), 2, "shared n3 forces two rounds");
+        assert!(theory::is_disjoint_cover(&d.decomposition, 2));
+        assert!(non_forced_rounds_distinct(&d, &[v1, v2]));
+    }
+
+    #[test]
+    fn intra_tuple_aliasing_terminates_via_forced_round() {
+        // A tuple pointing twice at the same cell can never pass detection;
+        // the fallback must push it through alone.
+        let mut m = machine(ConflictPolicy::LastWins);
+        let work = m.alloc(4, "work");
+        let v1 = vec![2, 0];
+        let v2 = vec![2, 1]; // tuple 0 self-aliases cell 2
+        let d = fol_star_machine(&mut m, work, &[v1, v2], &FolStarOptions::default());
+        assert!(d.decomposition.total_len() == 2);
+        assert!(d.num_forced() >= 1);
+    }
+
+    #[test]
+    fn scalar_tail_policy_terminates_and_covers() {
+        let mut m = machine(ConflictPolicy::FirstWins);
+        let work = m.alloc(8, "work");
+        let v1 = vec![0, 0, 3];
+        let v2 = vec![1, 1, 1];
+        let opts = FolStarOptions { livelock: LivelockPolicy::ScalarTail };
+        let d = fol_star_machine(&mut m, work, &[v1.clone(), v2.clone()], &opts);
+        assert!(theory::is_disjoint_cover(&d.decomposition, 3));
+        assert!(non_forced_rounds_distinct(&d, &[v1, v2]));
+    }
+
+    #[test]
+    fn scalar_tail_with_self_aliasing_still_terminates() {
+        let mut m = machine(ConflictPolicy::LastWins);
+        let work = m.alloc(4, "work");
+        let v1 = vec![1, 1];
+        let v2 = vec![1, 1]; // both tuples self-alias
+        let opts = FolStarOptions { livelock: LivelockPolicy::ScalarTail };
+        let d = fol_star_machine(&mut m, work, &[v1, v2], &opts);
+        assert_eq!(d.decomposition.total_len(), 2);
+        assert_eq!(d.num_forced(), 2);
+    }
+
+    #[test]
+    fn many_policies_cover_and_stay_distinct() {
+        let v1: Vec<Word> = vec![0, 1, 2, 0, 4, 2];
+        let v2: Vec<Word> = vec![5, 6, 7, 6, 5, 3];
+        for policy in [
+            ConflictPolicy::FirstWins,
+            ConflictPolicy::LastWins,
+            ConflictPolicy::Arbitrary(7),
+        ] {
+            let mut m = machine(policy.clone());
+            let work = m.alloc(8, "work");
+            let d = fol_star_machine(
+                &mut m,
+                work,
+                &[v1.clone(), v2.clone()],
+                &FolStarOptions::default(),
+            );
+            assert!(theory::is_disjoint_cover(&d.decomposition, 6), "{policy:?}");
+            assert!(non_forced_rounds_distinct(&d, &[v1.clone(), v2.clone()]), "{policy:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        let mut m = machine(ConflictPolicy::LastWins);
+        let work = m.alloc(4, "work");
+        let _ = fol_star_machine(
+            &mut m,
+            work,
+            &[vec![0], vec![1, 2]],
+            &FolStarOptions::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one index vector")]
+    fn zero_vectors_panic() {
+        let mut m = machine(ConflictPolicy::LastWins);
+        let work = m.alloc(4, "work");
+        let _ = fol_star_machine(&mut m, work, &[], &FolStarOptions::default());
+    }
+
+    #[test]
+    fn empty_tuples_no_rounds() {
+        let mut m = machine(ConflictPolicy::LastWins);
+        let work = m.alloc(4, "work");
+        let d = fol_star_machine(&mut m, work, &[vec![], vec![]], &FolStarOptions::default());
+        assert_eq!(d.num_rounds(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! FOL1 on plain host memory.
+//!
+//! The same label-scatter / gather-back / compare / compress loop as
+//! [`crate::decompose::fol1_machine`], but running directly on host slices
+//! with no simulator and no cost accounting. This is FOL as a *practical
+//! parallelization primitive*: feed it the target indices of a batch of
+//! updates, get back rounds that [`crate::parallel`] can execute with real
+//! data parallelism.
+//!
+//! On a sequential host the "scatter" is a plain loop, which makes the host
+//! variant's label-write trivially last-wins; the decomposition guarantees
+//! (disjoint cover, within-round distinctness, minimal round count) are the
+//! same as on any ELS-conforming machine.
+
+use crate::Decomposition;
+
+/// FOL1 over `targets` (indices into a conceptual storage of `domain`
+/// cells), using a freshly allocated work array.
+///
+/// # Panics
+/// Panics when some target is `>= domain`.
+pub fn fol1_host(targets: &[usize], domain: usize) -> Decomposition {
+    let mut work = vec![usize::MAX; domain];
+    fol1_host_with_work(targets, &mut work)
+}
+
+/// FOL1 over `targets` using a caller-provided work array (its prior
+/// contents are irrelevant; it is clobbered with labels). Useful when a
+/// caller runs many decompositions and wants to reuse the allocation — the
+/// "workhorse collection" pattern.
+///
+/// # Panics
+/// Panics when some target is out of bounds of `work`.
+pub fn fol1_host_with_work(targets: &[usize], work: &mut [usize]) -> Decomposition {
+    let n = targets.len();
+    // `live` holds positions of V not yet assigned to a round; their label is
+    // simply their original position (subscript labels, footnote 6).
+    let mut live: Vec<usize> = (0..n).collect();
+    let mut next: Vec<usize> = Vec::new();
+    let mut rounds: Vec<Vec<usize>> = Vec::new();
+
+    while !live.is_empty() {
+        // Step 1: write labels through V.
+        for &pos in &live {
+            work[targets[pos]] = pos;
+        }
+        // Steps 2–3: detect overwriting; survivors form a round, the rest
+        // are retried.
+        let mut round = Vec::new();
+        for &pos in &live {
+            if work[targets[pos]] == pos {
+                round.push(pos);
+            } else {
+                next.push(pos);
+            }
+        }
+        debug_assert!(!round.is_empty(), "at least one survivor per round (Theorem 1)");
+        rounds.push(round);
+        std::mem::swap(&mut live, &mut next);
+        next.clear();
+    }
+    Decomposition::new(rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::reference_decompose;
+    use crate::theory;
+
+    #[test]
+    fn fig6_example() {
+        let v = [0usize, 1, 0, 2, 2, 0];
+        let d = fol1_host(&v, 3);
+        assert_eq!(d.sizes(), vec![3, 2, 1]);
+        assert!(theory::is_disjoint_cover(&d, v.len()));
+        assert!(theory::rounds_target_distinct(&d, &v));
+    }
+
+    #[test]
+    fn duplicate_free_is_one_round() {
+        let v = [4usize, 0, 2, 9];
+        let d = fol1_host(&v, 10);
+        assert_eq!(d.num_rounds(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let d = fol1_host(&[], 0);
+        assert_eq!(d.num_rounds(), 0);
+    }
+
+    #[test]
+    fn matches_reference_sizes() {
+        let v = [7usize, 7, 7, 1, 2, 1];
+        let d = fol1_host(&v, 8);
+        let words: Vec<i64> = v.iter().map(|&x| x as i64).collect();
+        assert_eq!(d.sizes(), reference_decompose(&words).sizes());
+    }
+
+    #[test]
+    fn work_reuse_gives_same_result() {
+        let v = [3usize, 3, 0];
+        let mut work = vec![0usize; 4];
+        let d1 = fol1_host_with_work(&v, &mut work);
+        // Reuse with stale contents.
+        let d2 = fol1_host_with_work(&v, &mut work);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_domain_target_panics() {
+        let _ = fol1_host(&[5], 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! Order-preserving FOL — the paper's footnote 7.
+//!
+//! Plain FOL1 assigns duplicates to rounds in an order the hardware's
+//! conflict resolution picks; for algorithms where the *sequential order of
+//! operations on one cell matters* (footnote 5's hash-chain example: which
+//! key heads the chain), the paper sketches a variant built on the ordered
+//! indirect store (`VSTX`, element order defines the winner): replace the
+//! ELS condition with the stronger ordered-store guarantee so that for
+//! duplicates `d_i` (earlier) and `d_j` (later in `V`), `d_i`'s round
+//! precedes `d_j`'s.
+//!
+//! Implementation: per iteration, scatter the live labels with
+//! [`fol_vm::Machine::scatter_ordered`] but feed the vector in *reverse*
+//! element order, so the **earliest** remaining occurrence of every cell
+//! wins, enters the current round, and is filtered out; each cell's
+//! occurrences therefore drain front-to-back. The result is a decomposition
+//! with all of FOL1's guarantees *plus* the order property checked by
+//! [`crate::theory`]-style tests below.
+
+use crate::Decomposition;
+use fol_vm::{CmpOp, Machine, Region, VReg, Word};
+
+/// Order-preserving FOL1: like [`crate::decompose::fol1_machine`], but the
+/// `k`-th round contains exactly the `k`-th occurrence (in original vector
+/// order) of every duplicated target.
+pub fn fol1_machine_ordered(m: &mut Machine, work: Region, index_vec: &[Word]) -> Decomposition {
+    let n = index_vec.len();
+    let mut v = m.vimm(index_vec);
+    let mut positions = m.iota(0, n);
+    let mut labels = m.iota(0, n);
+    let mut rounds = Vec::new();
+
+    while !v.is_empty() {
+        // Reverse the live vectors so the ordered store's last-wins rule
+        // leaves the *earliest* occurrence's label in each cell. The
+        // reversal itself is one streaming pass (modelled as a store).
+        let vr = reverse(m, &v);
+        let lr = reverse(m, &labels);
+        m.scatter_ordered(work, &vr, &lr);
+        let got = m.gather(work, &v);
+        let ok = m.vcmp(CmpOp::Eq, &got, &labels);
+        let survivors = m.compress(&positions, &ok);
+        debug_assert!(!survivors.is_empty(), "ordered store leaves at least one survivor");
+        rounds.push(survivors.iter().map(|p| p as usize).collect());
+        let rest = m.mask_not(&ok);
+        v = m.compress(&v, &rest);
+        positions = m.compress(&positions, &rest);
+        labels = m.compress(&labels, &rest);
+    }
+    Decomposition::new(rounds)
+}
+
+/// Element reversal, charged as one streaming pass (real machines do this
+/// with a negative-stride store).
+fn reverse(m: &mut Machine, a: &VReg) -> VReg {
+    let mut elems: Vec<Word> = a.iter().collect();
+    elems.reverse();
+    m.vimm(&elems)
+}
+
+/// The order property: for every pair of positions `i < j` with the same
+/// target, `i`'s round index is strictly smaller than `j`'s.
+pub fn preserves_order(d: &Decomposition, targets: &[Word]) -> bool {
+    let mut round_of = vec![usize::MAX; targets.len()];
+    for (r, round) in d.iter().enumerate() {
+        for &p in round {
+            round_of[p] = r;
+        }
+    }
+    for i in 0..targets.len() {
+        for j in (i + 1)..targets.len() {
+            if targets[i] == targets[j] && round_of[i] >= round_of[j] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::fol1_machine;
+    use crate::theory;
+    use fol_vm::{ConflictPolicy, CostModel};
+
+    fn machine() -> Machine {
+        // The conflict policy is irrelevant: ordered FOL uses VSTX only.
+        Machine::with_policy(CostModel::unit(), ConflictPolicy::Arbitrary(99))
+    }
+
+    #[test]
+    fn ordered_rounds_respect_vector_order() {
+        let v: Vec<Word> = vec![5, 2, 5, 5, 2, 9];
+        let mut m = machine();
+        let work = m.alloc(10, "work");
+        let d = fol1_machine_ordered(&mut m, work, &v);
+        assert!(theory::is_disjoint_cover(&d, v.len()));
+        assert!(theory::rounds_target_distinct_words(&d, &v));
+        assert!(theory::is_minimal(&d, &v));
+        assert!(preserves_order(&d, &v));
+        // Explicitly: positions 0, 2, 3 (all target 5) land in rounds 0, 1, 2.
+        assert!(d.rounds()[0].contains(&0));
+        assert!(d.rounds()[1].contains(&2));
+        assert!(d.rounds()[2].contains(&3));
+    }
+
+    #[test]
+    fn plain_fol1_under_last_wins_reverses_order() {
+        // Motivation check: plain FOL1 with a LastWins machine puts the
+        // *last* occurrence first, so order preservation genuinely needs
+        // the variant.
+        let v: Vec<Word> = vec![5, 5];
+        let mut m = Machine::with_policy(CostModel::unit(), ConflictPolicy::LastWins);
+        let work = m.alloc(6, "work");
+        let d = fol1_machine(&mut m, work, &v);
+        assert!(!preserves_order(&d, &v));
+    }
+
+    #[test]
+    fn duplicate_free_is_single_round_and_trivially_ordered() {
+        let v: Vec<Word> = vec![3, 1, 4];
+        let mut m = machine();
+        let work = m.alloc(5, "work");
+        let d = fol1_machine_ordered(&mut m, work, &v);
+        assert_eq!(d.num_rounds(), 1);
+        assert!(preserves_order(&d, &v));
+    }
+
+    #[test]
+    fn all_equal_drains_front_to_back() {
+        let v: Vec<Word> = vec![0; 5];
+        let mut m = machine();
+        let work = m.alloc(1, "work");
+        let d = fol1_machine_ordered(&mut m, work, &v);
+        assert_eq!(d.num_rounds(), 5);
+        for (r, round) in d.iter().enumerate() {
+            assert_eq!(round, &[r]);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut m = machine();
+        let work = m.alloc(1, "work");
+        assert_eq!(fol1_machine_ordered(&mut m, work, &[]).num_rounds(), 0);
+    }
+
+    #[test]
+    fn order_checker_rejects_bad_decomposition() {
+        let targets: Vec<Word> = vec![1, 1];
+        let bad = Decomposition::new(vec![vec![1], vec![0]]);
+        assert!(!preserves_order(&bad, &targets));
+        let good = Decomposition::new(vec![vec![0], vec![1]]);
+        assert!(preserves_order(&good, &targets));
+    }
+}

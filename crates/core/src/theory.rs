@@ -1,0 +1,149 @@
+//! Executable statements of the paper's lemmas and theorems.
+//!
+//! Each predicate here corresponds to a numbered result in §3.2 of the
+//! paper; unit, property and integration tests across the workspace call
+//! them to check that every FOL implementation (machine, host, FOL\*)
+//! delivers exactly the guarantees the paper proves.
+//!
+//! | Paper result | Predicate |
+//! |---|---|
+//! | Lemma 1 (disjoint decomposition) | [`is_disjoint_cover`] |
+//! | Lemma 2 (within-round distinctness) | [`rounds_target_distinct`] |
+//! | Theorem 3 (monotone sizes; M=1 iff duplicate-free) | [`sizes_monotone`], [`max_multiplicity`] |
+//! | Lemma 3 / Theorem 5 (minimality: M = max multiplicity) | [`is_minimal`] |
+//! | Theorem 4 / 6 (complexity) | [`fol1_work`] (closed-form modelled work) |
+
+use crate::Decomposition;
+use fol_vm::Word;
+use std::collections::{HashMap, HashSet};
+
+/// Lemma 1: every position `0..n` appears in exactly one round.
+pub fn is_disjoint_cover(d: &Decomposition, n: usize) -> bool {
+    let mut seen = HashSet::with_capacity(n);
+    for round in d.iter() {
+        for &pos in round {
+            if pos >= n || !seen.insert(pos) {
+                return false;
+            }
+        }
+    }
+    seen.len() == n
+}
+
+/// Lemma 2: within every round, the targeted cells are pairwise distinct
+/// (`usize` targets — the host representation).
+pub fn rounds_target_distinct(d: &Decomposition, targets: &[usize]) -> bool {
+    d.iter().all(|round| {
+        let mut seen = HashSet::with_capacity(round.len());
+        round.iter().all(|&pos| seen.insert(targets[pos]))
+    })
+}
+
+/// Lemma 2 for `Word` targets — the machine representation.
+pub fn rounds_target_distinct_words(d: &Decomposition, targets: &[Word]) -> bool {
+    d.iter().all(|round| {
+        let mut seen = HashSet::with_capacity(round.len());
+        round.iter().all(|&pos| seen.insert(targets[pos]))
+    })
+}
+
+/// Theorem 3 (first half): `|S1| >= |S2| >= … >= |SM|`.
+pub fn sizes_monotone(d: &Decomposition) -> bool {
+    d.sizes().windows(2).all(|w| w[0] >= w[1])
+}
+
+/// The maximum multiplicity of any target value — the paper's `M'`.
+pub fn max_multiplicity(targets: &[Word]) -> usize {
+    let mut counts: HashMap<Word, usize> = HashMap::with_capacity(targets.len());
+    let mut max = 0;
+    for &t in targets {
+        let c = counts.entry(t).or_insert(0);
+        *c += 1;
+        max = max.max(*c);
+    }
+    max
+}
+
+/// Lemma 3 / Theorem 5: a decomposition is *minimal* when its round count
+/// equals the maximum multiplicity (no valid decomposition can use fewer
+/// rounds, since duplicates of one cell must go to distinct rounds).
+pub fn is_minimal(d: &Decomposition, targets: &[Word]) -> bool {
+    d.num_rounds() == max_multiplicity(targets)
+}
+
+/// Closed-form *work* (total elements pushed through vector pipes) of the
+/// FOL1 loop for given round sizes: iteration `j` processes
+/// `|Sj| + |Sj+1| + … + |SM|` elements. This is the quantity behind
+/// Theorems 4 and 6:
+///
+/// * if `|S1| ≫ Σ_{i≥2} |Si|` the sum is `O(N)` (Theorem 4);
+/// * if all rounds have size 1 the sum is `N + (N-1) + … + 1 = O(N²)`
+///   (Theorem 6).
+pub fn fol1_work(sizes: &[usize]) -> usize {
+    // suffix-sum formulation: element of round j is alive for j iterations.
+    sizes.iter().enumerate().map(|(j, &s)| (j + 1) * s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(rounds: &[&[usize]]) -> Decomposition {
+        Decomposition::new(rounds.iter().map(|r| r.to_vec()).collect())
+    }
+
+    #[test]
+    fn disjoint_cover_accepts_valid() {
+        assert!(is_disjoint_cover(&d(&[&[0, 2], &[1]]), 3));
+    }
+
+    #[test]
+    fn disjoint_cover_rejects_duplicate() {
+        assert!(!is_disjoint_cover(&d(&[&[0, 1], &[1]]), 3));
+    }
+
+    #[test]
+    fn disjoint_cover_rejects_missing() {
+        assert!(!is_disjoint_cover(&d(&[&[0]]), 2));
+    }
+
+    #[test]
+    fn disjoint_cover_rejects_out_of_range() {
+        assert!(!is_disjoint_cover(&d(&[&[0, 5]]), 2));
+    }
+
+    #[test]
+    fn target_distinct_checks_within_round_only() {
+        let targets = [7usize, 7, 3];
+        assert!(rounds_target_distinct(&d(&[&[0, 2], &[1]]), &targets));
+        assert!(!rounds_target_distinct(&d(&[&[0, 1], &[2]]), &targets));
+    }
+
+    #[test]
+    fn monotone_sizes() {
+        assert!(sizes_monotone(&d(&[&[0, 1], &[2]])));
+        assert!(!sizes_monotone(&d(&[&[0], &[1, 2]])));
+        assert!(sizes_monotone(&Decomposition::default()));
+    }
+
+    #[test]
+    fn multiplicity_and_minimality() {
+        let targets: Vec<Word> = vec![5, 5, 5, 2];
+        assert_eq!(max_multiplicity(&targets), 3);
+        assert!(is_minimal(&d(&[&[0, 3], &[1], &[2]]), &targets));
+        assert!(!is_minimal(&d(&[&[0, 3], &[1], &[], &[2]]), &targets));
+        assert_eq!(max_multiplicity(&[]), 0);
+    }
+
+    #[test]
+    fn work_formula() {
+        // N duplicate-free elements: one round, work N.
+        assert_eq!(fol1_work(&[10]), 10);
+        // All-equal worst case (Thm 6): 3 rounds of 1 -> 1+2+3 = 6... the
+        // suffix interpretation: element in round j alive j iterations.
+        assert_eq!(fol1_work(&[1, 1, 1]), 6);
+        // Fig 6 sizes.
+        assert_eq!(fol1_work(&[3, 2, 1]), 3 + 4 + 3);
+        assert_eq!(fol1_work(&[]), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The FOL vectorizing transformation, as a reusable combinator.
+//!
+//! The paper's method is ultimately a recipe for transforming this scalar
+//! loop shape:
+//!
+//! ```text
+//! for i in 0..n {
+//!     let t = target(input[i]);      // a pure subscript computation
+//!     table[t] = combine(table[t], value(input[i]));
+//! }
+//! ```
+//!
+//! into vector code that is correct even when several iterations hit the
+//! same `t`. [`UpdateLoop::run_vectorized`] performs that transformation at run
+//! time: the subscript and value computations are [`fol_vm::expr::Expr`]
+//! trees (compiled to elementwise vector code), the combining operation is
+//! an [`UpdateOp`], and the conflict structure is handled by FOL1 — with the
+//! ordered variant when the combine is order-*sensitive* (plain store).
+//!
+//! The result equals the sequential loop exactly, for every input and every
+//! ELS-conforming machine, which is this module's property-test.
+
+use crate::decompose::fol1_machine;
+use crate::ordered::fol1_machine_ordered;
+use fol_vm::expr::Expr;
+use fol_vm::{AluOp, Machine, Region, VReg, Word};
+
+/// How an update combines with the current cell contents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// `cell = value` — order-sensitive (the last writer in loop order
+    /// wins), so the transformation uses order-preserving FOL.
+    Store,
+    /// `cell += value` — commutative, any round order works.
+    Add,
+    /// `cell = min(cell, value)`.
+    Min,
+    /// `cell = max(cell, value)`.
+    Max,
+}
+
+impl UpdateOp {
+    fn alu(self) -> Option<AluOp> {
+        match self {
+            UpdateOp::Store => None,
+            UpdateOp::Add => Some(AluOp::Add),
+            UpdateOp::Min => Some(AluOp::Min),
+            UpdateOp::Max => Some(AluOp::Max),
+        }
+    }
+
+    /// Sequential semantics, the oracle.
+    pub fn apply(self, cell: Word, value: Word) -> Word {
+        match self {
+            UpdateOp::Store => value,
+            UpdateOp::Add => cell.wrapping_add(value),
+            UpdateOp::Min => cell.min(value),
+            UpdateOp::Max => cell.max(value),
+        }
+    }
+}
+
+/// A scalar update loop, described declaratively.
+#[derive(Clone, Debug)]
+pub struct UpdateLoop {
+    /// Subscript computation: `target(input[i])`, must land in
+    /// `[0, table.len())`.
+    pub target: Expr,
+    /// Value computation: `value(input[i])`.
+    pub value: Expr,
+    /// The combine.
+    pub op: UpdateOp,
+}
+
+impl UpdateLoop {
+    /// Runs the loop sequentially on the machine (scalar charges) — the
+    /// baseline and oracle.
+    pub fn run_scalar(&self, m: &mut Machine, table: Region, input: &[Word]) {
+        for &x in input {
+            m.s_alu((self.target.cost() + self.value.cost()) as u64);
+            let t = self.target.eval(x);
+            let v = self.value.eval(x);
+            let cell = m.s_read(table.at(t as usize));
+            m.s_write(table.at(t as usize), self.op.apply(cell, v));
+            m.s_branch(1);
+        }
+    }
+
+    /// Runs the FOL-vectorized transformation of the loop. `work` must
+    /// cover the same index range as `table` (it may be `table` itself only
+    /// for [`UpdateOp::Store`], where the main processing always rewrites
+    /// the labelled cell). Returns the number of FOL rounds.
+    pub fn run_vectorized(
+        &self,
+        m: &mut Machine,
+        table: Region,
+        work: Region,
+        input: &[Word],
+    ) -> usize {
+        if input.is_empty() {
+            return 0;
+        }
+        let iv = m.vimm(input);
+        let targets = self.target.compile(m, &iv);
+        let values = self.value.compile(m, &iv);
+        let target_words: Vec<Word> = targets.iter().collect();
+
+        // Order-sensitive combines need the ordered decomposition so the
+        // last loop iteration's store lands last.
+        let d = if self.op == UpdateOp::Store {
+            fol1_machine_ordered(m, work, &target_words)
+        } else {
+            fol1_machine(m, work, &target_words)
+        };
+
+        for round in d.iter() {
+            let t: VReg = round.iter().map(|&p| targets.get(p)).collect();
+            let v: VReg = round.iter().map(|&p| values.get(p)).collect();
+            match self.op.alu() {
+                None => m.scatter(table, &t, &v),
+                Some(op) => {
+                    let cur = m.gather(table, &t);
+                    let new = m.valu(op, &cur, &v);
+                    m.scatter(table, &t, &new);
+                }
+            }
+        }
+        d.num_rounds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::{ConflictPolicy, CostModel};
+
+    fn run_both(lp: &UpdateLoop, table_len: usize, init: Word, input: &[Word]) -> (Vec<Word>, Vec<Word>) {
+        let mut ms = Machine::new(CostModel::unit());
+        let ts = ms.alloc(table_len, "table");
+        ms.vfill(ts, init);
+        lp.run_scalar(&mut ms, ts, input);
+
+        let mut mv = Machine::with_policy(CostModel::unit(), ConflictPolicy::Arbitrary(7));
+        let tv = mv.alloc(table_len, "table");
+        let wv = mv.alloc(table_len, "work");
+        mv.vfill(tv, init);
+        let _ = lp.run_vectorized(&mut mv, tv, wv, input);
+        (ms.mem().read_region(ts), mv.mem().read_region(tv))
+    }
+
+    #[test]
+    fn histogram_loop_vectorizes() {
+        // for x in input { count[x mod 8] += 1 }
+        let lp = UpdateLoop {
+            target: Expr::input().modulo(8),
+            value: Expr::constant(1),
+            op: UpdateOp::Add,
+        };
+        let input: Vec<Word> = (0..50).map(|i| i * 3).collect();
+        let (s, v) = run_both(&lp, 8, 0, &input);
+        assert_eq!(s, v);
+        assert_eq!(s.iter().sum::<Word>(), 50);
+    }
+
+    #[test]
+    fn last_store_wins_like_the_sequential_loop() {
+        // for x in input { slot[x mod 4] = x } — order-sensitive.
+        let lp = UpdateLoop {
+            target: Expr::input().modulo(4),
+            value: Expr::input(),
+            op: UpdateOp::Store,
+        };
+        let input: Vec<Word> = vec![0, 4, 8, 1, 5, 2, 12];
+        let (s, v) = run_both(&lp, 4, -1, &input);
+        assert_eq!(s, v);
+        assert_eq!(s, vec![12, 5, 2, -1]);
+    }
+
+    #[test]
+    fn min_and_max_combines() {
+        let input: Vec<Word> = vec![17, 3, 42, 8, 25, 3];
+        for (op, expect0) in [(UpdateOp::Min, 3), (UpdateOp::Max, 42)] {
+            let lp = UpdateLoop {
+                target: Expr::constant(0),
+                value: Expr::input(),
+                op,
+            };
+            let (s, v) = run_both(&lp, 1, if op == UpdateOp::Min { 1000 } else { -1000 }, &input);
+            assert_eq!(s, v, "{op:?}");
+            assert_eq!(s[0], expect0, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let lp = UpdateLoop {
+            target: Expr::input(),
+            value: Expr::constant(1),
+            op: UpdateOp::Add,
+        };
+        let (s, v) = run_both(&lp, 4, 0, &[]);
+        assert_eq!(s, v);
+        assert_eq!(s, vec![0; 4]);
+    }
+
+    #[test]
+    fn rounds_match_multiplicity_for_commutative_ops() {
+        let lp = UpdateLoop {
+            target: Expr::constant(2),
+            value: Expr::constant(1),
+            op: UpdateOp::Add,
+        };
+        let mut m = Machine::new(CostModel::unit());
+        let t = m.alloc(4, "table");
+        let w = m.alloc(4, "work");
+        let rounds = lp.run_vectorized(&mut m, t, w, &[9, 9, 9, 9, 9]);
+        assert_eq!(rounds, 5, "all five alias one cell");
+        assert_eq!(m.mem().read(t.at(2)), 5);
+    }
+}

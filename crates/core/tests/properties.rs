@@ -1,0 +1,184 @@
+//! Property-based tests of the paper's theorems over random index vectors
+//! and all ELS-conforming conflict policies.
+
+use fol_core::decompose::{fol1_machine, pairwise_decompose, reference_decompose};
+use fol_core::theory::fol1_work;
+use fol_core::fol_star::{fol_star_machine, FolStarOptions, LivelockPolicy};
+use fol_core::host::fol1_host;
+use fol_core::parallel::{apply_rounds, par_apply_rounds};
+use fol_core::theory;
+use fol_vm::{ConflictPolicy, CostModel, Machine, Word};
+use proptest::prelude::*;
+
+/// A random index vector into a domain of `domain` cells, with enough
+/// duplication to exercise multi-round decompositions.
+fn index_vec(max_len: usize, domain: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..domain, 0..max_len)
+}
+
+fn policies() -> impl Strategy<Value = ConflictPolicy> {
+    prop_oneof![
+        Just(ConflictPolicy::FirstWins),
+        Just(ConflictPolicy::LastWins),
+        any::<u64>().prop_map(ConflictPolicy::Arbitrary),
+    ]
+}
+
+proptest! {
+    /// Lemmas 1–2 + Theorems 3 and 5 for the machine implementation under
+    /// every conflict policy.
+    #[test]
+    fn fol1_machine_invariants(v in index_vec(64, 12), policy in policies()) {
+        let words: Vec<Word> = v.iter().map(|&x| x as Word).collect();
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let work = m.alloc(12, "work");
+        let d = fol1_machine(&mut m, work, &words);
+        prop_assert!(theory::is_disjoint_cover(&d, v.len()));
+        prop_assert!(theory::rounds_target_distinct_words(&d, &words));
+        prop_assert!(theory::sizes_monotone(&d));
+        prop_assert!(theory::is_minimal(&d, &words)); // Thm 5: minimum M
+    }
+
+    /// The host implementation produces the same round sizes as the
+    /// reference and the machine (the assignment of duplicates may differ).
+    #[test]
+    fn host_machine_reference_agree_on_sizes(v in index_vec(48, 8)) {
+        let words: Vec<Word> = v.iter().map(|&x| x as Word).collect();
+        let host = fol1_host(&v, 8);
+        let reference = reference_decompose(&words);
+        let pairwise = pairwise_decompose(&words);
+        let mut m = Machine::new(CostModel::unit());
+        let work = m.alloc(8, "work");
+        let machine = fol1_machine(&mut m, work, &words);
+        prop_assert_eq!(host.sizes(), reference.sizes());
+        prop_assert_eq!(pairwise.sizes(), reference.sizes());
+        prop_assert_eq!(machine.sizes(), reference.sizes());
+    }
+
+    /// Theorem 3: duplicate-free inputs decompose in exactly one round.
+    #[test]
+    fn duplicate_free_single_round(perm in Just(()).prop_perturb(|_, mut rng| {
+        let n = (rng.random::<u32>() % 40 + 1) as usize;
+        let mut v: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+        v
+    })) {
+        let d = fol1_host(&perm, perm.len());
+        prop_assert_eq!(d.num_rounds(), 1);
+    }
+
+    /// A histogram computed through FOL rounds (sequential and rayon
+    /// executors) equals the directly computed histogram: no lost updates
+    /// despite duplicates.
+    #[test]
+    fn histogram_correct_under_both_executors(v in index_vec(128, 16)) {
+        let d = fol1_host(&v, 16);
+        let mut expect = vec![0u32; 16];
+        for &t in &v { expect[t] += 1; }
+
+        let mut seq = vec![0u32; 16];
+        apply_rounds(&mut seq, &v, &d, |c, _| *c += 1);
+        prop_assert_eq!(&seq, &expect);
+
+        let mut par = vec![0u32; 16];
+        par_apply_rounds(&mut par, &v, &d, |c, _| *c += 1);
+        prop_assert_eq!(&par, &expect);
+    }
+
+    /// Theorem 4 / 6 boundary: the modelled FOL1 work for round sizes of a
+    /// random input never exceeds the all-equal worst case N(N+1)/2 and is
+    /// at least N.
+    #[test]
+    fn work_bounds(v in index_vec(64, 6)) {
+        let words: Vec<Word> = v.iter().map(|&x| x as Word).collect();
+        let d = reference_decompose(&words);
+        let w = theory::fol1_work(&d.sizes());
+        let n = v.len();
+        prop_assert!(w >= n);
+        prop_assert!(w <= n * (n + 1) / 2);
+    }
+
+    /// FOL*: disjoint cover and per-round distinctness across both livelock
+    /// policies and all conflict policies, with L = 2 (tree rewriting's
+    /// shape) and L = 3.
+    #[test]
+    fn fol_star_invariants(
+        pairs in prop::collection::vec((0usize..10, 0usize..10, 0usize..10), 0..24),
+        policy in policies(),
+        scalar_tail in any::<bool>(),
+        l in 2usize..4,
+    ) {
+        let n = pairs.len();
+        let mut vecs: Vec<Vec<Word>> = vec![Vec::with_capacity(n); l];
+        for &(a, b, c) in &pairs {
+            let items = [a, b, c];
+            for (k, col) in vecs.iter_mut().enumerate() {
+                col.push(items[k] as Word);
+            }
+        }
+        let opts = FolStarOptions {
+            livelock: if scalar_tail { LivelockPolicy::ScalarTail } else { LivelockPolicy::ForcedSequential },
+        };
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let work = m.alloc(10, "work");
+        let d = fol_star_machine(&mut m, work, &vecs, &opts);
+        prop_assert!(theory::is_disjoint_cover(&d.decomposition, n));
+        // Non-forced rounds: all targets of all surviving tuples distinct.
+        for (round, &is_forced) in d.decomposition.iter().zip(&d.forced) {
+            if is_forced {
+                prop_assert_eq!(round.len(), 1);
+                continue;
+            }
+            let mut seen = std::collections::HashSet::new();
+            for &p in round {
+                for col in &vecs {
+                    prop_assert!(seen.insert(col[p]), "cell shared within a round");
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 4 as a cycle measurement: with duplicate-free inputs, the
+/// modelled cost of FOL1 grows ~linearly (doubling N roughly doubles
+/// cycles, far from quadrupling).
+#[test]
+fn fol1_cost_linear_when_duplicate_free() {
+    let cost_of = |n: usize| -> u64 {
+        let targets: Vec<Word> = (0..n as Word).collect();
+        let mut m = Machine::new(CostModel::s810());
+        let work = m.alloc(n, "work");
+        m.reset_stats();
+        let _ = fol1_machine(&mut m, work, &targets);
+        m.stats().cycles()
+    };
+    for n in [512usize, 1024, 2048] {
+        let ratio = cost_of(2 * n) as f64 / cost_of(n) as f64;
+        assert!((1.4..2.6).contains(&ratio), "n={n}: expected ~2x growth, got {ratio:.2}x");
+    }
+}
+
+/// Theorem 6 as a cycle measurement: all-equal inputs (worst case) cost
+/// super-linearly, and the closed-form work formula is exactly quadratic.
+#[test]
+fn fol1_cost_quadratic_when_all_equal() {
+    let cost_of = |n: usize| -> (u64, usize) {
+        let targets: Vec<Word> = vec![0; n];
+        let mut m = Machine::new(CostModel::s810());
+        let work = m.alloc(1, "work");
+        m.reset_stats();
+        let d = fol1_machine(&mut m, work, &targets);
+        (m.stats().cycles(), fol1_work(&d.sizes()))
+    };
+    for n in [64usize, 128] {
+        let (c1, w1) = cost_of(n);
+        let (c2, w2) = cost_of(2 * n);
+        assert_eq!(w1, n * (n + 1) / 2, "closed-form work is N(N+1)/2");
+        assert_eq!(w2, 2 * n * (2 * n + 1) / 2);
+        let ratio = c2 as f64 / c1 as f64;
+        assert!(ratio > 1.8, "n={n}: expected superlinear growth, got {ratio:.2}x");
+    }
+}

@@ -1,0 +1,203 @@
+//! Cons-cell heaps in machine memory.
+//!
+//! A cell is a pair of tagged words. A word `w >= 0` is a **pointer** to
+//! cell `w` of the same heap; `w < 0` is an **immediate** carrying payload
+//! `-w - 1` (so payload 0 encodes as -1, etc.). The struct-of-arrays layout
+//! (`car[i]`, `cdr[i]`, `fwd[i]`) keeps every GC phase expressible as
+//! vector instructions over whole regions.
+
+use fol_vm::{Machine, Region, Word};
+
+/// Forwarding-slot value meaning "not yet forwarded".
+///
+/// Forwarding slots otherwise hold to-space indices (or, transiently inside
+/// one FOL round, labels) — all non-negative, so `NOT_FWD` is unambiguous.
+pub const NOT_FWD: Word = -1;
+
+/// Encodes an immediate payload (`payload >= 0`) as a tagged word.
+#[inline]
+pub fn encode_imm(payload: Word) -> Word {
+    assert!(payload >= 0, "immediate payloads are non-negative");
+    -payload - 1
+}
+
+/// Decodes an immediate word back to its payload.
+///
+/// # Panics
+/// Panics when the word is a pointer.
+#[inline]
+pub fn decode_imm(w: Word) -> Word {
+    assert!(w < 0, "{w} is a pointer, not an immediate");
+    -w - 1
+}
+
+/// True when the tagged word is a pointer.
+#[inline]
+pub fn is_pointer(w: Word) -> bool {
+    w >= 0
+}
+
+/// A semispace of cons cells.
+#[derive(Clone, Copy, Debug)]
+pub struct Heap {
+    /// First fields.
+    pub car: Region,
+    /// Second fields.
+    pub cdr: Region,
+    /// Forwarding slots (and FOL label work area).
+    pub fwd: Region,
+    /// Cells allocated so far.
+    pub used: usize,
+}
+
+impl Heap {
+    /// Allocates an empty semispace of `capacity` cells, forwarding slots
+    /// initialized to [`NOT_FWD`].
+    pub fn alloc(m: &mut Machine, capacity: usize, name: &str) -> Self {
+        let car = m.alloc(capacity, &format!("{name}.car"));
+        let cdr = m.alloc(capacity, &format!("{name}.cdr"));
+        let fwd = m.alloc(capacity, &format!("{name}.fwd"));
+        m.vfill(fwd, NOT_FWD);
+        Heap { car, cdr, fwd, used: 0 }
+    }
+
+    /// Capacity in cells.
+    pub fn capacity(&self) -> usize {
+        self.car.len()
+    }
+
+    /// Allocates one cell (free setup op); returns its index.
+    pub fn cons(&mut self, m: &mut Machine, car: Word, cdr: Word) -> Word {
+        assert!(self.used < self.capacity(), "heap exhausted");
+        let i = self.used;
+        self.used += 1;
+        m.mem_mut().write(self.car.at(i), car);
+        m.mem_mut().write(self.cdr.at(i), cdr);
+        i as Word
+    }
+
+    /// Builds a proper list of immediates; returns the head pointer (or the
+    /// empty-list immediate `encode_imm(0)` for no elements).
+    pub fn list_of(&mut self, m: &mut Machine, payloads: &[Word]) -> Word {
+        let mut tail = encode_imm(0);
+        for &p in payloads.iter().rev() {
+            tail = self.cons(m, encode_imm(p), tail);
+        }
+        tail
+    }
+
+    /// Reads a cell (diagnostic, free).
+    pub fn cell(&self, m: &Machine, ptr: Word) -> (Word, Word) {
+        let i = ptr as usize;
+        (m.mem().read(self.car.at(i)), m.mem().read(self.cdr.at(i)))
+    }
+
+    /// Structural equality of two rooted graphs across (possibly different)
+    /// heaps — isomorphism that respects sharing and cycles: pointer pairs
+    /// must correspond one-to-one.
+    pub fn same_shape(
+        m: &Machine,
+        a: &Heap,
+        root_a: Word,
+        b: &Heap,
+        root_b: Word,
+    ) -> bool {
+        fn walk(
+            m: &Machine,
+            a: &Heap,
+            wa: Word,
+            b: &Heap,
+            wb: Word,
+            map: &mut std::collections::HashMap<Word, Word>,
+        ) -> bool {
+            if !is_pointer(wa) || !is_pointer(wb) {
+                return wa == wb;
+            }
+            if let Some(&mapped) = map.get(&wa) {
+                return mapped == wb;
+            }
+            map.insert(wa, wb);
+            let (ca, da) = a.cell(m, wa);
+            let (cb, db) = b.cell(m, wb);
+            walk(m, a, ca, b, cb, map) && walk(m, a, da, b, db, map)
+        }
+        let mut map = std::collections::HashMap::new();
+        walk(m, a, root_a, b, root_b, &mut map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::CostModel;
+
+    #[test]
+    fn tagging_roundtrip() {
+        assert_eq!(decode_imm(encode_imm(0)), 0);
+        assert_eq!(decode_imm(encode_imm(42)), 42);
+        assert!(is_pointer(0));
+        assert!(is_pointer(7));
+        assert!(!is_pointer(encode_imm(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "is a pointer")]
+    fn decode_pointer_panics() {
+        decode_imm(5);
+    }
+
+    #[test]
+    fn cons_and_list() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut h = Heap::alloc(&mut m, 8, "h");
+        let l = h.list_of(&mut m, &[1, 2]);
+        assert!(is_pointer(l));
+        let (car, cdr) = h.cell(&m, l);
+        assert_eq!(decode_imm(car), 1);
+        let (car2, cdr2) = h.cell(&m, cdr);
+        assert_eq!(decode_imm(car2), 2);
+        assert_eq!(cdr2, encode_imm(0));
+        assert_eq!(h.used, 2);
+    }
+
+    #[test]
+    fn same_shape_detects_sharing() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut a = Heap::alloc(&mut m, 8, "a");
+        let shared = a.cons(&mut m, encode_imm(9), encode_imm(0));
+        let ra = a.cons(&mut m, shared, shared); // both fields share a cell
+
+        let mut b = Heap::alloc(&mut m, 8, "b");
+        let s1 = b.cons(&mut m, encode_imm(9), encode_imm(0));
+        let s2 = b.cons(&mut m, encode_imm(9), encode_imm(0));
+        let rb_unshared = b.cons(&mut m, s1, s2); // same values, no sharing
+        let s3 = b.cons(&mut m, encode_imm(9), encode_imm(0));
+        let rb_shared = b.cons(&mut m, s3, s3);
+
+        assert!(Heap::same_shape(&m, &a, ra, &b, rb_shared));
+        assert!(!Heap::same_shape(&m, &a, ra, &b, rb_unshared));
+    }
+
+    #[test]
+    fn same_shape_handles_cycles() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut a = Heap::alloc(&mut m, 4, "a");
+        let ca = a.cons(&mut m, encode_imm(1), encode_imm(0));
+        m.mem_mut().write(a.cdr.at(ca as usize), ca); // self-cycle
+
+        let mut b = Heap::alloc(&mut m, 4, "b");
+        let cb = b.cons(&mut m, encode_imm(1), encode_imm(0));
+        m.mem_mut().write(b.cdr.at(cb as usize), cb);
+
+        assert!(Heap::same_shape(&m, &a, ca, &b, cb));
+    }
+
+    #[test]
+    #[should_panic(expected = "heap exhausted")]
+    fn overflow_panics() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut h = Heap::alloc(&mut m, 1, "h");
+        let _ = h.cons(&mut m, encode_imm(0), encode_imm(0));
+        let _ = h.cons(&mut m, encode_imm(0), encode_imm(0));
+    }
+}

@@ -1,0 +1,34 @@
+//! # fol-gc — a vectorized copying garbage collector
+//!
+//! The paper's related-work section (§5) observes that Appel and
+//! Bendiksen's *vectorized garbage collection* "implicitly includes a very
+//! specialized version of FOL": when a batch of fields all referencing the
+//! same unforwarded object is evacuated with vector operations, installing
+//! the forwarding pointer is an overwrite-and-check — only the first output
+//! set `S1` is needed (the winner copies; everyone else re-reads the
+//! forwarding pointer on the next pass). This crate builds that collector on
+//! the simulated machine as a realistic symbolic workload for FOL:
+//!
+//! * cons-cell heaps in struct-of-arrays regions ([`heap::Heap`]): `car`,
+//!   `cdr`, plus a forwarding slot per cell that doubles as the FOL label
+//!   work area;
+//! * a **vectorized Cheney collector** ([`collect::collect_vector`]): roots
+//!   and scanned fields are forwarded in batches — gather forwarding slots,
+//!   satisfy already-forwarded references, FOL-claim the rest (scatter
+//!   labels, gather back), winners bulk-copy into to-space with conflict-free
+//!   scatters and install real forwarding pointers, losers retry next pass;
+//! * a **scalar Cheney baseline** ([`collect::collect_scalar`]) charged at
+//!   scalar cost, for modelled acceleration ratios.
+//!
+//! Cycles and shared substructure are preserved exactly (the forwarding
+//! pointer *is* the sharing), which the test suite checks with a
+//! graph-isomorphism walk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod heap;
+
+pub use collect::{collect_scalar, collect_vector};
+pub use heap::{decode_imm, encode_imm, is_pointer, Heap, NOT_FWD};

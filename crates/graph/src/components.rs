@@ -1,0 +1,236 @@
+//! Connected components by vectorized label propagation.
+//!
+//! A further "symbolic processing" workload in the paper's spirit: find the
+//! connected components of an undirected graph with vector operations. Per
+//! sweep, every edge proposes the smaller endpoint label to the larger
+//! endpoint — a batch of *aliased minimum-updates* (many edges share a
+//! vertex), which is exactly the shared-rewriting problem FOL solves:
+//! decompose the edge batch by target vertex, run the rounds, repeat until
+//! a fixpoint.
+//!
+//! The scalar baseline is classic label propagation; a host union-find is
+//! the oracle in the tests.
+
+use fol_core::decompose::fol1_machine;
+use fol_vm::{AluOp, CmpOp, Machine, Region, VReg, Word};
+
+/// An undirected graph staged for component labelling: vertex labels and
+/// the FOL work area in machine memory, edges on the host side (the edge
+/// list is read-only input; only labels are rewritten).
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Vertex labels (component representative per vertex after a run).
+    pub labels: Region,
+    /// FOL label work area (one slot per vertex).
+    pub work: Region,
+    /// Edge list (unordered vertex pairs).
+    pub edges: Vec<(Word, Word)>,
+    /// Vertex count.
+    pub n: usize,
+}
+
+impl Components {
+    /// Stages a graph of `n` vertices and the given undirected edges.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is out of range.
+    pub fn new(m: &mut Machine, n: usize, edges: &[(Word, Word)]) -> Self {
+        assert!(
+            edges.iter().all(|&(a, b)| (0..n as Word).contains(&a) && (0..n as Word).contains(&b)),
+            "edge endpoint out of range"
+        );
+        let labels = m.alloc(n.max(1), "cc.labels");
+        let work = m.alloc(n.max(1), "cc.work");
+        Components { labels, work, edges: edges.to_vec(), n }
+    }
+
+    fn init_labels(&self, m: &mut Machine) {
+        let init = m.iota(0, self.n);
+        if self.n > 0 {
+            m.vstore(self.labels, 0, &init);
+        }
+    }
+
+    /// Reads the final labelling (diagnostic).
+    pub fn labelling(&self, m: &Machine) -> Vec<Word> {
+        m.mem().read_region(self.labels).into_iter().take(self.n).collect()
+    }
+}
+
+/// Scalar label propagation until fixpoint. Returns the number of sweeps.
+pub fn scalar_components(m: &mut Machine, g: &Components) -> usize {
+    g.init_labels(m);
+    let mut sweeps = 0;
+    loop {
+        sweeps += 1;
+        let mut changed = false;
+        for &(a, b) in &g.edges {
+            let la = m.s_read(g.labels.at(a as usize));
+            let lb = m.s_read(g.labels.at(b as usize));
+            m.s_cmp(1);
+            m.s_branch(1);
+            if la < lb {
+                m.s_write(g.labels.at(b as usize), la);
+                changed = true;
+            } else if lb < la {
+                m.s_write(g.labels.at(a as usize), lb);
+                changed = true;
+            }
+        }
+        if !changed {
+            return sweeps;
+        }
+    }
+}
+
+/// Vectorized label propagation: per sweep, both edge directions form one
+/// batch of `(target, proposed label)` updates; FOL rounds apply the
+/// minimum-updates without losing any. Returns the number of sweeps.
+pub fn vectorized_components(m: &mut Machine, g: &Components) -> usize {
+    g.init_labels(m);
+    if g.edges.is_empty() || g.n == 0 {
+        return 0;
+    }
+    // Both directions: a -> b and b -> a.
+    let targets: Vec<Word> =
+        g.edges.iter().flat_map(|&(a, b)| [b, a]).collect();
+    let sources: Vec<Word> =
+        g.edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let src_v = m.vimm(&sources);
+    let mut sweeps = 0;
+
+    loop {
+        sweeps += 1;
+        // Proposed labels = labels[source]; accept where smaller.
+        let proposed = m.gather(g.labels, &src_v);
+        let tgt_v = m.vimm(&targets);
+        let current = m.gather(g.labels, &tgt_v);
+        let improving = m.vcmp(CmpOp::Lt, &proposed, &current);
+        let n_improving = m.count_true(&improving);
+        if n_improving == 0 {
+            return sweeps;
+        }
+        let upd_target = m.compress(&tgt_v, &improving);
+        let upd_label = m.compress(&proposed, &improving);
+
+        // Aliased min-updates: decompose by target, then per round
+        // gather-min-scatter (conflict-free within a round).
+        let tgt_words: Vec<Word> = upd_target.iter().collect();
+        let d = fol1_machine(m, g.work, &tgt_words);
+        for round in d.iter() {
+            let t: VReg = round.iter().map(|&p| upd_target.get(p)).collect();
+            let l: VReg = round.iter().map(|&p| upd_label.get(p)).collect();
+            let cur = m.gather(g.labels, &t);
+            let new = m.valu(AluOp::Min, &cur, &l);
+            m.scatter(g.labels, &t, &new);
+        }
+    }
+}
+
+/// Host union-find oracle.
+pub fn union_find_components(n: usize, edges: &[(Word, Word)]) -> Vec<Word> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for &(a, b) in edges {
+        let (ra, rb) = (find(&mut parent, a as usize), find(&mut parent, b as usize));
+        if ra != rb {
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            parent[hi] = lo;
+        }
+    }
+    // Canonicalize: every vertex labelled by its component's minimum vertex.
+    let mut min_of = vec![usize::MAX; n];
+    for v in 0..n {
+        let r = find(&mut parent, v);
+        min_of[r] = min_of[r].min(v);
+    }
+    (0..n).map(|v| min_of[find(&mut parent, v)] as Word).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::{ConflictPolicy, CostModel};
+
+    #[test]
+    fn two_components() {
+        let mut m = Machine::new(CostModel::unit());
+        let g = Components::new(&mut m, 6, &[(0, 1), (1, 2), (3, 4)]);
+        let _ = vectorized_components(&mut m, &g);
+        assert_eq!(g.labelling(&m), vec![0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn scalar_and_vectorized_match_union_find() {
+        let mut seed = 9u64;
+        let mut next = move |mo: u64| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(3);
+            ((seed >> 33) % mo) as Word
+        };
+        for trial in 0..6 {
+            let n = 40;
+            let edges: Vec<(Word, Word)> =
+                (0..50).map(|_| (next(n as u64), next(n as u64))).collect();
+            let expect = union_find_components(n, &edges);
+
+            let mut ms = Machine::new(CostModel::unit());
+            let gs = Components::new(&mut ms, n, &edges);
+            let _ = scalar_components(&mut ms, &gs);
+            assert_eq!(gs.labelling(&ms), expect, "scalar trial {trial}");
+
+            for policy in [
+                ConflictPolicy::FirstWins,
+                ConflictPolicy::LastWins,
+                ConflictPolicy::Arbitrary(trial),
+            ] {
+                let mut mv = Machine::with_policy(CostModel::unit(), policy.clone());
+                let gv = Components::new(&mut mv, n, &edges);
+                let _ = vectorized_components(&mut mv, &gv);
+                assert_eq!(gv.labelling(&mv), expect, "trial {trial} {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_needs_multiple_sweeps() {
+        // A path graph: labels must flow end to end.
+        let n = 17;
+        let edges: Vec<(Word, Word)> = (0..n as Word - 1).map(|i| (i, i + 1)).collect();
+        let mut m = Machine::new(CostModel::unit());
+        let g = Components::new(&mut m, n, &edges);
+        let sweeps = vectorized_components(&mut m, &g);
+        assert!(sweeps > 1);
+        assert!(g.labelling(&m).iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_graph_and_no_edges() {
+        let mut m = Machine::new(CostModel::unit());
+        let g = Components::new(&mut m, 0, &[]);
+        assert_eq!(vectorized_components(&mut m, &g), 0);
+        let g = Components::new(&mut m, 3, &[]);
+        let _ = vectorized_components(&mut m, &g);
+        assert_eq!(g.labelling(&m), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges() {
+        let mut m = Machine::new(CostModel::unit());
+        let g = Components::new(&mut m, 3, &[(1, 1), (0, 2), (0, 2), (2, 0)]);
+        let _ = vectorized_components(&mut m, &g);
+        assert_eq!(g.labelling(&m), vec![0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn bad_edge_panics() {
+        let mut m = Machine::new(CostModel::unit());
+        let _ = Components::new(&mut m, 2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fol-graph — parallel rewriting of shared linked structures
+//!
+//! The paper's Fig 3 motivates FOL with *partially shared data structures*:
+//! two lists sharing a tail, a binary tree with a shared subtree. Rewriting
+//! many positions of such structures at once is exactly the "multiple
+//! rewriting with sharing" problem, and this crate demonstrates FOL's
+//! generality beyond the paper's three measured benchmarks:
+//!
+//! * [`list`] — arena linked lists with shared tails; batch *insert-after*
+//!   and *delete-after* over an index vector of target cells (duplicated
+//!   targets allowed), vectorized with FOL1 rounds on the machine;
+//! * [`dag`] — node-value updates over a DAG where many update requests may
+//!   alias one node (`value[n] += delta`), the canonical lost-update
+//!   scenario, vectorized with FOL1; includes a host/rayon path built on
+//!   [`fol_core::parallel`] for real shared-memory parallelism;
+//! * [`components`] — connected components by vectorized label
+//!   propagation, whose per-sweep minimum-updates are aliased by vertex
+//!   and therefore FOL-decomposed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod dag;
+pub mod list;
+
+/// Nil pointer for list/graph links.
+pub const NIL: fol_vm::Word = -1;

@@ -1,0 +1,265 @@
+//! Arena linked lists with shared tails, and batch structural rewrites.
+//!
+//! A cell is a pair (`values[i]`, `nexts[i]`) in struct-of-arrays regions.
+//! Lists may share cells (Fig 3a): two heads can reach the same tail, so a
+//! batch of rewrites addressed by cell index must tolerate duplicate
+//! targets — FOL1 splits them into conflict-free rounds.
+//!
+//! Batch operations:
+//! * [`insert_after_many`] — insert a fresh cell after each target cell.
+//!   Two requests on one target chain in arbitrary order (both inserted).
+//! * [`delete_after_many`] — unlink each target's successor. Duplicate
+//!   targets collapse: each round deletes the target's *current* successor,
+//!   so `k` requests on one cell delete `k` successive cells.
+
+use crate::NIL;
+use fol_core::decompose::fol1_machine;
+use fol_vm::{CmpOp, Machine, Region, VReg, Word};
+
+/// An arena of list cells in machine memory.
+#[derive(Clone, Copy, Debug)]
+pub struct ListArena {
+    /// Cell payloads.
+    pub values: Region,
+    /// Successor indices (or [`NIL`]).
+    pub nexts: Region,
+    /// FOL label work area (one slot per cell).
+    pub work: Region,
+    /// Cells allocated so far.
+    pub used: usize,
+}
+
+impl ListArena {
+    /// Allocates an arena for `capacity` cells.
+    pub fn alloc(m: &mut Machine, capacity: usize) -> Self {
+        let values = m.alloc(capacity, "list.values");
+        let nexts = m.alloc(capacity, "list.nexts");
+        let work = m.alloc(capacity, "list.work");
+        ListArena { values, nexts, work, used: 0 }
+    }
+
+    /// Appends a fresh cell (free setup op); returns its index.
+    pub fn cell(&mut self, m: &mut Machine, value: Word, next: Word) -> Word {
+        assert!(self.used < self.values.len(), "list arena exhausted");
+        let i = self.used;
+        self.used += 1;
+        m.mem_mut().write(self.values.at(i), value);
+        m.mem_mut().write(self.nexts.at(i), next);
+        i as Word
+    }
+
+    /// Builds a list from `values`, returning the head index. Cells are
+    /// allocated in order, so cell `head + i` holds `values[i]`.
+    pub fn build(&mut self, m: &mut Machine, values: &[Word]) -> Word {
+        if values.is_empty() {
+            return NIL;
+        }
+        let first = self.used;
+        for (i, &v) in values.iter().enumerate() {
+            let next = if i + 1 < values.len() { (first + i + 1) as Word } else { NIL };
+            let _ = self.cell(m, v, next);
+        }
+        first as Word
+    }
+
+    /// Collects the values reachable from `head` (diagnostic walk).
+    pub fn collect(&self, m: &Machine, head: Word) -> Vec<Word> {
+        let mut out = Vec::new();
+        let mut p = head;
+        while p != NIL {
+            assert!(out.len() <= self.used, "cycle in list");
+            out.push(m.mem().read(self.values.at(p as usize)));
+            p = m.mem().read(self.nexts.at(p as usize));
+        }
+        out
+    }
+
+    fn bulk_cells(&mut self, m: &mut Machine, values: &VReg) -> VReg {
+        let first = self.used;
+        assert!(
+            first + values.len() <= self.values.len(),
+            "list arena exhausted: need {} more cells",
+            values.len()
+        );
+        self.used += values.len();
+        let idx = m.iota(first as Word, values.len());
+        m.scatter(self.values, &idx, values);
+        idx
+    }
+}
+
+/// Inserts a fresh cell holding `new_values[i]` after cell `targets[i]`,
+/// for all `i`, tolerating duplicate targets (FOL1 rounds). Returns the
+/// number of rounds.
+pub fn insert_after_many(
+    m: &mut Machine,
+    arena: &mut ListArena,
+    targets: &[Word],
+    new_values: &[Word],
+) -> usize {
+    assert_eq!(targets.len(), new_values.len(), "one value per target");
+    if targets.is_empty() {
+        return 0;
+    }
+    let vals = m.vimm(new_values);
+    let new_cells = arena.bulk_cells(m, &vals);
+
+    // Decompose the (possibly aliased) targets, then per round:
+    //   new.next := target.next ; target.next := new
+    let d = fol1_machine(m, arena.work, targets);
+    for round in d.iter() {
+        let t: VReg = round.iter().map(|&p| targets[p]).collect();
+        let fresh: VReg = round.iter().map(|&p| new_cells.get(p)).collect();
+        let old_next = m.gather(arena.nexts, &t);
+        m.scatter(arena.nexts, &fresh, &old_next);
+        m.scatter(arena.nexts, &t, &fresh);
+    }
+    d.num_rounds()
+}
+
+/// Unlinks the successor of each target cell (duplicates delete successive
+/// cells). Targets whose successor is already [`NIL`] in their round are
+/// left unchanged. Returns the number of rounds.
+pub fn delete_after_many(m: &mut Machine, arena: &mut ListArena, targets: &[Word]) -> usize {
+    if targets.is_empty() {
+        return 0;
+    }
+    let d = fol1_machine(m, arena.work, targets);
+    for round in d.iter() {
+        let t: VReg = round.iter().map(|&p| targets[p]).collect();
+        let succ = m.gather(arena.nexts, &t);
+        let live = m.vcmp_s(CmpOp::Ne, &succ, NIL);
+        let t_live = m.compress(&t, &live);
+        let succ_live = m.compress(&succ, &live);
+        let after = m.gather(arena.nexts, &succ_live);
+        m.scatter(arena.nexts, &t_live, &after);
+    }
+    d.num_rounds()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::{ConflictPolicy, CostModel};
+
+    fn machine() -> Machine {
+        Machine::new(CostModel::unit())
+    }
+
+    #[test]
+    fn build_and_collect() {
+        let mut m = machine();
+        let mut a = ListArena::alloc(&mut m, 8);
+        let head = a.build(&mut m, &[1, 2, 3]);
+        assert_eq!(a.collect(&m, head), vec![1, 2, 3]);
+        assert_eq!(a.collect(&m, NIL), Vec::<Word>::new());
+    }
+
+    #[test]
+    fn shared_tail_lists() {
+        // Fig 3a: two lists sharing a tail.
+        let mut m = machine();
+        let mut a = ListArena::alloc(&mut m, 16);
+        let tail = a.build(&mut m, &[100, 101]);
+        let h1 = a.cell(&mut m, 1, tail);
+        let h2 = a.cell(&mut m, 2, tail);
+        assert_eq!(a.collect(&m, h1), vec![1, 100, 101]);
+        assert_eq!(a.collect(&m, h2), vec![2, 100, 101]);
+    }
+
+    #[test]
+    fn insert_after_distinct_targets_one_round() {
+        let mut m = machine();
+        let mut a = ListArena::alloc(&mut m, 16);
+        let head = a.build(&mut m, &[10, 20, 30]);
+        // cells 0,1,2 hold 10,20,30; insert after each.
+        let rounds = insert_after_many(&mut m, &mut a, &[0, 1, 2], &[11, 21, 31]);
+        assert_eq!(rounds, 1);
+        assert_eq!(a.collect(&m, head), vec![10, 11, 20, 21, 30, 31]);
+    }
+
+    #[test]
+    fn insert_after_duplicate_target_both_land() {
+        for policy in [
+            ConflictPolicy::FirstWins,
+            ConflictPolicy::LastWins,
+            ConflictPolicy::Arbitrary(3),
+        ] {
+            let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+            let mut a = ListArena::alloc(&mut m, 16);
+            let head = a.build(&mut m, &[10, 20]);
+            let rounds = insert_after_many(&mut m, &mut a, &[0, 0], &[1, 2]);
+            assert_eq!(rounds, 2, "{policy:?}: aliased targets need two rounds");
+            let got = a.collect(&m, head);
+            // Both inserted right after 10, in arbitrary relative order.
+            assert_eq!(got.len(), 4, "{policy:?}");
+            assert_eq!(got[0], 10, "{policy:?}");
+            assert_eq!(got[3], 20, "{policy:?}");
+            let mut mid = vec![got[1], got[2]];
+            mid.sort_unstable();
+            assert_eq!(mid, vec![1, 2], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn insert_into_shared_tail_updates_both_lists() {
+        let mut m = machine();
+        let mut a = ListArena::alloc(&mut m, 16);
+        let tail = a.build(&mut m, &[100]);
+        let h1 = a.cell(&mut m, 1, tail);
+        let h2 = a.cell(&mut m, 2, tail);
+        let _ = insert_after_many(&mut m, &mut a, &[tail], &[55]);
+        assert_eq!(a.collect(&m, h1), vec![1, 100, 55]);
+        assert_eq!(a.collect(&m, h2), vec![2, 100, 55]);
+    }
+
+    #[test]
+    fn delete_after_basic() {
+        let mut m = machine();
+        let mut a = ListArena::alloc(&mut m, 8);
+        let head = a.build(&mut m, &[1, 2, 3, 4]);
+        let rounds = delete_after_many(&mut m, &mut a, &[0, 2]);
+        assert_eq!(rounds, 1);
+        assert_eq!(a.collect(&m, head), vec![1, 3]);
+    }
+
+    #[test]
+    fn delete_after_duplicates_delete_run() {
+        let mut m = machine();
+        let mut a = ListArena::alloc(&mut m, 8);
+        let head = a.build(&mut m, &[1, 2, 3, 4]);
+        // Three requests on cell 0: delete 2, then 3, then 4.
+        let rounds = delete_after_many(&mut m, &mut a, &[0, 0, 0]);
+        assert_eq!(rounds, 3);
+        assert_eq!(a.collect(&m, head), vec![1]);
+    }
+
+    #[test]
+    fn delete_past_end_is_noop() {
+        let mut m = machine();
+        let mut a = ListArena::alloc(&mut m, 8);
+        let head = a.build(&mut m, &[1, 2]);
+        // Two deletes on cell 0: second round sees next = NIL.
+        let _ = delete_after_many(&mut m, &mut a, &[0, 0]);
+        assert_eq!(a.collect(&m, head), vec![1]);
+        // And deleting after the last cell does nothing.
+        let _ = delete_after_many(&mut m, &mut a, &[0]);
+        assert_eq!(a.collect(&m, head), vec![1]);
+    }
+
+    #[test]
+    fn empty_batches() {
+        let mut m = machine();
+        let mut a = ListArena::alloc(&mut m, 4);
+        assert_eq!(insert_after_many(&mut m, &mut a, &[], &[]), 0);
+        assert_eq!(delete_after_many(&mut m, &mut a, &[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per target")]
+    fn mismatched_insert_panics() {
+        let mut m = machine();
+        let mut a = ListArena::alloc(&mut m, 4);
+        let _ = insert_after_many(&mut m, &mut a, &[0], &[]);
+    }
+}

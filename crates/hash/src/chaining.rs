@@ -1,0 +1,422 @@
+//! Chaining multiple hashing — the paper's §3.1 walkthrough (Fig 7).
+//!
+//! Entered keys live in an arena of two-word nodes `[key, next]` chained
+//! from the table's head slots. Unlike open addressing, the main processing
+//! here *reads* the old head (to link the new node in front of it), so the
+//! label work area cannot share storage with the heads: each table entry has
+//! a dedicated work slot, exactly as Fig 7 draws it ("work areas for
+//! labels" beside the entries).
+//!
+//! One FOL round then is: scatter subscript labels into the work slots
+//! through the hashed values, gather back, and the surviving keys link their
+//! nodes with three conflict-free list-vector operations (gather old heads,
+//! scatter them into the nodes' `next` fields, scatter node pointers into
+//! the heads).
+
+use crate::hash_mod;
+use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
+
+/// Nil chain pointer.
+pub const NIL: Word = -1;
+
+/// A chaining hash table in machine memory: `heads` (one word per bucket,
+/// `NIL`-initialized), a parallel `work` area for FOL labels, and a node
+/// `arena` (two words per node: key at even offset, next at odd offset).
+#[derive(Clone, Copy, Debug)]
+pub struct ChainTable {
+    /// Bucket head pointers (arena word offsets, or [`NIL`]).
+    pub heads: Region,
+    /// FOL label work area, one slot per bucket.
+    pub work: Region,
+    /// Node storage.
+    pub arena: Region,
+    /// Nodes already allocated from the arena.
+    pub used_nodes: usize,
+}
+
+impl ChainTable {
+    /// Allocates a table of `buckets` buckets with room for `capacity` nodes.
+    pub fn alloc(m: &mut Machine, buckets: usize, capacity: usize) -> Self {
+        let heads = m.alloc(buckets, "chain.heads");
+        let work = m.alloc(buckets, "chain.work");
+        let arena = m.alloc(2 * capacity, "chain.arena");
+        m.vfill(heads, NIL);
+        ChainTable { heads, work, arena, used_nodes: 0 }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Reads the chains out of machine memory: `chains()[b]` is bucket `b`'s
+    /// key list from chain head to tail. Diagnostic (no cycles charged).
+    ///
+    /// # Panics
+    /// Panics if a chain is longer than the arena (a cycle).
+    pub fn chains(&self, m: &Machine) -> Vec<Vec<Word>> {
+        (0..self.buckets())
+            .map(|b| {
+                let mut out = Vec::new();
+                let mut p = m.mem().read(self.heads.at(b));
+                let mut steps = 0;
+                while p != NIL {
+                    assert!(steps <= self.arena.len(), "cycle in chain {b}");
+                    let off = p as usize;
+                    out.push(m.mem().read(self.arena.at(off)));
+                    p = m.mem().read(self.arena.at(off + 1));
+                    steps += 1;
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// True when `key` is in its bucket's chain.
+    pub fn contains(&self, m: &Machine, key: Word) -> bool {
+        let b = hash_mod(key, self.buckets() as Word) as usize;
+        let mut p = m.mem().read(self.heads.at(b));
+        let mut steps = 0;
+        while p != NIL {
+            assert!(steps <= self.arena.len(), "cycle in chain {b}");
+            let off = p as usize;
+            if m.mem().read(self.arena.at(off)) == key {
+                return true;
+            }
+            p = m.mem().read(self.arena.at(off + 1));
+            steps += 1;
+        }
+        false
+    }
+
+    fn reserve(&mut self, n: usize) -> usize {
+        let first = self.used_nodes;
+        assert!(
+            2 * (first + n) <= self.arena.len(),
+            "arena exhausted: need {n} more nodes, used {first}, capacity {}",
+            self.arena.len() / 2
+        );
+        self.used_nodes += n;
+        first
+    }
+}
+
+/// Scalar baseline: insert keys one at a time (Fig 4a's sequential order:
+/// each new key becomes the head of its chain).
+pub fn scalar_insert_all(m: &mut Machine, table: &mut ChainTable, keys: &[Word]) {
+    let first = table.reserve(keys.len());
+    let buckets = table.buckets() as Word;
+    for (i, &key) in keys.iter().enumerate() {
+        let node_off = (2 * (first + i)) as Word;
+        m.s_alu(1); // hash
+        let b = hash_mod(key, buckets) as usize;
+        // node.key := key ; node.next := head ; head := node
+        m.s_write(table.arena.at(node_off as usize), key);
+        let head = m.s_read(table.heads.at(b));
+        m.s_write(table.arena.at(node_off as usize + 1), head);
+        m.s_write(table.heads.at(b), node_off);
+        m.s_branch(1);
+    }
+}
+
+/// Vectorized insertion by FOL1 (Fig 7). Returns the number of FOL rounds.
+pub fn vectorized_insert_all(m: &mut Machine, table: &mut ChainTable, keys: &[Word]) -> usize {
+    if keys.is_empty() {
+        return 0;
+    }
+    let first = table.reserve(keys.len());
+    let buckets = table.buckets() as Word;
+
+    // Materialize keys, compute hashed values and node pointers, and fill
+    // the nodes' key fields — all conflict-free vector work.
+    let key_v = m.vimm(keys);
+    let mut hv = m.valu_s(AluOp::Mod, &key_v, buckets);
+    let positions = m.iota(0, keys.len());
+    let offs = m.valu_s(AluOp::Add, &positions, first as Word);
+    let mut node_ptr = m.valu_s(AluOp::Mul, &offs, 2);
+    m.scatter(table.arena, &node_ptr, &key_v);
+
+    // FOL1 rounds, main processing amalgamated (as in Fig 7).
+    let mut labels = positions;
+    let mut rounds = 0usize;
+    while !hv.is_empty() {
+        rounds += 1;
+        // FOL processes 1-2: write labels through hv, read back, compare.
+        m.scatter(table.work, &hv, &labels);
+        let got = m.gather(table.work, &hv);
+        let ok = m.vcmp(CmpOp::Eq, &got, &labels);
+        // Main processing (process 3) for survivors: link nodes in front of
+        // the old heads. Within a round the buckets are distinct, so all
+        // three list-vector ops are conflict-free.
+        let hv_s = m.compress(&hv, &ok);
+        let ptr_s = m.compress(&node_ptr, &ok);
+        let old_heads = m.gather(table.heads, &hv_s);
+        let next_field = m.valu_s(AluOp::Add, &ptr_s, 1);
+        m.scatter(table.arena, &next_field, &old_heads);
+        m.scatter(table.heads, &hv_s, &ptr_s);
+        // Process 4: repeat for the filtered keys.
+        let rest = m.mask_not(&ok);
+        hv = m.compress(&hv, &rest);
+        node_ptr = m.compress(&node_ptr, &rest);
+        labels = m.compress(&labels, &rest);
+    }
+    rounds
+}
+
+/// Order-preserving vectorized insertion: like [`vectorized_insert_all`]
+/// but uses [`fol_core::ordered::fol1_machine_ordered`] so that colliding
+/// keys enter their chain in *exactly* the sequential order — the resulting
+/// chains are identical to [`scalar_insert_all`]'s, not merely equal as
+/// sets. This is the paper's footnote 5/7 scenario made concrete.
+///
+/// Returns the number of FOL rounds.
+pub fn vectorized_insert_all_ordered(
+    m: &mut Machine,
+    table: &mut ChainTable,
+    keys: &[Word],
+) -> usize {
+    if keys.is_empty() {
+        return 0;
+    }
+    let first = table.reserve(keys.len());
+    let buckets = table.buckets() as Word;
+
+    let key_v = m.vimm(keys);
+    let hv_all = m.valu_s(AluOp::Mod, &key_v, buckets);
+    let positions = m.iota(0, keys.len());
+    let offs = m.valu_s(AluOp::Add, &positions, first as Word);
+    let node_ptr_all = m.valu_s(AluOp::Mul, &offs, 2);
+    m.scatter(table.arena, &node_ptr_all, &key_v);
+
+    // Decompose with the ordered variant, then run the main processing
+    // round by round; round k holds the k-th colliding key per bucket, so
+    // head insertion reproduces the sequential chain order.
+    let hv_words: Vec<Word> = hv_all.iter().collect();
+    let d = fol_core::ordered::fol1_machine_ordered(m, table.work, &hv_words);
+    for round in d.iter() {
+        let hv_s: fol_vm::VReg = round.iter().map(|&p| hv_all.get(p)).collect();
+        let ptr_s: fol_vm::VReg = round.iter().map(|&p| node_ptr_all.get(p)).collect();
+        let old_heads = m.gather(table.heads, &hv_s);
+        let next_field = m.valu_s(AluOp::Add, &ptr_s, 1);
+        m.scatter(table.arena, &next_field, &old_heads);
+        m.scatter(table.heads, &hv_s, &ptr_s);
+    }
+    d.num_rounds()
+}
+
+/// Collects every stored key with lock-step vector chain walks (read-only
+/// SIVP): all bucket heads start in one vector; per step, live cursors
+/// gather their node's key, emit it, and follow `next`.
+///
+/// Key order is by walk step (all chain heads first), which no caller may
+/// rely on.
+pub fn vectorized_collect_keys(m: &mut Machine, table: &ChainTable) -> Vec<Word> {
+    let mut cursor = m.vload(table.heads, 0, table.buckets());
+    let mut out = Vec::with_capacity(table.used_nodes);
+    loop {
+        let live = m.vcmp_s(fol_vm::CmpOp::Ne, &cursor, NIL);
+        cursor = m.compress(&cursor, &live);
+        if cursor.is_empty() {
+            return out;
+        }
+        let keys = m.gather(table.arena, &cursor);
+        out.extend(keys.iter());
+        let next_fields = m.valu_s(AluOp::Add, &cursor, 1);
+        cursor = m.gather(table.arena, &next_fields);
+    }
+}
+
+/// Rehashes the whole table into `new_buckets` buckets: a vectorized
+/// collect followed by a vectorized multiple insert into a fresh table.
+/// Returns the new table.
+pub fn rehash(m: &mut Machine, table: &ChainTable, new_buckets: usize) -> ChainTable {
+    let keys = vectorized_collect_keys(m, table);
+    let mut out = ChainTable::alloc(m, new_buckets, keys.len().max(1));
+    let _ = vectorized_insert_all(m, &mut out, &keys);
+    out
+}
+
+/// Convenience: the multiset of all stored keys (sorted), for differential
+/// tests against the scalar baseline.
+pub fn all_keys(m: &Machine, table: &ChainTable) -> Vec<Word> {
+    let mut keys: Vec<Word> = table.chains(m).into_iter().flatten().collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::{ConflictPolicy, CostModel};
+
+    #[test]
+    fn fig7_walkthrough() {
+        // Fig 7's key vector: [621, 415, 23, 621 ... ] — the figure's exact
+        // digits are partly illegible in the source text, so use its
+        // structure: 5 keys, two of which collide in one bucket.
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = ChainTable::alloc(&mut m, 6, 8);
+        // 353 % 6 == 911 % 6 == 5 (the Fig 4 pair), plus three singles.
+        let keys = [353, 911, 7, 14, 3];
+        let rounds = vectorized_insert_all(&mut m, &mut t, &keys);
+        assert_eq!(rounds, 2, "one collision pair -> two rounds");
+        let chains = t.chains(&m);
+        let mut bucket5 = chains[5].clone();
+        bucket5.sort_unstable();
+        assert_eq!(bucket5, vec![353, 911]);
+        for &k in &keys {
+            assert!(t.contains(&m, k));
+        }
+        assert!(!t.contains(&m, 999));
+    }
+
+    #[test]
+    fn scalar_and_vectorized_agree_on_contents() {
+        let keys: Vec<Word> = (0..60).map(|i| i * 31 + 5).collect();
+        let mut ms = Machine::new(CostModel::unit());
+        let mut ts = ChainTable::alloc(&mut ms, 17, 64);
+        scalar_insert_all(&mut ms, &mut ts, &keys);
+
+        for policy in [
+            ConflictPolicy::FirstWins,
+            ConflictPolicy::LastWins,
+            ConflictPolicy::Arbitrary(5),
+        ] {
+            let mut mv = Machine::with_policy(CostModel::unit(), policy.clone());
+            let mut tv = ChainTable::alloc(&mut mv, 17, 64);
+            let _ = vectorized_insert_all(&mut mv, &mut tv, &keys);
+            assert_eq!(all_keys(&ms, &ts), all_keys(&mv, &tv), "{policy:?}");
+            // Per-bucket membership must agree too (chains may be ordered
+            // differently — the paper's footnote 5 allows this).
+            let cs = ts.chains(&ms);
+            let cv = tv.chains(&mv);
+            for b in 0..17 {
+                let mut a = cs[b].clone();
+                let mut c = cv[b].clone();
+                a.sort_unstable();
+                c.sort_unstable();
+                assert_eq!(a, c, "bucket {b} under {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_insert_reproduces_scalar_chains_exactly() {
+        let keys: Vec<Word> = (0..80).map(|i| (i * 37) % 200).collect();
+        let mut ms = Machine::new(CostModel::unit());
+        let mut ts = ChainTable::alloc(&mut ms, 13, 96);
+        scalar_insert_all(&mut ms, &mut ts, &keys);
+
+        for policy in [ConflictPolicy::FirstWins, ConflictPolicy::Arbitrary(9)] {
+            let mut mv = Machine::with_policy(CostModel::unit(), policy.clone());
+            let mut tv = ChainTable::alloc(&mut mv, 13, 96);
+            let _ = vectorized_insert_all_ordered(&mut mv, &mut tv, &keys);
+            assert_eq!(
+                ts.chains(&ms),
+                tv.chains(&mv),
+                "{policy:?}: chains must match scalar order exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_insert_duplicates_keep_order() {
+        // Three equal keys: scalar chains them newest-first; ordered FOL
+        // must produce the identical chain, under any policy.
+        let mut ms = Machine::new(CostModel::unit());
+        let mut ts = ChainTable::alloc(&mut ms, 5, 8);
+        scalar_insert_all(&mut ms, &mut ts, &[9, 9, 9]);
+        let mut mv = Machine::with_policy(CostModel::unit(), ConflictPolicy::LastWins);
+        let mut tv = ChainTable::alloc(&mut mv, 5, 8);
+        let rounds = vectorized_insert_all_ordered(&mut mv, &mut tv, &[9, 9, 9]);
+        assert_eq!(rounds, 3);
+        assert_eq!(ts.chains(&ms), tv.chains(&mv));
+    }
+
+    #[test]
+    fn duplicate_keys_are_all_entered() {
+        // Chaining permits duplicate keys (unlike open addressing): each
+        // occurrence becomes its own node.
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = ChainTable::alloc(&mut m, 5, 8);
+        let keys = [9, 9, 9];
+        let rounds = vectorized_insert_all(&mut m, &mut t, &keys);
+        assert_eq!(rounds, 3, "all three collide (same bucket): three rounds");
+        assert_eq!(all_keys(&m, &t), vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn collect_returns_every_key() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = ChainTable::alloc(&mut m, 7, 32);
+        let keys: Vec<Word> = (0..30).map(|i| i * 11).collect();
+        let _ = vectorized_insert_all(&mut m, &mut t, &keys);
+        let mut got = vectorized_collect_keys(&mut m, &t);
+        got.sort_unstable();
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn rehash_preserves_contents_and_respects_new_buckets() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = ChainTable::alloc(&mut m, 3, 40);
+        let keys: Vec<Word> = (0..40).map(|i| i * 13 + 2).collect();
+        let _ = vectorized_insert_all(&mut m, &mut t, &keys);
+        let big = rehash(&mut m, &t, 31);
+        assert_eq!(big.buckets(), 31);
+        assert_eq!(all_keys(&m, &big), all_keys(&m, &t));
+        for &k in &keys {
+            assert!(big.contains(&m, k));
+        }
+        // Chains got shorter on average.
+        let longest_old = t.chains(&m).iter().map(Vec::len).max().unwrap_or(0);
+        let longest_new = big.chains(&m).iter().map(Vec::len).max().unwrap_or(0);
+        assert!(longest_new < longest_old);
+    }
+
+    #[test]
+    fn rehash_empty_table() {
+        let mut m = Machine::new(CostModel::unit());
+        let t = ChainTable::alloc(&mut m, 3, 1);
+        let out = rehash(&mut m, &t, 5);
+        assert_eq!(all_keys(&m, &out), Vec::<Word>::new());
+    }
+
+    #[test]
+    fn incremental_batches_accumulate() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = ChainTable::alloc(&mut m, 11, 32);
+        let _ = vectorized_insert_all(&mut m, &mut t, &[1, 2, 3]);
+        let _ = vectorized_insert_all(&mut m, &mut t, &[12, 13]);
+        assert_eq!(all_keys(&m, &t), vec![1, 2, 3, 12, 13]);
+        assert!(t.contains(&m, 12));
+    }
+
+    #[test]
+    fn vectorized_inner_loop_is_fully_vector() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = ChainTable::alloc(&mut m, 7, 16);
+        m.enable_trace();
+        let _ = vectorized_insert_all(&mut m, &mut t, &[1, 8, 15, 2]);
+        let trace = m.take_trace().expect("tracing on");
+        assert!(trace.is_fully_vector());
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = ChainTable::alloc(&mut m, 3, 2);
+        assert_eq!(vectorized_insert_all(&mut m, &mut t, &[]), 0);
+        assert_eq!(all_keys(&m, &t), Vec::<Word>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "arena exhausted")]
+    fn arena_overflow_panics() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = ChainTable::alloc(&mut m, 3, 2);
+        let _ = vectorized_insert_all(&mut m, &mut t, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Plain-Rust (host) multiple hashing, for wall-clock benchmarking.
+//!
+//! The Criterion benches compare the classic one-key-at-a-time loop against
+//! the batch overwrite-and-check formulation on real hardware. On a scalar
+//! host the batch form is not expected to win (there are no vector pipes to
+//! fill); the benches exist to measure the *algorithmic overhead* FOL adds,
+//! complementing the modelled-cycle results that reproduce the paper's
+//! figures.
+
+use crate::{hash_mod, ProbeStrategy, UNENTERED};
+use fol_vm::Word;
+
+/// Classic scalar open addressing: insert each key in turn.
+///
+/// # Panics
+/// Panics when the key count exceeds the table size (debug: also on
+/// duplicate or negative keys).
+pub fn insert_all_scalar(table: &mut [Word], keys: &[Word], probe: ProbeStrategy) {
+    assert!(keys.len() <= table.len(), "more keys than slots");
+    let size = table.len() as Word;
+    for &key in keys {
+        debug_assert!(key >= 0);
+        let mut h = hash_mod(key, size);
+        while table[h as usize] != UNENTERED {
+            h = probe.next(h, key, size);
+        }
+        table[h as usize] = key;
+    }
+}
+
+/// Batch overwrite-and-check (the Fig 8 control flow on host slices).
+///
+/// Returns the number of retry iterations.
+pub fn insert_all_batch(table: &mut [Word], keys: &[Word], probe: ProbeStrategy) -> usize {
+    assert!(keys.len() <= table.len(), "more keys than slots");
+    if keys.is_empty() {
+        return 0;
+    }
+    let size = table.len() as Word;
+    let mut key_v: Vec<Word> = keys.to_vec();
+    let mut hv: Vec<Word> = key_v.iter().map(|&k| hash_mod(k, size)).collect();
+    let mut iterations = 0;
+
+    // where table[hv] = unentered do table[hv] := key
+    for (&h, &k) in hv.iter().zip(&key_v) {
+        if table[h as usize] == UNENTERED {
+            table[h as usize] = k;
+        }
+    }
+    loop {
+        iterations += 1;
+        // keep only keys that did not read themselves back
+        let mut next_keys = Vec::new();
+        let mut next_hv = Vec::new();
+        for (&h, &k) in hv.iter().zip(&key_v) {
+            if table[h as usize] != k {
+                next_keys.push(k);
+                next_hv.push(h);
+            }
+        }
+        if next_keys.is_empty() {
+            return iterations;
+        }
+        key_v = next_keys;
+        hv = next_hv;
+        for (h, &k) in hv.iter_mut().zip(&key_v) {
+            *h = probe.next(*h, k, size);
+            if table[*h as usize] == UNENTERED {
+                table[*h as usize] = k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::open_addressing::{contains, stored_keys};
+
+    fn fresh(n: usize) -> Vec<Word> {
+        vec![UNENTERED; n]
+    }
+
+    #[test]
+    fn scalar_and_batch_store_same_sets() {
+        let keys: Vec<Word> = (0..200).map(|i| i * 97 + 11).collect();
+        let mut a = fresh(521);
+        let mut b = fresh(521);
+        insert_all_scalar(&mut a, &keys, ProbeStrategy::KeyDependent);
+        let iters = insert_all_batch(&mut b, &keys, ProbeStrategy::KeyDependent);
+        assert_eq!(stored_keys(&a), stored_keys(&b));
+        assert!(iters >= 1);
+        for &k in &keys {
+            assert!(contains(&a, k, ProbeStrategy::KeyDependent));
+            assert!(contains(&b, k, ProbeStrategy::KeyDependent));
+        }
+    }
+
+    #[test]
+    fn batch_single_iteration_when_no_collisions() {
+        let keys: Vec<Word> = vec![1, 2, 3, 4, 5];
+        let mut t = fresh(37);
+        assert_eq!(insert_all_batch(&mut t, &keys, ProbeStrategy::Linear), 1);
+    }
+
+    #[test]
+    fn batch_empty_keys() {
+        let mut t = fresh(4);
+        assert_eq!(insert_all_batch(&mut t, &[], ProbeStrategy::Linear), 0);
+    }
+
+    #[test]
+    fn high_load_factor_still_correct() {
+        let keys: Vec<Word> = (0..510).map(|i| i * 3 + 1).collect();
+        let mut t = fresh(521);
+        insert_all_batch(&mut t, &keys, ProbeStrategy::KeyDependent);
+        assert_eq!(stored_keys(&t).len(), 510);
+    }
+}

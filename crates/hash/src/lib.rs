@@ -1,0 +1,112 @@
+//! # fol-hash — multiple hashing by the FOL method
+//!
+//! "Multiple hashing" is the paper's flagship application (§2, §3.1, §4.1):
+//! enter `N` keys into a hash table *at once* with vector operations. Naive
+//! vectorization is wrong — colliding keys overwrite each other (Fig 4) —
+//! and FOL repairs it with the overwrite-and-check loop.
+//!
+//! Two collision-resolution schemes from the paper are implemented:
+//!
+//! * [`open_addressing`] — the Fig 8 algorithm. Keys double as labels (the
+//!   §3.2 simplification for duplicate-free values), so label writing *is*
+//!   the main processing. Both probe-recalculation variants are provided:
+//!   the original `+1` linear step and the optimized
+//!   `+(key & 31) + 1` key-dependent step whose superiority at load factors
+//!   0.5–0.98 the paper reports (and ablation A-1 re-checks).
+//! * [`chaining`] — the §3.1 walkthrough (Fig 7). Nodes are chained from
+//!   table heads; FOL1 with subscript labels finds per-round non-colliding
+//!   subsets which then link their nodes with two list-vector operations.
+//!
+//! [`join`] composes them into the database workload the paper's intro
+//! motivates: a vectorized equi-join (FOL build + lock-step probe).
+//!
+//! Every algorithm exists in two forms on the simulated machine — a scalar
+//! baseline (`scalar_*`, charged at scalar cost) and the vectorized FOL form
+//! (`vectorized_*`) — so modelled acceleration ratios reproduce Figs 9/10.
+//! [`host`] holds plain-Rust equivalents for wall-clock benchmarking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaining;
+pub mod host;
+pub mod join;
+pub mod open_addressing;
+
+use fol_vm::Word;
+
+/// The paper's `unentered` sentinel: a value never used as a key, marking an
+/// empty table slot. Keys must therefore be non-negative.
+pub const UNENTERED: Word = -1;
+
+/// Probe-sequence recalculation on collision (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ProbeStrategy {
+    /// The original algorithm's step: `h := (h + 1) mod size`. Keys that
+    /// collide once keep colliding with each other on every retry.
+    Linear,
+    /// The optimized step: `h := (h + (key & 31) + 1) mod size`, which
+    /// scatters colliding keys onto different retry slots. The paper asserts
+    /// `size(table) > 32` for this variant.
+    #[default]
+    KeyDependent,
+}
+
+impl ProbeStrategy {
+    /// The next slot after `h` for `key` in a table of `size` slots.
+    #[inline]
+    pub fn next(self, h: Word, key: Word, size: Word) -> Word {
+        match self {
+            ProbeStrategy::Linear => (h + 1).rem_euclid(size),
+            ProbeStrategy::KeyDependent => (h + (key & 31) + 1).rem_euclid(size),
+        }
+    }
+}
+
+/// The paper's hash function: `hash(x) = x mod size(table)`.
+#[inline]
+pub fn hash_mod(key: Word, size: Word) -> Word {
+    key.rem_euclid(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_mod_basics() {
+        assert_eq!(hash_mod(353, 521), 353);
+        assert_eq!(hash_mod(353, 5), 3);
+        assert_eq!(hash_mod(911, 5), 1);
+        // Fig 4's collision example with table size 6: both keys land on 5.
+        assert_eq!(hash_mod(353, 6), 5);
+        assert_eq!(hash_mod(911, 6), 5);
+    }
+
+    #[test]
+    fn linear_probe_wraps() {
+        let p = ProbeStrategy::Linear;
+        assert_eq!(p.next(4, 99, 5), 0);
+        assert_eq!(p.next(0, 99, 5), 1);
+    }
+
+    #[test]
+    fn key_dependent_probe_depends_on_key() {
+        let p = ProbeStrategy::KeyDependent;
+        let size = 521;
+        let a = p.next(10, 0b00001, size); // step 2
+        let b = p.next(10, 0b11111, size); // step 32
+        assert_eq!(a, 12);
+        assert_eq!(b, 42);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn probe_step_at_least_one() {
+        let p = ProbeStrategy::KeyDependent;
+        for key in 0..64 {
+            let h = p.next(7, key, 100);
+            assert_ne!(h, 7, "step must move off the colliding slot");
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Open-addressing multiple hashing — the paper's Fig 8.
+//!
+//! This is the "overwrite-and-check" specialization of FOL1: because all
+//! keys are distinct, the keys themselves serve as labels, and writing the
+//! labels *is* entering the keys. One iteration is then: masked-scatter the
+//! keys into currently-empty slots, gather back, keep the keys that read
+//! themselves, recompute slots for the rest, repeat.
+//!
+//! The scalar baseline is classic open addressing with the same probe
+//! strategy, charged at scalar cost on the same machine.
+
+use crate::{hash_mod, ProbeStrategy, UNENTERED};
+use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
+
+/// Outcome of a multiple-hashing run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InsertReport {
+    /// Number of overwrite-and-check iterations (scalar baseline reports 0).
+    pub iterations: usize,
+    /// Total probe attempts summed over keys (scalar) or vector elements
+    /// pushed through the retry loop (vectorized).
+    pub probes: u64,
+}
+
+fn validate_keys(keys: &[Word], size: Word, probe: ProbeStrategy) {
+    assert!(size > 0, "empty table");
+    if probe == ProbeStrategy::KeyDependent {
+        assert!(size > 32, "key-dependent probing requires size(table) > 32");
+    }
+    assert!((keys.len() as Word) <= size, "more keys than table slots");
+    debug_assert!(keys.iter().all(|&k| k >= 0), "keys must be non-negative");
+    debug_assert!(
+        {
+            let mut s = std::collections::HashSet::new();
+            keys.iter().all(|&k| s.insert(k))
+        },
+        "open-addressing multiple hashing requires distinct keys (keys are labels)"
+    );
+}
+
+/// Initializes a table region to all-`unentered` with one vector fill.
+pub fn init_table(m: &mut Machine, table: Region) {
+    m.vfill(table, UNENTERED);
+}
+
+/// Scalar baseline: insert each key in turn, probing until an empty slot.
+pub fn scalar_insert_all(
+    m: &mut Machine,
+    table: Region,
+    keys: &[Word],
+    probe: ProbeStrategy,
+) -> InsertReport {
+    let size = table.len() as Word;
+    validate_keys(keys, size, probe);
+    let mut probes = 0u64;
+    for &key in keys {
+        // h := hash(key): one scalar ALU op (mod).
+        m.s_alu(1);
+        let mut h = hash_mod(key, size);
+        loop {
+            probes += 1;
+            // load table[h]; compare against unentered; loop branch.
+            let slot = m.s_read(table.at(h as usize));
+            m.s_cmp(1);
+            m.s_branch(1);
+            if slot == UNENTERED {
+                m.s_write(table.at(h as usize), key);
+                break;
+            }
+            // recompute the slot.
+            m.s_alu(2);
+            h = probe.next(h, key, size);
+        }
+    }
+    InsertReport { iterations: 0, probes }
+}
+
+/// Vectorized insertion (Fig 8): overwrite-and-check with masked scatters.
+///
+/// Returns the number of iterations of the outer retry loop (1 when no key
+/// collides, per Theorem 3).
+///
+/// ```
+/// use fol_vm::{Machine, CostModel};
+/// use fol_hash::open_addressing::{init_table, vectorized_insert_all, contains};
+/// use fol_hash::ProbeStrategy;
+///
+/// let mut m = Machine::new(CostModel::s810());
+/// let table = m.alloc(37, "table");
+/// init_table(&mut m, table);
+/// // 5, 42 and 79 all hash to 5 mod 37 — FOL sorts the collisions out.
+/// let report = vectorized_insert_all(
+///     &mut m, table, &[5, 42, 79, 7], ProbeStrategy::KeyDependent);
+/// assert!(report.iterations > 1);
+/// let snapshot = m.mem().read_region(table);
+/// assert!(contains(&snapshot, 79, ProbeStrategy::KeyDependent));
+/// ```
+pub fn vectorized_insert_all(
+    m: &mut Machine,
+    table: Region,
+    keys: &[Word],
+    probe: ProbeStrategy,
+) -> InsertReport {
+    let size = table.len() as Word;
+    validate_keys(keys, size, probe);
+    if keys.is_empty() {
+        return InsertReport { iterations: 0, probes: 0 };
+    }
+
+    // hashedValue[1:n] := hash(key[1:n])
+    let mut key_v = m.vimm(keys);
+    let mut hv = m.valu_s(AluOp::Mod, &key_v, size);
+    let mut iterations = 0usize;
+    let mut probes = 0u64;
+
+    // First entry: where table[hv] = unentered do table[hv] := key.
+    let slots = m.gather(table, &hv);
+    let empty = m.vcmp_s(CmpOp::Eq, &slots, UNENTERED);
+    m.scatter_masked(table, &hv, &key_v, &empty);
+    probes += key_v.len() as u64;
+
+    loop {
+        iterations += 1;
+        // entered[1:n] := key[1:n] = table[hashedValue[1:n]]
+        let readback = m.gather(table, &hv);
+        let entered = m.vcmp(CmpOp::Eq, &readback, &key_v);
+        let n_entered = m.count_true(&entered);
+        let not_entered = m.mask_not(&entered);
+        // Pack the unentered keys and their slots.
+        hv = m.compress(&hv, &not_entered);
+        key_v = m.compress(&key_v, &not_entered);
+        if key_v.is_empty() {
+            break;
+        }
+        let _ = n_entered; // counted for parity with Fig 8's countTrue
+        // Recompute subscripts: h := (h + step) mod size.
+        hv = match probe {
+            ProbeStrategy::Linear => {
+                let inc = m.valu_s(AluOp::Add, &hv, 1);
+                m.valu_s(AluOp::Mod, &inc, size)
+            }
+            ProbeStrategy::KeyDependent => {
+                let step = m.valu_s(AluOp::And, &key_v, 31);
+                let step = m.valu_s(AluOp::Add, &step, 1);
+                let sum = m.valu(AluOp::Add, &hv, &step);
+                m.valu_s(AluOp::Mod, &sum, size)
+            }
+        };
+        // where table[hv] = unentered do table[hv] := key end where
+        let slots = m.gather(table, &hv);
+        let empty = m.vcmp_s(CmpOp::Eq, &slots, UNENTERED);
+        m.scatter_masked(table, &hv, &key_v, &empty);
+        probes += key_v.len() as u64;
+    }
+    InsertReport { iterations, probes }
+}
+
+/// Tombstone marking a deleted slot: occupied for probing purposes (lookups
+/// walk past it) but never equal to a key. Insertion does not reuse
+/// tombstones — that keeps the "never write a slot probed while occupied"
+/// invariant that makes lookups sound.
+pub const TOMBSTONE: Word = -2;
+
+/// Vectorized multiple lookup: for each key, walk its probe chain with
+/// lock-step gathers until every key has hit itself or an `unentered` slot.
+/// Returns one bool per key. Lookups are read-only, so no FOL is needed —
+/// this is the SIVP case (Fig 2b) the paper contrasts FOL against.
+pub fn vectorized_lookup_all(
+    m: &mut Machine,
+    table: Region,
+    keys: &[Word],
+    probe: ProbeStrategy,
+) -> Vec<bool> {
+    let size = table.len() as Word;
+    assert!(size > 0, "empty table");
+    if keys.is_empty() {
+        return Vec::new();
+    }
+    let n = keys.len();
+    let mut found = vec![false; n];
+    let mut key_v = m.vimm(keys);
+    let mut hv = m.valu_s(AluOp::Mod, &key_v, size);
+    let mut positions = m.iota(0, n);
+
+    for _ in 0..table.len() {
+        if key_v.is_empty() {
+            break;
+        }
+        let slots = m.gather(table, &hv);
+        let hit = m.vcmp(CmpOp::Eq, &slots, &key_v);
+        let miss = m.vcmp_s(CmpOp::Eq, &slots, UNENTERED);
+        for (i, f) in hit.iter().enumerate() {
+            if f {
+                found[positions.get(i) as usize] = true;
+            }
+        }
+        let resolved = m.mask_or(&hit, &miss);
+        let active = m.mask_not(&resolved);
+        key_v = m.compress(&key_v, &active);
+        hv = m.compress(&hv, &active);
+        positions = m.compress(&positions, &active);
+        if key_v.is_empty() {
+            break;
+        }
+        // Advance the survivors' probes.
+        hv = match probe {
+            ProbeStrategy::Linear => {
+                let inc = m.valu_s(AluOp::Add, &hv, 1);
+                m.valu_s(AluOp::Mod, &inc, size)
+            }
+            ProbeStrategy::KeyDependent => {
+                let step = m.valu_s(AluOp::And, &key_v, 31);
+                let step = m.valu_s(AluOp::Add, &step, 1);
+                let sum = m.valu(AluOp::Add, &hv, &step);
+                m.valu_s(AluOp::Mod, &sum, size)
+            }
+        };
+    }
+    found
+}
+
+/// Vectorized multiple deletion: locate each key with the lock-step walk
+/// and scatter [`TOMBSTONE`] over the hits. Distinct keys occupy distinct
+/// slots, so the scatter is conflict-free and no FOL pass is needed.
+/// Returns one bool per key: whether it was present (and is now deleted).
+pub fn vectorized_delete_all(
+    m: &mut Machine,
+    table: Region,
+    keys: &[Word],
+    probe: ProbeStrategy,
+) -> Vec<bool> {
+    let size = table.len() as Word;
+    assert!(size > 0, "empty table");
+    if keys.is_empty() {
+        return Vec::new();
+    }
+    let n = keys.len();
+    let mut deleted = vec![false; n];
+    let mut key_v = m.vimm(keys);
+    let mut hv = m.valu_s(AluOp::Mod, &key_v, size);
+    let mut positions = m.iota(0, n);
+
+    for _ in 0..table.len() {
+        if key_v.is_empty() {
+            break;
+        }
+        let slots = m.gather(table, &hv);
+        let hit = m.vcmp(CmpOp::Eq, &slots, &key_v);
+        // Tombstone the hits (conflict-free: keys are distinct).
+        let hit_slots = m.compress(&hv, &hit);
+        let stones = m.vsplat(TOMBSTONE, hit_slots.len());
+        m.scatter(table, &hit_slots, &stones);
+        let miss = m.vcmp_s(CmpOp::Eq, &slots, UNENTERED);
+        for (i, f) in hit.iter().enumerate() {
+            if f {
+                deleted[positions.get(i) as usize] = true;
+            }
+        }
+        let resolved = m.mask_or(&hit, &miss);
+        let active = m.mask_not(&resolved);
+        key_v = m.compress(&key_v, &active);
+        hv = m.compress(&hv, &active);
+        positions = m.compress(&positions, &active);
+        if key_v.is_empty() {
+            break;
+        }
+        hv = match probe {
+            ProbeStrategy::Linear => {
+                let inc = m.valu_s(AluOp::Add, &hv, 1);
+                m.valu_s(AluOp::Mod, &inc, size)
+            }
+            ProbeStrategy::KeyDependent => {
+                let step = m.valu_s(AluOp::And, &key_v, 31);
+                let step = m.valu_s(AluOp::Add, &step, 1);
+                let sum = m.valu(AluOp::Add, &hv, &step);
+                m.valu_s(AluOp::Mod, &sum, size)
+            }
+        };
+    }
+    deleted
+}
+
+/// Follows `key`'s probe chain in a table snapshot; true when present.
+///
+/// Works for both insertion algorithms because neither ever writes a key
+/// into a slot it probed while occupied, so a chain walk that meets
+/// `unentered` proves absence.
+pub fn contains(table: &[Word], key: Word, probe: ProbeStrategy) -> bool {
+    let size = table.len() as Word;
+    let mut h = hash_mod(key, size);
+    for _ in 0..table.len() {
+        let slot = table[h as usize];
+        if slot == key {
+            return true;
+        }
+        if slot == UNENTERED {
+            return false;
+        }
+        h = probe.next(h, key, size);
+    }
+    false
+}
+
+/// The multiset of keys stored in a table snapshot (order unspecified);
+/// skips empty slots and tombstones.
+pub fn stored_keys(table: &[Word]) -> Vec<Word> {
+    let mut keys: Vec<Word> =
+        table.iter().copied().filter(|&w| w != UNENTERED && w != TOMBSTONE).collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::{ConflictPolicy, CostModel};
+
+    fn machine() -> Machine {
+        Machine::new(CostModel::s810())
+    }
+
+    fn run_vectorized(
+        keys: &[Word],
+        size: usize,
+        probe: ProbeStrategy,
+        policy: ConflictPolicy,
+    ) -> (Vec<Word>, InsertReport) {
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let table = m.alloc(size, "table");
+        init_table(&mut m, table);
+        let r = vectorized_insert_all(&mut m, table, keys, probe);
+        (m.mem().read_region(table), r)
+    }
+
+    #[test]
+    fn scalar_inserts_all_keys() {
+        let mut m = machine();
+        let table = m.alloc(37, "table");
+        init_table(&mut m, table);
+        let keys: Vec<Word> = vec![5, 42, 79, 116, 7, 0];
+        let r = scalar_insert_all(&mut m, table, &keys, ProbeStrategy::KeyDependent);
+        let snap = m.mem().read_region(table);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(stored_keys(&snap), sorted);
+        for &k in &keys {
+            assert!(contains(&snap, k, ProbeStrategy::KeyDependent));
+        }
+        assert!(!contains(&snap, 1000, ProbeStrategy::KeyDependent));
+        assert!(r.probes >= keys.len() as u64);
+    }
+
+    #[test]
+    fn vectorized_no_collisions_single_iteration() {
+        // Distinct hash slots -> Theorem 3's M = 1.
+        let keys: Vec<Word> = vec![1, 2, 3, 4];
+        let (snap, r) =
+            run_vectorized(&keys, 37, ProbeStrategy::KeyDependent, ConflictPolicy::LastWins);
+        assert_eq!(r.iterations, 1);
+        assert_eq!(stored_keys(&snap), keys);
+    }
+
+    #[test]
+    fn vectorized_with_collisions_enters_everything() {
+        // 5, 42, 79, 116 all hash to 5 mod 37.
+        let keys: Vec<Word> = vec![5, 42, 79, 116, 7];
+        for policy in [
+            ConflictPolicy::FirstWins,
+            ConflictPolicy::LastWins,
+            ConflictPolicy::Arbitrary(11),
+        ] {
+            let (snap, r) =
+                run_vectorized(&keys, 37, ProbeStrategy::KeyDependent, policy.clone());
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(stored_keys(&snap), sorted, "{policy:?}");
+            assert!(r.iterations > 1, "{policy:?}: collisions need retries");
+            for &k in &keys {
+                assert!(contains(&snap, k, ProbeStrategy::KeyDependent), "{policy:?} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_probe_also_correct() {
+        let keys: Vec<Word> = vec![0, 37, 74, 111, 3];
+        let (snap, _) =
+            run_vectorized(&keys, 37, ProbeStrategy::Linear, ConflictPolicy::Arbitrary(3));
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(stored_keys(&snap), sorted);
+        for &k in &keys {
+            assert!(contains(&snap, k, ProbeStrategy::Linear));
+        }
+    }
+
+    #[test]
+    fn scalar_and_vectorized_store_same_key_set() {
+        let keys: Vec<Word> = (0..40).map(|i| i * 13 + 1).collect();
+        let mut m1 = machine();
+        let t1 = m1.alloc(101, "table");
+        init_table(&mut m1, t1);
+        let _ = scalar_insert_all(&mut m1, t1, &keys, ProbeStrategy::KeyDependent);
+        let mut m2 = machine();
+        let t2 = m2.alloc(101, "table");
+        init_table(&mut m2, t2);
+        let _ = vectorized_insert_all(&mut m2, t2, &keys, ProbeStrategy::KeyDependent);
+        assert_eq!(
+            stored_keys(&m1.mem().read_region(t1)),
+            stored_keys(&m2.mem().read_region(t2))
+        );
+    }
+
+    #[test]
+    fn vectorized_is_cheaper_in_modelled_cycles_at_scale() {
+        // The headline claim at a favourable load factor (~0.5).
+        let size = 521;
+        let keys: Vec<Word> = (0..260).map(|i| i * 7919 + 3).collect();
+        let mut ms = Machine::new(CostModel::s810());
+        let ts = ms.alloc(size, "table");
+        init_table(&mut ms, ts);
+        ms.reset_stats();
+        let _ = scalar_insert_all(&mut ms, ts, &keys, ProbeStrategy::KeyDependent);
+        let scalar_cycles = ms.stats().cycles();
+
+        let mut mv = Machine::new(CostModel::s810());
+        let tv = mv.alloc(size, "table");
+        init_table(&mut mv, tv);
+        mv.reset_stats();
+        let _ = vectorized_insert_all(&mut mv, tv, &keys, ProbeStrategy::KeyDependent);
+        let vector_cycles = mv.stats().cycles();
+
+        assert!(
+            vector_cycles * 2 < scalar_cycles,
+            "expected >2x modelled speedup, got scalar {scalar_cycles} vs vector {vector_cycles}"
+        );
+    }
+
+    #[test]
+    fn empty_key_set_is_noop() {
+        let (snap, r) =
+            run_vectorized(&[], 37, ProbeStrategy::KeyDependent, ConflictPolicy::LastWins);
+        assert_eq!(r.iterations, 0);
+        assert!(stored_keys(&snap).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "more keys than table slots")]
+    fn overfull_panics() {
+        let keys: Vec<Word> = (0..40).collect();
+        let _ = run_vectorized(&keys, 33, ProbeStrategy::KeyDependent, ConflictPolicy::LastWins);
+    }
+
+    #[test]
+    #[should_panic(expected = "size(table) > 32")]
+    fn key_dependent_needs_big_table() {
+        let _ = run_vectorized(&[1], 16, ProbeStrategy::KeyDependent, ConflictPolicy::LastWins);
+    }
+
+    #[test]
+    fn vectorized_lookup_finds_present_and_rejects_absent() {
+        let keys: Vec<Word> = (0..60).map(|i| i * 17 + 2).collect();
+        let mut m = machine();
+        let t = m.alloc(127, "table");
+        init_table(&mut m, t);
+        let _ = vectorized_insert_all(&mut m, t, &keys, ProbeStrategy::KeyDependent);
+        let probes: Vec<Word> = keys.iter().copied().chain([5000, 5001, 5002]).collect();
+        let found = vectorized_lookup_all(&mut m, t, &probes, ProbeStrategy::KeyDependent);
+        assert!(found[..60].iter().all(|&f| f));
+        assert!(found[60..].iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn vectorized_delete_tombstones_and_lookups_survive() {
+        let keys: Vec<Word> = (0..40).map(|i| i * 13 + 1).collect();
+        let mut m = machine();
+        let t = m.alloc(101, "table");
+        init_table(&mut m, t);
+        let _ = vectorized_insert_all(&mut m, t, &keys, ProbeStrategy::KeyDependent);
+        // Delete every other key.
+        let victims: Vec<Word> = keys.iter().copied().step_by(2).collect();
+        let deleted = vectorized_delete_all(&mut m, t, &victims, ProbeStrategy::KeyDependent);
+        assert!(deleted.iter().all(|&d| d));
+        // Deleted keys gone; survivors still reachable past tombstones.
+        let found = vectorized_lookup_all(&mut m, t, &keys, ProbeStrategy::KeyDependent);
+        for (i, &f) in found.iter().enumerate() {
+            assert_eq!(f, i % 2 == 1, "key index {i}");
+        }
+        let snap = m.mem().read_region(t);
+        let survivors: Vec<Word> = keys.iter().copied().skip(1).step_by(2).collect();
+        assert_eq!(stored_keys(&snap), survivors);
+        // Deleting an absent key reports false.
+        let again = vectorized_delete_all(&mut m, t, &[victims[0]], ProbeStrategy::KeyDependent);
+        assert!(!again[0]);
+    }
+
+    #[test]
+    fn lookup_on_empty_table_and_empty_keys() {
+        let mut m = machine();
+        let t = m.alloc(37, "table");
+        init_table(&mut m, t);
+        assert!(vectorized_lookup_all(&mut m, t, &[], ProbeStrategy::Linear).is_empty());
+        let found = vectorized_lookup_all(&mut m, t, &[7], ProbeStrategy::Linear);
+        assert_eq!(found, vec![false]);
+    }
+
+    #[test]
+    fn full_table_linear_probe_terminates() {
+        // Load factor 1.0: every slot ends up filled.
+        let keys: Vec<Word> = (0..33).collect();
+        let (snap, _) =
+            run_vectorized(&keys, 33, ProbeStrategy::Linear, ConflictPolicy::Arbitrary(1));
+        assert_eq!(stored_keys(&snap).len(), 33);
+    }
+}

@@ -1,0 +1,467 @@
+//! # fol-maze — vectorized Lee-algorithm maze routing
+//!
+//! The paper's related work (§5) cites Suzuki, Miki and Takamine's
+//! acceleration of the maze (Lee) routing algorithm on a vector processor,
+//! noting that — like Appel–Bendiksen's GC — it contains an implicit FOL in
+//! which "the first output set S1 is implicitly computed". This crate
+//! builds that router on the simulated machine:
+//!
+//! * the grid, distance field and claim area live in machine memory;
+//! * one wavefront step expands every frontier cell into its four
+//!   neighbours with pure vector arithmetic, masks out walls, out-of-grid
+//!   moves and visited cells, and then **deduplicates** the candidates
+//!   (several frontier cells reach the same neighbour) with one
+//!   FOL claim round — scatter subscript labels into the claim area,
+//!   gather back, keep the self-readers;
+//! * the backtrace descends the distance gradient to recover one shortest
+//!   path.
+//!
+//! A scalar BFS baseline runs on the same machine for modelled
+//! acceleration ratios, and [`Maze::shortest_distance_host`] is the
+//! plain-Rust oracle the tests compare both against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fol_vm::{AluOp, CmpOp, Machine, Region, VReg, Word};
+
+/// Unvisited marker in the distance field.
+pub const UNVISITED: Word = -1;
+
+/// A rectangular maze in machine memory.
+#[derive(Clone, Copy, Debug)]
+pub struct Maze {
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+    /// Cell flags: 0 free, 1 wall. Row-major, `width * height` words.
+    pub grid: Region,
+    /// BFS distance field ([`UNVISITED`] until reached).
+    pub dist: Region,
+    /// FOL claim area for frontier deduplication.
+    pub claim: Region,
+}
+
+/// Routing outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Shortest distance (number of steps), or `None` when unreachable.
+    pub distance: Option<Word>,
+    /// Wavefront steps executed.
+    pub waves: usize,
+}
+
+impl Maze {
+    /// Allocates a maze from a row-major wall bitmap (`true` = wall).
+    ///
+    /// # Panics
+    /// Panics when `walls.len() != width * height` or the grid is empty.
+    pub fn new(m: &mut Machine, width: usize, height: usize, walls: &[bool]) -> Self {
+        assert!(width > 0 && height > 0, "empty grid");
+        assert_eq!(walls.len(), width * height, "bitmap size mismatch");
+        let grid = m.alloc(width * height, "maze.grid");
+        let dist = m.alloc(width * height, "maze.dist");
+        let claim = m.alloc(width * height, "maze.claim");
+        let bitmap: Vec<Word> = walls.iter().map(|&w| Word::from(w)).collect();
+        m.mem_mut().write_region(grid, &bitmap);
+        Maze { width, height, grid, dist, claim }
+    }
+
+    /// Parses a maze from rows of `.` (free) and `#` (wall).
+    ///
+    /// # Panics
+    /// Panics on ragged rows or other characters.
+    pub fn parse(m: &mut Machine, art: &[&str]) -> Self {
+        let height = art.len();
+        assert!(height > 0, "empty grid");
+        let width = art[0].len();
+        let mut walls = Vec::with_capacity(width * height);
+        for row in art {
+            assert_eq!(row.len(), width, "ragged maze row");
+            for c in row.chars() {
+                walls.push(match c {
+                    '.' => false,
+                    '#' => true,
+                    other => panic!("bad maze character {other:?}"),
+                });
+            }
+        }
+        Maze::new(m, width, height, &walls)
+    }
+
+    /// Cell index of `(x, y)`.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> Word {
+        assert!(x < self.width && y < self.height, "({x},{y}) outside grid");
+        (y * self.width + x) as Word
+    }
+
+    /// Resets the distance field (vector fill).
+    pub fn reset(&self, m: &mut Machine) {
+        m.vfill(self.dist, UNVISITED);
+    }
+
+    /// Host-side BFS oracle (no machine charges): shortest distance or
+    /// `None`.
+    pub fn shortest_distance_host(&self, m: &Machine, from: Word, to: Word) -> Option<Word> {
+        let n = self.width * self.height;
+        if m.mem().read(self.grid.at(from as usize)) != 0
+            || m.mem().read(self.grid.at(to as usize)) != 0
+        {
+            return None;
+        }
+        let mut dist = vec![-1i64; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[from as usize] = 0;
+        queue.push_back(from as usize);
+        while let Some(c) = queue.pop_front() {
+            if c == to as usize {
+                return Some(dist[c]);
+            }
+            for nb in self.neighbours(c) {
+                if m.mem().read(self.grid.at(nb)) == 0 && dist[nb] < 0 {
+                    dist[nb] = dist[c] + 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        None
+    }
+
+    fn neighbours(&self, c: usize) -> Vec<usize> {
+        let (x, y) = (c % self.width, c / self.width);
+        let mut out = Vec::with_capacity(4);
+        if x > 0 {
+            out.push(c - 1);
+        }
+        if x + 1 < self.width {
+            out.push(c + 1);
+        }
+        if y > 0 {
+            out.push(c - self.width);
+        }
+        if y + 1 < self.height {
+            out.push(c + self.width);
+        }
+        out
+    }
+
+    /// Backtraces one shortest path from `to` to `from` along the distance
+    /// gradient left by a routing run. Returns the path `from → … → to`, or
+    /// `None` when `to` was never reached. Host walk (cheap, O(path)).
+    pub fn backtrace(&self, m: &Machine, from: Word, to: Word) -> Option<Vec<Word>> {
+        if m.mem().read(self.dist.at(to as usize)) == UNVISITED {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to as usize;
+        while cur != from as usize {
+            let d = m.mem().read(self.dist.at(cur));
+            let prev = self
+                .neighbours(cur)
+                .into_iter()
+                .find(|&nb| m.mem().read(self.dist.at(nb)) == d - 1)?;
+            path.push(prev as Word);
+            cur = prev;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Scalar Lee routing: plain BFS with scalar charges. Fills the distance
+/// field as a side effect (for backtracing).
+pub fn scalar_route(m: &mut Machine, maze: &Maze, from: Word, to: Word) -> Route {
+    maze.reset(m);
+    if m.s_read(maze.grid.at(from as usize)) != 0 {
+        return Route { distance: None, waves: 0 };
+    }
+    m.s_write(maze.dist.at(from as usize), 0);
+    let mut frontier = vec![from as usize];
+    let mut d: Word = 0;
+    let mut waves = 0;
+    while !frontier.is_empty() {
+        waves += 1;
+        if frontier.contains(&(to as usize)) {
+            return Route { distance: Some(d), waves };
+        }
+        let mut next = Vec::new();
+        for &c in &frontier {
+            for nb in maze.neighbours(c) {
+                m.s_branch(1);
+                let wall = m.s_read(maze.grid.at(nb));
+                m.s_cmp(1);
+                if wall != 0 {
+                    continue;
+                }
+                let seen = m.s_read(maze.dist.at(nb));
+                m.s_cmp(1);
+                if seen != UNVISITED {
+                    continue;
+                }
+                m.s_write(maze.dist.at(nb), d + 1);
+                next.push(nb);
+            }
+        }
+        frontier = next;
+        d += 1;
+    }
+    Route { distance: None, waves }
+}
+
+/// Vectorized Lee routing: wavefront expansion with vector instructions and
+/// one implicit-FOL claim round per wave. Fills the distance field.
+///
+/// ```
+/// use fol_vm::{Machine, CostModel};
+/// use fol_maze::{Maze, vectorized_route};
+///
+/// let mut m = Machine::new(CostModel::s810());
+/// let maze = Maze::parse(&mut m, &[
+///     ".#.",
+///     ".#.",
+///     "...",
+/// ]);
+/// let route = vectorized_route(&mut m, &maze, maze.at(0, 0), maze.at(2, 0));
+/// assert_eq!(route.distance, Some(6)); // around the wall
+/// ```
+pub fn vectorized_route(m: &mut Machine, maze: &Maze, from: Word, to: Word) -> Route {
+    maze.reset(m);
+    if m.mem().read(maze.grid.at(from as usize)) != 0 {
+        return Route { distance: None, waves: 0 };
+    }
+    let w = maze.width as Word;
+    let n = (maze.width * maze.height) as Word;
+    let start = m.vimm(&[from]);
+    let zero = m.vsplat(0, 1);
+    m.scatter(maze.dist, &start, &zero);
+
+    let mut frontier = start;
+    let mut d: Word = 0;
+    let mut waves = 0;
+    while !frontier.is_empty() {
+        waves += 1;
+        // Reached the target? (vector compare + reduction)
+        let at_target = m.vcmp_s(CmpOp::Eq, &frontier, to);
+        if m.count_true(&at_target) > 0 {
+            return Route { distance: Some(d), waves };
+        }
+
+        // Candidate neighbours: four shifted copies, each with its own
+        // validity mask (grid edges), concatenated.
+        let mut candidates = VReg::empty();
+        for (delta, edge_ok) in [
+            (-1i64, {
+                // not in column 0
+                let col = m.valu_s(AluOp::Mod, &frontier, w);
+                m.vcmp_s(CmpOp::Ne, &col, 0)
+            }),
+            (1, {
+                let col = m.valu_s(AluOp::Mod, &frontier, w);
+                m.vcmp_s(CmpOp::Ne, &col, w - 1)
+            }),
+            (-w, {
+                let shifted = m.valu_s(AluOp::Add, &frontier, -w);
+                m.vcmp_s(CmpOp::Ge, &shifted, 0)
+            }),
+            (w, {
+                let shifted = m.valu_s(AluOp::Add, &frontier, w);
+                m.vcmp_s(CmpOp::Lt, &shifted, n)
+            }),
+        ] {
+            let moved = m.valu_s(AluOp::Add, &frontier, delta);
+            let valid = m.compress(&moved, &edge_ok);
+            candidates = m.vconcat(&candidates, &valid);
+        }
+        if candidates.is_empty() {
+            break;
+        }
+
+        // Mask out walls and already-visited cells.
+        let walls = m.gather(maze.grid, &candidates);
+        let open = m.vcmp_s(CmpOp::Eq, &walls, 0);
+        let candidates = m.compress(&candidates, &open);
+        let seen = m.gather(maze.dist, &candidates);
+        let fresh = m.vcmp_s(CmpOp::Eq, &seen, UNVISITED);
+        let candidates = m.compress(&candidates, &fresh);
+        if candidates.is_empty() {
+            break;
+        }
+
+        // Implicit FOL (S1 only): several frontier cells may reach the same
+        // neighbour; one claim round keeps exactly one copy of each.
+        let labels = m.iota(0, candidates.len());
+        m.scatter(maze.claim, &candidates, &labels);
+        let got = m.gather(maze.claim, &candidates);
+        let won = m.vcmp(CmpOp::Eq, &got, &labels);
+        let unique = m.compress(&candidates, &won);
+
+        // Stamp distances and advance the wave.
+        d += 1;
+        let stamp = m.vsplat(d, unique.len());
+        m.scatter(maze.dist, &unique, &stamp);
+        frontier = unique;
+    }
+    Route { distance: None, waves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::{ConflictPolicy, CostModel};
+
+    fn machine() -> Machine {
+        Machine::new(CostModel::unit())
+    }
+
+    const OPEN_5X3: [&str; 3] = [".....", ".....", "....."];
+
+    #[test]
+    fn straight_line_distance() {
+        let mut m = machine();
+        let maze = Maze::parse(&mut m, &OPEN_5X3);
+        let (a, b) = (maze.at(0, 0), maze.at(4, 0));
+        let r = vectorized_route(&mut m, &maze, a, b);
+        assert_eq!(r.distance, Some(4));
+        let path = maze.backtrace(&m, a, b).expect("path exists");
+        assert_eq!(path.len(), 5);
+        assert_eq!(path[0], a);
+        assert_eq!(path[4], b);
+    }
+
+    #[test]
+    fn wall_forces_detour() {
+        let art = [
+            ".#.", //
+            ".#.", //
+            "...",
+        ];
+        let mut m = machine();
+        let maze = Maze::parse(&mut m, &art);
+        let (a, b) = (maze.at(0, 0), maze.at(2, 0));
+        let r = vectorized_route(&mut m, &maze, a, b);
+        // Down 2, right 2, up 2 = 6 steps.
+        assert_eq!(r.distance, Some(6));
+        let s = scalar_route(&mut m, &maze, a, b);
+        assert_eq!(s.distance, Some(6));
+    }
+
+    #[test]
+    fn unreachable_target() {
+        let art = [
+            ".#.", //
+            ".#.", //
+            ".#.",
+        ];
+        let mut m = machine();
+        let maze = Maze::parse(&mut m, &art);
+        let (a, b) = (maze.at(0, 0), maze.at(2, 2));
+        assert_eq!(vectorized_route(&mut m, &maze, a, b).distance, None);
+        assert_eq!(scalar_route(&mut m, &maze, a, b).distance, None);
+        assert_eq!(maze.backtrace(&m, a, b), None);
+    }
+
+    #[test]
+    fn start_on_wall() {
+        let mut m = machine();
+        let maze = Maze::parse(&mut m, &["#.", ".."]);
+        let r = vectorized_route(&mut m, &maze, maze.at(0, 0), maze.at(1, 1));
+        assert_eq!(r.distance, None);
+    }
+
+    #[test]
+    fn matches_host_bfs_on_random_mazes_all_policies() {
+        let mut seed = 5u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(11);
+            (seed >> 33) as usize
+        };
+        for trial in 0..8 {
+            let (w, h) = (12, 9);
+            let walls: Vec<bool> =
+                (0..w * h).map(|i| i != 0 && i != w * h - 1 && next() % 100 < 30).collect();
+            for policy in [
+                ConflictPolicy::FirstWins,
+                ConflictPolicy::LastWins,
+                ConflictPolicy::Arbitrary(trial),
+            ] {
+                let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+                let maze = Maze::new(&mut m, w, h, &walls);
+                let (a, b) = (maze.at(0, 0), maze.at(w - 1, h - 1));
+                let expect = maze.shortest_distance_host(&m, a, b);
+                let got = vectorized_route(&mut m, &maze, a, b).distance;
+                assert_eq!(got, expect, "trial {trial} {policy:?}");
+                if let Some(dist) = expect {
+                    let path = maze.backtrace(&m, a, b).expect("path exists");
+                    assert_eq!(path.len() as Word, dist + 1);
+                    // Path is connected and wall-free.
+                    for pair in path.windows(2) {
+                        let (c, n) = (pair[0] as usize, pair[1] as usize);
+                        assert!(maze.neighbours(c).contains(&n));
+                        assert_eq!(m.mem().read(maze.grid.at(n)), 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_and_vectorized_distances_agree() {
+        let art = [
+            "..........", //
+            ".########.", //
+            ".#......#.", //
+            ".#.####.#.", //
+            ".#.#....#.", //
+            ".#.#.####.", //
+            ".#.#......", //
+            ".#.######.", //
+            ".#........",
+        ];
+        let mut m = machine();
+        let maze = Maze::parse(&mut m, &art);
+        let (a, b) = (maze.at(4, 4), maze.at(0, 0));
+        let s = scalar_route(&mut m, &maze, a, b).distance;
+        let v = vectorized_route(&mut m, &maze, a, b).distance;
+        assert_eq!(s, v);
+        assert!(s.is_some());
+    }
+
+    #[test]
+    fn vectorized_routing_accelerates_open_fields() {
+        // A big open field has wide wavefronts: the vector router should
+        // win clearly under the calibrated model.
+        let (w, h) = (64, 64);
+        let walls = vec![false; w * h];
+        let mut ms = Machine::new(CostModel::s810());
+        let maze_s = Maze::new(&mut ms, w, h, &walls);
+        ms.reset_stats();
+        let _ = scalar_route(&mut ms, &maze_s, 0, (w * h - 1) as Word);
+        let scalar = ms.stats().cycles();
+
+        let mut mv = Machine::new(CostModel::s810());
+        let maze_v = Maze::new(&mut mv, w, h, &walls);
+        mv.reset_stats();
+        let _ = vectorized_route(&mut mv, &maze_v, 0, (w * h - 1) as Word);
+        let vector = mv.stats().cycles();
+        assert!(
+            vector * 2 < scalar,
+            "expected >2x modelled speedup: scalar {scalar} vs vector {vector}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged maze row")]
+    fn ragged_input_panics() {
+        let mut m = machine();
+        let _ = Maze::parse(&mut m, &["..", "..."]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad maze character")]
+    fn bad_character_panics() {
+        let mut m = machine();
+        let _ = Maze::parse(&mut m, &["x"]);
+    }
+}

@@ -1,0 +1,238 @@
+//! # fol-queens — data-parallel N-queens on the vector machine
+//!
+//! The FOL paper builds on Kanada's earlier *simple index-vector-based
+//! vector processing* (SIVP) work, whose showcase was "a vector processing
+//! method for lists … and its application to the eight-queens problem"
+//! (reference \[7\] of the paper). This crate reproduces that substrate
+//! application: breadth-first backtracking where the whole frontier of
+//! partial placements advances one row per step under pure vector
+//! operations.
+//!
+//! Unlike the FOL applications, no shared rewriting occurs — every partial
+//! placement is independent (the paper's Fig 2a class), which is exactly
+//! why SIVP sufficed before FOL and why the two are worth contrasting under
+//! one cost model.
+//!
+//! A placement is three bitboards: occupied `cols`, left diagonals `d1`
+//! (shifted left per row) and right diagonals `d2` (shifted right per
+//! row). One row expansion per candidate column `c`: keep the states where
+//! bit `c` is free in all three boards, then OR it in and shift the
+//! diagonals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fol_vm::{AluOp, CmpOp, Machine, VReg, Word};
+
+/// Search outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solutions {
+    /// Number of complete placements.
+    pub count: usize,
+    /// The placements: `boards[s][row]` = column of the queen in `row`.
+    /// Populated only when requested (see [`vector_solve`]).
+    pub boards: Vec<Vec<u8>>,
+}
+
+/// Known solution counts for n = 0..=10 (OEIS A000170), for tests and
+/// callers that want to validate.
+pub const KNOWN_COUNTS: [usize; 11] = [1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724];
+
+/// Breadth-first vectorized N-queens.
+///
+/// When `collect_boards` is set, per-row column histories are carried along
+/// (n extra vectors) so complete placements can be returned; otherwise only
+/// the count is computed.
+///
+/// # Panics
+/// Panics when `n > 16` (frontier growth) — the S-810-era demo ran n = 8.
+pub fn vector_solve(m: &mut Machine, n: usize, collect_boards: bool) -> Solutions {
+    assert!(n <= 16, "n > 16 needs more memory than this demo supports");
+    if n == 0 {
+        return Solutions { count: 1, boards: vec![Vec::new()] };
+    }
+
+    // Frontier state: three bitboard vectors plus optional histories.
+    let mut cols = m.vimm(&[0]);
+    let mut d1 = m.vimm(&[0]);
+    let mut d2 = m.vimm(&[0]);
+    let mut history: Vec<VReg> = Vec::new();
+
+    for _row in 0..n {
+        let mut next_cols = VReg::empty();
+        let mut next_d1 = VReg::empty();
+        let mut next_d2 = VReg::empty();
+        let mut next_history: Vec<VReg> = vec![VReg::empty(); history.len() + 1];
+
+        for c in 0..n {
+            let bit: Word = 1 << c;
+            // free = (cols | d1 | d2) & bit == 0
+            let occ = m.valu(AluOp::Or, &cols, &d1);
+            let occ = m.valu(AluOp::Or, &occ, &d2);
+            let masked = m.valu_s(AluOp::And, &occ, bit);
+            let free = m.vcmp_s(CmpOp::Eq, &masked, 0);
+
+            let c_cols = m.compress(&cols, &free);
+            let c_d1 = m.compress(&d1, &free);
+            let c_d2 = m.compress(&d2, &free);
+            let placed_cols = m.valu_s(AluOp::Or, &c_cols, bit);
+            let or_d1 = m.valu_s(AluOp::Or, &c_d1, bit);
+            let placed_d1 = m.valu_s(AluOp::Shl, &or_d1, 1);
+            let or_d2 = m.valu_s(AluOp::Or, &c_d2, bit);
+            let placed_d2 = m.valu_s(AluOp::Shr, &or_d2, 1);
+
+            next_cols = m.vconcat(&next_cols, &placed_cols);
+            next_d1 = m.vconcat(&next_d1, &placed_d1);
+            next_d2 = m.vconcat(&next_d2, &placed_d2);
+
+            if collect_boards {
+                for (r, h) in history.iter().enumerate() {
+                    let kept = m.compress(h, &free);
+                    next_history[r] = m.vconcat(&next_history[r], &kept);
+                }
+                let this_col = m.vsplat(c as Word, placed_cols.len());
+                let last = next_history.len() - 1;
+                next_history[last] = m.vconcat(&next_history[last], &this_col);
+            }
+        }
+        cols = next_cols;
+        d1 = next_d1;
+        d2 = next_d2;
+        if collect_boards {
+            history = next_history;
+        }
+        if cols.is_empty() {
+            break; // no viable placements remain
+        }
+    }
+
+    let count = cols.len();
+    let boards = if collect_boards && count > 0 {
+        (0..count)
+            .map(|s| history.iter().map(|h| h.get(s) as u8).collect())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Solutions { count, boards }
+}
+
+/// Scalar backtracking baseline with scalar cost charges.
+pub fn scalar_solve(m: &mut Machine, n: usize) -> Solutions {
+    fn go(m: &mut Machine, n: usize, cols: Word, d1: Word, d2: Word, count: &mut usize) {
+        m.s_cmp(1);
+        if (cols as u64).count_ones() as usize == n {
+            *count += 1;
+            return;
+        }
+        for c in 0..n {
+            let bit: Word = 1 << c;
+            m.s_alu(3);
+            m.s_cmp(1);
+            m.s_branch(1);
+            if (cols | d1 | d2) & bit == 0 {
+                go(m, n, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1, count);
+            }
+        }
+    }
+    let mut count = 0;
+    if n == 0 {
+        count = 1;
+    } else {
+        go(m, n, 0, 0, 0, &mut count);
+    }
+    Solutions { count, boards: Vec::new() }
+}
+
+/// Validates one board: `board[row]` is the queen's column; checks columns
+/// and both diagonal families are pairwise distinct.
+pub fn is_valid_board(board: &[u8]) -> bool {
+    let n = board.len();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (ci, cj) = (board[i] as i64, board[j] as i64);
+            let dr = (j - i) as i64;
+            if ci == cj || (ci - cj).abs() == dr {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::CostModel;
+
+    fn machine() -> Machine {
+        Machine::new(CostModel::unit())
+    }
+
+    #[test]
+    fn known_counts_up_to_nine() {
+        for (n, &expect) in KNOWN_COUNTS.iter().enumerate().take(10) {
+            let mut m = machine();
+            let got = vector_solve(&mut m, n, false);
+            assert_eq!(got.count, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scalar_agrees_with_vector() {
+        for n in 0..=8usize {
+            let mut ms = machine();
+            let mut mv = machine();
+            assert_eq!(
+                scalar_solve(&mut ms, n).count,
+                vector_solve(&mut mv, n, false).count,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn eight_queens_boards_are_valid_and_distinct() {
+        let mut m = machine();
+        let s = vector_solve(&mut m, 8, true);
+        assert_eq!(s.count, 92);
+        assert_eq!(s.boards.len(), 92);
+        for b in &s.boards {
+            assert_eq!(b.len(), 8);
+            assert!(is_valid_board(b), "{b:?}");
+        }
+        let unique: std::collections::HashSet<_> = s.boards.iter().collect();
+        assert_eq!(unique.len(), 92);
+    }
+
+    #[test]
+    fn unsolvable_sizes_report_zero() {
+        let mut m = machine();
+        assert_eq!(vector_solve(&mut m, 2, true).count, 0);
+        assert_eq!(vector_solve(&mut m, 3, false).count, 0);
+    }
+
+    #[test]
+    fn board_validator_rejects_attacks() {
+        assert!(is_valid_board(&[1, 3, 0, 2]));
+        assert!(!is_valid_board(&[0, 0]));
+        assert!(!is_valid_board(&[0, 1])); // diagonal
+        assert!(is_valid_board(&[]));
+    }
+
+    #[test]
+    fn independent_work_vectorizes_well() {
+        // SIVP's promise: no conflicts, so the modelled speedup is large
+        // once the frontier is long.
+        let mut ms = Machine::new(CostModel::s810());
+        let _ = scalar_solve(&mut ms, 8);
+        let scalar = ms.stats().cycles();
+        let mut mv = Machine::new(CostModel::s810());
+        let _ = vector_solve(&mut mv, 8, false);
+        let vector = mv.stats().cycles();
+        assert!(
+            vector * 3 < scalar,
+            "expected >3x modelled speedup: scalar {scalar}, vector {vector}"
+        );
+    }
+}

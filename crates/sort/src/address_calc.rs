@@ -1,0 +1,349 @@
+//! Address-calculation sorting (linear probing sort) — Figs 11–13.
+//!
+//! Items are scattered into a work array `C` of `3n` slots by the
+//! order-preserving "hash" `h(x) = floor(2n·x / vmax)`; a colliding item
+//! probes forward past smaller-or-equal values, displaces the first larger
+//! one, and the displaced run shifts right. Packing the non-empty slots of
+//! `C` yields the sorted array.
+//!
+//! The vectorized form (Fig 12) handles the two collision types:
+//!
+//! * *first type* — against values already stored: part B advances the
+//!   probe vector with masked adds until every element faces a slot holding
+//!   a strictly larger value (or `unentered`);
+//! * *second type* — between elements inserted this iteration: part C is an
+//!   FOL1 round with **negated-index labels** (`-1, -2, …, -nrest`), chosen
+//!   because they cannot collide with data values (non-negative) or with
+//!   `unentered` (= `vmax`).
+//!
+//! Part D shifts all displaced runs *in lock-step*: every active chain
+//! advances exactly one slot per step, and chains start at pairwise distinct
+//! slots, so no two chains ever write the same slot on the same step — the
+//! invariant that lets the shift phase run without conflict detection.
+
+use crate::validate_range;
+use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
+
+/// Probes and shifts statistics from a sort run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SortReport {
+    /// Outer FOL iterations (vectorized) — 1 when no second-type collisions.
+    pub iterations: usize,
+    /// Lock-step shift steps executed (vectorized) / shift moves (scalar).
+    pub shift_steps: usize,
+}
+
+/// The work array size the paper uses (`C[0 : 3n-1]`).
+pub fn work_size(n: usize) -> usize {
+    3 * n
+}
+
+#[inline]
+fn hash(x: Word, n: usize, vmax: Word) -> Word {
+    // int(float(2 * n * x) / vmax): values land in [0, 2n).
+    2 * n as Word * x / vmax
+}
+
+/// Scalar linear probing sort (Fig 11): sorts `a` in place on the machine,
+/// charging scalar costs. `vmax` doubles as the `unentered` sentinel.
+pub fn scalar_sort(m: &mut Machine, a: Region, vmax: Word) -> SortReport {
+    let n = a.len();
+    let data_check = m.mem().read_region(a);
+    validate_range(&data_check, vmax);
+    if n == 0 {
+        return SortReport::default();
+    }
+    let c = m.alloc(work_size(n), "addr_calc.C");
+    let unentered = vmax;
+    // Initialize C := unentered (streaming loop; branches amortized 8x).
+    for i in 0..c.len() {
+        m.s_write_seq(c.at(i), unentered);
+    }
+    m.s_branch(c.len().div_ceil(8) as u64);
+
+    let mut shifts = 0usize;
+    for i in 0..n {
+        let v = m.s_read_seq(a.at(i));
+        m.s_alu(2); // multiply + divide of the hash
+        let mut hv = hash(v, n, vmax);
+        // B: probe past smaller-or-equal stored values.
+        loop {
+            let cv = m.s_read(c.at(hv as usize));
+            m.s_cmp(1);
+            m.s_branch(1);
+            if cv > v {
+                break;
+            }
+            m.s_alu(1);
+            hv += 1;
+        }
+        // C & D: insert and shift the displaced run right.
+        let mut w = m.s_read(c.at(hv as usize));
+        m.s_write(c.at(hv as usize), v);
+        while w != unentered {
+            m.s_cmp(1);
+            m.s_branch(1);
+            m.s_alu(1);
+            hv += 1;
+            let x = m.s_read(c.at(hv as usize));
+            m.s_write(c.at(hv as usize), w);
+            w = x;
+            shifts += 1;
+        }
+        m.s_cmp(1); // final w = unentered test
+        m.s_branch(1);
+    }
+
+    // F: pack the non-empty slots back into `a` (streaming).
+    let mut count = 0usize;
+    for i in 0..c.len() {
+        let cv = m.s_read_seq(c.at(i));
+        m.s_cmp(1);
+        if cv != unentered {
+            m.s_write_seq(a.at(count), cv);
+            count += 1;
+        }
+    }
+    m.s_branch(c.len().div_ceil(8) as u64);
+    assert_eq!(count, n, "packing must recover every element");
+    SortReport { iterations: 0, shift_steps: shifts }
+}
+
+/// Vectorized linear probing sort (Fig 12, parts A–F): sorts `a` in place.
+///
+/// ```
+/// use fol_vm::{Machine, CostModel};
+/// use fol_sort::address_calc::vectorized_sort;
+///
+/// let mut m = Machine::new(CostModel::s810());
+/// let a = m.alloc(4, "A");
+/// m.mem_mut().write_region(a, &[38, 11, 42, 39]); // Fig 13's input
+/// vectorized_sort(&mut m, a, 100);
+/// assert_eq!(m.mem().read_region(a), vec![11, 38, 39, 42]);
+/// ```
+pub fn vectorized_sort(m: &mut Machine, a: Region, vmax: Word) -> SortReport {
+    let n = a.len();
+    let data_check = m.mem().read_region(a);
+    validate_range(&data_check, vmax);
+    if n == 0 {
+        return SortReport::default();
+    }
+    let c = m.alloc(work_size(n), "addr_calc.C");
+    let unentered = vmax;
+    m.vfill(c, unentered);
+
+    // A: hashed values.
+    let mut av = m.vload(a, 0, n);
+    let scaled = m.valu_s(AluOp::Mul, &av, 2 * n as Word);
+    let mut hv = m.valu_s(AluOp::Div, &scaled, vmax);
+
+    let mut iterations = 0usize;
+    let mut shift_steps = 0usize;
+
+    loop {
+        iterations += 1;
+        let nrest = av.len();
+
+        // B: advance probes past stored values <= A (first collision type).
+        loop {
+            let cv = m.gather(c, &hv);
+            let uninsertable = m.vcmp(CmpOp::Le, &cv, &av);
+            let cnt = m.count_true(&uninsertable);
+            if cnt == 0 {
+                break;
+            }
+            let ones = m.vsplat(1, nrest);
+            hv = m.valu_masked(AluOp::Add, &hv, &ones, &uninsertable);
+        }
+
+        // C: save displaced values, insert via negated-index labels
+        // (second collision type, FOL overwrite-and-check).
+        let work = m.gather(c, &hv);
+        let pos = m.iota(1, nrest);
+        let neg_ids = m.valu_s(AluOp::Mul, &pos, -1); // -1, -2, …, -nrest
+        m.scatter(c, &hv, &neg_ids);
+        let readback = m.gather(c, &hv);
+        let entered = m.vcmp(CmpOp::Eq, &readback, &neg_ids);
+        m.scatter_masked(c, &hv, &av, &entered);
+
+        // D: shift displaced runs in lock-step (successfully inserted only).
+        let displaced = m.vcmp_s(CmpOp::Ne, &work, unentered);
+        let to_shift = m.mask_and(&entered, &displaced);
+        let mut workv = m.compress(&work, &to_shift);
+        let mut index = m.compress(&hv, &to_shift);
+        index = m.valu_s(AluOp::Add, &index, 1);
+        while !workv.is_empty() {
+            shift_steps += 1;
+            let next = m.gather(c, &index);
+            m.scatter(c, &index, &workv);
+            let nonempty = m.vcmp_s(CmpOp::Ne, &next, unentered);
+            workv = m.compress(&next, &nonempty);
+            index = m.compress(&index, &nonempty);
+            index = m.valu_s(AluOp::Add, &index, 1);
+        }
+
+        // E: collect the elements that failed the label check and retry.
+        let not_entered = m.mask_not(&entered);
+        hv = m.compress(&hv, &not_entered);
+        av = m.compress(&av, &not_entered);
+        if av.is_empty() {
+            break;
+        }
+    }
+
+    // F: pack the sorted data back into `a`.
+    let cv = m.vload(c, 0, c.len());
+    let filled = m.vcmp_s(CmpOp::Ne, &cv, unentered);
+    let sorted = m.compress(&cv, &filled);
+    assert_eq!(sorted.len(), n, "packing must recover every element");
+    m.vstore(a, 0, &sorted);
+    SortReport { iterations, shift_steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_sorted;
+    use fol_vm::{ConflictPolicy, CostModel};
+
+    fn sort_with<F>(data: &[Word], vmax: Word, f: F) -> Vec<Word>
+    where
+        F: FnOnce(&mut Machine, Region, Word) -> SortReport,
+    {
+        let mut m = Machine::new(CostModel::unit());
+        let a = m.alloc(data.len(), "A");
+        m.mem_mut().write_region(a, data);
+        let _ = f(&mut m, a, vmax);
+        m.mem().read_region(a)
+    }
+
+    #[test]
+    fn fig13_example_scalar() {
+        // Fig 13: A = [38, 11, 42, 39], range [0, 100).
+        let out = sort_with(&[38, 11, 42, 39], 100, scalar_sort);
+        assert_eq!(out, vec![11, 38, 39, 42]);
+    }
+
+    #[test]
+    fn fig13_example_vectorized() {
+        let out = sort_with(&[38, 11, 42, 39], 100, vectorized_sort);
+        assert_eq!(out, vec![11, 38, 39, 42]);
+    }
+
+    #[test]
+    fn fig13_hash_values() {
+        // The figure: hash(38)=3, hash(11)=0, hash(42)=3, hash(39)=3
+        // with n=4, vmax=100 (hash = 8x/100).
+        assert_eq!(hash(38, 4, 100), 3);
+        assert_eq!(hash(11, 4, 100), 0);
+        assert_eq!(hash(42, 4, 100), 3);
+        assert_eq!(hash(39, 4, 100), 3);
+    }
+
+    #[test]
+    fn duplicates_sort_correctly() {
+        let data = [7, 7, 7, 3, 3, 99, 0, 7];
+        let mut expect = data.to_vec();
+        expect.sort_unstable();
+        assert_eq!(sort_with(&data, 100, scalar_sort), expect);
+        assert_eq!(sort_with(&data, 100, vectorized_sort), expect);
+    }
+
+    #[test]
+    fn all_equal_values() {
+        let data = [5; 9];
+        assert_eq!(sort_with(&data, 10, vectorized_sort), vec![5; 9]);
+        assert_eq!(sort_with(&data, 10, scalar_sort), vec![5; 9]);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let fwd: Vec<Word> = (0..50).map(|i| i * 2).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        assert_eq!(sort_with(&fwd, 100, vectorized_sort), fwd);
+        assert_eq!(sort_with(&rev, 100, vectorized_sort), fwd);
+    }
+
+    #[test]
+    fn single_and_empty() {
+        assert_eq!(sort_with(&[3], 10, vectorized_sort), vec![3]);
+        assert_eq!(sort_with(&[], 10, vectorized_sort), Vec::<Word>::new());
+        assert_eq!(sort_with(&[3], 10, scalar_sort), vec![3]);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let data = [0, 99, 0, 99, 50];
+        let mut expect = data.to_vec();
+        expect.sort_unstable();
+        assert_eq!(sort_with(&data, 100, vectorized_sort), expect);
+    }
+
+    #[test]
+    fn random_inputs_match_std_sort_all_policies() {
+        let mut seed = 0x12345u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as Word
+        };
+        for policy in [
+            ConflictPolicy::FirstWins,
+            ConflictPolicy::LastWins,
+            ConflictPolicy::Arbitrary(77),
+        ] {
+            let data: Vec<Word> = (0..257).map(|_| next() % 1000).collect();
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+            let a = m.alloc(data.len(), "A");
+            m.mem_mut().write_region(a, &data);
+            let r = vectorized_sort(&mut m, a, 1000);
+            assert_eq!(m.mem().read_region(a), expect, "{policy:?}");
+            assert!(r.iterations >= 1);
+        }
+    }
+
+    #[test]
+    fn no_duplicates_single_iteration_when_spread() {
+        // Well-spread distinct values, fewer than half the hash range:
+        // no second-type collisions, so exactly one FOL iteration.
+        let data: Vec<Word> = (0..8).map(|i| i * 12 + 1).collect();
+        let mut m = Machine::new(CostModel::unit());
+        let a = m.alloc(data.len(), "A");
+        m.mem_mut().write_region(a, &data);
+        let r = vectorized_sort(&mut m, a, 100);
+        assert_eq!(r.iterations, 1);
+        assert!(is_sorted(&m.mem().read_region(a)));
+    }
+
+    #[test]
+    fn modelled_speedup_grows_with_n() {
+        // Table 1's trend: acceleration grows with N.
+        let accel = |n: usize| -> f64 {
+            let mut seed = n as u64 * 77 + 1;
+            let mut next = move || {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+                ((seed >> 33) % 100_000) as Word
+            };
+            let data: Vec<Word> = (0..n).map(|_| next()).collect();
+            let mut ms = Machine::new(CostModel::s810());
+            let a = ms.alloc(n, "A");
+            ms.mem_mut().write_region(a, &data);
+            ms.reset_stats();
+            let _ = scalar_sort(&mut ms, a, 100_000);
+            let sc = ms.stats().cycles() as f64;
+
+            let mut mv = Machine::new(CostModel::s810());
+            let av = mv.alloc(n, "A");
+            mv.mem_mut().write_region(av, &data);
+            mv.reset_stats();
+            let _ = vectorized_sort(&mut mv, av, 100_000);
+            sc / mv.stats().cycles() as f64
+        };
+        let small = accel(64);
+        let large = accel(4096);
+        assert!(large > small, "acceleration must grow with N: {small:.2} vs {large:.2}");
+        assert!(large > 3.0, "large-N acceleration should be substantial, got {large:.2}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Plain-Rust versions of both sorts, for wall-clock benchmarking and
+//! differential testing against the machine implementations.
+
+use fol_vm::Word;
+
+/// Host linear probing sort (the Fig 11 control flow on slices).
+///
+/// # Panics
+/// Panics when a value falls outside `[0, vmax)`.
+pub fn address_calc_sort(a: &mut [Word], vmax: Word) {
+    let n = a.len();
+    if n == 0 {
+        return;
+    }
+    assert!(a.iter().all(|&x| (0..vmax).contains(&x)), "data out of range");
+    let unentered = vmax;
+    let mut c = vec![unentered; 3 * n];
+    for &v in a.iter() {
+        let mut hv = (2 * n as Word * v / vmax) as usize;
+        while c[hv] <= v {
+            hv += 1;
+        }
+        let mut w = c[hv];
+        c[hv] = v;
+        while w != unentered {
+            hv += 1;
+            std::mem::swap(&mut c[hv], &mut w);
+        }
+    }
+    let mut count = 0;
+    for &cv in &c {
+        if cv != unentered {
+            a[count] = cv;
+            count += 1;
+        }
+    }
+    debug_assert_eq!(count, n);
+}
+
+/// Host distribution counting sort for keys in `[0, range)`.
+///
+/// # Panics
+/// Panics when a key falls outside the range.
+pub fn dist_count_sort(a: &mut [Word], range: usize) {
+    assert!(a.iter().all(|&x| x >= 0 && (x as usize) < range), "key out of range");
+    let mut count = vec![0usize; range];
+    for &v in a.iter() {
+        count[v as usize] += 1;
+    }
+    let mut pos = 0;
+    for (v, &c) in count.iter().enumerate() {
+        for _ in 0..c {
+            a[pos] = v as Word;
+            pos += 1;
+        }
+    }
+}
+
+/// Host *batch* linear probing sort mirroring the Fig 12 control flow
+/// (vector semantics simulated with plain loops; used to measure the
+/// algorithmic overhead FOL adds on real hardware).
+pub fn address_calc_sort_batch(a: &mut [Word], vmax: Word) {
+    let n = a.len();
+    if n == 0 {
+        return;
+    }
+    assert!(a.iter().all(|&x| (0..vmax).contains(&x)), "data out of range");
+    let unentered = vmax;
+    let mut c = vec![unentered; 3 * n];
+    let mut av: Vec<Word> = a.to_vec();
+    let mut hv: Vec<usize> =
+        av.iter().map(|&x| (2 * n as Word * x / vmax) as usize).collect();
+
+    while !av.is_empty() {
+        // B: advance probes.
+        loop {
+            let mut any = false;
+            for (h, &v) in hv.iter_mut().zip(&av) {
+                if c[*h] <= v {
+                    *h += 1;
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        // C: labels, detection, insertion.
+        let work: Vec<Word> = hv.iter().map(|&h| c[h]).collect();
+        for (i, &h) in hv.iter().enumerate() {
+            c[h] = -(i as Word + 1);
+        }
+        let entered: Vec<bool> =
+            hv.iter().enumerate().map(|(i, &h)| c[h] == -(i as Word + 1)).collect();
+        for ((&h, &v), &e) in hv.iter().zip(&av).zip(&entered) {
+            if e {
+                c[h] = v;
+            }
+        }
+        // D: lock-step shifting.
+        let mut workv: Vec<Word> = Vec::new();
+        let mut index: Vec<usize> = Vec::new();
+        for ((&h, &w), &e) in hv.iter().zip(&work).zip(&entered) {
+            if e && w != unentered {
+                workv.push(w);
+                index.push(h + 1);
+            }
+        }
+        while !workv.is_empty() {
+            let next: Vec<Word> = index.iter().map(|&i| c[i]).collect();
+            for (&i, &w) in index.iter().zip(&workv) {
+                c[i] = w;
+            }
+            let mut nw = Vec::new();
+            let mut ni = Vec::new();
+            for (&nx, &i) in next.iter().zip(&index) {
+                if nx != unentered {
+                    nw.push(nx);
+                    ni.push(i + 1);
+                }
+            }
+            workv = nw;
+            index = ni;
+        }
+        // E: retry failures.
+        let mut na = Vec::new();
+        let mut nh = Vec::new();
+        for ((&v, &h), &e) in av.iter().zip(&hv).zip(&entered) {
+            if !e {
+                na.push(v);
+                nh.push(h);
+            }
+        }
+        av = na;
+        hv = nh;
+    }
+    // F: pack.
+    let mut count = 0;
+    for &cv in &c {
+        if cv != unentered {
+            a[count] = cv;
+            count += 1;
+        }
+    }
+    debug_assert_eq!(count, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: &mut u64, m: Word) -> Word {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((*seed >> 33) as Word).rem_euclid(m)
+    }
+
+    #[test]
+    fn address_calc_matches_std() {
+        let mut seed = 7;
+        let mut data: Vec<Word> = (0..500).map(|_| lcg(&mut seed, 10_000)).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        address_calc_sort(&mut data, 10_000);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn address_calc_batch_matches_std() {
+        let mut seed = 13;
+        let mut data: Vec<Word> = (0..500).map(|_| lcg(&mut seed, 997)).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        address_calc_sort_batch(&mut data, 997);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn dist_count_matches_std() {
+        let mut seed = 23;
+        let mut data: Vec<Word> = (0..1000).map(|_| lcg(&mut seed, 256)).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        dist_count_sort(&mut data, 256);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn edge_cases() {
+        let mut empty: Vec<Word> = vec![];
+        address_calc_sort(&mut empty, 10);
+        address_calc_sort_batch(&mut empty, 10);
+        dist_count_sort(&mut empty, 10);
+        assert!(empty.is_empty());
+
+        let mut one = vec![3];
+        address_calc_sort(&mut one, 10);
+        assert_eq!(one, vec![3]);
+
+        let mut dup = vec![5, 5, 5];
+        address_calc_sort_batch(&mut dup, 10);
+        assert_eq!(dup, vec![5, 5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn range_violation_panics() {
+        let mut data = vec![10];
+        address_calc_sort(&mut data, 10);
+    }
+}

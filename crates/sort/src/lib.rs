@@ -1,0 +1,75 @@
+//! # fol-sort — the paper's O(N) sorting algorithms, scalar and vectorized
+//!
+//! §4.2 of the paper applies the FOL technique to two linear-time sorts:
+//!
+//! * [`address_calc`] — **address-calculation sorting** (the linear probing
+//!   sort of Gonnet/Flores): data are "hashed" by an order-preserving
+//!   function into a work array `C` of `3n` slots, colliding items probe
+//!   forward and shift larger items right, and the sorted result is packed
+//!   out of `C`. The scalar form is the paper's Fig 11; the vectorized form
+//!   (Fig 12, parts A–F) resolves the two collision types with negated-index
+//!   labels — an FOL1 specialization — and performs the shift phase with
+//!   lock-step list-vector operations.
+//! * [`dist_count`] — **distribution counting sort**: histogram, cumulative
+//!   sum, permute. The paper omits the vectorized listing (it uses the same
+//!   overwrite-and-check technique); ours vectorizes the histogram and the
+//!   permutation with FOL rounds and the cumulative step with the machine's
+//!   first-order-recurrence instruction.
+//!
+//! [`radix`] extends the family: a stable LSD radix sort whose per-digit
+//! passes are ordered-FOL distribution passes — the "several sorting
+//! algorithms" direction of Kanada's PARBASE-90 paper.
+//!
+//! Both algorithms come as a scalar baseline and a vectorized form on the
+//! simulated machine (reproducing Table 1's acceleration ratios in modelled
+//! cycles), plus plain-Rust [`host`] versions for wall-clock benchmarking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address_calc;
+pub mod dist_count;
+pub mod host;
+pub mod radix;
+
+use fol_vm::Word;
+
+/// Checks the values are inside `[0, vmax)` — both sorts' precondition
+/// (the paper: "the element values should be in [0, Vmax)").
+pub(crate) fn validate_range(data: &[Word], vmax: Word) {
+    assert!(vmax > 0, "vmax must be positive");
+    assert!(
+        data.iter().all(|&x| (0..vmax).contains(&x)),
+        "data out of range [0, {vmax})"
+    );
+}
+
+/// True when `a` is sorted ascending (test helper used across the crate).
+pub fn is_sorted(a: &[Word]) -> bool {
+    a.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_sorted_works() {
+        assert!(is_sorted(&[]));
+        assert!(is_sorted(&[1]));
+        assert!(is_sorted(&[1, 1, 2]));
+        assert!(!is_sorted(&[2, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn range_check_rejects() {
+        validate_range(&[5], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn range_check_rejects_negative() {
+        validate_range(&[-1], 5);
+    }
+}

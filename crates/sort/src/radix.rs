@@ -1,0 +1,242 @@
+//! LSD radix sort built from the overwrite-and-check distribution pass.
+//!
+//! The paper's PARBASE-90 predecessor applies the overwrite-and-check
+//! technique "to several sorting algorithms"; least-significant-digit radix
+//! sort is the natural composition: each digit pass is a *stable*
+//! distribution counting pass over a small radix. Stability across FOL
+//! rounds requires the order-preserving decomposition
+//! ([`fol_core::ordered`]): within one digit value, earlier elements must
+//! claim earlier output slots, so each round takes the current head of
+//! every digit's slot counter in original element order.
+//!
+//! The vectorized pass therefore differs from
+//! [`crate::dist_count::vectorized_sort`] in two ways: counters start at
+//! *exclusive prefix* positions and count **up**, and the FOL rounds come
+//! from `fol1_machine_ordered`.
+
+use crate::validate_range;
+use fol_vm::{AluOp, Machine, Region, VReg, Word};
+
+/// Number of digit passes for `bits`-bit keys at the given radix-bit width.
+fn passes(bits: u32, radix_bits: u32) -> u32 {
+    bits.div_ceil(radix_bits)
+}
+
+/// Scalar LSD radix sort of `a` (keys in `[0, 2^bits)`), `radix_bits` per
+/// pass, charging scalar costs.
+pub fn scalar_sort(m: &mut Machine, a: Region, bits: u32, radix_bits: u32) -> u32 {
+    assert!((1..=16).contains(&radix_bits), "radix width out of range");
+    let n = a.len();
+    let data_check = m.mem().read_region(a);
+    validate_range(&data_check, 1 << bits);
+    let radix = 1usize << radix_bits;
+    let count = m.alloc(radix, "radix.count");
+    let out = m.alloc(n, "radix.out");
+    let np = passes(bits, radix_bits);
+
+    for pass in 0..np {
+        let shift = pass * radix_bits;
+        // Zero the counters (streaming).
+        for i in 0..radix {
+            m.s_write_seq(count.at(i), 0);
+        }
+        m.s_branch(radix.div_ceil(8) as u64);
+        // Histogram.
+        for j in 0..n {
+            let v = m.s_read_seq(a.at(j));
+            let d = ((v >> shift) & (radix as Word - 1)) as usize;
+            m.s_alu(2);
+            let c = m.s_read(count.at(d));
+            m.s_write(count.at(d), c + 1);
+            m.s_alu(1);
+            m.s_branch(1);
+        }
+        // Exclusive prefix.
+        let mut acc: Word = 0;
+        for i in 0..radix {
+            let c = m.s_read_seq(count.at(i));
+            m.s_write_seq(count.at(i), acc);
+            m.s_alu(1);
+            acc += c;
+        }
+        m.s_branch(radix.div_ceil(8) as u64);
+        // Stable scatter (forward scan).
+        for j in 0..n {
+            let v = m.s_read_seq(a.at(j));
+            let d = ((v >> shift) & (radix as Word - 1)) as usize;
+            m.s_alu(2);
+            let pos = m.s_read(count.at(d));
+            m.s_write(count.at(d), pos + 1);
+            m.s_alu(1);
+            m.s_write(out.at(pos as usize), v);
+            m.s_branch(1);
+        }
+        // Copy back (streaming).
+        for j in 0..n {
+            let v = m.s_read_seq(out.at(j));
+            m.s_write_seq(a.at(j), v);
+        }
+        m.s_branch(n.div_ceil(8) as u64);
+    }
+    np
+}
+
+/// Vectorized LSD radix sort: per digit pass, an ordered-FOL histogram, an
+/// exclusive prefix via the recurrence instruction, and ordered-FOL stable
+/// placement. Returns the number of passes.
+pub fn vectorized_sort(m: &mut Machine, a: Region, bits: u32, radix_bits: u32) -> u32 {
+    assert!((1..=16).contains(&radix_bits), "radix width out of range");
+    let n = a.len();
+    let data_check = m.mem().read_region(a);
+    validate_range(&data_check, 1 << bits);
+    let radix = 1usize << radix_bits;
+    let count = m.alloc(radix, "radix.count");
+    let work = m.alloc(radix, "radix.work");
+    let out = m.alloc(n, "radix.out");
+    let np = passes(bits, radix_bits);
+    if n == 0 {
+        return np;
+    }
+
+    for pass in 0..np {
+        let shift = pass * radix_bits;
+        m.vfill(count, 0);
+        let av = m.vload(a, 0, n);
+        let shifted = m.valu_s(AluOp::Shr, &av, shift as Word);
+        let digits = m.valu_s(AluOp::And, &shifted, radix as Word - 1);
+
+        // Ordered decomposition of the digit vector: round k holds the k-th
+        // occurrence of every digit in element order — the stability key.
+        let digit_words: Vec<Word> = digits.iter().collect();
+        let d = fol_core::ordered::fol1_machine_ordered(m, work, &digit_words);
+
+        // Histogram via the same rounds (any order works for counting, and
+        // reusing one decomposition halves the FOL cost of the pass).
+        for round in d.iter() {
+            let dg: VReg = round.iter().map(|&p| digits.get(p)).collect();
+            let c = m.gather(count, &dg);
+            let c = m.valu_s(AluOp::Add, &c, 1);
+            m.scatter(count, &dg, &c);
+        }
+
+        // Exclusive prefix: inclusive recurrence minus the counts.
+        let counts_v = m.vload(count, 0, radix);
+        let inclusive = m.vprefix_sum(&counts_v);
+        let exclusive = m.valu(AluOp::Sub, &inclusive, &counts_v);
+        m.vstore(count, 0, &exclusive);
+
+        // Stable placement: round k's elements take the current slot of
+        // their digit and bump it — ordered rounds give first-come
+        // first-slot, i.e. stability.
+        for round in d.iter() {
+            let dg: VReg = round.iter().map(|&p| digits.get(p)).collect();
+            let vals: VReg = round.iter().map(|&p| av.get(p)).collect();
+            let pos = m.gather(count, &dg);
+            m.scatter(out, &pos, &vals);
+            let bumped = m.valu_s(AluOp::Add, &pos, 1);
+            m.scatter(count, &dg, &bumped);
+        }
+
+        let sorted = m.vload(out, 0, n);
+        m.vstore(a, 0, &sorted);
+        // Keep the loop honest: after the final pass the array is sorted by
+        // the low `bits` processed so far.
+        debug_assert!({
+            let probe = m.mem().read_region(a);
+            let mask = if shift + radix_bits >= 63 {
+                Word::MAX
+            } else {
+                (1 << (shift + radix_bits)) - 1
+            };
+            probe.windows(2).all(|w| (w[0] & mask) <= (w[1] & mask))
+        });
+        let _ = shift;
+    }
+    np
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::{ConflictPolicy, CostModel};
+
+    fn sort_with<F>(data: &[Word], bits: u32, radix_bits: u32, f: F) -> Vec<Word>
+    where
+        F: FnOnce(&mut Machine, Region, u32, u32) -> u32,
+    {
+        let mut m = Machine::new(CostModel::unit());
+        let a = m.alloc(data.len(), "A");
+        m.mem_mut().write_region(a, data);
+        let _ = f(&mut m, a, bits, radix_bits);
+        m.mem().read_region(a)
+    }
+
+    #[test]
+    fn scalar_radix_sorts() {
+        let data = [170, 45, 75, 90, 802, 24, 2, 66];
+        let mut expect = data.to_vec();
+        expect.sort_unstable();
+        assert_eq!(sort_with(&data, 10, 4, scalar_sort), expect);
+    }
+
+    #[test]
+    fn vectorized_radix_sorts() {
+        let data = [170, 45, 75, 90, 802, 24, 2, 66];
+        let mut expect = data.to_vec();
+        expect.sort_unstable();
+        assert_eq!(sort_with(&data, 10, 4, vectorized_sort), expect);
+    }
+
+    #[test]
+    fn random_inputs_all_policies_and_radices() {
+        let mut seed = 31u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+            ((seed >> 33) % 4096) as Word
+        };
+        let data: Vec<Word> = (0..400).map(|_| next()).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for radix_bits in [1u32, 4, 8] {
+            for policy in [
+                ConflictPolicy::FirstWins,
+                ConflictPolicy::LastWins,
+                ConflictPolicy::Arbitrary(12),
+            ] {
+                let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+                let a = m.alloc(data.len(), "A");
+                m.mem_mut().write_region(a, &data);
+                let _ = vectorized_sort(&mut m, a, 12, radix_bits);
+                assert_eq!(
+                    m.mem().read_region(a),
+                    expect,
+                    "radix_bits={radix_bits} {policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pass_count() {
+        assert_eq!(passes(12, 4), 3);
+        assert_eq!(passes(12, 8), 2);
+        assert_eq!(passes(1, 8), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(sort_with(&[], 8, 4, vectorized_sort), Vec::<Word>::new());
+        assert_eq!(sort_with(&[3], 8, 4, vectorized_sort), vec![3]);
+    }
+
+    #[test]
+    fn all_duplicates() {
+        assert_eq!(sort_with(&[7; 20], 8, 4, vectorized_sort), vec![7; 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "radix width out of range")]
+    fn zero_radix_panics() {
+        let _ = sort_with(&[1], 8, 0, vectorized_sort);
+    }
+}

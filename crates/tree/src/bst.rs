@@ -1,0 +1,426 @@
+//! Multiple insertion into an (unbalanced) binary search tree — §4.3.
+//!
+//! ## Memory layout
+//!
+//! A `keys` region holds node keys; a `links` region holds the root slot at
+//! offset 0 followed by each node's two child slots (`left(i) = 1 + 2i`,
+//! `right(i) = 2 + 2i`), so *every insertion point in the tree is a single
+//! word in `links`* — which is exactly what FOL needs as a work area.
+//!
+//! ## The vectorized algorithm
+//!
+//! Every pending key tracks `cur`, the `links` slot it must descend through.
+//! One vector iteration:
+//!
+//! 1. gather the slots; keys whose slot holds a node index descend (gather
+//!    that node's key, compare, pick the left or right child slot);
+//! 2. keys whose slot is [`NIL`] attempt insertion: scatter subscript labels
+//!    into the slots, gather back, and winners scatter their node index into
+//!    the slot — the slot-as-work-area sharing is safe because the winner
+//!    (the only element whose label survived) immediately overwrites the
+//!    label with the real pointer;
+//! 3. losers keep their `cur` and next iteration descend through the node
+//!    the winner just linked.
+//!
+//! Duplicate keys descend to the right (`key >= node key`), matching the
+//! scalar baseline.
+
+use crate::NIL;
+use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
+
+/// A binary search tree in machine memory.
+#[derive(Clone, Copy, Debug)]
+pub struct Bst {
+    /// Node keys (`keys[i]` is node `i`'s key).
+    pub keys: Region,
+    /// Root slot at offset 0, then `left(i) = 1 + 2i`, `right(i) = 2 + 2i`.
+    pub links: Region,
+    /// Nodes allocated so far.
+    pub used: usize,
+}
+
+impl Bst {
+    /// Allocates an empty tree with room for `capacity` nodes.
+    pub fn alloc(m: &mut Machine, capacity: usize) -> Self {
+        let keys = m.alloc(capacity, "bst.keys");
+        let links = m.alloc(1 + 2 * capacity, "bst.links");
+        m.vfill(links, NIL);
+        Bst { keys, links, used: 0 }
+    }
+
+    fn reserve(&mut self, n: usize) -> usize {
+        let first = self.used;
+        assert!(
+            first + n <= self.keys.len(),
+            "bst arena exhausted: need {n}, used {first}, capacity {}",
+            self.keys.len()
+        );
+        self.used += n;
+        first
+    }
+
+    /// In-order key traversal (diagnostic, no cycles charged).
+    pub fn inorder(&self, m: &Machine) -> Vec<Word> {
+        let mut out = Vec::with_capacity(self.used);
+        let mut stack = Vec::new();
+        let mut cur = m.mem().read(self.links.at(0));
+        loop {
+            while cur != NIL {
+                stack.push(cur);
+                cur = m.mem().read(self.links.at(1 + 2 * cur as usize));
+            }
+            let Some(node) = stack.pop() else { break };
+            out.push(m.mem().read(self.keys.at(node as usize)));
+            cur = m.mem().read(self.links.at(2 + 2 * node as usize));
+            assert!(out.len() <= self.used, "cycle in BST");
+        }
+        out
+    }
+
+    /// True when `key` is present (diagnostic walk).
+    pub fn contains(&self, m: &Machine, key: Word) -> bool {
+        let mut cur = m.mem().read(self.links.at(0));
+        let mut steps = 0;
+        while cur != NIL {
+            assert!(steps <= self.used, "cycle in BST");
+            let k = m.mem().read(self.keys.at(cur as usize));
+            if k == key {
+                return true;
+            }
+            let slot = if key < k { 1 + 2 * cur as usize } else { 2 + 2 * cur as usize };
+            cur = m.mem().read(self.links.at(slot));
+            steps += 1;
+        }
+        false
+    }
+
+    /// Height of the tree (diagnostic; empty tree has height 0).
+    pub fn height(&self, m: &Machine) -> usize {
+        fn depth(m: &Machine, t: &Bst, node: Word) -> usize {
+            if node == NIL {
+                return 0;
+            }
+            let l = depth(m, t, m.mem().read(t.links.at(1 + 2 * node as usize)));
+            let r = depth(m, t, m.mem().read(t.links.at(2 + 2 * node as usize)));
+            1 + l.max(r)
+        }
+        depth(m, self, m.mem().read(self.links.at(0)))
+    }
+}
+
+/// Scalar baseline: insert each key by a sequential root-to-leaf descent.
+pub fn scalar_insert_all(m: &mut Machine, tree: &mut Bst, keys: &[Word]) {
+    let first = tree.reserve(keys.len());
+    for (i, &key) in keys.iter().enumerate() {
+        let node = (first + i) as Word;
+        m.s_write(tree.keys.at(node as usize), key);
+        // Descend from the root slot.
+        let mut slot = 0usize;
+        loop {
+            let v = m.s_read(tree.links.at(slot));
+            m.s_cmp(1);
+            m.s_branch(1);
+            if v == NIL {
+                m.s_write(tree.links.at(slot), node);
+                break;
+            }
+            let k = m.s_read(tree.keys.at(v as usize));
+            m.s_cmp(1);
+            slot = if key < k { 1 + 2 * v as usize } else { 2 + 2 * v as usize };
+        }
+    }
+}
+
+/// Report from a vectorized multi-insert.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BstReport {
+    /// Lock-step vector iterations (descents + insertion attempts).
+    pub iterations: usize,
+    /// Insertion attempts that lost the FOL label check and retried.
+    pub retries: u64,
+}
+
+/// Vectorized multiple insertion (the Fig 14 experiment's subject).
+///
+/// ```
+/// use fol_vm::{Machine, CostModel};
+/// use fol_tree::bst::{Bst, vectorized_insert_all};
+///
+/// let mut m = Machine::new(CostModel::s810());
+/// let mut tree = Bst::alloc(&mut m, 8);
+/// vectorized_insert_all(&mut m, &mut tree, &[50, 20, 70, 20]);
+/// assert_eq!(tree.inorder(&m), vec![20, 20, 50, 70]);
+/// assert!(tree.contains(&m, 70));
+/// ```
+pub fn vectorized_insert_all(m: &mut Machine, tree: &mut Bst, keys: &[Word]) -> BstReport {
+    if keys.is_empty() {
+        return BstReport::default();
+    }
+    let first = tree.reserve(keys.len());
+    let n = keys.len();
+
+    // Write the new nodes' keys (conflict-free scatter).
+    let key_v = m.vimm(keys);
+    let idx = m.iota(first as Word, n);
+    m.scatter(tree.keys, &idx, &key_v);
+
+    // Pending keys: (key, node index, current links slot, label).
+    let mut keyv = key_v;
+    let mut node = idx;
+    let mut cur = m.vsplat(0, n); // everyone starts at the root slot
+    let mut label = m.iota(0, n);
+    let mut report = BstReport::default();
+
+    while !keyv.is_empty() {
+        report.iterations += 1;
+        let val = m.gather(tree.links, &cur);
+        let at_nil = m.vcmp_s(CmpOp::Eq, &val, NIL);
+        let descending = m.mask_not(&at_nil);
+
+        // --- Insertion attempts (slots at NIL) ---
+        let ins_cur = m.compress(&cur, &at_nil);
+        let ins_node = m.compress(&node, &at_nil);
+        let ins_label = m.compress(&label, &at_nil);
+        let ins_key = m.compress(&keyv, &at_nil);
+        // FOL on the slot itself: scatter labels, read back, compare. The
+        // winner's label survives and is immediately overwritten with the
+        // real node pointer, so every labelled slot ends the iteration
+        // holding a valid pointer again.
+        m.scatter(tree.links, &ins_cur, &ins_label);
+        let got = m.gather(tree.links, &ins_cur);
+        let won = m.vcmp(CmpOp::Eq, &got, &ins_label);
+        let win_cur = m.compress(&ins_cur, &won);
+        let win_node = m.compress(&ins_node, &won);
+        m.scatter(tree.links, &win_cur, &win_node);
+        report.retries += (ins_cur.len() - win_cur.len()) as u64;
+        // Losers retry the same slot next iteration (it now holds the
+        // winner's node, so they will descend through it).
+        let lost = m.mask_not(&won);
+        let lose_cur = m.compress(&ins_cur, &lost);
+        let lose_node = m.compress(&ins_node, &lost);
+        let lose_label = m.compress(&ins_label, &lost);
+        let lose_key = m.compress(&ins_key, &lost);
+
+        // --- Descent steps (slots holding a node index) ---
+        // next slot = 1 + 2*child + (key >= child key ? 1 : 0)
+        let desc_val = m.compress(&val, &descending);
+        let desc_key = m.compress(&keyv, &descending);
+        let desc_node = m.compress(&node, &descending);
+        let desc_label = m.compress(&label, &descending);
+        let child_keys = m.gather(tree.keys, &desc_val);
+        let go_right = m.vcmp(CmpOp::Ge, &desc_key, &child_keys);
+        let base = m.valu_s(AluOp::Mul, &desc_val, 2);
+        let left_slot = m.valu_s(AluOp::Add, &base, 1);
+        let right_slot = m.valu_s(AluOp::Add, &base, 2);
+        let new_cur_desc = m.select(&go_right, &right_slot, &left_slot);
+
+        // --- Merge: descending keys plus insertion losers stay pending ---
+        keyv = m.vconcat(&desc_key, &lose_key);
+        node = m.vconcat(&desc_node, &lose_node);
+        cur = m.vconcat(&new_cur_desc, &lose_cur);
+        label = m.vconcat(&desc_label, &lose_label);
+    }
+    report
+}
+
+/// Vectorized multiple *search*: every query key descends the tree in
+/// lock-step gathers; returns one bool per key. Read-only, so this is plain
+/// SIVP (the paper's Fig 2b class) — no FOL needed, but it shares the
+/// descent machinery with insertion and serves as its read-side benchmark.
+pub fn vectorized_search_all(m: &mut Machine, tree: &Bst, keys: &[Word]) -> Vec<bool> {
+    if keys.is_empty() {
+        return Vec::new();
+    }
+    let n = keys.len();
+    let mut found = vec![false; n];
+    let mut keyv = m.vimm(keys);
+    let mut cur = m.vsplat(0, n); // links slots, starting at the root slot
+    let mut positions = m.iota(0, n);
+
+    while !keyv.is_empty() {
+        let val = m.gather(tree.links, &cur);
+        let dead = m.vcmp_s(CmpOp::Eq, &val, NIL);
+        let live = m.mask_not(&dead);
+        let val = m.compress(&val, &live);
+        keyv = m.compress(&keyv, &live);
+        positions = m.compress(&positions, &live);
+        let _ = cur;
+        if keyv.is_empty() {
+            break;
+        }
+        let node_keys = m.gather(tree.keys, &val);
+        let hit = m.vcmp(CmpOp::Eq, &keyv, &node_keys);
+        for (i, h) in hit.iter().enumerate() {
+            if h {
+                found[positions.get(i) as usize] = true;
+            }
+        }
+        let miss = m.mask_not(&hit);
+        let val = m.compress(&val, &miss);
+        keyv = m.compress(&keyv, &miss);
+        positions = m.compress(&positions, &miss);
+        let node_keys = m.compress(&node_keys, &miss);
+        if keyv.is_empty() {
+            break;
+        }
+        // next slot = 1 + 2*node + (key > node key)
+        let go_right = m.vcmp(CmpOp::Gt, &keyv, &node_keys);
+        let base = m.valu_s(AluOp::Mul, &val, 2);
+        let left = m.valu_s(AluOp::Add, &base, 1);
+        let right = m.valu_s(AluOp::Add, &base, 2);
+        cur = m.select(&go_right, &right, &left);
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::{ConflictPolicy, CostModel};
+
+    fn lcg(seed: &mut u64, m: Word) -> Word {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*seed >> 33) as Word).rem_euclid(m)
+    }
+
+    #[test]
+    fn scalar_insert_builds_search_tree() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = Bst::alloc(&mut m, 16);
+        scalar_insert_all(&mut m, &mut t, &[50, 20, 70, 10, 30, 60, 80]);
+        assert_eq!(t.inorder(&m), vec![10, 20, 30, 50, 60, 70, 80]);
+        assert!(t.contains(&m, 30));
+        assert!(!t.contains(&m, 31));
+        assert_eq!(t.height(&m), 3);
+    }
+
+    #[test]
+    fn vectorized_insert_into_empty_tree() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = Bst::alloc(&mut m, 16);
+        let keys = [50, 20, 70, 10, 30, 60, 80];
+        let r = vectorized_insert_all(&mut m, &mut t, &keys);
+        assert_eq!(t.inorder(&m), vec![10, 20, 30, 50, 60, 70, 80]);
+        assert!(r.iterations > 0);
+        assert!(r.retries > 0, "an empty tree maximizes conflicts (paper's remark)");
+    }
+
+    #[test]
+    fn vectorized_matches_scalar_inorder_all_policies() {
+        let mut seed = 5u64;
+        let keys: Vec<Word> = (0..200).map(|_| lcg(&mut seed, 10_000)).collect();
+        for policy in [
+            ConflictPolicy::FirstWins,
+            ConflictPolicy::LastWins,
+            ConflictPolicy::Arbitrary(17),
+        ] {
+            let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+            let mut t = Bst::alloc(&mut m, 256);
+            let _ = vectorized_insert_all(&mut m, &mut t, &keys);
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            assert_eq!(t.inorder(&m), expect, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn duplicates_all_enter() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = Bst::alloc(&mut m, 8);
+        let _ = vectorized_insert_all(&mut m, &mut t, &[5, 5, 5, 5]);
+        assert_eq!(t.inorder(&m), vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn incremental_batches() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = Bst::alloc(&mut m, 32);
+        let _ = vectorized_insert_all(&mut m, &mut t, &[10, 5]);
+        let _ = vectorized_insert_all(&mut m, &mut t, &[7, 12, 1]);
+        scalar_insert_all(&mut m, &mut t, &[6]);
+        assert_eq!(t.inorder(&m), vec![1, 5, 6, 7, 10, 12]);
+    }
+
+    #[test]
+    fn empty_insert_noop() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = Bst::alloc(&mut m, 4);
+        let r = vectorized_insert_all(&mut m, &mut t, &[]);
+        assert_eq!(r, BstReport::default());
+        assert!(t.inorder(&m).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arena exhausted")]
+    fn capacity_overflow_panics() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = Bst::alloc(&mut m, 2);
+        let _ = vectorized_insert_all(&mut m, &mut t, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn vectorized_search_finds_and_rejects() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = Bst::alloc(&mut m, 64);
+        let keys: Vec<Word> = (0..50).map(|i| i * 7 + 1).collect();
+        let _ = vectorized_insert_all(&mut m, &mut t, &keys);
+        let queries: Vec<Word> = keys.iter().copied().chain([0, 2, 1000]).collect();
+        let found = vectorized_search_all(&mut m, &t, &queries);
+        assert!(found[..50].iter().all(|&f| f));
+        assert!(found[50..].iter().all(|&f| !f));
+        // Agreement with the host walk.
+        for (i, &q) in queries.iter().enumerate() {
+            assert_eq!(found[i], t.contains(&m, q), "query {q}");
+        }
+    }
+
+    #[test]
+    fn search_empty_tree_and_empty_queries() {
+        let mut m = Machine::new(CostModel::unit());
+        let t = Bst::alloc(&mut m, 4);
+        assert!(vectorized_search_all(&mut m, &t, &[]).is_empty());
+        assert_eq!(vectorized_search_all(&mut m, &t, &[5]), vec![false]);
+    }
+
+    #[test]
+    fn search_with_duplicate_queries() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = Bst::alloc(&mut m, 8);
+        let _ = vectorized_insert_all(&mut m, &mut t, &[10, 5, 15]);
+        let found = vectorized_search_all(&mut m, &t, &[5, 5, 6, 6]);
+        assert_eq!(found, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn preloaded_tree_speeds_up_vector_insert() {
+        // The paper's Fig 14 setup: a pre-populated tree spreads the new
+        // keys across many slots, cutting conflicts. Check the modelled
+        // acceleration is better with a larger initial tree.
+        let accel_with_initial = |ni: usize| -> f64 {
+            let mut seed = 42u64;
+            let initial: Vec<Word> = (0..ni).map(|_| lcg(&mut seed, 1_000_000)).collect();
+            let new_keys: Vec<Word> = (0..300).map(|_| lcg(&mut seed, 1_000_000)).collect();
+
+            let mut ms = Machine::new(CostModel::s810());
+            let mut ts = Bst::alloc(&mut ms, ni + 300);
+            scalar_insert_all(&mut ms, &mut ts, &initial);
+            ms.reset_stats();
+            scalar_insert_all(&mut ms, &mut ts, &new_keys);
+            let sc = ms.stats().cycles() as f64;
+
+            let mut mv = Machine::new(CostModel::s810());
+            let mut tv = Bst::alloc(&mut mv, ni + 300);
+            scalar_insert_all(&mut mv, &mut tv, &initial);
+            mv.reset_stats();
+            let _ = vectorized_insert_all(&mut mv, &mut tv, &new_keys);
+            sc / mv.stats().cycles() as f64
+        };
+        let small = accel_with_initial(8);
+        let large = accel_with_initial(2048);
+        assert!(
+            large > small,
+            "bigger initial tree must help: Ni=8 -> {small:.2}, Ni=2048 -> {large:.2}"
+        );
+        assert!(large > 1.0, "vector insert should win on a large tree, got {large:.2}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # fol-tree — FOL tree algorithms
+//!
+//! Two tree workloads from the paper:
+//!
+//! * [`bst`] — **multiple insertion into a binary search tree** (§4.3,
+//!   Fig 14). All keys descend the tree in lock-step vector gathers; keys
+//!   that reach an empty child slot compete for it under FOL
+//!   (overwrite-and-check on the slot itself — the slot doubles as the
+//!   label work area because the winner immediately rewrites it with a real
+//!   node pointer), losers re-descend through the freshly inserted node.
+//! * [`rewrite`] — **parallel operation-tree rewriting** with the
+//!   associative law `X*(Y*Z) → (X*Y)*Z` (§2, Fig 5, §3.3). Each rule
+//!   application rewrites two nodes, so safe batches are found with FOL\*
+//!   (`L = 2`); only the first parallel-processable set is applied per pass
+//!   (applying a rewrite can consume another site's nodes), then sites are
+//!   recomputed — the "only S1" pattern the paper attributes to
+//!   Appel–Bendiksen's vectorized GC.
+//!
+//! [`rebalance`] adds the paper's named future work: rebuilding a BST to
+//! minimum height with a vectorized sort plus a level-order vector build.
+//!
+//! Trees live in struct-of-arrays arenas inside machine memory so that
+//! every phase is expressible with the machine's vector instructions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bst;
+pub mod rebalance;
+pub mod rewrite;
+
+/// Nil pointer / empty child marker used by both tree layouts.
+pub const NIL: fol_vm::Word = -1;

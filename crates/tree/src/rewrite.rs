@@ -1,0 +1,383 @@
+//! Parallel operation-tree rewriting with the associative law — §2 & §3.3.
+//!
+//! The rewrite rule is `X * (Y * Z) → (X * Y) * Z` (Fig 5). One application
+//! rewrites **two** nodes — the site `n` and its right child `r` — so finding
+//! a safe parallel batch is an FOL\* problem with `L = 2` index vectors
+//! (`V1` = sites, `V2` = their right children).
+//!
+//! Rewriting to normal form repeats: find all applicable sites with vector
+//! operations, take the **first** parallel-processable set (later sets are
+//! stale once the first is applied — a rewrite consumes its right child as a
+//! site), apply it with conflict-free gathers/scatters, and loop. The result
+//! is the left-combed tree: every right child a leaf, in-order leaf sequence
+//! unchanged.
+//!
+//! ## Memory layout
+//!
+//! Struct-of-arrays arena: `tags[i]` ([`LEAF`]/[`OP`]), `lefts[i]`,
+//! `rights[i]` (node indices or [`NIL`]), plus a root slot. Leaves carry
+//! their symbol in `lefts[i]`.
+
+use crate::NIL;
+use fol_core::fol_star::fol_star_first_round;
+use fol_vm::{CmpOp, Machine, Region, VReg, Word};
+
+/// Tag for leaf nodes (symbol stored in `lefts`).
+pub const LEAF: Word = 0;
+/// Tag for `*` operation nodes.
+pub const OP: Word = 1;
+
+/// An operation tree in machine memory (struct-of-arrays arena).
+#[derive(Clone, Copy, Debug)]
+pub struct OpTree {
+    /// Node tags ([`LEAF`] or [`OP`]).
+    pub tags: Region,
+    /// Left child index, or the symbol value for leaves.
+    pub lefts: Region,
+    /// Right child index, or [`NIL`] for leaves.
+    pub rights: Region,
+    /// FOL\* label work area (one slot per node).
+    pub work: Region,
+    /// One-word region holding the root node index.
+    pub root: Region,
+    /// Nodes allocated so far.
+    pub used: usize,
+}
+
+impl OpTree {
+    /// Allocates an arena with room for `capacity` nodes.
+    pub fn alloc(m: &mut Machine, capacity: usize) -> Self {
+        let tags = m.alloc(capacity, "optree.tags");
+        let lefts = m.alloc(capacity, "optree.lefts");
+        let rights = m.alloc(capacity, "optree.rights");
+        let work = m.alloc(capacity, "optree.work");
+        let root = m.alloc(1, "optree.root");
+        m.mem_mut().write(root.at(0), NIL);
+        OpTree { tags, lefts, rights, work, root, used: 0 }
+    }
+
+    /// Adds a leaf carrying `symbol`; returns its node index.
+    pub fn leaf(&mut self, m: &mut Machine, symbol: Word) -> Word {
+        self.node(m, LEAF, symbol, NIL)
+    }
+
+    /// Adds an `*` node over two existing nodes; returns its node index.
+    pub fn op(&mut self, m: &mut Machine, left: Word, right: Word) -> Word {
+        self.node(m, OP, left, right)
+    }
+
+    fn node(&mut self, m: &mut Machine, tag: Word, left: Word, right: Word) -> Word {
+        assert!(self.used < self.tags.len(), "optree arena exhausted");
+        let i = self.used;
+        self.used += 1;
+        m.mem_mut().write(self.tags.at(i), tag);
+        m.mem_mut().write(self.lefts.at(i), left);
+        m.mem_mut().write(self.rights.at(i), right);
+        i as Word
+    }
+
+    /// Marks `node` as the tree root.
+    pub fn set_root(&mut self, m: &mut Machine, node: Word) {
+        m.mem_mut().write(self.root.at(0), node);
+    }
+
+    /// Builds a right-combed tree `s0 * (s1 * (… * sk))` from symbols —
+    /// the worst case for the rule, needing `k - 1` total applications.
+    pub fn right_comb(m: &mut Machine, symbols: &[Word]) -> OpTree {
+        assert!(!symbols.is_empty(), "need at least one symbol");
+        let mut t = OpTree::alloc(m, 2 * symbols.len());
+        let mut node = t.leaf(m, symbols[symbols.len() - 1]);
+        for &s in symbols[..symbols.len() - 1].iter().rev() {
+            let l = t.leaf(m, s);
+            node = t.op(m, l, node);
+        }
+        t.set_root(m, node);
+        t
+    }
+
+    /// In-order leaf symbols (diagnostic walk).
+    pub fn leaves_inorder(&self, m: &Machine) -> Vec<Word> {
+        fn walk(m: &Machine, t: &OpTree, node: Word, out: &mut Vec<Word>, fuel: &mut usize) {
+            assert!(*fuel > 0, "cycle or overgrown tree");
+            *fuel -= 1;
+            if node == NIL {
+                return;
+            }
+            let i = node as usize;
+            if m.mem().read(t.tags.at(i)) == LEAF {
+                out.push(m.mem().read(t.lefts.at(i)));
+            } else {
+                walk(m, t, m.mem().read(t.lefts.at(i)), out, fuel);
+                walk(m, t, m.mem().read(t.rights.at(i)), out, fuel);
+            }
+        }
+        let mut out = Vec::new();
+        let mut fuel = 4 * self.used + 4;
+        walk(m, self, m.mem().read(self.root.at(0)), &mut out, &mut fuel);
+        out
+    }
+
+    /// True when no rule site remains: every `*` node's right child is a
+    /// leaf (fully left-combed).
+    pub fn is_normal_form(&self, m: &Machine) -> bool {
+        (0..self.used).all(|i| {
+            if m.mem().read(self.tags.at(i)) != OP {
+                return true;
+            }
+            let r = m.mem().read(self.rights.at(i));
+            r != NIL && m.mem().read(self.tags.at(r as usize)) == LEAF
+        })
+    }
+
+    /// Evaluates the tree under an associative, non-commutative operation
+    /// (affine-function composition mod a prime), for equivalence checks:
+    /// leaf `s` is the function `x ↦ x + s`, and `a * b` is composition
+    /// `a ∘ b` represented as pairs `(scale, offset)` with
+    /// `scale = 2^depth`-ish mixing. Concretely each leaf `s` maps to
+    /// `(2, s)` and `(p, q) * (r, s) = (p·r, p·s + q) mod M`.
+    pub fn eval_affine(&self, m: &Machine) -> (Word, Word) {
+        const M: Word = 1_000_000_007;
+        fn walk(mach: &Machine, t: &OpTree, node: Word) -> (Word, Word) {
+            let i = node as usize;
+            if mach.mem().read(t.tags.at(i)) == LEAF {
+                (2, mach.mem().read(t.lefts.at(i)).rem_euclid(M))
+            } else {
+                let (p, q) = walk(mach, t, mach.mem().read(t.lefts.at(i)));
+                let (r, s) = walk(mach, t, mach.mem().read(t.rights.at(i)));
+                ((p * r) % M, (p * s + q) % M)
+            }
+        }
+        walk(m, self, m.mem().read(self.root.at(0)))
+    }
+}
+
+/// Finds all applicable sites with vector operations: node indices `n` with
+/// `tags[n] = OP` and `tags[rights[n]] = OP`.
+pub fn find_sites(m: &mut Machine, t: &OpTree) -> VReg {
+    if t.used == 0 {
+        return VReg::empty();
+    }
+    let tags = m.vload(t.tags, 0, t.used);
+    let is_op = m.vcmp_s(CmpOp::Eq, &tags, OP);
+    let idx = m.iota(0, t.used);
+    let ops = m.compress(&idx, &is_op);
+    if ops.is_empty() {
+        return VReg::empty();
+    }
+    let right = m.gather(t.rights, &ops);
+    let rtags = m.gather(t.tags, &right);
+    let site_mask = m.vcmp_s(CmpOp::Eq, &rtags, OP);
+    m.compress(&ops, &site_mask)
+}
+
+/// Applies the rewrite at the given (parallel-processable) sites: for each
+/// site `n` with right child `r`, `X = lefts[n]`, `Y = lefts[r]`,
+/// `Z = rights[r]`, then `r ← (X * Y)` and `n ← r * Z`.
+fn apply_sites(m: &mut Machine, t: &OpTree, sites: &VReg) {
+    let r = m.gather(t.rights, sites);
+    let x = m.gather(t.lefts, sites);
+    let y = m.gather(t.lefts, &r);
+    let z = m.gather(t.rights, &r);
+    m.scatter(t.lefts, &r, &x);
+    m.scatter(t.rights, &r, &y);
+    m.scatter(t.lefts, sites, &r);
+    m.scatter(t.rights, sites, &z);
+}
+
+/// Report from a rewrite-to-normal-form run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RewriteReport {
+    /// Outer passes (site recomputations).
+    pub passes: usize,
+    /// Total rule applications.
+    pub applications: usize,
+}
+
+/// Scalar baseline: applies the rule one site at a time until normal form.
+pub fn scalar_rewrite_to_normal_form(m: &mut Machine, t: &OpTree) -> RewriteReport {
+    let mut report = RewriteReport::default();
+    loop {
+        // Find one site by scanning the arena (charged as a dependent scan).
+        let mut site = None;
+        for i in 0..t.used {
+            let tag = m.s_read(t.tags.at(i));
+            m.s_cmp(1);
+            m.s_branch(1);
+            if tag != OP {
+                continue;
+            }
+            let r = m.s_read(t.rights.at(i));
+            let rtag = m.s_read(t.tags.at(r as usize));
+            m.s_cmp(1);
+            if rtag == OP {
+                site = Some((i as Word, r));
+                break;
+            }
+        }
+        let Some((n, r)) = site else { break };
+        report.passes += 1;
+        report.applications += 1;
+        // X = lefts[n]; Y = lefts[r]; Z = rights[r]
+        let x = m.s_read(t.lefts.at(n as usize));
+        let y = m.s_read(t.lefts.at(r as usize));
+        let z = m.s_read(t.rights.at(r as usize));
+        m.s_write(t.lefts.at(r as usize), x);
+        m.s_write(t.rights.at(r as usize), y);
+        m.s_write(t.lefts.at(n as usize), r);
+        m.s_write(t.rights.at(n as usize), z);
+    }
+    report
+}
+
+/// Vectorized rewriting: per pass, find all sites, take FOL\*'s first
+/// parallel-processable set (`L = 2`: sites and their right children), and
+/// apply it with conflict-free list-vector operations.
+pub fn vectorized_rewrite_to_normal_form(m: &mut Machine, t: &OpTree) -> RewriteReport {
+    let mut report = RewriteReport::default();
+    loop {
+        let sites = find_sites(m, t);
+        if sites.is_empty() {
+            break;
+        }
+        report.passes += 1;
+        let rights = m.gather(t.rights, &sites);
+        let v1: Vec<Word> = sites.iter().collect();
+        let v2: Vec<Word> = rights.iter().collect();
+        let safe = fol_star_first_round(m, t.work, &[v1, v2]);
+        let safe_sites: VReg = safe.iter().map(|&p| sites.get(p)).collect();
+        report.applications += safe_sites.len();
+        apply_sites(m, t, &safe_sites);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::{ConflictPolicy, CostModel};
+
+    #[test]
+    fn fig5_tree_single_pass_possibilities() {
+        // a * (b * (c * d)): two overlapping sites (n1, n3) sharing n3.
+        let mut m = Machine::new(CostModel::unit());
+        let t = OpTree::right_comb(&mut m, &[10, 11, 12, 13]);
+        let sites = find_sites(&mut m, &t);
+        assert_eq!(sites.len(), 2, "n1 and n3 are both sites");
+        // FOL* must refuse to run them in one round.
+        let rights = m.gather(t.rights, &sites);
+        let v1: Vec<Word> = sites.iter().collect();
+        let v2: Vec<Word> = rights.iter().collect();
+        let safe = fol_star_first_round(&mut m, t.work, &[v1, v2]);
+        assert_eq!(safe.len(), 1, "overlapping sites cannot be parallel");
+    }
+
+    #[test]
+    fn rewrite_reaches_left_comb_scalar() {
+        let mut m = Machine::new(CostModel::unit());
+        let t = OpTree::right_comb(&mut m, &[1, 2, 3, 4, 5]);
+        let before_leaves = t.leaves_inorder(&m);
+        let before_val = t.eval_affine(&m);
+        let r = scalar_rewrite_to_normal_form(&mut m, &t);
+        assert!(t.is_normal_form(&m));
+        assert_eq!(t.leaves_inorder(&m), before_leaves, "in-order leaves preserved");
+        assert_eq!(t.eval_affine(&m), before_val, "associative value preserved");
+        // The minimum is k-2 applications; site-selection order may use
+        // more (each application still makes progress toward the comb).
+        assert!(r.applications >= 3);
+    }
+
+    #[test]
+    fn rewrite_reaches_left_comb_vectorized() {
+        for policy in [
+            ConflictPolicy::FirstWins,
+            ConflictPolicy::LastWins,
+            ConflictPolicy::Arbitrary(23),
+        ] {
+            let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+            let t = OpTree::right_comb(&mut m, &[1, 2, 3, 4, 5, 6, 7, 8]);
+            let before_leaves = t.leaves_inorder(&m);
+            let before_val = t.eval_affine(&m);
+            let r = vectorized_rewrite_to_normal_form(&mut m, &t);
+            assert!(t.is_normal_form(&m), "{policy:?}");
+            assert_eq!(t.leaves_inorder(&m), before_leaves, "{policy:?}");
+            assert_eq!(t.eval_affine(&m), before_val, "{policy:?}");
+            assert!(r.applications >= 6, "{policy:?}: 8 leaves need at least 6");
+        }
+    }
+
+    #[test]
+    fn scalar_and_vectorized_agree() {
+        let symbols: Vec<Word> = (0..40).map(|i| i * 3 + 1).collect();
+        let mut ms = Machine::new(CostModel::unit());
+        let ts = OpTree::right_comb(&mut ms, &symbols);
+        let _ = scalar_rewrite_to_normal_form(&mut ms, &ts);
+
+        let mut mv = Machine::new(CostModel::unit());
+        let tv = OpTree::right_comb(&mut mv, &symbols);
+        let _ = vectorized_rewrite_to_normal_form(&mut mv, &tv);
+
+        assert_eq!(ts.leaves_inorder(&ms), tv.leaves_inorder(&mv));
+        assert_eq!(ts.eval_affine(&ms), tv.eval_affine(&mv));
+        assert!(ts.is_normal_form(&ms) && tv.is_normal_form(&mv));
+    }
+
+    #[test]
+    fn balanced_tree_rewrites_too() {
+        // Build ((1*2)*(3*4)) * ((5*6)*(7*8)) by hand.
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = OpTree::alloc(&mut m, 32);
+        let leaves: Vec<Word> = (1..=8).map(|s| t.leaf(&mut m, s)).collect();
+        let a = t.op(&mut m, leaves[0], leaves[1]);
+        let b = t.op(&mut m, leaves[2], leaves[3]);
+        let c = t.op(&mut m, leaves[4], leaves[5]);
+        let d = t.op(&mut m, leaves[6], leaves[7]);
+        let ab = t.op(&mut m, a, b);
+        let cd = t.op(&mut m, c, d);
+        let root = t.op(&mut m, ab, cd);
+        t.set_root(&mut m, root);
+
+        let before_val = t.eval_affine(&m);
+        let _ = vectorized_rewrite_to_normal_form(&mut m, &t);
+        assert!(t.is_normal_form(&m));
+        assert_eq!(t.leaves_inorder(&m), (1..=8).collect::<Vec<Word>>());
+        assert_eq!(t.eval_affine(&m), before_val);
+    }
+
+    #[test]
+    fn single_leaf_and_single_op_are_normal() {
+        let mut m = Machine::new(CostModel::unit());
+        let t = OpTree::right_comb(&mut m, &[7]);
+        assert!(t.is_normal_form(&m));
+        let r = vectorized_rewrite_to_normal_form(&mut m, &t);
+        assert_eq!(r.applications, 0);
+
+        let t2 = OpTree::right_comb(&mut m, &[7, 8]);
+        assert!(t2.is_normal_form(&m));
+    }
+
+    #[test]
+    fn vector_version_uses_fewer_passes_on_wide_trees() {
+        // A balanced tree has many disjoint sites per pass: the vectorized
+        // form should need far fewer passes than total applications.
+        let symbols: Vec<Word> = (0..64).collect();
+        let mut m = Machine::new(CostModel::unit());
+        // Balanced build.
+        let mut t = OpTree::alloc(&mut m, 256);
+        let mut level: Vec<Word> = symbols.iter().map(|&s| t.leaf(&mut m, s)).collect();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|c| if c.len() == 2 { t.op(&mut m, c[0], c[1]) } else { c[0] })
+                .collect();
+        }
+        t.set_root(&mut m, level[0]);
+        let r = vectorized_rewrite_to_normal_form(&mut m, &t);
+        assert!(t.is_normal_form(&m));
+        assert!(
+            r.passes < r.applications,
+            "parallel batches expected: {} passes for {} applications",
+            r.passes,
+            r.applications
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Scatter conflict policies — implementations of the ELS condition.
+//!
+//! FOL's correctness argument (§3.2 of the paper) rests on a single hardware
+//! property, the **exclusive label storing (ELS) condition**: when a vector
+//! indirect store writes several elements to the same address, the stored
+//! value is exactly one of the written values — *which* one is arbitrary, but
+//! it is never an amalgam of bits from several writes. Pipelined vector
+//! processors guarantee this for stores of at most one machine word.
+//!
+//! Real machines differ in which write wins (the S-3800's `VIST` makes no
+//! promise; its `VSTX` guarantees element order). To demonstrate — and
+//! property-test — that FOL is correct under *any* ELS-conforming hardware,
+//! the simulator makes the winner a pluggable [`ConflictPolicy`].
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which of several conflicting scatter writes to one address survives.
+///
+/// Every variant except [`ConflictPolicy::BrokenAmalgam`] satisfies the ELS
+/// condition.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum ConflictPolicy {
+    /// The element with the lowest vector index wins (as if later writes to a
+    /// busy address were suppressed).
+    FirstWins,
+    /// The element with the highest vector index wins (element order, the
+    /// `VSTX` guarantee; also what a naive sequential loop would produce).
+    #[default]
+    LastWins,
+    /// A pseudo-random writer wins, deterministically derived from the given
+    /// seed and the machine's scatter sequence number. This models hardware
+    /// with parallel pipes whose interleaving is unspecified; running a test
+    /// across many seeds explores many interleavings.
+    Arbitrary(u64),
+    /// **Violates the ELS condition** — conflicting writes store the XOR of
+    /// all competing values, an "amalgam" no single element wrote. This
+    /// models broken hardware (e.g. sub-word stores torn across pipes) and
+    /// exists solely so tests can demonstrate that FOL's guarantees really
+    /// do rest on ELS. Never use it in an algorithm.
+    BrokenAmalgam,
+}
+
+impl ConflictPolicy {
+    /// Resolves the winners of one scatter.
+    ///
+    /// `indices[i]` is the target address of element `i`; returns for each
+    /// *position in the scatter* whether that element's write survived, and
+    /// performs the surviving writes through `write`. `sequence` is the
+    /// machine's scatter counter, folded into the RNG seed so that repeated
+    /// scatters under `Arbitrary` see different interleavings while the whole
+    /// run stays reproducible.
+    ///
+    /// The implementation is O(n) via a sort-free two-pass scheme: winners
+    /// are chosen per distinct address, then applied.
+    pub fn resolve<F>(&self, indices: &[usize], sequence: u64, mut write: F) -> Vec<bool>
+    where
+        F: FnMut(usize, usize), // (element position, address)
+    {
+        let n = indices.len();
+        let mut winner_of: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::with_capacity(n);
+        match self {
+            ConflictPolicy::FirstWins => {
+                for (pos, &addr) in indices.iter().enumerate() {
+                    winner_of.entry(addr).or_insert(pos);
+                }
+            }
+            ConflictPolicy::LastWins => {
+                for (pos, &addr) in indices.iter().enumerate() {
+                    winner_of.insert(addr, pos);
+                }
+            }
+            ConflictPolicy::BrokenAmalgam => {
+                panic!("BrokenAmalgam is value-dependent and resolved by the Machine")
+            }
+            ConflictPolicy::Arbitrary(seed) => {
+                // Reservoir-sample one winner per address so every competing
+                // element is equally likely, independent of vector order.
+                let mut rng = SmallRng::seed_from_u64(seed ^ sequence.wrapping_mul(0x9E3779B97F4A7C15));
+                let mut seen: std::collections::HashMap<usize, u32> =
+                    std::collections::HashMap::with_capacity(n);
+                for (pos, &addr) in indices.iter().enumerate() {
+                    let k = seen.entry(addr).or_insert(0);
+                    *k += 1;
+                    if *k == 1 || rng.random_range(0..*k) == 0 {
+                        winner_of.insert(addr, pos);
+                    }
+                }
+            }
+        }
+        let mut survived = vec![false; n];
+        for (&addr, &pos) in &winner_of {
+            survived[pos] = true;
+            write(pos, addr);
+        }
+        survived
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(policy: &ConflictPolicy, indices: &[usize]) -> (Vec<bool>, Vec<(usize, usize)>) {
+        let mut writes = Vec::new();
+        let survived = policy.resolve(indices, 7, |pos, addr| writes.push((pos, addr)));
+        writes.sort_unstable();
+        (survived, writes)
+    }
+
+    #[test]
+    fn first_wins_keeps_earliest() {
+        let (survived, writes) = run(&ConflictPolicy::FirstWins, &[5, 2, 5]);
+        assert_eq!(survived, vec![true, true, false]);
+        assert_eq!(writes, vec![(0, 5), (1, 2)]);
+    }
+
+    #[test]
+    fn last_wins_keeps_latest() {
+        let (survived, writes) = run(&ConflictPolicy::LastWins, &[5, 2, 5]);
+        assert_eq!(survived, vec![false, true, true]);
+        assert_eq!(writes, vec![(1, 2), (2, 5)]);
+    }
+
+    #[test]
+    fn arbitrary_is_deterministic_per_seed_and_sequence() {
+        let p = ConflictPolicy::Arbitrary(42);
+        let a = p.resolve(&[1, 1, 1, 2], 3, |_, _| {});
+        let b = p.resolve(&[1, 1, 1, 2], 3, |_, _| {});
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arbitrary_varies_with_sequence() {
+        let p = ConflictPolicy::Arbitrary(42);
+        let indices = vec![0usize; 32];
+        let winners: std::collections::HashSet<usize> = (0..64)
+            .map(|seq| {
+                p.resolve(&indices, seq, |_, _| {})
+                    .iter()
+                    .position(|&s| s)
+                    .expect("exactly one winner")
+            })
+            .collect();
+        assert!(winners.len() > 1, "different sequences should pick different winners");
+    }
+
+    #[test]
+    fn els_exactly_one_winner_per_address() {
+        for policy in [
+            ConflictPolicy::FirstWins,
+            ConflictPolicy::LastWins,
+            ConflictPolicy::Arbitrary(1),
+            ConflictPolicy::Arbitrary(99),
+        ] {
+            let indices = [3, 3, 3, 1, 1, 0];
+            let survived = policy.resolve(&indices, 0, |_, _| {});
+            for addr in [0usize, 1, 3] {
+                let winners = indices
+                    .iter()
+                    .enumerate()
+                    .filter(|&(pos, &a)| a == addr && survived[pos])
+                    .count();
+                assert_eq!(winners, 1, "{policy:?}: address {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_conflicts_means_everyone_survives() {
+        for policy in
+            [ConflictPolicy::FirstWins, ConflictPolicy::LastWins, ConflictPolicy::Arbitrary(5)]
+        {
+            let (survived, writes) = run(&policy, &[4, 2, 9]);
+            assert_eq!(survived, vec![true, true, true]);
+            assert_eq!(writes.len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved by the Machine")]
+    fn broken_amalgam_cannot_resolve_per_element() {
+        let _ = ConflictPolicy::BrokenAmalgam.resolve(&[0, 0], 0, |_, _| {});
+    }
+
+    #[test]
+    fn empty_scatter_is_fine() {
+        let survived = ConflictPolicy::LastWins.resolve(&[], 0, |_, _| unreachable!());
+        assert!(survived.is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Scalar expression trees and their vector compilation.
+//!
+//! The paper describes FOL as part of a *vectorizing program
+//! transformation*: a scalar loop whose body addresses memory through a
+//! computed subscript becomes a sequence of vector instructions. The
+//! subscript computation itself is a pure scalar expression over the loop's
+//! input element; [`Expr`] represents such expressions and
+//! [`Expr::compile`] emits the elementwise vector code that evaluates them
+//! over a whole input vector at once — the "easy half" of vectorization
+//! that classical compilers already did, kept separate from the FOL half
+//! (which handles the conflicting writes).
+
+use crate::machine::{AluOp, Machine};
+use crate::vreg::{VReg, Word};
+use std::fmt;
+
+/// A pure scalar expression over one input element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// The loop's input element (the paper's `key[i]`, `data[i]`…).
+    Input,
+    /// A constant.
+    Const(Word),
+    /// A binary operation.
+    Bin(AluOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// `Input`.
+    pub fn input() -> Expr {
+        Expr::Input
+    }
+
+    /// A constant.
+    pub fn constant(w: Word) -> Expr {
+        Expr::Const(w)
+    }
+
+    /// Helper: `self op rhs`.
+    pub fn bin(self, op: AluOp, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self mod m` (Euclidean).
+    pub fn modulo(self, m: Word) -> Expr {
+        self.bin(AluOp::Mod, Expr::Const(m))
+    }
+
+    /// `self + c`.
+    pub fn plus(self, c: Word) -> Expr {
+        self.bin(AluOp::Add, Expr::Const(c))
+    }
+
+    /// `self * c`.
+    pub fn times(self, c: Word) -> Expr {
+        self.bin(AluOp::Mul, Expr::Const(c))
+    }
+
+    /// `self & c`.
+    pub fn and(self, c: Word) -> Expr {
+        self.bin(AluOp::And, Expr::Const(c))
+    }
+
+    /// Evaluates the expression for one scalar input (the sequential
+    /// semantics, used as the oracle).
+    pub fn eval(&self, input: Word) -> Word {
+        match self {
+            Expr::Input => input,
+            Expr::Const(w) => *w,
+            Expr::Bin(op, a, b) => apply(*op, a.eval(input), b.eval(input)),
+        }
+    }
+
+    /// Compiles the expression over a whole input vector: emits elementwise
+    /// vector instructions on `m` and returns the result vector.
+    pub fn compile(&self, m: &mut Machine, input: &VReg) -> VReg {
+        match self {
+            Expr::Input => input.clone(),
+            Expr::Const(w) => m.vsplat(*w, input.len()),
+            Expr::Bin(op, a, b) => {
+                // Constant on either side lowers to the cheaper
+                // vector-scalar form.
+                match (a.as_ref(), b.as_ref()) {
+                    (_, Expr::Const(w)) => {
+                        let av = a.compile(m, input);
+                        m.valu_s(*op, &av, *w)
+                    }
+                    _ => {
+                        let av = a.compile(m, input);
+                        let bv = b.compile(m, input);
+                        m.valu(*op, &av, &bv)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of vector instructions [`Expr::compile`] will emit.
+    pub fn cost(&self) -> usize {
+        match self {
+            Expr::Input => 0,
+            Expr::Const(_) => 1,
+            Expr::Bin(_, a, b) => {
+                if matches!(b.as_ref(), Expr::Const(_)) {
+                    a.cost() + 1
+                } else {
+                    a.cost() + b.cost() + 1
+                }
+            }
+        }
+    }
+}
+
+fn apply(op: AluOp, a: Word, b: Word) -> Word {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => a / b,
+        AluOp::Rem => a % b,
+        AluOp::Mod => a.rem_euclid(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32),
+        AluOp::Shr => a.wrapping_shr(b as u32),
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Input => write!(f, "x"),
+            Expr::Const(w) => write!(f, "{w}"),
+            Expr::Bin(op, a, b) => write!(f, "{op:?}({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn eval_matches_compile() {
+        // hash(x) = (x * 7 + 3) mod 521
+        let e = Expr::input().times(7).plus(3).modulo(521);
+        let inputs: Vec<Word> = vec![0, 1, 520, 1000, 98765];
+        let mut m = Machine::new(CostModel::unit());
+        let iv = m.vimm(&inputs);
+        let out = e.compile(&mut m, &iv);
+        for (i, &x) in inputs.iter().enumerate() {
+            assert_eq!(out.get(i), e.eval(x));
+        }
+    }
+
+    #[test]
+    fn constant_folding_path_is_cheaper() {
+        let with_consts = Expr::input().plus(1).modulo(100);
+        let no_consts = Expr::input().bin(AluOp::Add, Expr::input());
+        assert_eq!(with_consts.cost(), 2);
+        assert_eq!(no_consts.cost(), 1);
+        // Const-only expression splats once.
+        assert_eq!(Expr::constant(5).cost(), 1);
+    }
+
+    #[test]
+    fn vector_vector_operations_compile() {
+        let e = Expr::input().bin(AluOp::Mul, Expr::input()); // x*x
+        let mut m = Machine::new(CostModel::unit());
+        let iv = m.vimm(&[2, 3, 4]);
+        assert_eq!(e.compile(&mut m, &iv).as_slice(), &[4, 9, 16]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::input().and(31).plus(1);
+        assert_eq!(format!("{e}"), "Add(And(x, 31), 1)");
+    }
+
+    #[test]
+    fn empty_input_vector() {
+        let e = Expr::input().plus(1);
+        let mut m = Machine::new(CostModel::unit());
+        let iv = m.vimm(&[]);
+        assert!(e.compile(&mut m, &iv).is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! # fol-vm — a cost-modelled pipelined vector-processor simulator
+//!
+//! This crate is the hardware substrate for the reproduction of Kanada's
+//! *filtering-overwritten-label* (FOL) method ("A Method of Vector Processing
+//! for Shared Symbolic Data", Supercomputing '91). The paper evaluates FOL on
+//! a Hitachi S-810, a memory-to-memory pipelined vector processor with
+//! *list-vector* (indirect gather/scatter) instructions and masked operation
+//! support. No such machine is available, so this crate models one:
+//!
+//! * a word-addressed [`Memory`] shared by scalar and vector code,
+//! * vector values ([`VReg`]) and boolean mask values ([`Mask`]),
+//! * the instruction repertoire FOL needs: contiguous and indirect
+//!   loads/stores, elementwise ALU operations, compares producing masks,
+//!   masked select/store, `compress` (Fortran-90 `pack` / the paper's
+//!   `A where M`), `count_true`, `iota`, and reductions,
+//! * a configurable [`CostModel`] that charges every instruction — vector
+//!   instructions pay a start-up latency per strip plus a per-element chime;
+//!   scalar operations pay a fixed per-operation cost — accumulated in
+//!   [`Stats`] so that *modelled acceleration ratios* (scalar cycles /
+//!   vector cycles) can be compared with the paper's measured ratios,
+//! * pluggable [`ConflictPolicy`] semantics for scatters with duplicate
+//!   indices. All policies satisfy the paper's **ELS condition** (*exclusive
+//!   label storing*: exactly one of the competing values is stored, never an
+//!   amalgam); which one wins is the policy's choice. [`Machine::scatter_ordered`]
+//!   models the S-3800 `VSTX` instruction (element order defines the winner).
+//!
+//! The simulator is deliberately *functional* in style: instructions take and
+//! return owned vector values, and the machine only owns memory, the cost
+//! meter and the conflict-resolution state. This keeps algorithm code close
+//! to the paper's Fortran-90-style pseudocode while remaining safe Rust.
+//!
+//! ```
+//! use fol_vm::{Machine, CostModel};
+//!
+//! let mut m = Machine::new(CostModel::s810());
+//! let table = m.alloc(8, "table");
+//! // Scatter 3 values through an index vector with a duplicate index (ELS:
+//! // one of the two writes to slot 5 survives).
+//! let idx = m.vimm(&[5, 2, 5]);
+//! let val = m.vimm(&[10, 20, 30]);
+//! m.scatter(table, &idx, &val);
+//! let back = m.gather(table, &idx);
+//! assert_eq!(back.get(1), 20);
+//! assert!(back.get(0) == 10 || back.get(0) == 30);
+//! assert!(m.stats().vector_cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conflict;
+pub mod cost;
+pub mod expr;
+pub mod machine;
+pub mod memory;
+pub mod program;
+pub mod trace;
+pub mod vreg;
+
+pub use conflict::ConflictPolicy;
+pub use cost::{CostModel, OpKind, Stats};
+pub use machine::{AluOp, CmpOp, Machine};
+pub use memory::{Addr, Memory, Region};
+pub use program::{execute, Inst, Program, Registers, Stop};
+pub use trace::{TraceEntry, Tracer};
+pub use vreg::{Mask, VReg, Word};

@@ -1,0 +1,947 @@
+//! The simulated machine: memory + cost meter + conflict policy.
+//!
+//! Instruction methods are grouped the way a vector ISA manual would group
+//! them: memory (contiguous), memory (indirect / list-vector), elementwise
+//! ALU, compares and masks, data movement (compress/expand/select), and
+//! reductions. Every method charges its cost through the [`CostModel`] and
+//! records itself in [`Stats`] (and in the optional [`Tracer`]).
+//!
+//! Scalar baselines run on the *same* machine through the `s_*` methods so
+//! that scalar and vector cycle counts are commensurable — the paper's
+//! acceleration ratios are computed exactly this way (same machine, same
+//! memory, two code paths).
+
+use crate::conflict::ConflictPolicy;
+use crate::cost::{CostModel, OpKind, Stats};
+use crate::memory::{Addr, Memory, Region};
+use crate::trace::Tracer;
+use crate::vreg::{Mask, VReg, Word};
+
+/// Elementwise ALU operations (vector-vector or vector-scalar).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // arithmetic names are self-describing
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    /// Truncating division. Division by zero panics, as it would trap.
+    Div,
+    /// Remainder with the sign of the dividend (Rust `%`).
+    Rem,
+    /// Euclidean modulus (always non-negative) — the paper's `mod`.
+    Mod,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Min,
+    Max,
+}
+
+impl AluOp {
+    #[inline]
+    fn apply(self, a: Word, b: Word) -> Word {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => a / b,
+            AluOp::Rem => a % b,
+            AluOp::Mod => a.rem_euclid(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32),
+            AluOp::Shr => a.wrapping_shr(b as u32),
+            AluOp::Min => a.min(b),
+            AluOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Comparison predicates producing masks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    #[inline]
+    fn apply(self, a: Word, b: Word) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// The simulated vector machine.
+pub struct Machine {
+    mem: Memory,
+    cost: CostModel,
+    stats: Stats,
+    policy: ConflictPolicy,
+    scatter_seq: u64,
+    tracer: Option<Tracer>,
+    phases: Vec<(String, Stats)>,
+}
+
+impl Machine {
+    /// A machine with the given cost model, default ([`ConflictPolicy::LastWins`])
+    /// conflict policy and tracing off.
+    pub fn new(cost: CostModel) -> Self {
+        Self {
+            mem: Memory::new(),
+            cost,
+            stats: Stats::new(),
+            policy: ConflictPolicy::default(),
+            scatter_seq: 0,
+            tracer: None,
+            phases: Vec::new(),
+        }
+    }
+
+    /// A machine with an explicit conflict policy.
+    pub fn with_policy(cost: CostModel, policy: ConflictPolicy) -> Self {
+        Self { policy, ..Self::new(cost) }
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration, statistics, memory plumbing
+    // ------------------------------------------------------------------
+
+    /// The active cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The active conflict policy.
+    pub fn policy(&self) -> &ConflictPolicy {
+        &self.policy
+    }
+
+    /// Replaces the conflict policy (e.g. to re-run a workload under another
+    /// ELS-conforming interleaving).
+    pub fn set_policy(&mut self, policy: ConflictPolicy) {
+        self.policy = policy;
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Statistics accumulated since `since` (a clone of an earlier
+    /// [`Machine::stats`]).
+    pub fn stats_since(&self, since: &Stats) -> Stats {
+        since.delta(&self.stats)
+    }
+
+    /// Resets the cycle meter (memory contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::new();
+    }
+
+    /// Runs `f` as a named phase, recording its cycle delta separately
+    /// (retrievable via [`Machine::phases`]). Phases nest by concatenation,
+    /// not hierarchy: each call appends one entry.
+    pub fn measure_phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let before = self.stats.clone();
+        let out = f(self);
+        let delta = before.delta(&self.stats);
+        self.phases.push((name.to_string(), delta));
+        out
+    }
+
+    /// Phase deltas recorded by [`Machine::measure_phase`], in order.
+    pub fn phases(&self) -> &[(String, Stats)] {
+        &self.phases
+    }
+
+    /// Clears recorded phases.
+    pub fn clear_phases(&mut self) {
+        self.phases.clear();
+    }
+
+    /// Turns instruction tracing on (clearing any previous trace).
+    pub fn enable_trace(&mut self) {
+        self.tracer = Some(Tracer::new());
+    }
+
+    /// Turns tracing off, returning the recording if there was one.
+    pub fn take_trace(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
+    /// Allocates a zeroed region (free; see [`Memory::alloc`]).
+    pub fn alloc(&mut self, len: usize, name: &str) -> Region {
+        self.mem.alloc(len, name)
+    }
+
+    /// Direct memory access for setup/assertions — no cycles charged.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable direct memory access for setup — no cycles charged.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    #[inline]
+    fn charge_vector(&mut self, kind: OpKind, n: usize) {
+        let cycles = self.cost.vector_cost(kind, n);
+        self.stats.record_vector(kind, n, cycles);
+        if let Some(t) = &mut self.tracer {
+            t.record(kind, n, cycles);
+        }
+    }
+
+    #[inline]
+    fn charge_scalar(&mut self, kind: OpKind, count: u64) {
+        let cycles = self.cost.scalar_cost(kind, count);
+        self.stats.record_scalar(kind, count, cycles);
+        if let Some(t) = &mut self.tracer {
+            t.record(kind, count as usize, cycles);
+        }
+    }
+
+    #[inline]
+    #[track_caller]
+    fn region_addr(region: Region, idx: Word) -> Addr {
+        let i = usize::try_from(idx)
+            .unwrap_or_else(|_| panic!("negative index {idx} into {region:?}"));
+        assert!(i < region.len(), "index {i} out of bounds of {region:?}");
+        region.base() + i
+    }
+
+    // ------------------------------------------------------------------
+    // Vector memory: contiguous
+    // ------------------------------------------------------------------
+
+    /// Loads `region[offset .. offset+n]` into a vector.
+    #[track_caller]
+    pub fn vload(&mut self, region: Region, offset: usize, n: usize) -> VReg {
+        let r = region.slice(offset, n);
+        self.charge_vector(OpKind::VLoad, n);
+        VReg::from_vec(self.mem.read_region(r))
+    }
+
+    /// Stores a vector to `region[offset ..]`.
+    #[track_caller]
+    pub fn vstore(&mut self, region: Region, offset: usize, v: &VReg) {
+        let r = region.slice(offset, v.len());
+        self.charge_vector(OpKind::VStore, v.len());
+        self.mem.write_region(r, v.as_slice());
+    }
+
+    /// Fills all of `region` with `value` (a broadcast store — how the
+    /// paper's programs initialize `C` to `unentered`).
+    pub fn vfill(&mut self, region: Region, value: Word) {
+        self.charge_vector(OpKind::VStore, region.len());
+        for i in 0..region.len() {
+            self.mem.write(region.base() + i, value);
+        }
+    }
+
+    /// Materializes an immediate vector (charged as a contiguous load).
+    pub fn vimm(&mut self, elems: &[Word]) -> VReg {
+        self.charge_vector(OpKind::VLoad, elems.len());
+        VReg::from_slice(elems)
+    }
+
+    /// Strided load: `n` elements starting at `region[offset]`, `stride`
+    /// words apart. Real pipelined machines stream strided accesses at
+    /// unit-stride speed when the stride avoids bank conflicts; charged as
+    /// a contiguous load.
+    ///
+    /// # Panics
+    /// Panics when the last element falls outside the region or `stride == 0`.
+    #[track_caller]
+    pub fn vload_strided(&mut self, region: Region, offset: usize, stride: usize, n: usize) -> VReg {
+        assert!(stride > 0, "stride must be positive");
+        if n > 0 {
+            let last = offset + (n - 1) * stride;
+            assert!(last < region.len(), "strided load overruns {region:?}");
+        }
+        self.charge_vector(OpKind::VLoad, n);
+        (0..n).map(|i| self.mem.read(region.base() + offset + i * stride)).collect()
+    }
+
+    /// Strided store: writes `v` to `region[offset]`, `region[offset+stride]`, …
+    ///
+    /// # Panics
+    /// Panics when the last element falls outside the region or `stride == 0`.
+    #[track_caller]
+    pub fn vstore_strided(&mut self, region: Region, offset: usize, stride: usize, v: &VReg) {
+        assert!(stride > 0, "stride must be positive");
+        if !v.is_empty() {
+            let last = offset + (v.len() - 1) * stride;
+            assert!(last < region.len(), "strided store overruns {region:?}");
+        }
+        self.charge_vector(OpKind::VStore, v.len());
+        for (i, w) in v.iter().enumerate() {
+            self.mem.write(region.base() + offset + i * stride, w);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Vector memory: indirect (list-vector instructions)
+    // ------------------------------------------------------------------
+
+    /// List-vector load: `result[i] = region[idx[i]]`.
+    #[track_caller]
+    pub fn gather(&mut self, region: Region, idx: &VReg) -> VReg {
+        self.charge_vector(OpKind::VGather, idx.len());
+        idx.iter().map(|i| self.mem.read(Self::region_addr(region, i))).collect()
+    }
+
+    /// List-vector store (`VIST`): `region[idx[i]] = val[i]`.
+    ///
+    /// Duplicate indices are resolved by the machine's [`ConflictPolicy`];
+    /// per the ELS condition exactly one competing element lands.
+    #[track_caller]
+    pub fn scatter(&mut self, region: Region, idx: &VReg, val: &VReg) {
+        self.scatter_inner(region, idx, val, None, OpKind::VScatter);
+    }
+
+    /// Masked list-vector store: elements with a false mask bit are
+    /// suppressed (the paper's `where M do A[idx] := v end where`).
+    #[track_caller]
+    pub fn scatter_masked(&mut self, region: Region, idx: &VReg, val: &VReg, mask: &Mask) {
+        assert_eq!(idx.len(), mask.len(), "scatter_masked: index/mask length mismatch");
+        self.scatter_inner(region, idx, val, Some(mask), OpKind::VScatter);
+    }
+
+    /// Ordered list-vector store (`VSTX`): on duplicate indices the
+    /// highest-numbered element wins, regardless of the machine policy. The
+    /// paper's footnote 7 uses this stronger guarantee to build the
+    /// order-preserving FOL variant.
+    #[track_caller]
+    pub fn scatter_ordered(&mut self, region: Region, idx: &VReg, val: &VReg) {
+        assert_eq!(idx.len(), val.len(), "scatter_ordered: index/value length mismatch");
+        self.charge_vector(OpKind::VScatterOrdered, idx.len());
+        for (i, v) in idx.iter().zip(val.iter()) {
+            let addr = Self::region_addr(region, i);
+            self.mem.write(addr, v);
+        }
+    }
+
+    #[track_caller]
+    fn scatter_inner(
+        &mut self,
+        region: Region,
+        idx: &VReg,
+        val: &VReg,
+        mask: Option<&Mask>,
+        kind: OpKind,
+    ) {
+        assert_eq!(idx.len(), val.len(), "scatter: index/value length mismatch");
+        self.charge_vector(kind, idx.len());
+        let addrs: Vec<Addr> = idx
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| mask.is_none_or(|m| m.get(p)))
+            .map(|(_, i)| Self::region_addr(region, i))
+            .collect();
+        // Map filtered positions back to original element positions so the
+        // policy sees true element order.
+        let positions: Vec<usize> = (0..idx.len())
+            .filter(|&p| mask.is_none_or(|m| m.get(p)))
+            .collect();
+        self.scatter_seq += 1;
+        let seq = self.scatter_seq;
+        let vals: Vec<Word> = positions.iter().map(|&p| val.get(p)).collect();
+        if self.policy == ConflictPolicy::BrokenAmalgam {
+            // ELS violation: conflicting writes XOR together. A lone writer
+            // still stores its own value (0 ^ v = v).
+            let mut acc: std::collections::HashMap<Addr, Word> =
+                std::collections::HashMap::with_capacity(addrs.len());
+            for (&addr, &v) in addrs.iter().zip(&vals) {
+                *acc.entry(addr).or_insert(0) ^= v;
+            }
+            for (addr, w) in acc {
+                self.mem.write(addr, w);
+            }
+            return;
+        }
+        let mut writes: Vec<(Addr, Word)> = Vec::with_capacity(addrs.len());
+        self.policy.resolve(&addrs, seq, |filtered_pos, addr| {
+            writes.push((addr, vals[filtered_pos]));
+        });
+        for (addr, w) in writes {
+            self.mem.write(addr, w);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise ALU
+    // ------------------------------------------------------------------
+
+    /// Elementwise `op` on two vectors of equal length.
+    #[track_caller]
+    pub fn valu(&mut self, op: AluOp, a: &VReg, b: &VReg) -> VReg {
+        assert_eq!(a.len(), b.len(), "valu: length mismatch");
+        self.charge_vector(OpKind::VAlu, a.len());
+        a.iter().zip(b.iter()).map(|(x, y)| op.apply(x, y)).collect()
+    }
+
+    /// Elementwise `op` between a vector and a broadcast scalar.
+    pub fn valu_s(&mut self, op: AluOp, a: &VReg, s: Word) -> VReg {
+        self.charge_vector(OpKind::VAlu, a.len());
+        a.iter().map(|x| op.apply(x, s)).collect()
+    }
+
+    /// Masked elementwise `op`: where the mask is false the result keeps `a`.
+    #[track_caller]
+    pub fn valu_masked(&mut self, op: AluOp, a: &VReg, b: &VReg, mask: &Mask) -> VReg {
+        assert_eq!(a.len(), b.len(), "valu_masked: length mismatch");
+        assert_eq!(a.len(), mask.len(), "valu_masked: mask length mismatch");
+        self.charge_vector(OpKind::VAlu, a.len());
+        (0..a.len())
+            .map(|i| if mask.get(i) { op.apply(a.get(i), b.get(i)) } else { a.get(i) })
+            .collect()
+    }
+
+    /// Broadcast: a vector of `n` copies of `s`.
+    pub fn vsplat(&mut self, s: Word, n: usize) -> VReg {
+        self.charge_vector(OpKind::VAlu, n);
+        VReg::from_vec(vec![s; n])
+    }
+
+    /// Index generation: `[start, start+1, …, start+n-1]` (the paper's
+    /// subscript labels are exactly `iota`).
+    pub fn iota(&mut self, start: Word, n: usize) -> VReg {
+        self.charge_vector(OpKind::VIota, n);
+        (start..start + n as Word).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Compares, masks, selection
+    // ------------------------------------------------------------------
+
+    /// Elementwise compare of two vectors, producing a mask.
+    #[track_caller]
+    pub fn vcmp(&mut self, op: CmpOp, a: &VReg, b: &VReg) -> Mask {
+        assert_eq!(a.len(), b.len(), "vcmp: length mismatch");
+        self.charge_vector(OpKind::VCmp, a.len());
+        a.iter().zip(b.iter()).map(|(x, y)| op.apply(x, y)).collect()
+    }
+
+    /// Elementwise compare against a broadcast scalar.
+    pub fn vcmp_s(&mut self, op: CmpOp, a: &VReg, s: Word) -> Mask {
+        self.charge_vector(OpKind::VCmp, a.len());
+        a.iter().map(|x| op.apply(x, s)).collect()
+    }
+
+    /// Mask conjunction.
+    #[track_caller]
+    pub fn mask_and(&mut self, a: &Mask, b: &Mask) -> Mask {
+        assert_eq!(a.len(), b.len(), "mask_and: length mismatch");
+        self.charge_vector(OpKind::VMaskOp, a.len());
+        a.iter().zip(b.iter()).map(|(x, y)| x && y).collect()
+    }
+
+    /// Mask disjunction.
+    #[track_caller]
+    pub fn mask_or(&mut self, a: &Mask, b: &Mask) -> Mask {
+        assert_eq!(a.len(), b.len(), "mask_or: length mismatch");
+        self.charge_vector(OpKind::VMaskOp, a.len());
+        a.iter().zip(b.iter()).map(|(x, y)| x || y).collect()
+    }
+
+    /// Mask negation.
+    pub fn mask_not(&mut self, a: &Mask) -> Mask {
+        self.charge_vector(OpKind::VMaskOp, a.len());
+        a.iter().map(|x| !x).collect()
+    }
+
+    /// Merge: `mask[i] ? a[i] : b[i]`.
+    #[track_caller]
+    pub fn select(&mut self, mask: &Mask, a: &VReg, b: &VReg) -> VReg {
+        assert_eq!(a.len(), b.len(), "select: length mismatch");
+        assert_eq!(a.len(), mask.len(), "select: mask length mismatch");
+        self.charge_vector(OpKind::VAlu, a.len());
+        (0..a.len()).map(|i| if mask.get(i) { a.get(i) } else { b.get(i) }).collect()
+    }
+
+    /// `countTrue(M)`: population count of a mask, charged as a reduction.
+    pub fn count_true(&mut self, mask: &Mask) -> usize {
+        self.charge_vector(OpKind::VReduce, mask.len());
+        mask.popcount()
+    }
+
+    // ------------------------------------------------------------------
+    // Data movement: compress / expand
+    // ------------------------------------------------------------------
+
+    /// `A where M`: the elements of `a` whose mask bit is true, packed left
+    /// (Fortran-90 `pack`). The workhorse of FOL's "delete processed
+    /// pointers from V" step.
+    #[track_caller]
+    pub fn compress(&mut self, a: &VReg, mask: &Mask) -> VReg {
+        assert_eq!(a.len(), mask.len(), "compress: mask length mismatch");
+        self.charge_vector(OpKind::VCompress, a.len());
+        a.iter().zip(mask.iter()).filter(|&(_, m)| m).map(|(x, _)| x).collect()
+    }
+
+    /// Compress a mask by another mask (needed when narrowing bookkeeping
+    /// masks alongside their data vectors).
+    #[track_caller]
+    pub fn compress_mask(&mut self, a: &Mask, mask: &Mask) -> Mask {
+        assert_eq!(a.len(), mask.len(), "compress_mask: mask length mismatch");
+        self.charge_vector(OpKind::VCompress, a.len());
+        a.iter().zip(mask.iter()).filter(|&(_, m)| m).map(|(x, _)| x).collect()
+    }
+
+    /// Inverse of [`Machine::compress`]: distributes the elements of `a`
+    /// (length = number of true bits) into the true positions of `mask`;
+    /// false positions receive `fill`.
+    #[track_caller]
+    pub fn expand(&mut self, a: &VReg, mask: &Mask, fill: Word) -> VReg {
+        assert_eq!(a.len(), mask.popcount(), "expand: data length != mask popcount");
+        self.charge_vector(OpKind::VExpand, mask.len());
+        let mut it = a.iter();
+        mask.iter()
+            .map(|m| if m { it.next().expect("length checked above") } else { fill })
+            .collect()
+    }
+
+    /// Concatenates two vectors (models compressing two working sets into
+    /// adjacent storage — one streaming pass, charged as a store).
+    pub fn vconcat(&mut self, a: &VReg, b: &VReg) -> VReg {
+        self.charge_vector(OpKind::VStore, a.len() + b.len());
+        a.iter().chain(b.iter()).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Inclusive prefix (cumulative) sum — the S-810 family's first-order
+    /// recurrence macro instruction, charged at `prefix_factor` per element.
+    /// Distribution counting sort depends on this running at vector speed.
+    pub fn vprefix_sum(&mut self, a: &VReg) -> VReg {
+        self.charge_vector(OpKind::VPrefix, a.len());
+        let mut acc: Word = 0;
+        a.iter()
+            .map(|x| {
+                acc = acc.wrapping_add(x);
+                acc
+            })
+            .collect()
+    }
+
+    /// Sum of all elements (wrapping).
+    pub fn vsum(&mut self, a: &VReg) -> Word {
+        self.charge_vector(OpKind::VReduce, a.len());
+        a.iter().fold(0, Word::wrapping_add)
+    }
+
+    /// Minimum element, or `None` for an empty vector.
+    pub fn vmin(&mut self, a: &VReg) -> Option<Word> {
+        self.charge_vector(OpKind::VReduce, a.len());
+        a.iter().min()
+    }
+
+    /// Maximum element, or `None` for an empty vector.
+    pub fn vmax(&mut self, a: &VReg) -> Option<Word> {
+        self.charge_vector(OpKind::VReduce, a.len());
+        a.iter().max()
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar operations (for baselines running on the same machine)
+    // ------------------------------------------------------------------
+
+    /// Scalar load.
+    #[track_caller]
+    pub fn s_read(&mut self, addr: Addr) -> Word {
+        self.charge_scalar(OpKind::SLoad, 1);
+        self.mem.read(addr)
+    }
+
+    /// Scalar store.
+    #[track_caller]
+    pub fn s_write(&mut self, addr: Addr, w: Word) {
+        self.charge_scalar(OpKind::SStore, 1);
+        self.mem.write(addr, w);
+    }
+
+    /// Scalar load with a sequential access pattern (streaming loops over
+    /// arrays), charged at the cheaper `scalar_mem_seq` rate.
+    #[track_caller]
+    pub fn s_read_seq(&mut self, addr: Addr) -> Word {
+        self.charge_scalar(OpKind::SLoadSeq, 1);
+        self.mem.read(addr)
+    }
+
+    /// Scalar store with a sequential access pattern.
+    #[track_caller]
+    pub fn s_write_seq(&mut self, addr: Addr, w: Word) {
+        self.charge_scalar(OpKind::SStoreSeq, 1);
+        self.mem.write(addr, w);
+    }
+
+    /// Charges `count` scalar ALU operations (register arithmetic the
+    /// baseline would execute; the values live in host variables).
+    pub fn s_alu(&mut self, count: u64) {
+        self.charge_scalar(OpKind::SAlu, count);
+    }
+
+    /// Charges `count` scalar compares.
+    pub fn s_cmp(&mut self, count: u64) {
+        self.charge_scalar(OpKind::SCmp, count);
+    }
+
+    /// Charges `count` scalar branches (loop back-edges, if/else).
+    pub fn s_branch(&mut self, count: u64) {
+        self.charge_scalar(OpKind::SBranch, count);
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("mem", &self.mem)
+            .field("policy", &self.policy)
+            .field("cycles", &self.stats.cycles())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(CostModel::unit())
+    }
+
+    #[test]
+    fn vload_vstore_roundtrip() {
+        let mut m = machine();
+        let r = m.alloc(6, "r");
+        let v = m.vimm(&[1, 2, 3]);
+        m.vstore(r, 2, &v);
+        assert_eq!(m.mem().read_region(r), vec![0, 0, 1, 2, 3, 0]);
+        let back = m.vload(r, 2, 3);
+        assert_eq!(back.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn vfill_initializes() {
+        let mut m = machine();
+        let r = m.alloc(4, "r");
+        m.vfill(r, 9);
+        assert_eq!(m.mem().read_region(r), vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn gather_reads_through_indices() {
+        let mut m = machine();
+        let r = m.alloc(5, "r");
+        m.mem_mut().write_region(r, &[10, 11, 12, 13, 14]);
+        let idx = m.vimm(&[4, 0, 2, 2]);
+        let g = m.gather(r, &idx);
+        assert_eq!(g.as_slice(), &[14, 10, 12, 12]);
+    }
+
+    #[test]
+    fn scatter_last_wins_policy() {
+        let mut m = Machine::with_policy(CostModel::unit(), ConflictPolicy::LastWins);
+        let r = m.alloc(4, "r");
+        let idx = m.vimm(&[1, 1, 3]);
+        let val = m.vimm(&[100, 200, 300]);
+        m.scatter(r, &idx, &val);
+        assert_eq!(m.mem().read_region(r), vec![0, 200, 0, 300]);
+    }
+
+    #[test]
+    fn scatter_first_wins_policy() {
+        let mut m = Machine::with_policy(CostModel::unit(), ConflictPolicy::FirstWins);
+        let r = m.alloc(4, "r");
+        let idx = m.vimm(&[1, 1, 3]);
+        let val = m.vimm(&[100, 200, 300]);
+        m.scatter(r, &idx, &val);
+        assert_eq!(m.mem().read_region(r), vec![0, 100, 0, 300]);
+    }
+
+    #[test]
+    fn scatter_arbitrary_satisfies_els() {
+        for seed in 0..16 {
+            let mut m = Machine::with_policy(CostModel::unit(), ConflictPolicy::Arbitrary(seed));
+            let r = m.alloc(2, "r");
+            let idx = m.vimm(&[0, 0, 0]);
+            let val = m.vimm(&[7, 8, 9]);
+            m.scatter(r, &idx, &val);
+            let w = m.mem().read(r.base());
+            assert!([7, 8, 9].contains(&w), "stored {w} is not one of the written values");
+        }
+    }
+
+    #[test]
+    fn scatter_masked_suppresses() {
+        let mut m = machine();
+        let r = m.alloc(3, "r");
+        let idx = m.vimm(&[0, 1, 2]);
+        let val = m.vimm(&[5, 6, 7]);
+        let mask = Mask::from_slice(&[true, false, true]);
+        m.scatter_masked(r, &idx, &val, &mask);
+        assert_eq!(m.mem().read_region(r), vec![5, 0, 7]);
+    }
+
+    #[test]
+    fn scatter_ordered_ignores_policy() {
+        let mut m = Machine::with_policy(CostModel::unit(), ConflictPolicy::FirstWins);
+        let r = m.alloc(1, "r");
+        let idx = m.vimm(&[0, 0]);
+        let val = m.vimm(&[1, 2]);
+        m.scatter_ordered(r, &idx, &val);
+        assert_eq!(m.mem().read(r.base()), 2, "VSTX semantics: element order, last wins");
+    }
+
+    #[test]
+    fn alu_ops() {
+        let mut m = machine();
+        let a = m.vimm(&[6, -7, 8]);
+        let b = m.vimm(&[3, 2, -5]);
+        assert_eq!(m.valu(AluOp::Add, &a, &b).as_slice(), &[9, -5, 3]);
+        assert_eq!(m.valu(AluOp::Sub, &a, &b).as_slice(), &[3, -9, 13]);
+        assert_eq!(m.valu(AluOp::Mul, &a, &b).as_slice(), &[18, -14, -40]);
+        assert_eq!(m.valu(AluOp::Div, &a, &b).as_slice(), &[2, -3, -1]);
+        assert_eq!(m.valu(AluOp::Rem, &a, &b).as_slice(), &[0, -1, 3]);
+        assert_eq!(m.valu(AluOp::Mod, &a, &b).as_slice(), &[0, 1, 3]);
+        assert_eq!(m.valu(AluOp::Min, &a, &b).as_slice(), &[3, -7, -5]);
+        assert_eq!(m.valu(AluOp::Max, &a, &b).as_slice(), &[6, 2, 8]);
+        assert_eq!(m.valu_s(AluOp::And, &a, 31).as_slice(), &[6, 25, 8]);
+    }
+
+    #[test]
+    fn masked_alu_keeps_unmasked() {
+        let mut m = machine();
+        let a = m.vimm(&[1, 2, 3]);
+        let b = m.vimm(&[10, 10, 10]);
+        let mask = Mask::from_slice(&[true, false, true]);
+        let r = m.valu_masked(AluOp::Add, &a, &b, &mask);
+        assert_eq!(r.as_slice(), &[11, 2, 13]);
+    }
+
+    #[test]
+    fn compares_and_masks() {
+        let mut m = machine();
+        let a = m.vimm(&[1, 5, 5]);
+        let b = m.vimm(&[1, 2, 9]);
+        let eq = m.vcmp(CmpOp::Eq, &a, &b);
+        assert_eq!(eq.as_slice(), &[true, false, false]);
+        let ge = m.vcmp_s(CmpOp::Ge, &a, 5);
+        assert_eq!(ge.as_slice(), &[false, true, true]);
+        let both = m.mask_and(&eq, &ge);
+        assert_eq!(both.popcount(), 0);
+        let either = m.mask_or(&eq, &ge);
+        assert_eq!(either.popcount(), 3);
+        let neither = m.mask_not(&either);
+        assert_eq!(neither.popcount(), 0);
+        assert_eq!(m.count_true(&either), 3);
+    }
+
+    #[test]
+    fn select_merges() {
+        let mut m = machine();
+        let a = m.vimm(&[1, 2, 3]);
+        let b = m.vimm(&[9, 9, 9]);
+        let mask = Mask::from_slice(&[false, true, false]);
+        assert_eq!(m.select(&mask, &a, &b).as_slice(), &[9, 2, 9]);
+    }
+
+    #[test]
+    fn compress_and_expand_are_inverse() {
+        let mut m = machine();
+        let a = m.vimm(&[10, 20, 30, 40]);
+        let mask = Mask::from_slice(&[true, false, false, true]);
+        let c = m.compress(&a, &mask);
+        assert_eq!(c.as_slice(), &[10, 40]);
+        let e = m.expand(&c, &mask, -1);
+        assert_eq!(e.as_slice(), &[10, -1, -1, 40]);
+        let cm = m.compress_mask(&Mask::from_slice(&[true, true, false, false]), &mask);
+        assert_eq!(cm.as_slice(), &[true, false]);
+    }
+
+    #[test]
+    fn iota_and_splat() {
+        let mut m = machine();
+        assert_eq!(m.iota(3, 4).as_slice(), &[3, 4, 5, 6]);
+        assert_eq!(m.vsplat(7, 3).as_slice(), &[7, 7, 7]);
+    }
+
+    #[test]
+    fn strided_load_store() {
+        let mut m = machine();
+        let r = m.alloc(7, "r");
+        m.mem_mut().write_region(r, &[0, 1, 2, 3, 4, 5, 6]);
+        let v = m.vload_strided(r, 1, 2, 3);
+        assert_eq!(v.as_slice(), &[1, 3, 5]);
+        let w = m.vimm(&[10, 30, 50]);
+        m.vstore_strided(r, 0, 3, &w);
+        assert_eq!(m.mem().read_region(r), vec![10, 1, 2, 30, 4, 5, 50]);
+        assert!(m.vload_strided(r, 0, 1, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn strided_overrun_panics() {
+        let mut m = machine();
+        let r = m.alloc(4, "r");
+        let _ = m.vload_strided(r, 0, 2, 3);
+    }
+
+    #[test]
+    fn broken_amalgam_stores_an_amalgam() {
+        let mut m = Machine::with_policy(CostModel::unit(), ConflictPolicy::BrokenAmalgam);
+        let r = m.alloc(2, "r");
+        let idx = m.vimm(&[0, 0, 1]);
+        let val = m.vimm(&[0b1100, 0b1010, 7]);
+        m.scatter(r, &idx, &val);
+        // Conflicting slot holds the XOR amalgam — a value nobody wrote.
+        assert_eq!(m.mem().read(r.base()), 0b0110);
+        // Lone writer is unaffected.
+        assert_eq!(m.mem().read(r.base() + 1), 7);
+    }
+
+    #[test]
+    fn phase_measurement() {
+        let mut m = Machine::new(CostModel::s810());
+        let r = m.alloc(8, "r");
+        m.measure_phase("load", |m| {
+            let _ = m.vload(r, 0, 8);
+        });
+        m.measure_phase("scalar", |m| {
+            let _ = m.s_read(r.base());
+        });
+        let phases = m.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].0, "load");
+        assert!(phases[0].1.vector_cycles > 0);
+        assert_eq!(phases[0].1.scalar_cycles, 0);
+        assert!(phases[1].1.scalar_cycles > 0);
+        assert_eq!(
+            phases[0].1.cycles() + phases[1].1.cycles(),
+            m.stats().cycles()
+        );
+        m.clear_phases();
+        assert!(m.phases().is_empty());
+    }
+
+    #[test]
+    fn vconcat_joins() {
+        let mut m = machine();
+        let a = m.vimm(&[1, 2]);
+        let b = m.vimm(&[3]);
+        assert_eq!(m.vconcat(&a, &b).as_slice(), &[1, 2, 3]);
+        let e = VReg::empty();
+        assert_eq!(m.vconcat(&e, &b).as_slice(), &[3]);
+    }
+
+    #[test]
+    fn prefix_sum() {
+        let mut m = machine();
+        let a = m.vimm(&[1, 2, 3, -1]);
+        assert_eq!(m.vprefix_sum(&a).as_slice(), &[1, 3, 6, 5]);
+        let e = VReg::empty();
+        assert!(m.vprefix_sum(&e).is_empty());
+        assert!(m.stats().count(OpKind::VPrefix) == 2);
+    }
+
+    #[test]
+    fn reductions() {
+        let mut m = machine();
+        let a = m.vimm(&[3, -1, 4]);
+        assert_eq!(m.vsum(&a), 6);
+        assert_eq!(m.vmin(&a), Some(-1));
+        assert_eq!(m.vmax(&a), Some(4));
+        let e = VReg::empty();
+        assert_eq!(m.vmin(&e), None);
+    }
+
+    #[test]
+    fn scalar_ops_charge_scalar_cycles() {
+        let mut m = Machine::new(CostModel::s810());
+        let r = m.alloc(1, "r");
+        m.s_write(r.base(), 5);
+        assert_eq!(m.s_read(r.base()), 5);
+        m.s_alu(3);
+        m.s_cmp(2);
+        m.s_branch(1);
+        let s = m.stats();
+        assert_eq!(s.vector_cycles, 0);
+        let c = &m.cost;
+        assert_eq!(
+            s.scalar_cycles,
+            2 * c.scalar_mem + 3 * c.scalar_alu + 2 * c.scalar_alu + c.scalar_branch
+        );
+    }
+
+    #[test]
+    fn stats_since_measures_a_section() {
+        let mut m = Machine::new(CostModel::s810());
+        let r = m.alloc(8, "r");
+        let _ = m.vload(r, 0, 8);
+        let t0 = m.stats().clone();
+        let _ = m.vload(r, 0, 4);
+        let d = m.stats_since(&t0);
+        assert_eq!(d.count(OpKind::VLoad), 1);
+        assert_eq!(d.vector_elements, 4);
+    }
+
+    #[test]
+    fn trace_records_instructions() {
+        let mut m = machine();
+        m.enable_trace();
+        let r = m.alloc(4, "r");
+        let idx = m.vimm(&[0, 1]);
+        let _ = m.gather(r, &idx);
+        let t = m.take_trace().expect("trace enabled");
+        assert_eq!(t.count(OpKind::VLoad), 1); // vimm
+        assert_eq!(t.count(OpKind::VGather), 1);
+        assert!(t.is_fully_vector());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn valu_length_mismatch_panics() {
+        let mut m = machine();
+        let a = m.vimm(&[1]);
+        let b = m.vimm(&[1, 2]);
+        let _ = m.valu(AluOp::Add, &a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_oob_panics() {
+        let mut m = machine();
+        let r = m.alloc(2, "r");
+        let idx = m.vimm(&[5]);
+        let _ = m.gather(r, &idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative index")]
+    fn scatter_negative_index_panics() {
+        let mut m = machine();
+        let r = m.alloc(2, "r");
+        let idx = m.vimm(&[-1]);
+        let val = m.vimm(&[0]);
+        m.scatter(r, &idx, &val);
+    }
+}

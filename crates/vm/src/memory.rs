@@ -1,0 +1,270 @@
+//! Word-addressed main storage shared by scalar and vector code.
+//!
+//! The paper's algorithms read and write *main storage* through index
+//! vectors; the work areas used for labels live in the same storage as the
+//! data being rewritten (§3.2 discusses exactly when they may share). We model
+//! storage as a flat array of words with a bump allocator handing out named
+//! [`Region`]s, which makes every experiment's memory layout explicit and
+//! every out-of-bounds access a hard, attributable error.
+
+use crate::vreg::Word;
+use std::fmt;
+
+/// A word address in main storage.
+pub type Addr = usize;
+
+/// A contiguous allocation in [`Memory`].
+///
+/// Regions are cheap copyable handles; they exist so algorithm code can name
+/// its arrays (`table`, `work`, `C`, …) the way the paper's pseudocode does,
+/// and so bounds violations report *which* array was overrun.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    base: Addr,
+    len: usize,
+}
+
+impl Region {
+    /// First word address of the region.
+    #[inline]
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Length in words.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the region has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    #[inline]
+    #[track_caller]
+    pub fn at(&self, i: usize) -> Addr {
+        assert!(i < self.len, "index {i} out of bounds of region of length {}", self.len);
+        self.base + i
+    }
+
+    /// True when `addr` falls inside the region.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.base + self.len
+    }
+
+    /// A sub-region `[offset, offset+len)` of this region.
+    ///
+    /// # Panics
+    /// Panics when the sub-range does not fit.
+    #[track_caller]
+    pub fn slice(&self, offset: usize, len: usize) -> Region {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.len),
+            "sub-region [{offset}, {offset}+{len}) exceeds region of length {}",
+            self.len
+        );
+        Region { base: self.base + offset, len }
+    }
+}
+
+impl fmt::Debug for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Region[{}..{}]", self.base, self.base + self.len)
+    }
+}
+
+/// Flat word-addressed main storage with named allocations.
+pub struct Memory {
+    words: Vec<Word>,
+    /// (name, region) in allocation order, for diagnostics.
+    allocs: Vec<(String, Region)>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self { words: Vec::new(), allocs: Vec::new() }
+    }
+
+    /// Allocates `len` words zero-initialized and registers them under
+    /// `name` for diagnostics. Allocation itself is free of cycle charges:
+    /// the experiments all pre-allocate their arrays, as the paper's Fortran
+    /// programs do.
+    pub fn alloc(&mut self, len: usize, name: &str) -> Region {
+        let base = self.words.len();
+        self.words.resize(base + len, 0);
+        let region = Region { base, len };
+        self.allocs.push((name.to_string(), region));
+        region
+    }
+
+    /// Total words currently allocated.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads the word at `addr` (no cycle charge — simulator-internal).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access, naming the nearest allocation.
+    #[inline]
+    #[track_caller]
+    pub fn read(&self, addr: Addr) -> Word {
+        match self.words.get(addr) {
+            Some(&w) => w,
+            None => self.oob(addr),
+        }
+    }
+
+    /// Writes the word at `addr` (no cycle charge — simulator-internal).
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access.
+    #[inline]
+    #[track_caller]
+    pub fn write(&mut self, addr: Addr, w: Word) {
+        match self.words.get_mut(addr) {
+            Some(slot) => *slot = w,
+            None => self.oob(addr),
+        }
+    }
+
+    /// Copies a whole region out (diagnostic helper; free).
+    pub fn read_region(&self, region: Region) -> Vec<Word> {
+        self.words[region.base..region.base + region.len].to_vec()
+    }
+
+    /// Fills a whole region (test/setup helper; free). Prefer
+    /// [`crate::Machine::vstore`]/[`crate::Machine::vfill`] inside modelled code.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != region.len()`.
+    #[track_caller]
+    pub fn write_region(&mut self, region: Region, data: &[Word]) {
+        assert_eq!(
+            data.len(),
+            region.len,
+            "write_region: data length {} != region length {}",
+            data.len(),
+            region.len
+        );
+        self.words[region.base..region.base + region.len].copy_from_slice(data);
+    }
+
+    /// The allocations made so far, in order (name, region).
+    pub fn allocations(&self) -> &[(String, Region)] {
+        &self.allocs
+    }
+
+    #[cold]
+    #[track_caller]
+    fn oob(&self, addr: Addr) -> ! {
+        let context = self
+            .allocs
+            .iter()
+            .map(|(n, r)| format!("{n}={r:?}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        panic!(
+            "address {addr} out of bounds (memory size {}); allocations: {context}",
+            self.words.len()
+        );
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("size", &self.words.len())
+            .field("allocations", &self.allocs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_zeroed_and_contiguous() {
+        let mut m = Memory::new();
+        let a = m.alloc(4, "a");
+        let b = m.alloc(2, "b");
+        assert_eq!(a.base(), 0);
+        assert_eq!(b.base(), 4);
+        assert_eq!(m.size(), 6);
+        assert!((0..6).all(|i| m.read(i) == 0));
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = Memory::new();
+        let r = m.alloc(3, "r");
+        m.write(r.at(1), 42);
+        assert_eq!(m.read(r.at(1)), 42);
+        assert_eq!(m.read_region(r), vec![0, 42, 0]);
+    }
+
+    #[test]
+    fn write_region_fills() {
+        let mut m = Memory::new();
+        let r = m.alloc(3, "r");
+        m.write_region(r, &[7, 8, 9]);
+        assert_eq!(m.read_region(r), vec![7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics_with_context() {
+        let mut m = Memory::new();
+        let _ = m.alloc(2, "small");
+        m.read(99);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds region")]
+    fn bad_slice_panics() {
+        let mut m = Memory::new();
+        let r = m.alloc(4, "r");
+        let _ = r.slice(2, 3);
+    }
+
+    #[test]
+    fn region_geometry() {
+        let mut m = Memory::new();
+        let r = m.alloc(10, "r");
+        let s = r.slice(3, 4);
+        assert_eq!(s.base(), r.base() + 3);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(r.base() + 3));
+        assert!(s.contains(r.base() + 6));
+        assert!(!s.contains(r.base() + 7));
+        assert_eq!(s.at(0), r.base() + 3);
+        assert!(!s.is_empty());
+        assert!(r.slice(0, 0).is_empty());
+    }
+
+    #[test]
+    fn allocations_are_recorded() {
+        let mut m = Memory::new();
+        let _ = m.alloc(1, "x");
+        let _ = m.alloc(1, "y");
+        let names: Vec<_> = m.allocations().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["x", "y"]);
+    }
+}

@@ -1,0 +1,529 @@
+//! Stored vector programs: a small IR, assembler and interpreter.
+//!
+//! The paper presents FOL as a *vectorization* — a program transformation
+//! whose output is a sequence of vector instructions with scalar control
+//! around them. [`Machine`]'s method interface is convenient for writing
+//! algorithms by hand, but a first-class program representation lets the
+//! suite treat vectorized code as *data*: inspect it, disassemble it, count
+//! its instructions, and execute it with bounded fuel. The FOL1 kernel is
+//! expressed as a [`Program`] in this module's tests and checked against
+//! the hand-written implementation.
+//!
+//! The IR is deliberately small: virtual vector registers `v0…`, mask
+//! registers `m0…`, scalar registers `s0…`, a region table bound at run
+//! time, structured operands, and two control instructions (conditional and
+//! unconditional jumps to resolved labels).
+
+use crate::machine::{AluOp, CmpOp, Machine};
+use crate::memory::Region;
+use crate::vreg::{Mask, VReg, Word};
+use std::fmt;
+
+/// A virtual vector register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct V(pub u8);
+
+/// A virtual mask register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct M(pub u8);
+
+/// A virtual scalar register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct S(pub u8);
+
+/// A region slot, bound to a concrete [`Region`] at execution time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct R(pub u8);
+
+/// Scalar operand: immediate or register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// A literal word.
+    Imm(Word),
+    /// A scalar register's current value.
+    Reg(S),
+}
+
+impl From<Word> for Operand {
+    fn from(w: Word) -> Self {
+        Operand::Imm(w)
+    }
+}
+
+impl From<S> for Operand {
+    fn from(s: S) -> Self {
+        Operand::Reg(s)
+    }
+}
+
+/// One IR instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)] // mirrors Machine's documented methods
+pub enum Inst {
+    /// `dst := [start, start+1, …]` of length `n`.
+    Iota { dst: V, start: Operand, n: Operand },
+    /// `dst := n` copies of `value`.
+    Splat { dst: V, value: Operand, n: Operand },
+    Gather { dst: V, region: R, idx: V },
+    Scatter { region: R, idx: V, val: V },
+    AluS { dst: V, op: AluOp, a: V, b: Operand },
+    Alu { dst: V, op: AluOp, a: V, b: V },
+    Cmp { dst: M, op: CmpOp, a: V, b: V },
+    CmpS { dst: M, op: CmpOp, a: V, b: Operand },
+    MaskNot { dst: M, src: M },
+    Compress { dst: V, src: V, mask: M },
+    /// `dst := popcount(mask)` (a reduction into a scalar register).
+    CountTrue { dst: S, mask: M },
+    /// `dst := length of v`.
+    Length { dst: S, src: V },
+    /// Scalar arithmetic on registers/immediates.
+    SAlu { dst: S, op: AluOp, a: Operand, b: Operand },
+    /// Jump to `target` when the scalar operand is zero.
+    JumpIfZero { cond: Operand, target: usize },
+    /// Unconditional jump.
+    Jump { target: usize },
+    /// Stop execution.
+    Halt,
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn op(o: &Operand) -> String {
+            match o {
+                Operand::Imm(w) => format!("{w}"),
+                Operand::Reg(S(i)) => format!("s{i}"),
+            }
+        }
+        match self {
+            Inst::Iota { dst, start, n } => write!(f, "v{} = iota {}, {}", dst.0, op(start), op(n)),
+            Inst::Splat { dst, value, n } => {
+                write!(f, "v{} = splat {}, {}", dst.0, op(value), op(n))
+            }
+            Inst::Gather { dst, region, idx } => {
+                write!(f, "v{} = gather r{}[v{}]", dst.0, region.0, idx.0)
+            }
+            Inst::Scatter { region, idx, val } => {
+                write!(f, "scatter r{}[v{}] = v{}", region.0, idx.0, val.0)
+            }
+            Inst::AluS { dst, op: o, a, b } => {
+                write!(f, "v{} = {:?}(v{}, {})", dst.0, o, a.0, op(b))
+            }
+            Inst::Alu { dst, op: o, a, b } => write!(f, "v{} = {:?}(v{}, v{})", dst.0, o, a.0, b.0),
+            Inst::Cmp { dst, op: o, a, b } => write!(f, "m{} = {:?}(v{}, v{})", dst.0, o, a.0, b.0),
+            Inst::CmpS { dst, op: o, a, b } => {
+                write!(f, "m{} = {:?}(v{}, {})", dst.0, o, a.0, op(b))
+            }
+            Inst::MaskNot { dst, src } => write!(f, "m{} = not m{}", dst.0, src.0),
+            Inst::Compress { dst, src, mask } => {
+                write!(f, "v{} = compress v{} where m{}", dst.0, src.0, mask.0)
+            }
+            Inst::CountTrue { dst, mask } => write!(f, "s{} = count_true m{}", dst.0, mask.0),
+            Inst::Length { dst, src } => write!(f, "s{} = length v{}", dst.0, src.0),
+            Inst::SAlu { dst, op: o, a, b } => {
+                write!(f, "s{} = {:?}({}, {})", dst.0, o, op(a), op(b))
+            }
+            Inst::JumpIfZero { cond, target } => write!(f, "jz {}, @{target}", op(cond)),
+            Inst::Jump { target } => write!(f, "jmp @{target}"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// A stored program: straight-line instructions with resolved jump targets.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an instruction, returning its index (usable as a jump
+    /// target for backward jumps).
+    pub fn push(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    /// Index the *next* pushed instruction will get — a forward label.
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Patches a previously pushed jump to point at `target`.
+    ///
+    /// # Panics
+    /// Panics when `at` is not a jump instruction.
+    pub fn patch_jump(&mut self, at: usize, target: usize) {
+        match &mut self.insts[at] {
+            Inst::Jump { target: t } | Inst::JumpIfZero { target: t, .. } => *t = target,
+            other => panic!("instruction {at} is not a jump: {other}"),
+        }
+    }
+
+    /// The instructions.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{i:4}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why execution stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stop {
+    /// A `Halt` instruction was reached (or the program ran off its end).
+    Halted,
+    /// The fuel budget was exhausted — likely a livelock or runaway loop.
+    OutOfFuel,
+}
+
+/// Execution state after a run: final register files.
+#[derive(Clone, Debug, Default)]
+pub struct Registers {
+    /// Vector registers (index = register number).
+    pub v: Vec<VReg>,
+    /// Mask registers.
+    pub m: Vec<Mask>,
+    /// Scalar registers.
+    pub s: Vec<Word>,
+}
+
+impl Registers {
+    fn v_mut(&mut self, V(i): V) -> &mut VReg {
+        let i = i as usize;
+        if self.v.len() <= i {
+            self.v.resize(i + 1, VReg::empty());
+        }
+        &mut self.v[i]
+    }
+
+    fn m_mut(&mut self, M(i): M) -> &mut Mask {
+        let i = i as usize;
+        if self.m.len() <= i {
+            self.m.resize(i + 1, Mask::default());
+        }
+        &mut self.m[i]
+    }
+
+    fn s_mut(&mut self, S(i): S) -> &mut Word {
+        let i = i as usize;
+        if self.s.len() <= i {
+            self.s.resize(i + 1, 0);
+        }
+        &mut self.s[i]
+    }
+
+    /// Reads vector register `r` (empty if never written).
+    pub fn v(&self, V(i): V) -> &VReg {
+        static EMPTY: VReg = VReg::empty_const();
+        self.v.get(i as usize).unwrap_or(&EMPTY)
+    }
+
+    /// Reads scalar register `r` (0 if never written).
+    pub fn s(&self, S(i): S) -> Word {
+        self.s.get(i as usize).copied().unwrap_or(0)
+    }
+
+    fn operand(&self, o: Operand) -> Word {
+        match o {
+            Operand::Imm(w) => w,
+            Operand::Reg(r) => self.s(r),
+        }
+    }
+}
+
+/// Executes `program` on `machine` with the region table `regions` and
+/// initial registers `regs` (registers the program reads before writing
+/// should be seeded there). `fuel` bounds the number of executed
+/// instructions.
+pub fn execute(
+    machine: &mut Machine,
+    program: &Program,
+    regions: &[Region],
+    mut regs: Registers,
+    fuel: usize,
+) -> (Registers, Stop) {
+    let mut pc = 0usize;
+    let mut remaining = fuel;
+    let region = |R(i): R| -> Region { regions[i as usize] };
+
+    while pc < program.insts.len() {
+        if remaining == 0 {
+            return (regs, Stop::OutOfFuel);
+        }
+        remaining -= 1;
+        let inst = &program.insts[pc];
+        pc += 1;
+        match inst {
+            Inst::Iota { dst, start, n } => {
+                let start = regs.operand(*start);
+                let n = regs.operand(*n) as usize;
+                *regs.v_mut(*dst) = machine.iota(start, n);
+            }
+            Inst::Splat { dst, value, n } => {
+                let value = regs.operand(*value);
+                let n = regs.operand(*n) as usize;
+                *regs.v_mut(*dst) = machine.vsplat(value, n);
+            }
+            Inst::Gather { dst, region: r, idx } => {
+                let out = machine.gather(region(*r), regs.v(*idx));
+                *regs.v_mut(*dst) = out;
+            }
+            Inst::Scatter { region: r, idx, val } => {
+                let idx = regs.v(*idx).clone();
+                let val = regs.v(*val).clone();
+                machine.scatter(region(*r), &idx, &val);
+            }
+            Inst::AluS { dst, op, a, b } => {
+                let b = regs.operand(*b);
+                let out = machine.valu_s(*op, regs.v(*a), b);
+                *regs.v_mut(*dst) = out;
+            }
+            Inst::Alu { dst, op, a, b } => {
+                let a = regs.v(*a).clone();
+                let b = regs.v(*b).clone();
+                *regs.v_mut(*dst) = machine.valu(*op, &a, &b);
+            }
+            Inst::Cmp { dst, op, a, b } => {
+                let a = regs.v(*a).clone();
+                let b = regs.v(*b).clone();
+                *regs.m_mut(*dst) = machine.vcmp(*op, &a, &b);
+            }
+            Inst::CmpS { dst, op, a, b } => {
+                let b = regs.operand(*b);
+                let out = machine.vcmp_s(*op, regs.v(*a), b);
+                *regs.m_mut(*dst) = out;
+            }
+            Inst::MaskNot { dst, src } => {
+                let src = regs.m[src.0 as usize].clone();
+                *regs.m_mut(*dst) = machine.mask_not(&src);
+            }
+            Inst::Compress { dst, src, mask } => {
+                let src = regs.v(*src).clone();
+                let mask = regs.m[mask.0 as usize].clone();
+                *regs.v_mut(*dst) = machine.compress(&src, &mask);
+            }
+            Inst::CountTrue { dst, mask } => {
+                let mask = regs.m[mask.0 as usize].clone();
+                let n = machine.count_true(&mask);
+                *regs.s_mut(*dst) = n as Word;
+            }
+            Inst::Length { dst, src } => {
+                let n = regs.v(*src).len();
+                *regs.s_mut(*dst) = n as Word;
+            }
+            Inst::SAlu { dst, op, a, b } => {
+                let a = regs.operand(*a);
+                let b = regs.operand(*b);
+                machine.s_alu(1);
+                *regs.s_mut(*dst) = apply_salu(*op, a, b);
+            }
+            Inst::JumpIfZero { cond, target } => {
+                machine.s_branch(1);
+                if regs.operand(*cond) == 0 {
+                    pc = *target;
+                }
+            }
+            Inst::Jump { target } => {
+                machine.s_branch(1);
+                pc = *target;
+            }
+            Inst::Halt => return (regs, Stop::Halted),
+        }
+    }
+    (regs, Stop::Halted)
+}
+
+fn apply_salu(op: AluOp, a: Word, b: Word) -> Word {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => a / b,
+        AluOp::Rem => a % b,
+        AluOp::Mod => a.rem_euclid(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32),
+        AluOp::Shr => a.wrapping_shr(b as u32),
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    /// FOL1 as a stored program. Register plan:
+    ///   v0 = live index vector V      v1 = labels        v2 = positions
+    ///   v3 = gathered labels          v4 = round stamp
+    ///   m0 = survivors                m1 = rest
+    ///   s0 = live count               s1 = round counter
+    /// Regions: r0 = work area, r1 = round_of output (one slot per original
+    /// position, receives the round index).
+    fn fol1_program() -> Program {
+        let mut p = Program::new();
+        let loop_top = p.here();
+        // if live count == 0 -> halt (patched below)
+        let jz = p.push(Inst::JumpIfZero { cond: S(0).into(), target: usize::MAX });
+        // Step 1: write labels through V.
+        p.push(Inst::Scatter { region: R(0), idx: V(0), val: V(1) });
+        // Step 2: read back, compare, survivors' positions -> round_of.
+        p.push(Inst::Gather { dst: V(3), region: R(0), idx: V(0) });
+        p.push(Inst::Cmp { dst: M(0), op: CmpOp::Eq, a: V(3), b: V(1) });
+        p.push(Inst::Compress { dst: V(5), src: V(2), mask: M(0) });
+        p.push(Inst::Length { dst: S(2), src: V(5) });
+        p.push(Inst::Splat { dst: V(4), value: S(1).into(), n: S(2).into() });
+        p.push(Inst::Scatter { region: R(1), idx: V(5), val: V(4) });
+        // Step 3: delete processed pointers; bump the round counter.
+        p.push(Inst::MaskNot { dst: M(1), src: M(0) });
+        p.push(Inst::Compress { dst: V(0), src: V(0), mask: M(1) });
+        p.push(Inst::Compress { dst: V(1), src: V(1), mask: M(1) });
+        p.push(Inst::Compress { dst: V(2), src: V(2), mask: M(1) });
+        p.push(Inst::Length { dst: S(0), src: V(0) });
+        p.push(Inst::SAlu { dst: S(1), op: AluOp::Add, a: S(1).into(), b: 1.into() });
+        // Step 4: repeat.
+        p.push(Inst::Jump { target: loop_top });
+        let end = p.here();
+        p.push(Inst::Halt);
+        p.patch_jump(jz, end);
+        p
+    }
+
+    #[test]
+    fn fol1_as_a_stored_program_matches_the_library() {
+        let targets: Vec<Word> = vec![0, 1, 0, 2, 2, 0];
+        let n = targets.len();
+
+        let mut m = Machine::new(CostModel::unit());
+        let work = m.alloc(3, "work");
+        let round_of = m.alloc(n, "round_of");
+        let mut regs = Registers::default();
+        *regs.v_mut(V(0)) = m.vimm(&targets);
+        *regs.v_mut(V(1)) = m.iota(0, n);
+        *regs.v_mut(V(2)) = m.iota(0, n);
+        *regs.s_mut(S(0)) = n as Word;
+        *regs.s_mut(S(1)) = 0;
+
+        let program = fol1_program();
+        let (regs, stop) = execute(&mut m, &program, &[work, round_of], regs, 10_000);
+        assert_eq!(stop, Stop::Halted);
+        assert_eq!(regs.s(S(1)), 3, "Fig 6 input needs 3 rounds");
+
+        // round_of must agree with a fresh library run's decomposition
+        // (same machine policy: LastWins default).
+        let rounds = m.mem().read_region(round_of);
+        let mut m2 = Machine::new(CostModel::unit());
+        let work2 = m2.alloc(3, "work");
+        let d = fol_core_equiv(&mut m2, work2, &targets);
+        for (round_idx, round) in d.iter().enumerate() {
+            for &pos in round {
+                assert_eq!(rounds[pos], round_idx as Word, "position {pos}");
+            }
+        }
+    }
+
+    /// Local re-implementation of the library FOL1 loop (fol-core depends
+    /// on fol-vm, so the dependency cannot point the other way; the
+    /// equivalence test in fol-suite's integration suite covers the real
+    /// pairing).
+    fn fol_core_equiv(
+        m: &mut Machine,
+        work: Region,
+        targets: &[Word],
+    ) -> Vec<Vec<usize>> {
+        let mut v = m.vimm(targets);
+        let mut labels = m.iota(0, targets.len());
+        let mut positions = m.iota(0, targets.len());
+        let mut rounds = Vec::new();
+        while !v.is_empty() {
+            m.scatter(work, &v, &labels);
+            let got = m.gather(work, &v);
+            let ok = m.vcmp(CmpOp::Eq, &got, &labels);
+            let sur = m.compress(&positions, &ok);
+            rounds.push(sur.iter().map(|p| p as usize).collect());
+            let rest = m.mask_not(&ok);
+            v = m.compress(&v, &rest);
+            labels = m.compress(&labels, &rest);
+            positions = m.compress(&positions, &rest);
+        }
+        rounds
+    }
+
+    #[test]
+    fn runaway_program_runs_out_of_fuel() {
+        let mut p = Program::new();
+        p.push(Inst::Jump { target: 0 });
+        let mut m = Machine::new(CostModel::unit());
+        let (_, stop) = execute(&mut m, &p, &[], Registers::default(), 100);
+        assert_eq!(stop, Stop::OutOfFuel);
+    }
+
+    #[test]
+    fn disassembly_is_readable() {
+        let p = fol1_program();
+        let text = format!("{p}");
+        assert!(text.contains("scatter r0[v0] = v1"));
+        assert!(text.contains("jz s0"));
+        assert!(text.contains("halt"));
+        assert_eq!(text.lines().count(), p.len());
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut p = Program::new();
+        p.push(Inst::Iota { dst: V(0), start: 0.into(), n: 4.into() });
+        p.push(Inst::AluS { dst: V(1), op: AluOp::Mul, a: V(0), b: 3.into() });
+        p.push(Inst::CmpS { dst: M(0), op: CmpOp::Ge, a: V(1), b: 6.into() });
+        p.push(Inst::Compress { dst: V(2), src: V(1), mask: M(0) });
+        p.push(Inst::CountTrue { dst: S(0), mask: M(0) });
+        p.push(Inst::Halt);
+        let mut m = Machine::new(CostModel::unit());
+        let (regs, stop) = execute(&mut m, &p, &[], Registers::default(), 100);
+        assert_eq!(stop, Stop::Halted);
+        assert_eq!(regs.v(V(2)).as_slice(), &[6, 9]);
+        assert_eq!(regs.s(S(0)), 2);
+    }
+
+    #[test]
+    fn program_charges_the_machine() {
+        let mut p = Program::new();
+        p.push(Inst::Splat { dst: V(0), value: 7.into(), n: 100.into() });
+        p.push(Inst::Halt);
+        let mut m = Machine::new(CostModel::s810());
+        let (_, _) = execute(&mut m, &p, &[], Registers::default(), 10);
+        assert!(m.stats().vector_cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a jump")]
+    fn patching_a_non_jump_panics() {
+        let mut p = Program::new();
+        let at = p.push(Inst::Halt);
+        p.patch_jump(at, 0);
+    }
+}

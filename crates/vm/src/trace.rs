@@ -1,0 +1,122 @@
+//! Optional instruction tracing.
+//!
+//! When enabled on a [`crate::Machine`], every issued instruction is appended
+//! to a [`Tracer`]. Traces are used by tests that assert *which* instructions
+//! an algorithm issues (e.g. that the FOL inner loop is free of scalar
+//! operations, the property the paper calls "performed entirely by vector
+//! operations"), and by humans debugging an algorithm's vector schedule.
+
+use crate::cost::OpKind;
+use std::fmt;
+
+/// One issued instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Vector length (or scalar operation count).
+    pub n: usize,
+    /// Cycles charged.
+    pub cycles: u64,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}(n={}, cycles={})", self.kind, self.n, self.cycles)
+    }
+}
+
+/// A recording of issued instructions.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    entries: Vec<TraceEntry>,
+}
+
+impl Tracer {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    pub(crate) fn record(&mut self, kind: OpKind, n: usize, cycles: u64) {
+        self.entries.push(TraceEntry { kind, n, cycles });
+    }
+
+    /// All recorded entries in issue order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears the recording.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Count of entries of one kind.
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.entries.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// True when the trace contains no scalar operations — the paper's
+    /// criterion for a fully vectorized phase.
+    pub fn is_fully_vector(&self) -> bool {
+        self.entries.iter().all(|e| e.kind.is_vector())
+    }
+}
+
+impl fmt::Display for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.entries.iter().enumerate() {
+            writeln!(f, "{i:4}: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut t = Tracer::new();
+        assert!(t.is_empty());
+        t.record(OpKind::VAlu, 4, 10);
+        t.record(OpKind::SLoad, 1, 12);
+        t.record(OpKind::VAlu, 8, 20);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.count(OpKind::VAlu), 2);
+        assert_eq!(t.count(OpKind::VGather), 0);
+        assert!(!t.is_fully_vector());
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn fully_vector_detection() {
+        let mut t = Tracer::new();
+        t.record(OpKind::VGather, 4, 10);
+        t.record(OpKind::VCompress, 4, 10);
+        assert!(t.is_fully_vector());
+    }
+
+    #[test]
+    fn display_is_one_line_per_entry() {
+        let mut t = Tracer::new();
+        t.record(OpKind::VIota, 3, 5);
+        let s = format!("{t}");
+        assert_eq!(s.lines().count(), 1);
+        assert!(s.contains("VIota(n=3, cycles=5)"));
+    }
+}

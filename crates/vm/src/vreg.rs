@@ -1,0 +1,257 @@
+//! Vector and mask values.
+//!
+//! A [`VReg`] is a variable-length vector of machine words, the unit of data
+//! every vector instruction consumes and produces. A [`Mask`] is the Boolean
+//! companion used by masked (`where`-controlled) operations. Lengths are
+//! unbounded at this level; the cost model charges per strip of the machine's
+//! configured register length, which is how real pipelined machines section
+//! long vectors.
+
+use std::fmt;
+
+/// The machine word. The paper's data (keys, pointers, labels, tags) are all
+/// single words; 64 bits comfortably satisfies the paper's requirement that a
+/// label fit one word (the ELS condition then guarantees atomic storage).
+pub type Word = i64;
+
+/// A vector value: the contents of a (virtual) vector register.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct VReg {
+    elems: Vec<Word>,
+}
+
+impl VReg {
+    /// Creates a vector from owned elements.
+    #[inline]
+    pub fn from_vec(elems: Vec<Word>) -> Self {
+        Self { elems }
+    }
+
+    /// Creates a vector by copying a slice.
+    #[inline]
+    pub fn from_slice(elems: &[Word]) -> Self {
+        Self { elems: elems.to_vec() }
+    }
+
+    /// An empty vector (length 0).
+    #[inline]
+    pub fn empty() -> Self {
+        Self { elems: Vec::new() }
+    }
+
+    /// An empty vector, usable in `static`/`const` contexts.
+    #[inline]
+    pub const fn empty_const() -> Self {
+        Self { elems: Vec::new() }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True when the vector has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Returns element `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[inline]
+    #[track_caller]
+    pub fn get(&self, i: usize) -> Word {
+        self.elems[i]
+    }
+
+    /// Read-only view of the elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[Word] {
+        &self.elems
+    }
+
+    /// Consumes the register, returning its elements.
+    #[inline]
+    pub fn into_vec(self) -> Vec<Word> {
+        self.elems
+    }
+
+    /// Iterator over the elements (copied).
+    pub fn iter(&self) -> impl Iterator<Item = Word> + '_ {
+        self.elems.iter().copied()
+    }
+}
+
+impl fmt::Debug for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VReg{:?}", self.elems)
+    }
+}
+
+impl From<Vec<Word>> for VReg {
+    fn from(v: Vec<Word>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl FromIterator<Word> for VReg {
+    fn from_iter<T: IntoIterator<Item = Word>>(iter: T) -> Self {
+        Self::from_vec(iter.into_iter().collect())
+    }
+}
+
+/// A mask value: the contents of a (virtual) mask register.
+///
+/// Produced by vector compares and consumed by masked operations,
+/// [`crate::Machine::compress`] and [`crate::Machine::count_true`].
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Mask {
+    bits: Vec<bool>,
+}
+
+impl Mask {
+    /// Creates a mask from owned booleans.
+    #[inline]
+    pub fn from_vec(bits: Vec<bool>) -> Self {
+        Self { bits }
+    }
+
+    /// Creates a mask by copying a slice.
+    #[inline]
+    pub fn from_slice(bits: &[bool]) -> Self {
+        Self { bits: bits.to_vec() }
+    }
+
+    /// A mask of `n` elements, all `value`.
+    #[inline]
+    pub fn splat(value: bool, n: usize) -> Self {
+        Self { bits: vec![value; n] }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when the mask has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[inline]
+    #[track_caller]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Read-only view of the bits.
+    #[inline]
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of `true` bits, computed for free (no cycle charge): use
+    /// [`crate::Machine::count_true`] inside modelled code.
+    #[inline]
+    pub fn popcount(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Iterator over the bits (copied).
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+}
+
+impl fmt::Debug for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mask[")?;
+        for (i, b) in self.bits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", if *b { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<bool>> for Mask {
+    fn from(v: Vec<bool>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl FromIterator<bool> for Mask {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        Self::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vreg_roundtrip() {
+        let v = VReg::from_slice(&[1, 2, 3]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v.get(1), 2);
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        assert_eq!(v.clone().into_vec(), vec![1, 2, 3]);
+        assert_eq!(v.iter().sum::<Word>(), 6);
+    }
+
+    #[test]
+    fn vreg_empty() {
+        let v = VReg::empty();
+        assert_eq!(v.len(), 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn vreg_from_iterator() {
+        let v: VReg = (0..4).collect();
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vreg_out_of_bounds_panics() {
+        VReg::from_slice(&[1]).get(1);
+    }
+
+    #[test]
+    fn mask_popcount_and_access() {
+        let m = Mask::from_slice(&[true, false, true]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.popcount(), 2);
+        assert!(m.get(0));
+        assert!(!m.get(1));
+    }
+
+    #[test]
+    fn mask_splat() {
+        let m = Mask::splat(true, 5);
+        assert_eq!(m.popcount(), 5);
+        let m = Mask::splat(false, 5);
+        assert_eq!(m.popcount(), 0);
+        assert!(Mask::splat(true, 0).is_empty());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", VReg::from_slice(&[7])), "VReg[7]");
+        assert_eq!(format!("{:?}", Mask::from_slice(&[true, false])), "Mask[1, 0]");
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests of the machine's instruction semantics and cost model.
+
+use fol_vm::{AluOp, CmpOp, ConflictPolicy, CostModel, Machine, Mask, OpKind, VReg, Word};
+use proptest::prelude::*;
+
+fn policies() -> impl Strategy<Value = ConflictPolicy> {
+    prop_oneof![
+        Just(ConflictPolicy::FirstWins),
+        Just(ConflictPolicy::LastWins),
+        any::<u64>().prop_map(ConflictPolicy::Arbitrary),
+    ]
+}
+
+proptest! {
+    /// ELS over random scatters: after any scatter, every targeted cell
+    /// holds one of the values written to it, and untouched cells are
+    /// unchanged.
+    #[test]
+    fn scatter_satisfies_els(
+        writes in prop::collection::vec((0usize..16, -100i64..100), 0..48),
+        policy in policies(),
+    ) {
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let r = m.alloc(16, "r");
+        m.vfill(r, -999);
+        let idx: VReg = writes.iter().map(|&(i, _)| i as Word).collect();
+        let val: VReg = writes.iter().map(|&(_, v)| v).collect();
+        m.scatter(r, &idx, &val);
+        for cell in 0..16usize {
+            let stored = m.mem().read(r.base() + cell);
+            let writers: Vec<Word> = writes
+                .iter()
+                .filter(|&&(i, _)| i == cell)
+                .map(|&(_, v)| v)
+                .collect();
+            if writers.is_empty() {
+                prop_assert_eq!(stored, -999, "cell {} must be untouched", cell);
+            } else {
+                prop_assert!(
+                    writers.contains(&stored),
+                    "cell {} holds {} not among {:?}",
+                    cell, stored, writers
+                );
+            }
+        }
+    }
+
+    /// gather(scatter(x)) round-trips when indices are distinct.
+    #[test]
+    fn gather_after_conflict_free_scatter_roundtrips(
+        perm_seed in any::<u64>(),
+        vals in prop::collection::vec(-1000i64..1000, 1..32),
+    ) {
+        let n = vals.len();
+        // Build a permutation of 0..n from the seed.
+        let mut idx: Vec<Word> = (0..n as Word).collect();
+        let mut s = perm_seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            idx.swap(i, j);
+        }
+        let mut m = Machine::new(CostModel::unit());
+        let r = m.alloc(n, "r");
+        let iv = m.vimm(&idx);
+        let vv = m.vimm(&vals);
+        m.scatter(r, &iv, &vv);
+        let back = m.gather(r, &iv);
+        prop_assert_eq!(back.as_slice(), &vals[..]);
+    }
+
+    /// compress/expand are inverses for any data and mask.
+    #[test]
+    fn compress_expand_inverse(
+        data in prop::collection::vec(-50i64..50, 0..40),
+        bits in prop::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let n = data.len().min(bits.len());
+        let mut m = Machine::new(CostModel::unit());
+        let v = m.vimm(&data[..n]);
+        let mask = Mask::from_slice(&bits[..n]);
+        let packed = m.compress(&v, &mask);
+        let unpacked = m.expand(&packed, &mask, -77);
+        for i in 0..n {
+            if mask.get(i) {
+                prop_assert_eq!(unpacked.get(i), v.get(i));
+            } else {
+                prop_assert_eq!(unpacked.get(i), -77);
+            }
+        }
+    }
+
+    /// The prefix-sum instruction equals the sequential fold.
+    #[test]
+    fn prefix_sum_matches_fold(data in prop::collection::vec(-100i64..100, 0..64)) {
+        let mut m = Machine::new(CostModel::unit());
+        let v = m.vimm(&data);
+        let p = m.vprefix_sum(&v);
+        let mut acc = 0i64;
+        for (i, &x) in data.iter().enumerate() {
+            acc += x;
+            prop_assert_eq!(p.get(i), acc);
+        }
+    }
+
+    /// Vector cost is monotone in length and every op charges something.
+    #[test]
+    fn vector_cost_monotone(n in 0usize..10_000, extra in 1usize..1000) {
+        let model = CostModel::s810();
+        for kind in [OpKind::VLoad, OpKind::VGather, OpKind::VScatter, OpKind::VAlu] {
+            let a = model.vector_cost(kind, n);
+            let b = model.vector_cost(kind, n + extra);
+            prop_assert!(b > a || (a > 0 && n + extra <= model.vlen && b >= a));
+            prop_assert!(a > 0);
+        }
+    }
+
+    /// select() agrees with the mask-wise definition and masked ALU keeps
+    /// unmasked lanes.
+    #[test]
+    fn select_and_masked_alu(
+        pairs in prop::collection::vec((-50i64..50, -50i64..50, any::<bool>()), 0..32),
+    ) {
+        let mut m = Machine::new(CostModel::unit());
+        let a: VReg = pairs.iter().map(|&(x, _, _)| x).collect();
+        let b: VReg = pairs.iter().map(|&(_, y, _)| y).collect();
+        let mask: Mask = pairs.iter().map(|&(_, _, t)| t).collect();
+        let sel = m.select(&mask, &a, &b);
+        let sum = m.valu_masked(AluOp::Add, &a, &b, &mask);
+        for (i, &(x, y, t)) in pairs.iter().enumerate() {
+            prop_assert_eq!(sel.get(i), if t { x } else { y });
+            prop_assert_eq!(sum.get(i), if t { x + y } else { x });
+        }
+    }
+
+    /// Compare + count_true equals the host count.
+    #[test]
+    fn cmp_count_agree(data in prop::collection::vec(-20i64..20, 0..64), pivot in -20i64..20) {
+        let mut m = Machine::new(CostModel::unit());
+        let v = m.vimm(&data);
+        let mask = m.vcmp_s(CmpOp::Lt, &v, pivot);
+        let counted = m.count_true(&mask);
+        prop_assert_eq!(counted, data.iter().filter(|&&x| x < pivot).count());
+    }
+}

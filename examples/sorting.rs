@@ -1,0 +1,71 @@
+//! The paper's O(N) sorts: the Fig 13 worked example, then Table 1's
+//! modelled acceleration at a realistic size.
+//!
+//! Run with: `cargo run --release --example sorting`
+
+use fol_suite::sort::{address_calc, dist_count, is_sorted};
+use fol_suite::vm::{CostModel, Machine};
+
+fn main() {
+    fig13_example();
+    table1_sample();
+}
+
+/// Fig 13: A = [38, 11, 42, 39], keys in [0, 100).
+fn fig13_example() {
+    println!("— Fig 13: address-calculation sort of [38, 11, 42, 39] —");
+    let mut m = Machine::new(CostModel::s810());
+    let a = m.alloc(4, "A");
+    m.mem_mut().write_region(a, &[38, 11, 42, 39]);
+    let report = address_calc::vectorized_sort(&mut m, a, 100);
+    println!(
+        "sorted: {:?} in {} FOL iterations, {} shift steps\n",
+        m.mem().read_region(a),
+        report.iterations,
+        report.shift_steps
+    );
+    assert_eq!(m.mem().read_region(a), vec![11, 38, 39, 42]);
+}
+
+/// One row of each half of Table 1 at N = 4096.
+fn table1_sample() {
+    let n = 4096usize;
+    let data: Vec<i64> = (0..n as i64).map(|i| (i * 48271) % 65536).collect();
+
+    println!("— Table 1 sample: N = {n} —");
+    for (name, scalar, vector) in [
+        (
+            "address calculation sort",
+            run(&data, |m, a| {
+                let _ = address_calc::scalar_sort(m, a, 65536);
+            }),
+            run(&data, |m, a| {
+                let _ = address_calc::vectorized_sort(m, a, 65536);
+            }),
+        ),
+        (
+            "distribution counting sort",
+            run(&data, |m, a| {
+                let _ = dist_count::scalar_sort(m, a, 65536);
+            }),
+            run(&data, |m, a| {
+                let _ = dist_count::vectorized_sort(m, a, 65536);
+            }),
+        ),
+    ] {
+        println!(
+            "{name}: scalar {scalar} cycles, vector {vector} cycles -> {:.2}x",
+            scalar as f64 / vector as f64
+        );
+    }
+}
+
+fn run(data: &[i64], f: impl FnOnce(&mut Machine, fol_suite::vm::Region)) -> u64 {
+    let mut m = Machine::new(CostModel::s810());
+    let a = m.alloc(data.len(), "A");
+    m.mem_mut().write_region(a, data);
+    m.reset_stats();
+    f(&mut m, a);
+    assert!(is_sorted(&m.mem().read_region(a)));
+    m.stats().cycles()
+}

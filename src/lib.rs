@@ -1,0 +1,25 @@
+//! # fol-suite — umbrella crate for the FOL vector-processing suite
+//!
+//! A reproduction of Yasusi Kanada, *"A Method of Vector Processing for
+//! Shared Symbolic Data"* (Supercomputing '91): the filtering-overwritten-
+//! label (FOL) method and every substrate and application it is evaluated
+//! on. This crate re-exports the workspace's public API under one roof and
+//! hosts the runnable examples (`examples/`) and cross-crate integration
+//! tests (`tests/`).
+//!
+//! Start with [`vm`] (the simulated vector machine), then [`core`] (the FOL
+//! algorithms), then the applications: [`hash`], [`sort`], [`tree`],
+//! [`graph`], [`gc`], [`maze`], [`queens`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fol_core as core;
+pub use fol_gc as gc;
+pub use fol_graph as graph;
+pub use fol_hash as hash;
+pub use fol_maze as maze;
+pub use fol_queens as queens;
+pub use fol_sort as sort;
+pub use fol_tree as tree;
+pub use fol_vm as vm;

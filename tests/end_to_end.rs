@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: whole pipelines on one machine, shape
+//! checks of the headline results, and conflict-policy invariance across
+//! every application at once.
+
+use fol_suite::gc::{collect_vector, Heap};
+use fol_suite::graph::dag::DagValues;
+use fol_suite::graph::{dag, list};
+use fol_suite::hash::open_addressing as oa;
+use fol_suite::hash::ProbeStrategy;
+use fol_suite::sort::{address_calc, dist_count};
+use fol_suite::tree::bst::{self, Bst};
+use fol_suite::vm::{ConflictPolicy, CostModel, Machine, Word};
+
+fn lcg_keys(n: usize, limit: Word, mut seed: u64) -> Vec<Word> {
+    (0..n)
+        .map(|_| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as Word).rem_euclid(limit)
+        })
+        .collect()
+}
+
+/// One machine hosts a full symbolic workload: hash a key set, sort it,
+/// index it in a BST, thread it through lists, and collect garbage — all
+/// vectorized, all on shared memory, cycle-metered end to end.
+#[test]
+fn one_machine_runs_the_whole_suite() {
+    let mut m = Machine::new(CostModel::s810());
+    let keys: Vec<Word> = (0..200).map(|i| i * 131 + 7).collect();
+
+    // Hash table.
+    let table = m.alloc(521, "table");
+    oa::init_table(&mut m, table);
+    let _ = oa::vectorized_insert_all(&mut m, table, &keys, ProbeStrategy::KeyDependent);
+    for &k in &keys {
+        assert!(oa::contains(&m.mem().read_region(table), k, ProbeStrategy::KeyDependent));
+    }
+
+    // Sort a copy.
+    let a = m.alloc(keys.len(), "A");
+    m.mem_mut().write_region(a, &keys);
+    let _ = address_calc::vectorized_sort(&mut m, a, 1 << 20);
+    let sorted = m.mem().read_region(a);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    assert_eq!(sorted, expect);
+
+    // BST over the same keys.
+    let mut t = Bst::alloc(&mut m, keys.len());
+    let _ = bst::vectorized_insert_all(&mut m, &mut t, &keys);
+    assert_eq!(t.inorder(&m), expect);
+
+    // Lists with a batch insertion.
+    let mut arena = list::ListArena::alloc(&mut m, 64);
+    let head = arena.build(&mut m, &[1, 2, 3]);
+    let _ = list::insert_after_many(&mut m, &mut arena, &[0, 0, 2], &[9, 8, 7]);
+    let collected = arena.collect(&m, head);
+    assert_eq!(collected.len(), 6);
+
+    // GC a small heap.
+    let mut from = Heap::alloc(&mut m, 64, "from");
+    let live = from.list_of(&mut m, &[1, 2, 3]);
+    let _ = from.list_of(&mut m, &[9, 9]);
+    let (to, roots, rep) = collect_vector(&mut m, &from, &[live]);
+    assert_eq!(rep.copied, 3);
+    assert!(Heap::same_shape(&m, &from, live, &to, roots[0]));
+
+    assert!(m.stats().cycles() > 0);
+    assert!(m.stats().vector_instructions > 100);
+}
+
+/// Every application produces policy-independent results (as sets /
+/// structures), exercising the ELS-condition argument across the suite.
+#[test]
+fn conflict_policy_invariance_across_applications() {
+    let policies = [
+        ConflictPolicy::FirstWins,
+        ConflictPolicy::LastWins,
+        ConflictPolicy::Arbitrary(1),
+        ConflictPolicy::Arbitrary(0xDEAD),
+    ];
+    let keys = lcg_keys(300, 1 << 20, 42);
+    let mut distinct = keys.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+
+    let mut sorted_results = Vec::new();
+    let mut hash_results = Vec::new();
+    let mut bst_results = Vec::new();
+    for policy in &policies {
+        // Sorting.
+        let mut m = Machine::with_policy(CostModel::s810(), policy.clone());
+        let a = m.alloc(keys.len(), "A");
+        m.mem_mut().write_region(a, &keys);
+        let _ = dist_count::vectorized_sort(&mut m, a, 1 << 20);
+        sorted_results.push(m.mem().read_region(a));
+
+        // Hashing (distinct keys only).
+        let mut m = Machine::with_policy(CostModel::s810(), policy.clone());
+        let table = m.alloc(4099, "table");
+        oa::init_table(&mut m, table);
+        let _ = oa::vectorized_insert_all(&mut m, table, &distinct, ProbeStrategy::KeyDependent);
+        hash_results.push(oa::stored_keys(&m.mem().read_region(table)));
+
+        // BST.
+        let mut m = Machine::with_policy(CostModel::s810(), policy.clone());
+        let mut t = Bst::alloc(&mut m, keys.len());
+        let _ = bst::vectorized_insert_all(&mut m, &mut t, &keys);
+        bst_results.push(t.inorder(&m));
+    }
+    for w in sorted_results.windows(2) {
+        assert_eq!(w[0], w[1], "sorting must be policy-independent");
+    }
+    for w in hash_results.windows(2) {
+        assert_eq!(w[0], w[1], "stored key set must be policy-independent");
+    }
+    for w in bst_results.windows(2) {
+        assert_eq!(w[0], w[1], "BST contents must be policy-independent");
+    }
+}
+
+/// The headline shape: at load factor 0.5 the vectorized hash insertion
+/// beats the scalar one, and by more on the larger table.
+#[test]
+fn headline_acceleration_shape() {
+    let run = |size: usize| {
+        let n = size / 2;
+        let keys = lcg_keys(n * 3, 1 << 30, size as u64)
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .take(n)
+            .collect::<Vec<_>>();
+        assert_eq!(keys.len(), n);
+        let mut ms = Machine::new(CostModel::s810());
+        let ts = ms.alloc(size, "t");
+        oa::init_table(&mut ms, ts);
+        ms.reset_stats();
+        let _ = oa::scalar_insert_all(&mut ms, ts, &keys, ProbeStrategy::KeyDependent);
+        let scalar = ms.stats().cycles();
+        let mut mv = Machine::new(CostModel::s810());
+        let tv = mv.alloc(size, "t");
+        oa::init_table(&mut mv, tv);
+        mv.reset_stats();
+        let _ = oa::vectorized_insert_all(&mut mv, tv, &keys, ProbeStrategy::KeyDependent);
+        scalar as f64 / mv.stats().cycles() as f64
+    };
+    let small = run(521);
+    let large = run(4099);
+    assert!(small > 2.0, "small-table accel {small:.2}");
+    assert!(large > small, "larger table must accelerate more: {small:.2} vs {large:.2}");
+}
+
+/// Host-parallel path (rayon) agrees with the machine path on the DAG
+/// update workload.
+#[test]
+fn machine_and_host_parallel_agree() {
+    let n_nodes = 32;
+    let nodes_usize: Vec<usize> = (0..500).map(|i| (i * 7) % n_nodes).collect();
+    let nodes_word: Vec<Word> = nodes_usize.iter().map(|&x| x as Word).collect();
+    let deltas: Vec<i64> = (0..500).map(|i| (i % 11) as i64).collect();
+
+    let mut m = Machine::new(CostModel::s810());
+    let d = DagValues::alloc(&mut m, n_nodes);
+    let _ = dag::vectorized_add_deltas(&mut m, &d, &nodes_word, &deltas);
+    let machine_values = m.mem().read_region(d.values);
+
+    let mut host_values = vec![0i64; n_nodes];
+    dag::par_add_deltas(&mut host_values, &nodes_usize, &deltas);
+    assert_eq!(machine_values, host_values);
+}

@@ -1,0 +1,156 @@
+//! Integration tests for the extension systems: maze router, N-queens,
+//! equi-join, radix sort, rebalancing, rehashing and connected components —
+//! cross-checked against independent oracles and across ELS policies.
+
+use fol_suite::graph::components::{
+    union_find_components, vectorized_components, Components,
+};
+use fol_suite::hash::chaining::{self, ChainTable};
+use fol_suite::hash::join::{scalar_hash_join, vectorized_hash_join};
+use fol_suite::maze::{vectorized_route, Maze};
+use fol_suite::queens::{scalar_solve, vector_solve, KNOWN_COUNTS};
+use fol_suite::sort::radix;
+use fol_suite::tree::bst::{self, Bst};
+use fol_suite::tree::rebalance::{min_height, rebalance};
+use fol_suite::vm::{ConflictPolicy, CostModel, Machine, Word};
+use proptest::prelude::*;
+
+fn policies() -> impl Strategy<Value = ConflictPolicy> {
+    prop_oneof![
+        Just(ConflictPolicy::FirstWins),
+        Just(ConflictPolicy::LastWins),
+        any::<u64>().prop_map(ConflictPolicy::Arbitrary),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Maze router equals host BFS on random grids.
+    #[test]
+    fn maze_matches_bfs(
+        walls in prop::collection::vec(0u8..100, 48),
+        density in 0u8..45,
+        policy in policies(),
+    ) {
+        let (w, h) = (8usize, 6usize);
+        let bitmap: Vec<bool> = walls
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| i != 0 && i != w * h - 1 && r < density)
+            .collect();
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let maze = Maze::new(&mut m, w, h, &bitmap);
+        let (a, b) = (maze.at(0, 0), maze.at(w - 1, h - 1));
+        let expect = maze.shortest_distance_host(&m, a, b);
+        let got = vectorized_route(&mut m, &maze, a, b).distance;
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Join equals the nested-loop oracle on random relations.
+    #[test]
+    fn join_matches_nested_loop(
+        build in prop::collection::vec(0i64..40, 0..60),
+        probe in prop::collection::vec(0i64..40, 0..60),
+        policy in policies(),
+    ) {
+        let mut expect = Vec::new();
+        for (pi, &pk) in probe.iter().enumerate() {
+            for (bi, &bk) in build.iter().enumerate() {
+                if pk == bk {
+                    expect.push((pi, bi));
+                }
+            }
+        }
+        expect.sort_unstable();
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let mut got = vectorized_hash_join(&mut m, &build, &probe, 7);
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Radix sort equals std sort for random data and digit widths.
+    #[test]
+    fn radix_matches_std(
+        data in prop::collection::vec(0i64..1024, 0..150),
+        radix_bits in 1u32..9,
+        policy in policies(),
+    ) {
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let a = m.alloc(data.len(), "A");
+        m.mem_mut().write_region(a, &data);
+        let _ = radix::vectorized_sort(&mut m, a, 10, radix_bits);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(m.mem().read_region(a), expect);
+    }
+
+    /// Rebalancing preserves contents and reaches minimum height.
+    #[test]
+    fn rebalance_invariants(
+        keys in prop::collection::vec(0i64..500, 1..80),
+        policy in policies(),
+    ) {
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let mut t = Bst::alloc(&mut m, keys.len());
+        let _ = bst::vectorized_insert_all(&mut m, &mut t, &keys);
+        let b = rebalance(&mut m, &t, 500);
+        prop_assert_eq!(b.inorder(&m), t.inorder(&m));
+        prop_assert_eq!(b.height(&m), min_height(keys.len()));
+    }
+
+    /// Rehashing preserves the key multiset at any growth factor.
+    #[test]
+    fn rehash_preserves_keys(
+        keys in prop::collection::vec(0i64..1000, 0..80),
+        new_buckets in 1usize..40,
+        policy in policies(),
+    ) {
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let mut t = ChainTable::alloc(&mut m, 5, keys.len().max(1));
+        let _ = chaining::vectorized_insert_all(&mut m, &mut t, &keys);
+        let out = chaining::rehash(&mut m, &t, new_buckets);
+        prop_assert_eq!(chaining::all_keys(&m, &out), chaining::all_keys(&m, &t));
+    }
+
+    /// Connected components equal union-find on random graphs.
+    #[test]
+    fn components_match_union_find(
+        edges in prop::collection::vec((0i64..20, 0i64..20), 0..40),
+        policy in policies(),
+    ) {
+        let n = 20;
+        let expect = union_find_components(n, &edges);
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let g = Components::new(&mut m, n, &edges);
+        let _ = vectorized_components(&mut m, &g);
+        prop_assert_eq!(g.labelling(&m), expect);
+    }
+}
+
+#[test]
+fn queens_counts_and_scalar_agreement() {
+    for (n, &expect) in KNOWN_COUNTS.iter().enumerate().take(9) {
+        let mut mv = Machine::new(CostModel::unit());
+        let v = vector_solve(&mut mv, n, false);
+        assert_eq!(v.count, expect, "n={n}");
+        let mut ms = Machine::new(CostModel::unit());
+        assert_eq!(scalar_solve(&mut ms, n).count, v.count, "n={n}");
+    }
+}
+
+#[test]
+fn join_modelled_speedup_holds_cross_crate() {
+    let build: Vec<Word> = (0..600).map(|i| i * 3 % 1000).collect();
+    let probe: Vec<Word> = (0..600).map(|i| i * 7 % 1000).collect();
+    let mut ms = Machine::new(CostModel::s810());
+    ms.reset_stats();
+    let a = scalar_hash_join(&mut ms, &build, &probe, 127);
+    let sc = ms.stats().cycles();
+    let mut mv = Machine::new(CostModel::s810());
+    mv.reset_stats();
+    let b = vectorized_hash_join(&mut mv, &build, &probe, 127);
+    let vc = mv.stats().cycles();
+    assert_eq!(a.len(), b.len());
+    assert!(vc * 2 < sc, "join: scalar {sc} vs vector {vc}");
+}

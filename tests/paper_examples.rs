@@ -1,0 +1,99 @@
+//! The paper's literal worked examples, as executable tests: Fig 4's
+//! lost-update accident, Fig 6's decomposition, Fig 7's chaining
+//! walkthrough, Fig 13's sorting trace, Fig 5's tree rewrite.
+
+use fol_suite::core::host::fol1_host;
+use fol_suite::core::theory;
+use fol_suite::hash::chaining::ChainTable;
+use fol_suite::hash::{chaining, hash_mod, UNENTERED};
+use fol_suite::sort::address_calc;
+use fol_suite::tree::rewrite::{self, OpTree};
+use fol_suite::vm::{AluOp, CostModel, Machine};
+
+#[test]
+fn fig4_forced_vectorization_loses_a_key() {
+    // Keys 353 and 911 collide (both hash to 5); a single unconditional
+    // scatter stores exactly one of them under the ELS condition.
+    assert_eq!(hash_mod(353, 6), 5);
+    assert_eq!(hash_mod(911, 6), 5);
+    let mut m = Machine::new(CostModel::s810());
+    let table = m.alloc(6, "table");
+    m.vfill(table, UNENTERED);
+    let keys = m.vimm(&[353, 911]);
+    let hv = m.valu_s(AluOp::Mod, &keys, 6);
+    m.scatter(table, &hv, &keys);
+    let stored: Vec<_> =
+        m.mem().read_region(table).into_iter().filter(|&w| w != UNENTERED).collect();
+    assert_eq!(stored.len(), 1, "exactly one key survives the forced scatter");
+    assert!(stored[0] == 353 || stored[0] == 911);
+}
+
+#[test]
+fn fig6_decomposition_of_the_shared_set() {
+    // V = [a, b, a, c, c, a] over cells {a=0, b=1, c=2}: S1..S3 with sizes
+    // 3, 2, 1 — Fig 6's picture.
+    let v = [0usize, 1, 0, 2, 2, 0];
+    let d = fol1_host(&v, 3);
+    assert_eq!(d.sizes(), vec![3, 2, 1]);
+    assert!(theory::is_disjoint_cover(&d, 6));
+    assert!(theory::rounds_target_distinct(&d, &v));
+    let words: Vec<i64> = v.iter().map(|&x| x as i64).collect();
+    assert!(theory::is_minimal(&d, &words));
+}
+
+#[test]
+fn fig7_chaining_walkthrough() {
+    // Two colliding keys and three singles enter a 6-bucket chained table
+    // in exactly two FOL rounds; the colliding pair shares bucket 5.
+    let mut m = Machine::new(CostModel::s810());
+    let mut t = ChainTable::alloc(&mut m, 6, 8);
+    let rounds = chaining::vectorized_insert_all(&mut m, &mut t, &[353, 911, 7, 14, 3]);
+    assert_eq!(rounds, 2);
+    let mut bucket5 = t.chains(&m)[5].clone();
+    bucket5.sort_unstable();
+    assert_eq!(bucket5, vec![353, 911]);
+}
+
+#[test]
+fn fig13_address_calculation_trace() {
+    // A = [38, 11, 42, 39] in [0, 100): hashes 3, 0, 3, 3; the three-way
+    // collision resolves over FOL iterations and the packed result is
+    // sorted. (Fig 13b shows the same input taking 2 vector iterations.)
+    let mut m = Machine::new(CostModel::s810());
+    let a = m.alloc(4, "A");
+    m.mem_mut().write_region(a, &[38, 11, 42, 39]);
+    let report = address_calc::vectorized_sort(&mut m, a, 100);
+    assert_eq!(m.mem().read_region(a), vec![11, 38, 39, 42]);
+    assert!(report.iterations >= 2, "38/42/39 collide: more than one iteration");
+}
+
+#[test]
+fn fig5_overlapping_rewrites_are_sequenced() {
+    // a * (b * (c * d)): sites n1 and n3 share node n3; the parallel batch
+    // may contain only one of them, and the final form is the left comb
+    // with leaves in the original order.
+    let mut m = Machine::new(CostModel::s810());
+    let t = OpTree::right_comb(&mut m, &[1, 2, 3, 4]);
+    let sites = rewrite::find_sites(&mut m, &t);
+    assert_eq!(sites.len(), 2);
+
+    let report = rewrite::vectorized_rewrite_to_normal_form(&mut m, &t);
+    assert!(report.passes >= 2, "overlap forces at least two passes");
+    assert!(t.is_normal_form(&m));
+    assert_eq!(t.leaves_inorder(&m), vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn theorem3_duplicate_free_means_one_round() {
+    let v: Vec<usize> = (0..100).rev().collect();
+    let d = fol1_host(&v, 100);
+    assert_eq!(d.num_rounds(), 1);
+}
+
+#[test]
+fn theorem6_all_equal_means_n_rounds() {
+    let v = vec![0usize; 40];
+    let d = fol1_host(&v, 1);
+    assert_eq!(d.num_rounds(), 40);
+    assert_eq!(theory::fol1_work(&d.sizes()), 40 * 41 / 2, "O(N^2) worst-case work");
+}

@@ -1,0 +1,196 @@
+//! Workspace-level property tests: every vectorized application is checked
+//! against an independent oracle under random inputs and random
+//! ELS-conforming conflict policies.
+
+use fol_suite::core::vectorize::{UpdateLoop, UpdateOp};
+use fol_suite::gc::{collect_vector, encode_imm, is_pointer, Heap};
+use fol_suite::vm::expr::Expr;
+use fol_suite::hash::chaining::{self, ChainTable};
+use fol_suite::hash::open_addressing as oa;
+use fol_suite::hash::ProbeStrategy;
+use fol_suite::sort::{address_calc, dist_count};
+use fol_suite::tree::bst::{self, Bst};
+use fol_suite::tree::rewrite::{self, OpTree};
+use fol_suite::vm::{ConflictPolicy, CostModel, Machine, Word};
+use proptest::prelude::*;
+
+fn policies() -> impl Strategy<Value = ConflictPolicy> {
+    prop_oneof![
+        Just(ConflictPolicy::FirstWins),
+        Just(ConflictPolicy::LastWins),
+        any::<u64>().prop_map(ConflictPolicy::Arbitrary),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Open addressing stores exactly the key set and lookup succeeds, for
+    /// any distinct key set and policy.
+    #[test]
+    fn open_addressing_correct(
+        raw in prop::collection::hash_set(0i64..1_000_000, 0..120),
+        policy in policies(),
+    ) {
+        let keys: Vec<Word> = raw.into_iter().collect();
+        let size = (keys.len() * 2 + 37).max(37);
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let t = m.alloc(size, "table");
+        oa::init_table(&mut m, t);
+        let _ = oa::vectorized_insert_all(&mut m, t, &keys, ProbeStrategy::KeyDependent);
+        let snap = m.mem().read_region(t);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(oa::stored_keys(&snap), expect);
+        for &k in &keys {
+            prop_assert!(oa::contains(&snap, k, ProbeStrategy::KeyDependent));
+        }
+    }
+
+    /// Chaining stores every key (duplicates included) in its home bucket.
+    #[test]
+    fn chaining_correct(
+        keys in prop::collection::vec(0i64..10_000, 0..100),
+        policy in policies(),
+    ) {
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let mut t = ChainTable::alloc(&mut m, 17, keys.len().max(1));
+        let _ = chaining::vectorized_insert_all(&mut m, &mut t, &keys);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(chaining::all_keys(&m, &t), expect);
+        // Every key is in the bucket its hash names.
+        let chains = t.chains(&m);
+        for (b, chain) in chains.iter().enumerate() {
+            for &k in chain {
+                prop_assert_eq!(fol_suite::hash::hash_mod(k, 17) as usize, b);
+            }
+        }
+    }
+
+    /// Both vectorized sorts equal std's sort for any input and policy.
+    #[test]
+    fn sorts_match_std(
+        data in prop::collection::vec(0i64..500, 0..200),
+        policy in policies(),
+    ) {
+        let mut expect = data.clone();
+        expect.sort_unstable();
+
+        let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+        let a = m.alloc(data.len(), "A");
+        m.mem_mut().write_region(a, &data);
+        let _ = address_calc::vectorized_sort(&mut m, a, 500);
+        prop_assert_eq!(m.mem().read_region(a), expect.clone());
+
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let a = m.alloc(data.len(), "A");
+        m.mem_mut().write_region(a, &data);
+        let _ = dist_count::vectorized_sort(&mut m, a, 500);
+        prop_assert_eq!(m.mem().read_region(a), expect);
+    }
+
+    /// BST multi-insert: inorder equals the sorted multiset; membership
+    /// holds for every key.
+    #[test]
+    fn bst_inorder_sorted(
+        keys in prop::collection::vec(0i64..5_000, 0..150),
+        policy in policies(),
+    ) {
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let mut t = Bst::alloc(&mut m, keys.len().max(1));
+        let _ = bst::vectorized_insert_all(&mut m, &mut t, &keys);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(t.inorder(&m), expect);
+        for &k in &keys {
+            prop_assert!(t.contains(&m, k));
+        }
+    }
+
+    /// Tree rewriting: normal form reached, in-order leaves preserved,
+    /// associative evaluation unchanged — for any leaf sequence.
+    #[test]
+    fn rewrite_preserves_semantics(
+        symbols in prop::collection::vec(0i64..100, 1..40),
+        policy in policies(),
+    ) {
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let t = OpTree::right_comb(&mut m, &symbols);
+        let leaves = t.leaves_inorder(&m);
+        let value = t.eval_affine(&m);
+        let _ = rewrite::vectorized_rewrite_to_normal_form(&mut m, &t);
+        prop_assert!(t.is_normal_form(&m));
+        prop_assert_eq!(t.leaves_inorder(&m), leaves);
+        prop_assert_eq!(t.eval_affine(&m), value);
+    }
+
+    /// The vectorizing transformation equals the sequential loop for random
+    /// update loops (random subscript expressions, combines, inputs and
+    /// conflict policies) — the transformation-correctness property that
+    /// subsumes the per-application differential tests.
+    #[test]
+    fn vectorized_update_loop_equals_sequential(
+        input in prop::collection::vec(0i64..1000, 0..80),
+        mult in 1i64..20,
+        add in 0i64..50,
+        table_bits in 2u32..6,
+        op_pick in 0u8..4,
+        policy in policies(),
+    ) {
+        let table_len = 1usize << table_bits;
+        let op = match op_pick {
+            0 => UpdateOp::Store,
+            1 => UpdateOp::Add,
+            2 => UpdateOp::Min,
+            _ => UpdateOp::Max,
+        };
+        let lp = UpdateLoop {
+            target: Expr::input().times(mult).plus(add).modulo(table_len as i64),
+            value: Expr::input().plus(1),
+            op,
+        };
+        let mut ms = Machine::new(CostModel::unit());
+        let ts = ms.alloc(table_len, "table");
+        ms.vfill(ts, 0);
+        lp.run_scalar(&mut ms, ts, &input);
+
+        let mut mv = Machine::with_policy(CostModel::unit(), policy);
+        let tv = mv.alloc(table_len, "table");
+        let wv = mv.alloc(table_len, "work");
+        mv.vfill(tv, 0);
+        let _ = lp.run_vectorized(&mut mv, tv, wv, &input);
+        prop_assert_eq!(ms.mem().read_region(ts), mv.mem().read_region(tv));
+    }
+
+    /// GC: every root's reachable graph is shape-preserved, and the copy
+    /// count never exceeds the live-cell count.
+    #[test]
+    fn gc_preserves_reachable_graphs(
+        shape in prop::collection::vec((0u8..4, 0i64..50, 0i64..50), 1..40),
+        root_picks in prop::collection::vec(any::<prop::sample::Index>(), 1..6),
+        policy in policies(),
+    ) {
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let mut from = Heap::alloc(&mut m, shape.len(), "from");
+        // Build a random heap: fields are immediates or backward pointers,
+        // guaranteeing a valid (possibly shared) DAG.
+        for (i, &(kind, a, b)) in shape.iter().enumerate() {
+            let field = |sel: bool, v: i64| -> Word {
+                if sel && i > 0 { v.rem_euclid(i as i64) } else { encode_imm(v) }
+            };
+            let car = field(kind & 1 != 0, a);
+            let cdr = field(kind & 2 != 0, b);
+            let _ = from.cons(&mut m, car, cdr);
+        }
+        let roots: Vec<Word> =
+            root_picks.iter().map(|ix| ix.index(shape.len()) as Word).collect();
+        let (to, new_roots, rep) = collect_vector(&mut m, &from, &roots);
+        prop_assert!(rep.copied <= shape.len());
+        prop_assert_eq!(new_roots.len(), roots.len());
+        for (i, &orig) in roots.iter().enumerate() {
+            prop_assert!(is_pointer(new_roots[i]));
+            prop_assert!(Heap::same_shape(&m, &from, orig, &to, new_roots[i]));
+        }
+    }
+}
