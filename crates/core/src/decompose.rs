@@ -7,6 +7,7 @@
 //! same decomposition by direct grouping on the host (no vector machine),
 //! and is the oracle the property tests compare against.
 
+use crate::error::{validate_decomposition, FolError, Validation};
 use crate::Decomposition;
 use fol_vm::{CmpOp, Machine, Region, VReg, Word};
 
@@ -55,32 +56,98 @@ pub fn fol1_machine_labeled(
     index_vec: &[Word],
     labels: &VReg,
 ) -> Decomposition {
-    assert_eq!(index_vec.len(), labels.len(), "one label per index vector element");
-    debug_assert!(
-        {
-            let mut seen = std::collections::HashSet::new();
-            labels.iter().all(|l| seen.insert(l))
-        },
-        "FOL1 requires unique labels"
-    );
+    try_fol1_machine_labeled(m, work, index_vec, labels, Validation::Off)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`fol1_machine`]: every way the decomposition can go wrong —
+/// out-of-bounds targets, an ELS violation manifesting as a survivor-free
+/// detection pass ([`FolError::NoSurvivors`], Theorem 1), a non-converging
+/// loop ([`FolError::RoundBudgetExceeded`]) — comes back as a typed error
+/// instead of a panic or an infinite loop.
+///
+/// `validation` additionally verifies the *result* before it is returned:
+/// at [`Validation::Full`] an ELS-violating machine (e.g. one with a
+/// torn-write [`fol_vm::FaultPlan`] installed) that smuggles extra rounds
+/// past the detection loop is caught as [`FolError::NotMinimal`]. The
+/// guarantee this buys is central to the adversarial test suite: the
+/// fallible decomposers **never return a silently wrong decomposition** —
+/// on ELS-conforming hardware they return the correct minimal result, and
+/// on broken hardware they either still produce a valid decomposition or
+/// report a typed error.
+pub fn try_fol1_machine(
+    m: &mut Machine,
+    work: Region,
+    index_vec: &[Word],
+    validation: Validation,
+) -> Result<Decomposition, FolError> {
+    let n = index_vec.len();
+    let labels = m.iota(0, n);
+    try_fol1_machine_labeled(m, work, index_vec, &labels, validation)
+}
+
+/// Fallible [`fol1_machine_labeled`]. See [`try_fol1_machine`].
+///
+/// The algorithm's preconditions are always enforced (not only in debug
+/// builds): labels must be pairwise distinct
+/// ([`FolError::DuplicateLabels`]), one label per element
+/// ([`FolError::LengthMismatch`]), and every target must address `work`
+/// ([`FolError::TargetOutOfBounds`]).
+pub fn try_fol1_machine_labeled(
+    m: &mut Machine,
+    work: Region,
+    index_vec: &[Word],
+    labels: &VReg,
+    validation: Validation,
+) -> Result<Decomposition, FolError> {
+    if index_vec.len() != labels.len() {
+        return Err(FolError::LengthMismatch {
+            what: "one label per index vector element",
+            left: index_vec.len(),
+            right: labels.len(),
+        });
+    }
+    {
+        let mut seen = std::collections::HashSet::new();
+        if let Some(position) = labels.iter().position(|l| !seen.insert(l)) {
+            return Err(FolError::DuplicateLabels { position });
+        }
+    }
+    for (position, &target) in index_vec.iter().enumerate() {
+        if target < 0 || target as usize >= work.len() {
+            return Err(FolError::TargetOutOfBounds {
+                round: None,
+                position,
+                target,
+                domain: work.len(),
+            });
+        }
+    }
 
     // Step 0 (preprocessing): labels are given; j is implicit in `rounds`.
+    let n = index_vec.len();
     let mut v = m.vimm(index_vec);
-    let mut positions = m.iota(0, index_vec.len());
+    let mut positions = m.iota(0, n);
     let mut labels = labels.clone();
-    let mut rounds = Vec::new();
+    let mut rounds: Vec<Vec<usize>> = Vec::new();
 
     while !v.is_empty() {
+        // Theorem 6: a correct FOL1 run needs at most n rounds (all-equal
+        // input). More means the machine is not making progress.
+        if rounds.len() >= n {
+            return Err(FolError::RoundBudgetExceeded { budget: n, live: v.len() });
+        }
         // Step 1: write labels through V into the work areas.
         m.scatter(work, &v, &labels);
         // Step 2: read back through the same indices and compare.
         let got = m.gather(work, &v);
         let ok = m.vcmp(CmpOp::Eq, &got, &labels);
         let survivors = m.compress(&positions, &ok);
-        debug_assert!(
-            !survivors.is_empty(),
-            "ELS guarantees at least one survivor per round (Theorem 1)"
-        );
+        if survivors.is_empty() {
+            // Theorem 1 guarantees a survivor under ELS; its absence is a
+            // typed report that the hardware broke the ELS condition.
+            return Err(FolError::NoSurvivors { iteration: rounds.len(), live: v.len() });
+        }
         rounds.push(survivors.iter().map(|p| p as usize).collect());
         // Step 3: delete processed pointers from V.
         let rest = m.mask_not(&ok);
@@ -89,7 +156,10 @@ pub fn fol1_machine_labeled(
         labels = m.compress(&labels, &rest);
         // Step 4: repeat until V is empty.
     }
-    Decomposition::new(rounds)
+    let d = Decomposition::new(rounds);
+    let targets: Vec<usize> = index_vec.iter().map(|&t| t as usize).collect();
+    validate_decomposition(&d, &targets, work.len(), validation)?;
+    Ok(d)
 }
 
 /// Reference decomposition by direct grouping: round `k` contains the `k`-th
@@ -145,6 +215,7 @@ pub fn pairwise_decompose(index_vec: &[Word]) -> Decomposition {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::{FolError, Validation};
     use crate::theory;
     use fol_vm::{ConflictPolicy, CostModel};
 
@@ -232,6 +303,56 @@ mod tests {
         let work = m.alloc(4, "work");
         let labels = m.vimm(&[1]);
         let _ = fol1_machine_labeled(&mut m, work, &[1, 2], &labels);
+    }
+
+    #[test]
+    fn try_matches_infallible_and_validates_full() {
+        let mut m = machine_with(ConflictPolicy::Arbitrary(5));
+        let work = m.alloc(3, "work");
+        let d1 = fol1_machine(&mut m, work, &FIG6);
+        let mut m2 = machine_with(ConflictPolicy::Arbitrary(5));
+        let w2 = m2.alloc(3, "work");
+        let d2 = try_fol1_machine(&mut m2, w2, &FIG6, Validation::Full).unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn try_rejects_duplicate_labels() {
+        let mut m = machine_with(ConflictPolicy::LastWins);
+        let work = m.alloc(4, "work");
+        let labels = m.vimm(&[7, 7]);
+        let err = try_fol1_machine_labeled(&mut m, work, &[0, 1], &labels, Validation::Off)
+            .unwrap_err();
+        assert_eq!(err, FolError::DuplicateLabels { position: 1 });
+    }
+
+    #[test]
+    fn try_rejects_out_of_bounds_and_negative_targets() {
+        let mut m = machine_with(ConflictPolicy::LastWins);
+        let work = m.alloc(4, "work");
+        let err = try_fol1_machine(&mut m, work, &[0, 9], Validation::Off).unwrap_err();
+        assert_eq!(
+            err,
+            FolError::TargetOutOfBounds { round: None, position: 1, target: 9, domain: 4 }
+        );
+        let err = try_fol1_machine(&mut m, work, &[-1], Validation::Off).unwrap_err();
+        assert!(matches!(err, FolError::TargetOutOfBounds { target: -1, .. }));
+    }
+
+    #[test]
+    fn try_reports_amalgam_machine_as_no_survivors() {
+        // The fallible decomposer turns the BrokenAmalgam infinite loop into
+        // a typed error naming the violated guarantee. Three lanes are needed:
+        // with two, the XOR amalgam of labels 0 and 1 happens to equal label 1
+        // and a survivor remains; 0^1^2 = 3 matches no label at all.
+        let mut m = machine_with(ConflictPolicy::BrokenAmalgam);
+        let work = m.alloc(2, "work");
+        let err = try_fol1_machine(&mut m, work, &[1, 1, 1], Validation::Off).unwrap_err();
+        assert!(
+            matches!(err, FolError::NoSurvivors { iteration: 0, live: 3 }),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("Theorem 1"));
     }
 
     #[test]

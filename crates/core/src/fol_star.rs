@@ -27,8 +27,10 @@
 //! Both policies are combined in practice: `ScalarTail` also falls back to a
 //! forced round when even the scalar tail fails (intra-tuple aliasing).
 
+use crate::error::{FolError, Validation};
 use crate::Decomposition;
 use fol_vm::{CmpOp, Machine, Region, VReg, Word};
+use std::collections::HashSet;
 
 /// Livelock countermeasure for FOL\*. See the module docs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -46,6 +48,15 @@ pub enum LivelockPolicy {
 pub struct FolStarOptions {
     /// Livelock countermeasure.
     pub livelock: LivelockPolicy,
+    /// Budget on *vector detection passes*. `None` (the default) means
+    /// unbounded. With `Some(b)`, once `b` detection passes have run and
+    /// tuples remain, FOL\* stops paying for vector detection and degrades
+    /// gracefully to forced-sequential processing: every remaining tuple is
+    /// pushed through as its own forced round. The result is still a valid
+    /// disjoint cover — the budget bounds the *cost* an adversarial
+    /// conflict-resolution policy ([`fol_vm::ConflictPolicy::Adversarial`])
+    /// can extract by starving detection, it never compromises correctness.
+    pub max_rounds: Option<usize>,
 }
 
 /// Result of FOL\*: rounds of tuple positions plus a record of which rounds
@@ -99,13 +110,74 @@ pub fn fol_star_machine(
         index_vecs.iter().all(|v| v.len() == n),
         "all index vectors must have the same length"
     );
+    try_fol_star_machine(m, work, index_vecs, options, Validation::Off)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`fol_star_machine`]: malformed inputs (no index vectors,
+/// differing lengths, out-of-bounds targets) come back as typed
+/// [`FolError`]s, and `validation` verifies the result before it is
+/// returned — [`Validation::Cheap`] re-checks every non-forced round's
+/// cross-column distinctness (the FOL\* analogue of Lemma 2) and that
+/// forced rounds hold exactly one tuple; [`Validation::Full`] additionally
+/// checks the disjoint cover (Lemma 1).
+///
+/// Livelock itself is never an error — the [`LivelockPolicy`] fallback and
+/// the [`FolStarOptions::max_rounds`] budget guarantee termination with a
+/// valid cover on *any* hardware model, ELS-conforming or not.
+pub fn try_fol_star_machine(
+    m: &mut Machine,
+    work: Region,
+    index_vecs: &[Vec<Word>],
+    options: &FolStarOptions,
+    validation: Validation,
+) -> Result<FolStarDecomposition, FolError> {
+    let l = index_vecs.len();
+    if l == 0 {
+        return Err(FolError::LengthMismatch {
+            what: "FOL* needs at least one index vector",
+            left: 1,
+            right: 0,
+        });
+    }
+    let n = index_vecs[0].len();
+    if let Some(v) = index_vecs.iter().find(|v| v.len() != n) {
+        return Err(FolError::LengthMismatch {
+            what: "all index vectors must have the same length",
+            left: n,
+            right: v.len(),
+        });
+    }
+    for col in index_vecs {
+        for (position, &target) in col.iter().enumerate() {
+            if target < 0 || target as usize >= work.len() {
+                return Err(FolError::TargetOutOfBounds {
+                    round: None,
+                    position,
+                    target,
+                    domain: work.len(),
+                });
+            }
+        }
+    }
 
     // Live tuple positions and their per-vector target columns.
     let mut live: Vec<usize> = (0..n).collect();
     let mut rounds: Vec<Vec<usize>> = Vec::new();
     let mut forced: Vec<bool> = Vec::new();
+    let mut detections = 0usize;
 
     while !live.is_empty() {
+        if options.max_rounds.is_some_and(|budget| detections >= budget) {
+            // Detection budget exhausted: degrade gracefully — push every
+            // remaining tuple through as its own forced sequential round.
+            for &p in &live {
+                rounds.push(vec![p]);
+                forced.push(true);
+            }
+            break;
+        }
+        detections += 1;
         let nlive = live.len();
         // Current columns as vector registers.
         let cols: Vec<VReg> = (0..l)
@@ -168,7 +240,62 @@ pub fn fol_star_machine(
         live = rest;
     }
 
-    FolStarDecomposition { decomposition: Decomposition::new(rounds), forced }
+    let d = FolStarDecomposition { decomposition: Decomposition::new(rounds), forced };
+    validate_fol_star(&d, index_vecs, validation)?;
+    Ok(d)
+}
+
+/// Validates a FOL\* result: at [`Validation::Cheap`], non-forced rounds
+/// have pairwise-distinct targets across all `L` columns and forced rounds
+/// hold exactly one tuple; at [`Validation::Full`], additionally every
+/// tuple position appears in exactly one round (Lemma 1).
+fn validate_fol_star(
+    d: &FolStarDecomposition,
+    index_vecs: &[Vec<Word>],
+    level: Validation,
+) -> Result<(), FolError> {
+    if level == Validation::Off {
+        return Ok(());
+    }
+    let n = index_vecs[0].len();
+    for (round_idx, (round, &is_forced)) in d.decomposition.iter().zip(&d.forced).enumerate() {
+        if is_forced {
+            if round.len() != 1 {
+                return Err(FolError::DuplicateTargetInRound {
+                    round: round_idx,
+                    target: round.first().map(|&p| index_vecs[0][p] as usize).unwrap_or(0),
+                });
+            }
+            continue;
+        }
+        let mut seen = HashSet::new();
+        for &p in round {
+            for col in index_vecs {
+                if !seen.insert(col[p]) {
+                    return Err(FolError::DuplicateTargetInRound {
+                        round: round_idx,
+                        target: col[p] as usize,
+                    });
+                }
+            }
+        }
+    }
+    if level < Validation::Full {
+        return Ok(());
+    }
+    let mut seen = vec![false; n];
+    for round in d.decomposition.iter() {
+        for &p in round {
+            if seen[p] {
+                return Err(FolError::PositionRepeated { position: p });
+            }
+            seen[p] = true;
+        }
+    }
+    if let Some(position) = seen.iter().position(|&s| !s) {
+        return Err(FolError::PositionMissing { position });
+    }
+    Ok(())
 }
 
 /// Computes only the *first* parallel-processable set `S1` of FOL\*.
@@ -326,7 +453,7 @@ mod tests {
         let work = m.alloc(8, "work");
         let v1 = vec![0, 0, 3];
         let v2 = vec![1, 1, 1];
-        let opts = FolStarOptions { livelock: LivelockPolicy::ScalarTail };
+        let opts = FolStarOptions { livelock: LivelockPolicy::ScalarTail, ..Default::default() };
         let d = fol_star_machine(&mut m, work, &[v1.clone(), v2.clone()], &opts);
         assert!(theory::is_disjoint_cover(&d.decomposition, 3));
         assert!(non_forced_rounds_distinct(&d, &[v1, v2]));
@@ -338,7 +465,7 @@ mod tests {
         let work = m.alloc(4, "work");
         let v1 = vec![1, 1];
         let v2 = vec![1, 1]; // both tuples self-alias
-        let opts = FolStarOptions { livelock: LivelockPolicy::ScalarTail };
+        let opts = FolStarOptions { livelock: LivelockPolicy::ScalarTail, ..Default::default() };
         let d = fol_star_machine(&mut m, work, &[v1, v2], &opts);
         assert_eq!(d.decomposition.total_len(), 2);
         assert_eq!(d.num_forced(), 2);
@@ -393,5 +520,68 @@ mod tests {
         let work = m.alloc(4, "work");
         let d = fol_star_machine(&mut m, work, &[vec![], vec![]], &FolStarOptions::default());
         assert_eq!(d.num_rounds(), 0);
+    }
+
+    #[test]
+    fn max_rounds_zero_forces_everything_sequential() {
+        // Budget 0: no vector detection at all — pure forced-sequential
+        // degradation, still a valid disjoint cover.
+        let mut m = machine(ConflictPolicy::LastWins);
+        let work = m.alloc(8, "work");
+        let v1: Vec<Word> = vec![0, 2, 4];
+        let v2: Vec<Word> = vec![1, 3, 5];
+        let opts = FolStarOptions { max_rounds: Some(0), ..Default::default() };
+        let d = try_fol_star_machine(&mut m, work, &[v1, v2], &opts, Validation::Full).unwrap();
+        assert_eq!(d.num_rounds(), 3);
+        assert_eq!(d.num_forced(), 3);
+        assert!(theory::is_disjoint_cover(&d.decomposition, 3));
+    }
+
+    #[test]
+    fn max_rounds_budget_bounds_adversarial_cost() {
+        // The adversarial policy starves FOL* detection; the budget caps how
+        // many vector passes it can waste, and the remainder is forced. The
+        // total round count is then at most budget + n.
+        let v1: Vec<Word> = vec![0, 1, 2, 3];
+        let v2: Vec<Word> = vec![1, 2, 3, 0]; // mutually aliasing ring
+        let opts = FolStarOptions { max_rounds: Some(2), ..Default::default() };
+        let mut m = machine(ConflictPolicy::Adversarial(42));
+        let work = m.alloc(8, "work");
+        let d =
+            try_fol_star_machine(&mut m, work, &[v1.clone(), v2.clone()], &opts, Validation::Full)
+                .unwrap();
+        assert!(theory::is_disjoint_cover(&d.decomposition, 4));
+        assert!(d.num_rounds() <= 2 + 4, "rounds bounded by budget + n");
+    }
+
+    #[test]
+    fn unbudgeted_matches_budgeted_when_budget_unreached() {
+        let v1: Vec<Word> = vec![1, 3, 5];
+        let v2: Vec<Word> = vec![3, 5, 7];
+        let run = |opts: &FolStarOptions| {
+            let mut m = machine(ConflictPolicy::LastWins);
+            let w = m.alloc(8, "w");
+            fol_star_machine(&mut m, w, &[v1.clone(), v2.clone()], opts)
+        };
+        let unbudgeted = run(&FolStarOptions::default());
+        let budgeted =
+            run(&FolStarOptions { max_rounds: Some(100), ..Default::default() });
+        assert_eq!(unbudgeted, budgeted);
+    }
+
+    #[test]
+    fn try_variant_reports_malformed_inputs() {
+        let mut m = machine(ConflictPolicy::LastWins);
+        let work = m.alloc(4, "work");
+        let opts = FolStarOptions::default();
+        let err = try_fol_star_machine(&mut m, work, &[], &opts, Validation::Off).unwrap_err();
+        assert!(err.to_string().contains("at least one index vector"));
+        let err =
+            try_fol_star_machine(&mut m, work, &[vec![0], vec![1, 2]], &opts, Validation::Off)
+                .unwrap_err();
+        assert!(err.to_string().contains("same length"));
+        let err = try_fol_star_machine(&mut m, work, &[vec![0], vec![9]], &opts, Validation::Off)
+            .unwrap_err();
+        assert!(matches!(err, FolError::TargetOutOfBounds { target: 9, .. }));
     }
 }

@@ -12,16 +12,46 @@
 //! (disjoint cover, within-round distinctness, minimal round count) are the
 //! same as on any ELS-conforming machine.
 
+use crate::error::FolError;
 use crate::Decomposition;
 
 /// FOL1 over `targets` (indices into a conceptual storage of `domain`
 /// cells), using a freshly allocated work array.
 ///
 /// # Panics
-/// Panics when some target is `>= domain`.
+/// Panics when some target is `>= domain`. Use [`try_fol1_host`] for a
+/// typed error instead.
 pub fn fol1_host(targets: &[usize], domain: usize) -> Decomposition {
     let mut work = vec![usize::MAX; domain];
     fol1_host_with_work(targets, &mut work)
+}
+
+/// Fallible [`fol1_host`]: an out-of-domain target is reported as
+/// [`FolError::TargetOutOfBounds`] instead of a panic, before any work is
+/// done. Use this at trust boundaries where `targets` comes from untrusted
+/// input.
+pub fn try_fol1_host(targets: &[usize], domain: usize) -> Result<Decomposition, FolError> {
+    let mut work = vec![usize::MAX; domain];
+    try_fol1_host_with_work(targets, &mut work)
+}
+
+/// Fallible [`fol1_host_with_work`]: bounds-checks every target against the
+/// work array up front and returns [`FolError::TargetOutOfBounds`] instead
+/// of panicking mid-decomposition.
+pub fn try_fol1_host_with_work(
+    targets: &[usize],
+    work: &mut [usize],
+) -> Result<Decomposition, FolError> {
+    if let Some((position, &target)) = targets.iter().enumerate().find(|&(_, &t)| t >= work.len())
+    {
+        return Err(FolError::TargetOutOfBounds {
+            round: None,
+            position,
+            target: target as i64,
+            domain: work.len(),
+        });
+    }
+    Ok(fol1_host_with_work(targets, work))
 }
 
 /// FOL1 over `targets` using a caller-provided work array (its prior
@@ -112,5 +142,22 @@ mod tests {
     #[should_panic]
     fn out_of_domain_target_panics() {
         let _ = fol1_host(&[5], 3);
+    }
+
+    #[test]
+    fn try_variant_reports_out_of_domain_as_error() {
+        use crate::error::FolError;
+        let err = try_fol1_host(&[0, 5, 1], 3).unwrap_err();
+        assert_eq!(
+            err,
+            FolError::TargetOutOfBounds { round: None, position: 1, target: 5, domain: 3 }
+        );
+    }
+
+    #[test]
+    fn try_variant_matches_infallible_on_valid_input() {
+        let v = [0usize, 1, 0, 2, 2, 0];
+        assert_eq!(try_fol1_host(&v, 3).unwrap(), fol1_host(&v, 3));
+        assert_eq!(try_fol1_host(&[], 0).unwrap().num_rounds(), 0);
     }
 }

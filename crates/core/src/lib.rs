@@ -29,17 +29,26 @@
 //! ## What lives where
 //!
 //! * [`decompose`] — FOL1 running on the simulated vector machine
-//!   ([`fol_vm::Machine`]), plus reference decomposers used to cross-check it.
+//!   ([`fol_vm::Machine`]), plus reference decomposers used to cross-check
+//!   it; fallible `try_*` variants return typed [`FolError`]s.
 //! * [`host`] — FOL1 on plain host slices (no simulator, no cost model):
 //!   the same algorithm, usable as a real parallelization primitive.
 //! * [`fol_star`] — FOL\* for unit processes that rewrite `L` items at once
-//!   (the paper's §3.3), with livelock avoidance.
+//!   (the paper's §3.3), with livelock avoidance and a detection-pass
+//!   budget ([`FolStarOptions::max_rounds`]) bounding adversarial cost.
 //! * [`ordered`] — the order-preserving variant built on the `VSTX`
 //!   ordered store (the paper's footnote 7): duplicates drain in their
 //!   original vector order.
 //! * [`parallel`] — executors that apply a unit process over a decomposition,
 //!   sequentially or with real data parallelism (rayon), exploiting the
-//!   within-round distinctness guarantee.
+//!   within-round distinctness guarantee; `try_*` variants verify the
+//!   decomposition before touching any data.
+//! * [`error`] — the typed failure surface: [`FolError`] (every way FOL
+//!   can fail, each naming the violated paper result) and [`Validation`]
+//!   (how much runtime verification the fallible paths perform — `Off`,
+//!   `Cheap` per-round safety, `Full` whole-contract including minimality).
+//!   Hostile inputs and ELS-violating hardware ([`fol_vm::fault`]) surface
+//!   as `Err`, never as a silently wrong answer.
 //! * [`theory`] — executable statements of the paper's lemmas and theorems
 //!   (disjoint cover, minimality, monotone round sizes, complexity bounds),
 //!   used pervasively by the test suites.
@@ -67,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub mod decompose;
+pub mod error;
 pub mod fol_star;
 pub mod host;
 pub mod ordered;
@@ -74,10 +84,17 @@ pub mod parallel;
 pub mod theory;
 pub mod vectorize;
 
-pub use decompose::{fol1_machine, fol1_machine_labeled, reference_decompose};
-pub use fol_star::{fol_star_first_round, fol_star_machine, FolStarOptions, LivelockPolicy};
-pub use host::{fol1_host, fol1_host_with_work};
-pub use ordered::fol1_machine_ordered;
+pub use decompose::{
+    fol1_machine, fol1_machine_labeled, reference_decompose, try_fol1_machine,
+    try_fol1_machine_labeled,
+};
+pub use error::{validate_decomposition, validate_round, FolError, Validation};
+pub use fol_star::{
+    fol_star_first_round, fol_star_machine, try_fol_star_machine, FolStarOptions, LivelockPolicy,
+};
+pub use host::{fol1_host, fol1_host_with_work, try_fol1_host, try_fol1_host_with_work};
+pub use ordered::{fol1_machine_ordered, try_fol1_machine_ordered};
+pub use parallel::{try_apply_rounds, try_par_apply_rounds};
 
 use std::fmt;
 

@@ -17,6 +17,7 @@
 //! with all of FOL1's guarantees *plus* the order property checked by
 //! [`crate::theory`]-style tests below.
 
+use crate::error::{validate_decomposition, FolError, Validation};
 use crate::Decomposition;
 use fol_vm::{CmpOp, Machine, Region, VReg, Word};
 
@@ -24,13 +25,41 @@ use fol_vm::{CmpOp, Machine, Region, VReg, Word};
 /// `k`-th round contains exactly the `k`-th occurrence (in original vector
 /// order) of every duplicated target.
 pub fn fol1_machine_ordered(m: &mut Machine, work: Region, index_vec: &[Word]) -> Decomposition {
+    try_fol1_machine_ordered(m, work, index_vec, Validation::Off)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`fol1_machine_ordered`]: out-of-bounds targets, survivor-free
+/// detection passes (possible when the ordered store path is subjected to a
+/// [`fol_vm::FaultPlan`]) and non-convergence come back as typed
+/// [`FolError`]s; `validation` checks the result before returning it, as in
+/// [`crate::decompose::try_fol1_machine`].
+pub fn try_fol1_machine_ordered(
+    m: &mut Machine,
+    work: Region,
+    index_vec: &[Word],
+    validation: Validation,
+) -> Result<Decomposition, FolError> {
     let n = index_vec.len();
+    for (position, &target) in index_vec.iter().enumerate() {
+        if target < 0 || target as usize >= work.len() {
+            return Err(FolError::TargetOutOfBounds {
+                round: None,
+                position,
+                target,
+                domain: work.len(),
+            });
+        }
+    }
     let mut v = m.vimm(index_vec);
     let mut positions = m.iota(0, n);
     let mut labels = m.iota(0, n);
-    let mut rounds = Vec::new();
+    let mut rounds: Vec<Vec<usize>> = Vec::new();
 
     while !v.is_empty() {
+        if rounds.len() >= n {
+            return Err(FolError::RoundBudgetExceeded { budget: n, live: v.len() });
+        }
         // Reverse the live vectors so the ordered store's last-wins rule
         // leaves the *earliest* occurrence's label in each cell. The
         // reversal itself is one streaming pass (modelled as a store).
@@ -40,14 +69,19 @@ pub fn fol1_machine_ordered(m: &mut Machine, work: Region, index_vec: &[Word]) -
         let got = m.gather(work, &v);
         let ok = m.vcmp(CmpOp::Eq, &got, &labels);
         let survivors = m.compress(&positions, &ok);
-        debug_assert!(!survivors.is_empty(), "ordered store leaves at least one survivor");
+        if survivors.is_empty() {
+            return Err(FolError::NoSurvivors { iteration: rounds.len(), live: v.len() });
+        }
         rounds.push(survivors.iter().map(|p| p as usize).collect());
         let rest = m.mask_not(&ok);
         v = m.compress(&v, &rest);
         positions = m.compress(&positions, &rest);
         labels = m.compress(&labels, &rest);
     }
-    Decomposition::new(rounds)
+    let d = Decomposition::new(rounds);
+    let targets: Vec<usize> = index_vec.iter().map(|&t| t as usize).collect();
+    validate_decomposition(&d, &targets, work.len(), validation)?;
+    Ok(d)
 }
 
 /// Element reversal, charged as one streaming pass (real machines do this
@@ -144,6 +178,21 @@ mod tests {
         let mut m = machine();
         let work = m.alloc(1, "work");
         assert_eq!(fol1_machine_ordered(&mut m, work, &[]).num_rounds(), 0);
+    }
+
+    #[test]
+    fn try_ordered_validates_and_matches() {
+        use crate::error::{FolError, Validation};
+        let v: Vec<Word> = vec![5, 2, 5, 5, 2, 9];
+        let mut m = machine();
+        let work = m.alloc(10, "work");
+        let d = fol1_machine_ordered(&mut m, work, &v);
+        let mut m2 = machine();
+        let w2 = m2.alloc(10, "work");
+        let d2 = try_fol1_machine_ordered(&mut m2, w2, &v, Validation::Full).unwrap();
+        assert_eq!(d, d2);
+        let err = try_fol1_machine_ordered(&mut m2, w2, &[99], Validation::Off).unwrap_err();
+        assert!(matches!(err, FolError::TargetOutOfBounds { target: 99, .. }));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! collected as disjoint `&mut` borrows by a single pass over the data slice,
 //! which the within-round distinctness guarantee makes possible.
 
+use crate::error::{validate_decomposition, FolError, Validation};
 use crate::Decomposition;
 use rayon::prelude::*;
 
@@ -37,8 +38,10 @@ where
 ///
 /// Rounds are executed in order (the sequential-between-rounds condition);
 /// within a round the targeted cells are mutated concurrently. Correctness
-/// rests on Lemma 2 (within-round targets are pairwise distinct), which is
-/// re-checked here with a `debug_assert`.
+/// rests on Lemma 2 (within-round targets are pairwise distinct); the
+/// borrow-gathering sweep enforces it in every build profile and panics
+/// with a diagnostic naming the violation. For a typed error instead of a
+/// panic, use [`try_par_apply_rounds`].
 ///
 /// ```
 /// use fol_core::host::fol1_host;
@@ -59,13 +62,6 @@ where
     F: Fn(&mut T, usize) + Sync,
 {
     for round in d.iter() {
-        debug_assert!(
-            {
-                let mut seen = std::collections::HashSet::new();
-                round.iter().all(|&pos| seen.insert(targets[pos]))
-            },
-            "within-round targets must be distinct (Lemma 2)"
-        );
         // Gather disjoint &mut borrows of exactly the targeted cells with one
         // ordered sweep over `data`: sort the round by target index, then zip
         // the sweep against the sorted order.
@@ -83,13 +79,73 @@ where
                 None => break,
             }
         }
-        assert!(
-            wanted.peek().is_none(),
-            "target out of bounds of data (len {})",
-            data.len()
-        );
+        // A leftover entry means the sweep could not claim its cell. Tell
+        // the two failure modes apart: an in-bounds leftover is a *duplicate
+        // target* (the sweep already gave that cell away — Lemma 2 is
+        // violated, the decomposition is invalid); only an out-of-range
+        // target is actually out of bounds.
+        if let Some(&(t, pos)) = wanted.peek() {
+            if t < data.len() {
+                panic!(
+                    "duplicate target {t} within a round (position {pos}): \
+                     within-round distinctness (Lemma 2) violated"
+                );
+            } else {
+                panic!(
+                    "target {t} (position {pos}) out of bounds of data (len {})",
+                    data.len()
+                );
+            }
+        }
         batch.into_par_iter().for_each(|(cell, pos)| f(cell, pos));
     }
+}
+
+/// Fallible [`apply_rounds`]: the decomposition is verified against
+/// `targets` and `data` at the given [`Validation`] level *before* any cell
+/// is mutated, so an `Err` guarantees `data` is untouched.
+///
+/// * [`Validation::Off`] — trust the input (equivalent to [`apply_rounds`];
+///   invalid input may still panic on an out-of-bounds index).
+/// * [`Validation::Cheap`] — bounds and within-round distinctness
+///   (Lemma 2): everything needed to execute safely.
+/// * [`Validation::Full`] — the whole FOL contract, including disjoint
+///   cover (Lemma 1) and minimality (Theorem 5). This is the level that
+///   catches a decomposition corrupted by ELS-violating hardware (see
+///   [`fol_vm::fault`]): such decompositions typically remain *safe* to
+///   execute but carry extra rounds, surfacing as [`FolError::NotMinimal`].
+pub fn try_apply_rounds<T, F>(
+    data: &mut [T],
+    targets: &[usize],
+    d: &Decomposition,
+    validation: Validation,
+    f: F,
+) -> Result<(), FolError>
+where
+    F: FnMut(&mut T, usize),
+{
+    validate_decomposition(d, targets, data.len(), validation)?;
+    apply_rounds(data, targets, d, f);
+    Ok(())
+}
+
+/// Fallible [`par_apply_rounds`]: like [`try_apply_rounds`] but with real
+/// parallelism inside each round. Validation happens up front; an `Err`
+/// means no unit process ran.
+pub fn try_par_apply_rounds<T, F>(
+    data: &mut [T],
+    targets: &[usize],
+    d: &Decomposition,
+    validation: Validation,
+    f: F,
+) -> Result<(), FolError>
+where
+    T: Send,
+    F: Fn(&mut T, usize) + Sync,
+{
+    validate_decomposition(d, targets, data.len(), validation)?;
+    par_apply_rounds(data, targets, d, f);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -157,11 +213,68 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "out of bounds of data")]
     fn out_of_bounds_target_panics_parallel() {
         let targets = [5usize];
         let d = Decomposition::new(vec![vec![0]]);
         let mut data = [0u8; 2];
         par_apply_rounds(&mut data, &targets, &d, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target 1 within a round")]
+    fn duplicate_target_panics_with_accurate_diagnostic() {
+        // Regression: an in-bounds duplicate target used to be misreported
+        // as "target out of bounds". It must name the real violation.
+        let targets = [1usize, 1];
+        let d = Decomposition::new(vec![vec![0, 1]]);
+        let mut data = [0u8; 4];
+        par_apply_rounds(&mut data, &targets, &d, |_, _| {});
+    }
+
+    #[test]
+    fn try_variants_validate_before_mutating() {
+        use crate::error::{FolError, Validation};
+        let targets = [1usize, 1];
+        let bad = Decomposition::new(vec![vec![0, 1]]); // duplicate in round
+        let mut data = [0u32; 4];
+        let err = try_apply_rounds(&mut data, &targets, &bad, Validation::Cheap, |c, _| *c += 1)
+            .unwrap_err();
+        assert_eq!(err, FolError::DuplicateTargetInRound { round: 0, target: 1 });
+        assert_eq!(data, [0; 4], "data untouched on error");
+        let err =
+            try_par_apply_rounds(&mut data, &targets, &bad, Validation::Cheap, |c, _| *c += 1)
+                .unwrap_err();
+        assert_eq!(err, FolError::DuplicateTargetInRound { round: 0, target: 1 });
+        assert_eq!(data, [0; 4], "data untouched on error");
+    }
+
+    #[test]
+    fn try_variants_run_valid_decompositions() {
+        use crate::error::Validation;
+        let targets = [0usize, 3, 0, 3, 3, 1];
+        let d = fol1_host(&targets, 4);
+        let mut a = [0u32; 4];
+        let mut b = [0u32; 4];
+        try_apply_rounds(&mut a, &targets, &d, Validation::Full, |c, _| *c += 1).unwrap();
+        try_par_apply_rounds(&mut b, &targets, &d, Validation::Full, |c, _| *c += 1).unwrap();
+        assert_eq!(a, [2, 1, 0, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_validation_rejects_non_minimal_decomposition() {
+        use crate::error::{FolError, Validation};
+        // Safe to execute (Cheap passes) but one round too many (Full
+        // fails) — the signature a torn-write adversary leaves behind.
+        let targets = [0usize, 1];
+        let padded = Decomposition::new(vec![vec![0], vec![1]]);
+        let mut data = [0u32; 2];
+        try_apply_rounds(&mut data, &targets, &padded, Validation::Cheap, |c, _| *c += 1)
+            .unwrap();
+        let err =
+            try_apply_rounds(&mut data, &targets, &padded, Validation::Full, |c, _| *c += 1)
+                .unwrap_err();
+        assert_eq!(err, FolError::NotMinimal { rounds: 2, max_multiplicity: 1 });
     }
 }

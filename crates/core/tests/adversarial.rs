@@ -1,0 +1,320 @@
+//! Adversarial differential suite: every decomposer × every conflict policy
+//! × fault plans × seeds, checked against the reference decomposition.
+//!
+//! The contract under test is the hardening guarantee of the fallible FOL
+//! paths:
+//!
+//! * on **ELS-conforming** hardware (any [`ConflictPolicy`], including the
+//!   [`ConflictPolicy::Adversarial`] worst case, with no fault plan) every
+//!   decomposer returns `Ok` with a decomposition whose round sizes match
+//!   [`reference_decompose`] and which passes [`Validation::Full`];
+//! * on **ELS-violating** hardware (a [`FaultPlan`] dropping lanes or
+//!   tearing conflicting writes) a decomposer returns either a typed
+//!   [`FolError`] or a decomposition that still passes full validation —
+//!   **never a silently wrong answer** — and it only errors when the
+//!   machine actually injected a fault (checked via the [`fol_vm::FaultLog`]).
+//!
+//! Everything here is deterministic: inputs come from a splitmix64 stream
+//! and fault plans are pure functions of their seed, so a failure replays
+//! exactly.
+
+use fol_core::decompose::{reference_decompose, try_fol1_machine};
+use fol_core::error::{validate_decomposition, FolError, Validation};
+use fol_core::fol_star::{try_fol_star_machine, FolStarOptions};
+use fol_core::host::try_fol1_host;
+use fol_core::ordered::{preserves_order, try_fol1_machine_ordered};
+use fol_core::parallel::try_par_apply_rounds;
+use fol_core::Decomposition;
+use fol_vm::{AmalgamMode, ConflictPolicy, CostModel, FaultPlan, Machine, Word};
+
+const DOMAIN: usize = 12;
+const LEN: usize = 48;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic index vector with heavy aliasing.
+fn targets_for(seed: u64) -> Vec<Word> {
+    let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
+    (0..LEN).map(|_| (splitmix(&mut state) % DOMAIN as u64) as Word).collect()
+}
+
+fn policies(seed: u64) -> Vec<ConflictPolicy> {
+    vec![
+        ConflictPolicy::FirstWins,
+        ConflictPolicy::LastWins,
+        ConflictPolicy::Arbitrary(seed),
+        ConflictPolicy::Adversarial(seed),
+    ]
+}
+
+fn els_violating_plans(seed: u64) -> Vec<FaultPlan> {
+    vec![
+        FaultPlan::dropped_lanes(seed, 8192),
+        FaultPlan::torn_writes(seed, 32768, AmalgamMode::Xor),
+        FaultPlan::torn_writes(seed, 49152, AmalgamMode::Or),
+        FaultPlan::dropped_lanes(seed, 4096).with_torn_writes(16384, AmalgamMode::And),
+    ]
+}
+
+const DECOMPOSERS: [&str; 3] = ["fol1_machine", "fol1_machine_ordered", "fol_star_machine"];
+
+/// Runs one machine decomposer under one policy and fault plan, returning
+/// its result (FOL\* results are flattened to their decomposition) and
+/// whether the fault plan actually fired during the run.
+fn run_machine_decomposer(
+    name: &str,
+    policy: &ConflictPolicy,
+    plan: Option<&FaultPlan>,
+    targets: &[Word],
+) -> (Result<Decomposition, FolError>, bool) {
+    let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+    let work = m.alloc(DOMAIN, "work");
+    m.set_fault_plan(plan.cloned());
+    let result = match name {
+        "fol1_machine" => try_fol1_machine(&mut m, work, targets, Validation::Full),
+        "fol1_machine_ordered" => {
+            try_fol1_machine_ordered(&mut m, work, targets, Validation::Full)
+        }
+        "fol_star_machine" => {
+            // L = 1: FOL* degenerates to FOL1 plus the livelock fallback.
+            let opts = FolStarOptions { max_rounds: Some(4 * LEN), ..Default::default() };
+            try_fol_star_machine(&mut m, work, &[targets.to_vec()], &opts, Validation::Full)
+                .map(|d| d.decomposition)
+        }
+        other => panic!("unknown decomposer {other}"),
+    };
+    (result, !m.fault_log().is_empty())
+}
+
+#[test]
+fn els_conforming_sweep_matches_reference() {
+    for seed in 0..8u64 {
+        let targets = targets_for(seed);
+        let utargets: Vec<usize> = targets.iter().map(|&t| t as usize).collect();
+        let reference = reference_decompose(&targets);
+
+        let host = try_fol1_host(&utargets, DOMAIN).unwrap();
+        assert_eq!(host.sizes(), reference.sizes(), "host, seed {seed}");
+        validate_decomposition(&host, &utargets, DOMAIN, Validation::Full).unwrap();
+
+        for policy in policies(seed) {
+            for name in ["fol1_machine", "fol1_machine_ordered"] {
+                let (result, fired) = run_machine_decomposer(name, &policy, None, &targets);
+                let d = result.unwrap_or_else(|e| {
+                    panic!("{name} under {policy:?}, seed {seed}: unexpected error {e}")
+                });
+                assert!(!fired, "no fault plan installed, nothing may fire");
+                assert_eq!(d.sizes(), reference.sizes(), "{name} under {policy:?}, seed {seed}");
+                if name == "fol1_machine_ordered" {
+                    assert!(preserves_order(&d, &targets), "{policy:?}, seed {seed}");
+                }
+            }
+            // FOL* with L = 1 under ELS: no forced rounds, FOL1's sizes.
+            let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+            let work = m.alloc(DOMAIN, "work");
+            let star = try_fol_star_machine(
+                &mut m,
+                work,
+                std::slice::from_ref(&targets),
+                &FolStarOptions::default(),
+                Validation::Full,
+            )
+            .unwrap();
+            assert_eq!(star.num_forced(), 0, "ELS ⇒ no livelock for L=1 ({policy:?})");
+            assert_eq!(star.decomposition.sizes(), reference.sizes(), "{policy:?}, seed {seed}");
+        }
+
+        // Differential execution: a histogram driven through the validated
+        // rounds must equal the directly computed one.
+        let mut expect = vec![0u32; DOMAIN];
+        for &t in &utargets {
+            expect[t] += 1;
+        }
+        let mut got = vec![0u32; DOMAIN];
+        try_par_apply_rounds(&mut got, &utargets, &host, Validation::Full, |c, _| *c += 1)
+            .unwrap();
+        assert_eq!(got, expect, "seed {seed}");
+    }
+}
+
+#[test]
+fn faulty_sweep_never_silently_wrong() {
+    let mut fault_runs = 0u32;
+    let mut typed_errors = 0u32;
+    for seed in 0..8u64 {
+        let targets = targets_for(seed);
+        let utargets: Vec<usize> = targets.iter().map(|&t| t as usize).collect();
+        for policy in policies(seed) {
+            for plan in els_violating_plans(seed) {
+                assert!(plan.violates_els());
+                for name in DECOMPOSERS {
+                    let (result, fired) =
+                        run_machine_decomposer(name, &policy, Some(&plan), &targets);
+                    if fired {
+                        fault_runs += 1;
+                    }
+                    match result {
+                        Ok(d) => {
+                            // Whatever the adversary did, an Ok result must
+                            // still be a fully valid decomposition. (FOL*'s
+                            // forced rounds are validated internally; its
+                            // flattened result is checked for cover only.)
+                            if name == "fol_star_machine" {
+                                let mut seen = vec![false; targets.len()];
+                                for round in d.iter() {
+                                    for &p in round {
+                                        assert!(!seen[p], "{name}: position {p} repeated");
+                                        seen[p] = true;
+                                    }
+                                }
+                                assert!(seen.iter().all(|&s| s), "{name}: cover broken");
+                            } else {
+                                validate_decomposition(
+                                    &d,
+                                    &utargets,
+                                    DOMAIN,
+                                    Validation::Full,
+                                )
+                                .unwrap_or_else(|e| {
+                                    panic!(
+                                        "{name} under {policy:?} / {plan:?}: \
+                                         returned invalid decomposition: {e}"
+                                    )
+                                });
+                            }
+                        }
+                        Err(e) => {
+                            typed_errors += 1;
+                            // An error may only be reported when the machine
+                            // actually injected a fault: ELS-conforming runs
+                            // must never be rejected.
+                            assert!(
+                                fired,
+                                "{name} under {policy:?} / {plan:?}: error {e} \
+                                 without any injected fault"
+                            );
+                            assert!(
+                                matches!(
+                                    e,
+                                    FolError::NoSurvivors { .. }
+                                        | FolError::NotMinimal { .. }
+                                        | FolError::RoundBudgetExceeded { .. }
+                                        | FolError::DuplicateTargetInRound { .. }
+                                ),
+                                "{name}: unexpected error class {e:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(fault_runs > 0, "the adversary never fired — the sweep proves nothing");
+    assert!(typed_errors > 0, "no plan ever produced a typed error — rates too low?");
+}
+
+#[test]
+fn dropped_first_scatter_is_caught_as_non_minimal() {
+    // A drop fault confined to the first scatter deflates round 1; the
+    // remaining rounds run clean, so the total exceeds the minimum. With
+    // Validation::Off the inflated decomposition sails through silently
+    // (it is still a valid cover — just not minimal); Validation::Full
+    // rejects it as NotMinimal. This is exactly the check that tells
+    // "correct" from "plausible but degraded by broken hardware".
+    let mut caught = 0u32;
+    for seed in 0..64u64 {
+        let targets = targets_for(seed);
+        // Scatter sequence numbers start at 1, so [1, 2) is the first
+        // scatter — i.e. the fault hits only FOL1's first label write. The
+        // round count only inflates when a maximum-multiplicity cell loses
+        // *all* its writers, so the drop rate is aggressive (≈ 0.92): at a
+        // max multiplicity of ~8 that leaves a ~50% chance per seed.
+        let plan = FaultPlan::dropped_lanes(seed, 60000).with_window(1, 2);
+
+        let mut m = Machine::new(CostModel::unit());
+        let work = m.alloc(DOMAIN, "work");
+        m.set_fault_plan(Some(plan.clone()));
+        let off = try_fol1_machine(&mut m, work, &targets, Validation::Off);
+        if m.fault_log().is_empty() {
+            continue; // plan didn't fire for this seed
+        }
+        let Ok(d) = off else { continue }; // total first-round loss → NoSurvivors
+        let utargets: Vec<usize> = targets.iter().map(|&t| t as usize).collect();
+        // Off-mode result is always a safe cover…
+        validate_decomposition(&d, &utargets, DOMAIN, Validation::Cheap).unwrap();
+        // …but when the drop cost an extra round, only Full notices.
+        if validate_decomposition(&d, &utargets, DOMAIN, Validation::Full)
+            == Err(FolError::NotMinimal {
+                rounds: d.num_rounds(),
+                max_multiplicity: reference_decompose(&targets).num_rounds(),
+            })
+        {
+            caught += 1;
+            // And the fallible path with Full validation reports it directly.
+            let mut m2 = Machine::new(CostModel::unit());
+            let w2 = m2.alloc(DOMAIN, "work");
+            m2.set_fault_plan(Some(plan));
+            let err = try_fol1_machine(&mut m2, w2, &targets, Validation::Full).unwrap_err();
+            assert!(matches!(err, FolError::NotMinimal { .. }), "got {err:?}");
+        }
+    }
+    assert!(caught > 0, "no seed produced the extra-round signature");
+}
+
+#[test]
+fn adversarial_policy_cannot_change_fol1_round_sizes() {
+    // Theorem 5 made adversarial: FOL1's round sizes are a function of the
+    // input multiplicities alone — the per-round winner count equals the
+    // number of distinct live targets no matter which writers win — so even
+    // the worst-case ELS-conforming adversary cannot slow FOL1 down.
+    for seed in 0..16u64 {
+        let targets = targets_for(seed);
+        let sizes_under = |policy: ConflictPolicy| {
+            let mut m = Machine::with_policy(CostModel::unit(), policy);
+            let work = m.alloc(DOMAIN, "work");
+            try_fol1_machine(&mut m, work, &targets, Validation::Full).unwrap().sizes()
+        };
+        assert_eq!(
+            sizes_under(ConflictPolicy::Adversarial(seed)),
+            sizes_under(ConflictPolicy::FirstWins),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn adversarial_policy_provokes_fol_star_livelock() {
+    // Two tuples contesting the same two cells: a benign policy lets one
+    // tuple win both scatters and survive; the adversary hands the second
+    // scatter to the first scatter's loser, so nobody wins both and the
+    // detection set comes up empty — the livelock the paper warns about,
+    // absorbed by the forced-sequential fallback.
+    let v1: Vec<Word> = vec![0, 0];
+    let v2: Vec<Word> = vec![1, 1];
+    let run = |policy: ConflictPolicy| {
+        let mut m = Machine::with_policy(CostModel::unit(), policy);
+        let work = m.alloc(4, "work");
+        try_fol_star_machine(
+            &mut m,
+            work,
+            &[v1.clone(), v2.clone()],
+            &FolStarOptions::default(),
+            Validation::Full,
+        )
+        .unwrap()
+    };
+    let benign = run(ConflictPolicy::FirstWins);
+    assert_eq!(benign.num_forced(), 0, "FirstWins lets tuple 0 win both cells");
+    let hostile = run(ConflictPolicy::Adversarial(7));
+    assert!(hostile.num_forced() >= 1, "the adversary must provoke at least one forced round");
+    // Correctness is unimpaired either way: both results passed Full
+    // validation inside try_fol_star_machine and cover both tuples.
+    assert_eq!(benign.decomposition.total_len(), 2);
+    assert_eq!(hostile.decomposition.total_len(), 2);
+}

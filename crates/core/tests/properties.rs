@@ -121,6 +121,7 @@ proptest! {
         }
         let opts = FolStarOptions {
             livelock: if scalar_tail { LivelockPolicy::ScalarTail } else { LivelockPolicy::ForcedSequential },
+            ..Default::default()
         };
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let work = m.alloc(10, "work");

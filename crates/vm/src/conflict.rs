@@ -12,6 +12,7 @@
 //! property-test — that FOL is correct under *any* ELS-conforming hardware,
 //! the simulator makes the winner a pluggable [`ConflictPolicy`].
 
+use crate::fault::hash3;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -33,12 +34,49 @@ pub enum ConflictPolicy {
     /// with parallel pipes whose interleaving is unspecified; running a test
     /// across many seeds explores many interleavings.
     Arbitrary(u64),
+    /// An **adversarial but ELS-conforming** winner: exactly one competing
+    /// write lands (so every FOL guarantee that rests on ELS must still
+    /// hold), but the winner is chosen to do maximum damage to FOL\*'s
+    /// detection step — conflicted addresses prefer a writer that *lost* in
+    /// the previous scatter, minimizing the set of elements whose writes
+    /// survive every scatter of an iteration and so provoking empty
+    /// detection sets (the paper's §3.3 livelock). FOL1 is provably immune
+    /// (its round sizes are winner-independent, Theorem 5); FOL\* is not,
+    /// which is exactly what the livelock countermeasures must absorb.
+    ///
+    /// The choice is a pure function of the seed, the scatter sequence
+    /// number, the address and the cross-scatter memory held by
+    /// [`AdversaryState`], so adversarial runs replay exactly.
+    Adversarial(u64),
     /// **Violates the ELS condition** — conflicting writes store the XOR of
     /// all competing values, an "amalgam" no single element wrote. This
     /// models broken hardware (e.g. sub-word stores torn across pipes) and
     /// exists solely so tests can demonstrate that FOL's guarantees really
-    /// do rest on ELS. Never use it in an algorithm.
+    /// do rest on ELS. Never use it in an algorithm. For seeded, partial and
+    /// multi-mode ELS violations use a [`crate::fault::FaultPlan`] instead.
     BrokenAmalgam,
+}
+
+/// Cross-scatter memory of [`ConflictPolicy::Adversarial`]: which element
+/// positions won the previous scatter. The [`crate::Machine`] owns one and
+/// threads it through consecutive scatters; FOL\*'s per-iteration scatters
+/// share one live ordering, so "position" identifies the same tuple across
+/// the `L` scatters of an iteration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryState {
+    recent_winners: std::collections::HashSet<usize>,
+}
+
+impl AdversaryState {
+    /// A fresh adversary with no memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets everything (e.g. when the machine's policy is replaced).
+    pub fn reset(&mut self) {
+        self.recent_winners.clear();
+    }
 }
 
 impl ConflictPolicy {
@@ -53,7 +91,24 @@ impl ConflictPolicy {
     ///
     /// The implementation is O(n) via a sort-free two-pass scheme: winners
     /// are chosen per distinct address, then applied.
-    pub fn resolve<F>(&self, indices: &[usize], sequence: u64, mut write: F) -> Vec<bool>
+    pub fn resolve<F>(&self, indices: &[usize], sequence: u64, write: F) -> Vec<bool>
+    where
+        F: FnMut(usize, usize), // (element position, address)
+    {
+        self.resolve_with_state(indices, sequence, None, write)
+    }
+
+    /// Like [`ConflictPolicy::resolve`], but threads the adversary's
+    /// cross-scatter memory. Only [`ConflictPolicy::Adversarial`] consults
+    /// (and updates) the state; passing `None` makes the adversary
+    /// memoryless, which is still deterministic and ELS-conforming.
+    pub fn resolve_with_state<F>(
+        &self,
+        indices: &[usize],
+        sequence: u64,
+        state: Option<&mut AdversaryState>,
+        mut write: F,
+    ) -> Vec<bool>
     where
         F: FnMut(usize, usize), // (element position, address)
     {
@@ -86,6 +141,29 @@ impl ConflictPolicy {
                     if *k == 1 || rng.random_range(0..*k) == 0 {
                         winner_of.insert(addr, pos);
                     }
+                }
+            }
+            ConflictPolicy::Adversarial(seed) => {
+                let empty = std::collections::HashSet::new();
+                let recent = state.as_ref().map_or(&empty, |s| &s.recent_winners);
+                // Writers per address, in element order.
+                let mut writers: std::collections::HashMap<usize, Vec<usize>> =
+                    std::collections::HashMap::with_capacity(n);
+                for (pos, &addr) in indices.iter().enumerate() {
+                    writers.entry(addr).or_default().push(pos);
+                }
+                for (&addr, cands) in &writers {
+                    // Prefer a writer that lost the previous scatter: a
+                    // previous winner losing now can no longer survive the
+                    // whole iteration, shrinking FOL*'s detection set.
+                    let losers: Vec<usize> =
+                        cands.iter().copied().filter(|p| !recent.contains(p)).collect();
+                    let pool = if losers.is_empty() { cands.as_slice() } else { &losers };
+                    let pick = hash3(*seed, sequence, addr as u64) as usize % pool.len();
+                    winner_of.insert(addr, pool[pick]);
+                }
+                if let Some(s) = state {
+                    s.recent_winners = winner_of.values().copied().collect();
                 }
             }
         }
@@ -153,6 +231,8 @@ mod tests {
             ConflictPolicy::LastWins,
             ConflictPolicy::Arbitrary(1),
             ConflictPolicy::Arbitrary(99),
+            ConflictPolicy::Adversarial(1),
+            ConflictPolicy::Adversarial(99),
         ] {
             let indices = [3, 3, 3, 1, 1, 0];
             let survived = policy.resolve(&indices, 0, |_, _| {});
@@ -168,10 +248,50 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_is_deterministic_and_els_conforming() {
+        let p = ConflictPolicy::Adversarial(17);
+        let indices = [4usize, 4, 4, 2, 1, 2];
+        let a = p.resolve(&indices, 5, |_, _| {});
+        let b = p.resolve(&indices, 5, |_, _| {});
+        assert_eq!(a, b, "same seed + sequence must replay");
+        // Exactly one winner per distinct address.
+        assert_eq!(a.iter().filter(|&&s| s).count(), 3);
+    }
+
+    #[test]
+    fn adversarial_prefers_previous_losers() {
+        // Two elements fight over one address across two consecutive
+        // scatters (the shape of a FOL* iteration with L = 2): whoever wins
+        // the first scatter must lose the second, so no element wins both —
+        // the empty-detection livelock the policy exists to provoke.
+        let p = ConflictPolicy::Adversarial(3);
+        let mut state = AdversaryState::new();
+        for seq in 0..16u64 {
+            let first = p.resolve_with_state(&[0, 0], 2 * seq, Some(&mut state), |_, _| {});
+            let second = p.resolve_with_state(&[0, 0], 2 * seq + 1, Some(&mut state), |_, _| {});
+            let w1 = first.iter().position(|&s| s).expect("one winner");
+            let w2 = second.iter().position(|&s| s).expect("one winner");
+            assert_ne!(w1, w2, "seq {seq}: previous winner must lose the next scatter");
+        }
+    }
+
+    #[test]
+    fn adversary_state_reset_forgets() {
+        let p = ConflictPolicy::Adversarial(3);
+        let mut state = AdversaryState::new();
+        let _ = p.resolve_with_state(&[0, 0], 0, Some(&mut state), |_, _| {});
+        state.reset();
+        assert_eq!(state, AdversaryState::default());
+    }
+
+    #[test]
     fn no_conflicts_means_everyone_survives() {
-        for policy in
-            [ConflictPolicy::FirstWins, ConflictPolicy::LastWins, ConflictPolicy::Arbitrary(5)]
-        {
+        for policy in [
+            ConflictPolicy::FirstWins,
+            ConflictPolicy::LastWins,
+            ConflictPolicy::Arbitrary(5),
+            ConflictPolicy::Adversarial(5),
+        ] {
             let (survived, writes) = run(&policy, &[4, 2, 9]);
             assert_eq!(survived, vec![true, true, true]);
             assert_eq!(writes.len(), 3);

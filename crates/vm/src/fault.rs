@@ -1,0 +1,305 @@
+//! Deterministic scatter fault injection — adversarial hardware models.
+//!
+//! FOL's correctness argument rests on the **ELS condition** (§3.2): a
+//! conflicting vector indirect store lands exactly one of the competing
+//! values. The [`crate::ConflictPolicy`] seam already lets tests choose *which*
+//! write wins; this module goes further and models **broken** hardware, so
+//! that the hardened, fallible execution paths in `fol-core` can be shown to
+//! fail loudly (typed errors, detected invariant violations) rather than
+//! silently produce a wrong decomposition.
+//!
+//! A [`FaultPlan`] is a pure function of `(seed, scatter sequence number,
+//! lane / address)` — re-running the same program with the same plan replays
+//! exactly the same faults, which keeps every adversarial test reproducible.
+//! Two fault classes are modelled, both of which violate ELS:
+//!
+//! * **Dropped lanes** — a scatter element's write never reaches memory (a
+//!   faulty pipe). The cell keeps its previous value, which is *not* one of
+//!   the written values.
+//! * **Torn writes** (generalized amalgams) — when several lanes target one
+//!   address, the stored value is a bitwise combination
+//!   ([`AmalgamMode`]) of the competing values instead of any single one of
+//!   them. This generalizes the legacy [`crate::ConflictPolicy::BrokenAmalgam`]
+//!   policy from "always XOR" to seeded, per-address, per-mode injection.
+//!
+//! Every injected fault is recorded in the machine's [`FaultLog`], so a test
+//! can assert both that a run *survived* and that the adversary actually
+//! *fired* (a plan whose probabilities never trigger proves nothing).
+
+use crate::memory::Addr;
+use crate::vreg::Word;
+
+/// How a torn write combines the values competing for one address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AmalgamMode {
+    /// Bitwise XOR of all competing values (the classic torn-store model;
+    /// matches [`crate::ConflictPolicy::BrokenAmalgam`]).
+    #[default]
+    Xor,
+    /// Bitwise OR — models wired-OR bus contention.
+    Or,
+    /// Bitwise AND — models open-drain contention.
+    And,
+}
+
+impl AmalgamMode {
+    /// Combines `values` (at least one) into the torn result.
+    pub fn combine(self, values: &[Word]) -> Word {
+        let mut it = values.iter().copied();
+        let first = it.next().unwrap_or(0);
+        match self {
+            AmalgamMode::Xor => it.fold(first, |a, b| a ^ b),
+            AmalgamMode::Or => it.fold(first, |a, b| a | b),
+            AmalgamMode::And => it.fold(first, |a, b| a & b),
+        }
+    }
+}
+
+/// A deterministic, seed-driven plan of scatter faults.
+///
+/// Rates are expressed in units of `1/65536`: a `drop_rate` of `8192` drops
+/// roughly one lane in eight. Whether a particular lane or address faults is
+/// a pure hash of the plan seed, the machine's scatter sequence number and
+/// the lane index (or target address), so a plan is exactly reproducible and
+/// independent of `HashMap` iteration order or host randomness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_rate: u16,
+    amalgam_rate: u16,
+    mode: AmalgamMode,
+    /// Half-open scatter-sequence window `[start, end)` the plan applies to;
+    /// `None` means every scatter.
+    window: Option<(u64, u64)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a sweep baseline).
+    pub fn benign(seed: u64) -> Self {
+        Self { seed, drop_rate: 0, amalgam_rate: 0, mode: AmalgamMode::Xor, window: None }
+    }
+
+    /// A plan that drops scatter lanes at `rate` (per 65536).
+    pub fn dropped_lanes(seed: u64, rate: u16) -> Self {
+        Self { drop_rate: rate, ..Self::benign(seed) }
+    }
+
+    /// A plan that tears conflicting writes at `rate` (per 65536) using
+    /// `mode` to combine the competing values.
+    pub fn torn_writes(seed: u64, rate: u16, mode: AmalgamMode) -> Self {
+        Self { amalgam_rate: rate, mode, ..Self::benign(seed) }
+    }
+
+    /// Sets the lane-drop rate (per 65536), returning the modified plan.
+    pub fn with_drop_rate(mut self, rate: u16) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the torn-write rate (per 65536) and mode, returning the plan.
+    pub fn with_torn_writes(mut self, rate: u16, mode: AmalgamMode) -> Self {
+        self.amalgam_rate = rate;
+        self.mode = mode;
+        self
+    }
+
+    /// Restricts the plan to scatters whose sequence number falls in
+    /// `[start, end)`.
+    pub fn with_window(mut self, start: u64, end: u64) -> Self {
+        self.window = Some((start, end));
+        self
+    }
+
+    /// True when the plan can violate the ELS condition (any nonzero rate).
+    pub fn violates_els(&self) -> bool {
+        self.drop_rate > 0 || self.amalgam_rate > 0
+    }
+
+    /// The amalgam combination mode.
+    pub fn mode(&self) -> AmalgamMode {
+        self.mode
+    }
+
+    fn active_at(&self, sequence: u64) -> bool {
+        match self.window {
+            None => true,
+            Some((start, end)) => sequence >= start && sequence < end,
+        }
+    }
+
+    /// Decides whether the write of `lane` (original element position) in
+    /// scatter `sequence` is dropped.
+    pub fn lane_dropped(&self, sequence: u64, lane: usize) -> bool {
+        self.active_at(sequence)
+            && self.drop_rate > 0
+            && (hash3(self.seed, sequence, lane as u64 ^ 0xD50F) & 0xFFFF) < self.drop_rate as u64
+    }
+
+    /// Decides whether the conflicting writes to `addr` in scatter `sequence`
+    /// tear; returns the amalgam to store if so. `values` are the competing
+    /// values (the caller only consults the plan when there are at least two).
+    pub fn torn_value(&self, sequence: u64, addr: Addr, values: &[Word]) -> Option<Word> {
+        if values.len() < 2 || !self.active_at(sequence) || self.amalgam_rate == 0 {
+            return None;
+        }
+        if (hash3(self.seed, sequence, addr as u64 ^ 0x7EA4) & 0xFFFF) < self.amalgam_rate as u64 {
+            Some(self.mode.combine(values))
+        } else {
+            None
+        }
+    }
+}
+
+/// One injected fault, as recorded in the [`FaultLog`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The write of element `lane` in scatter `sequence` was dropped before
+    /// reaching `addr`.
+    LaneDropped {
+        /// Scatter sequence number.
+        sequence: u64,
+        /// Original element position within the scatter.
+        lane: usize,
+        /// The address the write should have reached.
+        addr: Addr,
+    },
+    /// Conflicting writes to `addr` in scatter `sequence` stored `amalgam`,
+    /// a value no single lane wrote.
+    TornWrite {
+        /// Scatter sequence number.
+        sequence: u64,
+        /// The torn address.
+        addr: Addr,
+        /// The amalgam that was stored.
+        amalgam: Word,
+    },
+}
+
+/// A record of every fault a [`FaultPlan`] actually injected.
+///
+/// Adversarial tests assert on this to prove the adversary fired: a run that
+/// "survives" a plan whose faults never triggered demonstrates nothing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+    dropped_lanes: u64,
+    torn_writes: u64,
+}
+
+impl FaultLog {
+    /// All events, in injection order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of dropped lanes.
+    pub fn dropped_lanes(&self) -> u64 {
+        self.dropped_lanes
+    }
+
+    /// Number of torn writes.
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_writes
+    }
+
+    /// True when no fault was injected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total number of injected faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub(crate) fn record(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::LaneDropped { .. } => self.dropped_lanes += 1,
+            FaultEvent::TornWrite { .. } => self.torn_writes += 1,
+        }
+        self.events.push(event);
+    }
+}
+
+/// SplitMix64-style avalanche of three words — the deterministic coin every
+/// fault decision flips. Public within the crate so the adversarial conflict
+/// policy can share it.
+pub(crate) fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_add(b.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add(c.wrapping_mul(0xBF58476D1CE4E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_plan_never_fires() {
+        let plan = FaultPlan::benign(7);
+        assert!(!plan.violates_els());
+        for seq in 0..64 {
+            for lane in 0..64 {
+                assert!(!plan.lane_dropped(seq, lane));
+            }
+            assert_eq!(plan.torn_value(seq, 3, &[1, 2]), None);
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured_and_deterministic() {
+        let plan = FaultPlan::dropped_lanes(42, 16384); // ~25%
+        let fired: Vec<bool> = (0..4096).map(|lane| plan.lane_dropped(1, lane)).collect();
+        let count = fired.iter().filter(|&&f| f).count();
+        assert!((600..1500).contains(&count), "~25% of 4096, got {count}");
+        // Replaying gives the identical pattern.
+        let replay: Vec<bool> = (0..4096).map(|lane| plan.lane_dropped(1, lane)).collect();
+        assert_eq!(fired, replay);
+        assert!(plan.violates_els());
+    }
+
+    #[test]
+    fn torn_writes_combine_per_mode() {
+        assert_eq!(AmalgamMode::Xor.combine(&[0b1100, 0b1010]), 0b0110);
+        assert_eq!(AmalgamMode::Or.combine(&[0b1100, 0b1010]), 0b1110);
+        assert_eq!(AmalgamMode::And.combine(&[0b1100, 0b1010]), 0b1000);
+        let plan = FaultPlan::torn_writes(3, u16::MAX, AmalgamMode::Or);
+        assert_eq!(plan.torn_value(0, 5, &[1, 2]), Some(3));
+        // A lone writer can never tear.
+        assert_eq!(plan.torn_value(0, 5, &[1]), None);
+    }
+
+    #[test]
+    fn window_limits_the_blast_radius() {
+        let plan = FaultPlan::dropped_lanes(9, u16::MAX).with_window(10, 20);
+        assert!(!plan.lane_dropped(9, 0));
+        assert!(plan.lane_dropped(10, 0));
+        assert!(plan.lane_dropped(19, 0));
+        assert!(!plan.lane_dropped(20, 0));
+    }
+
+    #[test]
+    fn log_counts_by_kind() {
+        let mut log = FaultLog::default();
+        assert!(log.is_empty());
+        log.record(FaultEvent::LaneDropped { sequence: 1, lane: 2, addr: 3 });
+        log.record(FaultEvent::TornWrite { sequence: 1, addr: 3, amalgam: 7 });
+        log.record(FaultEvent::TornWrite { sequence: 2, addr: 4, amalgam: 8 });
+        assert_eq!(log.dropped_lanes(), 1);
+        assert_eq!(log.torn_writes(), 2);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.events().len(), 3);
+    }
+
+    #[test]
+    fn different_seeds_fault_differently() {
+        let a = FaultPlan::dropped_lanes(1, 8192);
+        let b = FaultPlan::dropped_lanes(2, 8192);
+        let pa: Vec<bool> = (0..512).map(|l| a.lane_dropped(0, l)).collect();
+        let pb: Vec<bool> = (0..512).map(|l| b.lane_dropped(0, l)).collect();
+        assert_ne!(pa, pb);
+    }
+}

@@ -21,8 +21,17 @@
 //! * pluggable [`ConflictPolicy`] semantics for scatters with duplicate
 //!   indices. All policies satisfy the paper's **ELS condition** (*exclusive
 //!   label storing*: exactly one of the competing values is stored, never an
-//!   amalgam); which one wins is the policy's choice. [`Machine::scatter_ordered`]
+//!   amalgam); which one wins is the policy's choice — including an
+//!   ELS-conforming adversary ([`ConflictPolicy::Adversarial`]) built to
+//!   provoke FOL\*'s livelock. [`Machine::scatter_ordered`]
 //!   models the S-3800 `VSTX` instruction (element order defines the winner).
+//! * deterministic **fault injection** ([`fault`]): a seed-driven
+//!   [`FaultPlan`] drops scatter lanes and tears conflicting writes into
+//!   amalgams, with every injected fault recorded in a [`FaultLog`] — the
+//!   broken-hardware models that the hardened `fol-core` execution paths are
+//!   tested against,
+//! * typed **machine traps** ([`MachineTrap`]): trapping instructions
+//!   (division by zero) exist in panicking and fallible (`try_*`) forms.
 //!
 //! The simulator is deliberately *functional* in style: instructions take and
 //! return owned vector values, and the machine only owns memory, the cost
@@ -51,15 +60,17 @@
 pub mod conflict;
 pub mod cost;
 pub mod expr;
+pub mod fault;
 pub mod machine;
 pub mod memory;
 pub mod program;
 pub mod trace;
 pub mod vreg;
 
-pub use conflict::ConflictPolicy;
+pub use conflict::{AdversaryState, ConflictPolicy};
 pub use cost::{CostModel, OpKind, Stats};
-pub use machine::{AluOp, CmpOp, Machine};
+pub use fault::{AmalgamMode, FaultEvent, FaultLog, FaultPlan};
+pub use machine::{AluOp, CmpOp, Machine, MachineTrap};
 pub use memory::{Addr, Memory, Region};
 pub use program::{execute, Inst, Program, Registers, Stop};
 pub use trace::{TraceEntry, Tracer};

@@ -11,8 +11,9 @@
 //! acceleration ratios are computed exactly this way (same machine, same
 //! memory, two code paths).
 
-use crate::conflict::ConflictPolicy;
+use crate::conflict::{AdversaryState, ConflictPolicy};
 use crate::cost::{CostModel, OpKind, Stats};
+use crate::fault::{FaultEvent, FaultLog, FaultPlan};
 use crate::memory::{Addr, Memory, Region};
 use crate::trace::Tracer;
 use crate::vreg::{Mask, VReg, Word};
@@ -24,7 +25,9 @@ pub enum AluOp {
     Add,
     Sub,
     Mul,
-    /// Truncating division. Division by zero panics, as it would trap.
+    /// Truncating division. Division by zero raises a
+    /// [`MachineTrap::DivideByZero`]; the panicking instruction forms abort
+    /// with the trap message, the `try_*` forms return it.
     Div,
     /// Remainder with the sign of the dividend (Rust `%`).
     Rem,
@@ -39,24 +42,65 @@ pub enum AluOp {
     Max,
 }
 
-impl AluOp {
-    #[inline]
-    fn apply(self, a: Word, b: Word) -> Word {
+/// A typed machine trap — the simulator's analogue of a hardware exception.
+///
+/// Instructions that can trap exist in two forms: the classic panicking form
+/// (`valu`, matching how an unhandled trap aborts a job) and a fallible
+/// `try_*` form that returns the trap as a value, which the hardened
+/// execution paths in `fol-core` surface as `FolError::Trap`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineTrap {
+    /// Integer division, remainder or modulus by zero.
+    DivideByZero {
+        /// The trapping operation (`Div`, `Rem` or `Mod`).
+        op: AluOp,
+        /// Vector lane (element position) that trapped; 0 for scalar forms.
+        lane: usize,
+    },
+}
+
+impl std::fmt::Display for MachineTrap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AluOp::Add => a.wrapping_add(b),
-            AluOp::Sub => a.wrapping_sub(b),
-            AluOp::Mul => a.wrapping_mul(b),
-            AluOp::Div => a / b,
-            AluOp::Rem => a % b,
-            AluOp::Mod => a.rem_euclid(b),
-            AluOp::And => a & b,
-            AluOp::Or => a | b,
-            AluOp::Xor => a ^ b,
-            AluOp::Shl => a.wrapping_shl(b as u32),
-            AluOp::Shr => a.wrapping_shr(b as u32),
-            AluOp::Min => a.min(b),
-            AluOp::Max => a.max(b),
+            MachineTrap::DivideByZero { op, lane } => {
+                write!(f, "machine trap: {op:?} by zero in lane {lane}")
+            }
         }
+    }
+}
+
+impl std::error::Error for MachineTrap {}
+
+impl AluOp {
+    /// Applies the operation, returning `None` on a trapping condition
+    /// (division, remainder or modulus by zero). All arithmetic wraps,
+    /// including the `i64::MIN / -1` overflow corner.
+    #[inline]
+    pub fn checked_apply(self, a: Word, b: Word) -> Option<Word> {
+        match self {
+            AluOp::Add => Some(a.wrapping_add(b)),
+            AluOp::Sub => Some(a.wrapping_sub(b)),
+            AluOp::Mul => Some(a.wrapping_mul(b)),
+            AluOp::Div => (b != 0).then(|| a.wrapping_div(b)),
+            AluOp::Rem => (b != 0).then(|| a.wrapping_rem(b)),
+            AluOp::Mod => (b != 0).then(|| a.wrapping_rem_euclid(b)),
+            AluOp::And => Some(a & b),
+            AluOp::Or => Some(a | b),
+            AluOp::Xor => Some(a ^ b),
+            AluOp::Shl => Some(a.wrapping_shl(b as u32)),
+            AluOp::Shr => Some(a.wrapping_shr(b as u32)),
+            AluOp::Min => Some(a.min(b)),
+            AluOp::Max => Some(a.max(b)),
+        }
+    }
+
+    /// Applies the operation, panicking with the trap message on a trapping
+    /// condition (an unhandled trap aborts the job).
+    #[inline]
+    #[track_caller]
+    pub fn apply(self, a: Word, b: Word) -> Word {
+        self.checked_apply(a, b)
+            .unwrap_or_else(|| panic!("{}", MachineTrap::DivideByZero { op: self, lane: 0 }))
     }
 }
 
@@ -95,6 +139,9 @@ pub struct Machine {
     scatter_seq: u64,
     tracer: Option<Tracer>,
     phases: Vec<(String, Stats)>,
+    adversary: AdversaryState,
+    fault_plan: Option<FaultPlan>,
+    fault_log: FaultLog,
 }
 
 impl Machine {
@@ -109,6 +156,9 @@ impl Machine {
             scatter_seq: 0,
             tracer: None,
             phases: Vec::new(),
+            adversary: AdversaryState::new(),
+            fault_plan: None,
+            fault_log: FaultLog::default(),
         }
     }
 
@@ -132,9 +182,32 @@ impl Machine {
     }
 
     /// Replaces the conflict policy (e.g. to re-run a workload under another
-    /// ELS-conforming interleaving).
+    /// ELS-conforming interleaving). The adversary's cross-scatter memory is
+    /// reset so runs under the new policy start fresh.
     pub fn set_policy(&mut self, policy: ConflictPolicy) {
         self.policy = policy;
+        self.adversary.reset();
+    }
+
+    /// Installs (or with `None`, removes) a scatter [`FaultPlan`]. Faults
+    /// injected from here on are recorded in [`Machine::fault_log`].
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// The faults injected so far.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+
+    /// Clears the fault log (the plan stays installed).
+    pub fn clear_fault_log(&mut self) {
+        self.fault_log = FaultLog::default();
     }
 
     /// Statistics accumulated so far.
@@ -328,13 +401,57 @@ impl Machine {
     /// highest-numbered element wins, regardless of the machine policy. The
     /// paper's footnote 7 uses this stronger guarantee to build the
     /// order-preserving FOL variant.
+    ///
+    /// An installed [`FaultPlan`] applies here too: lanes may be dropped and
+    /// conflicting writes may tear, modelling a `VSTX` whose ordering
+    /// circuitry is broken.
     #[track_caller]
     pub fn scatter_ordered(&mut self, region: Region, idx: &VReg, val: &VReg) {
         assert_eq!(idx.len(), val.len(), "scatter_ordered: index/value length mismatch");
         self.charge_vector(OpKind::VScatterOrdered, idx.len());
-        for (i, v) in idx.iter().zip(val.iter()) {
+        self.scatter_seq += 1;
+        let seq = self.scatter_seq;
+        let plan = self.fault_plan.clone();
+        // Surviving (address, value) pairs in element order, after lane drops.
+        let mut survivors: Vec<(Addr, Word)> = Vec::with_capacity(idx.len());
+        for (lane, (i, v)) in idx.iter().zip(val.iter()).enumerate() {
             let addr = Self::region_addr(region, i);
+            if let Some(p) = &plan {
+                if p.lane_dropped(seq, lane) {
+                    self.fault_log.record(FaultEvent::LaneDropped { sequence: seq, lane, addr });
+                    continue;
+                }
+            }
+            survivors.push((addr, v));
+        }
+        for &(addr, v) in &survivors {
             self.mem.write(addr, v);
+        }
+        if let Some(p) = &plan {
+            self.tear_conflicts(p, seq, &survivors);
+        }
+    }
+
+    /// Applies the plan's torn-write faults over the surviving writes of one
+    /// scatter: conflicted addresses selected by the plan get an amalgam of
+    /// all competing values instead of the policy's winner.
+    fn tear_conflicts(&mut self, plan: &FaultPlan, seq: u64, survivors: &[(Addr, Word)]) {
+        let mut order: Vec<Addr> = Vec::new();
+        let mut groups: std::collections::HashMap<Addr, Vec<Word>> =
+            std::collections::HashMap::with_capacity(survivors.len());
+        for &(addr, v) in survivors {
+            let g = groups.entry(addr).or_default();
+            if g.is_empty() {
+                order.push(addr);
+            }
+            g.push(v);
+        }
+        for addr in order {
+            let values = &groups[&addr];
+            if let Some(amalgam) = plan.torn_value(seq, addr, values) {
+                self.mem.write(addr, amalgam);
+                self.fault_log.record(FaultEvent::TornWrite { sequence: seq, addr, amalgam });
+            }
         }
     }
 
@@ -349,20 +466,29 @@ impl Machine {
     ) {
         assert_eq!(idx.len(), val.len(), "scatter: index/value length mismatch");
         self.charge_vector(kind, idx.len());
-        let addrs: Vec<Addr> = idx
-            .iter()
-            .enumerate()
-            .filter(|&(p, _)| mask.is_none_or(|m| m.get(p)))
-            .map(|(_, i)| Self::region_addr(region, i))
-            .collect();
-        // Map filtered positions back to original element positions so the
-        // policy sees true element order.
-        let positions: Vec<usize> = (0..idx.len())
-            .filter(|&p| mask.is_none_or(|m| m.get(p)))
-            .collect();
         self.scatter_seq += 1;
         let seq = self.scatter_seq;
-        let vals: Vec<Word> = positions.iter().map(|&p| val.get(p)).collect();
+        let plan = self.fault_plan.clone();
+        // Filtered lanes: original element position, target address, value —
+        // mask-suppressed lanes first, then fault-dropped lanes.
+        let mut positions: Vec<usize> = Vec::with_capacity(idx.len());
+        let mut addrs: Vec<Addr> = Vec::with_capacity(idx.len());
+        let mut vals: Vec<Word> = Vec::with_capacity(idx.len());
+        for (p, i) in idx.iter().enumerate() {
+            if !mask.is_none_or(|m| m.get(p)) {
+                continue;
+            }
+            let addr = Self::region_addr(region, i);
+            if let Some(plan) = &plan {
+                if plan.lane_dropped(seq, p) {
+                    self.fault_log.record(FaultEvent::LaneDropped { sequence: seq, lane: p, addr });
+                    continue;
+                }
+            }
+            positions.push(p);
+            addrs.push(addr);
+            vals.push(val.get(p));
+        }
         if self.policy == ConflictPolicy::BrokenAmalgam {
             // ELS violation: conflicting writes XOR together. A lone writer
             // still stores its own value (0 ^ v = v).
@@ -377,11 +503,18 @@ impl Machine {
             return;
         }
         let mut writes: Vec<(Addr, Word)> = Vec::with_capacity(addrs.len());
-        self.policy.resolve(&addrs, seq, |filtered_pos, addr| {
+        let policy = self.policy.clone();
+        let state = matches!(policy, ConflictPolicy::Adversarial(_)).then_some(&mut self.adversary);
+        policy.resolve_with_state(&addrs, seq, state, |filtered_pos, addr| {
             writes.push((addr, vals[filtered_pos]));
         });
         for (addr, w) in writes {
             self.mem.write(addr, w);
+        }
+        if let Some(p) = &plan {
+            let survivors: Vec<(Addr, Word)> =
+                addrs.iter().copied().zip(vals.iter().copied()).collect();
+            self.tear_conflicts(p, seq, &survivors);
         }
     }
 
@@ -390,27 +523,83 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Elementwise `op` on two vectors of equal length.
+    ///
+    /// # Panics
+    /// Panics on a lane trap (division by zero) — use [`Machine::try_valu`]
+    /// to observe the trap as a value instead.
     #[track_caller]
     pub fn valu(&mut self, op: AluOp, a: &VReg, b: &VReg) -> VReg {
+        self.try_valu(op, a, b).unwrap_or_else(|t| panic!("{t}"))
+    }
+
+    /// Fallible form of [`Machine::valu`]: returns the first lane trap
+    /// instead of panicking. Cycles are charged either way (the pipeline
+    /// issues before the trap is detected).
+    #[track_caller]
+    pub fn try_valu(&mut self, op: AluOp, a: &VReg, b: &VReg) -> Result<VReg, MachineTrap> {
         assert_eq!(a.len(), b.len(), "valu: length mismatch");
         self.charge_vector(OpKind::VAlu, a.len());
-        a.iter().zip(b.iter()).map(|(x, y)| op.apply(x, y)).collect()
+        a.iter()
+            .zip(b.iter())
+            .enumerate()
+            .map(|(lane, (x, y))| {
+                op.checked_apply(x, y).ok_or(MachineTrap::DivideByZero { op, lane })
+            })
+            .collect()
     }
 
     /// Elementwise `op` between a vector and a broadcast scalar.
+    ///
+    /// # Panics
+    /// Panics on a lane trap (division by zero) — use
+    /// [`Machine::try_valu_s`] to observe the trap as a value instead.
+    #[track_caller]
     pub fn valu_s(&mut self, op: AluOp, a: &VReg, s: Word) -> VReg {
+        self.try_valu_s(op, a, s).unwrap_or_else(|t| panic!("{t}"))
+    }
+
+    /// Fallible form of [`Machine::valu_s`].
+    pub fn try_valu_s(&mut self, op: AluOp, a: &VReg, s: Word) -> Result<VReg, MachineTrap> {
         self.charge_vector(OpKind::VAlu, a.len());
-        a.iter().map(|x| op.apply(x, s)).collect()
+        a.iter()
+            .enumerate()
+            .map(|(lane, x)| op.checked_apply(x, s).ok_or(MachineTrap::DivideByZero { op, lane }))
+            .collect()
     }
 
     /// Masked elementwise `op`: where the mask is false the result keeps `a`.
+    /// Masked-off lanes never execute, so they cannot trap — the idiomatic
+    /// guard for division (`where b /= 0 do a / b`).
+    ///
+    /// # Panics
+    /// Panics on a trap in an *active* lane — use
+    /// [`Machine::try_valu_masked`] to observe it as a value instead.
     #[track_caller]
     pub fn valu_masked(&mut self, op: AluOp, a: &VReg, b: &VReg, mask: &Mask) -> VReg {
+        self.try_valu_masked(op, a, b, mask).unwrap_or_else(|t| panic!("{t}"))
+    }
+
+    /// Fallible form of [`Machine::valu_masked`].
+    #[track_caller]
+    pub fn try_valu_masked(
+        &mut self,
+        op: AluOp,
+        a: &VReg,
+        b: &VReg,
+        mask: &Mask,
+    ) -> Result<VReg, MachineTrap> {
         assert_eq!(a.len(), b.len(), "valu_masked: length mismatch");
         assert_eq!(a.len(), mask.len(), "valu_masked: mask length mismatch");
         self.charge_vector(OpKind::VAlu, a.len());
         (0..a.len())
-            .map(|i| if mask.get(i) { op.apply(a.get(i), b.get(i)) } else { a.get(i) })
+            .map(|lane| {
+                if mask.get(lane) {
+                    op.checked_apply(a.get(lane), b.get(lane))
+                        .ok_or(MachineTrap::DivideByZero { op, lane })
+                } else {
+                    Ok(a.get(lane))
+                }
+            })
             .collect()
     }
 
@@ -915,6 +1104,120 @@ mod tests {
         assert_eq!(t.count(OpKind::VLoad), 1); // vimm
         assert_eq!(t.count(OpKind::VGather), 1);
         assert!(t.is_fully_vector());
+    }
+
+    #[test]
+    fn divide_by_zero_is_a_typed_trap() {
+        let mut m = machine();
+        let a = m.vimm(&[6, 7]);
+        let b = m.vimm(&[3, 0]);
+        for op in [AluOp::Div, AluOp::Rem, AluOp::Mod] {
+            assert_eq!(
+                m.try_valu(op, &a, &b),
+                Err(MachineTrap::DivideByZero { op, lane: 1 }),
+                "{op:?} must trap on the zero lane"
+            );
+            assert_eq!(m.try_valu_s(op, &a, 0), Err(MachineTrap::DivideByZero { op, lane: 0 }));
+        }
+        // Masked-off lanes never execute, so they cannot trap.
+        let mask = Mask::from_slice(&[true, false]);
+        let r = m.try_valu_masked(AluOp::Div, &a, &b, &mask).expect("masked lane must not trap");
+        assert_eq!(r.as_slice(), &[2, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine trap")]
+    fn unhandled_trap_aborts() {
+        let mut m = machine();
+        let a = m.vimm(&[1]);
+        let b = m.vimm(&[0]);
+        let _ = m.valu(AluOp::Div, &a, &b);
+    }
+
+    #[test]
+    fn division_min_by_minus_one_wraps() {
+        let mut m = machine();
+        let a = m.vimm(&[Word::MIN]);
+        let b = m.vimm(&[-1]);
+        assert_eq!(m.valu(AluOp::Div, &a, &b).as_slice(), &[Word::MIN]);
+        assert_eq!(m.valu(AluOp::Rem, &a, &b).as_slice(), &[0]);
+    }
+
+    #[test]
+    fn fault_plan_drops_lanes_and_logs() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::dropped_lanes(11, u16::MAX)));
+        let r = m.alloc(4, "r");
+        m.vfill(r, -1);
+        let idx = m.vimm(&[0, 1, 2]);
+        let val = m.vimm(&[10, 20, 30]);
+        m.scatter(r, &idx, &val);
+        // Every lane dropped: memory untouched, every drop logged.
+        assert_eq!(m.mem().read_region(r), vec![-1, -1, -1, -1]);
+        assert_eq!(m.fault_log().dropped_lanes(), 3);
+        assert!(matches!(
+            m.fault_log().events()[0],
+            FaultEvent::LaneDropped { lane: 0, .. }
+        ));
+        m.clear_fault_log();
+        assert!(m.fault_log().is_empty());
+        assert!(m.fault_plan().is_some());
+    }
+
+    #[test]
+    fn fault_plan_tears_conflicting_writes_only() {
+        use crate::fault::{AmalgamMode, FaultPlan};
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::torn_writes(5, u16::MAX, AmalgamMode::Xor)));
+        let r = m.alloc(2, "r");
+        let idx = m.vimm(&[0, 0, 1]);
+        let val = m.vimm(&[0b1100, 0b1010, 7]);
+        m.scatter(r, &idx, &val);
+        // Conflicted slot tears to the XOR amalgam; the lone writer is clean.
+        assert_eq!(m.mem().read(r.base()), 0b0110);
+        assert_eq!(m.mem().read(r.base() + 1), 7);
+        assert_eq!(m.fault_log().torn_writes(), 1);
+    }
+
+    #[test]
+    fn fault_plan_applies_to_ordered_scatter() {
+        use crate::fault::FaultPlan;
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::dropped_lanes(2, u16::MAX)));
+        let r = m.alloc(2, "r");
+        m.vfill(r, -5);
+        let idx = m.vimm(&[0, 1]);
+        let val = m.vimm(&[1, 2]);
+        m.scatter_ordered(r, &idx, &val);
+        assert_eq!(m.mem().read_region(r), vec![-5, -5]);
+        assert_eq!(m.fault_log().dropped_lanes(), 2);
+    }
+
+    #[test]
+    fn benign_fault_plan_changes_nothing() {
+        use crate::fault::FaultPlan;
+        let mut m = Machine::with_policy(CostModel::unit(), ConflictPolicy::LastWins);
+        m.set_fault_plan(Some(FaultPlan::benign(1)));
+        let r = m.alloc(4, "r");
+        let idx = m.vimm(&[1, 1, 3]);
+        let val = m.vimm(&[100, 200, 300]);
+        m.scatter(r, &idx, &val);
+        assert_eq!(m.mem().read_region(r), vec![0, 200, 0, 300]);
+        assert!(m.fault_log().is_empty());
+    }
+
+    #[test]
+    fn adversarial_scatter_satisfies_els() {
+        for seed in 0..16 {
+            let mut m = Machine::with_policy(CostModel::unit(), ConflictPolicy::Adversarial(seed));
+            let r = m.alloc(2, "r");
+            let idx = m.vimm(&[0, 0, 0]);
+            let val = m.vimm(&[7, 8, 9]);
+            m.scatter(r, &idx, &val);
+            let w = m.mem().read(r.base());
+            assert!([7, 8, 9].contains(&w), "stored {w} is not one of the written values");
+        }
     }
 
     #[test]

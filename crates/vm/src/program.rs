@@ -356,21 +356,9 @@ pub fn execute(
 }
 
 fn apply_salu(op: AluOp, a: Word, b: Word) -> Word {
-    match op {
-        AluOp::Add => a.wrapping_add(b),
-        AluOp::Sub => a.wrapping_sub(b),
-        AluOp::Mul => a.wrapping_mul(b),
-        AluOp::Div => a / b,
-        AluOp::Rem => a % b,
-        AluOp::Mod => a.rem_euclid(b),
-        AluOp::And => a & b,
-        AluOp::Or => a | b,
-        AluOp::Xor => a ^ b,
-        AluOp::Shl => a.wrapping_shl(b as u32),
-        AluOp::Shr => a.wrapping_shr(b as u32),
-        AluOp::Min => a.min(b),
-        AluOp::Max => a.max(b),
-    }
+    // Scalar ALU shares the vector unit's semantics, including the
+    // divide-by-zero trap (which aborts an interpreted program).
+    op.apply(a, b)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@ fn policies() -> impl Strategy<Value = ConflictPolicy> {
         Just(ConflictPolicy::FirstWins),
         Just(ConflictPolicy::LastWins),
         any::<u64>().prop_map(ConflictPolicy::Arbitrary),
+        any::<u64>().prop_map(ConflictPolicy::Adversarial),
     ]
 }
 
@@ -141,5 +142,183 @@ proptest! {
         let mask = m.vcmp_s(CmpOp::Lt, &v, pivot);
         let counted = m.count_true(&mask);
         prop_assert_eq!(counted, data.iter().filter(|&&x| x < pivot).count());
+    }
+}
+
+/// Table-driven edge-case audit of the indirect access instructions:
+/// zero-length operands and indices at the very end of the region, across
+/// every conflict policy and the masked/ordered variants.
+mod indirect_edges {
+    use super::*;
+
+    const SENTINEL: Word = -999;
+    const REGION: usize = 8;
+    const MAX: Word = (REGION - 1) as Word;
+
+    fn all_policies() -> Vec<ConflictPolicy> {
+        vec![
+            ConflictPolicy::FirstWins,
+            ConflictPolicy::LastWins,
+            ConflictPolicy::Arbitrary(5),
+            ConflictPolicy::Adversarial(5),
+        ]
+    }
+
+    /// One scenario: scatter `writes` (with `mask`, or ordered), then the
+    /// expected region image. `None` in `expect` means "any of the
+    /// competing values" (plain scatter leaves the winner to the policy).
+    struct Case {
+        name: &'static str,
+        writes: &'static [(Word, Word)],
+        mask: Option<&'static [bool]>,
+        expect: &'static [(usize, Option<Word>)],
+    }
+
+    const CASES: &[Case] = &[
+        Case { name: "empty scatter", writes: &[], mask: None, expect: &[] },
+        Case {
+            name: "empty masked scatter",
+            writes: &[],
+            mask: Some(&[]),
+            expect: &[],
+        },
+        Case {
+            name: "single write at max index",
+            writes: &[(MAX, 42)],
+            mask: None,
+            expect: &[(REGION - 1, Some(42))],
+        },
+        Case {
+            name: "conflict at max index",
+            writes: &[(MAX, 1), (MAX, 2)],
+            mask: None,
+            expect: &[(REGION - 1, None)],
+        },
+        Case {
+            name: "mask suppresses max-index lane",
+            writes: &[(MAX, 7), (0, 8)],
+            mask: Some(&[false, true]),
+            expect: &[(REGION - 1, Some(SENTINEL)), (0, Some(8))],
+        },
+        Case {
+            name: "all lanes masked off",
+            writes: &[(0, 1), (MAX, 2)],
+            mask: Some(&[false, false]),
+            expect: &[(0, Some(SENTINEL)), (REGION - 1, Some(SENTINEL))],
+        },
+        Case {
+            name: "boundary pair first and last cell",
+            writes: &[(0, 10), (MAX, 20)],
+            mask: None,
+            expect: &[(0, Some(10)), (REGION - 1, Some(20))],
+        },
+    ];
+
+    #[test]
+    fn scatter_table() {
+        for policy in all_policies() {
+            for case in CASES {
+                let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+                let r = m.alloc(REGION, "r");
+                m.vfill(r, SENTINEL);
+                let idx: VReg = case.writes.iter().map(|&(i, _)| i).collect();
+                let val: VReg = case.writes.iter().map(|&(_, v)| v).collect();
+                match case.mask {
+                    Some(bits) => {
+                        let mask = Mask::from_slice(bits);
+                        m.scatter_masked(r, &idx, &val, &mask);
+                    }
+                    None => m.scatter(r, &idx, &val),
+                }
+                for &(cell, want) in case.expect {
+                    let got = m.mem().read(r.base() + cell);
+                    match want {
+                        Some(w) => assert_eq!(
+                            got, w,
+                            "{} / {policy:?}: cell {cell}",
+                            case.name
+                        ),
+                        None => {
+                            let writers: Vec<Word> = case
+                                .writes
+                                .iter()
+                                .filter(|&&(i, _)| i as usize == cell)
+                                .map(|&(_, v)| v)
+                                .collect();
+                            assert!(
+                                writers.contains(&got),
+                                "{} / {policy:?}: cell {cell} holds {got}, not in {writers:?}",
+                                case.name
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_ordered_table() {
+        // Ordered scatter: element order decides, so every expectation is
+        // exact — including a duplicate at the region's last cell.
+        type OrderedCase = (&'static str, &'static [(Word, Word)], &'static [(usize, Word)]);
+        let cases: &[OrderedCase] = &[
+            ("empty", &[], &[]),
+            ("single at max", &[(MAX, 42)], &[(REGION - 1, 42)]),
+            (
+                "duplicate at max: later element wins",
+                &[(MAX, 1), (MAX, 2)],
+                &[(REGION - 1, 2)],
+            ),
+            (
+                "boundary pair",
+                &[(0, 10), (MAX, 20)],
+                &[(0, 10), (REGION - 1, 20)],
+            ),
+        ];
+        for &(name, writes, expect) in cases {
+            let mut m = Machine::new(CostModel::unit());
+            let r = m.alloc(REGION, "r");
+            m.vfill(r, SENTINEL);
+            let idx: VReg = writes.iter().map(|&(i, _)| i).collect();
+            let val: VReg = writes.iter().map(|&(_, v)| v).collect();
+            m.scatter_ordered(r, &idx, &val);
+            for &(cell, want) in expect {
+                assert_eq!(m.mem().read(r.base() + cell), want, "{name}: cell {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_table() {
+        let mut m = Machine::new(CostModel::unit());
+        let r = m.alloc(REGION, "r");
+        for cell in 0..REGION {
+            m.s_write(r.base() + cell, cell as Word * 11);
+        }
+        // Zero-length gather returns a zero-length vector.
+        let empty = m.gather(r, &VReg::default());
+        assert!(empty.is_empty());
+        // Max index, repeated max index, and both boundaries.
+        let idx = m.vimm(&[MAX, MAX, 0, MAX]);
+        let got = m.gather(r, &idx);
+        assert_eq!(got.as_slice(), &[MAX * 11, MAX * 11, 0, MAX * 11]);
+    }
+
+    #[test]
+    fn empty_scatter_gather_charge_no_element_cycles_but_run() {
+        // Zero-length indirect ops must be well-defined no-ops on memory.
+        let mut m = Machine::new(CostModel::unit());
+        let r = m.alloc(4, "r");
+        m.vfill(r, SENTINEL);
+        let e = VReg::default();
+        m.scatter(r, &e, &e);
+        m.scatter_ordered(r, &e, &e);
+        m.scatter_masked(r, &e, &e, &Mask::from_slice(&[]));
+        let back = m.gather(r, &e);
+        assert!(back.is_empty());
+        for cell in 0..4 {
+            assert_eq!(m.mem().read(r.base() + cell), SENTINEL);
+        }
     }
 }
