@@ -1,15 +1,14 @@
 //! Ablation A-2: FOL1 decomposition vs the O(N^2) pairwise strawman vs
 //! hashmap grouping, in real wall-clock time, across duplication profiles.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fol_bench::harness::bench;
 use fol_bench::workloads::duplicated_targets;
 use fol_core::decompose::{pairwise_decompose, reference_decompose};
 use fol_core::host::fol1_host;
 use fol_vm::Word;
 use std::hint::black_box;
 
-fn bench_decompose(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decompose");
+fn main() {
     let n = 4096;
     // domain controls duplication: n/1 = duplicate-free-ish ... n/64 = heavy.
     for domain_div in [1usize, 4, 64] {
@@ -17,22 +16,18 @@ fn bench_decompose(c: &mut Criterion) {
         let targets = duplicated_targets(n, domain, 42);
         let words: Vec<Word> = targets.iter().map(|&t| t as Word).collect();
 
-        group.bench_with_input(BenchmarkId::new("fol1_host", domain_div), &targets, |b, t| {
-            b.iter(|| black_box(fol1_host(black_box(t), domain)))
+        bench(&format!("decompose/fol1_host/{domain_div}"), || {
+            black_box(fol1_host(black_box(&targets), domain))
         });
-        group.bench_with_input(BenchmarkId::new("hashmap_group", domain_div), &words, |b, w| {
-            b.iter(|| black_box(reference_decompose(black_box(w))))
+        bench(&format!("decompose/hashmap_group/{domain_div}"), || {
+            black_box(reference_decompose(black_box(&words)))
         });
         // The O(N^2) strawman only at light duplication (it explodes at
         // heavy duplication, which is the point; keep the bench short).
         if domain_div == 1 {
-            group.bench_with_input(BenchmarkId::new("pairwise", domain_div), &words, |b, w| {
-                b.iter(|| black_box(pairwise_decompose(black_box(w))))
+            bench(&format!("decompose/pairwise/{domain_div}"), || {
+                black_box(pairwise_decompose(black_box(&words)))
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_decompose);
-criterion_main!(benches);

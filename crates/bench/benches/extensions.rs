@@ -2,56 +2,43 @@
 //! the GC, maze router and equi-join kernels (kept small — these quantify
 //! the *simulator's* speed, keeping the repro binaries honest).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fol_bench::harness::bench;
 use fol_gc::{collect_vector, encode_imm, Heap};
 use fol_hash::join::vectorized_hash_join;
 use fol_maze::{vectorized_route, Maze};
 use fol_vm::{CostModel, Machine, Word};
 use std::hint::black_box;
 
-fn bench_gc(c: &mut Criterion) {
-    c.bench_function("gc_vector_tree_depth8", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(CostModel::s810());
-            let mut h = Heap::alloc(&mut m, 1024, "from");
-            fn tree(m: &mut Machine, h: &mut Heap, d: usize) -> Word {
-                if d == 0 {
-                    return encode_imm(0);
-                }
-                let l = tree(m, h, d - 1);
-                let r = tree(m, h, d - 1);
-                h.cons(m, l, r)
+fn main() {
+    bench("gc_vector_tree_depth8", || {
+        let mut m = Machine::new(CostModel::s810());
+        let mut h = Heap::alloc(&mut m, 1024, "from");
+        fn tree(m: &mut Machine, h: &mut Heap, d: usize) -> Word {
+            if d == 0 {
+                return encode_imm(0);
             }
-            let root = tree(&mut m, &mut h, 8);
-            let out = collect_vector(&mut m, &h, &[root]);
-            black_box(out.2.copied)
-        })
+            let l = tree(m, h, d - 1);
+            let r = tree(m, h, d - 1);
+            h.cons(m, l, r)
+        }
+        let root = tree(&mut m, &mut h, 8);
+        let out = collect_vector(&mut m, &h, &[root]);
+        black_box(out.2.copied)
+    });
+
+    let walls = vec![false; 32 * 32];
+    bench("maze_vector_32x32_open", || {
+        let mut m = Machine::new(CostModel::s810());
+        let maze = Maze::new(&mut m, 32, 32, &walls);
+        let r = vectorized_route(&mut m, &maze, 0, (32 * 32 - 1) as Word);
+        black_box(r.distance)
+    });
+
+    let build: Vec<Word> = (0..500).map(|i| (i * 7) % 800).collect();
+    let probe: Vec<Word> = (0..500).map(|i| (i * 11) % 800).collect();
+    bench("join_vector_500x500", || {
+        let mut m = Machine::new(CostModel::s810());
+        let out = vectorized_hash_join(&mut m, black_box(&build), black_box(&probe), 127);
+        black_box(out.len())
     });
 }
-
-fn bench_maze(c: &mut Criterion) {
-    c.bench_function("maze_vector_32x32_open", |b| {
-        let walls = vec![false; 32 * 32];
-        b.iter(|| {
-            let mut m = Machine::new(CostModel::s810());
-            let maze = Maze::new(&mut m, 32, 32, &walls);
-            let r = vectorized_route(&mut m, &maze, 0, (32 * 32 - 1) as Word);
-            black_box(r.distance)
-        })
-    });
-}
-
-fn bench_join(c: &mut Criterion) {
-    c.bench_function("join_vector_500x500", |b| {
-        let build: Vec<Word> = (0..500).map(|i| (i * 7) % 800).collect();
-        let probe: Vec<Word> = (0..500).map(|i| (i * 11) % 800).collect();
-        b.iter(|| {
-            let mut m = Machine::new(CostModel::s810());
-            let out = vectorized_hash_join(&mut m, black_box(&build), black_box(&probe), 127);
-            black_box(out.len())
-        })
-    });
-}
-
-criterion_group!(benches, bench_gc, bench_maze, bench_join);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! Fig 9/10 kernels, so `cargo bench` covers the paper's hashing artifacts
 //! end to end.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fol_bench::harness::bench;
 use fol_bench::workloads::distinct_keys;
 use fol_hash::host::{insert_all_batch, insert_all_scalar};
 use fol_hash::open_addressing as oa;
@@ -10,46 +10,31 @@ use fol_hash::{ProbeStrategy, UNENTERED};
 use fol_vm::{CostModel, Machine};
 use std::hint::black_box;
 
-fn bench_host_hashing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hashing_host");
+fn main() {
     for (size, lf) in [(521usize, 0.5f64), (4099, 0.5), (4099, 0.9)] {
         let n = (size as f64 * lf) as usize;
         let keys = distinct_keys(n, 1 << 30, 99);
         let id = format!("{size}@{lf}");
-        group.bench_with_input(BenchmarkId::new("scalar", &id), &keys, |b, k| {
-            b.iter(|| {
-                let mut table = vec![UNENTERED; size];
-                insert_all_scalar(&mut table, black_box(k), ProbeStrategy::KeyDependent);
-                black_box(table)
-            })
+        bench(&format!("hashing_host/scalar/{id}"), || {
+            let mut table = vec![UNENTERED; size];
+            insert_all_scalar(&mut table, black_box(&keys), ProbeStrategy::KeyDependent);
+            black_box(table)
         });
-        group.bench_with_input(BenchmarkId::new("batch_folc", &id), &keys, |b, k| {
-            b.iter(|| {
-                let mut table = vec![UNENTERED; size];
-                insert_all_batch(&mut table, black_box(k), ProbeStrategy::KeyDependent);
-                black_box(table)
-            })
+        bench(&format!("hashing_host/batch_folc/{id}"), || {
+            let mut table = vec![UNENTERED; size];
+            insert_all_batch(&mut table, black_box(&keys), ProbeStrategy::KeyDependent);
+            black_box(table)
         });
     }
-    group.finish();
-}
 
-fn bench_modelled_fig9(c: &mut Criterion) {
     // Measures the simulator's own throughput running the Fig 9 kernel —
     // useful to keep the repro binaries fast.
-    let mut group = c.benchmark_group("hashing_modelled");
     let keys = distinct_keys(2050, 1 << 30, 7);
-    group.bench_function("vectorized_4099@0.5", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(CostModel::s810());
-            let t = m.alloc(4099, "table");
-            oa::init_table(&mut m, t);
-            let r = oa::vectorized_insert_all(&mut m, t, black_box(&keys), ProbeStrategy::KeyDependent);
-            black_box((r, m.stats().cycles()))
-        })
+    bench("hashing_modelled/vectorized_4099@0.5", || {
+        let mut m = Machine::new(CostModel::s810());
+        let t = m.alloc(4099, "table");
+        oa::init_table(&mut m, t);
+        let r = oa::vectorized_insert_all(&mut m, t, black_box(&keys), ProbeStrategy::KeyDependent);
+        black_box((r, m.stats().cycles()))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_host_hashing, bench_modelled_fig9);
-criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Recovery tax: what does the write journal cost when nothing goes wrong,
+//! and what does a rollback + replay cost when something does?
+//!
+//! Three rows per duplication profile:
+//!   * `baseline_apply`   — machine decomposition + host apply, no journal.
+//!   * `txn_apply_0pct`   — the same work under [`txn_apply_rounds`] with no
+//!     faults injected. The delta over baseline is pure journaling overhead;
+//!     the budget is ≤15%.
+//!   * `txn_apply_1pct`   — 1% lane-drop rate (655 / 65536). Clean attempts
+//!     interleave with aborted-and-replayed ones; the delta over the 0% row
+//!     is the recovery latency actually paid per occasional fault.
+
+use fol_bench::harness::bench;
+use fol_bench::workloads::duplicated_targets;
+use fol_core::decompose::fol1_machine;
+use fol_core::error::Validation;
+use fol_core::parallel::apply_rounds;
+use fol_core::recover::{txn_apply_rounds, RetryPolicy};
+use fol_vm::{CostModel, FaultPlan, Machine, Word};
+use std::hint::black_box;
+
+fn main() {
+    let n = 4096;
+    // The baseline runs unvalidated, so the transactional rows must too —
+    // otherwise the delta measures Validation::Full, not the journal.
+    let policy = RetryPolicy {
+        validation: Validation::Off,
+        ..Default::default()
+    };
+    for domain_div in [1usize, 16] {
+        let domain = n / domain_div;
+        let targets = duplicated_targets(n, domain, 42);
+        let words: Vec<Word> = targets.iter().map(|&t| t as Word).collect();
+
+        bench(&format!("recovery/baseline_apply/{domain_div}"), || {
+            let mut m = Machine::new(CostModel::unit());
+            let work = m.alloc(domain, "W");
+            let d = fol1_machine(&mut m, work, black_box(&words));
+            let mut data = vec![0i64; domain];
+            apply_rounds(&mut data, &targets, &d, |c, _| *c += 1);
+            black_box(data)
+        });
+
+        bench(&format!("recovery/txn_apply_0pct/{domain_div}"), || {
+            let mut m = Machine::new(CostModel::unit());
+            let work = m.alloc(domain, "W");
+            let mut data = vec![0i64; domain];
+            let out = txn_apply_rounds(
+                &mut m,
+                work,
+                &mut data,
+                black_box(&targets),
+                &policy,
+                |c, _| *c += 1,
+            )
+            .expect("no faults injected");
+            black_box((data, out))
+        });
+
+        bench(
+            &format!("recovery/txn_apply_1pct_drops/{domain_div}"),
+            || {
+                let mut m = Machine::new(CostModel::unit());
+                m.set_fault_plan(Some(FaultPlan::dropped_lanes(7, 655)));
+                let work = m.alloc(domain, "W");
+                let mut data = vec![0i64; domain];
+                let out = txn_apply_rounds(
+                    &mut m,
+                    work,
+                    &mut data,
+                    black_box(&targets),
+                    &policy,
+                    |c, _| *c += 1,
+                )
+                .expect("full ladder ends on a fault-immune rung");
+                black_box((data, out))
+            },
+        );
+    }
+}

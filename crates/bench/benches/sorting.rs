@@ -2,64 +2,45 @@
 //! batch/FOL control flow) and distribution counting sort vs std sort, at
 //! Table 1's sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fol_bench::harness::bench;
 use fol_bench::workloads::uniform_keys;
 use fol_sort::host::{address_calc_sort, address_calc_sort_batch, dist_count_sort};
 use fol_sort::radix;
 use fol_vm::{CostModel, Machine};
 use std::hint::black_box;
 
-fn bench_sorts(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sorting_host");
+fn main() {
     for n in [1usize << 6, 1 << 10, 1 << 14] {
         let data = uniform_keys(n, 1 << 16, 5);
-        group.bench_with_input(BenchmarkId::new("addr_calc_scalar", n), &data, |b, d| {
-            b.iter(|| {
-                let mut v = d.clone();
-                address_calc_sort(&mut v, 1 << 16);
-                black_box(v)
-            })
+        bench(&format!("sorting_host/addr_calc_scalar/{n}"), || {
+            let mut v = data.clone();
+            address_calc_sort(&mut v, 1 << 16);
+            black_box(v)
         });
-        group.bench_with_input(BenchmarkId::new("addr_calc_batch", n), &data, |b, d| {
-            b.iter(|| {
-                let mut v = d.clone();
-                address_calc_sort_batch(&mut v, 1 << 16);
-                black_box(v)
-            })
+        bench(&format!("sorting_host/addr_calc_batch/{n}"), || {
+            let mut v = data.clone();
+            address_calc_sort_batch(&mut v, 1 << 16);
+            black_box(v)
         });
-        group.bench_with_input(BenchmarkId::new("dist_count", n), &data, |b, d| {
-            b.iter(|| {
-                let mut v = d.clone();
-                dist_count_sort(&mut v, 1 << 16);
-                black_box(v)
-            })
+        bench(&format!("sorting_host/dist_count/{n}"), || {
+            let mut v = data.clone();
+            dist_count_sort(&mut v, 1 << 16);
+            black_box(v)
         });
-        group.bench_with_input(BenchmarkId::new("std_sort_unstable", n), &data, |b, d| {
-            b.iter(|| {
-                let mut v = d.clone();
-                v.sort_unstable();
-                black_box(v)
-            })
+        bench(&format!("sorting_host/std_sort_unstable/{n}"), || {
+            let mut v = data.clone();
+            v.sort_unstable();
+            black_box(v)
         });
     }
-    group.finish();
-}
 
-fn bench_modelled_radix(c: &mut Criterion) {
     // Simulator throughput of the radix kernel at Table-1 scale.
-    let mut group = c.benchmark_group("radix_modelled");
     let data = uniform_keys(1 << 10, 1 << 16, 9);
-    group.bench_function("vectorized_1024x16bit", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(CostModel::s810());
-            let a = m.alloc(data.len(), "A");
-            m.mem_mut().write_region(a, black_box(&data));
-            let passes = radix::vectorized_sort(&mut m, a, 16, 8);
-            black_box((passes, m.stats().cycles()))
-        })
+    bench("radix_modelled/vectorized_1024x16bit", || {
+        let mut m = Machine::new(CostModel::s810());
+        let a = m.alloc(data.len(), "A");
+        m.mem_mut().write_region(a, black_box(&data));
+        let passes = radix::vectorized_sort(&mut m, a, 16, 8);
+        black_box((passes, m.stats().cycles()))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_sorts, bench_modelled_radix);
-criterion_main!(benches);

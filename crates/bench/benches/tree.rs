@@ -1,58 +1,43 @@
 //! Wall-clock benches for the tree workloads: the modelled Fig 14 kernel
-//! (simulator throughput) and host-level FOL round execution via rayon on
-//! the DAG update workload.
+//! (simulator throughput) and host-level FOL round execution on scoped
+//! threads on the DAG update workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fol_bench::harness::bench;
 use fol_bench::workloads::{duplicated_targets, uniform_keys};
 use fol_graph::dag::par_add_deltas;
 use fol_tree::bst;
 use fol_vm::{CostModel, Machine};
 use std::hint::black_box;
 
-fn bench_modelled_bst(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bst_modelled");
+fn main() {
     for ni in [32usize, 2048] {
         let init = uniform_keys(ni, 1 << 30, 1);
         let keys = uniform_keys(300, 1 << 30, 2);
-        group.bench_with_input(BenchmarkId::new("vector_insert", ni), &keys, |b, k| {
-            b.iter(|| {
-                let mut m = Machine::new(CostModel::s810());
-                let mut t = bst::Bst::alloc(&mut m, ni + k.len());
-                bst::scalar_insert_all(&mut m, &mut t, &init);
-                m.reset_stats();
-                let r = bst::vectorized_insert_all(&mut m, &mut t, black_box(k));
-                black_box((r, m.stats().cycles()))
-            })
+        bench(&format!("bst_modelled/vector_insert/{ni}"), || {
+            let mut m = Machine::new(CostModel::s810());
+            let mut t = bst::Bst::alloc(&mut m, ni + keys.len());
+            bst::scalar_insert_all(&mut m, &mut t, &init);
+            m.reset_stats();
+            let r = bst::vectorized_insert_all(&mut m, &mut t, black_box(&keys));
+            black_box((r, m.stats().cycles()))
         });
     }
-    group.finish();
-}
 
-fn bench_par_rounds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dag_updates_host");
     let n = 1 << 14;
     for domain in [1usize << 14, 1 << 8] {
         let nodes = duplicated_targets(n, domain, 3);
         let deltas: Vec<i64> = (0..n as i64).collect();
-        group.bench_with_input(BenchmarkId::new("fol_rayon", domain), &nodes, |b, t| {
-            b.iter(|| {
-                let mut values = vec![0i64; domain];
-                par_add_deltas(&mut values, black_box(t), &deltas);
-                black_box(values)
-            })
+        bench(&format!("dag_updates_host/fol_par/{domain}"), || {
+            let mut values = vec![0i64; domain];
+            par_add_deltas(&mut values, black_box(&nodes), &deltas);
+            black_box(values)
         });
-        group.bench_with_input(BenchmarkId::new("sequential", domain), &nodes, |b, t| {
-            b.iter(|| {
-                let mut values = vec![0i64; domain];
-                for (&n, &d) in t.iter().zip(&deltas) {
-                    values[n] += d;
-                }
-                black_box(values)
-            })
+        bench(&format!("dag_updates_host/sequential/{domain}"), || {
+            let mut values = vec![0i64; domain];
+            for (&n, &d) in nodes.iter().zip(&deltas) {
+                values[n] += d;
+            }
+            black_box(values)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_modelled_bst, bench_par_rounds);
-criterion_main!(benches);

@@ -34,11 +34,41 @@ fn main() {
     let base = CostModel::s810();
     let variants: Vec<(String, CostModel)> = vec![
         ("calibrated".into(), base.clone()),
-        ("startup/2".into(), CostModel { startup: base.startup / 2, ..base.clone() }),
-        ("startup*2".into(), CostModel { startup: base.startup * 2, ..base.clone() }),
-        ("scatter*2".into(), CostModel { scatter_factor: base.scatter_factor * 2, ..base.clone() }),
-        ("scalar_mem/2".into(), CostModel { scalar_mem: base.scalar_mem / 2, ..base.clone() }),
-        ("scalar_mem*2".into(), CostModel { scalar_mem: base.scalar_mem * 2, ..base.clone() }),
+        (
+            "startup/2".into(),
+            CostModel {
+                startup: base.startup / 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "startup*2".into(),
+            CostModel {
+                startup: base.startup * 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "scatter*2".into(),
+            CostModel {
+                scatter_factor: base.scatter_factor * 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "scalar_mem/2".into(),
+            CostModel {
+                scalar_mem: base.scalar_mem / 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "scalar_mem*2".into(),
+            CostModel {
+                scalar_mem: base.scalar_mem * 2,
+                ..base.clone()
+            },
+        ),
     ];
 
     println!("Cost-model robustness: multiple hashing acceleration under perturbed models");
@@ -56,7 +86,11 @@ fn main() {
             small,
             large,
             full,
-            if small > 1.0 && large > 1.0 { "yes" } else { "NO" },
+            if small > 1.0 && large > 1.0 {
+                "yes"
+            } else {
+                "NO"
+            },
             if large > small { "yes" } else { "NO" },
             if full < large { "yes" } else { "NO" },
         );

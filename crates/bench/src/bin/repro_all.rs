@@ -38,7 +38,11 @@ fn main() {
     );
     println!();
 
-    let points = fig14_bst(&[8, 32, 128, 512, 2048], &[10, 50, 100, 200, 300, 400, 500], 0xB57);
+    let points = fig14_bst(
+        &[8, 32, 128, 512, 2048],
+        &[10, 50, 100, 200, 300, 400, 500],
+        0xB57,
+    );
     print!("{}", fig14_table(&points));
     println!();
 

@@ -32,10 +32,7 @@ fn tree_heap(m: &mut Machine, h: &mut Heap, depth: usize) -> Word {
 
 fn gc_envelope() {
     println!("— X-1: vectorized copying GC —");
-    for (name, build) in [
-        ("bushy tree, depth 10", 0usize),
-        ("deep 500-cell list", 1),
-    ] {
+    for (name, build) in [("bushy tree, depth 10", 0usize), ("deep 500-cell list", 1)] {
         let make = |m: &mut Machine| -> (Heap, Word) {
             let mut h = Heap::alloc(m, 4096, "from");
             let root = if build == 0 {
@@ -55,7 +52,10 @@ fn gc_envelope() {
         mv.reset_stats();
         let _ = collect_vector(&mut mv, &hv, &[rv]);
         let vc = mv.stats().cycles();
-        println!("  {name}: scalar {sc}, vector {vc} -> {:.2}x", sc as f64 / vc as f64);
+        println!(
+            "  {name}: scalar {sc}, vector {vc} -> {:.2}x",
+            sc as f64 / vc as f64
+        );
     }
     println!();
 }

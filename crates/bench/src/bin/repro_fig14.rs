@@ -6,7 +6,11 @@ use fol_bench::experiments::fig14_bst;
 use fol_bench::report::fig14_table;
 
 fn main() {
-    let points = fig14_bst(&[8, 32, 128, 512, 2048], &[10, 50, 100, 200, 300, 400, 500], 0xB57);
+    let points = fig14_bst(
+        &[8, 32, 128, 512, 2048],
+        &[10, 50, 100, 200, 300, 400, 500],
+        0xB57,
+    );
     print!("{}", fig14_table(&points));
     println!();
     println!("paper reference: curves ordered by Ni; accel > 1 except for tiny trees/batches,");

@@ -50,6 +50,9 @@ fn phase_breakdown(n: usize) {
     println!("\nvectorized distribution counting, N = {n}: phase cycles");
     for (name, stats) in m.phases() {
         let c = stats.cycles();
-        println!("  {name:<24} {c:>12} ({:>5.1}%)", 100.0 * c as f64 / total as f64);
+        println!(
+            "  {name:<24} {c:>12} ({:>5.1}%)",
+            100.0 * c as f64 / total as f64
+        );
     }
 }

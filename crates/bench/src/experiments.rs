@@ -131,7 +131,11 @@ pub fn table1_address_calc(sizes: &[usize], vmax: Word, seed: u64) -> Vec<SortRo
             let vector_cycles = mv.stats().cycles();
 
             debug_assert_eq!(ms.mem().read_region(a1), mv.mem().read_region(a2));
-            SortRow { n, scalar_cycles, vector_cycles }
+            SortRow {
+                n,
+                scalar_cycles,
+                vector_cycles,
+            }
         })
         .collect()
 }
@@ -159,7 +163,11 @@ pub fn table1_dist_count(sizes: &[usize], range: Word, seed: u64) -> Vec<SortRow
             let vector_cycles = mv.stats().cycles();
 
             debug_assert_eq!(ms.mem().read_region(a1), mv.mem().read_region(a2));
-            SortRow { n, scalar_cycles, vector_cycles }
+            SortRow {
+                n,
+                scalar_cycles,
+                vector_cycles,
+            }
         })
         .collect()
 }
@@ -208,7 +216,12 @@ pub fn fig14_bst(initial_sizes: &[usize], entered_counts: &[usize], seed: u64) -
             let vector_cycles = mv.stats().cycles();
 
             debug_assert_eq!(ts.inorder(&ms), tv.inorder(&mv));
-            out.push(BstPoint { initial: ni, entered: k, scalar_cycles, vector_cycles });
+            out.push(BstPoint {
+                initial: ni,
+                entered: k,
+                scalar_cycles,
+                vector_cycles,
+            });
         }
     }
     out
@@ -232,7 +245,11 @@ pub struct ProbeAblationPoint {
 }
 
 /// Runs the A-1 probe ablation on one table size.
-pub fn probe_ablation(table_size: usize, load_factors: &[f64], seed: u64) -> Vec<ProbeAblationPoint> {
+pub fn probe_ablation(
+    table_size: usize,
+    load_factors: &[f64],
+    seed: u64,
+) -> Vec<ProbeAblationPoint> {
     load_factors
         .iter()
         .map(|&lf| {
@@ -272,7 +289,9 @@ pub fn probe_ablation(table_size: usize, load_factors: &[f64], seed: u64) -> Vec
 /// The standard load-factor grid used by Figs 9/10 (the paper plots
 /// 0.05…0.98).
 pub fn standard_load_factors() -> Vec<f64> {
-    vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98]
+    vec![
+        0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98,
+    ]
 }
 
 #[cfg(test)]
@@ -286,9 +305,18 @@ mod tests {
         let a10 = points[0].accel();
         let a50 = points[1].accel();
         let a95 = points[2].accel();
-        assert!(a50 > a10, "accel must rise toward LF 0.5: {a10:.2} vs {a50:.2}");
-        assert!(a50 > a95, "accel must fall toward LF 1.0: {a50:.2} vs {a95:.2}");
-        assert!(a50 > 2.0, "vectorized must win clearly at LF 0.5, got {a50:.2}");
+        assert!(
+            a50 > a10,
+            "accel must rise toward LF 0.5: {a10:.2} vs {a50:.2}"
+        );
+        assert!(
+            a50 > a95,
+            "accel must fall toward LF 1.0: {a50:.2} vs {a95:.2}"
+        );
+        assert!(
+            a50 > 2.0,
+            "vectorized must win clearly at LF 0.5, got {a50:.2}"
+        );
     }
 
     #[test]

@@ -44,14 +44,22 @@ pub fn fig9_table(table_size: usize, points: &[HashPoint]) -> String {
 /// Renders Fig 10's series (acceleration ratio vs load factor).
 pub fn fig10_table(table_size: usize, points: &[HashPoint]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig 10 — multiple hashing acceleration ratio, N = {table_size}");
+    let _ = writeln!(
+        s,
+        "Fig 10 — multiple hashing acceleration ratio, N = {table_size}"
+    );
     let _ = writeln!(s, "{:>6} {:>8}", "LF", "accel");
     for p in points {
         let _ = writeln!(s, "{:>6.2} {:>8.2}", p.load_factor, p.accel());
     }
     let peak = points.iter().max_by(|a, b| a.accel().total_cmp(&b.accel()));
     if let Some(p) = peak {
-        let _ = writeln!(s, "peak: {:.2}x at load factor {:.2}", p.accel(), p.load_factor);
+        let _ = writeln!(
+            s,
+            "peak: {:.2}x at load factor {:.2}",
+            p.accel(),
+            p.load_factor
+        );
     }
     s
 }
@@ -88,12 +96,19 @@ pub fn table1(title: &str, rows: &[SortRow], paper_ratios: &[(usize, f64)]) -> S
 pub fn fig14_table(points: &[BstPoint]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Fig 14 — BST multi-insert acceleration ratio");
-    let _ = writeln!(s, "{:>6} {:>8} {:>14} {:>14} {:>8}", "Ni", "entered", "scalar", "vector", "accel");
+    let _ = writeln!(
+        s,
+        "{:>6} {:>8} {:>14} {:>14} {:>8}",
+        "Ni", "entered", "scalar", "vector", "accel"
+    );
     for p in points {
         let _ = writeln!(
             s,
             "{:>6} {:>8} {:>14} {:>14} {:>8.2}",
-            p.initial, p.entered, p.scalar_cycles, p.vector_cycles,
+            p.initial,
+            p.entered,
+            p.scalar_cycles,
+            p.vector_cycles,
             p.accel()
         );
     }
@@ -103,7 +118,10 @@ pub fn fig14_table(points: &[BstPoint]) -> String {
 /// Renders the A-1 probe ablation.
 pub fn probe_ablation_table(table_size: usize, points: &[ProbeAblationPoint]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Ablation A-1 — probe recalculation, vectorized runs, N = {table_size}");
+    let _ = writeln!(
+        s,
+        "Ablation A-1 — probe recalculation, vectorized runs, N = {table_size}"
+    );
     let _ = writeln!(
         s,
         "{:>6} {:>14} {:>6} {:>14} {:>6} {:>9}",
@@ -129,7 +147,13 @@ mod tests {
     use super::*;
 
     fn hash_point() -> HashPoint {
-        HashPoint { load_factor: 0.5, keys: 260, scalar_cycles: 1000, vector_cycles: 200, iterations: 5 }
+        HashPoint {
+            load_factor: 0.5,
+            keys: 260,
+            scalar_cycles: 1000,
+            vector_cycles: 200,
+            iterations: 5,
+        }
     }
 
     #[test]
@@ -155,7 +179,11 @@ mod tests {
 
     #[test]
     fn table1_shows_paper_column() {
-        let rows = vec![SortRow { n: 64, scalar_cycles: 500, vector_cycles: 100 }];
+        let rows = vec![SortRow {
+            n: 64,
+            scalar_cycles: 500,
+            vector_cycles: 100,
+        }];
         let s = table1("address calculation sorting", &rows, &[(64, 2.62)]);
         assert!(s.contains("2.62"));
         assert!(s.contains("5.00"));
@@ -163,7 +191,12 @@ mod tests {
 
     #[test]
     fn fig14_renders_rows() {
-        let pts = vec![BstPoint { initial: 8, entered: 100, scalar_cycles: 300, vector_cycles: 150 }];
+        let pts = vec![BstPoint {
+            initial: 8,
+            entered: 100,
+            scalar_cycles: 300,
+            vector_cycles: 150,
+        }];
         let s = fig14_table(&pts);
         assert!(s.contains("2.00"));
     }

@@ -4,9 +4,55 @@
 //! run-to-run; the paper's workloads are "uniformly random keys".
 
 use fol_vm::Word;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+
+/// A SplitMix64 stream — the standard 64-bit avalanche generator, small
+/// enough to carry here and identical on every platform, so seeded workloads
+/// reproduce bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)` via Lemire rejection (unbiased).
+    ///
+    /// # Panics
+    /// Panics when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle of `v`.
+    pub fn shuffle<T>(&mut self, v: &mut [T]) {
+        for i in (1..v.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+    }
+}
 
 /// `n` *distinct* non-negative keys, uniformly drawn from `[0, limit)` —
 /// the multiple-hashing workload (open addressing requires distinct keys).
@@ -14,12 +60,15 @@ use rand::{RngExt, SeedableRng};
 /// # Panics
 /// Panics when `n > limit`.
 pub fn distinct_keys(n: usize, limit: Word, seed: u64) -> Vec<Word> {
-    assert!(n as Word <= limit, "cannot draw {n} distinct keys below {limit}");
-    let mut rng = StdRng::seed_from_u64(seed);
+    assert!(
+        n as Word <= limit,
+        "cannot draw {n} distinct keys below {limit}"
+    );
+    let mut rng = SplitMix64::new(seed);
     let mut seen = std::collections::HashSet::with_capacity(n);
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
-        let k = rng.random_range(0..limit);
+        let k = rng.below(limit as u64) as Word;
         if seen.insert(k) {
             out.push(k);
         }
@@ -30,16 +79,16 @@ pub fn distinct_keys(n: usize, limit: Word, seed: u64) -> Vec<Word> {
 /// `n` uniformly random keys in `[0, limit)`, duplicates allowed — the
 /// sorting and BST workloads.
 pub fn uniform_keys(n: usize, limit: Word, seed: u64) -> Vec<Word> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.random_range(0..limit)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.below(limit as u64) as Word).collect()
 }
 
 /// A random permutation of `0..n` — duplicate-free targets for decomposition
 /// ablations.
 pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut v: Vec<usize> = (0..n).collect();
-    v.shuffle(&mut rng);
+    rng.shuffle(&mut v);
     v
 }
 
@@ -47,8 +96,8 @@ pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
 /// of `domain` cells drawn uniformly, giving expected max multiplicity that
 /// grows as `domain` shrinks — the decomposition ablation's knob.
 pub fn duplicated_targets(n: usize, domain: usize, seed: u64) -> Vec<usize> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.random_range(0..domain)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.below(domain as u64) as usize).collect()
 }
 
 #[cfg(test)]

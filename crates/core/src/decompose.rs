@@ -135,7 +135,11 @@ pub fn try_fol1_machine_labeled(
         // Theorem 6: a correct FOL1 run needs at most n rounds (all-equal
         // input). More means the machine is not making progress.
         if rounds.len() >= n {
-            return Err(FolError::RoundBudgetExceeded { budget: n, live: v.len() });
+            return Err(FolError::RoundBudgetExceeded {
+                budget: n,
+                live: v.len(),
+                completed_rounds: rounds.len(),
+            });
         }
         // Step 1: write labels through V into the work areas.
         m.scatter(work, &v, &labels);
@@ -146,7 +150,10 @@ pub fn try_fol1_machine_labeled(
         if survivors.is_empty() {
             // Theorem 1 guarantees a survivor under ELS; its absence is a
             // typed report that the hardware broke the ELS condition.
-            return Err(FolError::NoSurvivors { iteration: rounds.len(), live: v.len() });
+            return Err(FolError::NoSurvivors {
+                iteration: rounds.len(),
+                live: v.len(),
+            });
         }
         rounds.push(survivors.iter().map(|p| p as usize).collect());
         // Step 3: delete processed pointers from V.
@@ -321,8 +328,8 @@ mod tests {
         let mut m = machine_with(ConflictPolicy::LastWins);
         let work = m.alloc(4, "work");
         let labels = m.vimm(&[7, 7]);
-        let err = try_fol1_machine_labeled(&mut m, work, &[0, 1], &labels, Validation::Off)
-            .unwrap_err();
+        let err =
+            try_fol1_machine_labeled(&mut m, work, &[0, 1], &labels, Validation::Off).unwrap_err();
         assert_eq!(err, FolError::DuplicateLabels { position: 1 });
     }
 
@@ -333,10 +340,18 @@ mod tests {
         let err = try_fol1_machine(&mut m, work, &[0, 9], Validation::Off).unwrap_err();
         assert_eq!(
             err,
-            FolError::TargetOutOfBounds { round: None, position: 1, target: 9, domain: 4 }
+            FolError::TargetOutOfBounds {
+                round: None,
+                position: 1,
+                target: 9,
+                domain: 4
+            }
         );
         let err = try_fol1_machine(&mut m, work, &[-1], Validation::Off).unwrap_err();
-        assert!(matches!(err, FolError::TargetOutOfBounds { target: -1, .. }));
+        assert!(matches!(
+            err,
+            FolError::TargetOutOfBounds { target: -1, .. }
+        ));
     }
 
     #[test]
@@ -349,7 +364,13 @@ mod tests {
         let work = m.alloc(2, "work");
         let err = try_fol1_machine(&mut m, work, &[1, 1, 1], Validation::Off).unwrap_err();
         assert!(
-            matches!(err, FolError::NoSurvivors { iteration: 0, live: 3 }),
+            matches!(
+                err,
+                FolError::NoSurvivors {
+                    iteration: 0,
+                    live: 3
+                }
+            ),
             "got {err:?}"
         );
         assert!(err.to_string().contains("Theorem 1"));

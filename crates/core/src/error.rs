@@ -108,10 +108,36 @@ pub enum FolError {
         budget: usize,
         /// Number of elements still live when the budget ran out.
         live: usize,
+        /// Rounds fully completed before the budget ran out — the progress
+        /// indication a supervisor needs to account for replayed work.
+        completed_rounds: usize,
     },
     /// A machine instruction trapped (e.g. division by zero) during a unit
     /// process.
     Trap(MachineTrap),
+    /// A workload's end-to-end post-condition failed: the transactional
+    /// entry point compared its completed result against the scalar
+    /// reference semantics and found a divergence that decomposition-level
+    /// validation did not catch (e.g. a dropped lane in a conflict-free
+    /// payload scatter). The attempt is rolled back; this is the error that
+    /// turns "silent wrong answer" into a typed, retryable failure.
+    PostConditionFailed {
+        /// Which post-condition (e.g. "chaining insert contents").
+        what: &'static str,
+    },
+    /// Execution failed *after* some rounds were fully applied: rounds
+    /// `0..completed_rounds` are committed to the data, the failing round
+    /// was validated before any of its unit processes ran (so no torn round
+    /// remains), and `cause` is the failure itself. Raised by the lazily
+    /// validating executors ([`crate::parallel::try_apply_rounds`] /
+    /// [`crate::parallel::try_par_apply_rounds`] at [`Validation::Cheap`])
+    /// when the defect sits in a later round.
+    Partial {
+        /// Rounds fully applied before the failure.
+        completed_rounds: usize,
+        /// The underlying failure in round `completed_rounds`.
+        cause: Box<FolError>,
+    },
 }
 
 impl fmt::Display for FolError {
@@ -155,11 +181,37 @@ impl fmt::Display for FolError {
                 f,
                 "no survivor in iteration {iteration} with {live} live elements: ELS guarantee (Theorem 1) violated"
             ),
-            FolError::RoundBudgetExceeded { budget, live } => write!(
+            FolError::RoundBudgetExceeded { budget, live, completed_rounds } => write!(
                 f,
-                "round budget {budget} exhausted with {live} elements live: decomposition is not converging"
+                "round budget {budget} exhausted after {completed_rounds} completed rounds with {live} elements live: decomposition is not converging"
             ),
             FolError::Trap(t) => write!(f, "{t}"),
+            FolError::PostConditionFailed { what } => write!(
+                f,
+                "post-condition failed: {what} diverges from the scalar reference"
+            ),
+            FolError::Partial { completed_rounds, cause } => write!(
+                f,
+                "failed after {completed_rounds} completed rounds (failing round never started): {cause}"
+            ),
+        }
+    }
+}
+
+impl FolError {
+    /// Rounds fully completed before this error, when the variant carries
+    /// progress (zero otherwise) — what a recovery supervisor charges as
+    /// replayed work after a rollback.
+    pub fn completed_rounds(&self) -> usize {
+        match self {
+            FolError::Partial {
+                completed_rounds, ..
+            }
+            | FolError::RoundBudgetExceeded {
+                completed_rounds, ..
+            } => *completed_rounds,
+            FolError::NoSurvivors { iteration, .. } => *iteration,
+            _ => 0,
         }
     }
 }
@@ -168,6 +220,7 @@ impl std::error::Error for FolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FolError::Trap(t) => Some(t),
+            FolError::Partial { cause, .. } => Some(cause),
             _ => None,
         }
     }
@@ -223,7 +276,10 @@ pub fn validate_round(
             });
         }
         if !seen.insert(t) {
-            return Err(FolError::DuplicateTargetInRound { round: round_idx, target: t });
+            return Err(FolError::DuplicateTargetInRound {
+                round: round_idx,
+                target: t,
+            });
         }
     }
     Ok(())
@@ -274,7 +330,10 @@ pub fn validate_decomposition(
         max
     };
     if d.num_rounds() != max_multiplicity {
-        return Err(FolError::NotMinimal { rounds: d.num_rounds(), max_multiplicity });
+        return Err(FolError::NotMinimal {
+            rounds: d.num_rounds(),
+            max_multiplicity,
+        });
     }
     Ok(())
 }
@@ -291,14 +350,20 @@ mod tests {
     fn valid_decomposition_passes_full() {
         let targets = [5usize, 5, 3];
         let dec = d(&[&[0, 2], &[1]]);
-        assert_eq!(validate_decomposition(&dec, &targets, 6, Validation::Full), Ok(()));
+        assert_eq!(
+            validate_decomposition(&dec, &targets, 6, Validation::Full),
+            Ok(())
+        );
     }
 
     #[test]
     fn off_accepts_garbage() {
         let targets = [9usize];
         let dec = d(&[&[0, 0, 7]]);
-        assert_eq!(validate_decomposition(&dec, &targets, 1, Validation::Off), Ok(()));
+        assert_eq!(
+            validate_decomposition(&dec, &targets, 1, Validation::Off),
+            Ok(())
+        );
     }
 
     #[test]
@@ -307,7 +372,10 @@ mod tests {
         let dec = d(&[&[0, 1]]);
         assert_eq!(
             validate_decomposition(&dec, &targets, 6, Validation::Cheap),
-            Err(FolError::DuplicateTargetInRound { round: 0, target: 5 })
+            Err(FolError::DuplicateTargetInRound {
+                round: 0,
+                target: 5
+            })
         );
     }
 
@@ -331,10 +399,16 @@ mod tests {
         let targets = [1usize, 2];
         // Valid cover, safe to execute, but two rounds where one suffices.
         let dec = d(&[&[0], &[1]]);
-        assert_eq!(validate_decomposition(&dec, &targets, 4, Validation::Cheap), Ok(()));
+        assert_eq!(
+            validate_decomposition(&dec, &targets, 4, Validation::Cheap),
+            Ok(())
+        );
         assert_eq!(
             validate_decomposition(&dec, &targets, 4, Validation::Full),
-            Err(FolError::NotMinimal { rounds: 2, max_multiplicity: 1 })
+            Err(FolError::NotMinimal {
+                rounds: 2,
+                max_multiplicity: 1
+            })
         );
     }
 
@@ -362,17 +436,29 @@ mod tests {
 
     #[test]
     fn display_names_the_paper_results() {
-        let e = FolError::DuplicateTargetInRound { round: 1, target: 9 };
+        let e = FolError::DuplicateTargetInRound {
+            round: 1,
+            target: 9,
+        };
         assert!(e.to_string().contains("Lemma 2"));
-        let e = FolError::NotMinimal { rounds: 3, max_multiplicity: 2 };
+        let e = FolError::NotMinimal {
+            rounds: 3,
+            max_multiplicity: 2,
+        };
         assert!(e.to_string().contains("Theorem 5"));
-        let e = FolError::NoSurvivors { iteration: 0, live: 4 };
+        let e = FolError::NoSurvivors {
+            iteration: 0,
+            live: 4,
+        };
         assert!(e.to_string().contains("Theorem 1"));
     }
 
     #[test]
     fn trap_wraps_into_fol_error() {
-        let t = MachineTrap::DivideByZero { op: fol_vm::AluOp::Div, lane: 3 };
+        let t = MachineTrap::DivideByZero {
+            op: fol_vm::AluOp::Div,
+            lane: 3,
+        };
         let e: FolError = t.into();
         assert_eq!(e, FolError::Trap(t));
         assert!(e.to_string().contains("machine trap"));

@@ -68,6 +68,12 @@ pub struct FolStarDecomposition {
     pub decomposition: Decomposition,
     /// `forced[j]` is true when round `j` came from the livelock fallback.
     pub forced: Vec<bool>,
+    /// Number of vector detection passes that actually ran. When
+    /// [`FolStarOptions::max_rounds`] caps the budget, this says how much
+    /// vector progress was made before the remainder degraded to forced
+    /// sequential rounds (`detections < max_rounds` means the budget was
+    /// not the limiting factor).
+    pub detections: usize,
 }
 
 impl FolStarDecomposition {
@@ -168,7 +174,10 @@ pub fn try_fol_star_machine(
     let mut detections = 0usize;
 
     while !live.is_empty() {
-        if options.max_rounds.is_some_and(|budget| detections >= budget) {
+        if options
+            .max_rounds
+            .is_some_and(|budget| detections >= budget)
+        {
             // Detection budget exhausted: degrade gracefully — push every
             // remaining tuple through as its own forced sequential round.
             for &p in &live {
@@ -189,8 +198,7 @@ pub fn try_fol_star_machine(
         // Unique labels: label(k, p) = k*n + p  (p = original tuple position).
         let labels: Vec<VReg> = (0..l)
             .map(|k| {
-                let lab: Vec<Word> =
-                    live.iter().map(|&p| (k * n + p) as Word).collect();
+                let lab: Vec<Word> = live.iter().map(|&p| (k * n + p) as Word).collect();
                 m.vimm(&lab)
             })
             .collect();
@@ -240,7 +248,11 @@ pub fn try_fol_star_machine(
         live = rest;
     }
 
-    let d = FolStarDecomposition { decomposition: Decomposition::new(rounds), forced };
+    let d = FolStarDecomposition {
+        decomposition: Decomposition::new(rounds),
+        forced,
+        detections,
+    };
     validate_fol_star(&d, index_vecs, validation)?;
     Ok(d)
 }
@@ -263,7 +275,10 @@ fn validate_fol_star(
             if round.len() != 1 {
                 return Err(FolError::DuplicateTargetInRound {
                     round: round_idx,
-                    target: round.first().map(|&p| index_vecs[0][p] as usize).unwrap_or(0),
+                    target: round
+                        .first()
+                        .map(|&p| index_vecs[0][p] as usize)
+                        .unwrap_or(0),
                 });
             }
             continue;
@@ -310,11 +325,7 @@ fn validate_fol_star(
 /// Returns the surviving tuple positions; guaranteed non-empty when `n > 0`
 /// (on an empty detection the first tuple is forced through, as in
 /// [`LivelockPolicy::ForcedSequential`]).
-pub fn fol_star_first_round(
-    m: &mut Machine,
-    work: Region,
-    index_vecs: &[Vec<Word>],
-) -> Vec<usize> {
+pub fn fol_star_first_round(m: &mut Machine, work: Region, index_vecs: &[Vec<Word>]) -> Vec<usize> {
     let l = index_vecs.len();
     assert!(l > 0, "FOL* needs at least one index vector");
     let n = index_vecs[0].len();
@@ -360,19 +371,19 @@ mod tests {
 
     /// Cross-tuple distinctness within non-forced rounds: the FOL* analogue
     /// of Lemma 2 over all L columns.
-    fn non_forced_rounds_distinct(
-        d: &FolStarDecomposition,
-        index_vecs: &[Vec<Word>],
-    ) -> bool {
-        d.decomposition.iter().zip(&d.forced).all(|(round, &is_forced)| {
-            if is_forced {
-                return round.len() == 1;
-            }
-            let mut seen = HashSet::new();
-            round
-                .iter()
-                .all(|&p| index_vecs.iter().all(|v| seen.insert(v[p])))
-        })
+    fn non_forced_rounds_distinct(d: &FolStarDecomposition, index_vecs: &[Vec<Word>]) -> bool {
+        d.decomposition
+            .iter()
+            .zip(&d.forced)
+            .all(|(round, &is_forced)| {
+                if is_forced {
+                    return round.len() == 1;
+                }
+                let mut seen = HashSet::new();
+                round
+                    .iter()
+                    .all(|&p| index_vecs.iter().all(|v| seen.insert(v[p])))
+            })
     }
 
     #[test]
@@ -427,7 +438,12 @@ mod tests {
         let work = m.alloc(8, "work");
         let v1 = vec![1, 3]; // first rewritten node per tuple
         let v2 = vec![3, 5]; // second rewritten node per tuple
-        let d = fol_star_machine(&mut m, work, &[v1.clone(), v2.clone()], &FolStarOptions::default());
+        let d = fol_star_machine(
+            &mut m,
+            work,
+            &[v1.clone(), v2.clone()],
+            &FolStarOptions::default(),
+        );
         assert_eq!(d.decomposition.total_len(), 2);
         assert_eq!(d.num_rounds(), 2, "shared n3 forces two rounds");
         assert!(theory::is_disjoint_cover(&d.decomposition, 2));
@@ -453,7 +469,10 @@ mod tests {
         let work = m.alloc(8, "work");
         let v1 = vec![0, 0, 3];
         let v2 = vec![1, 1, 1];
-        let opts = FolStarOptions { livelock: LivelockPolicy::ScalarTail, ..Default::default() };
+        let opts = FolStarOptions {
+            livelock: LivelockPolicy::ScalarTail,
+            ..Default::default()
+        };
         let d = fol_star_machine(&mut m, work, &[v1.clone(), v2.clone()], &opts);
         assert!(theory::is_disjoint_cover(&d.decomposition, 3));
         assert!(non_forced_rounds_distinct(&d, &[v1, v2]));
@@ -465,7 +484,10 @@ mod tests {
         let work = m.alloc(4, "work");
         let v1 = vec![1, 1];
         let v2 = vec![1, 1]; // both tuples self-alias
-        let opts = FolStarOptions { livelock: LivelockPolicy::ScalarTail, ..Default::default() };
+        let opts = FolStarOptions {
+            livelock: LivelockPolicy::ScalarTail,
+            ..Default::default()
+        };
         let d = fol_star_machine(&mut m, work, &[v1, v2], &opts);
         assert_eq!(d.decomposition.total_len(), 2);
         assert_eq!(d.num_forced(), 2);
@@ -489,7 +511,10 @@ mod tests {
                 &FolStarOptions::default(),
             );
             assert!(theory::is_disjoint_cover(&d.decomposition, 6), "{policy:?}");
-            assert!(non_forced_rounds_distinct(&d, &[v1.clone(), v2.clone()]), "{policy:?}");
+            assert!(
+                non_forced_rounds_distinct(&d, &[v1.clone(), v2.clone()]),
+                "{policy:?}"
+            );
         }
     }
 
@@ -530,7 +555,10 @@ mod tests {
         let work = m.alloc(8, "work");
         let v1: Vec<Word> = vec![0, 2, 4];
         let v2: Vec<Word> = vec![1, 3, 5];
-        let opts = FolStarOptions { max_rounds: Some(0), ..Default::default() };
+        let opts = FolStarOptions {
+            max_rounds: Some(0),
+            ..Default::default()
+        };
         let d = try_fol_star_machine(&mut m, work, &[v1, v2], &opts, Validation::Full).unwrap();
         assert_eq!(d.num_rounds(), 3);
         assert_eq!(d.num_forced(), 3);
@@ -544,12 +572,20 @@ mod tests {
         // total round count is then at most budget + n.
         let v1: Vec<Word> = vec![0, 1, 2, 3];
         let v2: Vec<Word> = vec![1, 2, 3, 0]; // mutually aliasing ring
-        let opts = FolStarOptions { max_rounds: Some(2), ..Default::default() };
+        let opts = FolStarOptions {
+            max_rounds: Some(2),
+            ..Default::default()
+        };
         let mut m = machine(ConflictPolicy::Adversarial(42));
         let work = m.alloc(8, "work");
-        let d =
-            try_fol_star_machine(&mut m, work, &[v1.clone(), v2.clone()], &opts, Validation::Full)
-                .unwrap();
+        let d = try_fol_star_machine(
+            &mut m,
+            work,
+            &[v1.clone(), v2.clone()],
+            &opts,
+            Validation::Full,
+        )
+        .unwrap();
         assert!(theory::is_disjoint_cover(&d.decomposition, 4));
         assert!(d.num_rounds() <= 2 + 4, "rounds bounded by budget + n");
     }
@@ -564,8 +600,10 @@ mod tests {
             fol_star_machine(&mut m, w, &[v1.clone(), v2.clone()], opts)
         };
         let unbudgeted = run(&FolStarOptions::default());
-        let budgeted =
-            run(&FolStarOptions { max_rounds: Some(100), ..Default::default() });
+        let budgeted = run(&FolStarOptions {
+            max_rounds: Some(100),
+            ..Default::default()
+        });
         assert_eq!(unbudgeted, budgeted);
     }
 

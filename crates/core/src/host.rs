@@ -42,8 +42,7 @@ pub fn try_fol1_host_with_work(
     targets: &[usize],
     work: &mut [usize],
 ) -> Result<Decomposition, FolError> {
-    if let Some((position, &target)) = targets.iter().enumerate().find(|&(_, &t)| t >= work.len())
-    {
+    if let Some((position, &target)) = targets.iter().enumerate().find(|&(_, &t)| t >= work.len()) {
         return Err(FolError::TargetOutOfBounds {
             round: None,
             position,
@@ -84,7 +83,10 @@ pub fn fol1_host_with_work(targets: &[usize], work: &mut [usize]) -> Decompositi
                 next.push(pos);
             }
         }
-        debug_assert!(!round.is_empty(), "at least one survivor per round (Theorem 1)");
+        debug_assert!(
+            !round.is_empty(),
+            "at least one survivor per round (Theorem 1)"
+        );
         rounds.push(round);
         std::mem::swap(&mut live, &mut next);
         next.clear();
@@ -150,7 +152,12 @@ mod tests {
         let err = try_fol1_host(&[0, 5, 1], 3).unwrap_err();
         assert_eq!(
             err,
-            FolError::TargetOutOfBounds { round: None, position: 1, target: 5, domain: 3 }
+            FolError::TargetOutOfBounds {
+                round: None,
+                position: 1,
+                target: 5,
+                domain: 3
+            }
         );
     }
 

@@ -40,7 +40,7 @@
 //!   ordered store (the paper's footnote 7): duplicates drain in their
 //!   original vector order.
 //! * [`parallel`] — executors that apply a unit process over a decomposition,
-//!   sequentially or with real data parallelism (rayon), exploiting the
+//!   sequentially or with real data parallelism (scoped threads), exploiting the
 //!   within-round distinctness guarantee; `try_*` variants verify the
 //!   decomposition before touching any data.
 //! * [`error`] — the typed failure surface: [`FolError`] (every way FOL
@@ -49,6 +49,11 @@
 //!   `Cheap` per-round safety, `Full` whole-contract including minimality).
 //!   Hostile inputs and ELS-violating hardware ([`fol_vm::fault`]) surface
 //!   as `Err`, never as a silently wrong answer.
+//! * [`recover`] — transactional execution: every attempt runs inside a
+//!   machine transaction ([`fol_vm::Machine::begin_txn`]) and a failed
+//!   attempt is rolled back byte-exact; a [`RetryPolicy`] escalates
+//!   `Vector → ForcedSequential → ScalarTail` until a rung completes, and
+//!   the whole run is audited in a [`RecoveryReport`].
 //! * [`theory`] — executable statements of the paper's lemmas and theorems
 //!   (disjoint cover, minimality, monotone round sizes, complexity bounds),
 //!   used pervasively by the test suites.
@@ -81,6 +86,7 @@ pub mod fol_star;
 pub mod host;
 pub mod ordered;
 pub mod parallel;
+pub mod recover;
 pub mod theory;
 pub mod vectorize;
 
@@ -95,6 +101,10 @@ pub use fol_star::{
 pub use host::{fol1_host, fol1_host_with_work, try_fol1_host, try_fol1_host_with_work};
 pub use ordered::{fol1_machine_ordered, try_fol1_machine_ordered};
 pub use parallel::{try_apply_rounds, try_par_apply_rounds};
+pub use recover::{
+    decompose_with_mode, run_transaction, txn_apply_rounds, txn_par_apply_rounds, ExecMode,
+    RecoveryError, RecoveryReport, RetryPolicy,
+};
 
 use std::fmt;
 

@@ -25,8 +25,7 @@ use fol_vm::{CmpOp, Machine, Region, VReg, Word};
 /// `k`-th round contains exactly the `k`-th occurrence (in original vector
 /// order) of every duplicated target.
 pub fn fol1_machine_ordered(m: &mut Machine, work: Region, index_vec: &[Word]) -> Decomposition {
-    try_fol1_machine_ordered(m, work, index_vec, Validation::Off)
-        .unwrap_or_else(|e| panic!("{e}"))
+    try_fol1_machine_ordered(m, work, index_vec, Validation::Off).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Fallible [`fol1_machine_ordered`]: out-of-bounds targets, survivor-free
@@ -58,7 +57,11 @@ pub fn try_fol1_machine_ordered(
 
     while !v.is_empty() {
         if rounds.len() >= n {
-            return Err(FolError::RoundBudgetExceeded { budget: n, live: v.len() });
+            return Err(FolError::RoundBudgetExceeded {
+                budget: n,
+                live: v.len(),
+                completed_rounds: rounds.len(),
+            });
         }
         // Reverse the live vectors so the ordered store's last-wins rule
         // leaves the *earliest* occurrence's label in each cell. The
@@ -70,7 +73,10 @@ pub fn try_fol1_machine_ordered(
         let ok = m.vcmp(CmpOp::Eq, &got, &labels);
         let survivors = m.compress(&positions, &ok);
         if survivors.is_empty() {
-            return Err(FolError::NoSurvivors { iteration: rounds.len(), live: v.len() });
+            return Err(FolError::NoSurvivors {
+                iteration: rounds.len(),
+                live: v.len(),
+            });
         }
         rounds.push(survivors.iter().map(|p| p as usize).collect());
         let rest = m.mask_not(&ok);
@@ -192,7 +198,10 @@ mod tests {
         let d2 = try_fol1_machine_ordered(&mut m2, w2, &v, Validation::Full).unwrap();
         assert_eq!(d, d2);
         let err = try_fol1_machine_ordered(&mut m2, w2, &[99], Validation::Off).unwrap_err();
-        assert!(matches!(err, FolError::TargetOutOfBounds { target: 99, .. }));
+        assert!(matches!(
+            err,
+            FolError::TargetOutOfBounds { target: 99, .. }
+        ));
     }
 
     #[test]

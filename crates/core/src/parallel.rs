@@ -5,16 +5,47 @@
 //! run in any order or concurrently; rounds must run one after another
 //! (§3.2, "processing conditions"). [`apply_rounds`] runs each round
 //! sequentially (the order-agnostic baseline); [`par_apply_rounds`] runs each
-//! round with real data parallelism on the rayon thread pool — the
+//! round with real data parallelism on scoped OS threads — the
 //! data-parallel-machine half of the paper's claim, on modern hardware.
 //!
 //! Both executors stay in safe Rust: for each round the targeted cells are
 //! collected as disjoint `&mut` borrows by a single pass over the data slice,
 //! which the within-round distinctness guarantee makes possible.
 
-use crate::error::{validate_decomposition, FolError, Validation};
+use crate::error::{validate_decomposition, validate_round, FolError, Validation};
 use crate::Decomposition;
-use rayon::prelude::*;
+
+/// Minimum units of work per spawned thread: below this, the spawn overhead
+/// dwarfs the work and the round runs on the calling thread instead.
+const PAR_CHUNK_MIN: usize = 256;
+
+/// Runs `f` over `batch` with real data parallelism: the batch is split into
+/// contiguous chunks, one scoped thread per chunk (bounded by available
+/// parallelism). Small batches run inline — same semantics, no spawn cost.
+fn for_each_parallel<T, F>(batch: Vec<(&mut T, usize)>, f: &F)
+where
+    T: Send,
+    F: Fn(&mut T, usize) + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    if threads <= 1 || batch.len() < 2 * PAR_CHUNK_MIN {
+        for (cell, pos) in batch {
+            f(cell, pos);
+        }
+        return;
+    }
+    let chunk = batch.len().div_ceil(threads).max(PAR_CHUNK_MIN);
+    let mut batch = batch;
+    std::thread::scope(|s| {
+        for piece in batch.chunks_mut(chunk) {
+            s.spawn(move || {
+                for (cell, pos) in piece.iter_mut() {
+                    f(cell, *pos);
+                }
+            });
+        }
+    });
+}
 
 /// Applies `f(cell, position)` for every position of every round, rounds in
 /// order, sequentially within a round.
@@ -62,76 +93,117 @@ where
     F: Fn(&mut T, usize) + Sync,
 {
     for round in d.iter() {
-        // Gather disjoint &mut borrows of exactly the targeted cells with one
-        // ordered sweep over `data`: sort the round by target index, then zip
-        // the sweep against the sorted order.
-        let mut order: Vec<usize> = round.to_vec();
-        order.sort_unstable_by_key(|&pos| targets[pos]);
-        let mut wanted = order.iter().map(|&pos| (targets[pos], pos)).peekable();
-        let mut batch: Vec<(&mut T, usize)> = Vec::with_capacity(round.len());
-        for (cell_idx, cell) in data.iter_mut().enumerate() {
-            match wanted.peek() {
-                Some(&(t, pos)) if t == cell_idx => {
-                    batch.push((cell, pos));
-                    wanted.next();
-                }
-                Some(_) => {}
-                None => break,
+        par_round(data, targets, round, &f);
+    }
+}
+
+/// Runs one round with data parallelism: gathers disjoint `&mut` borrows of
+/// exactly the targeted cells with one ordered sweep over `data` (sort the
+/// round by target index, then zip the sweep against the sorted order), then
+/// fans the batch out over scoped threads.
+fn par_round<T, F>(data: &mut [T], targets: &[usize], round: &[usize], f: &F)
+where
+    T: Send,
+    F: Fn(&mut T, usize) + Sync,
+{
+    let mut order: Vec<usize> = round.to_vec();
+    order.sort_unstable_by_key(|&pos| targets[pos]);
+    let mut wanted = order.iter().map(|&pos| (targets[pos], pos)).peekable();
+    let mut batch: Vec<(&mut T, usize)> = Vec::with_capacity(round.len());
+    for (cell_idx, cell) in data.iter_mut().enumerate() {
+        match wanted.peek() {
+            Some(&(t, pos)) if t == cell_idx => {
+                batch.push((cell, pos));
+                wanted.next();
             }
+            Some(_) => {}
+            None => break,
         }
-        // A leftover entry means the sweep could not claim its cell. Tell
-        // the two failure modes apart: an in-bounds leftover is a *duplicate
-        // target* (the sweep already gave that cell away — Lemma 2 is
-        // violated, the decomposition is invalid); only an out-of-range
-        // target is actually out of bounds.
-        if let Some(&(t, pos)) = wanted.peek() {
-            if t < data.len() {
-                panic!(
-                    "duplicate target {t} within a round (position {pos}): \
-                     within-round distinctness (Lemma 2) violated"
-                );
-            } else {
-                panic!(
-                    "target {t} (position {pos}) out of bounds of data (len {})",
-                    data.len()
-                );
-            }
+    }
+    // A leftover entry means the sweep could not claim its cell. Tell
+    // the two failure modes apart: an in-bounds leftover is a *duplicate
+    // target* (the sweep already gave that cell away — Lemma 2 is
+    // violated, the decomposition is invalid); only an out-of-range
+    // target is actually out of bounds.
+    if let Some(&(t, pos)) = wanted.peek() {
+        if t < data.len() {
+            panic!(
+                "duplicate target {t} within a round (position {pos}): \
+                 within-round distinctness (Lemma 2) violated"
+            );
+        } else {
+            panic!(
+                "target {t} (position {pos}) out of bounds of data (len {})",
+                data.len()
+            );
         }
-        batch.into_par_iter().for_each(|(cell, pos)| f(cell, pos));
+    }
+    for_each_parallel(batch, f);
+}
+
+/// Wraps a round-local failure in [`FolError::Partial`] when earlier rounds
+/// already committed, so the caller learns how far execution got.
+fn with_progress(completed_rounds: usize, cause: FolError) -> FolError {
+    if completed_rounds == 0 {
+        cause
+    } else {
+        FolError::Partial {
+            completed_rounds,
+            cause: Box::new(cause),
+        }
     }
 }
 
 /// Fallible [`apply_rounds`]: the decomposition is verified against
-/// `targets` and `data` at the given [`Validation`] level *before* any cell
-/// is mutated, so an `Err` guarantees `data` is untouched.
+/// `targets` and `data` at the given [`Validation`] level, and failures come
+/// back as typed errors that say *how far execution got*.
 ///
 /// * [`Validation::Off`] — trust the input (equivalent to [`apply_rounds`];
 ///   invalid input may still panic on an out-of-bounds index).
 /// * [`Validation::Cheap`] — bounds and within-round distinctness
-///   (Lemma 2): everything needed to execute safely.
+///   (Lemma 2), checked **round by round** just before each round runs:
+///   everything needed to execute safely, with no up-front pass over the
+///   whole decomposition. If round `k > 0` fails its check, the first `k`
+///   rounds have already committed and the error is wrapped in
+///   [`FolError::Partial`] carrying `completed_rounds = k` (the failing
+///   round itself never starts, so no round is ever half-applied). A
+///   failure at round 0 leaves `data` untouched and returns the plain
+///   cause.
 /// * [`Validation::Full`] — the whole FOL contract, including disjoint
-///   cover (Lemma 1) and minimality (Theorem 5). This is the level that
-///   catches a decomposition corrupted by ELS-violating hardware (see
-///   [`fol_vm::fault`]): such decompositions typically remain *safe* to
-///   execute but carry extra rounds, surfacing as [`FolError::NotMinimal`].
+///   cover (Lemma 1) and minimality (Theorem 5), verified *before* any cell
+///   is mutated — an `Err` guarantees `data` is untouched. This is the
+///   level that catches a decomposition corrupted by ELS-violating hardware
+///   (see [`fol_vm::fault`]): such decompositions typically remain *safe*
+///   to execute but carry extra rounds, surfacing as
+///   [`FolError::NotMinimal`].
 pub fn try_apply_rounds<T, F>(
     data: &mut [T],
     targets: &[usize],
     d: &Decomposition,
     validation: Validation,
-    f: F,
+    mut f: F,
 ) -> Result<(), FolError>
 where
     F: FnMut(&mut T, usize),
 {
-    validate_decomposition(d, targets, data.len(), validation)?;
-    apply_rounds(data, targets, d, f);
+    if validation >= Validation::Full {
+        validate_decomposition(d, targets, data.len(), validation)?;
+    }
+    for (k, round) in d.iter().enumerate() {
+        if validation == Validation::Cheap {
+            validate_round(k, round, targets, data.len()).map_err(|e| with_progress(k, e))?;
+        }
+        for &pos in round {
+            f(&mut data[targets[pos]], pos);
+        }
+    }
     Ok(())
 }
 
 /// Fallible [`par_apply_rounds`]: like [`try_apply_rounds`] but with real
-/// parallelism inside each round. Validation happens up front; an `Err`
-/// means no unit process ran.
+/// parallelism inside each round. The validation levels behave identically:
+/// `Full` is all-or-nothing, `Cheap` is lazy per-round and reports progress
+/// through [`FolError::Partial`].
 pub fn try_par_apply_rounds<T, F>(
     data: &mut [T],
     targets: &[usize],
@@ -143,8 +215,15 @@ where
     T: Send,
     F: Fn(&mut T, usize) + Sync,
 {
-    validate_decomposition(d, targets, data.len(), validation)?;
-    par_apply_rounds(data, targets, d, f);
+    if validation >= Validation::Full {
+        validate_decomposition(d, targets, data.len(), validation)?;
+    }
+    for (k, round) in d.iter().enumerate() {
+        if validation == Validation::Cheap {
+            validate_round(k, round, targets, data.len()).map_err(|e| with_progress(k, e))?;
+        }
+        par_round(data, targets, round, &f);
+    }
     Ok(())
 }
 
@@ -240,13 +319,54 @@ mod tests {
         let mut data = [0u32; 4];
         let err = try_apply_rounds(&mut data, &targets, &bad, Validation::Cheap, |c, _| *c += 1)
             .unwrap_err();
-        assert_eq!(err, FolError::DuplicateTargetInRound { round: 0, target: 1 });
+        assert_eq!(
+            err,
+            FolError::DuplicateTargetInRound {
+                round: 0,
+                target: 1
+            }
+        );
         assert_eq!(data, [0; 4], "data untouched on error");
         let err =
             try_par_apply_rounds(&mut data, &targets, &bad, Validation::Cheap, |c, _| *c += 1)
                 .unwrap_err();
-        assert_eq!(err, FolError::DuplicateTargetInRound { round: 0, target: 1 });
+        assert_eq!(
+            err,
+            FolError::DuplicateTargetInRound {
+                round: 0,
+                target: 1
+            }
+        );
         assert_eq!(data, [0; 4], "data untouched on error");
+    }
+
+    #[test]
+    fn cheap_validation_reports_progress_on_late_round_failure() {
+        use crate::error::{FolError, Validation};
+        // Round 0 is valid and commits; round 1 carries a within-round
+        // duplicate. Lazy Cheap validation must apply round 0, refuse to
+        // start round 1, and say so via `Partial { completed_rounds: 1 }`.
+        let targets = [0usize, 1, 1];
+        let bad = Decomposition::new(vec![vec![0, 1], vec![2, 2]]);
+        let mut data = [0u32; 2];
+        let err = try_apply_rounds(&mut data, &targets, &bad, Validation::Cheap, |c, _| *c += 1)
+            .unwrap_err();
+        assert_eq!(err.completed_rounds(), 1);
+        assert!(matches!(
+            err,
+            FolError::Partial {
+                completed_rounds: 1,
+                ..
+            }
+        ));
+        assert_eq!(data, [1, 1], "round 0 committed, round 1 never started");
+
+        let mut data = [0u32; 2];
+        let err =
+            try_par_apply_rounds(&mut data, &targets, &bad, Validation::Cheap, |c, _| *c += 1)
+                .unwrap_err();
+        assert_eq!(err.completed_rounds(), 1);
+        assert_eq!(data, [1, 1], "round 0 committed, round 1 never started");
     }
 
     #[test]
@@ -270,11 +390,20 @@ mod tests {
         let targets = [0usize, 1];
         let padded = Decomposition::new(vec![vec![0], vec![1]]);
         let mut data = [0u32; 2];
-        try_apply_rounds(&mut data, &targets, &padded, Validation::Cheap, |c, _| *c += 1)
-            .unwrap();
-        let err =
-            try_apply_rounds(&mut data, &targets, &padded, Validation::Full, |c, _| *c += 1)
-                .unwrap_err();
-        assert_eq!(err, FolError::NotMinimal { rounds: 2, max_multiplicity: 1 });
+        try_apply_rounds(&mut data, &targets, &padded, Validation::Cheap, |c, _| {
+            *c += 1
+        })
+        .unwrap();
+        let err = try_apply_rounds(&mut data, &targets, &padded, Validation::Full, |c, _| {
+            *c += 1
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            FolError::NotMinimal {
+                rounds: 2,
+                max_multiplicity: 1
+            }
+        );
     }
 }

@@ -1,0 +1,760 @@
+//! Transactional FOL rounds: retry with escalation, journaled rollback.
+//!
+//! The fallible paths in [`crate::decompose`] and [`crate::parallel`] turn
+//! ELS violations (see [`fol_vm::fault`]) into typed errors instead of wrong
+//! answers — but they stop there: a faulted run leaves the work area dirty
+//! and the caller with nothing but the error. This module closes the loop:
+//!
+//! 1. **Transactions** — every attempt runs inside a machine transaction
+//!    ([`fol_vm::Machine::begin_txn`]); a failed attempt is rolled back
+//!    byte-exact before the next one starts.
+//! 2. **Retry with escalation** — a [`RetryPolicy`] bounds the attempts and
+//!    names an escalation ladder of [`ExecMode`]s. The default ladder walks
+//!    [`ExecMode::Vector`] → [`ExecMode::ForcedSequential`] →
+//!    [`ExecMode::ScalarTail`]: first the full-width vector path, then
+//!    singleton scatters (a lone writer can never tear, defeating torn-write
+//!    adversaries), finally the scalar path, which bypasses the vector
+//!    scatter unit entirely and is therefore immune to every fault a
+//!    [`fol_vm::FaultPlan`] can inject.
+//! 3. **Post-condition validation** — each attempt's decomposition is
+//!    re-checked against the ELS round-trip contract at the policy's
+//!    [`Validation`] level before any host data is touched; host data is
+//!    mutated only after the whole attempt has succeeded (all-or-nothing).
+//!
+//! The outcome of a supervised run is a [`RecoveryReport`]: how many
+//! attempts ran, how many completed rounds were rolled back and replayed,
+//! which mode finally succeeded, and how many faults the adversary injected
+//! along the way — correlatable with [`fol_vm::FaultLog::summary`] and the
+//! fault annotations in a [`fol_vm::Tracer`].
+
+use crate::decompose::try_fol1_machine;
+use crate::error::{validate_decomposition, FolError, Validation};
+use crate::parallel::{try_apply_rounds, try_par_apply_rounds};
+use crate::Decomposition;
+use fol_vm::{CmpOp, ConflictPolicy, Machine, Region, Word};
+use std::fmt;
+
+/// How one attempt executes the FOL detection loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The normal full-width vector path ([`try_fol1_machine`]): fastest,
+    /// but exposed to every scatter fault.
+    Vector,
+    /// One length-1 scatter per live element. Conflicting lanes never share
+    /// a scatter, so torn writes (amalgams need at least two competing
+    /// values) cannot fire; lane drops still can.
+    ForcedSequential,
+    /// Scalar stores and loads only (`s_write`/`s_read`). The vector
+    /// scatter unit is never touched, so no [`fol_vm::FaultPlan`] fault can
+    /// fire: this rung always completes. Writes remain journaled.
+    ScalarTail,
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExecMode::Vector => "Vector",
+            ExecMode::ForcedSequential => "ForcedSequential",
+            ExecMode::ScalarTail => "ScalarTail",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Bounded retry with an escalation ladder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts before giving up (at least 1).
+    pub max_attempts: usize,
+    /// Execution mode per attempt; attempts beyond the ladder's length stay
+    /// on its last rung.
+    pub ladder: Vec<ExecMode>,
+    /// Reseed the machine's seeded conflict policy and fault plan between
+    /// attempts, so a retry draws a fresh interleaving / fault pattern
+    /// instead of replaying the one that just failed. Deterministic: the
+    /// new seeds are a pure function of the old seed and the attempt
+    /// number. Original seeds are restored when the supervisor returns.
+    pub reseed: bool,
+    /// Validation level for each attempt's post-condition check.
+    pub validation: Validation,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts walking the full ladder (`Vector`, `ForcedSequential`,
+    /// then `ScalarTail` for the rest), reseeding between attempts,
+    /// validating the whole FOL contract.
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            ladder: vec![
+                ExecMode::Vector,
+                ExecMode::ForcedSequential,
+                ExecMode::ScalarTail,
+            ],
+            reseed: true,
+            validation: Validation::Full,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never escalates: `attempts` tries, all on the vector
+    /// path (useful when reseeding alone is expected to clear the fault).
+    pub fn vector_only(attempts: usize) -> Self {
+        Self {
+            max_attempts: attempts.max(1),
+            ladder: vec![ExecMode::Vector],
+            ..Self::default()
+        }
+    }
+
+    /// The mode attempt number `attempt` (0-based) runs under.
+    pub fn mode_for(&self, attempt: usize) -> ExecMode {
+        if self.ladder.is_empty() {
+            return ExecMode::Vector;
+        }
+        self.ladder[attempt.min(self.ladder.len() - 1)]
+    }
+}
+
+/// What a supervised run did: the audit trail of recovery.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Attempts that ran (1 = first try succeeded).
+    pub attempts: usize,
+    /// Completed rounds that were rolled back and re-executed across all
+    /// failed attempts (from [`FolError::completed_rounds`]).
+    pub rounds_replayed: usize,
+    /// Mode of the last attempt (the successful one, if any).
+    pub final_mode: ExecMode,
+    /// The error each failed attempt died with, in order.
+    pub errors: Vec<FolError>,
+    /// Fault events the machine's [`fol_vm::FaultLog`] gained during the
+    /// run — how much adversity was actually absorbed.
+    pub faults_consumed: usize,
+}
+
+impl RecoveryReport {
+    /// True when success required surviving at least one failed attempt.
+    pub fn recovered(&self) -> bool {
+        !self.errors.is_empty()
+    }
+
+    /// Hand-rolled JSON encoding (the workspace is dependency-free); used
+    /// by the chaos suite to dump the report of a failing run as a CI
+    /// artifact.
+    pub fn to_json(&self) -> String {
+        let errors: Vec<String> = self
+            .errors
+            .iter()
+            .map(|e| format!("\"{}\"", json_escape(&e.to_string())))
+            .collect();
+        format!(
+            "{{\"attempts\":{},\"rounds_replayed\":{},\"final_mode\":\"{}\",\
+             \"recovered\":{},\"faults_consumed\":{},\"errors\":[{}]}}",
+            self.attempts,
+            self.rounds_replayed,
+            self.final_mode,
+            self.recovered(),
+            self.faults_consumed,
+            errors.join(","),
+        )
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} attempt(s), {} round(s) replayed, finished in {} mode, {} fault(s) consumed",
+            self.attempts, self.rounds_replayed, self.final_mode, self.faults_consumed
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Every attempt the [`RetryPolicy`] allowed failed. Memory was rolled back
+/// to its pre-transaction state; the report says what was tried.
+#[derive(Clone, Debug)]
+pub struct RecoveryError {
+    /// The audit trail of the failed recovery.
+    pub report: RecoveryReport,
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recovery exhausted: {}", self.report)?;
+        if let Some(last) = self.report.errors.last() {
+            write!(f, "; last error: {last}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Derives a fresh, deterministic seed for retry attempt `attempt`.
+fn derive_seed(seed: u64, attempt: usize) -> u64 {
+    let mut z = seed ^ (attempt as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^ (z >> 27)
+}
+
+/// Runs `body` under the retry supervisor.
+///
+/// Each attempt opens a machine transaction, runs
+/// `body(machine, mode_for(attempt))`, and either commits (returning the
+/// body's value plus the [`RecoveryReport`]) or rolls memory back byte-exact
+/// and escalates to the next rung of the ladder. When [`RetryPolicy::reseed`]
+/// is set, seeded conflict policies and fault plans get a fresh deterministic
+/// seed per retry; the original seeds are restored before returning.
+///
+/// # Panics
+/// Panics when a transaction is already open on `m` — the supervisor owns
+/// the transaction for the duration of the run, and nesting is a caller bug.
+pub fn run_transaction<R, F>(
+    m: &mut Machine,
+    policy: &RetryPolicy,
+    mut body: F,
+) -> Result<(R, RecoveryReport), RecoveryError>
+where
+    F: FnMut(&mut Machine, ExecMode) -> Result<R, FolError>,
+{
+    assert!(
+        !m.in_txn(),
+        "run_transaction: a transaction is already open on this machine"
+    );
+    let base_policy = m.policy().clone();
+    let base_plan = m.fault_plan().cloned();
+    let faults_before = m.fault_log().len();
+    let attempts = policy.max_attempts.max(1);
+    let mut report = RecoveryReport {
+        attempts: 0,
+        rounds_replayed: 0,
+        final_mode: policy.mode_for(0),
+        errors: Vec::new(),
+        faults_consumed: 0,
+    };
+    let mut result = None;
+    for attempt in 0..attempts {
+        let mode = policy.mode_for(attempt);
+        report.attempts = attempt + 1;
+        report.final_mode = mode;
+        if policy.reseed && attempt > 0 {
+            match base_policy {
+                ConflictPolicy::Arbitrary(s) => {
+                    m.set_policy(ConflictPolicy::Arbitrary(derive_seed(s, attempt)));
+                }
+                ConflictPolicy::Adversarial(s) => {
+                    m.set_policy(ConflictPolicy::Adversarial(derive_seed(s, attempt)));
+                }
+                _ => {}
+            }
+            if let Some(plan) = &base_plan {
+                m.set_fault_plan(Some(
+                    plan.clone().with_seed(derive_seed(plan.seed(), attempt)),
+                ));
+            }
+        }
+        m.begin_txn()
+            .expect("run_transaction: transaction state already checked");
+        match body(m, mode) {
+            Ok(r) => {
+                m.commit_txn()
+                    .expect("run_transaction: commit of the open transaction");
+                result = Some(r);
+                break;
+            }
+            Err(e) => {
+                m.abort_txn()
+                    .expect("run_transaction: abort of the open transaction");
+                report.rounds_replayed += e.completed_rounds();
+                report.errors.push(e);
+            }
+        }
+    }
+    // Restore the caller's seeds whatever happened.
+    m.set_policy(base_policy);
+    m.set_fault_plan(base_plan);
+    report.faults_consumed = m.fault_log().len() - faults_before;
+    match result {
+        Some(r) => Ok((r, report)),
+        None => Err(RecoveryError { report }),
+    }
+}
+
+/// FOL1 under an explicit [`ExecMode`]; all modes produce a decomposition
+/// satisfying the same contract, validated at `validation` before returning.
+pub fn decompose_with_mode(
+    m: &mut Machine,
+    work: Region,
+    index_vec: &[Word],
+    mode: ExecMode,
+    validation: Validation,
+) -> Result<Decomposition, FolError> {
+    match mode {
+        ExecMode::Vector => try_fol1_machine(m, work, index_vec, validation),
+        ExecMode::ForcedSequential => fol1_singleton_scatters(m, work, index_vec, validation),
+        ExecMode::ScalarTail => fol1_scalar(m, work, index_vec, validation),
+    }
+}
+
+fn check_bounds(index_vec: &[Word], domain: usize) -> Result<(), FolError> {
+    for (position, &target) in index_vec.iter().enumerate() {
+        if target < 0 || target as usize >= domain {
+            return Err(FolError::TargetOutOfBounds {
+                round: None,
+                position,
+                target,
+                domain,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// FOL1 whose label-writing phase issues one length-1 scatter per live
+/// element. Within-scatter conflicts never occur, so torn-write faults
+/// (which need at least two competing values in one scatter) cannot fire;
+/// the last writer per cell survives, as under
+/// [`fol_vm::ConflictPolicy::LastWins`].
+fn fol1_singleton_scatters(
+    m: &mut Machine,
+    work: Region,
+    index_vec: &[Word],
+    validation: Validation,
+) -> Result<Decomposition, FolError> {
+    check_bounds(index_vec, work.len())?;
+    let n = index_vec.len();
+    let mut v = m.vimm(index_vec);
+    let mut positions = m.iota(0, n);
+    let mut labels = m.iota(0, n);
+    let mut rounds: Vec<Vec<usize>> = Vec::new();
+    while !v.is_empty() {
+        if rounds.len() >= n {
+            return Err(FolError::RoundBudgetExceeded {
+                budget: n,
+                live: v.len(),
+                completed_rounds: rounds.len(),
+            });
+        }
+        for k in 0..v.len() {
+            let idx1 = m.vimm(&[v.get(k)]);
+            let val1 = m.vimm(&[labels.get(k)]);
+            m.scatter(work, &idx1, &val1);
+        }
+        let got = m.gather(work, &v);
+        let ok = m.vcmp(CmpOp::Eq, &got, &labels);
+        let survivors = m.compress(&positions, &ok);
+        if survivors.is_empty() {
+            return Err(FolError::NoSurvivors {
+                iteration: rounds.len(),
+                live: v.len(),
+            });
+        }
+        rounds.push(survivors.iter().map(|p| p as usize).collect());
+        let rest = m.mask_not(&ok);
+        v = m.compress(&v, &rest);
+        positions = m.compress(&positions, &rest);
+        labels = m.compress(&labels, &rest);
+    }
+    let d = Decomposition::new(rounds);
+    let targets: Vec<usize> = index_vec.iter().map(|&t| t as usize).collect();
+    validate_decomposition(&d, &targets, work.len(), validation)?;
+    Ok(d)
+}
+
+/// FOL1 on the scalar unit only: labels are written with `s_write` and read
+/// back with `s_read`, so the vector scatter unit — the only place a
+/// [`fol_vm::FaultPlan`] hooks — is never exercised. The last writer per
+/// cell survives each pass, every pass retires at least one element per
+/// distinct live cell, and the loop provably terminates within the round
+/// budget. Scalar writes still flow through the transaction journal.
+fn fol1_scalar(
+    m: &mut Machine,
+    work: Region,
+    index_vec: &[Word],
+    validation: Validation,
+) -> Result<Decomposition, FolError> {
+    check_bounds(index_vec, work.len())?;
+    let n = index_vec.len();
+    let mut live: Vec<(usize, usize)> = index_vec
+        .iter()
+        .enumerate()
+        .map(|(p, &t)| (p, t as usize))
+        .collect();
+    let mut rounds: Vec<Vec<usize>> = Vec::new();
+    while !live.is_empty() {
+        if rounds.len() >= n {
+            return Err(FolError::RoundBudgetExceeded {
+                budget: n,
+                live: live.len(),
+                completed_rounds: rounds.len(),
+            });
+        }
+        for &(pos, t) in &live {
+            m.s_write(work.base() + t, pos as Word);
+        }
+        let mut survivors: Vec<usize> = Vec::new();
+        let mut rest: Vec<(usize, usize)> = Vec::with_capacity(live.len());
+        for &(pos, t) in &live {
+            if m.s_read(work.base() + t) == pos as Word {
+                survivors.push(pos);
+            } else {
+                rest.push((pos, t));
+            }
+        }
+        if survivors.is_empty() {
+            return Err(FolError::NoSurvivors {
+                iteration: rounds.len(),
+                live: live.len(),
+            });
+        }
+        rounds.push(survivors);
+        live = rest;
+    }
+    let d = Decomposition::new(rounds);
+    let targets: Vec<usize> = index_vec.iter().map(|&t| t as usize).collect();
+    validate_decomposition(&d, &targets, work.len(), validation)?;
+    Ok(d)
+}
+
+/// Transactional [`crate::parallel::try_apply_rounds`]: decomposes
+/// `targets` on the machine, validates the result, applies `f` — and if
+/// anything fails, rolls the machine back byte-exact, escalates per
+/// `policy`, and tries again. `data` is written only after an attempt has
+/// fully succeeded, so on `Err` both machine memory and host data are
+/// exactly as before the call.
+pub fn txn_apply_rounds<T, F>(
+    m: &mut Machine,
+    work: Region,
+    data: &mut [T],
+    targets: &[usize],
+    policy: &RetryPolicy,
+    mut f: F,
+) -> Result<(Decomposition, RecoveryReport), RecoveryError>
+where
+    T: Clone,
+    F: FnMut(&mut T, usize),
+{
+    let index_vec: Vec<Word> = targets.iter().map(|&t| t as Word).collect();
+    let mut staged: Option<Vec<T>> = None;
+    let shadow: &[T] = data;
+    let (d, report) = run_transaction(m, policy, |m, mode| {
+        let d = decompose_with_mode(m, work, &index_vec, mode, policy.validation)?;
+        let mut scratch = shadow.to_vec();
+        try_apply_rounds(&mut scratch, targets, &d, policy.validation, &mut f)?;
+        staged = Some(scratch);
+        Ok(d)
+    })?;
+    data.clone_from_slice(&staged.expect("txn_apply_rounds: success always stages data"));
+    Ok((d, report))
+}
+
+/// Transactional [`crate::parallel::try_par_apply_rounds`]: like
+/// [`txn_apply_rounds`] but each round's unit processes run with real data
+/// parallelism on scoped threads.
+pub fn txn_par_apply_rounds<T, F>(
+    m: &mut Machine,
+    work: Region,
+    data: &mut [T],
+    targets: &[usize],
+    policy: &RetryPolicy,
+    f: F,
+) -> Result<(Decomposition, RecoveryReport), RecoveryError>
+where
+    T: Clone + Send,
+    F: Fn(&mut T, usize) + Sync,
+{
+    let index_vec: Vec<Word> = targets.iter().map(|&t| t as Word).collect();
+    let mut staged: Option<Vec<T>> = None;
+    let shadow: &[T] = data;
+    let (d, report) = run_transaction(m, policy, |m, mode| {
+        let d = decompose_with_mode(m, work, &index_vec, mode, policy.validation)?;
+        let mut scratch = shadow.to_vec();
+        try_par_apply_rounds(&mut scratch, targets, &d, policy.validation, &f)?;
+        staged = Some(scratch);
+        Ok(d)
+    })?;
+    data.clone_from_slice(&staged.expect("txn_par_apply_rounds: success always stages data"));
+    Ok((d, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference_decompose;
+    use crate::theory;
+    use fol_vm::{AmalgamMode, CostModel, FaultPlan, Snapshot};
+
+    fn machine() -> Machine {
+        Machine::new(CostModel::unit())
+    }
+
+    const V: &[Word] = &[5, 2, 5, 5, 2, 9, 0, 5];
+
+    fn check_valid(d: &Decomposition, v: &[Word]) {
+        assert!(theory::is_disjoint_cover(d, v.len()));
+        assert!(theory::rounds_target_distinct_words(d, v));
+        assert!(theory::is_minimal(d, v));
+    }
+
+    #[test]
+    fn all_modes_produce_valid_minimal_decompositions() {
+        for mode in [
+            ExecMode::Vector,
+            ExecMode::ForcedSequential,
+            ExecMode::ScalarTail,
+        ] {
+            let mut m = machine();
+            let work = m.alloc(10, "work");
+            let d = decompose_with_mode(&mut m, work, V, mode, Validation::Full)
+                .unwrap_or_else(|e| panic!("{mode}: {e}"));
+            check_valid(&d, V);
+        }
+    }
+
+    #[test]
+    fn modes_reject_out_of_bounds_targets() {
+        for mode in [
+            ExecMode::Vector,
+            ExecMode::ForcedSequential,
+            ExecMode::ScalarTail,
+        ] {
+            let mut m = machine();
+            let work = m.alloc(4, "work");
+            let err = decompose_with_mode(&mut m, work, &[99], mode, Validation::Off).unwrap_err();
+            assert!(
+                matches!(err, FolError::TargetOutOfBounds { target: 99, .. }),
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_scatters_defeat_torn_writes() {
+        // A tear-everything plan: the vector path cannot survive it without
+        // reseeding, but singleton scatters never present two competing
+        // values to one scatter, so the fault cannot fire at all.
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::torn_writes(11, u16::MAX, AmalgamMode::Xor)));
+        let work = m.alloc(10, "work");
+        let d = decompose_with_mode(
+            &mut m,
+            work,
+            V,
+            ExecMode::ForcedSequential,
+            Validation::Full,
+        )
+        .expect("singleton scatters are tear-immune");
+        check_valid(&d, V);
+        assert!(m.fault_log().is_empty(), "no fault should have fired");
+    }
+
+    #[test]
+    fn scalar_tail_is_immune_to_all_scatter_faults() {
+        let mut m = machine();
+        m.set_fault_plan(Some(
+            FaultPlan::dropped_lanes(3, u16::MAX).with_torn_writes(u16::MAX, AmalgamMode::Or),
+        ));
+        let work = m.alloc(10, "work");
+        let d = decompose_with_mode(&mut m, work, V, ExecMode::ScalarTail, Validation::Full)
+            .expect("the scalar tail never touches the scatter unit");
+        check_valid(&d, V);
+        assert!(m.fault_log().is_empty());
+    }
+
+    #[test]
+    fn supervisor_first_try_success_is_attempt_one() {
+        let mut m = machine();
+        let work = m.alloc(10, "work");
+        let policy = RetryPolicy::default();
+        let (d, report) = run_transaction(&mut m, &policy, |m, mode| {
+            decompose_with_mode(m, work, V, mode, Validation::Full)
+        })
+        .unwrap();
+        check_valid(&d, V);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.final_mode, ExecMode::Vector);
+        assert!(!report.recovered());
+        assert!(!m.in_txn(), "transaction must be closed");
+    }
+
+    #[test]
+    fn supervisor_escalates_past_hostile_faults() {
+        // Drop + tear at maximum rate: the vector rung fails, but the
+        // ladder bottoms out in ScalarTail, which always completes.
+        let mut m = machine();
+        m.set_fault_plan(Some(
+            FaultPlan::dropped_lanes(7, u16::MAX).with_torn_writes(u16::MAX, AmalgamMode::Xor),
+        ));
+        let work = m.alloc(10, "work");
+        let policy = RetryPolicy::default();
+        let (d, report) = run_transaction(&mut m, &policy, |m, mode| {
+            decompose_with_mode(m, work, V, mode, Validation::Full)
+        })
+        .expect("the ladder must bottom out in a completing mode");
+        check_valid(&d, V);
+        assert!(report.recovered());
+        assert!(report.attempts >= 2);
+        assert!(
+            report.faults_consumed > 0,
+            "the adversary must actually have fired"
+        );
+        // The caller's plan is restored even though retries reseeded it.
+        assert_eq!(m.fault_plan().unwrap().seed(), 7);
+    }
+
+    #[test]
+    fn supervisor_rolls_back_failed_attempts_byte_exact() {
+        let mut m = machine();
+        let work = m.alloc(10, "work");
+        let snap = Snapshot::capture(m.mem(), &[work]);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let err = run_transaction(&mut m, &policy, |m, mode| -> Result<(), FolError> {
+            // Dirty the work area, then fail: the journal must undo it.
+            let _ = decompose_with_mode(m, work, V, mode, Validation::Off)?;
+            Err(FolError::NoSurvivors {
+                iteration: 1,
+                live: 3,
+            })
+        })
+        .unwrap_err();
+        assert_eq!(err.report.attempts, 2);
+        assert_eq!(err.report.errors.len(), 2);
+        assert!(
+            snap.matches(m.mem()),
+            "every attempt must be rolled back byte-exact"
+        );
+        assert!(!m.in_txn());
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let report = RecoveryReport {
+            attempts: 2,
+            rounds_replayed: 3,
+            final_mode: ExecMode::ScalarTail,
+            errors: vec![FolError::NoSurvivors {
+                iteration: 1,
+                live: 4,
+            }],
+            faults_consumed: 5,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"attempts\":2"), "{json}");
+        assert!(json.contains("\"final_mode\":\"ScalarTail\""), "{json}");
+        assert!(json.contains("\"recovered\":true"), "{json}");
+        assert!(json.contains("\"errors\":[\""), "{json}");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn txn_apply_rounds_matches_reference_and_reports() {
+        let targets: Vec<usize> = V.iter().map(|&t| t as usize).collect();
+        let mut m = machine();
+        let work = m.alloc(10, "work");
+        let mut counts = vec![0u32; 10];
+        let (d, report) = txn_apply_rounds(
+            &mut m,
+            work,
+            &mut counts,
+            &targets,
+            &RetryPolicy::default(),
+            |c, _| *c += 1,
+        )
+        .unwrap();
+        let mut expect = vec![0u32; 10];
+        for &t in &targets {
+            expect[t] += 1;
+        }
+        assert_eq!(counts, expect);
+        assert_eq!(d.num_rounds(), reference_decompose(V).num_rounds());
+        assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn txn_par_apply_rounds_survives_faults_and_leaves_no_partial_state() {
+        let targets: Vec<usize> = V.iter().map(|&t| t as usize).collect();
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::dropped_lanes(21, 20000)));
+        let work = m.alloc(10, "work");
+        let mut counts = vec![0u32; 10];
+        let (_, report) = txn_par_apply_rounds(
+            &mut m,
+            work,
+            &mut counts,
+            &targets,
+            &RetryPolicy::default(),
+            |c, _| *c += 1,
+        )
+        .expect("default ladder absorbs lane drops");
+        let mut expect = vec![0u32; 10];
+        for &t in &targets {
+            expect[t] += 1;
+        }
+        assert_eq!(
+            counts, expect,
+            "host data exactly matches the scalar reference"
+        );
+        assert!(report.attempts >= 1);
+    }
+
+    #[test]
+    fn txn_apply_rounds_exhaustion_leaves_data_untouched() {
+        let targets: Vec<usize> = V.iter().map(|&t| t as usize).collect();
+        let mut m = machine();
+        // Vector-only ladder under a 100% drop plan without reseeding: every
+        // attempt replays the identical failure.
+        m.set_fault_plan(Some(FaultPlan::dropped_lanes(5, u16::MAX)));
+        let work = m.alloc(10, "work");
+        let snap = Snapshot::capture(m.mem(), &[work]);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ladder: vec![ExecMode::Vector],
+            reseed: false,
+            validation: Validation::Full,
+        };
+        let mut counts = vec![0u32; 10];
+        let err = txn_apply_rounds(&mut m, work, &mut counts, &targets, &policy, |c, _| *c += 1)
+            .unwrap_err();
+        assert_eq!(err.report.attempts, 3);
+        assert!(counts.iter().all(|&c| c == 0), "host data untouched");
+        assert!(snap.matches(m.mem()), "machine memory rolled back");
+        assert!(err.to_string().contains("recovery exhausted"));
+    }
+
+    #[test]
+    fn mode_for_clamps_to_ladder_tail() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.mode_for(0), ExecMode::Vector);
+        assert_eq!(policy.mode_for(1), ExecMode::ForcedSequential);
+        assert_eq!(policy.mode_for(2), ExecMode::ScalarTail);
+        assert_eq!(policy.mode_for(99), ExecMode::ScalarTail);
+        assert_eq!(
+            RetryPolicy {
+                ladder: vec![],
+                ..policy
+            }
+            .mode_for(5),
+            ExecMode::Vector
+        );
+    }
+}

@@ -134,7 +134,12 @@ mod tests {
     use super::*;
     use fol_vm::{ConflictPolicy, CostModel};
 
-    fn run_both(lp: &UpdateLoop, table_len: usize, init: Word, input: &[Word]) -> (Vec<Word>, Vec<Word>) {
+    fn run_both(
+        lp: &UpdateLoop,
+        table_len: usize,
+        init: Word,
+        input: &[Word],
+    ) -> (Vec<Word>, Vec<Word>) {
         let mut ms = Machine::new(CostModel::unit());
         let ts = ms.alloc(table_len, "table");
         ms.vfill(ts, init);
@@ -185,7 +190,12 @@ mod tests {
                 value: Expr::input(),
                 op,
             };
-            let (s, v) = run_both(&lp, 1, if op == UpdateOp::Min { 1000 } else { -1000 }, &input);
+            let (s, v) = run_both(
+                &lp,
+                1,
+                if op == UpdateOp::Min { 1000 } else { -1000 },
+                &input,
+            );
             assert_eq!(s, v, "{op:?}");
             assert_eq!(s[0], expect0, "{op:?}");
         }

@@ -41,7 +41,9 @@ fn splitmix(state: &mut u64) -> u64 {
 /// A deterministic index vector with heavy aliasing.
 fn targets_for(seed: u64) -> Vec<Word> {
     let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
-    (0..LEN).map(|_| (splitmix(&mut state) % DOMAIN as u64) as Word).collect()
+    (0..LEN)
+        .map(|_| (splitmix(&mut state) % DOMAIN as u64) as Word)
+        .collect()
 }
 
 fn policies(seed: u64) -> Vec<ConflictPolicy> {
@@ -78,12 +80,13 @@ fn run_machine_decomposer(
     m.set_fault_plan(plan.cloned());
     let result = match name {
         "fol1_machine" => try_fol1_machine(&mut m, work, targets, Validation::Full),
-        "fol1_machine_ordered" => {
-            try_fol1_machine_ordered(&mut m, work, targets, Validation::Full)
-        }
+        "fol1_machine_ordered" => try_fol1_machine_ordered(&mut m, work, targets, Validation::Full),
         "fol_star_machine" => {
             // L = 1: FOL* degenerates to FOL1 plus the livelock fallback.
-            let opts = FolStarOptions { max_rounds: Some(4 * LEN), ..Default::default() };
+            let opts = FolStarOptions {
+                max_rounds: Some(4 * LEN),
+                ..Default::default()
+            };
             try_fol_star_machine(&mut m, work, &[targets.to_vec()], &opts, Validation::Full)
                 .map(|d| d.decomposition)
         }
@@ -110,7 +113,11 @@ fn els_conforming_sweep_matches_reference() {
                     panic!("{name} under {policy:?}, seed {seed}: unexpected error {e}")
                 });
                 assert!(!fired, "no fault plan installed, nothing may fire");
-                assert_eq!(d.sizes(), reference.sizes(), "{name} under {policy:?}, seed {seed}");
+                assert_eq!(
+                    d.sizes(),
+                    reference.sizes(),
+                    "{name} under {policy:?}, seed {seed}"
+                );
                 if name == "fol1_machine_ordered" {
                     assert!(preserves_order(&d, &targets), "{policy:?}, seed {seed}");
                 }
@@ -126,8 +133,16 @@ fn els_conforming_sweep_matches_reference() {
                 Validation::Full,
             )
             .unwrap();
-            assert_eq!(star.num_forced(), 0, "ELS ⇒ no livelock for L=1 ({policy:?})");
-            assert_eq!(star.decomposition.sizes(), reference.sizes(), "{policy:?}, seed {seed}");
+            assert_eq!(
+                star.num_forced(),
+                0,
+                "ELS ⇒ no livelock for L=1 ({policy:?})"
+            );
+            assert_eq!(
+                star.decomposition.sizes(),
+                reference.sizes(),
+                "{policy:?}, seed {seed}"
+            );
         }
 
         // Differential execution: a histogram driven through the validated
@@ -137,8 +152,7 @@ fn els_conforming_sweep_matches_reference() {
             expect[t] += 1;
         }
         let mut got = vec![0u32; DOMAIN];
-        try_par_apply_rounds(&mut got, &utargets, &host, Validation::Full, |c, _| *c += 1)
-            .unwrap();
+        try_par_apply_rounds(&mut got, &utargets, &host, Validation::Full, |c, _| *c += 1).unwrap();
         assert_eq!(got, expect, "seed {seed}");
     }
 }
@@ -175,18 +189,13 @@ fn faulty_sweep_never_silently_wrong() {
                                 }
                                 assert!(seen.iter().all(|&s| s), "{name}: cover broken");
                             } else {
-                                validate_decomposition(
-                                    &d,
-                                    &utargets,
-                                    DOMAIN,
-                                    Validation::Full,
-                                )
-                                .unwrap_or_else(|e| {
-                                    panic!(
-                                        "{name} under {policy:?} / {plan:?}: \
+                                validate_decomposition(&d, &utargets, DOMAIN, Validation::Full)
+                                    .unwrap_or_else(|e| {
+                                        panic!(
+                                            "{name} under {policy:?} / {plan:?}: \
                                          returned invalid decomposition: {e}"
-                                    )
-                                });
+                                        )
+                                    });
                             }
                         }
                         Err(e) => {
@@ -215,8 +224,14 @@ fn faulty_sweep_never_silently_wrong() {
             }
         }
     }
-    assert!(fault_runs > 0, "the adversary never fired — the sweep proves nothing");
-    assert!(typed_errors > 0, "no plan ever produced a typed error — rates too low?");
+    assert!(
+        fault_runs > 0,
+        "the adversary never fired — the sweep proves nothing"
+    );
+    assert!(
+        typed_errors > 0,
+        "no plan ever produced a typed error — rates too low?"
+    );
 }
 
 #[test]
@@ -278,7 +293,9 @@ fn adversarial_policy_cannot_change_fol1_round_sizes() {
         let sizes_under = |policy: ConflictPolicy| {
             let mut m = Machine::with_policy(CostModel::unit(), policy);
             let work = m.alloc(DOMAIN, "work");
-            try_fol1_machine(&mut m, work, &targets, Validation::Full).unwrap().sizes()
+            try_fol1_machine(&mut m, work, &targets, Validation::Full)
+                .unwrap()
+                .sizes()
         };
         assert_eq!(
             sizes_under(ConflictPolicy::Adversarial(seed)),
@@ -310,9 +327,16 @@ fn adversarial_policy_provokes_fol_star_livelock() {
         .unwrap()
     };
     let benign = run(ConflictPolicy::FirstWins);
-    assert_eq!(benign.num_forced(), 0, "FirstWins lets tuple 0 win both cells");
+    assert_eq!(
+        benign.num_forced(),
+        0,
+        "FirstWins lets tuple 0 win both cells"
+    );
     let hostile = run(ConflictPolicy::Adversarial(7));
-    assert!(hostile.num_forced() >= 1, "the adversary must provoke at least one forced round");
+    assert!(
+        hostile.num_forced() >= 1,
+        "the adversary must provoke at least one forced round"
+    );
     // Correctness is unimpaired either way: both results passed Full
     // validation inside try_fol_star_machine and cover both tuples.
     assert_eq!(benign.decomposition.total_len(), 2);

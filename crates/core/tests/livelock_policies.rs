@@ -9,9 +9,7 @@
 //! Swept over ≥64 seeds of [`ConflictPolicy::Arbitrary`] so the conclusion
 //! does not hinge on one lucky write interleaving.
 
-use fol_core::fol_star::{
-    fol_star_machine, FolStarDecomposition, FolStarOptions, LivelockPolicy,
-};
+use fol_core::fol_star::{fol_star_machine, FolStarDecomposition, FolStarOptions, LivelockPolicy};
 use fol_core::theory;
 use fol_vm::{ConflictPolicy, CostModel, Machine, Word};
 use std::collections::HashSet;
@@ -33,19 +31,33 @@ fn splitmix(state: &mut u64) -> u64 {
 fn columns_for(seed: u64) -> Vec<Vec<Word>> {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xA5A5);
     (0..L)
-        .map(|_| (0..TUPLES).map(|_| (splitmix(&mut state) % DOMAIN as u64) as Word).collect())
+        .map(|_| {
+            (0..TUPLES)
+                .map(|_| (splitmix(&mut state) % DOMAIN as u64) as Word)
+                .collect()
+        })
         .collect()
 }
 
-fn run(policy: ConflictPolicy, livelock: LivelockPolicy, cols: &[Vec<Word>]) -> FolStarDecomposition {
+fn run(
+    policy: ConflictPolicy,
+    livelock: LivelockPolicy,
+    cols: &[Vec<Word>],
+) -> FolStarDecomposition {
     let mut m = Machine::with_policy(CostModel::unit(), policy);
     let work = m.alloc(DOMAIN, "work");
-    let opts = FolStarOptions { livelock, ..Default::default() };
+    let opts = FolStarOptions {
+        livelock,
+        ..Default::default()
+    };
     fol_star_machine(&mut m, work, cols, &opts)
 }
 
 fn assert_valid(d: &FolStarDecomposition, cols: &[Vec<Word>], ctx: &str) {
-    assert!(theory::is_disjoint_cover(&d.decomposition, TUPLES), "{ctx}: cover broken");
+    assert!(
+        theory::is_disjoint_cover(&d.decomposition, TUPLES),
+        "{ctx}: cover broken"
+    );
     for (round, &is_forced) in d.decomposition.iter().zip(&d.forced) {
         if is_forced {
             assert_eq!(round.len(), 1, "{ctx}: forced round must hold one tuple");
@@ -54,7 +66,11 @@ fn assert_valid(d: &FolStarDecomposition, cols: &[Vec<Word>], ctx: &str) {
         let mut seen = HashSet::new();
         for &p in round {
             for col in cols {
-                assert!(seen.insert(col[p]), "{ctx}: cell {} shared within a round", col[p]);
+                assert!(
+                    seen.insert(col[p]),
+                    "{ctx}: cell {} shared within a round",
+                    col[p]
+                );
             }
         }
     }
@@ -97,7 +113,11 @@ fn both_policies_agree_across_64_seeds() {
         let forced_seq = run(policy.clone(), LivelockPolicy::ForcedSequential, &cols);
 
         assert_valid(&scalar_tail, &cols, &format!("ScalarTail, seed {seed}"));
-        assert_valid(&forced_seq, &cols, &format!("ForcedSequential, seed {seed}"));
+        assert_valid(
+            &forced_seq,
+            &cols,
+            &format!("ForcedSequential, seed {seed}"),
+        );
 
         // Executing the rounds must give the same final data either way.
         let expect: Vec<u32> = {
@@ -109,8 +129,16 @@ fn both_policies_agree_across_64_seeds() {
             }
             h
         };
-        assert_eq!(histogram(&scalar_tail, &cols), expect, "ScalarTail, seed {seed}");
-        assert_eq!(histogram(&forced_seq, &cols), expect, "ForcedSequential, seed {seed}");
+        assert_eq!(
+            histogram(&scalar_tail, &cols),
+            expect,
+            "ScalarTail, seed {seed}"
+        );
+        assert_eq!(
+            histogram(&forced_seq, &cols),
+            expect,
+            "ForcedSequential, seed {seed}"
+        );
 
         // Forced-round bounds: trivially at most one per tuple; and the
         // scalar tail rescues the last live tuple whenever it does not
@@ -149,10 +177,19 @@ fn scalar_tail_reduces_forced_rounds_on_contested_input() {
     for seed in 0..SEEDS {
         let policy = ConflictPolicy::Arbitrary(seed);
         let tail = run(policy.clone(), LivelockPolicy::ScalarTail, &cols);
-        assert!(theory::is_disjoint_cover(&tail.decomposition, 6), "seed {seed}");
+        assert!(
+            theory::is_disjoint_cover(&tail.decomposition, 6),
+            "seed {seed}"
+        );
         total_tail_forced += tail.num_forced();
         let fallback = run(policy, LivelockPolicy::ForcedSequential, &cols);
-        assert!(theory::is_disjoint_cover(&fallback.decomposition, 6), "seed {seed}");
+        assert!(
+            theory::is_disjoint_cover(&fallback.decomposition, 6),
+            "seed {seed}"
+        );
     }
-    assert_eq!(total_tail_forced, 0, "scalar tail never needs a forced round here");
+    assert_eq!(
+        total_tail_forced, 0,
+        "scalar tail never needs a forced round here"
+    );
 }

@@ -1,48 +1,88 @@
 //! Property-based tests of the paper's theorems over random index vectors
 //! and all ELS-conforming conflict policies.
+//!
+//! Deterministic seeded sweeps (SplitMix64) stand in for a property-testing
+//! framework: each property is checked over many generated cases, and a
+//! failure names the seed so the case replays exactly.
 
 use fol_core::decompose::{fol1_machine, pairwise_decompose, reference_decompose};
-use fol_core::theory::fol1_work;
 use fol_core::fol_star::{fol_star_machine, FolStarOptions, LivelockPolicy};
 use fol_core::host::fol1_host;
 use fol_core::parallel::{apply_rounds, par_apply_rounds};
 use fol_core::theory;
+use fol_core::theory::fol1_work;
 use fol_vm::{ConflictPolicy, CostModel, Machine, Word};
-use proptest::prelude::*;
 
-/// A random index vector into a domain of `domain` cells, with enough
-/// duplication to exercise multi-round decompositions.
-fn index_vec(max_len: usize, domain: usize) -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(0..domain, 0..max_len)
+/// SplitMix64 — deterministic case generator for the seeded sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
 }
 
-fn policies() -> impl Strategy<Value = ConflictPolicy> {
-    prop_oneof![
-        Just(ConflictPolicy::FirstWins),
-        Just(ConflictPolicy::LastWins),
-        any::<u64>().prop_map(ConflictPolicy::Arbitrary),
+/// A random index vector of length `< max_len` into a domain of `domain`
+/// cells, with enough duplication to exercise multi-round decompositions.
+fn index_vec(rng: &mut Rng, max_len: usize, domain: usize) -> Vec<usize> {
+    let n = rng.below(max_len as u64) as usize;
+    (0..n).map(|_| rng.below(domain as u64) as usize).collect()
+}
+
+fn policies(rng: &mut Rng) -> Vec<ConflictPolicy> {
+    vec![
+        ConflictPolicy::FirstWins,
+        ConflictPolicy::LastWins,
+        ConflictPolicy::Arbitrary(rng.next_u64()),
     ]
 }
 
-proptest! {
-    /// Lemmas 1–2 + Theorems 3 and 5 for the machine implementation under
-    /// every conflict policy.
-    #[test]
-    fn fol1_machine_invariants(v in index_vec(64, 12), policy in policies()) {
+/// Lemmas 1–2 + Theorems 3 and 5 for the machine implementation under
+/// every conflict policy.
+#[test]
+fn fol1_machine_invariants() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let v = index_vec(&mut rng, 64, 12);
         let words: Vec<Word> = v.iter().map(|&x| x as Word).collect();
-        let mut m = Machine::with_policy(CostModel::unit(), policy);
-        let work = m.alloc(12, "work");
-        let d = fol1_machine(&mut m, work, &words);
-        prop_assert!(theory::is_disjoint_cover(&d, v.len()));
-        prop_assert!(theory::rounds_target_distinct_words(&d, &words));
-        prop_assert!(theory::sizes_monotone(&d));
-        prop_assert!(theory::is_minimal(&d, &words)); // Thm 5: minimum M
+        for policy in policies(&mut rng) {
+            let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+            let work = m.alloc(12, "work");
+            let d = fol1_machine(&mut m, work, &words);
+            assert!(
+                theory::is_disjoint_cover(&d, v.len()),
+                "seed {seed} {policy:?}"
+            );
+            assert!(
+                theory::rounds_target_distinct_words(&d, &words),
+                "seed {seed} {policy:?}"
+            );
+            assert!(theory::sizes_monotone(&d), "seed {seed} {policy:?}");
+            // Thm 5: minimum M.
+            assert!(theory::is_minimal(&d, &words), "seed {seed} {policy:?}");
+        }
     }
+}
 
-    /// The host implementation produces the same round sizes as the
-    /// reference and the machine (the assignment of duplicates may differ).
-    #[test]
-    fn host_machine_reference_agree_on_sizes(v in index_vec(48, 8)) {
+/// The host implementation produces the same round sizes as the
+/// reference and the machine (the assignment of duplicates may differ).
+#[test]
+fn host_machine_reference_agree_on_sizes() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let v = index_vec(&mut rng, 48, 8);
         let words: Vec<Word> = v.iter().map(|&x| x as Word).collect();
         let host = fol1_host(&v, 8);
         let reference = reference_decompose(&words);
@@ -50,93 +90,125 @@ proptest! {
         let mut m = Machine::new(CostModel::unit());
         let work = m.alloc(8, "work");
         let machine = fol1_machine(&mut m, work, &words);
-        prop_assert_eq!(host.sizes(), reference.sizes());
-        prop_assert_eq!(pairwise.sizes(), reference.sizes());
-        prop_assert_eq!(machine.sizes(), reference.sizes());
+        assert_eq!(host.sizes(), reference.sizes(), "seed {seed}");
+        assert_eq!(pairwise.sizes(), reference.sizes(), "seed {seed}");
+        assert_eq!(machine.sizes(), reference.sizes(), "seed {seed}");
     }
+}
 
-    /// Theorem 3: duplicate-free inputs decompose in exactly one round.
-    #[test]
-    fn duplicate_free_single_round(perm in Just(()).prop_perturb(|_, mut rng| {
-        let n = (rng.random::<u32>() % 40 + 1) as usize;
-        let mut v: Vec<usize> = (0..n).collect();
+/// Theorem 3: duplicate-free inputs decompose in exactly one round.
+#[test]
+fn duplicate_free_single_round() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let n = 1 + rng.below(40) as usize;
+        let mut perm: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
-            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
-            v.swap(i, j);
+            let j = rng.below(i as u64 + 1) as usize;
+            perm.swap(i, j);
         }
-        v
-    })) {
         let d = fol1_host(&perm, perm.len());
-        prop_assert_eq!(d.num_rounds(), 1);
+        assert_eq!(d.num_rounds(), 1, "seed {seed}");
     }
+}
 
-    /// A histogram computed through FOL rounds (sequential and rayon
-    /// executors) equals the directly computed histogram: no lost updates
-    /// despite duplicates.
-    #[test]
-    fn histogram_correct_under_both_executors(v in index_vec(128, 16)) {
+/// A histogram computed through FOL rounds (sequential and threaded
+/// executors) equals the directly computed histogram: no lost updates
+/// despite duplicates.
+#[test]
+fn histogram_correct_under_both_executors() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let v = index_vec(&mut rng, 128, 16);
         let d = fol1_host(&v, 16);
         let mut expect = vec![0u32; 16];
-        for &t in &v { expect[t] += 1; }
+        for &t in &v {
+            expect[t] += 1;
+        }
 
         let mut seq = vec![0u32; 16];
         apply_rounds(&mut seq, &v, &d, |c, _| *c += 1);
-        prop_assert_eq!(&seq, &expect);
+        assert_eq!(&seq, &expect, "seed {seed}: sequential");
 
         let mut par = vec![0u32; 16];
         par_apply_rounds(&mut par, &v, &d, |c, _| *c += 1);
-        prop_assert_eq!(&par, &expect);
+        assert_eq!(&par, &expect, "seed {seed}: parallel");
     }
+}
 
-    /// Theorem 4 / 6 boundary: the modelled FOL1 work for round sizes of a
-    /// random input never exceeds the all-equal worst case N(N+1)/2 and is
-    /// at least N.
-    #[test]
-    fn work_bounds(v in index_vec(64, 6)) {
+/// Theorem 4 / 6 boundary: the modelled FOL1 work for round sizes of a
+/// random input never exceeds the all-equal worst case N(N+1)/2 and is
+/// at least N.
+#[test]
+fn work_bounds() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let v = index_vec(&mut rng, 64, 6);
         let words: Vec<Word> = v.iter().map(|&x| x as Word).collect();
         let d = reference_decompose(&words);
         let w = theory::fol1_work(&d.sizes());
         let n = v.len();
-        prop_assert!(w >= n);
-        prop_assert!(w <= n * (n + 1) / 2);
+        assert!(w >= n, "seed {seed}");
+        assert!(w <= n * (n + 1) / 2, "seed {seed}");
     }
+}
 
-    /// FOL*: disjoint cover and per-round distinctness across both livelock
-    /// policies and all conflict policies, with L = 2 (tree rewriting's
-    /// shape) and L = 3.
-    #[test]
-    fn fol_star_invariants(
-        pairs in prop::collection::vec((0usize..10, 0usize..10, 0usize..10), 0..24),
-        policy in policies(),
-        scalar_tail in any::<bool>(),
-        l in 2usize..4,
-    ) {
-        let n = pairs.len();
-        let mut vecs: Vec<Vec<Word>> = vec![Vec::with_capacity(n); l];
-        for &(a, b, c) in &pairs {
-            let items = [a, b, c];
-            for (k, col) in vecs.iter_mut().enumerate() {
-                col.push(items[k] as Word);
+/// FOL*: disjoint cover and per-round distinctness across both livelock
+/// policies and all conflict policies, with L = 2 (tree rewriting's
+/// shape) and L = 3.
+#[test]
+fn fol_star_invariants() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let n = rng.below(24) as usize;
+        let pairs: Vec<(usize, usize, usize)> = (0..n)
+            .map(|_| {
+                (
+                    rng.below(10) as usize,
+                    rng.below(10) as usize,
+                    rng.below(10) as usize,
+                )
+            })
+            .collect();
+        let scalar_tail = rng.next_u64() & 1 == 1;
+        let l = 2 + (rng.below(2) as usize);
+        for policy in policies(&mut rng) {
+            let mut vecs: Vec<Vec<Word>> = vec![Vec::with_capacity(n); l];
+            for &(a, b, c) in &pairs {
+                let items = [a, b, c];
+                for (k, col) in vecs.iter_mut().enumerate() {
+                    col.push(items[k] as Word);
+                }
             }
-        }
-        let opts = FolStarOptions {
-            livelock: if scalar_tail { LivelockPolicy::ScalarTail } else { LivelockPolicy::ForcedSequential },
-            ..Default::default()
-        };
-        let mut m = Machine::with_policy(CostModel::unit(), policy);
-        let work = m.alloc(10, "work");
-        let d = fol_star_machine(&mut m, work, &vecs, &opts);
-        prop_assert!(theory::is_disjoint_cover(&d.decomposition, n));
-        // Non-forced rounds: all targets of all surviving tuples distinct.
-        for (round, &is_forced) in d.decomposition.iter().zip(&d.forced) {
-            if is_forced {
-                prop_assert_eq!(round.len(), 1);
-                continue;
-            }
-            let mut seen = std::collections::HashSet::new();
-            for &p in round {
-                for col in &vecs {
-                    prop_assert!(seen.insert(col[p]), "cell shared within a round");
+            let opts = FolStarOptions {
+                livelock: if scalar_tail {
+                    LivelockPolicy::ScalarTail
+                } else {
+                    LivelockPolicy::ForcedSequential
+                },
+                ..Default::default()
+            };
+            let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+            let work = m.alloc(10, "work");
+            let d = fol_star_machine(&mut m, work, &vecs, &opts);
+            assert!(
+                theory::is_disjoint_cover(&d.decomposition, n),
+                "seed {seed} {policy:?}"
+            );
+            // Non-forced rounds: all targets of all surviving tuples distinct.
+            for (round, &is_forced) in d.decomposition.iter().zip(&d.forced) {
+                if is_forced {
+                    assert_eq!(round.len(), 1, "seed {seed} {policy:?}");
+                    continue;
+                }
+                let mut seen = std::collections::HashSet::new();
+                for &p in round {
+                    for col in &vecs {
+                        assert!(
+                            seen.insert(col[p]),
+                            "seed {seed} {policy:?}: cell shared within a round"
+                        );
+                    }
                 }
             }
         }
@@ -158,7 +230,10 @@ fn fol1_cost_linear_when_duplicate_free() {
     };
     for n in [512usize, 1024, 2048] {
         let ratio = cost_of(2 * n) as f64 / cost_of(n) as f64;
-        assert!((1.4..2.6).contains(&ratio), "n={n}: expected ~2x growth, got {ratio:.2}x");
+        assert!(
+            (1.4..2.6).contains(&ratio),
+            "n={n}: expected ~2x growth, got {ratio:.2}x"
+        );
     }
 }
 
@@ -180,6 +255,9 @@ fn fol1_cost_quadratic_when_all_equal() {
         assert_eq!(w1, n * (n + 1) / 2, "closed-form work is N(N+1)/2");
         assert_eq!(w2, 2 * n * (2 * n + 1) / 2);
         let ratio = c2 as f64 / c1 as f64;
-        assert!(ratio > 1.8, "n={n}: expected superlinear growth, got {ratio:.2}x");
+        assert!(
+            ratio > 1.8,
+            "n={n}: expected superlinear growth, got {ratio:.2}x"
+        );
     }
 }

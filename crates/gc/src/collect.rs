@@ -39,7 +39,14 @@ pub fn collect_scalar(m: &mut Machine, from: &Heap, roots: &[Word]) -> (Heap, Ve
         scan += 1;
     }
     let copied = to.used;
-    (to, new_roots, GcReport { copied, contended_rounds: 0 })
+    (
+        to,
+        new_roots,
+        GcReport {
+            copied,
+            contended_rounds: 0,
+        },
+    )
 }
 
 fn forward_scalar(m: &mut Machine, from: &Heap, to: &mut Heap, w: Word) -> Word {
@@ -244,7 +251,13 @@ mod tests {
         let mut ms = machine();
         let mut hs = Heap::alloc(&mut ms, 80, "from");
         for i in 0..60 {
-            let f = |r: Word, i: Word| if r % 3 == 0 && i > 0 { r % i } else { encode_imm(r) };
+            let f = |r: Word, i: Word| {
+                if r % 3 == 0 && i > 0 {
+                    r % i
+                } else {
+                    encode_imm(r)
+                }
+            };
             let car = f(next(1000), i);
             let cdr = f(next(1000), i);
             let _ = hs.cons(&mut ms, car, cdr);

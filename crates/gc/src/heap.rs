@@ -58,7 +58,12 @@ impl Heap {
         let cdr = m.alloc(capacity, &format!("{name}.cdr"));
         let fwd = m.alloc(capacity, &format!("{name}.fwd"));
         m.vfill(fwd, NOT_FWD);
-        Heap { car, cdr, fwd, used: 0 }
+        Heap {
+            car,
+            cdr,
+            fwd,
+            used: 0,
+        }
     }
 
     /// Capacity in cells.
@@ -95,13 +100,7 @@ impl Heap {
     /// Structural equality of two rooted graphs across (possibly different)
     /// heaps — isomorphism that respects sharing and cycles: pointer pairs
     /// must correspond one-to-one.
-    pub fn same_shape(
-        m: &Machine,
-        a: &Heap,
-        root_a: Word,
-        b: &Heap,
-        root_b: Word,
-    ) -> bool {
+    pub fn same_shape(m: &Machine, a: &Heap, root_a: Word, b: &Heap, root_b: Word) -> bool {
         fn walk(
             m: &Machine,
             a: &Heap,

@@ -12,6 +12,10 @@
 //! the oracle in the tests.
 
 use fol_core::decompose::fol1_machine;
+use fol_core::error::{FolError, Validation};
+use fol_core::recover::{
+    decompose_with_mode, run_transaction, ExecMode, RecoveryError, RecoveryReport, RetryPolicy,
+};
 use fol_vm::{AluOp, CmpOp, Machine, Region, VReg, Word};
 
 /// An undirected graph staged for component labelling: vertex labels and
@@ -36,12 +40,19 @@ impl Components {
     /// Panics when an endpoint is out of range.
     pub fn new(m: &mut Machine, n: usize, edges: &[(Word, Word)]) -> Self {
         assert!(
-            edges.iter().all(|&(a, b)| (0..n as Word).contains(&a) && (0..n as Word).contains(&b)),
+            edges
+                .iter()
+                .all(|&(a, b)| (0..n as Word).contains(&a) && (0..n as Word).contains(&b)),
             "edge endpoint out of range"
         );
         let labels = m.alloc(n.max(1), "cc.labels");
         let work = m.alloc(n.max(1), "cc.work");
-        Components { labels, work, edges: edges.to_vec(), n }
+        Components {
+            labels,
+            work,
+            edges: edges.to_vec(),
+            n,
+        }
     }
 
     fn init_labels(&self, m: &mut Machine) {
@@ -53,7 +64,11 @@ impl Components {
 
     /// Reads the final labelling (diagnostic).
     pub fn labelling(&self, m: &Machine) -> Vec<Word> {
-        m.mem().read_region(self.labels).into_iter().take(self.n).collect()
+        m.mem()
+            .read_region(self.labels)
+            .into_iter()
+            .take(self.n)
+            .collect()
     }
 }
 
@@ -92,10 +107,8 @@ pub fn vectorized_components(m: &mut Machine, g: &Components) -> usize {
         return 0;
     }
     // Both directions: a -> b and b -> a.
-    let targets: Vec<Word> =
-        g.edges.iter().flat_map(|&(a, b)| [b, a]).collect();
-    let sources: Vec<Word> =
-        g.edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let targets: Vec<Word> = g.edges.iter().flat_map(|&(a, b)| [b, a]).collect();
+    let sources: Vec<Word> = g.edges.iter().flat_map(|&(a, b)| [a, b]).collect();
     let src_v = m.vimm(&sources);
     let mut sweeps = 0;
 
@@ -127,6 +140,91 @@ pub fn vectorized_components(m: &mut Machine, g: &Components) -> usize {
     }
 }
 
+/// Fallible vectorized label propagation under an explicit [`ExecMode`]:
+/// the per-sweep decomposition of the aliased min-updates comes from
+/// [`decompose_with_mode`] (typed errors instead of panics; tear-immune
+/// singleton label scatters under `ForcedSequential`), and the sweep loop
+/// is bounded by `n + 1` sweeps — the minimum-label fixpoint needs at most
+/// `n` sweeps on healthy hardware, so exceeding the budget is the typed
+/// signature of updates being persistently dropped. `ScalarTail` runs
+/// [`scalar_components`], which no scatter fault can touch.
+pub fn try_vectorized_components(
+    m: &mut Machine,
+    g: &Components,
+    mode: ExecMode,
+    validation: Validation,
+) -> Result<usize, FolError> {
+    if mode == ExecMode::ScalarTail {
+        return Ok(scalar_components(m, g));
+    }
+    g.init_labels(m);
+    if g.edges.is_empty() || g.n == 0 {
+        return Ok(0);
+    }
+    let targets: Vec<Word> = g.edges.iter().flat_map(|&(a, b)| [b, a]).collect();
+    let sources: Vec<Word> = g.edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let src_v = m.vimm(&sources);
+    let budget = g.n + 1;
+    let mut sweeps = 0;
+
+    loop {
+        if sweeps == budget {
+            return Err(FolError::RoundBudgetExceeded {
+                budget,
+                live: targets.len(),
+                completed_rounds: sweeps,
+            });
+        }
+        sweeps += 1;
+        let proposed = m.gather(g.labels, &src_v);
+        let tgt_v = m.vimm(&targets);
+        let current = m.gather(g.labels, &tgt_v);
+        let improving = m.vcmp(CmpOp::Lt, &proposed, &current);
+        if m.count_true(&improving) == 0 {
+            return Ok(sweeps);
+        }
+        let upd_target = m.compress(&tgt_v, &improving);
+        let upd_label = m.compress(&proposed, &improving);
+
+        let tgt_words: Vec<Word> = upd_target.iter().collect();
+        let d = decompose_with_mode(m, g.work, &tgt_words, mode, validation)?;
+        for round in d.iter() {
+            let t: VReg = round.iter().map(|&p| upd_target.get(p)).collect();
+            let l: VReg = round.iter().map(|&p| upd_label.get(p)).collect();
+            let cur = m.gather(g.labels, &t);
+            let new = m.valu(AluOp::Min, &cur, &l);
+            m.scatter(g.labels, &t, &new);
+        }
+    }
+}
+
+/// Transactional component labelling: every attempt runs inside a machine
+/// transaction and the finished labelling must equal the host union-find
+/// oracle ([`union_find_components`]) exactly. A failed attempt rolls back
+/// byte-exact and escalates along the [`RetryPolicy`] ladder:
+/// `Vector` → `ForcedSequential` → `ScalarTail`. Returns the sweep count
+/// of the winning attempt and the [`RecoveryReport`] audit trail.
+///
+/// # Panics
+/// Panics if a transaction is already open on `m`.
+pub fn txn_components(
+    m: &mut Machine,
+    g: &Components,
+    policy: &RetryPolicy,
+) -> Result<(usize, RecoveryReport), RecoveryError> {
+    let expected = union_find_components(g.n, &g.edges);
+    let validation = policy.validation;
+    run_transaction(m, policy, |m, mode| {
+        let sweeps = try_vectorized_components(m, g, mode, validation)?;
+        if g.labelling(m) != expected {
+            return Err(FolError::PostConditionFailed {
+                what: "components labelling",
+            });
+        }
+        Ok(sweeps)
+    })
+}
+
 /// Host union-find oracle.
 pub fn union_find_components(n: usize, edges: &[(Word, Word)]) -> Vec<Word> {
     let mut parent: Vec<usize> = (0..n).collect();
@@ -150,7 +248,9 @@ pub fn union_find_components(n: usize, edges: &[(Word, Word)]) -> Vec<Word> {
         let r = find(&mut parent, v);
         min_of[r] = min_of[r].min(v);
     }
-    (0..n).map(|v| min_of[find(&mut parent, v)] as Word).collect()
+    (0..n)
+        .map(|v| min_of[find(&mut parent, v)] as Word)
+        .collect()
 }
 
 #[cfg(test)]
@@ -232,5 +332,89 @@ mod tests {
     fn bad_edge_panics() {
         let mut m = Machine::new(CostModel::unit());
         let _ = Components::new(&mut m, 2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn try_components_matches_infallible_in_every_mode() {
+        let edges = [(0, 1), (1, 2), (3, 4), (5, 5), (2, 0)];
+        let mut m0 = Machine::new(CostModel::unit());
+        let g0 = Components::new(&mut m0, 7, &edges);
+        let _ = vectorized_components(&mut m0, &g0);
+        let expect = g0.labelling(&m0);
+        for mode in [
+            ExecMode::Vector,
+            ExecMode::ForcedSequential,
+            ExecMode::ScalarTail,
+        ] {
+            let mut m = Machine::new(CostModel::unit());
+            let g = Components::new(&mut m, 7, &edges);
+            let sweeps =
+                try_vectorized_components(&mut m, &g, mode, Validation::Full).expect("no faults");
+            assert!(sweeps >= 1, "{mode:?}");
+            assert_eq!(g.labelling(&m), expect, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn try_components_sweep_budget_stops_dropped_updates() {
+        // 100% dropped lanes: every min-update vanishes, the fixpoint never
+        // arrives. The sweep budget turns the livelock into a typed error.
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(fol_vm::FaultPlan::dropped_lanes(17, 65535)));
+        let g = Components::new(&mut m, 5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let err =
+            try_vectorized_components(&mut m, &g, ExecMode::Vector, Validation::Full).unwrap_err();
+        assert!(matches!(
+            err,
+            FolError::RoundBudgetExceeded { .. }
+                | FolError::NoSurvivors { .. }
+                | FolError::NotMinimal { .. }
+        ));
+    }
+
+    #[test]
+    fn txn_components_clean_run_is_one_attempt() {
+        let edges: Vec<(Word, Word)> = (0..20).map(|i| (i, (i * 7 + 3) % 25)).collect();
+        let mut m = Machine::new(CostModel::unit());
+        let g = Components::new(&mut m, 25, &edges);
+        let (sweeps, rec) = txn_components(&mut m, &g, &RetryPolicy::default()).expect("clean run");
+        assert_eq!(rec.attempts, 1);
+        assert!(sweeps >= 1);
+        assert_eq!(g.labelling(&m), union_find_components(25, &edges));
+    }
+
+    #[test]
+    fn txn_components_recovers_from_hostile_scatter_faults() {
+        let edges: Vec<(Word, Word)> = (0..30).map(|i| (i % 18, (i * 5 + 1) % 18)).collect();
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(
+            fol_vm::FaultPlan::dropped_lanes(29, 25000)
+                .with_torn_writes(25000, fol_vm::AmalgamMode::Or),
+        ));
+        let g = Components::new(&mut m, 18, &edges);
+        let (_, rec) = txn_components(&mut m, &g, &RetryPolicy::default()).expect("ladder rescues");
+        assert!(rec.recovered());
+        assert_eq!(
+            g.labelling(&m),
+            union_find_components(18, &edges),
+            "labelling exact despite ELS violations"
+        );
+    }
+
+    #[test]
+    fn txn_components_exhaustion_rolls_the_labels_back() {
+        let mut m = Machine::new(CostModel::unit());
+        let g = Components::new(&mut m, 4, &[(0, 1), (2, 3)]);
+        // Pre-existing labels from a clean run.
+        let _ = vectorized_components(&mut m, &g);
+        let before = g.labelling(&m);
+
+        m.set_fault_plan(Some(fol_vm::FaultPlan::dropped_lanes(12, 65535)));
+        let mut policy = RetryPolicy::vector_only(2);
+        policy.reseed = false;
+        let err = txn_components(&mut m, &g, &policy).unwrap_err();
+        assert_eq!(err.report.attempts, 2);
+        assert_eq!(g.labelling(&m), before, "rollback restored the labelling");
+        assert!(!m.in_txn());
     }
 }

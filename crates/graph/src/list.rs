@@ -35,7 +35,12 @@ impl ListArena {
         let values = m.alloc(capacity, "list.values");
         let nexts = m.alloc(capacity, "list.nexts");
         let work = m.alloc(capacity, "list.work");
-        ListArena { values, nexts, work, used: 0 }
+        ListArena {
+            values,
+            nexts,
+            work,
+            used: 0,
+        }
     }
 
     /// Appends a fresh cell (free setup op); returns its index.
@@ -56,7 +61,11 @@ impl ListArena {
         }
         let first = self.used;
         for (i, &v) in values.iter().enumerate() {
-            let next = if i + 1 < values.len() { (first + i + 1) as Word } else { NIL };
+            let next = if i + 1 < values.len() {
+                (first + i + 1) as Word
+            } else {
+                NIL
+            };
             let _ = self.cell(m, v, next);
         }
         first as Word

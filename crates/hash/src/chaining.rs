@@ -14,6 +14,8 @@
 //! the heads).
 
 use crate::hash_mod;
+use fol_core::error::{FolError, Validation};
+use fol_core::recover::{run_transaction, ExecMode, RecoveryError, RecoveryReport, RetryPolicy};
 use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
 
 /// Nil chain pointer.
@@ -41,7 +43,12 @@ impl ChainTable {
         let work = m.alloc(buckets, "chain.work");
         let arena = m.alloc(2 * capacity, "chain.arena");
         m.vfill(heads, NIL);
-        ChainTable { heads, work, arena, used_nodes: 0 }
+        ChainTable {
+            heads,
+            work,
+            arena,
+            used_nodes: 0,
+        }
     }
 
     /// Number of buckets.
@@ -161,6 +168,191 @@ pub fn vectorized_insert_all(m: &mut Machine, table: &mut ChainTable, keys: &[Wo
         labels = m.compress(&labels, &rest);
     }
     rounds
+}
+
+/// Fallible vectorized insertion: [`vectorized_insert_all`] with the FOL1
+/// loop bounded by `keys.len()` rounds (the worst legal case, Theorem 6)
+/// and every detection pass checked for a survivor (Theorem 1). Under
+/// ELS-violating hardware ([`fol_vm::fault`]) the loop returns a typed
+/// error instead of spinning or silently dropping keys.
+///
+/// Rounds already executed stay applied on failure — run it inside a
+/// machine transaction ([`txn_insert_all`]) for all-or-nothing semantics.
+pub fn try_vectorized_insert_all(
+    m: &mut Machine,
+    table: &mut ChainTable,
+    keys: &[Word],
+) -> Result<usize, FolError> {
+    if keys.is_empty() {
+        return Ok(0);
+    }
+    let first = table.reserve(keys.len());
+    let buckets = table.buckets() as Word;
+
+    let key_v = m.vimm(keys);
+    let mut hv = m.valu_s(AluOp::Mod, &key_v, buckets);
+    let positions = m.iota(0, keys.len());
+    let offs = m.valu_s(AluOp::Add, &positions, first as Word);
+    let mut node_ptr = m.valu_s(AluOp::Mul, &offs, 2);
+    m.scatter(table.arena, &node_ptr, &key_v);
+
+    let budget = keys.len();
+    let mut labels = positions;
+    let mut rounds = 0usize;
+    while !hv.is_empty() {
+        if rounds == budget {
+            return Err(FolError::RoundBudgetExceeded {
+                budget,
+                live: hv.len(),
+                completed_rounds: rounds,
+            });
+        }
+        m.scatter(table.work, &hv, &labels);
+        let got = m.gather(table.work, &hv);
+        let ok = m.vcmp(CmpOp::Eq, &got, &labels);
+        if m.count_true(&ok) == 0 {
+            return Err(FolError::NoSurvivors {
+                iteration: rounds,
+                live: hv.len(),
+            });
+        }
+        let hv_s = m.compress(&hv, &ok);
+        let ptr_s = m.compress(&node_ptr, &ok);
+        let old_heads = m.gather(table.heads, &hv_s);
+        let next_field = m.valu_s(AluOp::Add, &ptr_s, 1);
+        m.scatter(table.arena, &next_field, &old_heads);
+        m.scatter(table.heads, &hv_s, &ptr_s);
+        let rest = m.mask_not(&ok);
+        hv = m.compress(&hv, &rest);
+        node_ptr = m.compress(&node_ptr, &rest);
+        labels = m.compress(&labels, &rest);
+        rounds += 1;
+    }
+    Ok(rounds)
+}
+
+/// Decompose-then-apply insertion under an explicit [`ExecMode`]: the
+/// decomposition comes from [`fol_core::recover::decompose_with_mode`] (so
+/// `ForcedSequential` issues tear-immune length-1 label scatters) and the
+/// main processing runs round by round, conflict-free within each round.
+fn insert_via_decomposition(
+    m: &mut Machine,
+    table: &mut ChainTable,
+    keys: &[Word],
+    mode: ExecMode,
+    validation: Validation,
+) -> Result<usize, FolError> {
+    if keys.is_empty() {
+        return Ok(0);
+    }
+    let first = table.reserve(keys.len());
+    let buckets = table.buckets() as Word;
+
+    let key_v = m.vimm(keys);
+    let hv_all = m.valu_s(AluOp::Mod, &key_v, buckets);
+    let positions = m.iota(0, keys.len());
+    let offs = m.valu_s(AluOp::Add, &positions, first as Word);
+    let node_ptr_all = m.valu_s(AluOp::Mul, &offs, 2);
+    m.scatter(table.arena, &node_ptr_all, &key_v);
+
+    let hv_words: Vec<Word> = hv_all.iter().collect();
+    let d = fol_core::recover::decompose_with_mode(m, table.work, &hv_words, mode, validation)?;
+    for round in d.iter() {
+        let hv_s: fol_vm::VReg = round.iter().map(|&p| hv_all.get(p)).collect();
+        let ptr_s: fol_vm::VReg = round.iter().map(|&p| node_ptr_all.get(p)).collect();
+        let old_heads = m.gather(table.heads, &hv_s);
+        let next_field = m.valu_s(AluOp::Add, &ptr_s, 1);
+        m.scatter(table.arena, &next_field, &old_heads);
+        m.scatter(table.heads, &hv_s, &ptr_s);
+    }
+    Ok(d.num_rounds())
+}
+
+/// Like [`all_keys`] but refuses to panic on a corrupted table: a wild head
+/// or next pointer (outside the arena) or a chain cycle returns `None`
+/// instead. Used as the transactional post-condition reader, where a torn
+/// amalgam may have produced an arbitrary pointer.
+fn checked_all_keys(m: &Machine, table: &ChainTable) -> Option<Vec<Word>> {
+    let mut keys = Vec::new();
+    for b in 0..table.buckets() {
+        let mut p = m.mem().read(table.heads.at(b));
+        let mut steps = 0usize;
+        while p != NIL {
+            if steps > table.arena.len() {
+                return None; // cycle
+            }
+            if p < 0 || p as usize + 1 >= table.arena.len() {
+                return None; // wild pointer
+            }
+            let off = p as usize;
+            keys.push(m.mem().read(table.arena.at(off)));
+            p = m.mem().read(table.arena.at(off + 1));
+            steps += 1;
+        }
+    }
+    keys.sort_unstable();
+    Some(keys)
+}
+
+/// Transactional multiple insertion: every attempt runs inside a machine
+/// transaction and is checked end-to-end against the scalar reference
+/// semantics (the stored multiset must equal the old contents plus `keys`).
+/// A failed attempt — decomposition error, budget exhaustion, or a
+/// post-condition divergence such as a dropped lane in a payload scatter —
+/// is rolled back byte-exact (including `used_nodes`) and retried under the
+/// [`RetryPolicy`]'s next rung: `Vector` → `ForcedSequential` (tear-immune
+/// label scatters) → `ScalarTail` ([`scalar_insert_all`], immune to every
+/// scatter fault).
+///
+/// Returns the FOL round count of the winning attempt (0 for a scalar
+/// rescue) and the [`RecoveryReport`] audit trail.
+///
+/// # Panics
+/// Panics if the arena cannot hold `keys.len()` more nodes (checked before
+/// the transaction opens, so the panic cannot leave partial state) or if a
+/// transaction is already open on `m`.
+pub fn txn_insert_all(
+    m: &mut Machine,
+    table: &mut ChainTable,
+    keys: &[Word],
+    policy: &RetryPolicy,
+) -> Result<(usize, RecoveryReport), RecoveryError> {
+    assert!(
+        2 * (table.used_nodes + keys.len()) <= table.arena.len(),
+        "arena exhausted: need {} more nodes, used {}, capacity {}",
+        keys.len(),
+        table.used_nodes,
+        table.arena.len() / 2
+    );
+    let mut expected = all_keys(m, table);
+    expected.extend_from_slice(keys);
+    expected.sort_unstable();
+
+    let saved_used = table.used_nodes;
+    let validation = policy.validation;
+    let result = run_transaction(m, policy, |m, mode| {
+        table.used_nodes = saved_used;
+        let rounds = match mode {
+            ExecMode::Vector => try_vectorized_insert_all(m, table, keys)?,
+            ExecMode::ForcedSequential => {
+                insert_via_decomposition(m, table, keys, mode, validation)?
+            }
+            ExecMode::ScalarTail => {
+                scalar_insert_all(m, table, keys);
+                0
+            }
+        };
+        if checked_all_keys(m, table).as_ref() != Some(&expected) {
+            return Err(FolError::PostConditionFailed {
+                what: "chaining insert contents",
+            });
+        }
+        Ok(rounds)
+    });
+    if result.is_err() {
+        table.used_nodes = saved_used;
+    }
+    result
 }
 
 /// Order-preserving vectorized insertion: like [`vectorized_insert_all`]
@@ -418,5 +610,121 @@ mod tests {
         let mut m = Machine::new(CostModel::unit());
         let mut t = ChainTable::alloc(&mut m, 3, 2);
         let _ = vectorized_insert_all(&mut m, &mut t, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn try_insert_matches_infallible_on_healthy_hardware() {
+        let keys: Vec<Word> = (0..40).map(|i| i * 7 + 1).collect();
+        let mut m1 = Machine::new(CostModel::unit());
+        let mut t1 = ChainTable::alloc(&mut m1, 11, 48);
+        let r1 = vectorized_insert_all(&mut m1, &mut t1, &keys);
+        let mut m2 = Machine::new(CostModel::unit());
+        let mut t2 = ChainTable::alloc(&mut m2, 11, 48);
+        let r2 = try_vectorized_insert_all(&mut m2, &mut t2, &keys).expect("no faults");
+        assert_eq!(r1, r2);
+        assert_eq!(all_keys(&m1, &t1), all_keys(&m2, &t2));
+    }
+
+    #[test]
+    fn try_insert_reports_round_budget_exhaustion() {
+        // 100% lane drops: no label ever lands, the gather always
+        // disagrees... actually with every write dropped the gather sees
+        // stale memory, so no survivor appears -> NoSurvivors, or the
+        // budget runs out. Either way: a typed error, never a hang.
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(fol_vm::FaultPlan::dropped_lanes(3, 65535)));
+        let mut t = ChainTable::alloc(&mut m, 7, 16);
+        let err = try_vectorized_insert_all(&mut m, &mut t, &[1, 2, 3, 8]).unwrap_err();
+        assert!(matches!(
+            err,
+            FolError::NoSurvivors { .. } | FolError::RoundBudgetExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn txn_insert_clean_run_is_one_attempt() {
+        let keys: Vec<Word> = (0..30).map(|i| i * 13 + 4).collect();
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = ChainTable::alloc(&mut m, 11, 32);
+        let (rounds, report) =
+            txn_insert_all(&mut m, &mut t, &keys, &RetryPolicy::default()).expect("clean run");
+        assert_eq!(report.attempts, 1);
+        assert!(!report.recovered());
+        assert!(rounds >= 1);
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(all_keys(&m, &t), expect);
+    }
+
+    #[test]
+    fn txn_insert_recovers_from_hostile_scatter_faults() {
+        let keys: Vec<Word> = (0..24).map(|i| (i * 5) % 60).collect();
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(
+            fol_vm::FaultPlan::dropped_lanes(11, 30000)
+                .with_torn_writes(30000, fol_vm::AmalgamMode::Xor),
+        ));
+        let mut t = ChainTable::alloc(&mut m, 7, 32);
+        let (_, report) =
+            txn_insert_all(&mut m, &mut t, &keys, &RetryPolicy::default()).expect("ladder rescues");
+        assert!(
+            report.recovered(),
+            "faults this hot must cost at least one retry"
+        );
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(
+            all_keys(&m, &t),
+            expect,
+            "contents exact despite ELS violations"
+        );
+        assert_eq!(
+            t.used_nodes,
+            expect.len(),
+            "host allocator in step with table"
+        );
+    }
+
+    #[test]
+    fn txn_insert_exhaustion_rolls_everything_back() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = ChainTable::alloc(&mut m, 5, 16);
+        scalar_insert_all(&mut m, &mut t, &[100, 101]);
+        let before = all_keys(&m, &t);
+        let used_before = t.used_nodes;
+
+        m.set_fault_plan(Some(fol_vm::FaultPlan::dropped_lanes(2, 65535)));
+        let mut policy = RetryPolicy::vector_only(3);
+        policy.reseed = false;
+        let err = txn_insert_all(&mut m, &mut t, &[1, 2, 3], &policy).unwrap_err();
+        assert_eq!(err.report.attempts, 3);
+        assert_eq!(all_keys(&m, &t), before, "rollback restored the table");
+        assert_eq!(t.used_nodes, used_before, "rollback restored the allocator");
+        assert!(!m.in_txn(), "no transaction left open");
+    }
+
+    #[test]
+    fn forced_sequential_rung_survives_max_rate_torn_writes() {
+        // Torn writes at the maximum rate, but no lane drops: the
+        // ForcedSequential rung's length-1 label scatters never present two
+        // competing values, so the second attempt must succeed.
+        let keys: Vec<Word> = (0..16).map(|i| (i * 3) % 20).collect();
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(fol_vm::FaultPlan::torn_writes(
+            5,
+            65535,
+            fol_vm::AmalgamMode::Xor,
+        )));
+        let mut t = ChainTable::alloc(&mut m, 5, 24);
+        let policy = RetryPolicy {
+            ladder: vec![ExecMode::ForcedSequential],
+            reseed: false,
+            ..RetryPolicy::default()
+        };
+        let (_, report) = txn_insert_all(&mut m, &mut t, &keys, &policy).expect("tear-immune");
+        assert_eq!(report.final_mode, ExecMode::ForcedSequential);
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(all_keys(&m, &t), expect);
     }
 }

@@ -10,6 +10,8 @@
 //! strategy, charged at scalar cost on the same machine.
 
 use crate::{hash_mod, ProbeStrategy, UNENTERED};
+use fol_core::error::FolError;
+use fol_core::recover::{run_transaction, ExecMode, RecoveryError, RecoveryReport, RetryPolicy};
 use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
 
 /// Outcome of a multiple-hashing run.
@@ -72,7 +74,10 @@ pub fn scalar_insert_all(
             h = probe.next(h, key, size);
         }
     }
-    InsertReport { iterations: 0, probes }
+    InsertReport {
+        iterations: 0,
+        probes,
+    }
 }
 
 /// Vectorized insertion (Fig 8): overwrite-and-check with masked scatters.
@@ -104,7 +109,10 @@ pub fn vectorized_insert_all(
     let size = table.len() as Word;
     validate_keys(keys, size, probe);
     if keys.is_empty() {
-        return InsertReport { iterations: 0, probes: 0 };
+        return InsertReport {
+            iterations: 0,
+            probes: 0,
+        };
     }
 
     // hashedValue[1:n] := hash(key[1:n])
@@ -133,7 +141,7 @@ pub fn vectorized_insert_all(
             break;
         }
         let _ = n_entered; // counted for parity with Fig 8's countTrue
-        // Recompute subscripts: h := (h + step) mod size.
+                           // Recompute subscripts: h := (h + step) mod size.
         hv = match probe {
             ProbeStrategy::Linear => {
                 let inc = m.valu_s(AluOp::Add, &hv, 1);
@@ -153,6 +161,139 @@ pub fn vectorized_insert_all(
         probes += key_v.len() as u64;
     }
     InsertReport { iterations, probes }
+}
+
+/// Fallible vectorized insertion: [`vectorized_insert_all`] with the outer
+/// retry loop bounded by `max_iterations`. Under ELS every iteration makes
+/// progress (at least one key reads itself back, Theorem 1) and chains are
+/// no longer than the table, so a healthy run never trips a budget of
+/// `2 * table.len() + keys.len()`; a persistently faulty scatter path
+/// (dropped lanes that unwrite every entry) returns
+/// [`FolError::RoundBudgetExceeded`] instead of spinning forever.
+pub fn try_vectorized_insert_all(
+    m: &mut Machine,
+    table: Region,
+    keys: &[Word],
+    probe: ProbeStrategy,
+    max_iterations: usize,
+) -> Result<InsertReport, FolError> {
+    let size = table.len() as Word;
+    validate_keys(keys, size, probe);
+    if keys.is_empty() {
+        return Ok(InsertReport {
+            iterations: 0,
+            probes: 0,
+        });
+    }
+
+    let mut key_v = m.vimm(keys);
+    let mut hv = m.valu_s(AluOp::Mod, &key_v, size);
+    let mut iterations = 0usize;
+    let mut probes = 0u64;
+
+    let slots = m.gather(table, &hv);
+    let empty = m.vcmp_s(CmpOp::Eq, &slots, UNENTERED);
+    m.scatter_masked(table, &hv, &key_v, &empty);
+    probes += key_v.len() as u64;
+
+    loop {
+        if iterations == max_iterations {
+            return Err(FolError::RoundBudgetExceeded {
+                budget: max_iterations,
+                live: key_v.len(),
+                completed_rounds: iterations,
+            });
+        }
+        iterations += 1;
+        let readback = m.gather(table, &hv);
+        let entered = m.vcmp(CmpOp::Eq, &readback, &key_v);
+        let not_entered = m.mask_not(&entered);
+        hv = m.compress(&hv, &not_entered);
+        key_v = m.compress(&key_v, &not_entered);
+        if key_v.is_empty() {
+            break;
+        }
+        hv = match probe {
+            ProbeStrategy::Linear => {
+                let inc = m.valu_s(AluOp::Add, &hv, 1);
+                m.valu_s(AluOp::Mod, &inc, size)
+            }
+            ProbeStrategy::KeyDependent => {
+                let step = m.valu_s(AluOp::And, &key_v, 31);
+                let step = m.valu_s(AluOp::Add, &step, 1);
+                let sum = m.valu(AluOp::Add, &hv, &step);
+                m.valu_s(AluOp::Mod, &sum, size)
+            }
+        };
+        let slots = m.gather(table, &hv);
+        let empty = m.vcmp_s(CmpOp::Eq, &slots, UNENTERED);
+        m.scatter_masked(table, &hv, &key_v, &empty);
+        probes += key_v.len() as u64;
+    }
+    Ok(InsertReport { iterations, probes })
+}
+
+/// The iteration budget [`txn_insert_all`] hands to the fallible loop:
+/// generous enough that no healthy (or recoverable) run ever trips it.
+fn default_budget(table: Region, keys: &[Word]) -> usize {
+    2 * table.len() + keys.len()
+}
+
+/// Transactional multiple insertion: every attempt runs inside a machine
+/// transaction, bounded by an iteration budget, and checked end-to-end —
+/// the stored multiset must equal the old contents plus `keys` and every
+/// key must be reachable along its probe chain. A failed attempt rolls
+/// back byte-exact and escalates along the [`RetryPolicy`] ladder:
+/// `Vector` → `ForcedSequential` (one key at a time, so a masked scatter
+/// never carries two competing values and cannot tear) → `ScalarTail`
+/// ([`scalar_insert_all`], immune to every scatter fault).
+///
+/// # Panics
+/// Panics on the same contract violations as [`vectorized_insert_all`]
+/// (empty table, more keys than slots, duplicate keys) — checked before
+/// the transaction opens — or if a transaction is already open on `m`.
+pub fn txn_insert_all(
+    m: &mut Machine,
+    table: Region,
+    keys: &[Word],
+    probe: ProbeStrategy,
+    policy: &RetryPolicy,
+) -> Result<(InsertReport, RecoveryReport), RecoveryError> {
+    validate_keys(keys, table.len() as Word, probe);
+    let mut expected = stored_keys(&m.mem().read_region(table));
+    expected.extend_from_slice(keys);
+    expected.sort_unstable();
+    let budget = default_budget(table, keys);
+
+    run_transaction(m, policy, |m, mode| {
+        let report = match mode {
+            ExecMode::Vector => try_vectorized_insert_all(m, table, keys, probe, budget)?,
+            ExecMode::ForcedSequential => {
+                let mut iterations = 0usize;
+                let mut probes = 0u64;
+                for key in keys {
+                    let r = try_vectorized_insert_all(
+                        m,
+                        table,
+                        std::slice::from_ref(key),
+                        probe,
+                        budget,
+                    )?;
+                    iterations += r.iterations;
+                    probes += r.probes;
+                }
+                InsertReport { iterations, probes }
+            }
+            ExecMode::ScalarTail => scalar_insert_all(m, table, keys, probe),
+        };
+        let snap = m.mem().read_region(table);
+        if stored_keys(&snap) != expected || keys.iter().any(|&k| !contains(&snap, k, probe)) {
+            return Err(FolError::PostConditionFailed {
+                what: "open addressing stored keys",
+            });
+        }
+        Ok(report)
+    })
 }
 
 /// Tombstone marking a deleted slot: occupied for probing purposes (lookups
@@ -304,8 +445,11 @@ pub fn contains(table: &[Word], key: Word, probe: ProbeStrategy) -> bool {
 /// The multiset of keys stored in a table snapshot (order unspecified);
 /// skips empty slots and tombstones.
 pub fn stored_keys(table: &[Word]) -> Vec<Word> {
-    let mut keys: Vec<Word> =
-        table.iter().copied().filter(|&w| w != UNENTERED && w != TOMBSTONE).collect();
+    let mut keys: Vec<Word> = table
+        .iter()
+        .copied()
+        .filter(|&w| w != UNENTERED && w != TOMBSTONE)
+        .collect();
     keys.sort_unstable();
     keys
 }
@@ -354,8 +498,12 @@ mod tests {
     fn vectorized_no_collisions_single_iteration() {
         // Distinct hash slots -> Theorem 3's M = 1.
         let keys: Vec<Word> = vec![1, 2, 3, 4];
-        let (snap, r) =
-            run_vectorized(&keys, 37, ProbeStrategy::KeyDependent, ConflictPolicy::LastWins);
+        let (snap, r) = run_vectorized(
+            &keys,
+            37,
+            ProbeStrategy::KeyDependent,
+            ConflictPolicy::LastWins,
+        );
         assert_eq!(r.iterations, 1);
         assert_eq!(stored_keys(&snap), keys);
     }
@@ -369,14 +517,16 @@ mod tests {
             ConflictPolicy::LastWins,
             ConflictPolicy::Arbitrary(11),
         ] {
-            let (snap, r) =
-                run_vectorized(&keys, 37, ProbeStrategy::KeyDependent, policy.clone());
+            let (snap, r) = run_vectorized(&keys, 37, ProbeStrategy::KeyDependent, policy.clone());
             let mut sorted = keys.clone();
             sorted.sort_unstable();
             assert_eq!(stored_keys(&snap), sorted, "{policy:?}");
             assert!(r.iterations > 1, "{policy:?}: collisions need retries");
             for &k in &keys {
-                assert!(contains(&snap, k, ProbeStrategy::KeyDependent), "{policy:?} key {k}");
+                assert!(
+                    contains(&snap, k, ProbeStrategy::KeyDependent),
+                    "{policy:?} key {k}"
+                );
             }
         }
     }
@@ -384,8 +534,12 @@ mod tests {
     #[test]
     fn linear_probe_also_correct() {
         let keys: Vec<Word> = vec![0, 37, 74, 111, 3];
-        let (snap, _) =
-            run_vectorized(&keys, 37, ProbeStrategy::Linear, ConflictPolicy::Arbitrary(3));
+        let (snap, _) = run_vectorized(
+            &keys,
+            37,
+            ProbeStrategy::Linear,
+            ConflictPolicy::Arbitrary(3),
+        );
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(stored_keys(&snap), sorted);
@@ -438,8 +592,12 @@ mod tests {
 
     #[test]
     fn empty_key_set_is_noop() {
-        let (snap, r) =
-            run_vectorized(&[], 37, ProbeStrategy::KeyDependent, ConflictPolicy::LastWins);
+        let (snap, r) = run_vectorized(
+            &[],
+            37,
+            ProbeStrategy::KeyDependent,
+            ConflictPolicy::LastWins,
+        );
         assert_eq!(r.iterations, 0);
         assert!(stored_keys(&snap).is_empty());
     }
@@ -448,13 +606,23 @@ mod tests {
     #[should_panic(expected = "more keys than table slots")]
     fn overfull_panics() {
         let keys: Vec<Word> = (0..40).collect();
-        let _ = run_vectorized(&keys, 33, ProbeStrategy::KeyDependent, ConflictPolicy::LastWins);
+        let _ = run_vectorized(
+            &keys,
+            33,
+            ProbeStrategy::KeyDependent,
+            ConflictPolicy::LastWins,
+        );
     }
 
     #[test]
     #[should_panic(expected = "size(table) > 32")]
     fn key_dependent_needs_big_table() {
-        let _ = run_vectorized(&[1], 16, ProbeStrategy::KeyDependent, ConflictPolicy::LastWins);
+        let _ = run_vectorized(
+            &[1],
+            16,
+            ProbeStrategy::KeyDependent,
+            ConflictPolicy::LastWins,
+        );
     }
 
     #[test]
@@ -505,11 +673,121 @@ mod tests {
     }
 
     #[test]
+    fn try_insert_matches_infallible_on_healthy_hardware() {
+        let keys: Vec<Word> = (0..40).map(|i| i * 13 + 1).collect();
+        let mut m1 = machine();
+        let t1 = m1.alloc(101, "table");
+        init_table(&mut m1, t1);
+        let r1 = vectorized_insert_all(&mut m1, t1, &keys, ProbeStrategy::KeyDependent);
+        let mut m2 = machine();
+        let t2 = m2.alloc(101, "table");
+        init_table(&mut m2, t2);
+        let r2 = try_vectorized_insert_all(&mut m2, t2, &keys, ProbeStrategy::KeyDependent, 300)
+            .expect("no faults");
+        assert_eq!(r1, r2);
+        assert_eq!(m1.mem().read_region(t1), m2.mem().read_region(t2));
+    }
+
+    #[test]
+    fn try_insert_budget_stops_a_faulty_scatter_path() {
+        // 100% dropped lanes: no key is ever entered, the infallible loop
+        // would spin forever. The budget converts that into a typed error.
+        let mut m = machine();
+        m.set_fault_plan(Some(fol_vm::FaultPlan::dropped_lanes(7, 65535)));
+        let t = m.alloc(37, "table");
+        init_table(&mut m, t);
+        let err = try_vectorized_insert_all(&mut m, t, &[1, 2, 3], ProbeStrategy::Linear, 20)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FolError::RoundBudgetExceeded {
+                budget: 20,
+                live: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn txn_insert_clean_run_is_one_attempt() {
+        let keys: Vec<Word> = (0..30).map(|i| i * 17 + 2).collect();
+        let mut m = machine();
+        let t = m.alloc(101, "table");
+        init_table(&mut m, t);
+        let (report, rec) = txn_insert_all(
+            &mut m,
+            t,
+            &keys,
+            ProbeStrategy::KeyDependent,
+            &RetryPolicy::default(),
+        )
+        .expect("clean run");
+        assert_eq!(rec.attempts, 1);
+        assert!(report.iterations >= 1);
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(stored_keys(&m.mem().read_region(t)), expect);
+    }
+
+    #[test]
+    fn txn_insert_recovers_from_hostile_scatter_faults() {
+        let keys: Vec<Word> = (0..24).map(|i| i * 5 + 1).collect();
+        let mut m = machine();
+        m.set_fault_plan(Some(
+            fol_vm::FaultPlan::dropped_lanes(13, 30000)
+                .with_torn_writes(30000, fol_vm::AmalgamMode::Or),
+        ));
+        let t = m.alloc(67, "table");
+        init_table(&mut m, t);
+        let (_, rec) = txn_insert_all(
+            &mut m,
+            t,
+            &keys,
+            ProbeStrategy::KeyDependent,
+            &RetryPolicy::default(),
+        )
+        .expect("ladder rescues");
+        assert!(rec.recovered());
+        let snap = m.mem().read_region(t);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(stored_keys(&snap), expect, "no amalgam junk, no lost key");
+        for &k in &keys {
+            assert!(
+                contains(&snap, k, ProbeStrategy::KeyDependent),
+                "key {k} reachable"
+            );
+        }
+    }
+
+    #[test]
+    fn txn_insert_exhaustion_restores_the_table_byte_exact() {
+        let mut m = machine();
+        let t = m.alloc(37, "table");
+        init_table(&mut m, t);
+        let _ = scalar_insert_all(&mut m, t, &[9, 10], ProbeStrategy::Linear);
+        let before = m.mem().read_region(t);
+
+        m.set_fault_plan(Some(fol_vm::FaultPlan::dropped_lanes(4, 65535)));
+        let mut policy = RetryPolicy::vector_only(2);
+        policy.reseed = false;
+        let err =
+            txn_insert_all(&mut m, t, &[1, 2, 3], ProbeStrategy::Linear, &policy).unwrap_err();
+        assert_eq!(err.report.attempts, 2);
+        assert_eq!(m.mem().read_region(t), before, "rollback is byte-exact");
+        assert!(!m.in_txn());
+    }
+
+    #[test]
     fn full_table_linear_probe_terminates() {
         // Load factor 1.0: every slot ends up filled.
         let keys: Vec<Word> = (0..33).collect();
-        let (snap, _) =
-            run_vectorized(&keys, 33, ProbeStrategy::Linear, ConflictPolicy::Arbitrary(1));
+        let (snap, _) = run_vectorized(
+            &keys,
+            33,
+            ProbeStrategy::Linear,
+            ConflictPolicy::Arbitrary(1),
+        );
         assert_eq!(stored_keys(&snap).len(), 33);
     }
 }

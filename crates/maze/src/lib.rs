@@ -65,7 +65,13 @@ impl Maze {
         let claim = m.alloc(width * height, "maze.claim");
         let bitmap: Vec<Word> = walls.iter().map(|&w| Word::from(w)).collect();
         m.mem_mut().write_region(grid, &bitmap);
-        Maze { width, height, grid, dist, claim }
+        Maze {
+            width,
+            height,
+            grid,
+            dist,
+            claim,
+        }
     }
 
     /// Parses a maze from rows of `.` (free) and `#` (wall).
@@ -175,7 +181,10 @@ impl Maze {
 pub fn scalar_route(m: &mut Machine, maze: &Maze, from: Word, to: Word) -> Route {
     maze.reset(m);
     if m.s_read(maze.grid.at(from as usize)) != 0 {
-        return Route { distance: None, waves: 0 };
+        return Route {
+            distance: None,
+            waves: 0,
+        };
     }
     m.s_write(maze.dist.at(from as usize), 0);
     let mut frontier = vec![from as usize];
@@ -184,7 +193,10 @@ pub fn scalar_route(m: &mut Machine, maze: &Maze, from: Word, to: Word) -> Route
     while !frontier.is_empty() {
         waves += 1;
         if frontier.contains(&(to as usize)) {
-            return Route { distance: Some(d), waves };
+            return Route {
+                distance: Some(d),
+                waves,
+            };
         }
         let mut next = Vec::new();
         for &c in &frontier {
@@ -207,7 +219,10 @@ pub fn scalar_route(m: &mut Machine, maze: &Maze, from: Word, to: Word) -> Route
         frontier = next;
         d += 1;
     }
-    Route { distance: None, waves }
+    Route {
+        distance: None,
+        waves,
+    }
 }
 
 /// Vectorized Lee routing: wavefront expansion with vector instructions and
@@ -229,7 +244,10 @@ pub fn scalar_route(m: &mut Machine, maze: &Maze, from: Word, to: Word) -> Route
 pub fn vectorized_route(m: &mut Machine, maze: &Maze, from: Word, to: Word) -> Route {
     maze.reset(m);
     if m.mem().read(maze.grid.at(from as usize)) != 0 {
-        return Route { distance: None, waves: 0 };
+        return Route {
+            distance: None,
+            waves: 0,
+        };
     }
     let w = maze.width as Word;
     let n = (maze.width * maze.height) as Word;
@@ -245,7 +263,10 @@ pub fn vectorized_route(m: &mut Machine, maze: &Maze, from: Word, to: Word) -> R
         // Reached the target? (vector compare + reduction)
         let at_target = m.vcmp_s(CmpOp::Eq, &frontier, to);
         if m.count_true(&at_target) > 0 {
-            return Route { distance: Some(d), waves };
+            return Route {
+                distance: Some(d),
+                waves,
+            };
         }
 
         // Candidate neighbours: four shifted copies, each with its own
@@ -303,7 +324,10 @@ pub fn vectorized_route(m: &mut Machine, maze: &Maze, from: Word, to: Word) -> R
         m.scatter(maze.dist, &unique, &stamp);
         frontier = unique;
     }
-    Route { distance: None, waves }
+    Route {
+        distance: None,
+        waves,
+    }
 }
 
 #[cfg(test)]
@@ -379,8 +403,9 @@ mod tests {
         };
         for trial in 0..8 {
             let (w, h) = (12, 9);
-            let walls: Vec<bool> =
-                (0..w * h).map(|i| i != 0 && i != w * h - 1 && next() % 100 < 30).collect();
+            let walls: Vec<bool> = (0..w * h)
+                .map(|i| i != 0 && i != w * h - 1 && next() % 100 < 30)
+                .collect();
             for policy in [
                 ConflictPolicy::FirstWins,
                 ConflictPolicy::LastWins,

@@ -49,7 +49,10 @@ pub const KNOWN_COUNTS: [usize; 11] = [1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724];
 pub fn vector_solve(m: &mut Machine, n: usize, collect_boards: bool) -> Solutions {
     assert!(n <= 16, "n > 16 needs more memory than this demo supports");
     if n == 0 {
-        return Solutions { count: 1, boards: vec![Vec::new()] };
+        return Solutions {
+            count: 1,
+            boards: vec![Vec::new()],
+        };
     }
 
     // Frontier state: three bitboard vectors plus optional histories.
@@ -141,7 +144,10 @@ pub fn scalar_solve(m: &mut Machine, n: usize) -> Solutions {
     } else {
         go(m, n, 0, 0, 0, &mut count);
     }
-    Solutions { count, boards: Vec::new() }
+    Solutions {
+        count,
+        boards: Vec::new(),
+    }
 }
 
 /// Validates one board: `board[row]` is the queen's column; checks columns

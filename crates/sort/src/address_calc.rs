@@ -106,7 +106,10 @@ pub fn scalar_sort(m: &mut Machine, a: Region, vmax: Word) -> SortReport {
     }
     m.s_branch(c.len().div_ceil(8) as u64);
     assert_eq!(count, n, "packing must recover every element");
-    SortReport { iterations: 0, shift_steps: shifts }
+    SortReport {
+        iterations: 0,
+        shift_steps: shifts,
+    }
 }
 
 /// Vectorized linear probing sort (Fig 12, parts A–F): sorts `a` in place.
@@ -197,7 +200,10 @@ pub fn vectorized_sort(m: &mut Machine, a: Region, vmax: Word) -> SortReport {
     let sorted = m.compress(&cv, &filled);
     assert_eq!(sorted.len(), n, "packing must recover every element");
     m.vstore(a, 0, &sorted);
-    SortReport { iterations, shift_steps }
+    SortReport {
+        iterations,
+        shift_steps,
+    }
 }
 
 #[cfg(test)]
@@ -284,7 +290,9 @@ mod tests {
     fn random_inputs_match_std_sort_all_policies() {
         let mut seed = 0x12345u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as Word
         };
         for policy in [
@@ -343,7 +351,13 @@ mod tests {
         };
         let small = accel(64);
         let large = accel(4096);
-        assert!(large > small, "acceleration must grow with N: {small:.2} vs {large:.2}");
-        assert!(large > 3.0, "large-N acceleration should be substantial, got {large:.2}");
+        assert!(
+            large > small,
+            "acceleration must grow with N: {small:.2} vs {large:.2}"
+        );
+        assert!(
+            large > 3.0,
+            "large-N acceleration should be substantial, got {large:.2}"
+        );
     }
 }

@@ -16,6 +16,10 @@
 //!   `cum[key] - 1` and decrement `cum[key]`.
 
 use crate::validate_range;
+use fol_core::error::FolError;
+use fol_core::recover::{
+    decompose_with_mode, run_transaction, ExecMode, RecoveryError, RecoveryReport, RetryPolicy,
+};
 use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
 
 /// Statistics from a distribution counting sort run.
@@ -153,6 +157,234 @@ pub fn vectorized_sort(m: &mut Machine, a: Region, range: Word) -> DistReport {
     report
 }
 
+/// Typed version of the range precondition: every key must lie in
+/// `[0, range)` for the count/work scatters to be in bounds.
+fn check_range(data: &[Word], range: Word) -> Result<(), FolError> {
+    for (j, &v) in data.iter().enumerate() {
+        if !(0..range).contains(&v) {
+            return Err(FolError::TargetOutOfBounds {
+                round: None,
+                position: j,
+                target: v,
+                domain: range as usize,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Fallible vectorized distribution counting sort: [`vectorized_sort`]
+/// with a typed range check, both FOL phases bounded by `n` rounds (the
+/// maximum multiplicity cannot exceed `n`, Theorem 6), every detection
+/// pass checked for a survivor, and the permutation's claimed output slots
+/// bounds-checked before the scatter — a torn counter would otherwise send
+/// the output scatter out of bounds. Scratch regions (`count`, `work`,
+/// `out`) are freshly allocated per call.
+pub fn try_vectorized_sort(
+    m: &mut Machine,
+    a: Region,
+    range: Word,
+) -> Result<DistReport, FolError> {
+    let n = a.len();
+    let data_check = m.mem().read_region(a);
+    check_range(&data_check, range)?;
+    if n == 0 {
+        return Ok(DistReport::default());
+    }
+    let r = range as usize;
+    let count = m.alloc(r, "dist.count");
+    let work = m.alloc(r, "dist.work");
+    let out = m.alloc(n, "dist.out");
+    m.vfill(count, 0);
+
+    let av = m.vload(a, 0, n);
+    let mut report = DistReport::default();
+
+    // Phase 1: histogram via FOL1 rounds.
+    let mut keys = av.clone();
+    let mut labels = m.iota(0, n);
+    while !keys.is_empty() {
+        if report.histogram_rounds == n {
+            return Err(FolError::RoundBudgetExceeded {
+                budget: n,
+                live: keys.len(),
+                completed_rounds: report.histogram_rounds,
+            });
+        }
+        report.histogram_rounds += 1;
+        m.scatter(work, &keys, &labels);
+        let got = m.gather(work, &keys);
+        let ok = m.vcmp(CmpOp::Eq, &got, &labels);
+        if m.count_true(&ok) == 0 {
+            return Err(FolError::NoSurvivors {
+                iteration: report.histogram_rounds - 1,
+                live: keys.len(),
+            });
+        }
+        let k_s = m.compress(&keys, &ok);
+        let c_s = m.gather(count, &k_s);
+        let c_s = m.valu_s(AluOp::Add, &c_s, 1);
+        m.scatter(count, &k_s, &c_s);
+        let rest = m.mask_not(&ok);
+        keys = m.compress(&keys, &rest);
+        labels = m.compress(&labels, &rest);
+    }
+
+    // Phase 2: cumulative counts.
+    let counts = m.vload(count, 0, r);
+    let cum = m.vprefix_sum(&counts);
+    m.vstore(count, 0, &cum);
+
+    // Phase 3: permutation via FOL1 rounds.
+    let mut keys = av;
+    let mut labels = m.iota(0, n);
+    while !keys.is_empty() {
+        if report.permute_rounds == n {
+            return Err(FolError::RoundBudgetExceeded {
+                budget: n,
+                live: keys.len(),
+                completed_rounds: report.permute_rounds,
+            });
+        }
+        report.permute_rounds += 1;
+        m.scatter(work, &keys, &labels);
+        let got = m.gather(work, &keys);
+        let ok = m.vcmp(CmpOp::Eq, &got, &labels);
+        if m.count_true(&ok) == 0 {
+            return Err(FolError::NoSurvivors {
+                iteration: report.permute_rounds - 1,
+                live: keys.len(),
+            });
+        }
+        let k_s = m.compress(&keys, &ok);
+        let pos = m.gather(count, &k_s);
+        let pos = m.valu_s(AluOp::Sub, &pos, 1);
+        // A counter mangled by a torn write could claim a slot outside the
+        // output — catch it as a typed error, not a scatter panic.
+        for (i, p) in pos.iter().enumerate() {
+            if !(0..n as Word).contains(&p) {
+                return Err(FolError::TargetOutOfBounds {
+                    round: Some(report.permute_rounds - 1),
+                    position: i,
+                    target: p,
+                    domain: n,
+                });
+            }
+        }
+        m.scatter(out, &pos, &k_s);
+        m.scatter(count, &k_s, &pos);
+        let rest = m.mask_not(&ok);
+        keys = m.compress(&keys, &rest);
+        labels = m.compress(&labels, &rest);
+    }
+
+    let sorted = m.vload(out, 0, n);
+    m.vstore(a, 0, &sorted);
+    Ok(report)
+}
+
+/// Distribution counting sort over an explicit decomposition from
+/// [`decompose_with_mode`]: both FOL phases reuse one decomposition of the
+/// keys (histogram and permutation target the same `count` cells), and the
+/// per-round payload work is conflict-free. Under `ForcedSequential` the
+/// label scatters are tear-immune singletons.
+fn sort_via_decomposition(
+    m: &mut Machine,
+    a: Region,
+    range: Word,
+    mode: ExecMode,
+    validation: fol_core::error::Validation,
+) -> Result<DistReport, FolError> {
+    let n = a.len();
+    let data = m.mem().read_region(a);
+    check_range(&data, range)?;
+    if n == 0 {
+        return Ok(DistReport::default());
+    }
+    let r = range as usize;
+    let count = m.alloc(r, "dist.count");
+    let work = m.alloc(r, "dist.work");
+    let out = m.alloc(n, "dist.out");
+    m.vfill(count, 0);
+
+    let d = decompose_with_mode(m, work, &data, mode, validation)?;
+
+    for round in d.iter() {
+        let k_s: fol_vm::VReg = round.iter().map(|&p| data[p]).collect();
+        let c_s = m.gather(count, &k_s);
+        let c_s = m.valu_s(AluOp::Add, &c_s, 1);
+        m.scatter(count, &k_s, &c_s);
+    }
+
+    let counts = m.vload(count, 0, r);
+    let cum = m.vprefix_sum(&counts);
+    m.vstore(count, 0, &cum);
+
+    for round in d.iter() {
+        let k_s: fol_vm::VReg = round.iter().map(|&p| data[p]).collect();
+        let pos = m.gather(count, &k_s);
+        let pos = m.valu_s(AluOp::Sub, &pos, 1);
+        for (i, p) in pos.iter().enumerate() {
+            if !(0..n as Word).contains(&p) {
+                return Err(FolError::TargetOutOfBounds {
+                    round: None,
+                    position: i,
+                    target: p,
+                    domain: n,
+                });
+            }
+        }
+        m.scatter(out, &pos, &k_s);
+        m.scatter(count, &k_s, &pos);
+    }
+
+    let sorted = m.vload(out, 0, n);
+    m.vstore(a, 0, &sorted);
+    Ok(DistReport {
+        histogram_rounds: d.num_rounds(),
+        permute_rounds: d.num_rounds(),
+    })
+}
+
+/// Transactional distribution counting sort: every attempt runs inside a
+/// machine transaction and the finished array must be exactly the sorted
+/// permutation of the input (checked against a host-side sort). A failed
+/// attempt rolls back byte-exact and escalates along the [`RetryPolicy`]
+/// ladder: `Vector` → `ForcedSequential` (singleton label scatters) →
+/// `ScalarTail` ([`scalar_sort`], immune to every scatter fault). Scratch
+/// regions are allocated per attempt and abandoned on rollback.
+///
+/// # Panics
+/// Panics if a transaction is already open on `m`.
+pub fn txn_sort(
+    m: &mut Machine,
+    a: Region,
+    range: Word,
+    policy: &RetryPolicy,
+) -> Result<(DistReport, RecoveryReport), RecoveryError> {
+    let mut expected = m.mem().read_region(a);
+    expected.sort_unstable();
+    let validation = policy.validation;
+
+    run_transaction(m, policy, |m, mode| {
+        let report = match mode {
+            ExecMode::Vector => try_vectorized_sort(m, a, range)?,
+            ExecMode::ForcedSequential => sort_via_decomposition(m, a, range, mode, validation)?,
+            ExecMode::ScalarTail => {
+                let data = m.mem().read_region(a);
+                check_range(&data, range)?;
+                scalar_sort(m, a, range)
+            }
+        };
+        if m.mem().read_region(a) != expected {
+            return Err(FolError::PostConditionFailed {
+                what: "dist_count sorted output",
+            });
+        }
+        Ok(report)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,7 +434,9 @@ mod tests {
     fn random_inputs_all_policies() {
         let mut seed = 99u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            seed = seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             ((seed >> 33) % 256) as Word
         };
         for policy in [
@@ -245,9 +479,142 @@ mod tests {
         let names: Vec<&str> = m.phases().iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(
             names,
-            ["dist_count.histogram", "dist_count.prefix", "dist_count.permute"]
+            [
+                "dist_count.histogram",
+                "dist_count.prefix",
+                "dist_count.permute"
+            ]
         );
         assert!(m.phases().iter().all(|(_, s)| s.vector_cycles > 0));
+    }
+
+    #[test]
+    fn try_sort_matches_infallible_on_healthy_hardware() {
+        let data = [5, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        let mut m1 = Machine::new(CostModel::unit());
+        let a1 = m1.alloc(data.len(), "A");
+        m1.mem_mut().write_region(a1, &data);
+        let r1 = vectorized_sort(&mut m1, a1, 10);
+        let mut m2 = Machine::new(CostModel::unit());
+        let a2 = m2.alloc(data.len(), "A");
+        m2.mem_mut().write_region(a2, &data);
+        let r2 = try_vectorized_sort(&mut m2, a2, 10).expect("no faults");
+        assert_eq!(r1, r2);
+        assert_eq!(m1.mem().read_region(a1), m2.mem().read_region(a2));
+    }
+
+    #[test]
+    fn try_sort_rejects_out_of_range_keys_typed() {
+        let mut m = Machine::new(CostModel::unit());
+        let a = m.alloc(3, "A");
+        m.mem_mut().write_region(a, &[1, 7, 2]);
+        let err = try_vectorized_sort(&mut m, a, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            FolError::TargetOutOfBounds {
+                position: 1,
+                target: 7,
+                domain: 4,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn try_sort_turns_total_lane_loss_into_a_typed_error() {
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(fol_vm::FaultPlan::dropped_lanes(5, 65535)));
+        let a = m.alloc(6, "A");
+        m.mem_mut().write_region(a, &[3, 1, 3, 0, 2, 1]);
+        let err = try_vectorized_sort(&mut m, a, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            FolError::NoSurvivors { .. }
+                | FolError::RoundBudgetExceeded { .. }
+                | FolError::TargetOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn txn_sort_clean_run_is_one_attempt() {
+        let data: Vec<Word> = (0..100).map(|i| (i * 37) % 64).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let mut m = Machine::new(CostModel::unit());
+        let a = m.alloc(data.len(), "A");
+        m.mem_mut().write_region(a, &data);
+        let (report, rec) = txn_sort(&mut m, a, 64, &RetryPolicy::default()).expect("clean run");
+        assert_eq!(rec.attempts, 1);
+        assert!(report.histogram_rounds >= 1);
+        assert_eq!(m.mem().read_region(a), expect);
+    }
+
+    #[test]
+    fn txn_sort_recovers_from_hostile_scatter_faults() {
+        let data: Vec<Word> = (0..64).map(|i| (i * 13) % 32).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(
+            fol_vm::FaultPlan::dropped_lanes(41, 25000)
+                .with_torn_writes(25000, fol_vm::AmalgamMode::And),
+        ));
+        let a = m.alloc(data.len(), "A");
+        m.mem_mut().write_region(a, &data);
+        let (_, rec) = txn_sort(&mut m, a, 32, &RetryPolicy::default()).expect("ladder rescues");
+        assert!(rec.recovered());
+        assert_eq!(
+            m.mem().read_region(a),
+            expect,
+            "sorted exactly despite ELS violations"
+        );
+    }
+
+    #[test]
+    fn txn_sort_exhaustion_leaves_the_input_untouched() {
+        let data = [9, 2, 7, 2, 0, 9];
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(fol_vm::FaultPlan::dropped_lanes(8, 65535)));
+        let a = m.alloc(data.len(), "A");
+        m.mem_mut().write_region(a, &data);
+        let mut policy = RetryPolicy::vector_only(3);
+        policy.reseed = false;
+        let err = txn_sort(&mut m, a, 10, &policy).unwrap_err();
+        assert_eq!(err.report.attempts, 3);
+        assert_eq!(
+            m.mem().read_region(a),
+            data,
+            "rollback restored the unsorted input"
+        );
+        assert!(!m.in_txn());
+    }
+
+    #[test]
+    fn forced_sequential_rung_sorts_through_max_rate_tears() {
+        // Pure torn writes: the ForcedSequential decomposition uses
+        // singleton label scatters (never two competing values), and the
+        // per-round payload scatters are conflict-free — so the first
+        // ForcedSequential attempt must succeed.
+        let data: Vec<Word> = (0..40).map(|i| (i * 7) % 16).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(fol_vm::FaultPlan::torn_writes(
+            3,
+            65535,
+            fol_vm::AmalgamMode::Xor,
+        )));
+        let a = m.alloc(data.len(), "A");
+        m.mem_mut().write_region(a, &data);
+        let policy = RetryPolicy {
+            ladder: vec![ExecMode::ForcedSequential],
+            reseed: false,
+            ..RetryPolicy::default()
+        };
+        let (report, rec) = txn_sort(&mut m, a, 16, &policy).expect("tear-immune");
+        assert_eq!(rec.final_mode, ExecMode::ForcedSequential);
+        assert_eq!(report.histogram_rounds, report.permute_rounds);
+        assert_eq!(m.mem().read_region(a), expect);
     }
 
     #[test]

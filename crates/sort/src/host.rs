@@ -12,7 +12,10 @@ pub fn address_calc_sort(a: &mut [Word], vmax: Word) {
     if n == 0 {
         return;
     }
-    assert!(a.iter().all(|&x| (0..vmax).contains(&x)), "data out of range");
+    assert!(
+        a.iter().all(|&x| (0..vmax).contains(&x)),
+        "data out of range"
+    );
     let unentered = vmax;
     let mut c = vec![unentered; 3 * n];
     for &v in a.iter() {
@@ -42,7 +45,10 @@ pub fn address_calc_sort(a: &mut [Word], vmax: Word) {
 /// # Panics
 /// Panics when a key falls outside the range.
 pub fn dist_count_sort(a: &mut [Word], range: usize) {
-    assert!(a.iter().all(|&x| x >= 0 && (x as usize) < range), "key out of range");
+    assert!(
+        a.iter().all(|&x| x >= 0 && (x as usize) < range),
+        "key out of range"
+    );
     let mut count = vec![0usize; range];
     for &v in a.iter() {
         count[v as usize] += 1;
@@ -64,12 +70,17 @@ pub fn address_calc_sort_batch(a: &mut [Word], vmax: Word) {
     if n == 0 {
         return;
     }
-    assert!(a.iter().all(|&x| (0..vmax).contains(&x)), "data out of range");
+    assert!(
+        a.iter().all(|&x| (0..vmax).contains(&x)),
+        "data out of range"
+    );
     let unentered = vmax;
     let mut c = vec![unentered; 3 * n];
     let mut av: Vec<Word> = a.to_vec();
-    let mut hv: Vec<usize> =
-        av.iter().map(|&x| (2 * n as Word * x / vmax) as usize).collect();
+    let mut hv: Vec<usize> = av
+        .iter()
+        .map(|&x| (2 * n as Word * x / vmax) as usize)
+        .collect();
 
     while !av.is_empty() {
         // B: advance probes.
@@ -90,8 +101,11 @@ pub fn address_calc_sort_batch(a: &mut [Word], vmax: Word) {
         for (i, &h) in hv.iter().enumerate() {
             c[h] = -(i as Word + 1);
         }
-        let entered: Vec<bool> =
-            hv.iter().enumerate().map(|(i, &h)| c[h] == -(i as Word + 1)).collect();
+        let entered: Vec<bool> = hv
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| c[h] == -(i as Word + 1))
+            .collect();
         for ((&h, &v), &e) in hv.iter().zip(&av).zip(&entered) {
             if e {
                 c[h] = v;

@@ -26,6 +26,8 @@
 //! scalar baseline.
 
 use crate::NIL;
+use fol_core::error::FolError;
+use fol_core::recover::{run_transaction, ExecMode, RecoveryError, RecoveryReport, RetryPolicy};
 use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
 
 /// A binary search tree in machine memory.
@@ -45,7 +47,11 @@ impl Bst {
         let keys = m.alloc(capacity, "bst.keys");
         let links = m.alloc(1 + 2 * capacity, "bst.links");
         m.vfill(links, NIL);
-        Bst { keys, links, used: 0 }
+        Bst {
+            keys,
+            links,
+            used: 0,
+        }
     }
 
     fn reserve(&mut self, n: usize) -> usize {
@@ -87,7 +93,11 @@ impl Bst {
             if k == key {
                 return true;
             }
-            let slot = if key < k { 1 + 2 * cur as usize } else { 2 + 2 * cur as usize };
+            let slot = if key < k {
+                1 + 2 * cur as usize
+            } else {
+                2 + 2 * cur as usize
+            };
             cur = m.mem().read(self.links.at(slot));
             steps += 1;
         }
@@ -126,7 +136,11 @@ pub fn scalar_insert_all(m: &mut Machine, tree: &mut Bst, keys: &[Word]) {
             }
             let k = m.s_read(tree.keys.at(v as usize));
             m.s_cmp(1);
-            slot = if key < k { 1 + 2 * v as usize } else { 2 + 2 * v as usize };
+            slot = if key < k {
+                1 + 2 * v as usize
+            } else {
+                2 + 2 * v as usize
+            };
         }
     }
 }
@@ -223,6 +237,190 @@ pub fn vectorized_insert_all(m: &mut Machine, tree: &mut Bst, keys: &[Word]) -> 
     report
 }
 
+/// Fallible vectorized multiple insertion: [`vectorized_insert_all`] with
+/// the lock-step loop bounded by `max_iterations` and every gathered link
+/// checked to be [`NIL`] or a valid node index before anything descends
+/// through it. Under ELS neither guard can fire (every insertion round has
+/// a winner, Theorem 1, and slots only ever hold real pointers); under
+/// injected scatter faults a torn label amalgam or an orphaned label
+/// surfaces as a typed error instead of a wild gather or a livelock.
+pub fn try_vectorized_insert_all(
+    m: &mut Machine,
+    tree: &mut Bst,
+    keys: &[Word],
+    max_iterations: usize,
+) -> Result<BstReport, FolError> {
+    if keys.is_empty() {
+        return Ok(BstReport::default());
+    }
+    let first = tree.reserve(keys.len());
+    let n = keys.len();
+    let limit = (first + n) as Word; // valid node indices are 0..limit
+
+    let key_v = m.vimm(keys);
+    let idx = m.iota(first as Word, n);
+    m.scatter(tree.keys, &idx, &key_v);
+
+    let mut keyv = key_v;
+    let mut node = idx;
+    let mut cur = m.vsplat(0, n);
+    let mut label = m.iota(0, n);
+    let mut report = BstReport::default();
+
+    while !keyv.is_empty() {
+        if report.iterations == max_iterations {
+            return Err(FolError::RoundBudgetExceeded {
+                budget: max_iterations,
+                live: keyv.len(),
+                completed_rounds: report.iterations,
+            });
+        }
+        report.iterations += 1;
+        let val = m.gather(tree.links, &cur);
+        // A slot must hold NIL or a node index; anything else is fault
+        // debris (e.g. a torn label amalgam) that a descent would chase.
+        for (i, v) in val.iter().enumerate() {
+            if v != NIL && !(0..limit).contains(&v) {
+                return Err(FolError::TargetOutOfBounds {
+                    round: Some(report.iterations - 1),
+                    position: i,
+                    target: v,
+                    domain: limit as usize,
+                });
+            }
+        }
+        let at_nil = m.vcmp_s(CmpOp::Eq, &val, NIL);
+        let descending = m.mask_not(&at_nil);
+
+        let ins_cur = m.compress(&cur, &at_nil);
+        let ins_node = m.compress(&node, &at_nil);
+        let ins_label = m.compress(&label, &at_nil);
+        let ins_key = m.compress(&keyv, &at_nil);
+        m.scatter(tree.links, &ins_cur, &ins_label);
+        let got = m.gather(tree.links, &ins_cur);
+        let won = m.vcmp(CmpOp::Eq, &got, &ins_label);
+        let win_cur = m.compress(&ins_cur, &won);
+        let win_node = m.compress(&ins_node, &won);
+        m.scatter(tree.links, &win_cur, &win_node);
+        report.retries += (ins_cur.len() - win_cur.len()) as u64;
+        if !ins_cur.is_empty() && win_cur.is_empty() && m.count_true(&descending) == 0 {
+            return Err(FolError::NoSurvivors {
+                iteration: report.iterations - 1,
+                live: keyv.len(),
+            });
+        }
+        let lost = m.mask_not(&won);
+        let lose_cur = m.compress(&ins_cur, &lost);
+        let lose_node = m.compress(&ins_node, &lost);
+        let lose_label = m.compress(&ins_label, &lost);
+        let lose_key = m.compress(&ins_key, &lost);
+
+        let desc_val = m.compress(&val, &descending);
+        let desc_key = m.compress(&keyv, &descending);
+        let desc_node = m.compress(&node, &descending);
+        let desc_label = m.compress(&label, &descending);
+        let child_keys = m.gather(tree.keys, &desc_val);
+        let go_right = m.vcmp(CmpOp::Ge, &desc_key, &child_keys);
+        let base = m.valu_s(AluOp::Mul, &desc_val, 2);
+        let left_slot = m.valu_s(AluOp::Add, &base, 1);
+        let right_slot = m.valu_s(AluOp::Add, &base, 2);
+        let new_cur_desc = m.select(&go_right, &right_slot, &left_slot);
+
+        keyv = m.vconcat(&desc_key, &lose_key);
+        node = m.vconcat(&desc_node, &lose_node);
+        cur = m.vconcat(&new_cur_desc, &lose_cur);
+        label = m.vconcat(&desc_label, &lose_label);
+    }
+    Ok(report)
+}
+
+/// Like [`Bst::inorder`] but refuses to panic on a corrupted tree: a wild
+/// node index or a cycle returns `None`. The transactional post-condition
+/// reader — a torn amalgam may have left an arbitrary word in a link slot.
+fn checked_inorder(m: &Machine, tree: &Bst) -> Option<Vec<Word>> {
+    let mut out = Vec::with_capacity(tree.used);
+    let mut stack = Vec::new();
+    let mut cur = m.mem().read(tree.links.at(0));
+    loop {
+        while cur != NIL {
+            if cur < 0 || cur as usize >= tree.used || stack.len() + out.len() > tree.used {
+                return None;
+            }
+            stack.push(cur);
+            cur = m.mem().read(tree.links.at(1 + 2 * cur as usize));
+        }
+        let Some(node) = stack.pop() else { break };
+        out.push(m.mem().read(tree.keys.at(node as usize)));
+        if out.len() > tree.used {
+            return None;
+        }
+        cur = m.mem().read(tree.links.at(2 + 2 * node as usize));
+    }
+    Some(out)
+}
+
+/// Transactional multiple insertion: every attempt runs inside a machine
+/// transaction and the finished tree must read back in order as the old
+/// contents plus `keys`, sorted — which simultaneously proves the multiset
+/// is exact and the search-tree property holds. A failed attempt rolls
+/// back byte-exact (including the node allocator) and escalates along the
+/// [`RetryPolicy`] ladder: `Vector` → `ForcedSequential` (one key per
+/// batch, so label scatters are singletons and cannot tear) →
+/// `ScalarTail` ([`scalar_insert_all`], immune to every scatter fault).
+///
+/// # Panics
+/// Panics if the arena cannot hold `keys.len()` more nodes (checked before
+/// the transaction opens) or if a transaction is already open on `m`.
+pub fn txn_insert_all(
+    m: &mut Machine,
+    tree: &mut Bst,
+    keys: &[Word],
+    policy: &RetryPolicy,
+) -> Result<(BstReport, RecoveryReport), RecoveryError> {
+    assert!(
+        tree.used + keys.len() <= tree.keys.len(),
+        "bst arena exhausted: need {}, used {}, capacity {}",
+        keys.len(),
+        tree.used,
+        tree.keys.len()
+    );
+    let mut expected = tree.inorder(m);
+    expected.extend_from_slice(keys);
+    expected.sort_unstable();
+
+    let saved_used = tree.used;
+    let budget = 2 * (saved_used + keys.len()) + 4;
+    let result = run_transaction(m, policy, |m, mode| {
+        tree.used = saved_used;
+        let report = match mode {
+            ExecMode::Vector => try_vectorized_insert_all(m, tree, keys, budget)?,
+            ExecMode::ForcedSequential => {
+                let mut report = BstReport::default();
+                for key in keys {
+                    let r = try_vectorized_insert_all(m, tree, std::slice::from_ref(key), budget)?;
+                    report.iterations += r.iterations;
+                    report.retries += r.retries;
+                }
+                report
+            }
+            ExecMode::ScalarTail => {
+                scalar_insert_all(m, tree, keys);
+                BstReport::default()
+            }
+        };
+        if checked_inorder(m, tree).as_ref() != Some(&expected) {
+            return Err(FolError::PostConditionFailed {
+                what: "bst inorder contents",
+            });
+        }
+        Ok(report)
+    });
+    if result.is_err() {
+        tree.used = saved_used;
+    }
+    result
+}
+
 /// Vectorized multiple *search*: every query key descends the tree in
 /// lock-step gathers; returns one bool per key. Read-only, so this is plain
 /// SIVP (the paper's Fig 2b class) — no FOL needed, but it shares the
@@ -279,7 +477,9 @@ mod tests {
     use fol_vm::{ConflictPolicy, CostModel};
 
     fn lcg(seed: &mut u64, m: Word) -> Word {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*seed >> 33) as Word).rem_euclid(m)
     }
 
@@ -302,7 +502,10 @@ mod tests {
         let r = vectorized_insert_all(&mut m, &mut t, &keys);
         assert_eq!(t.inorder(&m), vec![10, 20, 30, 50, 60, 70, 80]);
         assert!(r.iterations > 0);
-        assert!(r.retries > 0, "an empty tree maximizes conflicts (paper's remark)");
+        assert!(
+            r.retries > 0,
+            "an empty tree maximizes conflicts (paper's remark)"
+        );
     }
 
     #[test]
@@ -392,6 +595,84 @@ mod tests {
     }
 
     #[test]
+    fn try_insert_matches_infallible_on_healthy_hardware() {
+        let keys = [50, 20, 70, 10, 30, 60, 80, 20];
+        let mut m1 = Machine::new(CostModel::unit());
+        let mut t1 = Bst::alloc(&mut m1, 16);
+        let r1 = vectorized_insert_all(&mut m1, &mut t1, &keys);
+        let mut m2 = Machine::new(CostModel::unit());
+        let mut t2 = Bst::alloc(&mut m2, 16);
+        let r2 = try_vectorized_insert_all(&mut m2, &mut t2, &keys, 100).expect("no faults");
+        assert_eq!(r1, r2);
+        assert_eq!(t1.inorder(&m1), t2.inorder(&m2));
+    }
+
+    #[test]
+    fn try_insert_turns_total_lane_loss_into_a_typed_error() {
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(fol_vm::FaultPlan::dropped_lanes(3, 65535)));
+        let mut t = Bst::alloc(&mut m, 8);
+        let err = try_vectorized_insert_all(&mut m, &mut t, &[5, 2, 9], 30).unwrap_err();
+        assert!(matches!(
+            err,
+            FolError::NoSurvivors { .. }
+                | FolError::RoundBudgetExceeded { .. }
+                | FolError::TargetOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn txn_insert_clean_run_is_one_attempt() {
+        let mut seed = 11u64;
+        let keys: Vec<Word> = (0..60).map(|_| lcg(&mut seed, 500)).collect();
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = Bst::alloc(&mut m, 64);
+        let (report, rec) =
+            txn_insert_all(&mut m, &mut t, &keys, &RetryPolicy::default()).expect("clean run");
+        assert_eq!(rec.attempts, 1);
+        assert!(report.iterations > 0);
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(t.inorder(&m), expect);
+    }
+
+    #[test]
+    fn txn_insert_recovers_from_hostile_scatter_faults() {
+        let mut seed = 23u64;
+        let keys: Vec<Word> = (0..32).map(|_| lcg(&mut seed, 100)).collect();
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(
+            fol_vm::FaultPlan::dropped_lanes(19, 30000)
+                .with_torn_writes(30000, fol_vm::AmalgamMode::Xor),
+        ));
+        let mut t = Bst::alloc(&mut m, 40);
+        let (_, rec) =
+            txn_insert_all(&mut m, &mut t, &keys, &RetryPolicy::default()).expect("ladder rescues");
+        assert!(rec.recovered());
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(t.inorder(&m), expect, "a search tree with exact contents");
+        assert_eq!(t.used, expect.len());
+    }
+
+    #[test]
+    fn txn_insert_exhaustion_rolls_everything_back() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = Bst::alloc(&mut m, 16);
+        scalar_insert_all(&mut m, &mut t, &[40, 10, 90]);
+        let before = t.inorder(&m);
+
+        m.set_fault_plan(Some(fol_vm::FaultPlan::dropped_lanes(6, 65535)));
+        let mut policy = RetryPolicy::vector_only(2);
+        policy.reseed = false;
+        let err = txn_insert_all(&mut m, &mut t, &[1, 2], &policy).unwrap_err();
+        assert_eq!(err.report.attempts, 2);
+        assert_eq!(t.inorder(&m), before, "rollback restored the tree");
+        assert_eq!(t.used, 3, "rollback restored the allocator");
+        assert!(!m.in_txn());
+    }
+
+    #[test]
     fn preloaded_tree_speeds_up_vector_insert() {
         // The paper's Fig 14 setup: a pre-populated tree spreads the new
         // keys across many slots, cutting conflicts. Check the modelled
@@ -421,6 +702,9 @@ mod tests {
             large > small,
             "bigger initial tree must help: Ni=8 -> {small:.2}, Ni=2048 -> {large:.2}"
         );
-        assert!(large > 1.0, "vector insert should win on a large tree, got {large:.2}");
+        assert!(
+            large > 1.0,
+            "vector insert should win on a large tree, got {large:.2}"
+        );
     }
 }

@@ -19,7 +19,9 @@
 //! their symbol in `lefts[i]`.
 
 use crate::NIL;
+use fol_core::error::FolError;
 use fol_core::fol_star::fol_star_first_round;
+use fol_core::recover::{run_transaction, ExecMode, RecoveryError, RecoveryReport, RetryPolicy};
 use fol_vm::{CmpOp, Machine, Region, VReg, Word};
 
 /// Tag for leaf nodes (symbol stored in `lefts`).
@@ -53,7 +55,14 @@ impl OpTree {
         let work = m.alloc(capacity, "optree.work");
         let root = m.alloc(1, "optree.root");
         m.mem_mut().write(root.at(0), NIL);
-        OpTree { tags, lefts, rights, work, root, used: 0 }
+        OpTree {
+            tags,
+            lefts,
+            rights,
+            work,
+            root,
+            used: 0,
+        }
     }
 
     /// Adds a leaf carrying `symbol`; returns its node index.
@@ -251,6 +260,195 @@ pub fn vectorized_rewrite_to_normal_form(m: &mut Machine, t: &OpTree) -> Rewrite
     report
 }
 
+/// [`find_sites`] with the right-child gather guarded: a wild right-child
+/// index (fault debris from a torn scatter in an earlier pass) returns a
+/// typed error instead of an out-of-bounds gather panic.
+fn try_find_sites(m: &mut Machine, t: &OpTree) -> Result<VReg, FolError> {
+    if t.used == 0 {
+        return Ok(VReg::empty());
+    }
+    let tags = m.vload(t.tags, 0, t.used);
+    let is_op = m.vcmp_s(CmpOp::Eq, &tags, OP);
+    let idx = m.iota(0, t.used);
+    let ops = m.compress(&idx, &is_op);
+    if ops.is_empty() {
+        return Ok(VReg::empty());
+    }
+    let right = m.gather(t.rights, &ops);
+    for (i, v) in right.iter().enumerate() {
+        if !(0..t.used as Word).contains(&v) {
+            return Err(FolError::TargetOutOfBounds {
+                round: None,
+                position: i,
+                target: v,
+                domain: t.used,
+            });
+        }
+    }
+    let rtags = m.gather(t.tags, &right);
+    let site_mask = m.vcmp_s(CmpOp::Eq, &rtags, OP);
+    Ok(m.compress(&ops, &site_mask))
+}
+
+/// Fallible vectorized rewriting: [`vectorized_rewrite_to_normal_form`]
+/// with the outer loop bounded by `max_passes`, wild child indices caught
+/// before any gather chases them, and FOL\*'s "parallel-processable" claim
+/// re-checked (sites and their right children must be pairwise distinct —
+/// Lemma 2 for `L = 2`) before the sites are applied, so a fault-fooled
+/// detection pass cannot force [`apply_sites`]'s conflict-free scatters
+/// into a conflict.
+pub fn try_vectorized_rewrite_to_normal_form(
+    m: &mut Machine,
+    t: &OpTree,
+    max_passes: usize,
+) -> Result<RewriteReport, FolError> {
+    let mut report = RewriteReport::default();
+    loop {
+        let sites = try_find_sites(m, t)?;
+        if sites.is_empty() {
+            return Ok(report);
+        }
+        if report.passes == max_passes {
+            return Err(FolError::RoundBudgetExceeded {
+                budget: max_passes,
+                live: sites.len(),
+                completed_rounds: report.passes,
+            });
+        }
+        report.passes += 1;
+        let rights = m.gather(t.rights, &sites);
+        let v1: Vec<Word> = sites.iter().collect();
+        let v2: Vec<Word> = rights.iter().collect();
+        let safe = fol_star_first_round(m, t.work, &[v1.clone(), v2.clone()]);
+        // Re-check disjointness across both index vectors on the host: the
+        // rewrite touches site n AND its right child r, so all 2L targets
+        // must be distinct for the batch to be parallel-processable.
+        let mut touched = Vec::with_capacity(2 * safe.len());
+        for &p in &safe {
+            touched.push(v1[p]);
+            touched.push(v2[p]);
+        }
+        touched.sort_unstable();
+        if let Some(w) = touched.windows(2).find(|w| w[0] == w[1]) {
+            return Err(FolError::DuplicateTargetInRound {
+                round: report.passes - 1,
+                target: w[0] as usize,
+            });
+        }
+        let safe_sites: VReg = safe.iter().map(|&p| sites.get(p)).collect();
+        report.applications += safe_sites.len();
+        apply_sites(m, t, &safe_sites);
+    }
+}
+
+/// One fuel-bounded, bounds-checked walk computing everything the
+/// transactional post-condition needs: the in-order leaf symbols, the
+/// associative [`OpTree::eval_affine`] value, and whether every *reachable*
+/// `*` node's right child is a leaf. Returns `None` on a wild node index or
+/// a cycle instead of panicking — the tree may be fault debris.
+fn checked_summary(m: &Machine, t: &OpTree) -> Option<(Vec<Word>, (Word, Word), bool)> {
+    const M: Word = 1_000_000_007;
+    fn walk(
+        m: &Machine,
+        t: &OpTree,
+        node: Word,
+        out: &mut Vec<Word>,
+        normal: &mut bool,
+        fuel: &mut usize,
+    ) -> Option<(Word, Word)> {
+        if *fuel == 0 || node < 0 || node as usize >= t.used {
+            return None;
+        }
+        *fuel -= 1;
+        let i = node as usize;
+        if m.mem().read(t.tags.at(i)) == LEAF {
+            let s = m.mem().read(t.lefts.at(i));
+            out.push(s);
+            Some((2, s.rem_euclid(M)))
+        } else {
+            let right = m.mem().read(t.rights.at(i));
+            if right < 0 || right as usize >= t.used {
+                return None;
+            }
+            if m.mem().read(t.tags.at(right as usize)) != LEAF {
+                *normal = false;
+            }
+            let (p, q) = walk(m, t, m.mem().read(t.lefts.at(i)), out, normal, fuel)?;
+            let (r, s) = walk(m, t, right, out, normal, fuel)?;
+            Some(((p * r) % M, (p * s + q) % M))
+        }
+    }
+    let root = m.mem().read(t.root.at(0));
+    if root == NIL {
+        return Some((Vec::new(), (NIL, NIL), true));
+    }
+    let mut out = Vec::new();
+    let mut normal = true;
+    let mut fuel = 4 * t.used + 4;
+    let v = walk(m, t, root, &mut out, &mut normal, &mut fuel)?;
+    Some((out, v, normal))
+}
+
+/// Transactional rewriting to normal form: every attempt runs inside a
+/// machine transaction and the finished tree must be fully left-combed with
+/// the in-order leaf sequence and the associative value both unchanged —
+/// the §2 correctness contract, checked end-to-end. A failed attempt rolls
+/// back byte-exact and escalates along the [`RetryPolicy`] ladder:
+/// `Vector` → `ForcedSequential` (one site per pass, so every rewrite
+/// scatter is a tear-immune singleton) → `ScalarTail`
+/// ([`scalar_rewrite_to_normal_form`], immune to every scatter fault).
+///
+/// # Panics
+/// Panics if a transaction is already open on `m`.
+pub fn txn_rewrite_to_normal_form(
+    m: &mut Machine,
+    t: &OpTree,
+    policy: &RetryPolicy,
+) -> Result<(RewriteReport, RecoveryReport), RecoveryError> {
+    let expected = checked_summary(m, t);
+    assert!(
+        expected.is_some(),
+        "txn_rewrite_to_normal_form: input tree is malformed"
+    );
+    let (ref leaves0, val0, _) = expected.unwrap();
+    let budget = t.used * t.used + 8;
+
+    run_transaction(m, policy, |m, mode| {
+        let report = match mode {
+            ExecMode::Vector => try_vectorized_rewrite_to_normal_form(m, t, budget)?,
+            ExecMode::ForcedSequential => {
+                let mut report = RewriteReport::default();
+                loop {
+                    let sites = try_find_sites(m, t)?;
+                    if sites.is_empty() {
+                        break report;
+                    }
+                    if report.passes == budget {
+                        return Err(FolError::RoundBudgetExceeded {
+                            budget,
+                            live: sites.len(),
+                            completed_rounds: report.passes,
+                        });
+                    }
+                    report.passes += 1;
+                    report.applications += 1;
+                    let one: VReg = [sites.get(0)].into_iter().collect();
+                    apply_sites(m, t, &one);
+                }
+            }
+            ExecMode::ScalarTail => scalar_rewrite_to_normal_form(m, t),
+        };
+        match checked_summary(m, t) {
+            Some((leaves, val, normal)) if normal && leaves == *leaves0 && val == val0 => {
+                Ok(report)
+            }
+            _ => Err(FolError::PostConditionFailed {
+                what: "rewrite normal form",
+            }),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,7 +477,11 @@ mod tests {
         let before_val = t.eval_affine(&m);
         let r = scalar_rewrite_to_normal_form(&mut m, &t);
         assert!(t.is_normal_form(&m));
-        assert_eq!(t.leaves_inorder(&m), before_leaves, "in-order leaves preserved");
+        assert_eq!(
+            t.leaves_inorder(&m),
+            before_leaves,
+            "in-order leaves preserved"
+        );
         assert_eq!(t.eval_affine(&m), before_val, "associative value preserved");
         // The minimum is k-2 applications; site-selection order may use
         // more (each application still makes progress toward the comb).
@@ -356,6 +558,94 @@ mod tests {
     }
 
     #[test]
+    fn try_rewrite_matches_infallible_on_healthy_hardware() {
+        let symbols: Vec<Word> = (0..20).map(|i| i * 3 + 1).collect();
+        let mut m1 = Machine::new(CostModel::unit());
+        let t1 = OpTree::right_comb(&mut m1, &symbols);
+        let r1 = vectorized_rewrite_to_normal_form(&mut m1, &t1);
+        let mut m2 = Machine::new(CostModel::unit());
+        let t2 = OpTree::right_comb(&mut m2, &symbols);
+        let r2 = try_vectorized_rewrite_to_normal_form(&mut m2, &t2, 10_000).expect("no faults");
+        assert_eq!(r1, r2);
+        assert_eq!(t1.leaves_inorder(&m1), t2.leaves_inorder(&m2));
+        assert_eq!(t1.eval_affine(&m1), t2.eval_affine(&m2));
+    }
+
+    #[test]
+    fn try_rewrite_budget_stops_a_faulty_scatter_path() {
+        // 100% dropped lanes: apply_sites never lands a write, the site set
+        // never shrinks — the budget turns the livelock into a typed error.
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(fol_vm::FaultPlan::dropped_lanes(9, 65535)));
+        let t = OpTree::right_comb(&mut m, &[1, 2, 3, 4, 5]);
+        let err = try_vectorized_rewrite_to_normal_form(&mut m, &t, 12).unwrap_err();
+        assert!(matches!(
+            err,
+            FolError::RoundBudgetExceeded { budget: 12, .. }
+                | FolError::NoSurvivors { .. }
+                | FolError::TargetOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn txn_rewrite_clean_run_is_one_attempt() {
+        let symbols: Vec<Word> = (0..16).map(|i| i + 1).collect();
+        let mut m = Machine::new(CostModel::unit());
+        let t = OpTree::right_comb(&mut m, &symbols);
+        let before_leaves = t.leaves_inorder(&m);
+        let before_val = t.eval_affine(&m);
+        let (report, rec) =
+            txn_rewrite_to_normal_form(&mut m, &t, &RetryPolicy::default()).expect("clean run");
+        assert_eq!(rec.attempts, 1);
+        assert!(report.applications >= symbols.len() - 2);
+        assert!(t.is_normal_form(&m));
+        assert_eq!(t.leaves_inorder(&m), before_leaves);
+        assert_eq!(t.eval_affine(&m), before_val);
+    }
+
+    #[test]
+    fn txn_rewrite_recovers_from_hostile_scatter_faults() {
+        let symbols: Vec<Word> = (0..12).map(|i| i * 7 + 2).collect();
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(
+            fol_vm::FaultPlan::dropped_lanes(31, 25000)
+                .with_torn_writes(25000, fol_vm::AmalgamMode::Xor),
+        ));
+        let t = OpTree::right_comb(&mut m, &symbols);
+        let before_leaves = t.leaves_inorder(&m);
+        let before_val = t.eval_affine(&m);
+        let (_, rec) = txn_rewrite_to_normal_form(&mut m, &t, &RetryPolicy::default())
+            .expect("ladder rescues");
+        assert!(rec.recovered());
+        assert!(t.is_normal_form(&m));
+        assert_eq!(
+            t.leaves_inorder(&m),
+            before_leaves,
+            "leaf order survives recovery"
+        );
+        assert_eq!(t.eval_affine(&m), before_val, "value survives recovery");
+    }
+
+    #[test]
+    fn txn_rewrite_exhaustion_restores_the_tree() {
+        let mut m = Machine::new(CostModel::unit());
+        let t = OpTree::right_comb(&mut m, &[5, 6, 7, 8]);
+        let before_leaves = t.leaves_inorder(&m);
+        m.set_fault_plan(Some(fol_vm::FaultPlan::dropped_lanes(2, 65535)));
+        let mut policy = RetryPolicy::vector_only(2);
+        policy.reseed = false;
+        let err = txn_rewrite_to_normal_form(&mut m, &t, &policy).unwrap_err();
+        assert_eq!(err.report.attempts, 2);
+        assert_eq!(
+            t.leaves_inorder(&m),
+            before_leaves,
+            "rollback restored the tree"
+        );
+        assert!(!t.is_normal_form(&m), "no partial rewrite survived");
+        assert!(!m.in_txn());
+    }
+
+    #[test]
     fn vector_version_uses_fewer_passes_on_wide_trees() {
         // A balanced tree has many disjoint sites per pass: the vectorized
         // form should need far fewer passes than total applications.
@@ -367,7 +657,13 @@ mod tests {
         while level.len() > 1 {
             level = level
                 .chunks(2)
-                .map(|c| if c.len() == 2 { t.op(&mut m, c[0], c[1]) } else { c[0] })
+                .map(|c| {
+                    if c.len() == 2 {
+                        t.op(&mut m, c[0], c[1])
+                    } else {
+                        c[0]
+                    }
+                })
                 .collect();
         }
         t.set_root(&mut m, level[0]);

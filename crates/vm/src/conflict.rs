@@ -13,8 +13,6 @@
 //! the simulator makes the winner a pluggable [`ConflictPolicy`].
 
 use crate::fault::hash3;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
 
 /// Which of several conflicting scatter writes to one address survives.
 ///
@@ -130,17 +128,18 @@ impl ConflictPolicy {
                 panic!("BrokenAmalgam is value-dependent and resolved by the Machine")
             }
             ConflictPolicy::Arbitrary(seed) => {
-                // Reservoir-sample one winner per address so every competing
-                // element is equally likely, independent of vector order.
-                let mut rng = SmallRng::seed_from_u64(seed ^ sequence.wrapping_mul(0x9E3779B97F4A7C15));
-                let mut seen: std::collections::HashMap<usize, u32> =
+                // Pick one winner per address with an avalanche hash of
+                // (seed, sequence, address) so every competing element is
+                // equally likely, independent of vector order, and the whole
+                // run replays exactly.
+                let mut writers: std::collections::HashMap<usize, Vec<usize>> =
                     std::collections::HashMap::with_capacity(n);
                 for (pos, &addr) in indices.iter().enumerate() {
-                    let k = seen.entry(addr).or_insert(0);
-                    *k += 1;
-                    if *k == 1 || rng.random_range(0..*k) == 0 {
-                        winner_of.insert(addr, pos);
-                    }
+                    writers.entry(addr).or_default().push(pos);
+                }
+                for (&addr, cands) in &writers {
+                    let pick = hash3(*seed, sequence, addr as u64) as usize % cands.len();
+                    winner_of.insert(addr, cands[pick]);
                 }
             }
             ConflictPolicy::Adversarial(seed) => {
@@ -156,9 +155,16 @@ impl ConflictPolicy {
                     // Prefer a writer that lost the previous scatter: a
                     // previous winner losing now can no longer survive the
                     // whole iteration, shrinking FOL*'s detection set.
-                    let losers: Vec<usize> =
-                        cands.iter().copied().filter(|p| !recent.contains(p)).collect();
-                    let pool = if losers.is_empty() { cands.as_slice() } else { &losers };
+                    let losers: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|p| !recent.contains(p))
+                        .collect();
+                    let pool = if losers.is_empty() {
+                        cands.as_slice()
+                    } else {
+                        &losers
+                    };
                     let pick = hash3(*seed, sequence, addr as u64) as usize % pool.len();
                     winner_of.insert(addr, pool[pick]);
                 }
@@ -221,7 +227,10 @@ mod tests {
                     .expect("exactly one winner")
             })
             .collect();
-        assert!(winners.len() > 1, "different sequences should pick different winners");
+        assert!(
+            winners.len() > 1,
+            "different sequences should pick different winners"
+        );
     }
 
     #[test]
@@ -271,7 +280,10 @@ mod tests {
             let second = p.resolve_with_state(&[0, 0], 2 * seq + 1, Some(&mut state), |_, _| {});
             let w1 = first.iter().position(|&s| s).expect("one winner");
             let w2 = second.iter().position(|&s| s).expect("one winner");
-            assert_ne!(w1, w2, "seq {seq}: previous winner must lose the next scatter");
+            assert_ne!(
+                w1, w2,
+                "seq {seq}: previous winner must lose the next scatter"
+            );
         }
     }
 

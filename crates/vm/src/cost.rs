@@ -19,7 +19,6 @@
 //! reports across its workloads; `EXPERIMENTS.md` in the repository root
 //! records model-vs-paper numbers for every figure.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Classification of simulated operations, for cost charging and statistics.
@@ -93,16 +92,22 @@ impl OpKind {
 
     /// True for indirect (list-vector) memory instructions.
     pub fn is_indirect(self) -> bool {
-        matches!(self, OpKind::VGather | OpKind::VScatter | OpKind::VScatterOrdered)
+        matches!(
+            self,
+            OpKind::VGather | OpKind::VScatter | OpKind::VScatterOrdered
+        )
     }
 
     fn index(self) -> usize {
-        Self::ALL.iter().position(|&k| k == self).expect("OpKind::ALL is exhaustive")
+        Self::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("OpKind::ALL is exhaustive")
     }
 }
 
 /// Cycle costs for the simulated machine.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CostModel {
     /// Vector register length: long vectors are processed in strips of this
     /// many elements, each strip paying `startup` once.
@@ -329,7 +334,12 @@ mod tests {
 
     #[test]
     fn vector_cost_strip_mining() {
-        let m = CostModel { vlen: 4, startup: 10, per_elem: 1, ..CostModel::unit() };
+        let m = CostModel {
+            vlen: 4,
+            startup: 10,
+            per_elem: 1,
+            ..CostModel::unit()
+        };
         // 10 elements = 3 strips of <=4.
         assert_eq!(m.vector_cost(OpKind::VAlu, 10), 3 * 10 + 10);
         // zero-length still pays one issue.

@@ -76,18 +76,31 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A plan that injects nothing (useful as a sweep baseline).
     pub fn benign(seed: u64) -> Self {
-        Self { seed, drop_rate: 0, amalgam_rate: 0, mode: AmalgamMode::Xor, window: None }
+        Self {
+            seed,
+            drop_rate: 0,
+            amalgam_rate: 0,
+            mode: AmalgamMode::Xor,
+            window: None,
+        }
     }
 
     /// A plan that drops scatter lanes at `rate` (per 65536).
     pub fn dropped_lanes(seed: u64, rate: u16) -> Self {
-        Self { drop_rate: rate, ..Self::benign(seed) }
+        Self {
+            drop_rate: rate,
+            ..Self::benign(seed)
+        }
     }
 
     /// A plan that tears conflicting writes at `rate` (per 65536) using
     /// `mode` to combine the competing values.
     pub fn torn_writes(seed: u64, rate: u16, mode: AmalgamMode) -> Self {
-        Self { amalgam_rate: rate, mode, ..Self::benign(seed) }
+        Self {
+            amalgam_rate: rate,
+            mode,
+            ..Self::benign(seed)
+        }
     }
 
     /// Sets the lane-drop rate (per 65536), returning the modified plan.
@@ -107,6 +120,19 @@ impl FaultPlan {
     /// `[start, end)`.
     pub fn with_window(mut self, start: u64, end: u64) -> Self {
         self.window = Some((start, end));
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Replaces the plan's seed, keeping rates, mode and window — used by
+    /// retry supervisors to draw a fresh fault pattern between attempts
+    /// while preserving the failure model.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -219,6 +245,43 @@ impl FaultLog {
         }
         self.events.push(event);
     }
+
+    /// A one-line human-readable digest: event counts by kind plus the
+    /// distinct scatter sequence numbers (rounds) the faults landed in.
+    /// This is what [`crate::Tracer`] prints, so a recovery report and a
+    /// trace can be correlated by eye.
+    pub fn summary(&self) -> String {
+        if self.is_empty() {
+            return "no faults injected".to_string();
+        }
+        let mut seqs: Vec<u64> = self
+            .events
+            .iter()
+            .map(|e| match e {
+                FaultEvent::LaneDropped { sequence, .. }
+                | FaultEvent::TornWrite { sequence, .. } => *sequence,
+            })
+            .collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        let shown: Vec<String> = seqs.iter().take(8).map(u64::to_string).collect();
+        let ellipsis = if seqs.len() > 8 { ", …" } else { "" };
+        format!(
+            "{} fault(s): {} dropped lane(s), {} torn write(s) across {} scatter(s) [seq {}{}]",
+            self.len(),
+            self.dropped_lanes,
+            self.torn_writes,
+            seqs.len(),
+            shown.join(", "),
+            ellipsis,
+        )
+    }
+}
+
+impl std::fmt::Display for FaultLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
 }
 
 /// SplitMix64-style avalanche of three words — the deterministic coin every
@@ -285,13 +348,66 @@ mod tests {
     fn log_counts_by_kind() {
         let mut log = FaultLog::default();
         assert!(log.is_empty());
-        log.record(FaultEvent::LaneDropped { sequence: 1, lane: 2, addr: 3 });
-        log.record(FaultEvent::TornWrite { sequence: 1, addr: 3, amalgam: 7 });
-        log.record(FaultEvent::TornWrite { sequence: 2, addr: 4, amalgam: 8 });
+        log.record(FaultEvent::LaneDropped {
+            sequence: 1,
+            lane: 2,
+            addr: 3,
+        });
+        log.record(FaultEvent::TornWrite {
+            sequence: 1,
+            addr: 3,
+            amalgam: 7,
+        });
+        log.record(FaultEvent::TornWrite {
+            sequence: 2,
+            addr: 4,
+            amalgam: 8,
+        });
         assert_eq!(log.dropped_lanes(), 1);
         assert_eq!(log.torn_writes(), 2);
         assert_eq!(log.len(), 3);
         assert_eq!(log.events().len(), 3);
+    }
+
+    #[test]
+    fn summary_digests_events_by_kind_and_round() {
+        let mut log = FaultLog::default();
+        assert_eq!(log.summary(), "no faults injected");
+        log.record(FaultEvent::LaneDropped {
+            sequence: 1,
+            lane: 2,
+            addr: 3,
+        });
+        log.record(FaultEvent::TornWrite {
+            sequence: 1,
+            addr: 3,
+            amalgam: 7,
+        });
+        log.record(FaultEvent::TornWrite {
+            sequence: 4,
+            addr: 4,
+            amalgam: 8,
+        });
+        let s = log.summary();
+        assert!(s.contains("3 fault(s)"), "{s}");
+        assert!(s.contains("1 dropped lane(s)"), "{s}");
+        assert!(s.contains("2 torn write(s)"), "{s}");
+        assert!(s.contains("2 scatter(s)"), "{s}");
+        assert!(s.contains("seq 1, 4"), "{s}");
+        assert_eq!(format!("{log}"), s);
+    }
+
+    #[test]
+    fn with_seed_preserves_rates_and_window() {
+        let plan = FaultPlan::dropped_lanes(1, 8192).with_window(5, 10);
+        let reseeded = plan.clone().with_seed(2);
+        assert_eq!(reseeded.seed(), 2);
+        assert!(reseeded.violates_els());
+        // Window carried over; pattern differs because the seed differs.
+        assert!(!reseeded.lane_dropped(4, 0) || !plan.lane_dropped(4, 0));
+        let pa: Vec<bool> = (0..512).map(|l| plan.lane_dropped(6, l)).collect();
+        let pb: Vec<bool> = (0..512).map(|l| reseeded.lane_dropped(6, l)).collect();
+        assert_ne!(pa, pb);
     }
 
     #[test]

@@ -31,7 +31,12 @@
 //!   broken-hardware models that the hardened `fol-core` execution paths are
 //!   tested against,
 //! * typed **machine traps** ([`MachineTrap`]): trapping instructions
-//!   (division by zero) exist in panicking and fallible (`try_*`) forms.
+//!   (division by zero) exist in panicking and fallible (`try_*`) forms,
+//! * **transactions** ([`journal`]): [`Machine::begin_txn`] opens a
+//!   first-write undo log over every instruction-level store;
+//!   [`Machine::abort_txn`] restores memory byte-exact, which is what lets
+//!   the recovery supervisor in `fol-core` retry a faulted FOL round
+//!   instead of surfacing a torn result.
 //!
 //! The simulator is deliberately *functional* in style: instructions take and
 //! return owned vector values, and the machine only owns memory, the cost
@@ -61,6 +66,7 @@ pub mod conflict;
 pub mod cost;
 pub mod expr;
 pub mod fault;
+pub mod journal;
 pub mod machine;
 pub mod memory;
 pub mod program;
@@ -70,6 +76,7 @@ pub mod vreg;
 pub use conflict::{AdversaryState, ConflictPolicy};
 pub use cost::{CostModel, OpKind, Stats};
 pub use fault::{AmalgamMode, FaultEvent, FaultLog, FaultPlan};
+pub use journal::{Snapshot, TxnError, WriteJournal};
 pub use machine::{AluOp, CmpOp, Machine, MachineTrap};
 pub use memory::{Addr, Memory, Region};
 pub use program::{execute, Inst, Program, Registers, Stop};

@@ -14,6 +14,7 @@
 use crate::conflict::{AdversaryState, ConflictPolicy};
 use crate::cost::{CostModel, OpKind, Stats};
 use crate::fault::{FaultEvent, FaultLog, FaultPlan};
+use crate::journal::{TxnError, WriteJournal};
 use crate::memory::{Addr, Memory, Region};
 use crate::trace::Tracer;
 use crate::vreg::{Mask, VReg, Word};
@@ -142,6 +143,8 @@ pub struct Machine {
     adversary: AdversaryState,
     fault_plan: Option<FaultPlan>,
     fault_log: FaultLog,
+    /// Open transaction's undo log; `None` when no transaction is open.
+    journal: Option<WriteJournal>,
 }
 
 impl Machine {
@@ -159,12 +162,16 @@ impl Machine {
             adversary: AdversaryState::new(),
             fault_plan: None,
             fault_log: FaultLog::default(),
+            journal: None,
         }
     }
 
     /// A machine with an explicit conflict policy.
     pub fn with_policy(cost: CostModel, policy: ConflictPolicy) -> Self {
-        Self { policy, ..Self::new(cost) }
+        Self {
+            policy,
+            ..Self::new(cost)
+        }
     }
 
     // ------------------------------------------------------------------
@@ -268,8 +275,99 @@ impl Machine {
     }
 
     /// Mutable direct memory access for setup — no cycles charged.
+    ///
+    /// Writes through this handle **bypass the transaction journal** by
+    /// design: it is setup/oracle access, not instruction execution. Inside
+    /// an open transaction, mutate memory only through instruction methods
+    /// (scatter, vstore, `s_write`, …) or the rollback will not cover it.
     pub fn mem_mut(&mut self) -> &mut Memory {
         &mut self.mem
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions (journaled rollback)
+    // ------------------------------------------------------------------
+
+    /// Opens a transaction: from here until [`Machine::commit_txn`] or
+    /// [`Machine::abort_txn`], every instruction-level store records the
+    /// pre-image of its target address in a [`WriteJournal`].
+    ///
+    /// Journaling is a recovery mechanism, not a simulated instruction: it
+    /// charges no cycles (a real machine would checkpoint through hardware
+    /// or OS facilities outside the vector pipeline's cost model; the
+    /// *modelled* overhead of the software journal is measured separately by
+    /// the recovery benchmark).
+    ///
+    /// Nesting is rejected with [`TxnError::NestedTransaction`] — the
+    /// journal is a single-level undo log.
+    pub fn begin_txn(&mut self) -> Result<(), TxnError> {
+        if self.journal.is_some() {
+            return Err(TxnError::NestedTransaction);
+        }
+        self.journal = Some(WriteJournal::new());
+        Ok(())
+    }
+
+    /// True while a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The open transaction's journal, for inspection mid-transaction.
+    pub fn txn_journal(&self) -> Option<&WriteJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Closes the open transaction keeping all writes, returning the
+    /// journal (useful for write-set statistics).
+    pub fn commit_txn(&mut self) -> Result<WriteJournal, TxnError> {
+        self.journal.take().ok_or(TxnError::NoTransaction)
+    }
+
+    /// Closes the open transaction restoring every journaled pre-image —
+    /// memory is byte-exact as it was at [`Machine::begin_txn`] (for
+    /// everything written through instruction methods; [`Machine::mem_mut`]
+    /// writes bypass the journal). Returns the journal that was replayed.
+    pub fn abort_txn(&mut self) -> Result<WriteJournal, TxnError> {
+        let j = self.journal.take().ok_or(TxnError::NoTransaction)?;
+        j.rollback(&mut self.mem);
+        Ok(j)
+    }
+
+    /// The single choke point for instruction-level stores: journals the
+    /// pre-image when a transaction is open, then writes.
+    #[inline]
+    fn store(&mut self, addr: Addr, w: Word) {
+        if let Some(j) = &mut self.journal {
+            j.note(addr, self.mem.read(addr));
+        }
+        self.mem.write(addr, w);
+    }
+
+    /// Logs an injected fault and, when tracing is on, pins a human-readable
+    /// note to the instruction that suffered it — so a trace and a recovery
+    /// report (see [`FaultLog::summary`]) can be correlated line by line.
+    fn record_fault(&mut self, event: FaultEvent) {
+        if let Some(t) = &mut self.tracer {
+            let note = match &event {
+                FaultEvent::LaneDropped {
+                    sequence,
+                    lane,
+                    addr,
+                } => {
+                    format!("fault: lane {lane} dropped in scatter #{sequence} (addr {addr})")
+                }
+                FaultEvent::TornWrite {
+                    sequence,
+                    addr,
+                    amalgam,
+                } => {
+                    format!("fault: torn write at addr {addr} in scatter #{sequence} (amalgam {amalgam})")
+                }
+            };
+            t.annotate(note);
+        }
+        self.fault_log.record(event);
     }
 
     #[inline]
@@ -293,8 +391,8 @@ impl Machine {
     #[inline]
     #[track_caller]
     fn region_addr(region: Region, idx: Word) -> Addr {
-        let i = usize::try_from(idx)
-            .unwrap_or_else(|_| panic!("negative index {idx} into {region:?}"));
+        let i =
+            usize::try_from(idx).unwrap_or_else(|_| panic!("negative index {idx} into {region:?}"));
         assert!(i < region.len(), "index {i} out of bounds of {region:?}");
         region.base() + i
     }
@@ -316,7 +414,13 @@ impl Machine {
     pub fn vstore(&mut self, region: Region, offset: usize, v: &VReg) {
         let r = region.slice(offset, v.len());
         self.charge_vector(OpKind::VStore, v.len());
-        self.mem.write_region(r, v.as_slice());
+        if self.journal.is_some() {
+            for (i, w) in v.iter().enumerate() {
+                self.store(r.base() + i, w);
+            }
+        } else {
+            self.mem.write_region(r, v.as_slice());
+        }
     }
 
     /// Fills all of `region` with `value` (a broadcast store — how the
@@ -324,7 +428,7 @@ impl Machine {
     pub fn vfill(&mut self, region: Region, value: Word) {
         self.charge_vector(OpKind::VStore, region.len());
         for i in 0..region.len() {
-            self.mem.write(region.base() + i, value);
+            self.store(region.base() + i, value);
         }
     }
 
@@ -342,14 +446,22 @@ impl Machine {
     /// # Panics
     /// Panics when the last element falls outside the region or `stride == 0`.
     #[track_caller]
-    pub fn vload_strided(&mut self, region: Region, offset: usize, stride: usize, n: usize) -> VReg {
+    pub fn vload_strided(
+        &mut self,
+        region: Region,
+        offset: usize,
+        stride: usize,
+        n: usize,
+    ) -> VReg {
         assert!(stride > 0, "stride must be positive");
         if n > 0 {
             let last = offset + (n - 1) * stride;
             assert!(last < region.len(), "strided load overruns {region:?}");
         }
         self.charge_vector(OpKind::VLoad, n);
-        (0..n).map(|i| self.mem.read(region.base() + offset + i * stride)).collect()
+        (0..n)
+            .map(|i| self.mem.read(region.base() + offset + i * stride))
+            .collect()
     }
 
     /// Strided store: writes `v` to `region[offset]`, `region[offset+stride]`, …
@@ -365,7 +477,7 @@ impl Machine {
         }
         self.charge_vector(OpKind::VStore, v.len());
         for (i, w) in v.iter().enumerate() {
-            self.mem.write(region.base() + offset + i * stride, w);
+            self.store(region.base() + offset + i * stride, w);
         }
     }
 
@@ -377,7 +489,9 @@ impl Machine {
     #[track_caller]
     pub fn gather(&mut self, region: Region, idx: &VReg) -> VReg {
         self.charge_vector(OpKind::VGather, idx.len());
-        idx.iter().map(|i| self.mem.read(Self::region_addr(region, i))).collect()
+        idx.iter()
+            .map(|i| self.mem.read(Self::region_addr(region, i)))
+            .collect()
     }
 
     /// List-vector store (`VIST`): `region[idx[i]] = val[i]`.
@@ -393,7 +507,11 @@ impl Machine {
     /// suppressed (the paper's `where M do A[idx] := v end where`).
     #[track_caller]
     pub fn scatter_masked(&mut self, region: Region, idx: &VReg, val: &VReg, mask: &Mask) {
-        assert_eq!(idx.len(), mask.len(), "scatter_masked: index/mask length mismatch");
+        assert_eq!(
+            idx.len(),
+            mask.len(),
+            "scatter_masked: index/mask length mismatch"
+        );
         self.scatter_inner(region, idx, val, Some(mask), OpKind::VScatter);
     }
 
@@ -407,7 +525,11 @@ impl Machine {
     /// circuitry is broken.
     #[track_caller]
     pub fn scatter_ordered(&mut self, region: Region, idx: &VReg, val: &VReg) {
-        assert_eq!(idx.len(), val.len(), "scatter_ordered: index/value length mismatch");
+        assert_eq!(
+            idx.len(),
+            val.len(),
+            "scatter_ordered: index/value length mismatch"
+        );
         self.charge_vector(OpKind::VScatterOrdered, idx.len());
         self.scatter_seq += 1;
         let seq = self.scatter_seq;
@@ -418,14 +540,18 @@ impl Machine {
             let addr = Self::region_addr(region, i);
             if let Some(p) = &plan {
                 if p.lane_dropped(seq, lane) {
-                    self.fault_log.record(FaultEvent::LaneDropped { sequence: seq, lane, addr });
+                    self.record_fault(FaultEvent::LaneDropped {
+                        sequence: seq,
+                        lane,
+                        addr,
+                    });
                     continue;
                 }
             }
             survivors.push((addr, v));
         }
         for &(addr, v) in &survivors {
-            self.mem.write(addr, v);
+            self.store(addr, v);
         }
         if let Some(p) = &plan {
             self.tear_conflicts(p, seq, &survivors);
@@ -449,8 +575,12 @@ impl Machine {
         for addr in order {
             let values = &groups[&addr];
             if let Some(amalgam) = plan.torn_value(seq, addr, values) {
-                self.mem.write(addr, amalgam);
-                self.fault_log.record(FaultEvent::TornWrite { sequence: seq, addr, amalgam });
+                self.store(addr, amalgam);
+                self.record_fault(FaultEvent::TornWrite {
+                    sequence: seq,
+                    addr,
+                    amalgam,
+                });
             }
         }
     }
@@ -481,7 +611,11 @@ impl Machine {
             let addr = Self::region_addr(region, i);
             if let Some(plan) = &plan {
                 if plan.lane_dropped(seq, p) {
-                    self.fault_log.record(FaultEvent::LaneDropped { sequence: seq, lane: p, addr });
+                    self.record_fault(FaultEvent::LaneDropped {
+                        sequence: seq,
+                        lane: p,
+                        addr,
+                    });
                     continue;
                 }
             }
@@ -498,7 +632,7 @@ impl Machine {
                 *acc.entry(addr).or_insert(0) ^= v;
             }
             for (addr, w) in acc {
-                self.mem.write(addr, w);
+                self.store(addr, w);
             }
             return;
         }
@@ -509,7 +643,7 @@ impl Machine {
             writes.push((addr, vals[filtered_pos]));
         });
         for (addr, w) in writes {
-            self.mem.write(addr, w);
+            self.store(addr, w);
         }
         if let Some(p) = &plan {
             let survivors: Vec<(Addr, Word)> =
@@ -543,7 +677,8 @@ impl Machine {
             .zip(b.iter())
             .enumerate()
             .map(|(lane, (x, y))| {
-                op.checked_apply(x, y).ok_or(MachineTrap::DivideByZero { op, lane })
+                op.checked_apply(x, y)
+                    .ok_or(MachineTrap::DivideByZero { op, lane })
             })
             .collect()
     }
@@ -563,7 +698,10 @@ impl Machine {
         self.charge_vector(OpKind::VAlu, a.len());
         a.iter()
             .enumerate()
-            .map(|(lane, x)| op.checked_apply(x, s).ok_or(MachineTrap::DivideByZero { op, lane }))
+            .map(|(lane, x)| {
+                op.checked_apply(x, s)
+                    .ok_or(MachineTrap::DivideByZero { op, lane })
+            })
             .collect()
     }
 
@@ -576,7 +714,8 @@ impl Machine {
     /// [`Machine::try_valu_masked`] to observe it as a value instead.
     #[track_caller]
     pub fn valu_masked(&mut self, op: AluOp, a: &VReg, b: &VReg, mask: &Mask) -> VReg {
-        self.try_valu_masked(op, a, b, mask).unwrap_or_else(|t| panic!("{t}"))
+        self.try_valu_masked(op, a, b, mask)
+            .unwrap_or_else(|t| panic!("{t}"))
     }
 
     /// Fallible form of [`Machine::valu_masked`].
@@ -625,7 +764,10 @@ impl Machine {
     pub fn vcmp(&mut self, op: CmpOp, a: &VReg, b: &VReg) -> Mask {
         assert_eq!(a.len(), b.len(), "vcmp: length mismatch");
         self.charge_vector(OpKind::VCmp, a.len());
-        a.iter().zip(b.iter()).map(|(x, y)| op.apply(x, y)).collect()
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| op.apply(x, y))
+            .collect()
     }
 
     /// Elementwise compare against a broadcast scalar.
@@ -662,7 +804,9 @@ impl Machine {
         assert_eq!(a.len(), b.len(), "select: length mismatch");
         assert_eq!(a.len(), mask.len(), "select: mask length mismatch");
         self.charge_vector(OpKind::VAlu, a.len());
-        (0..a.len()).map(|i| if mask.get(i) { a.get(i) } else { b.get(i) }).collect()
+        (0..a.len())
+            .map(|i| if mask.get(i) { a.get(i) } else { b.get(i) })
+            .collect()
     }
 
     /// `countTrue(M)`: population count of a mask, charged as a reduction.
@@ -682,7 +826,11 @@ impl Machine {
     pub fn compress(&mut self, a: &VReg, mask: &Mask) -> VReg {
         assert_eq!(a.len(), mask.len(), "compress: mask length mismatch");
         self.charge_vector(OpKind::VCompress, a.len());
-        a.iter().zip(mask.iter()).filter(|&(_, m)| m).map(|(x, _)| x).collect()
+        a.iter()
+            .zip(mask.iter())
+            .filter(|&(_, m)| m)
+            .map(|(x, _)| x)
+            .collect()
     }
 
     /// Compress a mask by another mask (needed when narrowing bookkeeping
@@ -691,7 +839,11 @@ impl Machine {
     pub fn compress_mask(&mut self, a: &Mask, mask: &Mask) -> Mask {
         assert_eq!(a.len(), mask.len(), "compress_mask: mask length mismatch");
         self.charge_vector(OpKind::VCompress, a.len());
-        a.iter().zip(mask.iter()).filter(|&(_, m)| m).map(|(x, _)| x).collect()
+        a.iter()
+            .zip(mask.iter())
+            .filter(|&(_, m)| m)
+            .map(|(x, _)| x)
+            .collect()
     }
 
     /// Inverse of [`Machine::compress`]: distributes the elements of `a`
@@ -699,11 +851,21 @@ impl Machine {
     /// false positions receive `fill`.
     #[track_caller]
     pub fn expand(&mut self, a: &VReg, mask: &Mask, fill: Word) -> VReg {
-        assert_eq!(a.len(), mask.popcount(), "expand: data length != mask popcount");
+        assert_eq!(
+            a.len(),
+            mask.popcount(),
+            "expand: data length != mask popcount"
+        );
         self.charge_vector(OpKind::VExpand, mask.len());
         let mut it = a.iter();
         mask.iter()
-            .map(|m| if m { it.next().expect("length checked above") } else { fill })
+            .map(|m| {
+                if m {
+                    it.next().expect("length checked above")
+                } else {
+                    fill
+                }
+            })
             .collect()
     }
 
@@ -765,7 +927,7 @@ impl Machine {
     #[track_caller]
     pub fn s_write(&mut self, addr: Addr, w: Word) {
         self.charge_scalar(OpKind::SStore, 1);
-        self.mem.write(addr, w);
+        self.store(addr, w);
     }
 
     /// Scalar load with a sequential access pattern (streaming loops over
@@ -780,7 +942,7 @@ impl Machine {
     #[track_caller]
     pub fn s_write_seq(&mut self, addr: Addr, w: Word) {
         self.charge_scalar(OpKind::SStoreSeq, 1);
-        self.mem.write(addr, w);
+        self.store(addr, w);
     }
 
     /// Charges `count` scalar ALU operations (register arithmetic the
@@ -876,7 +1038,10 @@ mod tests {
             let val = m.vimm(&[7, 8, 9]);
             m.scatter(r, &idx, &val);
             let w = m.mem().read(r.base());
-            assert!([7, 8, 9].contains(&w), "stored {w} is not one of the written values");
+            assert!(
+                [7, 8, 9].contains(&w),
+                "stored {w} is not one of the written values"
+            );
         }
     }
 
@@ -898,7 +1063,11 @@ mod tests {
         let idx = m.vimm(&[0, 0]);
         let val = m.vimm(&[1, 2]);
         m.scatter_ordered(r, &idx, &val);
-        assert_eq!(m.mem().read(r.base()), 2, "VSTX semantics: element order, last wins");
+        assert_eq!(
+            m.mem().read(r.base()),
+            2,
+            "VSTX semantics: element order, last wins"
+        );
     }
 
     #[test]
@@ -1117,11 +1286,16 @@ mod tests {
                 Err(MachineTrap::DivideByZero { op, lane: 1 }),
                 "{op:?} must trap on the zero lane"
             );
-            assert_eq!(m.try_valu_s(op, &a, 0), Err(MachineTrap::DivideByZero { op, lane: 0 }));
+            assert_eq!(
+                m.try_valu_s(op, &a, 0),
+                Err(MachineTrap::DivideByZero { op, lane: 0 })
+            );
         }
         // Masked-off lanes never execute, so they cannot trap.
         let mask = Mask::from_slice(&[true, false]);
-        let r = m.try_valu_masked(AluOp::Div, &a, &b, &mask).expect("masked lane must not trap");
+        let r = m
+            .try_valu_masked(AluOp::Div, &a, &b, &mask)
+            .expect("masked lane must not trap");
         assert_eq!(r.as_slice(), &[2, 7]);
     }
 
@@ -1216,8 +1390,125 @@ mod tests {
             let val = m.vimm(&[7, 8, 9]);
             m.scatter(r, &idx, &val);
             let w = m.mem().read(r.base());
-            assert!([7, 8, 9].contains(&w), "stored {w} is not one of the written values");
+            assert!(
+                [7, 8, 9].contains(&w),
+                "stored {w} is not one of the written values"
+            );
         }
+    }
+
+    #[test]
+    fn txn_abort_restores_scatter_byte_exact() {
+        use crate::journal::Snapshot;
+        let mut m = Machine::with_policy(CostModel::unit(), ConflictPolicy::LastWins);
+        let r = m.alloc(6, "r");
+        m.mem_mut().write_region(r, &[1, 2, 3, 4, 5, 6]);
+        let snap = Snapshot::capture(m.mem(), &[r]);
+        m.begin_txn().unwrap();
+        let idx = m.vimm(&[0, 0, 3]);
+        let val = m.vimm(&[100, 200, 300]);
+        m.scatter(r, &idx, &val);
+        m.vfill(r, -9);
+        assert!(!snap.matches(m.mem()));
+        let j = m.abort_txn().unwrap();
+        assert!(snap.matches(m.mem()), "diff at {:?}", snap.diff(m.mem()));
+        assert!(!m.in_txn());
+        assert_eq!(j.len(), 6);
+    }
+
+    #[test]
+    fn txn_commit_keeps_writes() {
+        let mut m = machine();
+        let r = m.alloc(2, "r");
+        m.begin_txn().unwrap();
+        m.s_write(r.base(), 42);
+        m.s_write_seq(r.at(1), 43);
+        let j = m.commit_txn().unwrap();
+        assert_eq!(m.mem().read_region(r), vec![42, 43]);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.pre_image(r.base()), Some(0));
+    }
+
+    #[test]
+    fn txn_misuse_is_typed() {
+        use crate::journal::TxnError;
+        let mut m = machine();
+        assert_eq!(m.commit_txn().unwrap_err(), TxnError::NoTransaction);
+        assert_eq!(m.abort_txn().unwrap_err(), TxnError::NoTransaction);
+        m.begin_txn().unwrap();
+        assert_eq!(m.begin_txn().unwrap_err(), TxnError::NestedTransaction);
+        assert!(m.in_txn());
+        m.commit_txn().unwrap();
+    }
+
+    #[test]
+    fn txn_journal_covers_faulted_writes() {
+        use crate::fault::{AmalgamMode, FaultPlan};
+        use crate::journal::Snapshot;
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::torn_writes(3, u16::MAX, AmalgamMode::Xor)));
+        let r = m.alloc(2, "r");
+        m.mem_mut().write_region(r, &[5, 6]);
+        let snap = Snapshot::capture(m.mem(), &[r]);
+        m.begin_txn().unwrap();
+        let idx = m.vimm(&[0, 0, 1]);
+        let val = m.vimm(&[0b1100, 0b1010, 7]);
+        m.scatter(r, &idx, &val);
+        assert_eq!(m.fault_log().torn_writes(), 1);
+        m.abort_txn().unwrap();
+        assert!(snap.matches(m.mem()), "torn write must roll back too");
+    }
+
+    #[test]
+    fn txn_overlapping_scatters_keep_first_pre_image() {
+        use crate::journal::Snapshot;
+        let mut m = Machine::with_policy(CostModel::unit(), ConflictPolicy::LastWins);
+        let r = m.alloc(4, "r");
+        m.mem_mut().write_region(r, &[10, 20, 30, 40]);
+        let snap = Snapshot::capture(m.mem(), &[r]);
+        m.begin_txn().unwrap();
+        // Two scatters in one round whose target sets overlap at cells 1 and
+        // 2: the journal must keep the pre-images from *before the first*
+        // scatter, not the intermediate values the second one clobbered.
+        let idx_a = m.vimm(&[0, 1, 2]);
+        let val_a = m.vimm(&[-1, -2, -3]);
+        m.scatter(r, &idx_a, &val_a);
+        let idx_b = m.vimm(&[1, 2, 3]);
+        let val_b = m.vimm(&[-4, -5, -6]);
+        m.scatter(r, &idx_b, &val_b);
+        assert_eq!(m.mem().read_region(r), vec![-1, -4, -5, -6]);
+        let j = m.abort_txn().unwrap();
+        assert_eq!(j.len(), 4, "overlap must not double-journal");
+        assert_eq!(
+            j.pre_image(r.at(1)),
+            Some(20),
+            "first-write pre-image survives overlap"
+        );
+        assert_eq!(j.pre_image(r.at(2)), Some(30));
+        assert!(snap.matches(m.mem()), "diff at {:?}", snap.diff(m.mem()));
+    }
+
+    #[test]
+    fn txn_rolls_back_after_divide_by_zero_mid_round() {
+        use crate::journal::Snapshot;
+        let mut m = machine();
+        let r = m.alloc(3, "r");
+        m.mem_mut().write_region(r, &[7, 8, 9]);
+        let snap = Snapshot::capture(m.mem(), &[r]);
+        m.begin_txn().unwrap();
+        // A round that stores, then traps: the partial stores must unwind.
+        m.vfill(r, 111);
+        let num = m.vimm(&[6, 6]);
+        let den = m.vimm(&[2, 0]);
+        let trap = m.try_valu(AluOp::Div, &num, &den).unwrap_err();
+        assert!(matches!(trap, MachineTrap::DivideByZero { lane: 1, .. }));
+        assert!(m.in_txn(), "a trap must not silently close the transaction");
+        m.abort_txn().unwrap();
+        assert!(
+            snap.matches(m.mem()),
+            "mid-round trap left residue: {:?}",
+            snap.diff(m.mem())
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl Region {
     #[inline]
     #[track_caller]
     pub fn at(&self, i: usize) -> Addr {
-        assert!(i < self.len, "index {i} out of bounds of region of length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of bounds of region of length {}",
+            self.len
+        );
         self.base + i
     }
 
@@ -71,7 +75,10 @@ impl Region {
             "sub-region [{offset}, {offset}+{len}) exceeds region of length {}",
             self.len
         );
-        Region { base: self.base + offset, len }
+        Region {
+            base: self.base + offset,
+            len,
+        }
     }
 }
 
@@ -91,7 +98,10 @@ pub struct Memory {
 impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Self {
-        Self { words: Vec::new(), allocs: Vec::new() }
+        Self {
+            words: Vec::new(),
+            allocs: Vec::new(),
+        }
     }
 
     /// Allocates `len` words zero-initialized and registers them under

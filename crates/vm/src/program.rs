@@ -61,27 +61,86 @@ impl From<S> for Operand {
 #[allow(missing_docs)] // mirrors Machine's documented methods
 pub enum Inst {
     /// `dst := [start, start+1, …]` of length `n`.
-    Iota { dst: V, start: Operand, n: Operand },
+    Iota {
+        dst: V,
+        start: Operand,
+        n: Operand,
+    },
     /// `dst := n` copies of `value`.
-    Splat { dst: V, value: Operand, n: Operand },
-    Gather { dst: V, region: R, idx: V },
-    Scatter { region: R, idx: V, val: V },
-    AluS { dst: V, op: AluOp, a: V, b: Operand },
-    Alu { dst: V, op: AluOp, a: V, b: V },
-    Cmp { dst: M, op: CmpOp, a: V, b: V },
-    CmpS { dst: M, op: CmpOp, a: V, b: Operand },
-    MaskNot { dst: M, src: M },
-    Compress { dst: V, src: V, mask: M },
+    Splat {
+        dst: V,
+        value: Operand,
+        n: Operand,
+    },
+    Gather {
+        dst: V,
+        region: R,
+        idx: V,
+    },
+    Scatter {
+        region: R,
+        idx: V,
+        val: V,
+    },
+    AluS {
+        dst: V,
+        op: AluOp,
+        a: V,
+        b: Operand,
+    },
+    Alu {
+        dst: V,
+        op: AluOp,
+        a: V,
+        b: V,
+    },
+    Cmp {
+        dst: M,
+        op: CmpOp,
+        a: V,
+        b: V,
+    },
+    CmpS {
+        dst: M,
+        op: CmpOp,
+        a: V,
+        b: Operand,
+    },
+    MaskNot {
+        dst: M,
+        src: M,
+    },
+    Compress {
+        dst: V,
+        src: V,
+        mask: M,
+    },
     /// `dst := popcount(mask)` (a reduction into a scalar register).
-    CountTrue { dst: S, mask: M },
+    CountTrue {
+        dst: S,
+        mask: M,
+    },
     /// `dst := length of v`.
-    Length { dst: S, src: V },
+    Length {
+        dst: S,
+        src: V,
+    },
     /// Scalar arithmetic on registers/immediates.
-    SAlu { dst: S, op: AluOp, a: Operand, b: Operand },
+    SAlu {
+        dst: S,
+        op: AluOp,
+        a: Operand,
+        b: Operand,
+    },
     /// Jump to `target` when the scalar operand is zero.
-    JumpIfZero { cond: Operand, target: usize },
+    JumpIfZero {
+        cond: Operand,
+        target: usize,
+    },
     /// Unconditional jump.
-    Jump { target: usize },
+    Jump {
+        target: usize,
+    },
     /// Stop execution.
     Halt,
 }
@@ -286,11 +345,19 @@ pub fn execute(
                 let n = regs.operand(*n) as usize;
                 *regs.v_mut(*dst) = machine.vsplat(value, n);
             }
-            Inst::Gather { dst, region: r, idx } => {
+            Inst::Gather {
+                dst,
+                region: r,
+                idx,
+            } => {
                 let out = machine.gather(region(*r), regs.v(*idx));
                 *regs.v_mut(*dst) = out;
             }
-            Inst::Scatter { region: r, idx, val } => {
+            Inst::Scatter {
+                region: r,
+                idx,
+                val,
+            } => {
                 let idx = regs.v(*idx).clone();
                 let val = regs.v(*val).clone();
                 machine.scatter(region(*r), &idx, &val);
@@ -377,23 +444,77 @@ mod tests {
         let mut p = Program::new();
         let loop_top = p.here();
         // if live count == 0 -> halt (patched below)
-        let jz = p.push(Inst::JumpIfZero { cond: S(0).into(), target: usize::MAX });
+        let jz = p.push(Inst::JumpIfZero {
+            cond: S(0).into(),
+            target: usize::MAX,
+        });
         // Step 1: write labels through V.
-        p.push(Inst::Scatter { region: R(0), idx: V(0), val: V(1) });
+        p.push(Inst::Scatter {
+            region: R(0),
+            idx: V(0),
+            val: V(1),
+        });
         // Step 2: read back, compare, survivors' positions -> round_of.
-        p.push(Inst::Gather { dst: V(3), region: R(0), idx: V(0) });
-        p.push(Inst::Cmp { dst: M(0), op: CmpOp::Eq, a: V(3), b: V(1) });
-        p.push(Inst::Compress { dst: V(5), src: V(2), mask: M(0) });
-        p.push(Inst::Length { dst: S(2), src: V(5) });
-        p.push(Inst::Splat { dst: V(4), value: S(1).into(), n: S(2).into() });
-        p.push(Inst::Scatter { region: R(1), idx: V(5), val: V(4) });
+        p.push(Inst::Gather {
+            dst: V(3),
+            region: R(0),
+            idx: V(0),
+        });
+        p.push(Inst::Cmp {
+            dst: M(0),
+            op: CmpOp::Eq,
+            a: V(3),
+            b: V(1),
+        });
+        p.push(Inst::Compress {
+            dst: V(5),
+            src: V(2),
+            mask: M(0),
+        });
+        p.push(Inst::Length {
+            dst: S(2),
+            src: V(5),
+        });
+        p.push(Inst::Splat {
+            dst: V(4),
+            value: S(1).into(),
+            n: S(2).into(),
+        });
+        p.push(Inst::Scatter {
+            region: R(1),
+            idx: V(5),
+            val: V(4),
+        });
         // Step 3: delete processed pointers; bump the round counter.
-        p.push(Inst::MaskNot { dst: M(1), src: M(0) });
-        p.push(Inst::Compress { dst: V(0), src: V(0), mask: M(1) });
-        p.push(Inst::Compress { dst: V(1), src: V(1), mask: M(1) });
-        p.push(Inst::Compress { dst: V(2), src: V(2), mask: M(1) });
-        p.push(Inst::Length { dst: S(0), src: V(0) });
-        p.push(Inst::SAlu { dst: S(1), op: AluOp::Add, a: S(1).into(), b: 1.into() });
+        p.push(Inst::MaskNot {
+            dst: M(1),
+            src: M(0),
+        });
+        p.push(Inst::Compress {
+            dst: V(0),
+            src: V(0),
+            mask: M(1),
+        });
+        p.push(Inst::Compress {
+            dst: V(1),
+            src: V(1),
+            mask: M(1),
+        });
+        p.push(Inst::Compress {
+            dst: V(2),
+            src: V(2),
+            mask: M(1),
+        });
+        p.push(Inst::Length {
+            dst: S(0),
+            src: V(0),
+        });
+        p.push(Inst::SAlu {
+            dst: S(1),
+            op: AluOp::Add,
+            a: S(1).into(),
+            b: 1.into(),
+        });
         // Step 4: repeat.
         p.push(Inst::Jump { target: loop_top });
         let end = p.here();
@@ -439,11 +560,7 @@ mod tests {
     /// on fol-vm, so the dependency cannot point the other way; the
     /// equivalence test in fol-suite's integration suite covers the real
     /// pairing).
-    fn fol_core_equiv(
-        m: &mut Machine,
-        work: Region,
-        targets: &[Word],
-    ) -> Vec<Vec<usize>> {
+    fn fol_core_equiv(m: &mut Machine, work: Region, targets: &[Word]) -> Vec<Vec<usize>> {
         let mut v = m.vimm(targets);
         let mut labels = m.iota(0, targets.len());
         let mut positions = m.iota(0, targets.len());
@@ -484,11 +601,32 @@ mod tests {
     #[test]
     fn straight_line_arithmetic() {
         let mut p = Program::new();
-        p.push(Inst::Iota { dst: V(0), start: 0.into(), n: 4.into() });
-        p.push(Inst::AluS { dst: V(1), op: AluOp::Mul, a: V(0), b: 3.into() });
-        p.push(Inst::CmpS { dst: M(0), op: CmpOp::Ge, a: V(1), b: 6.into() });
-        p.push(Inst::Compress { dst: V(2), src: V(1), mask: M(0) });
-        p.push(Inst::CountTrue { dst: S(0), mask: M(0) });
+        p.push(Inst::Iota {
+            dst: V(0),
+            start: 0.into(),
+            n: 4.into(),
+        });
+        p.push(Inst::AluS {
+            dst: V(1),
+            op: AluOp::Mul,
+            a: V(0),
+            b: 3.into(),
+        });
+        p.push(Inst::CmpS {
+            dst: M(0),
+            op: CmpOp::Ge,
+            a: V(1),
+            b: 6.into(),
+        });
+        p.push(Inst::Compress {
+            dst: V(2),
+            src: V(1),
+            mask: M(0),
+        });
+        p.push(Inst::CountTrue {
+            dst: S(0),
+            mask: M(0),
+        });
         p.push(Inst::Halt);
         let mut m = Machine::new(CostModel::unit());
         let (regs, stop) = execute(&mut m, &p, &[], Registers::default(), 100);
@@ -500,7 +638,11 @@ mod tests {
     #[test]
     fn program_charges_the_machine() {
         let mut p = Program::new();
-        p.push(Inst::Splat { dst: V(0), value: 7.into(), n: 100.into() });
+        p.push(Inst::Splat {
+            dst: V(0),
+            value: 7.into(),
+            n: 100.into(),
+        });
         p.push(Inst::Halt);
         let mut m = Machine::new(CostModel::s810());
         let (_, _) = execute(&mut m, &p, &[], Registers::default(), 10);

@@ -30,6 +30,10 @@ impl fmt::Display for TraceEntry {
 #[derive(Clone, Debug, Default)]
 pub struct Tracer {
     entries: Vec<TraceEntry>,
+    /// Out-of-band notes pinned to an entry index — e.g. injected faults
+    /// (see [`crate::FaultLog::summary`]), so a recovery report and a trace
+    /// can be correlated instruction by instruction.
+    annotations: Vec<(usize, String)>,
 }
 
 impl Tracer {
@@ -41,6 +45,18 @@ impl Tracer {
     /// Appends an entry.
     pub(crate) fn record(&mut self, kind: OpKind, n: usize, cycles: u64) {
         self.entries.push(TraceEntry { kind, n, cycles });
+    }
+
+    /// Attaches a note to the position *after* the most recent entry. The
+    /// machine uses this to pin every injected fault to the instruction
+    /// that suffered it.
+    pub fn annotate(&mut self, note: impl Into<String>) {
+        self.annotations.push((self.entries.len(), note.into()));
+    }
+
+    /// All annotations as `(entry index, note)`, in recording order.
+    pub fn annotations(&self) -> &[(usize, String)] {
+        &self.annotations
     }
 
     /// All recorded entries in issue order.
@@ -61,6 +77,7 @@ impl Tracer {
     /// Clears the recording.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.annotations.clear();
     }
 
     /// Count of entries of one kind.
@@ -77,8 +94,19 @@ impl Tracer {
 
 impl fmt::Display for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut notes = self.annotations.iter().peekable();
+        while let Some((_, note)) = notes.next_if(|(at, _)| *at == 0) {
+            writeln!(f, "      ! {note}")?;
+        }
         for (i, e) in self.entries.iter().enumerate() {
             writeln!(f, "{i:4}: {e}")?;
+            while let Some((_, note)) = notes.next_if(|(at, _)| *at == i + 1) {
+                writeln!(f, "      ! {note}")?;
+            }
+        }
+        // Notes recorded before any entry (or left over after the last).
+        for (_, note) in notes {
+            writeln!(f, "      ! {note}")?;
         }
         Ok(())
     }
@@ -109,6 +137,23 @@ mod tests {
         t.record(OpKind::VGather, 4, 10);
         t.record(OpKind::VCompress, 4, 10);
         assert!(t.is_fully_vector());
+    }
+
+    #[test]
+    fn annotations_pin_to_the_preceding_entry() {
+        let mut t = Tracer::new();
+        t.record(OpKind::VScatter, 4, 10);
+        t.annotate("fault: lane 2 dropped");
+        t.record(OpKind::VGather, 4, 10);
+        assert_eq!(t.annotations(), &[(1, "fault: lane 2 dropped".to_string())]);
+        let s = format!("{t}");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("VScatter"));
+        assert!(lines[1].contains("! fault: lane 2 dropped"));
+        assert!(lines[2].contains("VGather"));
+        t.clear();
+        assert!(t.annotations().is_empty());
     }
 
     #[test]

@@ -30,7 +30,9 @@ impl VReg {
     /// Creates a vector by copying a slice.
     #[inline]
     pub fn from_slice(elems: &[Word]) -> Self {
-        Self { elems: elems.to_vec() }
+        Self {
+            elems: elems.to_vec(),
+        }
     }
 
     /// An empty vector (length 0).
@@ -122,13 +124,17 @@ impl Mask {
     /// Creates a mask by copying a slice.
     #[inline]
     pub fn from_slice(bits: &[bool]) -> Self {
-        Self { bits: bits.to_vec() }
+        Self {
+            bits: bits.to_vec(),
+        }
     }
 
     /// A mask of `n` elements, all `value`.
     #[inline]
     pub fn splat(value: bool, n: usize) -> Self {
-        Self { bits: vec![value; n] }
+        Self {
+            bits: vec![value; n],
+        }
     }
 
     /// Number of elements.
@@ -252,6 +258,9 @@ mod tests {
     #[test]
     fn debug_formats() {
         assert_eq!(format!("{:?}", VReg::from_slice(&[7])), "VReg[7]");
-        assert_eq!(format!("{:?}", Mask::from_slice(&[true, false])), "Mask[1, 0]");
+        assert_eq!(
+            format!("{:?}", Mask::from_slice(&[true, false])),
+            "Mask[1, 0]"
+        );
     }
 }

@@ -1,64 +1,98 @@
 //! Property tests of the machine's instruction semantics and cost model.
+//!
+//! Deterministic seeded sweeps (SplitMix64) stand in for a property-testing
+//! framework: each property is checked over many generated cases, and a
+//! failure names the seed so the case replays exactly.
 
 use fol_vm::{AluOp, CmpOp, ConflictPolicy, CostModel, Machine, Mask, OpKind, VReg, Word};
-use proptest::prelude::*;
 
-fn policies() -> impl Strategy<Value = ConflictPolicy> {
-    prop_oneof![
-        Just(ConflictPolicy::FirstWins),
-        Just(ConflictPolicy::LastWins),
-        any::<u64>().prop_map(ConflictPolicy::Arbitrary),
-        any::<u64>().prop_map(ConflictPolicy::Adversarial),
+/// SplitMix64 — deterministic case generator for the seeded sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform signed draw from `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+fn policies(rng: &mut Rng) -> Vec<ConflictPolicy> {
+    vec![
+        ConflictPolicy::FirstWins,
+        ConflictPolicy::LastWins,
+        ConflictPolicy::Arbitrary(rng.next_u64()),
+        ConflictPolicy::Adversarial(rng.next_u64()),
     ]
 }
 
-proptest! {
-    /// ELS over random scatters: after any scatter, every targeted cell
-    /// holds one of the values written to it, and untouched cells are
-    /// unchanged.
-    #[test]
-    fn scatter_satisfies_els(
-        writes in prop::collection::vec((0usize..16, -100i64..100), 0..48),
-        policy in policies(),
-    ) {
-        let mut m = Machine::with_policy(CostModel::unit(), policy);
-        let r = m.alloc(16, "r");
-        m.vfill(r, -999);
-        let idx: VReg = writes.iter().map(|&(i, _)| i as Word).collect();
-        let val: VReg = writes.iter().map(|&(_, v)| v).collect();
-        m.scatter(r, &idx, &val);
-        for cell in 0..16usize {
-            let stored = m.mem().read(r.base() + cell);
-            let writers: Vec<Word> = writes
-                .iter()
-                .filter(|&&(i, _)| i == cell)
-                .map(|&(_, v)| v)
-                .collect();
-            if writers.is_empty() {
-                prop_assert_eq!(stored, -999, "cell {} must be untouched", cell);
-            } else {
-                prop_assert!(
-                    writers.contains(&stored),
-                    "cell {} holds {} not among {:?}",
-                    cell, stored, writers
-                );
+/// ELS over random scatters: after any scatter, every targeted cell holds
+/// one of the values written to it, and untouched cells are unchanged.
+#[test]
+fn scatter_satisfies_els() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n = rng.below(48) as usize;
+        let writes: Vec<(usize, i64)> = (0..n)
+            .map(|_| (rng.below(16) as usize, rng.range(-100, 100)))
+            .collect();
+        for policy in policies(&mut rng) {
+            let mut m = Machine::with_policy(CostModel::unit(), policy.clone());
+            let r = m.alloc(16, "r");
+            m.vfill(r, -999);
+            let idx: VReg = writes.iter().map(|&(i, _)| i as Word).collect();
+            let val: VReg = writes.iter().map(|&(_, v)| v).collect();
+            m.scatter(r, &idx, &val);
+            for cell in 0..16usize {
+                let stored = m.mem().read(r.base() + cell);
+                let writers: Vec<Word> = writes
+                    .iter()
+                    .filter(|&&(i, _)| i == cell)
+                    .map(|&(_, v)| v)
+                    .collect();
+                if writers.is_empty() {
+                    assert_eq!(stored, -999, "seed {seed} {policy:?}: cell {cell} touched");
+                } else {
+                    assert!(
+                        writers.contains(&stored),
+                        "seed {seed} {policy:?}: cell {cell} holds {stored} not among {writers:?}"
+                    );
+                }
             }
         }
     }
+}
 
-    /// gather(scatter(x)) round-trips when indices are distinct.
-    #[test]
-    fn gather_after_conflict_free_scatter_roundtrips(
-        perm_seed in any::<u64>(),
-        vals in prop::collection::vec(-1000i64..1000, 1..32),
-    ) {
-        let n = vals.len();
-        // Build a permutation of 0..n from the seed.
+/// gather(scatter(x)) round-trips when indices are distinct.
+#[test]
+fn gather_after_conflict_free_scatter_roundtrips() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n = 1 + rng.below(31) as usize;
+        let vals: Vec<i64> = (0..n).map(|_| rng.range(-1000, 1000)).collect();
+        // Build a permutation of 0..n.
         let mut idx: Vec<Word> = (0..n as Word).collect();
-        let mut s = perm_seed;
         for i in (1..n).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (s >> 33) as usize % (i + 1);
+            let j = rng.below(i as u64 + 1) as usize;
             idx.swap(i, j);
         }
         let mut m = Machine::new(CostModel::unit());
@@ -67,61 +101,86 @@ proptest! {
         let vv = m.vimm(&vals);
         m.scatter(r, &iv, &vv);
         let back = m.gather(r, &iv);
-        prop_assert_eq!(back.as_slice(), &vals[..]);
+        assert_eq!(back.as_slice(), &vals[..], "seed {seed}");
     }
+}
 
-    /// compress/expand are inverses for any data and mask.
-    #[test]
-    fn compress_expand_inverse(
-        data in prop::collection::vec(-50i64..50, 0..40),
-        bits in prop::collection::vec(any::<bool>(), 0..40),
-    ) {
-        let n = data.len().min(bits.len());
+/// compress/expand are inverses for any data and mask.
+#[test]
+fn compress_expand_inverse() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n = rng.below(40) as usize;
+        let data: Vec<i64> = (0..n).map(|_| rng.range(-50, 50)).collect();
+        let bits: Vec<bool> = (0..n).map(|_| rng.bool()).collect();
         let mut m = Machine::new(CostModel::unit());
-        let v = m.vimm(&data[..n]);
-        let mask = Mask::from_slice(&bits[..n]);
+        let v = m.vimm(&data);
+        let mask = Mask::from_slice(&bits);
         let packed = m.compress(&v, &mask);
         let unpacked = m.expand(&packed, &mask, -77);
         for i in 0..n {
             if mask.get(i) {
-                prop_assert_eq!(unpacked.get(i), v.get(i));
+                assert_eq!(unpacked.get(i), v.get(i), "seed {seed}: lane {i}");
             } else {
-                prop_assert_eq!(unpacked.get(i), -77);
+                assert_eq!(unpacked.get(i), -77, "seed {seed}: lane {i}");
             }
         }
     }
+}
 
-    /// The prefix-sum instruction equals the sequential fold.
-    #[test]
-    fn prefix_sum_matches_fold(data in prop::collection::vec(-100i64..100, 0..64)) {
+/// The prefix-sum instruction equals the sequential fold.
+#[test]
+fn prefix_sum_matches_fold() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n = rng.below(64) as usize;
+        let data: Vec<i64> = (0..n).map(|_| rng.range(-100, 100)).collect();
         let mut m = Machine::new(CostModel::unit());
         let v = m.vimm(&data);
         let p = m.vprefix_sum(&v);
         let mut acc = 0i64;
         for (i, &x) in data.iter().enumerate() {
             acc += x;
-            prop_assert_eq!(p.get(i), acc);
+            assert_eq!(p.get(i), acc, "seed {seed}: lane {i}");
         }
     }
+}
 
-    /// Vector cost is monotone in length and every op charges something.
-    #[test]
-    fn vector_cost_monotone(n in 0usize..10_000, extra in 1usize..1000) {
-        let model = CostModel::s810();
-        for kind in [OpKind::VLoad, OpKind::VGather, OpKind::VScatter, OpKind::VAlu] {
+/// Vector cost is monotone in length and every op charges something.
+#[test]
+fn vector_cost_monotone() {
+    let model = CostModel::s810();
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n = rng.below(10_000) as usize;
+        let extra = 1 + rng.below(999) as usize;
+        for kind in [
+            OpKind::VLoad,
+            OpKind::VGather,
+            OpKind::VScatter,
+            OpKind::VAlu,
+        ] {
             let a = model.vector_cost(kind, n);
             let b = model.vector_cost(kind, n + extra);
-            prop_assert!(b > a || (a > 0 && n + extra <= model.vlen && b >= a));
-            prop_assert!(a > 0);
+            assert!(
+                b > a || (a > 0 && n + extra <= model.vlen && b >= a),
+                "seed {seed}: {kind:?} not monotone at n={n} extra={extra}"
+            );
+            assert!(a > 0, "seed {seed}: {kind:?} free at n={n}");
         }
     }
+}
 
-    /// select() agrees with the mask-wise definition and masked ALU keeps
-    /// unmasked lanes.
-    #[test]
-    fn select_and_masked_alu(
-        pairs in prop::collection::vec((-50i64..50, -50i64..50, any::<bool>()), 0..32),
-    ) {
+/// select() agrees with the mask-wise definition and masked ALU keeps
+/// unmasked lanes.
+#[test]
+fn select_and_masked_alu() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n = rng.below(32) as usize;
+        let pairs: Vec<(i64, i64, bool)> = (0..n)
+            .map(|_| (rng.range(-50, 50), rng.range(-50, 50), rng.bool()))
+            .collect();
         let mut m = Machine::new(CostModel::unit());
         let a: VReg = pairs.iter().map(|&(x, _, _)| x).collect();
         let b: VReg = pairs.iter().map(|&(_, y, _)| y).collect();
@@ -129,19 +188,33 @@ proptest! {
         let sel = m.select(&mask, &a, &b);
         let sum = m.valu_masked(AluOp::Add, &a, &b, &mask);
         for (i, &(x, y, t)) in pairs.iter().enumerate() {
-            prop_assert_eq!(sel.get(i), if t { x } else { y });
-            prop_assert_eq!(sum.get(i), if t { x + y } else { x });
+            assert_eq!(sel.get(i), if t { x } else { y }, "seed {seed}: lane {i}");
+            assert_eq!(
+                sum.get(i),
+                if t { x + y } else { x },
+                "seed {seed}: lane {i}"
+            );
         }
     }
+}
 
-    /// Compare + count_true equals the host count.
-    #[test]
-    fn cmp_count_agree(data in prop::collection::vec(-20i64..20, 0..64), pivot in -20i64..20) {
+/// Compare + count_true equals the host count.
+#[test]
+fn cmp_count_agree() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n = rng.below(64) as usize;
+        let data: Vec<i64> = (0..n).map(|_| rng.range(-20, 20)).collect();
+        let pivot = rng.range(-20, 20);
         let mut m = Machine::new(CostModel::unit());
         let v = m.vimm(&data);
         let mask = m.vcmp_s(CmpOp::Lt, &v, pivot);
         let counted = m.count_true(&mask);
-        prop_assert_eq!(counted, data.iter().filter(|&&x| x < pivot).count());
+        assert_eq!(
+            counted,
+            data.iter().filter(|&&x| x < pivot).count(),
+            "seed {seed}"
+        );
     }
 }
 
@@ -175,7 +248,12 @@ mod indirect_edges {
     }
 
     const CASES: &[Case] = &[
-        Case { name: "empty scatter", writes: &[], mask: None, expect: &[] },
+        Case {
+            name: "empty scatter",
+            writes: &[],
+            mask: None,
+            expect: &[],
+        },
         Case {
             name: "empty masked scatter",
             writes: &[],
@@ -233,11 +311,7 @@ mod indirect_edges {
                 for &(cell, want) in case.expect {
                     let got = m.mem().read(r.base() + cell);
                     match want {
-                        Some(w) => assert_eq!(
-                            got, w,
-                            "{} / {policy:?}: cell {cell}",
-                            case.name
-                        ),
+                        Some(w) => assert_eq!(got, w, "{} / {policy:?}: cell {cell}", case.name),
                         None => {
                             let writers: Vec<Word> = case
                                 .writes
@@ -261,7 +335,11 @@ mod indirect_edges {
     fn scatter_ordered_table() {
         // Ordered scatter: element order decides, so every expectation is
         // exact — including a duplicate at the region's last cell.
-        type OrderedCase = (&'static str, &'static [(Word, Word)], &'static [(usize, Word)]);
+        type OrderedCase = (
+            &'static str,
+            &'static [(Word, Word)],
+            &'static [(usize, Word)],
+        );
         let cases: &[OrderedCase] = &[
             ("empty", &[], &[]),
             ("single at max", &[(MAX, 42)], &[(REGION - 1, 42)]),

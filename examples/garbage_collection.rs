@@ -56,7 +56,10 @@ fn wide_heap() {
     assert_eq!(rep_s.copied, rep_v.copied);
     println!("live cells: {}", rep_v.copied);
     println!("scalar {scalar} cycles, vectorized {vector} cycles");
-    println!("acceleration ratio: {:.2}x (wide frontier -> vector wins)\n", scalar as f64 / vector as f64);
+    println!(
+        "acceleration ratio: {:.2}x (wide frontier -> vector wins)\n",
+        scalar as f64 / vector as f64
+    );
 }
 
 fn deep_list() {

@@ -35,7 +35,10 @@ fn main() {
     let vc = m.stats().cycles();
     assert_eq!(s.distance, v.distance);
     println!("96x96 open field: {} steps", v.distance.expect("reachable"));
-    println!("scalar {sc} cycles, vectorized {vc} cycles -> {:.2}x\n", sc as f64 / vc as f64);
+    println!(
+        "scalar {sc} cycles, vectorized {vc} cycles -> {:.2}x\n",
+        sc as f64 / vc as f64
+    );
 
     // Now a corridor maze: wavefronts one cell wide, the paper's caveat
     // (inherently sequential structure is not accelerated).
@@ -53,7 +56,10 @@ fn main() {
 
     assert_eq!(scalar.distance, vector.distance);
     let dist = vector.distance.expect("target reachable");
-    println!("corridor maze: {dist} steps, found in {} waves", vector.waves);
+    println!(
+        "corridor maze: {dist} steps, found in {} waves",
+        vector.waves
+    );
     println!("scalar BFS:    {scalar_cycles} modelled cycles");
     println!("vectorized:    {vector_cycles} modelled cycles");
     println!(
@@ -69,7 +75,13 @@ fn main() {
         let line: String = row
             .chars()
             .enumerate()
-            .map(|(x, c)| if on_path.contains(&maze.at(x, y)) { '*' } else { c })
+            .map(|(x, c)| {
+                if on_path.contains(&maze.at(x, y)) {
+                    '*'
+                } else {
+                    c
+                }
+            })
             .collect();
         println!("{line}");
     }

@@ -28,7 +28,10 @@ fn demo_forced_vectorization_fails() {
     let snapshot = m.mem().read_region(table);
     let survivors: Vec<_> = snapshot.iter().filter(|&&w| w != UNENTERED).collect();
     println!("table after one scatter: {snapshot:?}");
-    println!("stored {} of 2 keys — one was overwritten\n", survivors.len());
+    println!(
+        "stored {} of 2 keys — one was overwritten\n",
+        survivors.len()
+    );
     assert_eq!(survivors.len(), 1);
 }
 
@@ -71,8 +74,14 @@ fn demo_open_addressing_speedup() {
     let report = oa::vectorized_insert_all(&mut mv, tv, &keys, ProbeStrategy::KeyDependent);
     let vector = mv.stats().cycles();
 
-    println!("scalar: {scalar} cycles; vectorized: {vector} cycles ({} iterations)", report.iterations);
-    println!("acceleration ratio: {:.2}x (paper: 12.3x on the S-810)", scalar as f64 / vector as f64);
+    println!(
+        "scalar: {scalar} cycles; vectorized: {vector} cycles ({} iterations)",
+        report.iterations
+    );
+    println!(
+        "acceleration ratio: {:.2}x (paper: 12.3x on the S-810)",
+        scalar as f64 / vector as f64
+    );
     assert_eq!(
         oa::stored_keys(&ms.mem().read_region(ts)),
         oa::stored_keys(&mv.mem().read_region(tv))

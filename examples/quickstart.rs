@@ -19,7 +19,10 @@ fn main() {
     //    every position targets a distinct cell.
     let d = fol1_host(&targets, 3);
     println!("FOL1 rounds (positions of V): {d:?}");
-    println!("round sizes {:?} — minimal: M = max multiplicity = 3\n", d.sizes());
+    println!(
+        "round sizes {:?} — minimal: M = max multiplicity = 3\n",
+        d.sizes()
+    );
     assert!(theory::is_disjoint_cover(&d, targets.len()));
     assert!(theory::rounds_target_distinct(&d, &targets));
     assert!(theory::sizes_monotone(&d));

@@ -29,7 +29,11 @@ fn fig5_rewrite() {
     );
     println!("leaves in order after:  {:?}", t.leaves_inorder(&m));
     assert!(t.is_normal_form(&m));
-    assert_eq!(t.eval_affine(&m), value_before, "associative value preserved");
+    assert_eq!(
+        t.eval_affine(&m),
+        value_before,
+        "associative value preserved"
+    );
     println!("associative evaluation unchanged: {value_before:?}\n");
 }
 
@@ -37,7 +41,9 @@ fn fig5_rewrite() {
 /// vectorized, with the modelled acceleration ratio.
 fn fig14_bst_insert() {
     println!("— Fig 14: BST multiple insertion, Ni = 2048, 300 new keys —");
-    let init: Vec<i64> = (0..2048).map(|i| (i * 1103515245 + 12345) % 1_000_000).collect();
+    let init: Vec<i64> = (0..2048)
+        .map(|i| (i * 1103515245 + 12345) % 1_000_000)
+        .collect();
     let keys: Vec<i64> = (0..300).map(|i| (i * 69069 + 7) % 1_000_000).collect();
 
     let mut ms = Machine::new(CostModel::s810());

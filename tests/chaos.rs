@@ -1,0 +1,333 @@
+//! Chaos suite: every workload × fault plan × seed must either complete
+//! with output identical to its scalar reference, or return a typed error
+//! after a byte-exact rollback — never a silent wrong answer.
+//!
+//! Two regimes are swept:
+//!
+//! * **Full ladder** (the default [`RetryPolicy`]): the last rung is
+//!   `ScalarTail`, which no scatter fault can touch, so *every* cell must
+//!   complete — even under 100% fault rates — and the result must match
+//!   the host-side oracle exactly.
+//! * **Restricted ladder** (`vector_only`, no reseed) under total lane
+//!   loss: every attempt must fail, and the machine memory the workload
+//!   touched must read back byte-identical to a pre-transaction
+//!   [`Snapshot`] — the journaled-rollback guarantee.
+//!
+//! When a cell fails, the run's [`RecoveryReport`] is serialized to
+//! `target/chaos/recovery_report.json` (or `$CHAOS_ARTIFACT_DIR`) so CI
+//! can attach it as an artifact.
+
+use fol_core::recover::{RecoveryReport, RetryPolicy};
+use fol_graph::components::{txn_components, union_find_components, Components};
+use fol_hash::chaining::{all_keys, txn_insert_all as txn_chain_insert, ChainTable};
+use fol_hash::open_addressing::{
+    contains, init_table, stored_keys, txn_insert_all as txn_oa_insert,
+};
+use fol_hash::ProbeStrategy;
+use fol_sort::dist_count::txn_sort;
+use fol_tree::bst::{txn_insert_all as txn_bst_insert, Bst};
+use fol_tree::rewrite::{txn_rewrite_to_normal_form, OpTree};
+use fol_vm::{AmalgamMode, CostModel, FaultPlan, Machine, Region, Snapshot, Word};
+
+/// The fault matrix: benign, light drops, light tears, mixed, and hostile.
+fn fault_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("benign", FaultPlan::benign(seed)),
+        ("drops-3%", FaultPlan::dropped_lanes(seed, 2000)),
+        (
+            "tears-3%",
+            FaultPlan::torn_writes(seed, 2000, AmalgamMode::Xor),
+        ),
+        (
+            "mixed-12%",
+            FaultPlan::dropped_lanes(seed, 8000).with_torn_writes(8000, AmalgamMode::Or),
+        ),
+        (
+            "hostile-46%",
+            FaultPlan::dropped_lanes(seed, 30000).with_torn_writes(30000, AmalgamMode::And),
+        ),
+    ]
+}
+
+const SEEDS: [u64; 3] = [1, 42, 20260806];
+
+/// Serializes a failing run's report for the CI artifact, then panics with
+/// the cell's identity.
+fn fail_cell(workload: &str, plan: &str, seed: u64, report: &RecoveryReport, why: &str) -> ! {
+    let dir = std::env::var("CHAOS_ARTIFACT_DIR").unwrap_or_else(|_| "target/chaos".into());
+    let _ = std::fs::create_dir_all(&dir);
+    let path = format!("{dir}/recovery_report.json");
+    let body = format!(
+        "{{\"workload\":\"{workload}\",\"plan\":\"{plan}\",\"seed\":{seed},\"reason\":\"{why}\",\"report\":{}}}\n",
+        report.to_json()
+    );
+    let _ = std::fs::write(&path, body);
+    panic!("chaos cell failed: {workload} / {plan} / seed {seed}: {why} (report at {path})");
+}
+
+fn machine_with(plan: FaultPlan) -> Machine {
+    let mut m = Machine::new(CostModel::unit());
+    m.set_fault_plan(Some(plan));
+    m
+}
+
+fn keys_for(seed: u64, n: usize, modulus: Word) -> Vec<Word> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 16) as Word).rem_euclid(modulus)
+        })
+        .collect()
+}
+
+#[test]
+fn chaining_always_completes_and_matches_reference() {
+    for seed in SEEDS {
+        for (name, plan) in fault_plans(seed) {
+            let keys = keys_for(seed ^ 0xC4A1, 28, 1000);
+            let mut m = machine_with(plan);
+            let mut t = ChainTable::alloc(&mut m, 11, 32);
+            match txn_chain_insert(&mut m, &mut t, &keys, &RetryPolicy::default()) {
+                Ok((_, report)) => {
+                    let mut expect = keys.clone();
+                    expect.sort_unstable();
+                    if all_keys(&m, &t) != expect {
+                        fail_cell("chaining", name, seed, &report, "contents diverge");
+                    }
+                }
+                Err(e) => fail_cell("chaining", name, seed, &e.report, "full ladder exhausted"),
+            }
+            assert!(!m.in_txn(), "chaining/{name}/{seed}: txn left open");
+        }
+    }
+}
+
+#[test]
+fn open_addressing_always_completes_and_matches_reference() {
+    for seed in SEEDS {
+        for (name, plan) in fault_plans(seed) {
+            // Distinct keys (the workload's precondition).
+            let keys: Vec<Word> = (0..24).map(|i| (i * 97 + seed as Word % 89) + 1).collect();
+            let mut m = machine_with(plan);
+            let table = m.alloc(67, "table");
+            init_table(&mut m, table);
+            let probe = ProbeStrategy::KeyDependent;
+            match txn_oa_insert(&mut m, table, &keys, probe, &RetryPolicy::default()) {
+                Ok((_, report)) => {
+                    let snap = m.mem().read_region(table);
+                    let mut expect = keys.clone();
+                    expect.sort_unstable();
+                    if stored_keys(&snap) != expect
+                        || keys.iter().any(|&k| !contains(&snap, k, probe))
+                    {
+                        fail_cell("open_addressing", name, seed, &report, "contents diverge");
+                    }
+                }
+                Err(e) => fail_cell(
+                    "open_addressing",
+                    name,
+                    seed,
+                    &e.report,
+                    "full ladder exhausted",
+                ),
+            }
+            assert!(!m.in_txn(), "open_addressing/{name}/{seed}: txn left open");
+        }
+    }
+}
+
+#[test]
+fn bst_always_completes_and_matches_reference() {
+    for seed in SEEDS {
+        for (name, plan) in fault_plans(seed) {
+            let keys = keys_for(seed ^ 0xB57, 24, 200);
+            let mut m = machine_with(plan);
+            let mut t = Bst::alloc(&mut m, 32);
+            match txn_bst_insert(&mut m, &mut t, &keys, &RetryPolicy::default()) {
+                Ok((_, report)) => {
+                    let mut expect = keys.clone();
+                    expect.sort_unstable();
+                    if t.inorder(&m) != expect {
+                        fail_cell("bst", name, seed, &report, "inorder diverges");
+                    }
+                }
+                Err(e) => fail_cell("bst", name, seed, &e.report, "full ladder exhausted"),
+            }
+            assert!(!m.in_txn(), "bst/{name}/{seed}: txn left open");
+        }
+    }
+}
+
+#[test]
+fn rewrite_always_completes_and_matches_reference() {
+    for seed in SEEDS {
+        for (name, plan) in fault_plans(seed) {
+            let symbols = keys_for(seed ^ 0x5EED, 14, 512);
+            let mut m = machine_with(plan);
+            let t = OpTree::right_comb(&mut m, &symbols);
+            let before_leaves = t.leaves_inorder(&m);
+            let before_val = t.eval_affine(&m);
+            match txn_rewrite_to_normal_form(&mut m, &t, &RetryPolicy::default()) {
+                Ok((_, report)) => {
+                    if !t.is_normal_form(&m)
+                        || t.leaves_inorder(&m) != before_leaves
+                        || t.eval_affine(&m) != before_val
+                    {
+                        fail_cell("rewrite", name, seed, &report, "normal form diverges");
+                    }
+                }
+                Err(e) => fail_cell("rewrite", name, seed, &e.report, "full ladder exhausted"),
+            }
+            assert!(!m.in_txn(), "rewrite/{name}/{seed}: txn left open");
+        }
+    }
+}
+
+#[test]
+fn dist_count_always_completes_and_matches_reference() {
+    for seed in SEEDS {
+        for (name, plan) in fault_plans(seed) {
+            let data = keys_for(seed ^ 0xD157, 48, 32);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            let mut m = machine_with(plan);
+            let a = m.alloc(data.len(), "A");
+            m.mem_mut().write_region(a, &data);
+            match txn_sort(&mut m, a, 32, &RetryPolicy::default()) {
+                Ok((_, report)) => {
+                    if m.mem().read_region(a) != expect {
+                        fail_cell("dist_count", name, seed, &report, "output not sorted input");
+                    }
+                }
+                Err(e) => fail_cell("dist_count", name, seed, &e.report, "full ladder exhausted"),
+            }
+            assert!(!m.in_txn(), "dist_count/{name}/{seed}: txn left open");
+        }
+    }
+}
+
+#[test]
+fn components_always_completes_and_matches_reference() {
+    for seed in SEEDS {
+        for (name, plan) in fault_plans(seed) {
+            let n = 16usize;
+            let ends = keys_for(seed ^ 0xC0C0, 40, n as Word);
+            let edges: Vec<(Word, Word)> = ends.chunks(2).map(|c| (c[0], c[1])).collect();
+            let expect = union_find_components(n, &edges);
+            let mut m = machine_with(plan);
+            let g = Components::new(&mut m, n, &edges);
+            match txn_components(&mut m, &g, &RetryPolicy::default()) {
+                Ok((_, report)) => {
+                    if g.labelling(&m) != expect {
+                        fail_cell("components", name, seed, &report, "labelling diverges");
+                    }
+                }
+                Err(e) => fail_cell("components", name, seed, &e.report, "full ladder exhausted"),
+            }
+            assert!(!m.in_txn(), "components/{name}/{seed}: txn left open");
+        }
+    }
+}
+
+/// Restricted-ladder regime: with only the `Vector` rung and total lane
+/// loss, every attempt must fail — and every byte the workload could have
+/// touched must read back exactly as captured before the transaction.
+#[test]
+fn exhaustion_restores_snapshots_byte_exact() {
+    let doomed = |seed: u64| FaultPlan::dropped_lanes(seed, 65535);
+    let policy = {
+        let mut p = RetryPolicy::vector_only(2);
+        p.reseed = false;
+        p
+    };
+
+    for seed in SEEDS {
+        // Chaining: pre-populate, snapshot, fail, compare.
+        {
+            let mut m = machine_with(doomed(seed));
+            let mut t = ChainTable::alloc(&mut m, 7, 24);
+            // Pre-population must not fight the fault plan: scalar path.
+            fol_hash::chaining::scalar_insert_all(&mut m, &mut t, &[500, 501, 502]);
+            let regions: Vec<Region> = vec![t.heads, t.work, t.arena];
+            let snap = Snapshot::capture(m.mem(), &regions);
+            let used_before = t.used_nodes;
+            let err = txn_chain_insert(&mut m, &mut t, &keys_for(seed, 8, 100), &policy)
+                .expect_err("vector-only under 100% drops must exhaust");
+            assert_eq!(err.report.attempts, 2);
+            assert!(
+                snap.matches(m.mem()),
+                "chaining rollback not byte-exact (seed {seed})"
+            );
+            assert_eq!(t.used_nodes, used_before);
+        }
+        // BST.
+        {
+            let mut m = machine_with(doomed(seed));
+            let mut t = Bst::alloc(&mut m, 16);
+            fol_tree::bst::scalar_insert_all(&mut m, &mut t, &[40, 10, 90]);
+            let snap = Snapshot::capture(m.mem(), &[t.keys, t.links]);
+            let err = txn_bst_insert(&mut m, &mut t, &keys_for(seed, 6, 100), &policy)
+                .expect_err("vector-only under 100% drops must exhaust");
+            assert!(!err.report.errors.is_empty());
+            assert!(
+                snap.matches(m.mem()),
+                "bst rollback not byte-exact (seed {seed})"
+            );
+            assert_eq!(t.used, 3);
+        }
+        // Distribution counting sort.
+        {
+            let data = keys_for(seed ^ 7, 12, 8);
+            let mut m = machine_with(doomed(seed));
+            let a = m.alloc(data.len(), "A");
+            m.mem_mut().write_region(a, &data);
+            let snap = Snapshot::capture(m.mem(), &[a]);
+            let _ = txn_sort(&mut m, a, 8, &policy)
+                .expect_err("vector-only under 100% drops must exhaust");
+            assert!(
+                snap.matches(m.mem()),
+                "dist_count rollback not byte-exact (seed {seed})"
+            );
+        }
+        // Components.
+        {
+            let mut m = machine_with(doomed(seed));
+            let g = Components::new(&mut m, 6, &[(0, 1), (2, 3), (4, 5), (1, 2)]);
+            let snap = Snapshot::capture(m.mem(), &[g.labels, g.work]);
+            let _ = txn_components(&mut m, &g, &policy)
+                .expect_err("vector-only under 100% drops must exhaust");
+            assert!(
+                snap.matches(m.mem()),
+                "components rollback not byte-exact (seed {seed})"
+            );
+        }
+    }
+}
+
+/// Reports must round-trip sensible audit data: attempts counted, errors
+/// recorded in order, fault events consumed, and the JSON form well-formed
+/// enough for the CI artifact.
+#[test]
+fn recovery_reports_carry_a_usable_audit_trail() {
+    let mut m =
+        machine_with(FaultPlan::dropped_lanes(77, 30000).with_torn_writes(30000, AmalgamMode::Xor));
+    let mut t = ChainTable::alloc(&mut m, 7, 32);
+    let keys = keys_for(99, 20, 300);
+    let (_, report) = txn_chain_insert(&mut m, &mut t, &keys, &RetryPolicy::default())
+        .expect("full ladder completes");
+    assert!(report.recovered());
+    assert_eq!(report.errors.len(), report.attempts - 1);
+    assert!(
+        report.faults_consumed > 0,
+        "hostile plan must have injected something"
+    );
+    let json = report.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"attempts\":"));
+    assert!(json.contains("\"final_mode\":"));
+    // The machine's fault log digests the same story for humans.
+    assert!(!m.fault_log().summary().is_empty());
+}

@@ -14,7 +14,9 @@ use fol_suite::vm::{ConflictPolicy, CostModel, Machine, Word};
 fn lcg_keys(n: usize, limit: Word, mut seed: u64) -> Vec<Word> {
     (0..n)
         .map(|_| {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as Word).rem_euclid(limit)
         })
         .collect()
@@ -33,7 +35,11 @@ fn one_machine_runs_the_whole_suite() {
     oa::init_table(&mut m, table);
     let _ = oa::vectorized_insert_all(&mut m, table, &keys, ProbeStrategy::KeyDependent);
     for &k in &keys {
-        assert!(oa::contains(&m.mem().read_region(table), k, ProbeStrategy::KeyDependent));
+        assert!(oa::contains(
+            &m.mem().read_region(table),
+            k,
+            ProbeStrategy::KeyDependent
+        ));
     }
 
     // Sort a copy.
@@ -148,7 +154,10 @@ fn headline_acceleration_shape() {
     let small = run(521);
     let large = run(4099);
     assert!(small > 2.0, "small-table accel {small:.2}");
-    assert!(large > small, "larger table must accelerate more: {small:.2} vs {large:.2}");
+    assert!(
+        large > small,
+        "larger table must accelerate more: {small:.2} vs {large:.2}"
+    );
 }
 
 /// Host-parallel path (rayon) agrees with the machine path on the DAG

@@ -1,10 +1,12 @@
 //! Integration tests for the extension systems: maze router, N-queens,
 //! equi-join, radix sort, rebalancing, rehashing and connected components —
 //! cross-checked against independent oracles and across ELS policies.
+//!
+//! Deterministic seeded sweeps (SplitMix64) stand in for a property-testing
+//! framework: each property is checked over many generated cases, and a
+//! failure names the seed so the case replays exactly.
 
-use fol_suite::graph::components::{
-    union_find_components, vectorized_components, Components,
-};
+use fol_suite::graph::components::{union_find_components, vectorized_components, Components};
 use fol_suite::hash::chaining::{self, ChainTable};
 use fol_suite::hash::join::{scalar_hash_join, vectorized_hash_join};
 use fol_suite::maze::{vectorized_route, Maze};
@@ -13,47 +15,75 @@ use fol_suite::sort::radix;
 use fol_suite::tree::bst::{self, Bst};
 use fol_suite::tree::rebalance::{min_height, rebalance};
 use fol_suite::vm::{ConflictPolicy, CostModel, Machine, Word};
-use proptest::prelude::*;
 
-fn policies() -> impl Strategy<Value = ConflictPolicy> {
-    prop_oneof![
-        Just(ConflictPolicy::FirstWins),
-        Just(ConflictPolicy::LastWins),
-        any::<u64>().prop_map(ConflictPolicy::Arbitrary),
-    ]
+const CASES: u64 = 32;
+
+/// SplitMix64 — deterministic case generator for the seeded sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    fn vec(&mut self, max_len: u64, lo: i64, hi: i64) -> Vec<i64> {
+        let n = self.below(max_len) as usize;
+        (0..n).map(|_| self.range(lo, hi)).collect()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn policy_for(rng: &mut Rng) -> ConflictPolicy {
+    match rng.below(3) {
+        0 => ConflictPolicy::FirstWins,
+        1 => ConflictPolicy::LastWins,
+        _ => ConflictPolicy::Arbitrary(rng.next_u64()),
+    }
+}
 
-    /// Maze router equals host BFS on random grids.
-    #[test]
-    fn maze_matches_bfs(
-        walls in prop::collection::vec(0u8..100, 48),
-        density in 0u8..45,
-        policy in policies(),
-    ) {
+/// Maze router equals host BFS on random grids.
+#[test]
+fn maze_matches_bfs() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
         let (w, h) = (8usize, 6usize);
-        let bitmap: Vec<bool> = walls
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| i != 0 && i != w * h - 1 && r < density)
+        let density = rng.below(45) as u8;
+        let bitmap: Vec<bool> = (0..w * h)
+            .map(|i| i != 0 && i != w * h - 1 && (rng.below(100) as u8) < density)
             .collect();
+        let policy = policy_for(&mut rng);
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let maze = Maze::new(&mut m, w, h, &bitmap);
         let (a, b) = (maze.at(0, 0), maze.at(w - 1, h - 1));
         let expect = maze.shortest_distance_host(&m, a, b);
         let got = vectorized_route(&mut m, &maze, a, b).distance;
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "seed {seed}");
     }
+}
 
-    /// Join equals the nested-loop oracle on random relations.
-    #[test]
-    fn join_matches_nested_loop(
-        build in prop::collection::vec(0i64..40, 0..60),
-        probe in prop::collection::vec(0i64..40, 0..60),
-        policy in policies(),
-    ) {
+/// Join equals the nested-loop oracle on random relations.
+#[test]
+fn join_matches_nested_loop() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let build = rng.vec(60, 0, 40);
+        let probe = rng.vec(60, 0, 40);
+        let policy = policy_for(&mut rng);
         let mut expect = Vec::new();
         for (pi, &pk) in probe.iter().enumerate() {
             for (bi, &bk) in build.iter().enumerate() {
@@ -66,65 +96,81 @@ proptest! {
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let mut got = vectorized_hash_join(&mut m, &build, &probe, 7);
         got.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "seed {seed}");
     }
+}
 
-    /// Radix sort equals std sort for random data and digit widths.
-    #[test]
-    fn radix_matches_std(
-        data in prop::collection::vec(0i64..1024, 0..150),
-        radix_bits in 1u32..9,
-        policy in policies(),
-    ) {
+/// Radix sort equals std sort for random data and digit widths.
+#[test]
+fn radix_matches_std() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let data = rng.vec(150, 0, 1024);
+        let radix_bits = 1 + rng.below(8) as u32;
+        let policy = policy_for(&mut rng);
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let a = m.alloc(data.len(), "A");
         m.mem_mut().write_region(a, &data);
         let _ = radix::vectorized_sort(&mut m, a, 10, radix_bits);
         let mut expect = data.clone();
         expect.sort_unstable();
-        prop_assert_eq!(m.mem().read_region(a), expect);
+        assert_eq!(m.mem().read_region(a), expect, "seed {seed}");
     }
+}
 
-    /// Rebalancing preserves contents and reaches minimum height.
-    #[test]
-    fn rebalance_invariants(
-        keys in prop::collection::vec(0i64..500, 1..80),
-        policy in policies(),
-    ) {
+/// Rebalancing preserves contents and reaches minimum height.
+#[test]
+fn rebalance_invariants() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n = 1 + rng.below(79) as usize;
+        let keys: Vec<i64> = (0..n).map(|_| rng.range(0, 500)).collect();
+        let policy = policy_for(&mut rng);
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let mut t = Bst::alloc(&mut m, keys.len());
         let _ = bst::vectorized_insert_all(&mut m, &mut t, &keys);
         let b = rebalance(&mut m, &t, 500);
-        prop_assert_eq!(b.inorder(&m), t.inorder(&m));
-        prop_assert_eq!(b.height(&m), min_height(keys.len()));
+        assert_eq!(b.inorder(&m), t.inorder(&m), "seed {seed}");
+        assert_eq!(b.height(&m), min_height(keys.len()), "seed {seed}");
     }
+}
 
-    /// Rehashing preserves the key multiset at any growth factor.
-    #[test]
-    fn rehash_preserves_keys(
-        keys in prop::collection::vec(0i64..1000, 0..80),
-        new_buckets in 1usize..40,
-        policy in policies(),
-    ) {
+/// Rehashing preserves the key multiset at any growth factor.
+#[test]
+fn rehash_preserves_keys() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let keys = rng.vec(80, 0, 1000);
+        let new_buckets = 1 + rng.below(39) as usize;
+        let policy = policy_for(&mut rng);
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let mut t = ChainTable::alloc(&mut m, 5, keys.len().max(1));
         let _ = chaining::vectorized_insert_all(&mut m, &mut t, &keys);
         let out = chaining::rehash(&mut m, &t, new_buckets);
-        prop_assert_eq!(chaining::all_keys(&m, &out), chaining::all_keys(&m, &t));
+        assert_eq!(
+            chaining::all_keys(&m, &out),
+            chaining::all_keys(&m, &t),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Connected components equal union-find on random graphs.
-    #[test]
-    fn components_match_union_find(
-        edges in prop::collection::vec((0i64..20, 0i64..20), 0..40),
-        policy in policies(),
-    ) {
+/// Connected components equal union-find on random graphs.
+#[test]
+fn components_match_union_find() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n_edges = rng.below(40) as usize;
+        let edges: Vec<(i64, i64)> = (0..n_edges)
+            .map(|_| (rng.range(0, 20), rng.range(0, 20)))
+            .collect();
+        let policy = policy_for(&mut rng);
         let n = 20;
         let expect = union_find_components(n, &edges);
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let g = Components::new(&mut m, n, &edges);
         let _ = vectorized_components(&mut m, &g);
-        prop_assert_eq!(g.labelling(&m), expect);
+        assert_eq!(g.labelling(&m), expect, "seed {seed}");
     }
 }
 

@@ -22,9 +22,17 @@ fn fig4_forced_vectorization_loses_a_key() {
     let keys = m.vimm(&[353, 911]);
     let hv = m.valu_s(AluOp::Mod, &keys, 6);
     m.scatter(table, &hv, &keys);
-    let stored: Vec<_> =
-        m.mem().read_region(table).into_iter().filter(|&w| w != UNENTERED).collect();
-    assert_eq!(stored.len(), 1, "exactly one key survives the forced scatter");
+    let stored: Vec<_> = m
+        .mem()
+        .read_region(table)
+        .into_iter()
+        .filter(|&w| w != UNENTERED)
+        .collect();
+    assert_eq!(
+        stored.len(),
+        1,
+        "exactly one key survives the forced scatter"
+    );
     assert!(stored[0] == 353 || stored[0] == 911);
 }
 
@@ -64,7 +72,10 @@ fn fig13_address_calculation_trace() {
     m.mem_mut().write_region(a, &[38, 11, 42, 39]);
     let report = address_calc::vectorized_sort(&mut m, a, 100);
     assert_eq!(m.mem().read_region(a), vec![11, 38, 39, 42]);
-    assert!(report.iterations >= 2, "38/42/39 collide: more than one iteration");
+    assert!(
+        report.iterations >= 2,
+        "38/42/39 collide: more than one iteration"
+    );
 }
 
 #[test]
@@ -95,5 +106,9 @@ fn theorem6_all_equal_means_n_rounds() {
     let v = vec![0usize; 40];
     let d = fol1_host(&v, 1);
     assert_eq!(d.num_rounds(), 40);
-    assert_eq!(theory::fol1_work(&d.sizes()), 40 * 41 / 2, "O(N^2) worst-case work");
+    assert_eq!(
+        theory::fol1_work(&d.sizes()),
+        40 * 41 / 2,
+        "O(N^2) worst-case work"
+    );
 }

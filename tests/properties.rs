@@ -1,38 +1,72 @@
 //! Workspace-level property tests: every vectorized application is checked
 //! against an independent oracle under random inputs and random
 //! ELS-conforming conflict policies.
+//!
+//! Deterministic seeded sweeps (SplitMix64) stand in for a property-testing
+//! framework: each property is checked over many generated cases, and a
+//! failure names the seed so the case replays exactly.
 
 use fol_suite::core::vectorize::{UpdateLoop, UpdateOp};
 use fol_suite::gc::{collect_vector, encode_imm, is_pointer, Heap};
-use fol_suite::vm::expr::Expr;
 use fol_suite::hash::chaining::{self, ChainTable};
 use fol_suite::hash::open_addressing as oa;
 use fol_suite::hash::ProbeStrategy;
 use fol_suite::sort::{address_calc, dist_count};
 use fol_suite::tree::bst::{self, Bst};
 use fol_suite::tree::rewrite::{self, OpTree};
+use fol_suite::vm::expr::Expr;
 use fol_suite::vm::{ConflictPolicy, CostModel, Machine, Word};
-use proptest::prelude::*;
 
-fn policies() -> impl Strategy<Value = ConflictPolicy> {
-    prop_oneof![
-        Just(ConflictPolicy::FirstWins),
-        Just(ConflictPolicy::LastWins),
-        any::<u64>().prop_map(ConflictPolicy::Arbitrary),
-    ]
+const CASES: u64 = 48;
+
+/// SplitMix64 — deterministic case generator for the seeded sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    fn vec(&mut self, max_len: u64, lo: i64, hi: i64) -> Vec<i64> {
+        let n = self.below(max_len) as usize;
+        (0..n).map(|_| self.range(lo, hi)).collect()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn policy_for(rng: &mut Rng) -> ConflictPolicy {
+    match rng.below(3) {
+        0 => ConflictPolicy::FirstWins,
+        1 => ConflictPolicy::LastWins,
+        _ => ConflictPolicy::Arbitrary(rng.next_u64()),
+    }
+}
 
-    /// Open addressing stores exactly the key set and lookup succeeds, for
-    /// any distinct key set and policy.
-    #[test]
-    fn open_addressing_correct(
-        raw in prop::collection::hash_set(0i64..1_000_000, 0..120),
-        policy in policies(),
-    ) {
+/// Open addressing stores exactly the key set and lookup succeeds, for
+/// any distinct key set and policy.
+#[test]
+fn open_addressing_correct() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n = rng.below(120) as usize;
+        let raw: std::collections::HashSet<i64> = (0..n).map(|_| rng.range(0, 1_000_000)).collect();
         let keys: Vec<Word> = raw.into_iter().collect();
+        let policy = policy_for(&mut rng);
         let size = (keys.len() * 2 + 37).max(37);
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let t = m.alloc(size, "table");
@@ -41,39 +75,46 @@ proptest! {
         let snap = m.mem().read_region(t);
         let mut expect = keys.clone();
         expect.sort_unstable();
-        prop_assert_eq!(oa::stored_keys(&snap), expect);
+        assert_eq!(oa::stored_keys(&snap), expect, "seed {seed}");
         for &k in &keys {
-            prop_assert!(oa::contains(&snap, k, ProbeStrategy::KeyDependent));
+            assert!(
+                oa::contains(&snap, k, ProbeStrategy::KeyDependent),
+                "seed {seed}: {k}"
+            );
         }
     }
+}
 
-    /// Chaining stores every key (duplicates included) in its home bucket.
-    #[test]
-    fn chaining_correct(
-        keys in prop::collection::vec(0i64..10_000, 0..100),
-        policy in policies(),
-    ) {
+/// Chaining stores every key (duplicates included) in its home bucket.
+#[test]
+fn chaining_correct() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let keys = rng.vec(100, 0, 10_000);
+        let policy = policy_for(&mut rng);
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let mut t = ChainTable::alloc(&mut m, 17, keys.len().max(1));
         let _ = chaining::vectorized_insert_all(&mut m, &mut t, &keys);
         let mut expect = keys.clone();
         expect.sort_unstable();
-        prop_assert_eq!(chaining::all_keys(&m, &t), expect);
+        assert_eq!(chaining::all_keys(&m, &t), expect, "seed {seed}");
         // Every key is in the bucket its hash names.
         let chains = t.chains(&m);
         for (b, chain) in chains.iter().enumerate() {
             for &k in chain {
-                prop_assert_eq!(fol_suite::hash::hash_mod(k, 17) as usize, b);
+                assert_eq!(fol_suite::hash::hash_mod(k, 17) as usize, b, "seed {seed}");
             }
         }
     }
+}
 
-    /// Both vectorized sorts equal std's sort for any input and policy.
-    #[test]
-    fn sorts_match_std(
-        data in prop::collection::vec(0i64..500, 0..200),
-        policy in policies(),
-    ) {
+/// Both vectorized sorts equal std's sort for any input and policy.
+#[test]
+fn sorts_match_std() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let data = rng.vec(200, 0, 500);
+        let policy = policy_for(&mut rng);
         let mut expect = data.clone();
         expect.sort_unstable();
 
@@ -81,70 +122,76 @@ proptest! {
         let a = m.alloc(data.len(), "A");
         m.mem_mut().write_region(a, &data);
         let _ = address_calc::vectorized_sort(&mut m, a, 500);
-        prop_assert_eq!(m.mem().read_region(a), expect.clone());
+        assert_eq!(m.mem().read_region(a), expect, "seed {seed}: address_calc");
 
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let a = m.alloc(data.len(), "A");
         m.mem_mut().write_region(a, &data);
         let _ = dist_count::vectorized_sort(&mut m, a, 500);
-        prop_assert_eq!(m.mem().read_region(a), expect);
+        assert_eq!(m.mem().read_region(a), expect, "seed {seed}: dist_count");
     }
+}
 
-    /// BST multi-insert: inorder equals the sorted multiset; membership
-    /// holds for every key.
-    #[test]
-    fn bst_inorder_sorted(
-        keys in prop::collection::vec(0i64..5_000, 0..150),
-        policy in policies(),
-    ) {
+/// BST multi-insert: inorder equals the sorted multiset; membership
+/// holds for every key.
+#[test]
+fn bst_inorder_sorted() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let keys = rng.vec(150, 0, 5_000);
+        let policy = policy_for(&mut rng);
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let mut t = Bst::alloc(&mut m, keys.len().max(1));
         let _ = bst::vectorized_insert_all(&mut m, &mut t, &keys);
         let mut expect = keys.clone();
         expect.sort_unstable();
-        prop_assert_eq!(t.inorder(&m), expect);
+        assert_eq!(t.inorder(&m), expect, "seed {seed}");
         for &k in &keys {
-            prop_assert!(t.contains(&m, k));
+            assert!(t.contains(&m, k), "seed {seed}: {k}");
         }
     }
+}
 
-    /// Tree rewriting: normal form reached, in-order leaves preserved,
-    /// associative evaluation unchanged — for any leaf sequence.
-    #[test]
-    fn rewrite_preserves_semantics(
-        symbols in prop::collection::vec(0i64..100, 1..40),
-        policy in policies(),
-    ) {
+/// Tree rewriting: normal form reached, in-order leaves preserved,
+/// associative evaluation unchanged — for any leaf sequence.
+#[test]
+fn rewrite_preserves_semantics() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n = 1 + rng.below(39) as usize;
+        let symbols: Vec<i64> = (0..n).map(|_| rng.range(0, 100)).collect();
+        let policy = policy_for(&mut rng);
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let t = OpTree::right_comb(&mut m, &symbols);
         let leaves = t.leaves_inorder(&m);
         let value = t.eval_affine(&m);
         let _ = rewrite::vectorized_rewrite_to_normal_form(&mut m, &t);
-        prop_assert!(t.is_normal_form(&m));
-        prop_assert_eq!(t.leaves_inorder(&m), leaves);
-        prop_assert_eq!(t.eval_affine(&m), value);
+        assert!(t.is_normal_form(&m), "seed {seed}");
+        assert_eq!(t.leaves_inorder(&m), leaves, "seed {seed}");
+        assert_eq!(t.eval_affine(&m), value, "seed {seed}");
     }
+}
 
-    /// The vectorizing transformation equals the sequential loop for random
-    /// update loops (random subscript expressions, combines, inputs and
-    /// conflict policies) — the transformation-correctness property that
-    /// subsumes the per-application differential tests.
-    #[test]
-    fn vectorized_update_loop_equals_sequential(
-        input in prop::collection::vec(0i64..1000, 0..80),
-        mult in 1i64..20,
-        add in 0i64..50,
-        table_bits in 2u32..6,
-        op_pick in 0u8..4,
-        policy in policies(),
-    ) {
-        let table_len = 1usize << table_bits;
-        let op = match op_pick {
+/// The vectorizing transformation equals the sequential loop for random
+/// update loops (random subscript expressions, combines, inputs and
+/// conflict policies) — the transformation-correctness property that
+/// subsumes the per-application differential tests.
+#[test]
+fn vectorized_update_loop_equals_sequential() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let input = rng.vec(80, 0, 1000);
+        let mult = rng.range(1, 20);
+        let add = rng.range(0, 50);
+        let table_bits = 2 + rng.below(4) as u32;
+        let op = match rng.below(4) {
             0 => UpdateOp::Store,
             1 => UpdateOp::Add,
             2 => UpdateOp::Min,
             _ => UpdateOp::Max,
         };
+        let policy = policy_for(&mut rng);
+        let table_len = 1usize << table_bits;
         let lp = UpdateLoop {
             target: Expr::input().times(mult).plus(add).modulo(table_len as i64),
             value: Expr::input().plus(1),
@@ -160,37 +207,54 @@ proptest! {
         let wv = mv.alloc(table_len, "work");
         mv.vfill(tv, 0);
         let _ = lp.run_vectorized(&mut mv, tv, wv, &input);
-        prop_assert_eq!(ms.mem().read_region(ts), mv.mem().read_region(tv));
+        assert_eq!(
+            ms.mem().read_region(ts),
+            mv.mem().read_region(tv),
+            "seed {seed}"
+        );
     }
+}
 
-    /// GC: every root's reachable graph is shape-preserved, and the copy
-    /// count never exceeds the live-cell count.
-    #[test]
-    fn gc_preserves_reachable_graphs(
-        shape in prop::collection::vec((0u8..4, 0i64..50, 0i64..50), 1..40),
-        root_picks in prop::collection::vec(any::<prop::sample::Index>(), 1..6),
-        policy in policies(),
-    ) {
+/// GC: every root's reachable graph is shape-preserved, and the copy
+/// count never exceeds the live-cell count.
+#[test]
+fn gc_preserves_reachable_graphs() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n = 1 + rng.below(39) as usize;
+        let shape: Vec<(u8, i64, i64)> = (0..n)
+            .map(|_| (rng.below(4) as u8, rng.range(0, 50), rng.range(0, 50)))
+            .collect();
+        let n_roots = 1 + rng.below(5) as usize;
+        let policy = policy_for(&mut rng);
         let mut m = Machine::with_policy(CostModel::unit(), policy);
         let mut from = Heap::alloc(&mut m, shape.len(), "from");
         // Build a random heap: fields are immediates or backward pointers,
         // guaranteeing a valid (possibly shared) DAG.
         for (i, &(kind, a, b)) in shape.iter().enumerate() {
             let field = |sel: bool, v: i64| -> Word {
-                if sel && i > 0 { v.rem_euclid(i as i64) } else { encode_imm(v) }
+                if sel && i > 0 {
+                    v.rem_euclid(i as i64)
+                } else {
+                    encode_imm(v)
+                }
             };
             let car = field(kind & 1 != 0, a);
             let cdr = field(kind & 2 != 0, b);
             let _ = from.cons(&mut m, car, cdr);
         }
-        let roots: Vec<Word> =
-            root_picks.iter().map(|ix| ix.index(shape.len()) as Word).collect();
+        let roots: Vec<Word> = (0..n_roots)
+            .map(|_| rng.below(shape.len() as u64) as Word)
+            .collect();
         let (to, new_roots, rep) = collect_vector(&mut m, &from, &roots);
-        prop_assert!(rep.copied <= shape.len());
-        prop_assert_eq!(new_roots.len(), roots.len());
+        assert!(rep.copied <= shape.len(), "seed {seed}");
+        assert_eq!(new_roots.len(), roots.len(), "seed {seed}");
         for (i, &orig) in roots.iter().enumerate() {
-            prop_assert!(is_pointer(new_roots[i]));
-            prop_assert!(Heap::same_shape(&m, &from, orig, &to, new_roots[i]));
+            assert!(is_pointer(new_roots[i]), "seed {seed}: root {orig}");
+            assert!(
+                Heap::same_shape(&m, &from, orig, &to, new_roots[i]),
+                "seed {seed}: root {orig}"
+            );
         }
     }
 }

@@ -1,0 +1,27 @@
+use fol_core::recover::{txn_apply_rounds, RetryPolicy};
+use fol_vm::{CostModel, FaultPlan, Machine};
+
+#[test]
+fn readme_transactional_execution_snippet() {
+    let mut m = Machine::new(CostModel::unit());
+    m.set_fault_plan(Some(FaultPlan::dropped_lanes(7, 20_000)));
+    let work = m.alloc(3, "work");
+
+    let targets = [0usize, 1, 0, 2, 2, 0];
+    let mut counts = [0u32; 3];
+    let (_, report) = txn_apply_rounds(
+        &mut m,
+        work,
+        &mut counts,
+        &targets,
+        &RetryPolicy::default(),
+        |cell, _i| *cell += 1,
+    )
+    .expect("the default ladder ends on a fault-immune rung");
+
+    assert_eq!(counts, [3, 1, 2]);
+    println!(
+        "attempts: {}, final mode: {:?}",
+        report.attempts, report.final_mode
+    );
+}
