@@ -100,6 +100,26 @@ pub fn try_fol1_machine_labeled(
     labels: &VReg,
     validation: Validation,
 ) -> Result<Decomposition, FolError> {
+    try_fol1_machine_observed(m, work, index_vec, labels, validation, &mut |_| Ok(()))
+}
+
+/// [`try_fol1_machine_labeled`] with a per-pass observer hook.
+///
+/// `observe` is called at the top of every detection pass with the number of
+/// elements still live; returning an `Err` aborts the decomposition with that
+/// error before the pass runs. This is the attachment point for the recovery
+/// watchdog (`fol-core`'s `recover` module): a supervisor that wants to bound
+/// non-convergence more tightly than the round budget — stalled survivor
+/// sets, wall-clock deadlines — observes the live count here without the
+/// decomposition loop knowing anything about policies or clocks.
+pub fn try_fol1_machine_observed(
+    m: &mut Machine,
+    work: Region,
+    index_vec: &[Word],
+    labels: &VReg,
+    validation: Validation,
+    observe: &mut dyn FnMut(usize) -> Result<(), FolError>,
+) -> Result<Decomposition, FolError> {
     if index_vec.len() != labels.len() {
         return Err(FolError::LengthMismatch {
             what: "one label per index vector element",
@@ -141,6 +161,7 @@ pub fn try_fol1_machine_labeled(
                 completed_rounds: rounds.len(),
             });
         }
+        observe(v.len())?;
         // Step 1: write labels through V into the work areas.
         m.scatter(work, &v, &labels);
         // Step 2: read back through the same indices and compare.
@@ -374,6 +395,49 @@ mod tests {
             "got {err:?}"
         );
         assert!(err.to_string().contains("Theorem 1"));
+    }
+
+    #[test]
+    fn observer_sees_shrinking_live_counts_and_can_abort() {
+        let mut m = machine_with(ConflictPolicy::LastWins);
+        let work = m.alloc(3, "work");
+        let labels = m.iota(0, FIG6.len());
+        let mut seen = Vec::new();
+        let d = try_fol1_machine_observed(
+            &mut m,
+            work,
+            &FIG6,
+            &labels,
+            Validation::Full,
+            &mut |live| {
+                seen.push(live);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, vec![6, 3, 1], "one observation per pass, shrinking");
+        assert_eq!(d.sizes(), vec![3, 2, 1]);
+
+        // An observer error aborts before the pass it observed.
+        let mut m = machine_with(ConflictPolicy::LastWins);
+        let work = m.alloc(3, "work");
+        let labels = m.iota(0, FIG6.len());
+        let mut passes = 0usize;
+        let err =
+            try_fol1_machine_observed(&mut m, work, &FIG6, &labels, Validation::Off, &mut |live| {
+                passes += 1;
+                if passes == 2 {
+                    Err(FolError::Stalled {
+                        stalled_rounds: 1,
+                        live,
+                        deadline_expired: false,
+                    })
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, FolError::Stalled { live: 3, .. }), "{err:?}");
     }
 
     #[test]

@@ -112,6 +112,22 @@ pub enum FolError {
         /// indication a supervisor needs to account for replayed work.
         completed_rounds: usize,
     },
+    /// The recovery watchdog tripped: the FOL survivor set failed to shrink
+    /// for the configured number of consecutive detection passes, or the
+    /// attempt's wall-clock deadline expired. Raised by the watched
+    /// decomposition paths (see `crate::recover::WatchdogConfig`); the
+    /// supervisor treats it as fatal — the attempt is rolled back and no
+    /// further escalation rungs are burned.
+    Stalled {
+        /// Consecutive detection passes observed without the live set
+        /// shrinking.
+        stalled_rounds: usize,
+        /// Number of elements still live when the watchdog tripped.
+        live: usize,
+        /// True when the trip was the wall-clock deadline rather than the
+        /// stall counter.
+        deadline_expired: bool,
+    },
     /// A machine instruction trapped (e.g. division by zero) during a unit
     /// process.
     Trap(MachineTrap),
@@ -185,6 +201,19 @@ impl fmt::Display for FolError {
                 f,
                 "round budget {budget} exhausted after {completed_rounds} completed rounds with {live} elements live: decomposition is not converging"
             ),
+            FolError::Stalled { stalled_rounds, live, deadline_expired } => {
+                if *deadline_expired {
+                    write!(
+                        f,
+                        "watchdog: wall-clock deadline expired with {live} elements live"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "watchdog: survivor set failed to shrink for {stalled_rounds} consecutive passes with {live} elements live"
+                    )
+                }
+            }
             FolError::Trap(t) => write!(f, "{t}"),
             FolError::PostConditionFailed { what } => write!(
                 f,
@@ -451,6 +480,23 @@ mod tests {
             live: 4,
         };
         assert!(e.to_string().contains("Theorem 1"));
+    }
+
+    #[test]
+    fn stalled_display_distinguishes_stall_from_deadline() {
+        let stall = FolError::Stalled {
+            stalled_rounds: 3,
+            live: 7,
+            deadline_expired: false,
+        };
+        assert!(stall.to_string().contains("failed to shrink for 3"));
+        let deadline = FolError::Stalled {
+            stalled_rounds: 0,
+            live: 7,
+            deadline_expired: true,
+        };
+        assert!(deadline.to_string().contains("deadline expired"));
+        assert_eq!(deadline.completed_rounds(), 0);
     }
 
     #[test]

@@ -57,6 +57,13 @@ pub struct FolStarOptions {
     /// conflict-resolution policy ([`fol_vm::ConflictPolicy::Adversarial`])
     /// can extract by starving detection, it never compromises correctness.
     pub max_rounds: Option<usize>,
+    /// Wall-clock budget on vector detection. Like [`Self::max_rounds`],
+    /// expiry is graceful degradation, not an error: once the deadline has
+    /// passed, remaining tuples are pushed through as forced sequential
+    /// rounds. `None` (the default) means no deadline. This is the FOL\*
+    /// face of the recovery watchdog: a detection loop an adversary has
+    /// stalled stops burning vector passes after a bounded wall-clock time.
+    pub deadline: Option<std::time::Duration>,
 }
 
 /// Result of FOL\*: rounds of tuple positions plus a record of which rounds
@@ -172,11 +179,15 @@ pub fn try_fol_star_machine(
     let mut rounds: Vec<Vec<usize>> = Vec::new();
     let mut forced: Vec<bool> = Vec::new();
     let mut detections = 0usize;
+    let started = std::time::Instant::now();
 
     while !live.is_empty() {
         if options
             .max_rounds
             .is_some_and(|budget| detections >= budget)
+            || options
+                .deadline
+                .is_some_and(|deadline| started.elapsed() >= deadline)
         {
             // Detection budget exhausted: degrade gracefully — push every
             // remaining tuple through as its own forced sequential round.
@@ -561,6 +572,25 @@ mod tests {
         };
         let d = try_fol_star_machine(&mut m, work, &[v1, v2], &opts, Validation::Full).unwrap();
         assert_eq!(d.num_rounds(), 3);
+        assert_eq!(d.num_forced(), 3);
+        assert!(theory::is_disjoint_cover(&d.decomposition, 3));
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_forced_rounds() {
+        // A zero deadline is already expired when the loop starts: no vector
+        // detection runs, every tuple goes through forced — the same graceful
+        // degradation as a zero round budget, keyed on wall-clock instead.
+        let mut m = machine(ConflictPolicy::LastWins);
+        let work = m.alloc(8, "work");
+        let v1: Vec<Word> = vec![0, 2, 4];
+        let v2: Vec<Word> = vec![1, 3, 5];
+        let opts = FolStarOptions {
+            deadline: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let d = try_fol_star_machine(&mut m, work, &[v1, v2], &opts, Validation::Full).unwrap();
+        assert_eq!(d.detections, 0);
         assert_eq!(d.num_forced(), 3);
         assert!(theory::is_disjoint_cover(&d.decomposition, 3));
     }

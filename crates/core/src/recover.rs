@@ -10,36 +10,71 @@
 //!    byte-exact before the next one starts.
 //! 2. **Retry with escalation** — a [`RetryPolicy`] bounds the attempts and
 //!    names an escalation ladder of [`ExecMode`]s. The default ladder walks
-//!    [`ExecMode::Vector`] → [`ExecMode::ForcedSequential`] →
-//!    [`ExecMode::ScalarTail`]: first the full-width vector path, then
+//!    [`ExecMode::Vector`] → [`ExecMode::DegradedVector`] →
+//!    [`ExecMode::ForcedSequential`] → [`ExecMode::ScalarTail`]: first the
+//!    full-width vector path; then the same vector program with the
+//!    machine's quarantined lanes masked out of the execution schedule
+//!    (sticky per-lane faults are *routed around*, not retreated from); then
 //!    singleton scatters (a lone writer can never tear, defeating torn-write
-//!    adversaries), finally the scalar path, which bypasses the vector
+//!    adversaries); finally the scalar path, which bypasses the vector
 //!    scatter unit entirely and is therefore immune to every fault a
 //!    [`fol_vm::FaultPlan`] can inject.
-//! 3. **Post-condition validation** — each attempt's decomposition is
+//! 3. **Graceful degradation** — the machine's
+//!    [`fol_vm::LaneHealthRegistry`] correlates fault-log entries and
+//!    rollbacks to physical lanes; when the supervisor reaches a
+//!    [`ExecMode::DegradedVector`] rung it folds the registry's quarantine
+//!    set into the rung's own, and at every attempt start it runs the lane
+//!    circuit breaker ([`fol_vm::Machine::reprobe_quarantined`]) so lanes
+//!    whose faults have cleared rejoin the schedule.
+//! 4. **Livelock watchdog** — an optional [`WatchdogConfig`] arms a
+//!    [`Watchdog`] per attempt: when the FOL survivor set fails to shrink
+//!    for `stall_rounds` consecutive detection passes, or the attempt's
+//!    wall-clock deadline expires, the attempt dies with
+//!    [`FolError::Stalled`] and the supervisor returns
+//!    [`RecoveryError::Watchdog`] *immediately* — a stalled machine is not
+//!    an escalation candidate, it is a fault to report.
+//! 5. **Post-condition validation** — each attempt's decomposition is
 //!    re-checked against the ELS round-trip contract at the policy's
 //!    [`Validation`] level before any host data is touched; host data is
 //!    mutated only after the whole attempt has succeeded (all-or-nothing).
 //!
 //! The outcome of a supervised run is a [`RecoveryReport`]: how many
 //! attempts ran, how many completed rounds were rolled back and replayed,
-//! which mode finally succeeded, and how many faults the adversary injected
-//! along the way — correlatable with [`fol_vm::FaultLog::summary`] and the
-//! fault annotations in a [`fol_vm::Tracer`].
+//! which mode finally succeeded, how long each attempt took
+//! ([`AttemptRecord`]), and how many faults the adversary injected along
+//! the way — correlatable with [`fol_vm::FaultLog::summary`] and the fault
+//! annotations in a [`fol_vm::Tracer`]. Reports serialize to JSON
+//! ([`RecoveryReport::to_json`]) and parse back ([`ParsedReport::from_json`])
+//! without any external dependency, so a CI chaos artifact is
+//! self-describing.
 
-use crate::decompose::try_fol1_machine;
+use crate::decompose::try_fol1_machine_observed;
 use crate::error::{validate_decomposition, FolError, Validation};
 use crate::parallel::{try_apply_rounds, try_par_apply_rounds};
 use crate::Decomposition;
-use fol_vm::{CmpOp, ConflictPolicy, Machine, Region, Word};
+use fol_vm::{CmpOp, ConflictPolicy, LaneSet, Machine, Region, Word, LANE_COUNT};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// How one attempt executes the FOL detection loop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecMode {
-    /// The normal full-width vector path ([`try_fol1_machine`]): fastest,
+    /// The normal full-width vector path ([`crate::decompose::try_fol1_machine`]): fastest,
     /// but exposed to every scatter fault.
     Vector,
+    /// The vector path at reduced effective width: the `quarantined` lanes
+    /// are removed from the machine's execution mask for the duration of
+    /// the attempt, so the *same program* runs with its elements scheduled
+    /// onto the remaining healthy lanes — no index vectors are rewritten.
+    /// Throughput drops by `64/(64-|quarantined|)`, charged faithfully by
+    /// the cost model; sticky per-lane faults simply never fire. An empty
+    /// set degenerates to [`ExecMode::Vector`]. The supervisor unions in
+    /// the machine's own [`fol_vm::LaneHealthRegistry`] quarantine set when
+    /// it reaches this rung.
+    DegradedVector {
+        /// Lanes excluded from the execution schedule for this attempt.
+        quarantined: LaneSet,
+    },
     /// One length-1 scatter per live element. Conflicting lanes never share
     /// a scatter, so torn writes (amalgams need at least two competing
     /// values) cannot fire; lane drops still can.
@@ -52,12 +87,47 @@ pub enum ExecMode {
 
 impl fmt::Display for ExecMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            ExecMode::Vector => "Vector",
-            ExecMode::ForcedSequential => "ForcedSequential",
-            ExecMode::ScalarTail => "ScalarTail",
-        };
-        f.write_str(s)
+        match self {
+            ExecMode::Vector => f.write_str("Vector"),
+            ExecMode::DegradedVector { quarantined } => {
+                write!(f, "DegradedVector{quarantined}")
+            }
+            ExecMode::ForcedSequential => f.write_str("ForcedSequential"),
+            ExecMode::ScalarTail => f.write_str("ScalarTail"),
+        }
+    }
+}
+
+impl ExecMode {
+    /// Parses the [`fmt::Display`] form back into a mode — the inverse used
+    /// by [`ParsedReport::from_json`]. `DegradedVector{3,17}` round-trips
+    /// with its quarantine set intact.
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        match s {
+            "Vector" => Some(ExecMode::Vector),
+            "ForcedSequential" => Some(ExecMode::ForcedSequential),
+            "ScalarTail" => Some(ExecMode::ScalarTail),
+            _ => {
+                let body = s.strip_prefix("DegradedVector{")?.strip_suffix('}')?;
+                let mut quarantined = LaneSet::empty();
+                if !body.is_empty() {
+                    for part in body.split(',') {
+                        let lane: usize = part.trim().parse().ok()?;
+                        if lane >= LANE_COUNT {
+                            return None;
+                        }
+                        quarantined.insert(lane);
+                    }
+                }
+                Some(ExecMode::DegradedVector { quarantined })
+            }
+        }
+    }
+
+    /// True for the modes that run the full-width or reduced-width vector
+    /// program (as opposed to the sequential fallbacks).
+    pub fn is_vectorized(&self) -> bool {
+        matches!(self, ExecMode::Vector | ExecMode::DegradedVector { .. })
     }
 }
 
@@ -77,22 +147,31 @@ pub struct RetryPolicy {
     pub reseed: bool,
     /// Validation level for each attempt's post-condition check.
     pub validation: Validation,
+    /// Livelock watchdog armed per attempt by the transactional entry
+    /// points. `None` (the default) means no watchdog: only the round
+    /// budget bounds non-convergence.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for RetryPolicy {
-    /// Four attempts walking the full ladder (`Vector`, `ForcedSequential`,
-    /// then `ScalarTail` for the rest), reseeding between attempts,
-    /// validating the whole FOL contract.
+    /// Four attempts walking the full ladder (`Vector`, then
+    /// `DegradedVector` with the machine's own quarantine set, then
+    /// `ForcedSequential`, then `ScalarTail`), reseeding between attempts,
+    /// validating the whole FOL contract, no watchdog.
     fn default() -> Self {
         Self {
             max_attempts: 4,
             ladder: vec![
                 ExecMode::Vector,
+                ExecMode::DegradedVector {
+                    quarantined: LaneSet::empty(),
+                },
                 ExecMode::ForcedSequential,
                 ExecMode::ScalarTail,
             ],
             reseed: true,
             validation: Validation::Full,
+            watchdog: None,
         }
     }
 }
@@ -117,6 +196,97 @@ impl RetryPolicy {
     }
 }
 
+/// Limits the livelock watchdog enforces on every attempt. See
+/// [`RetryPolicy::watchdog`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Trip after this many consecutive detection passes in which the live
+    /// set failed to shrink. `0` disables the stall counter.
+    pub stall_rounds: usize,
+    /// Trip once this much wall-clock time has elapsed since the attempt
+    /// started. `None` disables the deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for WatchdogConfig {
+    /// Three stalled passes, no deadline.
+    fn default() -> Self {
+        Self {
+            stall_rounds: 3,
+            deadline: None,
+        }
+    }
+}
+
+/// Per-attempt livelock watchdog: observes the live count at every FOL
+/// detection pass (via [`decompose_with_mode_watched`]) and converts
+/// non-convergence into [`FolError::Stalled`].
+///
+/// Progress in FOL is the survivor set shrinking; a pass after which it has
+/// not is a stalled pass. The wall-clock deadline runs from
+/// [`Watchdog::start`], so it bounds one *attempt*, not the whole retry
+/// ladder.
+#[derive(Debug)]
+pub struct Watchdog {
+    config: WatchdogConfig,
+    started: Instant,
+    last_live: Option<usize>,
+    stalled: usize,
+}
+
+impl Watchdog {
+    /// Arms a watchdog; the deadline clock starts now.
+    pub fn start(config: &WatchdogConfig) -> Self {
+        Self {
+            config: *config,
+            started: Instant::now(),
+            last_live: None,
+            stalled: 0,
+        }
+    }
+
+    /// Feeds one detection pass's live count. Returns [`FolError::Stalled`]
+    /// when the deadline has expired or the live count has now failed to
+    /// shrink for `stall_rounds` consecutive observations.
+    pub fn observe(&mut self, live: usize) -> Result<(), FolError> {
+        if let Some(deadline) = self.config.deadline {
+            if self.started.elapsed() >= deadline {
+                return Err(FolError::Stalled {
+                    stalled_rounds: self.stalled,
+                    live,
+                    deadline_expired: true,
+                });
+            }
+        }
+        match self.last_live {
+            Some(prev) if live >= prev => self.stalled += 1,
+            _ => self.stalled = 0,
+        }
+        self.last_live = Some(live);
+        if self.config.stall_rounds > 0 && self.stalled >= self.config.stall_rounds {
+            return Err(FolError::Stalled {
+                stalled_rounds: self.stalled,
+                live,
+                deadline_expired: false,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One attempt's entry in [`RecoveryReport::attempt_trace`]: which mode it
+/// ran under, how long it took wall-clock, and whether it succeeded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// Mode the attempt executed under (after the supervisor folded the
+    /// machine's quarantine set into a `DegradedVector` rung).
+    pub mode: ExecMode,
+    /// Wall-clock duration of the attempt, nanoseconds.
+    pub duration_ns: u64,
+    /// True when the attempt committed.
+    pub ok: bool,
+}
+
 /// What a supervised run did: the audit trail of recovery.
 #[derive(Clone, Debug)]
 pub struct RecoveryReport {
@@ -132,6 +302,9 @@ pub struct RecoveryReport {
     /// Fault events the machine's [`fol_vm::FaultLog`] gained during the
     /// run — how much adversity was actually absorbed.
     pub faults_consumed: usize,
+    /// Per-attempt mode, wall-clock duration and outcome, in order — the
+    /// part of the audit trail that prices each rung of the ladder.
+    pub attempt_trace: Vec<AttemptRecord>,
 }
 
 impl RecoveryReport {
@@ -142,22 +315,34 @@ impl RecoveryReport {
 
     /// Hand-rolled JSON encoding (the workspace is dependency-free); used
     /// by the chaos suite to dump the report of a failing run as a CI
-    /// artifact.
+    /// artifact. [`ParsedReport::from_json`] is the inverse.
     pub fn to_json(&self) -> String {
         let errors: Vec<String> = self
             .errors
             .iter()
             .map(|e| format!("\"{}\"", json_escape(&e.to_string())))
             .collect();
+        let trace: Vec<String> = self
+            .attempt_trace
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"mode\":\"{}\",\"duration_ns\":{},\"ok\":{}}}",
+                    a.mode, a.duration_ns, a.ok
+                )
+            })
+            .collect();
         format!(
             "{{\"attempts\":{},\"rounds_replayed\":{},\"final_mode\":\"{}\",\
-             \"recovered\":{},\"faults_consumed\":{},\"errors\":[{}]}}",
+             \"recovered\":{},\"faults_consumed\":{},\"errors\":[{}],\
+             \"attempt_trace\":[{}]}}",
             self.attempts,
             self.rounds_replayed,
             self.final_mode,
             self.recovered(),
             self.faults_consumed,
             errors.join(","),
+            trace.join(","),
         )
     }
 }
@@ -186,21 +371,275 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Every attempt the [`RetryPolicy`] allowed failed. Memory was rolled back
-/// to its pre-transaction state; the report says what was tried.
+/// A [`RecoveryReport`] read back from its [`RecoveryReport::to_json`]
+/// encoding. Errors come back as their `Display` strings (a [`FolError`]
+/// is not reconstructible from prose, and an artifact reader only needs the
+/// diagnosis); everything else round-trips typed, including the
+/// `DegradedVector` quarantine set inside each mode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedReport {
+    /// Attempts that ran.
+    pub attempts: usize,
+    /// Rounds rolled back and replayed.
+    pub rounds_replayed: usize,
+    /// Mode of the last attempt.
+    pub final_mode: ExecMode,
+    /// Whether at least one failed attempt preceded success.
+    pub recovered: bool,
+    /// Fault events consumed during the run.
+    pub faults_consumed: usize,
+    /// `Display` strings of the per-attempt errors.
+    pub errors: Vec<String>,
+    /// Per-attempt mode / duration / outcome.
+    pub attempt_trace: Vec<AttemptRecord>,
+}
+
+impl ParsedReport {
+    /// Parses the output of [`RecoveryReport::to_json`]. The parser is a
+    /// small hand-rolled JSON reader (the workspace is dependency-free):
+    /// order-insensitive at the object level, tolerant of unknown keys, so
+    /// an artifact written by a newer build still parses.
+    pub fn from_json(s: &str) -> Result<ParsedReport, String> {
+        let (value, rest) = parse_json_value(s.trim())?;
+        if !rest.trim().is_empty() {
+            return Err(format!("trailing data after JSON value: {rest:?}"));
+        }
+        let obj = value.as_object("report")?;
+        let mode_str = get(obj, "final_mode")?.as_str("final_mode")?;
+        let final_mode = ExecMode::parse(mode_str)
+            .ok_or_else(|| format!("unparseable final_mode {mode_str:?}"))?;
+        let errors = get(obj, "errors")?
+            .as_array("errors")?
+            .iter()
+            .map(|v| v.as_str("error").map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        let attempt_trace = get(obj, "attempt_trace")?
+            .as_array("attempt_trace")?
+            .iter()
+            .map(|v| {
+                let rec = v.as_object("attempt record")?;
+                let mode_str = get(rec, "mode")?.as_str("mode")?;
+                Ok(AttemptRecord {
+                    mode: ExecMode::parse(mode_str)
+                        .ok_or_else(|| format!("unparseable mode {mode_str:?}"))?,
+                    duration_ns: get(rec, "duration_ns")?.as_u64("duration_ns")?,
+                    ok: get(rec, "ok")?.as_bool("ok")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ParsedReport {
+            attempts: get(obj, "attempts")?.as_u64("attempts")? as usize,
+            rounds_replayed: get(obj, "rounds_replayed")?.as_u64("rounds_replayed")? as usize,
+            final_mode,
+            recovered: get(obj, "recovered")?.as_bool("recovered")?,
+            faults_consumed: get(obj, "faults_consumed")?.as_u64("faults_consumed")? as usize,
+            errors,
+            attempt_trace,
+        })
+    }
+}
+
+/// Minimal JSON value for the report parser.
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn as_object(&self, what: &str) -> Result<&[(String, JsonValue)], String> {
+        match self {
+            JsonValue::Obj(fields) => Ok(fields),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+    fn as_array(&self, what: &str) -> Result<&[JsonValue], String> {
+        match self {
+            JsonValue::Arr(items) => Ok(items),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            other => Err(format!("{what}: expected string, got {other:?}")),
+        }
+    }
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            JsonValue::Num(n) => Ok(*n),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+    fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(format!("{what}: expected bool, got {other:?}")),
+        }
+    }
+}
+
+fn get<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+/// Parses one JSON value off the front of `s`; returns it and the unparsed
+/// remainder. Covers exactly the grammar [`RecoveryReport::to_json`] emits:
+/// objects, arrays, strings (with `\" \\ \n \uXXXX` escapes), non-negative
+/// integers, and booleans.
+fn parse_json_value(s: &str) -> Result<(JsonValue, &str), String> {
+    let s = s.trim_start();
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '{')) => {
+            let mut rest = s[1..].trim_start();
+            let mut fields = Vec::new();
+            if let Some(r) = rest.strip_prefix('}') {
+                return Ok((JsonValue::Obj(fields), r));
+            }
+            loop {
+                let (key, r) = parse_json_value(rest)?;
+                let key = key.as_str("object key")?.to_string();
+                let r = r
+                    .trim_start()
+                    .strip_prefix(':')
+                    .ok_or_else(|| format!("expected ':' after key {key:?}"))?;
+                let (value, r) = parse_json_value(r)?;
+                fields.push((key, value));
+                let r = r.trim_start();
+                if let Some(r) = r.strip_prefix(',') {
+                    rest = r.trim_start();
+                } else if let Some(r) = r.strip_prefix('}') {
+                    return Ok((JsonValue::Obj(fields), r));
+                } else {
+                    return Err(format!("expected ',' or '}}' in object, got {r:?}"));
+                }
+            }
+        }
+        Some((_, '[')) => {
+            let mut rest = s[1..].trim_start();
+            let mut items = Vec::new();
+            if let Some(r) = rest.strip_prefix(']') {
+                return Ok((JsonValue::Arr(items), r));
+            }
+            loop {
+                let (value, r) = parse_json_value(rest)?;
+                items.push(value);
+                let r = r.trim_start();
+                if let Some(r) = r.strip_prefix(',') {
+                    rest = r.trim_start();
+                } else if let Some(r) = r.strip_prefix(']') {
+                    return Ok((JsonValue::Arr(items), r));
+                } else {
+                    return Err(format!("expected ',' or ']' in array, got {r:?}"));
+                }
+            }
+        }
+        Some((_, '"')) => {
+            let mut out = String::new();
+            let mut iter = chars;
+            while let Some((i, c)) = iter.next() {
+                match c {
+                    '"' => return Ok((JsonValue::Str(out), &s[i + 1..])),
+                    '\\' => match iter.next() {
+                        Some((_, '"')) => out.push('"'),
+                        Some((_, '\\')) => out.push('\\'),
+                        Some((_, 'n')) => out.push('\n'),
+                        Some((_, 'u')) => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) = iter
+                                    .next()
+                                    .ok_or_else(|| "truncated \\u escape".to_string())?;
+                                code = code * 16
+                                    + h.to_digit(16)
+                                        .ok_or_else(|| format!("bad hex digit {h:?}"))?;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad \\u code point {code:#x}"))?,
+                            );
+                        }
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    },
+                    c => out.push(c),
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+        Some((_, c)) if c.is_ascii_digit() => {
+            let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+            let n: u64 = s[..end]
+                .parse()
+                .map_err(|e| format!("bad number {:?}: {e}", &s[..end]))?;
+            Ok((JsonValue::Num(n), &s[end..]))
+        }
+        _ if s.starts_with("true") => Ok((JsonValue::Bool(true), &s[4..])),
+        _ if s.starts_with("false") => Ok((JsonValue::Bool(false), &s[5..])),
+        _ => Err(format!("unexpected JSON input {s:?}")),
+    }
+}
+
+/// The supervisor failed. Memory was rolled back to its pre-transaction
+/// state in every case; the [`RecoveryReport`] says what was tried.
 #[derive(Clone, Debug)]
-pub struct RecoveryError {
-    /// The audit trail of the failed recovery.
-    pub report: RecoveryReport,
+pub enum RecoveryError {
+    /// Every attempt the [`RetryPolicy`] allowed failed.
+    Exhausted {
+        /// The audit trail of the failed recovery.
+        report: RecoveryReport,
+    },
+    /// The livelock watchdog tripped ([`FolError::Stalled`]): the attempt
+    /// was rolled back and the supervisor returned immediately without
+    /// burning the remaining escalation rungs — a machine that has stopped
+    /// making progress needs operator attention, not more retries.
+    Watchdog {
+        /// The audit trail up to and including the tripped attempt.
+        report: RecoveryReport,
+    },
+}
+
+impl RecoveryError {
+    /// The audit trail, whichever way the supervisor failed.
+    pub fn report(&self) -> &RecoveryReport {
+        match self {
+            RecoveryError::Exhausted { report } | RecoveryError::Watchdog { report } => report,
+        }
+    }
+
+    /// Consumes the error, yielding the audit trail.
+    pub fn into_report(self) -> RecoveryReport {
+        match self {
+            RecoveryError::Exhausted { report } | RecoveryError::Watchdog { report } => report,
+        }
+    }
 }
 
 impl fmt::Display for RecoveryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "recovery exhausted: {}", self.report)?;
-        if let Some(last) = self.report.errors.last() {
-            write!(f, "; last error: {last}")?;
+        match self {
+            RecoveryError::Exhausted { report } => {
+                write!(f, "recovery exhausted: {report}")?;
+                if let Some(last) = report.errors.last() {
+                    write!(f, "; last error: {last}")?;
+                }
+                Ok(())
+            }
+            RecoveryError::Watchdog { report } => {
+                write!(f, "recovery watchdog tripped: {report}")?;
+                if let Some(last) = report.errors.last() {
+                    write!(f, "; cause: {last}")?;
+                }
+                Ok(())
+            }
         }
-        Ok(())
     }
 }
 
@@ -221,6 +660,21 @@ fn derive_seed(seed: u64, attempt: usize) -> u64 {
 /// and escalates to the next rung of the ladder. When [`RetryPolicy::reseed`]
 /// is set, seeded conflict policies and fault plans get a fresh deterministic
 /// seed per retry; the original seeds are restored before returning.
+///
+/// Lane health is managed at attempt boundaries: before each attempt the
+/// lane circuit breaker ([`fol_vm::Machine::reprobe_quarantined`]) re-probes
+/// quarantined lanes whose cooldown has elapsed, and when the attempt's rung
+/// is [`ExecMode::DegradedVector`] the machine's current quarantine set is
+/// folded into the rung's own before `body` sees it — so the mode the body
+/// (and the report) carries names the lanes that were actually masked.
+/// A degraded attempt whose failure *grew* the quarantine set holds its
+/// rung and retries at the narrower width without consuming ladder budget
+/// (bounded by the lane count): the evidence indicts the stale mask, not
+/// the rung.
+///
+/// A [`FolError::Stalled`] from `body` (the armed [`Watchdog`] tripping) is
+/// fatal: the attempt is rolled back and the supervisor returns
+/// [`RecoveryError::Watchdog`] without trying further rungs.
 ///
 /// # Panics
 /// Panics when a transaction is already open on `m` — the supervisor owns
@@ -247,10 +701,35 @@ where
         final_mode: policy.mode_for(0),
         errors: Vec::new(),
         faults_consumed: 0,
+        attempt_trace: Vec::new(),
     };
     let mut result = None;
-    for attempt in 0..attempts {
-        let mode = policy.mode_for(attempt);
+    let mut watchdog_tripped = false;
+    // The rung index advances more slowly than the attempt count: when a
+    // degraded attempt fails but *newly* quarantined lanes came out of it,
+    // the evidence says the mask was stale, not the rung — so the rung is
+    // held and retried at the narrower width without consuming ladder
+    // budget. Growth is monotone per hold, so holds are bounded by the lane
+    // count even when the circuit breaker restores lanes in between.
+    let mut rung = 0usize;
+    let mut invocation = 0usize;
+    let mut budget_spent = 0usize;
+    let mut holds = 0usize;
+    while budget_spent < attempts {
+        // Circuit breaker: lanes whose probe cooldown has elapsed get a
+        // sacrificial scatter–gather self-test; healthy ones rejoin the
+        // schedule before this attempt picks its mask. Runs outside the
+        // transaction — probe writes only ever touch scratch memory.
+        let _ = m.reprobe_quarantined();
+        let quarantined_before = m.health().quarantined();
+        let mut mode = policy.mode_for(rung);
+        if let ExecMode::DegradedVector { quarantined } = mode {
+            mode = ExecMode::DegradedVector {
+                quarantined: quarantined.union(quarantined_before),
+            };
+        }
+        let attempt = invocation;
+        invocation += 1;
         report.attempts = attempt + 1;
         report.final_mode = mode;
         if policy.reseed && attempt > 0 {
@@ -271,18 +750,48 @@ where
         }
         m.begin_txn()
             .expect("run_transaction: transaction state already checked");
+        let started = Instant::now();
         match body(m, mode) {
             Ok(r) => {
                 m.commit_txn()
                     .expect("run_transaction: commit of the open transaction");
+                report.attempt_trace.push(AttemptRecord {
+                    mode,
+                    duration_ns: started.elapsed().as_nanos() as u64,
+                    ok: true,
+                });
                 result = Some(r);
                 break;
             }
             Err(e) => {
                 m.abort_txn()
                     .expect("run_transaction: abort of the open transaction");
+                report.attempt_trace.push(AttemptRecord {
+                    mode,
+                    duration_ns: started.elapsed().as_nanos() as u64,
+                    ok: false,
+                });
                 report.rounds_replayed += e.completed_rounds();
+                watchdog_tripped = matches!(e, FolError::Stalled { .. });
                 report.errors.push(e);
+                if watchdog_tripped {
+                    break;
+                }
+                let grew = !m
+                    .health()
+                    .quarantined()
+                    .difference(quarantined_before)
+                    .is_empty();
+                if matches!(mode, ExecMode::DegradedVector { .. })
+                    && grew
+                    && holds < fol_vm::LANE_COUNT
+                {
+                    // Hold the rung: retry degraded with the grown mask.
+                    holds += 1;
+                } else {
+                    rung += 1;
+                    budget_spent += 1;
+                }
             }
         }
     }
@@ -292,8 +801,30 @@ where
     report.faults_consumed = m.fault_log().len() - faults_before;
     match result {
         Some(r) => Ok((r, report)),
-        None => Err(RecoveryError { report }),
+        None if watchdog_tripped => Err(RecoveryError::Watchdog { report }),
+        None => Err(RecoveryError::Exhausted { report }),
     }
+}
+
+/// Runs `f` with the given lanes removed from the machine's execution mask,
+/// restoring the previous mask afterwards whatever `f` returns.
+///
+/// This is the primitive behind [`ExecMode::DegradedVector`], exported so a
+/// workload's own vectorized phases (payload scatters, conflict-free
+/// permutations) can run under the same reduced-width schedule as the
+/// decomposition that produced their rounds. Removing every lane would leave
+/// nothing to schedule on; [`fol_vm::Machine::set_active_lanes`] coerces an
+/// empty mask back to full width, so the degenerate case stays safe.
+pub fn with_lane_mask<R>(
+    m: &mut Machine,
+    quarantined: LaneSet,
+    f: impl FnOnce(&mut Machine) -> R,
+) -> R {
+    let prev = m.active_lanes();
+    m.set_active_lanes(prev.difference(quarantined));
+    let r = f(m);
+    m.set_active_lanes(prev);
+    r
 }
 
 /// FOL1 under an explicit [`ExecMode`]; all modes produce a decomposition
@@ -305,10 +836,34 @@ pub fn decompose_with_mode(
     mode: ExecMode,
     validation: Validation,
 ) -> Result<Decomposition, FolError> {
+    decompose_with_mode_watched(m, work, index_vec, mode, validation, &mut |_| Ok(()))
+}
+
+/// [`decompose_with_mode`] with a per-pass observer — the hook the armed
+/// [`Watchdog`] uses. `observe` is called with the live count at the top of
+/// every detection pass in *every* mode (the sequential fallbacks included);
+/// an `Err` aborts the decomposition with that error.
+pub fn decompose_with_mode_watched(
+    m: &mut Machine,
+    work: Region,
+    index_vec: &[Word],
+    mode: ExecMode,
+    validation: Validation,
+    observe: &mut dyn FnMut(usize) -> Result<(), FolError>,
+) -> Result<Decomposition, FolError> {
     match mode {
-        ExecMode::Vector => try_fol1_machine(m, work, index_vec, validation),
-        ExecMode::ForcedSequential => fol1_singleton_scatters(m, work, index_vec, validation),
-        ExecMode::ScalarTail => fol1_scalar(m, work, index_vec, validation),
+        ExecMode::Vector => {
+            let labels = m.iota(0, index_vec.len());
+            try_fol1_machine_observed(m, work, index_vec, &labels, validation, observe)
+        }
+        ExecMode::DegradedVector { quarantined } => with_lane_mask(m, quarantined, |m| {
+            let labels = m.iota(0, index_vec.len());
+            try_fol1_machine_observed(m, work, index_vec, &labels, validation, observe)
+        }),
+        ExecMode::ForcedSequential => {
+            fol1_singleton_scatters(m, work, index_vec, validation, observe)
+        }
+        ExecMode::ScalarTail => fol1_scalar(m, work, index_vec, validation, observe),
     }
 }
 
@@ -336,6 +891,7 @@ fn fol1_singleton_scatters(
     work: Region,
     index_vec: &[Word],
     validation: Validation,
+    observe: &mut dyn FnMut(usize) -> Result<(), FolError>,
 ) -> Result<Decomposition, FolError> {
     check_bounds(index_vec, work.len())?;
     let n = index_vec.len();
@@ -351,6 +907,7 @@ fn fol1_singleton_scatters(
                 completed_rounds: rounds.len(),
             });
         }
+        observe(v.len())?;
         for k in 0..v.len() {
             let idx1 = m.vimm(&[v.get(k)]);
             let val1 = m.vimm(&[labels.get(k)]);
@@ -388,6 +945,7 @@ fn fol1_scalar(
     work: Region,
     index_vec: &[Word],
     validation: Validation,
+    observe: &mut dyn FnMut(usize) -> Result<(), FolError>,
 ) -> Result<Decomposition, FolError> {
     check_bounds(index_vec, work.len())?;
     let n = index_vec.len();
@@ -405,6 +963,7 @@ fn fol1_scalar(
                 completed_rounds: rounds.len(),
             });
         }
+        observe(live.len())?;
         for &(pos, t) in &live {
             m.s_write(work.base() + t, pos as Word);
         }
@@ -454,7 +1013,15 @@ where
     let mut staged: Option<Vec<T>> = None;
     let shadow: &[T] = data;
     let (d, report) = run_transaction(m, policy, |m, mode| {
-        let d = decompose_with_mode(m, work, &index_vec, mode, policy.validation)?;
+        let mut wd = policy.watchdog.as_ref().map(Watchdog::start);
+        let d = decompose_with_mode_watched(
+            m,
+            work,
+            &index_vec,
+            mode,
+            policy.validation,
+            &mut |live| wd.as_mut().map_or(Ok(()), |w| w.observe(live)),
+        )?;
         let mut scratch = shadow.to_vec();
         try_apply_rounds(&mut scratch, targets, &d, policy.validation, &mut f)?;
         staged = Some(scratch);
@@ -483,7 +1050,15 @@ where
     let mut staged: Option<Vec<T>> = None;
     let shadow: &[T] = data;
     let (d, report) = run_transaction(m, policy, |m, mode| {
-        let d = decompose_with_mode(m, work, &index_vec, mode, policy.validation)?;
+        let mut wd = policy.watchdog.as_ref().map(Watchdog::start);
+        let d = decompose_with_mode_watched(
+            m,
+            work,
+            &index_vec,
+            mode,
+            policy.validation,
+            &mut |live| wd.as_mut().map_or(Ok(()), |w| w.observe(live)),
+        )?;
         let mut scratch = shadow.to_vec();
         try_par_apply_rounds(&mut scratch, targets, &d, policy.validation, &f)?;
         staged = Some(scratch);
@@ -498,7 +1073,7 @@ mod tests {
     use super::*;
     use crate::reference_decompose;
     use crate::theory;
-    use fol_vm::{AmalgamMode, CostModel, FaultPlan, Snapshot};
+    use fol_vm::{AmalgamMode, CostModel, FaultPlan, LaneSet, Snapshot};
 
     fn machine() -> Machine {
         Machine::new(CostModel::unit())
@@ -512,28 +1087,36 @@ mod tests {
         assert!(theory::is_minimal(d, v));
     }
 
-    #[test]
-    fn all_modes_produce_valid_minimal_decompositions() {
-        for mode in [
+    fn all_modes() -> [ExecMode; 4] {
+        [
             ExecMode::Vector,
+            ExecMode::DegradedVector {
+                quarantined: LaneSet::from_bits(0b1010),
+            },
             ExecMode::ForcedSequential,
             ExecMode::ScalarTail,
-        ] {
+        ]
+    }
+
+    #[test]
+    fn all_modes_produce_valid_minimal_decompositions() {
+        for mode in all_modes() {
             let mut m = machine();
             let work = m.alloc(10, "work");
             let d = decompose_with_mode(&mut m, work, V, mode, Validation::Full)
                 .unwrap_or_else(|e| panic!("{mode}: {e}"));
             check_valid(&d, V);
+            assert_eq!(
+                m.active_lanes(),
+                fol_vm::LaneSet::all(),
+                "{mode}: the mask must be restored"
+            );
         }
     }
 
     #[test]
     fn modes_reject_out_of_bounds_targets() {
-        for mode in [
-            ExecMode::Vector,
-            ExecMode::ForcedSequential,
-            ExecMode::ScalarTail,
-        ] {
+        for mode in all_modes() {
             let mut m = machine();
             let work = m.alloc(4, "work");
             let err = decompose_with_mode(&mut m, work, &[99], mode, Validation::Off).unwrap_err();
@@ -542,6 +1125,38 @@ mod tests {
                 "{mode}"
             );
         }
+    }
+
+    #[test]
+    fn degraded_mode_routes_around_a_sticky_lane() {
+        // A permanently dead physical lane defeats the full-width vector
+        // path on a large enough input, but the degraded rung masks the lane
+        // out of the schedule and the same program completes.
+        let n = 256;
+        let index_vec: Vec<Word> = (0..n).map(|i| (i % 97) as Word).collect();
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::sticky_lanes(3, 1 << 5)));
+        let work = m.alloc(97, "work");
+        let degraded = ExecMode::DegradedVector {
+            quarantined: LaneSet::single(5),
+        };
+        let d = decompose_with_mode(&mut m, work, &index_vec, degraded, Validation::Full)
+            .expect("masking the sticky lane must route every write around it");
+        check_valid(&d, &index_vec);
+        assert!(
+            m.fault_log().is_empty(),
+            "the sticky lane never entered the schedule, so no fault fired"
+        );
+    }
+
+    #[test]
+    fn with_lane_mask_restores_on_every_path() {
+        let mut m = machine();
+        let q = LaneSet::from_bits(0b11);
+        with_lane_mask(&mut m, q, |m| {
+            assert_eq!(m.active_lanes().len(), 62);
+        });
+        assert_eq!(m.active_lanes(), LaneSet::all());
     }
 
     #[test]
@@ -636,8 +1251,11 @@ mod tests {
             })
         })
         .unwrap_err();
-        assert_eq!(err.report.attempts, 2);
-        assert_eq!(err.report.errors.len(), 2);
+        assert!(matches!(err, RecoveryError::Exhausted { .. }));
+        assert_eq!(err.report().attempts, 2);
+        assert_eq!(err.report().errors.len(), 2);
+        assert_eq!(err.report().attempt_trace.len(), 2);
+        assert!(err.report().attempt_trace.iter().all(|a| !a.ok));
         assert!(
             snap.matches(m.mem()),
             "every attempt must be rolled back byte-exact"
@@ -656,6 +1274,18 @@ mod tests {
                 live: 4,
             }],
             faults_consumed: 5,
+            attempt_trace: vec![
+                AttemptRecord {
+                    mode: ExecMode::Vector,
+                    duration_ns: 1200,
+                    ok: false,
+                },
+                AttemptRecord {
+                    mode: ExecMode::ScalarTail,
+                    duration_ns: 3400,
+                    ok: true,
+                },
+            ],
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
@@ -663,7 +1293,205 @@ mod tests {
         assert!(json.contains("\"final_mode\":\"ScalarTail\""), "{json}");
         assert!(json.contains("\"recovered\":true"), "{json}");
         assert!(json.contains("\"errors\":[\""), "{json}");
+        assert!(json.contains("\"attempt_trace\":[{"), "{json}");
+        assert!(json.contains("\"duration_ns\":1200"), "{json}");
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_parser() {
+        let report = RecoveryReport {
+            attempts: 3,
+            rounds_replayed: 7,
+            final_mode: ExecMode::DegradedVector {
+                quarantined: LaneSet::from_bits((1 << 5) | (1 << 17)),
+            },
+            errors: vec![
+                FolError::NoSurvivors {
+                    iteration: 2,
+                    live: 9,
+                },
+                FolError::PostConditionFailed {
+                    what: "quoted \"what\" with\nnewline",
+                },
+            ],
+            faults_consumed: 11,
+            attempt_trace: vec![
+                AttemptRecord {
+                    mode: ExecMode::Vector,
+                    duration_ns: 5,
+                    ok: false,
+                },
+                AttemptRecord {
+                    mode: ExecMode::DegradedVector {
+                        quarantined: LaneSet::from_bits((1 << 5) | (1 << 17)),
+                    },
+                    duration_ns: 999_999_999_999,
+                    ok: true,
+                },
+            ],
+        };
+        let parsed = ParsedReport::from_json(&report.to_json()).expect("own output must parse");
+        assert_eq!(parsed.attempts, report.attempts);
+        assert_eq!(parsed.rounds_replayed, report.rounds_replayed);
+        assert_eq!(parsed.final_mode, report.final_mode);
+        assert_eq!(parsed.recovered, report.recovered());
+        assert_eq!(parsed.faults_consumed, report.faults_consumed);
+        assert_eq!(
+            parsed.errors,
+            report
+                .errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(parsed.attempt_trace, report.attempt_trace);
+        // And a second encode of the parsed fields agrees on the mode.
+        assert_eq!(parsed.final_mode.to_string(), "DegradedVector{5,17}");
+    }
+
+    #[test]
+    fn exec_mode_parse_inverts_display() {
+        for mode in [
+            ExecMode::Vector,
+            ExecMode::ForcedSequential,
+            ExecMode::ScalarTail,
+            ExecMode::DegradedVector {
+                quarantined: LaneSet::empty(),
+            },
+            ExecMode::DegradedVector {
+                quarantined: LaneSet::from_bits(0b1001_0001),
+            },
+        ] {
+            assert_eq!(ExecMode::parse(&mode.to_string()), Some(mode));
+        }
+        assert_eq!(ExecMode::parse("DegradedVector{64}"), None);
+        assert_eq!(ExecMode::parse("Sideways"), None);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_artifacts() {
+        assert!(ParsedReport::from_json("").is_err());
+        assert!(ParsedReport::from_json("{\"attempts\":1}").is_err());
+        assert!(ParsedReport::from_json("{} trailing").is_err());
+        let good = RecoveryReport {
+            attempts: 1,
+            rounds_replayed: 0,
+            final_mode: ExecMode::Vector,
+            errors: vec![],
+            faults_consumed: 0,
+            attempt_trace: vec![],
+        }
+        .to_json();
+        assert!(ParsedReport::from_json(&good).is_ok());
+    }
+
+    #[test]
+    fn watchdog_counts_consecutive_stalls_only() {
+        let mut wd = Watchdog::start(&WatchdogConfig {
+            stall_rounds: 2,
+            deadline: None,
+        });
+        assert!(wd.observe(10).is_ok(), "first observation seeds the meter");
+        assert!(wd.observe(8).is_ok(), "shrink resets");
+        assert!(wd.observe(8).is_ok(), "first stall");
+        assert!(wd.observe(7).is_ok(), "shrink resets the streak");
+        assert!(wd.observe(7).is_ok());
+        let err = wd.observe(9).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FolError::Stalled {
+                    stalled_rounds: 2,
+                    live: 9,
+                    deadline_expired: false
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn watchdog_deadline_trips_and_is_fatal_with_rollback() {
+        // A hostile plan the vector rung can never survive, plus a zero
+        // deadline: the very first observation trips. The supervisor must
+        // return RecoveryError::Watchdog without burning the remaining
+        // rungs, and memory must be back to the snapshot.
+        let targets: Vec<usize> = V.iter().map(|&t| t as usize).collect();
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::dropped_lanes(5, u16::MAX)));
+        let work = m.alloc(10, "work");
+        let snap = Snapshot::capture(m.mem(), &[work]);
+        let policy = RetryPolicy {
+            watchdog: Some(WatchdogConfig {
+                stall_rounds: 0,
+                deadline: Some(std::time::Duration::ZERO),
+            }),
+            ..RetryPolicy::default()
+        };
+        let mut counts = vec![0u32; 10];
+        let err = txn_apply_rounds(&mut m, work, &mut counts, &targets, &policy, |c, _| *c += 1)
+            .unwrap_err();
+        assert!(matches!(err, RecoveryError::Watchdog { .. }), "{err}");
+        assert_eq!(
+            err.report().attempts,
+            1,
+            "a tripped watchdog must not escalate"
+        );
+        assert!(matches!(
+            err.report().errors.last(),
+            Some(FolError::Stalled {
+                deadline_expired: true,
+                ..
+            })
+        ));
+        assert!(err.to_string().contains("watchdog"));
+        assert!(counts.iter().all(|&c| c == 0), "host data untouched");
+        assert!(snap.matches(m.mem()), "machine memory rolled back");
+        assert!(!m.in_txn());
+    }
+
+    #[test]
+    fn default_ladder_reaches_degraded_vector_under_sticky_faults() {
+        // End-to-end tentpole scenario: a sticky physical lane sinks the
+        // full-width attempt, the health registry quarantines it, and the
+        // DegradedVector rung completes — never reaching the sequential
+        // fallbacks.
+        let n = 256;
+        let targets: Vec<usize> = (0..n).map(|i| i % 97).collect();
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::sticky_lanes(9, 1 << 13)));
+        let work = m.alloc(97, "work");
+        let mut counts = vec![0u32; 97];
+        let (d, report) = txn_apply_rounds(
+            &mut m,
+            work,
+            &mut counts,
+            &targets,
+            &RetryPolicy::default(),
+            |c, _| *c += 1,
+        )
+        .expect("the degraded rung must absorb a single dead lane");
+        let mut expect = vec![0u32; 97];
+        for &t in &targets {
+            expect[t] += 1;
+        }
+        assert_eq!(counts, expect);
+        assert!(d.num_rounds() >= 1);
+        assert!(report.recovered(), "the vector rung must have failed first");
+        match report.final_mode {
+            ExecMode::DegradedVector { quarantined } => {
+                assert!(
+                    quarantined.contains(13),
+                    "the sticky lane must be in the rung's quarantine set: {quarantined}"
+                );
+            }
+            other => panic!("expected DegradedVector, finished in {other}"),
+        }
+        assert!(
+            m.health().is_quarantined(13),
+            "the registry keeps the lane out until a probe passes"
+        );
     }
 
     #[test]
@@ -731,11 +1559,12 @@ mod tests {
             ladder: vec![ExecMode::Vector],
             reseed: false,
             validation: Validation::Full,
+            watchdog: None,
         };
         let mut counts = vec![0u32; 10];
         let err = txn_apply_rounds(&mut m, work, &mut counts, &targets, &policy, |c, _| *c += 1)
             .unwrap_err();
-        assert_eq!(err.report.attempts, 3);
+        assert_eq!(err.report().attempts, 3);
         assert!(counts.iter().all(|&c| c == 0), "host data untouched");
         assert!(snap.matches(m.mem()), "machine memory rolled back");
         assert!(err.to_string().contains("recovery exhausted"));
@@ -745,8 +1574,14 @@ mod tests {
     fn mode_for_clamps_to_ladder_tail() {
         let policy = RetryPolicy::default();
         assert_eq!(policy.mode_for(0), ExecMode::Vector);
-        assert_eq!(policy.mode_for(1), ExecMode::ForcedSequential);
-        assert_eq!(policy.mode_for(2), ExecMode::ScalarTail);
+        assert_eq!(
+            policy.mode_for(1),
+            ExecMode::DegradedVector {
+                quarantined: LaneSet::empty()
+            }
+        );
+        assert_eq!(policy.mode_for(2), ExecMode::ForcedSequential);
+        assert_eq!(policy.mode_for(3), ExecMode::ScalarTail);
         assert_eq!(policy.mode_for(99), ExecMode::ScalarTail);
         assert_eq!(
             RetryPolicy {

@@ -14,7 +14,8 @@
 use fol_core::decompose::fol1_machine;
 use fol_core::error::{FolError, Validation};
 use fol_core::recover::{
-    decompose_with_mode, run_transaction, ExecMode, RecoveryError, RecoveryReport, RetryPolicy,
+    decompose_with_mode, run_transaction, with_lane_mask, ExecMode, RecoveryError, RecoveryReport,
+    RetryPolicy,
 };
 use fol_vm::{AluOp, CmpOp, Machine, Region, VReg, Word};
 
@@ -157,6 +158,23 @@ pub fn try_vectorized_components(
     if mode == ExecMode::ScalarTail {
         return Ok(scalar_components(m, g));
     }
+    if let ExecMode::DegradedVector { quarantined } = mode {
+        // The whole sweep — payload gathers and min-update scatters included,
+        // not just the decomposition — runs under the reduced-width schedule,
+        // so a sticky quarantined lane never sees any of this sweep's writes.
+        return with_lane_mask(m, quarantined, |m| propagate_sweeps(m, g, mode, validation));
+    }
+    propagate_sweeps(m, g, mode, validation)
+}
+
+/// The label-propagation sweep loop behind [`try_vectorized_components`],
+/// run at whatever lane width the caller has installed.
+fn propagate_sweeps(
+    m: &mut Machine,
+    g: &Components,
+    mode: ExecMode,
+    validation: Validation,
+) -> Result<usize, FolError> {
     g.init_labels(m);
     if g.edges.is_empty() || g.n == 0 {
         return Ok(0);
@@ -194,6 +212,16 @@ pub fn try_vectorized_components(
             let cur = m.gather(g.labels, &t);
             let new = m.valu(AluOp::Min, &cur, &l);
             m.scatter(g.labels, &t, &new);
+            // Echo the round back: a dropped or torn min-update would
+            // otherwise heal on a later sweep (or not at all), hiding a
+            // sick lane from the health registry and the escalation
+            // ladder.
+            let echo = m.gather(g.labels, &t);
+            if echo.iter().zip(new.iter()).any(|(a, b)| a != b) {
+                return Err(FolError::PostConditionFailed {
+                    what: "components min-update write-back",
+                });
+            }
         }
     }
 }
@@ -413,7 +441,7 @@ mod tests {
         let mut policy = RetryPolicy::vector_only(2);
         policy.reseed = false;
         let err = txn_components(&mut m, &g, &policy).unwrap_err();
-        assert_eq!(err.report.attempts, 2);
+        assert_eq!(err.report().attempts, 2);
         assert_eq!(g.labelling(&m), before, "rollback restored the labelling");
         assert!(!m.in_txn());
     }

@@ -15,7 +15,9 @@
 
 use crate::hash_mod;
 use fol_core::error::{FolError, Validation};
-use fol_core::recover::{run_transaction, ExecMode, RecoveryError, RecoveryReport, RetryPolicy};
+use fol_core::recover::{
+    run_transaction, with_lane_mask, ExecMode, RecoveryError, RecoveryReport, RetryPolicy,
+};
 use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
 
 /// Nil chain pointer.
@@ -334,6 +336,9 @@ pub fn txn_insert_all(
         table.used_nodes = saved_used;
         let rounds = match mode {
             ExecMode::Vector => try_vectorized_insert_all(m, table, keys)?,
+            ExecMode::DegradedVector { quarantined } => with_lane_mask(m, quarantined, |m| {
+                try_vectorized_insert_all(m, table, keys)
+            })?,
             ExecMode::ForcedSequential => {
                 insert_via_decomposition(m, table, keys, mode, validation)?
             }
@@ -697,7 +702,7 @@ mod tests {
         let mut policy = RetryPolicy::vector_only(3);
         policy.reseed = false;
         let err = txn_insert_all(&mut m, &mut t, &[1, 2, 3], &policy).unwrap_err();
-        assert_eq!(err.report.attempts, 3);
+        assert_eq!(err.report().attempts, 3);
         assert_eq!(all_keys(&m, &t), before, "rollback restored the table");
         assert_eq!(t.used_nodes, used_before, "rollback restored the allocator");
         assert!(!m.in_txn(), "no transaction left open");

@@ -11,7 +11,9 @@
 
 use crate::{hash_mod, ProbeStrategy, UNENTERED};
 use fol_core::error::FolError;
-use fol_core::recover::{run_transaction, ExecMode, RecoveryError, RecoveryReport, RetryPolicy};
+use fol_core::recover::{
+    run_transaction, with_lane_mask, ExecMode, RecoveryError, RecoveryReport, RetryPolicy,
+};
 use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
 
 /// Outcome of a multiple-hashing run.
@@ -268,6 +270,9 @@ pub fn txn_insert_all(
     run_transaction(m, policy, |m, mode| {
         let report = match mode {
             ExecMode::Vector => try_vectorized_insert_all(m, table, keys, probe, budget)?,
+            ExecMode::DegradedVector { quarantined } => with_lane_mask(m, quarantined, |m| {
+                try_vectorized_insert_all(m, table, keys, probe, budget)
+            })?,
             ExecMode::ForcedSequential => {
                 let mut iterations = 0usize;
                 let mut probes = 0u64;
@@ -773,7 +778,7 @@ mod tests {
         policy.reseed = false;
         let err =
             txn_insert_all(&mut m, t, &[1, 2, 3], ProbeStrategy::Linear, &policy).unwrap_err();
-        assert_eq!(err.report.attempts, 2);
+        assert_eq!(err.report().attempts, 2);
         assert_eq!(m.mem().read_region(t), before, "rollback is byte-exact");
         assert!(!m.in_txn());
     }

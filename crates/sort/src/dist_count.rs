@@ -18,7 +18,8 @@
 use crate::validate_range;
 use fol_core::error::FolError;
 use fol_core::recover::{
-    decompose_with_mode, run_transaction, ExecMode, RecoveryError, RecoveryReport, RetryPolicy,
+    decompose_with_mode, run_transaction, with_lane_mask, ExecMode, RecoveryError, RecoveryReport,
+    RetryPolicy,
 };
 use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
 
@@ -369,6 +370,9 @@ pub fn txn_sort(
     run_transaction(m, policy, |m, mode| {
         let report = match mode {
             ExecMode::Vector => try_vectorized_sort(m, a, range)?,
+            ExecMode::DegradedVector { quarantined } => {
+                with_lane_mask(m, quarantined, |m| try_vectorized_sort(m, a, range))?
+            }
             ExecMode::ForcedSequential => sort_via_decomposition(m, a, range, mode, validation)?,
             ExecMode::ScalarTail => {
                 let data = m.mem().read_region(a);
@@ -580,7 +584,7 @@ mod tests {
         let mut policy = RetryPolicy::vector_only(3);
         policy.reseed = false;
         let err = txn_sort(&mut m, a, 10, &policy).unwrap_err();
-        assert_eq!(err.report.attempts, 3);
+        assert_eq!(err.report().attempts, 3);
         assert_eq!(
             m.mem().read_region(a),
             data,

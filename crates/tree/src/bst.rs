@@ -27,7 +27,9 @@
 
 use crate::NIL;
 use fol_core::error::FolError;
-use fol_core::recover::{run_transaction, ExecMode, RecoveryError, RecoveryReport, RetryPolicy};
+use fol_core::recover::{
+    run_transaction, with_lane_mask, ExecMode, RecoveryError, RecoveryReport, RetryPolicy,
+};
 use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
 
 /// A binary search tree in machine memory.
@@ -394,6 +396,9 @@ pub fn txn_insert_all(
         tree.used = saved_used;
         let report = match mode {
             ExecMode::Vector => try_vectorized_insert_all(m, tree, keys, budget)?,
+            ExecMode::DegradedVector { quarantined } => with_lane_mask(m, quarantined, |m| {
+                try_vectorized_insert_all(m, tree, keys, budget)
+            })?,
             ExecMode::ForcedSequential => {
                 let mut report = BstReport::default();
                 for key in keys {
@@ -666,7 +671,7 @@ mod tests {
         let mut policy = RetryPolicy::vector_only(2);
         policy.reseed = false;
         let err = txn_insert_all(&mut m, &mut t, &[1, 2], &policy).unwrap_err();
-        assert_eq!(err.report.attempts, 2);
+        assert_eq!(err.report().attempts, 2);
         assert_eq!(t.inorder(&m), before, "rollback restored the tree");
         assert_eq!(t.used, 3, "rollback restored the allocator");
         assert!(!m.in_txn());

@@ -21,7 +21,9 @@
 use crate::NIL;
 use fol_core::error::FolError;
 use fol_core::fol_star::fol_star_first_round;
-use fol_core::recover::{run_transaction, ExecMode, RecoveryError, RecoveryReport, RetryPolicy};
+use fol_core::recover::{
+    run_transaction, with_lane_mask, ExecMode, RecoveryError, RecoveryReport, RetryPolicy,
+};
 use fol_vm::{CmpOp, Machine, Region, VReg, Word};
 
 /// Tag for leaf nodes (symbol stored in `lefts`).
@@ -416,6 +418,9 @@ pub fn txn_rewrite_to_normal_form(
     run_transaction(m, policy, |m, mode| {
         let report = match mode {
             ExecMode::Vector => try_vectorized_rewrite_to_normal_form(m, t, budget)?,
+            ExecMode::DegradedVector { quarantined } => with_lane_mask(m, quarantined, |m| {
+                try_vectorized_rewrite_to_normal_form(m, t, budget)
+            })?,
             ExecMode::ForcedSequential => {
                 let mut report = RewriteReport::default();
                 loop {
@@ -635,7 +640,7 @@ mod tests {
         let mut policy = RetryPolicy::vector_only(2);
         policy.reseed = false;
         let err = txn_rewrite_to_normal_form(&mut m, &t, &policy).unwrap_err();
-        assert_eq!(err.report.attempts, 2);
+        assert_eq!(err.report().attempts, 2);
         assert_eq!(
             t.leaves_inorder(&m),
             before_leaves,

@@ -78,6 +78,14 @@ impl AdversaryState {
 }
 
 impl ConflictPolicy {
+    /// True when the policy satisfies the ELS condition (every variant
+    /// except [`ConflictPolicy::BrokenAmalgam`]). The lane-health machinery
+    /// consults this to distinguish *policy-wide* ELS violations — which no
+    /// per-lane quarantine can cure — from localizable lane faults.
+    pub fn satisfies_els(&self) -> bool {
+        !matches!(self, ConflictPolicy::BrokenAmalgam)
+    }
+
     /// Resolves the winners of one scatter.
     ///
     /// `indices[i]` is the target address of element `i`; returns for each
@@ -314,6 +322,15 @@ mod tests {
     #[should_panic(expected = "resolved by the Machine")]
     fn broken_amalgam_cannot_resolve_per_element() {
         let _ = ConflictPolicy::BrokenAmalgam.resolve(&[0, 0], 0, |_, _| {});
+    }
+
+    #[test]
+    fn els_classification_matches_the_docs() {
+        assert!(ConflictPolicy::FirstWins.satisfies_els());
+        assert!(ConflictPolicy::LastWins.satisfies_els());
+        assert!(ConflictPolicy::Arbitrary(1).satisfies_els());
+        assert!(ConflictPolicy::Adversarial(1).satisfies_els());
+        assert!(!ConflictPolicy::BrokenAmalgam.satisfies_els());
     }
 
     #[test]

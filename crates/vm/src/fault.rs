@@ -71,6 +71,10 @@ pub struct FaultPlan {
     /// Half-open scatter-sequence window `[start, end)` the plan applies to;
     /// `None` means every scatter.
     window: Option<(u64, u64)>,
+    /// Bitmask of *physical lanes* (bit `i` ⇔ lane `i`) that drop **every**
+    /// write routed through them — the sticky-fault model of a permanently
+    /// broken pipe, as opposed to the stochastic `drop_rate`.
+    sticky_lanes: u64,
 }
 
 impl FaultPlan {
@@ -82,6 +86,19 @@ impl FaultPlan {
             amalgam_rate: 0,
             mode: AmalgamMode::Xor,
             window: None,
+            sticky_lanes: 0,
+        }
+    }
+
+    /// A plan under which every physical lane in the `lanes` bitmask (bit
+    /// `i` ⇔ lane `i`) drops **all** of its writes — a permanently broken
+    /// pipe. Unlike the stochastic [`FaultPlan::dropped_lanes`] model, a
+    /// sticky fault is a pure function of the lane alone, so the lane-health
+    /// registry can localize it and a quarantine actually cures it.
+    pub fn sticky_lanes(seed: u64, lanes: u64) -> Self {
+        Self {
+            sticky_lanes: lanes,
+            ..Self::benign(seed)
         }
     }
 
@@ -116,6 +133,18 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the sticky-lane bitmask (bit `i` ⇔ physical lane `i` drops all
+    /// writes), returning the modified plan.
+    pub fn with_sticky_lanes(mut self, lanes: u64) -> Self {
+        self.sticky_lanes = lanes;
+        self
+    }
+
+    /// The sticky-lane bitmask.
+    pub fn sticky_lane_bits(&self) -> u64 {
+        self.sticky_lanes
+    }
+
     /// Restricts the plan to scatters whose sequence number falls in
     /// `[start, end)`.
     pub fn with_window(mut self, start: u64, end: u64) -> Self {
@@ -136,9 +165,10 @@ impl FaultPlan {
         self
     }
 
-    /// True when the plan can violate the ELS condition (any nonzero rate).
+    /// True when the plan can violate the ELS condition (any nonzero rate
+    /// or a nonempty sticky-lane set).
     pub fn violates_els(&self) -> bool {
-        self.drop_rate > 0 || self.amalgam_rate > 0
+        self.drop_rate > 0 || self.amalgam_rate > 0 || self.sticky_lanes != 0
     }
 
     /// The amalgam combination mode.
@@ -159,6 +189,16 @@ impl FaultPlan {
         self.active_at(sequence)
             && self.drop_rate > 0
             && (hash3(self.seed, sequence, lane as u64 ^ 0xD50F) & 0xFFFF) < self.drop_rate as u64
+    }
+
+    /// Decides whether the write routed through physical lane `lane` in
+    /// scatter `sequence` is dropped by a **sticky** lane fault. Unlike
+    /// [`FaultPlan::lane_dropped`] this is keyed on the physical lane the
+    /// machine scheduled the element onto, not the element position, so a
+    /// quarantine that steers elements away from the lane genuinely avoids
+    /// the fault.
+    pub fn sticky_dropped(&self, sequence: u64, lane: usize) -> bool {
+        self.active_at(sequence) && lane < 64 && (self.sticky_lanes >> lane) & 1 == 1
     }
 
     /// Decides whether the conflicting writes to `addr` in scatter `sequence`
@@ -408,6 +448,33 @@ mod tests {
         let pa: Vec<bool> = (0..512).map(|l| plan.lane_dropped(6, l)).collect();
         let pb: Vec<bool> = (0..512).map(|l| reseeded.lane_dropped(6, l)).collect();
         assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn sticky_lanes_always_drop_and_only_those() {
+        let plan = FaultPlan::sticky_lanes(3, (1 << 5) | (1 << 40));
+        assert!(plan.violates_els());
+        assert_eq!(plan.sticky_lane_bits(), (1 << 5) | (1 << 40));
+        for seq in 0..64 {
+            assert!(plan.sticky_dropped(seq, 5));
+            assert!(plan.sticky_dropped(seq, 40));
+            assert!(!plan.sticky_dropped(seq, 4));
+            assert!(!plan.sticky_dropped(seq, 63));
+            // Sticky faults are independent of the stochastic model.
+            assert!(!plan.lane_dropped(seq, 5));
+        }
+        // Out-of-range lanes never stick.
+        assert!(!plan.sticky_dropped(0, 64));
+    }
+
+    #[test]
+    fn sticky_lanes_respect_the_window() {
+        let plan = FaultPlan::benign(1)
+            .with_sticky_lanes(1 << 2)
+            .with_window(10, 20);
+        assert!(!plan.sticky_dropped(9, 2));
+        assert!(plan.sticky_dropped(10, 2));
+        assert!(!plan.sticky_dropped(20, 2));
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod conflict;
 pub mod cost;
 pub mod expr;
 pub mod fault;
+pub mod health;
 pub mod journal;
 pub mod machine;
 pub mod memory;
@@ -76,6 +77,7 @@ pub mod vreg;
 pub use conflict::{AdversaryState, ConflictPolicy};
 pub use cost::{CostModel, OpKind, Stats};
 pub use fault::{AmalgamMode, FaultEvent, FaultLog, FaultPlan};
+pub use health::{LaneHealthRegistry, LaneSet, LANE_COUNT};
 pub use journal::{Snapshot, TxnError, WriteJournal};
 pub use machine::{AluOp, CmpOp, Machine, MachineTrap};
 pub use memory::{Addr, Memory, Region};

@@ -14,6 +14,7 @@
 use crate::conflict::{AdversaryState, ConflictPolicy};
 use crate::cost::{CostModel, OpKind, Stats};
 use crate::fault::{FaultEvent, FaultLog, FaultPlan};
+use crate::health::{LaneHealthRegistry, LaneSet, LANE_COUNT};
 use crate::journal::{TxnError, WriteJournal};
 use crate::memory::{Addr, Memory, Region};
 use crate::trace::Tracer;
@@ -145,6 +146,14 @@ pub struct Machine {
     fault_log: FaultLog,
     /// Open transaction's undo log; `None` when no transaction is open.
     journal: Option<WriteJournal>,
+    /// Execution mask: the physical lanes vector instructions may schedule
+    /// elements onto. Always nonempty; defaults to every lane.
+    active_lanes: LaneSet,
+    /// Per-lane fault accounting, fed automatically by the scatter paths and
+    /// by transaction aborts.
+    health: LaneHealthRegistry,
+    /// Cached sacrificial region for [`Machine::probe_lane`].
+    probe_region: Option<Region>,
 }
 
 impl Machine {
@@ -163,6 +172,9 @@ impl Machine {
             fault_plan: None,
             fault_log: FaultLog::default(),
             journal: None,
+            active_lanes: LaneSet::all(),
+            health: LaneHealthRegistry::new(),
+            probe_region: None,
         }
     }
 
@@ -215,6 +227,108 @@ impl Machine {
     /// Clears the fault log (the plan stays installed).
     pub fn clear_fault_log(&mut self) {
         self.fault_log = FaultLog::default();
+    }
+
+    // ------------------------------------------------------------------
+    // Lane health & execution masks (graceful degradation)
+    // ------------------------------------------------------------------
+
+    /// The execution mask: physical lanes vector instructions may use.
+    pub fn active_lanes(&self) -> LaneSet {
+        self.active_lanes
+    }
+
+    /// Installs an execution mask. Elements of every subsequent vector
+    /// instruction are scheduled round-robin onto the active lanes only, so
+    /// the same program runs at reduced effective width — index vectors are
+    /// *not* rewritten, sick lanes are simply never used, and the cost model
+    /// charges proportionally more chimes per element.
+    ///
+    /// An empty set is coerced to all lanes (a machine with zero lanes
+    /// cannot execute anything).
+    pub fn set_active_lanes(&mut self, lanes: LaneSet) {
+        self.active_lanes = if lanes.is_empty() {
+            LaneSet::all()
+        } else {
+            lanes
+        };
+    }
+
+    /// The per-lane health registry (fault scores, quarantine set).
+    pub fn health(&self) -> &LaneHealthRegistry {
+        &self.health
+    }
+
+    /// Mutable access to the health registry (tuning thresholds, manual
+    /// quarantine/restore).
+    pub fn health_mut(&mut self) -> &mut LaneHealthRegistry {
+        &mut self.health
+    }
+
+    /// The physical lane element `p` of a vector instruction executes on
+    /// under the current execution mask: the `(p mod w)`-th active lane,
+    /// where `w` is the mask's population count.
+    pub fn physical_lane(&self, p: usize) -> usize {
+        if self.active_lanes == LaneSet::all() {
+            return p % LANE_COUNT;
+        }
+        let w = self.active_lanes.len();
+        let target = p % w;
+        self.active_lanes
+            .iter()
+            .nth(target)
+            .expect("active_lanes is never empty")
+    }
+
+    /// Circuit-breaker self-test: routes a small sacrificial scatter–gather
+    /// exclusively through physical `lane` and checks every write landed.
+    /// The probe uses a dedicated scratch region (never workload memory),
+    /// records its outcome in the health registry
+    /// ([`LaneHealthRegistry::record_probe`] — a passing probe restores a
+    /// quarantined lane), and returns whether the lane behaved.
+    ///
+    /// The probe's scatter and gather charge cycles and bump the scatter
+    /// sequence like any other instruction: sacrificing a little throughput
+    /// to re-earn trust in a lane is exactly the trade the circuit breaker
+    /// makes.
+    pub fn probe_lane(&mut self, lane: usize) -> bool {
+        const PROBE_N: usize = 8;
+        assert!(lane < LANE_COUNT, "lane {lane} out of range");
+        let region = match self.probe_region {
+            Some(r) => r,
+            None => {
+                let r = self.mem.alloc_scratch(PROBE_N);
+                self.probe_region = Some(r);
+                r
+            }
+        };
+        let prev = self.active_lanes;
+        self.active_lanes = LaneSet::single(lane);
+        // A per-probe nonce keeps stale values from an earlier probe of the
+        // same lane from masquerading as a successful write-back.
+        let nonce = (self.scatter_seq as Word).wrapping_mul(0x9E37) ^ ((lane as Word) << 16);
+        let idx: VReg = (0..PROBE_N).map(|i| i as Word).collect();
+        let val: VReg = (0..PROBE_N).map(|i| nonce ^ (i as Word + 1)).collect();
+        self.scatter(region, &idx, &val);
+        let back = self.gather(region, &idx);
+        self.active_lanes = prev;
+        let ok = back.as_slice() == val.as_slice();
+        let seq = self.scatter_seq;
+        self.health.record_probe(lane, seq, ok);
+        ok
+    }
+
+    /// Runs the circuit breaker over every quarantined lane whose probe
+    /// cooldown has elapsed, restoring the lanes that pass their self-test.
+    /// Returns the set of restored lanes.
+    pub fn reprobe_quarantined(&mut self) -> LaneSet {
+        let mut restored = LaneSet::empty();
+        for lane in self.health.quarantined().iter().collect::<Vec<_>>() {
+            if self.health.probe_due(lane, self.scatter_seq) && self.probe_lane(lane) {
+                restored.insert(lane);
+            }
+        }
+        restored
     }
 
     /// Statistics accumulated so far.
@@ -331,6 +445,9 @@ impl Machine {
     pub fn abort_txn(&mut self) -> Result<WriteJournal, TxnError> {
         let j = self.journal.take().ok_or(TxnError::NoTransaction)?;
         j.rollback(&mut self.mem);
+        // A rollback corroborates the fault log: lanes it has implicated
+        // since their scores last decayed out get bumped towards quarantine.
+        self.health.note_rollback(self.scatter_seq);
         Ok(j)
     }
 
@@ -372,10 +489,19 @@ impl Machine {
 
     #[inline]
     fn charge_vector(&mut self, kind: OpKind, n: usize) {
-        let cycles = self.cost.vector_cost(kind, n);
-        self.stats.record_vector(kind, n, cycles);
+        // The execution mask reduces the effective width: with w of the
+        // LANE_COUNT lanes active, n elements need ceil(n·LANE_COUNT/w)
+        // lane-slots' worth of chimes. At full width this is exactly n.
+        let w = self.active_lanes.len();
+        let n_eff = if w == LANE_COUNT {
+            n
+        } else {
+            (n * LANE_COUNT).div_ceil(w)
+        };
+        let cycles = self.cost.vector_cost(kind, n_eff);
+        self.stats.record_vector(kind, n_eff, cycles);
         if let Some(t) = &mut self.tracer {
-            t.record(kind, n, cycles);
+            t.record(kind, n_eff, cycles);
         }
     }
 
@@ -539,7 +665,9 @@ impl Machine {
         for (lane, (i, v)) in idx.iter().zip(val.iter()).enumerate() {
             let addr = Self::region_addr(region, i);
             if let Some(p) = &plan {
-                if p.lane_dropped(seq, lane) {
+                let phys = self.physical_lane(lane);
+                if p.sticky_dropped(seq, phys) || p.lane_dropped(seq, lane) {
+                    self.health.note_lane_fault(phys, seq);
                     self.record_fault(FaultEvent::LaneDropped {
                         sequence: seq,
                         lane,
@@ -610,7 +738,9 @@ impl Machine {
             }
             let addr = Self::region_addr(region, i);
             if let Some(plan) = &plan {
-                if plan.lane_dropped(seq, p) {
+                let phys = self.physical_lane(p);
+                if plan.sticky_dropped(seq, phys) || plan.lane_dropped(seq, p) {
+                    self.health.note_lane_fault(phys, seq);
                     self.record_fault(FaultEvent::LaneDropped {
                         sequence: seq,
                         lane: p,
@@ -1537,5 +1667,202 @@ mod tests {
         let idx = m.vimm(&[-1]);
         let val = m.vimm(&[0]);
         m.scatter(r, &idx, &val);
+    }
+
+    // ------------------------------------------------------------------
+    // Lane health, execution masks, degradation
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn physical_lane_schedule_round_robins_over_active_lanes() {
+        use crate::health::{LaneSet, LANE_COUNT};
+        let mut m = machine();
+        assert_eq!(m.physical_lane(0), 0);
+        assert_eq!(m.physical_lane(LANE_COUNT + 3), 3);
+        // Quarantine lane 0: elements remap onto the 63 survivors.
+        m.set_active_lanes(LaneSet::all().difference(LaneSet::single(0)));
+        assert_eq!(m.physical_lane(0), 1);
+        assert_eq!(m.physical_lane(62), 63);
+        assert_eq!(m.physical_lane(63), 1, "wraps over the reduced width");
+        // An empty mask is coerced to full width.
+        m.set_active_lanes(LaneSet::empty());
+        assert_eq!(m.active_lanes(), LaneSet::all());
+    }
+
+    #[test]
+    fn sticky_lane_drops_its_writes_and_feeds_the_health_registry() {
+        use crate::fault::FaultPlan;
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::sticky_lanes(1, 1 << 2)));
+        let r = m.alloc(8, "r");
+        let idx = m.vimm(&[0, 1, 2, 3]);
+        let val = m.vimm(&[10, 20, 30, 40]);
+        m.scatter(r, &idx, &val);
+        // Element 2 rode physical lane 2 and was dropped; the rest landed.
+        assert_eq!(m.mem().read_region(r)[..4], [10, 20, 0, 40]);
+        assert_eq!(m.fault_log().dropped_lanes(), 1);
+        assert!(m.health().score(2) > 0, "fault attributed to lane 2");
+        assert_eq!(m.health().score(1), 0);
+    }
+
+    #[test]
+    fn execution_mask_steers_elements_off_a_sticky_lane() {
+        use crate::fault::FaultPlan;
+        use crate::health::LaneSet;
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::sticky_lanes(1, 1 << 2)));
+        m.set_active_lanes(LaneSet::all().difference(LaneSet::single(2)));
+        let r = m.alloc(8, "r");
+        let idx = m.vimm(&[0, 1, 2, 3]);
+        let val = m.vimm(&[10, 20, 30, 40]);
+        m.scatter(r, &idx, &val);
+        // Same program, same index vector — but no element uses lane 2, so
+        // every write lands.
+        assert_eq!(m.mem().read_region(r)[..4], [10, 20, 30, 40]);
+        assert!(m.fault_log().is_empty());
+    }
+
+    #[test]
+    fn repeated_sticky_faults_quarantine_the_lane_automatically() {
+        use crate::fault::FaultPlan;
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::sticky_lanes(1, 1 << 5)));
+        let r = m.alloc(8, "r");
+        // Element position 5 of each 8-long scatter rides physical lane 5.
+        for _ in 0..3 {
+            let idx = m.vimm(&[0, 1, 2, 3, 4, 5, 6, 7]);
+            let val = m.vimm(&[0, 1, 2, 3, 4, 9, 6, 7]);
+            m.scatter(r, &idx, &val);
+        }
+        assert!(m.health().is_quarantined(5), "{}", m.health().summary());
+        assert!(!m.health().is_quarantined(4));
+    }
+
+    #[test]
+    fn degraded_width_charges_proportionally_more_cycles() {
+        use crate::health::LaneSet;
+        let mut m = machine();
+        let r = m.alloc(64, "r");
+        let idx = m.vimm(&vec![0; 64]);
+        let full = m.stats().clone();
+        let _ = m.gather(r, &idx);
+        let full_cycles = m.stats_since(&full).vector_cycles;
+        m.set_active_lanes(LaneSet::from_bits(0xFFFF_FFFF)); // 32 of 64 lanes
+        let half = m.stats().clone();
+        let _ = m.gather(r, &idx);
+        let half_cycles = m.stats_since(&half).vector_cycles;
+        assert!(
+            half_cycles > full_cycles,
+            "half-width gather must cost more: {half_cycles} vs {full_cycles}"
+        );
+    }
+
+    #[test]
+    fn probe_restores_a_healthy_lane_and_keeps_a_sick_one_quarantined() {
+        use crate::fault::FaultPlan;
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::sticky_lanes(1, 1 << 3)));
+        m.health_mut().quarantine(3);
+        assert!(!m.probe_lane(3), "a sticky lane fails its self-test");
+        assert!(m.health().is_quarantined(3));
+        // The fault clears (say the pipe was reseated): the probe passes and
+        // the circuit breaker restores the lane.
+        m.set_fault_plan(None);
+        assert!(m.probe_lane(3));
+        assert!(!m.health().is_quarantined(3));
+        assert_eq!(m.health().restores(), 1);
+    }
+
+    #[test]
+    fn reprobe_quarantined_runs_the_breaker_over_due_lanes() {
+        use crate::health::{LaneHealthRegistry, LaneSet};
+        let mut m = machine();
+        *m.health_mut() = LaneHealthRegistry::new().with_probe_cooldown(0);
+        m.health_mut().quarantine(1);
+        m.health_mut().quarantine(7);
+        let restored = m.reprobe_quarantined();
+        assert_eq!(restored, LaneSet::from_bits((1 << 1) | (1 << 7)));
+        assert!(m.health().quarantined().is_empty());
+        // Probes used scratch memory, not any workload region.
+        assert!(m.mem().allocations().iter().any(|(n, _)| n == "(scratch)"));
+    }
+
+    #[test]
+    fn probe_writes_are_journaled_like_any_store() {
+        use crate::journal::Snapshot;
+        let mut m = machine();
+        // Materialize the scratch region before the snapshot so the probe's
+        // writes land inside snapshotted memory.
+        assert!(m.probe_lane(0));
+        let scratch = m
+            .mem()
+            .allocations()
+            .iter()
+            .find(|(n, _)| n == "(scratch)")
+            .map(|&(_, r)| r)
+            .unwrap();
+        let snap = Snapshot::capture(m.mem(), &[scratch]);
+        m.begin_txn().unwrap();
+        assert!(m.probe_lane(4));
+        m.abort_txn().unwrap();
+        assert!(
+            snap.matches(m.mem()),
+            "sacrificial probe writes must roll back: {:?}",
+            snap.diff(m.mem())
+        );
+    }
+
+    #[test]
+    fn txn_misuse_never_corrupts_the_undo_log() {
+        use crate::journal::Snapshot;
+        let mut m = machine();
+        let r = m.alloc(4, "r");
+        m.mem_mut().write_region(r, &[1, 2, 3, 4]);
+        let snap = Snapshot::capture(m.mem(), &[r]);
+        m.begin_txn().unwrap();
+        let idx = m.vimm(&[0, 1]);
+        let val = m.vimm(&[10, 20]);
+        m.scatter(r, &idx, &val);
+        // A rejected nested begin must not reset or truncate the live
+        // journal…
+        assert_eq!(m.begin_txn().unwrap_err(), TxnError::NestedTransaction);
+        let idx = m.vimm(&[2]);
+        let val = m.vimm(&[30]);
+        m.scatter(r, &idx, &val);
+        // …so the eventual abort still restores everything, including the
+        // writes from before the misuse.
+        m.abort_txn().unwrap();
+        assert!(snap.matches(m.mem()), "diff: {:?}", snap.diff(m.mem()));
+        // Misuse with no transaction open is inert: typed errors, memory
+        // untouched, and a fresh transaction still works.
+        for _ in 0..3 {
+            assert_eq!(m.commit_txn().unwrap_err(), TxnError::NoTransaction);
+            assert_eq!(m.abort_txn().unwrap_err(), TxnError::NoTransaction);
+        }
+        assert!(snap.matches(m.mem()));
+        m.begin_txn().unwrap();
+        m.vfill(r, 9);
+        m.abort_txn().unwrap();
+        assert!(snap.matches(m.mem()));
+    }
+
+    #[test]
+    fn rollback_escalates_fault_implicated_lanes() {
+        use crate::fault::FaultPlan;
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::sticky_lanes(1, 1 << 6)));
+        let r = m.alloc(8, "r");
+        m.begin_txn().unwrap();
+        let idx = m.vimm(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let val = m.vimm(&[1, 1, 1, 1, 1, 1, 1, 1]);
+        m.scatter(r, &idx, &val);
+        let before = m.health().score(6);
+        assert!(before > 0);
+        m.abort_txn().unwrap();
+        assert!(
+            m.health().score(6) > before,
+            "the rollback corroborates the fault log"
+        );
+        assert_eq!(m.health().score(0), 0, "unimplicated lanes stay clean");
     }
 }

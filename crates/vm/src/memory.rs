@@ -116,6 +116,22 @@ impl Memory {
         region
     }
 
+    /// Returns a scratch region of at least `len` words, allocating it on
+    /// first use and reusing it afterwards (growing if a later caller needs
+    /// more). Scratch memory backs *sacrificial* machine operations — the
+    /// lane circuit breaker's scatter–gather self-test — that must not touch
+    /// workload data and must not grow memory on every invocation.
+    pub fn alloc_scratch(&mut self, len: usize) -> Region {
+        if let Some(&(_, r)) = self
+            .allocs
+            .iter()
+            .find(|(n, r)| n == "(scratch)" && r.len() >= len)
+        {
+            return r;
+        }
+        self.alloc(len, "(scratch)")
+    }
+
     /// Total words currently allocated.
     #[inline]
     pub fn size(&self) -> usize {
@@ -267,6 +283,19 @@ mod tests {
         assert_eq!(s.at(0), r.base() + 3);
         assert!(!s.is_empty());
         assert!(r.slice(0, 0).is_empty());
+    }
+
+    #[test]
+    fn scratch_is_reused_not_leaked() {
+        let mut m = Memory::new();
+        let a = m.alloc_scratch(8);
+        let b = m.alloc_scratch(4);
+        assert_eq!(a, b, "a big-enough scratch region is reused");
+        assert_eq!(m.size(), 8);
+        let c = m.alloc_scratch(16);
+        assert_ne!(a, c, "an undersized scratch region grows");
+        assert_eq!(c.len(), 16);
+        assert_eq!(m.alloc_scratch(10), c);
     }
 
     #[test]

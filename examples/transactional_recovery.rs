@@ -53,7 +53,8 @@ fn main() {
     println!("\n== 100% lane drops, vector-only ladder ==");
     println!(
         "failed typed after {} attempts; first error: {}",
-        err.report.attempts, err.report.errors[0]
+        err.report().attempts,
+        err.report().errors[0]
     );
     println!(
         "rollback byte-exact: {} (diff: {:?})",

@@ -17,7 +17,9 @@
 //! `target/chaos/recovery_report.json` (or `$CHAOS_ARTIFACT_DIR`) so CI
 //! can attach it as an artifact.
 
-use fol_core::recover::{RecoveryReport, RetryPolicy};
+use fol_core::recover::{
+    txn_apply_rounds, ExecMode, RecoveryError, RecoveryReport, RetryPolicy, WatchdogConfig,
+};
 use fol_graph::components::{txn_components, union_find_components, Components};
 use fol_hash::chaining::{all_keys, txn_insert_all as txn_chain_insert, ChainTable};
 use fol_hash::open_addressing::{
@@ -98,7 +100,7 @@ fn chaining_always_completes_and_matches_reference() {
                         fail_cell("chaining", name, seed, &report, "contents diverge");
                     }
                 }
-                Err(e) => fail_cell("chaining", name, seed, &e.report, "full ladder exhausted"),
+                Err(e) => fail_cell("chaining", name, seed, e.report(), "full ladder exhausted"),
             }
             assert!(!m.in_txn(), "chaining/{name}/{seed}: txn left open");
         }
@@ -130,7 +132,7 @@ fn open_addressing_always_completes_and_matches_reference() {
                     "open_addressing",
                     name,
                     seed,
-                    &e.report,
+                    e.report(),
                     "full ladder exhausted",
                 ),
             }
@@ -154,7 +156,7 @@ fn bst_always_completes_and_matches_reference() {
                         fail_cell("bst", name, seed, &report, "inorder diverges");
                     }
                 }
-                Err(e) => fail_cell("bst", name, seed, &e.report, "full ladder exhausted"),
+                Err(e) => fail_cell("bst", name, seed, e.report(), "full ladder exhausted"),
             }
             assert!(!m.in_txn(), "bst/{name}/{seed}: txn left open");
         }
@@ -179,7 +181,7 @@ fn rewrite_always_completes_and_matches_reference() {
                         fail_cell("rewrite", name, seed, &report, "normal form diverges");
                     }
                 }
-                Err(e) => fail_cell("rewrite", name, seed, &e.report, "full ladder exhausted"),
+                Err(e) => fail_cell("rewrite", name, seed, e.report(), "full ladder exhausted"),
             }
             assert!(!m.in_txn(), "rewrite/{name}/{seed}: txn left open");
         }
@@ -202,7 +204,13 @@ fn dist_count_always_completes_and_matches_reference() {
                         fail_cell("dist_count", name, seed, &report, "output not sorted input");
                     }
                 }
-                Err(e) => fail_cell("dist_count", name, seed, &e.report, "full ladder exhausted"),
+                Err(e) => fail_cell(
+                    "dist_count",
+                    name,
+                    seed,
+                    e.report(),
+                    "full ladder exhausted",
+                ),
             }
             assert!(!m.in_txn(), "dist_count/{name}/{seed}: txn left open");
         }
@@ -225,7 +233,13 @@ fn components_always_completes_and_matches_reference() {
                         fail_cell("components", name, seed, &report, "labelling diverges");
                     }
                 }
-                Err(e) => fail_cell("components", name, seed, &e.report, "full ladder exhausted"),
+                Err(e) => fail_cell(
+                    "components",
+                    name,
+                    seed,
+                    e.report(),
+                    "full ladder exhausted",
+                ),
             }
             assert!(!m.in_txn(), "components/{name}/{seed}: txn left open");
         }
@@ -256,7 +270,7 @@ fn exhaustion_restores_snapshots_byte_exact() {
             let used_before = t.used_nodes;
             let err = txn_chain_insert(&mut m, &mut t, &keys_for(seed, 8, 100), &policy)
                 .expect_err("vector-only under 100% drops must exhaust");
-            assert_eq!(err.report.attempts, 2);
+            assert_eq!(err.report().attempts, 2);
             assert!(
                 snap.matches(m.mem()),
                 "chaining rollback not byte-exact (seed {seed})"
@@ -271,7 +285,7 @@ fn exhaustion_restores_snapshots_byte_exact() {
             let snap = Snapshot::capture(m.mem(), &[t.keys, t.links]);
             let err = txn_bst_insert(&mut m, &mut t, &keys_for(seed, 6, 100), &policy)
                 .expect_err("vector-only under 100% drops must exhaust");
-            assert!(!err.report.errors.is_empty());
+            assert!(!err.report().errors.is_empty());
             assert!(
                 snap.matches(m.mem()),
                 "bst rollback not byte-exact (seed {seed})"
@@ -304,6 +318,169 @@ fn exhaustion_restores_snapshots_byte_exact() {
                 "components rollback not byte-exact (seed {seed})"
             );
         }
+    }
+}
+
+/// Sticky-lane regime (the quarantine tentpole): one physical lane drops
+/// *every* scatter write routed through it — a fault no reseed can dodge.
+/// The health registry must quarantine the lane during the vector attempt,
+/// and the `DegradedVector` rung must then finish every workload
+/// oracle-equal at reduced width, never falling to the sequential rungs.
+#[test]
+fn sticky_lane_faults_converge_in_degraded_vector_mode() {
+    const LANE: usize = 5;
+    let sticky = |seed: u64| FaultPlan::sticky_lanes(seed, 1u64 << LANE);
+    let check = |workload: &str, seed: u64, m: &Machine, report: &RecoveryReport, lane: usize| {
+        match report.final_mode {
+            ExecMode::DegradedVector { quarantined } if quarantined.contains(lane) => {}
+            other => fail_cell(
+                workload,
+                "sticky-lane",
+                seed,
+                report,
+                &format!("expected DegradedVector quarantining lane {lane}, finished in {other}"),
+            ),
+        }
+        assert!(
+            m.health().is_quarantined(lane),
+            "{workload}/sticky/{seed}: registry lost the quarantine"
+        );
+    };
+
+    for seed in SEEDS {
+        // Chaining.
+        {
+            let keys = keys_for(seed ^ 0xC4A1, 28, 1000);
+            let mut m = machine_with(sticky(seed));
+            let mut t = ChainTable::alloc(&mut m, 11, 32);
+            let (_, report) = txn_chain_insert(&mut m, &mut t, &keys, &RetryPolicy::default())
+                .expect("degraded rung must absorb a sticky lane");
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            assert_eq!(all_keys(&m, &t), expect, "chaining/sticky/{seed}");
+            check("chaining", seed, &m, &report, LANE);
+        }
+        // Open addressing.
+        {
+            let keys: Vec<Word> = (0..24).map(|i| (i * 97 + seed as Word % 89) + 1).collect();
+            let mut m = machine_with(sticky(seed));
+            let table = m.alloc(67, "table");
+            init_table(&mut m, table);
+            let probe = ProbeStrategy::KeyDependent;
+            let (_, report) = txn_oa_insert(&mut m, table, &keys, probe, &RetryPolicy::default())
+                .expect("degraded rung must absorb a sticky lane");
+            let snap = m.mem().read_region(table);
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            assert_eq!(stored_keys(&snap), expect, "open_addressing/sticky/{seed}");
+            check("open_addressing", seed, &m, &report, LANE);
+        }
+        // BST insert.
+        {
+            let keys = keys_for(seed ^ 0xB57, 24, 200);
+            let mut m = machine_with(sticky(seed));
+            let mut t = Bst::alloc(&mut m, 32);
+            let (_, report) = txn_bst_insert(&mut m, &mut t, &keys, &RetryPolicy::default())
+                .expect("degraded rung must absorb a sticky lane");
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            assert_eq!(t.inorder(&m), expect, "bst/sticky/{seed}");
+            check("bst", seed, &m, &report, LANE);
+        }
+        // Tree rewrite.
+        {
+            // A right comb rewrites one site per pass, so every scatter is
+            // a singleton riding physical lane 0 — stick *that* lane.
+            let symbols = keys_for(seed ^ 0x5EED, 30, 512);
+            let mut m = machine_with(FaultPlan::sticky_lanes(seed, 1));
+            let t = OpTree::right_comb(&mut m, &symbols);
+            let before_leaves = t.leaves_inorder(&m);
+            let before_val = t.eval_affine(&m);
+            let (_, report) = txn_rewrite_to_normal_form(&mut m, &t, &RetryPolicy::default())
+                .expect("degraded rung must absorb a sticky lane");
+            assert!(t.is_normal_form(&m), "rewrite/sticky/{seed}");
+            assert_eq!(t.leaves_inorder(&m), before_leaves, "rewrite/sticky/{seed}");
+            assert_eq!(t.eval_affine(&m), before_val, "rewrite/sticky/{seed}");
+            check("rewrite", seed, &m, &report, 0);
+        }
+        // Distribution-counting sort.
+        {
+            let data = keys_for(seed ^ 0xD157, 48, 32);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            let mut m = machine_with(sticky(seed));
+            let a = m.alloc(data.len(), "A");
+            m.mem_mut().write_region(a, &data);
+            let (_, report) = txn_sort(&mut m, a, 32, &RetryPolicy::default())
+                .expect("degraded rung must absorb a sticky lane");
+            assert_eq!(m.mem().read_region(a), expect, "dist_count/sticky/{seed}");
+            check("dist_count", seed, &m, &report, LANE);
+        }
+        // Connected components.
+        {
+            let n = 16usize;
+            let ends = keys_for(seed ^ 0xC0C0, 40, n as Word);
+            let edges: Vec<(Word, Word)> = ends.chunks(2).map(|c| (c[0], c[1])).collect();
+            let expect = union_find_components(n, &edges);
+            let mut m = machine_with(sticky(seed));
+            let g = Components::new(&mut m, n, &edges);
+            let (_, report) = txn_components(&mut m, &g, &RetryPolicy::default())
+                .expect("degraded rung must absorb a sticky lane");
+            assert_eq!(g.labelling(&m), expect, "components/sticky/{seed}");
+            check("components", seed, &m, &report, LANE);
+        }
+    }
+}
+
+/// Watchdog regime: a seeded livelock (total lane loss plus a zero
+/// wall-clock deadline) must surface as the typed
+/// [`RecoveryError::Watchdog`] — not an exhausted ladder — after a
+/// byte-exact journaled rollback.
+#[test]
+fn watchdog_converts_livelock_into_typed_error_with_rollback() {
+    for seed in SEEDS {
+        let mut m = machine_with(FaultPlan::dropped_lanes(seed, 65535));
+        let work = m.alloc(8, "work");
+        let snap = Snapshot::capture(m.mem(), &[work]);
+        let policy = RetryPolicy {
+            watchdog: Some(WatchdogConfig {
+                stall_rounds: 0,
+                deadline: Some(std::time::Duration::ZERO),
+            }),
+            ..RetryPolicy::default()
+        };
+        let targets: Vec<usize> = (0..8).map(|i| i % 3).collect();
+        let mut counts = vec![0u32; 8];
+        let err = txn_apply_rounds(&mut m, work, &mut counts, &targets, &policy, |c, _| *c += 1)
+            .expect_err("zero deadline must trip on the first pass");
+        match &err {
+            RecoveryError::Watchdog { report } => {
+                assert_eq!(
+                    report.attempts, 1,
+                    "watchdog must not escalate (seed {seed})"
+                );
+                assert!(matches!(
+                    report.errors.last(),
+                    Some(fol_core::FolError::Stalled { .. })
+                ));
+            }
+            RecoveryError::Exhausted { report } => fail_cell(
+                "watchdog",
+                "livelock",
+                seed,
+                report,
+                "ladder exhausted instead of tripping the watchdog",
+            ),
+        }
+        assert!(
+            counts.iter().all(|&c| c == 0),
+            "host data touched (seed {seed})"
+        );
+        assert!(
+            snap.matches(m.mem()),
+            "watchdog rollback not byte-exact (seed {seed})"
+        );
+        assert!(!m.in_txn());
     }
 }
 

@@ -1,0 +1,37 @@
+//! Compile-and-run check for the README "Graceful degradation" snippet —
+//! if the public API drifts, this test fails before the docs lie.
+
+use fol_core::recover::{txn_apply_rounds, ExecMode, RetryPolicy};
+use fol_vm::{CostModel, FaultPlan, Machine};
+
+#[test]
+fn readme_graceful_degradation_snippet() {
+    let mut m = Machine::new(CostModel::unit());
+    // Physical lane 5 drops *every* write routed through it.
+    m.set_fault_plan(Some(FaultPlan::sticky_lanes(7, 1 << 5)));
+    let work = m.alloc(97, "work");
+
+    let targets: Vec<usize> = (0..256).map(|i| i % 97).collect();
+    let mut expect = vec![0u32; 97];
+    for &t in &targets {
+        expect[t] += 1;
+    }
+
+    let mut counts = vec![0u32; 97];
+    let (_, report) = txn_apply_rounds(
+        &mut m,
+        work,
+        &mut counts,
+        &targets,
+        &RetryPolicy::default(),
+        |cell, _i| *cell += 1,
+    )
+    .expect("the degraded rung routes around the sick lane");
+
+    assert_eq!(counts, expect); // same answer the healthy machine gives
+    assert!(m.health().is_quarantined(5)); // the sick lane is benched...
+    assert!(matches!(
+        report.final_mode, // ...and the other 63 keep streaming
+        ExecMode::DegradedVector { .. }
+    ));
+}
