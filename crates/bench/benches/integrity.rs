@@ -1,0 +1,116 @@
+//! Integrity pricing: what does silent-corruption defense cost on the happy
+//! path? Three rows, same FOL program (decompose 4096 aliased targets into
+//! a 1024-cell domain, then apply), no faults injected:
+//!
+//!   * `baseline`         — no tracked regions, ELS audit off: the machine
+//!     exactly as it priced before the integrity layer existed.
+//!   * `checksums`        — the work area checksum-tracked, audit off: every
+//!     scatter/store pays the incremental digest update, and commit pays one
+//!     full scrub.
+//!   * `checksums+audit`  — tracking plus the per-round ELS gather audit;
+//!     informational (the audit can be switched off per policy).
+//!
+//! The run asserts the tentpole's pricing claim — checksum upkeep must stay
+//! within 10% of baseline — and writes a JSON artifact for CI. The audit row
+//! is reported but not gated: it doubles the gather traffic by design.
+
+use fol_bench::harness::bench;
+use fol_bench::workloads::duplicated_targets;
+use fol_core::error::Validation;
+use fol_core::recover::{txn_apply_rounds, ExecMode, RetryPolicy};
+use fol_vm::{CostModel, Machine};
+use std::hint::black_box;
+
+const N: usize = 4096;
+const DOMAIN: usize = 1024;
+
+/// Happy-path policy: single `Vector` rung, one attempt, validation off.
+fn policy(audit: bool) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 1,
+        ladder: vec![ExecMode::Vector],
+        validation: Validation::Off,
+        audit,
+        ..RetryPolicy::default()
+    }
+}
+
+/// One full transactional run; `track` opts the work area into checksums.
+fn run_once(targets: &[usize], track: bool, audit: bool) {
+    let mut m = Machine::new(CostModel::unit());
+    let work = m.alloc(DOMAIN, "W");
+    if track {
+        m.track_region(work);
+    }
+    let mut data = vec![0i64; DOMAIN];
+    let out = txn_apply_rounds(
+        &mut m,
+        work,
+        &mut data,
+        black_box(targets),
+        &policy(audit),
+        |c, _| *c += 1,
+    )
+    .expect("no faults injected");
+    black_box((data, out));
+}
+
+fn main() {
+    let targets = duplicated_targets(N, DOMAIN, 42);
+    let configs: [(&str, bool, bool); 3] = [
+        ("baseline", false, false),
+        ("checksums", true, false),
+        ("checksums+audit", true, true),
+    ];
+
+    // Two interleaved passes per row, best-of taken, so a one-off scheduler
+    // hiccup cannot fail the overhead gate.
+    let mut rows: Vec<(&str, f64)> = Vec::new();
+    for (label, track, audit) in configs {
+        let a = bench(&format!("integrity/{label}"), || {
+            run_once(&targets, track, audit)
+        });
+        let b = bench(&format!("integrity/{label}#2"), || {
+            run_once(&targets, track, audit)
+        });
+        rows.push((label, a.ns_per_iter.min(b.ns_per_iter)));
+    }
+
+    let ns_of = |name: &str| {
+        rows.iter()
+            .find(|(l, _)| *l == name)
+            .map(|&(_, ns)| ns)
+            .expect("row present")
+    };
+    let checksum_overhead = ns_of("checksums") / ns_of("baseline");
+    let audit_overhead = ns_of("checksums+audit") / ns_of("baseline");
+    println!(
+        "checksum upkeep: {:.1}% over baseline; with ELS audit: {:.1}%",
+        (checksum_overhead - 1.0) * 100.0,
+        (audit_overhead - 1.0) * 100.0
+    );
+    assert!(
+        checksum_overhead <= 1.10,
+        "checksum upkeep must stay within 10% of baseline (got {:.1}%)",
+        (checksum_overhead - 1.0) * 100.0
+    );
+
+    // JSON artifact for CI (hand-rolled; the workspace is dependency-free).
+    let mut body = String::from("{\"bench\":\"integrity\",\"rows\":[");
+    for (i, (label, ns)) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"config\":\"{label}\",\"ns_per_iter\":{ns:.1}}}"
+        ));
+    }
+    body.push_str(&format!(
+        "],\"overhead\":{{\"checksums\":{checksum_overhead:.4},\"checksums_audit\":{audit_overhead:.4}}}}}"
+    ));
+    let dir = std::env::var("BENCH_ARTIFACT_DIR").unwrap_or_else(|_| "target/bench".into());
+    let _ = std::fs::create_dir_all(&dir);
+    let path = format!("{dir}/integrity.json");
+    std::fs::write(&path, body + "\n").expect("write bench artifact");
+    println!("artifact: {path}");
+}

@@ -162,10 +162,16 @@ pub fn try_fol1_machine_observed(
             });
         }
         observe(v.len())?;
-        // Step 1: write labels through V into the work areas.
+        // Step 1: write labels through V into the work areas. The ELS
+        // auditor (when the machine has it enabled) notes the competing
+        // labels per cell, so the paired gather is certified against
+        // amalgams and phantom reads at the round boundary.
+        m.audit_note_scatter(work, &v, &labels);
         m.scatter(work, &v, &labels);
         // Step 2: read back through the same indices and compare.
         let got = m.gather(work, &v);
+        m.audit_check_gather(work, &v, &got)
+            .map_err(FolError::from)?;
         let ok = m.vcmp(CmpOp::Eq, &got, &labels);
         let survivors = m.compress(&positions, &ok);
         if survivors.is_empty() {

@@ -141,6 +141,13 @@ pub enum FolError {
         /// Which post-condition (e.g. "chaining insert contents").
         what: &'static str,
     },
+    /// The machine's integrity layer caught silent data corruption: a
+    /// checksummed work area diverged from its incremental digest (bit-rot),
+    /// the ELS auditor saw a gathered label that was never scattered (torn
+    /// gather / phantom read), or verified replay could not assemble a
+    /// majority. The attempt is rolled back; the supervisor escalates
+    /// through the verified-replay rung instead of trusting the data.
+    Integrity(fol_vm::IntegrityError),
     /// Execution failed *after* some rounds were fully applied: rounds
     /// `0..completed_rounds` are committed to the data, the failing round
     /// was validated before any of its unit processes ran (so no torn round
@@ -215,6 +222,7 @@ impl fmt::Display for FolError {
                 }
             }
             FolError::Trap(t) => write!(f, "{t}"),
+            FolError::Integrity(e) => write!(f, "integrity violation: {e}"),
             FolError::PostConditionFailed { what } => write!(
                 f,
                 "post-condition failed: {what} diverges from the scalar reference"
@@ -249,6 +257,7 @@ impl std::error::Error for FolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FolError::Trap(t) => Some(t),
+            FolError::Integrity(e) => Some(e),
             FolError::Partial { cause, .. } => Some(cause),
             _ => None,
         }
@@ -258,6 +267,12 @@ impl std::error::Error for FolError {
 impl From<MachineTrap> for FolError {
     fn from(t: MachineTrap) -> Self {
         FolError::Trap(t)
+    }
+}
+
+impl From<fol_vm::IntegrityError> for FolError {
+    fn from(e: fol_vm::IntegrityError) -> Self {
+        FolError::Integrity(e)
     }
 }
 
@@ -497,6 +512,18 @@ mod tests {
         };
         assert!(deadline.to_string().contains("deadline expired"));
         assert_eq!(deadline.completed_rounds(), 0);
+    }
+
+    #[test]
+    fn integrity_error_wraps_into_fol_error() {
+        let e: FolError = fol_vm::IntegrityError::ReplayDivergence {
+            replays: 3,
+            distinct: 3,
+        }
+        .into();
+        assert!(e.to_string().contains("integrity violation"));
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 
     #[test]

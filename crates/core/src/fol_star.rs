@@ -337,6 +337,24 @@ fn validate_fol_star(
 /// (on an empty detection the first tuple is forced through, as in
 /// [`LivelockPolicy::ForcedSequential`]).
 pub fn fol_star_first_round(m: &mut Machine, work: Region, index_vecs: &[Vec<Word>]) -> Vec<usize> {
+    try_fol_star_first_round(m, work, index_vecs)
+        .expect("fol_star_first_round: ELS audit violation (use try_fol_star_first_round)")
+}
+
+/// Fallible [`fol_star_first_round`]: the same detection pass, but every
+/// label round is registered with the machine's ELS auditor
+/// ([`fol_vm::Machine::audit_note_scatter`]), so a torn amalgam or a phantom
+/// label — a gathered value no competing scatter wrote and the cell did not
+/// already hold — surfaces as a typed [`FolError::Integrity`] instead of a
+/// silently wrong survivor set. A *dropped* label write is survivable (the
+/// tuple loses and its site is recomputed by the caller), so the cell's
+/// pre-scatter content is noted as an acceptable readback too. Free when the
+/// auditor is off.
+pub fn try_fol_star_first_round(
+    m: &mut Machine,
+    work: Region,
+    index_vecs: &[Vec<Word>],
+) -> Result<Vec<usize>, FolError> {
     let l = index_vecs.len();
     assert!(l > 0, "FOL* needs at least one index vector");
     let n = index_vecs[0].len();
@@ -345,7 +363,7 @@ pub fn fol_star_first_round(m: &mut Machine, work: Region, index_vecs: &[Vec<Wor
         "all index vectors must have the same length"
     );
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let cols: Vec<VReg> = (0..l).map(|k| m.vimm(&index_vecs[k])).collect();
     let labels: Vec<VReg> = (0..l)
@@ -354,19 +372,39 @@ pub fn fol_star_first_round(m: &mut Machine, work: Region, index_vecs: &[Vec<Wor
             m.vimm(&lab)
         })
         .collect();
+    if m.els_auditor().is_some() {
+        // One combined note across all L columns: under ELS a contested cell
+        // may hold *any* of the competing labels, whichever column wrote it.
+        let mut note_idx: Vec<Word> = Vec::with_capacity(2 * l * n);
+        let mut note_val: Vec<Word> = Vec::with_capacity(2 * l * n);
+        for k in 0..l {
+            let pre = m.gather(work, &cols[k]);
+            for p in 0..n {
+                note_idx.push(cols[k].get(p));
+                note_val.push(labels[k].get(p));
+                note_idx.push(cols[k].get(p));
+                note_val.push(pre.get(p));
+            }
+        }
+        let vi = m.vimm(&note_idx);
+        let vl = m.vimm(&note_val);
+        m.audit_note_scatter(work, &vi, &vl);
+    }
     for k in 0..l {
         m.scatter(work, &cols[k], &labels[k]);
     }
     let mut ok = fol_vm::Mask::splat(true, n);
     for k in 0..l {
         let got = m.gather(work, &cols[k]);
+        m.audit_check_gather(work, &cols[k], &got)
+            .map_err(FolError::from)?;
         let eq = m.vcmp(CmpOp::Eq, &got, &labels[k]);
         ok = m.mask_and(&ok, &eq);
     }
     if m.count_true(&ok) == 0 {
-        return vec![0]; // forced sequential fallback
+        return Ok(vec![0]); // forced sequential fallback
     }
-    (0..n).filter(|&p| ok.get(p)).collect()
+    Ok((0..n).filter(|&p| ok.get(p)).collect())
 }
 
 #[cfg(test)]

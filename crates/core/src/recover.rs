@@ -52,7 +52,9 @@ use crate::decompose::try_fol1_machine_observed;
 use crate::error::{validate_decomposition, FolError, Validation};
 use crate::parallel::{try_apply_rounds, try_par_apply_rounds};
 use crate::Decomposition;
-use fol_vm::{CmpOp, ConflictPolicy, LaneSet, Machine, Region, Word, LANE_COUNT};
+use fol_vm::{
+    CmpOp, ConflictPolicy, IntegrityError, LaneSet, Machine, Region, Snapshot, Word, LANE_COUNT,
+};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -75,6 +77,22 @@ pub enum ExecMode {
         /// Lanes excluded from the execution schedule for this attempt.
         quarantined: LaneSet,
     },
+    /// The quarantine-masked vector path re-run under **replay voting**: the
+    /// supervisor executes the attempt up to three times, each in its own
+    /// sub-transaction, and commits the first execution whose post-state
+    /// memory digest ([`fol_vm::Machine::content_digest`]) matches an
+    /// earlier one — a 2-of-3 majority. Read-side faults (gather flips,
+    /// stale reads, torn gathers) and bit-rot are *transient*: two
+    /// executions corrupted the same way are overwhelmingly unlikely, so a
+    /// digest match certifies the data and a persistent disagreement
+    /// surfaces as [`fol_vm::IntegrityError::ReplayDivergence`] and
+    /// escalates. This is the rung the ladder inserts when checksums or the
+    /// ELS auditor say the machine *lies* rather than merely drops writes.
+    VerifiedReplay {
+        /// Lanes excluded from the execution schedule, as in
+        /// [`ExecMode::DegradedVector`].
+        quarantined: LaneSet,
+    },
     /// One length-1 scatter per live element. Conflicting lanes never share
     /// a scatter, so torn writes (amalgams need at least two competing
     /// values) cannot fire; lane drops still can.
@@ -92,6 +110,9 @@ impl fmt::Display for ExecMode {
             ExecMode::DegradedVector { quarantined } => {
                 write!(f, "DegradedVector{quarantined}")
             }
+            ExecMode::VerifiedReplay { quarantined } => {
+                write!(f, "VerifiedReplay{quarantined}")
+            }
             ExecMode::ForcedSequential => f.write_str("ForcedSequential"),
             ExecMode::ScalarTail => f.write_str("ScalarTail"),
         }
@@ -108,7 +129,11 @@ impl ExecMode {
             "ForcedSequential" => Some(ExecMode::ForcedSequential),
             "ScalarTail" => Some(ExecMode::ScalarTail),
             _ => {
-                let body = s.strip_prefix("DegradedVector{")?.strip_suffix('}')?;
+                let (replay, body) = if let Some(b) = s.strip_prefix("DegradedVector{") {
+                    (false, b.strip_suffix('}')?)
+                } else {
+                    (true, s.strip_prefix("VerifiedReplay{")?.strip_suffix('}')?)
+                };
                 let mut quarantined = LaneSet::empty();
                 if !body.is_empty() {
                     for part in body.split(',') {
@@ -119,7 +144,11 @@ impl ExecMode {
                         quarantined.insert(lane);
                     }
                 }
-                Some(ExecMode::DegradedVector { quarantined })
+                Some(if replay {
+                    ExecMode::VerifiedReplay { quarantined }
+                } else {
+                    ExecMode::DegradedVector { quarantined }
+                })
             }
         }
     }
@@ -127,7 +156,10 @@ impl ExecMode {
     /// True for the modes that run the full-width or reduced-width vector
     /// program (as opposed to the sequential fallbacks).
     pub fn is_vectorized(&self) -> bool {
-        matches!(self, ExecMode::Vector | ExecMode::DegradedVector { .. })
+        matches!(
+            self,
+            ExecMode::Vector | ExecMode::DegradedVector { .. } | ExecMode::VerifiedReplay { .. }
+        )
     }
 }
 
@@ -151,19 +183,32 @@ pub struct RetryPolicy {
     /// points. `None` (the default) means no watchdog: only the round
     /// budget bounds non-convergence.
     pub watchdog: Option<WatchdogConfig>,
+    /// Enable the machine's ELS auditor for the duration of the supervised
+    /// run (default `true`): executors that bracket their label rounds with
+    /// [`fol_vm::Machine::audit_note_scatter`] /
+    /// [`fol_vm::Machine::audit_check_gather`] then get round-boundary
+    /// detection of amalgams, phantom reads and read-path corruption.
+    /// Independent of [`RetryPolicy::validation`] so the integrity bench can
+    /// price each mechanism separately.
+    pub audit: bool,
 }
 
 impl Default for RetryPolicy {
-    /// Four attempts walking the full ladder (`Vector`, then
+    /// Five attempts walking the full ladder (`Vector`, then
     /// `DegradedVector` with the machine's own quarantine set, then
-    /// `ForcedSequential`, then `ScalarTail`), reseeding between attempts,
-    /// validating the whole FOL contract, no watchdog.
+    /// `VerifiedReplay` — quarantine-masked re-execution under 2-of-3
+    /// replay voting — then `ForcedSequential`, then `ScalarTail`),
+    /// reseeding between attempts, validating the whole FOL contract,
+    /// auditing every round, no watchdog.
     fn default() -> Self {
         Self {
-            max_attempts: 4,
+            max_attempts: 5,
             ladder: vec![
                 ExecMode::Vector,
                 ExecMode::DegradedVector {
+                    quarantined: LaneSet::empty(),
+                },
+                ExecMode::VerifiedReplay {
                     quarantined: LaneSet::empty(),
                 },
                 ExecMode::ForcedSequential,
@@ -172,6 +217,7 @@ impl Default for RetryPolicy {
             reseed: true,
             validation: Validation::Full,
             watchdog: None,
+            audit: true,
         }
     }
 }
@@ -305,6 +351,15 @@ pub struct RecoveryReport {
     /// Per-attempt mode, wall-clock duration and outcome, in order — the
     /// part of the audit trail that prices each rung of the ladder.
     pub attempt_trace: Vec<AttemptRecord>,
+    /// Silent-corruption detections: attempts that died with a typed
+    /// [`FolError::Integrity`] plus post-attempt scrubs that caught a
+    /// tracked work area diverging from its checksum (bit-rot). Each
+    /// detection was repaired (snapshot restore) or escalated — never
+    /// passed through.
+    pub corruption_detected: usize,
+    /// Sub-transaction executions spent inside [`ExecMode::VerifiedReplay`]
+    /// rungs, voting included (a clean 2-of-3 majority costs 2).
+    pub replays: usize,
 }
 
 impl RecoveryReport {
@@ -334,13 +389,16 @@ impl RecoveryReport {
             .collect();
         format!(
             "{{\"attempts\":{},\"rounds_replayed\":{},\"final_mode\":\"{}\",\
-             \"recovered\":{},\"faults_consumed\":{},\"errors\":[{}],\
+             \"recovered\":{},\"faults_consumed\":{},\
+             \"corruption_detected\":{},\"replays\":{},\"errors\":[{}],\
              \"attempt_trace\":[{}]}}",
             self.attempts,
             self.rounds_replayed,
             self.final_mode,
             self.recovered(),
             self.faults_consumed,
+            self.corruption_detected,
+            self.replays,
             errors.join(","),
             trace.join(","),
         )
@@ -353,7 +411,15 @@ impl fmt::Display for RecoveryReport {
             f,
             "{} attempt(s), {} round(s) replayed, finished in {} mode, {} fault(s) consumed",
             self.attempts, self.rounds_replayed, self.final_mode, self.faults_consumed
-        )
+        )?;
+        if self.corruption_detected > 0 || self.replays > 0 {
+            write!(
+                f,
+                ", {} corruption(s) detected, {} replay(s) voted",
+                self.corruption_detected, self.replays
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -392,6 +458,11 @@ pub struct ParsedReport {
     pub errors: Vec<String>,
     /// Per-attempt mode / duration / outcome.
     pub attempt_trace: Vec<AttemptRecord>,
+    /// Corruption detections (integrity errors + scrub hits). Zero for
+    /// artifacts written before the field existed.
+    pub corruption_detected: usize,
+    /// Verified-replay sub-executions. Zero for older artifacts.
+    pub replays: usize,
 }
 
 impl ParsedReport {
@@ -427,6 +498,14 @@ impl ParsedReport {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        // Counters added after the first artifact format shipped: absent in
+        // old artifacts, so they default to zero instead of failing.
+        let opt_counter = |key: &str| -> Result<usize, String> {
+            match get(obj, key) {
+                Ok(v) => Ok(v.as_u64(key)? as usize),
+                Err(_) => Ok(0),
+            }
+        };
         Ok(ParsedReport {
             attempts: get(obj, "attempts")?.as_u64("attempts")? as usize,
             rounds_replayed: get(obj, "rounds_replayed")?.as_u64("rounds_replayed")? as usize,
@@ -435,6 +514,8 @@ impl ParsedReport {
             faults_consumed: get(obj, "faults_consumed")?.as_u64("faults_consumed")? as usize,
             errors,
             attempt_trace,
+            corruption_detected: opt_counter("corruption_detected")?,
+            replays: opt_counter("replays")?,
         })
     }
 }
@@ -512,6 +593,13 @@ fn parse_json_value(s: &str) -> Result<(JsonValue, &str), String> {
                     .strip_prefix(':')
                     .ok_or_else(|| format!("expected ':' after key {key:?}"))?;
                 let (value, r) = parse_json_value(r)?;
+                // JSON leaves duplicate-key behaviour undefined; accepting
+                // them silently would let a first-match lookup hide a
+                // tampered or corrupted artifact. Reject at parse time (this
+                // covers nested objects too — attempt records included).
+                if fields.iter().any(|(k, _)| *k == key) {
+                    return Err(format!("duplicate key {key:?} in object"));
+                }
                 fields.push((key, value));
                 let r = r.trim_start();
                 if let Some(r) = r.strip_prefix(',') {
@@ -695,6 +783,21 @@ where
     let base_plan = m.fault_plan().cloned();
     let faults_before = m.fault_log().len();
     let attempts = policy.max_attempts.max(1);
+    // Integrity bracket. The auditor is enabled for the run (and restored on
+    // exit) so workload hooks judge every round; the tracked regions are
+    // snapshotted up front because bit-rot bypasses the journal — a rollback
+    // restores every journaled store but not a decayed word, so the only
+    // repair for scrub-detected rot is this snapshot. Digests are resynced
+    // first so pre-existing divergence is not charged to this run.
+    let audit_was_on = m.els_auditor().is_some();
+    if policy.audit {
+        m.set_els_audit(true);
+    }
+    let tracked: Vec<Region> = m.tracked_regions().iter().map(|t| t.region).collect();
+    let integrity_snapshot = (!tracked.is_empty()).then(|| {
+        m.resync_integrity();
+        Snapshot::capture(m.mem(), &tracked)
+    });
     let mut report = RecoveryReport {
         attempts: 0,
         rounds_replayed: 0,
@@ -702,6 +805,8 @@ where
         errors: Vec::new(),
         faults_consumed: 0,
         attempt_trace: Vec::new(),
+        corruption_detected: 0,
+        replays: 0,
     };
     let mut result = None;
     let mut watchdog_tripped = false;
@@ -723,10 +828,18 @@ where
         let _ = m.reprobe_quarantined();
         let quarantined_before = m.health().quarantined();
         let mut mode = policy.mode_for(rung);
-        if let ExecMode::DegradedVector { quarantined } = mode {
-            mode = ExecMode::DegradedVector {
-                quarantined: quarantined.union(quarantined_before),
-            };
+        match mode {
+            ExecMode::DegradedVector { quarantined } => {
+                mode = ExecMode::DegradedVector {
+                    quarantined: quarantined.union(quarantined_before),
+                };
+            }
+            ExecMode::VerifiedReplay { quarantined } => {
+                mode = ExecMode::VerifiedReplay {
+                    quarantined: quarantined.union(quarantined_before),
+                };
+            }
+            _ => {}
         }
         let attempt = invocation;
         invocation += 1;
@@ -748,13 +861,93 @@ where
                 ));
             }
         }
-        m.begin_txn()
-            .expect("run_transaction: transaction state already checked");
         let started = Instant::now();
-        match body(m, mode) {
+        let exec: Result<R, FolError> = if matches!(mode, ExecMode::VerifiedReplay { .. }) {
+            // Replay voting: up to three sub-transactions; the first whose
+            // post-state memory digest matches an earlier one commits
+            // (2-of-3 majority certifies the data against transient read
+            // faults). No majority is a typed ReplayDivergence.
+            let mut digests: Vec<u64> = Vec::new();
+            let mut verdict: Option<Result<R, FolError>> = None;
+            for _ in 0..3 {
+                m.audit_clear_notes();
+                m.begin_txn()
+                    .expect("run_transaction: transaction state already checked");
+                report.replays += 1;
+                match body(m, mode) {
+                    Ok(r) => {
+                        // Digest while the sub-transaction is still open:
+                        // the vote is on the post-state this execution
+                        // would commit.
+                        let digest = m.content_digest();
+                        if digests.contains(&digest) {
+                            // Majority found. Rot that struck *before* the
+                            // first replay would be shared by both voters,
+                            // so scrub before certifying.
+                            verdict = Some(match m.scrub() {
+                                Ok(()) => {
+                                    m.commit_txn()
+                                        .expect("run_transaction: commit of the open transaction");
+                                    Ok(r)
+                                }
+                                Err(e) => {
+                                    m.abort_txn()
+                                        .expect("run_transaction: abort of the open transaction");
+                                    Err(FolError::Integrity(e))
+                                }
+                            });
+                            break;
+                        }
+                        digests.push(digest);
+                        m.abort_txn()
+                            .expect("run_transaction: abort of the open transaction");
+                    }
+                    Err(e) => {
+                        m.abort_txn()
+                            .expect("run_transaction: abort of the open transaction");
+                        let fatal = matches!(e, FolError::Stalled { .. });
+                        verdict = Some(Err(e));
+                        if fatal {
+                            break;
+                        }
+                        // A failed replay casts no vote; later replays may
+                        // still assemble a majority.
+                    }
+                }
+            }
+            verdict.unwrap_or(Err(FolError::Integrity(IntegrityError::ReplayDivergence {
+                replays: 3,
+                distinct: digests.len(),
+            })))
+        } else {
+            m.audit_clear_notes();
+            m.begin_txn()
+                .expect("run_transaction: transaction state already checked");
+            match body(m, mode) {
+                // Pre-commit scrub: rot that struck this attempt's tracked
+                // work areas is caught before the result is certified. Free
+                // when nothing is tracked.
+                Ok(r) => match m.scrub() {
+                    Ok(()) => {
+                        m.commit_txn()
+                            .expect("run_transaction: commit of the open transaction");
+                        Ok(r)
+                    }
+                    Err(e) => {
+                        m.abort_txn()
+                            .expect("run_transaction: abort of the open transaction");
+                        Err(FolError::Integrity(e))
+                    }
+                },
+                Err(e) => {
+                    m.abort_txn()
+                        .expect("run_transaction: abort of the open transaction");
+                    Err(e)
+                }
+            }
+        };
+        match exec {
             Ok(r) => {
-                m.commit_txn()
-                    .expect("run_transaction: commit of the open transaction");
                 report.attempt_trace.push(AttemptRecord {
                     mode,
                     duration_ns: started.elapsed().as_nanos() as u64,
@@ -764,16 +957,32 @@ where
                 break;
             }
             Err(e) => {
-                m.abort_txn()
-                    .expect("run_transaction: abort of the open transaction");
                 report.attempt_trace.push(AttemptRecord {
                     mode,
                     duration_ns: started.elapsed().as_nanos() as u64,
                     ok: false,
                 });
                 report.rounds_replayed += e.completed_rounds();
+                let integrity_err = matches!(e, FolError::Integrity(_));
+                if integrity_err {
+                    report.corruption_detected += 1;
+                }
                 watchdog_tripped = matches!(e, FolError::Stalled { .. });
                 report.errors.push(e);
+                // Repair: a rollback cannot heal rot (it bypasses the
+                // journal), so when the tracked regions have decayed,
+                // restore the pre-run snapshot and resync — the exhaustion
+                // contract (memory back to its pre-call state, byte-exact)
+                // holds even under resident corruption.
+                if let Some(snap) = &integrity_snapshot {
+                    if m.scrub().is_err() {
+                        if !integrity_err {
+                            report.corruption_detected += 1;
+                        }
+                        snap.restore(m.mem_mut());
+                        m.resync_integrity();
+                    }
+                }
                 if watchdog_tripped {
                     break;
                 }
@@ -782,11 +991,13 @@ where
                     .quarantined()
                     .difference(quarantined_before)
                     .is_empty();
-                if matches!(mode, ExecMode::DegradedVector { .. })
-                    && grew
+                if matches!(
+                    mode,
+                    ExecMode::DegradedVector { .. } | ExecMode::VerifiedReplay { .. }
+                ) && grew
                     && holds < fol_vm::LANE_COUNT
                 {
-                    // Hold the rung: retry degraded with the grown mask.
+                    // Hold the rung: retry masked with the grown quarantine.
                     holds += 1;
                 } else {
                     rung += 1;
@@ -795,9 +1006,12 @@ where
             }
         }
     }
-    // Restore the caller's seeds whatever happened.
+    // Restore the caller's seeds and auditor state whatever happened.
     m.set_policy(base_policy);
     m.set_fault_plan(base_plan);
+    if policy.audit && !audit_was_on {
+        m.set_els_audit(false);
+    }
     report.faults_consumed = m.fault_log().len() - faults_before;
     match result {
         Some(r) => Ok((r, report)),
@@ -856,10 +1070,15 @@ pub fn decompose_with_mode_watched(
             let labels = m.iota(0, index_vec.len());
             try_fol1_machine_observed(m, work, index_vec, &labels, validation, observe)
         }
-        ExecMode::DegradedVector { quarantined } => with_lane_mask(m, quarantined, |m| {
-            let labels = m.iota(0, index_vec.len());
-            try_fol1_machine_observed(m, work, index_vec, &labels, validation, observe)
-        }),
+        // VerifiedReplay runs the same masked vector program as
+        // DegradedVector — the voting that distinguishes the rung lives in
+        // the supervisor (`run_transaction`), which replays this whole body.
+        ExecMode::DegradedVector { quarantined } | ExecMode::VerifiedReplay { quarantined } => {
+            with_lane_mask(m, quarantined, |m| {
+                let labels = m.iota(0, index_vec.len());
+                try_fol1_machine_observed(m, work, index_vec, &labels, validation, observe)
+            })
+        }
         ExecMode::ForcedSequential => {
             fol1_singleton_scatters(m, work, index_vec, validation, observe)
         }
@@ -908,12 +1127,19 @@ fn fol1_singleton_scatters(
             });
         }
         observe(v.len())?;
+        // One note for the whole pass (not per singleton): the audit judges
+        // the ELS condition itself — the cell may hold *any* competing label
+        // — so a benign dropped singleton (an earlier writer survives) is
+        // not flagged, while an amalgam or phantom read still is.
+        m.audit_note_scatter(work, &v, &labels);
         for k in 0..v.len() {
             let idx1 = m.vimm(&[v.get(k)]);
             let val1 = m.vimm(&[labels.get(k)]);
             m.scatter(work, &idx1, &val1);
         }
         let got = m.gather(work, &v);
+        m.audit_check_gather(work, &v, &got)
+            .map_err(FolError::from)?;
         let ok = m.vcmp(CmpOp::Eq, &got, &labels);
         let survivors = m.compress(&positions, &ok);
         if survivors.is_empty() {
@@ -1087,11 +1313,14 @@ mod tests {
         assert!(theory::is_minimal(d, v));
     }
 
-    fn all_modes() -> [ExecMode; 4] {
+    fn all_modes() -> [ExecMode; 5] {
         [
             ExecMode::Vector,
             ExecMode::DegradedVector {
                 quarantined: LaneSet::from_bits(0b1010),
+            },
+            ExecMode::VerifiedReplay {
+                quarantined: LaneSet::from_bits(0b100),
             },
             ExecMode::ForcedSequential,
             ExecMode::ScalarTail,
@@ -1274,6 +1503,8 @@ mod tests {
                 live: 4,
             }],
             faults_consumed: 5,
+            corruption_detected: 1,
+            replays: 2,
             attempt_trace: vec![
                 AttemptRecord {
                     mode: ExecMode::Vector,
@@ -1316,6 +1547,8 @@ mod tests {
                 },
             ],
             faults_consumed: 11,
+            corruption_detected: 2,
+            replays: 4,
             attempt_trace: vec![
                 AttemptRecord {
                     mode: ExecMode::Vector,
@@ -1362,10 +1595,17 @@ mod tests {
             ExecMode::DegradedVector {
                 quarantined: LaneSet::from_bits(0b1001_0001),
             },
+            ExecMode::VerifiedReplay {
+                quarantined: LaneSet::empty(),
+            },
+            ExecMode::VerifiedReplay {
+                quarantined: LaneSet::from_bits(0b110),
+            },
         ] {
             assert_eq!(ExecMode::parse(&mode.to_string()), Some(mode));
         }
         assert_eq!(ExecMode::parse("DegradedVector{64}"), None);
+        assert_eq!(ExecMode::parse("VerifiedReplay{64}"), None);
         assert_eq!(ExecMode::parse("Sideways"), None);
     }
 
@@ -1380,6 +1620,8 @@ mod tests {
             final_mode: ExecMode::Vector,
             errors: vec![],
             faults_consumed: 0,
+            corruption_detected: 0,
+            replays: 0,
             attempt_trace: vec![],
         }
         .to_json();
@@ -1560,6 +1802,7 @@ mod tests {
             reseed: false,
             validation: Validation::Full,
             watchdog: None,
+            audit: true,
         };
         let mut counts = vec![0u32; 10];
         let err = txn_apply_rounds(&mut m, work, &mut counts, &targets, &policy, |c, _| *c += 1)
@@ -1580,8 +1823,14 @@ mod tests {
                 quarantined: LaneSet::empty()
             }
         );
-        assert_eq!(policy.mode_for(2), ExecMode::ForcedSequential);
-        assert_eq!(policy.mode_for(3), ExecMode::ScalarTail);
+        assert_eq!(
+            policy.mode_for(2),
+            ExecMode::VerifiedReplay {
+                quarantined: LaneSet::empty()
+            }
+        );
+        assert_eq!(policy.mode_for(3), ExecMode::ForcedSequential);
+        assert_eq!(policy.mode_for(4), ExecMode::ScalarTail);
         assert_eq!(policy.mode_for(99), ExecMode::ScalarTail);
         assert_eq!(
             RetryPolicy {
@@ -1591,5 +1840,224 @@ mod tests {
             .mode_for(5),
             ExecMode::Vector
         );
+    }
+
+    fn replay_only_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ladder: vec![ExecMode::VerifiedReplay {
+                quarantined: LaneSet::empty(),
+            }],
+            reseed: false,
+            validation: Validation::Off,
+            watchdog: None,
+            audit: true,
+        }
+    }
+
+    #[test]
+    fn verified_replay_commits_on_first_majority() {
+        // A deterministic body produces the same post-state digest on the
+        // first two replays: the majority forms at replay two and the third
+        // sub-transaction is never opened.
+        let mut m = machine();
+        let work = m.alloc(4, "work");
+        m.track_region(work);
+        let ((), report) = run_transaction(&mut m, &replay_only_policy(), |m, _| {
+            m.s_write(work.at(0), 42);
+            Ok(())
+        })
+        .expect("a deterministic body must assemble a majority");
+        assert_eq!(report.replays, 2);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.corruption_detected, 0);
+        assert_eq!(m.mem().read_region(work)[0], 42, "the majority committed");
+        assert!(!m.in_txn());
+    }
+
+    #[test]
+    fn verified_replay_outvotes_a_transient_corruption() {
+        // The first replay writes a corrupt value; the next two agree on the
+        // true one. 2-of-3 voting must certify the honest post-state and the
+        // corrupt replay must leave no trace in memory.
+        let mut m = machine();
+        let work = m.alloc(4, "work");
+        m.track_region(work);
+        let mut calls = 0;
+        let ((), report) = run_transaction(&mut m, &replay_only_policy(), |m, _| {
+            calls += 1;
+            m.s_write(work.at(0), if calls == 1 { 99 } else { 7 });
+            Ok(())
+        })
+        .expect("two honest replays outvote one corrupt one");
+        assert_eq!(report.replays, 3);
+        assert_eq!(m.mem().read_region(work)[0], 7, "the majority value wins");
+        assert!(!m.in_txn());
+    }
+
+    #[test]
+    fn verified_replay_divergence_is_typed_and_counted() {
+        // Three replays, three distinct digests: no majority exists. The
+        // failure must be a typed ReplayDivergence — never a silent commit of
+        // an unverifiable post-state — and memory must be rolled back.
+        let mut m = machine();
+        let work = m.alloc(4, "work");
+        m.track_region(work);
+        let snap = Snapshot::capture(m.mem(), &[work]);
+        let mut calls: Word = 0;
+        let err = run_transaction(
+            &mut m,
+            &replay_only_policy(),
+            |m, _| -> Result<(), FolError> {
+                calls += 1;
+                m.s_write(work.at(0), calls);
+                Ok(())
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::Exhausted { .. }));
+        assert_eq!(err.report().replays, 3);
+        assert_eq!(err.report().corruption_detected, 1);
+        assert!(
+            matches!(
+                err.report().errors.last(),
+                Some(FolError::Integrity(IntegrityError::ReplayDivergence {
+                    replays: 3,
+                    distinct: 3,
+                }))
+            ),
+            "{:?}",
+            err.report().errors
+        );
+        assert!(snap.matches(m.mem()), "no replay may leave partial state");
+        assert!(!m.in_txn());
+    }
+
+    #[test]
+    fn exhaustion_under_bit_rot_restores_memory_byte_exact() {
+        // Resident decay strikes the tracked work area behind the journal's
+        // back, so a rollback alone cannot honor the exhaustion contract —
+        // the supervisor must repair from its pre-run snapshot. Every failed
+        // attempt is charged to the corruption counter, via either the ELS
+        // auditor (a gathered label no scatter wrote) or the pre-commit
+        // scrub.
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::bit_rot(3, u16::MAX)));
+        let work = m.alloc(10, "work");
+        m.track_region(work);
+        let snap = Snapshot::capture(m.mem(), &[work]);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            ladder: vec![ExecMode::Vector],
+            reseed: false,
+            validation: Validation::Off,
+            watchdog: None,
+            audit: true,
+        };
+        let err = run_transaction(&mut m, &policy, |m, mode| {
+            decompose_with_mode(m, work, V, mode, Validation::Off)
+        })
+        .unwrap_err();
+        assert_eq!(err.report().attempts, 2);
+        assert_eq!(err.report().corruption_detected, 2);
+        assert!(
+            err.report()
+                .errors
+                .iter()
+                .all(|e| matches!(e, FolError::Integrity(_))),
+            "rot must surface as typed integrity errors: {:?}",
+            err.report().errors
+        );
+        assert!(
+            snap.matches(m.mem()),
+            "the snapshot repair must leave memory byte-exact despite rot"
+        );
+        assert!(!m.in_txn());
+    }
+
+    #[test]
+    fn default_ladder_escapes_resident_bit_rot() {
+        // End-to-end: rot at maximum rate sinks every scatter-based rung,
+        // but the scalar tail writes through `s_write` — the fault layer
+        // hooks only the scatter unit — so the default ladder still lands on
+        // a correct answer, and every corrupted attempt was detected, never
+        // silently committed.
+        let targets: Vec<usize> = V.iter().map(|&t| t as usize).collect();
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::bit_rot(17, u16::MAX)));
+        let work = m.alloc(10, "work");
+        m.track_region(work);
+        let mut counts = vec![0u32; 10];
+        let (d, report) = txn_apply_rounds(
+            &mut m,
+            work,
+            &mut counts,
+            &targets,
+            &RetryPolicy::default(),
+            |c, _| *c += 1,
+        )
+        .expect("the ladder must bottom out past resident rot");
+        check_valid(&d, V);
+        let mut expect = vec![0u32; 10];
+        for &t in &targets {
+            expect[t] += 1;
+        }
+        assert_eq!(counts, expect, "the committed answer is oracle-equal");
+        assert!(
+            report.corruption_detected >= 1,
+            "rot at maximum rate must have been detected at least once"
+        );
+        assert!(report.recovered());
+    }
+
+    #[test]
+    fn parser_rejects_duplicate_keys() {
+        assert!(
+            ParsedReport::from_json("{\"attempts\":1,\"attempts\":2}").is_err(),
+            "duplicate top-level keys must be rejected"
+        );
+        let good = RecoveryReport {
+            attempts: 1,
+            rounds_replayed: 0,
+            final_mode: ExecMode::Vector,
+            errors: vec![],
+            faults_consumed: 0,
+            corruption_detected: 0,
+            replays: 0,
+            attempt_trace: vec![],
+        }
+        .to_json();
+        // Smuggle a duplicate into the nested attempt-trace object too.
+        let nested = good.replace(
+            "\"attempt_trace\":[]",
+            "\"attempt_trace\":[{\"mode\":\"Vector\",\"duration_ns\":1,\"duration_ns\":2,\"ok\":true}]",
+        );
+        assert!(
+            ParsedReport::from_json(&nested).is_err(),
+            "duplicate nested keys must be rejected"
+        );
+    }
+
+    #[test]
+    fn parser_defaults_missing_integrity_counters_to_zero() {
+        // Artifacts written before the integrity counters existed must still
+        // parse (counters default to zero), so dashboards can ingest mixed
+        // fleets.
+        let modern = RecoveryReport {
+            attempts: 1,
+            rounds_replayed: 2,
+            final_mode: ExecMode::Vector,
+            errors: vec![],
+            faults_consumed: 0,
+            corruption_detected: 0,
+            replays: 0,
+            attempt_trace: vec![],
+        }
+        .to_json();
+        let legacy = modern.replace("\"corruption_detected\":0,\"replays\":0,", "");
+        assert_ne!(legacy, modern, "the counters must have been emitted");
+        let parsed = ParsedReport::from_json(&legacy).expect("legacy artifacts parse");
+        assert_eq!(parsed.corruption_detected, 0);
+        assert_eq!(parsed.replays, 0);
     }
 }

@@ -158,7 +158,9 @@ pub fn try_vectorized_components(
     if mode == ExecMode::ScalarTail {
         return Ok(scalar_components(m, g));
     }
-    if let ExecMode::DegradedVector { quarantined } = mode {
+    if let ExecMode::DegradedVector { quarantined } | ExecMode::VerifiedReplay { quarantined } =
+        mode
+    {
         // The whole sweep — payload gathers and min-update scatters included,
         // not just the decomposition — runs under the reduced-width schedule,
         // so a sticky quarantined lane never sees any of this sweep's writes.
@@ -240,6 +242,11 @@ pub fn txn_components(
     g: &Components,
     policy: &RetryPolicy,
 ) -> Result<(usize, RecoveryReport), RecoveryError> {
+    // Checksum-track the labelling and the FOL work area: a decayed label
+    // word is caught by the supervisor's scrub rather than committed as a
+    // finished (and wrong) labelling.
+    m.track_region(g.labels);
+    m.track_region(g.work);
     let expected = union_find_components(g.n, &g.edges);
     let validation = policy.validation;
     run_transaction(m, policy, |m, mode| {

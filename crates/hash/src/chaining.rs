@@ -209,8 +209,11 @@ pub fn try_vectorized_insert_all(
                 completed_rounds: rounds,
             });
         }
+        m.audit_note_scatter(table.work, &hv, &labels);
         m.scatter(table.work, &hv, &labels);
         let got = m.gather(table.work, &hv);
+        m.audit_check_gather(table.work, &hv, &got)
+            .map_err(FolError::from)?;
         let ok = m.vcmp(CmpOp::Eq, &got, &labels);
         if m.count_true(&ok) == 0 {
             return Err(FolError::NoSurvivors {
@@ -326,6 +329,12 @@ pub fn txn_insert_all(
         table.used_nodes,
         table.arena.len() / 2
     );
+    // Checksum-track the table's storage (and the FOL work area): decayed
+    // heads or chain words are caught by the supervisor's scrub, and every
+    // label round is judged by the ELS auditor.
+    m.track_region(table.heads);
+    m.track_region(table.arena);
+    m.track_region(table.work);
     let mut expected = all_keys(m, table);
     expected.extend_from_slice(keys);
     expected.sort_unstable();
@@ -336,9 +345,11 @@ pub fn txn_insert_all(
         table.used_nodes = saved_used;
         let rounds = match mode {
             ExecMode::Vector => try_vectorized_insert_all(m, table, keys)?,
-            ExecMode::DegradedVector { quarantined } => with_lane_mask(m, quarantined, |m| {
-                try_vectorized_insert_all(m, table, keys)
-            })?,
+            ExecMode::DegradedVector { quarantined } | ExecMode::VerifiedReplay { quarantined } => {
+                with_lane_mask(m, quarantined, |m| {
+                    try_vectorized_insert_all(m, table, keys)
+                })?
+            }
             ExecMode::ForcedSequential => {
                 insert_via_decomposition(m, table, keys, mode, validation)?
             }

@@ -195,6 +195,7 @@ pub fn try_vectorized_insert_all(
 
     let slots = m.gather(table, &hv);
     let empty = m.vcmp_s(CmpOp::Eq, &slots, UNENTERED);
+    audit_masked_probe_scatter(m, table, &hv, &key_v, &slots, &empty);
     m.scatter_masked(table, &hv, &key_v, &empty);
     probes += key_v.len() as u64;
 
@@ -208,6 +209,8 @@ pub fn try_vectorized_insert_all(
         }
         iterations += 1;
         let readback = m.gather(table, &hv);
+        m.audit_check_gather(table, &hv, &readback)
+            .map_err(FolError::from)?;
         let entered = m.vcmp(CmpOp::Eq, &readback, &key_v);
         let not_entered = m.mask_not(&entered);
         hv = m.compress(&hv, &not_entered);
@@ -229,10 +232,36 @@ pub fn try_vectorized_insert_all(
         };
         let slots = m.gather(table, &hv);
         let empty = m.vcmp_s(CmpOp::Eq, &slots, UNENTERED);
+        audit_masked_probe_scatter(m, table, &hv, &key_v, &slots, &empty);
         m.scatter_masked(table, &hv, &key_v, &empty);
         probes += key_v.len() as u64;
     }
     Ok(InsertReport { iterations, probes })
+}
+
+/// Registers one masked probe scatter with the machine's ELS auditor. An
+/// audited slot may legitimately read back as any competing key *or* as its
+/// pre-scatter content — a dropped write is survivable here (the key simply
+/// walks on to its next probe slot) and must not escalate — so both are
+/// noted as acceptable; an amalgam or phantom value is still flagged. No-op
+/// (and free) when the auditor is off.
+fn audit_masked_probe_scatter(
+    m: &mut Machine,
+    table: Region,
+    hv: &fol_vm::VReg,
+    key_v: &fol_vm::VReg,
+    slots: &fol_vm::VReg,
+    empty: &fol_vm::Mask,
+) {
+    if m.els_auditor().is_none() {
+        return;
+    }
+    let audit_hv = m.compress(hv, empty);
+    let audit_keys = m.compress(key_v, empty);
+    let audit_slots = m.compress(slots, empty);
+    let note_idx = m.vconcat(&audit_hv, &audit_hv);
+    let note_vals = m.vconcat(&audit_keys, &audit_slots);
+    m.audit_note_scatter(table, &note_idx, &note_vals);
 }
 
 /// The iteration budget [`txn_insert_all`] hands to the fallible loop:
@@ -262,6 +291,10 @@ pub fn txn_insert_all(
     policy: &RetryPolicy,
 ) -> Result<(InsertReport, RecoveryReport), RecoveryError> {
     validate_keys(keys, table.len() as Word, probe);
+    // Checksum-track the table so resident bit-rot in stored keys is caught
+    // by the supervisor's pre-commit scrub, never certified as a clean
+    // insert.
+    m.track_region(table);
     let mut expected = stored_keys(&m.mem().read_region(table));
     expected.extend_from_slice(keys);
     expected.sort_unstable();
@@ -270,9 +303,11 @@ pub fn txn_insert_all(
     run_transaction(m, policy, |m, mode| {
         let report = match mode {
             ExecMode::Vector => try_vectorized_insert_all(m, table, keys, probe, budget)?,
-            ExecMode::DegradedVector { quarantined } => with_lane_mask(m, quarantined, |m| {
-                try_vectorized_insert_all(m, table, keys, probe, budget)
-            })?,
+            ExecMode::DegradedVector { quarantined } | ExecMode::VerifiedReplay { quarantined } => {
+                with_lane_mask(m, quarantined, |m| {
+                    try_vectorized_insert_all(m, table, keys, probe, budget)
+                })?
+            }
             ExecMode::ForcedSequential => {
                 let mut iterations = 0usize;
                 let mut probes = 0u64;

@@ -355,6 +355,10 @@ fn sort_via_decomposition(
 /// `ScalarTail` ([`scalar_sort`], immune to every scatter fault). Scratch
 /// regions are allocated per attempt and abandoned on rollback.
 ///
+/// The array region is checksum-tracked for the duration of the call, so
+/// resident bit-rot in the data being sorted is caught by the supervisor's
+/// pre-commit scrub rather than silently committed as a "sorted" result.
+///
 /// # Panics
 /// Panics if a transaction is already open on `m`.
 pub fn txn_sort(
@@ -363,6 +367,7 @@ pub fn txn_sort(
     range: Word,
     policy: &RetryPolicy,
 ) -> Result<(DistReport, RecoveryReport), RecoveryError> {
+    m.track_region(a);
     let mut expected = m.mem().read_region(a);
     expected.sort_unstable();
     let validation = policy.validation;
@@ -370,7 +375,7 @@ pub fn txn_sort(
     run_transaction(m, policy, |m, mode| {
         let report = match mode {
             ExecMode::Vector => try_vectorized_sort(m, a, range)?,
-            ExecMode::DegradedVector { quarantined } => {
+            ExecMode::DegradedVector { quarantined } | ExecMode::VerifiedReplay { quarantined } => {
                 with_lane_mask(m, quarantined, |m| try_vectorized_sort(m, a, range))?
             }
             ExecMode::ForcedSequential => sort_via_decomposition(m, a, range, mode, validation)?,

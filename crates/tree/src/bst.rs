@@ -298,8 +298,21 @@ pub fn try_vectorized_insert_all(
         let ins_node = m.compress(&node, &at_nil);
         let ins_label = m.compress(&label, &at_nil);
         let ins_key = m.compress(&keyv, &at_nil);
+        // Register the label round with the ELS auditor. The slot may read
+        // back as any competing label *or* as the NIL it held before the
+        // scatter — a dropped write is survivable (the loser simply retries
+        // next iteration) — while an amalgam or phantom label (labels are
+        // node indices, never negative) is flagged.
+        if m.els_auditor().is_some() {
+            let nil_v = m.vsplat(NIL, ins_cur.len());
+            let note_idx = m.vconcat(&ins_cur, &ins_cur);
+            let note_vals = m.vconcat(&ins_label, &nil_v);
+            m.audit_note_scatter(tree.links, &note_idx, &note_vals);
+        }
         m.scatter(tree.links, &ins_cur, &ins_label);
         let got = m.gather(tree.links, &ins_cur);
+        m.audit_check_gather(tree.links, &ins_cur, &got)
+            .map_err(FolError::from)?;
         let won = m.vcmp(CmpOp::Eq, &got, &ins_label);
         let win_cur = m.compress(&ins_cur, &won);
         let win_node = m.compress(&ins_node, &won);
@@ -386,6 +399,11 @@ pub fn txn_insert_all(
         tree.used,
         tree.keys.len()
     );
+    // Checksum-track the tree's backing storage: link or key words decayed
+    // by bit-rot are caught by the supervisor's scrub instead of surfacing
+    // later as a silently corrupt tree.
+    m.track_region(tree.links);
+    m.track_region(tree.keys);
     let mut expected = tree.inorder(m);
     expected.extend_from_slice(keys);
     expected.sort_unstable();
@@ -396,9 +414,11 @@ pub fn txn_insert_all(
         tree.used = saved_used;
         let report = match mode {
             ExecMode::Vector => try_vectorized_insert_all(m, tree, keys, budget)?,
-            ExecMode::DegradedVector { quarantined } => with_lane_mask(m, quarantined, |m| {
-                try_vectorized_insert_all(m, tree, keys, budget)
-            })?,
+            ExecMode::DegradedVector { quarantined } | ExecMode::VerifiedReplay { quarantined } => {
+                with_lane_mask(m, quarantined, |m| {
+                    try_vectorized_insert_all(m, tree, keys, budget)
+                })?
+            }
             ExecMode::ForcedSequential => {
                 let mut report = BstReport::default();
                 for key in keys {

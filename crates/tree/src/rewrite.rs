@@ -20,7 +20,7 @@
 
 use crate::NIL;
 use fol_core::error::FolError;
-use fol_core::fol_star::fol_star_first_round;
+use fol_core::fol_star::{fol_star_first_round, try_fol_star_first_round};
 use fol_core::recover::{
     run_transaction, with_lane_mask, ExecMode, RecoveryError, RecoveryReport, RetryPolicy,
 };
@@ -185,7 +185,26 @@ pub fn find_sites(m: &mut Machine, t: &OpTree) -> VReg {
 /// site `n` with right child `r`, `X = lefts[n]`, `Y = lefts[r]`,
 /// `Z = rights[r]`, then `r ← (X * Y)` and `n ← r * Z`.
 fn apply_sites(m: &mut Machine, t: &OpTree, sites: &VReg) {
+    try_apply_sites(m, t, sites).expect("apply_sites: corrupted right-child gather");
+}
+
+/// Fallible [`apply_sites`]: the right-child gather is re-validated before
+/// any dependent gather chases it. The sites themselves were validated when
+/// they were found, but a read-side fault (gather flip, stale read, torn
+/// gather) can hand this gather a wild index even when memory is intact —
+/// that must surface as a typed error, not an out-of-bounds panic.
+fn try_apply_sites(m: &mut Machine, t: &OpTree, sites: &VReg) -> Result<(), FolError> {
     let r = m.gather(t.rights, sites);
+    for (i, v) in r.iter().enumerate() {
+        if !(0..t.used as Word).contains(&v) {
+            return Err(FolError::TargetOutOfBounds {
+                round: None,
+                position: i,
+                target: v,
+                domain: t.used,
+            });
+        }
+    }
     let x = m.gather(t.lefts, sites);
     let y = m.gather(t.lefts, &r);
     let z = m.gather(t.rights, &r);
@@ -193,6 +212,7 @@ fn apply_sites(m: &mut Machine, t: &OpTree, sites: &VReg) {
     m.scatter(t.rights, &r, &y);
     m.scatter(t.lefts, sites, &r);
     m.scatter(t.rights, sites, &z);
+    Ok(())
 }
 
 /// Report from a rewrite-to-normal-form run.
@@ -319,9 +339,23 @@ pub fn try_vectorized_rewrite_to_normal_form(
         }
         report.passes += 1;
         let rights = m.gather(t.rights, &sites);
+        // Re-validate after the gather, not just after try_find_sites: a
+        // read-side fault (gather flip, stale read, torn gather) can hand
+        // back a wild child index even when memory itself is intact, and
+        // FOL* would chase it into an out-of-bounds scatter panic.
+        for (i, v) in rights.iter().enumerate() {
+            if !(0..t.used as Word).contains(&v) {
+                return Err(FolError::TargetOutOfBounds {
+                    round: None,
+                    position: i,
+                    target: v,
+                    domain: t.used,
+                });
+            }
+        }
         let v1: Vec<Word> = sites.iter().collect();
         let v2: Vec<Word> = rights.iter().collect();
-        let safe = fol_star_first_round(m, t.work, &[v1.clone(), v2.clone()]);
+        let safe = try_fol_star_first_round(m, t.work, &[v1.clone(), v2.clone()])?;
         // Re-check disjointness across both index vectors on the host: the
         // rewrite touches site n AND its right child r, so all 2L targets
         // must be distinct for the batch to be parallel-processable.
@@ -339,7 +373,7 @@ pub fn try_vectorized_rewrite_to_normal_form(
         }
         let safe_sites: VReg = safe.iter().map(|&p| sites.get(p)).collect();
         report.applications += safe_sites.len();
-        apply_sites(m, t, &safe_sites);
+        try_apply_sites(m, t, &safe_sites)?;
     }
 }
 
@@ -407,6 +441,12 @@ pub fn txn_rewrite_to_normal_form(
     t: &OpTree,
     policy: &RetryPolicy,
 ) -> Result<(RewriteReport, RecoveryReport), RecoveryError> {
+    // Checksum-track the arena: a decayed tag/link word is caught by the
+    // supervisor's scrub instead of being certified as a rewritten tree.
+    m.track_region(t.tags);
+    m.track_region(t.lefts);
+    m.track_region(t.rights);
+    m.track_region(t.root);
     let expected = checked_summary(m, t);
     assert!(
         expected.is_some(),
@@ -418,9 +458,11 @@ pub fn txn_rewrite_to_normal_form(
     run_transaction(m, policy, |m, mode| {
         let report = match mode {
             ExecMode::Vector => try_vectorized_rewrite_to_normal_form(m, t, budget)?,
-            ExecMode::DegradedVector { quarantined } => with_lane_mask(m, quarantined, |m| {
-                try_vectorized_rewrite_to_normal_form(m, t, budget)
-            })?,
+            ExecMode::DegradedVector { quarantined } | ExecMode::VerifiedReplay { quarantined } => {
+                with_lane_mask(m, quarantined, |m| {
+                    try_vectorized_rewrite_to_normal_form(m, t, budget)
+                })?
+            }
             ExecMode::ForcedSequential => {
                 let mut report = RewriteReport::default();
                 loop {
@@ -438,7 +480,7 @@ pub fn txn_rewrite_to_normal_form(
                     report.passes += 1;
                     report.applications += 1;
                     let one: VReg = [sites.get(0)].into_iter().collect();
-                    apply_sites(m, t, &one);
+                    try_apply_sites(m, t, &one)?;
                 }
             }
             ExecMode::ScalarTail => scalar_rewrite_to_normal_form(m, t),

@@ -25,6 +25,23 @@
 //! Every injected fault is recorded in the machine's [`FaultLog`], so a test
 //! can assert both that a run *survived* and that the adversary actually
 //! *fired* (a plan whose probabilities never trigger proves nothing).
+//!
+//! Beyond the write-side classes above, a plan can also lie on the **read
+//! side** and in **resident memory** — the silent-data-corruption models the
+//! integrity layer ([`crate::integrity`]) exists to catch:
+//!
+//! * **Gather bit-flips** — a list-vector load returns the stored word with
+//!   one seeded bit inverted (a flaky read pipe).
+//! * **Stale reads** — a gather lane returns the *previous* value of its
+//!   cell instead of the current one (a forwarding/coherence failure).
+//! * **Torn gathers** — a gather lane returns an [`AmalgamMode`] combination
+//!   of its own word and a neighbouring lane's word (crosstalk on the read
+//!   bus).
+//! * **Bit-rot** — resident words in checksummed regions decay spontaneously
+//!   at scatter boundaries, at a rate that halves every
+//!   [`FaultPlan::ROT_HALF_LIFE`] scatters (so retries eventually run on
+//!   quiet memory). Rot bypasses the write journal *and* the incremental
+//!   checksums on purpose: only a [`crate::Machine::scrub`] pass can see it.
 
 use crate::memory::Addr;
 use crate::vreg::Word;
@@ -75,9 +92,29 @@ pub struct FaultPlan {
     /// write routed through them — the sticky-fault model of a permanently
     /// broken pipe, as opposed to the stochastic `drop_rate`.
     sticky_lanes: u64,
+    /// Rate (per 65536) at which a gather lane returns its word with one
+    /// seeded bit inverted.
+    gather_flip_rate: u16,
+    /// Rate (per 65536) at which a gather lane returns the previous value
+    /// of its cell instead of the current one.
+    stale_read_rate: u16,
+    /// Rate (per 65536) at which a gather lane's word is combined
+    /// ([`AmalgamMode`]) with a neighbouring lane's word.
+    torn_gather_rate: u16,
+    /// Initial rate (per 65536, halving every [`FaultPlan::ROT_HALF_LIFE`]
+    /// scatters) at which resident words of checksummed regions decay.
+    rot_rate: u16,
 }
 
 impl FaultPlan {
+    /// Scatter-sequence half-life of the bit-rot rate: every this many
+    /// scatters, the effective rot rate halves. Chosen so an aggressive rot
+    /// plan has visibly decayed within one retry attempt and is effectively
+    /// quiet after a handful — modelling transient environmental upset
+    /// (and guaranteeing the retry ladder converges rather than racing an
+    /// immortal adversary).
+    pub const ROT_HALF_LIFE: u64 = 8;
+
     /// A plan that injects nothing (useful as a sweep baseline).
     pub fn benign(seed: u64) -> Self {
         Self {
@@ -87,6 +124,10 @@ impl FaultPlan {
             mode: AmalgamMode::Xor,
             window: None,
             sticky_lanes: 0,
+            gather_flip_rate: 0,
+            stale_read_rate: 0,
+            torn_gather_rate: 0,
+            rot_rate: 0,
         }
     }
 
@@ -120,9 +161,53 @@ impl FaultPlan {
         }
     }
 
+    /// A plan under which gather lanes return bit-flipped words at `rate`
+    /// (per 65536).
+    pub fn gather_flips(seed: u64, rate: u16) -> Self {
+        Self {
+            gather_flip_rate: rate,
+            ..Self::benign(seed)
+        }
+    }
+
+    /// A plan under which resident words of checksummed regions decay,
+    /// starting at `rate` (per 65536) and halving every
+    /// [`FaultPlan::ROT_HALF_LIFE`] scatters.
+    pub fn bit_rot(seed: u64, rate: u16) -> Self {
+        Self {
+            rot_rate: rate,
+            ..Self::benign(seed)
+        }
+    }
+
     /// Sets the lane-drop rate (per 65536), returning the modified plan.
     pub fn with_drop_rate(mut self, rate: u16) -> Self {
         self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the gather bit-flip rate (per 65536), returning the plan.
+    pub fn with_gather_flips(mut self, rate: u16) -> Self {
+        self.gather_flip_rate = rate;
+        self
+    }
+
+    /// Sets the stale-read rate (per 65536), returning the plan.
+    pub fn with_stale_reads(mut self, rate: u16) -> Self {
+        self.stale_read_rate = rate;
+        self
+    }
+
+    /// Sets the torn-gather rate (per 65536), returning the plan; the
+    /// plan's [`AmalgamMode`] decides how the crosstalk combines.
+    pub fn with_torn_gathers(mut self, rate: u16) -> Self {
+        self.torn_gather_rate = rate;
+        self
+    }
+
+    /// Sets the initial bit-rot rate (per 65536), returning the plan.
+    pub fn with_bit_rot(mut self, rate: u16) -> Self {
+        self.rot_rate = rate;
         self
     }
 
@@ -171,6 +256,23 @@ impl FaultPlan {
         self.drop_rate > 0 || self.amalgam_rate > 0 || self.sticky_lanes != 0
     }
 
+    /// True when the plan can corrupt the *read* path (gather flips, stale
+    /// reads or torn gathers) — faults no write-side validation can see.
+    pub fn corrupts_reads(&self) -> bool {
+        self.gather_flip_rate > 0 || self.stale_read_rate > 0 || self.torn_gather_rate > 0
+    }
+
+    /// True when the plan decays resident memory.
+    pub fn rots_memory(&self) -> bool {
+        self.rot_rate > 0
+    }
+
+    /// True when the plan needs the machine to keep a shadow of pre-write
+    /// values (only then can a stale read return something plausible).
+    pub fn needs_stale_shadow(&self) -> bool {
+        self.stale_read_rate > 0
+    }
+
     /// The amalgam combination mode.
     pub fn mode(&self) -> AmalgamMode {
         self.mode
@@ -214,6 +316,57 @@ impl FaultPlan {
             None
         }
     }
+
+    /// Decides whether gather `sequence`'s `lane` returns a bit-flipped
+    /// word; returns the bit index to invert if so. Keyed on the machine's
+    /// *gather* sequence counter, so each gather draws fresh coins.
+    pub fn gather_flipped(&self, sequence: u64, lane: usize) -> Option<u32> {
+        if !self.active_at(sequence) || self.gather_flip_rate == 0 {
+            return None;
+        }
+        let h = hash3(self.seed, sequence, lane as u64 ^ 0x61F1);
+        ((h & 0xFFFF) < self.gather_flip_rate as u64).then_some(((h >> 16) % 64) as u32)
+    }
+
+    /// Decides whether gather `sequence`'s `lane` suffers a stale read
+    /// (returns the cell's previous value instead of the current one).
+    pub fn stale_read(&self, sequence: u64, lane: usize) -> bool {
+        self.active_at(sequence)
+            && self.stale_read_rate > 0
+            && (hash3(self.seed, sequence, lane as u64 ^ 0x57A1) & 0xFFFF)
+                < self.stale_read_rate as u64
+    }
+
+    /// Decides whether gather `sequence`'s `lane` tears against its
+    /// neighbouring lane's word (crosstalk); the plan's [`AmalgamMode`]
+    /// combines the two.
+    pub fn torn_gather(&self, sequence: u64, lane: usize) -> bool {
+        self.active_at(sequence)
+            && self.torn_gather_rate > 0
+            && (hash3(self.seed, sequence, lane as u64 ^ 0x7641) & 0xFFFF)
+                < self.torn_gather_rate as u64
+    }
+
+    /// The effective bit-rot rate at scatter `sequence`: the initial rate
+    /// halved once per elapsed [`FaultPlan::ROT_HALF_LIFE`] scatters.
+    pub fn rot_rate_at(&self, sequence: u64) -> u64 {
+        if !self.active_at(sequence) {
+            return 0;
+        }
+        let halvings = (sequence / Self::ROT_HALF_LIFE).min(63) as u32;
+        (self.rot_rate as u64) >> halvings
+    }
+
+    /// Decides whether the resident word at `addr` rots at scatter
+    /// `sequence`; returns the bit index to invert if so.
+    pub fn rotted(&self, sequence: u64, addr: Addr) -> Option<u32> {
+        let rate = self.rot_rate_at(sequence);
+        if rate == 0 {
+            return None;
+        }
+        let h = hash3(self.seed, sequence, addr as u64 ^ 0xB17D);
+        ((h & 0xFFFF) < rate).then_some(((h >> 16) % 64) as u32)
+    }
 }
 
 /// One injected fault, as recorded in the [`FaultLog`].
@@ -239,6 +392,53 @@ pub enum FaultEvent {
         /// The amalgam that was stored.
         amalgam: Word,
     },
+    /// Gather `sequence`'s element `lane` read `addr` with bit `bit`
+    /// inverted: memory held the right word, the read pipe lied.
+    GatherFlip {
+        /// Gather sequence number.
+        sequence: u64,
+        /// Original element position within the gather.
+        lane: usize,
+        /// The address that was read.
+        addr: Addr,
+        /// The bit that was inverted in the returned word.
+        bit: u32,
+    },
+    /// Gather `sequence`'s element `lane` returned `stale`, the previous
+    /// value of `addr`, instead of the current word.
+    StaleRead {
+        /// Gather sequence number.
+        sequence: u64,
+        /// Original element position within the gather.
+        lane: usize,
+        /// The address that was read.
+        addr: Addr,
+        /// The outdated value that was returned.
+        stale: Word,
+    },
+    /// Gather `sequence`'s element `lane` returned an amalgam of its own
+    /// word and a neighbouring lane's word (read-bus crosstalk).
+    TornGather {
+        /// Gather sequence number.
+        sequence: u64,
+        /// Original element position within the gather.
+        lane: usize,
+        /// The address that was read.
+        addr: Addr,
+        /// The crosstalk amalgam that was returned.
+        amalgam: Word,
+    },
+    /// The resident word at `addr` decayed at scatter boundary `sequence`:
+    /// bit `bit` inverted in memory itself, bypassing journal and
+    /// checksums. Only a scrub pass can see this one.
+    BitRot {
+        /// Scatter sequence number at whose boundary the rot struck.
+        sequence: u64,
+        /// The decayed address.
+        addr: Addr,
+        /// The bit that was inverted in memory.
+        bit: u32,
+    },
 }
 
 /// A record of every fault a [`FaultPlan`] actually injected.
@@ -250,6 +450,10 @@ pub struct FaultLog {
     events: Vec<FaultEvent>,
     dropped_lanes: u64,
     torn_writes: u64,
+    gather_flips: u64,
+    stale_reads: u64,
+    torn_gathers: u64,
+    bit_rots: u64,
 }
 
 impl FaultLog {
@@ -268,6 +472,31 @@ impl FaultLog {
         self.torn_writes
     }
 
+    /// Number of gather bit-flips.
+    pub fn gather_flips(&self) -> u64 {
+        self.gather_flips
+    }
+
+    /// Number of stale reads.
+    pub fn stale_reads(&self) -> u64 {
+        self.stale_reads
+    }
+
+    /// Number of torn gathers.
+    pub fn torn_gathers(&self) -> u64 {
+        self.torn_gathers
+    }
+
+    /// Number of resident words decayed by bit-rot.
+    pub fn bit_rots(&self) -> u64 {
+        self.bit_rots
+    }
+
+    /// Total faults on the read path (flips + stale reads + torn gathers).
+    pub fn read_faults(&self) -> u64 {
+        self.gather_flips + self.stale_reads + self.torn_gathers
+    }
+
     /// True when no fault was injected.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -282,6 +511,10 @@ impl FaultLog {
         match event {
             FaultEvent::LaneDropped { .. } => self.dropped_lanes += 1,
             FaultEvent::TornWrite { .. } => self.torn_writes += 1,
+            FaultEvent::GatherFlip { .. } => self.gather_flips += 1,
+            FaultEvent::StaleRead { .. } => self.stale_reads += 1,
+            FaultEvent::TornGather { .. } => self.torn_gathers += 1,
+            FaultEvent::BitRot { .. } => self.bit_rots += 1,
         }
         self.events.push(event);
     }
@@ -299,18 +532,37 @@ impl FaultLog {
             .iter()
             .map(|e| match e {
                 FaultEvent::LaneDropped { sequence, .. }
-                | FaultEvent::TornWrite { sequence, .. } => *sequence,
+                | FaultEvent::TornWrite { sequence, .. }
+                | FaultEvent::GatherFlip { sequence, .. }
+                | FaultEvent::StaleRead { sequence, .. }
+                | FaultEvent::TornGather { sequence, .. }
+                | FaultEvent::BitRot { sequence, .. } => *sequence,
             })
             .collect();
         seqs.sort_unstable();
         seqs.dedup();
         let shown: Vec<String> = seqs.iter().take(8).map(u64::to_string).collect();
         let ellipsis = if seqs.len() > 8 { ", …" } else { "" };
+        let mut parts = vec![
+            format!("{} dropped lane(s)", self.dropped_lanes),
+            format!("{} torn write(s)", self.torn_writes),
+        ];
+        if self.read_faults() > 0 {
+            parts.push(format!(
+                "{} read fault(s) ({} flip, {} stale, {} torn)",
+                self.read_faults(),
+                self.gather_flips,
+                self.stale_reads,
+                self.torn_gathers
+            ));
+        }
+        if self.bit_rots > 0 {
+            parts.push(format!("{} rotted word(s)", self.bit_rots));
+        }
         format!(
-            "{} fault(s): {} dropped lane(s), {} torn write(s) across {} scatter(s) [seq {}{}]",
+            "{} fault(s): {} across {} scatter(s) [seq {}{}]",
             self.len(),
-            self.dropped_lanes,
-            self.torn_writes,
+            parts.join(", "),
             seqs.len(),
             shown.join(", "),
             ellipsis,
@@ -484,5 +736,89 @@ mod tests {
         let pa: Vec<bool> = (0..512).map(|l| a.lane_dropped(0, l)).collect();
         let pb: Vec<bool> = (0..512).map(|l| b.lane_dropped(0, l)).collect();
         assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn gather_fault_predicates_are_deterministic_and_rated() {
+        let plan = FaultPlan::gather_flips(11, 16384)
+            .with_stale_reads(16384)
+            .with_torn_gathers(16384);
+        assert!(plan.corrupts_reads());
+        assert!(!plan.violates_els(), "read faults are not write faults");
+        assert!(plan.needs_stale_shadow());
+        let flips: Vec<Option<u32>> = (0..4096).map(|l| plan.gather_flipped(1, l)).collect();
+        let fired = flips.iter().filter(|f| f.is_some()).count();
+        assert!((600..1500).contains(&fired), "~25% of 4096, got {fired}");
+        assert!(flips.iter().flatten().all(|&b| b < 64));
+        let replay: Vec<Option<u32>> = (0..4096).map(|l| plan.gather_flipped(1, l)).collect();
+        assert_eq!(flips, replay);
+        let stale = (0..4096).filter(|&l| plan.stale_read(1, l)).count();
+        let torn = (0..4096).filter(|&l| plan.torn_gather(1, l)).count();
+        assert!((600..1500).contains(&stale), "{stale}");
+        assert!((600..1500).contains(&torn), "{torn}");
+    }
+
+    #[test]
+    fn gather_faults_respect_the_window() {
+        let plan = FaultPlan::gather_flips(5, u16::MAX).with_window(10, 20);
+        assert!(plan.gather_flipped(9, 0).is_none());
+        assert!(plan.gather_flipped(10, 0).is_some());
+        assert!(plan.gather_flipped(20, 0).is_none());
+    }
+
+    #[test]
+    fn bit_rot_rate_decays_by_half_lives() {
+        let plan = FaultPlan::bit_rot(7, 32768);
+        assert!(plan.rots_memory());
+        assert!(!plan.violates_els());
+        assert_eq!(plan.rot_rate_at(0), 32768);
+        assert_eq!(plan.rot_rate_at(FaultPlan::ROT_HALF_LIFE - 1), 32768);
+        assert_eq!(plan.rot_rate_at(FaultPlan::ROT_HALF_LIFE), 16384);
+        assert_eq!(plan.rot_rate_at(4 * FaultPlan::ROT_HALF_LIFE), 2048);
+        // After enough half-lives the adversary is genuinely gone.
+        assert_eq!(plan.rot_rate_at(16 * FaultPlan::ROT_HALF_LIFE), 0);
+        assert_eq!(plan.rotted(16 * FaultPlan::ROT_HALF_LIFE, 3), None);
+        // Early on it fires deterministically at a roughly honoured rate.
+        let fired = (0..4096u64)
+            .filter(|&a| plan.rotted(1, a as Addr).is_some())
+            .count();
+        assert!((1300..2800).contains(&fired), "~50% of 4096, got {fired}");
+    }
+
+    #[test]
+    fn read_and_rot_events_are_counted_by_kind() {
+        let mut log = FaultLog::default();
+        log.record(FaultEvent::GatherFlip {
+            sequence: 1,
+            lane: 0,
+            addr: 2,
+            bit: 5,
+        });
+        log.record(FaultEvent::StaleRead {
+            sequence: 1,
+            lane: 1,
+            addr: 3,
+            stale: -7,
+        });
+        log.record(FaultEvent::TornGather {
+            sequence: 2,
+            lane: 0,
+            addr: 4,
+            amalgam: 9,
+        });
+        log.record(FaultEvent::BitRot {
+            sequence: 3,
+            addr: 5,
+            bit: 63,
+        });
+        assert_eq!(log.gather_flips(), 1);
+        assert_eq!(log.stale_reads(), 1);
+        assert_eq!(log.torn_gathers(), 1);
+        assert_eq!(log.bit_rots(), 1);
+        assert_eq!(log.read_faults(), 3);
+        let s = log.summary();
+        assert!(s.contains("3 read fault(s)"), "{s}");
+        assert!(s.contains("1 rotted word(s)"), "{s}");
+        assert!(s.contains("3 scatter(s)"), "{s}");
     }
 }

@@ -1,0 +1,348 @@
+//! End-to-end integrity: incremental region checksums and the ELS auditor.
+//!
+//! FOL trusts two things the fault model (PR 1–3 plus this PR's read-side
+//! extensions) can break: that memory still holds what was last stored
+//! (bit-rot says otherwise) and that a gather faithfully returns the label
+//! a scatter landed (flips, stale reads and torn gathers say otherwise).
+//! This module supplies the detection machinery for both, owned by the
+//! memory layer itself rather than bolted onto each workload:
+//!
+//! * **Incremental checksums** — the machine keeps one 64-bit XOR-of-hashes
+//!   digest per *tracked* region ([`crate::Machine::track_region`]),
+//!   updated on every instruction-level store in O(1). Because the digest
+//!   is an XOR over `mix(addr, word)` terms, a store updates it as
+//!   `sum ^= mix(a, old) ^ mix(a, new)` with no rescan. Bit-rot bypasses
+//!   the store path by construction, so the incremental digest silently
+//!   goes stale — which is exactly what [`crate::Machine::scrub`] detects
+//!   by recomputing digests from memory and comparing.
+//! * **The ELS auditor** ([`ElsAuditor`]) — a round-boundary referee for
+//!   FOL's scatter→gather handshake. Before a label scatter, the executor
+//!   notes the set of competing labels per target address; at the paired
+//!   gather it checks that every lane read back *some* noted label. A
+//!   dropped write (gather returns the pre-image), a torn write (amalgam),
+//!   a gather flip, a stale read or rot on the work area all surface here,
+//!   at the round boundary — rounds earlier than an oracle compare would
+//!   catch them.
+//!
+//! Both detectors report typed [`IntegrityError`]s, which `fol-core`
+//! converts into its `FolError` taxonomy so the retry ladder can react
+//! (verified replay, snapshot repair, escalation) instead of the run
+//! silently returning corrupted data.
+
+use crate::fault::hash3;
+use crate::memory::{Addr, Region};
+use crate::vreg::Word;
+use std::collections::HashMap;
+
+/// One term of a region digest: a seeded avalanche of `(addr, word)`.
+/// Position-dependent, so swapping two cells' contents changes the digest.
+#[inline]
+pub fn mix(addr: Addr, word: Word) -> u64 {
+    hash3(addr as u64, word as u64, 0xC0DE_C4EC)
+}
+
+/// The XOR-of-[`mix`] digest of a region's contents, recomputed from a
+/// snapshot. The machine maintains the same quantity incrementally.
+pub fn digest_words(base: Addr, words: &[Word]) -> u64 {
+    words
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &w)| acc ^ mix(base + i, w))
+}
+
+/// A typed integrity violation — the "never silently wrong" half of the
+/// robustness contract. Everything the checksum and audit layers can
+/// detect is reported through this enum, never as a bare panic and never
+/// as silently corrupted data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// A tracked region's incremental checksum no longer matches its
+    /// memory contents: something wrote to memory behind the store path's
+    /// back (bit-rot, by construction the only way).
+    ChecksumMismatch {
+        /// Name of the allocation the region belongs to.
+        region: String,
+        /// Base address of the tracked region.
+        base: Addr,
+        /// Length of the tracked region in words.
+        len: usize,
+        /// The incrementally maintained digest (what memory *should* hold).
+        expected: u64,
+        /// The digest recomputed from memory (what it actually holds).
+        actual: u64,
+    },
+    /// A gathered label was not among the labels scattered to its address
+    /// this round — an amalgam, a phantom read, a dropped write's
+    /// pre-image, or read-path corruption. The ELS condition, caught in
+    /// the act.
+    GatherMismatch {
+        /// Name of the allocation the audited region belongs to.
+        region: String,
+        /// The audited address.
+        addr: Addr,
+        /// Original element position within the gather.
+        lane: usize,
+        /// The label the gather returned.
+        got: Word,
+        /// The labels actually scattered to `addr` (any of which would
+        /// have satisfied ELS).
+        scattered: Vec<Word>,
+    },
+    /// Verified replay could not find two executions agreeing on a memory
+    /// digest: the fault environment is too hot for majority voting and
+    /// the supervisor must escalate.
+    ReplayDivergence {
+        /// Number of replays executed.
+        replays: usize,
+        /// Number of distinct digests observed among successful replays.
+        distinct: usize,
+    },
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrityError::ChecksumMismatch {
+                region,
+                base,
+                len,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch on region \"{region}\" [{base}, {}): \
+                 expected {expected:#018x}, memory digests to {actual:#018x} \
+                 — something wrote behind the store path (bit-rot)",
+                base + len
+            ),
+            IntegrityError::GatherMismatch {
+                region,
+                addr,
+                lane,
+                got,
+                scattered,
+            } => write!(
+                f,
+                "ELS audit: gather lane {lane} read {got} from \"{region}\" addr {addr}, \
+                 but the round scattered {scattered:?} there — \
+                 the stored-label-is-one-of-the-written-labels invariant (§3.2) is broken"
+            ),
+            IntegrityError::ReplayDivergence { replays, distinct } => write!(
+                f,
+                "verified replay: {replays} replays produced {distinct} distinct memory \
+                 digests, no 2-of-3 majority — escalating past the replay rung"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+/// The ELS auditor: validates each FOL round's gathered labels against the
+/// set of labels actually scattered.
+///
+/// Usage protocol (the machine wraps this behind
+/// [`crate::Machine::audit_note_scatter`] / [`crate::Machine::audit_check_gather`]):
+///
+/// 1. Immediately before a label scatter, `note_scatter` records, per
+///    target address, the multiset of competing labels. A later note for
+///    the same address replaces the earlier one (the round's scatter is
+///    the authority on what the cell may hold).
+/// 2. Immediately after the paired gather, `check_gather` verifies each
+///    lane's value is a member of its address's noted set, **consuming**
+///    the entry either way. Consumption makes the audit pairwise: an
+///    address checked once is not re-judged against a stale set when a
+///    later, unrelated gather touches it (e.g. a payload read after the
+///    round's winners overwrote the cell).
+///
+/// Addresses gathered without a noted scatter are skipped — the auditor
+/// only judges the scatter→gather handshakes it was told about.
+#[derive(Clone, Debug, Default)]
+pub struct ElsAuditor {
+    /// Candidate labels per address, from the most recent noted scatter.
+    expected: HashMap<Addr, Vec<Word>>,
+    checked: u64,
+    violations: u64,
+}
+
+impl ElsAuditor {
+    /// A fresh auditor with no noted scatters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes one label scatter: `vals[i]` competes for `addrs[i]`.
+    /// Replaces any earlier note for the same addresses.
+    pub fn note_scatter(&mut self, addrs: &[Addr], vals: &[Word]) {
+        debug_assert_eq!(addrs.len(), vals.len());
+        // Two passes so re-noted addresses start from a clean slate instead
+        // of accumulating labels across rounds.
+        for &a in addrs {
+            self.expected.remove(&a);
+        }
+        for (&a, &v) in addrs.iter().zip(vals) {
+            self.expected.entry(a).or_default().push(v);
+        }
+    }
+
+    /// Checks one gather against the noted scatters: for each lane whose
+    /// address has a noted candidate set, `got[i]` must be a member.
+    /// Entries are consumed (checked at most once). Returns the first
+    /// violation; `region` names the audited allocation for the error.
+    pub fn check_gather(
+        &mut self,
+        region: &str,
+        addrs: &[Addr],
+        got: &[Word],
+    ) -> Result<(), IntegrityError> {
+        debug_assert_eq!(addrs.len(), got.len());
+        let mut first: Option<IntegrityError> = None;
+        for (lane, (&addr, &g)) in addrs.iter().zip(got).enumerate() {
+            let Some(candidates) = self.expected.remove(&addr) else {
+                continue;
+            };
+            self.checked += 1;
+            if !candidates.contains(&g) {
+                self.violations += 1;
+                if first.is_none() {
+                    first = Some(IntegrityError::GatherMismatch {
+                        region: region.to_string(),
+                        addr,
+                        lane,
+                        got: g,
+                        scattered: candidates,
+                    });
+                }
+            }
+        }
+        match first {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Forgets all noted scatters (e.g. at a transaction boundary),
+    /// keeping the counters.
+    pub fn clear(&mut self) {
+        self.expected.clear();
+    }
+
+    /// Number of (addr, gather) handshakes judged so far.
+    pub fn checked(&self) -> u64 {
+        self.checked
+    }
+
+    /// Number of handshakes that violated ELS.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+/// One tracked region and its incrementally maintained digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrackedRegion {
+    /// Name of the allocation the region belongs to.
+    pub name: String,
+    /// The tracked region.
+    pub region: Region,
+    /// The incremental XOR-of-[`mix`] digest.
+    pub sum: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_position_dependent() {
+        assert_ne!(mix(0, 5), mix(1, 5));
+        assert_ne!(mix(0, 5), mix(0, 6));
+        // Swapping two cells' contents changes the digest.
+        let a = digest_words(10, &[1, 2]);
+        let b = digest_words(10, &[2, 1]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn digest_matches_incremental_update() {
+        let mut words = vec![3, 1, 4, 1, 5];
+        let mut sum = digest_words(100, &words);
+        // Store 9 at offset 2, incrementally.
+        sum ^= mix(102, words[2]) ^ mix(102, 9);
+        words[2] = 9;
+        assert_eq!(sum, digest_words(100, &words));
+    }
+
+    #[test]
+    fn auditor_accepts_any_competing_label() {
+        let mut aud = ElsAuditor::new();
+        aud.note_scatter(&[7, 7, 9], &[1, 2, 3]);
+        // Address 7 may hold 1 or 2 (ELS: one of the competitors), 9 holds 3.
+        assert!(aud.check_gather("w", &[7, 9], &[2, 3]).is_ok());
+        assert_eq!(aud.checked(), 2);
+        assert_eq!(aud.violations(), 0);
+    }
+
+    #[test]
+    fn auditor_flags_amalgams_and_pre_images() {
+        let mut aud = ElsAuditor::new();
+        aud.note_scatter(&[4, 4], &[0b01, 0b10]);
+        // An XOR amalgam (0b11) is neither competitor.
+        let err = aud.check_gather("w", &[4], &[0b11]).unwrap_err();
+        match err {
+            IntegrityError::GatherMismatch {
+                addr,
+                got,
+                scattered,
+                ..
+            } => {
+                assert_eq!(addr, 4);
+                assert_eq!(got, 0b11);
+                assert_eq!(scattered, vec![0b01, 0b10]);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert_eq!(aud.violations(), 1);
+    }
+
+    #[test]
+    fn auditor_consumes_entries_and_skips_unnoted_addresses() {
+        let mut aud = ElsAuditor::new();
+        aud.note_scatter(&[5], &[8]);
+        assert!(aud.check_gather("w", &[5], &[8]).is_ok());
+        // Entry consumed: a later gather of addr 5 (now holding payload
+        // data) is not judged against the stale label set.
+        assert!(aud.check_gather("w", &[5], &[-123]).is_ok());
+        // Never-noted addresses are skipped entirely.
+        assert!(aud.check_gather("w", &[99], &[0]).is_ok());
+        assert_eq!(aud.checked(), 1);
+    }
+
+    #[test]
+    fn renoting_an_address_replaces_its_candidates() {
+        let mut aud = ElsAuditor::new();
+        aud.note_scatter(&[3], &[1]);
+        aud.note_scatter(&[3], &[2]);
+        // Only the latest round's label is acceptable.
+        assert!(aud.check_gather("w", &[3], &[1]).is_err());
+    }
+
+    #[test]
+    fn integrity_errors_render_their_evidence() {
+        let e = IntegrityError::ChecksumMismatch {
+            region: "work".into(),
+            base: 10,
+            len: 4,
+            expected: 0xAB,
+            actual: 0xCD,
+        };
+        let s = e.to_string();
+        assert!(s.contains("work"), "{s}");
+        assert!(s.contains("bit-rot"), "{s}");
+        let e = IntegrityError::ReplayDivergence {
+            replays: 3,
+            distinct: 3,
+        };
+        assert!(e.to_string().contains("2-of-3"));
+    }
+}

@@ -98,6 +98,17 @@ impl Snapshot {
         out
     }
 
+    /// Writes the captured contents back into `mem` — the repair step for
+    /// corruption that bypassed the journal (bit-rot strikes memory behind
+    /// the store path, so a rollback alone cannot heal it). The caller owns
+    /// resynchronizing any incremental checksums afterwards
+    /// ([`crate::Machine::resync_integrity`]).
+    pub fn restore(&self, mem: &mut Memory) {
+        for (r, saved) in &self.regions {
+            mem.write_region(*r, saved);
+        }
+    }
+
     /// Number of captured regions.
     pub fn num_regions(&self) -> usize {
         self.regions.len()
@@ -150,6 +161,14 @@ impl WriteJournal {
         for &addr in self.order.iter().rev() {
             mem.write(addr, self.pre[&addr]);
         }
+    }
+
+    /// The journaled `(addr, pre-image)` pairs in reverse first-write order
+    /// — the order [`WriteJournal::rollback`] replays them. Exposed so the
+    /// machine can roll back through its checksum-maintaining store path
+    /// instead of writing behind the integrity layer's back.
+    pub fn entries_rev(&self) -> impl Iterator<Item = (Addr, Word)> + '_ {
+        self.order.iter().rev().map(move |&a| (a, self.pre[&a]))
     }
 
     /// Number of distinct addresses journaled.
@@ -262,6 +281,9 @@ mod tests {
         mem.write(a.at(2), -5);
         assert!(!snap.matches(&mem));
         assert_eq!(snap.diff(&mem), vec![a.at(2)]);
+        snap.restore(&mut mem);
+        assert!(snap.matches(&mem), "restore repairs the divergence");
+        assert_eq!(mem.read_region(a), vec![7, 8, 9]);
     }
 
     #[test]

@@ -36,7 +36,14 @@
 //!   first-write undo log over every instruction-level store;
 //!   [`Machine::abort_txn`] restores memory byte-exact, which is what lets
 //!   the recovery supervisor in `fol-core` retry a faulted FOL round
-//!   instead of surfacing a torn result.
+//!   instead of surfacing a torn result,
+//! * an **integrity layer** ([`integrity`]): per-[`Region`] incremental
+//!   checksums ([`Machine::track_region`] / [`Machine::scrub`]) that catch
+//!   resident bit-rot, and an [`ElsAuditor`] that validates each FOL round's
+//!   gathered labels against the labels actually scattered — so a read-side
+//!   lie (gather bit-flip, stale read, torn gather) or decayed work area
+//!   surfaces as a typed [`IntegrityError`] at the round boundary instead of
+//!   a silently wrong decomposition.
 //!
 //! The simulator is deliberately *functional* in style: instructions take and
 //! return owned vector values, and the machine only owns memory, the cost
@@ -67,6 +74,7 @@ pub mod cost;
 pub mod expr;
 pub mod fault;
 pub mod health;
+pub mod integrity;
 pub mod journal;
 pub mod machine;
 pub mod memory;
@@ -78,9 +86,10 @@ pub use conflict::{AdversaryState, ConflictPolicy};
 pub use cost::{CostModel, OpKind, Stats};
 pub use fault::{AmalgamMode, FaultEvent, FaultLog, FaultPlan};
 pub use health::{LaneHealthRegistry, LaneSet, LANE_COUNT};
+pub use integrity::{digest_words, ElsAuditor, IntegrityError, TrackedRegion};
 pub use journal::{Snapshot, TxnError, WriteJournal};
 pub use machine::{AluOp, CmpOp, Machine, MachineTrap};
-pub use memory::{Addr, Memory, Region};
+pub use memory::{Addr, Memory, Region, SliceError};
 pub use program::{execute, Inst, Program, Registers, Stop};
 pub use trace::{TraceEntry, Tracer};
 pub use vreg::{Mask, VReg, Word};

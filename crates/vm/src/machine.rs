@@ -15,6 +15,7 @@ use crate::conflict::{AdversaryState, ConflictPolicy};
 use crate::cost::{CostModel, OpKind, Stats};
 use crate::fault::{FaultEvent, FaultLog, FaultPlan};
 use crate::health::{LaneHealthRegistry, LaneSet, LANE_COUNT};
+use crate::integrity::{digest_words, mix, ElsAuditor, IntegrityError, TrackedRegion};
 use crate::journal::{TxnError, WriteJournal};
 use crate::memory::{Addr, Memory, Region};
 use crate::trace::Tracer;
@@ -154,6 +155,19 @@ pub struct Machine {
     health: LaneHealthRegistry,
     /// Cached sacrificial region for [`Machine::probe_lane`].
     probe_region: Option<Region>,
+    /// Checksummed regions: incremental digests maintained by every
+    /// instruction-level store, verified by [`Machine::scrub`].
+    tracked: Vec<TrackedRegion>,
+    /// The ELS auditor, when round auditing is enabled
+    /// ([`Machine::set_els_audit`]); `None` costs nothing on the hot paths.
+    auditor: Option<ElsAuditor>,
+    /// Gather sequence counter — the read-side analogue of `scatter_seq`,
+    /// so gather faults draw fresh deterministic coins per instruction.
+    gather_seq: u64,
+    /// Previous value of each written address, kept only while the fault
+    /// plan can serve stale reads (so the fault has something real to
+    /// return).
+    stale_shadow: std::collections::HashMap<Addr, Word>,
 }
 
 impl Machine {
@@ -175,6 +189,10 @@ impl Machine {
             active_lanes: LaneSet::all(),
             health: LaneHealthRegistry::new(),
             probe_region: None,
+            tracked: Vec::new(),
+            auditor: None,
+            gather_seq: 0,
+            stale_shadow: std::collections::HashMap::new(),
         }
     }
 
@@ -444,7 +462,24 @@ impl Machine {
     /// writes bypass the journal). Returns the journal that was replayed.
     pub fn abort_txn(&mut self) -> Result<WriteJournal, TxnError> {
         let j = self.journal.take().ok_or(TxnError::NoTransaction)?;
-        j.rollback(&mut self.mem);
+        if self.tracked.is_empty() {
+            j.rollback(&mut self.mem);
+        } else {
+            // Roll back through the checksum-maintaining path so tracked
+            // digests stay in sync with the restored pre-images. Rot that
+            // struck during the transaction is *not* absorbed: its term
+            // stays folded into the digest, so a post-abort scrub still
+            // reports the corruption.
+            for (addr, pre) in j.entries_rev() {
+                let old = self.mem.read(addr);
+                for t in &mut self.tracked {
+                    if t.region.contains(addr) {
+                        t.sum ^= mix(addr, old) ^ mix(addr, pre);
+                    }
+                }
+                self.mem.write(addr, pre);
+            }
+        }
         // A rollback corroborates the fault log: lanes it has implicated
         // since their scores last decayed out get bumped towards quarantine.
         self.health.note_rollback(self.scatter_seq);
@@ -452,13 +487,223 @@ impl Machine {
     }
 
     /// The single choke point for instruction-level stores: journals the
-    /// pre-image when a transaction is open, then writes.
+    /// pre-image when a transaction is open, maintains the incremental
+    /// checksum of every tracked region the address falls in, feeds the
+    /// stale-read shadow when the fault plan needs one, then writes.
     #[inline]
     fn store(&mut self, addr: Addr, w: Word) {
-        if let Some(j) = &mut self.journal {
-            j.note(addr, self.mem.read(addr));
+        let needs_old = self.journal.is_some()
+            || !self.tracked.is_empty()
+            || self
+                .fault_plan
+                .as_ref()
+                .is_some_and(FaultPlan::needs_stale_shadow);
+        if needs_old {
+            let old = self.mem.read(addr);
+            if let Some(j) = &mut self.journal {
+                j.note(addr, old);
+            }
+            for t in &mut self.tracked {
+                if t.region.contains(addr) {
+                    t.sum ^= mix(addr, old) ^ mix(addr, w);
+                }
+            }
+            if self
+                .fault_plan
+                .as_ref()
+                .is_some_and(FaultPlan::needs_stale_shadow)
+            {
+                self.stale_shadow.insert(addr, old);
+            }
         }
         self.mem.write(addr, w);
+    }
+
+    // ------------------------------------------------------------------
+    // Integrity: checksummed regions, scrub, ELS audit
+    // ------------------------------------------------------------------
+
+    /// Starts (or refreshes) checksum tracking for `region`: the machine
+    /// maintains an incremental digest of its contents on every
+    /// instruction-level store, in O(1) per store. Tracking a region also
+    /// exposes it to the fault plan's bit-rot — resident decay strikes the
+    /// memory the integrity layer claims to protect, which is exactly the
+    /// adversary [`Machine::scrub`] exists to catch.
+    ///
+    /// Re-tracking an already-tracked region resynchronizes its digest to
+    /// the current memory contents. Like journaling, integrity upkeep is a
+    /// recovery mechanism, not a simulated instruction: no cycles are
+    /// charged (its real cost is priced by the `integrity` bench).
+    pub fn track_region(&mut self, region: Region) {
+        let name = self.mem.name_of(region).unwrap_or("(untitled)").to_string();
+        let sum = digest_words(region.base(), &self.mem.read_region(region));
+        if let Some(t) = self.tracked.iter_mut().find(|t| t.region == region) {
+            t.sum = sum;
+            t.name = name;
+        } else {
+            self.tracked.push(TrackedRegion { name, region, sum });
+        }
+    }
+
+    /// Stops tracking every region (digests are discarded).
+    pub fn untrack_all(&mut self) {
+        self.tracked.clear();
+    }
+
+    /// The tracked regions and their incremental digests.
+    pub fn tracked_regions(&self) -> &[TrackedRegion] {
+        &self.tracked
+    }
+
+    /// The incrementally maintained digest of `region`, if tracked.
+    pub fn checksum_of(&self, region: Region) -> Option<u64> {
+        self.tracked
+            .iter()
+            .find(|t| t.region == region)
+            .map(|t| t.sum)
+    }
+
+    /// Walks every tracked region, recomputing its digest from memory and
+    /// comparing against the incrementally maintained one. A divergence
+    /// means something wrote to memory behind the store path — bit-rot, by
+    /// construction — and is reported as a typed
+    /// [`IntegrityError::ChecksumMismatch`] naming the region.
+    pub fn scrub(&self) -> Result<(), IntegrityError> {
+        for t in &self.tracked {
+            let actual = digest_words(t.region.base(), &self.mem.read_region(t.region));
+            if actual != t.sum {
+                return Err(IntegrityError::ChecksumMismatch {
+                    region: t.name.clone(),
+                    base: t.region.base(),
+                    len: t.region.len(),
+                    expected: t.sum,
+                    actual,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Resynchronizes every tracked digest to the current memory contents —
+    /// the accept-what-is step after an external repair (e.g. a supervisor
+    /// restoring a snapshot over rotted cells).
+    pub fn resync_integrity(&mut self) {
+        for t in &mut self.tracked {
+            t.sum = digest_words(t.region.base(), &self.mem.read_region(t.region));
+        }
+    }
+
+    /// A digest of current memory *contents* for replay voting: recomputed
+    /// from the tracked regions (all allocations when nothing is tracked),
+    /// so two executions agree iff the bytes agree — the incremental sums
+    /// are deliberately not used here, because rot desynchronizes them.
+    pub fn content_digest(&self) -> u64 {
+        let mut acc = 0u64;
+        if self.tracked.is_empty() {
+            for (_, r) in self.mem.allocations() {
+                acc ^= digest_words(r.base(), &self.mem.read_region(*r));
+            }
+        } else {
+            for t in &self.tracked {
+                acc ^= digest_words(t.region.base(), &self.mem.read_region(t.region));
+            }
+        }
+        acc
+    }
+
+    /// Enables or disables the [`ElsAuditor`]. While enabled, executors may
+    /// bracket their label rounds with [`Machine::audit_note_scatter`] /
+    /// [`Machine::audit_check_gather`]; while disabled both are free no-ops.
+    /// Disabling discards the auditor and its counters.
+    pub fn set_els_audit(&mut self, on: bool) {
+        if on {
+            if self.auditor.is_none() {
+                self.auditor = Some(ElsAuditor::new());
+            }
+        } else {
+            self.auditor = None;
+        }
+    }
+
+    /// The ELS auditor, when enabled.
+    pub fn els_auditor(&self) -> Option<&ElsAuditor> {
+        self.auditor.as_ref()
+    }
+
+    /// Forgets the auditor's noted scatters, keeping its counters — called
+    /// at attempt boundaries so a rolled-back round's notes do not judge
+    /// the retry's gathers. No-op when auditing is off.
+    pub fn audit_clear_notes(&mut self) {
+        if let Some(a) = &mut self.auditor {
+            a.clear();
+        }
+    }
+
+    /// Notes a label scatter with the auditor (no-op when auditing is off):
+    /// records, per target address, the labels about to compete there. Call
+    /// immediately before the scatter.
+    #[track_caller]
+    pub fn audit_note_scatter(&mut self, region: Region, idx: &VReg, vals: &VReg) {
+        if self.auditor.is_none() {
+            return;
+        }
+        let addrs: Vec<Addr> = idx.iter().map(|i| Self::region_addr(region, i)).collect();
+        let values: Vec<Word> = vals.iter().collect();
+        self.auditor
+            .as_mut()
+            .expect("checked above")
+            .note_scatter(&addrs, &values);
+    }
+
+    /// Masked form of [`Machine::audit_note_scatter`]: only lanes with a
+    /// true mask bit are noted (the others are suppressed and never reach
+    /// memory).
+    #[track_caller]
+    pub fn audit_note_scatter_masked(
+        &mut self,
+        region: Region,
+        idx: &VReg,
+        vals: &VReg,
+        mask: &Mask,
+    ) {
+        if self.auditor.is_none() {
+            return;
+        }
+        let mut addrs = Vec::new();
+        let mut values = Vec::new();
+        for (p, i) in idx.iter().enumerate() {
+            if mask.get(p) {
+                addrs.push(Self::region_addr(region, i));
+                values.push(vals.get(p));
+            }
+        }
+        self.auditor
+            .as_mut()
+            .expect("checked above")
+            .note_scatter(&addrs, &values);
+    }
+
+    /// Checks a gather against the noted scatters (no-op `Ok` when auditing
+    /// is off): every lane whose address was noted must have read back one
+    /// of the noted labels; entries are consumed either way. Call
+    /// immediately after the paired gather with the values it returned.
+    #[track_caller]
+    pub fn audit_check_gather(
+        &mut self,
+        region: Region,
+        idx: &VReg,
+        got: &VReg,
+    ) -> Result<(), IntegrityError> {
+        if self.auditor.is_none() {
+            return Ok(());
+        }
+        let name = self.mem.name_of(region).unwrap_or("(untitled)").to_string();
+        let addrs: Vec<Addr> = idx.iter().map(|i| Self::region_addr(region, i)).collect();
+        let values: Vec<Word> = got.iter().collect();
+        self.auditor
+            .as_mut()
+            .expect("checked above")
+            .check_gather(&name, &addrs, &values)
     }
 
     /// Logs an injected fault and, when tracing is on, pins a human-readable
@@ -480,6 +725,39 @@ impl Machine {
                     amalgam,
                 } => {
                     format!("fault: torn write at addr {addr} in scatter #{sequence} (amalgam {amalgam})")
+                }
+                FaultEvent::GatherFlip {
+                    sequence,
+                    lane,
+                    addr,
+                    bit,
+                } => {
+                    format!("fault: gather #{sequence} lane {lane} read addr {addr} with bit {bit} flipped")
+                }
+                FaultEvent::StaleRead {
+                    sequence,
+                    lane,
+                    addr,
+                    stale,
+                } => {
+                    format!("fault: gather #{sequence} lane {lane} read stale value {stale} from addr {addr}")
+                }
+                FaultEvent::TornGather {
+                    sequence,
+                    lane,
+                    addr,
+                    amalgam,
+                } => {
+                    format!("fault: gather #{sequence} lane {lane} tore addr {addr} against its neighbour (amalgam {amalgam})")
+                }
+                FaultEvent::BitRot {
+                    sequence,
+                    addr,
+                    bit,
+                } => {
+                    format!(
+                        "fault: bit {bit} of addr {addr} rotted at scatter boundary #{sequence}"
+                    )
                 }
             };
             t.annotate(note);
@@ -530,7 +808,7 @@ impl Machine {
     /// Loads `region[offset .. offset+n]` into a vector.
     #[track_caller]
     pub fn vload(&mut self, region: Region, offset: usize, n: usize) -> VReg {
-        let r = region.slice(offset, n);
+        let r = self.checked_slice("vload", region, offset, n);
         self.charge_vector(OpKind::VLoad, n);
         VReg::from_vec(self.mem.read_region(r))
     }
@@ -538,15 +816,27 @@ impl Machine {
     /// Stores a vector to `region[offset ..]`.
     #[track_caller]
     pub fn vstore(&mut self, region: Region, offset: usize, v: &VReg) {
-        let r = region.slice(offset, v.len());
+        let r = self.checked_slice("vstore", region, offset, v.len());
         self.charge_vector(OpKind::VStore, v.len());
-        if self.journal.is_some() {
+        if self.journal.is_some() || !self.tracked.is_empty() {
             for (i, w) in v.iter().enumerate() {
                 self.store(r.base() + i, w);
             }
         } else {
             self.mem.write_region(r, v.as_slice());
         }
+    }
+
+    /// Bounds-checks `region[offset .. offset+n]`, panicking with the
+    /// instruction name and the owning allocation's name on a bad range —
+    /// so a workload's overrun reports "`vstore` overruns `work`", not a
+    /// bare index panic downstream.
+    #[track_caller]
+    fn checked_slice(&self, what: &str, region: Region, offset: usize, n: usize) -> Region {
+        region.try_slice(offset, n).unwrap_or_else(|e| {
+            let name = self.mem.name_of(region).unwrap_or("(untitled)");
+            panic!("{what} on region {name:?}: {e}")
+        })
     }
 
     /// Fills all of `region` with `value` (a broadcast store — how the
@@ -612,12 +902,73 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// List-vector load: `result[i] = region[idx[i]]`.
+    ///
+    /// An installed [`FaultPlan`] with read-side rates can corrupt what the
+    /// gather *returns* (memory itself is untouched): seeded bit-flips,
+    /// stale reads (the cell's previous value) and torn gathers (an
+    /// amalgam of the lane's word and its neighbour's). Every injected
+    /// read fault is recorded in the [`FaultLog`].
     #[track_caller]
     pub fn gather(&mut self, region: Region, idx: &VReg) -> VReg {
         self.charge_vector(OpKind::VGather, idx.len());
-        idx.iter()
-            .map(|i| self.mem.read(Self::region_addr(region, i)))
-            .collect()
+        self.gather_seq += 1;
+        let seq = self.gather_seq;
+        let addrs: Vec<Addr> = idx.iter().map(|i| Self::region_addr(region, i)).collect();
+        let mut out: Vec<Word> = addrs.iter().map(|&a| self.mem.read(a)).collect();
+        let plan = match &self.fault_plan {
+            Some(p) if p.corrupts_reads() => p.clone(),
+            _ => return VReg::from_vec(out),
+        };
+        let truth = out.clone();
+        for lane in 0..out.len() {
+            let addr = addrs[lane];
+            let mut faulted = false;
+            if plan.stale_read(seq, lane) {
+                if let Some(&stale) = self.stale_shadow.get(&addr) {
+                    if stale != out[lane] {
+                        out[lane] = stale;
+                        faulted = true;
+                        self.record_fault(FaultEvent::StaleRead {
+                            sequence: seq,
+                            lane,
+                            addr,
+                            stale,
+                        });
+                    }
+                }
+            }
+            if out.len() > 1 && plan.torn_gather(seq, lane) {
+                let neighbour = truth[(lane + 1) % truth.len()];
+                let amalgam = plan.mode().combine(&[out[lane], neighbour]);
+                if amalgam != out[lane] {
+                    out[lane] = amalgam;
+                    faulted = true;
+                    self.record_fault(FaultEvent::TornGather {
+                        sequence: seq,
+                        lane,
+                        addr,
+                        amalgam,
+                    });
+                }
+            }
+            if let Some(bit) = plan.gather_flipped(seq, lane) {
+                out[lane] ^= 1 << bit;
+                faulted = true;
+                self.record_fault(FaultEvent::GatherFlip {
+                    sequence: seq,
+                    lane,
+                    addr,
+                    bit,
+                });
+            }
+            if faulted {
+                // Read faults implicate the physical lane just as write
+                // faults do, so the quarantine machinery sees them.
+                let phys = self.physical_lane(lane);
+                self.health.note_lane_fault(phys, self.scatter_seq);
+            }
+        }
+        VReg::from_vec(out)
     }
 
     /// List-vector store (`VIST`): `region[idx[i]] = val[i]`.
@@ -659,6 +1010,7 @@ impl Machine {
         self.charge_vector(OpKind::VScatterOrdered, idx.len());
         self.scatter_seq += 1;
         let seq = self.scatter_seq;
+        self.apply_bit_rot(seq);
         let plan = self.fault_plan.clone();
         // Surviving (address, value) pairs in element order, after lane drops.
         let mut survivors: Vec<(Addr, Word)> = Vec::with_capacity(idx.len());
@@ -683,6 +1035,35 @@ impl Machine {
         }
         if let Some(p) = &plan {
             self.tear_conflicts(p, seq, &survivors);
+        }
+    }
+
+    /// Applies the plan's bit-rot to every tracked region at one scatter
+    /// boundary. Rot writes **directly to memory**, bypassing the store
+    /// choke point — and with it the write journal and the incremental
+    /// checksums — which is the whole model: silent resident-memory decay
+    /// that only a [`Machine::scrub`] pass (or a failed audit downstream)
+    /// can reveal. Only tracked (checksummed) regions are exposed; tracking
+    /// a region opts it into both the protection and the hazard.
+    fn apply_bit_rot(&mut self, seq: u64) {
+        let plan = match &self.fault_plan {
+            Some(p) if p.rot_rate_at(seq) > 0 => p.clone(),
+            _ => return,
+        };
+        let regions: Vec<Region> = self.tracked.iter().map(|t| t.region).collect();
+        for region in regions {
+            for i in 0..region.len() {
+                let addr = region.base() + i;
+                if let Some(bit) = plan.rotted(seq, addr) {
+                    let w = self.mem.read(addr) ^ (1 << bit);
+                    self.mem.write(addr, w);
+                    self.record_fault(FaultEvent::BitRot {
+                        sequence: seq,
+                        addr,
+                        bit,
+                    });
+                }
+            }
         }
     }
 
@@ -726,6 +1107,7 @@ impl Machine {
         self.charge_vector(kind, idx.len());
         self.scatter_seq += 1;
         let seq = self.scatter_seq;
+        self.apply_bit_rot(seq);
         let plan = self.fault_plan.clone();
         // Filtered lanes: original element position, target address, value —
         // mask-suppressed lanes first, then fault-dropped lanes.
@@ -1864,5 +2246,242 @@ mod tests {
             "the rollback corroborates the fault log"
         );
         assert_eq!(m.health().score(0), 0, "unimplicated lanes stay clean");
+    }
+
+    // ------------------------------------------------------------------
+    // Integrity: checksums, scrub, bit-rot, gather faults, ELS audit
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn incremental_checksum_tracks_every_store_path() {
+        let mut m = machine();
+        let r = m.alloc(8, "r");
+        m.track_region(r);
+        // Scatter, vstore, vfill, strided store — every instruction-level
+        // store path must keep the incremental digest in sync.
+        let idx = m.vimm(&[0, 3, 5]);
+        let val = m.vimm(&[10, 20, 30]);
+        m.scatter(r, &idx, &val);
+        let v = m.vimm(&[7, 8]);
+        m.vstore(r, 6, &v);
+        m.vfill(r, 1);
+        let v = m.vimm(&[4, 5]);
+        m.vstore_strided(r, 1, 3, &v);
+        let expected = crate::integrity::digest_words(r.base(), &m.mem().read_region(r));
+        assert_eq!(m.checksum_of(r), Some(expected));
+        assert!(m.scrub().is_ok());
+    }
+
+    #[test]
+    fn scrub_catches_out_of_band_writes() {
+        let mut m = machine();
+        let r = m.alloc(4, "table");
+        m.track_region(r);
+        assert!(m.scrub().is_ok());
+        // Writing behind the store path (as bit-rot does) diverges the sums.
+        m.mem_mut().write(r.at(2), 99);
+        let err = m.scrub().unwrap_err();
+        match &err {
+            IntegrityError::ChecksumMismatch { region, len, .. } => {
+                assert_eq!(region, "table");
+                assert_eq!(*len, 4);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        // Resync accepts the current contents as the new truth.
+        m.resync_integrity();
+        assert!(m.scrub().is_ok());
+    }
+
+    #[test]
+    fn bit_rot_strikes_only_tracked_regions_and_is_caught_by_scrub() {
+        use crate::fault::FaultPlan;
+        let mut m = machine();
+        let tracked = m.alloc(64, "tracked");
+        let untracked = m.alloc(64, "untracked");
+        m.track_region(tracked);
+        m.set_fault_plan(Some(FaultPlan::bit_rot(7, 0x4000)));
+        let before_untracked = m.mem().read_region(untracked);
+        // Drive scatters until rot lands somewhere.
+        let idx = m.vimm(&[0, 1, 2, 3]);
+        let val = m.vimm(&[1, 1, 1, 1]);
+        for _ in 0..8 {
+            m.scatter(tracked, &idx, &val);
+        }
+        let rots = m.fault_log().bit_rots();
+        assert!(rots > 0, "rot at ~25%/word over 8 scatters must land");
+        assert_eq!(
+            m.mem().read_region(untracked),
+            before_untracked,
+            "untracked regions never rot"
+        );
+        assert!(
+            m.scrub().is_err(),
+            "scrub must notice decayed tracked words"
+        );
+    }
+
+    #[test]
+    fn gather_faults_fire_and_are_logged() {
+        use crate::fault::FaultPlan;
+        let mut m = machine();
+        let r = m.alloc(16, "r");
+        m.mem_mut().write_region(r, &(1..=16).collect::<Vec<_>>());
+        let plan = FaultPlan::gather_flips(3, 0x2000)
+            .with_stale_reads(0x2000)
+            .with_torn_gathers(0x2000);
+        m.set_fault_plan(Some(plan));
+        let idx = m.vimm(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        // Overwrite first so the stale shadow has old values to serve.
+        let val = m.vimm(&[91, 92, 93, 94, 95, 96, 97, 98]);
+        m.scatter(r, &idx, &val);
+        let mut corrupt = 0;
+        for _ in 0..16 {
+            let got = m.gather(r, &idx);
+            corrupt += got.iter().zip(val.iter()).filter(|(g, v)| g != v).count();
+        }
+        assert!(corrupt > 0, "read faults at 12.5%/lane must corrupt lanes");
+        let log = m.fault_log();
+        assert_eq!(
+            log.read_faults(),
+            log.gather_flips() + log.stale_reads() + log.torn_gathers()
+        );
+        assert!(log.read_faults() > 0);
+    }
+
+    #[test]
+    fn auditor_passes_clean_rounds_and_is_free_when_off() {
+        let mut m = machine();
+        let r = m.alloc(8, "work");
+        let idx = m.vimm(&[0, 3, 3, 5]);
+        let labels = m.vimm(&[1, 2, 3, 4]);
+        // Disabled: wrappers are inert.
+        m.audit_note_scatter(r, &idx, &labels);
+        let junk = m.vimm(&[0, 0, 0, 0]);
+        assert!(m.audit_check_gather(r, &idx, &junk).is_ok());
+        assert!(m.els_auditor().is_none());
+        // Enabled: a faithful scatter/gather round passes.
+        m.set_els_audit(true);
+        m.audit_note_scatter(r, &idx, &labels);
+        m.scatter(r, &idx, &labels);
+        let got = m.gather(r, &idx);
+        m.audit_check_gather(r, &idx, &got).unwrap();
+        let audit = m.els_auditor().unwrap();
+        // Duplicate-index lanes share one address entry, checked (and
+        // consumed) once: 3 distinct addresses, not 4 lanes.
+        assert_eq!(audit.checked(), 3);
+        assert_eq!(audit.violations(), 0);
+    }
+
+    /// The acceptance table: every injected amalgam must be flagged. Torn
+    /// writes under each amalgam mode produce a stored word that is none of
+    /// the competing labels; the auditor must flag 100% of them.
+    #[test]
+    fn auditor_flags_every_injected_amalgam() {
+        use crate::fault::{AmalgamMode, FaultPlan};
+        for mode in [AmalgamMode::Or, AmalgamMode::And, AmalgamMode::Xor] {
+            let mut flagged = 0u32;
+            let mut injected = 0u32;
+            for seed in 1..=16u64 {
+                let mut m = machine();
+                let r = m.alloc(8, "work");
+                m.set_els_audit(true);
+                m.set_fault_plan(Some(FaultPlan::torn_writes(seed, 0xFFFF, mode)));
+                // Labels chosen so every amalgam differs from both inputs.
+                let idx = m.vimm(&[2, 2, 6, 6]);
+                let labels = m.vimm(&[0b01, 0b10, 0b0101, 0b1010]);
+                m.audit_note_scatter(r, &idx, &labels);
+                m.scatter(r, &idx, &labels);
+                let torn = m.fault_log().torn_writes() as u32;
+                if torn == 0 {
+                    continue;
+                }
+                injected += torn;
+                let got = m.gather(r, &idx);
+                if m.audit_check_gather(r, &idx, &got).is_err() {
+                    // One check_gather reports the first violation; the
+                    // counter has them all.
+                    flagged += m.els_auditor().unwrap().violations() as u32;
+                }
+            }
+            assert!(injected > 0, "tearing at 100% must inject amalgams");
+            assert_eq!(
+                flagged, injected,
+                "auditor must flag 100% of {mode:?} amalgams"
+            );
+        }
+    }
+
+    #[test]
+    fn auditor_tolerates_payload_overwrites_between_rounds() {
+        let mut m = machine();
+        let r = m.alloc(8, "work");
+        m.set_els_audit(true);
+        // Round 1: labels, checked and consumed.
+        let idx = m.vimm(&[1, 1, 4]);
+        let labels = m.vimm(&[10, 20, 30]);
+        m.audit_note_scatter(r, &idx, &labels);
+        m.scatter(r, &idx, &labels);
+        let got = m.gather(r, &idx);
+        m.audit_check_gather(r, &idx, &got).unwrap();
+        // A payload scatter to the same addresses (BST winner-pointer style)
+        // must not trip the next audit: round 1's notes were consumed.
+        let payload = m.vimm(&[777, 777, 777]);
+        m.scatter(r, &idx, &payload);
+        let got = m.gather(r, &idx);
+        assert!(m.audit_check_gather(r, &idx, &got).is_ok());
+        assert_eq!(m.els_auditor().unwrap().violations(), 0);
+    }
+
+    #[test]
+    fn masked_audit_notes_only_live_lanes() {
+        let mut m = machine();
+        let r = m.alloc(8, "work");
+        m.set_els_audit(true);
+        let idx = m.vimm(&[0, 1, 2]);
+        let vals = m.vimm(&[5, 6, 7]);
+        let mask = Mask::from_slice(&[true, false, true]);
+        m.audit_note_scatter_masked(r, &idx, &vals, &mask);
+        m.scatter_masked(r, &idx, &vals, &mask);
+        let got = m.gather(r, &idx);
+        // Lane 1 was suppressed: its read (of the old 0) must not be judged
+        // against the never-stored 6.
+        assert!(m.audit_check_gather(r, &idx, &got).is_ok());
+        assert_eq!(m.els_auditor().unwrap().checked(), 2);
+    }
+
+    #[test]
+    fn abort_keeps_tracked_checksums_in_sync() {
+        let mut m = machine();
+        let r = m.alloc(8, "r");
+        m.mem_mut().write_region(r, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        m.track_region(r);
+        m.begin_txn().unwrap();
+        let idx = m.vimm(&[0, 2, 2, 7]);
+        let val = m.vimm(&[10, 20, 30, 40]);
+        m.scatter(r, &idx, &val);
+        m.abort_txn().unwrap();
+        assert_eq!(m.mem().read_region(r), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(
+            m.scrub().is_ok(),
+            "rollback must flow through the checksum-maintaining path"
+        );
+    }
+
+    #[test]
+    fn content_digest_reflects_memory_not_stale_sums() {
+        let mut m = machine();
+        let r = m.alloc(4, "r");
+        m.track_region(r);
+        let d0 = m.content_digest();
+        m.mem_mut().write(r.at(0), 5); // behind the store path
+        let d1 = m.content_digest();
+        assert_ne!(d0, d1, "content digest is recomputed, not incremental");
+        // Untracked machines digest every allocation.
+        let mut n = machine();
+        let s = n.alloc(4, "s");
+        let e0 = n.content_digest();
+        n.mem_mut().write(s.at(1), 9);
+        assert_ne!(n.content_digest(), e0);
     }
 }

@@ -64,23 +64,62 @@ impl Region {
         addr >= self.base && addr < self.base + self.len
     }
 
+    /// A sub-region `[offset, offset+len)` of this region, as a typed
+    /// result: out-of-range sub-ranges come back as a [`SliceError`]
+    /// carrying the full geometry instead of a panic deep in index code.
+    pub fn try_slice(&self, offset: usize, len: usize) -> Result<Region, SliceError> {
+        if offset.checked_add(len).is_some_and(|end| end <= self.len) {
+            Ok(Region {
+                base: self.base + offset,
+                len,
+            })
+        } else {
+            Err(SliceError {
+                region: *self,
+                offset,
+                len,
+            })
+        }
+    }
+
     /// A sub-region `[offset, offset+len)` of this region.
     ///
     /// # Panics
-    /// Panics when the sub-range does not fit.
+    /// Panics when the sub-range does not fit, naming the region's bounds;
+    /// use [`Region::try_slice`] for the typed form.
     #[track_caller]
     pub fn slice(&self, offset: usize, len: usize) -> Region {
-        assert!(
-            offset.checked_add(len).is_some_and(|end| end <= self.len),
-            "sub-region [{offset}, {offset}+{len}) exceeds region of length {}",
-            self.len
-        );
-        Region {
-            base: self.base + offset,
-            len,
-        }
+        self.try_slice(offset, len)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
+
+/// A sub-range that does not fit inside its parent [`Region`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SliceError {
+    /// The region the slice was taken from.
+    pub region: Region,
+    /// Requested sub-range start (relative to the region).
+    pub offset: usize,
+    /// Requested sub-range length.
+    pub len: usize,
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sub-region [{}, {}+{}) exceeds region of length {} ({:?})",
+            self.offset,
+            self.offset,
+            self.len,
+            self.region.len(),
+            self.region
+        )
+    }
+}
+
+impl std::error::Error for SliceError {}
 
 impl fmt::Debug for Region {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -191,6 +230,17 @@ impl Memory {
         &self.allocs
     }
 
+    /// The name of the allocation that fully contains `region`, if any —
+    /// used to attribute slice/bounds/integrity errors to the array the
+    /// workload actually named.
+    pub fn name_of(&self, region: Region) -> Option<&str> {
+        let end = region.base() + region.len();
+        self.allocs
+            .iter()
+            .find(|(_, r)| r.base() <= region.base() && end <= r.base() + r.len())
+            .map(|(n, _)| n.as_str())
+    }
+
     #[cold]
     #[track_caller]
     fn oob(&self, addr: Addr) -> ! {
@@ -268,6 +318,35 @@ mod tests {
         let mut m = Memory::new();
         let r = m.alloc(4, "r");
         let _ = r.slice(2, 3);
+    }
+
+    #[test]
+    fn try_slice_returns_typed_geometry() {
+        let mut m = Memory::new();
+        let r = m.alloc(4, "r");
+        assert_eq!(r.try_slice(1, 3).unwrap(), r.slice(1, 3));
+        let e = r.try_slice(2, 3).unwrap_err();
+        assert_eq!(e.offset, 2);
+        assert_eq!(e.len, 3);
+        assert_eq!(e.region, r);
+        let msg = e.to_string();
+        assert!(msg.contains("exceeds region"), "{msg}");
+        assert!(msg.contains("Region[0..4]"), "{msg}");
+        // Overflowing ranges are an error, not a wrap-around.
+        assert!(r.try_slice(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn name_of_attributes_subregions_to_their_allocation() {
+        let mut m = Memory::new();
+        let a = m.alloc(8, "table");
+        let b = m.alloc(4, "work");
+        assert_eq!(m.name_of(a), Some("table"));
+        assert_eq!(m.name_of(a.slice(2, 3)), Some("table"));
+        assert_eq!(m.name_of(b), Some("work"));
+        // A region spanning past every allocation is unattributable.
+        let wild = Region { base: 6, len: 4 };
+        assert_eq!(m.name_of(wild), None);
     }
 
     #[test]

@@ -53,6 +53,32 @@ fn fault_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
 
 const SEEDS: [u64; 3] = [1, 42, 20260806];
 
+/// The read-side/memory corruption matrix: gather-unit faults (flips, stale
+/// reads, torn gathers) and resident bit-rot, light and total. These never
+/// touch the scatter unit, so the pre-integrity chaos suite above is blind
+/// to them — detection rides entirely on the ELS auditor, the per-region
+/// checksums, and the verified-replay rung.
+fn corruption_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("gather-flips-3%", FaultPlan::gather_flips(seed, 2000)),
+        ("gather-flips-100%", FaultPlan::gather_flips(seed, 65535)),
+        (
+            "stale-reads-12%",
+            FaultPlan::benign(seed).with_stale_reads(8000),
+        ),
+        (
+            "torn-gathers-12%",
+            FaultPlan::benign(seed).with_torn_gathers(8000),
+        ),
+        ("bit-rot-3%", FaultPlan::bit_rot(seed, 2000)),
+        ("bit-rot-100%", FaultPlan::bit_rot(seed, 65535)),
+        (
+            "rot+flips-12%",
+            FaultPlan::bit_rot(seed, 8000).with_gather_flips(8000),
+        ),
+    ]
+}
+
 /// Serializes a failing run's report for the CI artifact, then panics with
 /// the cell's identity.
 fn fail_cell(workload: &str, plan: &str, seed: u64, report: &RecoveryReport, why: &str) -> ! {
@@ -507,4 +533,233 @@ fn recovery_reports_carry_a_usable_audit_trail() {
     assert!(json.contains("\"final_mode\":"));
     // The machine's fault log digests the same story for humans.
     assert!(!m.fault_log().summary().is_empty());
+}
+
+/// Outcome of one corruption cell, for the oracle-equal-or-typed contract.
+enum CellOutcome {
+    /// Completed and the oracle check passed.
+    OracleEqual(RecoveryReport),
+    /// Refused with a typed error (after byte-exact restore).
+    TypedRefusal(RecoveryReport),
+}
+
+/// Asserts the corruption-regime contract on one finished cell: a completed
+/// run must be oracle-equal (checked by the caller before constructing
+/// [`CellOutcome::OracleEqual`]), a refusal must carry typed errors, and at
+/// total fault rates the integrity layer must actually have fired — a
+/// first-try success would mean the faults were silently absorbed.
+fn check_corruption_cell(workload: &str, plan: &str, seed: u64, total: bool, out: &CellOutcome) {
+    let report = match out {
+        CellOutcome::OracleEqual(r) => r,
+        CellOutcome::TypedRefusal(r) => {
+            if r.errors.is_empty() {
+                fail_cell(workload, plan, seed, r, "refusal without a typed error");
+            }
+            r
+        }
+    };
+    if total && report.attempts == 1 && report.corruption_detected == 0 {
+        fail_cell(
+            workload,
+            plan,
+            seed,
+            report,
+            "total-rate corruption neither detected nor escalated",
+        );
+    }
+}
+
+/// Corruption regime (the integrity tentpole): gather faults and resident
+/// bit-rot across every workload, every seed. Each cell must either
+/// complete with output identical to the host oracle, or refuse with a
+/// typed error — a silently wrong answer fails the cell. The full default
+/// ladder ends in `ScalarTail`, whose reads and writes bypass both the
+/// gather unit and the scatter-hooked rot, so completion is the expected
+/// outcome; refusals are tolerated only if typed.
+#[test]
+fn corruption_cells_are_oracle_equal_or_typed() {
+    for seed in SEEDS {
+        for (name, plan) in corruption_plans(seed) {
+            let total = name.contains("100%");
+            // Chaining.
+            {
+                let keys = keys_for(seed ^ 0xC4A1, 28, 1000);
+                let mut m = machine_with(plan.clone());
+                let mut t = ChainTable::alloc(&mut m, 11, 32);
+                let out = match txn_chain_insert(&mut m, &mut t, &keys, &RetryPolicy::default()) {
+                    Ok((_, report)) => {
+                        let mut expect = keys.clone();
+                        expect.sort_unstable();
+                        if all_keys(&m, &t) != expect {
+                            fail_cell("chaining", name, seed, &report, "contents diverge");
+                        }
+                        CellOutcome::OracleEqual(report)
+                    }
+                    Err(e) => CellOutcome::TypedRefusal(e.into_report()),
+                };
+                check_corruption_cell("chaining", name, seed, total, &out);
+                assert!(!m.in_txn(), "chaining/{name}/{seed}: txn left open");
+            }
+            // Open addressing.
+            {
+                let keys: Vec<Word> = (0..24).map(|i| (i * 97 + seed as Word % 89) + 1).collect();
+                let mut m = machine_with(plan.clone());
+                let table = m.alloc(67, "table");
+                init_table(&mut m, table);
+                let probe = ProbeStrategy::KeyDependent;
+                let out = match txn_oa_insert(&mut m, table, &keys, probe, &RetryPolicy::default())
+                {
+                    Ok((_, report)) => {
+                        let snap = m.mem().read_region(table);
+                        let mut expect = keys.clone();
+                        expect.sort_unstable();
+                        if stored_keys(&snap) != expect
+                            || keys.iter().any(|&k| !contains(&snap, k, probe))
+                        {
+                            fail_cell("open_addressing", name, seed, &report, "contents diverge");
+                        }
+                        CellOutcome::OracleEqual(report)
+                    }
+                    Err(e) => CellOutcome::TypedRefusal(e.into_report()),
+                };
+                check_corruption_cell("open_addressing", name, seed, total, &out);
+                assert!(!m.in_txn(), "open_addressing/{name}/{seed}: txn left open");
+            }
+            // BST insert.
+            {
+                let keys = keys_for(seed ^ 0xB57, 24, 200);
+                let mut m = machine_with(plan.clone());
+                let mut t = Bst::alloc(&mut m, 32);
+                let out = match txn_bst_insert(&mut m, &mut t, &keys, &RetryPolicy::default()) {
+                    Ok((_, report)) => {
+                        let mut expect = keys.clone();
+                        expect.sort_unstable();
+                        if t.inorder(&m) != expect {
+                            fail_cell("bst", name, seed, &report, "inorder diverges");
+                        }
+                        CellOutcome::OracleEqual(report)
+                    }
+                    Err(e) => CellOutcome::TypedRefusal(e.into_report()),
+                };
+                check_corruption_cell("bst", name, seed, total, &out);
+                assert!(!m.in_txn(), "bst/{name}/{seed}: txn left open");
+            }
+            // Tree rewrite.
+            {
+                let symbols = keys_for(seed ^ 0x5EED, 14, 512);
+                let mut m = machine_with(plan.clone());
+                let t = OpTree::right_comb(&mut m, &symbols);
+                let before_leaves = t.leaves_inorder(&m);
+                let before_val = t.eval_affine(&m);
+                let out = match txn_rewrite_to_normal_form(&mut m, &t, &RetryPolicy::default()) {
+                    Ok((_, report)) => {
+                        if !t.is_normal_form(&m)
+                            || t.leaves_inorder(&m) != before_leaves
+                            || t.eval_affine(&m) != before_val
+                        {
+                            fail_cell("rewrite", name, seed, &report, "normal form diverges");
+                        }
+                        CellOutcome::OracleEqual(report)
+                    }
+                    Err(e) => CellOutcome::TypedRefusal(e.into_report()),
+                };
+                check_corruption_cell("rewrite", name, seed, total, &out);
+                assert!(!m.in_txn(), "rewrite/{name}/{seed}: txn left open");
+            }
+            // Distribution-counting sort.
+            {
+                let data = keys_for(seed ^ 0xD157, 48, 32);
+                let mut expect = data.clone();
+                expect.sort_unstable();
+                let mut m = machine_with(plan.clone());
+                let a = m.alloc(data.len(), "A");
+                m.mem_mut().write_region(a, &data);
+                let out = match txn_sort(&mut m, a, 32, &RetryPolicy::default()) {
+                    Ok((_, report)) => {
+                        if m.mem().read_region(a) != expect {
+                            fail_cell("dist_count", name, seed, &report, "output not sorted input");
+                        }
+                        CellOutcome::OracleEqual(report)
+                    }
+                    Err(e) => CellOutcome::TypedRefusal(e.into_report()),
+                };
+                check_corruption_cell("dist_count", name, seed, total, &out);
+                assert!(!m.in_txn(), "dist_count/{name}/{seed}: txn left open");
+            }
+            // Connected components.
+            {
+                let n = 16usize;
+                let ends = keys_for(seed ^ 0xC0C0, 40, n as Word);
+                let edges: Vec<(Word, Word)> = ends.chunks(2).map(|c| (c[0], c[1])).collect();
+                let expect = union_find_components(n, &edges);
+                let mut m = machine_with(plan.clone());
+                let g = Components::new(&mut m, n, &edges);
+                let out = match txn_components(&mut m, &g, &RetryPolicy::default()) {
+                    Ok((_, report)) => {
+                        if g.labelling(&m) != expect {
+                            fail_cell("components", name, seed, &report, "labelling diverges");
+                        }
+                        CellOutcome::OracleEqual(report)
+                    }
+                    Err(e) => CellOutcome::TypedRefusal(e.into_report()),
+                };
+                check_corruption_cell("components", name, seed, total, &out);
+                assert!(!m.in_txn(), "components/{name}/{seed}: txn left open");
+            }
+        }
+    }
+}
+
+/// Bit-rot exhaustion regime: rot strikes the tracked work areas behind the
+/// journal's back, so a plain rollback cannot satisfy the exhaustion
+/// contract — the supervisor's snapshot repair must. With only the `Vector`
+/// rung available, every attempt must fail *typed* (auditor or scrub), and
+/// the workload's memory must still read back byte-exact.
+#[test]
+fn bit_rot_exhaustion_restores_snapshots_byte_exact() {
+    let rotting = |seed: u64| FaultPlan::bit_rot(seed, 65535);
+    let policy = {
+        let mut p = RetryPolicy::vector_only(2);
+        p.reseed = false;
+        p
+    };
+
+    for seed in SEEDS {
+        // Chaining.
+        {
+            let mut m = machine_with(rotting(seed));
+            let mut t = ChainTable::alloc(&mut m, 7, 24);
+            fol_hash::chaining::scalar_insert_all(&mut m, &mut t, &[500, 501, 502]);
+            let regions: Vec<Region> = vec![t.heads, t.work, t.arena];
+            let snap = Snapshot::capture(m.mem(), &regions);
+            let err = txn_chain_insert(&mut m, &mut t, &keys_for(seed, 8, 100), &policy)
+                .expect_err("vector-only under total rot must exhaust");
+            assert!(
+                err.report().corruption_detected > 0,
+                "rot must be charged to the corruption counter (seed {seed})"
+            );
+            assert!(
+                snap.matches(m.mem()),
+                "chaining rot repair not byte-exact (seed {seed})"
+            );
+        }
+        // Distribution-counting sort.
+        {
+            let data = keys_for(seed ^ 7, 12, 8);
+            let mut m = machine_with(rotting(seed));
+            let a = m.alloc(data.len(), "A");
+            m.mem_mut().write_region(a, &data);
+            let snap = Snapshot::capture(m.mem(), &[a]);
+            let err = txn_sort(&mut m, a, 8, &policy)
+                .expect_err("vector-only under total rot must exhaust");
+            assert!(
+                err.report().corruption_detected > 0,
+                "rot must be charged to the corruption counter (seed {seed})"
+            );
+            assert!(
+                snap.matches(m.mem()),
+                "dist_count rot repair not byte-exact (seed {seed})"
+            );
+        }
+    }
 }
