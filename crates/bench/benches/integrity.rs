@@ -10,33 +10,41 @@
 //!   * `checksums+audit`  — tracking plus the per-round ELS gather audit;
 //!     informational (the audit can be switched off per policy).
 //!
+//! A fourth section prices **audit sampling** (`RetryPolicy::audit_rate`):
+//! at rates N ∈ {1, 4, 16} it reports the happy-path cost of a 1-in-N
+//! sampled audit next to its detection latency — how many label rounds a
+//! *persistent* ELS violation survives before a sampled round convicts it —
+//! so the artifact exposes the traffic-vs-latency trade the knob buys.
+//!
 //! The run asserts the tentpole's pricing claim — checksum upkeep must stay
-//! within 10% of baseline — and writes a JSON artifact for CI. The audit row
-//! is reported but not gated: it doubles the gather traffic by design.
+//! within 10% of baseline — and writes a JSON artifact for CI. The audit rows
+//! are reported but not gated: full-rate auditing doubles the gather traffic
+//! by design.
 
 use fol_bench::harness::bench;
 use fol_bench::workloads::duplicated_targets;
 use fol_core::error::Validation;
 use fol_core::recover::{txn_apply_rounds, ExecMode, RetryPolicy};
-use fol_vm::{CostModel, Machine};
+use fol_vm::{Addr, CostModel, ElsAuditor, Machine};
 use std::hint::black_box;
 
 const N: usize = 4096;
 const DOMAIN: usize = 1024;
 
 /// Happy-path policy: single `Vector` rung, one attempt, validation off.
-fn policy(audit: bool) -> RetryPolicy {
+/// `audit_rate` 0 disables the ELS audit; `n` samples 1-in-`n` rounds.
+fn policy(audit_rate: usize) -> RetryPolicy {
     RetryPolicy {
         max_attempts: 1,
         ladder: vec![ExecMode::Vector],
         validation: Validation::Off,
-        audit,
+        audit_rate,
         ..RetryPolicy::default()
     }
 }
 
 /// One full transactional run; `track` opts the work area into checksums.
-fn run_once(targets: &[usize], track: bool, audit: bool) {
+fn run_once(targets: &[usize], track: bool, audit_rate: usize) {
     let mut m = Machine::new(CostModel::unit());
     let work = m.alloc(DOMAIN, "W");
     if track {
@@ -48,30 +56,61 @@ fn run_once(targets: &[usize], track: bool, audit: bool) {
         work,
         &mut data,
         black_box(targets),
-        &policy(audit),
+        &policy(audit_rate),
         |c, _| *c += 1,
     )
     .expect("no faults injected");
     black_box((data, out));
 }
 
+/// Rounds a persistent ELS violation survives under a 1-in-`rate` sampled
+/// auditor, averaged over `seeds`, plus the fraction of rounds audited.
+/// Every round scatters one label and gathers back a phantom the scatter
+/// never wrote — the worst case the full-rate auditor catches in round one.
+fn detection_latency(rate: u64, seeds: &[u64]) -> (f64, f64) {
+    const MAX_ROUNDS: u64 = 4096;
+    let mut total_rounds = 0u64;
+    let mut total_audited = 0u64;
+    let mut total_seen = 0u64;
+    for &seed in seeds {
+        let mut aud = ElsAuditor::with_rate(rate, seed);
+        let mut caught = MAX_ROUNDS;
+        for round in 0..MAX_ROUNDS {
+            let addr = 100 + round as Addr;
+            aud.note_scatter(&[addr], &[7]);
+            if aud.check_gather("W", &[addr], &[-1]).is_err() {
+                caught = round + 1;
+                break;
+            }
+        }
+        assert!(caught < MAX_ROUNDS, "persistent corruption must be caught");
+        total_rounds += caught;
+        total_audited += aud.rounds_audited();
+        total_seen += aud.rounds_seen();
+    }
+    (
+        total_rounds as f64 / seeds.len() as f64,
+        total_audited as f64 / total_seen as f64,
+    )
+}
+
 fn main() {
     let targets = duplicated_targets(N, DOMAIN, 42);
-    let configs: [(&str, bool, bool); 3] = [
-        ("baseline", false, false),
-        ("checksums", true, false),
-        ("checksums+audit", true, true),
+    let configs: [(&str, bool, usize); 3] = [
+        ("baseline", false, 0),
+        ("checksums", true, 0),
+        ("checksums+audit", true, 1),
     ];
 
     // Two interleaved passes per row, best-of taken, so a one-off scheduler
     // hiccup cannot fail the overhead gate.
     let mut rows: Vec<(&str, f64)> = Vec::new();
-    for (label, track, audit) in configs {
+    for (label, track, audit_rate) in configs {
         let a = bench(&format!("integrity/{label}"), || {
-            run_once(&targets, track, audit)
+            run_once(&targets, track, audit_rate)
         });
         let b = bench(&format!("integrity/{label}#2"), || {
-            run_once(&targets, track, audit)
+            run_once(&targets, track, audit_rate)
         });
         rows.push((label, a.ns_per_iter.min(b.ns_per_iter)));
     }
@@ -95,6 +134,33 @@ fn main() {
         (checksum_overhead - 1.0) * 100.0
     );
 
+    // Audit sampling: happy-path cost and detection latency at 1-in-N.
+    let seeds: Vec<u64> = (1..=32).collect();
+    let mut sampling: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for rate in [1usize, 4, 16] {
+        let m = bench(&format!("integrity/audit-rate-{rate}"), || {
+            run_once(&targets, true, rate)
+        });
+        let (latency, fraction) = detection_latency(rate as u64, &seeds);
+        println!(
+            "audit 1-in-{rate}: {:.0} ns/iter, detection latency {latency:.1} rounds, \
+             {:.1}% of rounds audited",
+            m.ns_per_iter,
+            fraction * 100.0
+        );
+        sampling.push((rate, m.ns_per_iter, latency, fraction));
+    }
+    // Sanity: the full-rate auditor convicts a persistent violation in the
+    // very first round, and sampled rates trade latency for traffic.
+    assert!(
+        (sampling[0].2 - 1.0).abs() < f64::EPSILON,
+        "rate 1 must detect in round one"
+    );
+    assert!(
+        sampling[2].3 < sampling[0].3,
+        "1-in-16 must audit fewer rounds than 1-in-1"
+    );
+
     // JSON artifact for CI (hand-rolled; the workspace is dependency-free).
     let mut body = String::from("{\"bench\":\"integrity\",\"rows\":[");
     for (i, (label, ns)) in rows.iter().enumerate() {
@@ -106,8 +172,18 @@ fn main() {
         ));
     }
     body.push_str(&format!(
-        "],\"overhead\":{{\"checksums\":{checksum_overhead:.4},\"checksums_audit\":{audit_overhead:.4}}}}}"
+        "],\"overhead\":{{\"checksums\":{checksum_overhead:.4},\"checksums_audit\":{audit_overhead:.4}}}"
     ));
+    body.push_str(",\"audit_sampling\":[");
+    for (i, (rate, ns, latency, fraction)) in sampling.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"rate\":{rate},\"ns_per_iter\":{ns:.1},\"detection_latency_rounds\":{latency:.2},\"audited_fraction\":{fraction:.4}}}"
+        ));
+    }
+    body.push_str("]}");
     let dir = std::env::var("BENCH_ARTIFACT_DIR").unwrap_or_else(|_| "target/bench".into());
     let _ = std::fs::create_dir_all(&dir);
     let path = format!("{dir}/integrity.json");

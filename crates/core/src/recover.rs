@@ -183,14 +183,22 @@ pub struct RetryPolicy {
     /// points. `None` (the default) means no watchdog: only the round
     /// budget bounds non-convergence.
     pub watchdog: Option<WatchdogConfig>,
-    /// Enable the machine's ELS auditor for the duration of the supervised
-    /// run (default `true`): executors that bracket their label rounds with
-    /// [`fol_vm::Machine::audit_note_scatter`] /
-    /// [`fol_vm::Machine::audit_check_gather`] then get round-boundary
-    /// detection of amalgams, phantom reads and read-path corruption.
-    /// Independent of [`RetryPolicy::validation`] so the integrity bench can
-    /// price each mechanism separately.
-    pub audit: bool,
+    /// ELS-audit sampling rate for the supervised run: `0` disables the
+    /// auditor, `1` (the default) audits every label round, `N > 1` audits a
+    /// seeded 1-in-`N` sample of rounds. Executors that bracket their label
+    /// rounds with [`fol_vm::Machine::audit_note_scatter`] /
+    /// [`fol_vm::Machine::audit_check_gather`] get round-boundary detection
+    /// of amalgams, phantom reads and read-path corruption on the sampled
+    /// rounds; sampled-out rounds pay nothing, so the knob trades the
+    /// audit's gather-mirroring traffic (which roughly doubles gather cost
+    /// at rate 1) against detection latency — a persistent corrupter is
+    /// still caught, up to `N-1` rounds late. Independent of
+    /// [`RetryPolicy::validation`] so the integrity bench can price each
+    /// mechanism separately.
+    pub audit_rate: usize,
+    /// Seed for the audit sampler's round selection (deterministic given
+    /// the seed and the round index; irrelevant at rates 0 and 1).
+    pub audit_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -217,7 +225,8 @@ impl Default for RetryPolicy {
             reseed: true,
             validation: Validation::Full,
             watchdog: None,
-            audit: true,
+            audit_rate: 1,
+            audit_seed: 0,
         }
     }
 }
@@ -229,6 +238,17 @@ impl RetryPolicy {
         Self {
             max_attempts: attempts.max(1),
             ladder: vec![ExecMode::Vector],
+            ..Self::default()
+        }
+    }
+
+    /// The default policy with its ELS audit sampled at 1-in-`rate` rounds
+    /// under `seed` (the ROADMAP "audit sampling" knob). `rate` 0 disables
+    /// the audit entirely.
+    pub fn with_audit_rate(rate: usize, seed: u64) -> Self {
+        Self {
+            audit_rate: rate,
+            audit_seed: seed,
             ..Self::default()
         }
     }
@@ -733,6 +753,100 @@ impl fmt::Display for RecoveryError {
 
 impl std::error::Error for RecoveryError {}
 
+/// Why one group of a coalesced batch did not land.
+///
+/// Batched entry points (`txn_insert_groups` in the workload crates, the
+/// `fol-serve` scheduler) coalesce many independent requests into one
+/// transaction and must report an outcome *per group*, not per batch. A group
+/// either never enters the machine ([`GroupError::Rejected`], an admission
+/// decision made from host-visible state alone) or enters and fails its own
+/// isolated transaction after [`split_retry`] bisection
+/// ([`GroupError::Recovery`]).
+#[derive(Clone, Debug)]
+pub enum GroupError {
+    /// The group was refused admission before any transaction opened:
+    /// capacity would be exceeded, keys are malformed, or the group conflicts
+    /// with an already-admitted sibling. Machine state is untouched for this
+    /// group.
+    Rejected {
+        /// Human-readable admission verdict.
+        reason: String,
+    },
+    /// The group was admitted, and the supervised transaction covering it
+    /// (after bisection isolated it from its siblings) failed. Memory was
+    /// rolled back for the failing group; siblings committed or failed on
+    /// their own merits.
+    Recovery(RecoveryError),
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::Rejected { reason } => write!(f, "group rejected: {reason}"),
+            GroupError::Recovery(e) => write!(f, "group failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+impl From<RecoveryError> for GroupError {
+    fn from(e: RecoveryError) -> Self {
+        GroupError::Recovery(e)
+    }
+}
+
+/// Executes a coalesced batch with per-item failure isolation by bisection.
+///
+/// `exec` is called with a contiguous slice of `items`. On `Ok(r)` every item
+/// in the slice is credited with a clone of `r`; on `Err` a single-item slice
+/// takes the error as its own, while a longer slice is split in half and each
+/// half retried independently. Because every `exec` failure rolls back (the
+/// callers wrap `run_transaction`), bisection costs at most
+/// `O(F · log N)` extra transactions for `F` genuinely-bad items — and a
+/// *single* adversarial item can never poison its siblings: they land via
+/// the sibling halves.
+///
+/// Returns one `Result` per item, in input order. The happy path (whole batch
+/// commits) calls `exec` exactly once.
+pub fn split_retry<I, R, E>(
+    items: &[I],
+    exec: &mut dyn FnMut(&[I]) -> Result<R, E>,
+) -> Vec<Result<R, E>>
+where
+    R: Clone,
+{
+    let mut out = Vec::with_capacity(items.len());
+    split_retry_into(items, exec, &mut out);
+    out
+}
+
+fn split_retry_into<I, R, E>(
+    items: &[I],
+    exec: &mut dyn FnMut(&[I]) -> Result<R, E>,
+    out: &mut Vec<Result<R, E>>,
+) where
+    R: Clone,
+{
+    if items.is_empty() {
+        return;
+    }
+    match exec(items) {
+        Ok(r) => {
+            for _ in 0..items.len() - 1 {
+                out.push(Ok(r.clone()));
+            }
+            out.push(Ok(r));
+        }
+        Err(e) if items.len() == 1 => out.push(Err(e)),
+        Err(_) => {
+            let mid = items.len() / 2;
+            split_retry_into(&items[..mid], exec, out);
+            split_retry_into(&items[mid..], exec, out);
+        }
+    }
+}
+
 /// Derives a fresh, deterministic seed for retry attempt `attempt`.
 fn derive_seed(seed: u64, attempt: usize) -> u64 {
     let mut z = seed ^ (attempt as u64).wrapping_mul(0x9E3779B97F4A7C15);
@@ -790,8 +904,8 @@ where
     // repair for scrub-detected rot is this snapshot. Digests are resynced
     // first so pre-existing divergence is not charged to this run.
     let audit_was_on = m.els_auditor().is_some();
-    if policy.audit {
-        m.set_els_audit(true);
+    if policy.audit_rate > 0 {
+        m.set_els_audit_rate(policy.audit_rate, policy.audit_seed);
     }
     let tracked: Vec<Region> = m.tracked_regions().iter().map(|t| t.region).collect();
     let integrity_snapshot = (!tracked.is_empty()).then(|| {
@@ -1009,8 +1123,14 @@ where
     // Restore the caller's seeds and auditor state whatever happened.
     m.set_policy(base_policy);
     m.set_fault_plan(base_plan);
-    if policy.audit && !audit_was_on {
-        m.set_els_audit(false);
+    if policy.audit_rate > 0 {
+        if audit_was_on {
+            // The caller had a (full-rate) auditor installed before the run;
+            // reinstate one. Sampling state is not preserved across runs.
+            m.set_els_audit(true);
+        } else {
+            m.set_els_audit(false);
+        }
     }
     report.faults_consumed = m.fault_log().len() - faults_before;
     match result {
@@ -1802,7 +1922,8 @@ mod tests {
             reseed: false,
             validation: Validation::Full,
             watchdog: None,
-            audit: true,
+            audit_rate: 1,
+            audit_seed: 0,
         };
         let mut counts = vec![0u32; 10];
         let err = txn_apply_rounds(&mut m, work, &mut counts, &targets, &policy, |c, _| *c += 1)
@@ -1851,7 +1972,8 @@ mod tests {
             reseed: false,
             validation: Validation::Off,
             watchdog: None,
-            audit: true,
+            audit_rate: 1,
+            audit_seed: 0,
         }
     }
 
@@ -1952,7 +2074,8 @@ mod tests {
             reseed: false,
             validation: Validation::Off,
             watchdog: None,
-            audit: true,
+            audit_rate: 1,
+            audit_seed: 0,
         };
         let err = run_transaction(&mut m, &policy, |m, mode| {
             decompose_with_mode(m, work, V, mode, Validation::Off)
@@ -2059,5 +2182,93 @@ mod tests {
         let parsed = ParsedReport::from_json(&legacy).expect("legacy artifacts parse");
         assert_eq!(parsed.corruption_detected, 0);
         assert_eq!(parsed.replays, 0);
+    }
+
+    #[test]
+    fn split_retry_happy_path_calls_exec_once() {
+        let items = [1, 2, 3, 4];
+        let mut calls = 0;
+        let out = split_retry(&items, &mut |s: &[i32]| -> Result<i32, ()> {
+            calls += 1;
+            Ok(s.iter().sum())
+        });
+        assert_eq!(calls, 1, "whole batch commits in one transaction");
+        assert_eq!(out.len(), 4);
+        assert!(
+            out.iter().all(|r| *r == Ok(10)),
+            "every item gets the batch result"
+        );
+    }
+
+    #[test]
+    fn split_retry_bisection_isolates_single_bad_item() {
+        // Item 6 is adversarial: any slice containing it fails. Bisection
+        // must land every sibling and blame only item 6.
+        let items: Vec<i32> = (0..9).collect();
+        let mut calls = 0;
+        let out = split_retry(&items, &mut |s: &[i32]| -> Result<usize, i32> {
+            calls += 1;
+            if s.contains(&6) {
+                Err(6)
+            } else {
+                Ok(s.len())
+            }
+        });
+        assert_eq!(out.len(), 9);
+        for (i, r) in out.iter().enumerate() {
+            if i == 6 {
+                assert_eq!(*r, Err(6), "the bad item takes the error");
+            } else {
+                assert!(r.is_ok(), "sibling {i} must not be poisoned");
+            }
+        }
+        // log2(9) bisection: far fewer probes than one-txn-per-item.
+        assert!(calls <= 9, "bisection stays sub-linear, got {calls} calls");
+    }
+
+    #[test]
+    fn split_retry_reports_every_failure_when_all_items_are_bad() {
+        let items = [1, 2, 3];
+        let out = split_retry(&items, &mut |s: &[i32]| -> Result<(), i32> { Err(s[0]) });
+        assert_eq!(out, vec![Err(1), Err(2), Err(3)]);
+    }
+
+    #[test]
+    fn split_retry_empty_slice_is_a_no_op() {
+        let items: [i32; 0] = [];
+        let mut calls = 0;
+        let out = split_retry(&items, &mut |_s: &[i32]| -> Result<(), ()> {
+            calls += 1;
+            Ok(())
+        });
+        assert!(out.is_empty());
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn group_error_display_and_conversion() {
+        let rej = GroupError::Rejected {
+            reason: "capacity".into(),
+        };
+        assert!(rej.to_string().contains("group rejected: capacity"));
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            ladder: vec![ExecMode::Vector],
+            reseed: false,
+            validation: Validation::Full,
+            watchdog: None,
+            audit_rate: 1,
+            audit_seed: 0,
+        };
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::dropped_lanes(5, u16::MAX)));
+        let work = m.alloc(10, "work");
+        let err = run_transaction(&mut m, &policy, |m, mode| {
+            decompose_with_mode(m, work, V, mode, Validation::Full)
+        })
+        .unwrap_err();
+        let ge: GroupError = err.into();
+        assert!(matches!(ge, GroupError::Recovery(_)));
+        assert!(ge.to_string().contains("group failed"));
     }
 }

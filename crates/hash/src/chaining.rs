@@ -16,7 +16,8 @@
 use crate::hash_mod;
 use fol_core::error::{FolError, Validation};
 use fol_core::recover::{
-    run_transaction, with_lane_mask, ExecMode, RecoveryError, RecoveryReport, RetryPolicy,
+    run_transaction, split_retry, with_lane_mask, ExecMode, GroupError, RecoveryError,
+    RecoveryReport, RetryPolicy,
 };
 use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
 
@@ -371,6 +372,60 @@ pub fn txn_insert_all(
     result
 }
 
+/// Coalesced multi-request insertion with per-group outcomes: each element
+/// of `groups` is one caller's independent key batch, and the whole admitted
+/// set is inserted by **one** [`txn_insert_all`] transaction over the
+/// concatenated keys — the long index vector the paper's economics want.
+///
+/// Admission is greedy and host-side: a group whose keys would overflow the
+/// node arena is refused with [`GroupError::Rejected`] before any transaction
+/// opens (later, smaller groups may still be admitted). If the coalesced
+/// transaction fails, [`split_retry`] bisects the admitted groups so each
+/// group succeeds or fails on its own merits — a single adversarial group
+/// costs `O(log n)` extra transactions and cannot poison its siblings.
+///
+/// Returns one outcome per input group, in order: the FOL round count of the
+/// transaction that landed the group, or a typed [`GroupError`].
+pub fn txn_insert_groups(
+    m: &mut Machine,
+    table: &mut ChainTable,
+    groups: &[Vec<Word>],
+    policy: &RetryPolicy,
+) -> Vec<Result<usize, GroupError>> {
+    let capacity = table.arena.len() / 2;
+    let mut admitted: Vec<usize> = Vec::new();
+    let mut out: Vec<Option<Result<usize, GroupError>>> = vec![None; groups.len()];
+    let mut planned = table.used_nodes;
+    for (i, g) in groups.iter().enumerate() {
+        if planned + g.len() <= capacity {
+            planned += g.len();
+            admitted.push(i);
+        } else {
+            out[i] = Some(Err(GroupError::Rejected {
+                reason: format!(
+                    "arena full: group of {} keys, {} of {} nodes already planned",
+                    g.len(),
+                    planned,
+                    capacity
+                ),
+            }));
+        }
+    }
+    let results = split_retry(&admitted, &mut |idxs: &[usize]| {
+        let keys: Vec<Word> = idxs
+            .iter()
+            .flat_map(|&i| groups[i].iter().copied())
+            .collect();
+        txn_insert_all(m, table, &keys, policy).map(|(rounds, _)| rounds)
+    });
+    for (&slot, r) in admitted.iter().zip(results) {
+        out[slot] = Some(r.map_err(GroupError::from));
+    }
+    out.into_iter()
+        .map(|o| o.expect("every group has an outcome"))
+        .collect()
+}
+
 /// Order-preserving vectorized insertion: like [`vectorized_insert_all`]
 /// but uses [`fol_core::ordered::fol1_machine_ordered`] so that colliding
 /// keys enter their chain in *exactly* the sequential order — the resulting
@@ -717,6 +772,65 @@ mod tests {
         assert_eq!(all_keys(&m, &t), before, "rollback restored the table");
         assert_eq!(t.used_nodes, used_before, "rollback restored the allocator");
         assert!(!m.in_txn(), "no transaction left open");
+    }
+
+    #[test]
+    fn txn_insert_groups_coalesces_and_reports_per_group() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = ChainTable::alloc(&mut m, 11, 64);
+        let groups: Vec<Vec<Word>> =
+            vec![vec![1, 12, 23], vec![2, 13], vec![], vec![3, 14, 25, 36]];
+        let outs = txn_insert_groups(&mut m, &mut t, &groups, &RetryPolicy::default());
+        assert_eq!(outs.len(), 4);
+        assert!(
+            outs.iter().all(Result::is_ok),
+            "clean run lands every group"
+        );
+        let mut expect: Vec<Word> = groups.into_iter().flatten().collect();
+        expect.sort_unstable();
+        assert_eq!(all_keys(&m, &t), expect, "contents are the coalesced union");
+    }
+
+    #[test]
+    fn txn_insert_groups_rejects_overflow_but_admits_smaller_siblings() {
+        // Arena holds 4 nodes. Group 0 fits (2), group 1 would overflow (3),
+        // group 2 still fits in the remaining space (2): greedy admission
+        // must refuse only the overflowing group, typed, without touching
+        // the machine for it.
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = ChainTable::alloc(&mut m, 5, 4);
+        let groups: Vec<Vec<Word>> = vec![vec![1, 2], vec![3, 4, 5], vec![6, 7]];
+        let outs = txn_insert_groups(&mut m, &mut t, &groups, &RetryPolicy::default());
+        assert!(outs[0].is_ok());
+        assert!(
+            matches!(&outs[1], Err(GroupError::Rejected { reason }) if reason.contains("arena full")),
+            "overflowing group gets a typed admission verdict"
+        );
+        assert!(outs[2].is_ok(), "later group fills the reclaimed budget");
+        assert_eq!(all_keys(&m, &t), vec![1, 2, 6, 7]);
+    }
+
+    #[test]
+    fn txn_insert_groups_recovers_under_faults_without_poisoning() {
+        // Hot-but-recoverable fault plan: the default ladder rescues the
+        // coalesced transaction (possibly after bisection), and every group
+        // must land — faults are an environmental hazard, not a property of
+        // any one group.
+        let mut m = Machine::new(CostModel::unit());
+        m.set_fault_plan(Some(
+            fol_vm::FaultPlan::dropped_lanes(11, 30000)
+                .with_torn_writes(30000, fol_vm::AmalgamMode::Xor),
+        ));
+        let mut t = ChainTable::alloc(&mut m, 7, 64);
+        let groups: Vec<Vec<Word>> = (0..6)
+            .map(|g| (0..8).map(|i| g * 8 + i).collect())
+            .collect();
+        let outs = txn_insert_groups(&mut m, &mut t, &groups, &RetryPolicy::default());
+        assert!(outs.iter().all(Result::is_ok), "ladder rescues every group");
+        let mut expect: Vec<Word> = groups.into_iter().flatten().collect();
+        expect.sort_unstable();
+        assert_eq!(all_keys(&m, &t), expect);
+        assert!(!m.in_txn());
     }
 
     #[test]

@@ -12,7 +12,8 @@
 use crate::{hash_mod, ProbeStrategy, UNENTERED};
 use fol_core::error::FolError;
 use fol_core::recover::{
-    run_transaction, with_lane_mask, ExecMode, RecoveryError, RecoveryReport, RetryPolicy,
+    run_transaction, split_retry, with_lane_mask, ExecMode, GroupError, RecoveryError,
+    RecoveryReport, RetryPolicy,
 };
 use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
 
@@ -334,6 +335,111 @@ pub fn txn_insert_all(
         }
         Ok(report)
     })
+}
+
+/// The admission verdict for one group against the batch assembled so far;
+/// `None` admits. Everything here is host-visible arithmetic — no machine
+/// state is touched, so a rejected group costs nothing.
+fn group_admission_verdict(
+    group: &[Word],
+    planned: usize,
+    free: usize,
+    batch_keys: &std::collections::HashSet<Word>,
+) -> Option<String> {
+    if planned + group.len() > free {
+        return Some(format!(
+            "table full: group of {} keys, {planned} of {free} free slots already planned",
+            group.len()
+        ));
+    }
+    let mut local = std::collections::HashSet::new();
+    for &k in group {
+        if k < 0 {
+            return Some(format!(
+                "negative key {k}: open addressing stores keys as labels"
+            ));
+        }
+        if !local.insert(k) {
+            return Some(format!("duplicate key {k} within the group"));
+        }
+        if batch_keys.contains(&k) {
+            return Some(format!(
+                "key {k} already admitted by a sibling group in this batch"
+            ));
+        }
+    }
+    None
+}
+
+/// Coalesced multi-request insertion with per-group outcomes: each element
+/// of `groups` is one caller's independent key batch, and the whole admitted
+/// set enters by **one** [`txn_insert_all`] transaction over the
+/// concatenated keys.
+///
+/// Admission is greedy and host-side: a group is refused typed
+/// ([`GroupError::Rejected`]) — before any transaction opens — when it holds
+/// a negative or internally-duplicated key, collides with a key already
+/// admitted from a sibling group (keys are labels; the distinctness contract
+/// is per coalesced vector), or would overflow the table's free slots.
+/// What admission deliberately does *not* check is the machine-resident
+/// table: a group re-inserting an already-stored key passes admission, fails
+/// its transaction's post-condition at runtime, and is isolated by
+/// [`split_retry`] bisection — the adversarial-key case the chaos suite
+/// exercises. A single such group costs `O(log n)` extra transactions and
+/// cannot poison its siblings.
+///
+/// Returns one outcome per input group, in order; an `Ok` carries the
+/// [`InsertReport`] of the (possibly shared) transaction that landed the
+/// group.
+///
+/// # Panics
+/// Panics on table-level contract violations (empty table, key-dependent
+/// probing on a table of ≤ 32 slots) or if a transaction is already open.
+pub fn txn_insert_groups(
+    m: &mut Machine,
+    table: Region,
+    groups: &[Vec<Word>],
+    probe: ProbeStrategy,
+    policy: &RetryPolicy,
+) -> Vec<Result<InsertReport, GroupError>> {
+    let size = table.len() as Word;
+    assert!(size > 0, "empty table");
+    if probe == ProbeStrategy::KeyDependent {
+        assert!(size > 32, "key-dependent probing requires size(table) > 32");
+    }
+    let free = m
+        .mem()
+        .read_region(table)
+        .iter()
+        .filter(|&&w| w == UNENTERED)
+        .count();
+    let mut admitted: Vec<usize> = Vec::new();
+    let mut batch_keys = std::collections::HashSet::new();
+    let mut planned = 0usize;
+    let mut out: Vec<Option<Result<InsertReport, GroupError>>> = vec![None; groups.len()];
+    for (i, g) in groups.iter().enumerate() {
+        match group_admission_verdict(g, planned, free, &batch_keys) {
+            Some(reason) => out[i] = Some(Err(GroupError::Rejected { reason })),
+            None => {
+                planned += g.len();
+                batch_keys.extend(g.iter().copied());
+                admitted.push(i);
+            }
+        }
+    }
+    let results = split_retry(&admitted, &mut |idxs: &[usize]| {
+        let keys: Vec<Word> = idxs
+            .iter()
+            .flat_map(|&i| groups[i].iter().copied())
+            .collect();
+        txn_insert_all(m, table, &keys, probe, policy).map(|(report, _)| report)
+    });
+    for (&slot, r) in admitted.iter().zip(results) {
+        out[slot] = Some(r.map_err(GroupError::from));
+    }
+    out.into_iter()
+        .map(|o| o.expect("every group has an outcome"))
+        .collect()
 }
 
 /// Tombstone marking a deleted slot: occupied for probing purposes (lookups
@@ -816,6 +922,116 @@ mod tests {
         assert_eq!(err.report().attempts, 2);
         assert_eq!(m.mem().read_region(t), before, "rollback is byte-exact");
         assert!(!m.in_txn());
+    }
+
+    #[test]
+    fn txn_insert_groups_coalesces_and_reports_per_group() {
+        let mut m = machine();
+        let t = m.alloc(101, "table");
+        init_table(&mut m, t);
+        let groups: Vec<Vec<Word>> = vec![vec![1, 12], vec![], vec![23, 34, 45]];
+        let outs = txn_insert_groups(
+            &mut m,
+            t,
+            &groups,
+            ProbeStrategy::KeyDependent,
+            &RetryPolicy::default(),
+        );
+        assert!(outs.iter().all(Result::is_ok));
+        assert_eq!(
+            stored_keys(&m.mem().read_region(t)),
+            vec![1, 12, 23, 34, 45]
+        );
+    }
+
+    #[test]
+    fn txn_insert_groups_admission_rejects_malformed_groups_typed() {
+        let mut m = machine();
+        let t = m.alloc(101, "table");
+        init_table(&mut m, t);
+        let groups: Vec<Vec<Word>> = vec![
+            vec![1, 2],
+            vec![-5],     // negative key
+            vec![7, 7],   // duplicate within the group
+            vec![2, 9],   // collides with an admitted sibling (key 2)
+            vec![30, 31], // clean: must still be admitted
+        ];
+        let outs = txn_insert_groups(
+            &mut m,
+            t,
+            &groups,
+            ProbeStrategy::KeyDependent,
+            &RetryPolicy::default(),
+        );
+        assert!(outs[0].is_ok());
+        for (i, needle) in [
+            (1, "negative key"),
+            (2, "duplicate key"),
+            (3, "already admitted"),
+        ] {
+            assert!(
+                matches!(&outs[i], Err(GroupError::Rejected { reason }) if reason.contains(needle)),
+                "group {i} verdict: {:?}",
+                outs[i]
+            );
+        }
+        assert!(outs[4].is_ok(), "rejections must not block clean siblings");
+        assert_eq!(stored_keys(&m.mem().read_region(t)), vec![1, 2, 30, 31]);
+    }
+
+    #[test]
+    fn txn_insert_groups_bisection_isolates_a_stored_key_collision() {
+        // Key 777 is already *stored* — admission cannot see that (it only
+        // inspects the batch), so the coalesced transaction fails its
+        // post-condition and bisection must pin the blame on group 1 alone.
+        let mut m = machine();
+        let t = m.alloc(101, "table");
+        init_table(&mut m, t);
+        let _ = scalar_insert_all(&mut m, t, &[777], ProbeStrategy::KeyDependent);
+        let mut policy = RetryPolicy::vector_only(2);
+        policy.reseed = false;
+        let groups: Vec<Vec<Word>> = vec![vec![1, 2], vec![777], vec![3, 4], vec![5]];
+        let outs = txn_insert_groups(&mut m, t, &groups, ProbeStrategy::KeyDependent, &policy);
+        assert!(outs[0].is_ok());
+        assert!(
+            matches!(&outs[1], Err(GroupError::Recovery(_))),
+            "the re-inserting group fails its own isolated transaction"
+        );
+        assert!(
+            outs[2].is_ok() && outs[3].is_ok(),
+            "siblings are not poisoned"
+        );
+        assert_eq!(
+            stored_keys(&m.mem().read_region(t)),
+            vec![1, 2, 3, 4, 5, 777],
+            "everything but the bad group landed, exactly once"
+        );
+        assert!(!m.in_txn());
+    }
+
+    #[test]
+    fn txn_insert_groups_respects_free_slot_budget() {
+        // 37 slots, 35 free after preload: a 30-key group plus a 10-key
+        // group cannot both be admitted.
+        let mut m = machine();
+        let t = m.alloc(37, "table");
+        init_table(&mut m, t);
+        let _ = scalar_insert_all(&mut m, t, &[100, 101], ProbeStrategy::Linear);
+        let g0: Vec<Word> = (0..30).collect();
+        let g1: Vec<Word> = (200..210).collect();
+        let g2: Vec<Word> = (300..303).collect();
+        let outs = txn_insert_groups(
+            &mut m,
+            t,
+            &[g0, g1, g2],
+            ProbeStrategy::Linear,
+            &RetryPolicy::default(),
+        );
+        assert!(outs[0].is_ok());
+        assert!(
+            matches!(&outs[1], Err(GroupError::Rejected { reason }) if reason.contains("table full"))
+        );
+        assert!(outs[2].is_ok(), "a smaller later group still fits");
     }
 
     #[test]

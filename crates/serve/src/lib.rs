@@ -1,0 +1,241 @@
+//! # fol-serve: a batching request-service layer over the FOL workloads
+//!
+//! The paper's method (filtering-overwritten-label, Kanada SC'91) earns its
+//! keep on *large* index vectors: one transaction over 256 keys amortizes
+//! the scatter/gather and FOL-check overhead that 256 one-key transactions
+//! each pay in full. Real request traffic, though, arrives as many small
+//! independent requests. This crate closes that gap with a serving layer:
+//!
+//! * a **typed request model** ([`Request`]/[`Response`]/[`ServeError`]) —
+//!   every submitted request terminates with a per-request outcome, never a
+//!   silent drop;
+//! * a bounded **admission queue** with typed backpressure
+//!   ([`ServeError::Overloaded`]) and deadline-based load-shedding
+//!   ([`ServeError::DeadlineExceeded`]);
+//! * a **coalescing scheduler**: compatible requests of one kind are merged
+//!   into a single large index vector per `txn_*` transaction (up to
+//!   [`ServerConfig::max_batch`] requests, with a [`ServerConfig::max_wait`]
+//!   linger so a lone request is never stranded), and per-request results
+//!   are demultiplexed back to their callers;
+//! * a **machine pool**: worker threads each owning a [`fol_vm::Machine`]
+//!   with tracked (checksummed) regions, a committed [`fol_vm::Snapshot`],
+//!   and the full recovery ladder via [`fol_core::recover::RetryPolicy`];
+//!   a panicking worker is respawned from its committed state;
+//! * **idle-time integrity**: when its lanes are empty, a worker scrubs one
+//!   tracked region per tick and repairs detected bit-rot from the
+//!   committed snapshot — corruption landing *between* bursts is caught
+//!   before the next burst can legitimize it.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fol_serve::{Request, Response, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default());
+//! // Submit small independent requests; the scheduler coalesces them.
+//! let tickets: Vec<_> = (0..32)
+//!     .map(|k| server.submit(Request::ChainInsert { keys: vec![k] }).unwrap())
+//!     .collect();
+//! for t in tickets {
+//!     assert!(matches!(t.wait(), Ok(Response::ChainInserted { .. })));
+//! }
+//! // Lookups against the open-addressing table go through the same queue.
+//! server.call(Request::OaInsert { keys: vec![7, 9] }).unwrap();
+//! let found = server.call(Request::OaLookup { keys: vec![7, 8] }).unwrap();
+//! assert_eq!(found, Response::OaLookedUp { found: vec![true, false] });
+//! let report = server.shutdown();
+//! assert_eq!(report.stats.submitted, report.stats.completed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+mod queue;
+mod request;
+mod scrub;
+
+pub use pool::ClassDump;
+pub use queue::{StatsSnapshot, Ticket};
+pub use request::{Priority, Request, Response, ServeError, WorkloadClass};
+
+use fol_core::recover::RetryPolicy;
+use fol_hash::ProbeStrategy;
+use fol_vm::FaultPlan;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything a [`Server`] needs to size its pool, queue, and structures.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads, each owning one machine (chaining is sharded across
+    /// all of them; the open-addressing table and BST have single owners).
+    pub workers: usize,
+    /// Bound on queued-but-undrained requests across all lanes; submissions
+    /// past it fail fast with [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Most requests coalesced into one transaction's index vector.
+    pub max_batch: usize,
+    /// Linger: how long the oldest queued request of a kind may wait before
+    /// its lane is drained even if the batch is not full.
+    pub max_wait: Duration,
+    /// How long an idle worker parks between scrub slices.
+    pub idle_tick: Duration,
+    /// Buckets per chaining-table shard.
+    pub chain_buckets: usize,
+    /// Arena capacity (keys) per chaining-table shard.
+    pub chain_capacity: usize,
+    /// Open-addressing table slots (must exceed 32 for the default
+    /// key-dependent probe).
+    pub oa_slots: usize,
+    /// BST node capacity.
+    pub bst_capacity: usize,
+    /// Probe-sequence strategy for the open-addressing table.
+    pub probe: ProbeStrategy,
+    /// Recovery ladder for every transaction the pool runs.
+    pub policy: RetryPolicy,
+    /// Optional fault plan installed on every worker's machine (chaos
+    /// testing; `None` in production).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            max_batch: 256,
+            max_wait: Duration::from_millis(2),
+            idle_tick: Duration::from_millis(1),
+            chain_buckets: 256,
+            chain_capacity: 4096,
+            oa_slots: 4096,
+            bst_capacity: 4096,
+            probe: ProbeStrategy::KeyDependent,
+            policy: RetryPolicy::default(),
+            fault_plan: None,
+        }
+    }
+}
+
+/// Final accounting handed back by [`Server::shutdown`].
+#[derive(Clone, Debug)]
+pub struct ShutdownReport {
+    /// Queue/scheduler/integrity counters at the end of the run.
+    pub stats: StatsSnapshot,
+    /// Post-drain contents of every worker-owned structure, for oracle
+    /// comparison (chaining contents are the union of the per-worker
+    /// shards).
+    pub dumps: Vec<ClassDump>,
+}
+
+/// A running machine pool plus its admission queue. Submissions are safe
+/// from any thread; `&self` methods never block on the pool (waiting
+/// happens on the returned [`Ticket`]).
+pub struct Server {
+    shared: Arc<queue::Shared>,
+    workers: Option<Vec<JoinHandle<Vec<ClassDump>>>>,
+}
+
+impl Server {
+    /// Builds the structures, spawns the pool, and starts serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`, or if the structure sizes violate the
+    /// workloads' documented contracts (e.g. a key-dependent probe over a
+    /// table of ≤ 32 slots).
+    pub fn start(config: ServerConfig) -> Self {
+        assert!(config.workers > 0, "a pool needs at least one worker");
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        if config.probe == ProbeStrategy::KeyDependent {
+            assert!(
+                config.oa_slots > 32,
+                "key-dependent probing requires oa_slots > 32"
+            );
+        }
+        let cfg = Arc::new(config);
+        let shared = Arc::new(queue::Shared::new(
+            cfg.queue_capacity,
+            cfg.max_batch,
+            cfg.max_wait,
+        ));
+        let workers = (0..cfg.workers)
+            .map(|id| {
+                let worker = pool::Worker::new(Arc::clone(&cfg), Arc::clone(&shared), id);
+                std::thread::Builder::new()
+                    .name(format!("fol-serve-{id}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Server {
+            shared,
+            workers: Some(workers),
+        }
+    }
+
+    /// Submits at [`Priority::Normal`] with no deadline.
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        self.shared.submit(request, Priority::default(), None)
+    }
+
+    /// Submits with an explicit priority and optional deadline. A request
+    /// still queued when its deadline passes is load-shed with a typed
+    /// [`ServeError::DeadlineExceeded`] — never silently dropped.
+    pub fn submit_with(
+        &self,
+        request: Request,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        self.shared.submit(request, priority, deadline)
+    }
+
+    /// Convenience: submit and block for the outcome.
+    pub fn call(&self, request: Request) -> Result<Response, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// A point-in-time snapshot of the server's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stops admitting, drains every queued request
+    /// (each still terminates with its typed outcome), joins the pool, and
+    /// returns the final stats plus structure dumps.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        let dumps = self.stop();
+        ShutdownReport {
+            stats: self.shared.stats.snapshot(),
+            dumps,
+        }
+    }
+
+    fn stop(&mut self) -> Vec<ClassDump> {
+        self.shared.begin_shutdown();
+        let mut dumps = Vec::new();
+        if let Some(handles) = self.workers.take() {
+            for h in handles {
+                match h.join() {
+                    Ok(d) => dumps.extend(d),
+                    Err(_) => {
+                        // A worker that dies *during* shutdown can no longer
+                        // be respawned; its dump is simply absent.
+                    }
+                }
+            }
+        }
+        dumps
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.workers.is_some() {
+            self.stop();
+        }
+    }
+}

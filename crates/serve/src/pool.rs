@@ -1,0 +1,376 @@
+//! The `MachinePool`: worker threads, class affinity, batch execution,
+//! committed snapshots, and panic respawn.
+//!
+//! Each worker owns a whole [`Machine`] (machines are single-threaded by
+//! design — the pool parallelizes across machines, not within one), plus
+//! the structures it serves:
+//!
+//! * the **chaining** table is *sharded*: every worker owns a shard and any
+//!   worker may drain chain inserts (insert-only contents are the union of
+//!   the shards);
+//! * the **open-addressing** table and the **BST** have single owners
+//!   (worker `1 % n` and `2 % n`), because their reads must observe their
+//!   writes;
+//! * **control** requests route to the owning worker of their class.
+//!
+//! After every successful mutating batch a worker recaptures its *committed
+//! snapshot* — the rollback target for both the idle scrub (resident rot)
+//! and the respawn path (a worker that panics mid-batch is replaced by a
+//! fresh machine, rebuilt with the identical allocation sequence and
+//! restored from the snapshot).
+
+use crate::queue::{
+    Batch, Pending, Shared, LANE_BST_INSERT, LANE_CHAIN_INSERT, LANE_CTL_BST, LANE_CTL_CHAIN,
+    LANE_CTL_OA, LANE_OA_INSERT, LANE_OA_LOOKUP,
+};
+use crate::request::{Kind, Request, Response, ServeError, WorkloadClass};
+use crate::scrub::ScrubCursor;
+use crate::ServerConfig;
+use fol_core::recover::GroupError;
+use fol_hash::chaining::{self, ChainTable};
+use fol_hash::open_addressing as oa;
+use fol_tree::bst::{self, Bst};
+use fol_vm::{CostModel, Machine, Region, Snapshot, Word};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Which worker owns a class's single-owner structure (chaining is sharded
+/// across all workers; its control owner is worker 0).
+pub(crate) fn owner_of(class: WorkloadClass, workers: usize) -> usize {
+    match class {
+        WorkloadClass::Chain => 0,
+        WorkloadClass::OpenAddr => 1 % workers,
+        WorkloadClass::Bst => 2 % workers,
+    }
+}
+
+/// The post-shutdown contents of one worker-owned structure, for oracle
+/// checks and operator inspection.
+#[derive(Clone, Debug)]
+pub struct ClassDump {
+    /// The structure's class.
+    pub class: WorkloadClass,
+    /// The worker that owned it (shard index, for chaining).
+    pub worker: usize,
+    /// Stored keys, sorted (inorder for the BST).
+    pub keys: Vec<Word>,
+}
+
+/// One pool worker: a machine, its structures, and its recovery state.
+pub(crate) struct Worker {
+    id: usize,
+    cfg: Arc<ServerConfig>,
+    shared: Arc<Shared>,
+    lanes: Vec<usize>,
+    m: Machine,
+    chain: ChainTable,
+    oa_table: Option<Region>,
+    bst: Option<Bst>,
+    committed: Snapshot,
+    committed_chain_used: usize,
+    committed_bst_used: usize,
+    scrub: ScrubCursor,
+}
+
+/// Builds a worker's machine and structures. Deterministic: the respawn
+/// path relies on an identical allocation sequence yielding identical
+/// region addresses, so the committed snapshot restores into the rebuilt
+/// machine unchanged.
+fn build_machine(
+    cfg: &ServerConfig,
+    id: usize,
+) -> (Machine, ChainTable, Option<Region>, Option<Bst>) {
+    let mut m = Machine::new(CostModel::unit());
+    m.set_fault_plan(cfg.fault_plan.clone());
+    let chain = ChainTable::alloc(&mut m, cfg.chain_buckets, cfg.chain_capacity);
+    let oa_table = (owner_of(WorkloadClass::OpenAddr, cfg.workers) == id).then(|| {
+        let t = m.alloc(cfg.oa_slots, "oa.table");
+        oa::init_table(&mut m, t);
+        t
+    });
+    let bst = (owner_of(WorkloadClass::Bst, cfg.workers) == id)
+        .then(|| Bst::alloc(&mut m, cfg.bst_capacity));
+    // Track everything up front so the idle scrub covers the whole worker
+    // even before the first transaction (which re-tracks idempotently).
+    m.track_region(chain.heads);
+    m.track_region(chain.arena);
+    m.track_region(chain.work);
+    if let Some(t) = oa_table {
+        m.track_region(t);
+    }
+    if let Some(b) = &bst {
+        m.track_region(b.links);
+        m.track_region(b.keys);
+    }
+    (m, chain, oa_table, bst)
+}
+
+fn capture_committed(m: &Machine) -> Snapshot {
+    let regions: Vec<Region> = m.tracked_regions().iter().map(|t| t.region).collect();
+    Snapshot::capture(m.mem(), &regions)
+}
+
+impl Worker {
+    pub(crate) fn new(cfg: Arc<ServerConfig>, shared: Arc<Shared>, id: usize) -> Self {
+        let (m, chain, oa_table, bst) = build_machine(&cfg, id);
+        let committed = capture_committed(&m);
+        // Owned lanes first (their requests have nowhere else to go), then
+        // the shared chain-insert lane.
+        let mut lanes = Vec::new();
+        if owner_of(WorkloadClass::Chain, cfg.workers) == id {
+            lanes.push(LANE_CTL_CHAIN);
+        }
+        if oa_table.is_some() {
+            lanes.extend([LANE_CTL_OA, LANE_OA_INSERT, LANE_OA_LOOKUP]);
+        }
+        if bst.is_some() {
+            lanes.extend([LANE_CTL_BST, LANE_BST_INSERT]);
+        }
+        lanes.push(LANE_CHAIN_INSERT);
+        Worker {
+            id,
+            cfg,
+            shared,
+            lanes,
+            m,
+            chain,
+            oa_table,
+            bst,
+            committed,
+            committed_chain_used: 0,
+            committed_bst_used: 0,
+            scrub: ScrubCursor::default(),
+        }
+    }
+
+    /// The worker's main loop: drain ready batches, scrub when idle, exit
+    /// (dumping contents) when the server has drained.
+    pub(crate) fn run(mut self) -> Vec<ClassDump> {
+        loop {
+            match self.shared.next_batch(&self.lanes) {
+                Ok(batch) => self.execute(batch),
+                Err(true) => break,
+                Err(false) => {
+                    let repaired =
+                        self.scrub
+                            .slice(&mut self.m, &self.committed, &self.shared.stats);
+                    if !repaired {
+                        self.shared.park(self.cfg.idle_tick);
+                    }
+                }
+            }
+        }
+        self.dumps()
+    }
+
+    /// Runs one batch under a panic guard. On a clean return, per-request
+    /// outcomes are demultiplexed to their callers and (for mutating kinds)
+    /// the committed snapshot is advanced. On a panic the whole machine is
+    /// condemned: every request in the batch gets a typed
+    /// [`ServeError::WorkerLost`] and the worker respawns from the last
+    /// committed state.
+    fn execute(&mut self, batch: Batch) {
+        let kind = batch.kind;
+        let items = batch.items;
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(kind, &items)));
+        match outcome {
+            Ok(results) => {
+                debug_assert_eq!(results.len(), items.len());
+                let mutating = matches!(kind, Kind::ChainInsert | Kind::OaInsert | Kind::BstInsert);
+                if mutating {
+                    // Failed groups rolled back; what remains is committed
+                    // state. Rot injected via Control is deliberately NOT
+                    // recaptured (the snapshot must predate corruption).
+                    self.committed = capture_committed(&self.m);
+                    self.committed_chain_used = self.chain.used_nodes;
+                    self.committed_bst_used = self.bst.as_ref().map_or(0, |b| b.used);
+                }
+                for (p, r) in items.iter().zip(results) {
+                    p.slot.complete(r);
+                }
+                self.shared
+                    .stats
+                    .completed
+                    .fetch_add(items.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                for p in &items {
+                    p.slot.complete(Err(ServeError::WorkerLost));
+                }
+                self.shared
+                    .stats
+                    .completed
+                    .fetch_add(items.len() as u64, Ordering::Relaxed);
+                self.respawn();
+            }
+        }
+    }
+
+    /// Executes one coalesced batch on the machine and returns per-request
+    /// outcomes (same order as `items`). May panic — the caller guards.
+    fn dispatch(&mut self, kind: Kind, items: &[Pending]) -> Vec<Result<Response, ServeError>> {
+        match kind {
+            Kind::ChainInsert => {
+                let groups = collect_groups(items, |r| match r {
+                    Request::ChainInsert { keys } => keys,
+                    _ => unreachable!("lane routing"),
+                });
+                chaining::txn_insert_groups(&mut self.m, &mut self.chain, &groups, &self.cfg.policy)
+                    .into_iter()
+                    .map(|r| match r {
+                        Ok(rounds) => Ok(Response::ChainInserted { rounds }),
+                        Err(e) => Err(serve_error(e)),
+                    })
+                    .collect()
+            }
+            Kind::OaInsert => {
+                let table = self.oa_table.expect("routed to the open-addressing owner");
+                let groups = collect_groups(items, |r| match r {
+                    Request::OaInsert { keys } => keys,
+                    _ => unreachable!("lane routing"),
+                });
+                oa::txn_insert_groups(
+                    &mut self.m,
+                    table,
+                    &groups,
+                    self.cfg.probe,
+                    &self.cfg.policy,
+                )
+                .into_iter()
+                .map(|r| match r {
+                    Ok(rep) => Ok(Response::OaInserted {
+                        iterations: rep.iterations,
+                        probes: rep.probes,
+                    }),
+                    Err(e) => Err(serve_error(e)),
+                })
+                .collect()
+            }
+            Kind::OaLookup => {
+                let table = self.oa_table.expect("routed to the open-addressing owner");
+                let groups = collect_groups(items, |r| match r {
+                    Request::OaLookup { keys } => keys,
+                    _ => unreachable!("lane routing"),
+                });
+                // Lookups are read-only SIVP: coalesce every request into
+                // one long query vector, then slice the answers back out.
+                let all: Vec<Word> = groups.iter().flatten().copied().collect();
+                let found = if all.is_empty() {
+                    Vec::new()
+                } else {
+                    oa::vectorized_lookup_all(&mut self.m, table, &all, self.cfg.probe)
+                };
+                let mut off = 0usize;
+                groups
+                    .iter()
+                    .map(|g| {
+                        let part = found[off..off + g.len()].to_vec();
+                        off += g.len();
+                        Ok(Response::OaLookedUp { found: part })
+                    })
+                    .collect()
+            }
+            Kind::BstInsert => {
+                let tree = self.bst.as_mut().expect("routed to the BST owner");
+                let groups = collect_groups(items, |r| match r {
+                    Request::BstInsert { keys } => keys,
+                    _ => unreachable!("lane routing"),
+                });
+                bst::txn_insert_groups(&mut self.m, tree, &groups, &self.cfg.policy)
+                    .into_iter()
+                    .map(|r| match r {
+                        Ok(rep) => Ok(Response::BstInserted {
+                            iterations: rep.iterations,
+                            retries: rep.retries,
+                        }),
+                        Err(e) => Err(serve_error(e)),
+                    })
+                    .collect()
+            }
+            Kind::Control => {
+                debug_assert_eq!(items.len(), 1, "control batches are singletons");
+                match &items[0].request {
+                    Request::InjectRot { class } => {
+                        let region = match class {
+                            WorkloadClass::Chain => self.chain.arena,
+                            WorkloadClass::OpenAddr => self.oa_table.expect("routed to the owner"),
+                            WorkloadClass::Bst => self.bst.as_ref().expect("routed").keys,
+                        };
+                        // Flip one resident bit behind the store path: the
+                        // incremental digest is NOT updated, which is the
+                        // whole point — only a scrub can notice.
+                        let addr = region.at(region.len() / 2);
+                        let w = self.m.mem().read(addr);
+                        self.m.mem_mut().write(addr, w ^ 1);
+                        vec![Ok(Response::RotInjected)]
+                    }
+                    Request::PoisonPill { class } => {
+                        panic!(
+                            "poison pill: worker {} ({class:?}) killed by request",
+                            self.id
+                        )
+                    }
+                    _ => unreachable!("lane routing"),
+                }
+            }
+        }
+    }
+
+    /// Replaces a condemned machine wholesale: rebuild with the identical
+    /// allocation sequence, restore the last committed snapshot, resync the
+    /// integrity layer, reset host-side allocator counters.
+    fn respawn(&mut self) {
+        let (mut m, mut chain, oa_table, mut bst) = build_machine(&self.cfg, self.id);
+        self.committed.restore(m.mem_mut());
+        m.resync_integrity();
+        chain.used_nodes = self.committed_chain_used;
+        if let Some(b) = &mut bst {
+            b.used = self.committed_bst_used;
+        }
+        self.m = m;
+        self.chain = chain;
+        self.oa_table = oa_table;
+        self.bst = bst;
+        self.shared.stats.respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn dumps(&self) -> Vec<ClassDump> {
+        let mut out = vec![ClassDump {
+            class: WorkloadClass::Chain,
+            worker: self.id,
+            keys: chaining::all_keys(&self.m, &self.chain),
+        }];
+        if let Some(t) = self.oa_table {
+            out.push(ClassDump {
+                class: WorkloadClass::OpenAddr,
+                worker: self.id,
+                keys: oa::stored_keys(&self.m.mem().read_region(t)),
+            });
+        }
+        if let Some(b) = &self.bst {
+            out.push(ClassDump {
+                class: WorkloadClass::Bst,
+                worker: self.id,
+                keys: b.inorder(&self.m),
+            });
+        }
+        out
+    }
+}
+
+fn collect_groups<'a>(
+    items: &'a [Pending],
+    extract: impl Fn(&'a Request) -> &'a Vec<Word>,
+) -> Vec<Vec<Word>> {
+    items.iter().map(|p| extract(&p.request).clone()).collect()
+}
+
+fn serve_error(e: GroupError) -> ServeError {
+    match e {
+        GroupError::Rejected { reason } => ServeError::Rejected { reason },
+        GroupError::Recovery(err) => ServeError::Failed {
+            reason: err.to_string(),
+        },
+    }
+}

@@ -1,0 +1,461 @@
+//! The shared admission queue: bounded, typed backpressure, per-kind lanes.
+//!
+//! Clients [`Shared::submit`] under the queue lock; workers drain under the
+//! same lock via [`Shared::next_batch`], which also purges deadline-expired
+//! requests (completing them with a typed [`ServeError::DeadlineExceeded`],
+//! never a silent drop). Batch readiness is linger-based: a kind's lane
+//! flushes when it holds `max_batch` requests, when its oldest request has
+//! waited `max_wait`, or when the server is shutting down (drain
+//! everything).
+
+use crate::request::{Kind, Priority, Request, Response, ServeError, WorkloadClass};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One queued request plus everything needed to complete it.
+pub(crate) struct Pending {
+    pub(crate) seq: u64,
+    pub(crate) request: Request,
+    pub(crate) priority: Priority,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) enqueued: Instant,
+    pub(crate) slot: Arc<Slot>,
+}
+
+/// The rendezvous cell a caller's [`Ticket`] waits on.
+#[derive(Debug)]
+pub(crate) struct Slot {
+    result: Mutex<Option<Result<Response, ServeError>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn complete(&self, r: Result<Response, ServeError>) {
+        let mut g = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        *g = Some(r);
+        self.cv.notify_all();
+    }
+}
+
+/// A handle to one submitted request's eventual outcome.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the request terminates, returning its typed outcome.
+    /// Every admitted request terminates: completed, `Rejected`, `Failed`,
+    /// `DeadlineExceeded`, `WorkerLost`, or drained at shutdown.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut g = self
+            .slot
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            g = self.slot.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Queue lanes: one per coalescable kind, plus one control lane per class
+/// (control requests are routed to the class's owning worker and never
+/// coalesced).
+pub(crate) const LANE_CHAIN_INSERT: usize = 0;
+pub(crate) const LANE_OA_INSERT: usize = 1;
+pub(crate) const LANE_OA_LOOKUP: usize = 2;
+pub(crate) const LANE_BST_INSERT: usize = 3;
+pub(crate) const LANE_CTL_CHAIN: usize = 4;
+pub(crate) const LANE_CTL_OA: usize = 5;
+pub(crate) const LANE_CTL_BST: usize = 6;
+const LANES: usize = 7;
+
+fn lane_of(request: &Request) -> usize {
+    match request.kind() {
+        Kind::ChainInsert => LANE_CHAIN_INSERT,
+        Kind::OaInsert => LANE_OA_INSERT,
+        Kind::OaLookup => LANE_OA_LOOKUP,
+        Kind::BstInsert => LANE_BST_INSERT,
+        Kind::Control => match request.class() {
+            WorkloadClass::Chain => LANE_CTL_CHAIN,
+            WorkloadClass::OpenAddr => LANE_CTL_OA,
+            WorkloadClass::Bst => LANE_CTL_BST,
+        },
+    }
+}
+
+fn kind_of_lane(l: usize) -> Kind {
+    match l {
+        LANE_CHAIN_INSERT => Kind::ChainInsert,
+        LANE_OA_INSERT => Kind::OaInsert,
+        LANE_OA_LOOKUP => Kind::OaLookup,
+        LANE_BST_INSERT => Kind::BstInsert,
+        _ => Kind::Control,
+    }
+}
+
+pub(crate) struct Inner {
+    lanes: [VecDeque<Pending>; LANES],
+    total: usize,
+    next_seq: u64,
+    pub(crate) shutdown: bool,
+}
+
+/// Aggregate serving statistics, maintained lock-free.
+#[derive(Default)]
+pub(crate) struct StatCells {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) overloaded: AtomicU64,
+    pub(crate) deadline_expired: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) coalesced_requests: AtomicU64,
+    pub(crate) respawns: AtomicU64,
+    pub(crate) scrub_slices: AtomicU64,
+    pub(crate) rot_detected: AtomicU64,
+    pub(crate) rot_repaired: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests completed (any typed outcome after admission).
+    pub completed: u64,
+    /// Submissions refused with [`ServeError::Overloaded`].
+    pub overloaded: u64,
+    /// Queued requests load-shed with [`ServeError::DeadlineExceeded`].
+    pub deadline_expired: u64,
+    /// Coalesced batches executed.
+    pub batches: u64,
+    /// Requests carried by those batches (`coalesced_requests / batches` is
+    /// the realized coalescing factor).
+    pub coalesced_requests: u64,
+    /// Workers respawned after a panic.
+    pub respawns: u64,
+    /// Idle-time scrub slices run.
+    pub scrub_slices: u64,
+    /// Resident corruption events detected by the idle scrub.
+    pub rot_detected: u64,
+    /// Corruption events repaired from the committed snapshot.
+    pub rot_repaired: u64,
+}
+
+impl StatCells {
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            scrub_slices: self.scrub_slices.load(Ordering::Relaxed),
+            rot_detected: self.rot_detected.load(Ordering::Relaxed),
+            rot_repaired: self.rot_repaired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The state shared between clients and pool workers.
+pub(crate) struct Shared {
+    inner: Mutex<Inner>,
+    /// Workers park here; submissions and shutdown notify it.
+    pub(crate) work_cv: Condvar,
+    pub(crate) capacity: usize,
+    pub(crate) max_batch: usize,
+    pub(crate) max_wait: Duration,
+    pub(crate) stats: StatCells,
+}
+
+/// What a worker drained: a same-kind run of requests to coalesce.
+pub(crate) struct Batch {
+    pub(crate) kind: Kind,
+    pub(crate) items: Vec<Pending>,
+}
+
+impl Shared {
+    pub(crate) fn new(capacity: usize, max_batch: usize, max_wait: Duration) -> Self {
+        Shared {
+            inner: Mutex::new(Inner {
+                lanes: Default::default(),
+                total: 0,
+                next_seq: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            capacity,
+            max_batch,
+            max_wait,
+            stats: StatCells::default(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits one request, or refuses it synchronously with a typed error:
+    /// [`ServeError::ShuttingDown`] after [`Shared::begin_shutdown`],
+    /// [`ServeError::Overloaded`] when the bounded queue is full.
+    pub(crate) fn submit(
+        &self,
+        request: Request,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        let mut g = self.lock();
+        if g.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if g.total >= self.capacity {
+            self.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                capacity: self.capacity,
+            });
+        }
+        let now = Instant::now();
+        let slot = Arc::new(Slot::new());
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        let l = lane_of(&request);
+        g.lanes[l].push_back(Pending {
+            seq,
+            request,
+            priority,
+            deadline: deadline.map(|d| now + d),
+            enqueued: now,
+            slot: Arc::clone(&slot),
+        });
+        g.total += 1;
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(g);
+        self.work_cv.notify_all();
+        Ok(Ticket { slot })
+    }
+
+    /// Marks the server as draining: no new admissions, every queued
+    /// request becomes immediately flushable.
+    pub(crate) fn begin_shutdown(&self) {
+        self.lock().shutdown = true;
+        self.work_cv.notify_all();
+    }
+
+    /// Completes and removes every queued request whose deadline has
+    /// passed. Runs under the queue lock on every drain attempt, so an
+    /// expired request is shed the next time any worker looks at the queue.
+    fn purge_expired(&self, g: &mut Inner, now: Instant) {
+        for deque in &mut g.lanes {
+            let before = deque.len();
+            // Completing under the lock is fine: Slot has its own mutex.
+            deque.retain(|p| match p.deadline {
+                Some(d) if d <= now => {
+                    p.slot.complete(Err(ServeError::DeadlineExceeded));
+                    false
+                }
+                _ => true,
+            });
+            let shed = before - deque.len();
+            g.total -= shed;
+            self.stats
+                .deadline_expired
+                .fetch_add(shed as u64, Ordering::Relaxed);
+            self.stats
+                .completed
+                .fetch_add(shed as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// A lane is ready when it holds a full batch, its oldest entry has
+    /// lingered past `max_wait`, or the server is draining.
+    fn lane_ready(&self, g: &Inner, l: usize, now: Instant) -> bool {
+        let deque = &g.lanes[l];
+        if deque.is_empty() {
+            return false;
+        }
+        g.shutdown
+            || deque.len() >= self.max_batch
+            || deque
+                .iter()
+                .any(|p| now.duration_since(p.enqueued) >= self.max_wait)
+    }
+
+    /// Extracts up to `max_batch` requests from lane `l` by descending
+    /// priority (ties in submission order). Control batches are size 1 —
+    /// they are never coalesced.
+    fn take_batch(&self, g: &mut Inner, l: usize) -> Batch {
+        let kind = kind_of_lane(l);
+        let cap = if kind == Kind::Control {
+            1
+        } else {
+            self.max_batch
+        };
+        let mut all: Vec<Pending> = g.lanes[l].drain(..).collect();
+        all.sort_by_key(|p| (std::cmp::Reverse(p.priority), p.seq));
+        let rest = all.split_off(all.len().min(cap));
+        for p in rest.into_iter().rev() {
+            g.lanes[l].push_front(p);
+        }
+        g.total -= all.len();
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .coalesced_requests
+            .fetch_add(all.len() as u64, Ordering::Relaxed);
+        Batch { kind, items: all }
+    }
+
+    /// One drain attempt for a worker serving the given lanes: purges
+    /// expired requests, then returns the first ready lane's batch.
+    /// `Err(true)` means "no work and the server is draining" (exit);
+    /// `Err(false)` means "nothing ready right now" (scrub, then park).
+    pub(crate) fn next_batch(&self, lanes_served: &[usize]) -> Result<Batch, bool> {
+        let mut g = self.lock();
+        let now = Instant::now();
+        self.purge_expired(&mut g, now);
+        for &l in lanes_served {
+            if self.lane_ready(&g, l, now) {
+                return Ok(self.take_batch(&mut g, l));
+            }
+        }
+        if g.shutdown {
+            // Drained from this worker's perspective only when every lane it
+            // serves is empty (other lanes belong to other workers).
+            let empty = lanes_served.iter().all(|&l| g.lanes[l].is_empty());
+            return Err(empty);
+        }
+        Err(false)
+    }
+
+    /// Parks the calling worker until new work may exist or `tick` passes.
+    pub(crate) fn park(&self, tick: Duration) {
+        let g = self.lock();
+        let _ = self
+            .work_cv
+            .wait_timeout(g, tick)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared() -> Shared {
+        Shared::new(4, 8, Duration::from_millis(0))
+    }
+
+    #[test]
+    fn bounded_queue_refuses_typed_overload() {
+        let s = shared();
+        let mut tickets = Vec::new();
+        for i in 0..4 {
+            tickets.push(
+                s.submit(
+                    Request::ChainInsert { keys: vec![i] },
+                    Priority::Normal,
+                    None,
+                )
+                .expect("under capacity"),
+            );
+        }
+        let err = s
+            .submit(
+                Request::ChainInsert { keys: vec![9] },
+                Priority::Normal,
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { capacity: 4 });
+        assert_eq!(s.stats.snapshot().overloaded, 1);
+    }
+
+    #[test]
+    fn batches_drain_by_priority_then_seq() {
+        let s = shared();
+        let _t1 = s
+            .submit(Request::ChainInsert { keys: vec![1] }, Priority::Low, None)
+            .unwrap();
+        let _t2 = s
+            .submit(Request::ChainInsert { keys: vec![2] }, Priority::High, None)
+            .unwrap();
+        let _t3 = s
+            .submit(Request::ChainInsert { keys: vec![3] }, Priority::High, None)
+            .unwrap();
+        // max_wait of zero: the lane is ready immediately.
+        let b = s.next_batch(&[LANE_CHAIN_INSERT]).expect("ready");
+        let order: Vec<u64> = b.items.iter().map(|p| p.seq).collect();
+        assert_eq!(order, vec![1, 2, 0], "High (seq order), then Low");
+    }
+
+    #[test]
+    fn expired_requests_complete_typed_not_silently() {
+        let s = shared();
+        let t = s
+            .submit(
+                Request::BstInsert { keys: vec![1] },
+                Priority::Normal,
+                Some(Duration::from_millis(0)),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        // Any drain attempt sheds it, even one serving a different lane.
+        assert!(s.next_batch(&[LANE_OA_INSERT]).is_err());
+        assert_eq!(t.wait(), Err(ServeError::DeadlineExceeded));
+        let snap = s.stats.snapshot();
+        assert_eq!(snap.deadline_expired, 1);
+        assert_eq!(snap.completed, 1);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_and_flushes_old() {
+        let s = shared();
+        let _t = s
+            .submit(
+                Request::ChainInsert { keys: vec![1] },
+                Priority::Normal,
+                None,
+            )
+            .unwrap();
+        s.begin_shutdown();
+        assert_eq!(
+            s.submit(
+                Request::ChainInsert { keys: vec![2] },
+                Priority::Normal,
+                None
+            )
+            .unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        let b = s
+            .next_batch(&[LANE_CHAIN_INSERT])
+            .expect("flushed by drain");
+        assert_eq!(b.items.len(), 1);
+        assert_eq!(s.next_batch(&[LANE_CHAIN_INSERT]), Err(true), "drained");
+    }
+
+    impl PartialEq for Batch {
+        fn eq(&self, other: &Self) -> bool {
+            self.kind == other.kind && self.items.len() == other.items.len()
+        }
+    }
+    impl std::fmt::Debug for Batch {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Batch({:?} x{})", self.kind, self.items.len())
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The typed request surface of the serving layer.
+//!
+//! Every request names a workload class, carries its own keys, and is
+//! submitted with a [`Priority`] and an optional deadline. The scheduler
+//! coalesces compatible requests of the same [`Kind`] into one long index
+//! vector per transaction and demultiplexes a per-request [`Response`] or
+//! [`ServeError`] back to each caller — the batch is an implementation
+//! detail; the outcome surface is strictly per request.
+
+use fol_vm::Word;
+
+/// Which family of machine-resident structure a request targets. Each class
+/// is owned by (sharded across, for chaining) specific pool workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Chaining hash table (`fol_hash::chaining`) — sharded per worker.
+    Chain,
+    /// Open-addressing hash table (`fol_hash::open_addressing`).
+    OpenAddr,
+    /// Binary search tree (`fol_tree::bst`).
+    Bst,
+}
+
+/// The coalescing key: requests of the same kind may share one transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Kind {
+    ChainInsert,
+    OaInsert,
+    OaLookup,
+    BstInsert,
+    Control,
+}
+
+/// One client request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Insert `keys` into the chaining hash table (duplicates legal).
+    ChainInsert {
+        /// Keys to insert.
+        keys: Vec<Word>,
+    },
+    /// Insert `keys` into the open-addressing table. Keys must be
+    /// non-negative and distinct (within the request *and* against sibling
+    /// requests coalesced into the same batch); violations come back as
+    /// [`ServeError::Rejected`].
+    OaInsert {
+        /// Keys to insert.
+        keys: Vec<Word>,
+    },
+    /// Membership test for `keys` against the open-addressing table.
+    OaLookup {
+        /// Keys to look up.
+        keys: Vec<Word>,
+    },
+    /// Insert `keys` into the binary search tree (duplicates legal).
+    BstInsert {
+        /// Keys to insert.
+        keys: Vec<Word>,
+    },
+    /// Test hook: flip one resident bit in the class's tracked storage,
+    /// behind the store path — the bit-rot the idle scrub exists to catch.
+    #[doc(hidden)]
+    InjectRot {
+        /// The class whose storage decays.
+        class: WorkloadClass,
+    },
+    /// Test hook: panic the worker that owns `class` mid-batch, exercising
+    /// the respawn path.
+    #[doc(hidden)]
+    PoisonPill {
+        /// The class whose owning worker is killed.
+        class: WorkloadClass,
+    },
+}
+
+impl Request {
+    pub(crate) fn kind(&self) -> Kind {
+        match self {
+            Request::ChainInsert { .. } => Kind::ChainInsert,
+            Request::OaInsert { .. } => Kind::OaInsert,
+            Request::OaLookup { .. } => Kind::OaLookup,
+            Request::BstInsert { .. } => Kind::BstInsert,
+            Request::InjectRot { .. } | Request::PoisonPill { .. } => Kind::Control,
+        }
+    }
+
+    pub(crate) fn class(&self) -> WorkloadClass {
+        match self {
+            Request::ChainInsert { .. } => WorkloadClass::Chain,
+            Request::OaInsert { .. } | Request::OaLookup { .. } => WorkloadClass::OpenAddr,
+            Request::BstInsert { .. } => WorkloadClass::Bst,
+            Request::InjectRot { class } | Request::PoisonPill { class } => *class,
+        }
+    }
+}
+
+/// The per-request success payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Chain insert landed; `rounds` is the FOL round count of the (possibly
+    /// shared) transaction that carried it.
+    ChainInserted {
+        /// FOL rounds of the carrying transaction.
+        rounds: usize,
+    },
+    /// Open-addressing insert landed.
+    OaInserted {
+        /// Overwrite-and-check iterations of the carrying transaction.
+        iterations: usize,
+        /// Probe attempts of the carrying transaction.
+        probes: u64,
+    },
+    /// Open-addressing lookup result, one bool per queried key, in order.
+    OaLookedUp {
+        /// Membership per key.
+        found: Vec<bool>,
+    },
+    /// BST insert landed.
+    BstInserted {
+        /// Lock-step iterations of the carrying transaction.
+        iterations: usize,
+        /// FOL label-check retries of the carrying transaction.
+        retries: u64,
+    },
+    /// A [`Request::InjectRot`] flipped a bit.
+    RotInjected,
+}
+
+/// Every way a request can fail — typed, never a silent drop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue was full at submission; the request was never
+    /// admitted. Back off and retry.
+    Overloaded {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// The request's deadline passed while it was still queued; it was
+    /// load-shed without touching any machine.
+    DeadlineExceeded,
+    /// Admission control refused the request (malformed keys, structure
+    /// full, or a conflict with a coalesced sibling). No machine state was
+    /// touched for it.
+    Rejected {
+        /// The admission verdict.
+        reason: String,
+    },
+    /// The request was admitted but its (bisection-isolated) transaction
+    /// failed; memory was rolled back for it.
+    Failed {
+        /// The recovery error, rendered.
+        reason: String,
+    },
+    /// The owning worker died mid-batch (it has since been respawned from
+    /// its last committed state); the request's effects were discarded with
+    /// the dead machine. Safe to resubmit.
+    WorkerLost,
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "overloaded: queue at capacity {capacity}")
+            }
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded while queued"),
+            ServeError::Rejected { reason } => write!(f, "rejected: {reason}"),
+            ServeError::Failed { reason } => write!(f, "transaction failed: {reason}"),
+            ServeError::WorkerLost => write!(f, "owning worker lost mid-batch"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Scheduling priority: within a kind, higher-priority requests enter a
+/// batch first; ties drain in submission order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Batch-filling background work.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Latency-sensitive work, drained ahead of the rest.
+    High,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_classes_line_up() {
+        assert_eq!(
+            Request::ChainInsert { keys: vec![] }.kind(),
+            Kind::ChainInsert
+        );
+        assert_eq!(
+            Request::OaLookup { keys: vec![] }.class(),
+            WorkloadClass::OpenAddr
+        );
+        assert_eq!(
+            Request::InjectRot {
+                class: WorkloadClass::Bst
+            }
+            .kind(),
+            Kind::Control
+        );
+        assert_eq!(
+            Request::PoisonPill {
+                class: WorkloadClass::Chain
+            }
+            .class(),
+            WorkloadClass::Chain
+        );
+    }
+
+    #[test]
+    fn priority_orders_high_above_normal_above_low() {
+        assert!(Priority::High > Priority::Normal);
+        assert!(Priority::Normal > Priority::Low);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(ServeError::Overloaded { capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Saturation: many concurrent clients slam a small pool through the
+//! bounded queue. The contract under load: every submitted request
+//! terminates with its correct result or a typed `Overloaded` /
+//! `DeadlineExceeded` — no hang, no silent drop — and the machine-resident
+//! structures end oracle-equal to the union of acknowledged inserts.
+//!
+//! The default scale keeps `cargo test` quick; CI's serve-stress job sets
+//! `SERVE_STRESS=full` for the 16-client × 10k-request version.
+
+use fol_serve::{
+    Priority, Request, Response, ServeError, Server, ServerConfig, Ticket, WorkloadClass,
+};
+use fol_vm::Word;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Default)]
+struct Tally {
+    ok_chain: Vec<Word>,
+    ok_oa: Vec<Word>,
+    ok_bst: Vec<Word>,
+    overloaded: u64,
+    shed: u64,
+    lookups_checked: u64,
+}
+
+/// Per-client key space: disjoint ranges keep the oracle exact without
+/// cross-client coordination.
+fn base(client: usize) -> Word {
+    client as Word * 100_000
+}
+
+fn drain_chain_window(window: &mut Vec<(Ticket, Vec<Word>)>, tally: &mut Tally) {
+    for (t, keys) in window.drain(..) {
+        match t.wait() {
+            Ok(Response::ChainInserted { .. }) => tally.ok_chain.extend(keys),
+            Err(ServeError::DeadlineExceeded) => tally.shed += 1,
+            other => panic!("chain insert terminated abnormally: {other:?}"),
+        }
+    }
+}
+
+fn run_client(server: &Server, client: usize, per_client: usize) -> Tally {
+    let mut tally = Tally::default();
+    let b = base(client);
+    let mut last_ok_oa: Option<Word> = None;
+    // Chain inserts are submitted in windows (pipelined) to build queue
+    // depth; OA/BST traffic is call-style so lookups can assert against
+    // acknowledged inserts.
+    let mut window: Vec<(Ticket, Vec<Word>)> = Vec::new();
+    for r in 0..per_client {
+        let r_w = r as Word;
+        match r % 5 {
+            0 | 1 => {
+                let keys = vec![b + 2 * r_w, b + 2 * r_w + 1];
+                // A slice of the traffic is latency-bounded; it may be shed.
+                let deadline = (r % 10 == 0).then(|| Duration::from_micros(500));
+                match server.submit_with(
+                    Request::ChainInsert { keys: keys.clone() },
+                    Priority::Normal,
+                    deadline,
+                ) {
+                    Ok(t) => window.push((t, keys)),
+                    Err(ServeError::Overloaded { .. }) => tally.overloaded += 1,
+                    Err(e) => panic!("submit refused abnormally: {e:?}"),
+                }
+                if window.len() >= 32 {
+                    drain_chain_window(&mut window, &mut tally);
+                }
+            }
+            2 => {
+                let key = b + 50_000 + r_w;
+                match server.call(Request::OaInsert { keys: vec![key] }) {
+                    Ok(Response::OaInserted { .. }) => {
+                        tally.ok_oa.push(key);
+                        last_ok_oa = Some(key);
+                    }
+                    Err(ServeError::Overloaded { .. }) => tally.overloaded += 1,
+                    other => panic!("oa insert terminated abnormally: {other:?}"),
+                }
+            }
+            3 => {
+                let key = b + 70_000 + r_w;
+                match server.call(Request::BstInsert { keys: vec![key] }) {
+                    Ok(Response::BstInserted { .. }) => tally.ok_bst.push(key),
+                    Err(ServeError::Overloaded { .. }) => tally.overloaded += 1,
+                    other => panic!("bst insert terminated abnormally: {other:?}"),
+                }
+            }
+            _ => {
+                // Look up one acknowledged key (must be found) and one from
+                // a never-inserted range (must be absent).
+                let absent = b + 90_000 + r_w;
+                let mut keys = vec![absent];
+                let mut expect = vec![false];
+                if let Some(k) = last_ok_oa {
+                    keys.push(k);
+                    expect.push(true);
+                }
+                match server.call(Request::OaLookup { keys }) {
+                    Ok(Response::OaLookedUp { found }) => {
+                        assert_eq!(found, expect, "lookup disagreed with acknowledged inserts");
+                        tally.lookups_checked += 1;
+                    }
+                    Err(ServeError::Overloaded { .. }) => tally.overloaded += 1,
+                    other => panic!("oa lookup terminated abnormally: {other:?}"),
+                }
+            }
+        }
+    }
+    drain_chain_window(&mut window, &mut tally);
+    tally
+}
+
+#[test]
+fn saturated_pool_terminates_every_request_with_a_typed_outcome() {
+    let full = std::env::var("SERVE_STRESS").as_deref() == Ok("full");
+    let (clients, per_client) = if full { (16, 625) } else { (8, 125) };
+
+    let server = Arc::new(Server::start(ServerConfig {
+        workers: 4,
+        queue_capacity: 1024,
+        max_batch: 256,
+        max_wait: Duration::from_millis(1),
+        chain_buckets: 2048,
+        chain_capacity: 16 * 1024,
+        oa_slots: 8 * 1024,
+        bst_capacity: 4 * 1024,
+        ..ServerConfig::default()
+    }));
+
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || run_client(&server, c, per_client))
+        })
+        .collect();
+    let tallies: Vec<Tally> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let server = Arc::into_inner(server).expect("all clients joined");
+    let report = server.shutdown();
+
+    // Accounting: everything admitted was completed; refusals were typed.
+    assert_eq!(report.stats.submitted, report.stats.completed);
+    let client_overloads: u64 = tallies.iter().map(|t| t.overloaded).sum();
+    assert_eq!(report.stats.overloaded, client_overloads);
+    let client_shed: u64 = tallies.iter().map(|t| t.shed).sum();
+    assert_eq!(report.stats.deadline_expired, client_shed);
+    assert!(
+        tallies.iter().map(|t| t.lookups_checked).sum::<u64>() > 0,
+        "the lookup path must actually have been exercised"
+    );
+    // Coalescing must actually happen under this much concurrency.
+    assert!(
+        report.stats.coalesced_requests > report.stats.batches,
+        "expected >1 request per batch on average (got {} requests in {} batches)",
+        report.stats.coalesced_requests,
+        report.stats.batches,
+    );
+
+    // Oracle: machine-resident structures equal the union of acknowledged
+    // inserts — nothing acknowledged is missing, nothing unacknowledged
+    // (overloaded or shed) leaked in.
+    let mut expect_chain: Vec<Word> = tallies.iter().flat_map(|t| t.ok_chain.clone()).collect();
+    let mut expect_oa: Vec<Word> = tallies.iter().flat_map(|t| t.ok_oa.clone()).collect();
+    let mut expect_bst: Vec<Word> = tallies.iter().flat_map(|t| t.ok_bst.clone()).collect();
+    expect_chain.sort_unstable();
+    expect_oa.sort_unstable();
+    expect_bst.sort_unstable();
+
+    let mut got_chain: Vec<Word> = report
+        .dumps
+        .iter()
+        .filter(|d| d.class == WorkloadClass::Chain)
+        .flat_map(|d| d.keys.clone())
+        .collect();
+    got_chain.sort_unstable();
+    let got_oa: Vec<Word> = report
+        .dumps
+        .iter()
+        .find(|d| d.class == WorkloadClass::OpenAddr)
+        .expect("oa dump")
+        .keys
+        .clone();
+    let got_bst: Vec<Word> = report
+        .dumps
+        .iter()
+        .find(|d| d.class == WorkloadClass::Bst)
+        .expect("bst dump")
+        .keys
+        .clone();
+
+    assert_eq!(got_chain, expect_chain);
+    assert_eq!(got_oa, expect_oa);
+    assert_eq!(got_bst, expect_bst);
+}

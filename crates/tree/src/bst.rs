@@ -28,7 +28,8 @@
 use crate::NIL;
 use fol_core::error::FolError;
 use fol_core::recover::{
-    run_transaction, with_lane_mask, ExecMode, RecoveryError, RecoveryReport, RetryPolicy,
+    run_transaction, split_retry, with_lane_mask, ExecMode, GroupError, RecoveryError,
+    RecoveryReport, RetryPolicy,
 };
 use fol_vm::{AluOp, CmpOp, Machine, Region, Word};
 
@@ -446,6 +447,60 @@ pub fn txn_insert_all(
     result
 }
 
+/// Coalesced multi-request insertion with per-group outcomes: each element
+/// of `groups` is one caller's independent key batch (duplicates are legal,
+/// both within and across groups — a BST stores multisets), and the whole
+/// admitted set enters by **one** [`txn_insert_all`] transaction over the
+/// concatenated keys.
+///
+/// Admission is greedy and host-side: a group whose keys would overflow the
+/// node arena is refused with [`GroupError::Rejected`] before any
+/// transaction opens (later, smaller groups may still fit). If the coalesced
+/// transaction fails, [`split_retry`] bisects the admitted groups so each
+/// group succeeds or fails on its own merits.
+///
+/// Returns one outcome per input group, in order; an `Ok` carries the
+/// [`BstReport`] of the (possibly shared) transaction that landed the group.
+pub fn txn_insert_groups(
+    m: &mut Machine,
+    tree: &mut Bst,
+    groups: &[Vec<Word>],
+    policy: &RetryPolicy,
+) -> Vec<Result<BstReport, GroupError>> {
+    let capacity = tree.keys.len();
+    let mut admitted: Vec<usize> = Vec::new();
+    let mut out: Vec<Option<Result<BstReport, GroupError>>> = vec![None; groups.len()];
+    let mut planned = tree.used;
+    for (i, g) in groups.iter().enumerate() {
+        if planned + g.len() <= capacity {
+            planned += g.len();
+            admitted.push(i);
+        } else {
+            out[i] = Some(Err(GroupError::Rejected {
+                reason: format!(
+                    "bst arena full: group of {} keys, {} of {} nodes already planned",
+                    g.len(),
+                    planned,
+                    capacity
+                ),
+            }));
+        }
+    }
+    let results = split_retry(&admitted, &mut |idxs: &[usize]| {
+        let keys: Vec<Word> = idxs
+            .iter()
+            .flat_map(|&i| groups[i].iter().copied())
+            .collect();
+        txn_insert_all(m, tree, &keys, policy).map(|(report, _)| report)
+    });
+    for (&slot, r) in admitted.iter().zip(results) {
+        out[slot] = Some(r.map_err(GroupError::from));
+    }
+    out.into_iter()
+        .map(|o| o.expect("every group has an outcome"))
+        .collect()
+}
+
 /// Vectorized multiple *search*: every query key descends the tree in
 /// lock-step gathers; returns one bool per key. Read-only, so this is plain
 /// SIVP (the paper's Fig 2b class) — no FOL needed, but it shares the
@@ -695,6 +750,35 @@ mod tests {
         assert_eq!(t.inorder(&m), before, "rollback restored the tree");
         assert_eq!(t.used, 3, "rollback restored the allocator");
         assert!(!m.in_txn());
+    }
+
+    #[test]
+    fn txn_insert_groups_coalesces_and_reports_per_group() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = Bst::alloc(&mut m, 32);
+        // Duplicates within and across groups are legal in a BST.
+        let groups: Vec<Vec<Word>> = vec![vec![50, 20], vec![20, 70], vec![], vec![10, 30, 60]];
+        let outs = txn_insert_groups(&mut m, &mut t, &groups, &RetryPolicy::default());
+        assert!(outs.iter().all(Result::is_ok));
+        let mut expect: Vec<Word> = groups.into_iter().flatten().collect();
+        expect.sort_unstable();
+        assert_eq!(t.inorder(&m), expect);
+        assert_eq!(t.used, expect.len());
+    }
+
+    #[test]
+    fn txn_insert_groups_rejects_overflow_but_admits_smaller_siblings() {
+        let mut m = Machine::new(CostModel::unit());
+        let mut t = Bst::alloc(&mut m, 4);
+        scalar_insert_all(&mut m, &mut t, &[40]);
+        let groups: Vec<Vec<Word>> = vec![vec![1, 2], vec![3, 4, 5], vec![6]];
+        let outs = txn_insert_groups(&mut m, &mut t, &groups, &RetryPolicy::default());
+        assert!(outs[0].is_ok());
+        assert!(
+            matches!(&outs[1], Err(GroupError::Rejected { reason }) if reason.contains("arena full"))
+        );
+        assert!(outs[2].is_ok());
+        assert_eq!(t.inorder(&m), vec![1, 2, 6, 40]);
     }
 
     #[test]

@@ -157,24 +157,92 @@ impl std::error::Error for IntegrityError {}
 ///
 /// Addresses gathered without a noted scatter are skipped — the auditor
 /// only judges the scatter→gather handshakes it was told about.
-#[derive(Clone, Debug, Default)]
+///
+/// # Sampling
+///
+/// A full audit roughly doubles gather traffic (every round's labels are
+/// mirrored host-side), which is the dominant cost of the defense. The
+/// auditor therefore supports *seeded round sampling*
+/// ([`ElsAuditor::with_rate`]): each `note_scatter` call opens one audited
+/// round, and a rate-`N` auditor judges a deterministic, seed-selected
+/// 1-in-`N` subset of rounds — the skipped rounds pay nothing (no notes,
+/// and the paired `check_gather` finds no entries to judge). Detection
+/// latency degrades gracefully: a *persistent* corrupter is still caught,
+/// just up to `N-1` rounds later (the `integrity` bench prices this
+/// trade-off at N ∈ {1, 4, 16}).
+#[derive(Clone, Debug)]
 pub struct ElsAuditor {
     /// Candidate labels per address, from the most recent noted scatter.
     expected: HashMap<Addr, Vec<Word>>,
+    /// Audit 1-in-`rate` rounds (1 = every round; never 0).
+    rate: u64,
+    /// Seed for the round-selection hash.
+    seed: u64,
+    rounds_seen: u64,
+    rounds_audited: u64,
     checked: u64,
     violations: u64,
 }
 
+impl Default for ElsAuditor {
+    fn default() -> Self {
+        Self {
+            expected: HashMap::new(),
+            rate: 1,
+            seed: 0,
+            rounds_seen: 0,
+            rounds_audited: 0,
+            checked: 0,
+            violations: 0,
+        }
+    }
+}
+
 impl ElsAuditor {
-    /// A fresh auditor with no noted scatters.
+    /// A fresh auditor with no noted scatters, auditing every round.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// A fresh auditor that judges a seeded 1-in-`rate` sample of rounds.
+    /// `rate` 0 or 1 both mean every round.
+    pub fn with_rate(rate: u64, seed: u64) -> Self {
+        Self {
+            rate: rate.max(1),
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The configured sampling rate (1 = every round).
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    /// Rounds offered for auditing (one per `note_scatter` call).
+    pub fn rounds_seen(&self) -> u64 {
+        self.rounds_seen
+    }
+
+    /// Rounds the sampler actually selected for auditing.
+    pub fn rounds_audited(&self) -> u64 {
+        self.rounds_audited
+    }
+
     /// Notes one label scatter: `vals[i]` competes for `addrs[i]`.
     /// Replaces any earlier note for the same addresses.
+    ///
+    /// Each call is one *round* for the sampler; a round the seeded sampler
+    /// skips records nothing, so the paired gather check is free.
     pub fn note_scatter(&mut self, addrs: &[Addr], vals: &[Word]) {
         debug_assert_eq!(addrs.len(), vals.len());
+        self.rounds_seen += 1;
+        if self.rate > 1
+            && !hash3(self.seed, self.rounds_seen, 0xA0D1_75A1).is_multiple_of(self.rate)
+        {
+            return;
+        }
+        self.rounds_audited += 1;
         // Two passes so re-noted addresses start from a clean slate instead
         // of accumulating labels across rounds.
         for &a in addrs {
@@ -325,6 +393,72 @@ mod tests {
         aud.note_scatter(&[3], &[2]);
         // Only the latest round's label is acceptable.
         assert!(aud.check_gather("w", &[3], &[1]).is_err());
+    }
+
+    #[test]
+    fn sampled_auditor_skips_rounds_deterministically() {
+        let mut a = ElsAuditor::with_rate(4, 7);
+        let mut b = ElsAuditor::with_rate(4, 7);
+        for round in 0..64 {
+            a.note_scatter(&[round], &[1]);
+            b.note_scatter(&[round], &[1]);
+        }
+        assert_eq!(a.rounds_seen(), 64);
+        assert_eq!(
+            a.rounds_audited(),
+            b.rounds_audited(),
+            "seeded = replayable"
+        );
+        // Roughly 1-in-4 of rounds selected; the exact subset is seed-fixed.
+        assert!(
+            (8..=28).contains(&(a.rounds_audited() as i64)),
+            "expected ~16 audited rounds, got {}",
+            a.rounds_audited()
+        );
+        // A different seed selects a different subset (overwhelmingly).
+        let mut c = ElsAuditor::with_rate(4, 8);
+        let mut picks_c = 0;
+        for round in 0..64 {
+            c.note_scatter(&[round], &[1]);
+            picks_c = c.rounds_audited();
+        }
+        assert!(picks_c > 0, "rate 4 over 64 rounds must sample something");
+    }
+
+    #[test]
+    fn sampled_auditor_still_catches_persistent_corruption() {
+        // A corrupter that poisons *every* round cannot hide from a 1-in-4
+        // sampler for long: the first sampled round convicts it.
+        let mut aud = ElsAuditor::with_rate(4, 3);
+        let mut detected_at = None;
+        for round in 0..32u64 {
+            aud.note_scatter(&[100 + round as Addr], &[5]);
+            // The gather always returns a phantom value no scatter wrote.
+            if aud
+                .check_gather("w", &[100 + round as Addr], &[-99])
+                .is_err()
+            {
+                detected_at = Some(round);
+                break;
+            }
+        }
+        let at = detected_at.expect("persistent corruption must be detected");
+        assert!(at < 16, "detection latency bounded by a few skip windows");
+        assert!(aud.rounds_audited() >= 1);
+    }
+
+    #[test]
+    fn skipped_rounds_cost_nothing_and_judge_nothing() {
+        // Rate u64::MAX: statistically no round is sampled, so even a
+        // blatant violation goes unjudged — the explicit cost/coverage
+        // trade-off the policy knob exposes.
+        let mut aud = ElsAuditor::with_rate(u64::MAX, 1);
+        for round in 0..16u64 {
+            aud.note_scatter(&[round as Addr], &[1]);
+            assert!(aud.check_gather("w", &[round as Addr], &[-1]).is_ok());
+        }
+        assert_eq!(aud.checked(), 0);
+        assert_eq!(aud.rounds_seen(), 16);
     }
 
     #[test]

@@ -625,6 +625,20 @@ impl Machine {
         }
     }
 
+    /// Enables the [`ElsAuditor`] with seeded 1-in-`rate` round sampling
+    /// (rate 1 = every round, the [`Machine::set_els_audit`] behaviour;
+    /// rate 0 disables auditing). A sampled-out round records no notes and
+    /// judges no gathers, so its audit cost is zero — the knob trades
+    /// detection latency against the audit's gather-mirroring traffic.
+    /// Replaces any existing auditor (counters restart).
+    pub fn set_els_audit_rate(&mut self, rate: usize, seed: u64) {
+        self.auditor = if rate == 0 {
+            None
+        } else {
+            Some(ElsAuditor::with_rate(rate as u64, seed))
+        };
+    }
+
     /// The ELS auditor, when enabled.
     pub fn els_auditor(&self) -> Option<&ElsAuditor> {
         self.auditor.as_ref()

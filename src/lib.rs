@@ -9,7 +9,9 @@
 //!
 //! Start with [`vm`] (the simulated vector machine), then [`core`] (the FOL
 //! algorithms), then the applications: [`hash`], [`sort`], [`tree`],
-//! [`graph`], [`gc`], [`maze`], [`queens`].
+//! [`graph`], [`gc`], [`maze`], [`queens`] — and [`serve`], the batching
+//! request-service layer that coalesces small independent requests into the
+//! large index vectors the method wants.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +22,7 @@ pub use fol_graph as graph;
 pub use fol_hash as hash;
 pub use fol_maze as maze;
 pub use fol_queens as queens;
+pub use fol_serve as serve;
 pub use fol_sort as sort;
 pub use fol_tree as tree;
 pub use fol_vm as vm;

@@ -763,3 +763,104 @@ fn bit_rot_exhaustion_restores_snapshots_byte_exact() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Coalesced-batch isolation: the serving layer merges independent requests
+// into one index vector, so a single adversarial request must not be able to
+// take its siblings down with it.
+// ---------------------------------------------------------------------------
+
+/// The adversary: re-inserting a key the table already stores. The vector
+/// rungs dedup it (the FOL label check treats "slot already holds my key"
+/// as won), which diverges from the duplicate-storing scalar reference and
+/// trips the stored-keys post-condition; only the scalar tail can complete
+/// it. Two regimes, both proving sibling isolation:
+///
+/// * **Restricted ladder** (vector-only, no reseed, benign faults): the
+///   adversarial group must fail *typed* after bisection isolates it, its
+///   siblings must all land, and the table must end oracle-equal to the
+///   innocent union — one poisoned request cannot fail a coalesced batch.
+/// * **Full ladder** under the whole fault matrix: every group completes
+///   (the scalar tail absorbs both injected faults and the duplicate), and
+///   the table matches the scalar reference exactly — duplicate stored
+///   twice, like `scalar_insert_all` would.
+#[test]
+fn a_single_adversarial_key_cannot_poison_a_coalesced_batch() {
+    use fol_core::recover::GroupError;
+    use fol_hash::open_addressing::txn_insert_groups;
+
+    let groups: Vec<Vec<Word>> = vec![
+        vec![1, 2],
+        vec![3],
+        vec![777], // the adversary: already stored
+        vec![4, 5, 6],
+        vec![7],
+        vec![8, 9],
+        vec![10],
+        vec![11, 12],
+    ];
+    let innocent: Vec<Word> = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 777];
+
+    // Regime A: restricted ladder — the adversary fails typed, alone.
+    {
+        let policy = RetryPolicy {
+            reseed: false,
+            ..RetryPolicy::vector_only(2)
+        };
+        let mut m = Machine::new(CostModel::unit());
+        let table = m.alloc(64, "oa.table");
+        init_table(&mut m, table);
+        txn_oa_insert(&mut m, table, &[777], ProbeStrategy::KeyDependent, &policy)
+            .expect("preload on a clean machine");
+        let outs = txn_insert_groups(&mut m, table, &groups, ProbeStrategy::KeyDependent, &policy);
+        assert_eq!(outs.len(), groups.len());
+        for (i, out) in outs.iter().enumerate() {
+            if groups[i] == [777] {
+                assert!(
+                    matches!(out, Err(GroupError::Recovery(_))),
+                    "adversarial group must fail typed: {out:?}"
+                );
+            } else {
+                assert!(
+                    out.is_ok(),
+                    "sibling group {i} poisoned by the adversary: {out:?}"
+                );
+            }
+        }
+        assert_eq!(
+            stored_keys(&m.mem().read_region(table)),
+            innocent,
+            "table must hold exactly the innocent union plus the preload"
+        );
+    }
+
+    // Regime B: full ladder x fault matrix — everything completes, and the
+    // result matches the duplicate-storing scalar reference.
+    let policy = RetryPolicy::default();
+    for seed in SEEDS {
+        for (plan_name, plan) in fault_plans(seed) {
+            let mut m = Machine::new(CostModel::unit());
+            m.set_fault_plan(Some(plan));
+            let table = m.alloc(64, "oa.table");
+            init_table(&mut m, table);
+            txn_oa_insert(&mut m, table, &[777], ProbeStrategy::KeyDependent, &policy)
+                .expect("preload under the full ladder always completes");
+            let outs =
+                txn_insert_groups(&mut m, table, &groups, ProbeStrategy::KeyDependent, &policy);
+            for (i, out) in outs.iter().enumerate() {
+                assert!(
+                    out.is_ok(),
+                    "full ladder must complete group {i} ({plan_name}, seed {seed}): {out:?}"
+                );
+            }
+            let mut expected = innocent.clone();
+            expected.push(777); // scalar-reference semantics: duplicate stored twice
+            expected.sort_unstable();
+            assert_eq!(
+                stored_keys(&m.mem().read_region(table)),
+                expected,
+                "table must match the scalar reference ({plan_name}, seed {seed})"
+            );
+        }
+    }
+}
