@@ -854,6 +854,46 @@ fn derive_seed(seed: u64, attempt: usize) -> u64 {
     z ^ (z >> 27)
 }
 
+/// Observer interface the durability layer plugs into the retry supervisor.
+///
+/// The supervisor itself is volatile: a SIGKILL between rungs loses both the
+/// committed machine state and the knowledge of *how far up the ladder* the
+/// run had escalated. A `DurabilityHook` closes that gap without the core
+/// crate knowing anything about files:
+///
+/// * [`DurabilityHook::resume_rung`] is consulted once, before the first
+///   attempt — a hook that persisted ladder progress before a crash returns
+///   the rung to resume at, and the supervisor starts there (with the
+///   corresponding ladder budget already charged) instead of re-failing the
+///   rungs a previous incarnation already burned.
+/// * [`DurabilityHook::on_attempt`] fires before each attempt's body with
+///   the rung about to run — the durable write point for ladder progress.
+/// * [`DurabilityHook::on_commit`] fires exactly once, after the winning
+///   attempt's machine transaction has committed — the cadence point for
+///   checkpointing (`fol-persist` writes a checkpoint every N commits here).
+///
+/// All methods default to no-ops so a hook implements only what it needs.
+/// Hook failures must not fail the committed transaction: implementations
+/// record their own errors (durability is best-effort *reporting*, refusal
+/// happens at load time, where corrupt artifacts are typed errors).
+pub trait DurabilityHook {
+    /// The ladder rung to start at (0 = the bottom, a fresh run).
+    fn resume_rung(&mut self) -> usize {
+        0
+    }
+
+    /// Called before each attempt with the rung and resolved mode about to
+    /// execute.
+    fn on_attempt(&mut self, rung: usize, mode: ExecMode) {
+        let _ = (rung, mode);
+    }
+
+    /// Called once after the winning attempt's transaction has committed.
+    fn on_commit(&mut self, m: &Machine, report: &RecoveryReport) {
+        let _ = (m, report);
+    }
+}
+
 /// Runs `body` under the retry supervisor.
 ///
 /// Each attempt opens a machine transaction, runs
@@ -884,7 +924,39 @@ fn derive_seed(seed: u64, attempt: usize) -> u64 {
 pub fn run_transaction<R, F>(
     m: &mut Machine,
     policy: &RetryPolicy,
+    body: F,
+) -> Result<(R, RecoveryReport), RecoveryError>
+where
+    F: FnMut(&mut Machine, ExecMode) -> Result<R, FolError>,
+{
+    run_transaction_inner(m, policy, body, None)
+}
+
+/// [`run_transaction`] observed by a [`DurabilityHook`].
+///
+/// Identical supervision, with three extra touch points: the ladder starts
+/// at `hook.resume_rung()` (clamped to the policy's budget, with the skipped
+/// rungs' budget treated as already spent — a crashed predecessor burned
+/// them), every attempt announces its rung via `hook.on_attempt` *before*
+/// the body runs, and a successful commit fires `hook.on_commit` exactly
+/// once. The hook cannot veto or fail the run; it only observes.
+pub fn run_transaction_durable<R, F>(
+    m: &mut Machine,
+    policy: &RetryPolicy,
+    hook: &mut dyn DurabilityHook,
+    body: F,
+) -> Result<(R, RecoveryReport), RecoveryError>
+where
+    F: FnMut(&mut Machine, ExecMode) -> Result<R, FolError>,
+{
+    run_transaction_inner(m, policy, body, Some(hook))
+}
+
+fn run_transaction_inner<R, F>(
+    m: &mut Machine,
+    policy: &RetryPolicy,
     mut body: F,
+    mut hook: Option<&mut dyn DurabilityHook>,
 ) -> Result<(R, RecoveryReport), RecoveryError>
 where
     F: FnMut(&mut Machine, ExecMode) -> Result<R, FolError>,
@@ -930,9 +1002,16 @@ where
     // held and retried at the narrower width without consuming ladder
     // budget. Growth is monotone per hold, so holds are bounded by the lane
     // count even when the circuit breaker restores lanes in between.
-    let mut rung = 0usize;
+    // A durability hook may resume the ladder mid-way: a crashed
+    // predecessor already burned the rungs below, so their budget counts as
+    // spent. Clamped so at least one attempt always runs.
+    let resume = hook
+        .as_mut()
+        .map_or(0, |h| h.resume_rung())
+        .min(attempts - 1);
+    let mut rung = resume;
     let mut invocation = 0usize;
-    let mut budget_spent = 0usize;
+    let mut budget_spent = resume;
     let mut holds = 0usize;
     while budget_spent < attempts {
         // Circuit breaker: lanes whose probe cooldown has elapsed get a
@@ -959,6 +1038,9 @@ where
         invocation += 1;
         report.attempts = attempt + 1;
         report.final_mode = mode;
+        if let Some(h) = hook.as_mut() {
+            h.on_attempt(rung, mode);
+        }
         if policy.reseed && attempt > 0 {
             match base_policy {
                 ConflictPolicy::Arbitrary(s) => {
@@ -1067,6 +1149,9 @@ where
                     duration_ns: started.elapsed().as_nanos() as u64,
                     ok: true,
                 });
+                if let Some(h) = hook.as_mut() {
+                    h.on_commit(m, &report);
+                }
                 result = Some(r);
                 break;
             }
@@ -1337,22 +1422,70 @@ fn fol1_scalar(
     Ok(d)
 }
 
+/// The host-stage content digest: an order-dependent hash of the staged
+/// scratch vector, the host-side analogue of
+/// [`fol_vm::Machine::content_digest`]. The machine's digest covers machine
+/// memory only; the staged host mirror that `txn_apply_rounds` builds lives
+/// outside every tracked region, so corruption striking it between apply
+/// and commit would previously land in the caller's data silently. The
+/// digest closes that window.
+fn stage_digest<T: std::hash::Hash>(items: &[T]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    h.write_usize(items.len());
+    for item in items {
+        item.hash(&mut h);
+    }
+    h.finish()
+}
+
 /// Transactional [`crate::parallel::try_apply_rounds`]: decomposes
 /// `targets` on the machine, validates the result, applies `f` — and if
 /// anything fails, rolls the machine back byte-exact, escalates per
 /// `policy`, and tries again. `data` is written only after an attempt has
 /// fully succeeded, so on `Err` both machine memory and host data are
 /// exactly as before the call.
+///
+/// The staged host scratch is covered by the same content-digest discipline
+/// as machine memory: the digest is taken immediately after the rounds are
+/// applied and re-verified before the attempt stages its result, so
+/// host-mirror corruption in that window surfaces as a typed
+/// [`fol_vm::IntegrityError::ChecksumMismatch`] (region `"(host stage)"`)
+/// and the attempt rolls back and escalates instead of committing corrupt
+/// data. This is why `T: Hash`.
 pub fn txn_apply_rounds<T, F>(
     m: &mut Machine,
     work: Region,
     data: &mut [T],
     targets: &[usize],
     policy: &RetryPolicy,
-    mut f: F,
+    f: F,
 ) -> Result<(Decomposition, RecoveryReport), RecoveryError>
 where
-    T: Clone,
+    T: Clone + std::hash::Hash,
+    F: FnMut(&mut T, usize),
+{
+    txn_apply_rounds_hooked(m, work, data, targets, policy, f, &mut |_| {})
+}
+
+/// [`txn_apply_rounds`] with a fault-injection hook for the host-stage
+/// digest window: `stage_hook` runs on the staged scratch *after* the
+/// digest is taken and *before* it is verified — exactly the interval the
+/// digest defends. Chaos tests flip a staged byte here and assert the typed
+/// detection; production code calls [`txn_apply_rounds`], whose hook is a
+/// no-op.
+#[doc(hidden)]
+pub fn txn_apply_rounds_hooked<T, F>(
+    m: &mut Machine,
+    work: Region,
+    data: &mut [T],
+    targets: &[usize],
+    policy: &RetryPolicy,
+    mut f: F,
+    stage_hook: &mut dyn FnMut(&mut [T]),
+) -> Result<(Decomposition, RecoveryReport), RecoveryError>
+where
+    T: Clone + std::hash::Hash,
     F: FnMut(&mut T, usize),
 {
     let index_vec: Vec<Word> = targets.iter().map(|&t| t as Word).collect();
@@ -1370,6 +1503,18 @@ where
         )?;
         let mut scratch = shadow.to_vec();
         try_apply_rounds(&mut scratch, targets, &d, policy.validation, &mut f)?;
+        let expected = stage_digest(&scratch);
+        stage_hook(&mut scratch);
+        let actual = stage_digest(&scratch);
+        if actual != expected {
+            return Err(FolError::Integrity(IntegrityError::ChecksumMismatch {
+                region: "(host stage)".to_string(),
+                base: 0,
+                len: scratch.len(),
+                expected,
+                actual,
+            }));
+        }
         staged = Some(scratch);
         Ok(d)
     })?;
@@ -1389,7 +1534,26 @@ pub fn txn_par_apply_rounds<T, F>(
     f: F,
 ) -> Result<(Decomposition, RecoveryReport), RecoveryError>
 where
-    T: Clone + Send,
+    T: Clone + Send + std::hash::Hash,
+    F: Fn(&mut T, usize) + Sync,
+{
+    txn_par_apply_rounds_hooked(m, work, data, targets, policy, f, &mut |_| {})
+}
+
+/// [`txn_par_apply_rounds`] with the same host-stage fault-injection hook
+/// as [`txn_apply_rounds_hooked`].
+#[doc(hidden)]
+pub fn txn_par_apply_rounds_hooked<T, F>(
+    m: &mut Machine,
+    work: Region,
+    data: &mut [T],
+    targets: &[usize],
+    policy: &RetryPolicy,
+    f: F,
+    stage_hook: &mut dyn FnMut(&mut [T]),
+) -> Result<(Decomposition, RecoveryReport), RecoveryError>
+where
+    T: Clone + Send + std::hash::Hash,
     F: Fn(&mut T, usize) + Sync,
 {
     let index_vec: Vec<Word> = targets.iter().map(|&t| t as Word).collect();
@@ -1407,6 +1571,18 @@ where
         )?;
         let mut scratch = shadow.to_vec();
         try_par_apply_rounds(&mut scratch, targets, &d, policy.validation, &f)?;
+        let expected = stage_digest(&scratch);
+        stage_hook(&mut scratch);
+        let actual = stage_digest(&scratch);
+        if actual != expected {
+            return Err(FolError::Integrity(IntegrityError::ChecksumMismatch {
+                region: "(host stage)".to_string(),
+                base: 0,
+                len: scratch.len(),
+                expected,
+                actual,
+            }));
+        }
         staged = Some(scratch);
         Ok(d)
     })?;

@@ -1,0 +1,892 @@
+//! Versioned, CRC-framed checkpoints with atomic rename-commit.
+//!
+//! A checkpoint is the durable image of one worker's committed state at a
+//! round boundary: the byte-exact contents of its regions (a serialized
+//! [`fol_vm::Snapshot`]), the tracked-region digests that certify those
+//! contents, the host-side counters machine memory cannot carry (arena
+//! watermarks and the like), and the set of request sequence numbers whose
+//! effects the image already contains — the fact the WAL replayer needs to
+//! be exactly-once instead of at-least-once.
+//!
+//! # On-disk format (version 1)
+//!
+//! ```text
+//! magic "FOLCKPT\0" (8 bytes)  version u32 LE
+//! frame: meta      — seq, counters, applied set, region/checksum counts
+//! frame: region ×N — base u64, len u64, words i64 ×len
+//! frame: checksums — (name, base, len, digest) ×M
+//! frame: trailer   — literal "END"
+//! ```
+//!
+//! Every frame is CRC-32 protected ([`crate::frame`]); the trailer frame
+//! means a file truncated *exactly at a frame boundary* is still detected
+//! as [`PersistError::Truncated`] rather than silently losing its tail.
+//!
+//! # Commit discipline
+//!
+//! [`Checkpoint::write`] never exposes a half-written file under the final
+//! name: bytes go to a `.tmp` sibling, the file is fsynced, then atomically
+//! renamed over the destination, then the directory is fsynced so the name
+//! itself survives a crash. A kill at any point leaves either the old
+//! checkpoint or the new one — the torn `.tmp`, if present, fails the name
+//! filter and is never loaded.
+
+use crate::frame::{next_frame, push_frame, Dec, Enc, Frame};
+use crate::PersistError;
+use fol_core::recover::{DurabilityHook, ExecMode, RecoveryReport};
+use fol_vm::integrity::{digest_words, TrackedRegion};
+use fol_vm::{Machine, Region, Snapshot, Word};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// First bytes of every checkpoint file.
+pub const CKPT_MAGIC: &[u8; 8] = b"FOLCKPT\0";
+/// The checkpoint format version this build writes and reads.
+pub const CKPT_VERSION: u32 = 1;
+
+const TRAILER: &[u8] = b"END";
+
+/// One durable image of committed state. See the module docs for the
+/// on-disk format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Monotonic position of this image: the highest request sequence (or
+    /// commit count) whose effects it contains.
+    pub seq: u64,
+    /// Host-side counters that machine memory cannot carry (arena
+    /// watermarks such as a chain table's `used_nodes`), restored alongside
+    /// the snapshot.
+    pub counters: Vec<(String, u64)>,
+    /// Request sequence numbers whose effects this image already contains.
+    /// The WAL replayer subtracts this set so an acknowledged request is
+    /// applied exactly once, not re-applied on every restart.
+    pub applied: Vec<u64>,
+    /// The byte-exact region contents.
+    pub snapshot: Snapshot,
+    /// Ground-truth digests of the tracked regions at capture time, for
+    /// [`Checkpoint::verify`] and post-restore certification.
+    pub checksums: Vec<TrackedRegion>,
+}
+
+impl Checkpoint {
+    /// Captures the current contents of `regions` on `m`, together with
+    /// freshly recomputed digests of the machine's tracked regions — ground
+    /// truth of memory at this instant, independent of the incremental
+    /// sums (which rot can silently stale).
+    pub fn capture(
+        m: &Machine,
+        regions: &[Region],
+        seq: u64,
+        counters: Vec<(String, u64)>,
+        applied: Vec<u64>,
+    ) -> Self {
+        let checksums = m
+            .tracked_regions()
+            .iter()
+            .map(|t| TrackedRegion {
+                name: t.name.clone(),
+                region: t.region,
+                sum: digest_words(t.region.base(), &m.mem().read_region(t.region)),
+            })
+            .collect();
+        Checkpoint {
+            seq,
+            counters,
+            applied,
+            snapshot: Snapshot::capture(m.mem(), regions),
+            checksums,
+        }
+    }
+
+    /// Writes the snapshot back into `m` and resynchronizes the machine's
+    /// incremental checksums. The machine must have been rebuilt with the
+    /// identical allocation sequence (region geometry is bounds-checked by
+    /// the memory layer, not trusted).
+    pub fn restore_into(&self, m: &mut Machine) {
+        self.snapshot.restore(m.mem_mut());
+        m.resync_integrity();
+    }
+
+    /// Serializes to the version-1 byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(CKPT_MAGIC);
+        out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+
+        let mut meta = Enc::new();
+        meta.u64(self.seq);
+        meta.u32(self.counters.len() as u32);
+        for (name, v) in &self.counters {
+            meta.str(name);
+            meta.u64(*v);
+        }
+        meta.u32(self.applied.len() as u32);
+        for &s in &self.applied {
+            meta.u64(s);
+        }
+        meta.u32(self.snapshot.parts().len() as u32);
+        meta.u32(self.checksums.len() as u32);
+        push_frame(&mut out, &meta.into_bytes());
+
+        for (region, words) in self.snapshot.parts() {
+            let mut e = Enc::new();
+            e.u64(region.base() as u64);
+            e.u64(words.len() as u64);
+            for &w in words {
+                e.i64(w);
+            }
+            push_frame(&mut out, &e.into_bytes());
+        }
+
+        let mut sums = Enc::new();
+        for t in &self.checksums {
+            sums.str(&t.name);
+            sums.u64(t.region.base() as u64);
+            sums.u64(t.region.len() as u64);
+            sums.u64(t.sum);
+        }
+        push_frame(&mut out, &sums.into_bytes());
+        push_frame(&mut out, TRAILER);
+        out
+    }
+
+    /// Deserializes the version-1 byte format. Every defect is a distinct
+    /// typed error: wrong magic ([`PersistError::BadMagic`]), unknown
+    /// version ([`PersistError::UnsupportedVersion`]), torn file
+    /// ([`PersistError::Truncated`]), bit-flip
+    /// ([`PersistError::CrcMismatch`]), framed-in garbage
+    /// ([`PersistError::Malformed`]).
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let header = CKPT_MAGIC.len() + 4;
+        if bytes.len() < header {
+            return Err(PersistError::Truncated {
+                what: "checkpoint: header".into(),
+                offset: 0,
+                needed: header,
+                available: bytes.len(),
+            });
+        }
+        if &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+            return Err(PersistError::BadMagic {
+                what: "checkpoint".into(),
+                found: bytes[..CKPT_MAGIC.len()].to_vec(),
+            });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != CKPT_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                what: "checkpoint".into(),
+                found: version,
+                supported: CKPT_VERSION,
+            });
+        }
+        let mut pos = header;
+        let meta = require_frame(bytes, &mut pos, "checkpoint: meta frame")?;
+        let mut d = Dec::new(meta);
+        let seq = d.u64("meta.seq")?;
+        let n_counters = d.u32("meta.counters.len")? as usize;
+        let mut counters = Vec::with_capacity(n_counters.min(1024));
+        for _ in 0..n_counters {
+            let name = d.str("meta.counter.name")?;
+            let v = d.u64("meta.counter.value")?;
+            counters.push((name, v));
+        }
+        let n_applied = d.u32("meta.applied.len")? as usize;
+        let mut applied = Vec::with_capacity(n_applied.min(1024));
+        for _ in 0..n_applied {
+            applied.push(d.u64("meta.applied.seq")?);
+        }
+        let n_regions = d.u32("meta.regions.len")? as usize;
+        let n_sums = d.u32("meta.checksums.len")? as usize;
+        d.finish("checkpoint: meta frame")?;
+
+        let mut parts: Vec<(Region, Vec<Word>)> = Vec::with_capacity(n_regions.min(1024));
+        for i in 0..n_regions {
+            let payload = require_frame(bytes, &mut pos, "checkpoint: region frame")?;
+            let mut d = Dec::new(payload);
+            let what = format!("region[{i}]");
+            let base = d.u64(&what)? as usize;
+            let len = d.u64(&what)? as usize;
+            let mut words = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                words.push(d.i64(&what)?);
+            }
+            d.finish("checkpoint: region frame")?;
+            parts.push((Region::from_raw(base, len), words));
+        }
+
+        let sums_payload = require_frame(bytes, &mut pos, "checkpoint: checksum frame")?;
+        let mut d = Dec::new(sums_payload);
+        let mut checksums = Vec::with_capacity(n_sums.min(1024));
+        for _ in 0..n_sums {
+            let name = d.str("checksum.name")?;
+            let base = d.u64("checksum.base")? as usize;
+            let len = d.u64("checksum.len")? as usize;
+            let sum = d.u64("checksum.sum")?;
+            checksums.push(TrackedRegion {
+                name,
+                region: Region::from_raw(base, len),
+                sum,
+            });
+        }
+        d.finish("checkpoint: checksum frame")?;
+
+        let trailer = require_frame(bytes, &mut pos, "checkpoint: trailer frame")?;
+        if trailer != TRAILER {
+            return Err(PersistError::Malformed {
+                what: format!("checkpoint: trailer is {trailer:02x?}, expected \"END\""),
+            });
+        }
+        if pos != bytes.len() {
+            return Err(PersistError::Malformed {
+                what: format!(
+                    "checkpoint: {} byte(s) after the trailer frame",
+                    bytes.len() - pos
+                ),
+            });
+        }
+        Ok(Checkpoint {
+            seq,
+            counters,
+            applied,
+            snapshot: Snapshot::from_parts(parts),
+            checksums,
+        })
+    }
+
+    /// Cross-checks the stored digests against the stored region contents:
+    /// every checksum whose region was captured must match a fresh
+    /// [`digest_words`] over the captured words. The CRC layer certifies
+    /// the *bytes* survived storage; this certifies the checkpoint was
+    /// internally consistent when written (a writer racing its own
+    /// mutations would be caught here).
+    pub fn verify(&self) -> Result<(), PersistError> {
+        for t in &self.checksums {
+            let Some((_, words)) = self
+                .snapshot
+                .parts()
+                .iter()
+                .find(|(r, _)| r.base() == t.region.base() && r.len() == t.region.len())
+            else {
+                continue;
+            };
+            let actual = digest_words(t.region.base(), words);
+            if actual != t.sum {
+                return Err(PersistError::Malformed {
+                    what: format!(
+                        "checkpoint: region \"{}\" digest {actual:#018x} does not match \
+                         stored checksum {:#018x} — the checkpoint was written inconsistent",
+                        t.name, t.sum
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes and commits atomically to `path` (temp file + fsync +
+    /// rename + directory fsync). A crash at any point leaves either the
+    /// previous file or the complete new one under `path`.
+    pub fn write(&self, path: &Path) -> Result<(), PersistError> {
+        write_atomic(path, &self.encode())
+    }
+
+    /// [`Checkpoint::write`] without the fsyncs: the same atomic
+    /// temp-file + rename commit (safe against process crashes), relying
+    /// on the OS to flush. Appropriate when a durable write-ahead log is
+    /// the source of truth and this checkpoint merely shortens replay — a
+    /// power-loss-torn file is refused typed at load time and recovery
+    /// falls back to the previous checkpoint plus the log.
+    pub fn write_unsynced(&self, path: &Path) -> Result<(), PersistError> {
+        write_atomic_opts(path, &self.encode(), false)
+    }
+
+    /// Reads and decodes `path`. Does not [`Checkpoint::verify`]; the scan
+    /// helpers do both.
+    pub fn load(path: &Path) -> Result<Self, PersistError> {
+        let bytes =
+            fs::read(path).map_err(|e| PersistError::io(format!("read {}", path.display()), e))?;
+        Self::decode(&bytes)
+    }
+
+    /// The canonical file name for a checkpoint of `prefix` at `seq` —
+    /// zero-padded so lexicographic order is sequence order.
+    pub fn file_name(prefix: &str, seq: u64) -> String {
+        format!("{prefix}-{seq:020}.ckpt")
+    }
+}
+
+/// Reads the frame at `*pos`, turning a clean end-of-input into a
+/// [`PersistError::Truncated`] — here, running out of frames early *is* a
+/// truncation (the meta frame promised more).
+fn require_frame<'a>(
+    bytes: &'a [u8],
+    pos: &mut usize,
+    what: &str,
+) -> Result<&'a [u8], PersistError> {
+    match next_frame(bytes, pos, what)? {
+        Frame::Ok(p) => Ok(p),
+        Frame::End => Err(PersistError::Truncated {
+            what: format!("{what} (file ends before it)"),
+            offset: *pos,
+            needed: 8,
+            available: 0,
+        }),
+    }
+}
+
+/// Write-to-temp + fsync + atomic rename + directory fsync.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    write_atomic_opts(path, bytes, true)
+}
+
+/// [`write_atomic`] with the fsyncs optional. `sync: false` keeps the
+/// temp-file + rename protocol (a *process* crash still leaves either the
+/// old file or the complete new one) but skips the file and directory
+/// fsyncs, conceding that a *power* loss may tear the file — acceptable
+/// exactly where the caller treats the artifact as a cache over a durable
+/// log: a torn checkpoint is refused typed at load time and recovery falls
+/// back to the previous one plus log replay.
+pub(crate) fn write_atomic_opts(path: &Path, bytes: &[u8], sync: bool) -> Result<(), PersistError> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    fs::create_dir_all(dir)
+        .map_err(|e| PersistError::io(format!("create {}", dir.display()), e))?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)
+            .map_err(|e| PersistError::io(format!("create {}", tmp.display()), e))?;
+        f.write_all(bytes)
+            .map_err(|e| PersistError::io(format!("write {}", tmp.display()), e))?;
+        if sync {
+            f.sync_all()
+                .map_err(|e| PersistError::io(format!("fsync {}", tmp.display()), e))?;
+        }
+    }
+    fs::rename(&tmp, path).map_err(|e| {
+        PersistError::io(format!("rename {} -> {}", tmp.display(), path.display()), e)
+    })?;
+    // Make the rename itself durable: fsync the containing directory.
+    if sync {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The outcome of scanning a directory for checkpoints: the newest loadable
+/// one (if any), plus a typed refusal per newer file that failed to load or
+/// verify — surfaced, never silently skipped.
+#[derive(Debug, Default)]
+pub struct CheckpointScan {
+    /// The newest checkpoint that loaded and verified, with its path.
+    pub newest: Option<(PathBuf, Checkpoint)>,
+    /// Files newer than `newest` that were refused, newest first, each with
+    /// the typed reason.
+    pub refused: Vec<(PathBuf, PersistError)>,
+}
+
+/// Scans `dir` for `{prefix}-*.ckpt` files, newest first, returning the
+/// first one that loads and [`Checkpoint::verify`]s plus a typed refusal
+/// for every newer file that did not. A missing directory is an empty scan,
+/// not an error; an unreadable one is [`PersistError::Io`].
+pub fn latest_checkpoint(dir: &Path, prefix: &str) -> Result<CheckpointScan, PersistError> {
+    let mut scan = CheckpointScan::default();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(scan),
+        Err(e) => return Err(PersistError::io(format!("read dir {}", dir.display()), e)),
+    };
+    let mut names: Vec<String> = Vec::new();
+    let wanted_prefix = format!("{prefix}-");
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| PersistError::io(format!("read dir {}", dir.display()), e))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with(&wanted_prefix) && name.ends_with(".ckpt") {
+            names.push(name);
+        }
+    }
+    // Zero-padded sequence numbers: lexicographic descending = newest first.
+    names.sort_unstable_by(|a, b| b.cmp(a));
+    for name in names {
+        let path = dir.join(&name);
+        match Checkpoint::load(&path).and_then(|c| c.verify().map(|()| c)) {
+            Ok(c) => {
+                scan.newest = Some((path, c));
+                break;
+            }
+            Err(e) => scan.refused.push((path, e)),
+        }
+    }
+    Ok(scan)
+}
+
+/// Deletes all but the newest `keep` checkpoints of `prefix` in `dir`.
+/// Returns how many were removed; removal errors are ignored (a stale file
+/// is re-pruned next time).
+pub fn prune_checkpoints(dir: &Path, prefix: &str, keep: usize) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let wanted_prefix = format!("{prefix}-");
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with(&wanted_prefix) && n.ends_with(".ckpt"))
+        .collect();
+    names.sort_unstable();
+    let excess = names.len().saturating_sub(keep);
+    let mut removed = 0;
+    for name in &names[..excess] {
+        if fs::remove_file(dir.join(name)).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// A [`DurabilityHook`] that makes the retry supervisor's progress durable:
+/// ladder rung before every attempt (so a killed process resumes mid-ladder
+/// via [`DurabilityHook::resume_rung`]), and a full [`Checkpoint`] of the
+/// machine's tracked regions every `every` commits.
+///
+/// Hook calls never fail the supervised transaction; I/O problems are
+/// recorded and readable via [`Checkpointer::last_error`].
+pub struct Checkpointer {
+    dir: PathBuf,
+    prefix: String,
+    every: u64,
+    keep: usize,
+    commits: u64,
+    counters: Vec<(String, u64)>,
+    applied: Vec<u64>,
+    checkpoints_written: u64,
+    last_error: Option<PersistError>,
+}
+
+impl Checkpointer {
+    /// A checkpointer writing into `dir` with file prefix `prefix`,
+    /// checkpointing every commit and keeping the 2 newest files.
+    pub fn new(dir: impl Into<PathBuf>, prefix: impl Into<String>) -> Self {
+        Checkpointer {
+            dir: dir.into(),
+            prefix: prefix.into(),
+            every: 1,
+            keep: 2,
+            commits: 0,
+            counters: Vec::new(),
+            applied: Vec::new(),
+            checkpoints_written: 0,
+            last_error: None,
+        }
+    }
+
+    /// Checkpoint every `every` commits (0 is treated as 1).
+    pub fn every(mut self, every: u64) -> Self {
+        self.every = every.max(1);
+        self
+    }
+
+    /// Keep the newest `keep` checkpoint files (older ones are pruned).
+    pub fn keep(mut self, keep: usize) -> Self {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// Continue the commit count from `seq` — used after restoring from a
+    /// checkpoint so new files sort after the restored one.
+    pub fn starting_at(mut self, seq: u64) -> Self {
+        self.commits = seq;
+        self
+    }
+
+    /// Sets the host counters attached to the next checkpoint.
+    pub fn set_counters(&mut self, counters: Vec<(String, u64)>) {
+        self.counters = counters;
+    }
+
+    /// Sets the applied-sequence set attached to the next checkpoint.
+    pub fn set_applied(&mut self, applied: Vec<u64>) {
+        self.applied = applied;
+    }
+
+    /// Commits observed so far (the checkpoint sequence counter).
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Checkpoints successfully written.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// The most recent durability I/O failure, if any. Durability is
+    /// best-effort at write time (refusal is typed at *load* time); this is
+    /// where a supervisor checks whether its safety net actually exists.
+    pub fn last_error(&self) -> Option<&PersistError> {
+        self.last_error.as_ref()
+    }
+
+    fn rung_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.rung", self.prefix))
+    }
+}
+
+impl DurabilityHook for Checkpointer {
+    fn resume_rung(&mut self) -> usize {
+        let path = self.rung_path();
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return 0,
+        };
+        let mut pos = 0;
+        match next_frame(&bytes, &mut pos, "ladder rung file") {
+            Ok(Frame::Ok(payload)) => {
+                let mut d = Dec::new(payload);
+                match d
+                    .u32("rung")
+                    .and_then(|r| d.finish("rung file").map(|()| r))
+                {
+                    Ok(r) => r as usize,
+                    Err(e) => {
+                        // A corrupt rung file cannot be resumed from;
+                        // restarting the ladder at the bottom is always
+                        // safe (merely slower). Typed, recorded, not silent.
+                        self.last_error = Some(e);
+                        0
+                    }
+                }
+            }
+            Ok(Frame::End) => 0,
+            Err(e) => {
+                self.last_error = Some(e);
+                0
+            }
+        }
+    }
+
+    fn on_attempt(&mut self, rung: usize, _mode: ExecMode) {
+        let mut e = Enc::new();
+        e.u32(rung as u32);
+        let mut bytes = Vec::new();
+        push_frame(&mut bytes, &e.into_bytes());
+        if let Err(err) = write_atomic(&self.rung_path(), &bytes) {
+            self.last_error = Some(err);
+        }
+    }
+
+    fn on_commit(&mut self, m: &Machine, _report: &RecoveryReport) {
+        self.commits += 1;
+        // The ladder completed; a restart should begin at the bottom.
+        let _ = fs::remove_file(self.rung_path());
+        if !self.commits.is_multiple_of(self.every) {
+            return;
+        }
+        let regions: Vec<Region> = m.tracked_regions().iter().map(|t| t.region).collect();
+        let ckpt = Checkpoint::capture(
+            m,
+            &regions,
+            self.commits,
+            self.counters.clone(),
+            self.applied.clone(),
+        );
+        let path = self
+            .dir
+            .join(Checkpoint::file_name(&self.prefix, self.commits));
+        match ckpt.write(&path) {
+            Ok(()) => {
+                self.checkpoints_written += 1;
+                prune_checkpoints(&self.dir, &self.prefix, self.keep);
+            }
+            Err(e) => self.last_error = Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::CostModel;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("fol-persist-test-{}-{tag}-{n}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_machine() -> (Machine, Region, Region) {
+        let mut m = Machine::new(CostModel::unit());
+        let a = m.alloc(8, "a");
+        let b = m.alloc(3, "b");
+        for i in 0..8 {
+            m.s_write(a.at(i), (i as Word) * 7 - 3);
+        }
+        for i in 0..3 {
+            m.s_write(b.at(i), -(i as Word));
+        }
+        m.track_region(a);
+        m.track_region(b);
+        (m, a, b)
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let (m, a, b) = sample_machine();
+        Checkpoint::capture(
+            &m,
+            &[a, b],
+            42,
+            vec![("chain.used_nodes".into(), 17), ("bst.used".into(), 5)],
+            vec![3, 5, 8],
+        )
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_verifies() {
+        let c = sample_checkpoint();
+        let bytes = c.encode();
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(back, c);
+        back.verify().unwrap();
+        assert_eq!(back.seq, 42);
+        assert_eq!(back.applied, vec![3, 5, 8]);
+        assert_eq!(back.counters[0].0, "chain.used_nodes");
+        assert_eq!(back.snapshot.words(), 11);
+    }
+
+    #[test]
+    fn restore_into_rebuilds_identical_state() {
+        let c = sample_checkpoint();
+        let (mut m2, a2, _) = sample_machine();
+        // Diverge, then restore.
+        m2.s_write(a2.at(0), 999);
+        c.restore_into(&mut m2);
+        assert!(c.snapshot.matches(m2.mem()));
+        m2.scrub().expect("restore_into must resync the digests");
+    }
+
+    /// Satellite: the version/corruption table. Every distinct way a stored
+    /// checkpoint can be damaged maps to a *distinct* typed error — version
+    /// skew is not "corruption", truncation is not a bit-flip, and none of
+    /// them load.
+    #[test]
+    fn corruption_table_yields_distinct_typed_errors() {
+        let good = sample_checkpoint().encode();
+        Checkpoint::decode(&good).unwrap();
+
+        // (mutation, expected-variant name, matcher)
+        type Case = (&'static str, Vec<u8>, fn(&PersistError) -> bool);
+        let cases: Vec<Case> = vec![
+            (
+                "bumped version",
+                {
+                    let mut b = good.clone();
+                    b[8] = (CKPT_VERSION + 1) as u8;
+                    b
+                },
+                |e| {
+                    matches!(
+                        e,
+                        PersistError::UnsupportedVersion {
+                            found,
+                            supported: CKPT_VERSION,
+                            ..
+                        } if *found == CKPT_VERSION + 1
+                    )
+                },
+            ),
+            (
+                "unknown magic",
+                {
+                    let mut b = good.clone();
+                    b[0] = b'X';
+                    b
+                },
+                |e| matches!(e, PersistError::BadMagic { .. }),
+            ),
+            ("truncated header", good[..7].to_vec(), |e| {
+                matches!(e, PersistError::Truncated { .. })
+            }),
+            (
+                "truncated mid-frame",
+                good[..good.len() - 5].to_vec(),
+                |e| matches!(e, PersistError::Truncated { .. }),
+            ),
+            (
+                "truncated at a frame boundary (trailer missing)",
+                good[..good.len() - (8 + TRAILER.len())].to_vec(),
+                |e| matches!(e, PersistError::Truncated { .. }),
+            ),
+            (
+                "bit-flipped frame payload",
+                {
+                    let mut b = good.clone();
+                    let mid = 12 + 8 + 2; // inside the meta frame payload
+                    b[mid] ^= 0x20;
+                    b
+                },
+                |e| matches!(e, PersistError::CrcMismatch { .. }),
+            ),
+        ];
+        let mut seen = Vec::new();
+        for (label, bytes, matches_expected) in cases {
+            let err = Checkpoint::decode(&bytes)
+                .err()
+                .unwrap_or_else(|| panic!("{label}: corrupt checkpoint must not decode"));
+            assert!(matches_expected(&err), "{label}: wrong variant: {err}");
+            seen.push((label, std::mem::discriminant(&err)));
+        }
+        // The first three damage classes are pairwise distinct variants.
+        assert_ne!(seen[0].1, seen[2].1, "version skew != truncation");
+        assert_ne!(seen[0].1, seen[5].1, "version skew != bit-flip");
+        assert_ne!(seen[2].1, seen[5].1, "truncation != bit-flip");
+    }
+
+    #[test]
+    fn verify_catches_inconsistent_writer() {
+        let mut c = sample_checkpoint();
+        c.checksums[0].sum ^= 1;
+        let err = c.verify().unwrap_err();
+        assert!(matches!(err, PersistError::Malformed { .. }), "{err}");
+        // The damage survives a round-trip (CRCs are consistent with the
+        // stored lie) and is still caught at verify.
+        let back = Checkpoint::decode(&c.encode()).unwrap();
+        assert!(back.verify().is_err());
+    }
+
+    #[test]
+    fn write_is_atomic_and_scan_finds_newest() {
+        let dir = temp_dir("scan");
+        let c = sample_checkpoint();
+        let p1 = dir.join(Checkpoint::file_name("w0", 1));
+        let p2 = dir.join(Checkpoint::file_name("w0", 2));
+        c.write(&p1).unwrap();
+        let mut c2 = c.clone();
+        c2.seq = 2;
+        c2.write(&p2).unwrap();
+        assert!(!p1.with_extension("tmp").exists(), "no tmp residue");
+
+        let scan = latest_checkpoint(&dir, "w0").unwrap();
+        let (path, newest) = scan.newest.expect("two valid checkpoints on disk");
+        assert_eq!(path, p2);
+        assert_eq!(newest.seq, 2);
+        assert!(scan.refused.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_refuses_torn_newest_and_falls_back_typed() {
+        let dir = temp_dir("torn");
+        let c = sample_checkpoint();
+        c.write(&dir.join(Checkpoint::file_name("w0", 1))).unwrap();
+        // A newer checkpoint, torn mid-write (simulated: truncated bytes
+        // under the final name — stronger than anything the atomic rename
+        // path can produce).
+        let torn = c.encode()[..40].to_vec();
+        fs::write(dir.join(Checkpoint::file_name("w0", 2)), &torn).unwrap();
+
+        let scan = latest_checkpoint(&dir, "w0").unwrap();
+        let (_, newest) = scan.newest.expect("the older checkpoint is intact");
+        assert_eq!(newest.seq, 42);
+        assert_eq!(scan.refused.len(), 1, "the torn file is surfaced, typed");
+        assert!(
+            matches!(scan.refused[0].1, PersistError::Truncated { .. }),
+            "{}",
+            scan.refused[0].1
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_dir_is_an_empty_scan() {
+        let scan = latest_checkpoint(Path::new("/nonexistent/fol-persist-nowhere"), "w0").unwrap();
+        assert!(scan.newest.is_none());
+        assert!(scan.refused.is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_the_newest() {
+        let dir = temp_dir("prune");
+        let c = sample_checkpoint();
+        for seq in 1..=5 {
+            c.write(&dir.join(Checkpoint::file_name("w0", seq)))
+                .unwrap();
+        }
+        assert_eq!(prune_checkpoints(&dir, "w0", 2), 3);
+        let scan = latest_checkpoint(&dir, "w0").unwrap();
+        assert!(scan
+            .newest
+            .unwrap()
+            .0
+            .ends_with(Checkpoint::file_name("w0", 5)));
+        assert!(dir.join(Checkpoint::file_name("w0", 4)).exists());
+        assert!(!dir.join(Checkpoint::file_name("w0", 3)).exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointer_persists_ladder_progress_and_checkpoints_on_commit() {
+        use fol_core::recover::{run_transaction_durable, RetryPolicy};
+        let dir = temp_dir("hook");
+        let (mut m, a, _) = sample_machine();
+
+        // A crashed predecessor left a rung file at rung 1.
+        let mut prior = Checkpointer::new(&dir, "w0");
+        prior.on_attempt(1, ExecMode::Vector);
+        drop(prior);
+
+        let mut ck = Checkpointer::new(&dir, "w0");
+        let policy = RetryPolicy::default();
+        let modes_seen = std::cell::RefCell::new(Vec::new());
+        let (_, report) = run_transaction_durable(&mut m, &policy, &mut ck, |m, mode| {
+            modes_seen.borrow_mut().push(mode);
+            m.s_write(a.at(0), 123);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.attempts, 1);
+        assert_eq!(
+            modes_seen.borrow().len(),
+            1,
+            "resumed ladder runs one attempt"
+        );
+        // Rung 1 of the default ladder is not rung 0's plain Vector mode.
+        assert_ne!(
+            modes_seen.borrow()[0],
+            ExecMode::Vector,
+            "resumed at rung 1"
+        );
+        assert_eq!(ck.commits(), 1);
+        assert_eq!(ck.checkpoints_written(), 1);
+        assert!(ck.last_error().is_none(), "{:?}", ck.last_error());
+        assert!(!dir.join("w0.rung").exists(), "commit clears the rung file");
+
+        // The checkpoint on disk restores the committed value.
+        let scan = latest_checkpoint(&dir, "w0").unwrap();
+        let (_, ckpt) = scan.newest.expect("one checkpoint written");
+        let (mut m2, a2, _) = sample_machine();
+        ckpt.restore_into(&mut m2);
+        assert_eq!(m2.s_read(a2.at(0)), 123);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointer_resume_rung_reads_back_and_tolerates_garbage() {
+        let dir = temp_dir("rung");
+        let mut ck = Checkpointer::new(&dir, "w0");
+        assert_eq!(ck.resume_rung(), 0, "no rung file = fresh ladder");
+        ck.on_attempt(3, ExecMode::ScalarTail);
+        assert_eq!(ck.resume_rung(), 3);
+
+        fs::write(dir.join("w0.rung"), b"\xFF\xFF").unwrap();
+        let mut ck2 = Checkpointer::new(&dir, "w0");
+        assert_eq!(ck2.resume_rung(), 0, "corrupt rung file restarts safely");
+        assert!(ck2.last_error().is_some(), "…but the refusal is typed");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -50,18 +50,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod durability;
 mod pool;
 mod queue;
 mod request;
 mod scrub;
 
+pub use durability::{worker_prefix, DurabilityConfig, REQUEST_LOG_PREFIX};
+pub use fol_persist::{FsyncPolicy, PersistError};
 pub use pool::ClassDump;
 pub use queue::{StatsSnapshot, Ticket};
 pub use request::{Priority, Request, Response, ServeError, WorkloadClass};
 
+use durability::{plan_replay, ReplayPlan};
 use fol_core::recover::RetryPolicy;
 use fol_hash::ProbeStrategy;
+use fol_persist::checkpoint::latest_checkpoint;
+use fol_persist::{wal, Checkpoint, Wal};
 use fol_vm::FaultPlan;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -98,6 +105,10 @@ pub struct ServerConfig {
     /// Optional fault plan installed on every worker's machine (chaos
     /// testing; `None` in production).
     pub fault_plan: Option<FaultPlan>,
+    /// Crash safety: where (and how aggressively) the server persists its
+    /// write-ahead request log and per-worker checkpoints. `None` (the
+    /// default) keeps the server fully in-memory, exactly as before.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -115,8 +126,30 @@ impl Default for ServerConfig {
             probe: ProbeStrategy::KeyDependent,
             policy: RetryPolicy::default(),
             fault_plan: None,
+            durability: None,
         }
     }
+}
+
+/// What [`Server::try_start`] restored and replayed before admitting new
+/// traffic. All zeros/false for a cold start or a non-durable server.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RestartReport {
+    /// Acknowledged-but-unapplied requests re-driven from the request log
+    /// through normal admission.
+    pub replayed: usize,
+    /// Whether the log's last segment ended mid-record — the expected
+    /// signature of a kill mid-append, surfaced typed, never silently
+    /// dropped. The torn record was never acknowledged.
+    pub torn_tail: bool,
+    /// Workers restored from a durable checkpoint.
+    pub checkpoints_restored: usize,
+    /// Checkpoint files refused as corrupt during the startup scan (each
+    /// fell back to the next-newest loadable image).
+    pub checkpoints_refused: usize,
+    /// First sequence number this incarnation assigns — strictly above
+    /// everything in recorded history.
+    pub next_seq: u64,
 }
 
 /// Final accounting handed back by [`Server::shutdown`].
@@ -143,10 +176,36 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Panics if `workers == 0`, or if the structure sizes violate the
+    /// Panics if `workers == 0`, if the structure sizes violate the
     /// workloads' documented contracts (e.g. a key-dependent probe over a
-    /// table of ≤ 32 slots).
+    /// table of ≤ 32 slots), or — with [`ServerConfig::durability`] set —
+    /// if recorded history is refused as corrupt. Use
+    /// [`Server::try_start`] to handle persistence refusals as typed
+    /// errors instead.
     pub fn start(config: ServerConfig) -> Self {
+        match Self::try_start(config) {
+            Ok((server, _)) => server,
+            Err(e) => panic!("fol-serve start: {e}"),
+        }
+    }
+
+    /// Like [`Server::start`], but recovers durable state first and
+    /// returns what it found. With [`ServerConfig::durability`] set, this:
+    ///
+    /// 1. scans each worker's checkpoints, restoring the newest loadable
+    ///    image (corrupt files are refused **typed** and fall back to the
+    ///    next-newest — see [`RestartReport::checkpoints_refused`]);
+    /// 2. replays the write-ahead request log — a torn tail on the last
+    ///    segment is the accepted crash frontier, while a CRC mismatch
+    ///    anywhere (or any defect in a sealed segment) is a hard
+    ///    [`ServeError::Persist`]: corrupt history is never silently
+    ///    replayed around;
+    /// 3. re-drives every acknowledged-but-unapplied mutating request
+    ///    through normal admission, under its original sequence number.
+    ///
+    /// Configuration errors (zero workers, undersized tables) still panic:
+    /// they are programmer errors, not recoverable state.
+    pub fn try_start(config: ServerConfig) -> Result<(Self, RestartReport), ServeError> {
         assert!(config.workers > 0, "a pool needs at least one worker");
         assert!(config.max_batch > 0, "max_batch must be positive");
         if config.probe == ProbeStrategy::KeyDependent {
@@ -156,24 +215,68 @@ impl Server {
             );
         }
         let cfg = Arc::new(config);
+        let mut report = RestartReport::default();
+        let persist = |error| ServeError::Persist { error };
+
+        // Phase 1+2: restore checkpoints, replay the log (durable only).
+        let (log, restored, plan) = match &cfg.durability {
+            None => (None, vec![None; cfg.workers], ReplayPlan::default()),
+            Some(d) => {
+                let mut restored: Vec<Option<Checkpoint>> = Vec::with_capacity(cfg.workers);
+                let mut applied_union: BTreeSet<u64> = BTreeSet::new();
+                for id in 0..cfg.workers {
+                    let scan = latest_checkpoint(&d.dir, &worker_prefix(id)).map_err(persist)?;
+                    report.checkpoints_refused += scan.refused.len();
+                    let newest = scan.newest.map(|(_, c)| c);
+                    if let Some(c) = &newest {
+                        applied_union.extend(c.applied.iter().copied());
+                    }
+                    restored.push(newest);
+                }
+                let replayed = wal::replay(&d.dir, REQUEST_LOG_PREFIX).map_err(persist)?;
+                report.torn_tail = replayed.torn_tail.is_some();
+                let plan = plan_replay(&replayed.records, &applied_union).map_err(persist)?;
+                let log = Wal::open(&d.dir, REQUEST_LOG_PREFIX, d.fsync, d.segment_bytes)
+                    .map_err(persist)?;
+                (Some(log), restored, plan)
+            }
+        };
+
         let shared = Arc::new(queue::Shared::new(
             cfg.queue_capacity,
             cfg.max_batch,
             cfg.max_wait,
+            log,
         ));
-        let workers = (0..cfg.workers)
-            .map(|id| {
-                let worker = pool::Worker::new(Arc::clone(&cfg), Arc::clone(&shared), id);
+        shared.set_next_seq(plan.next_seq);
+        report.next_seq = plan.next_seq;
+
+        let workers = restored
+            .into_iter()
+            .enumerate()
+            .map(|(id, ckpt)| {
+                let worker = pool::Worker::new(Arc::clone(&cfg), Arc::clone(&shared), id, ckpt);
                 std::thread::Builder::new()
                     .name(format!("fol-serve-{id}"))
                     .spawn(move || worker.run())
                     .expect("spawn pool worker")
             })
             .collect();
-        Server {
-            shared,
-            workers: Some(workers),
+
+        // Phase 3: re-drive the acknowledged-but-unapplied frontier.
+        report.replayed = plan.resubmit.len();
+        for entry in plan.resubmit {
+            shared.resubmit(entry.seq, entry.request, entry.priority);
         }
+        report.checkpoints_restored = shared.stats.snapshot().checkpoints_restored as usize;
+
+        Ok((
+            Server {
+                shared,
+                workers: Some(workers),
+            },
+            report,
+        ))
     }
 
     /// Submits at [`Priority::Normal`] with no deadline.

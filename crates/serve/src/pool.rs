@@ -19,6 +19,9 @@
 //! fresh machine, rebuilt with the identical allocation sequence and
 //! restored from the snapshot).
 
+use crate::durability::{
+    decode_record, encode_complete, worker_prefix, DurRecord, REQUEST_LOG_PREFIX,
+};
 use crate::queue::{
     Batch, Pending, Shared, LANE_BST_INSERT, LANE_CHAIN_INSERT, LANE_CTL_BST, LANE_CTL_CHAIN,
     LANE_CTL_OA, LANE_OA_INSERT, LANE_OA_LOOKUP,
@@ -29,11 +32,15 @@ use crate::ServerConfig;
 use fol_core::recover::GroupError;
 use fol_hash::chaining::{self, ChainTable};
 use fol_hash::open_addressing as oa;
+use fol_persist::checkpoint::{latest_checkpoint, prune_checkpoints};
+use fol_persist::{wal, Checkpoint};
 use fol_tree::bst::{self, Bst};
 use fol_vm::{CostModel, Machine, Region, Snapshot, Word};
+use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError};
 
 /// Which worker owns a class's single-owner structure (chaining is sharded
 /// across all workers; its control owner is worker 0).
@@ -71,6 +78,38 @@ pub(crate) struct Worker {
     committed_chain_used: usize,
     committed_bst_used: usize,
     scrub: ScrubCursor,
+    dur: Option<WorkerDur>,
+}
+
+/// A worker's durable half: where its checkpoints live and which request
+/// sequence numbers its committed state already contains.
+struct WorkerDur {
+    dir: PathBuf,
+    prefix: String,
+    every: u64,
+    keep: usize,
+    /// Whether checkpoint files are fsynced. Only [`FsyncPolicy::Always`]
+    /// pays for it: at the weaker tiers the write-ahead log is the source
+    /// of truth, so a power-loss-torn checkpoint is a typed refusal with
+    /// fallback, not lost data.
+    sync: bool,
+    /// Monotonic checkpoint sequence, continued across restores so new
+    /// files sort after the restored one.
+    ckpt_seq: u64,
+    /// Successful mutating batches since start (cadence counter).
+    commits: u64,
+    /// Every request sequence this worker has applied — restored set plus
+    /// this incarnation's commits. Attached to each checkpoint so the
+    /// replayer is exactly-once, and diffed against the newest durable
+    /// checkpoint on respawn to find what must be redone.
+    applied_all: BTreeSet<u64>,
+}
+
+fn counter_of(ckpt: &Checkpoint, name: &str) -> usize {
+    ckpt.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v as usize)
 }
 
 /// Builds a worker's machine and structures. Deterministic: the respawn
@@ -112,8 +151,42 @@ fn capture_committed(m: &Machine) -> Snapshot {
 }
 
 impl Worker {
-    pub(crate) fn new(cfg: Arc<ServerConfig>, shared: Arc<Shared>, id: usize) -> Self {
-        let (m, chain, oa_table, bst) = build_machine(&cfg, id);
+    /// Builds a worker. `restored` is the newest durable checkpoint the
+    /// startup scan found for this worker's prefix (restored into the fresh
+    /// machine before the first committed snapshot is taken), or `None` for
+    /// a cold start.
+    pub(crate) fn new(
+        cfg: Arc<ServerConfig>,
+        shared: Arc<Shared>,
+        id: usize,
+        restored: Option<Checkpoint>,
+    ) -> Self {
+        let (mut m, mut chain, oa_table, mut bst) = build_machine(&cfg, id);
+        let mut dur = cfg.durability.as_ref().map(|d| WorkerDur {
+            dir: d.dir.clone(),
+            prefix: worker_prefix(id),
+            every: d.checkpoint_every.max(1),
+            keep: d.keep_checkpoints.max(1),
+            sync: d.fsync == fol_persist::FsyncPolicy::Always,
+            ckpt_seq: 0,
+            commits: 0,
+            applied_all: BTreeSet::new(),
+        });
+        if let Some(ckpt) = restored {
+            ckpt.restore_into(&mut m);
+            chain.used_nodes = counter_of(&ckpt, "chain.used_nodes");
+            if let Some(b) = &mut bst {
+                b.used = counter_of(&ckpt, "bst.used");
+            }
+            if let Some(dur) = &mut dur {
+                dur.ckpt_seq = ckpt.seq;
+                dur.applied_all = ckpt.applied.iter().copied().collect();
+            }
+            shared
+                .stats
+                .checkpoints_restored
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let committed = capture_committed(&m);
         // Owned lanes first (their requests have nowhere else to go), then
         // the shared chain-insert lane.
@@ -134,13 +207,14 @@ impl Worker {
             shared,
             lanes,
             m,
+            committed_chain_used: chain.used_nodes,
+            committed_bst_used: bst.as_ref().map_or(0, |b| b.used),
             chain,
             oa_table,
             bst,
             committed,
-            committed_chain_used: 0,
-            committed_bst_used: 0,
             scrub: ScrubCursor::default(),
+            dur,
         }
     }
 
@@ -186,6 +260,34 @@ impl Worker {
                     self.committed_chain_used = self.chain.used_nodes;
                     self.committed_bst_used = self.bst.as_ref().map_or(0, |b| b.used);
                 }
+                if self.dur.is_some() {
+                    // Completion records, then the batch-boundary fsync,
+                    // *before* callers see their outcomes: an acknowledged
+                    // outcome is never ahead of the log. Best-effort — the
+                    // caller keeps its typed result either way, and a lost
+                    // record only widens the at-least-once replay window.
+                    if mutating {
+                        let ok_seqs: Vec<u64> = items
+                            .iter()
+                            .zip(&results)
+                            .filter(|(_, r)| r.is_ok())
+                            .map(|(p, _)| p.seq)
+                            .collect();
+                        if let Some(dur) = &mut self.dur {
+                            dur.applied_all.extend(ok_seqs);
+                        }
+                    }
+                    let completes: Vec<Vec<u8>> = items
+                        .iter()
+                        .zip(&results)
+                        .map(|(p, r)| encode_complete(p.seq, mutating && r.is_ok()))
+                        .collect();
+                    let _ = self.shared.wal_append_all(&completes);
+                    let _ = self.shared.wal_commit();
+                    if mutating {
+                        self.maybe_checkpoint();
+                    }
+                }
                 for (p, r) in items.iter().zip(results) {
                     p.slot.complete(r);
                 }
@@ -195,14 +297,72 @@ impl Worker {
                     .fetch_add(items.len() as u64, Ordering::Relaxed);
             }
             Err(_) => {
+                // WorkerLost is terminal (the caller is told to resubmit),
+                // so the log must agree: applied = false.
+                if self.dur.is_some() {
+                    let completes: Vec<Vec<u8>> = items
+                        .iter()
+                        .map(|p| encode_complete(p.seq, false))
+                        .collect();
+                    let _ = self.shared.wal_append_all(&completes);
+                }
                 for p in &items {
                     p.slot.complete(Err(ServeError::WorkerLost));
                 }
+                let _ = self.shared.wal_commit();
                 self.shared
                     .stats
                     .completed
                     .fetch_add(items.len() as u64, Ordering::Relaxed);
                 self.respawn();
+            }
+        }
+    }
+
+    /// Writes a durable checkpoint of the (just-recaptured) committed state
+    /// every `checkpoint_every` mutating commits: tracked-region contents,
+    /// fresh digests, host counters, and the applied-sequence set.
+    fn maybe_checkpoint(&mut self) {
+        let Some(dur) = &mut self.dur else { return };
+        dur.commits += 1;
+        if !dur.commits.is_multiple_of(dur.every) {
+            return;
+        }
+        dur.ckpt_seq += 1;
+        let regions: Vec<Region> = self.m.tracked_regions().iter().map(|t| t.region).collect();
+        let counters = vec![
+            (
+                "chain.used_nodes".to_string(),
+                self.committed_chain_used as u64,
+            ),
+            ("bst.used".to_string(), self.committed_bst_used as u64),
+        ];
+        let applied: Vec<u64> = dur.applied_all.iter().copied().collect();
+        let ckpt = Checkpoint::capture(&self.m, &regions, dur.ckpt_seq, counters, applied);
+        let path = dur
+            .dir
+            .join(Checkpoint::file_name(&dur.prefix, dur.ckpt_seq));
+        let written = if dur.sync {
+            ckpt.write(&path)
+        } else {
+            ckpt.write_unsynced(&path)
+        };
+        match written {
+            Ok(()) => {
+                self.shared
+                    .stats
+                    .checkpoints_written
+                    .fetch_add(1, Ordering::Relaxed);
+                prune_checkpoints(&dur.dir, &dur.prefix, dur.keep);
+            }
+            Err(_) => {
+                // Typed refusal happens at load time; at write time the
+                // worker keeps serving (the previous checkpoint still
+                // stands) and the failure is counted.
+                self.shared
+                    .stats
+                    .checkpoints_refused
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -317,22 +477,137 @@ impl Worker {
         }
     }
 
-    /// Replaces a condemned machine wholesale: rebuild with the identical
-    /// allocation sequence, restore the last committed snapshot, resync the
-    /// integrity layer, reset host-side allocator counters.
+    /// Replaces a condemned machine wholesale. With durability on and a
+    /// loadable checkpoint on disk, rebuilds from the newest **durable**
+    /// image and redoes this worker's post-checkpoint commits from the
+    /// request log — the respawned state is one a restart would also reach.
+    /// Otherwise (cold, or refused history) falls back to the in-memory
+    /// committed snapshot: rebuild with the identical allocation sequence,
+    /// restore, resync the integrity layer, reset host-side counters.
     fn respawn(&mut self) {
-        let (mut m, mut chain, oa_table, mut bst) = build_machine(&self.cfg, self.id);
-        self.committed.restore(m.mem_mut());
-        m.resync_integrity();
-        chain.used_nodes = self.committed_chain_used;
-        if let Some(b) = &mut bst {
-            b.used = self.committed_bst_used;
+        if self.try_durable_respawn() {
+            self.shared
+                .stats
+                .durable_respawns
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            let (mut m, mut chain, oa_table, mut bst) = build_machine(&self.cfg, self.id);
+            self.committed.restore(m.mem_mut());
+            m.resync_integrity();
+            chain.used_nodes = self.committed_chain_used;
+            if let Some(b) = &mut bst {
+                b.used = self.committed_bst_used;
+            }
+            self.m = m;
+            self.chain = chain;
+            self.oa_table = oa_table;
+            self.bst = bst;
         }
+        self.shared.stats.respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The durable half of [`Worker::respawn`]. Returns `false` (caller
+    /// falls back to the in-memory snapshot) when durability is off, no
+    /// checkpoint loads, the log cannot be read back, or any redone request
+    /// is missing its admission record.
+    fn try_durable_respawn(&mut self) -> bool {
+        let Some(dur) = &self.dur else { return false };
+        let (dir, prefix) = (dur.dir.clone(), dur.prefix.clone());
+        let applied_all = dur.applied_all.clone();
+        let Ok(scan) = latest_checkpoint(&dir, &prefix) else {
+            return false;
+        };
+        self.shared
+            .stats
+            .checkpoints_refused
+            .fetch_add(scan.refused.len() as u64, Ordering::Relaxed);
+        let Some((_, ckpt)) = scan.newest else {
+            return false;
+        };
+        // Read the log back under the writer's lock so no in-flight append
+        // can present a half-written frame.
+        let replayed = {
+            let Some(wal_cell) = &self.shared.wal else {
+                return false;
+            };
+            let _guard = wal_cell.lock().unwrap_or_else(PoisonError::into_inner);
+            match wal::replay(&dir, REQUEST_LOG_PREFIX) {
+                Ok(r) => r,
+                Err(_) => return false,
+            }
+        };
+        let mut by_seq: HashMap<u64, Request> = HashMap::new();
+        for rec in &replayed.records {
+            if let Ok(DurRecord::Admit { seq, request, .. }) = decode_record(&rec.payload) {
+                by_seq.insert(seq, request);
+            }
+        }
+        // What this worker committed after the durable image was taken.
+        let ckpt_applied: BTreeSet<u64> = ckpt.applied.iter().copied().collect();
+        let mut redo: Vec<(u64, Request)> = Vec::new();
+        for &seq in applied_all.difference(&ckpt_applied) {
+            match by_seq.get(&seq) {
+                Some(r) => redo.push((seq, r.clone())),
+                // An applied commit with no admission record would mean the
+                // log lied; do not guess — fall back.
+                None => return false,
+            }
+        }
+        let (m, chain, oa_table, bst) = build_machine(&self.cfg, self.id);
         self.m = m;
         self.chain = chain;
         self.oa_table = oa_table;
         self.bst = bst;
-        self.shared.stats.respawns.fetch_add(1, Ordering::Relaxed);
+        ckpt.restore_into(&mut self.m);
+        self.chain.used_nodes = counter_of(&ckpt, "chain.used_nodes");
+        if let Some(b) = &mut self.bst {
+            b.used = counter_of(&ckpt, "bst.used");
+        }
+        for (_, request) in &redo {
+            self.redo(request);
+        }
+        self.committed = capture_committed(&self.m);
+        self.committed_chain_used = self.chain.used_nodes;
+        self.committed_bst_used = self.bst.as_ref().map_or(0, |b| b.used);
+        true
+    }
+
+    /// Re-applies one logged mutating request directly (it already
+    /// succeeded once on an identical image, so the single-group
+    /// transaction retakes the same path).
+    fn redo(&mut self, request: &Request) {
+        match request {
+            Request::ChainInsert { keys } => {
+                let _ = chaining::txn_insert_groups(
+                    &mut self.m,
+                    &mut self.chain,
+                    std::slice::from_ref(keys),
+                    &self.cfg.policy,
+                );
+            }
+            Request::OaInsert { keys } => {
+                if let Some(t) = self.oa_table {
+                    let _ = oa::txn_insert_groups(
+                        &mut self.m,
+                        t,
+                        std::slice::from_ref(keys),
+                        self.cfg.probe,
+                        &self.cfg.policy,
+                    );
+                }
+            }
+            Request::BstInsert { keys } => {
+                if let Some(tree) = self.bst.as_mut() {
+                    let _ = bst::txn_insert_groups(
+                        &mut self.m,
+                        tree,
+                        std::slice::from_ref(keys),
+                        &self.cfg.policy,
+                    );
+                }
+            }
+            _ => {}
+        }
     }
 
     fn dumps(&self) -> Vec<ClassDump> {

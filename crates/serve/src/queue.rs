@@ -8,7 +8,9 @@
 //! waited `max_wait`, or when the server is shutting down (drain
 //! everything).
 
+use crate::durability::{encode_admit, encode_complete};
 use crate::request::{Kind, Priority, Request, Response, ServeError, WorkloadClass};
+use fol_persist::Wal;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -127,6 +129,12 @@ pub(crate) struct StatCells {
     pub(crate) scrub_slices: AtomicU64,
     pub(crate) rot_detected: AtomicU64,
     pub(crate) rot_repaired: AtomicU64,
+    pub(crate) wal_appends: AtomicU64,
+    pub(crate) wal_replayed: AtomicU64,
+    pub(crate) checkpoints_restored: AtomicU64,
+    pub(crate) checkpoints_written: AtomicU64,
+    pub(crate) checkpoints_refused: AtomicU64,
+    pub(crate) durable_respawns: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -153,6 +161,24 @@ pub struct StatsSnapshot {
     pub rot_detected: u64,
     /// Corruption events repaired from the committed snapshot.
     pub rot_repaired: u64,
+    /// Records appended to the write-ahead request log (admissions plus
+    /// completions). Zero when the server runs without durability.
+    pub wal_appends: u64,
+    /// Acknowledged-but-unapplied requests re-driven from the log at
+    /// startup.
+    pub wal_replayed: u64,
+    /// Workers whose state was restored from a durable checkpoint at
+    /// startup.
+    pub checkpoints_restored: u64,
+    /// Durable checkpoints written by pool workers.
+    pub checkpoints_written: u64,
+    /// Checkpoint files refused as corrupt at scan time, plus checkpoint
+    /// writes that failed (each refusal is typed, never silent).
+    pub checkpoints_refused: u64,
+    /// Panic respawns that rebuilt from the newest durable checkpoint plus
+    /// a log redo (the remainder of [`StatsSnapshot::respawns`] fell back
+    /// to the in-memory committed snapshot).
+    pub durable_respawns: u64,
 }
 
 impl StatCells {
@@ -168,6 +194,12 @@ impl StatCells {
             scrub_slices: self.scrub_slices.load(Ordering::Relaxed),
             rot_detected: self.rot_detected.load(Ordering::Relaxed),
             rot_repaired: self.rot_repaired.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_replayed: self.wal_replayed.load(Ordering::Relaxed),
+            checkpoints_restored: self.checkpoints_restored.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            checkpoints_refused: self.checkpoints_refused.load(Ordering::Relaxed),
+            durable_respawns: self.durable_respawns.load(Ordering::Relaxed),
         }
     }
 }
@@ -181,6 +213,9 @@ pub(crate) struct Shared {
     pub(crate) max_batch: usize,
     pub(crate) max_wait: Duration,
     pub(crate) stats: StatCells,
+    /// The write-ahead request log, when the server runs durable. Lock
+    /// order: `inner` may be held while taking `wal`, never the reverse.
+    pub(crate) wal: Option<Mutex<Wal>>,
 }
 
 /// What a worker drained: a same-kind run of requests to coalesce.
@@ -190,7 +225,12 @@ pub(crate) struct Batch {
 }
 
 impl Shared {
-    pub(crate) fn new(capacity: usize, max_batch: usize, max_wait: Duration) -> Self {
+    pub(crate) fn new(
+        capacity: usize,
+        max_batch: usize,
+        max_wait: Duration,
+        wal: Option<Wal>,
+    ) -> Self {
         Shared {
             inner: Mutex::new(Inner {
                 lanes: Default::default(),
@@ -203,6 +243,7 @@ impl Shared {
             max_batch,
             max_wait,
             stats: StatCells::default(),
+            wal: wal.map(Mutex::new),
         }
     }
 
@@ -210,9 +251,61 @@ impl Shared {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Starts sequence numbering above everything recorded history has
+    /// seen. Called once at startup, before any submission.
+    pub(crate) fn set_next_seq(&self, next_seq: u64) {
+        self.lock().next_seq = next_seq;
+    }
+
+    /// Appends one record to the request log, counting it. Returns the
+    /// typed error on failure; a no-op without durability.
+    pub(crate) fn wal_append(&self, payload: &[u8]) -> Result<(), ServeError> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let mut w = wal.lock().unwrap_or_else(PoisonError::into_inner);
+        w.append(payload)
+            .map_err(|error| ServeError::Persist { error })?;
+        self.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Appends a group of records with one write syscall — the worker's
+    /// per-batch completion records. Same counting and typing as
+    /// [`Shared::wal_append`]; a no-op without durability.
+    pub(crate) fn wal_append_all(&self, payloads: &[Vec<u8>]) -> Result<(), ServeError> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let mut w = wal.lock().unwrap_or_else(PoisonError::into_inner);
+        w.append_all(payloads)
+            .map_err(|error| ServeError::Persist { error })?;
+        self.stats
+            .wal_appends
+            .fetch_add(payloads.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Forces pending log appends to stable storage (per the fsync
+    /// policy). Workers call this after appending a batch's completion
+    /// records, before demultiplexing outcomes.
+    pub(crate) fn wal_commit(&self) -> Result<(), ServeError> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let mut w = wal.lock().unwrap_or_else(PoisonError::into_inner);
+        w.commit().map_err(|error| ServeError::Persist { error })
+    }
+
     /// Admits one request, or refuses it synchronously with a typed error:
     /// [`ServeError::ShuttingDown`] after [`Shared::begin_shutdown`],
-    /// [`ServeError::Overloaded`] when the bounded queue is full.
+    /// [`ServeError::Overloaded`] when the bounded queue is full,
+    /// [`ServeError::Persist`] when the admission record cannot be logged
+    /// (a durable server acknowledges nothing it cannot re-drive).
+    ///
+    /// With durability on, the admission record hits the write-ahead log
+    /// **before** the [`Ticket`] exists — under [`fol_persist::FsyncPolicy::Always`]
+    /// it is on stable storage before the caller sees the acknowledgement.
     pub(crate) fn submit(
         &self,
         request: Request,
@@ -229,10 +322,42 @@ impl Shared {
                 capacity: self.capacity,
             });
         }
-        let now = Instant::now();
-        let slot = Arc::new(Slot::new());
         let seq = g.next_seq;
         g.next_seq += 1;
+        // Log before enqueueing: a failure here burns the sequence number
+        // but admits nothing — no ticket, no queue entry, no log record
+        // that could replay.
+        self.wal_append(&encode_admit(seq, &request, priority, deadline))?;
+        let ticket = self.enqueue(&mut g, seq, request, priority, deadline);
+        drop(g);
+        self.work_cv.notify_all();
+        Ok(ticket)
+    }
+
+    /// Re-admits one acknowledged request recovered from the log at
+    /// startup, under its **original** sequence number. Bypasses the
+    /// capacity bound (an acknowledged request outranks backpressure) and
+    /// does not re-log the admission — the original admit record is still
+    /// in an earlier segment, and this run's completion record will pair
+    /// with it.
+    pub(crate) fn resubmit(&self, seq: u64, request: Request, priority: Priority) {
+        let mut g = self.lock();
+        let _ = self.enqueue(&mut g, seq, request, priority, None);
+        self.stats.wal_replayed.fetch_add(1, Ordering::Relaxed);
+        drop(g);
+        self.work_cv.notify_all();
+    }
+
+    fn enqueue(
+        &self,
+        g: &mut Inner,
+        seq: u64,
+        request: Request,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Ticket {
+        let now = Instant::now();
+        let slot = Arc::new(Slot::new());
         let l = lane_of(&request);
         g.lanes[l].push_back(Pending {
             seq,
@@ -244,9 +369,7 @@ impl Shared {
         });
         g.total += 1;
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        drop(g);
-        self.work_cv.notify_all();
-        Ok(Ticket { slot })
+        Ticket { slot }
     }
 
     /// Marks the server as draining: no new admissions, every queued
@@ -260,12 +383,14 @@ impl Shared {
     /// passed. Runs under the queue lock on every drain attempt, so an
     /// expired request is shed the next time any worker looks at the queue.
     fn purge_expired(&self, g: &mut Inner, now: Instant) {
+        let mut shed_seqs: Vec<u64> = Vec::new();
         for deque in &mut g.lanes {
             let before = deque.len();
             // Completing under the lock is fine: Slot has its own mutex.
             deque.retain(|p| match p.deadline {
                 Some(d) if d <= now => {
                     p.slot.complete(Err(ServeError::DeadlineExceeded));
+                    shed_seqs.push(p.seq);
                     false
                 }
                 _ => true,
@@ -278,6 +403,12 @@ impl Shared {
             self.stats
                 .completed
                 .fetch_add(shed as u64, Ordering::Relaxed);
+        }
+        // The shed outcome is terminal: record it so a restart does not
+        // re-drive a request whose caller already saw DeadlineExceeded.
+        // Best-effort (the caller has its typed outcome either way).
+        for seq in shed_seqs {
+            let _ = self.wal_append(&encode_complete(seq, false));
         }
     }
 
@@ -356,7 +487,7 @@ mod tests {
     use super::*;
 
     fn shared() -> Shared {
-        Shared::new(4, 8, Duration::from_millis(0))
+        Shared::new(4, 8, Duration::from_millis(0), None)
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub(crate) enum Kind {
 }
 
 /// One client request.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// Insert `keys` into the chaining hash table (duplicates legal).
     ChainInsert {
@@ -157,6 +157,14 @@ pub enum ServeError {
     WorkerLost,
     /// The server is shutting down and no longer admits requests.
     ShuttingDown,
+    /// A durability operation failed, or recorded history was refused as
+    /// corrupt at startup. Carries the typed [`fol_persist::PersistError`]
+    /// — a log or checkpoint that lies is refused, never silently replayed
+    /// around.
+    Persist {
+        /// The typed persistence failure.
+        error: fol_persist::PersistError,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -170,6 +178,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Failed { reason } => write!(f, "transaction failed: {reason}"),
             ServeError::WorkerLost => write!(f, "owning worker lost mid-batch"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Persist { error } => write!(f, "persistence: {error}"),
         }
     }
 }

@@ -1,0 +1,240 @@
+//! The durable serving layer, in-process: restart continuity, log-driven
+//! replay of acknowledged-but-unapplied requests, typed refusal of corrupt
+//! history, and checkpoint-based panic respawn. (Real SIGKILL crash cells
+//! live in the workspace-level `crash_restart` suite.)
+
+use fol_persist::wal::{self, FsyncPolicy};
+use fol_serve::{
+    DurabilityConfig, Request, Response, ServeError, Server, ServerConfig, WorkloadClass,
+    REQUEST_LOG_PREFIX,
+};
+use fol_vm::Word;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "fol-serve-durable-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_config(dir: &PathBuf, workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        queue_capacity: 256,
+        max_batch: 32,
+        max_wait: Duration::from_millis(1),
+        idle_tick: Duration::from_millis(1),
+        chain_buckets: 32,
+        chain_capacity: 512,
+        oa_slots: 128,
+        bst_capacity: 256,
+        durability: Some(
+            DurabilityConfig::new(dir)
+                .fsync(FsyncPolicy::Off)
+                .checkpoint_every(1),
+        ),
+        ..ServerConfig::default()
+    }
+}
+
+fn keys_of(report: &fol_serve::ShutdownReport, class: WorkloadClass) -> Vec<Word> {
+    let mut keys: Vec<Word> = report
+        .dumps
+        .iter()
+        .filter(|d| d.class == class)
+        .flat_map(|d| d.keys.iter().copied())
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[test]
+fn durable_run_logs_admissions_and_restarts_clean() {
+    let dir = temp_dir("clean");
+    let (server, restart) = Server::try_start(durable_config(&dir, 2)).unwrap();
+    assert_eq!(restart, fol_serve::RestartReport::default(), "cold start");
+
+    for k in 0..10 {
+        assert!(server.call(Request::ChainInsert { keys: vec![k] }).is_ok());
+    }
+    assert!(server.call(Request::OaInsert { keys: vec![77] }).is_ok());
+    let stats = server.stats();
+    assert!(
+        stats.wal_appends >= 22,
+        "an admit and a complete per request: {stats:?}"
+    );
+    assert!(stats.checkpoints_written >= 1, "{stats:?}");
+    drop(server);
+
+    // The log on disk pairs every admission with a completion.
+    let replay = wal::replay(&dir, REQUEST_LOG_PREFIX).unwrap();
+    assert!(replay.torn_tail.is_none());
+    assert_eq!(replay.records.len() as u64, stats.wal_appends);
+
+    // A clean restart restores worker state from checkpoints and replays
+    // nothing: every acknowledged request completed durably.
+    let (server2, restart2) = Server::try_start(durable_config(&dir, 2)).unwrap();
+    assert_eq!(restart2.replayed, 0, "{restart2:?}");
+    assert!(restart2.checkpoints_restored >= 1, "{restart2:?}");
+    assert!(restart2.next_seq >= 11);
+    let report = server2.shutdown();
+    assert_eq!(
+        keys_of(&report, WorkloadClass::Chain),
+        (0..10).collect::<Vec<Word>>(),
+        "committed contents survived the restart via checkpoints"
+    );
+    assert_eq!(keys_of(&report, WorkloadClass::OpenAddr), vec![77]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn acknowledged_but_unapplied_requests_replay_on_restart() {
+    // Simulate an incarnation killed after acknowledging three requests but
+    // before executing them: freeze the log at the moment the tickets were
+    // returned (admission records only) by copying a lingering server's
+    // segments — an append-only log's past is byte-exact at every prefix.
+    let dir = temp_dir("replay");
+    let staging = temp_dir("replay-staging");
+    {
+        let cfg = ServerConfig {
+            max_wait: Duration::from_secs(30), // linger: nothing executes yet
+            ..durable_config(&staging, 1)
+        };
+        let (server, _) = Server::try_start(cfg).unwrap();
+        let _t1 = server
+            .submit(Request::ChainInsert { keys: vec![100] })
+            .unwrap();
+        let _t2 = server
+            .submit(Request::ChainInsert { keys: vec![101] })
+            .unwrap();
+        let _t3 = server.submit(Request::OaInsert { keys: vec![55] }).unwrap();
+        // The tickets exist, so the admits are on disk; the linger keeps
+        // the requests queued. Freeze the log's state at this instant.
+        for (_, path) in wal::segments(&staging, REQUEST_LOG_PREFIX).unwrap() {
+            let name = path.file_name().unwrap();
+            std::fs::copy(&path, dir.join(name)).unwrap();
+        }
+        server.shutdown();
+    }
+
+    let (server, restart) = Server::try_start(durable_config(&dir, 1)).unwrap();
+    assert_eq!(restart.replayed, 3, "{restart:?}");
+    let report = server.shutdown();
+    assert_eq!(
+        keys_of(&report, WorkloadClass::Chain),
+        vec![100, 101],
+        "acknowledged chain inserts were re-driven"
+    );
+    assert_eq!(keys_of(&report, WorkloadClass::OpenAddr), vec![55]);
+    let stats = report.stats;
+    assert_eq!(stats.wal_replayed, 3);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&staging).ok();
+}
+
+#[test]
+fn corrupt_request_log_is_refused_typed() {
+    let dir = temp_dir("corrupt");
+    {
+        let (server, _) = Server::try_start(durable_config(&dir, 1)).unwrap();
+        for k in 0..5 {
+            assert!(server.call(Request::ChainInsert { keys: vec![k] }).is_ok());
+        }
+        server.shutdown();
+    }
+    // Flip one byte in the middle of the first segment: corruption, not a
+    // crash frontier.
+    let segs = wal::segments(&dir, REQUEST_LOG_PREFIX).unwrap();
+    let path = &segs[0].1;
+    let mut bytes = std::fs::read(path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(path, &bytes).unwrap();
+
+    let err = match Server::try_start(durable_config(&dir, 1)) {
+        Err(e) => e,
+        Ok(_) => panic!("corrupt history must not start"),
+    };
+    assert!(
+        matches!(err, ServeError::Persist { .. }),
+        "corrupt history must be refused typed, not replayed around: {err}"
+    );
+    assert!(err.to_string().contains("persistence"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_log_tail_is_the_accepted_crash_frontier() {
+    let dir = temp_dir("torn");
+    {
+        let (server, _) = Server::try_start(durable_config(&dir, 1)).unwrap();
+        for k in 0..5 {
+            assert!(server.call(Request::ChainInsert { keys: vec![k] }).is_ok());
+        }
+        server.shutdown();
+    }
+    // Tear the newest segment mid-record: the kill signature.
+    let segs = wal::segments(&dir, REQUEST_LOG_PREFIX).unwrap();
+    let (_, path) = segs.last().unwrap();
+    let len = std::fs::metadata(path).unwrap().len();
+    if len > 14 {
+        let f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+        f.set_len(len - 3).unwrap();
+    }
+
+    let (server, restart) = Server::try_start(durable_config(&dir, 1)).unwrap();
+    assert!(
+        restart.torn_tail,
+        "the tear is surfaced, typed: {restart:?}"
+    );
+    let report = server.shutdown();
+    assert_eq!(
+        keys_of(&report, WorkloadClass::Chain),
+        (0..5).collect::<Vec<Word>>(),
+        "records before the tear (and the checkpoints) are intact"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn poison_pill_respawns_from_the_durable_checkpoint() {
+    let dir = temp_dir("respawn");
+    let (server, _) = Server::try_start(durable_config(&dir, 1)).unwrap();
+    assert!(server
+        .call(Request::ChainInsert {
+            keys: vec![10, 11, 12]
+        })
+        .is_ok());
+    assert!(server.call(Request::OaInsert { keys: vec![5, 6] }).is_ok());
+    assert_eq!(
+        server.call(Request::PoisonPill {
+            class: WorkloadClass::Chain
+        }),
+        Err(ServeError::WorkerLost)
+    );
+    assert!(server.call(Request::ChainInsert { keys: vec![13] }).is_ok());
+    assert_eq!(
+        server.call(Request::OaLookup {
+            keys: vec![5, 6, 7]
+        }),
+        Ok(Response::OaLookedUp {
+            found: vec![true, true, false]
+        })
+    );
+    let stats = server.stats();
+    assert_eq!(stats.respawns, 1);
+    assert_eq!(
+        stats.durable_respawns, 1,
+        "with checkpoint_every=1 the respawn must come from disk: {stats:?}"
+    );
+    let report = server.shutdown();
+    assert_eq!(keys_of(&report, WorkloadClass::Chain), vec![10, 11, 12, 13]);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -109,6 +109,20 @@ impl Snapshot {
         }
     }
 
+    /// The captured `(region, contents)` pairs, in capture order — the raw
+    /// material the durability layer serializes into a checkpoint.
+    pub fn parts(&self) -> &[(Region, Vec<Word>)] {
+        &self.regions
+    }
+
+    /// Rebuilds a snapshot from serialized parts ([`Snapshot::parts`] is the
+    /// inverse). Used by checkpoint loading: the deserialized snapshot is
+    /// [`Snapshot::restore`]d into a machine rebuilt with the identical
+    /// allocation sequence.
+    pub fn from_parts(regions: Vec<(Region, Vec<Word>)>) -> Self {
+        Self { regions }
+    }
+
     /// Number of captured regions.
     pub fn num_regions(&self) -> usize {
         self.regions.len()

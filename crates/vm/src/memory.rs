@@ -64,6 +64,20 @@ impl Region {
         addr >= self.base && addr < self.base + self.len
     }
 
+    /// Reconstructs a region handle from raw geometry.
+    ///
+    /// Regions normally come only from [`Memory::alloc`]; this constructor
+    /// exists for the durability layer, which serializes a region's
+    /// `(base, len)` into a checkpoint and must rebuild the same handle on
+    /// restart. The caller owns the proof that the geometry matches a live
+    /// allocation — reads and writes through a stale handle still hit the
+    /// memory bounds checks, so the worst a wrong geometry can do is fail
+    /// loudly.
+    #[inline]
+    pub fn from_raw(base: Addr, len: usize) -> Region {
+        Region { base, len }
+    }
+
     /// A sub-region `[offset, offset+len)` of this region, as a typed
     /// result: out-of-range sub-ranges come back as a [`SliceError`]
     /// carrying the full geometry instead of a panic deep in index code.

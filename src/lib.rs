@@ -11,7 +11,8 @@
 //! algorithms), then the applications: [`hash`], [`sort`], [`tree`],
 //! [`graph`], [`gc`], [`maze`], [`queens`] — and [`serve`], the batching
 //! request-service layer that coalesces small independent requests into the
-//! large index vectors the method wants.
+//! large index vectors the method wants, made crash-safe by [`persist`]
+//! (durable checkpoints and a write-ahead request log).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +22,7 @@ pub use fol_gc as gc;
 pub use fol_graph as graph;
 pub use fol_hash as hash;
 pub use fol_maze as maze;
+pub use fol_persist as persist;
 pub use fol_queens as queens;
 pub use fol_serve as serve;
 pub use fol_sort as sort;

@@ -18,7 +18,8 @@
 //! can attach it as an artifact.
 
 use fol_core::recover::{
-    txn_apply_rounds, ExecMode, RecoveryError, RecoveryReport, RetryPolicy, WatchdogConfig,
+    txn_apply_rounds, txn_apply_rounds_hooked, ExecMode, RecoveryError, RecoveryReport,
+    RetryPolicy, WatchdogConfig,
 };
 use fol_graph::components::{txn_components, union_find_components, Components};
 use fol_hash::chaining::{all_keys, txn_insert_all as txn_chain_insert, ChainTable};
@@ -507,6 +508,89 @@ fn watchdog_converts_livelock_into_typed_error_with_rollback() {
             "watchdog rollback not byte-exact (seed {seed})"
         );
         assert!(!m.in_txn());
+    }
+}
+
+/// Host-stage corruption regime: the staging scratch `txn_apply_rounds`
+/// builds between applying the rounds and committing lives *outside* every
+/// tracked machine region — flipping a byte there must surface as the typed
+/// `ChecksumMismatch` on the `"(host stage)"` pseudo-region, roll the
+/// attempt back, and (because the corrupter strikes every attempt) exhaust
+/// the ladder with the caller's data untouched. A one-shot corrupter must
+/// instead be absorbed by a retry, with the final data exactly right.
+#[test]
+fn host_stage_corruption_is_detected_typed_and_rolled_back() {
+    use fol_core::FolError;
+    use fol_vm::IntegrityError;
+    let targets: Vec<usize> = (0..16).map(|i| i % 5).collect();
+
+    // Persistent corrupter: every attempt's stage is poisoned, so every
+    // rung fails the stage digest and the ladder exhausts.
+    {
+        let mut m = Machine::new(CostModel::unit());
+        let work = m.alloc(8, "work");
+        let mut counts = vec![0u32; 16];
+        let before = counts.clone();
+        let err = txn_apply_rounds_hooked(
+            &mut m,
+            work,
+            &mut counts,
+            &targets,
+            &RetryPolicy::default(),
+            |c, _| *c += 1,
+            &mut |stage: &mut [u32]| stage[3] ^= 0x40,
+        )
+        .expect_err("a corrupted stage must never commit");
+        let report = err.report();
+        assert_eq!(
+            report.corruption_detected as usize,
+            report.errors.len(),
+            "every failure is a detected corruption"
+        );
+        for e in &report.errors {
+            match e {
+                FolError::Integrity(IntegrityError::ChecksumMismatch { region, .. }) => {
+                    assert_eq!(region, "(host stage)", "typed to the host-stage region");
+                }
+                other => panic!("wrong error class for a stage flip: {other}"),
+            }
+        }
+        assert_eq!(counts, before, "caller data untouched after exhaustion");
+        assert!(!m.in_txn());
+    }
+
+    // One-shot corrupter: the first attempt is poisoned, the retry is
+    // clean — the supervisor absorbs it and the final data is exact.
+    {
+        let mut m = Machine::new(CostModel::unit());
+        let work = m.alloc(8, "work");
+        let mut counts = vec![0u32; 16];
+        let mut strikes = 1u32;
+        let (_, report) = txn_apply_rounds_hooked(
+            &mut m,
+            work,
+            &mut counts,
+            &targets,
+            &RetryPolicy::default(),
+            |c, _| *c += 1,
+            &mut |stage: &mut [u32]| {
+                if strikes > 0 {
+                    strikes -= 1;
+                    stage[0] = stage[0].wrapping_add(1);
+                }
+            },
+        )
+        .expect("a transient stage flip must be absorbed by retry");
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.corruption_detected, 1);
+        let mut expect = vec![0u32; 16];
+        for &t in &targets {
+            expect[t] += 1;
+        }
+        assert_eq!(
+            counts, expect,
+            "retried result is exact: every element lands on its target once"
+        );
     }
 }
 

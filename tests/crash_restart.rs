@@ -1,0 +1,514 @@
+//! SIGKILL crash/restart chaos suite: real child processes are killed at
+//! chosen moments and the survivors' disks are what restart sees.
+//!
+//! Every cell follows the same shape: spawn this same test binary as a
+//! child (`child_entrypoint` dispatches on `FOL_CRASH_ROLE`), let it make
+//! durable progress against a tmpdir, SIGKILL it, optionally injure the
+//! surviving files (torn tails, torn checkpoints, mid-log corruption), and
+//! then restart **in-process** over the same directory. The invariants:
+//!
+//! * **No acknowledged request is lost.** A key whose insert the child
+//!   acknowledged (recorded in an ack file *after* the server's reply)
+//!   must be present after restart — recovered from a checkpoint or
+//!   re-driven from the write-ahead request log.
+//! * **Corrupt history is refused, typed.** A byte flip inside a sealed
+//!   log segment or a torn checkpoint is never replayed around silently:
+//!   the log refuses startup ([`ServeError::Persist`]); the checkpoint is
+//!   refused with a typed reason and recovery falls back to the next
+//!   oldest one plus the log.
+//! * **A torn log tail is the accepted crash frontier**, surfaced in the
+//!   [`fol_serve::RestartReport`], never an error.
+//! * **Ladder progress is durable.** A process killed mid-escalation
+//!   resumes at the persisted rung, not at the bottom.
+//!
+//! Each cell writes a small JSON summary to `target/crash/<cell>.json`
+//! (override with `$CRASH_ARTIFACT_DIR`) so CI can attach the artifacts.
+//! Tmpdirs are removed on drop; set `FOL_KEEP_CRASH_DIRS=1` to keep them
+//! for a post-mortem.
+
+use fol_core::recover::{run_transaction_durable, ExecMode, RetryPolicy};
+use fol_core::FolError;
+use fol_persist::checkpoint::Checkpointer;
+use fol_persist::wal;
+use fol_serve::{
+    worker_prefix, DurabilityConfig, FsyncPolicy, Request, ServeError, Server, ServerConfig,
+    WorkloadClass, REQUEST_LOG_PREFIX,
+};
+use fol_vm::{CostModel, Machine, Word};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------- plumbing
+
+/// A per-cell scratch directory, removed when the cell ends (pass or fail)
+/// unless `FOL_KEEP_CRASH_DIRS=1` asks for a post-mortem.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "fol-crash-restart-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if std::env::var_os("FOL_KEEP_CRASH_DIRS").is_none() {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+/// Re-executes this test binary with `child_entrypoint` selected and the
+/// role/dir passed through the environment. The child is a full, separate
+/// OS process: killing it is a real SIGKILL, not a simulated panic.
+fn spawn_child(role: &str, dir: &Path, extra: &[(&str, &str)]) -> Child {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = Command::new(exe);
+    cmd.args(["child_entrypoint", "--exact", "--test-threads", "1"])
+        .env("FOL_CRASH_ROLE", role)
+        .env("FOL_CRASH_DIR", dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for (k, v) in extra {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("spawn crash child")
+}
+
+fn wait_until(what: &str, deadline: Duration, mut done: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !done() {
+        assert!(
+            start.elapsed() < deadline,
+            "timed out after {deadline:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn kill(mut child: Child) {
+    child.kill().expect("SIGKILL the crash child");
+    child.wait().expect("reap the crash child");
+}
+
+/// Keys the child acknowledged, in ack order. The kill can land mid-line,
+/// so a trailing partial line is ignored — an ack is an ack only once its
+/// record is complete, exactly like the log's own framing.
+fn read_acks(dir: &Path) -> Vec<Word> {
+    let text = std::fs::read_to_string(dir.join("acks.txt")).unwrap_or_default();
+    text.lines().filter_map(|l| l.parse().ok()).collect()
+}
+
+fn serve_config(dir: &Path, checkpoint_every: u64, segment_bytes: u64) -> ServerConfig {
+    let mut durability = DurabilityConfig::new(dir)
+        .fsync(FsyncPolicy::Off)
+        .checkpoint_every(checkpoint_every);
+    durability.segment_bytes = segment_bytes;
+    ServerConfig {
+        workers: 1,
+        queue_capacity: 64,
+        max_batch: 8,
+        max_wait: Duration::from_millis(1),
+        idle_tick: Duration::from_millis(1),
+        oa_slots: 1 << 14,
+        durability: Some(durability),
+        ..ServerConfig::default()
+    }
+}
+
+fn oa_keys(report: &fol_serve::ShutdownReport) -> Vec<Word> {
+    let mut keys: Vec<Word> = report
+        .dumps
+        .iter()
+        .filter(|d| d.class == WorkloadClass::OpenAddr)
+        .flat_map(|d| d.keys.iter().copied())
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// One JSON artifact per cell; values arrive pre-rendered (numbers, bools,
+/// or already-quoted strings).
+fn write_cell_report(cell: &str, fields: &[(&str, String)]) {
+    let dir = std::env::var_os("CRASH_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/crash"));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut s = format!("{{\n  \"cell\": \"{cell}\"");
+    for (k, v) in fields {
+        s.push_str(&format!(",\n  \"{k}\": {v}"));
+    }
+    s.push_str("\n}\n");
+    let _ = std::fs::write(dir.join(format!("{cell}.json")), s);
+}
+
+// ------------------------------------------------------------ child roles
+
+/// Child dispatch. In a normal test run (no `FOL_CRASH_ROLE`) this is a
+/// no-op pass; under a role it runs that role's workload until the parent
+/// kills it.
+#[test]
+fn child_entrypoint() {
+    let role = match std::env::var("FOL_CRASH_ROLE") {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let dir = PathBuf::from(std::env::var("FOL_CRASH_DIR").expect("FOL_CRASH_DIR"));
+    match role.as_str() {
+        "serve-insert" => child_serve_insert(&dir),
+        "ladder" => child_ladder(&dir),
+        other => panic!("unknown crash role {other:?}"),
+    }
+}
+
+/// Runs a durable server and inserts distinct keys one at a time, appending
+/// each key to `acks.txt` only *after* the server acknowledged it — the
+/// client-side ack protocol the no-lost-ack cells audit against.
+fn child_serve_insert(dir: &Path) {
+    let every: u64 = std::env::var("FOL_CRASH_CKPT_EVERY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let seg: u64 = std::env::var("FOL_CRASH_SEG_BYTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 20);
+    let (server, _) = Server::try_start(serve_config(dir, every, seg)).expect("child start");
+    let mut acks = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("acks.txt"))
+        .expect("open ack file");
+    for k in 0..10_000i64 {
+        match server.call(Request::OaInsert { keys: vec![k] }) {
+            Ok(_) => {
+                writeln!(acks, "{k}").expect("record ack");
+                acks.flush().expect("flush ack");
+            }
+            Err(e) => panic!("child insert {k}: {e}"),
+        }
+    }
+    panic!("the parent was supposed to SIGKILL this child long before 10k inserts");
+}
+
+/// Climbs the retry ladder under a [`Checkpointer`]: fails the first two
+/// rungs, then — with rung 2 already persisted by `on_attempt` — signals
+/// the parent and hangs for the kill.
+fn child_ladder(dir: &Path) {
+    let mut m = Machine::new(CostModel::unit());
+    let region = m.alloc(8, "cell");
+    m.track_region(region);
+    let mut ck = Checkpointer::new(dir, "ladder");
+    let mut attempt = 0usize;
+    let _ = run_transaction_durable(
+        &mut m,
+        &RetryPolicy::default(),
+        &mut ck,
+        |_, _| -> Result<(), FolError> {
+            attempt += 1;
+            if attempt <= 2 {
+                return Err(FolError::NoSurvivors {
+                    iteration: 0,
+                    live: 1,
+                });
+            }
+            // The hook wrote `ladder.rung` = 2 before this body ran; freeze
+            // here so the parent's SIGKILL lands mid-attempt.
+            std::fs::write(dir.join("rung2-armed"), b"armed").expect("arm signal");
+            #[allow(clippy::empty_loop)]
+            loop {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        },
+    );
+}
+
+// ------------------------------------------------------------------ cells
+
+/// SIGKILL mid-stream: every key the child's client saw acknowledged is
+/// present after restart, exactly once, and a second restart reproduces a
+/// byte-identical table — the replay is deterministic and idempotent.
+#[test]
+fn sigkill_mid_batch_loses_no_acknowledged_request() {
+    let tmp = TempDir::new("no-lost-ack");
+    let child = spawn_child("serve-insert", tmp.path(), &[("FOL_CRASH_CKPT_EVERY", "4")]);
+    wait_until("48 acknowledged inserts", Duration::from_secs(60), || {
+        read_acks(tmp.path()).len() >= 48
+    });
+    kill(child);
+    let acked = read_acks(tmp.path());
+
+    let (server, restart) = Server::try_start(serve_config(tmp.path(), 4, 1 << 20))
+        .expect("restart over the crashed child's directory");
+    let report = server.shutdown();
+    let keys = oa_keys(&report);
+    assert!(
+        keys.windows(2).all(|w| w[0] < w[1]),
+        "replay must not double-apply: duplicate key in {keys:?}"
+    );
+    for k in &acked {
+        assert!(
+            keys.binary_search(k).is_ok(),
+            "acknowledged key {k} lost across the crash; recovered {} keys",
+            keys.len()
+        );
+    }
+
+    // Oracle check: recovery is a pure function of the surviving disk, so
+    // restarting again over the (now clean) state must reproduce the same
+    // table byte-for-byte.
+    let (server2, _) = Server::try_start(serve_config(tmp.path(), 4, 1 << 20)).unwrap();
+    let report2 = server2.shutdown();
+    assert_eq!(oa_keys(&report2), keys, "recovery must be deterministic");
+
+    write_cell_report(
+        "sigkill_mid_batch",
+        &[
+            ("acked", acked.len().to_string()),
+            ("recovered", keys.len().to_string()),
+            ("replayed", restart.replayed.to_string()),
+            ("torn_tail", restart.torn_tail.to_string()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// A torn write-ahead-log tail (the kill signature) is the accepted crash
+/// frontier: surfaced in the restart report, with everything before the
+/// tear — including every acknowledged key — intact.
+#[test]
+fn torn_wal_tail_is_surfaced_and_costs_no_acks() {
+    let tmp = TempDir::new("torn-tail");
+    let child = spawn_child("serve-insert", tmp.path(), &[("FOL_CRASH_CKPT_EVERY", "4")]);
+    wait_until("24 acknowledged inserts", Duration::from_secs(60), || {
+        read_acks(tmp.path()).len() >= 24
+    });
+    kill(child);
+    let acked = read_acks(tmp.path());
+
+    // Tear the newest segment mid-record. Only the final record can be
+    // damaged, and a ripped-off completion is exactly what replay covers.
+    let segs = wal::segments(tmp.path(), REQUEST_LOG_PREFIX).unwrap();
+    let (_, path) = segs.last().expect("the child wrote a log");
+    let len = std::fs::metadata(path).unwrap().len();
+    assert!(len > 20, "segment too short to tear mid-record");
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+
+    let (server, restart) =
+        Server::try_start(serve_config(tmp.path(), 4, 1 << 20)).expect("torn tail must not refuse");
+    assert!(restart.torn_tail, "the tear is surfaced: {restart:?}");
+    let report = server.shutdown();
+    let keys = oa_keys(&report);
+    assert!(keys.windows(2).all(|w| w[0] < w[1]), "no duplicates");
+    for k in &acked {
+        assert!(
+            keys.binary_search(k).is_ok(),
+            "acknowledged key {k} lost to a torn tail"
+        );
+    }
+    write_cell_report(
+        "torn_wal_tail",
+        &[
+            ("acked", acked.len().to_string()),
+            ("recovered", keys.len().to_string()),
+            ("replayed", restart.replayed.to_string()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// A byte flip inside a *sealed* log segment is corruption, not a crash
+/// frontier: startup over that history is refused with the typed
+/// persistence error, never silently replayed around.
+#[test]
+fn corrupt_sealed_wal_segment_refuses_restart_typed() {
+    let tmp = TempDir::new("corrupt-wal");
+    // Tiny segments so the child seals several; a sealed segment admits no
+    // torn-tail forgiveness.
+    let child = spawn_child(
+        "serve-insert",
+        tmp.path(),
+        &[
+            ("FOL_CRASH_CKPT_EVERY", "4"),
+            ("FOL_CRASH_SEG_BYTES", "2048"),
+        ],
+    );
+    wait_until("64 acknowledged inserts", Duration::from_secs(60), || {
+        read_acks(tmp.path()).len() >= 64
+    });
+    kill(child);
+
+    let segs = wal::segments(tmp.path(), REQUEST_LOG_PREFIX).unwrap();
+    assert!(
+        segs.len() >= 2,
+        "expected multiple sealed segments: {segs:?}"
+    );
+    let (_, first) = &segs[0];
+    let mut bytes = std::fs::read(first).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(first, &bytes).unwrap();
+
+    let err = match Server::try_start(serve_config(tmp.path(), 4, 2048)) {
+        Err(e) => e,
+        Ok(_) => panic!("corrupt sealed history must refuse startup"),
+    };
+    assert!(
+        matches!(err, ServeError::Persist { .. }),
+        "refusal must be typed: {err}"
+    );
+    write_cell_report(
+        "corrupt_sealed_wal",
+        &[
+            ("segments", segs.len().to_string()),
+            ("error", format!("{:?}", format!("{err}"))),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// A torn checkpoint file (the mid-checkpoint-write kill) is refused with
+/// a typed reason and recovery falls back to the next oldest checkpoint
+/// plus the request log — still without losing one acknowledged key.
+#[test]
+fn torn_checkpoint_is_refused_and_recovery_falls_back() {
+    let tmp = TempDir::new("torn-ckpt");
+    // checkpoint_every=1 with keep=2 guarantees two checkpoint generations.
+    let child = spawn_child("serve-insert", tmp.path(), &[("FOL_CRASH_CKPT_EVERY", "1")]);
+    wait_until("32 acknowledged inserts", Duration::from_secs(60), || {
+        read_acks(tmp.path()).len() >= 32
+    });
+    kill(child);
+    let acked = read_acks(tmp.path());
+
+    // Tear the newest checkpoint of the only worker in half — the torn
+    // tmp-file rename race a real mid-write kill can leave behind.
+    let prefix = format!("{}-", worker_prefix(0));
+    let mut ckpts: Vec<PathBuf> = std::fs::read_dir(tmp.path())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            name.starts_with(&prefix) && name.ends_with(".ckpt")
+        })
+        .collect();
+    ckpts.sort();
+    assert!(ckpts.len() >= 2, "expected two checkpoint generations");
+    let newest = ckpts.last().unwrap();
+    let len = std::fs::metadata(newest).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(newest)
+        .unwrap()
+        .set_len(len / 2)
+        .unwrap();
+
+    let (server, restart) = Server::try_start(serve_config(tmp.path(), 1, 1 << 20))
+        .expect("a torn checkpoint must not block recovery");
+    assert!(
+        restart.checkpoints_refused >= 1,
+        "the torn file is refused, typed: {restart:?}"
+    );
+    assert!(
+        restart.checkpoints_restored >= 1,
+        "recovery falls back to the older generation: {restart:?}"
+    );
+    let report = server.shutdown();
+    let keys = oa_keys(&report);
+    assert!(keys.windows(2).all(|w| w[0] < w[1]), "no duplicates");
+    for k in &acked {
+        assert!(
+            keys.binary_search(k).is_ok(),
+            "acknowledged key {k} lost to a torn checkpoint"
+        );
+    }
+    write_cell_report(
+        "torn_checkpoint_fallback",
+        &[
+            ("acked", acked.len().to_string()),
+            ("recovered", keys.len().to_string()),
+            (
+                "checkpoints_refused",
+                restart.checkpoints_refused.to_string(),
+            ),
+            ("replayed", restart.replayed.to_string()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// SIGKILL between ladder rungs: the persisted rung file makes escalation
+/// progress durable, so the restarted run begins at the rung the dead
+/// process had reached (`VerifiedReplay`, index 2) instead of re-failing
+/// the bottom of the ladder — and a clean commit clears the rung file.
+#[test]
+fn sigkill_mid_ladder_resumes_at_the_persisted_rung() {
+    let tmp = TempDir::new("ladder");
+    let child = spawn_child("ladder", tmp.path(), &[]);
+    wait_until("the child to reach rung 2", Duration::from_secs(60), || {
+        tmp.path().join("rung2-armed").exists()
+    });
+    kill(child);
+    assert!(
+        tmp.path().join("ladder.rung").exists(),
+        "the rung file is the durable ladder cursor"
+    );
+
+    let mut m = Machine::new(CostModel::unit());
+    let region = m.alloc(8, "cell");
+    m.track_region(region);
+    let mut ck = Checkpointer::new(tmp.path(), "ladder");
+    let mut seen: Vec<ExecMode> = Vec::new();
+    let (_, report) =
+        run_transaction_durable(&mut m, &RetryPolicy::default(), &mut ck, |_, mode| {
+            seen.push(mode);
+            Ok(())
+        })
+        .expect("the resumed run commits");
+    // VerifiedReplay re-executes the body for its 2-of-3 replay voting, so
+    // the body may run more than once — but every run must be at the
+    // resumed rung, and the supervisor must book exactly one attempt.
+    assert!(
+        !seen.is_empty()
+            && seen
+                .iter()
+                .all(|m| matches!(m, ExecMode::VerifiedReplay { .. })),
+        "resume must start at the persisted rung, got {seen:?}"
+    );
+    assert_eq!(report.attempts, 1, "no re-failing of already-burned rungs");
+    assert_eq!(ck.checkpoints_written(), 1, "commit checkpointed");
+    assert!(
+        !tmp.path().join("ladder.rung").exists(),
+        "a committed ladder leaves no cursor behind"
+    );
+    write_cell_report(
+        "sigkill_mid_ladder",
+        &[
+            ("resumed_mode", format!("{:?}", format!("{:?}", seen[0]))),
+            ("attempts", report.attempts.to_string()),
+            ("passed", "true".into()),
+        ],
+    );
+}
