@@ -163,6 +163,90 @@ impl ExecMode {
     }
 }
 
+/// Capped exponential backoff with seeded jitter.
+///
+/// Attempt `n` draws a delay uniformly from `[exp/2, exp]` where
+/// `exp = min(cap, base · 2ⁿ)` — the "equal jitter" scheme: enough spread
+/// to de-synchronize competing retriers, while never collapsing below half
+/// the exponential envelope. The jitter stream is a pure function of the
+/// seed and the attempt counter, so a fixed seed replays the exact same
+/// delay sequence — chaos cells stay reproducible.
+///
+/// Used in two places: the retry supervisor spaces ladder attempts with it
+/// (see [`RetryPolicy::backoff`]) instead of retrying immediately, and the
+/// network client (`fol-net`) spaces reconnect/resubmit attempts with it so
+/// a flapping server is not hammered in a tight loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A backoff starting at `base`, doubling per attempt, clamped to
+    /// `cap`, jittered deterministically under `seed`. A zero `base` yields
+    /// all-zero delays (backoff disabled but the counter still advances).
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap: cap.max(base),
+            seed,
+            attempt: 0,
+        }
+    }
+
+    /// How many delays have been drawn since construction or the last
+    /// [`Backoff::reset`].
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Draws the next delay and advances the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let attempt = self.attempt;
+        self.attempt = self.attempt.saturating_add(1);
+        let base = self.base.as_nanos() as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let cap = self.cap.as_nanos() as u64;
+        let exp = base
+            .checked_shl(attempt.min(63))
+            .unwrap_or(u64::MAX)
+            .min(cap);
+        // Uniform in [exp/2, exp]: half the envelope is guaranteed spacing,
+        // the other half is the seeded jitter.
+        let half = exp / 2;
+        let jitter = derive_seed(self.seed, attempt as usize) % (exp - half + 1);
+        Duration::from_nanos(half + jitter)
+    }
+
+    /// Rewinds to the first attempt (e.g. after a successful call, so the
+    /// next failure starts from `base` again).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Draws the next delay and sleeps it, returning what was slept.
+    pub fn sleep(&mut self) -> Duration {
+        let d = self.next_delay();
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+        d
+    }
+}
+
+impl Default for Backoff {
+    /// 50 µs base, 5 ms cap — spacing suited to in-process retry ladders
+    /// (the network client substitutes wire-scale durations).
+    fn default() -> Self {
+        Backoff::new(Duration::from_micros(50), Duration::from_millis(5), 0xB0FF)
+    }
+}
+
 /// Bounded retry with an escalation ladder.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -199,6 +283,12 @@ pub struct RetryPolicy {
     /// Seed for the audit sampler's round selection (deterministic given
     /// the seed and the round index; irrelevant at rates 0 and 1).
     pub audit_seed: u64,
+    /// Inter-attempt spacing. `Some` (the default) sleeps a
+    /// [`Backoff`]-drawn delay between a failed attempt and the next one —
+    /// transient faults (a busy adversary seed, cross-thread contention,
+    /// wire weather upstream) get time to clear instead of being re-hit
+    /// immediately. `None` retries back-to-back, exactly as before.
+    pub backoff: Option<Backoff>,
 }
 
 impl Default for RetryPolicy {
@@ -227,6 +317,7 @@ impl Default for RetryPolicy {
             watchdog: None,
             audit_rate: 1,
             audit_seed: 0,
+            backoff: Some(Backoff::default()),
         }
     }
 }
@@ -1013,6 +1104,7 @@ where
     let mut invocation = 0usize;
     let mut budget_spent = resume;
     let mut holds = 0usize;
+    let mut backoff = policy.backoff.clone();
     while budget_spent < attempts {
         // Circuit breaker: lanes whose probe cooldown has elapsed get a
         // sacrificial scatter–gather self-test; healthy ones rejoin the
@@ -1201,6 +1293,14 @@ where
                 } else {
                     rung += 1;
                     budget_spent += 1;
+                }
+                // Space the next attempt: transient faults get backoff time
+                // to clear instead of being re-hit immediately. No sleep
+                // after the final attempt — exhaustion reports promptly.
+                if budget_spent < attempts {
+                    if let Some(b) = &mut backoff {
+                        b.sleep();
+                    }
                 }
             }
         }
@@ -1599,6 +1699,47 @@ mod tests {
 
     fn machine() -> Machine {
         Machine::new(CostModel::unit())
+    }
+
+    #[test]
+    fn backoff_is_capped_and_deterministic_under_a_fixed_seed() {
+        let base = Duration::from_micros(100);
+        let cap = Duration::from_millis(2);
+        let mut a = Backoff::new(base, cap, 42);
+        let mut b = Backoff::new(base, cap, 42);
+        let delays: Vec<Duration> = (0..24).map(|_| a.next_delay()).collect();
+        let replay: Vec<Duration> = (0..24).map(|_| b.next_delay()).collect();
+        assert_eq!(delays, replay, "fixed seed replays the same sequence");
+        for (i, d) in delays.iter().enumerate() {
+            let envelope = base.checked_mul(1 << i.min(20)).map_or(cap, |e| e.min(cap));
+            assert!(*d <= cap, "attempt {i}: {d:?} exceeds the cap");
+            assert!(
+                *d >= envelope / 2,
+                "attempt {i}: {d:?} fell below half the envelope {envelope:?}"
+            );
+        }
+        // Deep into the sequence every draw sits inside [cap/2, cap].
+        assert!(delays[20] >= cap / 2 && delays[20] <= cap);
+        // A different seed draws a different (jittered) sequence.
+        let mut c = Backoff::new(base, cap, 43);
+        let other: Vec<Duration> = (0..24).map(|_| c.next_delay()).collect();
+        assert_ne!(delays, other, "jitter must depend on the seed");
+    }
+
+    #[test]
+    fn backoff_reset_rewinds_and_zero_base_disables() {
+        let mut b = Backoff::new(Duration::from_micros(80), Duration::from_millis(1), 7);
+        let first = b.next_delay();
+        let _ = b.next_delay();
+        assert_eq!(b.attempts(), 2);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert_eq!(b.next_delay(), first, "reset rewinds the jitter stream");
+
+        let mut off = Backoff::new(Duration::ZERO, Duration::from_secs(1), 7);
+        for _ in 0..8 {
+            assert_eq!(off.next_delay(), Duration::ZERO);
+        }
     }
 
     const V: &[Word] = &[5, 2, 5, 5, 2, 9, 0, 5];
@@ -2100,6 +2241,7 @@ mod tests {
             watchdog: None,
             audit_rate: 1,
             audit_seed: 0,
+            backoff: None,
         };
         let mut counts = vec![0u32; 10];
         let err = txn_apply_rounds(&mut m, work, &mut counts, &targets, &policy, |c, _| *c += 1)
@@ -2150,6 +2292,7 @@ mod tests {
             watchdog: None,
             audit_rate: 1,
             audit_seed: 0,
+            backoff: None,
         }
     }
 
@@ -2252,6 +2395,7 @@ mod tests {
             watchdog: None,
             audit_rate: 1,
             audit_seed: 0,
+            backoff: None,
         };
         let err = run_transaction(&mut m, &policy, |m, mode| {
             decompose_with_mode(m, work, V, mode, Validation::Off)
@@ -2435,6 +2579,7 @@ mod tests {
             watchdog: None,
             audit_rate: 1,
             audit_seed: 0,
+            backoff: None,
         };
         let mut m = machine();
         m.set_fault_plan(Some(FaultPlan::dropped_lanes(5, u16::MAX)));

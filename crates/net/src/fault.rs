@@ -1,0 +1,307 @@
+//! Seeded wire-fault injection at the transport seam.
+//!
+//! A [`WireFaultPlan`] sits between the framed codec and the socket and
+//! misbehaves *deterministically*: given the same seed and the same frame
+//! sequence, the same frames are dropped, delayed, duplicated, flipped, or
+//! torn. That turns "the network was unlucky" into a replayable test cell —
+//! the chaos matrix names its seed, and a failure reproduces.
+//!
+//! Faults are injected on the **write** side, per frame:
+//!
+//! * **drop** — the frame is simply not sent. Length-prefixed framing keeps
+//!   the stream in sync; the peer just never sees the message and the
+//!   sender's caller times out and retries.
+//! * **delay** — the write happens late, exercising read-deadline paths.
+//! * **duplicate** — the frame is sent twice; the receiver's dedupe table
+//!   (server) or stale-seq filter (client) must absorb it.
+//! * **flip** — one payload byte is inverted; the receiver sees a typed
+//!   [`fol_persist::PersistError::CrcMismatch`] and poisons the connection.
+//! * **tear** — only a prefix of the frame is written and the connection is
+//!   shut down, the wire image of a peer dying mid-write; the receiver sees
+//!   a typed [`fol_persist::PersistError::Truncated`].
+//!
+//! Rates are per-mille, rolled independently per frame from a splitmix64
+//! stream over `(seed, frame index)`; a plan is cheap to clone and each
+//! connection advances its own frame counter.
+
+use std::io::Write;
+use std::time::Duration;
+
+/// The per-frame fault rates, in units of 1/1000 per frame.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireFaultPlan {
+    /// RNG seed; equal seeds replay equal fault sequences.
+    pub seed: u64,
+    /// Chance the frame is silently not written.
+    pub drop_per_mille: u16,
+    /// Chance the write is delayed by [`WireFaultPlan::delay`].
+    pub delay_per_mille: u16,
+    /// How long a delayed write waits.
+    pub delay: Duration,
+    /// Chance the frame is written twice.
+    pub dup_per_mille: u16,
+    /// Chance one payload byte is inverted (the 8-byte header is spared so
+    /// the defect is a CRC mismatch, not a desynced stream).
+    pub flip_per_mille: u16,
+    /// Chance only a prefix of the frame is written before the stream is
+    /// shut down (a half-open tear).
+    pub tear_per_mille: u16,
+}
+
+impl WireFaultPlan {
+    /// A plan that never misbehaves (all rates zero).
+    pub fn clean(seed: u64) -> Self {
+        WireFaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// True when every rate is zero.
+    pub fn is_clean(&self) -> bool {
+        self.drop_per_mille == 0
+            && self.delay_per_mille == 0
+            && self.dup_per_mille == 0
+            && self.flip_per_mille == 0
+            && self.tear_per_mille == 0
+    }
+}
+
+/// What the plan decided for one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Write the frame unchanged.
+    Deliver,
+    /// Do not write the frame at all.
+    Drop,
+    /// Sleep, then write unchanged.
+    Delay,
+    /// Write the frame twice.
+    Duplicate,
+    /// Invert the payload byte at `offset` (relative to the whole frame).
+    Flip {
+        /// Byte offset to invert.
+        offset: usize,
+    },
+    /// Write only `keep` bytes, then shut the stream down.
+    Tear {
+        /// Prefix length to write before the tear.
+        keep: usize,
+    },
+}
+
+fn splitmix(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A faulting frame writer: applies one [`WireFaultPlan`] decision per
+/// frame, advancing a deterministic per-connection frame counter.
+///
+/// Each connection gets its own `stream` index, folded into the seed: a
+/// reconnect draws a *fresh* fault sequence instead of replaying the old
+/// one. Without that fold, a plan that faults frame 0 would fault the
+/// first frame of every reconnect identically and livelock a retrying
+/// peer — real networks are not adversarially periodic, and the whole run
+/// stays replayable because the connection order is itself deterministic
+/// under a seed.
+pub(crate) struct FaultedWriter {
+    plan: WireFaultPlan,
+    frame_index: u64,
+    torn: bool,
+}
+
+impl FaultedWriter {
+    #[cfg(test)]
+    pub(crate) fn new(plan: Option<WireFaultPlan>) -> Self {
+        Self::for_stream(plan, 0)
+    }
+
+    /// A writer for the `stream`-th connection of this endpoint.
+    pub(crate) fn for_stream(plan: Option<WireFaultPlan>, stream: u64) -> Self {
+        let mut plan = plan.unwrap_or_default();
+        if !plan.is_clean() {
+            plan.seed = splitmix(plan.seed, stream.wrapping_mul(0x9E37_79B9));
+        }
+        FaultedWriter {
+            plan,
+            frame_index: 0,
+            torn: false,
+        }
+    }
+
+    /// The plan's verdict for the next frame of `len` bytes.
+    pub(crate) fn decide(&mut self, len: usize) -> FaultDecision {
+        let i = self.frame_index;
+        self.frame_index += 1;
+        if self.plan.is_clean() {
+            return FaultDecision::Deliver;
+        }
+        let roll = splitmix(self.plan.seed, i);
+        // One roll, carved into independent per-mille bands: at most one
+        // fault per frame, which keeps cells interpretable.
+        let mut band = (roll % 1000) as u16;
+        for (rate, mk) in [
+            (self.plan.drop_per_mille, 0u8),
+            (self.plan.delay_per_mille, 1),
+            (self.plan.dup_per_mille, 2),
+            (self.plan.flip_per_mille, 3),
+            (self.plan.tear_per_mille, 4),
+        ] {
+            if band < rate {
+                let aux = splitmix(self.plan.seed, i ^ 0x5EED_F00D);
+                return match mk {
+                    0 => FaultDecision::Drop,
+                    1 => FaultDecision::Delay,
+                    2 => FaultDecision::Duplicate,
+                    3 => FaultDecision::Flip {
+                        // Spare the 8-byte header: a flipped length would
+                        // desync the stream instead of failing the CRC.
+                        offset: 8 + (aux as usize) % len.max(1),
+                    },
+                    _ => FaultDecision::Tear {
+                        keep: (aux as usize) % (len + 8),
+                    },
+                };
+            }
+            band -= rate;
+        }
+        FaultDecision::Deliver
+    }
+
+    /// Applies the plan's verdict for `framed` (a whole `[header][payload]`
+    /// frame), appending the bytes that should actually hit the wire to
+    /// `buf`. Returns `false` when the frame was torn: the caller must
+    /// write `buf`, then half-close the stream; this writer refuses any
+    /// further frames.
+    pub(crate) fn render_frame(
+        &mut self,
+        framed: &[u8],
+        buf: &mut Vec<u8>,
+    ) -> std::io::Result<bool> {
+        if self.torn {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "stream torn by fault plan",
+            ));
+        }
+        debug_assert!(framed.len() >= 8, "a frame is at least its header");
+        match self.decide(framed.len() - 8) {
+            FaultDecision::Deliver => buf.extend_from_slice(framed),
+            FaultDecision::Drop => {}
+            FaultDecision::Delay => {
+                // Delay everything from this frame on (the burst is one
+                // write; a mid-burst reorder would desync nothing but would
+                // misrepresent a FIFO transport).
+                std::thread::sleep(self.plan.delay);
+                buf.extend_from_slice(framed);
+            }
+            FaultDecision::Duplicate => {
+                buf.extend_from_slice(framed);
+                buf.extend_from_slice(framed);
+            }
+            FaultDecision::Flip { offset } => {
+                let start = buf.len();
+                buf.extend_from_slice(framed);
+                let at = start + offset.min(framed.len() - 1);
+                buf[at] ^= 0xFF;
+            }
+            FaultDecision::Tear { keep } => {
+                let keep = keep.min(framed.len().saturating_sub(1));
+                buf.extend_from_slice(&framed[..keep]);
+                self.torn = true;
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Writes `framed` through the plan. Returns `Ok(false)` when the
+    /// stream was torn and must be considered dead by the caller;
+    /// `Ok(true)` otherwise (including silent drops — the caller cannot
+    /// tell, which is the point).
+    pub(crate) fn write_frame(
+        &mut self,
+        stream: &mut (impl Write + Shutdownable),
+        framed: &[u8],
+    ) -> std::io::Result<bool> {
+        let mut buf = Vec::with_capacity(framed.len());
+        let intact = self.render_frame(framed, &mut buf)?;
+        stream.write_all(&buf)?;
+        if !intact {
+            let _ = stream.flush();
+            stream.shutdown_write();
+        }
+        Ok(intact)
+    }
+}
+
+/// The one transport capability the tear fault needs beyond [`Write`].
+pub(crate) trait Shutdownable {
+    /// Half-close the write side (best-effort).
+    fn shutdown_write(&mut self);
+}
+
+impl Shutdownable for std::net::TcpStream {
+    fn shutdown_write(&mut self) {
+        let _ = std::net::TcpStream::shutdown(self, std::net::Shutdown::Write);
+    }
+}
+
+impl Shutdownable for Vec<u8> {
+    fn shutdown_write(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_under_a_seed_and_clean_plans_deliver() {
+        let plan = WireFaultPlan {
+            seed: 77,
+            drop_per_mille: 100,
+            delay_per_mille: 0,
+            delay: Duration::ZERO,
+            dup_per_mille: 100,
+            flip_per_mille: 100,
+            tear_per_mille: 100,
+        };
+        let run = |p: &WireFaultPlan| {
+            let mut w = FaultedWriter::new(Some(p.clone()));
+            (0..200).map(|_| w.decide(64)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(&plan), run(&plan), "same seed, same fault sequence");
+        let reseeded = WireFaultPlan { seed: 78, ..plan };
+        assert_ne!(run(&plan), run(&reseeded), "different seed differs");
+        let mut faults = 0;
+        for d in run(&plan) {
+            if d != FaultDecision::Deliver {
+                faults += 1;
+            }
+        }
+        assert!(faults > 0, "40% aggregate rate must fire in 200 frames");
+
+        let mut clean = FaultedWriter::new(None);
+        assert!((0..100).all(|_| clean.decide(16) == FaultDecision::Deliver));
+    }
+
+    #[test]
+    fn torn_writer_refuses_further_frames() {
+        let plan = WireFaultPlan {
+            seed: 1,
+            tear_per_mille: 1000,
+            ..Default::default()
+        };
+        let mut w = FaultedWriter::new(Some(plan));
+        let mut sink: Vec<u8> = Vec::new();
+        let framed = crate::wire::frame_bytes(b"payload");
+        assert!(!w.write_frame(&mut sink, &framed).unwrap());
+        assert!(sink.len() < framed.len(), "tear keeps only a prefix");
+        assert!(w.write_frame(&mut sink, &framed).is_err());
+    }
+}

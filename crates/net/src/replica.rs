@@ -1,0 +1,299 @@
+//! Replicated serving with content-digest voting and failover.
+//!
+//! A [`ReplicaSet`] drives the same request traffic to N independent
+//! serving processes and only trusts what a **quorum** agrees on:
+//!
+//! * every batch is applied to every live replica (each with its own retry
+//!   ladder); a request is acknowledged to the caller when at least
+//!   `quorum` replicas returned the same typed outcome;
+//! * correctness is checked by **content-digest voting**
+//!   ([`fol_serve::Request::Digest`]): the per-class, order-insensitive
+//!   key digest is requested from each replica, and the majority value
+//!   wins. Response payloads (round counts, probe counts) legitimately
+//!   differ across replicas — batch composition and escalation history
+//!   are not replicated — so votes are cast on *logical content*, which
+//!   must agree, never on response bytes, which need not;
+//! * **failover is eviction**: a replica that stops answering (crashed or
+//!   unreachable past `max_strikes` consecutive batches) or lands in the
+//!   digest minority is removed from the set and never consulted again.
+//!   The set keeps serving while `live >= quorum` and returns a typed
+//!   [`NetError::NoQuorum`] once it cannot.
+//!
+//! The recovery ladder behind each replica ends in a rung that always
+//! completes (`ScalarTail`), so two live replicas that acknowledged the
+//! same traffic converge on the same content digest — divergence signals
+//! real corruption, not scheduling noise.
+
+use crate::client::{NetClient, NetClientConfig};
+use crate::NetError;
+use fol_serve::{Request, Response, WorkloadClass};
+use std::collections::HashMap;
+
+/// Why a replica was removed from the set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvictReason {
+    /// The replica stopped answering (crash, partition, or persistent
+    /// timeouts) for `max_strikes` consecutive batches.
+    Unresponsive {
+        /// The final failure, rendered.
+        last: String,
+    },
+    /// The replica's content digest disagreed with the quorum's.
+    DigestMinority {
+        /// What the replica answered.
+        got: (u64, u64),
+        /// What the quorum agreed on.
+        majority: (u64, u64),
+    },
+}
+
+/// One replica's public state.
+#[derive(Clone, Debug)]
+pub struct ReplicaStatus {
+    /// The replica's address.
+    pub addr: String,
+    /// Consecutive failed batches (reset by any success).
+    pub strikes: u32,
+    /// Set once the replica has been evicted.
+    pub evicted: Option<EvictReason>,
+}
+
+/// Replica-set tuning.
+#[derive(Clone, Debug)]
+pub struct ReplicaSetConfig {
+    /// Client template used for every member (each gets the same
+    /// `client_id`; members are distinct servers with distinct dedupe
+    /// tables, so sharing the id is safe and keeps sequences aligned).
+    pub client: NetClientConfig,
+    /// Replicas that must agree before an outcome is trusted. Defaults to
+    /// a majority of the initial membership.
+    pub quorum: usize,
+    /// Consecutive unanswered batches before a member is evicted.
+    pub max_strikes: u32,
+}
+
+impl Default for ReplicaSetConfig {
+    fn default() -> Self {
+        ReplicaSetConfig {
+            client: NetClientConfig::default(),
+            quorum: 0, // 0 = majority of the membership, resolved at connect
+            max_strikes: 2,
+        }
+    }
+}
+
+struct Member {
+    addr: String,
+    client: NetClient,
+    strikes: u32,
+    evicted: Option<EvictReason>,
+}
+
+/// A set of N replicated serving endpoints, quorum-acknowledged and
+/// digest-voted.
+pub struct ReplicaSet {
+    members: Vec<Member>,
+    quorum: usize,
+    max_strikes: u32,
+}
+
+impl ReplicaSet {
+    /// A set over `addrs`. No I/O happens until the first batch.
+    pub fn connect(addrs: &[String], cfg: ReplicaSetConfig) -> Self {
+        assert!(!addrs.is_empty(), "a replica set needs members");
+        let quorum = if cfg.quorum == 0 {
+            addrs.len() / 2 + 1
+        } else {
+            cfg.quorum
+        };
+        let members = addrs
+            .iter()
+            .map(|addr| Member {
+                addr: addr.clone(),
+                client: NetClient::new(addr.clone(), cfg.client.clone()),
+                strikes: 0,
+                evicted: None,
+            })
+            .collect();
+        ReplicaSet {
+            members,
+            quorum,
+            max_strikes: cfg.max_strikes.max(1),
+        }
+    }
+
+    /// Members not yet evicted.
+    pub fn live(&self) -> usize {
+        self.members.iter().filter(|m| m.evicted.is_none()).count()
+    }
+
+    /// The configured quorum.
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// Every member's state, in connect order.
+    pub fn status(&self) -> Vec<ReplicaStatus> {
+        self.members
+            .iter()
+            .map(|m| ReplicaStatus {
+                addr: m.addr.clone(),
+                strikes: m.strikes,
+                evicted: m.evicted.clone(),
+            })
+            .collect()
+    }
+
+    fn check_quorum(&self) -> Result<(), NetError> {
+        let live = self.live();
+        if live < self.quorum {
+            Err(NetError::NoQuorum {
+                live,
+                need: self.quorum,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn strike(&mut self, idx: usize, last: &NetError) {
+        let max = self.max_strikes;
+        let m = &mut self.members[idx];
+        m.strikes += 1;
+        if m.strikes >= max && m.evicted.is_none() {
+            m.evicted = Some(EvictReason::Unresponsive {
+                last: last.to_string(),
+            });
+        }
+    }
+
+    /// Applies one batch to every live replica and aggregates per-request:
+    /// an outcome is returned once at least `quorum` replicas agree on it
+    /// (successes agree by *kind* — response payloads such as round counts
+    /// legitimately differ — while errors must match exactly). A replica
+    /// whose whole batch went unanswered takes a strike toward eviction.
+    ///
+    /// The outer error is set-level: quorum lost before the batch ran.
+    #[allow(clippy::type_complexity)]
+    pub fn apply(
+        &mut self,
+        batch: &[Request],
+    ) -> Result<Vec<Result<Response, NetError>>, NetError> {
+        self.check_quorum()?;
+        let live_idx: Vec<usize> = self
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.evicted.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let mut per_member: Vec<(usize, Vec<Result<Response, NetError>>)> = Vec::new();
+        for idx in live_idx {
+            let results = self.members[idx].client.call_many(batch);
+            // A member that answered nothing this batch is striking out; a
+            // member that answered anything is alive (reset strikes).
+            let all_dead = results.iter().all(|r| {
+                matches!(
+                    r,
+                    Err(NetError::Deadline { .. })
+                        | Err(NetError::Io { .. })
+                        | Err(NetError::Frame(_))
+                        | Err(NetError::PeerRefused { .. })
+                )
+            });
+            if all_dead {
+                let last = results
+                    .iter()
+                    .find_map(|r| r.as_ref().err())
+                    .expect("a dead batch has an error")
+                    .clone();
+                self.strike(idx, &last);
+            } else {
+                self.members[idx].strikes = 0;
+            }
+            per_member.push((idx, results));
+        }
+        let answered: Vec<&(usize, Vec<Result<Response, NetError>>)> = per_member
+            .iter()
+            .filter(|(idx, _)| self.members[*idx].evicted.is_none())
+            .collect();
+        let out = (0..batch.len())
+            .map(|i| {
+                let oks: Vec<&Response> = answered
+                    .iter()
+                    .filter_map(|(_, rs)| rs[i].as_ref().ok())
+                    .collect();
+                if oks.len() >= self.quorum {
+                    return Ok(oks[0].clone());
+                }
+                // Errors must agree exactly to be trusted as a verdict.
+                let mut counts: Vec<(&NetError, usize)> = Vec::new();
+                for (_, rs) in &answered {
+                    if let Err(e) = &rs[i] {
+                        match counts.iter_mut().find(|(k, _)| *k == e) {
+                            Some((_, n)) => *n += 1,
+                            None => counts.push((e, 1)),
+                        }
+                    }
+                }
+                if let Some((e, _)) = counts.iter().find(|(_, n)| *n >= self.quorum) {
+                    return Err((*e).clone());
+                }
+                Err(NetError::NoQuorum {
+                    live: oks.len(),
+                    need: self.quorum,
+                })
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// Requests `class`'s content digest from every live replica and votes:
+    /// the majority (`>= quorum`) value is returned, and any live replica
+    /// that answered a *different* digest is evicted as
+    /// [`EvictReason::DigestMinority`] — its logical content has diverged
+    /// from the quorum's, which acknowledged traffic can never cause.
+    pub fn vote_digest(&mut self, class: WorkloadClass) -> Result<(u64, u64), NetError> {
+        self.check_quorum()?;
+        let live_idx: Vec<usize> = self
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.evicted.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let mut votes: Vec<(usize, (u64, u64))> = Vec::new();
+        for idx in live_idx {
+            match self.members[idx].client.digest(class) {
+                Ok(v) => {
+                    self.members[idx].strikes = 0;
+                    votes.push((idx, v));
+                }
+                Err(e) => self.strike(idx, &e),
+            }
+        }
+        let mut tally: HashMap<(u64, u64), usize> = HashMap::new();
+        for (_, v) in &votes {
+            *tally.entry(*v).or_insert(0) += 1;
+        }
+        let Some((&majority, _)) = tally.iter().max_by_key(|(_, n)| **n) else {
+            return Err(NetError::NoQuorum {
+                live: 0,
+                need: self.quorum,
+            });
+        };
+        let n = tally[&majority];
+        if n < self.quorum {
+            return Err(NetError::NoQuorum {
+                live: n,
+                need: self.quorum,
+            });
+        }
+        for (idx, v) in votes {
+            if v != majority {
+                self.members[idx].evicted = Some(EvictReason::DigestMinority { got: v, majority });
+            }
+        }
+        Ok(majority)
+    }
+}

@@ -1,0 +1,817 @@
+//! The wire protocol: CRC-framed, length-prefixed messages over a byte
+//! stream, speaking the same frame vocabulary as the durable artifacts.
+//!
+//! Every message is one [`fol_persist::frame`] frame —
+//! `[len u32 LE] [crc u32 LE] [payload]` — whose payload starts with an
+//! opcode byte. The receiver refuses defects **typed**, reusing
+//! [`PersistError`]'s distinctions: a stream that ends mid-frame is
+//! [`PersistError::Truncated`], a complete frame whose CRC disagrees is
+//! [`PersistError::CrcMismatch`], and a CRC-clean payload that does not
+//! decode as the declared structure is [`PersistError::Malformed`]. A frame
+//! defect poisons the whole connection (stream sync can no longer be
+//! trusted): the receiving peer best-effort sends a [`ServerMsg::WireRefused`]
+//! naming the defect, then closes — the client reconnects and re-submits
+//! under the same sequence number, and the server's dedupe table makes the
+//! re-submission exactly-once.
+
+use fol_persist::frame::{crc32, Dec, Enc};
+use fol_persist::PersistError;
+use fol_serve::{Priority, Request, Response, ServeError, WorkloadClass};
+use fol_vm::Word;
+use std::io::Read;
+
+/// Hard bound on one frame's payload length. A length prefix past it is
+/// refused as [`PersistError::Malformed`] before any allocation — a flipped
+/// length byte must not let the reader try to buffer 4 GiB.
+pub const MAX_FRAME: usize = 1 << 22;
+
+const OP_SUBMIT: u8 = 1;
+const OP_HEALTH: u8 = 2;
+const OP_SHUTDOWN: u8 = 3;
+
+const OP_RESULT: u8 = 1;
+const OP_HEALTH_OK: u8 = 2;
+const OP_WIRE_REFUSED: u8 = 3;
+const OP_SHUTDOWN_ACK: u8 = 4;
+
+const REQ_CHAIN_INSERT: u8 = 0;
+const REQ_OA_INSERT: u8 = 1;
+const REQ_OA_LOOKUP: u8 = 2;
+const REQ_BST_INSERT: u8 = 3;
+const REQ_INJECT_ROT: u8 = 4;
+const REQ_POISON_PILL: u8 = 5;
+const REQ_DIGEST: u8 = 6;
+
+const RESP_CHAIN_INSERTED: u8 = 0;
+const RESP_OA_INSERTED: u8 = 1;
+const RESP_OA_LOOKED_UP: u8 = 2;
+const RESP_BST_INSERTED: u8 = 3;
+const RESP_CLASS_DIGEST: u8 = 4;
+const RESP_ROT_INJECTED: u8 = 5;
+
+const ERR_OVERLOADED: u8 = 0;
+const ERR_DEADLINE: u8 = 1;
+const ERR_REJECTED: u8 = 2;
+const ERR_FAILED: u8 = 3;
+const ERR_WORKER_LOST: u8 = 4;
+const ERR_SHUTTING_DOWN: u8 = 5;
+const ERR_PERSIST: u8 = 6;
+
+const PERSIST_IO: u8 = 0;
+const PERSIST_BAD_MAGIC: u8 = 1;
+const PERSIST_UNSUPPORTED: u8 = 2;
+const PERSIST_TRUNCATED: u8 = 3;
+const PERSIST_CRC: u8 = 4;
+const PERSIST_MALFORMED: u8 = 5;
+
+const OUTCOME_OK: u8 = 0;
+const OUTCOME_ERR: u8 = 1;
+const OUTCOME_BUSY: u8 = 2;
+
+/// One client-to-server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientMsg {
+    /// Submit `request` under (`client_id`, `seq`). Re-submitting the same
+    /// pair after a timeout is safe: the server dedupes and replays the
+    /// recorded outcome instead of re-executing. `acked_floor` is the
+    /// highest sequence number below which the client has every outcome —
+    /// the server prunes its dedupe entries up to it.
+    Submit {
+        /// Stable identity of the submitting client.
+        client_id: u64,
+        /// Client-assigned request sequence number (the dedupe key).
+        seq: u64,
+        /// Every `seq < acked_floor` is acknowledged client-side.
+        acked_floor: u64,
+        /// Server-side deadline for the request, in milliseconds.
+        deadline_millis: Option<u64>,
+        /// The request itself.
+        request: Request,
+    },
+    /// Cheap liveness/stats probe, answered at the network layer without
+    /// entering the admission queue — it works even when the queue is
+    /// saturated.
+    Health,
+    /// Ask the serving process to drain and shut down.
+    Shutdown,
+}
+
+/// The per-request outcome carried by [`ServerMsg::Result`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// The request's typed success payload.
+    Ok(Response),
+    /// The request's typed failure.
+    Err(ServeError),
+    /// A duplicate of a request that is still executing: the original
+    /// attempt's outcome is not known yet, so there is nothing to replay.
+    /// Retryable — by the next attempt the outcome will be cached.
+    Busy,
+}
+
+/// One server-to-client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerMsg {
+    /// The outcome of the submit carrying `seq`.
+    Result {
+        /// Echo of the submit's sequence number.
+        seq: u64,
+        /// The typed outcome.
+        outcome: WireOutcome,
+    },
+    /// The answer to [`ClientMsg::Health`]: the server's counter snapshot
+    /// as (name, value) pairs plus the network layer's own in-flight count.
+    Health {
+        /// Counter names and values, in server-defined order.
+        counters: Vec<(String, u64)>,
+    },
+    /// The peer's last frame was defective (torn, CRC-bad, or malformed);
+    /// the connection is being closed. `what` renders the typed defect.
+    WireRefused {
+        /// The rendered [`PersistError`].
+        what: String,
+    },
+    /// Shutdown acknowledged; the server is draining.
+    ShutdownAck,
+}
+
+fn malformed(what: impl Into<String>) -> PersistError {
+    PersistError::Malformed { what: what.into() }
+}
+
+fn class_tag(c: WorkloadClass) -> u8 {
+    match c {
+        WorkloadClass::Chain => 0,
+        WorkloadClass::OpenAddr => 1,
+        WorkloadClass::Bst => 2,
+    }
+}
+
+fn class_of_tag(t: u8) -> Result<WorkloadClass, PersistError> {
+    match t {
+        0 => Ok(WorkloadClass::Chain),
+        1 => Ok(WorkloadClass::OpenAddr),
+        2 => Ok(WorkloadClass::Bst),
+        other => Err(malformed(format!("wire: unknown class tag {other}"))),
+    }
+}
+
+fn priority_tag(p: Priority) -> u8 {
+    match p {
+        Priority::Low => 0,
+        Priority::Normal => 1,
+        Priority::High => 2,
+    }
+}
+
+fn priority_of_tag(t: u8) -> Result<Priority, PersistError> {
+    match t {
+        0 => Ok(Priority::Low),
+        1 => Ok(Priority::Normal),
+        2 => Ok(Priority::High),
+        other => Err(malformed(format!("wire: unknown priority tag {other}"))),
+    }
+}
+
+fn enc_keys(e: &mut Enc, keys: &[Word]) {
+    e.u32(keys.len() as u32);
+    for &k in keys {
+        e.i64(k);
+    }
+}
+
+fn dec_keys(d: &mut Dec<'_>, what: &str) -> Result<Vec<Word>, PersistError> {
+    let n = d.u32(what)? as usize;
+    let mut keys = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        keys.push(d.i64(what)?);
+    }
+    Ok(keys)
+}
+
+fn enc_request(e: &mut Enc, request: &Request) {
+    match request {
+        Request::ChainInsert { keys } => {
+            e.u8(REQ_CHAIN_INSERT);
+            enc_keys(e, keys);
+        }
+        Request::OaInsert { keys } => {
+            e.u8(REQ_OA_INSERT);
+            enc_keys(e, keys);
+        }
+        Request::OaLookup { keys } => {
+            e.u8(REQ_OA_LOOKUP);
+            enc_keys(e, keys);
+        }
+        Request::BstInsert { keys } => {
+            e.u8(REQ_BST_INSERT);
+            enc_keys(e, keys);
+        }
+        Request::InjectRot { class } => {
+            e.u8(REQ_INJECT_ROT);
+            e.u8(class_tag(*class));
+        }
+        Request::PoisonPill { class } => {
+            e.u8(REQ_POISON_PILL);
+            e.u8(class_tag(*class));
+        }
+        Request::Digest { class } => {
+            e.u8(REQ_DIGEST);
+            e.u8(class_tag(*class));
+        }
+    }
+}
+
+fn dec_request(d: &mut Dec<'_>) -> Result<Request, PersistError> {
+    let tag = d.u8("wire.request.tag")?;
+    Ok(match tag {
+        REQ_CHAIN_INSERT => Request::ChainInsert {
+            keys: dec_keys(d, "wire.request.keys")?,
+        },
+        REQ_OA_INSERT => Request::OaInsert {
+            keys: dec_keys(d, "wire.request.keys")?,
+        },
+        REQ_OA_LOOKUP => Request::OaLookup {
+            keys: dec_keys(d, "wire.request.keys")?,
+        },
+        REQ_BST_INSERT => Request::BstInsert {
+            keys: dec_keys(d, "wire.request.keys")?,
+        },
+        REQ_INJECT_ROT => Request::InjectRot {
+            class: class_of_tag(d.u8("wire.request.class")?)?,
+        },
+        REQ_POISON_PILL => Request::PoisonPill {
+            class: class_of_tag(d.u8("wire.request.class")?)?,
+        },
+        REQ_DIGEST => Request::Digest {
+            class: class_of_tag(d.u8("wire.request.class")?)?,
+        },
+        other => return Err(malformed(format!("wire: unknown request tag {other}"))),
+    })
+}
+
+fn enc_response(e: &mut Enc, response: &Response) {
+    match response {
+        Response::ChainInserted { rounds } => {
+            e.u8(RESP_CHAIN_INSERTED);
+            e.u64(*rounds as u64);
+        }
+        Response::OaInserted { iterations, probes } => {
+            e.u8(RESP_OA_INSERTED);
+            e.u64(*iterations as u64);
+            e.u64(*probes);
+        }
+        Response::OaLookedUp { found } => {
+            e.u8(RESP_OA_LOOKED_UP);
+            e.u32(found.len() as u32);
+            for &b in found {
+                e.u8(b as u8);
+            }
+        }
+        Response::BstInserted {
+            iterations,
+            retries,
+        } => {
+            e.u8(RESP_BST_INSERTED);
+            e.u64(*iterations as u64);
+            e.u64(*retries);
+        }
+        Response::ClassDigest { digest, count } => {
+            e.u8(RESP_CLASS_DIGEST);
+            e.u64(*digest);
+            e.u64(*count);
+        }
+        Response::RotInjected => e.u8(RESP_ROT_INJECTED),
+    }
+}
+
+fn dec_response(d: &mut Dec<'_>) -> Result<Response, PersistError> {
+    let tag = d.u8("wire.response.tag")?;
+    Ok(match tag {
+        RESP_CHAIN_INSERTED => Response::ChainInserted {
+            rounds: d.u64("wire.response.rounds")? as usize,
+        },
+        RESP_OA_INSERTED => Response::OaInserted {
+            iterations: d.u64("wire.response.iterations")? as usize,
+            probes: d.u64("wire.response.probes")?,
+        },
+        RESP_OA_LOOKED_UP => {
+            let n = d.u32("wire.response.found.len")? as usize;
+            let mut found = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                found.push(match d.u8("wire.response.found")? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(malformed(format!("wire: found flag {other} is not a bool")))
+                    }
+                });
+            }
+            Response::OaLookedUp { found }
+        }
+        RESP_BST_INSERTED => Response::BstInserted {
+            iterations: d.u64("wire.response.iterations")? as usize,
+            retries: d.u64("wire.response.retries")?,
+        },
+        RESP_CLASS_DIGEST => Response::ClassDigest {
+            digest: d.u64("wire.response.digest")?,
+            count: d.u64("wire.response.count")?,
+        },
+        RESP_ROT_INJECTED => Response::RotInjected,
+        other => return Err(malformed(format!("wire: unknown response tag {other}"))),
+    })
+}
+
+fn enc_persist_error(e: &mut Enc, err: &PersistError) {
+    match err {
+        PersistError::Io { what, error } => {
+            e.u8(PERSIST_IO);
+            e.str(what);
+            e.str(error);
+        }
+        PersistError::BadMagic { what, found } => {
+            e.u8(PERSIST_BAD_MAGIC);
+            e.str(what);
+            e.u32(found.len() as u32);
+            for &b in found {
+                e.u8(b);
+            }
+        }
+        PersistError::UnsupportedVersion {
+            what,
+            found,
+            supported,
+        } => {
+            e.u8(PERSIST_UNSUPPORTED);
+            e.str(what);
+            e.u32(*found);
+            e.u32(*supported);
+        }
+        PersistError::Truncated {
+            what,
+            offset,
+            needed,
+            available,
+        } => {
+            e.u8(PERSIST_TRUNCATED);
+            e.str(what);
+            e.u64(*offset as u64);
+            e.u64(*needed as u64);
+            e.u64(*available as u64);
+        }
+        PersistError::CrcMismatch {
+            what,
+            offset,
+            expected,
+            actual,
+        } => {
+            e.u8(PERSIST_CRC);
+            e.str(what);
+            e.u64(*offset as u64);
+            e.u32(*expected);
+            e.u32(*actual);
+        }
+        PersistError::Malformed { what } => {
+            e.u8(PERSIST_MALFORMED);
+            e.str(what);
+        }
+    }
+}
+
+fn dec_persist_error(d: &mut Dec<'_>) -> Result<PersistError, PersistError> {
+    let tag = d.u8("wire.persist.tag")?;
+    Ok(match tag {
+        PERSIST_IO => PersistError::Io {
+            what: d.str("wire.persist.what")?,
+            error: d.str("wire.persist.error")?,
+        },
+        PERSIST_BAD_MAGIC => {
+            let what = d.str("wire.persist.what")?;
+            let n = d.u32("wire.persist.found.len")? as usize;
+            let mut found = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                found.push(d.u8("wire.persist.found")?);
+            }
+            PersistError::BadMagic { what, found }
+        }
+        PERSIST_UNSUPPORTED => PersistError::UnsupportedVersion {
+            what: d.str("wire.persist.what")?,
+            found: d.u32("wire.persist.found")?,
+            supported: d.u32("wire.persist.supported")?,
+        },
+        PERSIST_TRUNCATED => PersistError::Truncated {
+            what: d.str("wire.persist.what")?,
+            offset: d.u64("wire.persist.offset")? as usize,
+            needed: d.u64("wire.persist.needed")? as usize,
+            available: d.u64("wire.persist.available")? as usize,
+        },
+        PERSIST_CRC => PersistError::CrcMismatch {
+            what: d.str("wire.persist.what")?,
+            offset: d.u64("wire.persist.offset")? as usize,
+            expected: d.u32("wire.persist.expected")?,
+            actual: d.u32("wire.persist.actual")?,
+        },
+        PERSIST_MALFORMED => PersistError::Malformed {
+            what: d.str("wire.persist.what")?,
+        },
+        other => return Err(malformed(format!("wire: unknown persist tag {other}"))),
+    })
+}
+
+fn enc_serve_error(e: &mut Enc, err: &ServeError) {
+    match err {
+        ServeError::Overloaded { capacity } => {
+            e.u8(ERR_OVERLOADED);
+            e.u64(*capacity as u64);
+        }
+        ServeError::DeadlineExceeded => e.u8(ERR_DEADLINE),
+        ServeError::Rejected { reason } => {
+            e.u8(ERR_REJECTED);
+            e.str(reason);
+        }
+        ServeError::Failed { reason } => {
+            e.u8(ERR_FAILED);
+            e.str(reason);
+        }
+        ServeError::WorkerLost => e.u8(ERR_WORKER_LOST),
+        ServeError::ShuttingDown => e.u8(ERR_SHUTTING_DOWN),
+        ServeError::Persist { error } => {
+            e.u8(ERR_PERSIST);
+            enc_persist_error(e, error);
+        }
+    }
+}
+
+fn dec_serve_error(d: &mut Dec<'_>) -> Result<ServeError, PersistError> {
+    let tag = d.u8("wire.error.tag")?;
+    Ok(match tag {
+        ERR_OVERLOADED => ServeError::Overloaded {
+            capacity: d.u64("wire.error.capacity")? as usize,
+        },
+        ERR_DEADLINE => ServeError::DeadlineExceeded,
+        ERR_REJECTED => ServeError::Rejected {
+            reason: d.str("wire.error.reason")?,
+        },
+        ERR_FAILED => ServeError::Failed {
+            reason: d.str("wire.error.reason")?,
+        },
+        ERR_WORKER_LOST => ServeError::WorkerLost,
+        ERR_SHUTTING_DOWN => ServeError::ShuttingDown,
+        ERR_PERSIST => ServeError::Persist {
+            error: dec_persist_error(d)?,
+        },
+        other => return Err(malformed(format!("wire: unknown error tag {other}"))),
+    })
+}
+
+impl ClientMsg {
+    /// Encodes the message payload (opcode byte onward, no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            ClientMsg::Submit {
+                client_id,
+                seq,
+                acked_floor,
+                deadline_millis,
+                request,
+            } => {
+                e.u8(OP_SUBMIT);
+                e.u64(*client_id);
+                e.u64(*seq);
+                e.u64(*acked_floor);
+                match deadline_millis {
+                    Some(ms) => {
+                        e.u8(1);
+                        e.u64(*ms);
+                    }
+                    None => {
+                        e.u8(0);
+                        e.u64(0);
+                    }
+                }
+                // Priority is not carried: remote traffic is all Normal
+                // (the lanes already order by kind; a remote peer must not
+                // starve local High submitters).
+                e.u8(priority_tag(Priority::Normal));
+                enc_request(&mut e, request);
+            }
+            ClientMsg::Health => e.u8(OP_HEALTH),
+            ClientMsg::Shutdown => e.u8(OP_SHUTDOWN),
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a payload; every defect is a typed
+    /// [`PersistError::Malformed`].
+    pub fn decode(payload: &[u8]) -> Result<Self, PersistError> {
+        let mut d = Dec::new(payload);
+        let op = d.u8("wire.client.op")?;
+        let msg = match op {
+            OP_SUBMIT => {
+                let client_id = d.u64("wire.submit.client_id")?;
+                let seq = d.u64("wire.submit.seq")?;
+                let acked_floor = d.u64("wire.submit.acked_floor")?;
+                let has_deadline = d.u8("wire.submit.has_deadline")? != 0;
+                let millis = d.u64("wire.submit.deadline_millis")?;
+                let _priority = priority_of_tag(d.u8("wire.submit.priority")?)?;
+                let request = dec_request(&mut d)?;
+                ClientMsg::Submit {
+                    client_id,
+                    seq,
+                    acked_floor,
+                    deadline_millis: has_deadline.then_some(millis),
+                    request,
+                }
+            }
+            OP_HEALTH => ClientMsg::Health,
+            OP_SHUTDOWN => ClientMsg::Shutdown,
+            other => return Err(malformed(format!("wire: unknown client op {other}"))),
+        };
+        d.finish("wire.client message")?;
+        Ok(msg)
+    }
+}
+
+impl ServerMsg {
+    /// Encodes the message payload (opcode byte onward, no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            ServerMsg::Result { seq, outcome } => {
+                e.u8(OP_RESULT);
+                e.u64(*seq);
+                match outcome {
+                    WireOutcome::Ok(r) => {
+                        e.u8(OUTCOME_OK);
+                        enc_response(&mut e, r);
+                    }
+                    WireOutcome::Err(err) => {
+                        e.u8(OUTCOME_ERR);
+                        enc_serve_error(&mut e, err);
+                    }
+                    WireOutcome::Busy => e.u8(OUTCOME_BUSY),
+                }
+            }
+            ServerMsg::Health { counters } => {
+                e.u8(OP_HEALTH_OK);
+                e.u32(counters.len() as u32);
+                for (name, value) in counters {
+                    e.str(name);
+                    e.u64(*value);
+                }
+            }
+            ServerMsg::WireRefused { what } => {
+                e.u8(OP_WIRE_REFUSED);
+                e.str(what);
+            }
+            ServerMsg::ShutdownAck => e.u8(OP_SHUTDOWN_ACK),
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a payload; every defect is a typed
+    /// [`PersistError::Malformed`].
+    pub fn decode(payload: &[u8]) -> Result<Self, PersistError> {
+        let mut d = Dec::new(payload);
+        let op = d.u8("wire.server.op")?;
+        let msg = match op {
+            OP_RESULT => {
+                let seq = d.u64("wire.result.seq")?;
+                let outcome = match d.u8("wire.result.outcome")? {
+                    OUTCOME_OK => WireOutcome::Ok(dec_response(&mut d)?),
+                    OUTCOME_ERR => WireOutcome::Err(dec_serve_error(&mut d)?),
+                    OUTCOME_BUSY => WireOutcome::Busy,
+                    other => return Err(malformed(format!("wire: unknown outcome tag {other}"))),
+                };
+                ServerMsg::Result { seq, outcome }
+            }
+            OP_HEALTH_OK => {
+                let n = d.u32("wire.health.len")? as usize;
+                let mut counters = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    let name = d.str("wire.health.name")?;
+                    let value = d.u64("wire.health.value")?;
+                    counters.push((name, value));
+                }
+                ServerMsg::Health { counters }
+            }
+            OP_WIRE_REFUSED => ServerMsg::WireRefused {
+                what: d.str("wire.refused.what")?,
+            },
+            OP_SHUTDOWN_ACK => ServerMsg::ShutdownAck,
+            other => return Err(malformed(format!("wire: unknown server op {other}"))),
+        };
+        d.finish("wire.server message")?;
+        Ok(msg)
+    }
+}
+
+/// Frames `payload` for the wire: the identical header the durable
+/// artifacts use ([`fol_persist::frame::push_frame`]).
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    fol_persist::frame::push_frame(&mut out, payload);
+    out
+}
+
+/// Reads exactly one frame from `stream` and returns its CRC-verified
+/// payload, or `Ok(None)` on a clean EOF *at a frame boundary*.
+///
+/// Failure typing mirrors the durable reader: EOF mid-frame is
+/// [`PersistError::Truncated`] (a torn frame — the peer died or injected a
+/// half-open mid-write), a CRC disagreement is
+/// [`PersistError::CrcMismatch`], and a length prefix past [`MAX_FRAME`] is
+/// [`PersistError::Malformed`]. I/O errors (including read timeouts) pass
+/// through as `Err(Ok(io))` via the nested result so the caller can
+/// distinguish transport failure from frame corruption.
+pub fn read_frame(
+    stream: &mut impl Read,
+    context: &str,
+) -> Result<Option<Vec<u8>>, ReadFrameError> {
+    let mut header = [0u8; 8];
+    match read_full(stream, &mut header) {
+        ReadFull::Eof(0) => return Ok(None),
+        ReadFull::Eof(got) => {
+            return Err(ReadFrameError::Frame(PersistError::Truncated {
+                what: format!("{context}: frame header"),
+                offset: 0,
+                needed: 8,
+                available: got,
+            }))
+        }
+        ReadFull::Io { error, got } => {
+            return Err(ReadFrameError::Io {
+                error,
+                mid_frame: got > 0,
+            })
+        }
+        ReadFull::Done => {}
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(ReadFrameError::Frame(PersistError::Malformed {
+            what: format!("{context}: frame length {len} exceeds the {MAX_FRAME}-byte bound"),
+        }));
+    }
+    let mut payload = vec![0u8; len];
+    match read_full(stream, &mut payload) {
+        ReadFull::Eof(got) => {
+            return Err(ReadFrameError::Frame(PersistError::Truncated {
+                what: format!("{context}: frame payload"),
+                offset: 8,
+                needed: len,
+                available: got,
+            }))
+        }
+        ReadFull::Io { error, .. } => {
+            return Err(ReadFrameError::Io {
+                error,
+                mid_frame: true,
+            })
+        }
+        ReadFull::Done => {}
+    }
+    let actual = crc32(&payload);
+    if actual != crc {
+        return Err(ReadFrameError::Frame(PersistError::CrcMismatch {
+            what: context.to_string(),
+            offset: 0,
+            expected: crc,
+            actual,
+        }));
+    }
+    Ok(Some(payload))
+}
+
+/// Why [`read_frame`] failed: transport versus frame integrity.
+#[derive(Debug)]
+pub enum ReadFrameError {
+    /// The operating system refused the read (timeout, reset, ...).
+    Io {
+        /// The underlying error.
+        error: std::io::Error,
+        /// Whether part of a frame had already been read: a timeout at a
+        /// frame boundary is an idle connection (benign); a timeout
+        /// mid-frame means the peer stalled and the stream is desynced.
+        mid_frame: bool,
+    },
+    /// The bytes arrived but the frame is defective (typed).
+    Frame(PersistError),
+}
+
+enum ReadFull {
+    Done,
+    /// EOF after this many bytes of the wanted buffer.
+    Eof(usize),
+    Io {
+        error: std::io::Error,
+        got: usize,
+    },
+}
+
+fn read_full(stream: &mut impl Read, buf: &mut [u8]) -> ReadFull {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return ReadFull::Eof(got),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(error) => return ReadFull::Io { error, got },
+        }
+    }
+    ReadFull::Done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_and_server_messages_round_trip() {
+        let msgs = vec![
+            ClientMsg::Submit {
+                client_id: 9,
+                seq: 42,
+                acked_floor: 40,
+                deadline_millis: Some(250),
+                request: Request::ChainInsert { keys: vec![1, -2] },
+            },
+            ClientMsg::Health,
+            ClientMsg::Shutdown,
+        ];
+        for m in msgs {
+            assert_eq!(ClientMsg::decode(&m.encode()).unwrap(), m);
+        }
+        let msgs = vec![
+            ServerMsg::Result {
+                seq: 42,
+                outcome: WireOutcome::Ok(Response::OaLookedUp {
+                    found: vec![true, false],
+                }),
+            },
+            ServerMsg::Result {
+                seq: 7,
+                outcome: WireOutcome::Err(ServeError::Persist {
+                    error: PersistError::CrcMismatch {
+                        what: "wal".into(),
+                        offset: 16,
+                        expected: 1,
+                        actual: 2,
+                    },
+                }),
+            },
+            ServerMsg::Result {
+                seq: 8,
+                outcome: WireOutcome::Busy,
+            },
+            ServerMsg::Health {
+                counters: vec![("submitted".into(), 3), ("completed".into(), 3)],
+            },
+            ServerMsg::WireRefused {
+                what: "crc mismatch".into(),
+            },
+            ServerMsg::ShutdownAck,
+        ];
+        for m in msgs {
+            assert_eq!(ServerMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_frame(&mut &bytes[..], "t").unwrap_err();
+        assert!(
+            matches!(err, ReadFrameError::Frame(PersistError::Malformed { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn torn_and_flipped_frames_are_distinct_typed_defects() {
+        let framed = frame_bytes(&ClientMsg::Health.encode());
+        // Clean EOF at the boundary.
+        assert!(read_frame(&mut &framed[..0], "t").unwrap().is_none());
+        // Torn mid-header and mid-payload.
+        for cut in [3, framed.len() - 1] {
+            let err = read_frame(&mut &framed[..cut], "t").unwrap_err();
+            assert!(
+                matches!(err, ReadFrameError::Frame(PersistError::Truncated { .. })),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        // Flipped payload byte.
+        let mut flipped = framed.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        let err = read_frame(&mut &flipped[..], "t").unwrap_err();
+        assert!(
+            matches!(err, ReadFrameError::Frame(PersistError::CrcMismatch { .. })),
+            "{err:?}"
+        );
+    }
+}

@@ -385,12 +385,66 @@ pub struct CheckpointScan {
     /// Files newer than `newest` that were refused, newest first, each with
     /// the typed reason.
     pub refused: Vec<(PathBuf, PersistError)>,
+    /// Directory entries that were skipped without being read: unreadable
+    /// entries, non-file entries (a junk subdirectory, a socket), and
+    /// `.ckpt`-suffixed names that do not belong to the scanned prefix.
+    /// Each carries a typed note — surfaced for the operator, never a
+    /// reason to fail the whole scan.
+    pub skipped: Vec<ScanNote>,
+}
+
+/// Why [`latest_checkpoint`] stepped over a directory entry without
+/// attempting to load it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScanNote {
+    /// The directory entry itself could not be read (racing deletion,
+    /// permissions). Carries the rendered I/O error.
+    Unreadable {
+        /// Where the entry sat.
+        dir: PathBuf,
+        /// The rendered `std::io::Error`.
+        error: String,
+    },
+    /// The name matched the checkpoint pattern but the entry is not a
+    /// regular file — a subdirectory or special file squatting on a
+    /// checkpoint name is never opened.
+    NotAFile {
+        /// The offending path.
+        path: PathBuf,
+    },
+    /// A `.ckpt` file whose name does not start with the scanned prefix —
+    /// another worker's checkpoint, or a foreign artifact. Left alone.
+    ForeignName {
+        /// The foreign path.
+        path: PathBuf,
+    },
+}
+
+impl std::fmt::Display for ScanNote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanNote::Unreadable { dir, error } => {
+                write!(f, "unreadable entry in {}: {error}", dir.display())
+            }
+            ScanNote::NotAFile { path } => {
+                write!(f, "not a regular file: {}", path.display())
+            }
+            ScanNote::ForeignName { path } => {
+                write!(f, "foreign checkpoint name: {}", path.display())
+            }
+        }
+    }
 }
 
 /// Scans `dir` for `{prefix}-*.ckpt` files, newest first, returning the
 /// first one that loads and [`Checkpoint::verify`]s plus a typed refusal
 /// for every newer file that did not. A missing directory is an empty scan,
-/// not an error; an unreadable one is [`PersistError::Io`].
+/// not an error; an unreadable one is [`PersistError::Io`]. Entries that
+/// cannot even be classified — unreadable entries, non-file entries
+/// squatting on checkpoint names, foreign-prefixed `.ckpt` files — are
+/// stepped over with a typed [`ScanNote`] in [`CheckpointScan::skipped`]
+/// rather than failing the scan: one junk inode must never hide every
+/// recoverable checkpoint behind an error.
 pub fn latest_checkpoint(dir: &Path, prefix: &str) -> Result<CheckpointScan, PersistError> {
     let mut scan = CheckpointScan::default();
     let entries = match fs::read_dir(dir) {
@@ -401,11 +455,40 @@ pub fn latest_checkpoint(dir: &Path, prefix: &str) -> Result<CheckpointScan, Per
     let mut names: Vec<String> = Vec::new();
     let wanted_prefix = format!("{prefix}-");
     for entry in entries {
-        let entry =
-            entry.map_err(|e| PersistError::io(format!("read dir {}", dir.display()), e))?;
+        // A single bad entry (racing deletion, permissions) must not sink
+        // the scan — every other checkpoint is still recoverable state.
+        let entry = match entry {
+            Ok(e) => e,
+            Err(e) => {
+                scan.skipped.push(ScanNote::Unreadable {
+                    dir: dir.to_path_buf(),
+                    error: e.to_string(),
+                });
+                continue;
+            }
+        };
         let name = entry.file_name().to_string_lossy().into_owned();
-        if name.starts_with(&wanted_prefix) && name.ends_with(".ckpt") {
-            names.push(name);
+        if !name.ends_with(".ckpt") {
+            continue; // WAL segments etc. share the directory legitimately.
+        }
+        if !name.starts_with(&wanted_prefix) {
+            scan.skipped.push(ScanNote::ForeignName {
+                path: dir.join(&name),
+            });
+            continue;
+        }
+        // Only regular files are ever opened: a subdirectory named like a
+        // checkpoint would otherwise turn into a confusing read error.
+        let is_file = entry.file_type().map(|t| t.is_file());
+        match is_file {
+            Ok(true) => names.push(name),
+            Ok(false) => scan.skipped.push(ScanNote::NotAFile {
+                path: dir.join(&name),
+            }),
+            Err(e) => scan.skipped.push(ScanNote::Unreadable {
+                dir: dir.to_path_buf(),
+                error: e.to_string(),
+            }),
         }
     }
     // Zero-padded sequence numbers: lexicographic descending = newest first.
@@ -798,6 +881,48 @@ mod tests {
             matches!(scan.refused[0].1, PersistError::Truncated { .. }),
             "{}",
             scan.refused[0].1
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_steps_over_junk_inodes_with_typed_notes() {
+        let dir = temp_dir("junk");
+        let c = sample_checkpoint();
+        c.write(&dir.join(Checkpoint::file_name("w0", 1))).unwrap();
+        // A junk subdirectory squatting on a *newer* checkpoint name: the
+        // scan must note it and keep going, not die trying to read it.
+        fs::create_dir_all(dir.join(Checkpoint::file_name("w0", 3))).unwrap();
+        // A 0-byte file under a checkpoint name: opened, refused typed.
+        fs::write(dir.join(Checkpoint::file_name("w0", 2)), b"").unwrap();
+        // Another worker's checkpoint: noted as foreign, never opened.
+        fs::write(dir.join(Checkpoint::file_name("w9", 7)), b"junk").unwrap();
+        // A WAL segment sharing the directory: silently irrelevant.
+        fs::write(dir.join("requests-0001.wal"), b"junk").unwrap();
+
+        let scan = latest_checkpoint(&dir, "w0").unwrap();
+        let (_, newest) = scan.newest.expect("the valid checkpoint survives");
+        assert_eq!(newest.seq, 42);
+        assert_eq!(scan.refused.len(), 1, "only the 0-byte file was opened");
+        assert!(
+            matches!(scan.refused[0].1, PersistError::Truncated { .. }),
+            "{}",
+            scan.refused[0].1
+        );
+        let mut notes = scan.skipped.clone();
+        notes.sort_by_key(|n| format!("{n}"));
+        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert!(
+            notes.iter().any(|n| matches!(n, ScanNote::NotAFile { path }
+                    if path.ends_with(Checkpoint::file_name("w0", 3)))),
+            "{notes:?}"
+        );
+        assert!(
+            notes
+                .iter()
+                .any(|n| matches!(n, ScanNote::ForeignName { path }
+                    if path.ends_with(Checkpoint::file_name("w9", 7)))),
+            "{notes:?}"
         );
         fs::remove_dir_all(&dir).ok();
     }

@@ -33,7 +33,7 @@ pub mod checkpoint;
 pub mod frame;
 pub mod wal;
 
-pub use checkpoint::{latest_checkpoint, Checkpoint, Checkpointer};
+pub use checkpoint::{latest_checkpoint, Checkpoint, Checkpointer, ScanNote};
 pub use frame::crc32;
 pub use wal::{FsyncPolicy, Replay, TornTail, Wal, WalRecord};
 

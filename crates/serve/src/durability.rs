@@ -112,6 +112,7 @@ const REQ_OA_LOOKUP: u8 = 2;
 const REQ_BST_INSERT: u8 = 3;
 const REQ_INJECT_ROT: u8 = 4;
 const REQ_POISON_PILL: u8 = 5;
+const REQ_DIGEST: u8 = 6;
 
 fn class_tag(c: WorkloadClass) -> u8 {
     match c {
@@ -231,6 +232,10 @@ pub(crate) fn encode_admit(
                 e.i64(k);
             }
         }
+        Request::Digest { class } => {
+            e.u8(REQ_DIGEST);
+            e.u8(class_tag(*class));
+        }
         Request::InjectRot { class } => {
             e.u8(REQ_INJECT_ROT);
             e.u8(class_tag(*class));
@@ -279,6 +284,9 @@ pub(crate) fn decode_record(payload: &[u8]) -> Result<DurRecord, PersistError> {
                         _ => Request::BstInsert { keys },
                     }
                 }
+                REQ_DIGEST => Request::Digest {
+                    class: class_of_tag(d.u8("admit.request.class")?)?,
+                },
                 REQ_INJECT_ROT => Request::InjectRot {
                     class: class_of_tag(d.u8("admit.request.class")?)?,
                 },

@@ -60,7 +60,7 @@ pub use durability::{worker_prefix, DurabilityConfig, REQUEST_LOG_PREFIX};
 pub use fol_persist::{FsyncPolicy, PersistError};
 pub use pool::ClassDump;
 pub use queue::{StatsSnapshot, Ticket};
-pub use request::{Priority, Request, Response, ServeError, WorkloadClass};
+pub use request::{keys_digest, Priority, Request, Response, ServeError, WorkloadClass};
 
 use durability::{plan_replay, ReplayPlan};
 use fol_core::recover::RetryPolicy;
@@ -247,6 +247,7 @@ impl Server {
             cfg.max_batch,
             cfg.max_wait,
             log,
+            cfg.workers,
         ));
         shared.set_next_seq(plan.next_seq);
         report.next_seq = plan.next_seq;
@@ -294,6 +295,18 @@ impl Server {
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServeError> {
         self.shared.submit(request, priority, deadline)
+    }
+
+    /// Submits a whole burst under one queue lock and one worker
+    /// notification, returning one admission outcome per request (in
+    /// order). Semantically identical to calling [`Server::submit_with`]
+    /// per item; the batch front-ends use it so a pipelined burst pays the
+    /// submission overhead once.
+    pub fn submit_many_with(
+        &self,
+        items: Vec<(Request, Priority, Option<Duration>)>,
+    ) -> Vec<Result<Ticket, ServeError>> {
+        self.shared.submit_many(items)
     }
 
     /// Convenience: submit and block for the outcome.

@@ -26,7 +26,7 @@ use crate::queue::{
     Batch, Pending, Shared, LANE_BST_INSERT, LANE_CHAIN_INSERT, LANE_CTL_BST, LANE_CTL_CHAIN,
     LANE_CTL_OA, LANE_OA_INSERT, LANE_OA_LOOKUP,
 };
-use crate::request::{Kind, Request, Response, ServeError, WorkloadClass};
+use crate::request::{keys_digest, Kind, Request, Response, ServeError, WorkloadClass};
 use crate::scrub::ScrubCursor;
 use crate::ServerConfig;
 use fol_core::recover::GroupError;
@@ -188,6 +188,11 @@ impl Worker {
                 .fetch_add(1, Ordering::Relaxed);
         }
         let committed = capture_committed(&m);
+        // Publish the (possibly checkpoint-restored) shard's content digest
+        // before serving anything, so a digest request racing startup sees
+        // restored keys rather than a stale zero.
+        let shard_keys = chaining::all_keys(&m, &chain);
+        shared.publish_chain_shard(id, keys_digest(&shard_keys), shard_keys.len() as u64);
         // Owned lanes first (their requests have nowhere else to go), then
         // the shared chain-insert lane.
         let mut lanes = Vec::new();
@@ -259,6 +264,12 @@ impl Worker {
                     self.committed = capture_committed(&self.m);
                     self.committed_chain_used = self.chain.used_nodes;
                     self.committed_bst_used = self.bst.as_ref().map_or(0, |b| b.used);
+                    if kind == Kind::ChainInsert {
+                        // Republish this shard's digest before the batch's
+                        // callers are acknowledged (digest-after-ack
+                        // consistency for the voting layer).
+                        self.publish_chain_shard();
+                    }
                 }
                 if self.dur.is_some() {
                     // Completion records, then the batch-boundary fsync,
@@ -451,6 +462,24 @@ impl Worker {
             Kind::Control => {
                 debug_assert_eq!(items.len(), 1, "control batches are singletons");
                 match &items[0].request {
+                    Request::Digest { class } => {
+                        let (digest, count) = match class {
+                            // Whole-table digest: the commutative sum of
+                            // every worker's published shard cell.
+                            WorkloadClass::Chain => self.shared.chain_digest(),
+                            WorkloadClass::OpenAddr => {
+                                let t = self.oa_table.expect("routed to the owner");
+                                let keys = oa::stored_keys(&self.m.mem().read_region(t));
+                                (keys_digest(&keys), keys.len() as u64)
+                            }
+                            WorkloadClass::Bst => {
+                                let b = self.bst.as_ref().expect("routed to the owner");
+                                let keys = b.inorder(&self.m);
+                                (keys_digest(&keys), keys.len() as u64)
+                            }
+                        };
+                        vec![Ok(Response::ClassDigest { digest, count })]
+                    }
                     Request::InjectRot { class } => {
                         let region = match class {
                             WorkloadClass::Chain => self.chain.arena,
@@ -475,6 +504,15 @@ impl Worker {
                 }
             }
         }
+    }
+
+    /// Recomputes this shard's chaining content digest from machine state
+    /// and publishes it to the shared cells, where the chain control owner
+    /// combines all shards to answer [`Request::Digest`].
+    fn publish_chain_shard(&self) {
+        let keys = chaining::all_keys(&self.m, &self.chain);
+        self.shared
+            .publish_chain_shard(self.id, keys_digest(&keys), keys.len() as u64);
     }
 
     /// Replaces a condemned machine wholesale. With durability on and a
@@ -503,6 +541,9 @@ impl Worker {
             self.oa_table = oa_table;
             self.bst = bst;
         }
+        // The respawned shard may have lost uncommitted inserts (and the
+        // durable path may have redone some); republish its digest.
+        self.publish_chain_shard();
         self.shared.stats.respawns.fetch_add(1, Ordering::Relaxed);
     }
 

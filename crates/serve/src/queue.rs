@@ -216,6 +216,15 @@ pub(crate) struct Shared {
     /// The write-ahead request log, when the server runs durable. Lock
     /// order: `inner` may be held while taking `wal`, never the reverse.
     pub(crate) wal: Option<Mutex<Wal>>,
+    /// Per-worker published chaining-shard content digests
+    /// (`(keys_digest, count)` per shard). The chaining table is sharded
+    /// across every worker, so no single worker can scan the whole logical
+    /// structure; instead each worker publishes its shard's digest after
+    /// every committed chain batch (and at build/respawn), *before* the
+    /// batch's callers are acknowledged. [`Request::Digest`] for the chain
+    /// class is answered by combining the cells — the order-insensitive
+    /// digest makes the combination exact, not approximate.
+    chain_shards: Mutex<Vec<(u64, u64)>>,
 }
 
 /// What a worker drained: a same-kind run of requests to coalesce.
@@ -230,6 +239,7 @@ impl Shared {
         max_batch: usize,
         max_wait: Duration,
         wal: Option<Wal>,
+        workers: usize,
     ) -> Self {
         Shared {
             inner: Mutex::new(Inner {
@@ -244,7 +254,32 @@ impl Shared {
             max_wait,
             stats: StatCells::default(),
             wal: wal.map(Mutex::new),
+            chain_shards: Mutex::new(vec![(0, 0); workers]),
         }
+    }
+
+    /// Publishes worker `id`'s chaining-shard content digest. Called with
+    /// the post-commit shard contents before the batch's callers are
+    /// acknowledged, so any acknowledged insert is visible to a later
+    /// [`Shared::chain_digest`].
+    pub(crate) fn publish_chain_shard(&self, id: usize, digest: u64, count: u64) {
+        let mut g = self
+            .chain_shards
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        g[id] = (digest, count);
+    }
+
+    /// The whole chaining table's logical content digest: the commutative
+    /// combination of every published shard digest.
+    pub(crate) fn chain_digest(&self) -> (u64, u64) {
+        let g = self
+            .chain_shards
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        g.iter().fold((0u64, 0u64), |(d, c), &(sd, sc)| {
+            (d.wrapping_add(sd), c + sc)
+        })
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -332,6 +367,41 @@ impl Shared {
         drop(g);
         self.work_cv.notify_all();
         Ok(ticket)
+    }
+
+    /// Admits a group of requests under ONE queue lock and ONE worker
+    /// notification, with per-request outcomes — the same admission rules
+    /// as [`Shared::submit`], item by item. A network front-end that
+    /// decoded a pipelined burst commits it here so the per-submission
+    /// lock/notify cost is paid once per burst, not once per request.
+    pub(crate) fn submit_many(
+        &self,
+        items: Vec<(Request, Priority, Option<Duration>)>,
+    ) -> Vec<Result<Ticket, ServeError>> {
+        let mut out = Vec::with_capacity(items.len());
+        let mut g = self.lock();
+        for (request, priority, deadline) in items {
+            if g.shutdown {
+                out.push(Err(ServeError::ShuttingDown));
+                continue;
+            }
+            if g.total >= self.capacity {
+                self.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                out.push(Err(ServeError::Overloaded {
+                    capacity: self.capacity,
+                }));
+                continue;
+            }
+            let seq = g.next_seq;
+            g.next_seq += 1;
+            match self.wal_append(&encode_admit(seq, &request, priority, deadline)) {
+                Ok(()) => out.push(Ok(self.enqueue(&mut g, seq, request, priority, deadline))),
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        drop(g);
+        self.work_cv.notify_all();
+        out
     }
 
     /// Re-admits one acknowledged request recovered from the log at
@@ -487,7 +557,7 @@ mod tests {
     use super::*;
 
     fn shared() -> Shared {
-        Shared::new(4, 8, Duration::from_millis(0), None)
+        Shared::new(4, 8, Duration::from_millis(0), None, 1)
     }
 
     #[test]

@@ -57,6 +57,20 @@ pub enum Request {
         /// Keys to insert.
         keys: Vec<Word>,
     },
+    /// Ask for the class's **content digest**: an order-insensitive hash of
+    /// the keys the structure currently stores, plus their count. Routed as
+    /// a control request (never coalesced) to the class's owning worker, so
+    /// the answer reflects every batch acknowledged before this request was
+    /// served. Two servers that applied the same logical traffic return the
+    /// same digest regardless of batch composition, escalation history, or
+    /// shard layout — the cross-replica comparison primitive `fol-net`'s
+    /// digest voting is built on (same-machine voting uses
+    /// `fol_vm::Machine::content_digest`, which hashes *physical* memory
+    /// and is deliberately not comparable across replicas).
+    Digest {
+        /// The class to digest.
+        class: WorkloadClass,
+    },
     /// Test hook: flip one resident bit in the class's tracked storage,
     /// behind the store path — the bit-rot the idle scrub exists to catch.
     #[doc(hidden)]
@@ -80,7 +94,9 @@ impl Request {
             Request::OaInsert { .. } => Kind::OaInsert,
             Request::OaLookup { .. } => Kind::OaLookup,
             Request::BstInsert { .. } => Kind::BstInsert,
-            Request::InjectRot { .. } | Request::PoisonPill { .. } => Kind::Control,
+            Request::Digest { .. } | Request::InjectRot { .. } | Request::PoisonPill { .. } => {
+                Kind::Control
+            }
         }
     }
 
@@ -89,9 +105,27 @@ impl Request {
             Request::ChainInsert { .. } => WorkloadClass::Chain,
             Request::OaInsert { .. } | Request::OaLookup { .. } => WorkloadClass::OpenAddr,
             Request::BstInsert { .. } => WorkloadClass::Bst,
-            Request::InjectRot { class } | Request::PoisonPill { class } => *class,
+            Request::Digest { class }
+            | Request::InjectRot { class }
+            | Request::PoisonPill { class } => *class,
         }
     }
+}
+
+/// The order-insensitive content digest of a key multiset: the wrapping sum
+/// of a strong per-key hash. Commutative and associative, so shard digests
+/// combine by addition and batch composition cannot influence the result;
+/// duplicates accumulate (unlike an XOR fold, where a key inserted twice
+/// would vanish). Paired with the key count in [`Response::ClassDigest`] so
+/// an empty structure and a zero-sum collision stay distinguishable.
+pub fn keys_digest(keys: &[Word]) -> u64 {
+    keys.iter().fold(0u64, |acc, &k| {
+        // splitmix64 finalizer over the key bits.
+        let mut z = (k as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        acc.wrapping_add(z ^ (z >> 31))
+    })
 }
 
 /// The per-request success payload.
@@ -121,6 +155,14 @@ pub enum Response {
         iterations: usize,
         /// FOL label-check retries of the carrying transaction.
         retries: u64,
+    },
+    /// A [`Request::Digest`] answer: the class's logical content digest.
+    ClassDigest {
+        /// Order-insensitive hash of the stored keys ([`keys_digest`]).
+        /// For chaining this is the combined digest across every shard.
+        digest: u64,
+        /// How many keys the digest covers.
+        count: u64,
     },
     /// A [`Request::InjectRot`] flipped a bit.
     RotInjected,

@@ -184,6 +184,62 @@ fn idle_scrub_detects_and_repairs_injected_rot_between_bursts() {
 }
 
 #[test]
+fn digest_requests_reflect_acknowledged_content_across_shards_and_respawns() {
+    // Two servers with different worker counts (different chain shard
+    // layouts) apply the same logical traffic; their digests must agree —
+    // the cross-replica comparison primitive the network layer votes on.
+    let a = Server::start(small_config(1));
+    let b = Server::start(small_config(3));
+    for server in [&a, &b] {
+        for k in 0..20 {
+            assert!(server
+                .call(Request::ChainInsert {
+                    keys: vec![k, k] // duplicates must accumulate, not cancel
+                })
+                .is_ok());
+        }
+        assert!(server.call(Request::OaInsert { keys: vec![7, 9] }).is_ok());
+        assert!(server.call(Request::BstInsert { keys: vec![3, 1] }).is_ok());
+    }
+    let digest_of = |s: &Server, class| match s.call(Request::Digest { class }) {
+        Ok(Response::ClassDigest { digest, count }) => (digest, count),
+        other => panic!("digest request failed: {other:?}"),
+    };
+    for class in [
+        WorkloadClass::Chain,
+        WorkloadClass::OpenAddr,
+        WorkloadClass::Bst,
+    ] {
+        let da = digest_of(&a, class);
+        let db = digest_of(&b, class);
+        assert_eq!(da, db, "{class:?} digest differs across shard layouts");
+        assert!(da.1 > 0, "{class:?} digest covers no keys");
+    }
+    assert_eq!(digest_of(&a, WorkloadClass::Chain).1, 40);
+    // An empty class digests as (0, 0) — and distinct content must
+    // (overwhelmingly) not collide with it.
+    let empty = Server::start(small_config(2));
+    assert_eq!(digest_of(&empty, WorkloadClass::Bst), (0, 0));
+    drop(empty);
+
+    // A worker killed mid-batch republishes its shard on respawn: the
+    // digest still covers exactly the acknowledged keys.
+    assert_eq!(
+        a.call(Request::PoisonPill {
+            class: WorkloadClass::Chain
+        }),
+        Err(ServeError::WorkerLost)
+    );
+    assert_eq!(
+        digest_of(&a, WorkloadClass::Chain),
+        digest_of(&b, WorkloadClass::Chain),
+        "respawn changed the acknowledged chain digest"
+    );
+    drop(a);
+    drop(b);
+}
+
+#[test]
 fn admission_rejections_do_not_poison_coalesced_siblings() {
     // Three requests land in one batch; the middle one is malformed (a
     // negative key). Only it fails, and with a typed Rejected.

@@ -12,7 +12,9 @@
 //! [`graph`], [`gc`], [`maze`], [`queens`] — and [`serve`], the batching
 //! request-service layer that coalesces small independent requests into the
 //! large index vectors the method wants, made crash-safe by [`persist`]
-//! (durable checkpoints and a write-ahead request log).
+//! (durable checkpoints and a write-ahead request log) and remotable by
+//! [`net`] (a CRC-framed wire protocol with exactly-once retries, seeded
+//! wire-fault injection, and digest-voting replica failover).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +24,7 @@ pub use fol_gc as gc;
 pub use fol_graph as graph;
 pub use fol_hash as hash;
 pub use fol_maze as maze;
+pub use fol_net as net;
 pub use fol_persist as persist;
 pub use fol_queens as queens;
 pub use fol_serve as serve;

@@ -1,0 +1,278 @@
+//! Wire-fault chaos matrix: every cell crosses one fault kind with one
+//! side of the wire (client writes or server writes) under a seeded
+//! [`fol_net::WireFaultPlan`], drives real traffic over loopback, and
+//! audits the end-to-end contract:
+//!
+//! * **termination** — every request resolves `Ok` or with a typed
+//!   [`fol_net::NetError`] before the client's deadline (plus scheduling
+//!   slack); nothing hangs;
+//! * **zero acknowledged-but-lost** — every key whose insert the client
+//!   saw acknowledged is present in the server's final dump;
+//! * **no invented state** — every key in the final dump was actually
+//!   submitted (faults corrupt frames, and corrupt frames are refused,
+//!   never half-applied);
+//! * **exactly-once** — retries and duplicated frames never double-apply
+//!   a key.
+//!
+//! Each cell appends a JSON artifact to `target/net-chaos/<cell>.json`
+//! (override with `$NET_CHAOS_ARTIFACT_DIR`) naming its seed, so CI can
+//! attach the evidence and a red cell reproduces bit-for-bit.
+
+use fol_net::{NetClient, NetClientConfig, NetError, NetServer, NetServerConfig, WireFaultPlan};
+use fol_serve::{Request, Response, Server, ServerConfig, ShutdownReport, WorkloadClass};
+use fol_vm::Word;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const CALL_DEADLINE: Duration = Duration::from_secs(30);
+/// Generous allowance for scheduler noise on top of the hard deadline.
+const TERMINATION_SLACK: Duration = Duration::from_secs(10);
+
+fn small_server() -> Server {
+    Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 256,
+        max_batch: 32,
+        max_wait: Duration::from_millis(1),
+        idle_tick: Duration::from_millis(1),
+        chain_buckets: 32,
+        chain_capacity: 2048,
+        oa_slots: 256,
+        bst_capacity: 512,
+        ..ServerConfig::default()
+    })
+}
+
+fn chain_union(report: &ShutdownReport) -> Vec<Word> {
+    let mut keys: Vec<Word> = report
+        .dumps
+        .iter()
+        .filter(|d| d.class == WorkloadClass::Chain)
+        .flat_map(|d| d.keys.iter().copied())
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn write_cell_report(cell: &str, fields: &[(&str, String)]) {
+    let dir = std::env::var_os("NET_CHAOS_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/net-chaos"));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut s = format!("{{\n  \"cell\": \"{cell}\"");
+    for (k, v) in fields {
+        s.push_str(&format!(",\n  \"{k}\": {v}"));
+    }
+    s.push_str("\n}\n");
+    let _ = std::fs::write(dir.join(format!("{cell}.json")), s);
+}
+
+/// The fault kinds of the matrix; `mixed` arms every band at once.
+fn plans(seed: u64) -> Vec<(&'static str, WireFaultPlan)> {
+    let base = WireFaultPlan {
+        seed,
+        delay: Duration::from_millis(20),
+        ..WireFaultPlan::default()
+    };
+    vec![
+        (
+            "drop",
+            WireFaultPlan {
+                drop_per_mille: 180,
+                ..base.clone()
+            },
+        ),
+        (
+            "delay",
+            WireFaultPlan {
+                delay_per_mille: 180,
+                ..base.clone()
+            },
+        ),
+        (
+            "dup",
+            WireFaultPlan {
+                dup_per_mille: 180,
+                ..base.clone()
+            },
+        ),
+        (
+            "flip",
+            WireFaultPlan {
+                flip_per_mille: 120,
+                ..base.clone()
+            },
+        ),
+        (
+            "tear",
+            WireFaultPlan {
+                tear_per_mille: 100,
+                ..base.clone()
+            },
+        ),
+        (
+            "mixed",
+            WireFaultPlan {
+                drop_per_mille: 60,
+                delay_per_mille: 60,
+                dup_per_mille: 60,
+                flip_per_mille: 40,
+                tear_per_mille: 40,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Runs one cell: 48 single-key chain inserts in pipelined batches of 16
+/// through the faulted wire, then audits the final dump against the acks.
+fn run_cell(cell: &str, client_plan: Option<WireFaultPlan>, server_plan: Option<WireFaultPlan>) {
+    let seed = client_plan
+        .as_ref()
+        .or(server_plan.as_ref())
+        .map(|p| p.seed)
+        .unwrap_or(0);
+    let net = NetServer::start(
+        small_server(),
+        NetServerConfig {
+            fault_plan: server_plan,
+            ..NetServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = NetClient::new(
+        net.local_addr().to_string(),
+        NetClientConfig {
+            client_id: 0xC0FFEE,
+            call_deadline: CALL_DEADLINE,
+            io_timeout: Duration::from_millis(200),
+            fault_plan: client_plan,
+            ..NetClientConfig::default()
+        },
+    );
+
+    let submitted: Vec<Word> = (0..48).collect();
+    let mut acked: Vec<Word> = Vec::new();
+    let mut typed_failures: Vec<String> = Vec::new();
+    let t0 = Instant::now();
+    for chunk in submitted.chunks(16) {
+        let batch: Vec<Request> = chunk
+            .iter()
+            .map(|&k| Request::ChainInsert { keys: vec![k] })
+            .collect();
+        let batch_start = Instant::now();
+        let results = client.call_many(&batch);
+        assert!(
+            batch_start.elapsed() < CALL_DEADLINE + TERMINATION_SLACK,
+            "{cell}: call_many ran past its deadline"
+        );
+        for (&k, r) in chunk.iter().zip(&results) {
+            match r {
+                Ok(Response::ChainInserted { .. }) => acked.push(k),
+                Ok(other) => panic!("{cell}: key {k} answered with the wrong kind: {other:?}"),
+                // A typed failure is an allowed terminal verdict — the
+                // request may or may not have been applied, and the audit
+                // below only requires that *acknowledged* keys survive.
+                Err(e @ (NetError::Deadline { .. } | NetError::NoQuorum { .. })) => {
+                    typed_failures.push(format!("{k}:{e}"))
+                }
+                Err(e) => {
+                    assert!(
+                        !e.is_retryable(),
+                        "{cell}: key {k} surfaced a retryable error {e} — the \
+                         retry ladder must absorb those until the deadline"
+                    );
+                    typed_failures.push(format!("{k}:{e}"));
+                }
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+
+    let report = net.shutdown();
+    let dumped = chain_union(&report);
+
+    // Exactly-once: duplicated frames and re-submissions never double-apply.
+    assert!(
+        dumped.windows(2).all(|w| w[0] < w[1]),
+        "{cell}: duplicate key in the final dump: {dumped:?}"
+    );
+    // Zero acknowledged-but-lost.
+    let lost: Vec<Word> = acked
+        .iter()
+        .copied()
+        .filter(|k| dumped.binary_search(k).is_err())
+        .collect();
+    assert!(
+        lost.is_empty(),
+        "{cell}: acknowledged keys lost: {lost:?} (acked {}, dumped {})",
+        acked.len(),
+        dumped.len()
+    );
+    // No invented state.
+    let foreign: Vec<Word> = dumped
+        .iter()
+        .copied()
+        .filter(|k| submitted.binary_search(k).is_err())
+        .collect();
+    assert!(
+        foreign.is_empty(),
+        "{cell}: keys nobody submitted appeared in the dump: {foreign:?}"
+    );
+    // The fault rates are chosen recoverable: every request must in fact
+    // have been acknowledged, not merely have failed typed.
+    assert_eq!(
+        acked.len(),
+        submitted.len(),
+        "{cell}: expected full acknowledgement under recoverable faults; \
+         typed failures: {typed_failures:?}"
+    );
+
+    write_cell_report(
+        cell,
+        &[
+            ("seed", seed.to_string()),
+            ("submitted", submitted.len().to_string()),
+            ("acked", acked.len().to_string()),
+            ("dumped", dumped.len().to_string()),
+            ("typed_failures", typed_failures.len().to_string()),
+            ("lost_acks", "0".into()),
+            ("elapsed_ms", elapsed.as_millis().to_string()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+#[test]
+fn client_side_fault_matrix_terminates_typed_and_loses_no_acks() {
+    for (kind, plan) in plans(0x00C1_1E57) {
+        run_cell(&format!("client_{kind}"), Some(plan), None);
+    }
+}
+
+#[test]
+fn server_side_fault_matrix_terminates_typed_and_loses_no_acks() {
+    for (kind, plan) in plans(0x5E1_7E12) {
+        run_cell(&format!("server_{kind}"), None, Some(plan));
+    }
+}
+
+#[test]
+fn both_sides_faulted_at_once_still_converge() {
+    let client = WireFaultPlan {
+        seed: 0xB07_51DE,
+        drop_per_mille: 60,
+        dup_per_mille: 60,
+        flip_per_mille: 30,
+        tear_per_mille: 30,
+        delay_per_mille: 40,
+        delay: Duration::from_millis(10),
+    };
+    let server = WireFaultPlan {
+        seed: 0x0DD_51DE,
+        ..client.clone()
+    };
+    run_cell("both_mixed", Some(client), Some(server));
+}

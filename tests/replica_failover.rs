@@ -1,0 +1,440 @@
+//! Replicated serving under real process death: three independent server
+//! processes behind a [`fol_net::ReplicaSet`], one SIGKILLed mid-batch
+//! while seeded wire faults are active on every link.
+//!
+//! The invariants, in the order the cells check them:
+//!
+//! * **voting masks the dead replica** — every request keeps resolving
+//!   `Ok` through the kill, acknowledged by the surviving quorum;
+//! * **failover is typed eviction** — the killed member is evicted as
+//!   [`EvictReason::Unresponsive`] after its strikes run out, and the set
+//!   keeps serving with `live == 2`;
+//! * **zero acknowledged-but-lost** — after a graceful drain, each
+//!   survivor's final dump is byte-equal to the scalar oracle (the sorted
+//!   acknowledged keys), so nothing the set acknowledged died with the
+//!   killed process;
+//! * **digest voting detects real divergence** — a replica whose logical
+//!   content differs from the quorum's (here: a key smuggled in behind the
+//!   set's back) is evicted as [`EvictReason::DigestMinority`].
+//!
+//! The kill is a real `SIGKILL` against a child OS process (re-exec of
+//! this test binary, dispatched on `FOL_NET_ROLE`), not a dropped thread:
+//! the dead replica's sockets reset mid-conversation exactly like a
+//! production crash. Cells write JSON artifacts next to the chaos
+//! matrix's (`target/net-chaos/`, override `$NET_CHAOS_ARTIFACT_DIR`).
+
+use fol_net::{
+    EvictReason, NetClient, NetClientConfig, NetServer, NetServerConfig, ReplicaSet,
+    ReplicaSetConfig, WireFaultPlan,
+};
+use fol_serve::{keys_digest, Request, Response, Server, ServerConfig, WorkloadClass};
+use fol_vm::Word;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------- plumbing
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "fol-replica-failover-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn small_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 256,
+        max_batch: 32,
+        max_wait: Duration::from_millis(1),
+        idle_tick: Duration::from_millis(1),
+        chain_buckets: 32,
+        chain_capacity: 2048,
+        oa_slots: 256,
+        bst_capacity: 512,
+        ..ServerConfig::default()
+    }
+}
+
+fn write_cell_report(cell: &str, fields: &[(&str, String)]) {
+    let dir = std::env::var_os("NET_CHAOS_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/net-chaos"));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut s = format!("{{\n  \"cell\": \"{cell}\"");
+    for (k, v) in fields {
+        s.push_str(&format!(",\n  \"{k}\": {v}"));
+    }
+    s.push_str("\n}\n");
+    let _ = std::fs::write(dir.join(format!("{cell}.json")), s);
+}
+
+fn wait_until(what: &str, deadline: Duration, mut done: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !done() {
+        assert!(
+            start.elapsed() < deadline,
+            "timed out after {deadline:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+// ------------------------------------------------------------- child side
+
+/// Child dispatch: under `FOL_NET_ROLE` this process is one replica; in a
+/// normal test run it is a no-op pass.
+#[test]
+fn child_entrypoint() {
+    if std::env::var("FOL_NET_ROLE").as_deref() != Ok("replica") {
+        return;
+    }
+    let dir = PathBuf::from(std::env::var("FOL_NET_DIR").expect("FOL_NET_DIR"));
+    let seed: u64 = std::env::var("FOL_NET_SEED")
+        .expect("FOL_NET_SEED")
+        .parse()
+        .expect("numeric seed");
+    // Every replica misbehaves on its response writes, each with its own
+    // deterministic plan.
+    let net = NetServer::start(
+        Server::start(small_config()),
+        NetServerConfig {
+            fault_plan: Some(WireFaultPlan {
+                seed,
+                drop_per_mille: 80,
+                dup_per_mille: 60,
+                flip_per_mille: 40,
+                ..WireFaultPlan::default()
+            }),
+            ..NetServerConfig::default()
+        },
+    )
+    .expect("replica bind");
+    // Publish the picked port atomically (write + rename) so the parent
+    // never reads a half-written file.
+    let tmp = dir.join("addr.tmp");
+    std::fs::write(&tmp, net.local_addr().to_string()).expect("write addr");
+    std::fs::rename(&tmp, dir.join("addr.txt")).expect("publish addr");
+
+    // Serve until a peer asks for shutdown over the wire, then drain and
+    // publish the final chain dump — the survivor evidence the parent
+    // audits against the oracle.
+    let t0 = Instant::now();
+    while !net.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    eprintln!("child: shutdown_requested at {:?}", t0.elapsed());
+    let report = net.shutdown();
+    eprintln!("child: drained at {:?}", t0.elapsed());
+    let mut keys: Vec<Word> = report
+        .dumps
+        .iter()
+        .filter(|d| d.class == WorkloadClass::Chain)
+        .flat_map(|d| d.keys.iter().copied())
+        .collect();
+    keys.sort_unstable();
+    let body = keys
+        .iter()
+        .map(|k| k.to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let tmp = dir.join("dump.tmp");
+    std::fs::write(&tmp, body).expect("write dump");
+    std::fs::rename(&tmp, dir.join("dump.txt")).expect("publish dump");
+}
+
+fn spawn_replica(dir: &Path, seed: u64) -> Child {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = Command::new(exe);
+    let log = std::fs::File::create(dir.join("child.log")).expect("child log");
+    cmd.args([
+        "child_entrypoint",
+        "--exact",
+        "--test-threads",
+        "1",
+        "--nocapture",
+    ])
+    .env("FOL_NET_ROLE", "replica")
+    .env("FOL_NET_DIR", dir)
+    .env("FOL_NET_SEED", seed.to_string())
+    .stdout(Stdio::null())
+    .stderr(log);
+    cmd.spawn().expect("spawn replica child")
+}
+
+fn read_addr(dir: &Path) -> Option<String> {
+    std::fs::read_to_string(dir.join("addr.txt"))
+        .ok()
+        .map(|s| s.trim().to_string())
+}
+
+fn read_dump(dir: &Path) -> Vec<Word> {
+    let text = std::fs::read_to_string(dir.join("dump.txt")).expect("survivor dump");
+    text.lines().filter_map(|l| l.parse().ok()).collect()
+}
+
+// ------------------------------------------------------------------ cells
+
+/// The tentpole cell: 3 replicas, seeded faults on every link, one replica
+/// SIGKILLed while a batch is in flight. Quorum acking rides through; the
+/// dead member is evicted typed; the survivors drain to dumps byte-equal
+/// to the sorted acknowledged keys.
+#[test]
+fn sigkill_one_replica_mid_batch_masks_and_loses_nothing() {
+    let dirs = [TempDir::new("r0"), TempDir::new("r1"), TempDir::new("r2")];
+    let mut children: Vec<Child> = dirs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| spawn_replica(d.path(), 0xFA11 + i as u64))
+        .collect();
+    wait_until(
+        "all replicas to publish ports",
+        Duration::from_secs(30),
+        || dirs.iter().all(|d| read_addr(d.path()).is_some()),
+    );
+    let addrs: Vec<String> = dirs.iter().map(|d| read_addr(d.path()).unwrap()).collect();
+
+    let mut set = ReplicaSet::connect(
+        &addrs,
+        ReplicaSetConfig {
+            client: NetClientConfig {
+                client_id: 31,
+                io_timeout: Duration::from_millis(200),
+                connect_timeout: Duration::from_millis(300),
+                call_deadline: Duration::from_secs(2),
+                // The client side of every link misbehaves too.
+                fault_plan: Some(WireFaultPlan {
+                    seed: 0xC0DE,
+                    drop_per_mille: 80,
+                    dup_per_mille: 60,
+                    ..WireFaultPlan::default()
+                }),
+                ..NetClientConfig::default()
+            },
+            quorum: 0, // majority of 3 = 2
+            max_strikes: 2,
+        },
+    );
+    assert_eq!(set.quorum(), 2);
+
+    let mut acked: Vec<Word> = Vec::new();
+    let batches: Vec<Vec<Word>> = (0..6).map(|b| (b * 8..b * 8 + 8).collect()).collect();
+    let victim = 1usize;
+    for (bi, keys) in batches.iter().enumerate() {
+        let batch: Vec<Request> = keys
+            .iter()
+            .map(|&k| Request::ChainInsert { keys: vec![k] })
+            .collect();
+        // Kill replica 1 *while batch 2 is in flight*: the killer thread
+        // fires mid-apply, so its sockets reset under the set's feet.
+        let killer = (bi == 2).then(|| {
+            let pid = children[victim].id();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                // SIGKILL via the child handle is owned by the main thread;
+                // use the raw pid so the kill lands mid-batch.
+                let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+            })
+        });
+        let results = set.apply(&batch).expect("quorum holds throughout");
+        if let Some(k) = killer {
+            k.join().unwrap();
+        }
+        for (&key, r) in keys.iter().zip(&results) {
+            match r {
+                Ok(Response::ChainInserted { .. }) => acked.push(key),
+                other => panic!("batch {bi} key {key}: quorum ack expected, got {other:?}"),
+            }
+        }
+    }
+    children[victim].wait().expect("reap the killed replica");
+
+    // Typed eviction: the victim struck out as Unresponsive; the set still
+    // clears quorum with the two survivors.
+    assert_eq!(set.live(), 2, "status: {:?}", set.status());
+    let status = set.status();
+    assert!(
+        matches!(
+            status[victim].evicted,
+            Some(EvictReason::Unresponsive { .. })
+        ),
+        "victim evicted typed: {:?}",
+        status[victim].evicted
+    );
+
+    // The survivors vote one digest, and it is the oracle's.
+    let mut oracle = acked.clone();
+    oracle.sort_unstable();
+    let (digest, count) = set
+        .vote_digest(WorkloadClass::Chain)
+        .expect("digest quorum");
+    assert_eq!(
+        (digest, count),
+        (keys_digest(&oracle), oracle.len() as u64),
+        "voted digest must equal the scalar oracle's"
+    );
+    assert_eq!(set.live(), 2, "no survivor landed in a digest minority");
+
+    // Graceful drain: each survivor publishes its final dump, byte-equal
+    // to the oracle — zero acknowledged-but-lost, nothing invented.
+    for (i, dir) in dirs.iter().enumerate() {
+        if i == victim {
+            continue;
+        }
+        let mut quitter = NetClient::new(
+            addrs[i].clone(),
+            NetClientConfig {
+                client_id: 90 + i as u64,
+                call_deadline: Duration::from_secs(2),
+                ..NetClientConfig::default()
+            },
+        );
+        // The ShutdownAck crosses the survivor's *faulted* response writer
+        // and may be dropped; the child exiting is the authoritative ack.
+        let acked = quitter.request_shutdown().is_ok();
+        wait_until(
+            "the survivor to drain and exit",
+            Duration::from_secs(30),
+            || children[i].try_wait().expect("poll survivor").is_some(),
+        );
+        let status = children[i].wait().expect("reap survivor");
+        assert!(
+            status.success(),
+            "survivor {i} must exit cleanly (wire-acked: {acked}): {status:?}\nchild log:\n{}",
+            std::fs::read_to_string(dir.path().join("child.log")).unwrap_or_default()
+        );
+        assert_eq!(
+            read_dump(dir.path()),
+            oracle,
+            "survivor {i}'s dump must be byte-equal to the acked oracle"
+        );
+    }
+
+    write_cell_report(
+        "replica_sigkill_mid_batch",
+        &[
+            ("replicas", "3".into()),
+            ("killed", "1".into()),
+            ("acked", acked.len().to_string()),
+            ("lost_acks", "0".into()),
+            ("survivor_digest", digest.to_string()),
+            ("evicted_as", "\"unresponsive\"".into()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// Digest-minority eviction: acknowledged traffic can never diverge a
+/// replica (the ladder's last rung always completes), so a content digest
+/// in the minority means the replica's state was corrupted or tampered
+/// with out-of-band. Here a key is smuggled into one replica behind the
+/// set's back; the next vote evicts it, typed, with the evidence attached.
+#[test]
+fn digest_minority_is_evicted_with_the_divergent_digest() {
+    // In-process replicas: divergence detection needs no real crash.
+    let nets: Vec<NetServer> = (0..3)
+        .map(|_| {
+            NetServer::start(Server::start(small_config()), NetServerConfig::default()).unwrap()
+        })
+        .collect();
+    let addrs: Vec<String> = nets.iter().map(|n| n.local_addr().to_string()).collect();
+
+    let mut set = ReplicaSet::connect(
+        &addrs,
+        ReplicaSetConfig {
+            client: NetClientConfig {
+                client_id: 41,
+                ..NetClientConfig::default()
+            },
+            ..ReplicaSetConfig::default()
+        },
+    );
+    let keys: Vec<Word> = (0..16).collect();
+    let batch: Vec<Request> = keys
+        .iter()
+        .map(|&k| Request::ChainInsert { keys: vec![k] })
+        .collect();
+    let results = set.apply(&batch).expect("quorum");
+    assert!(results.iter().all(|r| r.is_ok()));
+    let (clean_digest, clean_count) = set.vote_digest(WorkloadClass::Chain).unwrap();
+    assert_eq!((clean_digest, clean_count), (keys_digest(&keys), 16));
+    assert_eq!(set.live(), 3, "agreement evicts nobody");
+
+    // Smuggle a key into replica 2 behind the set's back.
+    let mut rogue = NetClient::new(
+        addrs[2].clone(),
+        NetClientConfig {
+            client_id: 666,
+            ..NetClientConfig::default()
+        },
+    );
+    rogue
+        .call(Request::ChainInsert { keys: vec![999] })
+        .expect("the smuggled insert lands");
+
+    let (digest, count) = set
+        .vote_digest(WorkloadClass::Chain)
+        .expect("majority holds");
+    assert_eq!(
+        (digest, count),
+        (clean_digest, 16),
+        "the quorum's digest wins"
+    );
+    assert_eq!(set.live(), 2);
+    let status = set.status();
+    match &status[2].evicted {
+        Some(EvictReason::DigestMinority { got, majority }) => {
+            assert_eq!(*majority, (clean_digest, 16));
+            let mut diverged = keys.clone();
+            diverged.push(999);
+            diverged.sort_unstable();
+            assert_eq!(
+                *got,
+                (keys_digest(&diverged), 17),
+                "the eviction carries the divergent digest as evidence"
+            );
+        }
+        other => panic!("expected a digest-minority eviction, got {other:?}"),
+    }
+
+    // The thinned set keeps serving on quorum.
+    let more: Vec<Request> = (100..108)
+        .map(|k| Request::ChainInsert { keys: vec![k] })
+        .collect();
+    assert!(set.apply(&more).expect("quorum").iter().all(|r| r.is_ok()));
+
+    write_cell_report(
+        "replica_digest_minority",
+        &[
+            ("replicas", "3".into()),
+            ("evicted", "1".into()),
+            ("evicted_as", "\"digest-minority\"".into()),
+            ("passed", "true".into()),
+        ],
+    );
+    for net in nets {
+        drop(net.shutdown());
+    }
+}
