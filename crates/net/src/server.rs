@@ -453,6 +453,14 @@ fn send_health(shared: &NetShared, out: &Arc<Mutex<OutHalf>>) -> bool {
         ("rot_detected".to_string(), stats.rot_detected),
         ("rot_repaired".to_string(), stats.rot_repaired),
         ("wal_appends".to_string(), stats.wal_appends),
+        ("checkpoints_written".to_string(), stats.checkpoints_written),
+        (
+            "delta_checkpoints_written".to_string(),
+            stats.delta_checkpoints_written,
+        ),
+        ("generations_skipped".to_string(), stats.generations_skipped),
+        ("generations_pruned".to_string(), stats.generations_pruned),
+        ("wal_segments_pruned".to_string(), stats.wal_segments_pruned),
         (
             "net.in_flight".to_string(),
             shared.in_flight.load(Ordering::Relaxed) as u64,

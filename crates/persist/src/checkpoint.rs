@@ -315,6 +315,13 @@ impl Checkpoint {
     pub fn file_name(prefix: &str, seq: u64) -> String {
         format!("{prefix}-{seq:020}.ckpt")
     }
+
+    /// The state digest of this image: the XOR of its per-region checksums.
+    /// A delta checkpoint names its parent by this value — see
+    /// [`crate::delta::state_digest`].
+    pub fn state_digest(&self) -> u64 {
+        self.checksums.iter().fold(0, |acc, t| acc ^ t.sum)
+    }
 }
 
 /// Reads the frame at `*pos`, turning a clean end-of-input into a

@@ -1,0 +1,612 @@
+//! Delta checkpoints: the incremental form of [`Checkpoint`].
+//!
+//! A full checkpoint rewrites every tracked region whole; at production
+//! table sizes that rewrite is the dominant durability cost even when a
+//! cadence touched 1% of the store. The integrity layer already maintains a
+//! per-region digest on every store (O(1) incremental), so the machine can
+//! name exactly which regions changed since the previous generation — a
+//! delta checkpoint serializes *only those regions*, chained to its parent
+//! generation by id and by the parent's **state digest** (the XOR of its
+//! per-region checksums), making a chain self-describing: a link whose
+//! parent is missing, torn, or has the wrong digest is a typed refusal at
+//! plan time, never a silent mis-splice.
+//!
+//! # On-disk format (version 1)
+//!
+//! ```text
+//! magic "FOLDCKP\0" (8 bytes)  version u32 LE
+//! frame: meta      — seq, parent_seq, parent_digest, counters,
+//!                    applied set, dirty-region/checksum counts
+//! frame: region ×N — base u64, len u64, words i64 ×len   (dirty only)
+//! frame: checksums — (name, base, len, digest) ×M        (ALL tracked)
+//! frame: trailer   — literal "END"
+//! ```
+//!
+//! The checksum frame covers **every** tracked region, not just the dirty
+//! ones: clean regions inherit the parent's recorded digest. That makes the
+//! delta's own state digest computable without touching the parent, and it
+//! makes materialization verifiable end-to-end — after overlaying the chain
+//! onto its base image, every region must hash to the head's checksum.
+//!
+//! Files are named `{prefix}-{seq:020}.delta`. The extension is
+//! deliberately **not** a suffix of `.ckpt`, so the full-image scan
+//! ([`crate::latest_checkpoint`]) never opens (and refuses) delta files.
+//!
+//! # Rot interaction
+//!
+//! Dirtiness is judged by the *incremental* sums, which bit-rot silently
+//! stales. A rotted-but-unstored region therefore looks clean and is
+//! **not** re-captured: the delta inherits the parent's digest, and
+//! materialization restores the parent's (pre-rot) bytes. Rot does not
+//! poison the chain — the scrubber repairs the live machine, the chain
+//! keeps certifying committed state.
+
+use crate::checkpoint::{write_atomic_opts, Checkpoint};
+use crate::frame::{next_frame, push_frame, Dec, Enc, Frame};
+use crate::PersistError;
+use fol_vm::integrity::{digest_words, TrackedRegion};
+use fol_vm::{Machine, Region, Snapshot, Word};
+use std::fs;
+use std::path::Path;
+
+/// First bytes of every delta checkpoint file.
+pub const DELTA_MAGIC: &[u8; 8] = b"FOLDCKP\0";
+/// The delta format version this build writes and reads.
+pub const DELTA_VERSION: u32 = 1;
+
+const TRAILER: &[u8] = b"END";
+
+/// The state digest of a checksum set: XOR of the per-region digests. Two
+/// generations with the same tracked regions and the same bytes have the
+/// same state digest; a delta names its parent by this value so a chain
+/// cannot silently splice onto the wrong image.
+pub fn state_digest(checksums: &[TrackedRegion]) -> u64 {
+    checksums.iter().fold(0, |acc, t| acc ^ t.sum)
+}
+
+/// One incremental image: the dirty regions since a parent generation,
+/// plus enough metadata to verify the link and the materialized result.
+/// See the module docs for the on-disk format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaCheckpoint {
+    /// Monotonic position of this image (same counter as full checkpoints;
+    /// generations of either kind share one sequence).
+    pub seq: u64,
+    /// Generation id of the parent this delta applies on top of. Always
+    /// strictly less than `seq` (enforced at decode), so chains terminate.
+    pub parent_seq: u64,
+    /// The parent's [`state_digest`] at capture time: the link check.
+    pub parent_digest: u64,
+    /// Host-side counters, as in [`Checkpoint::counters`] — the full set,
+    /// not a diff (they are tiny).
+    pub counters: Vec<(String, u64)>,
+    /// Request sequence numbers whose effects the *materialized* image
+    /// contains — the full set, as in [`Checkpoint::applied`].
+    pub applied: Vec<u64>,
+    /// The byte-exact contents of the regions dirty since the parent.
+    pub snapshot: Snapshot,
+    /// Digests of **all** tracked regions at capture time: fresh
+    /// [`digest_words`] for dirty regions, the parent's recorded digest for
+    /// clean ones.
+    pub checksums: Vec<TrackedRegion>,
+}
+
+impl DeltaCheckpoint {
+    /// Captures the regions of `m` that are dirty relative to `parent_sums`
+    /// (the parent generation's checksum set), using the incremental
+    /// digests — O(tracked regions) to *decide*, and only the dirty
+    /// regions are rescanned and serialized.
+    pub fn capture(
+        m: &Machine,
+        seq: u64,
+        parent_seq: u64,
+        parent_sums: &[TrackedRegion],
+        counters: Vec<(String, u64)>,
+        applied: Vec<u64>,
+    ) -> Self {
+        let dirty = m.dirty_regions_since(parent_sums);
+        let checksums = m
+            .tracked_regions()
+            .iter()
+            .map(|t| {
+                let sum = if dirty.contains(&t.region) {
+                    digest_words(t.region.base(), &m.mem().read_region(t.region))
+                } else {
+                    // Clean ⇒ the parent recorded this exact digest (that is
+                    // the cleanliness predicate); inherit it verbatim.
+                    parent_sums
+                        .iter()
+                        .find(|p| p.region == t.region)
+                        .map(|p| p.sum)
+                        .unwrap_or(t.sum)
+                };
+                TrackedRegion {
+                    name: t.name.clone(),
+                    region: t.region,
+                    sum,
+                }
+            })
+            .collect();
+        DeltaCheckpoint {
+            seq,
+            parent_seq,
+            parent_digest: state_digest(parent_sums),
+            counters,
+            applied,
+            snapshot: Snapshot::capture(m.mem(), &dirty),
+            checksums,
+        }
+    }
+
+    /// This delta's own [`state_digest`] — what a child delta must name as
+    /// its `parent_digest`.
+    pub fn state_digest(&self) -> u64 {
+        state_digest(&self.checksums)
+    }
+
+    /// Serializes to the version-1 byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(DELTA_MAGIC);
+        out.extend_from_slice(&DELTA_VERSION.to_le_bytes());
+
+        let mut meta = Enc::new();
+        meta.u64(self.seq);
+        meta.u64(self.parent_seq);
+        meta.u64(self.parent_digest);
+        meta.u32(self.counters.len() as u32);
+        for (name, v) in &self.counters {
+            meta.str(name);
+            meta.u64(*v);
+        }
+        meta.u32(self.applied.len() as u32);
+        for &s in &self.applied {
+            meta.u64(s);
+        }
+        meta.u32(self.snapshot.parts().len() as u32);
+        meta.u32(self.checksums.len() as u32);
+        push_frame(&mut out, &meta.into_bytes());
+
+        for (region, words) in self.snapshot.parts() {
+            let mut e = Enc::new();
+            e.u64(region.base() as u64);
+            e.u64(words.len() as u64);
+            for &w in words {
+                e.i64(w);
+            }
+            push_frame(&mut out, &e.into_bytes());
+        }
+
+        let mut sums = Enc::new();
+        for t in &self.checksums {
+            sums.str(&t.name);
+            sums.u64(t.region.base() as u64);
+            sums.u64(t.region.len() as u64);
+            sums.u64(t.sum);
+        }
+        push_frame(&mut out, &sums.into_bytes());
+        push_frame(&mut out, TRAILER);
+        out
+    }
+
+    /// Deserializes the version-1 byte format with the same typed-refusal
+    /// table as [`Checkpoint::decode`], plus one structural rule: a delta
+    /// whose `parent_seq` is not strictly below its own `seq` is
+    /// [`PersistError::Malformed`] (a self-parent or forward edge would
+    /// make chain walks non-terminating).
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let header = DELTA_MAGIC.len() + 4;
+        if bytes.len() < header {
+            return Err(PersistError::Truncated {
+                what: "delta checkpoint: header".into(),
+                offset: 0,
+                needed: header,
+                available: bytes.len(),
+            });
+        }
+        if &bytes[..DELTA_MAGIC.len()] != DELTA_MAGIC {
+            return Err(PersistError::BadMagic {
+                what: "delta checkpoint".into(),
+                found: bytes[..DELTA_MAGIC.len()].to_vec(),
+            });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != DELTA_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                what: "delta checkpoint".into(),
+                found: version,
+                supported: DELTA_VERSION,
+            });
+        }
+        let mut pos = header;
+        let meta = require_frame(bytes, &mut pos, "delta checkpoint: meta frame")?;
+        let mut d = Dec::new(meta);
+        let seq = d.u64("delta.seq")?;
+        let parent_seq = d.u64("delta.parent_seq")?;
+        let parent_digest = d.u64("delta.parent_digest")?;
+        if parent_seq >= seq {
+            return Err(PersistError::Malformed {
+                what: format!(
+                    "delta checkpoint: parent_seq {parent_seq} is not below seq {seq} \
+                     (chains must walk strictly backwards)"
+                ),
+            });
+        }
+        let n_counters = d.u32("delta.counters.len")? as usize;
+        let mut counters = Vec::with_capacity(n_counters.min(1024));
+        for _ in 0..n_counters {
+            let name = d.str("delta.counter.name")?;
+            let v = d.u64("delta.counter.value")?;
+            counters.push((name, v));
+        }
+        let n_applied = d.u32("delta.applied.len")? as usize;
+        let mut applied = Vec::with_capacity(n_applied.min(1024));
+        for _ in 0..n_applied {
+            applied.push(d.u64("delta.applied.seq")?);
+        }
+        let n_regions = d.u32("delta.regions.len")? as usize;
+        let n_sums = d.u32("delta.checksums.len")? as usize;
+        d.finish("delta checkpoint: meta frame")?;
+
+        let mut parts: Vec<(Region, Vec<Word>)> = Vec::with_capacity(n_regions.min(1024));
+        for i in 0..n_regions {
+            let payload = require_frame(bytes, &mut pos, "delta checkpoint: region frame")?;
+            let mut d = Dec::new(payload);
+            let what = format!("delta region[{i}]");
+            let base = d.u64(&what)? as usize;
+            let len = d.u64(&what)? as usize;
+            let mut words = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                words.push(d.i64(&what)?);
+            }
+            d.finish("delta checkpoint: region frame")?;
+            parts.push((Region::from_raw(base, len), words));
+        }
+
+        let sums_payload = require_frame(bytes, &mut pos, "delta checkpoint: checksum frame")?;
+        let mut d = Dec::new(sums_payload);
+        let mut checksums = Vec::with_capacity(n_sums.min(1024));
+        for _ in 0..n_sums {
+            let name = d.str("delta.checksum.name")?;
+            let base = d.u64("delta.checksum.base")? as usize;
+            let len = d.u64("delta.checksum.len")? as usize;
+            let sum = d.u64("delta.checksum.sum")?;
+            checksums.push(TrackedRegion {
+                name,
+                region: Region::from_raw(base, len),
+                sum,
+            });
+        }
+        d.finish("delta checkpoint: checksum frame")?;
+
+        let trailer = require_frame(bytes, &mut pos, "delta checkpoint: trailer frame")?;
+        if trailer != TRAILER {
+            return Err(PersistError::Malformed {
+                what: format!("delta checkpoint: trailer is {trailer:02x?}, expected \"END\""),
+            });
+        }
+        if pos != bytes.len() {
+            return Err(PersistError::Malformed {
+                what: format!(
+                    "delta checkpoint: {} byte(s) after the trailer frame",
+                    bytes.len() - pos
+                ),
+            });
+        }
+        Ok(DeltaCheckpoint {
+            seq,
+            parent_seq,
+            parent_digest,
+            counters,
+            applied,
+            snapshot: Snapshot::from_parts(parts),
+            checksums,
+        })
+    }
+
+    /// Cross-checks the stored digests against the stored dirty-region
+    /// contents, as [`Checkpoint::verify`] does for full images. Clean
+    /// regions (checksummed but not captured) are necessarily skipped here;
+    /// they are certified by [`materialize`]'s end-to-end check instead.
+    pub fn verify(&self) -> Result<(), PersistError> {
+        for t in &self.checksums {
+            let Some((_, words)) = self
+                .snapshot
+                .parts()
+                .iter()
+                .find(|(r, _)| r.base() == t.region.base() && r.len() == t.region.len())
+            else {
+                continue;
+            };
+            let actual = digest_words(t.region.base(), words);
+            if actual != t.sum {
+                return Err(PersistError::Malformed {
+                    what: format!(
+                        "delta checkpoint: region \"{}\" digest {actual:#018x} does not match \
+                         stored checksum {:#018x} — the delta was written inconsistent",
+                        t.name, t.sum
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes and commits atomically to `path` (temp file + fsync +
+    /// rename + directory fsync), as [`Checkpoint::write`].
+    pub fn write(&self, path: &Path) -> Result<(), PersistError> {
+        write_atomic_opts(path, &self.encode(), true)
+    }
+
+    /// [`DeltaCheckpoint::write`] without the fsyncs — same trade as
+    /// [`Checkpoint::write_unsynced`]: a power-loss-torn delta is refused
+    /// typed at plan time and recovery falls back one link.
+    pub fn write_unsynced(&self, path: &Path) -> Result<(), PersistError> {
+        write_atomic_opts(path, &self.encode(), false)
+    }
+
+    /// Reads and decodes `path`. Does not [`DeltaCheckpoint::verify`]; the
+    /// planner does both.
+    pub fn load(path: &Path) -> Result<Self, PersistError> {
+        let bytes =
+            fs::read(path).map_err(|e| PersistError::io(format!("read {}", path.display()), e))?;
+        Self::decode(&bytes)
+    }
+
+    /// The canonical file name for a delta of `prefix` at `seq` —
+    /// zero-padded so lexicographic order is sequence order, and an
+    /// extension that is not a suffix of `.ckpt` (see the module docs).
+    pub fn file_name(prefix: &str, seq: u64) -> String {
+        format!("{prefix}-{seq:020}.delta")
+    }
+}
+
+/// Overlays `deltas` (oldest first) onto the full image `base`, producing
+/// the equivalent full [`Checkpoint`] at the head generation. Performs the
+/// end-to-end consistency check the per-file `verify`s cannot: every region
+/// the head's checksum frame names must be present in the materialized
+/// image and hash to the recorded digest. The caller is responsible for
+/// having verified the chain *links* (parent ids and digests) — the
+/// planner does.
+pub fn materialize(
+    base: &Checkpoint,
+    deltas: &[&DeltaCheckpoint],
+) -> Result<Checkpoint, PersistError> {
+    use std::collections::BTreeMap;
+    let mut parts: BTreeMap<(usize, usize), Vec<Word>> = base
+        .snapshot
+        .parts()
+        .iter()
+        .map(|(r, w)| ((r.base(), r.len()), w.clone()))
+        .collect();
+    for d in deltas {
+        for (r, w) in d.snapshot.parts() {
+            parts.insert((r.base(), r.len()), w.clone());
+        }
+    }
+    let (seq, counters, applied, checksums) = match deltas.last() {
+        Some(d) => (
+            d.seq,
+            d.counters.as_slice(),
+            d.applied.as_slice(),
+            d.checksums.as_slice(),
+        ),
+        None => (
+            base.seq,
+            base.counters.as_slice(),
+            base.applied.as_slice(),
+            base.checksums.as_slice(),
+        ),
+    };
+    for t in checksums {
+        let Some(words) = parts.get(&(t.region.base(), t.region.len())) else {
+            return Err(PersistError::Malformed {
+                what: format!(
+                    "materialized generation {seq}: region \"{}\" is checksummed by the head \
+                     but present in no link of the chain",
+                    t.name
+                ),
+            });
+        };
+        let actual = digest_words(t.region.base(), words);
+        if actual != t.sum {
+            return Err(PersistError::Malformed {
+                what: format!(
+                    "materialized generation {seq}: region \"{}\" hashes to {actual:#018x}, \
+                     head checksum says {:#018x} — the chain does not reproduce the state it \
+                     certifies",
+                    t.name, t.sum
+                ),
+            });
+        }
+    }
+    Ok(Checkpoint {
+        seq,
+        counters: counters.to_vec(),
+        applied: applied.to_vec(),
+        snapshot: Snapshot::from_parts(
+            parts
+                .into_iter()
+                .map(|((base, len), words)| (Region::from_raw(base, len), words))
+                .collect(),
+        ),
+        checksums: checksums.to_vec(),
+    })
+}
+
+/// Reads the frame at `*pos`, turning a clean end-of-input into a typed
+/// truncation (the meta frame promised more).
+fn require_frame<'a>(
+    bytes: &'a [u8],
+    pos: &mut usize,
+    what: &str,
+) -> Result<&'a [u8], PersistError> {
+    match next_frame(bytes, pos, what)? {
+        Frame::Ok(p) => Ok(p),
+        Frame::End => Err(PersistError::Truncated {
+            what: format!("{what} (file ends before it)"),
+            offset: *pos,
+            needed: 8,
+            available: 0,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fol_vm::CostModel;
+
+    fn sample_machine() -> (Machine, Region, Region) {
+        let mut m = Machine::new(CostModel::unit());
+        let a = m.alloc(8, "a");
+        let b = m.alloc(6, "b");
+        for i in 0..8 {
+            m.s_write(a.at(i), (i as Word) * 3 + 1);
+        }
+        for i in 0..6 {
+            m.s_write(b.at(i), -(i as Word) - 2);
+        }
+        m.track_region(a);
+        m.track_region(b);
+        (m, a, b)
+    }
+
+    fn full(m: &Machine, regions: &[Region], seq: u64) -> Checkpoint {
+        Checkpoint::capture(m, regions, seq, vec![("c".into(), 1)], vec![seq])
+    }
+
+    #[test]
+    fn delta_captures_only_dirty_regions_and_round_trips() {
+        let (mut m, a, b) = sample_machine();
+        let base = full(&m, &[a, b], 1);
+        // Dirty only `b`.
+        let idx = m.vimm(&[0, 5]);
+        let val = m.vimm(&[100, 200]);
+        m.scatter(b, &idx, &val);
+
+        let d =
+            DeltaCheckpoint::capture(&m, 2, 1, &base.checksums, vec![("c".into(), 2)], vec![1, 2]);
+        assert_eq!(d.snapshot.parts().len(), 1, "only b is captured");
+        assert_eq!(d.snapshot.parts()[0].0, b);
+        assert_eq!(d.checksums.len(), 2, "…but both regions are checksummed");
+        assert_eq!(d.parent_digest, state_digest(&base.checksums));
+
+        let back = DeltaCheckpoint::decode(&d.encode()).unwrap();
+        assert_eq!(back, d);
+        back.verify().unwrap();
+    }
+
+    #[test]
+    fn materialize_reproduces_the_live_state_across_a_chain() {
+        let (mut m, a, b) = sample_machine();
+        let base = full(&m, &[a, b], 1);
+        let idx = m.vimm(&[2]);
+        let val = m.vimm(&[77]);
+        m.scatter(a, &idx, &val);
+        let d1 = DeltaCheckpoint::capture(&m, 2, 1, &base.checksums, vec![], vec![1, 2]);
+        let idx = m.vimm(&[3]);
+        let val = m.vimm(&[88]);
+        m.scatter(b, &idx, &val);
+        let d2 = DeltaCheckpoint::capture(&m, 3, 2, &d1.checksums, vec![], vec![1, 2, 3]);
+        assert_eq!(d2.parent_digest, d1.state_digest());
+
+        let ckpt = materialize(&base, &[&d1, &d2]).unwrap();
+        assert_eq!(ckpt.seq, 3);
+        assert_eq!(ckpt.applied, vec![1, 2, 3]);
+        assert!(ckpt.snapshot.matches(m.mem()), "byte-exact reproduction");
+        ckpt.verify().unwrap();
+
+        // Restoring into a fresh machine lands on scrubbable state.
+        let (mut m2, _, _) = sample_machine();
+        ckpt.restore_into(&mut m2);
+        assert!(m2.scrub().is_ok());
+        assert_eq!(m2.content_digest(), m.content_digest());
+    }
+
+    #[test]
+    fn materialize_refuses_a_chain_that_does_not_reproduce_its_digests() {
+        let (mut m, a, b) = sample_machine();
+        let base = full(&m, &[a, b], 1);
+        let idx = m.vimm(&[1]);
+        let val = m.vimm(&[9]);
+        m.scatter(a, &idx, &val);
+        let mut d = DeltaCheckpoint::capture(&m, 2, 1, &base.checksums, vec![], vec![]);
+        // Lie about the head digest of the *clean* region: per-file verify
+        // cannot catch this (the region is not captured), materialize must.
+        let clean = d
+            .checksums
+            .iter_mut()
+            .find(|t| t.region == b)
+            .expect("b is tracked");
+        clean.sum ^= 0xBAD;
+        d.verify()
+            .expect("per-file verify only covers captured regions");
+        let err = materialize(&base, &[&d]).unwrap_err();
+        assert!(matches!(err, PersistError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn corruption_table_yields_distinct_typed_errors() {
+        let (mut m, a, b) = sample_machine();
+        let base = full(&m, &[a, b], 1);
+        let idx = m.vimm(&[0]);
+        let val = m.vimm(&[5]);
+        m.scatter(a, &idx, &val);
+        let good = DeltaCheckpoint::capture(&m, 2, 1, &base.checksums, vec![], vec![]).encode();
+        DeltaCheckpoint::decode(&good).unwrap();
+
+        let mut bumped = good.clone();
+        bumped[8] = (DELTA_VERSION + 1) as u8;
+        assert!(matches!(
+            DeltaCheckpoint::decode(&bumped),
+            Err(PersistError::UnsupportedVersion { .. })
+        ));
+
+        let mut magic = good.clone();
+        magic[0] = b'X';
+        assert!(matches!(
+            DeltaCheckpoint::decode(&magic),
+            Err(PersistError::BadMagic { .. })
+        ));
+
+        assert!(matches!(
+            DeltaCheckpoint::decode(&good[..good.len() - 5]),
+            Err(PersistError::Truncated { .. })
+        ));
+
+        let mut flipped = good.clone();
+        flipped[12 + 8 + 2] ^= 0x40; // inside the meta frame payload
+        assert!(matches!(
+            DeltaCheckpoint::decode(&flipped),
+            Err(PersistError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_or_self_parent_edges_are_malformed() {
+        let (m, a, b) = sample_machine();
+        let base = full(&m, &[a, b], 5);
+        let mut d = DeltaCheckpoint::capture(&m, 6, 5, &base.checksums, vec![], vec![]);
+        d.parent_seq = 6; // self-parent
+        assert!(matches!(
+            DeltaCheckpoint::decode(&d.encode()),
+            Err(PersistError::Malformed { .. })
+        ));
+        d.parent_seq = 9; // forward edge
+        assert!(matches!(
+            DeltaCheckpoint::decode(&d.encode()),
+            Err(PersistError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn file_name_is_not_mistaken_for_a_full_checkpoint() {
+        let name = DeltaCheckpoint::file_name("w0", 7);
+        assert_eq!(name, format!("w0-{:020}.delta", 7));
+        assert!(
+            !name.ends_with(".ckpt"),
+            "the full-image scan must never open delta files"
+        );
+    }
+}

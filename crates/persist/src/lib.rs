@@ -20,6 +20,18 @@
 //!   writes a checkpoint every N committed transactions and remembers
 //!   ladder progress, so a killed process resumes mid-ladder from the last
 //!   durable round instead of replaying from scratch.
+//! * **[`delta`]** — incremental checkpoints: only the regions whose
+//!   integrity digest changed since the parent generation, chained by
+//!   parent id + parent state digest; every K deltas a full image is cut.
+//! * **[`planner`]** — the [`RecoveryPlanner`]: walks generations newest
+//!   first, verifies every chain link (CRC, parent digest, end-to-end
+//!   materialization), and falls back link-by-link with a typed
+//!   [`SkipReason`] per passed-over generation — never a silent divergence.
+//! * **[`compact`]** — the [`Compactor`]: prunes generations below a
+//!   `keep_full_images` retention boundary and deletes WAL segments wholly
+//!   covered by the boundary image's applied set, with mark-then-delete +
+//!   directory-fsync crash safety and typed refusal when pruning would
+//!   orphan the only loadable full image.
 //!
 //! Everything that can be wrong with stored bytes is a typed
 //! [`PersistError`] — truncation, bit-flips, version skew and structural
@@ -30,11 +42,17 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod compact;
+pub mod delta;
 pub mod frame;
+pub mod planner;
 pub mod wal;
 
 pub use checkpoint::{latest_checkpoint, Checkpoint, Checkpointer, ScanNote};
+pub use compact::{CompactRefusal, CompactionReport, Compactor, LogRecord};
+pub use delta::{materialize, state_digest, DeltaCheckpoint};
 pub use frame::crc32;
+pub use planner::{RecoveryPlan, RecoveryPlanner, SkipReason, SkippedGeneration};
 pub use wal::{FsyncPolicy, Replay, TornTail, Wal, WalRecord};
 
 use std::fmt;

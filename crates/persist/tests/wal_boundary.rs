@@ -1,0 +1,127 @@
+//! Satellite: the torn-tail boundary property.
+//!
+//! A crash mid-append tears the last WAL segment at an arbitrary byte. The
+//! replayer's contract has two halves that meet exactly at frame
+//! boundaries:
+//!
+//! * torn **exactly at a frame boundary** — indistinguishable from a clean
+//!   shutdown after that frame: the accepted frontier is every whole frame,
+//!   and there is **no** torn-tail refusal (nothing was torn);
+//! * torn **anywhere inside a frame** — same accepted frontier (every
+//!   whole frame before the tear), plus a typed [`TornTail`] naming the
+//!   tear, so the caller knows the log ended violently.
+//!
+//! This sweeps every truncation point across the last two frames and
+//! asserts the contract byte-for-byte, including the off-by-one edges at
+//! both frame boundaries.
+
+use fol_persist::wal::{replay, segment_file_name, FsyncPolicy, Wal};
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fol-wal-boundary-{}-{tag}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn truncation_sweep_across_the_last_two_frames() {
+    let dir = temp_dir("sweep");
+    let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 6 + i as usize]).collect();
+
+    // Byte offset where each frame ends: header(12) + Σ(8 + len).
+    let mut frame_ends = Vec::new();
+    let mut off = 12usize;
+    for p in &payloads {
+        off += 8 + p.len();
+        frame_ends.push(off);
+    }
+
+    let mut wal = Wal::open(&dir, "w0", FsyncPolicy::Off, 1 << 20).unwrap();
+    for p in &payloads {
+        wal.append(p).unwrap();
+    }
+    drop(wal);
+    let path = dir.join(segment_file_name("w0", 0));
+    let intact = fs::read(&path).unwrap();
+    assert_eq!(intact.len(), *frame_ends.last().unwrap(), "offset math");
+
+    // Sweep every cut point from the start of the second-to-last frame to
+    // the intact end of file.
+    let sweep_from = frame_ends[frame_ends.len() - 3]; // end of frame 2 = start of frame 3
+    for cut in sweep_from..=intact.len() {
+        fs::write(&path, &intact[..cut]).unwrap();
+        let r = replay(&dir, "w0").expect("a tail tear is never a hard refusal");
+
+        // The accepted frontier: every frame wholly before the cut. The
+        // frontier is a *function of the cut alone* — identical whether the
+        // cut is clean or mid-frame.
+        let whole = frame_ends.iter().filter(|&&e| e <= cut).count();
+        let got: Vec<&[u8]> = r.records.iter().map(|x| x.payload.as_slice()).collect();
+        let want: Vec<&[u8]> = payloads[..whole].iter().map(|p| p.as_slice()).collect();
+        assert_eq!(got, want, "frontier at cut {cut}");
+
+        let at_boundary = frame_ends.contains(&cut);
+        if at_boundary {
+            assert!(
+                r.torn_tail.is_none(),
+                "cut {cut} is exactly a frame boundary: clean accepted frontier, \
+                 no torn-tail refusal"
+            );
+        } else {
+            let tail = r.torn_tail.unwrap_or_else(|| {
+                panic!("cut {cut} is mid-frame: the tear must be surfaced typed")
+            });
+            assert_eq!(tail.segment, 0);
+            assert!(
+                matches!(tail.error, fol_persist::PersistError::Truncated { .. }),
+                "cut {cut}: {}",
+                tail.error
+            );
+            // The tear is reported at the frontier, not somewhere vague.
+            assert_eq!(
+                tail.offset,
+                frame_ends[..whole].last().copied().unwrap_or(12),
+                "cut {cut}: tear offset is the accepted frontier"
+            );
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn boundary_contract_holds_with_a_sealed_segment_behind() {
+    // Same property with an earlier sealed segment: tears in the last
+    // segment stay typed-accepted, and the sealed history is untouched.
+    let dir = temp_dir("sealed");
+    let mut wal = Wal::open(&dir, "w0", FsyncPolicy::Off, 1 << 20).unwrap();
+    wal.append(b"sealed-0").unwrap();
+    wal.rotate().unwrap();
+    wal.append(b"live-0").unwrap();
+    wal.append(b"live-1").unwrap();
+    drop(wal);
+
+    let path = dir.join(segment_file_name("w0", 1));
+    let intact = fs::read(&path).unwrap();
+    let f0_end = 12 + 8 + b"live-0".len();
+    for cut in f0_end..intact.len() {
+        fs::write(&path, &intact[..cut]).unwrap();
+        let r = replay(&dir, "w0").unwrap();
+        let mut want: Vec<&[u8]> = vec![b"sealed-0"];
+        if cut >= f0_end {
+            want.push(b"live-0");
+        }
+        let got: Vec<&[u8]> = r.records.iter().map(|x| x.payload.as_slice()).collect();
+        assert_eq!(got, want, "cut {cut}");
+        assert_eq!(r.torn_tail.is_none(), cut == f0_end, "cut {cut}");
+    }
+    fs::remove_dir_all(&dir).ok();
+}

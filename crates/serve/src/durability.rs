@@ -39,7 +39,7 @@
 use crate::request::{Priority, Request, WorkloadClass};
 use fol_persist::frame::{Dec, Enc};
 use fol_persist::wal::WalRecord;
-use fol_persist::{FsyncPolicy, PersistError};
+use fol_persist::{FsyncPolicy, LogRecord, PersistError};
 use std::collections::{BTreeSet, HashMap};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -70,22 +70,29 @@ pub struct DurabilityConfig {
     /// A worker checkpoints after every `checkpoint_every` successful
     /// mutating batches (0 is treated as 1).
     pub checkpoint_every: u64,
-    /// Newest checkpoint files kept per worker (older ones are pruned).
-    pub keep_checkpoints: usize,
+    /// Of the cadence ticks, every `full_image_every`-th generation is a
+    /// full image; the generations in between are delta checkpoints chained
+    /// to their parent (0 and 1 both mean "always full" — no deltas).
+    pub full_image_every: u64,
+    /// Newest loadable **full images** retained per worker by compaction
+    /// (older generations — full and delta — are pruned once a pass runs).
+    pub keep_full_images: usize,
     /// Request-log segment rotation threshold, in payload bytes.
     pub segment_bytes: u64,
 }
 
 impl DurabilityConfig {
-    /// A durability config rooted at `dir` with batch-boundary fsync,
-    /// a checkpoint every 8 mutating batches, 2 checkpoints retained, and
-    /// 1 MiB log segments.
+    /// A durability config rooted at `dir` with batch-boundary fsync, a
+    /// checkpoint every 8 mutating batches, a full image every 4th
+    /// generation (3 deltas in between), 2 full images retained, and 1 MiB
+    /// log segments.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::Batch,
             checkpoint_every: 8,
-            keep_checkpoints: 2,
+            full_image_every: 4,
+            keep_full_images: 2,
             segment_bytes: 1 << 20,
         }
     }
@@ -99,6 +106,19 @@ impl DurabilityConfig {
     /// Same config with a different checkpoint cadence.
     pub fn checkpoint_every(mut self, every: u64) -> Self {
         self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Same config with a different full-image cadence (every `k`-th
+    /// generation is full; `k <= 1` disables deltas entirely).
+    pub fn full_image_every(mut self, k: u64) -> Self {
+        self.full_image_every = k.max(1);
+        self
+    }
+
+    /// Same config with a different full-image retention for compaction.
+    pub fn keep_full_images(mut self, keep: usize) -> Self {
+        self.keep_full_images = keep.max(1);
         self
     }
 }
@@ -162,14 +182,18 @@ pub(crate) fn is_mutating(request: &Request) -> bool {
     )
 }
 
-/// One decoded request-log record.
+/// One decoded request-log record. Public so tooling and crash tests can
+/// audit a log byte-for-byte with the server's own codec.
 #[derive(Clone, Debug, PartialEq)]
-pub(crate) enum DurRecord {
+pub enum DurRecord {
     /// A request was admitted (the ticket was, or was about to be,
     /// acknowledged) under `seq`.
     Admit {
+        /// The admission sequence number.
         seq: u64,
+        /// The admitted request, verbatim.
         request: Request,
+        /// The priority it was admitted at.
         priority: Priority,
         /// The deadline the caller asked for, recorded for audit. Replay
         /// ignores it: wall-clock deadlines do not survive a restart, and
@@ -179,7 +203,12 @@ pub(crate) enum DurRecord {
     /// The request under `seq` terminated. `applied == true` means its
     /// effects were committed to machine memory; `false` means it ended
     /// with a typed non-effect outcome (rejected, failed, shed, lost).
-    Complete { seq: u64, applied: bool },
+    Complete {
+        /// The sequence number that terminated.
+        seq: u64,
+        /// Whether its effects were committed to machine memory.
+        applied: bool,
+    },
 }
 
 /// Encodes an admission record.
@@ -260,7 +289,7 @@ pub(crate) fn encode_complete(seq: u64, applied: bool) -> Vec<u8> {
 /// Decodes one record payload. Every defect is a typed
 /// [`PersistError::Malformed`] — a log that cannot be decoded must not be
 /// guessed at.
-pub(crate) fn decode_record(payload: &[u8]) -> Result<DurRecord, PersistError> {
+pub fn decode_record(payload: &[u8]) -> Result<DurRecord, PersistError> {
     let mut d = Dec::new(payload);
     let tag = d.u8("record tag")?;
     match tag {
@@ -316,6 +345,21 @@ pub(crate) fn decode_record(payload: &[u8]) -> Result<DurRecord, PersistError> {
         other => Err(PersistError::Malformed {
             what: format!("request log: unknown record tag {other}"),
         }),
+    }
+}
+
+/// Adapter from this codec to the compactor's coarse [`LogRecord`] view:
+/// the [`fol_persist::Compactor`] only needs to know which sequences a
+/// segment admits and which it terminally refuses. A payload that does not
+/// decode is mapped to an admit of an impossible sequence rather than
+/// [`LogRecord::Other`], so its segment is never judged "fully covered"
+/// and never deleted — a log the replayer would refuse must stay on disk
+/// for the operator, bit-for-bit.
+pub(crate) fn classify_record(payload: &[u8]) -> LogRecord {
+    match decode_record(payload) {
+        Ok(DurRecord::Admit { seq, .. }) => LogRecord::Admit { seq },
+        Ok(DurRecord::Complete { seq, applied }) => LogRecord::Complete { seq, applied },
+        Err(_) => LogRecord::Admit { seq: u64::MAX },
     }
 }
 

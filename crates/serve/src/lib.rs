@@ -56,8 +56,10 @@ mod queue;
 mod request;
 mod scrub;
 
-pub use durability::{worker_prefix, DurabilityConfig, REQUEST_LOG_PREFIX};
-pub use fol_persist::{FsyncPolicy, PersistError};
+pub use durability::{
+    decode_record, worker_prefix, DurRecord, DurabilityConfig, REQUEST_LOG_PREFIX,
+};
+pub use fol_persist::{FsyncPolicy, PersistError, SkipReason, SkippedGeneration};
 pub use pool::ClassDump;
 pub use queue::{StatsSnapshot, Ticket};
 pub use request::{keys_digest, Priority, Request, Response, ServeError, WorkloadClass};
@@ -65,10 +67,10 @@ pub use request::{keys_digest, Priority, Request, Response, ServeError, Workload
 use durability::{plan_replay, ReplayPlan};
 use fol_core::recover::RetryPolicy;
 use fol_hash::ProbeStrategy;
-use fol_persist::checkpoint::latest_checkpoint;
-use fol_persist::{wal, Checkpoint, Wal};
+use fol_persist::{wal, Checkpoint, RecoveryPlanner, Wal};
 use fol_vm::FaultPlan;
 use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -142,11 +144,20 @@ pub struct RestartReport {
     /// signature of a kill mid-append, surfaced typed, never silently
     /// dropped. The torn record was never acknowledged.
     pub torn_tail: bool,
-    /// Workers restored from a durable checkpoint.
+    /// Workers restored from a durable checkpoint (a full image, possibly
+    /// with a chain of delta checkpoints materialized on top).
     pub checkpoints_restored: usize,
-    /// Checkpoint files refused as corrupt during the startup scan (each
-    /// fell back to the next-newest loadable image).
+    /// Generation files refused as corrupt during the startup walk (each
+    /// fell back to the next-newest verifiable generation).
     pub checkpoints_refused: usize,
+    /// Delta links the recovery planner applied on top of base full
+    /// images, summed across workers.
+    pub deltas_applied: usize,
+    /// Every generation the recovery planner passed over, with its typed
+    /// reason (torn file, missing parent, parent-digest mismatch,
+    /// inconsistent materialization) — newest first per worker, workers in
+    /// id order. Never a silent skip.
+    pub skipped_generations: Vec<SkippedGeneration>,
     /// First sequence number this incarnation assigns — strictly above
     /// everything in recorded history.
     pub next_seq: u64,
@@ -192,9 +203,12 @@ impl Server {
     /// Like [`Server::start`], but recovers durable state first and
     /// returns what it found. With [`ServerConfig::durability`] set, this:
     ///
-    /// 1. scans each worker's checkpoints, restoring the newest loadable
-    ///    image (corrupt files are refused **typed** and fall back to the
-    ///    next-newest — see [`RestartReport::checkpoints_refused`]);
+    /// 1. walks each worker's checkpoint **generations** newest-first with
+    ///    the [`RecoveryPlanner`], verifying every delta-chain link (CRC,
+    ///    parent digest, end-to-end materialization) and restoring the
+    ///    newest fully-verifiable image; every generation passed over is a
+    ///    typed entry in [`RestartReport::skipped_generations`], never a
+    ///    silent fallback;
     /// 2. replays the write-ahead request log — a torn tail on the last
     ///    segment is the accepted crash frontier, while a CRC mismatch
     ///    anywhere (or any defect in a sealed segment) is a hard
@@ -225,9 +239,17 @@ impl Server {
                 let mut restored: Vec<Option<Checkpoint>> = Vec::with_capacity(cfg.workers);
                 let mut applied_union: BTreeSet<u64> = BTreeSet::new();
                 for id in 0..cfg.workers {
-                    let scan = latest_checkpoint(&d.dir, &worker_prefix(id)).map_err(persist)?;
-                    report.checkpoints_refused += scan.refused.len();
-                    let newest = scan.newest.map(|(_, c)| c);
+                    let plan = RecoveryPlanner::new(&d.dir, worker_prefix(id))
+                        .plan()
+                        .map_err(persist)?;
+                    report.checkpoints_refused += plan
+                        .skipped
+                        .iter()
+                        .filter(|s| matches!(s.reason, SkipReason::Refused { .. }))
+                        .count();
+                    report.deltas_applied += plan.deltas_applied;
+                    report.skipped_generations.extend(plan.skipped);
+                    let newest = plan.checkpoint;
                     if let Some(c) = &newest {
                         applied_union.extend(c.applied.iter().copied());
                     }
@@ -251,6 +273,10 @@ impl Server {
         ));
         shared.set_next_seq(plan.next_seq);
         report.next_seq = plan.next_seq;
+        shared
+            .stats
+            .generations_skipped
+            .fetch_add(report.skipped_generations.len() as u64, Ordering::Relaxed);
 
         let workers = restored
             .into_iter()

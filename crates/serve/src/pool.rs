@@ -20,7 +20,7 @@
 //! restored from the snapshot).
 
 use crate::durability::{
-    decode_record, encode_complete, worker_prefix, DurRecord, REQUEST_LOG_PREFIX,
+    classify_record, decode_record, encode_complete, worker_prefix, DurRecord, REQUEST_LOG_PREFIX,
 };
 use crate::queue::{
     Batch, Pending, Shared, LANE_BST_INSERT, LANE_CHAIN_INSERT, LANE_CTL_BST, LANE_CTL_CHAIN,
@@ -32,9 +32,9 @@ use crate::ServerConfig;
 use fol_core::recover::GroupError;
 use fol_hash::chaining::{self, ChainTable};
 use fol_hash::open_addressing as oa;
-use fol_persist::checkpoint::{latest_checkpoint, prune_checkpoints};
-use fol_persist::{wal, Checkpoint};
+use fol_persist::{wal, Checkpoint, Compactor, DeltaCheckpoint, RecoveryPlanner, SkipReason};
 use fol_tree::bst::{self, Bst};
+use fol_vm::integrity::TrackedRegion;
 use fol_vm::{CostModel, Machine, Region, Snapshot, Word};
 use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -87,17 +87,29 @@ struct WorkerDur {
     dir: PathBuf,
     prefix: String,
     every: u64,
+    /// Every `full_every`-th generation is a full image; the ticks in
+    /// between write delta checkpoints chained to their parent.
+    full_every: u64,
+    /// Newest loadable full images compaction retains for this worker.
     keep: usize,
     /// Whether checkpoint files are fsynced. Only [`FsyncPolicy::Always`]
     /// pays for it: at the weaker tiers the write-ahead log is the source
     /// of truth, so a power-loss-torn checkpoint is a typed refusal with
-    /// fallback, not lost data.
+    /// fallback, not lost data. Compaction fsyncs its boundary images
+    /// itself before deleting the WAL coverage they replace.
     sync: bool,
     /// Monotonic checkpoint sequence, continued across restores so new
     /// files sort after the restored one.
     ckpt_seq: u64,
     /// Successful mutating batches since start (cadence counter).
     commits: u64,
+    /// Delta generations written since the last durable full image.
+    deltas_since_full: u64,
+    /// The generation the next delta chains onto: its id and its recorded
+    /// checksum set (the dirtiness baseline and the parent-digest source).
+    /// `None` until the first durable full image, which forces the next
+    /// cadence tick to cut one.
+    parent: Option<(u64, Vec<TrackedRegion>)>,
     /// Every request sequence this worker has applied — restored set plus
     /// this incarnation's commits. Attached to each checkpoint so the
     /// replayer is exactly-once, and diffed against the newest durable
@@ -166,10 +178,13 @@ impl Worker {
             dir: d.dir.clone(),
             prefix: worker_prefix(id),
             every: d.checkpoint_every.max(1),
-            keep: d.keep_checkpoints.max(1),
+            full_every: d.full_image_every.max(1),
+            keep: d.keep_full_images.max(1),
             sync: d.fsync == fol_persist::FsyncPolicy::Always,
             ckpt_seq: 0,
             commits: 0,
+            deltas_since_full: 0,
+            parent: None,
             applied_all: BTreeSet::new(),
         });
         if let Some(ckpt) = restored {
@@ -181,6 +196,9 @@ impl Worker {
             if let Some(dur) = &mut dur {
                 dur.ckpt_seq = ckpt.seq;
                 dur.applied_all = ckpt.applied.iter().copied().collect();
+                // The restored head (possibly a materialized delta chain)
+                // is on disk under its seq; new deltas may chain onto it.
+                dur.parent = Some((ckpt.seq, ckpt.checksums.clone()));
             }
             shared
                 .stats
@@ -330,51 +348,136 @@ impl Worker {
         }
     }
 
-    /// Writes a durable checkpoint of the (just-recaptured) committed state
-    /// every `checkpoint_every` mutating commits: tracked-region contents,
-    /// fresh digests, host counters, and the applied-sequence set.
+    /// Writes a durable generation of the (just-recaptured) committed state
+    /// every `checkpoint_every` mutating commits. Most cadence ticks write a
+    /// **delta** checkpoint — only the regions whose incremental digest
+    /// moved since the parent generation — and every `full_image_every`-th
+    /// generation (and the first) is a **full** image, after which the
+    /// shared log is rotated and one compaction pass runs.
     fn maybe_checkpoint(&mut self) {
-        let Some(dur) = &mut self.dur else { return };
-        dur.commits += 1;
-        if !dur.commits.is_multiple_of(dur.every) {
+        let mut compact_after = false;
+        if let Some(dur) = &mut self.dur {
+            dur.commits += 1;
+            if !dur.commits.is_multiple_of(dur.every) {
+                return;
+            }
+            dur.ckpt_seq += 1;
+            let seq = dur.ckpt_seq;
+            let counters = vec![
+                (
+                    "chain.used_nodes".to_string(),
+                    self.committed_chain_used as u64,
+                ),
+                ("bst.used".to_string(), self.committed_bst_used as u64),
+            ];
+            let applied: Vec<u64> = dur.applied_all.iter().copied().collect();
+            let full = match &dur.parent {
+                None => true,
+                Some(_) => dur.deltas_since_full + 1 >= dur.full_every,
+            };
+            if full {
+                let regions: Vec<Region> =
+                    self.m.tracked_regions().iter().map(|t| t.region).collect();
+                let ckpt = Checkpoint::capture(&self.m, &regions, seq, counters, applied);
+                let path = dur.dir.join(Checkpoint::file_name(&dur.prefix, seq));
+                let written = if dur.sync {
+                    ckpt.write(&path)
+                } else {
+                    ckpt.write_unsynced(&path)
+                };
+                match written {
+                    Ok(()) => {
+                        dur.parent = Some((seq, ckpt.checksums.clone()));
+                        dur.deltas_since_full = 0;
+                        self.shared
+                            .stats
+                            .checkpoints_written
+                            .fetch_add(1, Ordering::Relaxed);
+                        compact_after = true;
+                    }
+                    Err(_) => {
+                        // Typed refusal happens at load time; at write time
+                        // the worker keeps serving (the previous generation
+                        // still stands) and the failure is counted. The
+                        // parent baseline is untouched, so the next delta
+                        // still chains onto a file that exists.
+                        self.shared
+                            .stats
+                            .checkpoints_refused
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            } else {
+                let (parent_seq, parent_sums) = dur
+                    .parent
+                    .as_ref()
+                    .expect("delta generations have a parent");
+                let delta = DeltaCheckpoint::capture(
+                    &self.m,
+                    seq,
+                    *parent_seq,
+                    parent_sums,
+                    counters,
+                    applied,
+                );
+                let path = dur.dir.join(DeltaCheckpoint::file_name(&dur.prefix, seq));
+                let written = if dur.sync {
+                    delta.write(&path)
+                } else {
+                    delta.write_unsynced(&path)
+                };
+                match written {
+                    Ok(()) => {
+                        dur.parent = Some((seq, delta.checksums.clone()));
+                        dur.deltas_since_full += 1;
+                        self.shared
+                            .stats
+                            .delta_checkpoints_written
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        self.shared
+                            .stats
+                            .checkpoints_refused
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if compact_after {
+            self.compact();
+        }
+    }
+
+    /// One log-structured compaction pass, run after this worker cut a
+    /// durable full image: rotate the shared request log (sealing the
+    /// segments the new image covers) and let the [`Compactor`] delete
+    /// sealed segments below every worker's retention boundary plus the
+    /// generations those boundaries obsolete. Serialized on the WAL writer
+    /// lock, so appends and concurrent passes never interleave with the
+    /// delete phase. Refusals are typed inside the report; an `Err` (an
+    /// unreadable directory) leaves everything on disk.
+    fn compact(&self) {
+        let Some(dur) = &self.dur else { return };
+        let Some(wal_cell) = &self.shared.wal else {
+            return;
+        };
+        let mut w = wal_cell.lock().unwrap_or_else(PoisonError::into_inner);
+        if w.rotate().is_err() {
             return;
         }
-        dur.ckpt_seq += 1;
-        let regions: Vec<Region> = self.m.tracked_regions().iter().map(|t| t.region).collect();
-        let counters = vec![
-            (
-                "chain.used_nodes".to_string(),
-                self.committed_chain_used as u64,
-            ),
-            ("bst.used".to_string(), self.committed_bst_used as u64),
-        ];
-        let applied: Vec<u64> = dur.applied_all.iter().copied().collect();
-        let ckpt = Checkpoint::capture(&self.m, &regions, dur.ckpt_seq, counters, applied);
-        let path = dur
-            .dir
-            .join(Checkpoint::file_name(&dur.prefix, dur.ckpt_seq));
-        let written = if dur.sync {
-            ckpt.write(&path)
-        } else {
-            ckpt.write_unsynced(&path)
-        };
-        match written {
-            Ok(()) => {
-                self.shared
-                    .stats
-                    .checkpoints_written
-                    .fetch_add(1, Ordering::Relaxed);
-                prune_checkpoints(&dur.dir, &dur.prefix, dur.keep);
-            }
-            Err(_) => {
-                // Typed refusal happens at load time; at write time the
-                // worker keeps serving (the previous checkpoint still
-                // stands) and the failure is counted.
-                self.shared
-                    .stats
-                    .checkpoints_refused
-                    .fetch_add(1, Ordering::Relaxed);
-            }
+        let prefixes: Vec<String> = (0..self.cfg.workers).map(worker_prefix).collect();
+        let refs: Vec<&str> = prefixes.iter().map(String::as_str).collect();
+        let compactor = Compactor::new(&dur.dir, REQUEST_LOG_PREFIX).keep_full_images(dur.keep);
+        if let Ok(report) = compactor.compact(&refs, classify_record) {
+            self.shared
+                .stats
+                .generations_pruned
+                .fetch_add(report.generations_removed as u64, Ordering::Relaxed);
+            self.shared
+                .stats
+                .wal_segments_pruned
+                .fetch_add(report.wal_segments_removed as u64, Ordering::Relaxed);
         }
     }
 
@@ -549,20 +652,29 @@ impl Worker {
 
     /// The durable half of [`Worker::respawn`]. Returns `false` (caller
     /// falls back to the in-memory snapshot) when durability is off, no
-    /// checkpoint loads, the log cannot be read back, or any redone request
-    /// is missing its admission record.
+    /// generation chain verifies, the log cannot be read back, or any
+    /// redone request is missing its admission record.
     fn try_durable_respawn(&mut self) -> bool {
         let Some(dur) = &self.dur else { return false };
         let (dir, prefix) = (dur.dir.clone(), dur.prefix.clone());
         let applied_all = dur.applied_all.clone();
-        let Ok(scan) = latest_checkpoint(&dir, &prefix) else {
+        let Ok(plan) = RecoveryPlanner::new(&dir, &prefix).plan() else {
             return false;
         };
         self.shared
             .stats
+            .generations_skipped
+            .fetch_add(plan.skipped.len() as u64, Ordering::Relaxed);
+        let refused = plan
+            .skipped
+            .iter()
+            .filter(|s| matches!(s.reason, SkipReason::Refused { .. }))
+            .count();
+        self.shared
+            .stats
             .checkpoints_refused
-            .fetch_add(scan.refused.len() as u64, Ordering::Relaxed);
-        let Some((_, ckpt)) = scan.newest else {
+            .fetch_add(refused as u64, Ordering::Relaxed);
+        let Some(ckpt) = plan.checkpoint else {
             return false;
         };
         // Read the log back under the writer's lock so no in-flight append
@@ -610,6 +722,14 @@ impl Worker {
         self.committed = capture_committed(&self.m);
         self.committed_chain_used = self.chain.used_nodes;
         self.committed_bst_used = self.bst.as_ref().map_or(0, |b| b.used);
+        if let Some(dur) = &mut self.dur {
+            // Rebase the delta chain on the generation actually restored:
+            // anything newer on disk was just proven unverifiable. The
+            // restored chain depth carries over so the full-image cadence
+            // keeps chains bounded.
+            dur.parent = Some((ckpt.seq, ckpt.checksums.clone()));
+            dur.deltas_since_full = plan.deltas_applied as u64;
+        }
         true
     }
 

@@ -135,6 +135,10 @@ pub(crate) struct StatCells {
     pub(crate) checkpoints_written: AtomicU64,
     pub(crate) checkpoints_refused: AtomicU64,
     pub(crate) durable_respawns: AtomicU64,
+    pub(crate) delta_checkpoints_written: AtomicU64,
+    pub(crate) generations_skipped: AtomicU64,
+    pub(crate) generations_pruned: AtomicU64,
+    pub(crate) wal_segments_pruned: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -179,6 +183,20 @@ pub struct StatsSnapshot {
     /// a log redo (the remainder of [`StatsSnapshot::respawns`] fell back
     /// to the in-memory committed snapshot).
     pub durable_respawns: u64,
+    /// Delta (incremental) checkpoints written by pool workers — the
+    /// remainder of the cadence ticks wrote full images, counted in
+    /// [`StatsSnapshot::checkpoints_written`].
+    pub delta_checkpoints_written: u64,
+    /// Generations the recovery planner passed over with a typed
+    /// [`fol_persist::SkipReason`] (at startup and during durable
+    /// respawns), falling back link-by-link to an older verifiable one.
+    pub generations_skipped: u64,
+    /// Checkpoint generations (full and delta files) deleted by
+    /// log-structured compaction, below the retention boundary.
+    pub generations_pruned: u64,
+    /// Sealed write-ahead-log segments deleted by compaction, every record
+    /// covered by the retained durable images.
+    pub wal_segments_pruned: u64,
 }
 
 impl StatCells {
@@ -200,6 +218,10 @@ impl StatCells {
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
             checkpoints_refused: self.checkpoints_refused.load(Ordering::Relaxed),
             durable_respawns: self.durable_respawns.load(Ordering::Relaxed),
+            delta_checkpoints_written: self.delta_checkpoints_written.load(Ordering::Relaxed),
+            generations_skipped: self.generations_skipped.load(Ordering::Relaxed),
+            generations_pruned: self.generations_pruned.load(Ordering::Relaxed),
+            wal_segments_pruned: self.wal_segments_pruned.load(Ordering::Relaxed),
         }
     }
 }

@@ -71,12 +71,18 @@ fn durable_run_logs_admissions_and_restarts_clean() {
         "an admit and a complete per request: {stats:?}"
     );
     assert!(stats.checkpoints_written >= 1, "{stats:?}");
+    assert!(
+        stats.delta_checkpoints_written >= 1,
+        "the cadence interleaves deltas between full images: {stats:?}"
+    );
     drop(server);
 
-    // The log on disk pairs every admission with a completion.
+    // The log on disk replays cleanly; compaction may have deleted sealed
+    // segments wholly covered by retained durable images, so the surviving
+    // record count is a lower bound of what was appended — never more.
     let replay = wal::replay(&dir, REQUEST_LOG_PREFIX).unwrap();
     assert!(replay.torn_tail.is_none());
-    assert_eq!(replay.records.len() as u64, stats.wal_appends);
+    assert!(replay.records.len() as u64 <= stats.wal_appends);
 
     // A clean restart restores worker state from checkpoints and replays
     // nothing: every acknowledged request completed durably.
@@ -175,19 +181,27 @@ fn torn_log_tail_is_the_accepted_crash_frontier() {
     let dir = temp_dir("torn");
     {
         let (server, _) = Server::try_start(durable_config(&dir, 1)).unwrap();
-        for k in 0..5 {
+        for k in 0..6 {
             assert!(server.call(Request::ChainInsert { keys: vec![k] }).is_ok());
         }
         server.shutdown();
     }
-    // Tear the newest segment mid-record: the kill signature.
-    let segs = wal::segments(&dir, REQUEST_LOG_PREFIX).unwrap();
-    let (_, path) = segs.last().unwrap();
-    let len = std::fs::metadata(path).unwrap().len();
-    if len > 14 {
-        let f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
-        f.set_len(len - 3).unwrap();
+    // Tear the newest segment that holds records mid-record: the kill
+    // signature. A full-image cadence tick rotates the log, so the very
+    // last segment can be a bare header — drop trailing empty segments
+    // first (exactly what a kill right after a rotation leaves behind).
+    let mut segs = wal::segments(&dir, REQUEST_LOG_PREFIX).unwrap();
+    while let Some((_, path)) = segs.last() {
+        if std::fs::metadata(path).unwrap().len() > 14 {
+            break;
+        }
+        std::fs::remove_file(path).unwrap();
+        segs.pop();
     }
+    let (_, path) = segs.last().expect("some segment holds records");
+    let len = std::fs::metadata(path).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+    f.set_len(len - 3).unwrap();
 
     let (server, restart) = Server::try_start(durable_config(&dir, 1)).unwrap();
     assert!(
@@ -197,7 +211,7 @@ fn torn_log_tail_is_the_accepted_crash_frontier() {
     let report = server.shutdown();
     assert_eq!(
         keys_of(&report, WorkloadClass::Chain),
-        (0..5).collect::<Vec<Word>>(),
+        (0..6).collect::<Vec<Word>>(),
         "records before the tear (and the checkpoints) are intact"
     );
     std::fs::remove_dir_all(&dir).ok();

@@ -29,12 +29,15 @@
 use fol_core::recover::{run_transaction_durable, ExecMode, RetryPolicy};
 use fol_core::FolError;
 use fol_persist::checkpoint::Checkpointer;
+use fol_persist::frame::{next_frame, Frame};
 use fol_persist::wal;
+use fol_persist::{Compactor, LogRecord};
 use fol_serve::{
-    worker_prefix, DurabilityConfig, FsyncPolicy, Request, ServeError, Server, ServerConfig,
-    WorkloadClass, REQUEST_LOG_PREFIX,
+    decode_record, worker_prefix, DurRecord, DurabilityConfig, FsyncPolicy, Request, ServeError,
+    Server, ServerConfig, SkipReason, WorkloadClass, REQUEST_LOG_PREFIX,
 };
 use fol_vm::{CostModel, Machine, Word};
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -114,9 +117,20 @@ fn read_acks(dir: &Path) -> Vec<Word> {
 }
 
 fn serve_config(dir: &Path, checkpoint_every: u64, segment_bytes: u64) -> ServerConfig {
+    serve_config_with(dir, checkpoint_every, segment_bytes, FsyncPolicy::Off, 4)
+}
+
+fn serve_config_with(
+    dir: &Path,
+    checkpoint_every: u64,
+    segment_bytes: u64,
+    fsync: FsyncPolicy,
+    full_image_every: u64,
+) -> ServerConfig {
     let mut durability = DurabilityConfig::new(dir)
-        .fsync(FsyncPolicy::Off)
-        .checkpoint_every(checkpoint_every);
+        .fsync(fsync)
+        .checkpoint_every(checkpoint_every)
+        .full_image_every(full_image_every);
     durability.segment_bytes = segment_bytes;
     ServerConfig {
         workers: 1,
@@ -128,6 +142,67 @@ fn serve_config(dir: &Path, checkpoint_every: u64, segment_bytes: u64) -> Server
         durability: Some(durability),
         ..ServerConfig::default()
     }
+}
+
+/// Checkpoint generations of worker 0 with the given extension (`"ckpt"` for
+/// full images, `"delta"` for deltas), sorted by generation id.
+fn generations(dir: &Path, ext: &str) -> Vec<(u64, PathBuf)> {
+    let prefix = format!("{}-", worker_prefix(0));
+    let suffix = format!(".{ext}");
+    let mut out: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter_map(|p| {
+            let name = p.file_name()?.to_str()?.to_owned();
+            let seq = name
+                .strip_prefix(&prefix)?
+                .strip_suffix(&suffix)?
+                .parse()
+                .ok()?;
+            Some((seq, p))
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Byte-for-byte clone of a flat survivor directory, so destructive sweeps
+/// (truncation points, injury variants) each work on a fresh copy.
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_file() {
+            std::fs::copy(&path, to.join(path.file_name().unwrap())).unwrap();
+        }
+    }
+}
+
+/// Restart over `dir`, assert every acknowledged key survived exactly once,
+/// and return (recovered keys, restart report).
+fn restart_and_audit(
+    dir: &Path,
+    checkpoint_every: u64,
+    acked: &[Word],
+    what: &str,
+) -> (Vec<Word>, fol_serve::RestartReport) {
+    let (server, restart) = Server::try_start(serve_config(dir, checkpoint_every, 1 << 20))
+        .unwrap_or_else(|e| panic!("restart after {what} must succeed: {e}"));
+    let report = server.shutdown();
+    let keys = oa_keys(&report);
+    assert!(
+        keys.windows(2).all(|w| w[0] < w[1]),
+        "replay must not double-apply after {what}: {keys:?}"
+    );
+    for k in acked {
+        assert!(
+            keys.binary_search(k).is_ok(),
+            "acknowledged key {k} lost after {what}; recovered {} keys",
+            keys.len()
+        );
+    }
+    (keys, restart)
 }
 
 fn oa_keys(report: &fol_serve::ShutdownReport) -> Vec<Word> {
@@ -189,7 +264,16 @@ fn child_serve_insert(dir: &Path) {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1 << 20);
-    let (server, _) = Server::try_start(serve_config(dir, every, seg)).expect("child start");
+    let fsync: FsyncPolicy = std::env::var("FOL_CRASH_FSYNC")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(FsyncPolicy::Off);
+    let full_every: u64 = std::env::var("FOL_CRASH_FULL_EVERY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let (server, _) = Server::try_start(serve_config_with(dir, every, seg, fsync, full_every))
+        .expect("child start");
     let mut acks = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -284,6 +368,7 @@ fn sigkill_mid_batch_loses_no_acknowledged_request() {
             ("recovered", keys.len().to_string()),
             ("replayed", restart.replayed.to_string()),
             ("torn_tail", restart.torn_tail.to_string()),
+            ("acked_lost", "0".into()),
             ("passed", "true".into()),
         ],
     );
@@ -333,6 +418,7 @@ fn torn_wal_tail_is_surfaced_and_costs_no_acks() {
             ("acked", acked.len().to_string()),
             ("recovered", keys.len().to_string()),
             ("replayed", restart.replayed.to_string()),
+            ("acked_lost", "0".into()),
             ("passed", "true".into()),
         ],
     );
@@ -454,6 +540,7 @@ fn torn_checkpoint_is_refused_and_recovery_falls_back() {
                 restart.checkpoints_refused.to_string(),
             ),
             ("replayed", restart.replayed.to_string()),
+            ("acked_lost", "0".into()),
             ("passed", "true".into()),
         ],
     );
@@ -508,6 +595,479 @@ fn sigkill_mid_ladder_resumes_at_the_persisted_rung() {
         &[
             ("resumed_mode", format!("{:?}", format!("{:?}", seen[0]))),
             ("attempts", report.attempts.to_string()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+// --------------------------------------------- delta-chain recovery cells
+
+/// How the chaos cells classify WAL payloads for a standalone [`Compactor`]
+/// run — the same mapping the serving layer uses internally: undecodable
+/// payloads become an admission no image can ever cover, so their segment
+/// is never judged deletable.
+fn classify(payload: &[u8]) -> LogRecord {
+    match decode_record(payload) {
+        Ok(DurRecord::Admit { seq, .. }) => LogRecord::Admit { seq },
+        Ok(DurRecord::Complete { seq, applied }) => LogRecord::Complete { seq, applied },
+        Err(_) => LogRecord::Admit { seq: u64::MAX },
+    }
+}
+
+/// SIGKILL while the cadence is deep in a delta chain (`full_image_every`
+/// so large that only generation 1 is a full image): restart must
+/// materialize base + every surviving delta, lose no acknowledged key, and
+/// the restart report must account for the chain depth it walked.
+#[test]
+fn sigkill_mid_delta_chain_loses_no_acknowledged_request() {
+    let tmp = TempDir::new("delta-chain");
+    let child = spawn_child(
+        "serve-insert",
+        tmp.path(),
+        &[
+            ("FOL_CRASH_CKPT_EVERY", "1"),
+            ("FOL_CRASH_FULL_EVERY", "1000"),
+        ],
+    );
+    wait_until("24 acknowledged inserts", Duration::from_secs(60), || {
+        read_acks(tmp.path()).len() >= 24
+    });
+    kill(child);
+    let acked = read_acks(tmp.path());
+    let deltas = generations(tmp.path(), "delta");
+    assert!(
+        generations(tmp.path(), "ckpt").len() == 1 && deltas.len() >= 2,
+        "the cadence must have produced one base and a real delta chain"
+    );
+
+    let (keys, restart) = restart_and_audit(tmp.path(), 1, &acked, "a mid-delta-chain SIGKILL");
+    assert!(
+        restart.checkpoints_restored >= 1 && restart.deltas_applied >= 2,
+        "recovery must come through the delta chain, not a cold replay: {restart:?}"
+    );
+
+    // Recovery is a pure function of the surviving disk.
+    let (server2, _) = Server::try_start(serve_config(tmp.path(), 1, 1 << 20)).unwrap();
+    let report2 = server2.shutdown();
+    assert_eq!(oa_keys(&report2), keys, "recovery must be deterministic");
+
+    write_cell_report(
+        "sigkill_mid_delta_chain",
+        &[
+            ("acked", acked.len().to_string()),
+            ("recovered", keys.len().to_string()),
+            ("deltas_on_disk", deltas.len().to_string()),
+            ("deltas_applied", restart.deltas_applied.to_string()),
+            ("acked_lost", "0".into()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// SIGKILL inside a compaction pass: the mark-then-delete protocol means
+/// the survivor directory may hold a `.compacting` marker and any prefix of
+/// the intended deletions. Planting the marker reproduces the worst
+/// interruption point deterministically; a standalone compactor run must
+/// resume it (report it, finish the work, clear it), and restart over the
+/// resumed directory loses nothing.
+#[test]
+fn sigkill_mid_compaction_resumes_the_marker_and_loses_nothing() {
+    let tmp = TempDir::new("mid-compaction");
+    // Aggressive cadence + tiny segments: real compaction churn while the
+    // child runs, so the kill lands in a directory shaped by many passes.
+    let child = spawn_child(
+        "serve-insert",
+        tmp.path(),
+        &[
+            ("FOL_CRASH_CKPT_EVERY", "1"),
+            ("FOL_CRASH_FULL_EVERY", "2"),
+            ("FOL_CRASH_SEG_BYTES", "2048"),
+        ],
+    );
+    wait_until("32 acknowledged inserts", Duration::from_secs(60), || {
+        read_acks(tmp.path()).len() >= 32
+    });
+    kill(child);
+    let acked = read_acks(tmp.path());
+
+    let compactor = Compactor::new(tmp.path(), REQUEST_LOG_PREFIX).keep_full_images(2);
+    let killed_mid_pass = compactor.marker_path().exists();
+    if !killed_mid_pass {
+        // The kill rarely lands inside the (short) delete window; plant the
+        // marker to simulate exactly that interruption point.
+        std::fs::write(compactor.marker_path(), b"interrupted\n").unwrap();
+    }
+    let prefix = worker_prefix(0);
+    let report = compactor
+        .compact(&[prefix.as_str()], classify)
+        .expect("resuming an interrupted pass must succeed");
+    assert!(
+        report.resumed_marker,
+        "the interrupted pass is visible in the report: {report:?}"
+    );
+    assert!(
+        !compactor.marker_path().exists(),
+        "a completed pass clears its marker"
+    );
+    assert!(
+        report.refusals.is_empty(),
+        "nothing in this directory warrants a refusal: {report:?}"
+    );
+
+    let (keys, _) = restart_and_audit(tmp.path(), 1, &acked, "a mid-compaction SIGKILL");
+    let (server2, _) = Server::try_start(serve_config(tmp.path(), 1, 1 << 20)).unwrap();
+    let report2 = server2.shutdown();
+    assert_eq!(oa_keys(&report2), keys, "recovery must be deterministic");
+
+    write_cell_report(
+        "sigkill_mid_compaction",
+        &[
+            ("acked", acked.len().to_string()),
+            ("recovered", keys.len().to_string()),
+            ("killed_mid_pass", killed_mid_pass.to_string()),
+            ("resumed_marker", report.resumed_marker.to_string()),
+            (
+                "generations_removed",
+                report.generations_removed.to_string(),
+            ),
+            (
+                "wal_segments_removed",
+                report.wal_segments_removed.to_string(),
+            ),
+            ("acked_lost", "0".into()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// A torn delta head (mid-delta-write kill signature, forced by truncating
+/// the newest delta in half) is skipped with a typed [`SkipReason::Refused`]
+/// and recovery falls back one link — still losing nothing.
+#[test]
+fn torn_delta_is_skipped_typed_and_recovery_falls_back() {
+    let tmp = TempDir::new("torn-delta");
+    let child = spawn_child(
+        "serve-insert",
+        tmp.path(),
+        &[
+            ("FOL_CRASH_CKPT_EVERY", "1"),
+            ("FOL_CRASH_FULL_EVERY", "1000"),
+        ],
+    );
+    wait_until("24 acknowledged inserts", Duration::from_secs(60), || {
+        read_acks(tmp.path()).len() >= 24
+    });
+    kill(child);
+    let acked = read_acks(tmp.path());
+
+    let deltas = generations(tmp.path(), "delta");
+    let (torn_seq, torn_path) = deltas.last().expect("a delta chain exists");
+    let len = std::fs::metadata(torn_path).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(torn_path)
+        .unwrap()
+        .set_len(len / 2)
+        .unwrap();
+
+    let (keys, restart) = restart_and_audit(tmp.path(), 1, &acked, "a torn delta head");
+    let skip = restart
+        .skipped_generations
+        .iter()
+        .find(|s| s.seq == *torn_seq)
+        .expect("the torn generation appears in the skip record");
+    assert!(
+        matches!(skip.reason, SkipReason::Refused { .. }),
+        "a torn delta is a typed refusal: {:?}",
+        skip.reason
+    );
+    assert!(
+        restart.checkpoints_restored >= 1,
+        "recovery fell back to the link below the tear: {restart:?}"
+    );
+    write_cell_report(
+        "torn_delta_fallback",
+        &[
+            ("acked", acked.len().to_string()),
+            ("recovered", keys.len().to_string()),
+            ("skipped", restart.skipped_generations.len().to_string()),
+            ("skip_reason", format!("{:?}", format!("{:?}", skip.reason))),
+            ("acked_lost", "0".into()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// Deleting the head's *parent* delta leaves a link naming a generation
+/// that no longer exists: the head is skipped with the typed
+/// [`SkipReason::MissingParent`], and the next intact head plus widened WAL
+/// replay recovers every acknowledged key.
+#[test]
+fn missing_parent_is_skipped_typed_and_replay_widens() {
+    let tmp = TempDir::new("missing-parent");
+    let child = spawn_child(
+        "serve-insert",
+        tmp.path(),
+        &[
+            ("FOL_CRASH_CKPT_EVERY", "1"),
+            ("FOL_CRASH_FULL_EVERY", "1000"),
+        ],
+    );
+    wait_until("24 acknowledged inserts", Duration::from_secs(60), || {
+        read_acks(tmp.path()).len() >= 24
+    });
+    kill(child);
+    let acked = read_acks(tmp.path());
+
+    let deltas = generations(tmp.path(), "delta");
+    assert!(deltas.len() >= 3, "need a chain deep enough to break");
+    let (parent_seq, parent_path) = &deltas[deltas.len() - 2];
+    std::fs::remove_file(parent_path).unwrap();
+
+    let (keys, restart) = restart_and_audit(tmp.path(), 1, &acked, "a deleted parent delta");
+    assert!(
+        restart.skipped_generations.iter().any(|s| matches!(
+            s.reason,
+            SkipReason::MissingParent { parent_seq: p } if p == *parent_seq
+        )),
+        "the dangling link is typed MissingParent: {:?}",
+        restart.skipped_generations
+    );
+    write_cell_report(
+        "missing_parent_fallback",
+        &[
+            ("acked", acked.len().to_string()),
+            ("recovered", keys.len().to_string()),
+            ("skipped", restart.skipped_generations.len().to_string()),
+            ("acked_lost", "0".into()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// Deleting a generation *deeper* in the chain orphans every head above it:
+/// each is skipped (typed), the planner walks all the way down to the
+/// newest head whose chain is intact, and the widened WAL replay covers the
+/// difference.
+#[test]
+fn deleted_mid_chain_generation_widens_the_fallback() {
+    let tmp = TempDir::new("mid-chain-delete");
+    let child = spawn_child(
+        "serve-insert",
+        tmp.path(),
+        &[
+            ("FOL_CRASH_CKPT_EVERY", "1"),
+            ("FOL_CRASH_FULL_EVERY", "1000"),
+        ],
+    );
+    wait_until("32 acknowledged inserts", Duration::from_secs(60), || {
+        read_acks(tmp.path()).len() >= 32
+    });
+    kill(child);
+    let acked = read_acks(tmp.path());
+
+    let deltas = generations(tmp.path(), "delta");
+    assert!(deltas.len() >= 4, "need a chain deep enough to break twice");
+    let (gone_seq, gone_path) = &deltas[deltas.len() - 3];
+    std::fs::remove_file(gone_path).unwrap();
+
+    let (keys, restart) =
+        restart_and_audit(tmp.path(), 1, &acked, "a deleted mid-chain generation");
+    let missing: Vec<_> = restart
+        .skipped_generations
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.reason,
+                SkipReason::MissingParent { parent_seq: p } if p == *gone_seq
+            )
+        })
+        .collect();
+    assert!(
+        missing.len() >= 2,
+        "every head chained through the hole is skipped, typed: {:?}",
+        restart.skipped_generations
+    );
+    write_cell_report(
+        "mid_chain_delete_fallback",
+        &[
+            ("acked", acked.len().to_string()),
+            ("recovered", keys.len().to_string()),
+            ("skipped", restart.skipped_generations.len().to_string()),
+            ("acked_lost", "0".into()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// A bit flip inside the newest *full image* poisons it and every delta
+/// chained onto it: all of them are skipped, typed, and recovery falls back
+/// a whole full-image generation — whose WAL coverage the compactor was
+/// required to preserve — still losing nothing.
+#[test]
+fn bit_flipped_full_image_falls_back_a_full_generation() {
+    let tmp = TempDir::new("bitflip-full");
+    let child = spawn_child(
+        "serve-insert",
+        tmp.path(),
+        &[("FOL_CRASH_CKPT_EVERY", "1"), ("FOL_CRASH_FULL_EVERY", "2")],
+    );
+    wait_until("32 acknowledged inserts", Duration::from_secs(60), || {
+        read_acks(tmp.path()).len() >= 32
+    });
+    kill(child);
+    let acked = read_acks(tmp.path());
+
+    let fulls = generations(tmp.path(), "ckpt");
+    assert!(fulls.len() >= 2, "retention keeps two full images");
+    let (flipped_seq, newest_full) = fulls.last().unwrap();
+    let mut bytes = std::fs::read(newest_full).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(newest_full, &bytes).unwrap();
+
+    let (keys, restart) = restart_and_audit(tmp.path(), 1, &acked, "a bit-flipped full image");
+    assert!(
+        restart
+            .skipped_generations
+            .iter()
+            .any(|s| s.seq == *flipped_seq && matches!(s.reason, SkipReason::Refused { .. })),
+        "the corrupt image itself is refused, typed: {:?}",
+        restart.skipped_generations
+    );
+    assert!(
+        restart.checkpoints_restored >= 1,
+        "recovery still restores from the older full image: {restart:?}"
+    );
+    write_cell_report(
+        "bit_flipped_full_image",
+        &[
+            ("acked", acked.len().to_string()),
+            ("recovered", keys.len().to_string()),
+            ("skipped", restart.skipped_generations.len().to_string()),
+            ("replayed", restart.replayed.to_string()),
+            ("acked_lost", "0".into()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// The `FsyncPolicy::Batch` tear window, simulated as power loss: truncate
+/// the log at every sampled point from the last acknowledged request's
+/// completion record to end-of-file (the bytes a dying page cache could
+/// legitimately drop) and restart over each truncation. Under Batch the
+/// log is fsynced before acks demultiplex, so no cut in that window may
+/// lose an acknowledged key.
+#[test]
+fn batch_fsync_tear_window_loses_no_acknowledged_request() {
+    let tmp = TempDir::new("batch-tear");
+    let child = spawn_child(
+        "serve-insert",
+        tmp.path(),
+        &[
+            ("FOL_CRASH_CKPT_EVERY", "4"),
+            ("FOL_CRASH_FULL_EVERY", "1000"), // no rotation: one segment
+            ("FOL_CRASH_FSYNC", "batch"),
+        ],
+    );
+    wait_until("24 acknowledged inserts", Duration::from_secs(60), || {
+        read_acks(tmp.path()).len() >= 24
+    });
+    kill(child);
+    let acked = read_acks(tmp.path());
+
+    // Only the *active* (last) segment can hold unsynced bytes; sealed
+    // segments are never truncated by the sweep. Walk every surviving
+    // segment's frames for the key→seq admission map, and record each
+    // completion's frame *end* offset within the last segment — the kill
+    // may leave a torn final frame there, which ends the walk cleanly.
+    let segs = wal::segments(tmp.path(), REQUEST_LOG_PREFIX).unwrap();
+    let seg_path = segs.last().expect("the child wrote a log").1.clone();
+    let header = wal::WAL_MAGIC.len() + 4;
+    let mut key_seq: HashMap<Word, u64> = HashMap::new();
+    let mut complete_end: HashMap<u64, u64> = HashMap::new();
+    let mut len = 0u64;
+    for (_, path) in &segs {
+        let last = *path == seg_path;
+        let bytes = std::fs::read(path).unwrap();
+        let mut pos = header;
+        while pos < bytes.len() {
+            let Ok(Frame::Ok(payload)) = next_frame(&bytes, &mut pos, "tear-window scan") else {
+                break;
+            };
+            match decode_record(payload) {
+                Ok(DurRecord::Admit {
+                    seq,
+                    request: Request::OaInsert { keys },
+                    ..
+                }) => {
+                    key_seq.insert(keys[0], seq);
+                }
+                Ok(DurRecord::Complete { seq, .. }) if last => {
+                    complete_end.insert(seq, pos as u64);
+                }
+                _ => {}
+            }
+        }
+        if last {
+            len = bytes.len() as u64;
+        }
+    }
+
+    // The safe frontier: the last acknowledged completion's end offset in
+    // the active segment. Batch fsyncs the log before replies demultiplex,
+    // so everything at or before this offset is durable; everything after
+    // it is the tear window power loss may drop. Acked keys whose records
+    // live in sealed segments (or in a retained checkpoint image) impose
+    // no constraint — the sweep never touches those bytes.
+    let frontier = acked
+        .iter()
+        .filter_map(|k| complete_end.get(key_seq.get(k)?))
+        .copied()
+        .max()
+        .unwrap_or(header as u64);
+    assert!(frontier <= len);
+
+    // Sweep the window (all points when small, sampled otherwise, always
+    // including both ends), each on a fresh copy of the survivor dir.
+    let window = len - frontier;
+    let cuts: Vec<u64> = if window <= 24 {
+        (frontier..=len).collect()
+    } else {
+        (0..=24).map(|i| frontier + (window * i) / 24).collect()
+    };
+    let mut acked_lost = 0usize;
+    for (i, cut) in cuts.iter().enumerate() {
+        let copy = TempDir::new(&format!("batch-tear-cut{i}"));
+        copy_dir(tmp.path(), copy.path());
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(copy.path().join(seg_path.file_name().unwrap()))
+            .unwrap()
+            .set_len(*cut)
+            .unwrap();
+        let (server, _) = Server::try_start(serve_config(copy.path(), 4, 1 << 20))
+            .unwrap_or_else(|e| panic!("power loss at offset {cut} must not refuse restart: {e}"));
+        let report = server.shutdown();
+        let keys = oa_keys(&report);
+        for k in &acked {
+            if keys.binary_search(k).is_err() {
+                acked_lost += 1;
+                eprintln!("acked key {k} lost at cut offset {cut}");
+            }
+        }
+    }
+    assert_eq!(
+        acked_lost, 0,
+        "the Batch tear window must never cost an acknowledged request"
+    );
+    write_cell_report(
+        "batch_fsync_tear_window",
+        &[
+            ("acked", acked.len().to_string()),
+            ("window_bytes", window.to_string()),
+            ("cuts", cuts.len().to_string()),
+            ("acked_lost", acked_lost.to_string()),
             ("passed", "true".into()),
         ],
     );

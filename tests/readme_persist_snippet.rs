@@ -15,7 +15,9 @@ fn readme_persist_snippet() {
         durability: Some(
             DurabilityConfig::new(&dir)
                 .fsync(FsyncPolicy::Batch) // fsync-free submit path
-                .checkpoint_every(8), // commits between checkpoints
+                .checkpoint_every(8) // commits between checkpoints
+                .full_image_every(4) // deltas between full images
+                .keep_full_images(2), // compaction retention
         ),
         ..ServerConfig::default()
     };
@@ -29,10 +31,11 @@ fn readme_persist_snippet() {
     }
     drop(server); // crash stand-in — tests use real SIGKILL children
 
-    // A new incarnation restores checkpoints, replays the acknowledged
-    // suffix, and refuses corrupt history typed instead of guessing.
+    // A new incarnation walks the generation chain (full image + deltas),
+    // replays the acknowledged suffix, and names anything it had to skip.
     let (server, restart) = Server::try_start(config()).unwrap();
     assert!(restart.checkpoints_restored > 0);
+    assert!(restart.skipped_generations.is_empty()); // clean chain: no skips
     let report = server.shutdown();
     assert_eq!(report.stats.submitted, report.stats.completed);
 
