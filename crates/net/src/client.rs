@@ -23,10 +23,11 @@
 //! any result, which hands the remote scheduler a full coalescing window.
 
 use crate::fault::{FaultedWriter, WireFaultPlan};
+use crate::shard::ShardMap;
 use crate::wire::{frame_bytes, read_frame, ClientMsg, ReadFrameError, ServerMsg, WireOutcome};
 use crate::NetError;
 use fol_core::recover::Backoff;
-use fol_serve::{Request, Response};
+use fol_serve::{Request, Response, ServeError, NO_SHARD};
 use std::collections::BTreeSet;
 use std::io::{ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
@@ -86,6 +87,9 @@ pub struct NetClient {
     /// Every `seq < acked_floor` has a known outcome; sent with each
     /// submit so the server can prune its dedupe entries.
     acked_floor: u64,
+    /// The shard-map epoch stamped on untagged submits. `0` (the default)
+    /// together with [`NO_SHARD`] means "standalone client, no map".
+    map_epoch: u64,
 }
 
 /// How one attempt left a request.
@@ -110,12 +114,19 @@ impl NetClient {
             next_seq: 0,
             acked: BTreeSet::new(),
             acked_floor: 0,
+            map_epoch: 0,
         }
     }
 
     /// The configured client identity.
     pub fn client_id(&self) -> u64 {
         self.cfg.client_id
+    }
+
+    /// Stamps every subsequent untagged submit with `epoch`. The server
+    /// refuses mismatches typed; `0` restores the standalone default.
+    pub fn set_map_epoch(&mut self, epoch: u64) {
+        self.map_epoch = epoch;
     }
 
     /// Submits one request and retries until a terminal outcome or the
@@ -130,6 +141,19 @@ impl NetClient {
     /// before any result is read, so the remote scheduler sees the whole
     /// batch at once. Returns one outcome per request, in order.
     pub fn call_many(&mut self, requests: &[Request]) -> Vec<Result<Response, NetError>> {
+        let tagged: Vec<(Request, u32)> = requests.iter().map(|r| (r.clone(), NO_SHARD)).collect();
+        self.call_many_tagged(&tagged, self.map_epoch)
+    }
+
+    /// [`NetClient::call_many`] with an explicit shard tag per request and
+    /// a map epoch stamped on the whole batch — the cluster router's entry
+    /// point. Typed `WrongEpoch`/`NotOwner` refusals are terminal here (the
+    /// *map* is wrong, not the wire); the router refreshes and re-routes.
+    pub fn call_many_tagged(
+        &mut self,
+        requests: &[(Request, u32)],
+        epoch: u64,
+    ) -> Vec<Result<Response, NetError>> {
         if requests.is_empty() {
             return Vec::new();
         }
@@ -170,7 +194,7 @@ impl NetClient {
                 }
             }
             attempts += 1;
-            self.attempt(requests, &seqs, &mut slots, deadline);
+            self.attempt(requests, epoch, &seqs, &mut slots, deadline);
         }
         // Every outcome is now known; advance the acknowledged floor.
         for &s in &seqs {
@@ -214,6 +238,50 @@ impl NetClient {
                 what: format!("digest request answered with {other:?}"),
             })),
         }
+    }
+
+    /// Fetches the server's installed shard map (`None` when it has never
+    /// been handed one — e.g. freshly restarted).
+    pub fn fetch_map(&mut self) -> Result<Option<ShardMap>, NetError> {
+        self.simple_roundtrip(&ClientMsg::GetMap, |msg| match msg {
+            ServerMsg::Map { map } => Some(Ok(map)),
+            _ => None,
+        })
+    }
+
+    /// Installs a shard map on the server, telling it which member of the
+    /// map's node list it is. Idempotent: re-installing the same epoch is a
+    /// no-op ack.
+    pub fn install_map(&mut self, map: &ShardMap, you_are: u32) -> Result<(), NetError> {
+        let msg = ClientMsg::InstallMap {
+            map: map.clone(),
+            you_are,
+        };
+        self.simple_roundtrip(&msg, admin_ack)
+    }
+
+    /// Freezes (or unfreezes) one shard on the server for a rebalance.
+    pub fn freeze_shard(&mut self, shard: u32, freeze: bool) -> Result<(), NetError> {
+        self.simple_roundtrip(&ClientMsg::FreezeShard { shard, freeze }, admin_ack)
+    }
+
+    /// Extracts a frozen, drained shard as encoded handoff-image bytes.
+    /// Read-only on the server, so retries are safe.
+    pub fn extract_shard(&mut self, shard: u32) -> Result<Vec<u8>, NetError> {
+        self.simple_roundtrip(&ClientMsg::ExtractShard { shard }, |msg| match msg {
+            ServerMsg::ShardImage { image } => Some(Ok(image)),
+            ServerMsg::AdminErr { what } => {
+                Some(Err(NetError::Serve(ServeError::Rejected { reason: what })))
+            }
+            _ => None,
+        })
+    }
+
+    /// Installs handoff-image bytes on the server. The server digest-checks
+    /// before and after touching its structures, which also makes a retry
+    /// after a lost ack an idempotent skip.
+    pub fn install_shard(&mut self, image: Vec<u8>) -> Result<(), NetError> {
+        self.simple_roundtrip(&ClientMsg::InstallShard { image }, admin_ack)
     }
 
     fn simple_roundtrip<T>(
@@ -281,7 +349,8 @@ impl NetClient {
     /// [`Slot::Retry`].
     fn attempt(
         &mut self,
-        requests: &[Request],
+        requests: &[(Request, u32)],
+        epoch: u64,
         seqs: &[u64],
         slots: &mut [Slot],
         deadline: Instant,
@@ -302,7 +371,9 @@ impl NetClient {
                     seq: seqs[i],
                     acked_floor: self.acked_floor,
                     deadline_millis: Some(remaining.as_millis().max(1) as u64),
-                    request: requests[i].clone(),
+                    shard: requests[i].1,
+                    map_epoch: epoch,
+                    request: requests[i].0.clone(),
                 }
                 .encode(),
             );
@@ -452,6 +523,18 @@ impl NetClient {
             }
             Err(ReadFrameError::Frame(defect)) => Err(NetError::Frame(defect)),
         }
+    }
+}
+
+/// Accepts an admin ack: `AdminOk` succeeds, `AdminErr` is a terminal
+/// typed rejection (the op was refused, not lost).
+fn admin_ack(msg: ServerMsg) -> Option<Result<(), NetError>> {
+    match msg {
+        ServerMsg::AdminOk => Some(Ok(())),
+        ServerMsg::AdminErr { what } => {
+            Some(Err(NetError::Serve(ServeError::Rejected { reason: what })))
+        }
+        _ => None,
     }
 }
 

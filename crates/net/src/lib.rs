@@ -30,21 +30,36 @@
 //!   independent serving processes, acknowledged on majority, checked by
 //!   2-of-3 *content-digest* voting ([`fol_serve::Request::Digest`]), with
 //!   failover that evicts a replica on crash, repeated timeout, or digest
-//!   minority.
+//!   minority — and seeded-backoff half-open **rejoin** that ships an
+//!   evicted member its missing keys digest-verified before readmission;
+//! * a **sharded cluster** ([`ShardMap`], [`ClusterClient`]): a versioned,
+//!   epoch-stamped consistent-hash ring partitions the key space over
+//!   independent nodes; the router fans each batch to the owning nodes
+//!   *in parallel* and every mismatch between a request's epoch and a
+//!   node's installed map is a typed `WrongEpoch`/`NotOwner` refusal that
+//!   drives a map refresh, never a silent mis-route;
+//! * a crash-safe **rebalance coordinator** ([`rebalance()`]):
+//!   freeze → drain → extract → digest-verify → install → advance, every
+//!   step idempotent, so a coordinator or node killed mid-handoff re-runs
+//!   to the same converged state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;
 mod fault;
+pub mod rebalance;
 mod replica;
 mod server;
+pub mod shard;
 pub mod wire;
 
 pub use client::{NetClient, NetClientConfig};
 pub use fault::{FaultDecision, WireFaultPlan};
+pub use rebalance::{abort_rebalance, rebalance, MovedShard, RebalanceReport};
 pub use replica::{EvictReason, ReplicaSet, ReplicaSetConfig, ReplicaStatus};
 pub use server::{NetServer, NetServerConfig};
+pub use shard::{ClusterClient, ShardMap};
 
 use fol_persist::PersistError;
 use fol_serve::ServeError;

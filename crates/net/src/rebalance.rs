@@ -1,0 +1,181 @@
+//! The rebalance coordinator: moves shards between epochs crash-safely.
+//!
+//! A rebalance is a transition from one [`ShardMap`] to its successor
+//! (a node joined or was evicted). For every shard whose primary owner
+//! changes, the coordinator runs the handoff state machine:
+//!
+//! ```text
+//! FREEZE(source)  — the shard refuses new writes typed (NotOwner)
+//!    │
+//! DRAIN           — in-flight wire work at the source quiesces
+//!    │
+//! EXTRACT(source) — per-class keys + content digests, CRC-framed
+//!    │                ([`fol_persist::HandoffImage`])
+//! VERIFY          — the coordinator re-hashes every section itself
+//!    │
+//! INSTALL(target) — digest-checked: skip if identical, insert if empty,
+//!    │                typed refusal if partially populated
+//! ADVANCE         — the new map (epoch + 1) is installed on every node,
+//!                   shard gainers first, donors last
+//! ```
+//!
+//! The epoch advances **only after the target has acked a digest-verified
+//! install**; until then every node still serves the old epoch, and a
+//! request racing the move is refused typed (`WrongEpoch` / `NotOwner`)
+//! for the client to refresh and retry — never silently applied to the
+//! wrong owner.
+//!
+//! Every step is **idempotent**, which is the whole crash-safety story: a
+//! coordinator (or node) killed mid-handoff is recovered by *running the
+//! same rebalance again*. Freezing a frozen shard is a no-op; extraction
+//! is read-only; installing an already-installed shard digest-skips; a
+//! SIGKILLed-and-restarted node comes back mapless (its gate refuses all
+//! cluster traffic) and the re-run's preamble re-hands it the old map
+//! before redoing the move. What is *not* retried blindly: a target whose
+//! shard slice is partially populated answers a typed refusal and the
+//! rebalance stops — merging would guess.
+
+use crate::client::{NetClient, NetClientConfig};
+use crate::shard::ShardMap;
+use crate::NetError;
+use fol_persist::HandoffImage;
+use fol_serve::keys_digest;
+use std::collections::HashMap;
+
+/// One completed shard handoff.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MovedShard {
+    /// The shard that moved.
+    pub shard: u32,
+    /// Previous owner's address.
+    pub from: String,
+    /// New owner's address.
+    pub to: String,
+    /// Keys shipped (across all workload classes).
+    pub keys: usize,
+}
+
+/// What a completed [`rebalance`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// The epoch the cluster served before.
+    pub from_epoch: u64,
+    /// The epoch it serves now.
+    pub to_epoch: u64,
+    /// Every shard handoff performed (re-runs count digest-skipped
+    /// installs too — the keys were already there).
+    pub moved: Vec<MovedShard>,
+}
+
+/// Per-address admin connections for one coordinator run.
+struct Conns {
+    cfg: NetClientConfig,
+    by_addr: HashMap<String, NetClient>,
+}
+
+impl Conns {
+    fn get(&mut self, addr: &str) -> &mut NetClient {
+        self.by_addr
+            .entry(addr.to_string())
+            .or_insert_with(|| NetClient::new(addr.to_string(), self.cfg.clone()))
+    }
+}
+
+/// Drives the cluster from `old` to `new` (which must be `old` plus or
+/// minus a node, or any map with `old.epoch < new.epoch` over the same
+/// shard count). Safe to re-run after any crash — see the module docs.
+pub fn rebalance(
+    old: &ShardMap,
+    new: &ShardMap,
+    cfg: &NetClientConfig,
+) -> Result<RebalanceReport, NetError> {
+    assert_eq!(old.shards, new.shards, "maps partition the same key space");
+    assert!(old.epoch < new.epoch, "the new map must advance the epoch");
+    let mut conns = Conns {
+        cfg: cfg.clone(),
+        by_addr: HashMap::new(),
+    };
+
+    // Preamble: every node of the OLD map must be serving it. A node that
+    // was SIGKILLed and restarted comes back mapless (its gate refuses
+    // everything) — re-hand it the old map so the move below can freeze
+    // and extract. Nodes already past `old.epoch` (a previous run of this
+    // same rebalance got further than the crash) are left alone.
+    for (i, addr) in old.nodes.iter().enumerate() {
+        let have = conns.get(addr).fetch_map()?.map(|m| m.epoch).unwrap_or(0);
+        if have < old.epoch {
+            conns.get(addr).install_map(old, i as u32)?;
+        }
+    }
+
+    // The moves: freeze → drain → extract → verify → install, one shard
+    // at a time. Extraction drains server-side; the coordinator re-hashes
+    // the image itself before handing it to the target, so a source whose
+    // bytes rotted in memory or in transit is caught here, typed.
+    let mut moved = Vec::new();
+    for (shard, from, to) in old.moved_shards(new) {
+        conns.get(&from).freeze_shard(shard, true)?;
+        let bytes = conns.get(&from).extract_shard(shard)?;
+        let image = HandoffImage::decode(&bytes).map_err(NetError::Frame)?;
+        image.verify(keys_digest).map_err(NetError::Frame)?;
+        conns.get(&to).install_shard(bytes)?;
+        moved.push(MovedShard {
+            shard,
+            from,
+            to,
+            keys: image.key_count(),
+        });
+    }
+
+    // Advance the epoch: shard gainers first (they start owning the
+    // moment they see the new map), donors last (they keep refusing the
+    // frozen shard until the very end, so no window exists in which
+    // nobody would refuse a stale write). A node evicted from the map
+    // gets nothing — its gate keeps serving the old epoch and every
+    // cluster request against it is refused typed.
+    let gained: Vec<&String> = new
+        .nodes
+        .iter()
+        .filter(|a| moved.iter().any(|m| &m.to == *a))
+        .collect();
+    let mut order: Vec<usize> = (0..new.nodes.len()).collect();
+    order.sort_by_key(|&i| {
+        let addr = &new.nodes[i];
+        if gained.contains(&addr) {
+            0
+        } else if moved.iter().any(|m| &m.from == addr) {
+            2
+        } else {
+            1
+        }
+    });
+    for i in order {
+        conns.get(&new.nodes[i]).install_map(new, i as u32)?;
+    }
+
+    Ok(RebalanceReport {
+        from_epoch: old.epoch,
+        to_epoch: new.epoch,
+        moved,
+    })
+}
+
+/// Abandons a rebalance that froze shards but has not advanced the epoch:
+/// lifts every freeze the move toward `new` would have placed, so the old
+/// owners resume serving under the old map. Only valid before any node
+/// has installed `new` — afterwards, drive the rebalance forward instead
+/// (its steps are idempotent).
+pub fn abort_rebalance(
+    old: &ShardMap,
+    new: &ShardMap,
+    cfg: &NetClientConfig,
+) -> Result<(), NetError> {
+    let mut conns = Conns {
+        cfg: cfg.clone(),
+        by_addr: HashMap::new(),
+    };
+    for (shard, from, _to) in old.moved_shards(new) {
+        conns.get(&from).freeze_shard(shard, false)?;
+    }
+    Ok(())
+}

@@ -23,11 +23,39 @@
 //! completes (`ScalarTail`), so two live replicas that acknowledged the
 //! same traffic converge on the same content digest — divergence signals
 //! real corruption, not scheduling noise.
+//!
+//! **Rejoin.** Eviction is no longer forever: every evicted member is
+//! re-probed **half-open** on a seeded-backoff cadence (the same
+//! probe-cooldown discipline the VM's lane health layer uses) — a cheap
+//! liveness probe first, then a **digest-verified catch-up** before any
+//! traffic is trusted to it again. The policy is [`EvictReason`]-aware:
+//!
+//! * [`EvictReason::Unresponsive`] — the member crashed or was
+//!   partitioned; it may have *missed* acknowledged writes but never
+//!   acknowledged anything the quorum did not. Catch-up ships the keys it
+//!   is missing (per class, set-difference against a live donor) and
+//!   readmits once every class digest matches the donor's.
+//! * [`EvictReason::DigestMinority`] — its *content* diverged, which
+//!   acknowledged traffic cannot cause; shipping keys would merge
+//!   corruption. It is readmitted only if its digests already match again
+//!   (e.g. the process was restarted from a good checkpoint out-of-band);
+//!   otherwise it stays out and the probe cooldown doubles.
+//!
+//! A member found *ahead* of the quorum (keys the donor lacks) is never
+//! readmitted automatically — that is split-brain evidence, not lag.
 
 use crate::client::{NetClient, NetClientConfig};
 use crate::NetError;
 use fol_serve::{Request, Response, WorkloadClass};
+use fol_vm::Word;
 use std::collections::HashMap;
+
+/// The classes digest-verified during rejoin catch-up.
+const CLASSES: [WorkloadClass; 3] = [
+    WorkloadClass::Chain,
+    WorkloadClass::OpenAddr,
+    WorkloadClass::Bst,
+];
 
 /// Why a replica was removed from the set.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,6 +98,17 @@ pub struct ReplicaSetConfig {
     pub quorum: usize,
     /// Consecutive unanswered batches before a member is evicted.
     pub max_strikes: u32,
+    /// Base cooldown, in batches, between half-open rejoin probes of an
+    /// evicted member. Doubles (with seeded jitter) after every failed
+    /// probe, saturating at [`ReplicaSetConfig::rejoin_cooldown_cap`].
+    /// `0` disables rejoin probing — eviction is then forever, the
+    /// pre-rejoin behaviour.
+    pub rejoin_cooldown: u64,
+    /// Upper bound the doubling probe cooldown saturates at.
+    pub rejoin_cooldown_cap: u64,
+    /// Seed for the probe-cadence jitter, so churn schedules replay
+    /// byte-identically under a fixed seed.
+    pub rejoin_seed: u64,
 }
 
 impl Default for ReplicaSetConfig {
@@ -78,6 +117,9 @@ impl Default for ReplicaSetConfig {
             client: NetClientConfig::default(),
             quorum: 0, // 0 = majority of the membership, resolved at connect
             max_strikes: 2,
+            rejoin_cooldown: 4,
+            rejoin_cooldown_cap: 64,
+            rejoin_seed: 0x5EED_CAFE,
         }
     }
 }
@@ -87,6 +129,12 @@ struct Member {
     client: NetClient,
     strikes: u32,
     evicted: Option<EvictReason>,
+    /// Batch counter value of the last rejoin probe (or of eviction).
+    last_probe: u64,
+    /// Batches to wait before the next probe.
+    cooldown: u64,
+    /// Failed probes since eviction (drives the cooldown doubling).
+    probes: u64,
 }
 
 /// A set of N replicated serving endpoints, quorum-acknowledged and
@@ -95,6 +143,11 @@ pub struct ReplicaSet {
     members: Vec<Member>,
     quorum: usize,
     max_strikes: u32,
+    /// Batches applied so far — the clock rejoin cooldowns are measured in.
+    batches: u64,
+    rejoin_cooldown: u64,
+    rejoin_cooldown_cap: u64,
+    rejoin_seed: u64,
 }
 
 impl ReplicaSet {
@@ -113,12 +166,19 @@ impl ReplicaSet {
                 client: NetClient::new(addr.clone(), cfg.client.clone()),
                 strikes: 0,
                 evicted: None,
+                last_probe: 0,
+                cooldown: cfg.rejoin_cooldown.max(1),
+                probes: 0,
             })
             .collect();
         ReplicaSet {
             members,
             quorum,
             max_strikes: cfg.max_strikes.max(1),
+            batches: 0,
+            rejoin_cooldown: cfg.rejoin_cooldown,
+            rejoin_cooldown_cap: cfg.rejoin_cooldown_cap.max(cfg.rejoin_cooldown),
+            rejoin_seed: cfg.rejoin_seed,
         }
     }
 
@@ -158,12 +218,17 @@ impl ReplicaSet {
 
     fn strike(&mut self, idx: usize, last: &NetError) {
         let max = self.max_strikes;
+        let batches = self.batches;
+        let base = self.rejoin_cooldown.max(1);
         let m = &mut self.members[idx];
         m.strikes += 1;
         if m.strikes >= max && m.evicted.is_none() {
             m.evicted = Some(EvictReason::Unresponsive {
                 last: last.to_string(),
             });
+            m.last_probe = batches;
+            m.cooldown = base;
+            m.probes = 0;
         }
     }
 
@@ -174,11 +239,18 @@ impl ReplicaSet {
     /// whose whole batch went unanswered takes a strike toward eviction.
     ///
     /// The outer error is set-level: quorum lost before the batch ran.
+    ///
+    /// Every call also advances the rejoin clock and runs one
+    /// [`ReplicaSet::reprobe_evicted`] pass first, so an evicted member
+    /// whose cooldown elapsed can be caught up and readmitted in time to
+    /// receive this very batch.
     #[allow(clippy::type_complexity)]
     pub fn apply(
         &mut self,
         batch: &[Request],
     ) -> Result<Vec<Result<Response, NetError>>, NetError> {
+        self.batches += 1;
+        self.reprobe_evicted();
         self.check_quorum()?;
         let live_idx: Vec<usize> = self
             .members
@@ -291,9 +363,359 @@ impl ReplicaSet {
         }
         for (idx, v) in votes {
             if v != majority {
-                self.members[idx].evicted = Some(EvictReason::DigestMinority { got: v, majority });
+                let batches = self.batches;
+                let base = self.rejoin_cooldown.max(1);
+                let m = &mut self.members[idx];
+                m.evicted = Some(EvictReason::DigestMinority { got: v, majority });
+                m.last_probe = batches;
+                m.cooldown = base;
+                m.probes = 0;
             }
         }
         Ok(majority)
+    }
+
+    /// Half-open rejoin pass: probes every evicted member whose cooldown
+    /// has elapsed and readmits the ones that pass the
+    /// [`EvictReason`]-aware catch-up (see the module docs). Runs
+    /// automatically at the start of every [`ReplicaSet::apply`]; returns
+    /// the addresses readmitted this pass.
+    pub fn reprobe_evicted(&mut self) -> Vec<String> {
+        if self.rejoin_cooldown == 0 {
+            return Vec::new();
+        }
+        let due: Vec<usize> = self
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| {
+                m.evicted.is_some() && self.batches.saturating_sub(m.last_probe) >= m.cooldown
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut readmitted = Vec::new();
+        for idx in due {
+            if self.try_rejoin(idx) {
+                readmitted.push(self.members[idx].addr.clone());
+            } else {
+                let jitter = self.probe_jitter(idx);
+                let cap = self.rejoin_cooldown_cap;
+                let batches = self.batches;
+                let m = &mut self.members[idx];
+                m.probes += 1;
+                m.last_probe = batches;
+                m.cooldown = m.cooldown.saturating_mul(2).min(cap).saturating_add(jitter);
+            }
+        }
+        readmitted
+    }
+
+    /// Seeded jitter added to a failed probe's doubled cooldown, so a
+    /// fleet of sets sharing a dead member does not probe it in lockstep —
+    /// and replays identically under a fixed seed.
+    fn probe_jitter(&self, idx: usize) -> u64 {
+        let m = &self.members[idx];
+        let mut x = self
+            .rejoin_seed
+            .wrapping_add((idx as u64) << 32)
+            .wrapping_add(m.probes)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        x % (self.rejoin_cooldown.max(1) / 2 + 1)
+    }
+
+    /// One half-open probe of evicted member `idx`: liveness, then
+    /// reason-aware catch-up, then an all-class digest match against a
+    /// live donor. True means the member was readmitted.
+    fn try_rejoin(&mut self, idx: usize) -> bool {
+        let reason = self.members[idx]
+            .evicted
+            .clone()
+            .expect("only evicted members are probed");
+        // Liveness first — a member that cannot even answer a health
+        // probe burns no catch-up work.
+        if self.members[idx].client.health().is_err() {
+            return false;
+        }
+        // Catch up against a member the quorum still trusts.
+        let Some(donor) = self.members.iter().position(|m| m.evicted.is_none()) else {
+            return false;
+        };
+        for class in CLASSES {
+            let Some(donor_keys) = fetch_all_keys(&mut self.members[donor].client, class) else {
+                return false;
+            };
+            let Some(mine) = fetch_all_keys(&mut self.members[idx].client, class) else {
+                return false;
+            };
+            let (missing, extra) = multiset_diff(&donor_keys, &mine);
+            // Keys the donor lacks are split-brain evidence — the member
+            // acknowledged (or invented) writes the quorum never saw. No
+            // automatic readmission, under either reason.
+            if extra != 0 {
+                return false;
+            }
+            if !missing.is_empty() {
+                match reason {
+                    // Missed writes are exactly what a crash/partition
+                    // produces: ship them.
+                    EvictReason::Unresponsive { .. } => {
+                        let req = match class {
+                            WorkloadClass::Chain => Request::ChainInsert { keys: missing },
+                            WorkloadClass::OpenAddr => Request::OaInsert { keys: missing },
+                            WorkloadClass::Bst => Request::BstInsert { keys: missing },
+                        };
+                        if self.members[idx].client.call(req).is_err() {
+                            return false;
+                        }
+                    }
+                    // Diverged content must converge out-of-band; merging
+                    // keys into a corrupt structure would launder it.
+                    EvictReason::DigestMinority { .. } => return false,
+                }
+            }
+        }
+        // Trust nothing until every class digest matches the donor's.
+        for class in CLASSES {
+            let (Ok(want), Ok(got)) = (
+                self.members[donor].client.digest(class),
+                self.members[idx].client.digest(class),
+            ) else {
+                return false;
+            };
+            if want != got {
+                return false;
+            }
+        }
+        let base = self.rejoin_cooldown.max(1);
+        let m = &mut self.members[idx];
+        m.evicted = None;
+        m.strikes = 0;
+        m.probes = 0;
+        m.cooldown = base;
+        true
+    }
+}
+
+/// The full key multiset of `class` (every shard of a 1-shard partition
+/// is the whole key space), sorted — `None` on any transport or typed
+/// failure.
+fn fetch_all_keys(client: &mut NetClient, class: WorkloadClass) -> Option<Vec<Word>> {
+    match client.call(Request::ShardKeys {
+        class,
+        shards: 1,
+        shard: 0,
+    }) {
+        Ok(Response::Keys { keys }) => Some(keys),
+        _ => None,
+    }
+}
+
+/// Sorted-multiset difference: keys in `donor` but not `mine` (with
+/// multiplicity), plus the count of keys `mine` holds beyond `donor`.
+fn multiset_diff(donor: &[Word], mine: &[Word]) -> (Vec<Word>, usize) {
+    let mut missing = Vec::new();
+    let mut extra = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < donor.len() && j < mine.len() {
+        match donor[i].cmp(&mine[j]) {
+            std::cmp::Ordering::Less => {
+                missing.push(donor[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                extra += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    missing.extend_from_slice(&donor[i..]);
+    extra += mine.len() - j;
+    (missing, extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{NetServer, NetServerConfig};
+    use fol_serve::{Server, ServerConfig};
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    fn spawn_node(bind: &str) -> NetServer {
+        let server = Server::start(ServerConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 16,
+            max_wait: Duration::from_micros(200),
+            oa_slots: 4096,
+            ..ServerConfig::default()
+        });
+        NetServer::start(
+            server,
+            NetServerConfig {
+                bind: bind.to_string(),
+                ..NetServerConfig::default()
+            },
+        )
+        .expect("bind net server")
+    }
+
+    fn fast_cfg() -> ReplicaSetConfig {
+        ReplicaSetConfig {
+            client: NetClientConfig {
+                connect_timeout: Duration::from_millis(100),
+                io_timeout: Duration::from_millis(300),
+                call_deadline: Duration::from_millis(600),
+                ..NetClientConfig::default()
+            },
+            quorum: 2,
+            max_strikes: 1,
+            rejoin_cooldown: 1,
+            rejoin_cooldown_cap: 2,
+            rejoin_seed: 7,
+        }
+    }
+
+    /// A side-channel client with its own identity, so its writes are not
+    /// deduped against the set's shared sequence space.
+    fn side_client(addr: &str) -> NetClient {
+        NetClient::new(
+            addr.to_string(),
+            NetClientConfig {
+                client_id: 77,
+                ..fast_cfg().client
+            },
+        )
+    }
+
+    /// Crash-style eviction heals: the member misses acknowledged writes
+    /// while down, and the half-open reprobe ships the diff and readmits
+    /// it once every class digest matches a live donor's.
+    #[test]
+    fn unresponsive_member_catches_up_and_rejoins() {
+        let a = spawn_node("127.0.0.1:0");
+        let b = spawn_node("127.0.0.1:0");
+        // Reserve an address with nothing listening on it yet: member C
+        // starts "crashed".
+        let held = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        let addr_c = held.local_addr().expect("addr").to_string();
+        drop(held);
+        let addrs = vec![
+            a.local_addr().to_string(),
+            b.local_addr().to_string(),
+            addr_c.clone(),
+        ];
+        let mut set = ReplicaSet::connect(&addrs, fast_cfg());
+
+        let seed = vec![
+            Request::ChainInsert {
+                keys: vec![1, 2, 3],
+            },
+            Request::OaInsert { keys: vec![10, 11] },
+            Request::BstInsert { keys: vec![5] },
+        ];
+        let out = set.apply(&seed).expect("quorum holds");
+        assert!(out.iter().all(|r| r.is_ok()), "quorum acks the batch");
+        assert_eq!(set.live(), 2, "the dead member strikes out");
+        let status = set.status();
+        assert!(
+            matches!(status[2].evicted, Some(EvictReason::Unresponsive { .. })),
+            "evicted for unresponsiveness, got {:?}",
+            status[2].evicted
+        );
+
+        // More acknowledged traffic the dead member misses entirely.
+        set.apply(&[Request::ChainInsert { keys: vec![4] }])
+            .expect("quorum holds");
+
+        // C comes back — empty, because it "lost" its process state.
+        let c = spawn_node(&addr_c);
+        for _ in 0..50 {
+            set.apply(&[Request::OaLookup { keys: vec![10] }])
+                .expect("quorum holds");
+            if set.live() == 3 {
+                break;
+            }
+        }
+        assert_eq!(set.live(), 3, "the caught-up member is readmitted");
+        assert!(set.status()[2].evicted.is_none());
+
+        // The readmitted member votes with the majority on every class —
+        // catch-up really converged the content.
+        for class in CLASSES {
+            set.vote_digest(class).expect("3-way digest agreement");
+            assert_eq!(set.live(), 3, "no member lands in the minority");
+        }
+        drop((a, b, c));
+    }
+
+    /// Diverged content does not heal by key-shipping: a digest-minority
+    /// member is refused readmission while it holds keys the quorum never
+    /// acknowledged, and readmitted only once its content matches again.
+    #[test]
+    fn digest_minority_stays_out_until_content_converges() {
+        let a = spawn_node("127.0.0.1:0");
+        let b = spawn_node("127.0.0.1:0");
+        let c = spawn_node("127.0.0.1:0");
+        let addrs = vec![
+            a.local_addr().to_string(),
+            b.local_addr().to_string(),
+            c.local_addr().to_string(),
+        ];
+        let mut set = ReplicaSet::connect(&addrs, fast_cfg());
+        set.apply(&[Request::ChainInsert {
+            keys: vec![1, 2, 3],
+        }])
+        .expect("quorum holds");
+
+        // Corrupt C behind the set's back: a write the quorum never saw.
+        side_client(&addrs[2])
+            .call(Request::ChainInsert { keys: vec![99] })
+            .expect("side-channel divergence lands");
+        set.vote_digest(WorkloadClass::Chain)
+            .expect("majority still agrees");
+        assert_eq!(set.live(), 2);
+        assert!(
+            matches!(
+                set.status()[2].evicted,
+                Some(EvictReason::DigestMinority { .. })
+            ),
+            "evicted as digest minority"
+        );
+
+        // While C is ahead of the quorum, every reprobe refuses it — extra
+        // keys are split-brain evidence, not lag.
+        for _ in 0..5 {
+            set.apply(&[Request::OaLookup { keys: vec![1] }])
+                .expect("quorum holds");
+        }
+        assert_eq!(set.live(), 2, "a diverged member is never auto-readmitted");
+
+        // Converge out-of-band: the quorum's members adopt the same key,
+        // making all three contents identical again.
+        for addr in &addrs[..2] {
+            side_client(addr)
+                .call(Request::ChainInsert { keys: vec![99] })
+                .expect("convergence write lands");
+        }
+        for _ in 0..50 {
+            set.apply(&[Request::OaLookup { keys: vec![1] }])
+                .expect("quorum holds");
+            if set.live() == 3 {
+                break;
+            }
+        }
+        assert_eq!(set.live(), 3, "matching content is readmitted");
+        set.vote_digest(WorkloadClass::Chain)
+            .expect("3-way digest agreement");
+        assert_eq!(set.live(), 3);
+        drop((a, b, c));
     }
 }

@@ -30,8 +30,13 @@
 //!   the serving layer itself.
 
 use crate::fault::{FaultedWriter, WireFaultPlan};
+use crate::shard::ShardMap;
 use crate::wire::{read_frame, ClientMsg, ReadFrameError, ServerMsg, WireOutcome};
-use fol_serve::{Priority, Response, ServeError, Server, ShutdownReport, Ticket};
+use fol_persist::{HandoffImage, HandoffSection};
+use fol_serve::{
+    keys_digest, Priority, Request, Response, ServeError, Server, ShutdownReport, Ticket,
+    WorkloadClass,
+};
 use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -39,7 +44,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning for the network front-end.
 #[derive(Clone, Debug)]
@@ -92,9 +97,16 @@ struct NetShared {
     /// [`NetServer::shutdown`].
     shutdown_requested: AtomicBool,
     in_flight: AtomicUsize,
-    dedupe: Mutex<HashMap<(u64, u64), Dedupe>>,
+    /// Outcome cache keyed `(client_id, map_epoch, seq)`: the shard-map
+    /// epoch is part of the identity, so a request re-routed under a new
+    /// map after a rebalance is a *new* request, never answered with an
+    /// outcome recorded under the old ownership.
+    dedupe: Mutex<HashMap<(u64, u64, u64), Dedupe>>,
     /// Per-client acknowledged floor (highest seen), for dedupe pruning.
     floors: Mutex<HashMap<u64, u64>>,
+    /// The installed shard map, if the coordinator has handed one over
+    /// (served back on [`ClientMsg::GetMap`]).
+    map: Mutex<Option<ShardMap>>,
     conns: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -106,8 +118,10 @@ impl NetShared {
             return;
         }
         *floor = acked_floor;
+        // A client's seq space is monotonic across epochs, so the floor
+        // prunes every epoch's entries below it.
         let mut dedupe = self.dedupe.lock().unwrap_or_else(PoisonError::into_inner);
-        dedupe.retain(|&(cid, seq), _| cid != client_id || seq >= acked_floor);
+        dedupe.retain(|&(cid, _epoch, seq), _| cid != client_id || seq >= acked_floor);
     }
 }
 
@@ -133,6 +147,7 @@ impl NetServer {
             in_flight: AtomicUsize::new(0),
             dedupe: Mutex::new(HashMap::new()),
             floors: Mutex::new(HashMap::new()),
+            map: Mutex::new(None),
             conns: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -251,6 +266,7 @@ impl OutHalf {
 /// What the reader hands the writer thread for one admitted request.
 struct InFlightItem {
     client_id: u64,
+    map_epoch: u64,
     seq: u64,
     ticket: Ticket,
 }
@@ -258,6 +274,7 @@ struct InFlightItem {
 /// An [`InFlightItem`] whose ticket has been waited.
 struct FinishedItem {
     client_id: u64,
+    map_epoch: u64,
     seq: u64,
 }
 
@@ -352,11 +369,22 @@ fn reader_loop(
                 let mut g = out.lock().unwrap_or_else(PoisonError::into_inner);
                 let _ = g.send(&ServerMsg::ShutdownAck);
             }
+            msg @ (ClientMsg::InstallMap { .. }
+            | ClientMsg::FreezeShard { .. }
+            | ClientMsg::ExtractShard { .. }
+            | ClientMsg::InstallShard { .. }
+            | ClientMsg::GetMap) => {
+                if !handle_admin(msg, shared, out) {
+                    return;
+                }
+            }
             ClientMsg::Submit {
                 client_id,
                 seq,
                 acked_floor,
                 deadline_millis,
+                shard,
+                map_epoch,
                 request,
             } => {
                 // A pipelined client writes its whole burst in one go;
@@ -368,6 +396,8 @@ fn reader_loop(
                     seq,
                     acked_floor,
                     deadline_millis,
+                    shard,
+                    map_epoch,
                     request,
                 }];
                 let mut poison: Option<String> = None;
@@ -398,12 +428,16 @@ fn reader_loop(
                             seq,
                             acked_floor,
                             deadline_millis,
+                            shard,
+                            map_epoch,
                             request,
                         }) => group.push(SubmitItem {
                             client_id,
                             seq,
                             acked_floor,
                             deadline_millis,
+                            shard,
+                            map_epoch,
                             request,
                         }),
                         Ok(ClientMsg::Health) => {
@@ -415,6 +449,11 @@ fn reader_loop(
                             shared.shutdown_requested.store(true, Ordering::Release);
                             let mut g = out.lock().unwrap_or_else(PoisonError::into_inner);
                             let _ = g.send(&ServerMsg::ShutdownAck);
+                        }
+                        Ok(admin) => {
+                            if !handle_admin(admin, shared, out) {
+                                return;
+                            }
                         }
                         Err(defect) => {
                             poison = Some(defect.to_string());
@@ -461,6 +500,14 @@ fn send_health(shared: &NetShared, out: &Arc<Mutex<OutHalf>>) -> bool {
         ("generations_skipped".to_string(), stats.generations_skipped),
         ("generations_pruned".to_string(), stats.generations_pruned),
         ("wal_segments_pruned".to_string(), stats.wal_segments_pruned),
+        ("shard_epoch".to_string(), stats.shard_epoch),
+        ("shards_owned".to_string(), stats.shards_owned),
+        ("handoffs_in_flight".to_string(), stats.handoffs_in_flight),
+        ("handoffs_out_flight".to_string(), stats.handoffs_out_flight),
+        (
+            "stale_epoch_refusals".to_string(),
+            stats.stale_epoch_refusals,
+        ),
         (
             "net.in_flight".to_string(),
             shared.in_flight.load(Ordering::Relaxed) as u64,
@@ -476,6 +523,8 @@ struct SubmitItem {
     seq: u64,
     acked_floor: u64,
     deadline_millis: Option<u64>,
+    shard: u32,
+    map_epoch: u64,
     request: fol_serve::Request,
 }
 
@@ -503,7 +552,7 @@ fn flush_group(
     {
         let mut dedupe = shared.dedupe.lock().unwrap_or_else(PoisonError::into_inner);
         for it in group {
-            match dedupe.get(&(it.client_id, it.seq)) {
+            match dedupe.get(&(it.client_id, it.map_epoch, it.seq)) {
                 Some(Dedupe::Done(outcome)) => replies.push(ServerMsg::Result {
                     seq: it.seq,
                     outcome: outcome.clone(),
@@ -513,7 +562,7 @@ fn flush_group(
                     outcome: WireOutcome::Busy,
                 }),
                 None => {
-                    dedupe.insert((it.client_id, it.seq), Dedupe::InFlight);
+                    dedupe.insert((it.client_id, it.map_epoch, it.seq), Dedupe::InFlight);
                     fresh.push(it);
                 }
             }
@@ -534,12 +583,25 @@ fn flush_group(
             shared.prune(client_id, acked_floor);
         }
     }
-    // Net-layer admission: bounded in-flight, typed refusal.
-    let mut rollback: Vec<(u64, u64)> = Vec::new();
-    let mut meta: Vec<(u64, u64)> = Vec::with_capacity(fresh.len());
+    // Shard-gate admission, then net-layer admission: a request stamped
+    // with the wrong epoch or routed to a shard this node does not own is
+    // refused typed BEFORE the in-flight bound or the queue see it — and
+    // its dedupe marker is rolled back, so the client's re-route under the
+    // new map executes fresh.
+    let mut rollback: Vec<(u64, u64, u64)> = Vec::new();
+    let mut meta: Vec<(u64, u64, u64)> = Vec::with_capacity(fresh.len());
     let mut items: Vec<(fol_serve::Request, Priority, Option<Duration>)> =
         Vec::with_capacity(fresh.len());
+    let gate = shared.server.shard_gate();
     for it in fresh {
+        if let Err(e) = gate.admit(it.shard, it.map_epoch) {
+            rollback.push((it.client_id, it.map_epoch, it.seq));
+            replies.push(ServerMsg::Result {
+                seq: it.seq,
+                outcome: WireOutcome::Err(e),
+            });
+            continue;
+        }
         let admitted = shared
             .in_flight
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
@@ -547,14 +609,14 @@ fn flush_group(
             })
             .is_ok();
         if admitted {
-            meta.push((it.client_id, it.seq));
+            meta.push((it.client_id, it.map_epoch, it.seq));
             items.push((
                 it.request,
                 Priority::Normal,
                 it.deadline_millis.map(Duration::from_millis),
             ));
         } else {
-            rollback.push((it.client_id, it.seq));
+            rollback.push((it.client_id, it.map_epoch, it.seq));
             replies.push(ServerMsg::Result {
                 seq: it.seq,
                 outcome: WireOutcome::Err(ServeError::Overloaded {
@@ -565,12 +627,13 @@ fn flush_group(
     }
     let outcomes = shared.server.submit_many_with(items);
     let mut writer_gone = false;
-    for (&(client_id, seq), outcome) in meta.iter().zip(outcomes) {
+    for (&(client_id, map_epoch, seq), outcome) in meta.iter().zip(outcomes) {
         match outcome {
             Ok(ticket) if !writer_gone => {
                 if tx
                     .send(InFlightItem {
                         client_id,
+                        map_epoch,
                         seq,
                         ticket,
                     })
@@ -578,18 +641,18 @@ fn flush_group(
                 {
                     writer_gone = true;
                     shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-                    rollback.push((client_id, seq));
+                    rollback.push((client_id, map_epoch, seq));
                 }
             }
             // Writer already gone: the ticket is dropped (the worker still
             // executes it), the slot and marker are released.
             Ok(_ticket) => {
                 shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-                rollback.push((client_id, seq));
+                rollback.push((client_id, map_epoch, seq));
             }
             Err(e) => {
                 shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-                rollback.push((client_id, seq));
+                rollback.push((client_id, map_epoch, seq));
                 replies.push(ServerMsg::Result {
                     seq,
                     outcome: WireOutcome::Err(e),
@@ -610,6 +673,255 @@ fn flush_group(
         }
     }
     !writer_gone
+}
+
+/// Answers one administrative (rebalance-coordinator) message. Admin ops
+/// bypass the submit path: they are idempotent, digest-checked, and
+/// answered with [`ServerMsg::AdminOk`] / [`ServerMsg::AdminErr`] verdicts
+/// rather than per-seq results. Returns `false` when the connection died.
+fn handle_admin(msg: ClientMsg, shared: &NetShared, out: &Arc<Mutex<OutHalf>>) -> bool {
+    let reply = match msg {
+        ClientMsg::InstallMap { map, you_are } => {
+            if (you_are as usize) < map.nodes.len() {
+                shared
+                    .server
+                    .shard_gate()
+                    .install(map.assignment_for(you_are as usize));
+                *shared.map.lock().unwrap_or_else(PoisonError::into_inner) = Some(map);
+                ServerMsg::AdminOk
+            } else {
+                ServerMsg::AdminErr {
+                    what: format!(
+                        "install map: you_are {you_are} out of range of {} node(s)",
+                        map.nodes.len()
+                    ),
+                }
+            }
+        }
+        ClientMsg::FreezeShard { shard, freeze } => {
+            let gate = shared.server.shard_gate();
+            if gate.epoch() == 0 {
+                ServerMsg::AdminErr {
+                    what: "freeze: no shard map installed".into(),
+                }
+            } else {
+                if freeze {
+                    gate.freeze(shard);
+                } else {
+                    gate.unfreeze(shard);
+                }
+                ServerMsg::AdminOk
+            }
+        }
+        ClientMsg::ExtractShard { shard } => extract_shard(shared, shard),
+        ClientMsg::InstallShard { image } => install_shard(shared, &image),
+        ClientMsg::GetMap => ServerMsg::Map {
+            map: shared
+                .map
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        },
+        _ => unreachable!("handle_admin is only called with admin messages"),
+    };
+    let mut g = out.lock().unwrap_or_else(PoisonError::into_inner);
+    g.send(&reply).is_ok()
+}
+
+/// The workload classes a handoff image carries, with their section names.
+const HANDOFF_CLASSES: [(&str, WorkloadClass); 3] = [
+    ("chain", WorkloadClass::Chain),
+    ("oa", WorkloadClass::OpenAddr),
+    ("bst", WorkloadClass::Bst),
+];
+
+/// Submits one request to the serving layer and waits its outcome —
+/// the admin path's synchronous door into the worker pool.
+fn serve_call(shared: &NetShared, request: Request) -> Result<Response, ServeError> {
+    shared.server.submit(request)?.wait()
+}
+
+/// Builds the handoff image of a frozen shard: wait for in-flight wire
+/// work to drain, then pull each class's keys restricted to the shard and
+/// record their content digests.
+fn extract_shard(shared: &NetShared, shard: u32) -> ServerMsg {
+    let gate = shared.server.shard_gate();
+    let epoch = gate.epoch();
+    if epoch == 0 {
+        return ServerMsg::AdminErr {
+            what: "extract: no shard map installed".into(),
+        };
+    }
+    if gate.owns(shard) {
+        // owns() is "owned and not frozen": extraction of a live shard
+        // would race concurrent writes and ship a torn image.
+        return ServerMsg::AdminErr {
+            what: format!("extract: shard {shard} is not frozen"),
+        };
+    }
+    let shards = match shared
+        .map
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .as_ref()
+    {
+        Some(m) => m.shards,
+        None => {
+            return ServerMsg::AdminErr {
+                what: "extract: no shard map installed".into(),
+            }
+        }
+    };
+    // Drain: the freeze already refuses new writes for the shard; wait for
+    // whatever the wire admitted earlier to finish so the image is the
+    // complete acknowledged state.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while shared.in_flight.load(Ordering::Acquire) != 0 {
+        if Instant::now() >= deadline {
+            return ServerMsg::AdminErr {
+                what: format!(
+                    "extract: drain timed out with {} wire request(s) in flight",
+                    shared.in_flight.load(Ordering::Acquire)
+                ),
+            };
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let _mark = gate.begin_handoff_out();
+    let mut sections = Vec::with_capacity(HANDOFF_CLASSES.len());
+    for (name, class) in HANDOFF_CLASSES {
+        let keys = match serve_call(
+            shared,
+            Request::ShardKeys {
+                class,
+                shards,
+                shard,
+            },
+        ) {
+            Ok(Response::Keys { keys }) => keys,
+            Ok(other) => {
+                return ServerMsg::AdminErr {
+                    what: format!("extract: shard-keys answered with {other:?}"),
+                }
+            }
+            Err(e) => {
+                return ServerMsg::AdminErr {
+                    what: format!("extract: {e}"),
+                }
+            }
+        };
+        sections.push(HandoffSection {
+            class: name.to_string(),
+            digest: keys_digest(&keys),
+            keys,
+        });
+    }
+    let image = HandoffImage {
+        shard,
+        shards,
+        source_epoch: epoch,
+        wal_floor: shared.server.stats().wal_appends,
+        sections,
+    };
+    ServerMsg::ShardImage {
+        image: image.encode(),
+    }
+}
+
+/// Installs a handoff image: decode and digest-verify the bytes, then per
+/// class either skip (already installed — the idempotent retry path),
+/// insert into an empty slice, or refuse a partially-populated one typed.
+/// The final per-class digest re-check is what makes the `AdminOk` a
+/// *digest-verified* install ack.
+fn install_shard(shared: &NetShared, bytes: &[u8]) -> ServerMsg {
+    let image = match HandoffImage::decode(bytes) {
+        Ok(i) => i,
+        Err(e) => {
+            return ServerMsg::AdminErr {
+                what: format!("install: {e}"),
+            }
+        }
+    };
+    if let Err(e) = image.verify(keys_digest) {
+        return ServerMsg::AdminErr {
+            what: format!("install: {e}"),
+        };
+    }
+    let gate = shared.server.shard_gate();
+    let _mark = gate.begin_handoff_in();
+    for section in &image.sections {
+        let Some(&(_, class)) = HANDOFF_CLASSES.iter().find(|(n, _)| *n == section.class) else {
+            return ServerMsg::AdminErr {
+                what: format!("install: unknown section class '{}'", section.class),
+            };
+        };
+        let shard_digest = |shared: &NetShared| match serve_call(
+            shared,
+            Request::ShardDigest {
+                class,
+                shards: image.shards,
+                shard: image.shard,
+            },
+        ) {
+            Ok(Response::ClassDigest { digest, count }) => Ok((digest, count)),
+            Ok(other) => Err(format!("install: shard-digest answered with {other:?}")),
+            Err(e) => Err(format!("install: {e}")),
+        };
+        let (digest, count) = match shard_digest(shared) {
+            Ok(v) => v,
+            Err(what) => return ServerMsg::AdminErr { what },
+        };
+        if count == section.keys.len() as u64 && digest == section.digest {
+            continue; // already installed: a retried install is a no-op
+        }
+        if count != 0 {
+            return ServerMsg::AdminErr {
+                what: format!(
+                    "install: shard {} class '{}' already holds {count} key(s) \
+                     with digest {digest:#018x}; refusing to merge",
+                    image.shard, section.class
+                ),
+            };
+        }
+        if section.keys.is_empty() {
+            continue;
+        }
+        let insert = match class {
+            WorkloadClass::Chain => Request::ChainInsert {
+                keys: section.keys.clone(),
+            },
+            WorkloadClass::OpenAddr => Request::OaInsert {
+                keys: section.keys.clone(),
+            },
+            WorkloadClass::Bst => Request::BstInsert {
+                keys: section.keys.clone(),
+            },
+        };
+        if let Err(e) = serve_call(shared, insert) {
+            return ServerMsg::AdminErr {
+                what: format!("install: {e}"),
+            };
+        }
+        // End-to-end proof: what the structures now hold hashes to what
+        // the source extracted.
+        match shard_digest(shared) {
+            Ok((d, c)) if d == section.digest && c == section.keys.len() as u64 => {}
+            Ok((d, c)) => {
+                return ServerMsg::AdminErr {
+                    what: format!(
+                        "install: post-install digest mismatch for shard {} class '{}': \
+                         got {d:#018x}/{c}, image records {:#018x}/{}",
+                        image.shard,
+                        section.class,
+                        section.digest,
+                        section.keys.len()
+                    ),
+                }
+            }
+            Err(what) => return ServerMsg::AdminErr { what },
+        }
+    }
+    ServerMsg::AdminOk
 }
 
 /// True when `outcome` is safe to replay verbatim to a retry: successes
@@ -649,14 +961,14 @@ fn writer_loop(rx: Receiver<InFlightItem>, out: Arc<Mutex<OutHalf>>, shared: Arc
             for (item, outcome) in &items {
                 if cacheable(outcome) {
                     dedupe.insert(
-                        (item.client_id, item.seq),
+                        (item.client_id, item.map_epoch, item.seq),
                         Dedupe::Done(match outcome {
                             Ok(r) => WireOutcome::Ok(r.clone()),
                             Err(e) => WireOutcome::Err(e.clone()),
                         }),
                     );
                 } else {
-                    dedupe.remove(&(item.client_id, item.seq));
+                    dedupe.remove(&(item.client_id, item.map_epoch, item.seq));
                 }
             }
         }
@@ -688,8 +1000,16 @@ fn writer_loop(rx: Receiver<InFlightItem>, out: Arc<Mutex<OutHalf>>, shared: Arc
 fn head_outcome(item: InFlightItem) -> (FinishedItem, Result<Response, ServeError>) {
     let InFlightItem {
         client_id,
+        map_epoch,
         seq,
         ticket,
     } = item;
-    (FinishedItem { client_id, seq }, ticket.wait())
+    (
+        FinishedItem {
+            client_id,
+            map_epoch,
+            seq,
+        },
+        ticket.wait(),
+    )
 }

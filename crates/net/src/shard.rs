@@ -1,0 +1,756 @@
+//! The cluster shard map: a consistent-hash ring with virtual nodes, and
+//! the epoch-stamped router clients use to reach the owner of every key.
+//!
+//! The key space is partitioned into a **fixed** number of shards by
+//! [`shard_of`] (re-exported from `fol-serve`, so router, gate and
+//! extraction all agree). The *ring* assigns shards to server processes:
+//! every node projects [`ShardMap::vnodes`] virtual points onto a `u64`
+//! ring, and each shard walks clockwise from its own point collecting the
+//! first [`ShardMap::replication`] distinct nodes — its replica group,
+//! primary first. Fixed shards over a ring of vnodes is the classic
+//! consistent-hashing construction (Chord-style): adding or removing a node
+//! only reassigns the shards whose successor walk changed, which is the
+//! *minimal movement* property the rebalance protocol depends on — every
+//! other shard keeps its owner and its data never crosses the network.
+//!
+//! A map is versioned by its [`ShardMap::epoch`], bumped on every
+//! membership change. Requests carry the epoch they were routed under;
+//! servers refuse mismatches typed ([`fol_serve::ServeError::WrongEpoch`])
+//! so a client that raced a rebalance refreshes its map and retries against
+//! the new owner instead of silently writing to the old one.
+//!
+//! The assignment is **not** shipped on the wire: encode/decode carry only
+//! the inputs (epoch, geometry, node list) and the receiver recomputes the
+//! walk, so a corrupted or adversarial peer cannot smuggle an assignment
+//! that disagrees with the ring.
+
+use crate::client::{NetClient, NetClientConfig};
+use crate::NetError;
+use fol_persist::frame::{Dec, Enc};
+use fol_persist::PersistError;
+use fol_serve::{Request, Response, ServeError, WorkloadClass};
+use fol_vm::Word;
+
+pub use fol_serve::{shard_of, NO_SHARD};
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The versioned, epoch-stamped shard map: which server process owns (and
+/// replicates) each of the fixed key-space shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Version of this map; bumped on every membership change. Requests
+    /// are stamped with the epoch they were routed under.
+    pub epoch: u64,
+    /// Fixed number of key-space shards ([`shard_of`] partitions).
+    pub shards: u32,
+    /// Virtual ring points per node; more vnodes → better balance.
+    pub vnodes: u32,
+    /// Replica group size per shard (1 = no replication).
+    pub replication: u32,
+    /// Member addresses, in join order. Index into this list is the node
+    /// id the assignment speaks.
+    pub nodes: Vec<String>,
+    assignment: Vec<Vec<u32>>,
+}
+
+impl ShardMap {
+    /// Builds the epoch-1 map for an initial membership.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty node list or zero shards/vnodes/replication —
+    /// configuration errors, not recoverable state.
+    pub fn build(nodes: Vec<String>, shards: u32, vnodes: u32, replication: u32) -> Self {
+        assert!(!nodes.is_empty(), "a shard map needs at least one node");
+        assert!(shards > 0 && vnodes > 0 && replication > 0);
+        let assignment = assign(&nodes, shards, vnodes, replication);
+        ShardMap {
+            epoch: 1,
+            shards,
+            vnodes,
+            replication,
+            nodes,
+            assignment,
+        }
+    }
+
+    /// The replica group of `shard`, primary first.
+    pub fn replicas(&self, shard: u32) -> &[u32] {
+        &self.assignment[shard as usize]
+    }
+
+    /// The primary owner (node index) of `shard`.
+    pub fn owner(&self, shard: u32) -> usize {
+        self.assignment[shard as usize][0] as usize
+    }
+
+    /// The primary owner's address.
+    pub fn owner_addr(&self, shard: u32) -> &str {
+        &self.nodes[self.owner(shard)]
+    }
+
+    /// Routes a key: which shard it lives in under this map's geometry.
+    pub fn shard_of_key(&self, key: Word) -> u32 {
+        shard_of(key, self.shards)
+    }
+
+    /// The shards whose replica groups include node `node`.
+    pub fn shards_of_node(&self, node: usize) -> Vec<u32> {
+        (0..self.shards)
+            .filter(|&s| self.replicas(s).contains(&(node as u32)))
+            .collect()
+    }
+
+    /// The next epoch's map after `addr` joins. Ring points of surviving
+    /// nodes are unchanged, so only the shards whose successor walk now
+    /// meets the new node move.
+    pub fn with_node_added(&self, addr: impl Into<String>) -> Self {
+        let mut nodes = self.nodes.clone();
+        nodes.push(addr.into());
+        let assignment = assign(&nodes, self.shards, self.vnodes, self.replication);
+        ShardMap {
+            epoch: self.epoch + 1,
+            nodes,
+            assignment,
+            ..*self
+        }
+    }
+
+    /// The next epoch's map after `addr` is evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addr` is not a member or is the last one.
+    pub fn without_node(&self, addr: &str) -> Self {
+        let nodes: Vec<String> = self.nodes.iter().filter(|n| *n != addr).cloned().collect();
+        assert!(
+            nodes.len() == self.nodes.len() - 1,
+            "evicting a non-member: {addr}"
+        );
+        assert!(!nodes.is_empty(), "cannot evict the last node");
+        let assignment = assign(&nodes, self.shards, self.vnodes, self.replication);
+        ShardMap {
+            epoch: self.epoch + 1,
+            nodes,
+            assignment,
+            ..*self
+        }
+    }
+
+    /// The shards whose **primary** owner differs between `self` and `next`
+    /// (compared by address, so node reindexing does not read as movement):
+    /// `(shard, from_addr, to_addr)` — exactly the handoffs a rebalance to
+    /// `next` must perform.
+    pub fn moved_shards(&self, next: &ShardMap) -> Vec<(u32, String, String)> {
+        assert_eq!(self.shards, next.shards, "maps partition the same space");
+        (0..self.shards)
+            .filter_map(|s| {
+                let from = self.owner_addr(s);
+                let to = next.owner_addr(s);
+                (from != to).then(|| (s, from.to_string(), to.to_string()))
+            })
+            .collect()
+    }
+
+    /// This node's slice of the map, in the form the serve-side gate
+    /// installs: every shard whose replica group contains `node`.
+    pub fn assignment_for(&self, node: usize) -> fol_serve::ShardAssignment {
+        fol_serve::ShardAssignment {
+            epoch: self.epoch,
+            shards: self.shards,
+            owned: self.shards_of_node(node),
+        }
+    }
+
+    /// Serializes the map (inputs only; the assignment is recomputed on
+    /// decode so a corrupt peer cannot ship a ring-inconsistent one).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.epoch);
+        e.u32(self.shards);
+        e.u32(self.vnodes);
+        e.u32(self.replication);
+        e.u32(self.nodes.len() as u32);
+        for n in &self.nodes {
+            e.str(n);
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes and re-derives a map; every defect is typed.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut d = Dec::new(bytes);
+        let epoch = d.u64("map.epoch")?;
+        let shards = d.u32("map.shards")?;
+        let vnodes = d.u32("map.vnodes")?;
+        let replication = d.u32("map.replication")?;
+        let n = d.u32("map.nodes.len")? as usize;
+        if shards == 0 || vnodes == 0 || replication == 0 || n == 0 {
+            return Err(PersistError::Malformed {
+                what: "shard map: zero geometry or empty membership".into(),
+            });
+        }
+        let mut nodes = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            nodes.push(d.str("map.node")?);
+        }
+        d.finish("shard map")?;
+        let assignment = assign(&nodes, shards, vnodes, replication);
+        Ok(ShardMap {
+            epoch,
+            shards,
+            vnodes,
+            replication,
+            nodes,
+            assignment,
+        })
+    }
+}
+
+/// The successor-walk assignment: ring points per node, shards walk to
+/// their first `replication` distinct successors.
+fn assign(nodes: &[String], shards: u32, vnodes: u32, replication: u32) -> Vec<Vec<u32>> {
+    let mut ring: Vec<(u64, u32)> = Vec::with_capacity(nodes.len() * vnodes as usize);
+    for (i, addr) in nodes.iter().enumerate() {
+        let base = fnv1a(addr);
+        for v in 0..vnodes as u64 {
+            ring.push((mix(base ^ mix(v)), i as u32));
+        }
+    }
+    // Ties (astronomically unlikely) break by node index: deterministic.
+    ring.sort_unstable();
+    let want = (replication as usize).min(nodes.len());
+    (0..shards)
+        .map(|s| {
+            let point = mix(0x5AAD_F00D ^ s as u64);
+            let start = ring.partition_point(|&(p, _)| p < point);
+            let mut group = Vec::with_capacity(want);
+            for k in 0..ring.len() {
+                let node = ring[(start + k) % ring.len()].1;
+                if !group.contains(&node) {
+                    group.push(node);
+                    if group.len() == want {
+                        break;
+                    }
+                }
+            }
+            group
+        })
+        .collect()
+}
+
+/// How many attempts [`ClusterClient::call_many`] makes per request across
+/// map refreshes before giving up with the last typed error.
+const ROUTE_ATTEMPTS: usize = 3;
+
+/// A map-aware cluster client: routes each request's key to the owning
+/// replica group, fans writes to every live replica, returns the primary's
+/// outcome, refreshes the map and retries on typed `WrongEpoch`/`NotOwner`
+/// refusals, and evicts (strikes out) unresponsive or digest-minority
+/// nodes — scoped: an eviction removes one node from its groups, the rest
+/// of the cluster keeps serving.
+pub struct ClusterClient {
+    cfg: NetClientConfig,
+    map: ShardMap,
+    conns: Vec<Option<NetClient>>,
+    strikes: Vec<u32>,
+    evicted: Vec<bool>,
+    max_strikes: u32,
+    /// Times a typed stale-map refusal forced a refresh-and-retry.
+    pub stale_epoch_retries: u64,
+}
+
+impl ClusterClient {
+    /// A client over `map`, striking out a node after `max_strikes`
+    /// consecutive all-dead exchanges (0 = never).
+    pub fn new(map: ShardMap, cfg: NetClientConfig, max_strikes: u32) -> Self {
+        let n = map.nodes.len();
+        ClusterClient {
+            cfg,
+            map,
+            conns: (0..n).map(|_| None).collect(),
+            strikes: vec![0; n],
+            evicted: vec![false; n],
+            max_strikes,
+            stale_epoch_retries: 0,
+        }
+    }
+
+    /// The map currently routed under.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Addresses currently struck out.
+    pub fn evicted_nodes(&self) -> Vec<String> {
+        self.map
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.evicted[*i])
+            .map(|(_, a)| a.clone())
+            .collect()
+    }
+
+    /// Adopts `map`, reconciling per-node state by address (a surviving
+    /// node keeps its connection and strike count across reindexing).
+    pub fn install_map(&mut self, map: ShardMap) {
+        let mut conns: Vec<Option<NetClient>> = (0..map.nodes.len()).map(|_| None).collect();
+        let mut strikes = vec![0; map.nodes.len()];
+        let mut evicted = vec![false; map.nodes.len()];
+        for (new_i, addr) in map.nodes.iter().enumerate() {
+            if let Some(old_i) = self.map.nodes.iter().position(|a| a == addr) {
+                conns[new_i] = self.conns[old_i].take();
+                strikes[new_i] = self.strikes[old_i];
+                evicted[new_i] = self.evicted[old_i];
+            }
+        }
+        self.map = map;
+        self.conns = conns;
+        self.strikes = strikes;
+        self.evicted = evicted;
+    }
+
+    fn conn(&mut self, node: usize) -> &mut NetClient {
+        if self.conns[node].is_none() {
+            self.conns[node] = Some(NetClient::new(
+                self.map.nodes[node].clone(),
+                self.cfg.clone(),
+            ));
+        }
+        self.conns[node].as_mut().unwrap()
+    }
+
+    /// Fetches the map from every reachable node and adopts the highest
+    /// epoch seen. Errors only when no node answered.
+    pub fn refresh_map(&mut self) -> Result<u64, NetError> {
+        let mut best: Option<ShardMap> = None;
+        let mut last_err = None;
+        for node in 0..self.map.nodes.len() {
+            if self.evicted[node] {
+                continue;
+            }
+            match self.conn(node).fetch_map() {
+                Ok(Some(m)) => {
+                    if best.as_ref().is_none_or(|b| m.epoch > b.epoch) {
+                        best = Some(m);
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match best {
+            Some(m) => {
+                let epoch = m.epoch;
+                if epoch > self.map.epoch {
+                    self.install_map(m);
+                }
+                Ok(epoch)
+            }
+            None => Err(last_err.unwrap_or(NetError::NoQuorum { live: 0, need: 1 })),
+        }
+    }
+
+    /// The routing shard of a request: its first key. Multi-key requests
+    /// must be pre-partitioned so all keys share a shard (debug-asserted);
+    /// keyless control requests route `NO_SHARD` to the primary of shard 0.
+    fn route(&self, request: &Request) -> (u32, usize) {
+        let keys: &[Word] = match request {
+            Request::ChainInsert { keys }
+            | Request::OaInsert { keys }
+            | Request::OaLookup { keys }
+            | Request::BstInsert { keys } => keys,
+            _ => &[],
+        };
+        match keys.first() {
+            Some(&k) => {
+                let shard = self.map.shard_of_key(k);
+                debug_assert!(
+                    keys.iter().all(|&k| self.map.shard_of_key(k) == shard),
+                    "a routed request's keys must share one shard"
+                );
+                (shard, self.map.owner(shard))
+            }
+            None => (NO_SHARD, self.map.owner(0)),
+        }
+    }
+
+    /// Routes and executes a batch: requests are grouped per owning
+    /// primary, fanned to every live replica of their shard's group, and
+    /// answered with the primary's outcome once a majority of the group
+    /// acknowledged. Typed `WrongEpoch`/`NotOwner` refusals trigger a map
+    /// refresh and re-route (up to 3 attempts); an all-dead node draws a
+    /// strike and, past `max_strikes`, is evicted from its groups.
+    ///
+    /// The per-node exchanges of one attempt run **concurrently** (one
+    /// scoped worker per involved node, each owning that node's
+    /// connection): sharding's whole throughput case is that independent
+    /// nodes mutate in parallel, and a router that visits them one after
+    /// another would serialize the cluster back into a single pipe. A
+    /// node serving several groups still sees its batches pipelined on
+    /// its one connection, in group order.
+    pub fn call_many(&mut self, requests: &[Request]) -> Vec<Result<Response, NetError>> {
+        struct Group {
+            primary: usize,
+            idxs: Vec<usize>,
+            tagged: Vec<(Request, u32)>,
+            members: Vec<usize>,
+            quorum: usize,
+        }
+        let mut out: Vec<Option<Result<Response, NetError>>> = vec![None; requests.len()];
+        for _attempt in 0..ROUTE_ATTEMPTS {
+            // Group unresolved requests by primary owner under the current map.
+            let mut by_primary: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (i, r) in requests.iter().enumerate() {
+                if out[i].is_some() {
+                    continue;
+                }
+                let (_, primary) = self.route(r);
+                match by_primary.iter_mut().find(|(p, _)| *p == primary) {
+                    Some((_, v)) => v.push(i),
+                    None => by_primary.push((primary, vec![i])),
+                }
+            }
+            if by_primary.is_empty() {
+                break;
+            }
+            let epoch = self.map.epoch;
+            let mut saw_stale = false;
+            let mut groups: Vec<Group> = Vec::with_capacity(by_primary.len());
+            for (primary, idxs) in by_primary {
+                let tagged: Vec<(Request, u32)> = idxs
+                    .iter()
+                    .map(|&i| (requests[i].clone(), self.route(&requests[i]).0))
+                    .collect();
+                // Every distinct replica of every routed shard, primary first.
+                let mut members: Vec<usize> = vec![primary];
+                for (_, shard) in &tagged {
+                    if *shard == NO_SHARD {
+                        continue;
+                    }
+                    for &r in self.map.replicas(*shard) {
+                        let r = r as usize;
+                        if !members.contains(&r) && !self.evicted[r] {
+                            members.push(r);
+                        }
+                    }
+                }
+                let quorum = members.len() / 2 + 1;
+                groups.push(Group {
+                    primary,
+                    idxs,
+                    tagged,
+                    members,
+                    quorum,
+                });
+            }
+            // One worker per involved node; each runs its groups' batches
+            // on the node's own (temporarily taken) connection.
+            let mut jobs: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (g, grp) in groups.iter().enumerate() {
+                for &m in &grp.members {
+                    if self.evicted[m] {
+                        continue;
+                    }
+                    match jobs.iter_mut().find(|(n, _)| *n == m) {
+                        Some((_, v)) => v.push(g),
+                        None => jobs.push((m, vec![g])),
+                    }
+                }
+            }
+            for &(n, _) in &jobs {
+                self.conn(n); // ensure the connection exists before taking it
+            }
+            let mut workers: Vec<(usize, NetClient, Vec<usize>)> = jobs
+                .into_iter()
+                .map(|(n, gs)| (n, self.conns[n].take().expect("conn ensured"), gs))
+                .collect();
+            let groups_ref = &groups;
+            // Per node: the (group index, per-request results) of every
+            // batch that node exchanged this attempt.
+            type NodeExchanges = Vec<(usize, Vec<Result<Response, NetError>>)>;
+            let exchanged: Vec<(usize, NodeExchanges)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = workers
+                    .iter_mut()
+                    .map(|(n, client, gs)| {
+                        let n = *n;
+                        let gs = gs.clone();
+                        scope.spawn(move || {
+                            let res: Vec<_> = gs
+                                .iter()
+                                .map(|&g| {
+                                    (g, client.call_many_tagged(&groups_ref[g].tagged, epoch))
+                                })
+                                .collect();
+                            (n, res)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("cluster fan-out worker"))
+                    .collect()
+            });
+            for (n, client, _) in workers {
+                self.conns[n] = Some(client);
+            }
+            let results_of = |node: usize, g: usize| -> Option<Vec<Result<Response, NetError>>> {
+                exchanged
+                    .iter()
+                    .find(|(n, _)| *n == node)
+                    .and_then(|(_, per_g)| per_g.iter().find(|(gi, _)| *gi == g))
+                    .map(|(_, rs)| rs.clone())
+            };
+            for (g, grp) in groups.iter().enumerate() {
+                let Group {
+                    primary,
+                    idxs,
+                    members,
+                    quorum,
+                    ..
+                } = grp;
+                let (primary, quorum) = (*primary, *quorum);
+                let mut primary_results: Option<Vec<Result<Response, NetError>>> = None;
+                let mut acks = vec![0usize; idxs.len()];
+                for &m in members {
+                    let Some(results) = results_of(m, g) else {
+                        continue; // was already evicted when the attempt launched
+                    };
+                    let all_dead = !results.is_empty() && results.iter().all(|r| r.is_err());
+                    if all_dead {
+                        self.strike(m);
+                    } else {
+                        self.strikes[m] = 0;
+                    }
+                    for (k, r) in results.iter().enumerate() {
+                        if r.is_ok() {
+                            acks[k] += 1;
+                        }
+                        if matches!(
+                            r,
+                            Err(NetError::Serve(
+                                ServeError::WrongEpoch { .. } | ServeError::NotOwner { .. }
+                            ))
+                        ) {
+                            saw_stale = true;
+                        }
+                    }
+                    if m == primary {
+                        primary_results = Some(results);
+                    }
+                }
+                let primary_results = primary_results.unwrap_or_else(|| {
+                    vec![
+                        Err(NetError::NoQuorum {
+                            live: 0,
+                            need: quorum
+                        });
+                        idxs.len()
+                    ]
+                });
+                for (k, &i) in idxs.iter().enumerate() {
+                    match &primary_results[k] {
+                        Ok(resp) => {
+                            if acks[k] >= quorum {
+                                out[i] = Some(Ok(resp.clone()));
+                            } else {
+                                out[i] = Some(Err(NetError::NoQuorum {
+                                    live: acks[k],
+                                    need: quorum,
+                                }));
+                            }
+                        }
+                        Err(NetError::Serve(
+                            e @ (ServeError::WrongEpoch { .. } | ServeError::NotOwner { .. }),
+                        )) => {
+                            // Stale map: leave unresolved for the re-route,
+                            // but remember the typed refusal as the answer
+                            // of record if retries run out.
+                            if _attempt == ROUTE_ATTEMPTS - 1 {
+                                out[i] = Some(Err(NetError::Serve(e.clone())));
+                            }
+                        }
+                        Err(e) => {
+                            if _attempt == ROUTE_ATTEMPTS - 1 {
+                                out[i] = Some(Err(e.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            let unresolved = out.iter().any(|o| o.is_none());
+            if !unresolved {
+                break;
+            }
+            if saw_stale {
+                self.stale_epoch_retries += 1;
+                let _ = self.refresh_map();
+            }
+        }
+        out.into_iter()
+            .map(|o| {
+                o.unwrap_or(Err(NetError::Deadline {
+                    attempts: ROUTE_ATTEMPTS as u32,
+                }))
+            })
+            .collect()
+    }
+
+    fn strike(&mut self, node: usize) {
+        self.strikes[node] = self.strikes[node].saturating_add(1);
+        if self.max_strikes > 0 && self.strikes[node] >= self.max_strikes && !self.evicted[node] {
+            self.evicted[node] = true;
+        }
+    }
+
+    /// Readmits a previously struck-out node (e.g. after it restarted and
+    /// was handed the current map again).
+    pub fn readmit(&mut self, addr: &str) {
+        if let Some(i) = self.map.nodes.iter().position(|a| a == addr) {
+            self.evicted[i] = false;
+            self.strikes[i] = 0;
+            self.conns[i] = None;
+        }
+    }
+
+    /// Shard-scoped digest voting: asks every live replica of `shard`'s
+    /// group for the class digest restricted to that shard and returns the
+    /// majority `(digest, count)`. Minority members are evicted from the
+    /// client's view — quarantining that group's divergent replica without
+    /// touching any other shard's group. Errors when no majority exists
+    /// among the answers.
+    pub fn vote_shard_digest(
+        &mut self,
+        class: WorkloadClass,
+        shard: u32,
+    ) -> Result<(u64, u64), NetError> {
+        let members: Vec<usize> = self
+            .map
+            .replicas(shard)
+            .iter()
+            .map(|&r| r as usize)
+            .filter(|&r| !self.evicted[r])
+            .collect();
+        let epoch = self.map.epoch;
+        let shards = self.map.shards;
+        let mut votes: Vec<(usize, (u64, u64))> = Vec::new();
+        for m in members {
+            let req = Request::ShardDigest {
+                class,
+                shards,
+                shard,
+            };
+            if let Ok(Response::ClassDigest { digest, count }) = self
+                .conn(m)
+                .call_many_tagged(&[(req, NO_SHARD)], epoch)
+                .remove(0)
+            {
+                votes.push((m, (digest, count)));
+            }
+        }
+        let need = votes.len() / 2 + 1;
+        let majority = votes
+            .iter()
+            .map(|(_, v)| *v)
+            .find(|v| votes.iter().filter(|(_, w)| w == v).count() >= need);
+        match majority {
+            Some(v) => {
+                for (m, w) in votes {
+                    if w != v {
+                        self.evicted[m] = true;
+                    }
+                }
+                Ok(v)
+            }
+            None => Err(NetError::NoQuorum {
+                live: votes.len(),
+                need,
+            }),
+        }
+    }
+
+    /// Drains and shuts down every reachable node (test teardown).
+    pub fn shutdown_all(&mut self) {
+        for node in 0..self.map.nodes.len() {
+            if !self.evicted[node] {
+                let _ = self.conn(node).request_shutdown();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:9000")).collect()
+    }
+
+    #[test]
+    fn maps_round_trip_and_rederive_the_same_assignment() {
+        let m = ShardMap::build(addrs(5), 64, 64, 2);
+        let back = ShardMap::decode(&m.encode()).expect("decode");
+        assert_eq!(back, m);
+        for s in 0..m.shards {
+            assert_eq!(m.replicas(s).len(), 2);
+            let g = m.replicas(s);
+            assert_ne!(g[0], g[1], "replica groups hold distinct nodes");
+        }
+    }
+
+    #[test]
+    fn membership_changes_bump_the_epoch_and_move_few_shards() {
+        let m = ShardMap::build(addrs(4), 128, 64, 1);
+        let grown = m.with_node_added("10.0.0.9:9000");
+        assert_eq!(grown.epoch, m.epoch + 1);
+        let moved = m.moved_shards(&grown);
+        // Every moved shard lands on the joiner; none shuffle between
+        // survivors (the minimal-movement property).
+        assert!(!moved.is_empty());
+        for (_, _, to) in &moved {
+            assert_eq!(to, "10.0.0.9:9000");
+        }
+        let shrunk = grown.without_node("10.0.0.9:9000");
+        assert_eq!(shrunk.epoch, grown.epoch + 1);
+        // Shrinking back restores exactly the original owners.
+        let back_moved: Vec<_> = m
+            .moved_shards(&shrunk)
+            .into_iter()
+            .filter(|(_, from, to)| from != to)
+            .collect();
+        assert!(back_moved.is_empty(), "{back_moved:?}");
+    }
+
+    #[test]
+    fn decode_refuses_garbage_typed() {
+        assert!(ShardMap::decode(&[]).is_err());
+        let mut e = Enc::new();
+        e.u64(1);
+        e.u32(0); // zero shards
+        e.u32(8);
+        e.u32(1);
+        e.u32(1);
+        e.str("a");
+        assert!(matches!(
+            ShardMap::decode(&e.into_bytes()),
+            Err(PersistError::Malformed { .. })
+        ));
+    }
+}

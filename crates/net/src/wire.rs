@@ -14,6 +14,7 @@
 //! under the same sequence number, and the server's dedupe table makes the
 //! re-submission exactly-once.
 
+use crate::shard::ShardMap;
 use fol_persist::frame::{crc32, Dec, Enc};
 use fol_persist::PersistError;
 use fol_serve::{Priority, Request, Response, ServeError, WorkloadClass};
@@ -28,11 +29,20 @@ pub const MAX_FRAME: usize = 1 << 22;
 const OP_SUBMIT: u8 = 1;
 const OP_HEALTH: u8 = 2;
 const OP_SHUTDOWN: u8 = 3;
+const OP_INSTALL_MAP: u8 = 4;
+const OP_FREEZE_SHARD: u8 = 5;
+const OP_EXTRACT_SHARD: u8 = 6;
+const OP_INSTALL_SHARD: u8 = 7;
+const OP_GET_MAP: u8 = 8;
 
 const OP_RESULT: u8 = 1;
 const OP_HEALTH_OK: u8 = 2;
 const OP_WIRE_REFUSED: u8 = 3;
 const OP_SHUTDOWN_ACK: u8 = 4;
+const OP_MAP: u8 = 5;
+const OP_SHARD_IMAGE: u8 = 6;
+const OP_ADMIN_OK: u8 = 7;
+const OP_ADMIN_ERR: u8 = 8;
 
 const REQ_CHAIN_INSERT: u8 = 0;
 const REQ_OA_INSERT: u8 = 1;
@@ -41,6 +51,8 @@ const REQ_BST_INSERT: u8 = 3;
 const REQ_INJECT_ROT: u8 = 4;
 const REQ_POISON_PILL: u8 = 5;
 const REQ_DIGEST: u8 = 6;
+const REQ_SHARD_DIGEST: u8 = 7;
+const REQ_SHARD_KEYS: u8 = 8;
 
 const RESP_CHAIN_INSERTED: u8 = 0;
 const RESP_OA_INSERTED: u8 = 1;
@@ -48,6 +60,7 @@ const RESP_OA_LOOKED_UP: u8 = 2;
 const RESP_BST_INSERTED: u8 = 3;
 const RESP_CLASS_DIGEST: u8 = 4;
 const RESP_ROT_INJECTED: u8 = 5;
+const RESP_KEYS: u8 = 6;
 
 const ERR_OVERLOADED: u8 = 0;
 const ERR_DEADLINE: u8 = 1;
@@ -56,6 +69,8 @@ const ERR_FAILED: u8 = 3;
 const ERR_WORKER_LOST: u8 = 4;
 const ERR_SHUTTING_DOWN: u8 = 5;
 const ERR_PERSIST: u8 = 6;
+const ERR_WRONG_EPOCH: u8 = 7;
+const ERR_NOT_OWNER: u8 = 8;
 
 const PERSIST_IO: u8 = 0;
 const PERSIST_BAD_MAGIC: u8 = 1;
@@ -79,12 +94,21 @@ pub enum ClientMsg {
     Submit {
         /// Stable identity of the submitting client.
         client_id: u64,
-        /// Client-assigned request sequence number (the dedupe key).
+        /// Client-assigned request sequence number (the dedupe key,
+        /// together with `client_id` and `map_epoch`).
         seq: u64,
         /// Every `seq < acked_floor` is acknowledged client-side.
         acked_floor: u64,
         /// Server-side deadline for the request, in milliseconds.
         deadline_millis: Option<u64>,
+        /// The cluster shard the client routed this request to, or
+        /// [`fol_serve::NO_SHARD`] for untagged / keyless traffic.
+        shard: u32,
+        /// The shard-map epoch the routing decision was made under; the
+        /// server refuses mismatches typed ([`ServeError::WrongEpoch`]).
+        /// `0` together with [`fol_serve::NO_SHARD`] means "standalone
+        /// client, no map" and bypasses the epoch check.
+        map_epoch: u64,
         /// The request itself.
         request: Request,
     },
@@ -94,6 +118,41 @@ pub enum ClientMsg {
     Health,
     /// Ask the serving process to drain and shut down.
     Shutdown,
+    /// Install a shard map on the server: the gate starts admitting only
+    /// traffic stamped with this map's epoch, owning the shards whose
+    /// replica groups include node index `you_are`.
+    InstallMap {
+        /// The map to install.
+        map: ShardMap,
+        /// The receiving server's index into `map.nodes`.
+        you_are: u32,
+    },
+    /// Freeze (`true`) or unfreeze (`false`) one owned shard: frozen
+    /// shards refuse new writes typed ([`ServeError::NotOwner`]) while a
+    /// rebalance drains and extracts them.
+    FreezeShard {
+        /// The shard to (un)freeze.
+        shard: u32,
+        /// `true` to freeze, `false` to lift an aborted rebalance's freeze.
+        freeze: bool,
+    },
+    /// Extract a frozen shard's contents as a digest-carrying handoff
+    /// image ([`ServerMsg::ShardImage`]). The shard must be frozen and
+    /// drained first.
+    ExtractShard {
+        /// The shard to extract.
+        shard: u32,
+    },
+    /// Install a handoff image extracted from the shard's previous owner.
+    /// The server verifies every section digest before touching its
+    /// structures and acks with [`ServerMsg::AdminOk`] only after a
+    /// digest-verified install.
+    InstallShard {
+        /// The encoded [`fol_persist::HandoffImage`].
+        image: Vec<u8>,
+    },
+    /// Fetch the server's current shard map, if one is installed.
+    GetMap,
 }
 
 /// The per-request outcome carried by [`ServerMsg::Result`].
@@ -133,6 +192,28 @@ pub enum ServerMsg {
     },
     /// Shutdown acknowledged; the server is draining.
     ShutdownAck,
+    /// The answer to [`ClientMsg::GetMap`]: the installed map, or `None`
+    /// when the server has never been handed one.
+    Map {
+        /// The server's current map, if any.
+        map: Option<ShardMap>,
+    },
+    /// The answer to [`ClientMsg::ExtractShard`]: the encoded
+    /// [`fol_persist::HandoffImage`] of the frozen, drained shard.
+    ShardImage {
+        /// The encoded image bytes.
+        image: Vec<u8>,
+    },
+    /// An administrative operation (map install, freeze, shard install)
+    /// succeeded.
+    AdminOk,
+    /// An administrative operation was refused; `what` renders the typed
+    /// reason. The connection stays open — admin refusals are verdicts,
+    /// not frame defects.
+    AdminErr {
+        /// The rendered refusal.
+        what: String,
+    },
 }
 
 fn malformed(what: impl Into<String>) -> PersistError {
@@ -219,6 +300,26 @@ fn enc_request(e: &mut Enc, request: &Request) {
             e.u8(REQ_DIGEST);
             e.u8(class_tag(*class));
         }
+        Request::ShardDigest {
+            class,
+            shards,
+            shard,
+        } => {
+            e.u8(REQ_SHARD_DIGEST);
+            e.u8(class_tag(*class));
+            e.u32(*shards);
+            e.u32(*shard);
+        }
+        Request::ShardKeys {
+            class,
+            shards,
+            shard,
+        } => {
+            e.u8(REQ_SHARD_KEYS);
+            e.u8(class_tag(*class));
+            e.u32(*shards);
+            e.u32(*shard);
+        }
     }
 }
 
@@ -245,6 +346,16 @@ fn dec_request(d: &mut Dec<'_>) -> Result<Request, PersistError> {
         },
         REQ_DIGEST => Request::Digest {
             class: class_of_tag(d.u8("wire.request.class")?)?,
+        },
+        REQ_SHARD_DIGEST => Request::ShardDigest {
+            class: class_of_tag(d.u8("wire.request.class")?)?,
+            shards: d.u32("wire.request.shards")?,
+            shard: d.u32("wire.request.shard")?,
+        },
+        REQ_SHARD_KEYS => Request::ShardKeys {
+            class: class_of_tag(d.u8("wire.request.class")?)?,
+            shards: d.u32("wire.request.shards")?,
+            shard: d.u32("wire.request.shard")?,
         },
         other => return Err(malformed(format!("wire: unknown request tag {other}"))),
     })
@@ -282,6 +393,10 @@ fn enc_response(e: &mut Enc, response: &Response) {
             e.u64(*count);
         }
         Response::RotInjected => e.u8(RESP_ROT_INJECTED),
+        Response::Keys { keys } => {
+            e.u8(RESP_KEYS);
+            enc_keys(e, keys);
+        }
     }
 }
 
@@ -318,6 +433,9 @@ fn dec_response(d: &mut Dec<'_>) -> Result<Response, PersistError> {
             count: d.u64("wire.response.count")?,
         },
         RESP_ROT_INJECTED => Response::RotInjected,
+        RESP_KEYS => Response::Keys {
+            keys: dec_keys(d, "wire.response.keys")?,
+        },
         other => return Err(malformed(format!("wire: unknown response tag {other}"))),
     })
 }
@@ -439,6 +557,15 @@ fn enc_serve_error(e: &mut Enc, err: &ServeError) {
             e.u8(ERR_PERSIST);
             enc_persist_error(e, error);
         }
+        ServeError::WrongEpoch { got, current } => {
+            e.u8(ERR_WRONG_EPOCH);
+            e.u64(*got);
+            e.u64(*current);
+        }
+        ServeError::NotOwner { shard } => {
+            e.u8(ERR_NOT_OWNER);
+            e.u32(*shard);
+        }
     }
 }
 
@@ -460,8 +587,36 @@ fn dec_serve_error(d: &mut Dec<'_>) -> Result<ServeError, PersistError> {
         ERR_PERSIST => ServeError::Persist {
             error: dec_persist_error(d)?,
         },
+        ERR_WRONG_EPOCH => ServeError::WrongEpoch {
+            got: d.u64("wire.error.got")?,
+            current: d.u64("wire.error.current")?,
+        },
+        ERR_NOT_OWNER => ServeError::NotOwner {
+            shard: d.u32("wire.error.shard")?,
+        },
         other => return Err(malformed(format!("wire: unknown error tag {other}"))),
     })
+}
+
+fn enc_blob(e: &mut Enc, bytes: &[u8]) {
+    e.u32(bytes.len() as u32);
+    for &b in bytes {
+        e.u8(b);
+    }
+}
+
+fn dec_blob(d: &mut Dec<'_>, what: &str) -> Result<Vec<u8>, PersistError> {
+    let n = d.u32(what)? as usize;
+    if n > MAX_FRAME {
+        return Err(malformed(format!(
+            "wire: {what} blob length {n} exceeds the {MAX_FRAME}-byte bound"
+        )));
+    }
+    let mut bytes = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        bytes.push(d.u8(what)?);
+    }
+    Ok(bytes)
 }
 
 impl ClientMsg {
@@ -474,6 +629,8 @@ impl ClientMsg {
                 seq,
                 acked_floor,
                 deadline_millis,
+                shard,
+                map_epoch,
                 request,
             } => {
                 e.u8(OP_SUBMIT);
@@ -490,6 +647,8 @@ impl ClientMsg {
                         e.u64(0);
                     }
                 }
+                e.u32(*shard);
+                e.u64(*map_epoch);
                 // Priority is not carried: remote traffic is all Normal
                 // (the lanes already order by kind; a remote peer must not
                 // starve local High submitters).
@@ -498,6 +657,25 @@ impl ClientMsg {
             }
             ClientMsg::Health => e.u8(OP_HEALTH),
             ClientMsg::Shutdown => e.u8(OP_SHUTDOWN),
+            ClientMsg::InstallMap { map, you_are } => {
+                e.u8(OP_INSTALL_MAP);
+                e.u32(*you_are);
+                enc_blob(&mut e, &map.encode());
+            }
+            ClientMsg::FreezeShard { shard, freeze } => {
+                e.u8(OP_FREEZE_SHARD);
+                e.u32(*shard);
+                e.u8(*freeze as u8);
+            }
+            ClientMsg::ExtractShard { shard } => {
+                e.u8(OP_EXTRACT_SHARD);
+                e.u32(*shard);
+            }
+            ClientMsg::InstallShard { image } => {
+                e.u8(OP_INSTALL_SHARD);
+                enc_blob(&mut e, image);
+            }
+            ClientMsg::GetMap => e.u8(OP_GET_MAP),
         }
         e.into_bytes()
     }
@@ -514,6 +692,8 @@ impl ClientMsg {
                 let acked_floor = d.u64("wire.submit.acked_floor")?;
                 let has_deadline = d.u8("wire.submit.has_deadline")? != 0;
                 let millis = d.u64("wire.submit.deadline_millis")?;
+                let shard = d.u32("wire.submit.shard")?;
+                let map_epoch = d.u64("wire.submit.map_epoch")?;
                 let _priority = priority_of_tag(d.u8("wire.submit.priority")?)?;
                 let request = dec_request(&mut d)?;
                 ClientMsg::Submit {
@@ -521,11 +701,32 @@ impl ClientMsg {
                     seq,
                     acked_floor,
                     deadline_millis: has_deadline.then_some(millis),
+                    shard,
+                    map_epoch,
                     request,
                 }
             }
             OP_HEALTH => ClientMsg::Health,
             OP_SHUTDOWN => ClientMsg::Shutdown,
+            OP_INSTALL_MAP => {
+                let you_are = d.u32("wire.install_map.you_are")?;
+                let bytes = dec_blob(&mut d, "wire.install_map.map")?;
+                ClientMsg::InstallMap {
+                    map: ShardMap::decode(&bytes)?,
+                    you_are,
+                }
+            }
+            OP_FREEZE_SHARD => ClientMsg::FreezeShard {
+                shard: d.u32("wire.freeze.shard")?,
+                freeze: d.u8("wire.freeze.flag")? != 0,
+            },
+            OP_EXTRACT_SHARD => ClientMsg::ExtractShard {
+                shard: d.u32("wire.extract.shard")?,
+            },
+            OP_INSTALL_SHARD => ClientMsg::InstallShard {
+                image: dec_blob(&mut d, "wire.install_shard.image")?,
+            },
+            OP_GET_MAP => ClientMsg::GetMap,
             other => return Err(malformed(format!("wire: unknown client op {other}"))),
         };
         d.finish("wire.client message")?;
@@ -566,6 +767,25 @@ impl ServerMsg {
                 e.str(what);
             }
             ServerMsg::ShutdownAck => e.u8(OP_SHUTDOWN_ACK),
+            ServerMsg::Map { map } => {
+                e.u8(OP_MAP);
+                match map {
+                    Some(m) => {
+                        e.u8(1);
+                        enc_blob(&mut e, &m.encode());
+                    }
+                    None => e.u8(0),
+                }
+            }
+            ServerMsg::ShardImage { image } => {
+                e.u8(OP_SHARD_IMAGE);
+                enc_blob(&mut e, image);
+            }
+            ServerMsg::AdminOk => e.u8(OP_ADMIN_OK),
+            ServerMsg::AdminErr { what } => {
+                e.u8(OP_ADMIN_ERR);
+                e.str(what);
+            }
         }
         e.into_bytes()
     }
@@ -600,6 +820,23 @@ impl ServerMsg {
                 what: d.str("wire.refused.what")?,
             },
             OP_SHUTDOWN_ACK => ServerMsg::ShutdownAck,
+            OP_MAP => {
+                let has = d.u8("wire.map.has")? != 0;
+                let map = if has {
+                    let bytes = dec_blob(&mut d, "wire.map.bytes")?;
+                    Some(ShardMap::decode(&bytes)?)
+                } else {
+                    None
+                };
+                ServerMsg::Map { map }
+            }
+            OP_SHARD_IMAGE => ServerMsg::ShardImage {
+                image: dec_blob(&mut d, "wire.shard_image.bytes")?,
+            },
+            OP_ADMIN_OK => ServerMsg::AdminOk,
+            OP_ADMIN_ERR => ServerMsg::AdminErr {
+                what: d.str("wire.admin_err.what")?,
+            },
             other => return Err(malformed(format!("wire: unknown server op {other}"))),
         };
         d.finish("wire.server message")?;
@@ -727,19 +964,49 @@ fn read_full(stream: &mut impl Read, buf: &mut [u8]) -> ReadFull {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fol_serve::NO_SHARD;
 
     #[test]
     fn client_and_server_messages_round_trip() {
+        let map = ShardMap::build(vec!["a:1".into(), "b:2".into()], 16, 32, 1);
         let msgs = vec![
             ClientMsg::Submit {
                 client_id: 9,
                 seq: 42,
                 acked_floor: 40,
                 deadline_millis: Some(250),
+                shard: NO_SHARD,
+                map_epoch: 0,
                 request: Request::ChainInsert { keys: vec![1, -2] },
+            },
+            ClientMsg::Submit {
+                client_id: 9,
+                seq: 43,
+                acked_floor: 40,
+                deadline_millis: None,
+                shard: 5,
+                map_epoch: 3,
+                request: Request::ShardDigest {
+                    class: WorkloadClass::Bst,
+                    shards: 16,
+                    shard: 5,
+                },
             },
             ClientMsg::Health,
             ClientMsg::Shutdown,
+            ClientMsg::InstallMap {
+                map: map.clone(),
+                you_are: 1,
+            },
+            ClientMsg::FreezeShard {
+                shard: 3,
+                freeze: true,
+            },
+            ClientMsg::ExtractShard { shard: 3 },
+            ClientMsg::InstallShard {
+                image: vec![1, 2, 3, 4],
+            },
+            ClientMsg::GetMap,
         ];
         for m in msgs {
             assert_eq!(ClientMsg::decode(&m.encode()).unwrap(), m);
@@ -769,10 +1036,31 @@ mod tests {
             ServerMsg::Health {
                 counters: vec![("submitted".into(), 3), ("completed".into(), 3)],
             },
+            ServerMsg::Result {
+                seq: 11,
+                outcome: WireOutcome::Err(ServeError::WrongEpoch { got: 2, current: 3 }),
+            },
+            ServerMsg::Result {
+                seq: 12,
+                outcome: WireOutcome::Err(ServeError::NotOwner { shard: 7 }),
+            },
+            ServerMsg::Result {
+                seq: 13,
+                outcome: WireOutcome::Ok(Response::Keys { keys: vec![4, -9] }),
+            },
             ServerMsg::WireRefused {
                 what: "crc mismatch".into(),
             },
             ServerMsg::ShutdownAck,
+            ServerMsg::Map { map: None },
+            ServerMsg::Map { map: Some(map) },
+            ServerMsg::ShardImage {
+                image: vec![9, 9, 9],
+            },
+            ServerMsg::AdminOk,
+            ServerMsg::AdminErr {
+                what: "shard 3 is not frozen".into(),
+            },
         ];
         for m in msgs {
             assert_eq!(ServerMsg::decode(&m.encode()).unwrap(), m);

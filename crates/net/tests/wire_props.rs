@@ -33,11 +33,20 @@ fn sample_client_msgs() -> Vec<ClientMsg> {
         },
     ];
     for (i, request) in requests.into_iter().enumerate() {
+        // Alternate un-sharded (NO_SHARD, epoch 0) and sharded stamps so
+        // the sweep covers both routing forms of the submit frame.
+        let sharded = i % 2 == 1;
         msgs.push(ClientMsg::Submit {
             client_id: i as u64,
             seq: (i as u64) * 17 + 3,
             acked_floor: i as u64,
             deadline_millis: (i % 2 == 0).then_some(250 + i as u64),
+            shard: if sharded {
+                i as u32
+            } else {
+                fol_serve::NO_SHARD
+            },
+            map_epoch: if sharded { 1 + i as u64 } else { 0 },
             request,
         });
     }

@@ -1,0 +1,329 @@
+//! Shard-handoff images: the transfer format a rebalance ships between
+//! server processes.
+//!
+//! When a cluster moves one key-space shard from its current owner to a new
+//! one, the moving state is *logical* — the shard's stored keys per
+//! workload class — not a physical memory image: the source and target may
+//! run different worker counts, table geometries, or checkpoint histories,
+//! so a region-level image (the [`crate::delta`] form) would splice the
+//! wrong layout. What a handoff needs from the durability layer is the
+//! *framing discipline* deltas established: magic + version header, CRC-32
+//! frames, typed refusals for every way bytes can lie, and a recorded
+//! content digest so the installer can prove byte-for-byte fidelity
+//! end-to-end.
+//!
+//! # Format (version 1)
+//!
+//! ```text
+//! magic "FOLHOFF\0" (8 bytes)  version u32 LE
+//! frame: meta      — shard, shards, source_epoch, wal_floor,
+//!                    section count
+//! frame: section ×N — class name, content digest, key count, keys i64 ×K
+//! frame: trailer   — literal "END"
+//! ```
+//!
+//! Every section records the content digest its keys must hash to under
+//! the *caller's* digest function (the serving layer's order-insensitive
+//! `keys_digest`); [`HandoffImage::verify`] re-hashes after decode, so a
+//! flipped bit that survives CRC-32 (or a bug in transit code) is still a
+//! typed refusal, never a silently divergent install. The image is a byte
+//! string, not a file: it travels inside one wire frame, and the target's
+//! own WAL + checkpoint cadence make it durable on install.
+
+use crate::frame::{next_frame, push_frame, Dec, Enc, Frame};
+use crate::PersistError;
+use fol_vm::Word;
+
+/// First bytes of every handoff image.
+pub const HANDOFF_MAGIC: &[u8; 8] = b"FOLHOFF\0";
+/// The handoff format version this build writes and reads.
+pub const HANDOFF_VERSION: u32 = 1;
+
+const TRAILER: &[u8] = b"END";
+
+/// One workload class's slice of the moving shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HandoffSection {
+    /// The workload class the keys belong to (e.g. `"chain"`).
+    pub class: String,
+    /// The caller's content digest of `keys` (order-insensitive), recorded
+    /// at extraction and re-checked at install.
+    pub digest: u64,
+    /// The shard's stored keys for this class, sorted ascending.
+    pub keys: Vec<Word>,
+}
+
+/// A complete shard-handoff image: which shard is moving, under which map
+/// epoch it was extracted, and its per-class contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HandoffImage {
+    /// The cluster shard being moved.
+    pub shard: u32,
+    /// Total cluster shard count the key space is partitioned into.
+    pub shards: u32,
+    /// The map epoch the source was serving when it extracted this image
+    /// (the shard was frozen and drained first, so the image is the
+    /// complete acknowledged state of the shard under this epoch).
+    pub source_epoch: u64,
+    /// The source's request-log frontier at extraction: every acknowledged
+    /// request at or below this sequence is reflected in the image.
+    pub wal_floor: u64,
+    /// Per-class contents.
+    pub sections: Vec<HandoffSection>,
+}
+
+impl HandoffImage {
+    /// Serializes the image (magic, version, CRC-framed payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(HANDOFF_MAGIC);
+        out.extend_from_slice(&HANDOFF_VERSION.to_le_bytes());
+
+        let mut meta = Enc::new();
+        meta.u32(self.shard);
+        meta.u32(self.shards);
+        meta.u64(self.source_epoch);
+        meta.u64(self.wal_floor);
+        meta.u32(self.sections.len() as u32);
+        push_frame(&mut out, &meta.into_bytes());
+
+        for s in &self.sections {
+            let mut e = Enc::new();
+            e.str(&s.class);
+            e.u64(s.digest);
+            e.u32(s.keys.len() as u32);
+            for &k in &s.keys {
+                e.i64(k);
+            }
+            push_frame(&mut out, &e.into_bytes());
+        }
+        push_frame(&mut out, TRAILER);
+        out
+    }
+
+    /// Decodes an image, refusing truncation, CRC mismatches, version skew
+    /// and structural garbage with distinct typed errors. Content digests
+    /// are *recorded*, not yet checked — call [`HandoffImage::verify`] with
+    /// the serving layer's digest function.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let what = "handoff image";
+        if bytes.len() < HANDOFF_MAGIC.len() + 4 {
+            return Err(PersistError::Truncated {
+                what: what.into(),
+                offset: 0,
+                needed: HANDOFF_MAGIC.len() + 4,
+                available: bytes.len(),
+            });
+        }
+        if &bytes[..8] != HANDOFF_MAGIC {
+            return Err(PersistError::BadMagic {
+                what: what.into(),
+                found: bytes[..8].to_vec(),
+            });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != HANDOFF_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                what: what.into(),
+                found: version,
+                supported: HANDOFF_VERSION,
+            });
+        }
+        let mut pos = 12;
+
+        let meta = match next_frame(bytes, &mut pos, "handoff meta")? {
+            Frame::Ok(p) => p,
+            Frame::End => {
+                return Err(PersistError::Truncated {
+                    what: "handoff meta frame".into(),
+                    offset: pos,
+                    needed: 8,
+                    available: 0,
+                })
+            }
+        };
+        let mut d = Dec::new(meta);
+        let shard = d.u32("handoff.shard")?;
+        let shards = d.u32("handoff.shards")?;
+        let source_epoch = d.u64("handoff.source_epoch")?;
+        let wal_floor = d.u64("handoff.wal_floor")?;
+        let n_sections = d.u32("handoff.sections.len")? as usize;
+        d.finish("handoff meta")?;
+        if shards == 0 || shard >= shards {
+            return Err(PersistError::Malformed {
+                what: format!("handoff image: shard {shard} out of range of {shards}"),
+            });
+        }
+
+        let mut sections = Vec::with_capacity(n_sections.min(64));
+        for i in 0..n_sections {
+            let payload = match next_frame(bytes, &mut pos, "handoff section")? {
+                Frame::Ok(p) => p,
+                Frame::End => {
+                    return Err(PersistError::Truncated {
+                        what: format!("handoff section {i} of {n_sections}"),
+                        offset: pos,
+                        needed: 8,
+                        available: 0,
+                    })
+                }
+            };
+            let mut d = Dec::new(payload);
+            let class = d.str("section.class")?.to_string();
+            let digest = d.u64("section.digest")?;
+            let count = d.u32("section.keys.len")? as usize;
+            let mut keys = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                keys.push(d.i64("section.key")?);
+            }
+            d.finish("handoff section")?;
+            sections.push(HandoffSection {
+                class,
+                digest,
+                keys,
+            });
+        }
+
+        match next_frame(bytes, &mut pos, "handoff trailer")? {
+            Frame::Ok(p) if p == TRAILER => {}
+            Frame::Ok(_) => {
+                return Err(PersistError::Malformed {
+                    what: "handoff image: trailer frame is not END".into(),
+                })
+            }
+            Frame::End => {
+                return Err(PersistError::Truncated {
+                    what: "handoff trailer".into(),
+                    offset: pos,
+                    needed: 8,
+                    available: 0,
+                })
+            }
+        }
+
+        Ok(HandoffImage {
+            shard,
+            shards,
+            source_epoch,
+            wal_floor,
+            sections,
+        })
+    }
+
+    /// Re-hashes every section's keys with the caller's digest function and
+    /// refuses (typed) any section whose contents do not match its recorded
+    /// digest — the end-to-end check that makes a handoff install provable.
+    pub fn verify(&self, digest_of: impl Fn(&[Word]) -> u64) -> Result<(), PersistError> {
+        for s in &self.sections {
+            let got = digest_of(&s.keys);
+            if got != s.digest {
+                return Err(PersistError::Malformed {
+                    what: format!(
+                        "handoff image: section '{}' hashes to {got:#018x}, recorded {:#018x}",
+                        s.class, s.digest
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total keys across all sections.
+    pub fn key_count(&self) -> usize {
+        self.sections.iter().map(|s| s.keys.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_digest(keys: &[Word]) -> u64 {
+        keys.iter().fold(0u64, |a, &k| a.wrapping_add(k as u64))
+    }
+
+    fn image() -> HandoffImage {
+        let keys: Vec<Word> = vec![3, 9, 12, 40];
+        HandoffImage {
+            shard: 2,
+            shards: 8,
+            source_epoch: 5,
+            wal_floor: 77,
+            sections: vec![
+                HandoffSection {
+                    class: "chain".into(),
+                    digest: sum_digest(&keys),
+                    keys,
+                },
+                HandoffSection {
+                    class: "bst".into(),
+                    digest: 0,
+                    keys: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_and_verifies() {
+        let img = image();
+        let bytes = img.encode();
+        let back = HandoffImage::decode(&bytes).expect("decode");
+        assert_eq!(back, img);
+        assert_eq!(back.key_count(), 4);
+        back.verify(sum_digest).expect("digests match");
+    }
+
+    #[test]
+    fn refusals_are_typed() {
+        let img = image();
+        let bytes = img.encode();
+
+        // Truncation anywhere is Truncated, never a partial image.
+        for cut in [0, 7, 11, 13, bytes.len() - 1] {
+            assert!(matches!(
+                HandoffImage::decode(&bytes[..cut]),
+                Err(PersistError::Truncated { .. })
+            ));
+        }
+        // A flipped payload byte is a CRC mismatch.
+        let mut flipped = bytes.clone();
+        let at = flipped.len() - 12; // inside the trailer frame payload
+        flipped[at] ^= 0x40;
+        assert!(matches!(
+            HandoffImage::decode(&flipped),
+            Err(PersistError::CrcMismatch { .. }) | Err(PersistError::Malformed { .. })
+        ));
+        // Wrong magic and wrong version are their own refusals.
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            HandoffImage::decode(&bad_magic),
+            Err(PersistError::BadMagic { .. })
+        ));
+        let mut bad_version = bytes.clone();
+        bad_version[8] = 99;
+        assert!(matches!(
+            HandoffImage::decode(&bad_version),
+            Err(PersistError::UnsupportedVersion { .. })
+        ));
+        // A section that lies about its digest is refused by verify.
+        let mut lied = img.clone();
+        lied.sections[0].digest ^= 1;
+        let back = HandoffImage::decode(&lied.encode()).expect("structurally fine");
+        assert!(matches!(
+            back.verify(sum_digest),
+            Err(PersistError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_shard_is_malformed() {
+        let mut img = image();
+        img.shard = 8;
+        assert!(matches!(
+            HandoffImage::decode(&img.encode()),
+            Err(PersistError::Malformed { .. })
+        ));
+    }
+}

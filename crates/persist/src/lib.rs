@@ -32,6 +32,10 @@
 //!   covered by the boundary image's applied set, with mark-then-delete +
 //!   directory-fsync crash safety and typed refusal when pruning would
 //!   orphan the only loadable full image.
+//! * **[`handoff`]** — shard-handoff images: the CRC-framed, digest-carrying
+//!   transfer format a cluster rebalance ships between processes, following
+//!   the same magic/version/frame discipline as delta checkpoints but over
+//!   *logical* per-class key sets, which are layout-independent.
 //!
 //! Everything that can be wrong with stored bytes is a typed
 //! [`PersistError`] — truncation, bit-flips, version skew and structural
@@ -45,6 +49,7 @@ pub mod checkpoint;
 pub mod compact;
 pub mod delta;
 pub mod frame;
+pub mod handoff;
 pub mod planner;
 pub mod wal;
 
@@ -52,6 +57,7 @@ pub use checkpoint::{latest_checkpoint, Checkpoint, Checkpointer, ScanNote};
 pub use compact::{CompactRefusal, CompactionReport, Compactor, LogRecord};
 pub use delta::{materialize, state_digest, DeltaCheckpoint};
 pub use frame::crc32;
+pub use handoff::{HandoffImage, HandoffSection};
 pub use planner::{RecoveryPlan, RecoveryPlanner, SkipReason, SkippedGeneration};
 pub use wal::{FsyncPolicy, Replay, TornTail, Wal, WalRecord};
 

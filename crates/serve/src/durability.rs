@@ -133,6 +133,8 @@ const REQ_BST_INSERT: u8 = 3;
 const REQ_INJECT_ROT: u8 = 4;
 const REQ_POISON_PILL: u8 = 5;
 const REQ_DIGEST: u8 = 6;
+const REQ_SHARD_DIGEST: u8 = 7;
+const REQ_SHARD_KEYS: u8 = 8;
 
 fn class_tag(c: WorkloadClass) -> u8 {
     match c {
@@ -273,6 +275,26 @@ pub(crate) fn encode_admit(
             e.u8(REQ_POISON_PILL);
             e.u8(class_tag(*class));
         }
+        Request::ShardDigest {
+            class,
+            shards,
+            shard,
+        } => {
+            e.u8(REQ_SHARD_DIGEST);
+            e.u8(class_tag(*class));
+            e.u32(*shards);
+            e.u32(*shard);
+        }
+        Request::ShardKeys {
+            class,
+            shards,
+            shard,
+        } => {
+            e.u8(REQ_SHARD_KEYS);
+            e.u8(class_tag(*class));
+            e.u32(*shards);
+            e.u32(*shard);
+        }
     }
     e.into_bytes()
 }
@@ -322,6 +344,24 @@ pub fn decode_record(payload: &[u8]) -> Result<DurRecord, PersistError> {
                 REQ_POISON_PILL => Request::PoisonPill {
                     class: class_of_tag(d.u8("admit.request.class")?)?,
                 },
+                REQ_SHARD_DIGEST | REQ_SHARD_KEYS => {
+                    let class = class_of_tag(d.u8("admit.request.class")?)?;
+                    let shards = d.u32("admit.request.shards")?;
+                    let shard = d.u32("admit.request.shard")?;
+                    if rtag == REQ_SHARD_DIGEST {
+                        Request::ShardDigest {
+                            class,
+                            shards,
+                            shard,
+                        }
+                    } else {
+                        Request::ShardKeys {
+                            class,
+                            shards,
+                            shard,
+                        }
+                    }
+                }
                 other => {
                     return Err(PersistError::Malformed {
                         what: format!("request log: unknown request tag {other}"),

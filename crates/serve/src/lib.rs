@@ -55,6 +55,7 @@ mod pool;
 mod queue;
 mod request;
 mod scrub;
+pub mod shard;
 
 pub use durability::{
     decode_record, worker_prefix, DurRecord, DurabilityConfig, REQUEST_LOG_PREFIX,
@@ -63,6 +64,7 @@ pub use fol_persist::{FsyncPolicy, PersistError, SkipReason, SkippedGeneration};
 pub use pool::ClassDump;
 pub use queue::{StatsSnapshot, Ticket};
 pub use request::{keys_digest, Priority, Request, Response, ServeError, WorkloadClass};
+pub use shard::{shard_of, GateStats, ShardAssignment, ShardGate, NO_SHARD};
 
 use durability::{plan_replay, ReplayPlan};
 use fol_core::recover::RetryPolicy;
@@ -180,6 +182,7 @@ pub struct ShutdownReport {
 pub struct Server {
     shared: Arc<queue::Shared>,
     workers: Option<Vec<JoinHandle<Vec<ClassDump>>>>,
+    gate: Arc<ShardGate>,
 }
 
 impl Server {
@@ -301,9 +304,18 @@ impl Server {
             Server {
                 shared,
                 workers: Some(workers),
+                gate: Arc::new(ShardGate::default()),
             },
             report,
         ))
+    }
+
+    /// The per-shard admission gate. Standalone servers never touch it (an
+    /// empty gate admits untagged traffic); a cluster front-end installs
+    /// shard assignments, freezes shards for handoff, and consults
+    /// [`ShardGate::admit`] before submitting epoch-stamped wire traffic.
+    pub fn shard_gate(&self) -> &Arc<ShardGate> {
+        &self.gate
     }
 
     /// Submits at [`Priority::Normal`] with no deadline.
@@ -340,9 +352,17 @@ impl Server {
         self.submit(request)?.wait()
     }
 
-    /// A point-in-time snapshot of the server's counters.
+    /// A point-in-time snapshot of the server's counters, including the
+    /// shard gate's epoch/ownership/handoff gauges.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        let mut s = self.shared.stats.snapshot();
+        let g = self.gate.stats();
+        s.shard_epoch = g.shard_epoch;
+        s.shards_owned = g.shards_owned;
+        s.handoffs_in_flight = g.handoffs_in_flight;
+        s.handoffs_out_flight = g.handoffs_out_flight;
+        s.stale_epoch_refusals = g.stale_epoch_refusals;
+        s
     }
 
     /// Graceful shutdown: stops admitting, drains every queued request

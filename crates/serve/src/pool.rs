@@ -210,7 +210,7 @@ impl Worker {
         // before serving anything, so a digest request racing startup sees
         // restored keys rather than a stale zero.
         let shard_keys = chaining::all_keys(&m, &chain);
-        shared.publish_chain_shard(id, keys_digest(&shard_keys), shard_keys.len() as u64);
+        shared.publish_chain_shard(id, shard_keys);
         // Owned lanes first (their requests have nowhere else to go), then
         // the shared chain-insert lane.
         let mut lanes = Vec::new();
@@ -583,6 +583,25 @@ impl Worker {
                         };
                         vec![Ok(Response::ClassDigest { digest, count })]
                     }
+                    Request::ShardDigest {
+                        class,
+                        shards,
+                        shard,
+                    } => {
+                        let keys = self.class_keys_in_shard(*class, *shards, *shard);
+                        vec![Ok(Response::ClassDigest {
+                            digest: keys_digest(&keys),
+                            count: keys.len() as u64,
+                        })]
+                    }
+                    Request::ShardKeys {
+                        class,
+                        shards,
+                        shard,
+                    } => {
+                        let keys = self.class_keys_in_shard(*class, *shards, *shard);
+                        vec![Ok(Response::Keys { keys })]
+                    }
                     Request::InjectRot { class } => {
                         let region = match class {
                             WorkloadClass::Chain => self.chain.arena,
@@ -609,13 +628,36 @@ impl Worker {
         }
     }
 
+    /// The class's stored keys whose [`crate::shard::shard_of`] lands in
+    /// cluster shard `shard` (of `shards`), sorted ascending. For chaining
+    /// the scan crosses worker shards via the published cells; OA/BST are
+    /// read from this (owning) worker's machine. The answer reflects every
+    /// batch acknowledged before this control request was served — control
+    /// requests are never coalesced, and chain cells are republished before
+    /// their batch's callers are acknowledged.
+    fn class_keys_in_shard(&self, class: WorkloadClass, shards: u32, shard: u32) -> Vec<Word> {
+        let mut keys = match class {
+            WorkloadClass::Chain => self.shared.chain_keys(),
+            WorkloadClass::OpenAddr => {
+                let t = self.oa_table.expect("routed to the owner");
+                oa::stored_keys(&self.m.mem().read_region(t))
+            }
+            WorkloadClass::Bst => {
+                let b = self.bst.as_ref().expect("routed to the owner");
+                b.inorder(&self.m)
+            }
+        };
+        keys.retain(|&k| crate::shard::shard_of(k, shards) == shard);
+        keys.sort_unstable();
+        keys
+    }
+
     /// Recomputes this shard's chaining content digest from machine state
     /// and publishes it to the shared cells, where the chain control owner
     /// combines all shards to answer [`Request::Digest`].
     fn publish_chain_shard(&self) {
         let keys = chaining::all_keys(&self.m, &self.chain);
-        self.shared
-            .publish_chain_shard(self.id, keys_digest(&keys), keys.len() as u64);
+        self.shared.publish_chain_shard(self.id, keys);
     }
 
     /// Replaces a condemned machine wholesale. With durability on and a

@@ -197,6 +197,17 @@ pub struct StatsSnapshot {
     /// Sealed write-ahead-log segments deleted by compaction, every record
     /// covered by the retained durable images.
     pub wal_segments_pruned: u64,
+    /// The shard-map epoch this server currently serves (0 = standalone,
+    /// no assignment installed). Mirrors [`crate::shard::GateStats`].
+    pub shard_epoch: u64,
+    /// Cluster shards this server owns under the current map.
+    pub shards_owned: u64,
+    /// Inbound shard handoffs currently being installed.
+    pub handoffs_in_flight: u64,
+    /// Outbound shard handoffs currently being extracted.
+    pub handoffs_out_flight: u64,
+    /// Requests refused with [`ServeError::WrongEpoch`].
+    pub stale_epoch_refusals: u64,
 }
 
 impl StatCells {
@@ -222,6 +233,13 @@ impl StatCells {
             generations_skipped: self.generations_skipped.load(Ordering::Relaxed),
             generations_pruned: self.generations_pruned.load(Ordering::Relaxed),
             wal_segments_pruned: self.wal_segments_pruned.load(Ordering::Relaxed),
+            // Filled in by `Server::stats()` from the shard gate; the queue
+            // layer has no cluster knowledge.
+            shard_epoch: 0,
+            shards_owned: 0,
+            handoffs_in_flight: 0,
+            handoffs_out_flight: 0,
+            stale_epoch_refusals: 0,
         }
     }
 }
@@ -238,15 +256,17 @@ pub(crate) struct Shared {
     /// The write-ahead request log, when the server runs durable. Lock
     /// order: `inner` may be held while taking `wal`, never the reverse.
     pub(crate) wal: Option<Mutex<Wal>>,
-    /// Per-worker published chaining-shard content digests
-    /// (`(keys_digest, count)` per shard). The chaining table is sharded
-    /// across every worker, so no single worker can scan the whole logical
-    /// structure; instead each worker publishes its shard's digest after
+    /// Per-worker published chaining-shard contents (the stored keys of
+    /// each worker's chain shard). The chaining table is sharded across
+    /// every worker, so no single worker can scan the whole logical
+    /// structure; instead each worker publishes its shard's keys after
     /// every committed chain batch (and at build/respawn), *before* the
     /// batch's callers are acknowledged. [`Request::Digest`] for the chain
     /// class is answered by combining the cells — the order-insensitive
-    /// digest makes the combination exact, not approximate.
-    chain_shards: Mutex<Vec<(u64, u64)>>,
+    /// digest makes the combination exact, not approximate — and
+    /// [`Request::ShardKeys`] filters them by cluster shard for handoff
+    /// extraction.
+    chain_shards: Mutex<Vec<Vec<fol_vm::Word>>>,
 }
 
 /// What a worker drained: a same-kind run of requests to coalesce.
@@ -276,32 +296,45 @@ impl Shared {
             max_wait,
             stats: StatCells::default(),
             wal: wal.map(Mutex::new),
-            chain_shards: Mutex::new(vec![(0, 0); workers]),
+            chain_shards: Mutex::new(vec![Vec::new(); workers]),
         }
     }
 
-    /// Publishes worker `id`'s chaining-shard content digest. Called with
-    /// the post-commit shard contents before the batch's callers are
-    /// acknowledged, so any acknowledged insert is visible to a later
-    /// [`Shared::chain_digest`].
-    pub(crate) fn publish_chain_shard(&self, id: usize, digest: u64, count: u64) {
+    /// Publishes worker `id`'s chaining-shard contents. Called with the
+    /// post-commit shard keys before the batch's callers are acknowledged,
+    /// so any acknowledged insert is visible to a later
+    /// [`Shared::chain_digest`] or [`Shared::chain_keys`].
+    pub(crate) fn publish_chain_shard(&self, id: usize, keys: Vec<fol_vm::Word>) {
         let mut g = self
             .chain_shards
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        g[id] = (digest, count);
+        g[id] = keys;
     }
 
     /// The whole chaining table's logical content digest: the commutative
-    /// combination of every published shard digest.
+    /// combination of every published shard's digest.
     pub(crate) fn chain_digest(&self) -> (u64, u64) {
         let g = self
             .chain_shards
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        g.iter().fold((0u64, 0u64), |(d, c), &(sd, sc)| {
-            (d.wrapping_add(sd), c + sc)
+        g.iter().fold((0u64, 0u64), |(d, c), keys| {
+            (
+                d.wrapping_add(crate::request::keys_digest(keys)),
+                c + keys.len() as u64,
+            )
         })
+    }
+
+    /// Every key the chaining table stores, across all worker shards
+    /// (unsorted). The cross-worker scan [`Request::ShardKeys`] filters.
+    pub(crate) fn chain_keys(&self) -> Vec<fol_vm::Word> {
+        let g = self
+            .chain_shards
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        g.iter().flat_map(|keys| keys.iter().copied()).collect()
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {

@@ -71,6 +71,32 @@ pub enum Request {
         /// The class to digest.
         class: WorkloadClass,
     },
+    /// Ask for the class's content digest **restricted to one cluster
+    /// shard**: keys `k` with `shard_of(k, shards) == shard` (see
+    /// [`crate::shard::shard_of`]). Routed as a control request to the
+    /// class's owning worker. The per-shard digests of a class sum
+    /// (wrapping) to its [`Request::Digest`] answer, so a rebalance can be
+    /// audited shard by shard.
+    ShardDigest {
+        /// The class to digest.
+        class: WorkloadClass,
+        /// Total cluster shard count the key space is partitioned into.
+        shards: u32,
+        /// Which shard's keys to digest.
+        shard: u32,
+    },
+    /// Ask for the class's stored keys restricted to one cluster shard —
+    /// the extraction primitive a shard handoff ships to the new owner.
+    /// Routed as a control request to the class's owning worker; the
+    /// answer reflects every batch acknowledged before it was served.
+    ShardKeys {
+        /// The class to enumerate.
+        class: WorkloadClass,
+        /// Total cluster shard count the key space is partitioned into.
+        shards: u32,
+        /// Which shard's keys to return.
+        shard: u32,
+    },
     /// Test hook: flip one resident bit in the class's tracked storage,
     /// behind the store path — the bit-rot the idle scrub exists to catch.
     #[doc(hidden)]
@@ -94,9 +120,11 @@ impl Request {
             Request::OaInsert { .. } => Kind::OaInsert,
             Request::OaLookup { .. } => Kind::OaLookup,
             Request::BstInsert { .. } => Kind::BstInsert,
-            Request::Digest { .. } | Request::InjectRot { .. } | Request::PoisonPill { .. } => {
-                Kind::Control
-            }
+            Request::Digest { .. }
+            | Request::ShardDigest { .. }
+            | Request::ShardKeys { .. }
+            | Request::InjectRot { .. }
+            | Request::PoisonPill { .. } => Kind::Control,
         }
     }
 
@@ -106,6 +134,8 @@ impl Request {
             Request::OaInsert { .. } | Request::OaLookup { .. } => WorkloadClass::OpenAddr,
             Request::BstInsert { .. } => WorkloadClass::Bst,
             Request::Digest { class }
+            | Request::ShardDigest { class, .. }
+            | Request::ShardKeys { class, .. }
             | Request::InjectRot { class }
             | Request::PoisonPill { class } => *class,
         }
@@ -164,6 +194,12 @@ pub enum Response {
         /// How many keys the digest covers.
         count: u64,
     },
+    /// A [`Request::ShardKeys`] answer: the class's stored keys within the
+    /// requested cluster shard, sorted ascending.
+    Keys {
+        /// The matching keys, sorted.
+        keys: Vec<Word>,
+    },
     /// A [`Request::InjectRot`] flipped a bit.
     RotInjected,
 }
@@ -207,6 +243,23 @@ pub enum ServeError {
         /// The typed persistence failure.
         error: fol_persist::PersistError,
     },
+    /// The request was stamped with a shard-map epoch this server does not
+    /// currently serve. The client's map is stale (or, rarely, ahead of a
+    /// server that has not installed the new map yet); refresh the map and
+    /// retry under the current epoch. The request touched no state.
+    WrongEpoch {
+        /// The epoch the request was stamped with.
+        got: u64,
+        /// The epoch this server is serving.
+        current: u64,
+    },
+    /// The request's key shard is not owned (or is frozen for handoff) by
+    /// this server under the current map. Refresh the map and retry against
+    /// the owner. The request touched no state.
+    NotOwner {
+        /// The shard the request was routed under.
+        shard: u32,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -221,6 +274,15 @@ impl std::fmt::Display for ServeError {
             ServeError::WorkerLost => write!(f, "owning worker lost mid-batch"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Persist { error } => write!(f, "persistence: {error}"),
+            ServeError::WrongEpoch { got, current } => {
+                write!(
+                    f,
+                    "wrong shard-map epoch: request stamped {got}, serving {current}"
+                )
+            }
+            ServeError::NotOwner { shard } => {
+                write!(f, "not the owner of shard {shard} under the current map")
+            }
         }
     }
 }

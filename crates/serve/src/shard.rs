@@ -1,0 +1,316 @@
+//! Cluster-shard partitioning of the key space and the per-shard admission
+//! gate.
+//!
+//! The serving layer stays single-process; what this module adds is the
+//! *vocabulary* a cluster of servers needs to split one logical key space
+//! among themselves: a deterministic [`shard_of`] partition function, and a
+//! [`ShardGate`] each server consults before admitting epoch-stamped wire
+//! traffic. The gate is deliberately dumb — it knows which shards this
+//! process owns under which map epoch and nothing about other nodes; ring
+//! construction, routing and rebalance live in `fol-net`, which installs
+//! assignments here.
+//!
+//! Refusals are typed ([`ServeError::WrongEpoch`] / [`ServeError::NotOwner`])
+//! and never touch machine state: a request that raced a rebalance is told
+//! *why* it was refused so the client can refresh its map and retry against
+//! the new owner — the exactly-once story then rests on the server's dedupe
+//! table keying retries by `(client, epoch, seq)`.
+//!
+//! **Epoch rules.** A gate serves exactly one epoch at a time. Traffic
+//! stamped with any other epoch — older *or* newer — is refused
+//! `WrongEpoch`; a newer stamp means this node has not installed the new
+//! map yet, and admitting it would let a half-propagated map split
+//! ownership. A node with *no* installed assignment refuses every
+//! shard-stamped request (`NotOwner`): a freshly restarted process must be
+//! re-handed the map by the coordinator before it may serve cluster
+//! traffic, which is what makes a SIGKILL-mid-rebalance safe. Untagged
+//! traffic (`shard == NO_SHARD`, epoch 0) bypasses the gate — that is the
+//! single-process embedding this crate has always served.
+
+use crate::request::ServeError;
+use fol_vm::Word;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The shard stamp of traffic that is not cluster-routed (a plain
+/// single-server client, or a control request). Paired with epoch 0 it
+/// bypasses the gate entirely.
+pub const NO_SHARD: u32 = u32::MAX;
+
+/// Which of `shards` partitions `key` belongs to. A splitmix64 finalizer
+/// over the key bits, reduced mod `shards` — deterministic, uniform, and
+/// *stable*: every layer (router, gate, extraction, audit) must agree on
+/// this function or keys would be owned by nobody.
+pub fn shard_of(key: Word, shards: u32) -> u32 {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut z = (key as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % shards as u64) as u32
+}
+
+/// One server's slice of a shard map: which epoch it serves and which
+/// shards it owns under that epoch. Installed by the cluster layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// The map epoch this assignment belongs to.
+    pub epoch: u64,
+    /// Total cluster shard count the key space is partitioned into.
+    pub shards: u32,
+    /// The shards this server owns (possibly via replication).
+    pub owned: Vec<u32>,
+}
+
+#[derive(Debug)]
+struct GateTable {
+    epoch: u64,
+    owned: BTreeSet<u32>,
+    frozen: BTreeSet<u32>,
+}
+
+/// Counter snapshot of the gate, merged into `Server::stats()` and the wire
+/// `Health` response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GateStats {
+    /// The map epoch currently served (0 = no assignment installed).
+    pub shard_epoch: u64,
+    /// Shards owned under the current assignment.
+    pub shards_owned: u64,
+    /// Inbound shard handoffs currently being installed.
+    pub handoffs_in_flight: u64,
+    /// Outbound shard handoffs currently being extracted/shipped.
+    pub handoffs_out_flight: u64,
+    /// Requests refused with [`ServeError::WrongEpoch`].
+    pub stale_epoch_refusals: u64,
+}
+
+/// The per-shard admission gate: owned-shard table + typed refusals +
+/// handoff/refusal counters. One per [`crate::Server`]; the network layer
+/// installs assignments and freezes shards, the wire admission path calls
+/// [`ShardGate::admit`].
+#[derive(Debug, Default)]
+pub struct ShardGate {
+    table: Mutex<Option<GateTable>>,
+    stale_epoch_refusals: AtomicU64,
+    not_owner_refusals: AtomicU64,
+    handoffs_in_flight: AtomicU64,
+    handoffs_out_flight: AtomicU64,
+}
+
+impl ShardGate {
+    /// Installs (replaces) the server's shard assignment. Freezes from the
+    /// previous epoch are dropped: the new map is authoritative.
+    pub fn install(&self, assignment: ShardAssignment) {
+        let mut t = self.table.lock().unwrap();
+        *t = Some(GateTable {
+            epoch: assignment.epoch,
+            owned: assignment.owned.into_iter().collect(),
+            frozen: BTreeSet::new(),
+        });
+    }
+
+    /// Marks `shard` frozen for an outbound handoff: still owned, but new
+    /// epoch-stamped traffic for it is refused [`ServeError::NotOwner`]
+    /// until a new map is installed (or [`ShardGate::unfreeze`] aborts the
+    /// move). The freeze is the drain hook — once in-flight work quiesces,
+    /// the shard's stored keys are immutable and safe to extract.
+    pub fn freeze(&self, shard: u32) {
+        if let Some(t) = self.table.lock().unwrap().as_mut() {
+            t.frozen.insert(shard);
+        }
+    }
+
+    /// Reverts a [`ShardGate::freeze`] (a handoff that was abandoned).
+    pub fn unfreeze(&self, shard: u32) {
+        if let Some(t) = self.table.lock().unwrap().as_mut() {
+            t.frozen.remove(&shard);
+        }
+    }
+
+    /// The gate's verdict for a request stamped (`shard`, `epoch`).
+    /// `Ok(())` admits; the two refusals are typed and touch no state.
+    pub fn admit(&self, shard: u32, epoch: u64) -> Result<(), ServeError> {
+        if shard == NO_SHARD && epoch == 0 {
+            return Ok(()); // untagged single-server traffic
+        }
+        let t = self.table.lock().unwrap();
+        let Some(t) = t.as_ref() else {
+            // No assignment installed (e.g. freshly restarted): refuse all
+            // cluster traffic until the coordinator re-hands us the map.
+            return Err(if epoch != 0 {
+                self.stale_epoch_refusals.fetch_add(1, Ordering::Relaxed);
+                ServeError::WrongEpoch {
+                    got: epoch,
+                    current: 0,
+                }
+            } else {
+                self.not_owner_refusals.fetch_add(1, Ordering::Relaxed);
+                ServeError::NotOwner { shard }
+            });
+        };
+        if epoch != t.epoch {
+            self.stale_epoch_refusals.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::WrongEpoch {
+                got: epoch,
+                current: t.epoch,
+            });
+        }
+        if shard == NO_SHARD {
+            return Ok(()); // epoch-checked control traffic
+        }
+        if !t.owned.contains(&shard) || t.frozen.contains(&shard) {
+            self.not_owner_refusals.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::NotOwner { shard });
+        }
+        Ok(())
+    }
+
+    /// The epoch currently served (0 when no assignment is installed).
+    pub fn epoch(&self) -> u64 {
+        self.table.lock().unwrap().as_ref().map_or(0, |t| t.epoch)
+    }
+
+    /// Whether `shard` is owned **and not frozen** under the current map.
+    pub fn owns(&self, shard: u32) -> bool {
+        self.table
+            .lock()
+            .unwrap()
+            .as_ref()
+            .is_some_and(|t| t.owned.contains(&shard) && !t.frozen.contains(&shard))
+    }
+
+    /// RAII marker for an inbound handoff install.
+    pub fn begin_handoff_in(&self) -> HandoffMark<'_> {
+        self.handoffs_in_flight.fetch_add(1, Ordering::Relaxed);
+        HandoffMark {
+            cell: &self.handoffs_in_flight,
+        }
+    }
+
+    /// RAII marker for an outbound handoff extraction.
+    pub fn begin_handoff_out(&self) -> HandoffMark<'_> {
+        self.handoffs_out_flight.fetch_add(1, Ordering::Relaxed);
+        HandoffMark {
+            cell: &self.handoffs_out_flight,
+        }
+    }
+
+    /// Counter snapshot for stats/health.
+    pub fn stats(&self) -> GateStats {
+        let (epoch, owned) = self
+            .table
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or((0, 0), |t| (t.epoch, t.owned.len() as u64));
+        GateStats {
+            shard_epoch: epoch,
+            shards_owned: owned,
+            handoffs_in_flight: self.handoffs_in_flight.load(Ordering::Relaxed),
+            handoffs_out_flight: self.handoffs_out_flight.load(Ordering::Relaxed),
+            stale_epoch_refusals: self.stale_epoch_refusals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Decrements its handoff in-flight counter on drop, so a handoff that
+/// errors out cannot leak a permanently nonzero gauge.
+pub struct HandoffMark<'a> {
+    cell: &'a AtomicU64,
+}
+
+impl Drop for HandoffMark<'_> {
+    fn drop(&mut self) {
+        self.cell.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_deterministic_and_total() {
+        for shards in [1u32, 2, 7, 64] {
+            for key in 0..200 {
+                let s = shard_of(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(key, shards));
+            }
+        }
+        // Roughly balanced: no shard of 8 takes more than half of 4k keys.
+        let mut counts = [0usize; 8];
+        for key in 0..4096 {
+            counts[shard_of(key, 8) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0 && c < 2048), "{counts:?}");
+    }
+
+    #[test]
+    fn gate_refuses_typed_and_counts() {
+        let g = ShardGate::default();
+        // Untagged traffic bypasses an uninitialized gate.
+        assert!(g.admit(NO_SHARD, 0).is_ok());
+        // Sharded traffic against a mapless node is refused.
+        assert_eq!(g.admit(3, 0), Err(ServeError::NotOwner { shard: 3 }));
+        assert_eq!(
+            g.admit(3, 7),
+            Err(ServeError::WrongEpoch { got: 7, current: 0 })
+        );
+
+        g.install(ShardAssignment {
+            epoch: 2,
+            shards: 8,
+            owned: vec![1, 3],
+        });
+        assert!(g.admit(1, 2).is_ok());
+        assert!(g.admit(NO_SHARD, 2).is_ok(), "epoch-checked control");
+        assert_eq!(g.admit(2, 2), Err(ServeError::NotOwner { shard: 2 }));
+        assert_eq!(
+            g.admit(1, 1),
+            Err(ServeError::WrongEpoch { got: 1, current: 2 })
+        );
+
+        g.freeze(3);
+        assert_eq!(g.admit(3, 2), Err(ServeError::NotOwner { shard: 3 }));
+        assert!(!g.owns(3));
+        g.unfreeze(3);
+        assert!(g.admit(3, 2).is_ok());
+
+        let s = g.stats();
+        assert_eq!(s.shard_epoch, 2);
+        assert_eq!(s.shards_owned, 2);
+        assert_eq!(s.stale_epoch_refusals, 2);
+        assert_eq!((s.handoffs_in_flight, s.handoffs_out_flight), (0, 0));
+        {
+            let _m1 = g.begin_handoff_in();
+            let _m2 = g.begin_handoff_out();
+            assert_eq!(g.stats().handoffs_in_flight, 1);
+            assert_eq!(g.stats().handoffs_out_flight, 1);
+        }
+        assert_eq!(g.stats().handoffs_in_flight, 0);
+        assert_eq!(g.stats().handoffs_out_flight, 0);
+    }
+
+    #[test]
+    fn install_resets_freezes_from_the_old_epoch() {
+        let g = ShardGate::default();
+        g.install(ShardAssignment {
+            epoch: 1,
+            shards: 4,
+            owned: vec![0, 1, 2, 3],
+        });
+        g.freeze(2);
+        g.install(ShardAssignment {
+            epoch: 2,
+            shards: 4,
+            owned: vec![0, 1, 2],
+        });
+        assert!(g.admit(2, 1).is_err(), "old epoch refused");
+        assert!(g.admit(2, 2).is_ok(), "new map is authoritative");
+        assert_eq!(g.admit(3, 2), Err(ServeError::NotOwner { shard: 3 }));
+    }
+}

@@ -18,7 +18,9 @@
 //! (override with `$NET_CHAOS_ARTIFACT_DIR`) naming its seed, so CI can
 //! attach the evidence and a red cell reproduces bit-for-bit.
 
-use fol_net::{NetClient, NetClientConfig, NetError, NetServer, NetServerConfig, WireFaultPlan};
+use fol_net::{
+    NetClient, NetClientConfig, NetError, NetServer, NetServerConfig, ShardMap, WireFaultPlan,
+};
 use fol_serve::{Request, Response, Server, ServerConfig, ShutdownReport, WorkloadClass};
 use fol_vm::Word;
 use std::path::PathBuf;
@@ -257,6 +259,95 @@ fn server_side_fault_matrix_terminates_typed_and_loses_no_acks() {
     for (kind, plan) in plans(0x5E1_7E12) {
         run_cell(&format!("server_{kind}"), None, Some(plan));
     }
+}
+
+/// Regression: the server's exactly-once dedupe table is keyed by
+/// `(client_id, map_epoch, seq)`, not `(client_id, seq)`. A client that
+/// restarts its sequence space after a map refresh (epoch advance) must
+/// not have its fresh submits answered from a *previous epoch's* cached
+/// outcomes — while within one epoch, a replayed sequence number still
+/// dedupes.
+#[test]
+fn dedupe_is_scoped_to_the_shard_map_epoch() {
+    let net = NetServer::start(small_server(), NetServerConfig::default()).expect("bind loopback");
+    let addr = net.local_addr().to_string();
+    let map = ShardMap::build(vec![addr.clone()], 8, 64, 1);
+    let client = |id: u64| {
+        NetClient::new(
+            addr.clone(),
+            NetClientConfig {
+                client_id: id,
+                ..NetClientConfig::default()
+            },
+        )
+    };
+    client(1).install_map(&map, 0).expect("install epoch 1");
+
+    // Epoch 1: client 7's seq 0 inserts key 100.
+    let k1: Word = 100;
+    let mut a = client(7);
+    a.set_map_epoch(map.epoch);
+    let r = a.call_many_tagged(
+        &[(
+            Request::ChainInsert { keys: vec![k1] },
+            map.shard_of_key(k1),
+        )],
+        map.epoch,
+    );
+    assert!(matches!(r[0], Ok(Response::ChainInserted { .. })));
+
+    // The cluster advances an epoch; client 7 reconnects with a fresh
+    // sequence space. Its new seq 0 carries a different write and MUST be
+    // applied, not answered from epoch 1's cache.
+    let mut next = map.clone();
+    next.epoch += 1;
+    client(2).install_map(&next, 0).expect("install epoch 2");
+    let k2: Word = 200;
+    let mut b = client(7);
+    b.set_map_epoch(next.epoch);
+    let r = b.call_many_tagged(
+        &[(
+            Request::ChainInsert { keys: vec![k2] },
+            next.shard_of_key(k2),
+        )],
+        next.epoch,
+    );
+    assert!(matches!(r[0], Ok(Response::ChainInserted { .. })));
+
+    // Within an epoch the same (client, seq) still dedupes: a third
+    // incarnation replaying seq 0 under epoch 2 gets the cached outcome,
+    // and its (different) payload is NOT applied.
+    let k3: Word = 300;
+    let mut c = client(7);
+    c.set_map_epoch(next.epoch);
+    let r = c.call_many_tagged(
+        &[(
+            Request::ChainInsert { keys: vec![k3] },
+            next.shard_of_key(k3),
+        )],
+        next.epoch,
+    );
+    assert!(
+        matches!(r[0], Ok(Response::ChainInserted { .. })),
+        "a deduped replay replays the cached ack"
+    );
+
+    let dumped = chain_union(&net.shutdown());
+    assert_eq!(
+        dumped,
+        vec![k1, k2],
+        "epoch-scoped dedupe: k1 and k2 applied once each, k3's replayed \
+         sequence answered from cache"
+    );
+    write_cell_report(
+        "dedupe_epoch_scope",
+        &[
+            ("acked", "3".into()),
+            ("applied", "2".into()),
+            ("lost_acks", "0".into()),
+            ("passed", "true".into()),
+        ],
+    );
 }
 
 #[test]

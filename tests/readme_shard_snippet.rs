@@ -1,0 +1,75 @@
+//! Compile-and-run check for the README "Horizontal scale-out" snippet —
+//! if the cluster API drifts, this test fails before the docs lie.
+
+use fol_net::{
+    rebalance, ClusterClient, NetClient, NetClientConfig, NetServer, NetServerConfig, ShardMap,
+};
+use fol_serve::{Request, Response, Server, ServerConfig};
+
+#[test]
+fn readme_shard_snippet() {
+    // Three single-process nodes; the map hashes 64 shards onto them via
+    // a consistent-hash ring with 64 virtual points per node.
+    let nets: Vec<NetServer> = (0..3)
+        .map(|_| {
+            NetServer::start(
+                Server::start(ServerConfig::default()),
+                NetServerConfig::default(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs: Vec<String> = nets.iter().map(|n| n.local_addr().to_string()).collect();
+    let map = ShardMap::build(addrs, 64, 64, 1);
+    for (i, addr) in map.nodes.iter().enumerate() {
+        NetClient::new(addr.clone(), NetClientConfig::default())
+            .install_map(&map, i as u32)
+            .unwrap();
+    }
+
+    // The router hashes each key to its shard's owner and runs the
+    // per-node fan-out of every batch concurrently; each ack carries the
+    // epoch it was served under.
+    let mut cc = ClusterClient::new(
+        map.clone(),
+        NetClientConfig {
+            client_id: 7,
+            ..NetClientConfig::default()
+        },
+        2,
+    );
+    let batch: Vec<Request> = (0..128)
+        .map(|k| Request::ChainInsert { keys: vec![k] })
+        .collect();
+    for outcome in cc.call_many(&batch) {
+        assert!(matches!(outcome, Ok(Response::ChainInserted { .. })));
+    }
+
+    // Scale out: add a fourth node and drive the crash-safe handoff. Only
+    // shards whose ring successor changed move, and the epoch advances
+    // only after every gainer acked a digest-verified install.
+    let joiner = NetServer::start(
+        Server::start(ServerConfig::default()),
+        NetServerConfig::default(),
+    )
+    .unwrap();
+    let next = map.with_node_added(joiner.local_addr().to_string());
+    let report = rebalance(&map, &next, &NetClientConfig::default()).unwrap();
+    assert_eq!(report.to_epoch, map.epoch + 1);
+    assert!(report
+        .moved
+        .iter()
+        .all(|m| m.to == joiner.local_addr().to_string()));
+
+    // The stale router is refused *typed* (WrongEpoch), fetches the new
+    // map from the cluster, and re-routes — the caller just sees Ok.
+    for outcome in cc.call_many(&[Request::ChainInsert { keys: vec![1000] }]) {
+        assert!(matches!(outcome, Ok(Response::ChainInserted { .. })));
+    }
+    assert_eq!(cc.map().epoch, next.epoch);
+
+    for n in nets {
+        n.shutdown();
+    }
+    joiner.shutdown();
+}

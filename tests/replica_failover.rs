@@ -235,6 +235,7 @@ fn sigkill_one_replica_mid_batch_masks_and_loses_nothing() {
             },
             quorum: 0, // majority of 3 = 2
             max_strikes: 2,
+            ..ReplicaSetConfig::default()
         },
     );
     assert_eq!(set.quorum(), 2);

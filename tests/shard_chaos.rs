@@ -1,0 +1,726 @@
+//! Sharded-cluster chaos: crash-safe rebalance under real process death.
+//!
+//! Every multi-process cell here follows the same shape: durable shard
+//! nodes (real OS processes, re-execs of this binary dispatched on
+//! `FOL_NET_ROLE`), a coordinator driving the freeze → drain → extract →
+//! verify → install → advance handoff machine, a `SIGKILL` landing at the
+//! worst documented moment, and a recovery that is *running the same
+//! rebalance again*. The invariants, in the order the cells check them:
+//!
+//! * **zero acknowledged-but-lost** — after the dust settles, the union of
+//!   the survivors' dumps (each filtered to the shards the final map says
+//!   it owns — insert-only structures legitimately keep dead moved keys on
+//!   the donor) is byte-equal to the sorted acknowledged oracle;
+//! * **idempotent recovery** — a source killed between extract and epoch
+//!   advance restarts from its durable dir, mapless; the re-run's preamble
+//!   re-hands it the old map and redoes the move. A target killed after
+//!   install restarts with the shard already durable and the re-run's
+//!   install digest-skips;
+//! * **membership churn survives** — a planned evict (drain the leaver's
+//!   shards out, advance, then kill the leaver) loses nothing;
+//! * **epoch split-brain is typed** — a client stamped with a stale epoch
+//!   is refused `WrongEpoch`, refreshes, and lands its write exactly once.
+//!
+//! Cells write JSON artifacts to `target/shard-chaos/` (override
+//! `$SHARD_CHAOS_ARTIFACT_DIR`); the CI gate greps them for `lost_acks`.
+
+use fol_net::{
+    rebalance, ClusterClient, NetClient, NetClientConfig, NetServer, NetServerConfig, ShardMap,
+};
+use fol_serve::{
+    DurabilityConfig, FsyncPolicy, Request, Response, ServeError, Server, ServerConfig,
+    WorkloadClass,
+};
+use fol_vm::Word;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------- plumbing
+
+const SHARDS: u32 = 32;
+const VNODES: u32 = 64;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("fol-shard-chaos-{}-{tag}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn small_config(durable_dir: Option<&Path>) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 256,
+        max_batch: 32,
+        max_wait: Duration::from_millis(1),
+        idle_tick: Duration::from_millis(1),
+        chain_buckets: 32,
+        chain_capacity: 4096,
+        oa_slots: 256,
+        bst_capacity: 512,
+        durability: durable_dir
+            .map(|d| DurabilityConfig::new(d.join("dur")).fsync(FsyncPolicy::Off)),
+        ..ServerConfig::default()
+    }
+}
+
+fn write_cell_report(cell: &str, fields: &[(&str, String)]) {
+    let dir = std::env::var_os("SHARD_CHAOS_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/shard-chaos"));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut s = format!("{{\n  \"cell\": \"{cell}\"");
+    for (k, v) in fields {
+        s.push_str(&format!(",\n  \"{k}\": {v}"));
+    }
+    s.push_str("\n}\n");
+    let _ = std::fs::write(dir.join(format!("{cell}.json")), s);
+}
+
+fn wait_until(what: &str, deadline: Duration, mut done: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !done() {
+        assert!(
+            start.elapsed() < deadline,
+            "timed out after {deadline:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Reserves a concrete loopback address the OS just proved free, so a
+/// killed node can restart on the *same* address (the shard map hashes
+/// addresses onto the ring — a restarted node must keep its identity).
+fn reserve_addr() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let addr = l.local_addr().expect("reserved addr").to_string();
+    drop(l);
+    addr
+}
+
+// ------------------------------------------------------------- child side
+
+/// Child dispatch: under `FOL_NET_ROLE` this process is one durable shard
+/// node; in a normal test run it is a no-op pass.
+#[test]
+fn child_entrypoint() {
+    if std::env::var("FOL_NET_ROLE").as_deref() != Ok("shard_node") {
+        return;
+    }
+    let dir = PathBuf::from(std::env::var("FOL_NET_DIR").expect("FOL_NET_DIR"));
+    let bind = std::env::var("FOL_NET_BIND").expect("FOL_NET_BIND");
+    // A freshly killed predecessor's connections may hold the port for a
+    // beat; retry the bind rather than racing the kernel. Recovery is a
+    // read — re-running it per attempt is safe.
+    let mut net = None;
+    for _ in 0..100 {
+        let (server, _restart) =
+            Server::try_start(small_config(Some(&dir))).expect("durable recovery must succeed");
+        match NetServer::start(
+            server,
+            NetServerConfig {
+                bind: bind.clone(),
+                ..NetServerConfig::default()
+            },
+        ) {
+            Ok(n) => {
+                net = Some(n);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+    let net = net.unwrap_or_else(|| panic!("could not bind {bind} after retries"));
+    let tmp = dir.join("addr.tmp");
+    std::fs::write(&tmp, net.local_addr().to_string()).expect("write addr");
+    std::fs::rename(&tmp, dir.join("addr.txt")).expect("publish addr");
+
+    while !net.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report = net.shutdown();
+    let mut keys: Vec<Word> = report
+        .dumps
+        .iter()
+        .filter(|d| d.class == WorkloadClass::Chain)
+        .flat_map(|d| d.keys.iter().copied())
+        .collect();
+    keys.sort_unstable();
+    let body = keys
+        .iter()
+        .map(|k| k.to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let tmp = dir.join("dump.tmp");
+    std::fs::write(&tmp, body).expect("write dump");
+    std::fs::rename(&tmp, dir.join("dump.txt")).expect("publish dump");
+}
+
+fn spawn_shard_node(dir: &Path, bind: &str) -> Child {
+    let _ = std::fs::remove_file(dir.join("addr.txt"));
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = Command::new(exe);
+    let log = std::fs::File::options()
+        .create(true)
+        .append(true)
+        .open(dir.join("child.log"))
+        .expect("child log");
+    cmd.args([
+        "child_entrypoint",
+        "--exact",
+        "--test-threads",
+        "1",
+        "--nocapture",
+    ])
+    .env("FOL_NET_ROLE", "shard_node")
+    .env("FOL_NET_DIR", dir)
+    .env("FOL_NET_BIND", bind)
+    .stdout(Stdio::null())
+    .stderr(log);
+    cmd.spawn().expect("spawn shard node")
+}
+
+fn node_ready(dir: &Path) -> bool {
+    dir.join("addr.txt").exists()
+}
+
+fn read_dump(dir: &Path) -> Vec<Word> {
+    let text = std::fs::read_to_string(dir.join("dump.txt")).expect("node dump");
+    text.lines().filter_map(|l| l.parse().ok()).collect()
+}
+
+// ------------------------------------------------------------ parent side
+
+fn coord_cfg(client_id: u64) -> NetClientConfig {
+    NetClientConfig {
+        client_id,
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Duration::from_millis(500),
+        call_deadline: Duration::from_secs(15),
+        ..NetClientConfig::default()
+    }
+}
+
+fn install_initial_map(map: &ShardMap, client_id: u64) {
+    for (i, addr) in map.nodes.iter().enumerate() {
+        NetClient::new(addr.clone(), coord_cfg(client_id))
+            .install_map(map, i as u32)
+            .expect("initial map install");
+    }
+}
+
+/// Acks `keys` through the cluster router as single-key chain inserts and
+/// returns them; panics on anything short of a full quorum ack.
+fn ack_writes(cc: &mut ClusterClient, keys: impl Iterator<Item = Word>) -> Vec<Word> {
+    let keys: Vec<Word> = keys.collect();
+    for chunk in keys.chunks(8) {
+        let batch: Vec<Request> = chunk
+            .iter()
+            .map(|&k| Request::ChainInsert { keys: vec![k] })
+            .collect();
+        for (k, r) in chunk.iter().zip(cc.call_many(&batch)) {
+            match r {
+                Ok(Response::ChainInserted { .. }) => {}
+                other => panic!("key {k}: expected a cluster ack, got {other:?}"),
+            }
+        }
+    }
+    keys
+}
+
+/// Gracefully drains every node and returns the union of their dumps,
+/// each filtered to the shards the final map assigns it — the moved keys
+/// a donor's insert-only structures still hold are dead under the final
+/// map and excluded, exactly once each.
+fn drain_and_union(
+    children: &mut [Child],
+    dirs: &[&TempDir],
+    final_map: &ShardMap,
+    skip: &[usize],
+) -> Vec<Word> {
+    for (i, dir) in dirs.iter().enumerate() {
+        if skip.contains(&i) {
+            continue;
+        }
+        let addr = std::fs::read_to_string(dir.path().join("addr.txt"))
+            .expect("addr")
+            .trim()
+            .to_string();
+        NetClient::new(addr, coord_cfg(900 + i as u64))
+            .request_shutdown()
+            .expect("wire shutdown ack");
+        wait_until("node to drain and exit", Duration::from_secs(30), || {
+            children[i].try_wait().expect("poll node").is_some()
+        });
+        let status = children[i].wait().expect("reap node");
+        assert!(
+            status.success(),
+            "node {i} must exit cleanly: {status:?}\nchild log:\n{}",
+            std::fs::read_to_string(dir.path().join("child.log")).unwrap_or_default()
+        );
+    }
+    let mut union = Vec::new();
+    for (i, dir) in dirs.iter().enumerate() {
+        if skip.contains(&i) {
+            continue;
+        }
+        let node_addr = {
+            let t = std::fs::read_to_string(dir.path().join("addr.txt")).expect("addr");
+            t.trim().to_string()
+        };
+        let Some(node_idx) = final_map.nodes.iter().position(|a| *a == node_addr) else {
+            continue; // drained but outside the final map: owns nothing
+        };
+        for k in read_dump(dir.path()) {
+            let shard = final_map.shard_of_key(k);
+            if final_map.owner(shard) == node_idx {
+                union.push(k);
+            }
+        }
+    }
+    union.sort_unstable();
+    union
+}
+
+// ------------------------------------------------------------------ cells
+
+/// SIGKILL the *source* between extract and epoch advance. The node
+/// restarts from its durable dir (keys intact, map gone); re-running the
+/// same rebalance re-hands it the old map, redoes the move, and advances.
+#[test]
+fn sigkill_source_mid_handoff_rerun_recovers() {
+    let dirs = [TempDir::new("s0"), TempDir::new("s1"), TempDir::new("s2")];
+    let addrs: Vec<String> = (0..3).map(|_| reserve_addr()).collect();
+    let mut children: Vec<Child> = (0..2)
+        .map(|i| spawn_shard_node(dirs[i].path(), &addrs[i]))
+        .collect();
+    wait_until("initial nodes up", Duration::from_secs(30), || {
+        (0..2).all(|i| node_ready(dirs[i].path()))
+    });
+
+    let old = ShardMap::build(addrs[..2].to_vec(), SHARDS, VNODES, 1);
+    install_initial_map(&old, 10);
+    let mut cc = ClusterClient::new(old.clone(), coord_cfg(11), 2);
+    let mut acked = ack_writes(&mut cc, 0..64);
+
+    // The joiner comes up; the coordinator gets as far as extracting the
+    // first moved shard, then dies with its source.
+    children.push(spawn_shard_node(dirs[2].path(), &addrs[2]));
+    wait_until("joiner up", Duration::from_secs(30), || {
+        node_ready(dirs[2].path())
+    });
+    let new = old.with_node_added(addrs[2].clone());
+    let moved = old.moved_shards(&new);
+    assert!(!moved.is_empty(), "a join must move shards");
+    let (shard, from, _to) = moved[0].clone();
+    {
+        let mut adm = NetClient::new(from.clone(), coord_cfg(12));
+        adm.freeze_shard(shard, true).expect("freeze");
+        let _abandoned = adm.extract_shard(shard).expect("extract");
+        // The image dies with this scope: the coordinator "crashed" after
+        // extraction, before install and advance.
+    }
+    drop(cc);
+    // Let the nodes notice the closed admin/router connections before the
+    // kill, so the victim's port frees without a TIME_WAIT squat.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let victim = old.nodes.iter().position(|a| *a == from).expect("source");
+    let pid = children[victim].id();
+    Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("kill source");
+    children[victim].wait().expect("reap source");
+
+    // Restart the source on the same address from the same durable dir.
+    children[victim] = spawn_shard_node(dirs[victim].path(), &addrs[victim]);
+    wait_until("source restart", Duration::from_secs(30), || {
+        node_ready(dirs[victim].path())
+    });
+
+    // Recovery = the same rebalance again.
+    let report = rebalance(&old, &new, &coord_cfg(13)).expect("re-run completes the move");
+    assert_eq!(report.from_epoch, old.epoch);
+    assert_eq!(report.to_epoch, new.epoch);
+    assert!(report.moved.iter().any(|m| m.shard == shard));
+
+    let mut cc2 = ClusterClient::new(new.clone(), coord_cfg(14), 2);
+    acked.extend(ack_writes(&mut cc2, 1000..1032));
+    drop(cc2);
+
+    let dir_refs: Vec<&TempDir> = dirs.iter().collect();
+    let union = drain_and_union(&mut children, &dir_refs, &new, &[]);
+    acked.sort_unstable();
+    let lost = acked.iter().filter(|k| !union.contains(k)).count();
+    assert_eq!(union, acked, "post-rebalance dumps must equal the oracle");
+    write_cell_report(
+        "shard_sigkill_source_mid_handoff",
+        &[
+            ("nodes", "3".into()),
+            ("killed", "\"source\"".into()),
+            ("acked", acked.len().to_string()),
+            ("lost_acks", lost.to_string()),
+            ("moved_shards", report.moved.len().to_string()),
+            ("to_epoch", report.to_epoch.to_string()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// SIGKILL the *target* right after it acked an install. It restarts with
+/// the shard already durable; the re-run's install digest-skips instead of
+/// double-inserting, and the epoch advances.
+#[test]
+fn sigkill_target_after_install_rerun_digest_skips() {
+    let dirs = [TempDir::new("t0"), TempDir::new("t1"), TempDir::new("t2")];
+    let addrs: Vec<String> = (0..3).map(|_| reserve_addr()).collect();
+    let mut children: Vec<Child> = (0..2)
+        .map(|i| spawn_shard_node(dirs[i].path(), &addrs[i]))
+        .collect();
+    wait_until("initial nodes up", Duration::from_secs(30), || {
+        (0..2).all(|i| node_ready(dirs[i].path()))
+    });
+
+    let old = ShardMap::build(addrs[..2].to_vec(), SHARDS, VNODES, 1);
+    install_initial_map(&old, 20);
+    let mut cc = ClusterClient::new(old.clone(), coord_cfg(21), 2);
+    let mut acked = ack_writes(&mut cc, 0..48);
+    drop(cc);
+
+    children.push(spawn_shard_node(dirs[2].path(), &addrs[2]));
+    wait_until("joiner up", Duration::from_secs(30), || {
+        node_ready(dirs[2].path())
+    });
+    let new = old.with_node_added(addrs[2].clone());
+    let moved = old.moved_shards(&new);
+    let with_keys = moved
+        .iter()
+        .find(|(s, _, _)| acked.iter().any(|&k| new.shard_of_key(k) == *s))
+        .cloned();
+    let (shard, from, to) = with_keys.unwrap_or_else(|| moved[0].clone());
+    {
+        let mut adm_src = NetClient::new(from.clone(), coord_cfg(22));
+        adm_src.freeze_shard(shard, true).expect("freeze");
+        let bytes = adm_src.extract_shard(shard).expect("extract");
+        let mut adm_dst = NetClient::new(to.clone(), coord_cfg(23));
+        adm_dst.install_shard(bytes).expect("install acked");
+        // Coordinator "crashes" here — install acked, epoch never advanced.
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    let target = 2usize;
+    let pid = children[target].id();
+    Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("kill target");
+    children[target].wait().expect("reap target");
+    children[target] = spawn_shard_node(dirs[target].path(), &addrs[target]);
+    wait_until("target restart", Duration::from_secs(30), || {
+        node_ready(dirs[target].path())
+    });
+
+    // The restarted target holds the installed shard durably; the re-run
+    // must digest-skip it (a partial or double install would refuse or
+    // diverge the digest, and the dump audit below would catch it).
+    let report = rebalance(&old, &new, &coord_cfg(24)).expect("re-run completes the move");
+    assert_eq!(report.to_epoch, new.epoch);
+    assert!(report.moved.iter().any(|m| m.shard == shard));
+
+    let mut cc2 = ClusterClient::new(new.clone(), coord_cfg(25), 2);
+    acked.extend(ack_writes(&mut cc2, 2000..2032));
+    drop(cc2);
+
+    let dir_refs: Vec<&TempDir> = dirs.iter().collect();
+    let union = drain_and_union(&mut children, &dir_refs, &new, &[]);
+    acked.sort_unstable();
+    let lost = acked.iter().filter(|k| !union.contains(k)).count();
+    assert_eq!(union, acked, "digest-skip must not lose or double keys");
+    write_cell_report(
+        "shard_sigkill_target_after_install",
+        &[
+            ("nodes", "3".into()),
+            ("killed", "\"target\"".into()),
+            ("acked", acked.len().to_string()),
+            ("lost_acks", lost.to_string()),
+            ("moved_shards", report.moved.len().to_string()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// Membership churn: a planned evict drains the leaver's shards to the
+/// survivors, the epoch advances, and only *then* does the leaver die —
+/// nothing acknowledged is lost and the thinned cluster keeps serving.
+#[test]
+fn evict_during_rebalance_survives_the_leavers_death() {
+    let dirs = [TempDir::new("e0"), TempDir::new("e1"), TempDir::new("e2")];
+    let addrs: Vec<String> = (0..3).map(|_| reserve_addr()).collect();
+    let mut children: Vec<Child> = (0..3)
+        .map(|i| spawn_shard_node(dirs[i].path(), &addrs[i]))
+        .collect();
+    wait_until("all nodes up", Duration::from_secs(30), || {
+        dirs.iter().all(|d| node_ready(d.path()))
+    });
+
+    let old = ShardMap::build(addrs.clone(), SHARDS, VNODES, 1);
+    install_initial_map(&old, 30);
+    let mut cc = ClusterClient::new(old.clone(), coord_cfg(31), 2);
+    let mut acked = ack_writes(&mut cc, 0..64);
+    drop(cc);
+
+    // Drain node 1 out of the cluster while it is still alive, then kill
+    // it. Every shard it owned moves to a survivor first.
+    let leaver = 1usize;
+    let new = old.without_node(&addrs[leaver]);
+    let report = rebalance(&old, &new, &coord_cfg(32)).expect("drain-evict completes");
+    assert_eq!(report.to_epoch, new.epoch);
+    assert!(
+        report.moved.iter().all(|m| m.from == addrs[leaver]),
+        "an evict moves only the leaver's shards: {:?}",
+        report.moved
+    );
+    std::thread::sleep(Duration::from_millis(300));
+    let pid = children[leaver].id();
+    Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("kill leaver");
+    children[leaver].wait().expect("reap leaver");
+
+    let mut cc2 = ClusterClient::new(new.clone(), coord_cfg(33), 2);
+    acked.extend(ack_writes(&mut cc2, 3000..3032));
+    drop(cc2);
+
+    let dir_refs: Vec<&TempDir> = dirs.iter().collect();
+    let union = drain_and_union(&mut children, &dir_refs, &new, &[leaver]);
+    acked.sort_unstable();
+    let lost = acked.iter().filter(|k| !union.contains(k)).count();
+    assert_eq!(union, acked, "the survivors must hold every acked key");
+    write_cell_report(
+        "shard_evict_during_rebalance",
+        &[
+            ("nodes", "3".into()),
+            ("evicted", "1".into()),
+            ("acked", acked.len().to_string()),
+            ("lost_acks", lost.to_string()),
+            ("moved_shards", report.moved.len().to_string()),
+            ("passed", "true".into()),
+        ],
+    );
+}
+
+/// Epoch split-brain, in-process: a client still stamped with the old
+/// epoch is refused typed, refreshes, and lands its write exactly once —
+/// the refused attempt never half-applied.
+#[test]
+fn stale_epoch_client_is_refused_typed_and_retries_exactly_once() {
+    let nets: Vec<NetServer> = (0..2)
+        .map(|_| {
+            NetServer::start(
+                Server::start(small_config(None)),
+                NetServerConfig::default(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs: Vec<String> = nets.iter().map(|n| n.local_addr().to_string()).collect();
+    let old = ShardMap::build(addrs.clone(), SHARDS, VNODES, 1);
+    install_initial_map(&old, 40);
+
+    // Three distinct keys sharing one shard owned by node 0 (keys are
+    // hashed onto shards, so same-shard keys come from a search, not
+    // arithmetic).
+    let key = (0..4096)
+        .find(|&k| old.owner(old.shard_of_key(k)) == 0)
+        .expect("some key routes to node 0");
+    let shard = old.shard_of_key(key);
+    let mut siblings = (key + 1..100_000).filter(|&k| old.shard_of_key(k) == shard);
+    let key2 = siblings.next().expect("a second key in the shard");
+    let key3 = siblings.next().expect("a third key in the shard");
+    let mut stale = NetClient::new(addrs[0].clone(), coord_cfg(41));
+    stale.set_map_epoch(old.epoch);
+    let r = stale.call_many_tagged(
+        &[(Request::ChainInsert { keys: vec![key] }, shard)],
+        old.epoch,
+    );
+    assert!(matches!(r[0], Ok(Response::ChainInserted { .. })));
+
+    // The cluster moves on without telling the client: same membership,
+    // next epoch.
+    let mut new = old.clone();
+    new.epoch += 1;
+    for (i, addr) in new.nodes.iter().enumerate() {
+        NetClient::new(addr.clone(), coord_cfg(42))
+            .install_map(&new, i as u32)
+            .expect("advance epoch");
+    }
+
+    // The stale stamp is refused typed, with both epochs attached.
+    let r = stale.call_many_tagged(
+        &[(Request::ChainInsert { keys: vec![key2] }, shard)],
+        old.epoch,
+    );
+    match &r[0] {
+        Err(fol_net::NetError::Serve(ServeError::WrongEpoch { got, current })) => {
+            assert_eq!((*got, *current), (old.epoch, new.epoch));
+        }
+        other => panic!("expected a typed WrongEpoch refusal, got {other:?}"),
+    }
+
+    // Refresh and retry: the write lands exactly once.
+    let fetched = stale.fetch_map().expect("fetch").expect("map installed");
+    assert_eq!(fetched.epoch, new.epoch);
+    stale.set_map_epoch(fetched.epoch);
+    let r = stale.call_many_tagged(
+        &[(Request::ChainInsert { keys: vec![key2] }, shard)],
+        fetched.epoch,
+    );
+    assert!(matches!(r[0], Ok(Response::ChainInserted { .. })));
+
+    // The router does the same dance automatically.
+    let mut cc = ClusterClient::new(old.clone(), coord_cfg(43), 2);
+    let out = cc.call_many(&[Request::ChainInsert { keys: vec![key3] }]);
+    assert!(matches!(out[0], Ok(Response::ChainInserted { .. })));
+    assert!(
+        cc.stale_epoch_retries >= 1,
+        "the router must have refreshed on the typed refusal"
+    );
+    assert_eq!(cc.map().epoch, new.epoch);
+
+    // Exactly-once, audited by content: three keys, none doubled. (Chain
+    // inserts allow duplicates, so a replayed refusal WOULD show up.)
+    let mut audit = NetClient::new(addrs[0].clone(), coord_cfg(44));
+    audit.set_map_epoch(new.epoch);
+    let (digest, count) = match audit.call(Request::Digest {
+        class: WorkloadClass::Chain,
+    }) {
+        Ok(Response::ClassDigest { digest, count }) => (digest, count),
+        other => panic!("digest audit: {other:?}"),
+    };
+    let mut want = vec![key, key2, key3];
+    want.sort_unstable();
+    assert_eq!(
+        (digest, count),
+        (fol_serve::keys_digest(&want), want.len() as u64),
+        "a refused write must never half-apply"
+    );
+
+    write_cell_report(
+        "shard_epoch_split_brain",
+        &[
+            ("nodes", "2".into()),
+            ("acked", "3".into()),
+            ("lost_acks", "0".into()),
+            ("stale_refusals_seen", "2".into()),
+            ("passed", "true".into()),
+        ],
+    );
+    for net in nets {
+        drop(net.shutdown());
+    }
+}
+
+/// Observability smoke: wire `Health` reflects a completed rebalance —
+/// the gainer reports the advanced epoch and its enlarged ownership, the
+/// node left behind keeps the old epoch and counts the typed refusals it
+/// hands out.
+#[test]
+fn health_reflects_a_completed_rebalance() {
+    let nets: Vec<NetServer> = (0..2)
+        .map(|_| {
+            NetServer::start(
+                Server::start(small_config(None)),
+                NetServerConfig::default(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs: Vec<String> = nets.iter().map(|n| n.local_addr().to_string()).collect();
+    let old = ShardMap::build(addrs.clone(), SHARDS, VNODES, 1);
+    install_initial_map(&old, 50);
+
+    let mut cc = ClusterClient::new(old.clone(), coord_cfg(51), 2);
+    ack_writes(&mut cc, 0..32);
+    drop(cc);
+
+    let stat = |addr: &str, id: u64, key: &str| -> u64 {
+        NetClient::new(addr.to_string(), coord_cfg(id))
+            .health()
+            .expect("health")
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("health must carry {key}"))
+            .1
+    };
+    let owned_before_0 = stat(&addrs[0], 52, "shards_owned");
+    assert_eq!(stat(&addrs[0], 52, "shard_epoch"), old.epoch);
+    assert!(owned_before_0 < SHARDS as u64, "two nodes split the shards");
+
+    // Drain node 1 out entirely: node 0 gains everything.
+    let new = old.without_node(&addrs[1]);
+    let report = rebalance(&old, &new, &coord_cfg(53)).expect("rebalance completes");
+    assert!(!report.moved.is_empty());
+
+    assert_eq!(stat(&addrs[0], 54, "shard_epoch"), new.epoch);
+    assert_eq!(stat(&addrs[0], 54, "shards_owned"), SHARDS as u64);
+    assert_eq!(stat(&addrs[0], 54, "handoffs_in_flight"), 0);
+    assert_eq!(stat(&addrs[0], 54, "handoffs_out_flight"), 0);
+
+    // The node outside the new map still serves the old epoch and refuses
+    // new-epoch traffic typed — and counts it.
+    let refusals_before = stat(&addrs[1], 55, "stale_epoch_refusals");
+    let mut wrong = NetClient::new(addrs[1].clone(), coord_cfg(56));
+    let r = wrong.call_many_tagged(
+        &[(Request::ChainInsert { keys: vec![7] }, new.shard_of_key(7))],
+        new.epoch,
+    );
+    assert!(
+        matches!(
+            r[0],
+            Err(fol_net::NetError::Serve(ServeError::WrongEpoch { .. }))
+        ),
+        "got {:?}",
+        r[0]
+    );
+    assert_eq!(
+        stat(&addrs[1], 57, "stale_epoch_refusals"),
+        refusals_before + 1,
+        "the refusal must be counted in Health"
+    );
+
+    write_cell_report(
+        "shard_health_after_rebalance",
+        &[
+            ("nodes", "2".into()),
+            ("to_epoch", new.epoch.to_string()),
+            ("moved_shards", report.moved.len().to_string()),
+            ("lost_acks", "0".into()),
+            ("passed", "true".into()),
+        ],
+    );
+    for net in nets {
+        drop(net.shutdown());
+    }
+}
