@@ -120,7 +120,10 @@ fn main() {
 
     // JSON artifact for CI (hand-rolled; the workspace is dependency-free).
     let body = {
-        let mut s = String::from("{\"bench\":\"degradation\",\"rows\":[");
+        let mut s = format!(
+            "{{\"bench\":\"degradation\",{},\"rows\":[",
+            fol_bench::report::backend_fields("sim")
+        );
         for (i, (label, ns, cycles)) in rows.iter().enumerate() {
             if i > 0 {
                 s.push(',');

@@ -162,7 +162,10 @@ fn main() {
     );
 
     // JSON artifact for CI (hand-rolled; the workspace is dependency-free).
-    let mut body = String::from("{\"bench\":\"integrity\",\"rows\":[");
+    let mut body = format!(
+        "{{\"bench\":\"integrity\",{},\"rows\":[",
+        fol_bench::report::backend_fields("sim")
+    );
     for (i, (label, ns)) in rows.iter().enumerate() {
         if i > 0 {
             body.push(',');

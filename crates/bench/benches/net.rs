@@ -130,9 +130,12 @@ fn main() {
     );
 
     let body = format!(
-        "{{\"bench\":\"net\",\"batch\":{BATCH},\"in_process_ns\":{:.1},\"remote_ns\":{:.1},\
+        "{{\"bench\":\"net\",{},\"batch\":{BATCH},\"in_process_ns\":{:.1},\"remote_ns\":{:.1},\
          \"remote_relative_throughput\":{:.4},\"gate\":0.75,\"passed\":true}}",
-        in_process, remote, relative_throughput
+        fol_bench::report::backend_fields("sim"),
+        in_process,
+        remote,
+        relative_throughput
     );
     let dir = std::env::var("BENCH_ARTIFACT_DIR").unwrap_or_else(|_| "target/bench".into());
     let _ = std::fs::create_dir_all(&dir);

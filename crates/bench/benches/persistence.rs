@@ -188,7 +188,10 @@ fn main() {
     });
 
     // JSON artifact for CI (hand-rolled; the workspace is dependency-free).
-    let mut body = String::from("{\"bench\":\"persistence\",\"end_to_end\":{");
+    let mut body = format!(
+        "{{\"bench\":\"persistence\",{},\"end_to_end\":{{",
+        fol_bench::report::backend_fields("sim")
+    );
     body.push_str(&format!(
         "\"baseline_ns\":{:.1},\"batch_ns\":{:.1},\"always_ns\":{:.1},\"off_ns\":{:.1},\
          \"batch_overhead\":{:.4},\"always_overhead\":{:.4},\"off_overhead\":{:.4}}}",

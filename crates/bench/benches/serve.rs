@@ -75,7 +75,9 @@ fn run_coalesced(groups: &[Vec<Word>], size: usize) {
 
 /// The same size-1 traffic through a real server; `max_batch` 1 disables
 /// coalescing, so the pair isolates what the scheduler buys end-to-end.
-fn run_server(max_batch: usize) {
+/// `backend` selects the workers' lane engine — the per-backend sweep in
+/// `main` prices the engines in wall-clock, not modelled cycles.
+fn run_server(max_batch: usize, backend: fol_vm::BackendKind) {
     let server = Server::start(ServerConfig {
         workers: 1,
         queue_capacity: 2 * REQUESTS,
@@ -83,6 +85,7 @@ fn run_server(max_batch: usize) {
         max_wait: Duration::from_micros(200),
         chain_buckets: 512,
         chain_capacity: 2 * REQUESTS,
+        backend,
         ..ServerConfig::default()
     });
     let tickets: Vec<_> = (0..REQUESTS as Word)
@@ -120,13 +123,43 @@ fn main() {
          for size-1 requests at max_batch 256 (got {size1_speedup:.2}x)"
     );
 
-    let batched = bench("serve/end-to-end/max-batch-256", || run_server(256));
-    let unbatched = bench("serve/end-to-end/max-batch-1", || run_server(1));
+    let batched = bench("serve/end-to-end/max-batch-256", || {
+        run_server(256, fol_vm::BackendKind::Sim)
+    });
+    let unbatched = bench("serve/end-to-end/max-batch-1", || {
+        run_server(1, fol_vm::BackendKind::Sim)
+    });
     let e2e_speedup = unbatched.ns_per_iter / batched.ns_per_iter;
     println!("end-to-end: coalescing speedup {e2e_speedup:.1}x (informational)");
 
+    // Per-backend wall-clock: the same coalesced end-to-end traffic on each
+    // execution backend. Requesting avx2 on a machine without it resolves
+    // to the scalar engine (typed fallback), so the row is labelled with
+    // what actually ran.
+    let mut backend_rows: Vec<(&str, f64)> = Vec::new();
+    for kind in [
+        fol_vm::BackendKind::Sim,
+        fol_vm::BackendKind::Scalar,
+        fol_vm::BackendKind::Avx2,
+    ] {
+        let ran = fol_simd::engine_for(kind).name();
+        if kind == fol_vm::BackendKind::Avx2 && ran != "avx2" {
+            println!("serve/end-to-end/backend-avx2: SKIPPED (AVX2 not detected; scalar fallback already measured)");
+            continue;
+        }
+        let m = bench(&format!("serve/end-to-end/backend-{ran}"), || {
+            run_server(256, kind)
+        });
+        let ops_per_s = REQUESTS as f64 * 1e9 / m.ns_per_iter;
+        println!("backend {ran}: {ops_per_s:.0} requests/s end-to-end");
+        backend_rows.push((ran, ops_per_s));
+    }
+
     // JSON artifact for CI (hand-rolled; the workspace is dependency-free).
-    let mut body = String::from("{\"bench\":\"serve\",\"rows\":[");
+    let mut body = format!(
+        "{{\"bench\":\"serve\",{},\"rows\":[",
+        fol_bench::report::backend_fields("sim")
+    );
     for (i, (size, per, coal)) in rows.iter().enumerate() {
         if i > 0 {
             body.push(',');
@@ -137,9 +170,18 @@ fn main() {
         ));
     }
     body.push_str(&format!(
-        "],\"end_to_end\":{{\"batched_ns\":{:.1},\"unbatched_ns\":{:.1},\"speedup\":{:.3}}}}}",
+        "],\"end_to_end\":{{\"batched_ns\":{:.1},\"unbatched_ns\":{:.1},\"speedup\":{:.3}}},\"backends\":[",
         batched.ns_per_iter, unbatched.ns_per_iter, e2e_speedup
     ));
+    for (i, (name, ops)) in backend_rows.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"backend\":\"{name}\",\"ops_per_s\":{ops:.0}}}"
+        ));
+    }
+    body.push_str("]}");
     let dir = std::env::var("BENCH_ARTIFACT_DIR").unwrap_or_else(|_| "target/bench".into());
     let _ = std::fs::create_dir_all(&dir);
     let path = format!("{dir}/serve.json");

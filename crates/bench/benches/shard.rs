@@ -48,7 +48,7 @@ const MAX_BATCH: usize = 64;
 const TOTAL_BUCKETS: usize = 2048;
 const TOTAL_CAPACITY: usize = 65536;
 
-fn node(share: usize) -> NetServer {
+fn node(share: usize, backend: fol_vm::BackendKind) -> NetServer {
     let server = Server::start(ServerConfig {
         workers: 2,
         queue_capacity: 2048,
@@ -56,6 +56,7 @@ fn node(share: usize) -> NetServer {
         max_wait: Duration::from_micros(200),
         chain_buckets: TOTAL_BUCKETS / share,
         chain_capacity: TOTAL_CAPACITY / share,
+        backend,
         ..ServerConfig::default()
     });
     NetServer::start(
@@ -103,8 +104,8 @@ fn aggregate_write_throughput(map: &ShardMap) -> f64 {
     total_keys as f64 / start.elapsed().as_secs_f64()
 }
 
-fn cluster(n: usize) -> (Vec<NetServer>, ShardMap) {
-    let nets: Vec<NetServer> = (0..n).map(|_| node(n)).collect();
+fn cluster(n: usize, backend: fol_vm::BackendKind) -> (Vec<NetServer>, ShardMap) {
+    let nets: Vec<NetServer> = (0..n).map(|_| node(n, backend)).collect();
     let addrs: Vec<String> = nets.iter().map(|s| s.local_addr().to_string()).collect();
     let map = ShardMap::build(addrs, SHARDS, VNODES, 1);
     for (i, addr) in map.nodes.iter().enumerate() {
@@ -123,12 +124,12 @@ fn main() {
     let mut best_ratio = 0.0f64;
     let (mut best_single, mut best_sharded) = (0.0f64, 0.0f64);
     for round in 0..3 {
-        let (nets1, map1) = cluster(1);
+        let (nets1, map1) = cluster(1, fol_vm::BackendKind::Sim);
         let single = aggregate_write_throughput(&map1);
         for n in nets1 {
             drop(n.shutdown());
         }
-        let (nets4, map4) = cluster(4);
+        let (nets4, map4) = cluster(4, fol_vm::BackendKind::Sim);
         let sharded = aggregate_write_throughput(&map4);
         for n in nets4 {
             drop(n.shutdown());
@@ -158,11 +159,47 @@ fn main() {
          {best_ratio:.2}x a single node (gate 1.5x)"
     );
 
-    let body = format!(
-        "{{\"bench\":\"shard\",\"nodes\":4,\"shards\":{SHARDS},\"threads\":{THREADS},\
+    // Per-backend wall-clock: the same aggregate write traffic against a
+    // single node on each execution backend. The avx2 row only appears on
+    // hardware that has it (requesting it elsewhere resolves to scalar —
+    // the typed fallback — which is already measured).
+    let mut backend_rows: Vec<(&str, f64)> = Vec::new();
+    for kind in [
+        fol_vm::BackendKind::Sim,
+        fol_vm::BackendKind::Scalar,
+        fol_vm::BackendKind::Avx2,
+    ] {
+        let ran = fol_simd::engine_for(kind).name();
+        if kind == fol_vm::BackendKind::Avx2 && ran != "avx2" {
+            println!(
+                "shard/backend-avx2: SKIPPED (AVX2 not detected; scalar fallback already measured)"
+            );
+            continue;
+        }
+        let (nets, map) = cluster(1, kind);
+        let keys_per_s = aggregate_write_throughput(&map);
+        for n in nets {
+            drop(n.shutdown());
+        }
+        println!("backend {ran}: {keys_per_s:.0} keys/s on one node");
+        backend_rows.push((ran, keys_per_s));
+    }
+
+    let mut body = format!(
+        "{{\"bench\":\"shard\",{},\"nodes\":4,\"shards\":{SHARDS},\"threads\":{THREADS},\
          \"single_keys_per_s\":{best_single:.0},\"sharded_keys_per_s\":{best_sharded:.0},\
-         \"speedup\":{best_ratio:.3},\"gate\":1.5,\"passed\":true}}"
+         \"speedup\":{best_ratio:.3},\"gate\":1.5,\"passed\":true,\"backends\":[",
+        fol_bench::report::backend_fields("sim")
     );
+    for (i, (name, ops)) in backend_rows.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"backend\":\"{name}\",\"ops_per_s\":{ops:.0}}}"
+        ));
+    }
+    body.push_str("]}");
     let dir = std::env::var("BENCH_ARTIFACT_DIR").unwrap_or_else(|_| "target/bench".into());
     let _ = std::fs::create_dir_all(&dir);
     let path = format!("{dir}/shard.json");

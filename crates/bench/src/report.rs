@@ -13,6 +13,20 @@ pub fn cycles_to_us(cycles: u64) -> f64 {
     cycles as f64 * S810_NS_PER_CYCLE / 1000.0
 }
 
+/// JSON fragment (no braces) stamping a bench artifact with the execution
+/// backend it ran on and the CPU features detected at run time, e.g.
+/// `"backend":"sim","cpu_features":["avx","avx2"]`. Every artifact writer
+/// splices this in so perf trajectories recorded on different machines —
+/// or different backends — stay attributable.
+pub fn backend_fields(backend: &str) -> String {
+    let features = fol_simd::detected_features()
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("\"backend\":\"{backend}\",\"cpu_features\":[{features}]")
+}
+
 /// Renders Fig 9's series (CPU time vs load factor) for one table size.
 pub fn fig9_table(table_size: usize, points: &[HashPoint]) -> String {
     let mut s = String::new();
@@ -163,6 +177,19 @@ mod tests {
         assert!(s.contains("260"));
         assert!(s.contains("1000"));
         assert!(s.contains("14.0"), "1000 cycles at 14ns = 14 µs");
+    }
+
+    #[test]
+    fn backend_fields_are_valid_json_fragments() {
+        let s = backend_fields("scalar");
+        assert!(s.starts_with("\"backend\":\"scalar\",\"cpu_features\":["));
+        assert!(s.ends_with(']'));
+        // Splicing into an object must parse shape-wise: balanced quotes,
+        // no trailing comma.
+        assert!(!s.contains(",]"));
+        if fol_simd::avx2_available() {
+            assert!(s.contains("\"avx2\""));
+        }
     }
 
     #[test]

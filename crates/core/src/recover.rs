@@ -53,7 +53,8 @@ use crate::error::{validate_decomposition, FolError, Validation};
 use crate::parallel::{try_apply_rounds, try_par_apply_rounds};
 use crate::Decomposition;
 use fol_vm::{
-    CmpOp, ConflictPolicy, IntegrityError, LaneSet, Machine, Region, Snapshot, Word, LANE_COUNT,
+    BackendKind, CmpOp, ConflictPolicy, IntegrityError, LaneSet, Machine, Region, Snapshot, Word,
+    LANE_COUNT,
 };
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -471,6 +472,11 @@ pub struct RecoveryReport {
     /// Sub-transaction executions spent inside [`ExecMode::VerifiedReplay`]
     /// rungs, voting included (a clean 2-of-3 majority costs 2).
     pub replays: usize,
+    /// The execution backend the machine computed on — recovery is
+    /// backend-generic, and the report says which lanes actually ran
+    /// (typed degradation means this can be [`BackendKind::Scalar`] even
+    /// when AVX2 was requested).
+    pub backend: BackendKind,
 }
 
 impl RecoveryReport {
@@ -501,8 +507,8 @@ impl RecoveryReport {
         format!(
             "{{\"attempts\":{},\"rounds_replayed\":{},\"final_mode\":\"{}\",\
              \"recovered\":{},\"faults_consumed\":{},\
-             \"corruption_detected\":{},\"replays\":{},\"errors\":[{}],\
-             \"attempt_trace\":[{}]}}",
+             \"corruption_detected\":{},\"replays\":{},\"backend\":\"{}\",\
+             \"errors\":[{}],\"attempt_trace\":[{}]}}",
             self.attempts,
             self.rounds_replayed,
             self.final_mode,
@@ -510,6 +516,7 @@ impl RecoveryReport {
             self.faults_consumed,
             self.corruption_detected,
             self.replays,
+            self.backend,
             errors.join(","),
             trace.join(","),
         )
@@ -574,6 +581,9 @@ pub struct ParsedReport {
     pub corruption_detected: usize,
     /// Verified-replay sub-executions. Zero for older artifacts.
     pub replays: usize,
+    /// Execution backend name. `"sim"` for artifacts written before
+    /// backends existed (the simulator was the only engine then).
+    pub backend: String,
 }
 
 impl ParsedReport {
@@ -627,6 +637,11 @@ impl ParsedReport {
             attempt_trace,
             corruption_detected: opt_counter("corruption_detected")?,
             replays: opt_counter("replays")?,
+            backend: match get(obj, "backend") {
+                Ok(v) => v.as_str("backend")?.to_string(),
+                // Pre-backend artifacts all ran on the simulator.
+                Err(_) => "sim".to_string(),
+            },
         })
     }
 }
@@ -1084,6 +1099,7 @@ where
         attempt_trace: Vec::new(),
         corruption_detected: 0,
         replays: 0,
+        backend: m.backend_kind(),
     };
     let mut result = None;
     let mut watchdog_tripped = false;
@@ -1942,6 +1958,7 @@ mod tests {
             faults_consumed: 5,
             corruption_detected: 1,
             replays: 2,
+            backend: BackendKind::Avx2,
             attempt_trace: vec![
                 AttemptRecord {
                     mode: ExecMode::Vector,
@@ -1958,6 +1975,7 @@ mod tests {
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"attempts\":2"), "{json}");
+        assert!(json.contains("\"backend\":\"avx2\""), "{json}");
         assert!(json.contains("\"final_mode\":\"ScalarTail\""), "{json}");
         assert!(json.contains("\"recovered\":true"), "{json}");
         assert!(json.contains("\"errors\":[\""), "{json}");
@@ -1986,6 +2004,7 @@ mod tests {
             faults_consumed: 11,
             corruption_detected: 2,
             replays: 4,
+            backend: BackendKind::Scalar,
             attempt_trace: vec![
                 AttemptRecord {
                     mode: ExecMode::Vector,
@@ -2016,6 +2035,7 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert_eq!(parsed.attempt_trace, report.attempt_trace);
+        assert_eq!(parsed.backend, report.backend.to_string());
         // And a second encode of the parsed fields agrees on the mode.
         assert_eq!(parsed.final_mode.to_string(), "DegradedVector{5,17}");
     }
@@ -2059,6 +2079,7 @@ mod tests {
             faults_consumed: 0,
             corruption_detected: 0,
             replays: 0,
+            backend: BackendKind::Sim,
             attempt_trace: vec![],
         }
         .to_json();
@@ -2467,6 +2488,7 @@ mod tests {
             faults_consumed: 0,
             corruption_detected: 0,
             replays: 0,
+            backend: BackendKind::Sim,
             attempt_trace: vec![],
         }
         .to_json();
@@ -2494,14 +2516,21 @@ mod tests {
             faults_consumed: 0,
             corruption_detected: 0,
             replays: 0,
+            backend: BackendKind::Sim,
             attempt_trace: vec![],
         }
         .to_json();
-        let legacy = modern.replace("\"corruption_detected\":0,\"replays\":0,", "");
+        let legacy = modern
+            .replace("\"corruption_detected\":0,\"replays\":0,", "")
+            .replace("\"backend\":\"sim\",", "");
         assert_ne!(legacy, modern, "the counters must have been emitted");
         let parsed = ParsedReport::from_json(&legacy).expect("legacy artifacts parse");
         assert_eq!(parsed.corruption_detected, 0);
         assert_eq!(parsed.replays, 0);
+        assert_eq!(
+            parsed.backend, "sim",
+            "pre-backend artifacts default to the simulator"
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@
 use crate::fault::{FaultedWriter, WireFaultPlan};
 use crate::shard::ShardMap;
 use crate::wire::{read_frame, ClientMsg, ReadFrameError, ServerMsg, WireOutcome};
-use fol_persist::{HandoffImage, HandoffSection};
+use fol_persist::{HandoffDedupe, HandoffImage, HandoffSection};
 use fol_serve::{
     keys_digest, Priority, Request, Response, ServeError, Server, ShutdownReport, Ticket,
     WorkloadClass,
@@ -84,8 +84,16 @@ impl Default for NetServerConfig {
 enum Dedupe {
     /// Admitted, outcome not yet known.
     InFlight,
-    /// Completed with this outcome; replayed verbatim to retries.
-    Done(WireOutcome),
+    /// Completed; replayed verbatim to retries.
+    Done {
+        /// The shard the request routed to: the ownership tag
+        /// [`extract_shard`] uses to ship this entry inside the handoff
+        /// image when the shard moves, so the client's retry replays on
+        /// the new owner instead of hitting a `WrongEpoch` refusal.
+        shard: u32,
+        /// The cached outcome.
+        outcome: WireOutcome,
+    },
 }
 
 struct NetShared {
@@ -268,6 +276,7 @@ struct InFlightItem {
     client_id: u64,
     map_epoch: u64,
     seq: u64,
+    shard: u32,
     ticket: Ticket,
 }
 
@@ -276,6 +285,7 @@ struct FinishedItem {
     client_id: u64,
     map_epoch: u64,
     seq: u64,
+    shard: u32,
 }
 
 fn serve_connection(stream: TcpStream, shared: Arc<NetShared>, stream_index: u64) {
@@ -553,7 +563,7 @@ fn flush_group(
         let mut dedupe = shared.dedupe.lock().unwrap_or_else(PoisonError::into_inner);
         for it in group {
             match dedupe.get(&(it.client_id, it.map_epoch, it.seq)) {
-                Some(Dedupe::Done(outcome)) => replies.push(ServerMsg::Result {
+                Some(Dedupe::Done { outcome, .. }) => replies.push(ServerMsg::Result {
                     seq: it.seq,
                     outcome: outcome.clone(),
                 }),
@@ -589,7 +599,7 @@ fn flush_group(
     // its dedupe marker is rolled back, so the client's re-route under the
     // new map executes fresh.
     let mut rollback: Vec<(u64, u64, u64)> = Vec::new();
-    let mut meta: Vec<(u64, u64, u64)> = Vec::with_capacity(fresh.len());
+    let mut meta: Vec<(u64, u64, u64, u32)> = Vec::with_capacity(fresh.len());
     let mut items: Vec<(fol_serve::Request, Priority, Option<Duration>)> =
         Vec::with_capacity(fresh.len());
     let gate = shared.server.shard_gate();
@@ -609,7 +619,7 @@ fn flush_group(
             })
             .is_ok();
         if admitted {
-            meta.push((it.client_id, it.map_epoch, it.seq));
+            meta.push((it.client_id, it.map_epoch, it.seq, it.shard));
             items.push((
                 it.request,
                 Priority::Normal,
@@ -627,7 +637,7 @@ fn flush_group(
     }
     let outcomes = shared.server.submit_many_with(items);
     let mut writer_gone = false;
-    for (&(client_id, map_epoch, seq), outcome) in meta.iter().zip(outcomes) {
+    for (&(client_id, map_epoch, seq, shard), outcome) in meta.iter().zip(outcomes) {
         match outcome {
             Ok(ticket) if !writer_gone => {
                 if tx
@@ -635,6 +645,7 @@ fn flush_group(
                         client_id,
                         map_epoch,
                         seq,
+                        shard,
                         ticket,
                     })
                     .is_err()
@@ -816,12 +827,34 @@ fn extract_shard(shared: &NetShared, shard: u32) -> ServerMsg {
             keys,
         });
     }
+    // Ship the shard's cached request outcomes with it: a client whose
+    // request completed here can retry against the new owner (still
+    // stamped with the epoch it was admitted under) and get the cached
+    // outcome replayed instead of a WrongEpoch refusal re-executing it.
+    // Only Done entries ship — the drain above guarantees nothing for this
+    // shard is still InFlight. Sorted for a deterministic image.
+    let mut dedupe: Vec<HandoffDedupe> = {
+        let g = shared.dedupe.lock().unwrap_or_else(PoisonError::into_inner);
+        g.iter()
+            .filter_map(|(&(client_id, epoch, seq), entry)| match entry {
+                Dedupe::Done { shard: s, outcome } if *s == shard => Some(HandoffDedupe {
+                    client_id,
+                    epoch,
+                    seq,
+                    outcome: outcome.encode(),
+                }),
+                _ => None,
+            })
+            .collect()
+    };
+    dedupe.sort_by_key(|r| (r.client_id, r.epoch, r.seq));
     let image = HandoffImage {
         shard,
         shards,
         source_epoch: epoch,
         wal_floor: shared.server.stats().wal_appends,
         sections,
+        dedupe,
     };
     ServerMsg::ShardImage {
         image: image.encode(),
@@ -921,6 +954,35 @@ fn install_shard(shared: &NetShared, bytes: &[u8]) -> ServerMsg {
             Err(what) => return ServerMsg::AdminErr { what },
         }
     }
+    // Install the shipped dedupe records so a client's retry of a request
+    // that completed on the old owner replays its cached outcome here.
+    // Decode first (a record whose bytes do not parse is a typed refusal,
+    // the dedupe analogue of the section digest check), then insert under
+    // one lock. Present entries are kept — a retried install is a no-op,
+    // and an outcome this node recorded itself is never overwritten.
+    let mut decoded = Vec::with_capacity(image.dedupe.len());
+    for rec in &image.dedupe {
+        match WireOutcome::decode(&rec.outcome) {
+            Ok(outcome) => decoded.push(((rec.client_id, rec.epoch, rec.seq), outcome)),
+            Err(e) => {
+                return ServerMsg::AdminErr {
+                    what: format!(
+                        "install: dedupe record (client {}, epoch {}, seq {}): {e}",
+                        rec.client_id, rec.epoch, rec.seq
+                    ),
+                }
+            }
+        }
+    }
+    {
+        let mut dedupe = shared.dedupe.lock().unwrap_or_else(PoisonError::into_inner);
+        for (key, outcome) in decoded {
+            dedupe.entry(key).or_insert(Dedupe::Done {
+                shard: image.shard,
+                outcome,
+            });
+        }
+    }
     ServerMsg::AdminOk
 }
 
@@ -962,10 +1024,13 @@ fn writer_loop(rx: Receiver<InFlightItem>, out: Arc<Mutex<OutHalf>>, shared: Arc
                 if cacheable(outcome) {
                     dedupe.insert(
                         (item.client_id, item.map_epoch, item.seq),
-                        Dedupe::Done(match outcome {
-                            Ok(r) => WireOutcome::Ok(r.clone()),
-                            Err(e) => WireOutcome::Err(e.clone()),
-                        }),
+                        Dedupe::Done {
+                            shard: item.shard,
+                            outcome: match outcome {
+                                Ok(r) => WireOutcome::Ok(r.clone()),
+                                Err(e) => WireOutcome::Err(e.clone()),
+                            },
+                        },
                     );
                 } else {
                     dedupe.remove(&(item.client_id, item.map_epoch, item.seq));
@@ -1002,6 +1067,7 @@ fn head_outcome(item: InFlightItem) -> (FinishedItem, Result<Response, ServeErro
         client_id,
         map_epoch,
         seq,
+        shard,
         ticket,
     } = item;
     (
@@ -1009,6 +1075,7 @@ fn head_outcome(item: InFlightItem) -> (FinishedItem, Result<Response, ServeErro
             client_id,
             map_epoch,
             seq,
+            shard,
         },
         ticket.wait(),
     )

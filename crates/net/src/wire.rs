@@ -168,6 +168,25 @@ pub enum WireOutcome {
     Busy,
 }
 
+impl WireOutcome {
+    /// Encodes the outcome standalone (tag byte onward, no frame header) —
+    /// the opaque byte form shard-handoff images ship dedupe records in.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        enc_outcome(&mut e, self);
+        e.into_bytes()
+    }
+
+    /// Decodes a standalone encoding produced by [`WireOutcome::encode`];
+    /// every defect is a typed [`PersistError::Malformed`].
+    pub fn decode(payload: &[u8]) -> Result<Self, PersistError> {
+        let mut d = Dec::new(payload);
+        let outcome = dec_outcome(&mut d)?;
+        d.finish("wire.outcome")?;
+        Ok(outcome)
+    }
+}
+
 /// One server-to-client message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServerMsg {
@@ -598,6 +617,29 @@ fn dec_serve_error(d: &mut Dec<'_>) -> Result<ServeError, PersistError> {
     })
 }
 
+fn enc_outcome(e: &mut Enc, outcome: &WireOutcome) {
+    match outcome {
+        WireOutcome::Ok(r) => {
+            e.u8(OUTCOME_OK);
+            enc_response(e, r);
+        }
+        WireOutcome::Err(err) => {
+            e.u8(OUTCOME_ERR);
+            enc_serve_error(e, err);
+        }
+        WireOutcome::Busy => e.u8(OUTCOME_BUSY),
+    }
+}
+
+fn dec_outcome(d: &mut Dec<'_>) -> Result<WireOutcome, PersistError> {
+    Ok(match d.u8("wire.result.outcome")? {
+        OUTCOME_OK => WireOutcome::Ok(dec_response(d)?),
+        OUTCOME_ERR => WireOutcome::Err(dec_serve_error(d)?),
+        OUTCOME_BUSY => WireOutcome::Busy,
+        other => return Err(malformed(format!("wire: unknown outcome tag {other}"))),
+    })
+}
+
 fn enc_blob(e: &mut Enc, bytes: &[u8]) {
     e.u32(bytes.len() as u32);
     for &b in bytes {
@@ -742,17 +784,7 @@ impl ServerMsg {
             ServerMsg::Result { seq, outcome } => {
                 e.u8(OP_RESULT);
                 e.u64(*seq);
-                match outcome {
-                    WireOutcome::Ok(r) => {
-                        e.u8(OUTCOME_OK);
-                        enc_response(&mut e, r);
-                    }
-                    WireOutcome::Err(err) => {
-                        e.u8(OUTCOME_ERR);
-                        enc_serve_error(&mut e, err);
-                    }
-                    WireOutcome::Busy => e.u8(OUTCOME_BUSY),
-                }
+                enc_outcome(&mut e, outcome);
             }
             ServerMsg::Health { counters } => {
                 e.u8(OP_HEALTH_OK);
@@ -798,12 +830,7 @@ impl ServerMsg {
         let msg = match op {
             OP_RESULT => {
                 let seq = d.u64("wire.result.seq")?;
-                let outcome = match d.u8("wire.result.outcome")? {
-                    OUTCOME_OK => WireOutcome::Ok(dec_response(&mut d)?),
-                    OUTCOME_ERR => WireOutcome::Err(dec_serve_error(&mut d)?),
-                    OUTCOME_BUSY => WireOutcome::Busy,
-                    other => return Err(malformed(format!("wire: unknown outcome tag {other}"))),
-                };
+                let outcome = dec_outcome(&mut d)?;
                 ServerMsg::Result { seq, outcome }
             }
             OP_HEALTH_OK => {

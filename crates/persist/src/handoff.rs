@@ -12,15 +12,26 @@
 //! content digest so the installer can prove byte-for-byte fidelity
 //! end-to-end.
 //!
-//! # Format (version 1)
+//! # Format (version 2; version 1 still decodes)
 //!
 //! ```text
 //! magic "FOLHOFF\0" (8 bytes)  version u32 LE
 //! frame: meta      — shard, shards, source_epoch, wal_floor,
-//!                    section count
+//!                    section count, dedupe-record count (v2)
 //! frame: section ×N — class name, content digest, key count, keys i64 ×K
+//! frame: dedupe ×M  — client id, epoch, seq, opaque outcome bytes (v2)
 //! frame: trailer   — literal "END"
 //! ```
+//!
+//! Version 2 adds the source's per-client **dedupe outcome cache** for the
+//! moving shard: each record is a completed request's identity
+//! (`client_id`, the map epoch it was admitted under, `seq`) plus its
+//! outcome in the *serving layer's own encoding* — opaque bytes to this
+//! crate, shipped and installed verbatim. Shipping the cache means a
+//! client whose request completed on the old owner can retry against the
+//! new owner (still stamped with the old epoch) and get the cached outcome
+//! replayed instead of a `WrongEpoch` refusal forcing a re-execute. A
+//! version-1 image decodes as an image with no dedupe records.
 //!
 //! Every section records the content digest its keys must hash to under
 //! the *caller's* digest function (the serving layer's order-insensitive
@@ -36,8 +47,9 @@ use fol_vm::Word;
 
 /// First bytes of every handoff image.
 pub const HANDOFF_MAGIC: &[u8; 8] = b"FOLHOFF\0";
-/// The handoff format version this build writes and reads.
-pub const HANDOFF_VERSION: u32 = 1;
+/// The handoff format version this build writes. Version 1 (no dedupe
+/// records) is still decoded.
+pub const HANDOFF_VERSION: u32 = 2;
 
 const TRAILER: &[u8] = b"END";
 
@@ -51,6 +63,24 @@ pub struct HandoffSection {
     pub digest: u64,
     /// The shard's stored keys for this class, sorted ascending.
     pub keys: Vec<Word>,
+}
+
+/// One shipped dedupe record: a completed request's cached outcome,
+/// moving with its shard so a client's in-flight retry survives the move
+/// without waiting for an epoch refresh.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HandoffDedupe {
+    /// The client that issued the request.
+    pub client_id: u64,
+    /// The map epoch the request was admitted under on the *source* — part
+    /// of the dedupe identity, so the installed record answers exactly the
+    /// retry that carries the old stamp.
+    pub epoch: u64,
+    /// The client's request sequence number.
+    pub seq: u64,
+    /// The cached outcome in the serving layer's own wire encoding —
+    /// opaque to this crate, shipped and installed verbatim.
+    pub outcome: Vec<u8>,
 }
 
 /// A complete shard-handoff image: which shard is moving, under which map
@@ -70,6 +100,9 @@ pub struct HandoffImage {
     pub wal_floor: u64,
     /// Per-class contents.
     pub sections: Vec<HandoffSection>,
+    /// The source's cached request outcomes for this shard (empty when
+    /// decoding a version-1 image).
+    pub dedupe: Vec<HandoffDedupe>,
 }
 
 impl HandoffImage {
@@ -85,6 +118,7 @@ impl HandoffImage {
         meta.u64(self.source_epoch);
         meta.u64(self.wal_floor);
         meta.u32(self.sections.len() as u32);
+        meta.u32(self.dedupe.len() as u32);
         push_frame(&mut out, &meta.into_bytes());
 
         for s in &self.sections {
@@ -94,6 +128,17 @@ impl HandoffImage {
             e.u32(s.keys.len() as u32);
             for &k in &s.keys {
                 e.i64(k);
+            }
+            push_frame(&mut out, &e.into_bytes());
+        }
+        for r in &self.dedupe {
+            let mut e = Enc::new();
+            e.u64(r.client_id);
+            e.u64(r.epoch);
+            e.u64(r.seq);
+            e.u32(r.outcome.len() as u32);
+            for &b in &r.outcome {
+                e.u8(b);
             }
             push_frame(&mut out, &e.into_bytes());
         }
@@ -122,7 +167,7 @@ impl HandoffImage {
             });
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != HANDOFF_VERSION {
+        if version == 0 || version > HANDOFF_VERSION {
             return Err(PersistError::UnsupportedVersion {
                 what: what.into(),
                 found: version,
@@ -148,6 +193,11 @@ impl HandoffImage {
         let source_epoch = d.u64("handoff.source_epoch")?;
         let wal_floor = d.u64("handoff.wal_floor")?;
         let n_sections = d.u32("handoff.sections.len")? as usize;
+        let n_dedupe = if version >= 2 {
+            d.u32("handoff.dedupe.len")? as usize
+        } else {
+            0
+        };
         d.finish("handoff meta")?;
         if shards == 0 || shard >= shards {
             return Err(PersistError::Malformed {
@@ -184,6 +234,37 @@ impl HandoffImage {
             });
         }
 
+        let mut dedupe = Vec::with_capacity(n_dedupe.min(1 << 16));
+        for i in 0..n_dedupe {
+            let payload = match next_frame(bytes, &mut pos, "handoff dedupe")? {
+                Frame::Ok(p) => p,
+                Frame::End => {
+                    return Err(PersistError::Truncated {
+                        what: format!("handoff dedupe record {i} of {n_dedupe}"),
+                        offset: pos,
+                        needed: 8,
+                        available: 0,
+                    })
+                }
+            };
+            let mut d = Dec::new(payload);
+            let client_id = d.u64("dedupe.client_id")?;
+            let epoch = d.u64("dedupe.epoch")?;
+            let seq = d.u64("dedupe.seq")?;
+            let len = d.u32("dedupe.outcome.len")? as usize;
+            let mut outcome = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                outcome.push(d.u8("dedupe.outcome")?);
+            }
+            d.finish("handoff dedupe record")?;
+            dedupe.push(HandoffDedupe {
+                client_id,
+                epoch,
+                seq,
+                outcome,
+            });
+        }
+
         match next_frame(bytes, &mut pos, "handoff trailer")? {
             Frame::Ok(p) if p == TRAILER => {}
             Frame::Ok(_) => {
@@ -207,6 +288,7 @@ impl HandoffImage {
             source_epoch,
             wal_floor,
             sections,
+            dedupe,
         })
     }
 
@@ -261,6 +343,20 @@ mod tests {
                     keys: vec![],
                 },
             ],
+            dedupe: vec![
+                HandoffDedupe {
+                    client_id: 7,
+                    epoch: 5,
+                    seq: 31,
+                    outcome: vec![0xAA, 0, 0xFF],
+                },
+                HandoffDedupe {
+                    client_id: 9,
+                    epoch: 4,
+                    seq: 2,
+                    outcome: vec![],
+                },
+            ],
         }
     }
 
@@ -271,6 +367,41 @@ mod tests {
         let back = HandoffImage::decode(&bytes).expect("decode");
         assert_eq!(back, img);
         assert_eq!(back.key_count(), 4);
+        assert_eq!(back.dedupe.len(), 2);
+        back.verify(sum_digest).expect("digests match");
+    }
+
+    /// A version-1 image (written before dedupe shipping existed) still
+    /// decodes: same frames, five-field meta, no dedupe records.
+    #[test]
+    fn version_one_images_still_decode() {
+        let img = image();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(HANDOFF_MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        let mut meta = Enc::new();
+        meta.u32(img.shard);
+        meta.u32(img.shards);
+        meta.u64(img.source_epoch);
+        meta.u64(img.wal_floor);
+        meta.u32(img.sections.len() as u32);
+        push_frame(&mut bytes, &meta.into_bytes());
+        for s in &img.sections {
+            let mut e = Enc::new();
+            e.str(&s.class);
+            e.u64(s.digest);
+            e.u32(s.keys.len() as u32);
+            for &k in &s.keys {
+                e.i64(k);
+            }
+            push_frame(&mut bytes, &e.into_bytes());
+        }
+        push_frame(&mut bytes, TRAILER);
+
+        let back = HandoffImage::decode(&bytes).expect("v1 decodes");
+        assert_eq!(back.sections, img.sections);
+        assert_eq!(back.source_epoch, img.source_epoch);
+        assert!(back.dedupe.is_empty());
         back.verify(sum_digest).expect("digests match");
     }
 

@@ -57,7 +57,7 @@ pub use checkpoint::{latest_checkpoint, Checkpoint, Checkpointer, ScanNote};
 pub use compact::{CompactRefusal, CompactionReport, Compactor, LogRecord};
 pub use delta::{materialize, state_digest, DeltaCheckpoint};
 pub use frame::crc32;
-pub use handoff::{HandoffImage, HandoffSection};
+pub use handoff::{HandoffDedupe, HandoffImage, HandoffSection};
 pub use planner::{RecoveryPlan, RecoveryPlanner, SkipReason, SkippedGeneration};
 pub use wal::{FsyncPolicy, Replay, TornTail, Wal, WalRecord};
 

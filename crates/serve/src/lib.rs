@@ -113,6 +113,13 @@ pub struct ServerConfig {
     /// write-ahead request log and per-worker checkpoints. `None` (the
     /// default) keeps the server fully in-memory, exactly as before.
     pub durability: Option<DurabilityConfig>,
+    /// Execution backend for every worker's machine. The default is the
+    /// cost-model simulator; [`fol_vm::BackendKind::Avx2`] selects the
+    /// hardware-lane engine from `fol-simd` when the CPU supports it and
+    /// falls back to the scalar engine (typed — the machine then reports
+    /// `"scalar"`) when it does not. All backends are bit-identical, so
+    /// this knob changes wall-clock speed, never results.
+    pub backend: fol_vm::BackendKind,
 }
 
 impl Default for ServerConfig {
@@ -131,6 +138,7 @@ impl Default for ServerConfig {
             policy: RetryPolicy::default(),
             fault_plan: None,
             durability: None,
+            backend: fol_vm::BackendKind::Sim,
         }
     }
 }

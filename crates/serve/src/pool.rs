@@ -132,7 +132,7 @@ fn build_machine(
     cfg: &ServerConfig,
     id: usize,
 ) -> (Machine, ChainTable, Option<Region>, Option<Bst>) {
-    let mut m = Machine::new(CostModel::unit());
+    let mut m = Machine::with_engine(CostModel::unit(), fol_simd::engine_for(cfg.backend));
     m.set_fault_plan(cfg.fault_plan.clone());
     let chain = ChainTable::alloc(&mut m, cfg.chain_buckets, cfg.chain_capacity);
     let oa_table = (owner_of(WorkloadClass::OpenAddr, cfg.workers) == id).then(|| {

@@ -69,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod conflict;
 pub mod cost;
 pub mod expr;
@@ -82,6 +83,7 @@ pub mod program;
 pub mod trace;
 pub mod vreg;
 
+pub use backend::{BackendKind, LaneEngine, ScalarEngine, SimEngine};
 pub use conflict::{AdversaryState, ConflictPolicy};
 pub use cost::{CostModel, OpKind, Stats};
 pub use fault::{AmalgamMode, FaultEvent, FaultLog, FaultPlan};

@@ -11,6 +11,7 @@
 //! acceleration ratios are computed exactly this way (same machine, same
 //! memory, two code paths).
 
+use crate::backend::{BackendKind, LaneEngine, SimEngine};
 use crate::conflict::{AdversaryState, ConflictPolicy};
 use crate::cost::{CostModel, OpKind, Stats};
 use crate::fault::{FaultEvent, FaultLog, FaultPlan};
@@ -120,8 +121,9 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
+    /// Applies the predicate to one element pair.
     #[inline]
-    fn apply(self, a: Word, b: Word) -> bool {
+    pub fn apply(self, a: Word, b: Word) -> bool {
         match self {
             CmpOp::Eq => a == b,
             CmpOp::Ne => a != b,
@@ -168,6 +170,11 @@ pub struct Machine {
     /// plan can serve stale reads (so the fault has something real to
     /// return).
     stale_shadow: std::collections::HashMap<Addr, Word>,
+    /// The execution backend performing data-plane compute on the paths
+    /// where the control plane (faults, journal, checksums, non-last-wins
+    /// policies) cannot observe how elements are computed. Every engine is
+    /// held to bit-identical results; see [`crate::backend`].
+    engine: Box<dyn LaneEngine>,
 }
 
 impl Machine {
@@ -193,6 +200,7 @@ impl Machine {
             auditor: None,
             gather_seq: 0,
             stale_shadow: std::collections::HashMap::new(),
+            engine: Box::new(SimEngine),
         }
     }
 
@@ -202,6 +210,32 @@ impl Machine {
             policy,
             ..Self::new(cost)
         }
+    }
+
+    /// A machine computing on an explicit execution backend (see
+    /// [`crate::backend`]; the default is the [`SimEngine`] reference).
+    pub fn with_engine(cost: CostModel, engine: Box<dyn LaneEngine>) -> Self {
+        Self {
+            engine,
+            ..Self::new(cost)
+        }
+    }
+
+    /// Swaps the execution backend. Memory, cost meter and every other
+    /// piece of machine state are untouched — engines are required to be
+    /// bit-identical, so this is always safe mid-workload.
+    pub fn set_engine(&mut self, engine: Box<dyn LaneEngine>) {
+        self.engine = engine;
+    }
+
+    /// The active execution backend's stable name (e.g. `"sim"`, `"avx2"`).
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// The active execution backend's [`BackendKind`].
+    pub fn backend_kind(&self) -> BackendKind {
+        self.engine.kind()
     }
 
     // ------------------------------------------------------------------
@@ -949,12 +983,19 @@ impl Machine {
         self.charge_vector(OpKind::VGather, idx.len());
         self.gather_seq += 1;
         let seq = self.gather_seq;
-        let addrs: Vec<Addr> = idx.iter().map(|i| Self::region_addr(region, i)).collect();
-        let mut out: Vec<Word> = addrs.iter().map(|&a| self.mem.read(a)).collect();
         let plan = match &self.fault_plan {
             Some(p) if p.corrupts_reads() => p.clone(),
-            _ => return VReg::from_vec(out),
+            _ => {
+                // Data-plane fast path: no read-side fault can observe how
+                // the elements are fetched, so the active engine gathers
+                // over the region's word window (bounds reported exactly
+                // like the addressed path).
+                let words = &self.mem.words()[region.base()..region.base() + region.len()];
+                return VReg::from_vec(self.engine.gather(words, region, idx.as_slice()));
+            }
         };
+        let addrs: Vec<Addr> = idx.iter().map(|i| Self::region_addr(region, i)).collect();
+        let mut out: Vec<Word> = addrs.iter().map(|&a| self.mem.read(a)).collect();
         let truth = out.clone();
         for lane in 0..out.len() {
             let addr = addrs[lane];
@@ -1046,6 +1087,16 @@ impl Machine {
         self.charge_vector(OpKind::VScatterOrdered, idx.len());
         self.scatter_seq += 1;
         let seq = self.scatter_seq;
+        if self.fault_plan.is_none() && self.journal.is_none() && self.tracked.is_empty() {
+            // Data-plane fast path: ordered semantics are exactly
+            // last-wins in element order, and with no fault plan, journal
+            // or checksummed region active nothing can observe how the
+            // stores are issued.
+            let words = &mut self.mem.words_mut()[region.base()..region.base() + region.len()];
+            self.engine
+                .scatter_last_wins(words, region, idx.as_slice(), val.as_slice());
+            return;
+        }
         self.apply_bit_rot(seq);
         let plan = self.fault_plan.clone();
         // Surviving (address, value) pairs in element order, after lane drops.
@@ -1143,6 +1194,33 @@ impl Machine {
         self.charge_vector(kind, idx.len());
         self.scatter_seq += 1;
         let seq = self.scatter_seq;
+        if self.fault_plan.is_none()
+            && self.journal.is_none()
+            && self.tracked.is_empty()
+            && self.policy == ConflictPolicy::LastWins
+        {
+            // Data-plane fast path: under last-wins, duplicate resolution
+            // is element order, and with no fault plan, journal or
+            // checksummed region active the store choke point has nothing
+            // to record — the engine writes directly. Any active
+            // control-plane feature takes the canonical path below, so
+            // every backend shares faulted-path behaviour by construction.
+            let words = &mut self.mem.words_mut()[region.base()..region.base() + region.len()];
+            match mask {
+                Some(m) => self.engine.scatter_last_wins_masked(
+                    words,
+                    region,
+                    idx.as_slice(),
+                    val.as_slice(),
+                    m.as_slice(),
+                ),
+                None => {
+                    self.engine
+                        .scatter_last_wins(words, region, idx.as_slice(), val.as_slice())
+                }
+            }
+            return;
+        }
         self.apply_bit_rot(seq);
         let plan = self.fault_plan.clone();
         // Filtered lanes: original element position, target address, value —
@@ -1221,14 +1299,10 @@ impl Machine {
     pub fn try_valu(&mut self, op: AluOp, a: &VReg, b: &VReg) -> Result<VReg, MachineTrap> {
         assert_eq!(a.len(), b.len(), "valu: length mismatch");
         self.charge_vector(OpKind::VAlu, a.len());
-        a.iter()
-            .zip(b.iter())
-            .enumerate()
-            .map(|(lane, (x, y))| {
-                op.checked_apply(x, y)
-                    .ok_or(MachineTrap::DivideByZero { op, lane })
-            })
-            .collect()
+        self.engine
+            .alu(op, a.as_slice(), b.as_slice())
+            .map(VReg::from_vec)
+            .map_err(|lane| MachineTrap::DivideByZero { op, lane })
     }
 
     /// Elementwise `op` between a vector and a broadcast scalar.
@@ -1244,13 +1318,10 @@ impl Machine {
     /// Fallible form of [`Machine::valu_s`].
     pub fn try_valu_s(&mut self, op: AluOp, a: &VReg, s: Word) -> Result<VReg, MachineTrap> {
         self.charge_vector(OpKind::VAlu, a.len());
-        a.iter()
-            .enumerate()
-            .map(|(lane, x)| {
-                op.checked_apply(x, s)
-                    .ok_or(MachineTrap::DivideByZero { op, lane })
-            })
-            .collect()
+        self.engine
+            .alu_s(op, a.as_slice(), s)
+            .map(VReg::from_vec)
+            .map_err(|lane| MachineTrap::DivideByZero { op, lane })
     }
 
     /// Masked elementwise `op`: where the mask is false the result keeps `a`.
@@ -1278,29 +1349,23 @@ impl Machine {
         assert_eq!(a.len(), b.len(), "valu_masked: length mismatch");
         assert_eq!(a.len(), mask.len(), "valu_masked: mask length mismatch");
         self.charge_vector(OpKind::VAlu, a.len());
-        (0..a.len())
-            .map(|lane| {
-                if mask.get(lane) {
-                    op.checked_apply(a.get(lane), b.get(lane))
-                        .ok_or(MachineTrap::DivideByZero { op, lane })
-                } else {
-                    Ok(a.get(lane))
-                }
-            })
-            .collect()
+        self.engine
+            .alu_masked(op, a.as_slice(), b.as_slice(), mask.as_slice())
+            .map(VReg::from_vec)
+            .map_err(|lane| MachineTrap::DivideByZero { op, lane })
     }
 
     /// Broadcast: a vector of `n` copies of `s`.
     pub fn vsplat(&mut self, s: Word, n: usize) -> VReg {
         self.charge_vector(OpKind::VAlu, n);
-        VReg::from_vec(vec![s; n])
+        VReg::from_vec(self.engine.splat(s, n))
     }
 
     /// Index generation: `[start, start+1, …, start+n-1]` (the paper's
     /// subscript labels are exactly `iota`).
     pub fn iota(&mut self, start: Word, n: usize) -> VReg {
         self.charge_vector(OpKind::VIota, n);
-        (start..start + n as Word).collect()
+        VReg::from_vec(self.engine.iota(start, n))
     }
 
     // ------------------------------------------------------------------
@@ -1312,16 +1377,13 @@ impl Machine {
     pub fn vcmp(&mut self, op: CmpOp, a: &VReg, b: &VReg) -> Mask {
         assert_eq!(a.len(), b.len(), "vcmp: length mismatch");
         self.charge_vector(OpKind::VCmp, a.len());
-        a.iter()
-            .zip(b.iter())
-            .map(|(x, y)| op.apply(x, y))
-            .collect()
+        Mask::from_vec(self.engine.cmp(op, a.as_slice(), b.as_slice()))
     }
 
     /// Elementwise compare against a broadcast scalar.
     pub fn vcmp_s(&mut self, op: CmpOp, a: &VReg, s: Word) -> Mask {
         self.charge_vector(OpKind::VCmp, a.len());
-        a.iter().map(|x| op.apply(x, s)).collect()
+        Mask::from_vec(self.engine.cmp_s(op, a.as_slice(), s))
     }
 
     /// Mask conjunction.
@@ -1329,7 +1391,7 @@ impl Machine {
     pub fn mask_and(&mut self, a: &Mask, b: &Mask) -> Mask {
         assert_eq!(a.len(), b.len(), "mask_and: length mismatch");
         self.charge_vector(OpKind::VMaskOp, a.len());
-        a.iter().zip(b.iter()).map(|(x, y)| x && y).collect()
+        Mask::from_vec(self.engine.mask_and(a.as_slice(), b.as_slice()))
     }
 
     /// Mask disjunction.
@@ -1337,13 +1399,13 @@ impl Machine {
     pub fn mask_or(&mut self, a: &Mask, b: &Mask) -> Mask {
         assert_eq!(a.len(), b.len(), "mask_or: length mismatch");
         self.charge_vector(OpKind::VMaskOp, a.len());
-        a.iter().zip(b.iter()).map(|(x, y)| x || y).collect()
+        Mask::from_vec(self.engine.mask_or(a.as_slice(), b.as_slice()))
     }
 
     /// Mask negation.
     pub fn mask_not(&mut self, a: &Mask) -> Mask {
         self.charge_vector(OpKind::VMaskOp, a.len());
-        a.iter().map(|x| !x).collect()
+        Mask::from_vec(self.engine.mask_not(a.as_slice()))
     }
 
     /// Merge: `mask[i] ? a[i] : b[i]`.
@@ -1352,9 +1414,10 @@ impl Machine {
         assert_eq!(a.len(), b.len(), "select: length mismatch");
         assert_eq!(a.len(), mask.len(), "select: mask length mismatch");
         self.charge_vector(OpKind::VAlu, a.len());
-        (0..a.len())
-            .map(|i| if mask.get(i) { a.get(i) } else { b.get(i) })
-            .collect()
+        VReg::from_vec(
+            self.engine
+                .select(mask.as_slice(), a.as_slice(), b.as_slice()),
+        )
     }
 
     /// `countTrue(M)`: population count of a mask, charged as a reduction.
@@ -1374,11 +1437,7 @@ impl Machine {
     pub fn compress(&mut self, a: &VReg, mask: &Mask) -> VReg {
         assert_eq!(a.len(), mask.len(), "compress: mask length mismatch");
         self.charge_vector(OpKind::VCompress, a.len());
-        a.iter()
-            .zip(mask.iter())
-            .filter(|&(_, m)| m)
-            .map(|(x, _)| x)
-            .collect()
+        VReg::from_vec(self.engine.compress(a.as_slice(), mask.as_slice()))
     }
 
     /// Compress a mask by another mask (needed when narrowing bookkeeping
@@ -1387,11 +1446,7 @@ impl Machine {
     pub fn compress_mask(&mut self, a: &Mask, mask: &Mask) -> Mask {
         assert_eq!(a.len(), mask.len(), "compress_mask: mask length mismatch");
         self.charge_vector(OpKind::VCompress, a.len());
-        a.iter()
-            .zip(mask.iter())
-            .filter(|&(_, m)| m)
-            .map(|(x, _)| x)
-            .collect()
+        Mask::from_vec(self.engine.compress_mask(a.as_slice(), mask.as_slice()))
     }
 
     /// Inverse of [`Machine::compress`]: distributes the elements of `a`
@@ -1433,31 +1488,25 @@ impl Machine {
     /// Distribution counting sort depends on this running at vector speed.
     pub fn vprefix_sum(&mut self, a: &VReg) -> VReg {
         self.charge_vector(OpKind::VPrefix, a.len());
-        let mut acc: Word = 0;
-        a.iter()
-            .map(|x| {
-                acc = acc.wrapping_add(x);
-                acc
-            })
-            .collect()
+        VReg::from_vec(self.engine.prefix_sum(a.as_slice()))
     }
 
     /// Sum of all elements (wrapping).
     pub fn vsum(&mut self, a: &VReg) -> Word {
         self.charge_vector(OpKind::VReduce, a.len());
-        a.iter().fold(0, Word::wrapping_add)
+        self.engine.sum(a.as_slice())
     }
 
     /// Minimum element, or `None` for an empty vector.
     pub fn vmin(&mut self, a: &VReg) -> Option<Word> {
         self.charge_vector(OpKind::VReduce, a.len());
-        a.iter().min()
+        self.engine.min(a.as_slice())
     }
 
     /// Maximum element, or `None` for an empty vector.
     pub fn vmax(&mut self, a: &VReg) -> Option<Word> {
         self.charge_vector(OpKind::VReduce, a.len());
-        a.iter().max()
+        self.engine.max(a.as_slice())
     }
 
     // ------------------------------------------------------------------
@@ -1526,6 +1575,41 @@ mod tests {
 
     fn machine() -> Machine {
         Machine::new(CostModel::unit())
+    }
+
+    #[test]
+    fn engines_are_interchangeable_mid_workload() {
+        // The same program on the default engine and on the scalar engine
+        // (including a mid-run swap) must leave identical memory and charge
+        // identical cycles — engines only change how elements are computed.
+        let run = |swap: bool| {
+            let mut m = machine();
+            assert_eq!(m.engine_name(), "sim");
+            assert_eq!(m.backend_kind(), crate::backend::BackendKind::Sim);
+            let r = m.alloc(16, "r");
+            let idx = m.iota(0, 12);
+            let val = m.valu_s(AluOp::Mul, &idx, 3);
+            m.scatter(r, &idx, &val);
+            if swap {
+                m.set_engine(
+                    crate::backend::engine_of(crate::backend::BackendKind::Scalar).unwrap(),
+                );
+                assert_eq!(m.engine_name(), "scalar");
+            }
+            let dup = m.vimm(&[3, 3, 7, 7, 15]);
+            let w = m.vimm(&[1, 2, 3, 4, 5]);
+            m.scatter(r, &dup, &w);
+            let mask = m.vcmp_s(CmpOp::Gt, &val, 10);
+            let packed = m.compress(&val, &mask);
+            let ids = m.iota(0, packed.len());
+            m.scatter_ordered(r, &ids, &packed);
+            (
+                m.mem().read_region(r),
+                m.content_digest(),
+                m.stats().cycles(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -239,6 +239,23 @@ impl Memory {
         self.words[region.base..region.base + region.len].copy_from_slice(data);
     }
 
+    /// The whole storage as a word slice (`words()[addr]` is the word at
+    /// `addr`). Execution backends address region-local windows of this
+    /// slice; it carries no cycle charge, so modelled code must still go
+    /// through the machine's charged instructions.
+    #[inline]
+    pub fn words(&self) -> &[Word] {
+        &self.words
+    }
+
+    /// Mutable form of [`Memory::words`]. Writing through this slice
+    /// bypasses the machine's journal/checksum choke point — only backend
+    /// fast paths that have proven those features inactive may use it.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [Word] {
+        &mut self.words
+    }
+
     /// The allocations made so far, in order (name, region).
     pub fn allocations(&self) -> &[(String, Region)] {
         &self.allocs

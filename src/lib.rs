@@ -14,7 +14,10 @@
 //! large index vectors the method wants, made crash-safe by [`persist`]
 //! (durable checkpoints and a write-ahead request log) and remotable by
 //! [`net`] (a CRC-framed wire protocol with exactly-once retries, seeded
-//! wire-fault injection, and digest-voting replica failover).
+//! wire-fault injection, and digest-voting replica failover). The [`simd`]
+//! crate swaps real AVX2 hardware lanes in behind the machine's kernels —
+//! selected per backend, differentially tested against the simulator, and
+//! bit-identical to it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub use fol_net as net;
 pub use fol_persist as persist;
 pub use fol_queens as queens;
 pub use fol_serve as serve;
+pub use fol_simd as simd;
 pub use fol_sort as sort;
 pub use fol_tree as tree;
 pub use fol_vm as vm;

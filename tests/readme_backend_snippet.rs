@@ -1,0 +1,53 @@
+//! Compile-and-run check for the README "Real hardware lanes" snippet —
+//! if the backend-selection API drifts, this test fails before the docs
+//! lie.
+
+use fol_core::recover::RetryPolicy;
+use fol_hash::open_addressing::{init_table, txn_insert_all};
+use fol_hash::ProbeStrategy;
+use fol_serve::{Server, ServerConfig};
+use fol_simd::{best_available, engine_for, BackendKind};
+use fol_vm::{CostModel, Machine, Word};
+
+#[test]
+fn readme_backend_snippet() {
+    // Pick the fastest backend this CPU can run. Selection degrades typed,
+    // never silently: asking for Avx2 on a machine without it hands back the
+    // scalar engine, and engine_name() reports what actually ran.
+    let mut m = Machine::with_engine(CostModel::unit(), engine_for(best_available()));
+    assert!(matches!(m.engine_name(), "avx2" | "scalar"));
+
+    // The whole stack is backend-agnostic: same transactional insert, same
+    // journal, same checksums — and byte-identical memory at the end.
+    let keys: Vec<Word> = (1..=24).collect();
+    let table = m.alloc(67, "table");
+    init_table(&mut m, table);
+    txn_insert_all(
+        &mut m,
+        table,
+        &keys,
+        ProbeStrategy::KeyDependent,
+        &RetryPolicy::default(),
+    )
+    .unwrap();
+
+    let mut sim = Machine::new(CostModel::unit()); // the simulator backend
+    let table = sim.alloc(67, "table");
+    init_table(&mut sim, table);
+    txn_insert_all(
+        &mut sim,
+        table,
+        &keys,
+        ProbeStrategy::KeyDependent,
+        &RetryPolicy::default(),
+    )
+    .unwrap();
+    assert_eq!(m.content_digest(), sim.content_digest());
+
+    // The serving pool takes the same selector through its config.
+    let server = Server::start(ServerConfig {
+        backend: BackendKind::Scalar, // or best_available()
+        ..ServerConfig::default()
+    });
+    server.shutdown();
+}

@@ -642,6 +642,120 @@ fn stale_epoch_client_is_refused_typed_and_retries_exactly_once() {
     }
 }
 
+/// In-flight retries survive a shard move: a client whose request
+/// completed on the old owner retries it against the new owner — same
+/// `(client_id, seq)`, still stamped with the *old* epoch — and the
+/// dedupe cache shipped inside the handoff image replays the cached ack.
+/// Without the shipped cache the retry would be refused `WrongEpoch`,
+/// forcing a refresh-and-resubmit that re-executes an already-applied
+/// chain insert (which allows duplicates, so the audit would count it
+/// twice). Raw wire frames are used so the retry controls its seq.
+#[test]
+fn retry_after_shard_move_replays_the_cached_outcome() {
+    use fol_net::wire::{frame_bytes, read_frame, ClientMsg, ServerMsg, WireOutcome};
+    use std::io::Write as _;
+
+    let nets: Vec<NetServer> = (0..2)
+        .map(|_| {
+            NetServer::start(
+                Server::start(small_config(None)),
+                NetServerConfig::default(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs: Vec<String> = nets.iter().map(|n| n.local_addr().to_string()).collect();
+    let old = ShardMap::build(addrs.clone(), SHARDS, VNODES, 1);
+    install_initial_map(&old, 60);
+
+    let key = (0..4096)
+        .find(|&k| old.owner(old.shard_of_key(k)) == 0)
+        .expect("some key routes to node 0");
+    let shard = old.shard_of_key(key);
+
+    let submit = |addr: &str, seq: u64, epoch: u64| -> ServerMsg {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        let _ = stream.set_nodelay(true);
+        let msg = ClientMsg::Submit {
+            client_id: 61,
+            seq,
+            acked_floor: 0,
+            deadline_millis: None,
+            shard,
+            map_epoch: epoch,
+            request: Request::ChainInsert { keys: vec![key] },
+        };
+        stream
+            .write_all(&frame_bytes(&msg.encode()))
+            .expect("write submit");
+        let payload = read_frame(&mut stream, "test reply")
+            .expect("read reply")
+            .expect("reply frame");
+        ServerMsg::decode(&payload).expect("decode reply")
+    };
+
+    // The request completes on the old owner under the old epoch; its
+    // outcome is now in node 0's dedupe cache, stamped with the shard.
+    let first = submit(&addrs[0], 0, old.epoch);
+    match &first {
+        ServerMsg::Result {
+            seq: 0,
+            outcome: WireOutcome::Ok(Response::ChainInserted { .. }),
+        } => {}
+        other => panic!("expected an acked insert, got {other:?}"),
+    }
+
+    // Evict node 0: every shard it owned (ours included) moves to node 1,
+    // handoff images and all, and the epoch advances cluster-wide.
+    let new = old.without_node(&addrs[0]);
+    let report = rebalance(&old, &new, &coord_cfg(62)).expect("rebalance completes");
+    assert!(report.moved.iter().any(|m| m.shard == shard));
+
+    // The retry lands on the new owner with the OLD epoch stamp and the
+    // same (client_id, seq): the shipped cache replays the identical ack.
+    let retry = submit(&addrs[1], 0, old.epoch);
+    assert_eq!(
+        retry, first,
+        "the new owner must replay the cached outcome verbatim"
+    );
+
+    // A FRESH request under the stale epoch is still refused typed — the
+    // shipped cache answers retries, it does not weaken the epoch gate.
+    match submit(&addrs[1], 1, old.epoch) {
+        ServerMsg::Result {
+            seq: 1,
+            outcome: WireOutcome::Err(ServeError::WrongEpoch { got, current }),
+        } => assert_eq!((got, current), (old.epoch, new.epoch)),
+        other => panic!("expected a typed WrongEpoch refusal, got {other:?}"),
+    }
+
+    // Exactly-once, audited by content: the key landed once, not twice.
+    let mut audit = NetClient::new(addrs[1].clone(), coord_cfg(63));
+    audit.set_map_epoch(new.epoch);
+    let (digest, count) = audit
+        .digest(WorkloadClass::Chain)
+        .expect("digest audit answers");
+    assert_eq!(
+        (digest, count),
+        (fol_serve::keys_digest(&[key]), 1),
+        "a replayed retry must never re-execute the insert"
+    );
+
+    write_cell_report(
+        "shard_retry_survives_move",
+        &[
+            ("nodes", "2".into()),
+            ("acked", "1".into()),
+            ("lost_acks", "0".into()),
+            ("replayed_retries", "1".into()),
+            ("passed", "true".into()),
+        ],
+    );
+    for net in nets {
+        drop(net.shutdown());
+    }
+}
+
 /// Observability smoke: wire `Health` reflects a completed rebalance —
 /// the gainer reports the advanced epoch and its enlarged ownership, the
 /// node left behind keeps the old epoch and counts the typed refusals it
